@@ -1,0 +1,102 @@
+// §2.3.2 runtime comparison: the paper's O(n + p log q) algorithm versus
+// the previously best known O(n log n) (Nicol & O'Hallaron stand-in), the
+// textbook O(n·L) DP and the modern O(n) deque DP.
+//
+// The paper's claim: "our algorithm exploits the nature of data and runs
+// in considerably less time if data permit, while retaining the worst
+// case performance at least as good as the best known current algorithm."
+// K regimes: tight (tiny components), mid, loose (few cuts) — the tight
+// and loose ends are where p log q collapses.
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "core/bandwidth_baselines.hpp"
+#include "core/bandwidth_min.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace tgp;
+
+struct Instance {
+  graph::Chain chain;
+  double K;
+};
+
+// K regime encoding: 0 = tight, 1 = mid, 2 = loose.
+const Instance& instance(int n, int regime) {
+  static std::map<std::pair<int, int>, Instance> cache;
+  auto key = std::make_pair(n, regime);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    util::Pcg32 rng(0x51AB ^ static_cast<unsigned>(n * 3 + regime));
+    Instance inst;
+    inst.chain = graph::random_chain(rng, n,
+                                     graph::WeightDist::uniform(1, 100),
+                                     graph::WeightDist::uniform(1, 100));
+    double maxw = inst.chain.max_vertex_weight();
+    double total = inst.chain.total_vertex_weight();
+    double frac = regime == 0 ? 0.00002 : regime == 1 ? 0.005 : 0.5;
+    inst.K = maxw + frac * (total - maxw);
+    it = cache.emplace(key, std::move(inst)).first;
+  }
+  return it->second;
+}
+
+void BM_temps(benchmark::State& state) {
+  const Instance& inst = instance(static_cast<int>(state.range(0)),
+                                  static_cast<int>(state.range(1)));
+  for (auto _ : state) {
+    auto r = core::bandwidth_min_temps(inst.chain, inst.K);
+    benchmark::DoNotOptimize(r.cut_weight);
+  }
+}
+
+void BM_nicol(benchmark::State& state) {
+  const Instance& inst = instance(static_cast<int>(state.range(0)),
+                                  static_cast<int>(state.range(1)));
+  for (auto _ : state) {
+    auto r = core::bandwidth_min_nicol(inst.chain, inst.K);
+    benchmark::DoNotOptimize(r.cut_weight);
+  }
+}
+
+void BM_dp_deque(benchmark::State& state) {
+  const Instance& inst = instance(static_cast<int>(state.range(0)),
+                                  static_cast<int>(state.range(1)));
+  for (auto _ : state) {
+    auto r = core::bandwidth_min_dp_deque(inst.chain, inst.K);
+    benchmark::DoNotOptimize(r.cut_weight);
+  }
+}
+
+void BM_dp_naive(benchmark::State& state) {
+  const Instance& inst = instance(static_cast<int>(state.range(0)),
+                                  static_cast<int>(state.range(1)));
+  for (auto _ : state) {
+    auto r = core::bandwidth_min_dp_naive(inst.chain, inst.K);
+    benchmark::DoNotOptimize(r.cut_weight);
+  }
+}
+
+void regimes(benchmark::internal::Benchmark* b) {
+  for (int n : {1 << 12, 1 << 15, 1 << 18})
+    for (int regime : {0, 1, 2}) b->Args({n, regime});
+}
+
+// Naive DP explodes on the loose regime (window ~ n); restrict it.
+void regimes_naive(benchmark::internal::Benchmark* b) {
+  for (int n : {1 << 12, 1 << 15})
+    for (int regime : {0, 1}) b->Args({n, regime});
+}
+
+}  // namespace
+
+BENCHMARK(BM_temps)->Apply(regimes)->ArgNames({"n", "Kregime"});
+BENCHMARK(BM_nicol)->Apply(regimes)->ArgNames({"n", "Kregime"});
+BENCHMARK(BM_dp_deque)->Apply(regimes)->ArgNames({"n", "Kregime"});
+BENCHMARK(BM_dp_naive)->Apply(regimes_naive)->ArgNames({"n", "Kregime"});
+
+BENCHMARK_MAIN();

@@ -1,0 +1,63 @@
+// Algorithm 2.1 runtime: the published O(n²) incremental scan versus the
+// O(n log n) threshold binary search (identical outputs, property-tested).
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "core/bottleneck_min.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace tgp;
+
+struct Instance {
+  graph::Tree tree;
+  double K;
+};
+
+const Instance& instance(int n) {
+  static std::map<int, Instance> cache;
+  auto it = cache.find(n);
+  if (it == cache.end()) {
+    util::Pcg32 rng(0xB077 ^ static_cast<unsigned>(n));
+    graph::Tree t = graph::random_tree(rng, n,
+                                       graph::WeightDist::uniform(1, 50),
+                                       graph::WeightDist::uniform(1, 100));
+    double K = t.max_vertex_weight() +
+               0.01 * (t.total_vertex_weight() - t.max_vertex_weight());
+    it = cache.emplace(n, Instance{std::move(t), K}).first;
+  }
+  return it->second;
+}
+
+void BM_scan(benchmark::State& state) {
+  const Instance& inst = instance(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto r = core::bottleneck_min_scan(inst.tree, inst.K);
+    benchmark::DoNotOptimize(r.threshold);
+  }
+}
+
+void BM_bsearch(benchmark::State& state) {
+  const Instance& inst = instance(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto r = core::bottleneck_min_bsearch(inst.tree, inst.K);
+    benchmark::DoNotOptimize(r.threshold);
+  }
+}
+
+}  // namespace
+
+// The published scan is quadratic: keep its sizes modest.
+BENCHMARK(BM_scan)->Arg(1 << 8)->Arg(1 << 10)->Arg(1 << 12)->ArgName("n");
+BENCHMARK(BM_bsearch)
+    ->Arg(1 << 8)
+    ->Arg(1 << 10)
+    ->Arg(1 << 12)
+    ->Arg(1 << 15)
+    ->Arg(1 << 18)
+    ->ArgName("n");
+
+BENCHMARK_MAIN();

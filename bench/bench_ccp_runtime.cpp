@@ -1,0 +1,93 @@
+// §1 related-work complexities, measured: Bokhari-style O(n²m)-class DP
+// versus the probe method and Hansen–Lih-style refinement for
+// chains-on-chains bottleneck partitioning.
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "ccp/ccp.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace tgp;
+
+const graph::Chain& chain_for(int n) {
+  static std::map<int, graph::Chain> cache;
+  auto it = cache.find(n);
+  if (it == cache.end()) {
+    util::Pcg32 rng(0xCC9 ^ static_cast<unsigned>(n));
+    it = cache
+             .emplace(n, graph::random_chain(
+                             rng, n, graph::WeightDist::uniform(1, 100),
+                             graph::WeightDist::constant(1)))
+             .first;
+  }
+  return it->second;
+}
+
+void BM_ccp_dp(benchmark::State& state) {
+  const graph::Chain& c = chain_for(static_cast<int>(state.range(0)));
+  int m = static_cast<int>(state.range(1));
+  for (auto _ : state) {
+    auto r = ccp::ccp_dp(c, m);
+    benchmark::DoNotOptimize(r.bottleneck);
+  }
+}
+
+void BM_ccp_probe(benchmark::State& state) {
+  const graph::Chain& c = chain_for(static_cast<int>(state.range(0)));
+  int m = static_cast<int>(state.range(1));
+  for (auto _ : state) {
+    auto r = ccp::ccp_probe(c, m);
+    benchmark::DoNotOptimize(r.bottleneck);
+  }
+}
+
+void BM_ccp_nicol_probe(benchmark::State& state) {
+  const graph::Chain& c = chain_for(static_cast<int>(state.range(0)));
+  int m = static_cast<int>(state.range(1));
+  for (auto _ : state) {
+    auto r = ccp::ccp_nicol_probe(c, m);
+    benchmark::DoNotOptimize(r.bottleneck);
+  }
+}
+
+void BM_ccp_hansen_lih(benchmark::State& state) {
+  const graph::Chain& c = chain_for(static_cast<int>(state.range(0)));
+  int m = static_cast<int>(state.range(1));
+  for (auto _ : state) {
+    auto r = ccp::ccp_hansen_lih(c, m);
+    benchmark::DoNotOptimize(r.bottleneck);
+  }
+}
+
+}  // namespace
+
+// The DP is quadratic in n: keep it small.
+BENCHMARK(BM_ccp_dp)
+    ->Args({1 << 9, 8})
+    ->Args({1 << 11, 8})
+    ->Args({1 << 11, 32})
+    ->ArgNames({"n", "m"});
+BENCHMARK(BM_ccp_probe)
+    ->Args({1 << 11, 8})
+    ->Args({1 << 15, 8})
+    ->Args({1 << 18, 8})
+    ->Args({1 << 18, 64})
+    ->ArgNames({"n", "m"});
+BENCHMARK(BM_ccp_nicol_probe)
+    ->Args({1 << 11, 8})
+    ->Args({1 << 15, 8})
+    ->Args({1 << 18, 8})
+    ->Args({1 << 18, 64})
+    ->ArgNames({"n", "m"});
+BENCHMARK(BM_ccp_hansen_lih)
+    ->Args({1 << 11, 8})
+    ->Args({1 << 15, 8})
+    ->Args({1 << 18, 8})
+    ->Args({1 << 18, 64})
+    ->ArgNames({"n", "m"});
+
+BENCHMARK_MAIN();

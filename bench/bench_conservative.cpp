@@ -1,0 +1,84 @@
+// §3 application 2, protocol view: conservative-simulation traffic (real
+// + null messages) per partition strategy.
+//
+// Null messages are pure synchronization overhead paid per cross-LP
+// channel per cycle; real messages carry crossing toggles.  The paper's
+// structural partitioning attacks both: few neighbouring LP pairs and
+// few crossing wires.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "core/bandwidth_min.hpp"
+#include "des/circuit_gen.hpp"
+#include "des/conservative_sim.hpp"
+#include "des/supergraph.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace tgp;
+
+void run_circuit(util::Table& t, const char* name, const des::Circuit& c,
+                 int groups) {
+  util::Pcg32 act_rng(0xC0 ^ static_cast<unsigned>(groups));
+  auto prof = des::simulate_activity(c, act_rng, 500);
+  auto pg = des::process_graph(c, prof);
+  des::LinearSupergraph super = des::linear_supergraph(c, pg);
+  double K = std::max(1.15 * super.chain.total_vertex_weight() / groups,
+                      super.chain.max_vertex_weight());
+  auto cut = core::bandwidth_min_temps(super.chain, K).cut;
+  auto opt_groups = des::assign_from_chain_cut(super, cut);
+  int g = 0;
+  for (int x : opt_groups) g = std::max(g, x + 1);
+  g = std::max(g, 2);
+
+  struct Strategy {
+    const char* name;
+    std::vector<int> assignment;
+  };
+  util::Pcg32 rnd_rng(0xF1);
+  Strategy strategies[] = {
+      {"bandwidth_min", opt_groups},
+      {"block", des::assign_block(c.n(), g)},
+      {"round_robin", des::assign_round_robin(c.n(), g)},
+      {"random", des::assign_random(rnd_rng, c.n(), g)},
+  };
+  for (const Strategy& s : strategies) {
+    util::Pcg32 run_rng(0x51E9);
+    auto r = des::simulate_conservative(c, s.assignment, run_rng, 500);
+    t.row()
+        .cell(name)
+        .cell(s.name)
+        .cell(r.lps)
+        .cell(r.channels)
+        .cell(static_cast<std::int64_t>(r.real_messages))
+        .cell(static_cast<std::int64_t>(r.null_messages))
+        .cell(100.0 * r.efficiency, 1);
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace tgp;
+  std::puts("=== Conservative DES protocol traffic per partition "
+            "(500 cycles) ===\n");
+  util::Table t({"circuit", "strategy", "LPs", "channels", "real msgs",
+                 "null msgs", "efficiency %"});
+  run_circuit(t, "shift_register(256)", des::shift_register(256), 4);
+  util::Pcg32 gen(0x777);
+  run_circuit(t, "layered(24x12)",
+              des::layered_random_circuit(gen, 24, 12), 4);
+  run_circuit(t, "ripple_adder(64)", des::ripple_carry_adder(64), 4);
+  t.print();
+  std::puts("\nReading: total protocol traffic is channels x cycles "
+            "(every channel carries\na real or null message each cycle).  "
+            "The structural partitions keep only\ngroups-1 neighbour "
+            "channels, so their total bill is a quarter of the\nscattered "
+            "partitions' — even though a larger *fraction* of their "
+            "messages\nare nulls (few wires cross, so channels often have "
+            "nothing real to say).");
+  return 0;
+}

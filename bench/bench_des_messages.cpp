@@ -1,0 +1,114 @@
+// §3 application 2: distributed logic simulation — inter-processor
+// message volume under the paper's linear-supergraph bandwidth-min
+// partitioning versus topology-blind baselines, across circuit families
+// and processor counts.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "core/bandwidth_min.hpp"
+#include "des/circuit_gen.hpp"
+#include "des/supergraph.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace tgp;
+
+/// Rebuild `c` under a random renumbering of gate ids.  Level-based
+/// partitioning is invariant to this; gate-id-based strategies (block,
+/// round_robin) are not — real netlists rarely come numbered in layout
+/// order, which is exactly why the paper partitions a structural
+/// supergraph instead of the id sequence.
+des::Circuit permute_circuit(const des::Circuit& c, util::Pcg32& rng) {
+  const int n = c.n();
+  std::vector<int> new_id(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) new_id[static_cast<std::size_t>(i)] = i;
+  for (int i = n - 1; i > 0; --i) {
+    int j = static_cast<int>(rng.uniform_int(0, i));
+    std::swap(new_id[static_cast<std::size_t>(i)],
+              new_id[static_cast<std::size_t>(j)]);
+  }
+  std::vector<int> old_of(static_cast<std::size_t>(n));
+  for (int old = 0; old < n; ++old)
+    old_of[static_cast<std::size_t>(new_id[static_cast<std::size_t>(old)])] =
+        old;
+  des::Circuit out;
+  for (int id = 0; id < n; ++id) {
+    const des::Gate& g = c.gate(old_of[static_cast<std::size_t>(id)]);
+    std::vector<int> inputs;
+    inputs.reserve(g.inputs.size());
+    for (int in : g.inputs)
+      inputs.push_back(new_id[static_cast<std::size_t>(in)]);
+    out.add_gate(g.type, std::move(inputs));
+  }
+  out.validate();
+  return out;
+}
+
+void run_circuit(util::Table& t, const char* name, const des::Circuit& c,
+                 util::Pcg32& rng, int groups) {
+  des::ActivityProfile prof = des::simulate_activity(c, rng, 2000);
+  graph::TaskGraph pg = des::process_graph(c, prof);
+  des::LinearSupergraph super = des::linear_supergraph(c, pg);
+
+  // 15% slack over perfect balance gives the partitioner room to place
+  // boundaries at cheap levels.
+  double K = std::max(1.15 * super.chain.total_vertex_weight() / groups,
+                      super.chain.max_vertex_weight());
+  auto bw = core::bandwidth_min_temps(super.chain, K);
+  auto opt = des::evaluate_assignment(pg,
+                                      des::assign_from_chain_cut(super, bw.cut));
+  int g = std::max(opt.groups, 2);
+  auto block = des::evaluate_assignment(pg, des::assign_block(c.n(), g));
+  auto rr = des::evaluate_assignment(pg, des::assign_round_robin(c.n(), g));
+  auto rnd = des::evaluate_assignment(pg, des::assign_random(rng, c.n(), g));
+
+  auto add = [&](const char* strategy, const des::DesPartitionQuality& q) {
+    t.row()
+        .cell(name)
+        .cell(groups)
+        .cell(strategy)
+        .cell(q.cross_messages, 0)
+        .cell(100.0 * q.cross_fraction, 1)
+        .cell(q.max_group_load / q.avg_group_load, 2);
+  };
+  add("bandwidth_min", opt);
+  add("block", block);
+  add("round_robin", rr);
+  add("random", rnd);
+}
+
+}  // namespace
+
+int main() {
+  using namespace tgp;
+  std::puts("=== §3 application 2: DES inter-processor message volume ===\n");
+  util::Table t({"circuit", "target groups", "strategy", "cross msgs",
+                 "cross %", "load max/avg"});
+  util::Pcg32 rng(0xDE5);
+  for (int groups : {2, 4, 8}) {
+    run_circuit(t, "shift_register(256)", des::shift_register(256), rng,
+                groups);
+    run_circuit(t, "ripple_adder(64)", des::ripple_carry_adder(64), rng,
+                groups);
+    {
+      util::Pcg32 perm_rng(0x5CA);
+      run_circuit(t, "ripple_adder(64) scrambled ids",
+                  permute_circuit(des::ripple_carry_adder(64), perm_rng),
+                  rng, groups);
+    }
+    util::Pcg32 gen_rng(0x777);
+    run_circuit(t, "layered(24x12)",
+                des::layered_random_circuit(gen_rng, 24, 12), rng, groups);
+  }
+  t.print();
+  std::puts("\nExpected shape: the two linear strategies (bandwidth_min, "
+            "block) send orders\nof magnitude fewer messages than "
+            "round_robin/random.  With scrambled gate\nids block collapses "
+            "to random-level cost while bandwidth_min — which\npartitions "
+            "the structural supergraph, not the id sequence — is "
+            "unaffected.");
+  return 0;
+}

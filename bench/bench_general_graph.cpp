@@ -1,0 +1,107 @@
+// §4's closing prescription, measured: partition general task graphs via
+// linear and tree supergraphs and score on the original graph.
+//
+// Workload: clustered graphs (dense work groups chained by light
+// bridges) with varying cluster counts and bridge weights — the regime
+// the paper argues is "approximated well by a linear or tree supergraph".
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "approx/supergraph.hpp"
+#include "core/bandwidth_min.hpp"
+#include "core/proc_min.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace tgp;
+
+graph::TaskGraph clustered(util::Pcg32& rng, int clusters, int csize,
+                           double bridge_w) {
+  graph::TaskGraph g;
+  for (int c = 0; c < clusters; ++c)
+    for (int i = 0; i < csize; ++i) g.add_node(rng.uniform_real(1, 5));
+  for (int c = 0; c < clusters; ++c) {
+    int base = c * csize;
+    for (int i = 1; i < csize; ++i)
+      g.add_edge(base + i,
+                 base + static_cast<int>(rng.uniform_int(0, i - 1)),
+                 rng.uniform_real(30, 80));
+    for (int extra = 0; extra < csize; ++extra) {
+      int u = base + static_cast<int>(rng.uniform_int(0, csize - 1));
+      int v = base + static_cast<int>(rng.uniform_int(0, csize - 1));
+      if (u != v) g.add_edge(u, v, rng.uniform_real(30, 80));
+    }
+    if (c > 0)
+      g.add_edge(base - 1 - static_cast<int>(rng.uniform_int(0, csize - 1)),
+                 base + static_cast<int>(rng.uniform_int(0, csize - 1)),
+                 bridge_w);
+  }
+  return g;
+}
+
+}  // namespace
+
+int main() {
+  using namespace tgp;
+  std::puts("=== General graphs via supergraphs (§4): crossing weight on "
+            "the original graph ===\n");
+  util::Table t({"clusters x size", "bridge w", "route", "groups",
+                 "cross weight", "cross %"});
+  for (int clusters : {4, 8}) {
+    for (double bridge : {1.0, 20.0}) {
+      util::Pcg32 rng(0x6E6 ^ static_cast<unsigned>(clusters * 7 +
+                                                    bridge));
+      graph::TaskGraph g = clustered(rng, clusters, 12, bridge);
+      double K = std::max(1.15 * g.total_vertex_weight() / 4, 10.0);
+      std::string shape = std::to_string(clusters) + "x12";
+
+      auto add = [&](const char* route, const std::vector<int>& groups) {
+        auto q = approx::evaluate_partition(g, groups);
+        t.row()
+            .cell(shape)
+            .cell(bridge, 0)
+            .cell(route)
+            .cell(q.groups)
+            .cell(q.cross_weight, 0)
+            .cell(100.0 * q.cross_fraction, 1);
+      };
+
+      approx::TreeSupergraph mst = approx::maximum_spanning_tree(g);
+      add("tree (MST) + proc_min",
+          approx::groups_from_tree_cut(mst,
+                                       core::proc_min(mst.tree, K).cut));
+
+      approx::LinearizedGraph bfs = approx::bfs_linearize(g);
+      add("linear (BFS) + bandwidth_min",
+          approx::groups_from_chain_cut(
+              bfs, core::bandwidth_min_temps(
+                       bfs.chain,
+                       std::max(K, bfs.chain.max_vertex_weight()))
+                       .cut));
+
+      approx::LinearizedGraph mstlin = approx::mst_linearize(g);
+      add("linear (MST depth) + bandwidth_min",
+          approx::groups_from_chain_cut(
+              mstlin, core::bandwidth_min_temps(
+                          mstlin.chain,
+                          std::max(K, mstlin.chain.max_vertex_weight()))
+                          .cut));
+
+      std::vector<int> rnd(static_cast<std::size_t>(g.n()));
+      for (auto& x : rnd)
+        x = static_cast<int>(rng.uniform_int(0, 3));
+      add("random", rnd);
+    }
+  }
+  t.print();
+  std::puts("\nReading: the tree supergraph preserves the cluster "
+            "structure exactly and\ncuts only bridges; the linear "
+            "approximations pay more when layers straddle\nclusters but "
+            "still beat random by an order of magnitude — matching §4's\n"
+            "advice to prefer a tree supergraph when the topology allows "
+            "one.");
+  return 0;
+}

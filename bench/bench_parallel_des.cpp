@@ -1,0 +1,86 @@
+// §3 application 2, dynamic view: simulated speedup of the distributed
+// logic simulation under each partitioning strategy.
+//
+// bench_des_messages counts static message volume; this bench runs the
+// synchronous parallel-simulation cost model on the live activity stream,
+// so load balance and message volume combine into one speedup number —
+// the quantity a simulation practitioner actually cares about.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "core/bandwidth_min.hpp"
+#include "des/circuit_gen.hpp"
+#include "des/parallel_sim.hpp"
+#include "des/supergraph.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace tgp;
+
+void run_circuit(util::Table& t, const char* name, const des::Circuit& c,
+                 int groups, double comm_cost) {
+  util::Pcg32 act_rng(0xAC7 ^ static_cast<unsigned>(groups));
+  auto prof = des::simulate_activity(c, act_rng, 600);
+  auto pg = des::process_graph(c, prof);
+  des::LinearSupergraph super = des::linear_supergraph(c, pg);
+  double K = std::max(1.15 * super.chain.total_vertex_weight() / groups,
+                      super.chain.max_vertex_weight());
+  auto cut = core::bandwidth_min_temps(super.chain, K).cut;
+  auto opt_groups = des::assign_from_chain_cut(super, cut);
+  int g = 0;
+  for (int x : opt_groups) g = std::max(g, x + 1);
+  g = std::max(g, 2);
+
+  struct Strategy {
+    const char* name;
+    std::vector<int> assignment;
+  };
+  util::Pcg32 rnd_rng(0xF00);
+  Strategy strategies[] = {
+      {"bandwidth_min", opt_groups},
+      {"block", des::assign_block(c.n(), g)},
+      {"round_robin", des::assign_round_robin(c.n(), g)},
+      {"random", des::assign_random(rnd_rng, c.n(), g)},
+  };
+  for (const Strategy& s : strategies) {
+    util::Pcg32 run_rng(0x51E9);  // identical stimulus for every strategy
+    auto r = des::simulate_parallel_des(c, s.assignment, run_rng, 600,
+                                        comm_cost);
+    t.row()
+        .cell(name)
+        .cell(groups)
+        .cell(s.name)
+        .cell(r.speedup, 2)
+        .cell(static_cast<std::int64_t>(r.cross_messages))
+        .cell(r.serial_work, 0);
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace tgp;
+  std::puts("=== §3 application 2 (dynamic): parallel simulation speedup "
+            "===\n");
+  std::puts("Synchronous-round model, crossing message costs 0.25 gate "
+            "evaluations.\n");
+  util::Table t({"circuit", "target groups", "strategy", "speedup",
+                 "cross msgs", "serial work"});
+  for (int groups : {4, 8}) {
+    run_circuit(t, "shift_register(256)", des::shift_register(256), groups,
+                0.25);
+    util::Pcg32 gen_rng(0x777);
+    run_circuit(t, "layered(24x12)",
+                des::layered_random_circuit(gen_rng, 24, 12), groups, 0.25);
+    run_circuit(t, "ripple_adder(64)", des::ripple_carry_adder(64), groups,
+                0.25);
+  }
+  t.print();
+  std::puts("\nExpected shape: topology-aware partitions achieve real "
+            "speedup; round_robin\nand random drown in synchronization "
+            "messages despite perfect load balance.");
+  return 0;
+}

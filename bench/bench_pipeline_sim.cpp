@@ -1,0 +1,88 @@
+// End-to-end motivation experiment: pipeline throughput on a shared-bus
+// machine as a function of partition strategy and bus bandwidth.
+//
+// The paper's premise is that on shared-memory machines the bandwidth
+// demand of a partition (Σ crossing-edge weight) is the quantity to
+// minimize.  Here we execute partitioned chains in the discrete-event
+// simulator and show how the bandwidth-minimal cut's advantage grows as
+// the bus gets slower (more contention).
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "core/bandwidth_min.hpp"
+#include "graph/cutset.hpp"
+#include "graph/generators.hpp"
+#include "sim/pipeline_sim.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace tgp;
+
+// Greedy left-to-right packing: feasible but bandwidth-oblivious.
+graph::Cut greedy_cut(const graph::Chain& c, double K) {
+  graph::Cut cut;
+  double acc = 0;
+  for (int v = 0; v < c.n(); ++v) {
+    double w = c.vertex_weight[static_cast<std::size_t>(v)];
+    if (acc + w > K) {
+      cut.edges.push_back(v - 1);
+      acc = 0;
+    }
+    acc += w;
+  }
+  return cut;
+}
+
+}  // namespace
+
+int main() {
+  using namespace tgp;
+  std::puts("=== Pipeline throughput vs partition strategy vs bus speed "
+            "===\n");
+
+  util::Pcg32 rng(0x5117);
+  const int n = 64;
+  graph::Chain chain = graph::random_chain(
+      rng, n, graph::WeightDist::uniform(1, 4),
+      graph::WeightDist::uniform(1, 40));
+  double K = chain.total_vertex_weight() / 6;
+  graph::Cut opt = core::bandwidth_min_temps(chain, K).cut;
+  graph::Cut naive = greedy_cut(chain, K);
+
+  std::printf("Chain: %d tasks, K = %.1f; bandwidth-min cut weight %.1f, "
+              "greedy cut weight %.1f\n\n",
+              n, K, graph::chain_cut_weight(chain, opt),
+              graph::chain_cut_weight(chain, naive));
+
+  util::Table t({"bus bandwidth", "strategy", "cut weight", "throughput",
+                 "bus util %", "makespan"});
+  for (double bus : {0.5, 1.0, 2.0, 8.0, 32.0}) {
+    arch::Machine machine{16, 1.0, bus};
+    struct Named {
+      const char* name;
+      const graph::Cut& cut;
+    };
+    for (const Named& s : {Named{"bandwidth_min", opt},
+                           Named{"greedy_pack", naive}}) {
+      arch::Mapping mapping =
+          arch::map_chain_partition(chain, s.cut, machine);
+      sim::PipelineStats stats =
+          sim::simulate_pipeline(chain, mapping, machine, 64);
+      t.row()
+          .cell(bus, 1)
+          .cell(s.name)
+          .cell(graph::chain_cut_weight(chain, s.cut), 1)
+          .cell(stats.throughput, 4)
+          .cell(100.0 * stats.bus_utilization, 1)
+          .cell(stats.makespan, 1);
+    }
+  }
+  t.print();
+  std::puts("\nExpected shape: at high bus bandwidth both partitions "
+            "perform alike; as the\nbus slows, the bandwidth-minimal "
+            "partition sustains higher throughput.");
+  return 0;
+}

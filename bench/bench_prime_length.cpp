@@ -1,0 +1,63 @@
+// §2.3.2 claim: "If the vertex weights are distributed uniformly over the
+// range [w1, w2], the average length of prime subpaths will be bounded by
+// 2K/(w1 + w2)", and therefore q is bounded by a constant whenever
+// K/w2 is.
+//
+// This bench measures the average prime-subpath length (in vertices) and
+// the average q over random chains and prints it against the analytical
+// bound.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "core/bandwidth_min.hpp"
+#include "core/prime_subpaths.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace tgp;
+  std::puts("=== §2.3.2: average prime-subpath length vs 2K/(w1+w2) ===\n");
+
+  const int n = 65536;
+  util::Table t({"weights", "K/w2", "avg prime len", "bound 2K/(w1+w2)",
+                 "q avg", "len/bound"});
+  for (double w2 : {10.0, 50.0, 200.0}) {
+    for (double k_over_w2 : {1.5, 3.0, 6.0, 12.0, 24.0}) {
+      const double w1 = 1.0;
+      const double K = k_over_w2 * w2;
+      util::Accumulator len;
+      double q_avg = 0;
+      int reps = 3;
+      for (int seed = 0; seed < reps; ++seed) {
+        util::Pcg32 rng(0x9121 + static_cast<unsigned>(seed) +
+                        static_cast<unsigned>(w2 * 17 + k_over_w2));
+        graph::Chain c = graph::random_chain(
+            rng, n, graph::WeightDist::uniform(w1, w2),
+            graph::WeightDist::uniform(1, 10));
+        if (K < c.max_vertex_weight()) continue;
+        auto primes = core::prime_subpaths(c, K);
+        for (const auto& p : primes)
+          len.add(p.last_vertex - p.first_vertex + 1);
+        core::BandwidthInstrumentation instr;
+        core::bandwidth_min_temps(c, K, &instr);
+        q_avg += instr.q_avg / reps;
+      }
+      if (len.count() == 0) continue;
+      double bound = 2 * K / (w1 + w2);
+      t.row()
+          .cell("U[1," + util::fmt(w2, 0) + "]")
+          .cell(k_over_w2, 1)
+          .cell(len.mean(), 2)
+          .cell(bound, 2)
+          .cell(q_avg, 2)
+          .cell(len.mean() / bound, 3);
+    }
+  }
+  t.print();
+  std::puts("\nPaper's claim to check: measured average prime length stays "
+            "at or below\n2K/(w1+w2), so q is O(1) whenever K/w2 is.");
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Algorithm 2.2 runtime: O(n log n) processor minimization across tree
+// shapes, plus the full §2.1 + §2.2 pipeline.
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "core/proc_min.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace tgp;
+
+// Shape encoding: 0 = uniform-attachment random, 1 = binary, 2 = star,
+// 3 = caterpillar.
+graph::Tree make_tree(int n, int shape) {
+  util::Pcg32 rng(0x9C0 ^ static_cast<unsigned>(n * 5 + shape));
+  auto vd = graph::WeightDist::uniform(1, 50);
+  auto ed = graph::WeightDist::uniform(1, 100);
+  switch (shape) {
+    case 1: return graph::random_binary_tree(rng, n, vd, ed);
+    case 2: return graph::star_tree(rng, n, vd, ed);
+    case 3: return graph::caterpillar_tree(rng, n / 4, 3, vd, ed);
+    default: return graph::random_tree(rng, n, vd, ed);
+  }
+}
+
+struct Instance {
+  graph::Tree tree;
+  double K;
+};
+
+const Instance& instance(int n, int shape) {
+  static std::map<std::pair<int, int>, Instance> cache;
+  auto key = std::make_pair(n, shape);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    graph::Tree t = make_tree(n, shape);
+    double K = std::max(t.max_vertex_weight(),
+                        t.total_vertex_weight() / 64);
+    it = cache.emplace(key, Instance{std::move(t), K}).first;
+  }
+  return it->second;
+}
+
+void BM_proc_min(benchmark::State& state) {
+  const Instance& inst = instance(static_cast<int>(state.range(0)),
+                                  static_cast<int>(state.range(1)));
+  for (auto _ : state) {
+    auto r = core::proc_min(inst.tree, inst.K);
+    benchmark::DoNotOptimize(r.components);
+  }
+}
+
+void BM_pipeline(benchmark::State& state) {
+  const Instance& inst = instance(static_cast<int>(state.range(0)),
+                                  static_cast<int>(state.range(1)));
+  for (auto _ : state) {
+    auto r = core::bottleneck_then_proc_min(inst.tree, inst.K);
+    benchmark::DoNotOptimize(r.components);
+  }
+}
+
+void shapes(benchmark::internal::Benchmark* b) {
+  for (int n : {1 << 12, 1 << 15, 1 << 18})
+    for (int shape : {0, 1, 2, 3}) b->Args({n, shape});
+}
+
+}  // namespace
+
+BENCHMARK(BM_proc_min)->Apply(shapes)->ArgNames({"n", "shape"});
+BENCHMARK(BM_pipeline)
+    ->Args({1 << 12, 0})
+    ->Args({1 << 15, 0})
+    ->Args({1 << 18, 0})
+    ->ArgNames({"n", "shape"});
+
+BENCHMARK_MAIN();

@@ -1,0 +1,62 @@
+// §1 application: iterative PDE over grid strips — modeled time per
+// iteration across machine sizes and refinement intensities, for the
+// naive equal-strip split versus the paper's partitioners.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "core/bandwidth_min.hpp"
+#include "core/duals.hpp"
+#include "pde/heat.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+double g_refine_factor = 5.0;
+double refine(double x) {
+  return x > 0.3 && x < 0.7 ? g_refine_factor : 1.0;
+}
+
+}  // namespace
+
+int main() {
+  using namespace tgp;
+  std::puts("=== PDE strips: time per iteration vs partition strategy "
+            "===\n");
+  util::Table t({"refinement", "processors", "strategy", "max work",
+                 "crossings", "time/iter", "vs naive"});
+  for (double factor : {1.0, 3.0, 8.0}) {
+    g_refine_factor = factor;
+    auto layout = pde::refined_strips(64, 40, refine);
+    graph::Chain chain = pde::strips_to_chain(layout, 4.0);
+    for (int procs : {4, 8, 16}) {
+      arch::Machine machine{procs, 1.0, 10.0};
+      graph::Cut naive;
+      for (int p = 1; p < procs; ++p)
+        naive.edges.push_back(p * 64 / procs - 1);
+      auto dual = core::min_bound_for_processors_chain(chain, procs);
+
+      double naive_time = 0;
+      auto add = [&](const char* name, const graph::Cut& cut) {
+        arch::Mapping map = arch::map_chain_partition(chain, cut, machine);
+        auto ex = pde::simulate_stencil_execution(chain, map, machine, 1);
+        if (naive_time == 0) naive_time = ex.time_per_iter;
+        t.row()
+            .cell(factor, 0)
+            .cell(procs)
+            .cell(name)
+            .cell(ex.compute_per_iter, 0)
+            .cell(ex.crossing_boundaries)
+            .cell(ex.time_per_iter, 1)
+            .cell(naive_time / ex.time_per_iter, 2);
+      };
+      add("naive blocks", naive);
+      add("dual (balance work)", dual.cut);
+    }
+  }
+  t.print();
+  std::puts("\nExpected shape: with a uniform grid (refinement 1) naive "
+            "blocks are already\nbalanced; the advantage of weight-aware "
+            "partitioning grows with refinement.");
+  return 0;
+}

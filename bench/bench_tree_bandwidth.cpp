@@ -1,0 +1,82 @@
+// Theorem 1 in practice: exact pseudo-polynomial DP vs greedy heuristic
+// for bandwidth minimization on trees.
+//
+// Reports the heuristic's approximation-quality distribution (the oracle
+// is exponential-state in the worst case, so production users run the
+// heuristic; this table says what that costs) and the oracle's state
+// growth — the observable face of the NP-completeness proof.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+#include "core/tree_bandwidth.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace tgp;
+  std::puts("=== Tree bandwidth minimization: greedy vs exact oracle ===\n");
+
+  struct Family {
+    const char* name;
+    graph::WeightDist vw;
+    graph::WeightDist ew;
+  };
+  Family families[] = {
+      {"small ints", graph::WeightDist::uniform(1, 5),
+       graph::WeightDist::uniform(1, 5)},
+      {"wide ints", graph::WeightDist::uniform(1, 50),
+       graph::WeightDist::uniform(1, 50)},
+      {"exp edges", graph::WeightDist::uniform(1, 9),
+       graph::WeightDist::exponential(10)},
+  };
+
+  util::Table t({"weights", "n", "trials", "greedy==opt %", "mean ratio",
+                 "p95 ratio", "max ratio"});
+  for (const Family& f : families) {
+    for (int n : {8, 12, 16, 24}) {
+      util::Pcg32 rng(0x7BB ^ static_cast<unsigned>(n * 131));
+      int optimal = 0;
+      int trials = 0;
+      util::Accumulator ratio;
+      std::vector<double> ratios;
+      for (int trial = 0; trial < 150; ++trial) {
+        graph::Tree tr = graph::random_tree(rng, n, f.vw, f.ew);
+        double K = tr.max_vertex_weight() +
+                   rng.uniform_real(0.0, tr.total_vertex_weight() / 2);
+        core::TreeBandwidthResult oracle;
+        try {
+          oracle = core::tree_bandwidth_oracle(tr, K);
+        } catch (const std::invalid_argument&) {
+          continue;  // state budget: skip pathological case
+        }
+        auto greedy = core::tree_bandwidth_greedy(tr, K);
+        if (oracle.cut_weight <= 0) continue;
+        ++trials;
+        double r = greedy.cut_weight / oracle.cut_weight;
+        ratio.add(r);
+        ratios.push_back(r);
+        if (r <= 1.0 + 1e-9) ++optimal;
+      }
+      if (trials == 0) continue;
+      t.row()
+          .cell(f.name)
+          .cell(n)
+          .cell(trials)
+          .cell(100.0 * optimal / trials, 1)
+          .cell(ratio.mean(), 3)
+          .cell(util::percentile(ratios, 95), 3)
+          .cell(ratio.max(), 3);
+    }
+  }
+  t.print();
+  std::puts("\nReading: per-node-optimal greedy stays within ~10-40% of "
+            "the optimum on\nuniform weights but degrades on heavy-tailed "
+            "edge weights, where a single\nwrong shed is expensive — the "
+            "concrete price of Theorem 1's NP-completeness.\nWhen weights "
+            "are small integers the exact Pareto DP stays cheap; use it.");
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Tree task graphs from divide-and-conquer computations (§1).
+//
+// Divide-and-conquer algorithms induce tree task graphs.  This example
+// builds a k-ary recursion tree with geometrically shrinking work per
+// level (as in mergesort-style recursion), then runs the paper's tree
+// pipeline: bottleneck minimization (Algorithm 2.1), super-node
+// contraction, processor minimization (Algorithm 2.2), and maps the
+// result onto a shared-memory machine.
+//
+//   ./divide_and_conquer_tree [--arity 2] [--levels 8] [--k 0]
+//                             [--processors 16] [--seed 5]
+#include <cstdio>
+
+#include "arch/metrics.hpp"
+#include "core/proc_min.hpp"
+#include "graph/generators.hpp"
+#include "util/argparse.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tgp;
+  util::ArgParser args(argc, argv);
+  args.describe("arity", "children per recursion node (default 2)")
+      .describe("levels", "recursion depth (default 8)")
+      .describe("k", "execution-time bound; 0 = total/processors (default 0)")
+      .describe("processors", "machine size (default 16)")
+      .describe("seed", "rng seed (default 5)");
+  if (args.has("help")) {
+    std::fputs(
+        args.help("divide_and_conquer_tree: tree partitioning pipeline")
+            .c_str(),
+        stdout);
+    return 0;
+  }
+  args.check_unknown();
+
+  const int arity = static_cast<int>(args.get_int("arity", 2));
+  const int levels = static_cast<int>(args.get_int("levels", 8));
+  const int procs = static_cast<int>(args.get_int("processors", 16));
+  util::Pcg32 rng(static_cast<std::uint64_t>(args.get_int("seed", 5)));
+
+  // Build the recursion tree: node work halves per level (a size-n
+  // problem splits into `arity` size-n/arity subproblems with linear
+  // combine cost); message volume is proportional to the child's input.
+  graph::Tree skeleton = graph::kary_tree(
+      rng, arity, levels, graph::WeightDist::constant(1),
+      graph::WeightDist::constant(1));
+  std::vector<graph::Weight> vw(static_cast<std::size_t>(skeleton.n()));
+  std::vector<graph::TreeEdge> edges = skeleton.edges();
+  {
+    // Node 0 is the root; children of i are at arity*i+1..arity*i+arity.
+    std::vector<int> depth(static_cast<std::size_t>(skeleton.n()), 0);
+    for (int v = 1; v < skeleton.n(); ++v)
+      depth[static_cast<std::size_t>(v)] =
+          depth[static_cast<std::size_t>((v - 1) / arity)] + 1;
+    for (int v = 0; v < skeleton.n(); ++v) {
+      double level_work = 1024.0 / (1 << depth[static_cast<std::size_t>(v)]);
+      vw[static_cast<std::size_t>(v)] =
+          level_work * rng.uniform_real(0.8, 1.2) + 1.0;
+    }
+    for (auto& e : edges) {
+      int child = std::max(e.u, e.v);
+      e.weight = vw[static_cast<std::size_t>(child)] * 0.5;
+    }
+  }
+  graph::Tree tree = graph::Tree::from_edges(vw, edges);
+
+  double K = args.get_double("k", 0.0);
+  if (K <= 0)
+    K = std::max(tree.total_vertex_weight() / procs,
+                 tree.max_vertex_weight());
+
+  std::printf("Recursion tree: %d nodes, total work %.0f, K = %.1f\n\n",
+              tree.n(), tree.total_vertex_weight(), K);
+
+  core::BottleneckResult raw = core::bottleneck_min_bsearch(tree, K);
+  core::TreePartitionResult piped = core::bottleneck_then_proc_min(tree, K);
+  core::ProcMinResult direct = core::proc_min(tree, K);
+
+  util::Table t({"stage", "components", "bottleneck edge", "cut weight"});
+  t.row()
+      .cell("bottleneck_min alone")
+      .cell(raw.cut.size() + 1)
+      .cell(raw.threshold, 1)
+      .cell(graph::tree_cut_weight(tree, raw.cut), 1);
+  t.row()
+      .cell("+ proc_min (pipeline)")
+      .cell(piped.components)
+      .cell(graph::tree_cut_max_edge(tree, piped.cut), 1)
+      .cell(graph::tree_cut_weight(tree, piped.cut), 1);
+  t.row()
+      .cell("proc_min alone")
+      .cell(direct.components)
+      .cell(graph::tree_cut_max_edge(tree, direct.cut), 1)
+      .cell(graph::tree_cut_weight(tree, direct.cut), 1);
+  t.print();
+
+  arch::Machine machine{procs, 1.0, 4.0};
+  arch::Mapping mapping = arch::map_tree_partition(tree, piped.cut, machine);
+  arch::PartitionMetrics pm = arch::tree_metrics(tree, mapping);
+  std::printf("\nMapped pipeline result: %d processors used, load imbalance "
+              "%.2f, bandwidth demand %.0f\n",
+              pm.processors_used, pm.load_imbalance, pm.total_bandwidth);
+  return 0;
+}

@@ -1,0 +1,94 @@
+// §1's first motivating domain, end to end: an iterative PDE computation
+// over grid strips.
+//
+// Solves the 1-D heat equation on an adaptively refined grid (dense
+// points in the middle), extracts the strip chain task graph, partitions
+// it three ways — naive equal-strip blocks, the processor-constrained
+// dual (balance points), and bandwidth minimization under the dual's
+// bound (balance points AND cut cheap boundaries) — and reports the
+// modeled time per iteration for each.  The numerics are verified
+// identical to the monolithic solver regardless of partition.
+//
+//   ./heat_equation [--strips 32] [--base-points 50] [--processors 8]
+//                   [--iterations 200]
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "core/bandwidth_min.hpp"
+#include "core/duals.hpp"
+#include "pde/heat.hpp"
+#include "util/argparse.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tgp;
+  util::ArgParser args(argc, argv);
+  args.describe("strips", "grid strips (default 32)")
+      .describe("base-points", "points per unrefined strip (default 50)")
+      .describe("processors", "machine size (default 8)")
+      .describe("iterations", "solver iterations (default 200)");
+  if (args.has("help")) {
+    std::fputs(args.help("heat_equation: §1 PDE strips application")
+                   .c_str(),
+               stdout);
+    return 0;
+  }
+  args.check_unknown();
+
+  const int strips = static_cast<int>(args.get_int("strips", 32));
+  const int base = static_cast<int>(args.get_int("base-points", 50));
+  const int procs = static_cast<int>(args.get_int("processors", 8));
+  const int iters = static_cast<int>(args.get_int("iterations", 200));
+
+  auto layout = pde::refined_strips(strips, base, [](double x) {
+    return x > 0.3 && x < 0.7 ? 5.0 : 1.0;  // refined hot zone
+  });
+  graph::Chain chain = pde::strips_to_chain(layout, 4.0);
+  std::printf("Grid: %d strips, %.0f points total (refined middle)\n\n",
+              strips, chain.total_vertex_weight());
+
+  // Verify the numerics do not depend on the decomposition.
+  pde::HeatSolver ref(static_cast<int>(chain.total_vertex_weight()), 0.25,
+                      0.0, 1.0);
+  pde::StripHeatSolver dist(layout, 0.25, 0.0, 1.0);
+  ref.run(iters);
+  dist.run(iters);
+  double max_diff = 0;
+  auto dv = dist.values();
+  for (std::size_t i = 0; i < dv.size(); ++i)
+    max_diff = std::max(max_diff, std::abs(dv[i] - ref.values()[i]));
+  std::printf("Distributed vs monolithic solver after %d iterations: max "
+              "difference %.1e (must be 0)\n\n",
+              iters, max_diff);
+
+  arch::Machine machine{procs, 1.0, 10.0};
+
+  // Partition three ways.
+  graph::Cut naive;
+  for (int p = 1; p < procs; ++p)
+    naive.edges.push_back(p * strips / procs - 1);
+  auto dual = core::min_bound_for_processors_chain(chain, procs);
+  auto bw = core::bandwidth_min_temps(chain, dual.bound * 1.02);
+
+  util::Table t({"partition", "procs", "max points/proc",
+                 "crossing boundaries", "time per iteration"});
+  auto add = [&](const char* name, const graph::Cut& cut) {
+    arch::Mapping map = arch::map_chain_partition(chain, cut, machine);
+    auto ex = pde::simulate_stencil_execution(chain, map, machine, iters);
+    t.row()
+        .cell(name)
+        .cell(ex.processors_used)
+        .cell(ex.compute_per_iter, 0)
+        .cell(ex.crossing_boundaries)
+        .cell(ex.time_per_iter, 1);
+  };
+  add("equal strip counts (naive)", naive);
+  add("dual: balance points", dual.cut);
+  add("bandwidth_min at dual bound", bw.cut);
+  t.print();
+  std::puts("\nThe naive split piles the refined strips onto few "
+            "processors; the paper's\nalgorithms balance actual work and "
+            "keep the boundary traffic minimal.");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Quickstart: partition a linear task graph on a shared-memory machine.
+//
+// Builds a small pipeline chain, runs the paper's three algorithms on it
+// (bandwidth minimization on the chain, bottleneck + processor
+// minimization on its tree form), maps the result onto a machine and
+// prints the partition quality metrics.
+//
+//   ./quickstart [--n 12] [--k 10] [--seed 1]
+#include <cstdio>
+
+#include "arch/metrics.hpp"
+#include "core/bandwidth_min.hpp"
+#include "core/proc_min.hpp"
+#include "graph/generators.hpp"
+#include "util/argparse.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tgp;
+  util::ArgParser args(argc, argv);
+  args.describe("n", "number of tasks in the chain (default 12)")
+      .describe("k", "per-processor execution-time bound K (default 10)")
+      .describe("seed", "rng seed (default 1)");
+  if (args.has("help")) {
+    std::fputs(args.help("quickstart: partition a chain task graph").c_str(),
+               stdout);
+    return 0;
+  }
+  args.check_unknown();
+
+  const int n = static_cast<int>(args.get_int("n", 12));
+  const double K = args.get_double("k", 10.0);
+  util::Pcg32 rng(static_cast<std::uint64_t>(args.get_int("seed", 1)));
+
+  // A chain task graph: vertex weight = computation, edge weight = message
+  // volume between neighbouring tasks.
+  graph::Chain chain = graph::random_chain(
+      rng, n, graph::WeightDist::uniform(1, 6),
+      graph::WeightDist::uniform(1, 9));
+
+  std::printf("Chain with %d tasks, total work %.1f, K = %.1f\n\n", n,
+              chain.total_vertex_weight(), K);
+
+  // 1. Bandwidth minimization (the paper's O(n + p log q) Algorithm 4.1):
+  //    cheapest set of crossing edges such that no component exceeds K.
+  core::BandwidthInstrumentation instr;
+  core::BandwidthResult bw = core::bandwidth_min_temps(chain, K, &instr);
+  std::printf("bandwidth_min: cut %d edges, total crossing weight %.1f "
+              "(p=%d prime subpaths, q=%.2f)\n",
+              bw.cut.size(), bw.cut_weight, instr.p, instr.q_avg);
+
+  // 2. The same chain as a tree: bottleneck + processor minimization.
+  graph::Tree path = graph::path_tree(chain);
+  core::TreePartitionResult tp = core::bottleneck_then_proc_min(path, K);
+  std::printf("bottleneck_then_proc_min: %d components, worst crossing "
+              "edge %.1f\n\n",
+              tp.components, tp.bottleneck);
+
+  // 3. Map the bandwidth-minimal partition onto a machine and report the
+  //    three quality axes of the paper.
+  arch::Machine machine{8, 1.0, 4.0};
+  arch::Mapping mapping = arch::map_chain_partition(chain, bw.cut, machine);
+  arch::PartitionMetrics pm = arch::chain_metrics(chain, mapping);
+
+  util::Table t({"metric", "value"});
+  t.row().cell("components").cell(pm.components);
+  t.row().cell("processors used").cell(pm.processors_used);
+  t.row().cell("max component weight").cell(pm.max_component_weight, 1);
+  t.row().cell("load imbalance (max/avg)").cell(pm.load_imbalance, 2);
+  t.row().cell("total bandwidth demand").cell(pm.total_bandwidth, 1);
+  t.row().cell("max crossing edge").cell(pm.max_crossing_edge, 1);
+  t.print();
+  return 0;
+}

@@ -1,0 +1,209 @@
+#include "approx/supergraph.hpp"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <queue>
+
+#include "util/assert.hpp"
+
+namespace tgp::approx {
+
+TreeSupergraph maximum_spanning_tree(const graph::TaskGraph& g) {
+  TGP_REQUIRE(g.n() >= 1, "empty graph");
+  TGP_REQUIRE(g.is_connected(), "spanning tree needs a connected graph");
+  // Kruskal on descending edge weight with union-find.
+  std::vector<int> order(static_cast<std::size_t>(g.edge_count()));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    if (g.edge(a).weight != g.edge(b).weight)
+      return g.edge(a).weight > g.edge(b).weight;
+    return a < b;
+  });
+  std::vector<int> dsu(static_cast<std::size_t>(g.n()));
+  std::iota(dsu.begin(), dsu.end(), 0);
+  auto find = [&](int x) {
+    while (dsu[static_cast<std::size_t>(x)] != x) {
+      dsu[static_cast<std::size_t>(x)] =
+          dsu[static_cast<std::size_t>(dsu[static_cast<std::size_t>(x)])];
+      x = dsu[static_cast<std::size_t>(x)];
+    }
+    return x;
+  };
+
+  std::vector<graph::TreeEdge> tree_edges;
+  std::vector<int> original;
+  tree_edges.reserve(static_cast<std::size_t>(g.n()) - 1);
+  for (int e : order) {
+    const auto& edge = g.edge(e);
+    int a = find(edge.u);
+    int b = find(edge.v);
+    if (a == b) continue;
+    dsu[static_cast<std::size_t>(a)] = b;
+    tree_edges.push_back({edge.u, edge.v, edge.weight});
+    original.push_back(e);
+    if (static_cast<int>(tree_edges.size()) == g.n() - 1) break;
+  }
+  TGP_ENSURE(static_cast<int>(tree_edges.size()) == g.n() - 1,
+             "connected graph must yield a full spanning tree");
+
+  std::vector<graph::Weight> vw;
+  vw.reserve(static_cast<std::size_t>(g.n()));
+  for (int v = 0; v < g.n(); ++v) vw.push_back(g.vertex_weight(v));
+  return {graph::Tree::from_edges(std::move(vw), std::move(tree_edges)),
+          std::move(original)};
+}
+
+LinearizedGraph bfs_linearize(const graph::TaskGraph& g, int source) {
+  TGP_REQUIRE(g.n() >= 1, "empty graph");
+  TGP_REQUIRE(g.is_connected(), "linearization needs a connected graph");
+  if (source < 0) {
+    // Default source: the heaviest vertex (a hub likely to be central).
+    source = 0;
+    for (int v = 1; v < g.n(); ++v)
+      if (g.vertex_weight(v) > g.vertex_weight(source)) source = v;
+  }
+  TGP_REQUIRE(source < g.n(), "source out of range");
+
+  LinearizedGraph out;
+  out.layer_of.assign(static_cast<std::size_t>(g.n()), -1);
+  std::queue<int> q;
+  q.push(source);
+  out.layer_of[static_cast<std::size_t>(source)] = 0;
+  int max_layer = 0;
+  while (!q.empty()) {
+    int v = q.front();
+    q.pop();
+    for (auto [u, e] : g.neighbors(v)) {
+      if (out.layer_of[static_cast<std::size_t>(u)] == -1) {
+        out.layer_of[static_cast<std::size_t>(u)] =
+            out.layer_of[static_cast<std::size_t>(v)] + 1;
+        max_layer = std::max(max_layer,
+                             out.layer_of[static_cast<std::size_t>(u)]);
+        q.push(u);
+      }
+    }
+  }
+
+  out.chain.vertex_weight.assign(static_cast<std::size_t>(max_layer) + 1,
+                                 0.0);
+  for (int v = 0; v < g.n(); ++v)
+    out.chain.vertex_weight[static_cast<std::size_t>(
+        out.layer_of[static_cast<std::size_t>(v)])] += g.vertex_weight(v);
+  if (max_layer > 0) {
+    out.chain.edge_weight.assign(static_cast<std::size_t>(max_layer), 1e-3);
+    for (int e = 0; e < g.edge_count(); ++e) {
+      const auto& edge = g.edge(e);
+      int lo = std::min(out.layer_of[static_cast<std::size_t>(edge.u)],
+                        out.layer_of[static_cast<std::size_t>(edge.v)]);
+      int hi = std::max(out.layer_of[static_cast<std::size_t>(edge.u)],
+                        out.layer_of[static_cast<std::size_t>(edge.v)]);
+      for (int b = lo; b < hi; ++b)
+        out.chain.edge_weight[static_cast<std::size_t>(b)] += edge.weight;
+    }
+  }
+  out.chain.validate();
+  return out;
+}
+
+namespace {
+
+/// Shared aggregation: turn per-vertex layers into the chain supergraph.
+LinearizedGraph layers_to_chain(const graph::TaskGraph& g,
+                                std::vector<int> layer_of) {
+  LinearizedGraph out;
+  out.layer_of = std::move(layer_of);
+  int max_layer = 0;
+  for (int l : out.layer_of) max_layer = std::max(max_layer, l);
+  out.chain.vertex_weight.assign(static_cast<std::size_t>(max_layer) + 1,
+                                 0.0);
+  for (int v = 0; v < g.n(); ++v)
+    out.chain.vertex_weight[static_cast<std::size_t>(
+        out.layer_of[static_cast<std::size_t>(v)])] += g.vertex_weight(v);
+  if (max_layer > 0) {
+    out.chain.edge_weight.assign(static_cast<std::size_t>(max_layer), 1e-3);
+    for (int e = 0; e < g.edge_count(); ++e) {
+      const auto& edge = g.edge(e);
+      int lo = std::min(out.layer_of[static_cast<std::size_t>(edge.u)],
+                        out.layer_of[static_cast<std::size_t>(edge.v)]);
+      int hi = std::max(out.layer_of[static_cast<std::size_t>(edge.u)],
+                        out.layer_of[static_cast<std::size_t>(edge.v)]);
+      for (int b = lo; b < hi; ++b)
+        out.chain.edge_weight[static_cast<std::size_t>(b)] += edge.weight;
+    }
+  }
+  out.chain.validate();
+  return out;
+}
+
+}  // namespace
+
+LinearizedGraph mst_linearize(const graph::TaskGraph& g) {
+  TreeSupergraph super = maximum_spanning_tree(g);
+  // Hop-diameter endpoint: BFS from 0, take the farthest vertex.
+  std::vector<int> order = super.tree.bfs_order(0);
+  int far = order.back();
+  std::vector<int> parent, parent_edge;
+  super.tree.root_at(far, parent, parent_edge);
+  std::vector<int> depth(static_cast<std::size_t>(g.n()), 0);
+  for (int v : super.tree.bfs_order(far)) {
+    int p = parent[static_cast<std::size_t>(v)];
+    if (p >= 0)
+      depth[static_cast<std::size_t>(v)] =
+          depth[static_cast<std::size_t>(p)] + 1;
+  }
+  return layers_to_chain(g, std::move(depth));
+}
+
+std::vector<int> groups_from_chain_cut(const LinearizedGraph& lin,
+                                       const graph::Cut& cut) {
+  graph::Cut c = cut.canonical();
+  std::vector<int> comp_of_layer(lin.chain.vertex_weight.size());
+  int comp = 0;
+  std::size_t next = 0;
+  for (std::size_t l = 0; l < comp_of_layer.size(); ++l) {
+    comp_of_layer[l] = comp;
+    if (next < c.edges.size() && c.edges[next] == static_cast<int>(l)) {
+      ++comp;
+      ++next;
+    }
+  }
+  std::vector<int> group(lin.layer_of.size());
+  for (std::size_t v = 0; v < group.size(); ++v)
+    group[v] = comp_of_layer[static_cast<std::size_t>(lin.layer_of[v])];
+  return group;
+}
+
+std::vector<int> groups_from_tree_cut(const TreeSupergraph& super,
+                                      const graph::Cut& cut) {
+  return graph::tree_components(super.tree, cut);
+}
+
+GeneralPartitionQuality evaluate_partition(const graph::TaskGraph& g,
+                                           const std::vector<int>& group) {
+  TGP_REQUIRE(static_cast<int>(group.size()) == g.n(),
+              "assignment does not cover the graph");
+  GeneralPartitionQuality q;
+  std::map<int, double> load;
+  for (int v = 0; v < g.n(); ++v)
+    load[group[static_cast<std::size_t>(v)]] += g.vertex_weight(v);
+  q.groups = static_cast<int>(load.size());
+  double total_load = 0;
+  for (auto& [id, l] : load) {
+    q.max_group_load = std::max(q.max_group_load, l);
+    total_load += l;
+  }
+  q.avg_group_load = total_load / q.groups;
+  for (int e = 0; e < g.edge_count(); ++e) {
+    const auto& edge = g.edge(e);
+    q.total_edge_weight += edge.weight;
+    if (group[static_cast<std::size_t>(edge.u)] !=
+        group[static_cast<std::size_t>(edge.v)])
+      q.cross_weight += edge.weight;
+  }
+  q.cross_fraction =
+      q.total_edge_weight > 0 ? q.cross_weight / q.total_edge_weight : 0.0;
+  return q;
+}
+
+}  // namespace tgp::approx

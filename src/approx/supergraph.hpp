@@ -1,0 +1,73 @@
+// General-graph approximation front-ends (§3, §4 of the paper).
+//
+// The paper's algorithms handle chains and trees; for everything else it
+// prescribes approximation: "more general cases may be approximated by
+// generating a linear or tree supergraph of the original process graph"
+// (§4).  This module implements both reductions for arbitrary connected
+// task graphs:
+//
+//   * tree supergraph  — a maximum-weight spanning tree: the heaviest
+//     communication edges become tree edges (and can thus be kept
+//     internal by the tree partitioners); dropped edges are scored
+//     against the original graph afterwards;
+//   * linear supergraph — BFS layering from a heavy vertex: layers form
+//     chain vertices; edge weights aggregate the original edges crossing
+//     each layer boundary (long edges contribute to every boundary they
+//     span, as in the DES application's linearization).
+//
+// Both return the mapping back to original vertices, and
+// evaluate_partition() always measures cut quality on the *original*
+// graph, so approximation error is visible, never hidden.
+#pragma once
+
+#include <vector>
+
+#include "graph/chain.hpp"
+#include "graph/cutset.hpp"
+#include "graph/task_graph.hpp"
+#include "graph/tree.hpp"
+
+namespace tgp::approx {
+
+/// Maximum-weight spanning tree of a connected task graph.
+struct TreeSupergraph {
+  graph::Tree tree;                ///< same vertex set and weights
+  std::vector<int> tree_edge_of;   ///< tree edge index → original edge id
+};
+TreeSupergraph maximum_spanning_tree(const graph::TaskGraph& g);
+
+/// BFS-layer linearization of a connected task graph.
+struct LinearizedGraph {
+  graph::Chain chain;              ///< one vertex per layer
+  std::vector<int> layer_of;       ///< original vertex → chain vertex
+};
+LinearizedGraph bfs_linearize(const graph::TaskGraph& g, int source = -1);
+
+/// Communication-aware linearization: layer = depth in the maximum
+/// spanning tree rooted at one end of the tree's (hop-)diameter.  Heavy
+/// edges are tree edges connecting adjacent layers, so they stay cheap to
+/// keep internal — usually a better chain than blind BFS on graphs whose
+/// heavy traffic is clustered.
+LinearizedGraph mst_linearize(const graph::TaskGraph& g);
+
+/// Group assignment induced by a cut of the linearized chain.
+std::vector<int> groups_from_chain_cut(const LinearizedGraph& lin,
+                                       const graph::Cut& cut);
+
+/// Group assignment induced by a cut of the tree supergraph.
+std::vector<int> groups_from_tree_cut(const TreeSupergraph& super,
+                                      const graph::Cut& cut);
+
+/// Quality of any vertex→group assignment measured on the original graph.
+struct GeneralPartitionQuality {
+  int groups = 0;
+  double cross_weight = 0;     ///< Σ weight of group-crossing edges
+  double total_edge_weight = 0;
+  double cross_fraction = 0;
+  double max_group_load = 0;
+  double avg_group_load = 0;
+};
+GeneralPartitionQuality evaluate_partition(const graph::TaskGraph& g,
+                                           const std::vector<int>& group);
+
+}  // namespace tgp::approx

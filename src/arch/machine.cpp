@@ -1,0 +1,18 @@
+#include "arch/machine.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace tgp::arch {
+
+void Machine::validate() const {
+  TGP_REQUIRE(processors >= 1, "machine needs at least one processor");
+  TGP_REQUIRE(processor_speed > 0 && std::isfinite(processor_speed),
+              "processor speed must be positive and finite");
+  TGP_REQUIRE(bus_bandwidth > 0 && std::isfinite(bus_bandwidth),
+              "bus bandwidth must be positive and finite");
+  TGP_REQUIRE(network_lanes >= 1, "multistage network needs >= 1 lane");
+}
+
+}  // namespace tgp::arch

@@ -1,0 +1,43 @@
+// Shared-memory multiprocessor model (§1 of the paper).
+//
+// The paper's target is a homogeneous shared-memory machine: all
+// processors have the same speed w(p_i) and the interconnection network
+// (crossbar, shared bus or multistage network) has uniform link bandwidth
+// w(l_i).  That symmetry is what makes the mapping M of a partition onto
+// the architecture "trivial and straightforward" — only the partition's
+// aggregate properties matter.
+#pragma once
+
+namespace tgp::arch {
+
+/// The three interconnection-network families §1 names as characteristic
+/// of shared-memory architecture.  All have uniform per-link bandwidth
+/// (the paper's w(l_i) = const); they differ in how many transfers can be
+/// in flight at once:
+///   * shared bus    — one transfer at a time, total serialization,
+///   * crossbar      — every (source, destination) pair has its own
+///                     channel; only same-pair transfers serialize,
+///   * multistage    — `network_lanes` interchangeable lanes (an
+///                     Omega/banyan-style network's aggregate capacity).
+enum class Interconnect { kSharedBus, kCrossbar, kMultistage };
+
+struct Machine {
+  int processors = 1;
+  double processor_speed = 1.0;  ///< work units per time unit, per processor
+  double bus_bandwidth = 1.0;    ///< message units per time unit, per channel
+  Interconnect interconnect = Interconnect::kSharedBus;
+  int network_lanes = 1;         ///< lane count for kMultistage
+
+  /// Throws std::invalid_argument on non-physical parameters.
+  void validate() const;
+
+  /// Time to execute `work` units on one processor.
+  double exec_time(double work) const { return work / processor_speed; }
+
+  /// Time the shared bus is occupied by a `volume`-unit message.
+  double transfer_time(double volume) const {
+    return volume / bus_bandwidth;
+  }
+};
+
+}  // namespace tgp::arch

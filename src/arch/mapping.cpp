@@ -1,0 +1,74 @@
+#include "arch/mapping.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+
+#include "util/assert.hpp"
+
+namespace tgp::arch {
+
+namespace {
+
+/// Assign components to processors: identity while they fit, otherwise
+/// LPT greedy (heaviest component onto the least-loaded processor).
+std::vector<int> place_components(const std::vector<graph::Weight>& weights,
+                                  const Machine& machine) {
+  machine.validate();
+  const int k = static_cast<int>(weights.size());
+  std::vector<int> placement(static_cast<std::size_t>(k));
+  if (k <= machine.processors) {
+    std::iota(placement.begin(), placement.end(), 0);
+    return placement;
+  }
+  std::vector<int> order(static_cast<std::size_t>(k));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return weights[static_cast<std::size_t>(a)] >
+           weights[static_cast<std::size_t>(b)];
+  });
+  using Slot = std::pair<graph::Weight, int>;  // (load, processor)
+  std::priority_queue<Slot, std::vector<Slot>, std::greater<>> pq;
+  for (int p = 0; p < machine.processors; ++p) pq.push({0.0, p});
+  for (int c : order) {
+    auto [load, p] = pq.top();
+    pq.pop();
+    placement[static_cast<std::size_t>(c)] = p;
+    pq.push({load + weights[static_cast<std::size_t>(c)], p});
+  }
+  return placement;
+}
+
+}  // namespace
+
+Mapping map_chain_partition(const graph::Chain& chain, const graph::Cut& cut,
+                            const Machine& machine) {
+  chain.validate();
+  graph::Cut c = cut.canonical();
+  Mapping m;
+  m.component_of_task.resize(static_cast<std::size_t>(chain.n()));
+  int comp = 0;
+  std::size_t next_cut = 0;
+  for (int v = 0; v < chain.n(); ++v) {
+    m.component_of_task[static_cast<std::size_t>(v)] = comp;
+    if (next_cut < c.edges.size() && c.edges[next_cut] == v) {
+      ++comp;
+      ++next_cut;
+    }
+  }
+  std::vector<graph::Weight> weights =
+      graph::chain_component_weights(chain, c);
+  m.processor_of_component = place_components(weights, machine);
+  return m;
+}
+
+Mapping map_tree_partition(const graph::Tree& tree, const graph::Cut& cut,
+                           const Machine& machine) {
+  Mapping m;
+  m.component_of_task = graph::tree_components(tree, cut);
+  std::vector<graph::Weight> weights = graph::tree_component_weights(tree, cut);
+  m.processor_of_component = place_components(weights, machine);
+  return m;
+}
+
+}  // namespace tgp::arch

@@ -1,0 +1,44 @@
+// Mapping partitions onto a shared-memory machine (§1, §3, Fig. 3).
+//
+// On a shared-memory architecture every processor is equidistant from
+// every other, so any bijection of components to processors yields the
+// same communication cost — the paper calls the mapping "trivial and
+// straightforward, provided that the number of processors is greater
+// than or equal to that of the partitions".  When it is not, we fold
+// components onto processors with a longest-processing-time (LPT)
+// greedy, which preserves the partition's crossing-edge structure while
+// balancing load.
+#pragma once
+
+#include <vector>
+
+#include "arch/machine.hpp"
+#include "graph/chain.hpp"
+#include "graph/cutset.hpp"
+#include "graph/tree.hpp"
+
+namespace tgp::arch {
+
+/// A task-to-processor assignment derived from an edge-cut partition.
+struct Mapping {
+  std::vector<int> component_of_task;      ///< task → component id
+  std::vector<int> processor_of_component; ///< component id → processor
+
+  int components() const {
+    return static_cast<int>(processor_of_component.size());
+  }
+  int processor_of_task(int task) const {
+    return processor_of_component[static_cast<std::size_t>(
+        component_of_task[static_cast<std::size_t>(task)])];
+  }
+};
+
+/// Map a partitioned chain.  Components are numbered left to right.
+Mapping map_chain_partition(const graph::Chain& chain, const graph::Cut& cut,
+                            const Machine& machine);
+
+/// Map a partitioned tree.
+Mapping map_tree_partition(const graph::Tree& tree, const graph::Cut& cut,
+                           const Machine& machine);
+
+}  // namespace tgp::arch

@@ -1,0 +1,84 @@
+#include "arch/metrics.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "util/assert.hpp"
+
+namespace tgp::arch {
+
+namespace {
+
+struct EdgeView {
+  int u;
+  int v;
+  graph::Weight weight;
+};
+
+PartitionMetrics compute(const std::vector<graph::Weight>& task_weights,
+                         const std::vector<EdgeView>& edges,
+                         const Mapping& mapping) {
+  TGP_REQUIRE(task_weights.size() == mapping.component_of_task.size(),
+              "mapping size mismatch");
+  PartitionMetrics out;
+  out.components = mapping.components();
+
+  std::map<int, double> proc_load;
+  std::vector<double> comp_weight(
+      static_cast<std::size_t>(mapping.components()), 0.0);
+  for (std::size_t t = 0; t < task_weights.size(); ++t) {
+    int c = mapping.component_of_task[t];
+    TGP_REQUIRE(0 <= c && c < mapping.components(),
+                "component id out of range");
+    comp_weight[static_cast<std::size_t>(c)] += task_weights[t];
+    proc_load[mapping.processor_of_component[static_cast<std::size_t>(c)]] +=
+        task_weights[t];
+  }
+  out.processors_used = static_cast<int>(proc_load.size());
+  double total = 0;
+  for (auto& [p, load] : proc_load) {
+    out.max_load = std::max(out.max_load, load);
+    total += load;
+  }
+  out.avg_load = total / out.processors_used;
+  out.load_imbalance = out.avg_load > 0 ? out.max_load / out.avg_load : 1.0;
+  for (double w : comp_weight)
+    out.max_component_weight = std::max(out.max_component_weight, w);
+
+  std::map<int, double> proc_traffic;
+  for (const EdgeView& e : edges) {
+    int pu = mapping.processor_of_task(e.u);
+    int pv = mapping.processor_of_task(e.v);
+    if (pu == pv) continue;
+    out.total_bandwidth += e.weight;
+    out.max_crossing_edge = std::max(out.max_crossing_edge, e.weight);
+    proc_traffic[pu] += e.weight;
+    proc_traffic[pv] += e.weight;
+  }
+  for (auto& [p, traffic] : proc_traffic)
+    out.max_processor_traffic = std::max(out.max_processor_traffic, traffic);
+  return out;
+}
+
+}  // namespace
+
+PartitionMetrics chain_metrics(const graph::Chain& chain,
+                               const Mapping& mapping) {
+  std::vector<EdgeView> edges;
+  edges.reserve(static_cast<std::size_t>(chain.edge_count()));
+  for (int e = 0; e < chain.edge_count(); ++e)
+    edges.push_back(
+        {e, e + 1, chain.edge_weight[static_cast<std::size_t>(e)]});
+  return compute(chain.vertex_weight, edges, mapping);
+}
+
+PartitionMetrics tree_metrics(const graph::Tree& tree,
+                              const Mapping& mapping) {
+  std::vector<EdgeView> edges;
+  edges.reserve(static_cast<std::size_t>(tree.edge_count()));
+  for (const auto& e : tree.edges()) edges.push_back({e.u, e.v, e.weight});
+  return compute(tree.vertex_weights(), edges, mapping);
+}
+
+}  // namespace tgp::arch

@@ -1,0 +1,39 @@
+// Partition quality metrics — the three §2 objectives, measured.
+//
+//   * load balance: per-processor computation load (execution-time bound),
+//   * bandwidth demand: total weight of edges crossing processors
+//     (§2.3's minimization target — on a shared bus this is the total
+//     traffic the partition injects),
+//   * bottleneck: the largest single crossing-edge weight (§2.1's target)
+//     and the largest per-processor crossing traffic.
+#pragma once
+
+#include <vector>
+
+#include "arch/mapping.hpp"
+
+namespace tgp::arch {
+
+struct PartitionMetrics {
+  int components = 0;
+  int processors_used = 0;
+
+  double max_load = 0;     ///< heaviest per-processor computation load
+  double avg_load = 0;     ///< total work / processors used
+  double load_imbalance = 0;  ///< max_load / avg_load (1.0 = perfect)
+  double max_component_weight = 0;
+
+  double total_bandwidth = 0;      ///< Σ weight of processor-crossing edges
+  double max_crossing_edge = 0;    ///< bottleneck edge (§2.1 objective)
+  double max_processor_traffic = 0;  ///< heaviest per-processor crossing sum
+};
+
+/// Metrics for a mapped chain partition.
+PartitionMetrics chain_metrics(const graph::Chain& chain,
+                               const Mapping& mapping);
+
+/// Metrics for a mapped tree partition.
+PartitionMetrics tree_metrics(const graph::Tree& tree,
+                              const Mapping& mapping);
+
+}  // namespace tgp::arch

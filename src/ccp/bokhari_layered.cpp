@@ -1,0 +1,115 @@
+#include "ccp/bokhari_layered.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/assert.hpp"
+
+namespace tgp::ccp {
+
+namespace {
+
+constexpr graph::Weight kInf = std::numeric_limits<graph::Weight>::infinity();
+
+/// Shared layered-graph bottleneck-path solver.  `block_cost(i, j)` is
+/// the cost of a processor executing tasks (i, j] (0-based vertices
+/// i..j−1... concretely: vertices [i, j) with i < j).  dist[k][j] is the
+/// best achievable bottleneck over paths that cover the first j vertices
+/// with k blocks; a forward sweep over layers relaxes every edge once —
+/// exactly Bokhari's minimum-bottleneck path, expressed as DP over the
+/// layered graph's topological order.
+template <typename BlockCost>
+CcpResult solve_layered(const graph::Chain& chain, int m,
+                        BlockCost block_cost) {
+  chain.validate();
+  const int n = chain.n();
+  TGP_REQUIRE(1 <= m && m <= n, "processor count must be in [1, n]");
+
+  std::vector<std::vector<graph::Weight>> dist(
+      static_cast<std::size_t>(m) + 1,
+      std::vector<graph::Weight>(static_cast<std::size_t>(n) + 1, kInf));
+  std::vector<std::vector<int>> pred(
+      static_cast<std::size_t>(m) + 1,
+      std::vector<int>(static_cast<std::size_t>(n) + 1, -1));
+  dist[0][0] = 0;
+  for (int k = 1; k <= m; ++k) {
+    for (int j = k; j <= n - (m - k); ++j) {
+      graph::Weight best = kInf;
+      int arg = -1;
+      for (int i = k - 1; i < j; ++i) {
+        if (dist[static_cast<std::size_t>(k) - 1][static_cast<std::size_t>(i)] ==
+            kInf)
+          continue;
+        graph::Weight cand = std::max(
+            dist[static_cast<std::size_t>(k) - 1][static_cast<std::size_t>(i)],
+            block_cost(i, j));
+        if (cand < best) {
+          best = cand;
+          arg = i;
+        }
+      }
+      dist[static_cast<std::size_t>(k)][static_cast<std::size_t>(j)] = best;
+      pred[static_cast<std::size_t>(k)][static_cast<std::size_t>(j)] = arg;
+    }
+  }
+
+  CcpResult out;
+  out.bottleneck = dist[static_cast<std::size_t>(m)][static_cast<std::size_t>(n)];
+  TGP_ENSURE(out.bottleneck < kInf, "layered graph has no source-sink path");
+  int j = n;
+  for (int k = m; k >= 2; --k) {
+    int i = pred[static_cast<std::size_t>(k)][static_cast<std::size_t>(j)];
+    TGP_ENSURE(i >= 1, "path reconstruction failed");
+    out.cut_after.push_back(i - 1);
+    j = i;
+  }
+  std::sort(out.cut_after.begin(), out.cut_after.end());
+  return out;
+}
+
+}  // namespace
+
+CcpResult ccp_bokhari_layered(const graph::Chain& chain, int m) {
+  graph::ChainPrefix prefix(chain);
+  return solve_layered(chain, m, [&](int i, int j) {
+    return prefix.window(i, j - 1);
+  });
+}
+
+graph::Weight ccp_comm_bottleneck(const graph::Chain& chain,
+                                  const std::vector<int>& cut_after) {
+  graph::ChainPrefix prefix(chain);
+  graph::Weight best = 0;
+  int start = 0;
+  for (std::size_t b = 0; b <= cut_after.size(); ++b) {
+    int end = b < cut_after.size() ? cut_after[b] : chain.n() - 1;
+    TGP_REQUIRE(start <= end && end < chain.n(), "bad cut positions");
+    graph::Weight cost = prefix.window(start, end);
+    if (start > 0)
+      cost += chain.edge_weight[static_cast<std::size_t>(start) - 1];
+    if (end < chain.n() - 1)
+      cost += chain.edge_weight[static_cast<std::size_t>(end)];
+    best = std::max(best, cost);
+    start = end + 1;
+  }
+  return best;
+}
+
+CcpResult ccp_bokhari_comm(const graph::Chain& chain, int m) {
+  graph::ChainPrefix prefix(chain);
+  const int n = chain.n();
+  CcpResult out = solve_layered(chain, m, [&](int i, int j) {
+    // Block covers vertices [i, j); it receives over edge i-1 and sends
+    // over edge j-1 (when those edges exist).
+    graph::Weight cost = prefix.window(i, j - 1);
+    if (i > 0) cost += chain.edge_weight[static_cast<std::size_t>(i) - 1];
+    if (j < n) cost += chain.edge_weight[static_cast<std::size_t>(j) - 1];
+    return cost;
+  });
+  TGP_ENSURE(std::abs(ccp_comm_bottleneck(chain, out.cut_after) -
+                      out.bottleneck) <= 1e-9 * (1 + out.bottleneck),
+             "comm bottleneck mismatch");
+  return out;
+}
+
+}  // namespace tgp::ccp

@@ -1,0 +1,39 @@
+// Bokhari's layered-graph formulation (IEEE ToC 1988), as cited in §1.
+//
+// Bokhari solved chain partitioning onto an m-processor linear array by
+// building a *layered graph*: layer k holds one node per possible end
+// position of block k; an edge (i → j) in layer k means block k covers
+// tasks (i, j].  Each edge carries the block's cost; a minimum-bottleneck
+// source→sink path selects the optimal partition.  The construction
+// costs O(n²m) edges and, with the doubly-weighted refinement Bokhari
+// used for host–satellite systems, O(n³m) time — the figure §1 quotes.
+//
+// Two cost models are provided:
+//   * computation only  — block sum (identical optimum to ccp_dp; used
+//     as a differential check of the layered construction), and
+//   * with communication — a processor's cost is its block sum plus the
+//     weights of the chain edges it cuts on either side (each crossing
+//     message is handled by both endpoint processors), the model Nicol &
+//     O'Hallaron improved on for linear arrays.
+#pragma once
+
+#include "ccp/ccp.hpp"
+#include "graph/chain.hpp"
+
+namespace tgp::ccp {
+
+/// Minimum-bottleneck path over the layered graph, computation-only
+/// costs.  Exact; O(n²m) time, O(n·m) space.  Must agree with ccp_dp.
+CcpResult ccp_bokhari_layered(const graph::Chain& chain, int m);
+
+/// Layered-graph solution with communication-inclusive processor costs:
+/// cost(block) = Σ vertex weights + δ(left cut edge) + δ(right cut edge).
+/// Exact for the same block structure; O(n²m).
+CcpResult ccp_bokhari_comm(const graph::Chain& chain, int m);
+
+/// Bottleneck of an explicit split under the communication-inclusive
+/// cost model (validation helper; pairs with ccp_bottleneck).
+graph::Weight ccp_comm_bottleneck(const graph::Chain& chain,
+                                  const std::vector<int>& cut_after);
+
+}  // namespace tgp::ccp

@@ -1,0 +1,238 @@
+#include "ccp/ccp.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/assert.hpp"
+
+namespace tgp::ccp {
+
+namespace {
+
+constexpr graph::Weight kInf = std::numeric_limits<graph::Weight>::infinity();
+
+void check_preconditions(const graph::Chain& chain, int m) {
+  chain.validate();
+  TGP_REQUIRE(1 <= m && m <= chain.n(),
+              "processor count must be in [1, n]");
+}
+
+/// Greedy packing under bound B: fill each block as far as it fits.
+/// Returns the number of blocks used (chain.n()+1 when B < max vertex
+/// weight, i.e. unpackable) and the block ends.  Greedy is optimal for
+/// block count, which makes the feasibility probe exact.  All sums go
+/// through the same ChainPrefix as ccp_bottleneck and the refinement
+/// candidates, so the three never disagree by rounding.
+int greedy_pack(const graph::Chain& chain, const graph::ChainPrefix& prefix,
+                graph::Weight B, std::vector<int>* ends) {
+  if (ends) ends->clear();
+  int blocks = 0;
+  int start = 0;
+  for (int v = 0; v < chain.n(); ++v) {
+    if (prefix.window(v, v) > B) return chain.n() + 1;
+    if (prefix.window(start, v) > B) {
+      if (ends) ends->push_back(v - 1);
+      start = v;
+      ++blocks;
+    }
+  }
+  ++blocks;
+  return blocks;
+}
+
+/// Largest single-vertex window under the same prefix representation the
+/// packers use (can differ from Chain::max_vertex_weight by an ulp).
+graph::Weight prefix_max_vertex(const graph::Chain& chain,
+                                const graph::ChainPrefix& prefix) {
+  graph::Weight m = 0;
+  for (int v = 0; v < chain.n(); ++v)
+    m = std::max(m, prefix.window(v, v));
+  return m;
+}
+
+/// Expand a ≤ m-block packing to exactly m blocks by splitting from the
+/// right (splitting never increases the bottleneck).
+std::vector<int> expand_to_m(const graph::Chain& chain,
+                             std::vector<int> ends, int m) {
+  ends.push_back(chain.n() - 1);  // close the last block
+  // Split blocks (right to left) until we have m of them.
+  while (static_cast<int>(ends.size()) < m) {
+    bool split = false;
+    for (std::size_t k = ends.size(); k-- > 0 &&
+                                      static_cast<int>(ends.size()) < m;) {
+      int start = k == 0 ? 0 : ends[k - 1] + 1;
+      if (ends[k] > start) {  // block has ≥ 2 vertices: peel one vertex off
+        ends.insert(ends.begin() + static_cast<std::ptrdiff_t>(k),
+                    ends[k] - 1);
+        split = true;
+      }
+    }
+    TGP_ENSURE(split, "cannot expand: fewer vertices than processors");
+  }
+  ends.pop_back();  // drop the implicit final end
+  return ends;
+}
+
+CcpResult finish(const graph::Chain& chain, std::vector<int> ends, int m) {
+  CcpResult out;
+  out.cut_after = expand_to_m(chain, std::move(ends), m);
+  out.bottleneck = ccp_bottleneck(chain, out.cut_after);
+  return out;
+}
+
+}  // namespace
+
+graph::Weight ccp_bottleneck(const graph::Chain& chain,
+                             const std::vector<int>& cut_after) {
+  graph::ChainPrefix prefix(chain);
+  graph::Weight best = 0;
+  int start = 0;
+  for (int end : cut_after) {
+    TGP_REQUIRE(start <= end && end < chain.n() - 1,
+                "cut positions must be increasing and interior");
+    best = std::max(best, prefix.window(start, end));
+    start = end + 1;
+  }
+  best = std::max(best, prefix.window(start, chain.n() - 1));
+  return best;
+}
+
+CcpResult ccp_dp(const graph::Chain& chain, int m) {
+  check_preconditions(chain, m);
+  const int n = chain.n();
+  graph::ChainPrefix prefix(chain);
+  // dp[j] = optimal bottleneck splitting v_0..v_{j-1} into k blocks.
+  std::vector<graph::Weight> dp(static_cast<std::size_t>(n) + 1, kInf);
+  std::vector<std::vector<int>> choice(
+      static_cast<std::size_t>(m) + 1,
+      std::vector<int>(static_cast<std::size_t>(n) + 1, -1));
+  for (int j = 1; j <= n; ++j) dp[static_cast<std::size_t>(j)] =
+      prefix.window(0, j - 1);
+  for (int k = 2; k <= m; ++k) {
+    std::vector<graph::Weight> next(static_cast<std::size_t>(n) + 1, kInf);
+    for (int j = k; j <= n; ++j) {
+      graph::Weight best = kInf;
+      int arg = -1;
+      for (int i = k - 1; i < j; ++i) {
+        graph::Weight cand =
+            std::max(dp[static_cast<std::size_t>(i)], prefix.window(i, j - 1));
+        if (cand < best) {
+          best = cand;
+          arg = i;
+        }
+      }
+      next[static_cast<std::size_t>(j)] = best;
+      choice[static_cast<std::size_t>(k)][static_cast<std::size_t>(j)] = arg;
+    }
+    dp = std::move(next);
+  }
+  CcpResult out;
+  out.bottleneck = dp[static_cast<std::size_t>(n)];
+  // Reconstruct block boundaries.
+  int j = n;
+  std::vector<int> cuts;
+  for (int k = m; k >= 2; --k) {
+    int i = choice[static_cast<std::size_t>(k)][static_cast<std::size_t>(j)];
+    TGP_ENSURE(i >= 1, "dp reconstruction failed");
+    cuts.push_back(i - 1);
+    j = i;
+  }
+  std::sort(cuts.begin(), cuts.end());
+  out.cut_after = std::move(cuts);
+  TGP_ENSURE(std::abs(ccp_bottleneck(chain, out.cut_after) - out.bottleneck) <
+                 1e-9 * (1 + out.bottleneck),
+             "dp bottleneck mismatch");
+  return out;
+}
+
+CcpResult ccp_probe(const graph::Chain& chain, int m) {
+  check_preconditions(chain, m);
+  graph::ChainPrefix prefix(chain);
+  graph::Weight lo = std::max(prefix_max_vertex(chain, prefix),
+                              chain.total_vertex_weight() / m);
+  graph::Weight hi = chain.total_vertex_weight();
+  // Bisect until the interval is too small to contain two distinct window
+  // sums (exact for integer weights; ulp-exact for doubles), keeping the
+  // invariant: feasible(hi), and lo is a valid lower bound.
+  for (int iter = 0; iter < 200 && lo < hi; ++iter) {
+    graph::Weight mid = lo + (hi - lo) / 2;
+    if (mid <= lo || mid >= hi) break;  // double resolution exhausted
+    if (greedy_pack(chain, prefix, mid, nullptr) <= m)
+      hi = mid;
+    else
+      lo = mid;
+  }
+  std::vector<int> ends;
+  int blocks = greedy_pack(chain, prefix, hi, &ends);
+  TGP_ENSURE(blocks <= m, "probe landed on infeasible bound");
+  return finish(chain, std::move(ends), m);
+}
+
+CcpResult ccp_nicol_probe(const graph::Chain& chain, int m) {
+  check_preconditions(chain, m);
+  graph::ChainPrefix prefix(chain);
+  const int n = chain.n();
+
+  // O(m log n) greedy probe: jump every block end with one binary search.
+  auto blocks_needed = [&](graph::Weight B, std::vector<int>* ends) {
+    if (ends) ends->clear();
+    int start = 0;
+    int blocks = 0;
+    while (start < n) {
+      int j = prefix.last_fitting(start, B);
+      if (j < start) return n + 1;  // single vertex exceeds B
+      ++blocks;
+      if (blocks > m && j < n - 1) return n + 1;  // early out
+      if (j < n - 1 && ends) ends->push_back(j);
+      start = j + 1;
+    }
+    return blocks;
+  };
+
+  graph::Weight lo = std::max(prefix_max_vertex(chain, prefix),
+                              chain.total_vertex_weight() / m);
+  graph::Weight hi = chain.total_vertex_weight();
+  for (int iter = 0; iter < 200 && lo < hi; ++iter) {
+    graph::Weight mid = lo + (hi - lo) / 2;
+    if (mid <= lo || mid >= hi) break;
+    if (blocks_needed(mid, nullptr) <= m)
+      hi = mid;
+    else
+      lo = mid;
+  }
+  std::vector<int> ends;
+  int blocks = blocks_needed(hi, &ends);
+  TGP_ENSURE(blocks <= m, "probe landed on infeasible bound");
+  return finish(chain, std::move(ends), m);
+}
+
+CcpResult ccp_hansen_lih(const graph::Chain& chain, int m) {
+  check_preconditions(chain, m);
+  graph::ChainPrefix prefix(chain);
+  graph::Weight B = std::max(prefix_max_vertex(chain, prefix),
+                             chain.total_vertex_weight() / m);
+  std::vector<int> ends;
+  for (;;) {
+    int blocks = greedy_pack(chain, prefix, B, &ends);
+    if (blocks <= m) break;
+    // Raise B to the smallest window sum > B that starts at one of the
+    // greedy block starts: if B is infeasible the optimum is at least
+    // that, because greedy under any B' in (B, candidate) packs the same.
+    graph::Weight candidate = kInf;
+    int start = 0;
+    for (std::size_t k = 0; k <= ends.size(); ++k) {
+      int end = k < ends.size() ? ends[k] : chain.n() - 1;
+      if (end + 1 < chain.n()) {
+        candidate = std::min(candidate, prefix.window(start, end + 1));
+      }
+      start = end + 1;
+      if (start >= chain.n()) break;
+    }
+    TGP_ENSURE(candidate < kInf && candidate > B,
+               "refinement failed to increase the bound");
+    B = candidate;
+  }
+  return finish(chain, std::move(ends), m);
+}
+
+}  // namespace tgp::ccp

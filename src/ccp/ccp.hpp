@@ -1,0 +1,57 @@
+// Chains-on-chains partitioning (CCP) — the related-work baselines of §1.
+//
+// Problem: split a chain of n tasks into exactly m *contiguous* blocks
+// (one per processor of a linear array) minimizing the bottleneck, i.e.
+// the maximum block vertex weight.  This is the problem Bokhari (1988)
+// solved in O(n³m), Nicol & O'Hallaron (1991) in O(n²m) and better under
+// bounded weights, and Hansen & Lih (1992) in O(m²n).  The paper under
+// reproduction positions its shared-memory algorithms against this line
+// of work, so we implement three independent solvers:
+//
+//   * ccp_dp         — Bokhari-style layered-graph DP, O(n·m·L)
+//                      (L = feasible window length; ≤ O(n²m)),
+//   * ccp_probe      — parametric bottleneck binary search with a greedy
+//                      probe, O((n + log Σw/ε) · log) — the modern method,
+//   * ccp_hansen_lih — iterative bottleneck refinement in the spirit of
+//                      Hansen & Lih's improvement.
+//
+// All three must return the same optimal bottleneck (property-tested).
+#pragma once
+
+#include <vector>
+
+#include "graph/chain.hpp"
+
+namespace tgp::ccp {
+
+struct CcpResult {
+  /// cut_after[k] = index of the last vertex of block k (m−1 entries);
+  /// blocks are [0..cut_after[0]], [cut_after[0]+1 .. cut_after[1]], …
+  std::vector<int> cut_after;
+  graph::Weight bottleneck = 0;  ///< max block vertex weight
+};
+
+/// Dynamic program over (prefix, processors).  Exact.
+CcpResult ccp_dp(const graph::Chain& chain, int m);
+
+/// Binary search over the bottleneck value with a greedy feasibility
+/// probe.  Exact for the set of achievable bottlenecks (which are window
+/// sums; the search is over candidate sums).
+CcpResult ccp_probe(const graph::Chain& chain, int m);
+
+/// Iterative refinement: start from the greedy probe at the trivial lower
+/// bound and repeatedly raise the bound to the smallest violating block
+/// sum.  Exact; mirrors Hansen & Lih's approach.
+CcpResult ccp_hansen_lih(const graph::Chain& chain, int m);
+
+/// Nicol-style fast probing: the same bottleneck bisection as ccp_probe,
+/// but each feasibility probe jumps block ends by binary search on the
+/// prefix sums — O(m log n) per probe instead of O(n), the mechanism
+/// behind Nicol & O'Hallaron's improved bounds for m ≪ n.
+CcpResult ccp_nicol_probe(const graph::Chain& chain, int m);
+
+/// Max block weight of an explicit split (validation helper).
+graph::Weight ccp_bottleneck(const graph::Chain& chain,
+                             const std::vector<int>& cut_after);
+
+}  // namespace tgp::ccp

@@ -1,0 +1,249 @@
+#include "ccp/host_satellite.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/assert.hpp"
+
+namespace tgp::ccp {
+
+namespace {
+
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+struct Rooted {
+  std::vector<int> parent;
+  std::vector<int> parent_edge;
+  std::vector<int> order;                 // BFS order (parents first)
+  std::vector<graph::Weight> subtree_w;   // subtree vertex weight
+};
+
+Rooted root_tree(const graph::Tree& tree, int host_root) {
+  Rooted r;
+  tree.root_at(host_root, r.parent, r.parent_edge);
+  r.order = tree.bfs_order(host_root);
+  r.subtree_w.assign(static_cast<std::size_t>(tree.n()), 0);
+  for (auto it = r.order.rbegin(); it != r.order.rend(); ++it) {
+    int v = *it;
+    r.subtree_w[static_cast<std::size_t>(v)] += tree.vertex_weight(v);
+    int p = r.parent[static_cast<std::size_t>(v)];
+    if (p >= 0)
+      r.subtree_w[static_cast<std::size_t>(p)] +=
+          r.subtree_w[static_cast<std::size_t>(v)];
+  }
+  return r;
+}
+
+/// Satellite load of offloading subtree(v): computation + link traffic.
+double satellite_load(const graph::Tree& tree, const Rooted& r, int v) {
+  return r.subtree_w[static_cast<std::size_t>(v)] +
+         tree.edge(r.parent_edge[static_cast<std::size_t>(v)]).weight;
+}
+
+/// keep[v][k]: max weight offloadable from within subtree(v) using ≤ k
+/// incomparable pieces, with v itself staying on the host side.  Returns
+/// keep[root] and, when `choose` is non-null, reconstructs the chosen
+/// subtree roots for budget `satellites` into it.
+std::vector<double> solve_offload(const graph::Tree& tree, const Rooted& r,
+                                  double B, int satellites,
+                                  std::vector<int>* choose) {
+  const int s = satellites;
+  // take[v][k] = best offload from subtree(v) (v may itself be a piece).
+  std::vector<std::vector<double>> take(
+      static_cast<std::size_t>(tree.n()));
+  // For reconstruction: per vertex, the sequential knapsack rows over its
+  // children.
+  std::vector<std::vector<int>> kids(static_cast<std::size_t>(tree.n()));
+  std::vector<std::vector<std::vector<double>>> rows(
+      static_cast<std::size_t>(tree.n()));
+
+  for (auto it = r.order.rbegin(); it != r.order.rend(); ++it) {
+    int v = *it;
+    for (auto [u, e] : tree.neighbors(v))
+      if (r.parent[static_cast<std::size_t>(u)] == v)
+        kids[static_cast<std::size_t>(v)].push_back(u);
+
+    // keep: knapsack over children of take[child].
+    std::vector<double> cur(static_cast<std::size_t>(s) + 1, 0.0);
+    auto& my_rows = rows[static_cast<std::size_t>(v)];
+    my_rows.push_back(cur);
+    for (int c : kids[static_cast<std::size_t>(v)]) {
+      std::vector<double> next(static_cast<std::size_t>(s) + 1, kNegInf);
+      const auto& tc = take[static_cast<std::size_t>(c)];
+      for (int k = 0; k <= s; ++k) {
+        if (cur[static_cast<std::size_t>(k)] == kNegInf) continue;
+        for (int j = 0; j + k <= s; ++j) {
+          double cand = cur[static_cast<std::size_t>(k)] +
+                        tc[static_cast<std::size_t>(j)];
+          next[static_cast<std::size_t>(k + j)] =
+              std::max(next[static_cast<std::size_t>(k + j)], cand);
+        }
+      }
+      // Using fewer pieces is always allowed: make rows monotone in k.
+      for (int k = 1; k <= s; ++k)
+        next[static_cast<std::size_t>(k)] =
+            std::max(next[static_cast<std::size_t>(k)],
+                     next[static_cast<std::size_t>(k) - 1]);
+      cur = next;
+      my_rows.push_back(cur);
+    }
+    // take = keep, plus "offload v wholesale" when it fits the bound.
+    std::vector<double> tv = cur;
+    if (v != r.order.front() && s >= 1 &&
+        satellite_load(tree, r, v) <= B) {
+      double whole = r.subtree_w[static_cast<std::size_t>(v)];
+      for (int k = 1; k <= s; ++k)
+        tv[static_cast<std::size_t>(k)] =
+            std::max(tv[static_cast<std::size_t>(k)], whole);
+    }
+    take[static_cast<std::size_t>(v)] = std::move(tv);
+  }
+
+  int root = r.order.front();
+  std::vector<double> result = rows[static_cast<std::size_t>(root)].back();
+
+  if (choose) {
+    choose->clear();
+    // Walk back down: at each vertex distribute the budget over children
+    // exactly as the knapsack did.
+    struct Frame {
+      int v;
+      int budget;
+      bool as_keep;  // true: interpret via keep-rows; false: take[v]
+    };
+    std::vector<Frame> stack{{root, s, true}};
+    while (!stack.empty()) {
+      Frame f = stack.back();
+      stack.pop_back();
+      auto vi = static_cast<std::size_t>(f.v);
+      if (!f.as_keep) {
+        // Did take[v][budget] come from offloading v wholesale?
+        double whole = r.subtree_w[vi];
+        double kept = rows[vi].back()[static_cast<std::size_t>(f.budget)];
+        bool can_whole = f.v != root && f.budget >= 1 &&
+                         satellite_load(tree, r, f.v) <= B;
+        if (can_whole && whole >= kept &&
+            take[vi][static_cast<std::size_t>(f.budget)] == whole) {
+          choose->push_back(f.v);
+          continue;
+        }
+        // Fall through to keep-interpretation.
+      }
+      // Distribute budget over children, last child first.
+      int budget = f.budget;
+      const auto& my_rows = rows[vi];
+      const auto& my_kids = kids[vi];
+      for (std::size_t ci = my_kids.size(); ci-- > 0;) {
+        int c = my_kids[ci];
+        const auto& before = my_rows[ci];
+        const auto& after = my_rows[ci + 1];
+        const auto& tc = take[static_cast<std::size_t>(c)];
+        int used = 0;
+        double target = after[static_cast<std::size_t>(budget)];
+        for (int j = 0; j <= budget; ++j) {
+          double lhs = before[static_cast<std::size_t>(budget - j)];
+          if (lhs == kNegInf) continue;
+          if (lhs + tc[static_cast<std::size_t>(j)] >= target - 1e-12) {
+            used = j;
+            break;
+          }
+        }
+        stack.push_back({c, used, false});
+        budget -= used;
+      }
+    }
+  }
+  return result;
+}
+
+HostSatelliteResult finish(const graph::Tree& tree, const Rooted& r,
+                           const std::vector<int>& offloaded) {
+  HostSatelliteResult out;
+  double total = tree.total_vertex_weight();
+  double removed = 0;
+  for (int v : offloaded) {
+    out.cut.edges.push_back(r.parent_edge[static_cast<std::size_t>(v)]);
+    out.satellite_loads.push_back(satellite_load(tree, r, v));
+    removed += r.subtree_w[static_cast<std::size_t>(v)];
+  }
+  out.cut = out.cut.canonical();
+  out.host_load = total - removed;
+  out.bottleneck = out.host_load;
+  for (double l : out.satellite_loads)
+    out.bottleneck = std::max(out.bottleneck, l);
+  return out;
+}
+
+}  // namespace
+
+HostSatelliteResult host_satellite_partition(const graph::Tree& tree,
+                                             int host_root, int satellites) {
+  TGP_REQUIRE(0 <= host_root && host_root < tree.n(),
+              "host root out of range");
+  TGP_REQUIRE(satellites >= 0, "negative satellite count");
+  Rooted r = root_tree(tree, host_root);
+  double total = tree.total_vertex_weight();
+
+  auto feasible = [&](double B) {
+    std::vector<double> best = solve_offload(tree, r, B, satellites, nullptr);
+    return total - best[static_cast<std::size_t>(satellites)] <= B;
+  };
+
+  double lo = 0;
+  double hi = total;  // hosting everything is always feasible
+  for (int iter = 0; iter < 200 && lo < hi; ++iter) {
+    double mid = lo + (hi - lo) / 2;
+    if (mid <= lo || mid >= hi) break;
+    if (feasible(mid))
+      hi = mid;
+    else
+      lo = mid;
+  }
+  std::vector<int> offloaded;
+  solve_offload(tree, r, hi, satellites, &offloaded);
+  HostSatelliteResult out = finish(tree, r, offloaded);
+  TGP_ENSURE(out.bottleneck <= hi * (1 + 1e-12) + 1e-12,
+             "certificate exceeds the bisected bound");
+  return out;
+}
+
+HostSatelliteResult host_satellite_brute(const graph::Tree& tree,
+                                         int host_root, int satellites) {
+  TGP_REQUIRE(tree.edge_count() <= 20, "brute force limited to 20 edges");
+  TGP_REQUIRE(0 <= host_root && host_root < tree.n(),
+              "host root out of range");
+  Rooted r = root_tree(tree, host_root);
+
+  // For the antichain check: ancestry via parent chains (tiny trees).
+  auto is_ancestor = [&](int anc, int v) {
+    for (int cur = v; cur != -1;
+         cur = r.parent[static_cast<std::size_t>(cur)])
+      if (cur == anc) return true;
+    return false;
+  };
+
+  HostSatelliteResult best;
+  best.bottleneck = std::numeric_limits<double>::infinity();
+  const int n = tree.n();
+  // Enumerate subsets of non-root vertices as offloaded subtree roots.
+  std::vector<int> verts;
+  for (int v = 0; v < n; ++v)
+    if (v != host_root) verts.push_back(v);
+  const std::uint32_t limit = 1u << verts.size();
+  for (std::uint32_t mask = 0; mask < limit; ++mask) {
+    std::vector<int> roots;
+    for (std::size_t i = 0; i < verts.size(); ++i)
+      if ((mask >> i) & 1u) roots.push_back(verts[i]);
+    if (static_cast<int>(roots.size()) > satellites) continue;
+    bool antichain = true;
+    for (std::size_t a = 0; a < roots.size() && antichain; ++a)
+      for (std::size_t b = 0; b < roots.size() && antichain; ++b)
+        if (a != b && is_ancestor(roots[a], roots[b])) antichain = false;
+    if (!antichain) continue;
+    HostSatelliteResult cand = finish(tree, r, roots);
+    if (cand.bottleneck < best.bottleneck) best = cand;
+  }
+  return best;
+}
+
+}  // namespace tgp::ccp

@@ -1,0 +1,48 @@
+// Bokhari's host–satellite partitioning (§1 related work).
+//
+// Bokhari (1988) studied, besides chains on linear arrays, partitioning
+// onto a *single host with multiple identical satellites* and the paper
+// under reproduction notes this "takes polynomial time when the task
+// graph is a tree".  Model:
+//
+//   * the tree is rooted at a designated host vertex (e.g. the task that
+//     owns I/O); the host executes the component containing the root;
+//   * up to `satellites` subtrees may be cut off and shipped to
+//     satellite processors; satellites talk only to the host, so the cut
+//     edges must form an antichain (no piece hangs off another piece);
+//   * a satellite's load is its subtree weight plus the communication
+//     weight of its cut edge (it must receive its inputs over that link);
+//   * the bottleneck is max(host load, all satellite loads) — minimize it.
+//
+// Solved by bisection over the bottleneck B with an O(n·s²) tree-knapsack
+// feasibility check: offload the maximum weight using ≤ s incomparable
+// subtrees whose loads fit in B, and test whether the host's remainder
+// fits too.
+#pragma once
+
+#include <vector>
+
+#include "graph/cutset.hpp"
+#include "graph/tree.hpp"
+
+namespace tgp::ccp {
+
+struct HostSatelliteResult {
+  graph::Cut cut;                  ///< parent edges of offloaded subtrees
+  double bottleneck = 0;           ///< minimized max load
+  double host_load = 0;
+  std::vector<double> satellite_loads;  ///< subtree weight + link weight
+};
+
+/// Minimize the bottleneck for `satellites` identical satellites.
+/// Preconditions: 0 ≤ satellites; 0 ≤ host_root < n.
+/// The bound is bisection-exact (exact for integer weights).
+HostSatelliteResult host_satellite_partition(const graph::Tree& tree,
+                                             int host_root, int satellites);
+
+/// Exhaustive oracle for tiny trees (≤ 20 edges): enumerates all
+/// antichain cuts of size ≤ satellites.
+HostSatelliteResult host_satellite_brute(const graph::Tree& tree,
+                                         int host_root, int satellites);
+
+}  // namespace tgp::ccp

@@ -1,0 +1,162 @@
+#include "core/bandwidth_baselines.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <set>
+
+#include "util/assert.hpp"
+
+namespace tgp::core {
+
+namespace {
+
+constexpr graph::Weight kInf = std::numeric_limits<graph::Weight>::infinity();
+
+void check_preconditions(const graph::Chain& chain, graph::Weight K) {
+  chain.validate();
+  TGP_REQUIRE(K >= chain.max_vertex_weight(),
+              "K must be at least the maximum vertex weight");
+}
+
+/// Shared DP skeleton.  best[j] = minimum cut weight over the prefix
+/// v_0..v_j with v_j ending its component; the last component starts at
+/// some i with window(i, j) ≤ K, contributing edge i−1 (for i > 0) on top
+/// of best[i−1].  `window_min` must return the argmin i over the feasible
+/// window [lo, j] of g(i) = (i == 0 ? 0 : best[i−1] + β_{i−1}).
+template <typename WindowMin>
+BandwidthResult run_dp(const graph::Chain& chain, graph::Weight K,
+                       WindowMin window_min) {
+  const int n = chain.n();
+  graph::ChainPrefix prefix(chain);
+  const graph::Weight k_eff =
+      K + graph::load_epsilon(chain.total_vertex_weight(), n);
+  std::vector<graph::Weight> best(static_cast<std::size_t>(n), kInf);
+  std::vector<int> parent(static_cast<std::size_t>(n), -1);
+
+  auto g = [&](int i) -> graph::Weight {
+    if (i == 0) return 0;
+    return best[static_cast<std::size_t>(i - 1)] +
+           chain.edge_weight[static_cast<std::size_t>(i - 1)];
+  };
+
+  int lo = 0;
+  for (int j = 0; j < n; ++j) {
+    while (lo < j && prefix.window(lo, j) > k_eff) ++lo;
+    int arg = window_min(lo, j, g);
+    TGP_ENSURE(arg >= lo && arg <= j, "window argmin out of range");
+    best[static_cast<std::size_t>(j)] = g(arg);
+    parent[static_cast<std::size_t>(j)] = arg;
+  }
+
+  BandwidthResult out;
+  out.cut_weight = best[static_cast<std::size_t>(n - 1)];
+  for (int j = n - 1; j > 0;) {
+    int i = parent[static_cast<std::size_t>(j)];
+    if (i == 0) break;
+    out.cut.edges.push_back(i - 1);
+    j = i - 1;
+  }
+  out.cut = out.cut.canonical();
+  TGP_ENSURE(graph::chain_cut_feasible(chain, out.cut, K),
+             "baseline produced an infeasible cut");
+  return out;
+}
+
+}  // namespace
+
+BandwidthResult bandwidth_min_brute(const graph::Chain& chain,
+                                    graph::Weight K) {
+  check_preconditions(chain, K);
+  const int m = chain.edge_count();
+  TGP_REQUIRE(m <= 24, "brute force limited to 24 edges");
+  const std::uint32_t limit = 1u << m;
+  const graph::Weight k_eff =
+      K + graph::load_epsilon(chain.total_vertex_weight(), chain.n());
+  graph::Weight best_w = kInf;
+  std::uint32_t best_mask = 0;
+  for (std::uint32_t mask = 0; mask < limit; ++mask) {
+    graph::Weight comp = 0;
+    graph::Weight cutw = 0;
+    bool ok = true;
+    for (int v = 0; v < chain.n(); ++v) {
+      comp += chain.vertex_weight[static_cast<std::size_t>(v)];
+      if (comp > k_eff) {
+        ok = false;
+        break;
+      }
+      if (v < m && (mask >> v) & 1u) {
+        cutw += chain.edge_weight[static_cast<std::size_t>(v)];
+        comp = 0;
+      }
+    }
+    if (ok && cutw < best_w) {
+      best_w = cutw;
+      best_mask = mask;
+    }
+  }
+  TGP_ENSURE(best_w < kInf, "no feasible cut found (K < max weight?)");
+  BandwidthResult out;
+  out.cut_weight = best_w;
+  for (int e = 0; e < m; ++e)
+    if ((best_mask >> e) & 1u) out.cut.edges.push_back(e);
+  return out;
+}
+
+BandwidthResult bandwidth_min_dp_naive(const graph::Chain& chain,
+                                       graph::Weight K) {
+  check_preconditions(chain, K);
+  return run_dp(chain, K, [](int lo, int j, auto g) {
+    int arg = lo;
+    graph::Weight best = g(lo);
+    for (int i = lo + 1; i <= j; ++i) {
+      graph::Weight v = g(i);
+      if (v < best) {
+        best = v;
+        arg = i;
+      }
+    }
+    return arg;
+  });
+}
+
+BandwidthResult bandwidth_min_dp_deque(const graph::Chain& chain,
+                                       graph::Weight K) {
+  check_preconditions(chain, K);
+  // Monotone deque of candidate component-start indices with increasing
+  // g-values; amortized O(1) per vertex.
+  std::deque<int> dq;
+  int pushed = -1;
+  return run_dp(chain, K, [&](int lo, int j, auto g) {
+    while (pushed < j) {
+      ++pushed;
+      while (!dq.empty() && g(dq.back()) >= g(pushed)) dq.pop_back();
+      dq.push_back(pushed);
+    }
+    while (dq.front() < lo) dq.pop_front();
+    return dq.front();
+  });
+}
+
+BandwidthResult bandwidth_min_nicol(const graph::Chain& chain,
+                                    graph::Weight K) {
+  check_preconditions(chain, K);
+  // Ordered multiset over the feasible window — O(log n) insert/erase/min,
+  // O(n log n) total, matching the Nicol & O'Hallaron bound.
+  std::set<std::pair<graph::Weight, int>> window;
+  int pushed = -1;
+  int erased_below = 0;
+  return run_dp(chain, K, [&](int lo, int j, auto g) {
+    while (pushed < j) {
+      ++pushed;
+      window.emplace(g(pushed), pushed);
+    }
+    while (erased_below < lo) {
+      window.erase({g(erased_below), erased_below});
+      ++erased_below;
+    }
+    return window.begin()->second;
+  });
+}
+
+}  // namespace tgp::core

@@ -1,0 +1,38 @@
+// Baselines for bandwidth minimization on chains.
+//
+// Four independent implementations of the same optimization problem as
+// bandwidth_min_temps.  They serve two purposes: (1) oracle cross-checks —
+// any two algorithms must agree on the optimal cut weight on every input —
+// and (2) the runtime comparison of §2.3.2 against the previously best
+// known O(n log n) algorithm.
+#pragma once
+
+#include "core/bandwidth_min.hpp"
+#include "graph/chain.hpp"
+
+namespace tgp::core {
+
+/// Exhaustive subset enumeration; exact oracle for tiny chains.
+/// Precondition: chain has at most 24 edges.
+BandwidthResult bandwidth_min_brute(const graph::Chain& chain,
+                                    graph::Weight K);
+
+/// Textbook dynamic program scanning the feasible window naively:
+/// O(n·L) time where L is the longest window with weight ≤ K.
+BandwidthResult bandwidth_min_dp_naive(const graph::Chain& chain,
+                                       graph::Weight K);
+
+/// Modern monotone-deque dynamic program: O(n) time.  Post-dates the
+/// paper; included to show where the state of the art moved and to give
+/// an at-scale optimality oracle.
+BandwidthResult bandwidth_min_dp_deque(const graph::Chain& chain,
+                                       graph::Weight K);
+
+/// O(n log n) balanced-structure dynamic program, standing in for Nicol &
+/// O'Hallaron (1991) — the best previously known algorithm the paper
+/// compares against.  Same recurrence as dp_naive with the feasible
+/// window's minima maintained in an ordered multiset.
+BandwidthResult bandwidth_min_nicol(const graph::Chain& chain,
+                                    graph::Weight K);
+
+}  // namespace tgp::core

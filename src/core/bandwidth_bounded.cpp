@@ -1,0 +1,102 @@
+#include "core/bandwidth_bounded.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+
+#include "util/assert.hpp"
+
+namespace tgp::core {
+
+BoundedBandwidthResult bandwidth_min_bounded(const graph::Chain& chain,
+                                             graph::Weight K,
+                                             int max_components) {
+  chain.validate();
+  TGP_REQUIRE(K >= chain.max_vertex_weight(),
+              "K must be at least the maximum vertex weight");
+  TGP_REQUIRE(max_components >= 1, "need at least one component");
+
+  constexpr graph::Weight kInf =
+      std::numeric_limits<graph::Weight>::infinity();
+  const int n = chain.n();
+  const int m = std::min(max_components, n);
+  graph::ChainPrefix prefix(chain);
+  const graph::Weight k_eff =
+      K + graph::load_epsilon(chain.total_vertex_weight(), n);
+
+  // best[k][j] = min cut weight covering v_0..v_j with exactly k+1
+  // components, the last one ending at j.  Layer k reads layer k-1
+  // through a monotone deque over the feasible window (same recurrence
+  // as the unbounded DP, with the component count made explicit).
+  std::vector<std::vector<graph::Weight>> best(
+      static_cast<std::size_t>(m),
+      std::vector<graph::Weight>(static_cast<std::size_t>(n), kInf));
+  std::vector<std::vector<int>> parent(
+      static_cast<std::size_t>(m),
+      std::vector<int>(static_cast<std::size_t>(n), -1));
+
+  // Layer 0: one component = a feasible prefix.
+  for (int j = 0; j < n; ++j)
+    if (prefix.window(0, j) <= k_eff) best[0][static_cast<std::size_t>(j)] = 0;
+
+  for (int k = 1; k < m; ++k) {
+    // g(i) = best[k-1][i-1] + β_{i-1}: cost when the k+1-th component
+    // starts at vertex i (i ≥ 1).
+    auto g = [&](int i) {
+      graph::Weight b = best[static_cast<std::size_t>(k) - 1]
+                            [static_cast<std::size_t>(i) - 1];
+      if (b == kInf) return kInf;
+      return b + chain.edge_weight[static_cast<std::size_t>(i) - 1];
+    };
+    std::deque<int> dq;  // starts i with increasing g over the window
+    int pushed = 0;      // starts pushed so far (i ranges 1..j)
+    int lo = 0;
+    for (int j = 0; j < n; ++j) {
+      while (lo < j && prefix.window(lo, j) > k_eff) ++lo;
+      while (pushed < j) {
+        ++pushed;  // consider start i = pushed
+        if (g(pushed) < kInf) {
+          while (!dq.empty() && g(dq.back()) >= g(pushed)) dq.pop_back();
+          dq.push_back(pushed);
+        }
+      }
+      while (!dq.empty() && dq.front() < std::max(lo, 1)) dq.pop_front();
+      if (dq.empty()) continue;
+      best[static_cast<std::size_t>(k)][static_cast<std::size_t>(j)] =
+          g(dq.front());
+      parent[static_cast<std::size_t>(k)][static_cast<std::size_t>(j)] =
+          dq.front();
+    }
+  }
+
+  BoundedBandwidthResult out;
+  graph::Weight best_w = kInf;
+  int best_k = -1;
+  for (int k = 0; k < m; ++k) {
+    graph::Weight w =
+        best[static_cast<std::size_t>(k)][static_cast<std::size_t>(n) - 1];
+    if (w < best_w) {
+      best_w = w;
+      best_k = k;
+    }
+  }
+  if (best_k < 0) return out;  // infeasible within the component cap
+  out.feasible = true;
+  out.cut_weight = best_w;
+  out.components = best_k + 1;
+  int j = n - 1;
+  for (int k = best_k; k >= 1; --k) {
+    int i = parent[static_cast<std::size_t>(k)][static_cast<std::size_t>(j)];
+    TGP_ENSURE(i >= 1, "bounded DP reconstruction failed");
+    out.cut.edges.push_back(i - 1);
+    j = i - 1;
+  }
+  out.cut = out.cut.canonical();
+  TGP_ENSURE(graph::chain_cut_feasible(chain, out.cut, K),
+             "bounded bandwidth cut infeasible");
+  TGP_ENSURE(out.cut.size() + 1 == out.components,
+             "component count mismatch");
+  return out;
+}
+
+}  // namespace tgp::core

@@ -1,0 +1,32 @@
+// Processor-capped bandwidth minimization.
+//
+// The paper's §3 mapping step assumes "the number of processors is
+// greater than or equal to that of the partitions"; when it is not, the
+// unconstrained bandwidth optimum is useless.  This solves the combined
+// problem: minimize Σ β(e) over cuts whose components all weigh ≤ K
+// *and* number at most m — a dynamic program over (prefix, component
+// count) with the same monotone-deque window minimum as the unbounded
+// baseline, O(n·m) time.
+#pragma once
+
+#include "core/bandwidth_min.hpp"
+#include "graph/chain.hpp"
+
+namespace tgp::core {
+
+struct BoundedBandwidthResult {
+  graph::Cut cut;
+  graph::Weight cut_weight = 0;
+  int components = 1;
+  bool feasible = false;  ///< false when even m components can't fit K
+};
+
+/// Minimum-weight cut using ≤ max_components components of weight ≤ K.
+/// Preconditions: chain valid, K ≥ max vertex weight, max_components ≥ 1.
+/// When no such cut exists (K·m < total weight) the result has
+/// feasible == false and an empty cut.
+BoundedBandwidthResult bandwidth_min_bounded(const graph::Chain& chain,
+                                             graph::Weight K,
+                                             int max_components);
+
+}  // namespace tgp::core

@@ -1,0 +1,123 @@
+#include "core/bandwidth_min.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/cut_arena.hpp"
+#include "util/assert.hpp"
+
+namespace tgp::core {
+
+double BandwidthInstrumentation::p_log_q() const {
+  if (p == 0) return 0.0;
+  return p * std::log2(std::max(2.0, q_avg));
+}
+
+double BandwidthInstrumentation::n_log_n() const {
+  if (n <= 1) return 0.0;
+  return n * std::log2(static_cast<double>(n));
+}
+
+BandwidthResult bandwidth_min_temps(const graph::Chain& chain,
+                                    graph::Weight K,
+                                    BandwidthInstrumentation* instr,
+                                    SearchPolicy policy) {
+  std::vector<PrimeSubpath> primes = prime_subpaths(chain, K);
+  const int p = static_cast<int>(primes.size());
+  if (instr) {
+    *instr = {};
+    instr->n = chain.n();
+    instr->p = p;
+  }
+  if (p == 0) {
+    // No critical subpath: the whole chain already fits in K.
+    return {graph::Cut{}, 0};
+  }
+
+  std::vector<ReducedEdge> edges = reduce_edges(chain, primes);
+  const int r = static_cast<int>(edges.size());
+  if (instr) {
+    instr->r = r;
+    std::uint64_t qsum = 0;
+    for (const ReducedEdge& e : edges) {
+      qsum += static_cast<std::uint64_t>(e.prime_count());
+      instr->q_max = std::max(instr->q_max, e.prime_count());
+    }
+    instr->q_avg = static_cast<double>(qsum) / r;
+  }
+
+  // cost[i] / sol[i]: weight and arena id of the optimal cut hitting prime
+  // subpaths 0..i — the paper's β(S_{i+1}) and S_{i+1}; filled in when
+  // prime i closes.
+  constexpr graph::Weight kInf = std::numeric_limits<graph::Weight>::infinity();
+  std::vector<graph::Weight> cost(static_cast<std::size_t>(p), kInf);
+  std::vector<int> sol(static_cast<std::size_t>(p), CutArena::kEmpty);
+
+  CutArena arena;
+  TempsQueue q(r + 2);
+  TempsStats* stats = instr ? &instr->temps : nullptr;
+  int covered_max = -1;  // highest prime index any processed edge reached
+
+  auto close_front = [&]() {
+    int i = q.front().first_prime;
+    cost[static_cast<std::size_t>(i)] = q.front().w;
+    sol[static_cast<std::size_t>(i)] = q.front().solution;
+    q.drop_front_prime();
+  };
+
+  for (const ReducedEdge& e : edges) {
+    // Step 2: primes that do not contain this edge are complete; record
+    // their optimum and retire them from the queue front.
+    while (!q.empty() && q.front().first_prime < e.first_prime) close_front();
+
+    // W_i = β_i + β(S_{γ_i});  γ_i is the last prime before the first one
+    // containing this edge.
+    graph::Weight w = e.weight;
+    int parent = CutArena::kEmpty;
+    if (e.first_prime > 0) {
+      graph::Weight prev = cost[static_cast<std::size_t>(e.first_prime - 1)];
+      TGP_ENSURE(prev < kInf, "prefix optimum not yet closed");
+      w += prev;
+      parent = sol[static_cast<std::size_t>(e.first_prime - 1)];
+    }
+    int sid = arena.cons(e.edge, parent);
+
+    // Step 2a: find the first row whose minimum is no better than W_i;
+    // every row from there on is dominated by this edge.
+    int idx = policy == SearchPolicy::kGallop
+                  ? q.lower_bound_w_gallop(w, stats)
+                  : q.lower_bound_w(w, stats);
+    if (idx < q.rows()) {
+      int first = q.row(idx).first_prime;
+      q.collapse_from(idx, {first, e.last_prime, w, sid});
+    } else if (e.last_prime > covered_max) {
+      // W_i is worse than every current minimum, but this edge opens new
+      // prime subpaths for which it is the only candidate so far.
+      q.push_back({covered_max + 1, e.last_prime, w, sid});
+    }
+    covered_max = std::max(covered_max, e.last_prime);
+    q.sample(stats);
+  }
+
+  // All edges processed: the remaining active primes (…, p−1) close with
+  // the queue's current minima; the answer is S_p (paper: TEMP_S(4, BOTTOM)).
+  while (!q.empty()) close_front();
+  TGP_ENSURE(cost[static_cast<std::size_t>(p - 1)] < kInf,
+             "final prime never closed");
+
+  BandwidthResult result;
+  result.cut.edges = arena.materialize(sol[static_cast<std::size_t>(p - 1)]);
+  result.cut = result.cut.canonical();
+  result.cut_weight = cost[static_cast<std::size_t>(p - 1)];
+
+  TGP_ENSURE(graph::chain_cut_feasible(chain, result.cut, K),
+             "bandwidth_min_temps produced an infeasible cut");
+  TGP_ENSURE(std::abs(graph::chain_cut_weight(chain, result.cut) -
+                      result.cut_weight) <=
+                 1e-9 * (1.0 + std::abs(result.cut_weight)),
+             "recorded cut weight disagrees with the cut");
+  return result;
+}
+
+}  // namespace tgp::core

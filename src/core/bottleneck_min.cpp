@@ -1,0 +1,99 @@
+#include "core/bottleneck_min.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/assert.hpp"
+
+namespace tgp::core {
+
+namespace {
+
+void check_preconditions(const graph::Tree& tree, graph::Weight K) {
+  TGP_REQUIRE(K >= tree.max_vertex_weight(),
+              "K must be at least the maximum vertex weight");
+}
+
+/// Feasibility of cutting exactly the edges marked in `removed`: single
+/// O(n) pass accumulating component weights with a DSU-free traversal.
+bool feasible_with_removed(const graph::Tree& tree,
+                           const std::vector<char>& removed,
+                           graph::Weight K) {
+  graph::Cut cut;
+  for (int e = 0; e < tree.edge_count(); ++e)
+    if (removed[static_cast<std::size_t>(e)]) cut.edges.push_back(e);
+  return graph::tree_cut_feasible(tree, cut, K);
+}
+
+std::vector<int> edges_by_weight(const graph::Tree& tree) {
+  std::vector<int> order(static_cast<std::size_t>(tree.edge_count()));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    if (tree.edge(a).weight != tree.edge(b).weight)
+      return tree.edge(a).weight < tree.edge(b).weight;
+    return a < b;
+  });
+  return order;
+}
+
+}  // namespace
+
+BottleneckResult bottleneck_min_scan(const graph::Tree& tree,
+                                     graph::Weight K) {
+  check_preconditions(tree, K);
+  BottleneckResult out;
+  std::vector<char> removed(static_cast<std::size_t>(tree.edge_count()), 0);
+  // Empty cut first: the whole tree may already fit.
+  ++out.feasibility_checks;
+  if (tree.total_vertex_weight() <= K) return out;
+
+  for (int e : edges_by_weight(tree)) {
+    removed[static_cast<std::size_t>(e)] = 1;
+    out.cut.edges.push_back(e);
+    ++out.feasibility_checks;
+    if (feasible_with_removed(tree, removed, K)) {
+      out.threshold = tree.edge(e).weight;
+      return out;
+    }
+  }
+  TGP_ENSURE(false, "cutting every edge must be feasible when K >= max w");
+  return out;
+}
+
+BottleneckResult bottleneck_min_bsearch(const graph::Tree& tree,
+                                        graph::Weight K) {
+  check_preconditions(tree, K);
+  BottleneckResult out;
+  ++out.feasibility_checks;
+  if (tree.total_vertex_weight() <= K) return out;
+
+  std::vector<int> order = edges_by_weight(tree);
+  // Find the smallest prefix length whose cut is feasible.  Feasibility is
+  // monotone in the prefix length, so binary search applies.
+  int lo = 1;
+  int hi = static_cast<int>(order.size());
+  std::vector<char> removed(static_cast<std::size_t>(tree.edge_count()), 0);
+  auto prefix_feasible = [&](int len) {
+    std::fill(removed.begin(), removed.end(), 0);
+    for (int i = 0; i < len; ++i)
+      removed[static_cast<std::size_t>(order[static_cast<std::size_t>(i)])] = 1;
+    return feasible_with_removed(tree, removed, K);
+  };
+  while (lo < hi) {
+    int mid = lo + (hi - lo) / 2;
+    ++out.feasibility_checks;
+    if (prefix_feasible(mid))
+      hi = mid;
+    else
+      lo = mid + 1;
+  }
+  out.cut.edges.assign(order.begin(), order.begin() + lo);
+  out.cut = out.cut.canonical();
+  out.threshold =
+      tree.edge(order[static_cast<std::size_t>(lo) - 1]).weight;
+  TGP_ENSURE(graph::tree_cut_feasible(tree, out.cut, K),
+             "bsearch bottleneck cut infeasible");
+  return out;
+}
+
+}  // namespace tgp::core

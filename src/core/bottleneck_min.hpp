@@ -1,0 +1,38 @@
+// Bottleneck minimization for tree task graphs (§2.1, Algorithm 2.1).
+//
+// Given tree T with vertex weights ω and edge weights δ and a bound K,
+// find an edge cut S such that every component of T − S weighs ≤ K and
+// max_{e∈S} δ(e) is minimum.  On a shared-memory machine the bottleneck is
+// the largest single communication demand any one crossing edge places on
+// the network.
+//
+// Key monotonicity (the paper's correctness argument): cutting *all* edges
+// of weight ≤ t is feasible iff some cut with bottleneck ≤ t is feasible,
+// because adding edges to a cut only shrinks components.  So the optimal
+// bottleneck is the smallest prefix of the ascending edge-weight order
+// whose full cut is feasible.
+#pragma once
+
+#include "graph/cutset.hpp"
+#include "graph/tree.hpp"
+
+namespace tgp::core {
+
+struct BottleneckResult {
+  graph::Cut cut;               ///< the algorithm's S (all edges ≤ threshold
+                                ///< that it chose to include)
+  graph::Weight threshold = 0;  ///< max δ(e) over S; 0 for the empty cut
+  int feasibility_checks = 0;   ///< component-weight scans performed
+};
+
+/// The paper's Algorithm 2.1 exactly as published: grow S one ascending
+/// edge at a time, re-checking feasibility after each insertion — O(n²).
+BottleneckResult bottleneck_min_scan(const graph::Tree& tree,
+                                     graph::Weight K);
+
+/// Same optimum via binary search over the sorted distinct edge weights
+/// with an O(n) feasibility probe per step — O(n log n).
+BottleneckResult bottleneck_min_bsearch(const graph::Tree& tree,
+                                        graph::Weight K);
+
+}  // namespace tgp::core

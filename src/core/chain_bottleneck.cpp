@@ -1,0 +1,46 @@
+#include "core/chain_bottleneck.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "core/prime_subpaths.hpp"
+#include "util/assert.hpp"
+
+namespace tgp::core {
+
+BottleneckResult chain_bottleneck_min(const graph::Chain& chain,
+                                      graph::Weight K) {
+  std::vector<PrimeSubpath> primes = prime_subpaths(chain, K);
+  BottleneckResult out;
+  if (primes.empty()) return out;  // whole chain fits: empty cut
+
+  // Sliding-window minimum over edge weights; prime windows are sorted on
+  // both ends, so one monotone deque serves all of them in O(n).
+  std::deque<int> dq;  // edge indices, weights increasing front to back
+  int pushed = -1;
+  auto weight = [&](int e) {
+    return chain.edge_weight[static_cast<std::size_t>(e)];
+  };
+  for (const PrimeSubpath& p : primes) {
+    while (pushed < p.last_edge()) {
+      ++pushed;
+      while (!dq.empty() && weight(dq.back()) >= weight(pushed))
+        dq.pop_back();
+      dq.push_back(pushed);
+    }
+    while (dq.front() < p.first_edge()) dq.pop_front();
+    int best = dq.front();
+    out.threshold = std::max(out.threshold, weight(best));
+    if (out.cut.edges.empty() || out.cut.edges.back() != best)
+      out.cut.edges.push_back(best);
+  }
+  out.cut = out.cut.canonical();
+  ++out.feasibility_checks;
+  TGP_ENSURE(graph::chain_cut_feasible(chain, out.cut, K),
+             "chain bottleneck cut infeasible");
+  TGP_ENSURE(graph::chain_cut_max_edge(chain, out.cut) == out.threshold,
+             "threshold disagrees with the chosen cut");
+  return out;
+}
+
+}  // namespace tgp::core

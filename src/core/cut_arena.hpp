@@ -1,0 +1,48 @@
+// Persistent cut-set arena.
+//
+// The paper's TEMP_S rows carry an S column holding the partial solution
+// {e_j} ∪ S_{γ_j}.  Copying those sets would cost O(p) per step and ruin
+// the O(p log q) bound, so — like the paper's implicit representation —
+// we store solutions as immutable cons-lists in an arena: each node is
+// (edge, parent id), sharing tails structurally.  Materializing the final
+// answer walks one chain once.
+#pragma once
+
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace tgp::core {
+
+class CutArena {
+ public:
+  /// Id of the empty solution set.
+  static constexpr int kEmpty = -1;
+
+  /// New solution = {edge} ∪ solution(parent).  O(1).
+  int cons(int edge, int parent) {
+    TGP_REQUIRE(parent >= kEmpty && parent < size(), "bad parent id");
+    nodes_.push_back({edge, parent});
+    return size() - 1;
+  }
+
+  /// Edge indices of solution `id`, most recent first.
+  std::vector<int> materialize(int id) const {
+    TGP_REQUIRE(id >= kEmpty && id < size(), "bad solution id");
+    std::vector<int> out;
+    for (int cur = id; cur != kEmpty; cur = nodes_[static_cast<std::size_t>(cur)].parent)
+      out.push_back(nodes_[static_cast<std::size_t>(cur)].edge);
+    return out;
+  }
+
+  int size() const { return static_cast<int>(nodes_.size()); }
+
+ private:
+  struct Node {
+    int edge;
+    int parent;
+  };
+  std::vector<Node> nodes_;
+};
+
+}  // namespace tgp::core

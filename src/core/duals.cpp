@@ -1,0 +1,96 @@
+#include "core/duals.hpp"
+
+#include <algorithm>
+
+#include "core/proc_min.hpp"
+#include "util/assert.hpp"
+
+namespace tgp::core {
+
+namespace {
+
+/// Shared bisection skeleton: `components(K)` must be non-increasing in
+/// K; `max_component(cut)` evaluates the certificate.  Bisects [lo, hi]
+/// (hi feasible) to double resolution, then snaps the bound to the
+/// certificate's own max component weight.
+template <typename Probe, typename Evaluate>
+DualResult bisect_bound(graph::Weight lo, graph::Weight hi, int m,
+                        Probe probe, Evaluate evaluate) {
+  TGP_REQUIRE(m >= 1, "need at least one processor");
+  for (int iter = 0; iter < 200 && lo < hi; ++iter) {
+    graph::Weight mid = lo + (hi - lo) / 2;
+    if (mid <= lo || mid >= hi) break;  // double resolution exhausted
+    if (probe(mid) <= m)
+      hi = mid;
+    else
+      lo = mid;
+  }
+  DualResult out;
+  out.cut = evaluate(hi);
+  out.components = out.cut.size() + 1;
+  TGP_ENSURE(out.components <= m, "bisection landed on infeasible bound");
+  return out;
+}
+
+}  // namespace
+
+DualResult min_bound_for_processors_tree(const graph::Tree& tree, int m) {
+  TGP_REQUIRE(m >= 1, "need at least one processor");
+  graph::Weight lo = std::max(tree.max_vertex_weight(),
+                              tree.total_vertex_weight() / m);
+  // lo is a valid lower bound but may itself be feasible; shrink the
+  // bisection window by one epsilon below it.
+  graph::Weight hi = tree.total_vertex_weight();
+  DualResult out = bisect_bound(
+      lo * (1 - 1e-12), hi, m,
+      [&](graph::Weight K) { return proc_min(tree, std::max(K, lo)).components; },
+      [&](graph::Weight K) { return proc_min(tree, std::max(K, lo)).cut; });
+  graph::Weight achieved = 0;
+  for (graph::Weight w : graph::tree_component_weights(tree, out.cut))
+    achieved = std::max(achieved, w);
+  out.bound = achieved;
+  return out;
+}
+
+DualResult min_bound_for_processors_chain(const graph::Chain& chain, int m) {
+  chain.validate();
+  TGP_REQUIRE(1 <= m, "need at least one processor");
+  graph::ChainPrefix prefix(chain);
+  graph::Weight maxw = 0;
+  for (int v = 0; v < chain.n(); ++v)
+    maxw = std::max(maxw, prefix.window(v, v));
+
+  // Greedy packing probe: optimal block count for a bound B.
+  auto pack = [&](graph::Weight B, graph::Cut* cut) {
+    if (cut) cut->edges.clear();
+    if (B < maxw) return chain.n() + 1;
+    int blocks = 1;
+    int start = 0;
+    for (int v = 0; v < chain.n(); ++v) {
+      if (prefix.window(start, v) > B) {
+        if (cut) cut->edges.push_back(v - 1);
+        start = v;
+        ++blocks;
+      }
+    }
+    return blocks;
+  };
+
+  graph::Weight lo = std::max(maxw, chain.total_vertex_weight() / m);
+  DualResult out = bisect_bound(
+      lo * (1 - 1e-12), chain.total_vertex_weight(), m,
+      [&](graph::Weight B) { return pack(B, nullptr); },
+      [&](graph::Weight B) {
+        graph::Cut cut;
+        int blocks = pack(B, &cut);
+        TGP_ENSURE(blocks <= chain.n(), "unpackable bound");
+        return cut;
+      });
+  graph::Weight achieved = 0;
+  for (graph::Weight w : graph::chain_component_weights(chain, out.cut))
+    achieved = std::max(achieved, w);
+  out.bound = achieved;
+  return out;
+}
+
+}  // namespace tgp::core

@@ -1,0 +1,36 @@
+// Processor-constrained duals of the paper's problems.
+//
+// The paper fixes the execution-time bound K and optimizes the partition;
+// practitioners often face the dual: the machine size m is fixed — find
+// the smallest K for which m processors suffice.  Feasibility is monotone
+// in K (proc_min's component count only shrinks as K grows), so the dual
+// reduces to a bisection over K with Algorithm 2.2 as the probe.  For
+// chains the dual coincides with chains-on-chains bottleneck partitioning
+// (minimize the max contiguous block weight over m blocks), which gives
+// an independent cross-check against src/ccp.
+#pragma once
+
+#include "graph/chain.hpp"
+#include "graph/cutset.hpp"
+#include "graph/tree.hpp"
+
+namespace tgp::core {
+
+struct DualResult {
+  graph::Weight bound = 0;  ///< smallest achievable K (bisection-exact)
+  graph::Cut cut;           ///< partition certifying the bound
+  int components = 1;       ///< ≤ m
+};
+
+/// Minimum K such that the tree splits into ≤ m components of weight ≤ K.
+/// Bisection over K with the Algorithm 2.2 probe, then snapped to the
+/// achieved max component weight (exact for integer weights; within one
+/// bisection resolution otherwise).
+DualResult min_bound_for_processors_tree(const graph::Tree& tree, int m);
+
+/// Chain specialization (contiguous blocks).  Equivalent to the classic
+/// chains-on-chains bottleneck problem; implemented with the same greedy
+/// probe so src/ccp can cross-validate it.
+DualResult min_bound_for_processors_chain(const graph::Chain& chain, int m);
+
+}  // namespace tgp::core

@@ -1,0 +1,179 @@
+#include "core/knapsack.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/assert.hpp"
+
+namespace tgp::core {
+
+KnapsackSolution solve_knapsack(const KnapsackInstance& inst) {
+  const int m = static_cast<int>(inst.weights.size());
+  TGP_REQUIRE(inst.profits.size() == inst.weights.size(),
+              "weights/profits size mismatch");
+  TGP_REQUIRE(inst.capacity >= 0, "negative capacity");
+  for (int i = 0; i < m; ++i) {
+    TGP_REQUIRE(inst.weights[static_cast<std::size_t>(i)] >= 0 &&
+                    inst.profits[static_cast<std::size_t>(i)] >= 0,
+                "weights and profits must be non-negative");
+  }
+  const auto cap = static_cast<std::size_t>(inst.capacity);
+  TGP_REQUIRE(cap <= (1u << 24), "capacity too large for DP");
+
+  constexpr std::int64_t kNeg = std::numeric_limits<std::int64_t>::min() / 4;
+  // best[c] = max profit using weight exactly ≤ c; keep per-item take bits
+  // for reconstruction.
+  std::vector<std::int64_t> best(cap + 1, 0);
+  std::vector<std::vector<char>> took(
+      static_cast<std::size_t>(m), std::vector<char>(cap + 1, 0));
+  for (int i = 0; i < m; ++i) {
+    auto w = static_cast<std::size_t>(
+        inst.weights[static_cast<std::size_t>(i)]);
+    std::int64_t pr = inst.profits[static_cast<std::size_t>(i)];
+    if (w > cap) continue;
+    for (std::size_t c = cap + 1; c-- > w;) {
+      std::int64_t cand = best[c - w] == kNeg ? kNeg : best[c - w] + pr;
+      if (cand > best[c]) {
+        best[c] = cand;
+        took[static_cast<std::size_t>(i)][c] = 1;
+      }
+    }
+  }
+  KnapsackSolution out;
+  std::size_t c = cap;
+  for (int i = m; i-- > 0;) {
+    if (took[static_cast<std::size_t>(i)][c]) {
+      out.chosen.push_back(i);
+      out.total_profit += inst.profits[static_cast<std::size_t>(i)];
+      out.total_weight += inst.weights[static_cast<std::size_t>(i)];
+      c -= static_cast<std::size_t>(inst.weights[static_cast<std::size_t>(i)]);
+    }
+  }
+  std::reverse(out.chosen.begin(), out.chosen.end());
+  TGP_ENSURE(out.total_profit == best[cap], "reconstruction mismatch");
+  return out;
+}
+
+StarReduction knapsack_to_star(const KnapsackInstance& inst) {
+  const int m = static_cast<int>(inst.weights.size());
+  TGP_REQUIRE(m >= 1, "empty knapsack instance");
+  const std::int64_t s = m + 1;
+  // ω(u) = 1, ω(v_i) = s·w_i + 1, δ(e_i) = s·p_i + 1, bound s·cap + m + 1:
+  // the +1 terms sum to at most m < s, so feasibility and optimality of
+  // item subsets are preserved exactly (see header).
+  std::vector<graph::Weight> vw;
+  vw.reserve(static_cast<std::size_t>(m) + 1);
+  vw.push_back(1.0);
+  std::vector<graph::TreeEdge> edges;
+  edges.reserve(static_cast<std::size_t>(m));
+  for (int i = 0; i < m; ++i) {
+    vw.push_back(static_cast<graph::Weight>(
+        s * inst.weights[static_cast<std::size_t>(i)] + 1));
+    edges.push_back({0, i + 1,
+                     static_cast<graph::Weight>(
+                         s * inst.profits[static_cast<std::size_t>(i)] + 1)});
+  }
+  return StarReduction{
+      graph::Tree::from_edges(std::move(vw), std::move(edges)),
+      static_cast<graph::Weight>(s * inst.capacity + m + 1), s};
+}
+
+std::vector<int> kept_items(const StarReduction& red, const graph::Cut& cut) {
+  std::vector<char> is_cut(static_cast<std::size_t>(red.star.edge_count()),
+                           0);
+  for (int e : cut.edges) {
+    TGP_REQUIRE(0 <= e && e < red.star.edge_count(), "cut edge out of range");
+    is_cut[static_cast<std::size_t>(e)] = 1;
+  }
+  std::vector<int> kept;
+  for (int e = 0; e < red.star.edge_count(); ++e)
+    if (!is_cut[static_cast<std::size_t>(e)]) kept.push_back(e);
+  return kept;
+}
+
+namespace {
+// Leaves of a star with their incident edge and weights.
+struct StarLeaf {
+  int vertex;
+  int edge;
+  graph::Weight vertex_weight;
+  graph::Weight edge_weight;
+};
+
+std::vector<StarLeaf> star_leaves(const graph::Tree& star, int* center_out) {
+  int center = 0;
+  if (star.n() > 2) {
+    for (int v = 0; v < star.n(); ++v)
+      if (star.degree(v) == star.n() - 1) center = v;
+    TGP_REQUIRE(star.degree(center) == star.n() - 1, "tree is not a star");
+  }
+  std::vector<StarLeaf> leaves;
+  for (auto [u, e] : star.neighbors(center))
+    leaves.push_back({u, e, star.vertex_weight(u), star.edge(e).weight});
+  *center_out = center;
+  return leaves;
+}
+}  // namespace
+
+graph::Cut star_bandwidth_min(const graph::Tree& star, graph::Weight K) {
+  int center = 0;
+  std::vector<StarLeaf> leaves = star_leaves(star, &center);
+  TGP_REQUIRE(K >= star.max_vertex_weight(), "K below max vertex weight");
+  // Keeping leaf i attached costs w_i capacity and saves p_i cut weight:
+  // maximize kept edge weight subject to kept vertex weight ≤ K − ω(center)
+  // — a knapsack.  Weights here must be integers for the DP; callers from
+  // the reduction tests guarantee that.
+  KnapsackInstance inst;
+  for (const StarLeaf& l : leaves) {
+    auto w = static_cast<std::int64_t>(l.vertex_weight);
+    auto pr = static_cast<std::int64_t>(l.edge_weight);
+    TGP_REQUIRE(static_cast<graph::Weight>(w) == l.vertex_weight &&
+                    static_cast<graph::Weight>(pr) == l.edge_weight,
+                "star_bandwidth_min requires integer weights");
+    inst.weights.push_back(w);
+    inst.profits.push_back(pr);
+  }
+  inst.capacity = static_cast<std::int64_t>(K - star.vertex_weight(center));
+  TGP_REQUIRE(inst.capacity >= 0, "K below center weight");
+  KnapsackSolution sol = solve_knapsack(inst);
+
+  std::vector<char> keep(leaves.size(), 0);
+  for (int i : sol.chosen) keep[static_cast<std::size_t>(i)] = 1;
+  graph::Cut cut;
+  for (std::size_t i = 0; i < leaves.size(); ++i)
+    if (!keep[i]) cut.edges.push_back(leaves[i].edge);
+  cut = cut.canonical();
+  TGP_ENSURE(graph::tree_cut_feasible(star, cut, K),
+             "star knapsack cut infeasible");
+  return cut;
+}
+
+graph::Cut star_bandwidth_brute(const graph::Tree& star, graph::Weight K) {
+  int center = 0;
+  std::vector<StarLeaf> leaves = star_leaves(star, &center);
+  TGP_REQUIRE(leaves.size() <= 20, "brute force limited to 20 leaves");
+  TGP_REQUIRE(K >= star.max_vertex_weight(), "K below max vertex weight");
+  const std::uint32_t limit = 1u << leaves.size();
+  graph::Weight best = std::numeric_limits<graph::Weight>::infinity();
+  std::uint32_t best_mask = 0;  // bit set = leaf kept attached
+  for (std::uint32_t mask = 0; mask < limit; ++mask) {
+    graph::Weight comp = star.vertex_weight(center);
+    graph::Weight cutw = 0;
+    for (std::size_t i = 0; i < leaves.size(); ++i) {
+      if ((mask >> i) & 1u)
+        comp += leaves[i].vertex_weight;
+      else
+        cutw += leaves[i].edge_weight;
+    }
+    if (comp <= K && cutw < best) {
+      best = cutw;
+      best_mask = mask;
+    }
+  }
+  graph::Cut cut;
+  for (std::size_t i = 0; i < leaves.size(); ++i)
+    if (!((best_mask >> i) & 1u)) cut.edges.push_back(leaves[i].edge);
+  return cut.canonical();
+}
+
+}  // namespace tgp::core

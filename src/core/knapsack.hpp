@@ -1,0 +1,67 @@
+// Theorem 1 of the paper: bandwidth minimization subject to the load bound
+// is NP-complete already for star task graphs, by reduction from 0-1
+// knapsack.  This module makes that construction executable:
+//
+//   * an exact 0-1 knapsack solver (integer-weight DP),
+//   * the forward reduction (knapsack instance → star bandwidth instance),
+//   * the solution mapping in both directions.
+//
+// Tests drive random instances through the reduction and verify the
+// paper's equivalence: keeping leaf set I with Σ w_i ≤ k₂ while cutting
+// edge weight ≤ Σ p_i − k₁ is exactly a knapsack solution of profit ≥ k₁.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/cutset.hpp"
+#include "graph/tree.hpp"
+
+namespace tgp::core {
+
+struct KnapsackInstance {
+  std::vector<std::int64_t> weights;
+  std::vector<std::int64_t> profits;
+  std::int64_t capacity = 0;
+};
+
+struct KnapsackSolution {
+  std::vector<int> chosen;     ///< item indices
+  std::int64_t total_weight = 0;
+  std::int64_t total_profit = 0;
+};
+
+/// Exact 0-1 knapsack via DP over capacity.  O(items · capacity).
+KnapsackSolution solve_knapsack(const KnapsackInstance& inst);
+
+/// Theorem 1 reduction: items → star leaves.  The paper uses ω(u) = 0 and
+/// notes the proof "may be extended for the case when the vertex weights
+/// are strictly positive"; we realize that extension by scaling every
+/// weight and profit by (m+1) and adding 1, which keeps all weights
+/// strictly positive while preserving optimal subsets *exactly*: with
+/// leaf weight (m+1)·w_i + 1 and bound (m+1)·capacity + m + 1 (center
+/// included), Σ kept leaves fit ⟺ Σ kept item weights ≤ capacity, because
+/// the +1 terms total at most m < m+1.  Profits scale the same way, so a
+/// max-weight kept edge set is a max-profit knapsack subset (ties broken
+/// toward more items).
+struct StarReduction {
+  graph::Tree star;            ///< center is vertex 0, leaf i+1 ↔ item i
+  graph::Weight k2;            ///< component bound for the center component
+  std::int64_t scale = 1;      ///< the (m+1) factor used
+};
+StarReduction knapsack_to_star(const KnapsackInstance& inst);
+
+/// Items kept attached by a star cut (inverse of the reduction's leaf
+/// numbering): item i is kept iff edge i is not in the cut.
+std::vector<int> kept_items(const StarReduction& red, const graph::Cut& cut);
+
+/// Optimal bandwidth-minimizing cut of a star graph under bound K for the
+/// center's component, computed exactly via the knapsack DP — i.e. the
+/// reverse direction of the reduction.  Leaves not cut must fit with the
+/// center inside K.
+graph::Cut star_bandwidth_min(const graph::Tree& star, graph::Weight K);
+
+/// Brute-force star cut (≤ 20 leaves), independent of the DP: oracle.
+graph::Cut star_bandwidth_brute(const graph::Tree& star, graph::Weight K);
+
+}  // namespace tgp::core

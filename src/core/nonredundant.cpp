@@ -1,0 +1,71 @@
+#include "core/nonredundant.hpp"
+
+#include "util/assert.hpp"
+
+namespace tgp::core {
+
+std::vector<EdgeMembership> edge_memberships(
+    const graph::Chain& chain, const std::vector<PrimeSubpath>& primes) {
+  int m = chain.edge_count();
+  int p = static_cast<int>(primes.size());
+  std::vector<EdgeMembership> out(static_cast<std::size_t>(m), {0, -1});
+  // Edge j belongs to prime i iff first_edge(i) <= j <= last_edge(i).
+  // Both endpoints of the membership range are monotone in j, so two
+  // forward pointers suffice.
+  int c = 0;  // first prime with last_edge >= j
+  int d = -1; // last prime with first_edge <= j
+  for (int j = 0; j < m; ++j) {
+    while (c < p && primes[static_cast<std::size_t>(c)].last_edge() < j) ++c;
+    while (d + 1 < p &&
+           primes[static_cast<std::size_t>(d) + 1].first_edge() <= j)
+      ++d;
+    // With both window ends strictly increasing, c <= d implies
+    // first_edge(c) <= first_edge(d) <= j and last_edge(d) >= last_edge(c)
+    // >= j, so the membership set is exactly the range [c, d].
+    if (c <= d) out[static_cast<std::size_t>(j)] = {c, d};
+  }
+  return out;
+}
+
+std::vector<ReducedEdge> reduce_edges(
+    const graph::Chain& chain, const std::vector<PrimeSubpath>& primes) {
+  std::vector<EdgeMembership> member = edge_memberships(chain, primes);
+  std::vector<ReducedEdge> out;
+  out.reserve(2 * primes.size() + 1);
+  for (int j = 0; j < chain.edge_count(); ++j) {
+    const EdgeMembership& m = member[static_cast<std::size_t>(j)];
+    if (!m.covered()) continue;
+    graph::Weight w = chain.edge_weight[static_cast<std::size_t>(j)];
+    if (!out.empty() && out.back().first_prime == m.first_prime &&
+        out.back().last_prime == m.last_prime) {
+      // Same membership set: keep only the lightest representative.
+      if (w < out.back().weight) {
+        out.back().weight = w;
+        out.back().edge = j;
+      }
+    } else {
+      out.push_back({j, m.first_prime, m.last_prime, w});
+    }
+  }
+  if (!primes.empty()) {
+    TGP_ENSURE(!out.empty(), "primes exist but no covered edges");
+    TGP_ENSURE(static_cast<int>(out.size()) <=
+                   2 * static_cast<int>(primes.size()) - 1,
+               "more than 2p-1 non-redundant edges");
+    // Every prime subpath must be covered contiguously.
+    TGP_ENSURE(out.front().first_prime == 0, "first prime uncovered");
+    TGP_ENSURE(out.back().last_prime ==
+                   static_cast<int>(primes.size()) - 1,
+               "last prime uncovered");
+    for (std::size_t i = 1; i < out.size(); ++i) {
+      TGP_ENSURE(out[i].first_prime <= out[i - 1].last_prime + 1,
+                 "prime subpath skipped by reduced edges");
+      TGP_ENSURE(out[i].first_prime >= out[i - 1].first_prime &&
+                     out[i].last_prime >= out[i - 1].last_prime,
+                 "reduced edge ranges not monotone");
+    }
+  }
+  return out;
+}
+
+}  // namespace tgp::core

@@ -1,0 +1,59 @@
+#include "core/prime_subpaths.hpp"
+
+#include "util/assert.hpp"
+
+namespace tgp::core {
+
+bool is_prime(const graph::ChainPrefix& prefix, int first_vertex,
+              int last_vertex, graph::Weight K) {
+  if (first_vertex > last_vertex) return false;
+  if (prefix.window(first_vertex, last_vertex) <= K) return false;  // not critical
+  // Minimal iff dropping either endpoint makes it non-critical.  (A window
+  // containing a critical proper sub-window also contains one obtained by
+  // dropping an endpoint repeatedly, so checking both one-step shrinks is
+  // enough.)
+  if (first_vertex < last_vertex &&
+      prefix.window(first_vertex + 1, last_vertex) > K)
+    return false;
+  if (first_vertex < last_vertex &&
+      prefix.window(first_vertex, last_vertex - 1) > K)
+    return false;
+  return true;
+}
+
+std::vector<PrimeSubpath> prime_subpaths(const graph::Chain& chain,
+                                         graph::Weight K) {
+  chain.validate();
+  TGP_REQUIRE(K >= chain.max_vertex_weight(),
+              "K must be at least the maximum vertex weight");
+  graph::ChainPrefix prefix(chain);
+  std::vector<PrimeSubpath> out;
+  int n = chain.n();
+  // Slightly relaxed bound so prefix-sum rounding cannot make a single
+  // vertex look critical when K equals the maximum vertex weight.
+  const graph::Weight k_eff =
+      K + graph::load_epsilon(chain.total_vertex_weight(), n);
+  int lo = 0;  // smallest window start with window(lo, r) <= K
+  for (int r = 0; r < n; ++r) {
+    while (lo < r && prefix.window(lo, r) > k_eff) ++lo;
+    if (lo == 0) continue;                  // no critical window ends at r
+    // [lo-1, r] is critical and left-minimal.  It is prime iff it is also
+    // right-minimal, i.e. [lo-1, r-1] is not critical.
+    if (prefix.window(lo - 1, r - 1) <= k_eff) {
+      out.push_back({lo - 1, r, prefix.window(lo - 1, r)});
+    }
+  }
+  // Postconditions from the paper: subpaths strictly ordered on both ends,
+  // each spanning at least one edge.
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    TGP_ENSURE(out[i].edge_span() >= 1, "prime subpath without edges");
+    if (i > 0) {
+      TGP_ENSURE(out[i - 1].first_vertex < out[i].first_vertex &&
+                     out[i - 1].last_vertex < out[i].last_vertex,
+                 "prime subpaths not strictly ordered");
+    }
+  }
+  return out;
+}
+
+}  // namespace tgp::core

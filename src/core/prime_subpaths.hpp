@@ -1,0 +1,45 @@
+// Prime critical subpath enumeration (§2.3 of the paper).
+//
+// A *critical* subpath of chain P is a contiguous vertex window whose total
+// vertex weight exceeds K; a critical subpath is *prime* when no proper
+// sub-window of it is critical (the paper calls non-prime critical
+// subpaths "dominated").  A cut S makes every component of P − S weigh
+// ≤ K iff S hits at least one edge of every prime subpath, which turns
+// bandwidth minimization into a structured weighted hitting-set problem.
+//
+// There are at most n − 1 prime subpaths and they are computed here in
+// O(n) with a two-pointer sweep (the paper's step 1).
+#pragma once
+
+#include <vector>
+
+#include "graph/chain.hpp"
+
+namespace tgp::core {
+
+/// One prime critical subpath.  Vertices [first_vertex, last_vertex] and
+/// the edges strictly inside the window, [first_edge, last_edge] — these
+/// are the paper's a_i and b_i.  Cutting any one of those edges splits the
+/// window.
+struct PrimeSubpath {
+  int first_vertex;
+  int last_vertex;
+  graph::Weight weight;  ///< total vertex weight of the window (> K)
+
+  int first_edge() const { return first_vertex; }
+  int last_edge() const { return last_vertex - 1; }
+  int edge_span() const { return last_vertex - first_vertex; }
+};
+
+/// Enumerate all prime subpaths of `chain` for bound K, ordered by
+/// (strictly increasing) left endpoint — and therefore also by right
+/// endpoint.  Requires K ≥ max vertex weight (otherwise no feasible
+/// partition exists; the caller must reject such K).
+std::vector<PrimeSubpath> prime_subpaths(const graph::Chain& chain,
+                                         graph::Weight K);
+
+/// Sanity predicate used by tests: true iff `sub` is critical and minimal.
+bool is_prime(const graph::ChainPrefix& prefix, int first_vertex,
+              int last_vertex, graph::Weight K);
+
+}  // namespace tgp::core

@@ -1,0 +1,174 @@
+#include "core/proc_min.hpp"
+
+#include <algorithm>
+#include <climits>
+#include <map>
+
+#include "util/assert.hpp"
+
+namespace tgp::core {
+
+ProcMinResult proc_min(const graph::Tree& tree, graph::Weight K,
+                       std::vector<ProcMinStep>* trace) {
+  if (trace) trace->clear();
+  TGP_REQUIRE(K >= tree.max_vertex_weight(),
+              "K must be at least the maximum vertex weight");
+  const int n = tree.n();
+  ProcMinResult out;
+  if (n == 1) return out;
+
+  // Root anywhere and process children-before-parents: when vertex v is
+  // processed every child has been contracted to a residual-weight leaf,
+  // which is exactly the paper's "internal node adjacent to at most one
+  // internal node" schedule.
+  std::vector<int> parent, parent_edge;
+  tree.root_at(0, parent, parent_edge);
+  std::vector<int> order = tree.bfs_order(0);
+  // Accept loads only up to half the checker's tolerance: the greedy
+  // accumulates component weights in a different order than the
+  // feasibility checker, so its acceptance margin must sit strictly
+  // inside the checker's.
+  const graph::Weight k_eff =
+      K + 0.5 * graph::load_epsilon(tree.total_vertex_weight(), n);
+
+  std::vector<graph::Weight> residual(static_cast<std::size_t>(n));
+  for (int v = 0; v < n; ++v)
+    residual[static_cast<std::size_t>(v)] = tree.vertex_weight(v);
+
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    int v = *it;
+    // Collect contracted children (paper: leaves adjacent to v).
+    std::vector<int> children;
+    graph::Weight lump = residual[static_cast<std::size_t>(v)];
+    for (auto [u, e] : tree.neighbors(v)) {
+      if (parent[static_cast<std::size_t>(u)] == v) {
+        children.push_back(u);
+        lump += residual[static_cast<std::size_t>(u)];
+      }
+    }
+    if (lump <= k_eff) {  // step 4: absorb all leaves
+      residual[static_cast<std::size_t>(v)] = lump;
+      if (trace && !children.empty())
+        trace->push_back({v, lump, {}, lump});
+      continue;
+    }
+    // Step 5: prune heaviest leaves until the lump fits.
+    std::sort(children.begin(), children.end(), [&](int a, int b) {
+      return residual[static_cast<std::size_t>(a)] >
+             residual[static_cast<std::size_t>(b)];
+    });
+    graph::Weight original_lump = lump;
+    std::vector<int> pruned;
+    for (int c : children) {
+      if (lump <= k_eff) break;
+      lump -= residual[static_cast<std::size_t>(c)];
+      out.cut.edges.push_back(parent_edge[static_cast<std::size_t>(c)]);
+      pruned.push_back(c);
+    }
+    TGP_ENSURE(lump <= k_eff, "pruning all leaves must fit (w(v) <= K)");
+    residual[static_cast<std::size_t>(v)] = lump;
+    if (trace) trace->push_back({v, original_lump, std::move(pruned), lump});
+  }
+
+  out.cut = out.cut.canonical();
+  out.components = out.cut.size() + 1;
+  TGP_ENSURE(graph::tree_cut_feasible(tree, out.cut, K),
+             "proc_min produced an infeasible cut");
+  return out;
+}
+
+ProcMinResult proc_min_oracle(const graph::Tree& tree, graph::Weight K) {
+  TGP_REQUIRE(K >= tree.max_vertex_weight(),
+              "K must be at least the maximum vertex weight");
+  const int n = tree.n();
+  ProcMinResult out;
+  if (n == 1) return out;
+
+  std::vector<int> parent, parent_edge;
+  tree.root_at(0, parent, parent_edge);
+  std::vector<int> order = tree.bfs_order(0);
+  // Accept loads only up to half the checker's tolerance: the greedy
+  // accumulates component weights in a different order than the
+  // feasibility checker, so its acceptance margin must sit strictly
+  // inside the checker's.
+  const graph::Weight k_eff =
+      K + 0.5 * graph::load_epsilon(tree.total_vertex_weight(), n);
+
+  // dp[v]: map residual-weight-of-v's-component → minimum cut count in
+  // v's subtree, keeping only Pareto-optimal states (increasing residual
+  // must strictly decrease cuts).
+  std::vector<std::map<graph::Weight, int>> dp(static_cast<std::size_t>(n));
+
+  auto pareto_insert = [](std::map<graph::Weight, int>& m, graph::Weight w,
+                          int cuts) {
+    auto it = m.lower_bound(w);
+    // Dominated by an existing lighter-or-equal state with fewer-or-equal
+    // cuts?
+    for (auto scan = m.begin(); scan != it; ++scan)
+      if (scan->second <= cuts) return;
+    if (it != m.end() && it->first == w && it->second <= cuts) return;
+    // Remove states this one dominates (heavier or equal, >= cuts).
+    auto scan = m.lower_bound(w);
+    while (scan != m.end()) {
+      if (scan->second >= cuts)
+        scan = m.erase(scan);
+      else
+        ++scan;
+    }
+    m[w] = cuts;
+  };
+
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    int v = *it;
+    std::map<graph::Weight, int> cur;
+    cur[tree.vertex_weight(v)] = 0;
+    for (auto [u, e] : tree.neighbors(v)) {
+      if (parent[static_cast<std::size_t>(u)] != v) continue;
+      std::map<graph::Weight, int> next;
+      // Child's best when its component is sealed by cutting edge (u,v).
+      int child_best_cuts = INT_MAX;
+      for (const auto& [w, c] : dp[static_cast<std::size_t>(u)])
+        child_best_cuts = std::min(child_best_cuts, c);
+      for (const auto& [wv, cv] : cur) {
+        // Option A: cut the edge to u.
+        pareto_insert(next, wv, cv + child_best_cuts + 1);
+        // Option B: merge u's component into v's.
+        for (const auto& [wu, cu] : dp[static_cast<std::size_t>(u)]) {
+          if (wv + wu <= k_eff) pareto_insert(next, wv + wu, cv + cu);
+        }
+      }
+      cur = std::move(next);
+    }
+    TGP_ENSURE(!cur.empty(), "oracle state set emptied (K too small?)");
+    dp[static_cast<std::size_t>(v)] = std::move(cur);
+  }
+
+  int best = INT_MAX;
+  for (const auto& [w, c] : dp[0]) best = std::min(best, c);
+  out.components = best + 1;
+  // The oracle reports only the optimal count (no cut reconstruction);
+  // tests compare counts.
+  return out;
+}
+
+TreePartitionResult bottleneck_then_proc_min(const graph::Tree& tree,
+                                             graph::Weight K) {
+  BottleneckResult stage1 = bottleneck_min_bsearch(tree, K);
+  std::vector<int> original_edge;
+  graph::Tree contracted =
+      graph::contract_components(tree, stage1.cut, &original_edge);
+  ProcMinResult stage2 = proc_min(contracted, K);
+
+  TreePartitionResult out;
+  out.bottleneck = stage1.threshold;
+  out.components = stage2.components;
+  out.cut.edges.reserve(stage2.cut.edges.size());
+  for (int e : stage2.cut.edges)
+    out.cut.edges.push_back(original_edge[static_cast<std::size_t>(e)]);
+  out.cut = out.cut.canonical();
+  TGP_ENSURE(graph::tree_cut_feasible(tree, out.cut, K),
+             "pipeline produced an infeasible cut");
+  return out;
+}
+
+}  // namespace tgp::core

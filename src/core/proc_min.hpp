@@ -1,0 +1,66 @@
+// Processor minimization for tree task graphs (§2.2, Algorithm 2.2).
+//
+// Given tree T and bound K (≥ every vertex weight), find an edge cut S
+// such that every component of T − S weighs ≤ K and the number of
+// components |S| + 1 is minimum.  The paper adapts an edge-integrity
+// algorithm: repeatedly take an internal node v adjacent to at most one
+// internal node (a deepest internal node), lump its leaves into it, and —
+// when the lump exceeds K — prune the heaviest leaves first until it fits.
+// Heaviest-first is optimal: it minimizes both the number of cuts at v and
+// the residual weight passed up to v's parent (Kundu–Misra-style exchange
+// argument), so no later stage can do better.  O(n log n).
+//
+// §2.2 composes this with bottleneck minimization: run Algorithm 2.1,
+// contract each component into a super-node, then minimize the processor
+// count over the contracted tree.  bottleneck_then_proc_min implements
+// that pipeline.
+#pragma once
+
+#include "core/bottleneck_min.hpp"
+#include "graph/cutset.hpp"
+#include "graph/tree.hpp"
+
+namespace tgp::core {
+
+struct ProcMinResult {
+  graph::Cut cut;
+  int components = 1;  ///< |S| + 1 — the minimized processor count
+};
+
+/// One Algorithm 2.2 step, for Figure-1-style walkthroughs: vertex v was
+/// processed with its contracted leaves summing to `lump`; the listed
+/// children were pruned (heaviest first) leaving `residual` as the
+/// super-node weight passed to v's parent.
+struct ProcMinStep {
+  int vertex;
+  graph::Weight lump;
+  std::vector<int> pruned_children;
+  graph::Weight residual;
+};
+
+/// Algorithm 2.2: minimum-component partition of a tree, O(n log n).
+/// Pass `trace` to record every internal-node step in processing order.
+ProcMinResult proc_min(const graph::Tree& tree, graph::Weight K,
+                       std::vector<ProcMinStep>* trace = nullptr);
+
+/// Exact oracle via a Pareto dynamic program over (residual weight,
+/// cut count) states.  Exponential-state in the worst case — intended for
+/// the property tests' small trees only (n ≤ ~64 with few distinct
+/// weights).
+ProcMinResult proc_min_oracle(const graph::Tree& tree, graph::Weight K);
+
+/// The full §2.1 + §2.2 pipeline.
+struct TreePartitionResult {
+  graph::Cut cut;               ///< final cut, subset of the bottleneck cut
+  graph::Weight bottleneck;     ///< max δ(e) over the *bottleneck* stage cut
+  int components = 1;
+};
+
+/// Bottleneck-minimize (binary-search variant), contract components into
+/// super-nodes, then processor-minimize the contracted tree.  The final
+/// cut is a subset of the bottleneck cut, so its bottleneck is no worse,
+/// and the component count is the minimum achievable at that bottleneck.
+TreePartitionResult bottleneck_then_proc_min(const graph::Tree& tree,
+                                             graph::Weight K);
+
+}  // namespace tgp::core

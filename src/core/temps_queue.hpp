@@ -1,0 +1,103 @@
+// TEMP_S — the paper's central data structure (§2.3.1, Appendix A).
+//
+// An array-backed queue of rows, each row (L, R, W, S):
+//   L, R — a range of prime-subpath indices that currently share the same
+//          minimum W-value,
+//   W    — that minimum W-value,
+//   S    — the partial solution achieving it (an arena id, see CutArena).
+//
+// Invariants maintained between operations (checked by check_invariants):
+//   * rows partition a contiguous range of active prime indices:
+//     row k+1.L == row k.R + 1,
+//   * the W column is strictly increasing from TOP (front) to BOTTOM
+//     (back) — this is what makes the O(log q) binary search of step 2a
+//     possible,
+//   * the number of rows never exceeds the number of active primes.
+//
+// TOP/BOTTOM are kept as indices into a fixed-capacity buffer exactly as
+// in Appendix A; rows are never shifted, so all operations are O(1) apart
+// from the O(log rows) search.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/weight.hpp"
+#include "util/assert.hpp"
+
+#include <vector>
+
+namespace tgp::core {
+
+struct TempsRow {
+  int first_prime;       ///< L column
+  int last_prime;        ///< R column
+  graph::Weight w;       ///< W column
+  int solution;          ///< S column (CutArena id)
+};
+
+/// Instrumentation for the Appendix-B occupancy experiment and the
+/// O(p log q) accounting of §2.3.2.
+struct TempsStats {
+  std::uint64_t steps = 0;           ///< processed non-redundant edges
+  std::uint64_t occupancy_sum = 0;   ///< Σ rows after each step
+  int max_rows = 0;
+  std::uint64_t search_steps = 0;    ///< total binary-search iterations
+
+  double avg_rows() const {
+    return steps == 0 ? 0.0
+                      : static_cast<double>(occupancy_sum) /
+                            static_cast<double>(steps);
+  }
+};
+
+class TempsQueue {
+ public:
+  /// `capacity` bounds the number of rows ever appended (≤ non-redundant
+  /// edge count + 1 for the algorithm's usage).
+  explicit TempsQueue(int capacity);
+
+  bool empty() const { return size_ == 0; }
+  int rows() const { return size_; }
+
+  const TempsRow& row(int idx) const;  ///< idx 0 == TOP
+  const TempsRow& front() const { return row(0); }
+  const TempsRow& back() const { return row(size_ - 1); }
+
+  /// Step 2 of Algorithm 4.1: the oldest active prime (front row's L) has
+  /// closed; advance L and drop the row if its range became empty.
+  void drop_front_prime();
+
+  /// Step 2a: index of the first row (from TOP) with W ≥ x, or rows() if
+  /// all rows have W < x.  Counts iterations into `stats` if given.
+  int lower_bound_w(graph::Weight x, TempsStats* stats) const;
+
+  /// The search refinement the paper proposes as future work (§2.3.2):
+  /// because "W values have a tendency to grow towards the end", a new
+  /// W_i usually lands near BOTTOM, so gallop from the back (probe rows
+  /// at distance 1, 2, 4, … from BOTTOM) and finish with a binary search
+  /// inside the bracketed range.  O(log d) where d is the distance of the
+  /// answer from BOTTOM — O(1)-ish on grow-towards-the-end data, still
+  /// O(log rows) worst case.  Same result as lower_bound_w.
+  int lower_bound_w_gallop(graph::Weight x, TempsStats* stats) const;
+
+  /// Replace rows [idx, rows()) by `row` (the paper's "delete all these
+  /// rows and add a new row pointing to all prime subpaths pointed by
+  /// deleted rows").  idx == rows() degenerates to push_back.
+  void collapse_from(int idx, TempsRow row);
+
+  /// Append a row at BOTTOM.
+  void push_back(TempsRow row);
+
+  /// Record one step's occupancy into `stats`.
+  void sample(TempsStats* stats) const;
+
+  /// Validate all structural invariants (test hook; O(rows)).
+  void check_invariants() const;
+
+ private:
+  std::vector<TempsRow> buf_;
+  int top_ = 0;   ///< buffer index of the TOP row
+  int size_ = 0;  ///< number of live rows
+};
+
+}  // namespace tgp::core

@@ -1,0 +1,231 @@
+#include "core/tree_bandwidth.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <limits>
+#include <map>
+
+#include "util/assert.hpp"
+
+namespace tgp::core {
+
+namespace {
+constexpr graph::Weight kInf = std::numeric_limits<graph::Weight>::infinity();
+}  // namespace
+
+TreeBandwidthResult tree_bandwidth_oracle(const graph::Tree& tree,
+                                          graph::Weight K,
+                                          std::size_t max_states) {
+  TGP_REQUIRE(K >= tree.max_vertex_weight(),
+              "K must be at least the maximum vertex weight");
+  const int n = tree.n();
+  TreeBandwidthResult out;
+  if (n == 1) return out;
+
+  std::vector<int> parent, parent_edge;
+  tree.root_at(0, parent, parent_edge);
+  std::vector<int> order = tree.bfs_order(0);
+  const graph::Weight k_eff =
+      K + graph::load_epsilon(tree.total_vertex_weight(), n);
+
+  // dp[v]: residual weight of v's (open) component → minimum cut weight
+  // in v's subtree; Pareto-pruned (larger residual must buy strictly
+  // smaller cut weight).
+  std::vector<std::map<graph::Weight, graph::Weight>> dp(
+      static_cast<std::size_t>(n));
+
+  auto pareto_insert = [&](std::map<graph::Weight, graph::Weight>& m,
+                           graph::Weight w, graph::Weight cost) {
+    auto it = m.lower_bound(w);
+    for (auto scan = m.begin(); scan != it; ++scan)
+      if (scan->second <= cost) return;  // dominated by lighter state
+    if (it != m.end() && it->first == w && it->second <= cost) return;
+    auto scan = m.lower_bound(w);
+    while (scan != m.end()) {
+      if (scan->second >= cost)
+        scan = m.erase(scan);
+      else
+        ++scan;
+    }
+    m[w] = cost;
+  };
+
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    int v = *it;
+    std::map<graph::Weight, graph::Weight> cur;
+    cur[tree.vertex_weight(v)] = 0;
+    for (auto [u, e] : tree.neighbors(v)) {
+      if (parent[static_cast<std::size_t>(u)] != v) continue;
+      graph::Weight edge_w = tree.edge(e).weight;
+      graph::Weight child_sealed = kInf;
+      for (const auto& [wu, cu] : dp[static_cast<std::size_t>(u)])
+        child_sealed = std::min(child_sealed, cu);
+      std::map<graph::Weight, graph::Weight> next;
+      for (const auto& [wv, cv] : cur) {
+        // Option A: cut edge (v,u) — pay δ(e) plus the child's best.
+        pareto_insert(next, wv, cv + child_sealed + edge_w);
+        // Option B: merge the child's open component into v's.
+        for (const auto& [wu, cu] : dp[static_cast<std::size_t>(u)])
+          if (wv + wu <= k_eff) pareto_insert(next, wv + wu, cv + cu);
+      }
+      TGP_REQUIRE(next.size() <= max_states,
+                  "Pareto state budget exceeded (Theorem 1 in action)");
+      cur = std::move(next);
+    }
+    TGP_ENSURE(!cur.empty(), "state set emptied (K too small?)");
+    dp[static_cast<std::size_t>(v)] = std::move(cur);
+  }
+
+  graph::Weight best = kInf;
+  for (const auto& [w, c] : dp[0]) best = std::min(best, c);
+  out.cut_weight = best;
+  // Weight-only oracle (no cut reconstruction); tests compare weights.
+  return out;
+}
+
+TreeBandwidthResult tree_bandwidth_greedy(const graph::Tree& tree,
+                                          graph::Weight K) {
+  TGP_REQUIRE(K >= tree.max_vertex_weight(),
+              "K must be at least the maximum vertex weight");
+  const int n = tree.n();
+  TreeBandwidthResult out;
+  if (n == 1) return out;
+
+  std::vector<int> parent, parent_edge;
+  tree.root_at(0, parent, parent_edge);
+  std::vector<int> order = tree.bfs_order(0);
+  // Accept loads only up to half the checker's tolerance (see proc_min).
+  const graph::Weight k_eff =
+      K + 0.5 * graph::load_epsilon(tree.total_vertex_weight(), n);
+
+  std::vector<graph::Weight> residual(static_cast<std::size_t>(n));
+  for (int v = 0; v < n; ++v)
+    residual[static_cast<std::size_t>(v)] = tree.vertex_weight(v);
+
+  struct Child {
+    int vertex;
+    int edge;
+    graph::Weight res;
+    graph::Weight edge_w;
+  };
+  constexpr std::size_t kExactFanout = 12;  // 2^12 subsets per node max
+
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    int v = *it;
+    std::vector<Child> children;
+    graph::Weight lump = residual[static_cast<std::size_t>(v)];
+    for (auto [u, e] : tree.neighbors(v)) {
+      if (parent[static_cast<std::size_t>(u)] != v) continue;
+      children.push_back({u, e, residual[static_cast<std::size_t>(u)],
+                          tree.edge(e).weight});
+      lump += residual[static_cast<std::size_t>(u)];
+    }
+    if (lump <= k_eff) {
+      residual[static_cast<std::size_t>(v)] = lump;
+      continue;
+    }
+    graph::Weight must_shed = lump - k_eff;
+    if (children.size() <= kExactFanout) {
+      // Per-node optimal shed: cheapest subset of child edges removing at
+      // least `must_shed` weight; among those, shed the most (a smaller
+      // residual can only help the ancestors).
+      const std::uint32_t limit = 1u << children.size();
+      std::uint32_t best_mask = limit - 1;
+      graph::Weight best_cost = kInf;
+      graph::Weight best_shed = 0;
+      for (std::uint32_t mask = 0; mask < limit; ++mask) {
+        graph::Weight shed = 0, cost = 0;
+        for (std::size_t i = 0; i < children.size(); ++i) {
+          if ((mask >> i) & 1u) {
+            shed += children[i].res;
+            cost += children[i].edge_w;
+          }
+        }
+        if (shed < must_shed) continue;
+        if (cost < best_cost ||
+            (cost == best_cost && shed > best_shed)) {
+          best_cost = cost;
+          best_mask = mask;
+          best_shed = shed;
+        }
+      }
+      TGP_ENSURE(best_cost < kInf, "shedding all children must fit");
+      for (std::size_t i = 0; i < children.size(); ++i) {
+        if ((best_mask >> i) & 1u) {
+          lump -= children[i].res;
+          out.cut.edges.push_back(children[i].edge);
+          out.cut_weight += children[i].edge_w;
+        }
+      }
+    } else {
+      // Wide node: shed cheapest crossing weight per unit of load first.
+      std::sort(children.begin(), children.end(),
+                [](const Child& a, const Child& b) {
+                  return a.edge_w * b.res < b.edge_w * a.res;
+                });
+      for (const Child& c : children) {
+        if (lump <= k_eff) break;
+        lump -= c.res;
+        out.cut.edges.push_back(c.edge);
+        out.cut_weight += c.edge_w;
+      }
+    }
+    TGP_ENSURE(lump <= k_eff, "pruning did not reach the bound");
+    residual[static_cast<std::size_t>(v)] = lump;
+  }
+
+  // Redundancy elimination: bottom-up shedding can leave expensive cuts
+  // that later cuts higher in the tree made unnecessary.  Try to restore
+  // edges, most expensive first, whenever the merged component still fits.
+  {
+    std::vector<graph::Weight> comp_weight =
+        graph::tree_component_weights(tree, out.cut);
+    std::vector<int> comp_of = graph::tree_components(tree, out.cut);
+    // Union-find over components as edges are restored.
+    std::vector<int> dsu(comp_weight.size());
+    for (std::size_t i = 0; i < dsu.size(); ++i) dsu[i] = static_cast<int>(i);
+    std::function<int(int)> find = [&](int x) {
+      while (dsu[static_cast<std::size_t>(x)] != x) {
+        dsu[static_cast<std::size_t>(x)] =
+            dsu[static_cast<std::size_t>(dsu[static_cast<std::size_t>(x)])];
+        x = dsu[static_cast<std::size_t>(x)];
+      }
+      return x;
+    };
+    std::vector<int> by_weight = out.cut.edges;
+    std::sort(by_weight.begin(), by_weight.end(), [&](int a, int b) {
+      return tree.edge(a).weight > tree.edge(b).weight;
+    });
+    std::vector<char> keep_cut(static_cast<std::size_t>(tree.edge_count()),
+                               0);
+    for (int e : out.cut.edges) keep_cut[static_cast<std::size_t>(e)] = 1;
+    for (int e : by_weight) {
+      int a = find(comp_of[static_cast<std::size_t>(tree.edge(e).u)]);
+      int b = find(comp_of[static_cast<std::size_t>(tree.edge(e).v)]);
+      TGP_ENSURE(a != b, "cut edge inside one component");
+      if (comp_weight[static_cast<std::size_t>(a)] +
+              comp_weight[static_cast<std::size_t>(b)] <=
+          k_eff) {
+        dsu[static_cast<std::size_t>(a)] = b;
+        comp_weight[static_cast<std::size_t>(b)] +=
+            comp_weight[static_cast<std::size_t>(a)];
+        keep_cut[static_cast<std::size_t>(e)] = 0;
+      }
+    }
+    out.cut.edges.clear();
+    out.cut_weight = 0;
+    for (int e = 0; e < tree.edge_count(); ++e) {
+      if (keep_cut[static_cast<std::size_t>(e)]) {
+        out.cut.edges.push_back(e);
+        out.cut_weight += tree.edge(e).weight;
+      }
+    }
+  }
+
+  out.cut = out.cut.canonical();
+  TGP_ENSURE(graph::tree_cut_feasible(tree, out.cut, K),
+             "greedy tree cut infeasible");
+  return out;
+}
+
+}  // namespace tgp::core

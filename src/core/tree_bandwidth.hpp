@@ -1,0 +1,44 @@
+// Bandwidth minimization on trees — living with Theorem 1.
+//
+// Theorem 1 shows the problem is NP-complete already for stars, so no
+// polynomial exact algorithm exists (unless P = NP).  This module
+// provides the two standard practical answers:
+//
+//   * an exact Pareto dynamic program over (component residual weight,
+//     cut weight) states — pseudo-polynomial: the state count is bounded
+//     by the number of distinct achievable residuals per subtree, which
+//     is small for low weight diversity and explodes in the adversarial
+//     case (a state budget guards against that), and
+//   * a bottom-up greedy heuristic that, whenever a vertex's lump
+//     overflows K, sheds child subtrees in increasing δ(e)/residual
+//     order (cheapest crossing weight per unit of load shed).
+//
+// bench_tree_bandwidth measures the heuristic's approximation quality
+// against the oracle.
+#pragma once
+
+#include <cstddef>
+
+#include "graph/cutset.hpp"
+#include "graph/tree.hpp"
+
+namespace tgp::core {
+
+struct TreeBandwidthResult {
+  graph::Cut cut;
+  graph::Weight cut_weight = 0;
+};
+
+/// Exact minimum-weight feasible cut via Pareto DP.  Throws
+/// std::invalid_argument if the Pareto state count at any vertex exceeds
+/// `max_states` (the Theorem-1 explosion in action).
+TreeBandwidthResult tree_bandwidth_oracle(const graph::Tree& tree,
+                                          graph::Weight K,
+                                          std::size_t max_states = 1 << 20);
+
+/// Greedy heuristic: feasible always; optimal often; approximation
+/// quality measured in bench_tree_bandwidth.
+TreeBandwidthResult tree_bandwidth_greedy(const graph::Tree& tree,
+                                          graph::Weight K);
+
+}  // namespace tgp::core

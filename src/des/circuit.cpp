@@ -1,0 +1,231 @@
+#include "des/circuit.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace tgp::des {
+
+namespace {
+bool is_combinational(GateType t) {
+  return t != GateType::kInput && t != GateType::kDff;
+}
+
+bool eval_gate(GateType t, const std::vector<int>& inputs,
+               const std::vector<char>& value) {
+  auto in = [&](std::size_t i) {
+    return value[static_cast<std::size_t>(inputs[i])] != 0;
+  };
+  switch (t) {
+    case GateType::kNot:
+      return !in(0);
+    case GateType::kAnd:
+    case GateType::kNand: {
+      bool acc = true;
+      for (std::size_t i = 0; i < inputs.size(); ++i) acc = acc && in(i);
+      return t == GateType::kAnd ? acc : !acc;
+    }
+    case GateType::kOr:
+    case GateType::kNor: {
+      bool acc = false;
+      for (std::size_t i = 0; i < inputs.size(); ++i) acc = acc || in(i);
+      return t == GateType::kOr ? acc : !acc;
+    }
+    case GateType::kXor: {
+      bool acc = false;
+      for (std::size_t i = 0; i < inputs.size(); ++i) acc = acc != in(i);
+      return acc;
+    }
+    case GateType::kInput:
+    case GateType::kDff:
+      break;
+  }
+  TGP_ENSURE(false, "eval_gate called on non-combinational gate");
+  return false;
+}
+}  // namespace
+
+int Circuit::add_gate(GateType type, std::vector<int> inputs) {
+  gates_.push_back({type, std::move(inputs)});
+  return n() - 1;
+}
+
+void Circuit::connect(int gate, int driver) {
+  TGP_REQUIRE(0 <= gate && gate < n(), "gate id out of range");
+  gates_[static_cast<std::size_t>(gate)].inputs.push_back(driver);
+}
+
+const Gate& Circuit::gate(int i) const {
+  TGP_REQUIRE(0 <= i && i < n(), "gate id out of range");
+  return gates_[static_cast<std::size_t>(i)];
+}
+
+void Circuit::validate() const {
+  TGP_REQUIRE(n() >= 1, "circuit must have at least one gate");
+  for (const Gate& g : gates_) {
+    for (int in : g.inputs)
+      TGP_REQUIRE(0 <= in && in < n(), "gate input out of range");
+    switch (g.type) {
+      case GateType::kInput:
+        TGP_REQUIRE(g.inputs.empty(), "INPUT gates take no inputs");
+        break;
+      case GateType::kNot:
+      case GateType::kDff:
+        TGP_REQUIRE(g.inputs.size() == 1, "NOT/DFF take exactly one input");
+        break;
+      default:
+        TGP_REQUIRE(g.inputs.size() >= 2,
+                    "binary gates need at least two inputs");
+    }
+  }
+  levels();  // throws on combinational cycles
+}
+
+std::vector<int> Circuit::levels() const {
+  // Kahn's algorithm over combinational edges only (DFF outputs are
+  // sources: their value for this cycle is already known).
+  std::vector<int> level(static_cast<std::size_t>(n()), 0);
+  std::vector<int> pending(static_cast<std::size_t>(n()), 0);
+  std::vector<std::vector<int>> sinks(static_cast<std::size_t>(n()));
+  std::vector<int> queue;
+  for (int g = 0; g < n(); ++g) {
+    const Gate& gt = gates_[static_cast<std::size_t>(g)];
+    if (!is_combinational(gt.type)) {
+      queue.push_back(g);
+      continue;
+    }
+    pending[static_cast<std::size_t>(g)] =
+        static_cast<int>(gt.inputs.size());
+    for (int in : gt.inputs)
+      sinks[static_cast<std::size_t>(in)].push_back(g);
+  }
+  std::size_t head = 0;
+  int resolved = 0;
+  while (head < queue.size()) {
+    int g = queue[head++];
+    ++resolved;
+    for (int s : sinks[static_cast<std::size_t>(g)]) {
+      level[static_cast<std::size_t>(s)] =
+          std::max(level[static_cast<std::size_t>(s)],
+                   level[static_cast<std::size_t>(g)] + 1);
+      if (--pending[static_cast<std::size_t>(s)] == 0) queue.push_back(s);
+    }
+  }
+  TGP_REQUIRE(resolved == n(),
+              "combinational cycle detected (loops must pass through a DFF)");
+  return level;
+}
+
+int Circuit::input_count() const {
+  int c = 0;
+  for (const Gate& g : gates_)
+    if (g.type == GateType::kInput) ++c;
+  return c;
+}
+
+int Circuit::dff_count() const {
+  int c = 0;
+  for (const Gate& g : gates_)
+    if (g.type == GateType::kDff) ++c;
+  return c;
+}
+
+CircuitSimulator::CircuitSimulator(const Circuit& circuit)
+    : circuit_(&circuit) {
+  circuit.validate();
+  const int n = circuit.n();
+  std::vector<int> level = circuit.levels();
+  order_.reserve(static_cast<std::size_t>(n));
+  for (int g = 0; g < n; ++g)
+    if (circuit.gate(g).type != GateType::kInput &&
+        circuit.gate(g).type != GateType::kDff)
+      order_.push_back(g);
+  std::sort(order_.begin(), order_.end(), [&](int a, int b) {
+    if (level[static_cast<std::size_t>(a)] !=
+        level[static_cast<std::size_t>(b)])
+      return level[static_cast<std::size_t>(a)] <
+             level[static_cast<std::size_t>(b)];
+    return a < b;
+  });
+  value_.assign(static_cast<std::size_t>(n), 0);
+  changed_.assign(static_cast<std::size_t>(n), 0);
+  dff_next_.assign(static_cast<std::size_t>(n), 0);
+}
+
+bool CircuitSimulator::value(int gate) const {
+  TGP_REQUIRE(0 <= gate && gate < circuit_->n(), "gate id out of range");
+  return value_[static_cast<std::size_t>(gate)] != 0;
+}
+
+void CircuitSimulator::step(util::Pcg32& rng) {
+  const Circuit& circuit = *circuit_;
+  const int n = circuit.n();
+  evaluated_.clear();
+  toggled_.clear();
+  std::fill(changed_.begin(), changed_.end(), 0);
+  // Clock edge: DFFs publish last cycle's captured input; primary inputs
+  // take fresh random values.
+  for (int g = 0; g < n; ++g) {
+    const Gate& gt = circuit.gate(g);
+    char nv = value_[static_cast<std::size_t>(g)];
+    if (gt.type == GateType::kInput) {
+      nv = rng.coin(0.5) ? 1 : 0;
+    } else if (gt.type == GateType::kDff) {
+      nv = dff_next_[static_cast<std::size_t>(g)];
+      evaluated_.push_back(g);
+    } else {
+      continue;
+    }
+    if (nv != value_[static_cast<std::size_t>(g)]) {
+      value_[static_cast<std::size_t>(g)] = nv;
+      changed_[static_cast<std::size_t>(g)] = 1;
+      toggled_.push_back(g);
+    }
+  }
+  // Combinational wave, event-driven: re-evaluate only on input change.
+  // Cycle 0 evaluates everything once so initial values settle (the
+  // standard initialization pass of event-driven simulators; without it
+  // a self-oscillating ring would never wake up).
+  for (int g : order_) {
+    const Gate& gt = circuit.gate(g);
+    bool any_changed = cycle_ == 0;
+    for (int in : gt.inputs)
+      any_changed = any_changed || changed_[static_cast<std::size_t>(in)];
+    if (!any_changed) continue;
+    evaluated_.push_back(g);
+    char nv = eval_gate(gt.type, gt.inputs, value_) ? 1 : 0;
+    if (nv != value_[static_cast<std::size_t>(g)]) {
+      value_[static_cast<std::size_t>(g)] = nv;
+      changed_[static_cast<std::size_t>(g)] = 1;
+      toggled_.push_back(g);
+    }
+  }
+  // Capture DFF inputs for the next cycle.
+  for (int g = 0; g < n; ++g) {
+    const Gate& gt = circuit.gate(g);
+    if (gt.type == GateType::kDff)
+      dff_next_[static_cast<std::size_t>(g)] =
+          value_[static_cast<std::size_t>(gt.inputs[0])];
+  }
+  ++cycle_;
+}
+
+ActivityProfile simulate_activity(const Circuit& circuit, util::Pcg32& rng,
+                                  int cycles) {
+  TGP_REQUIRE(cycles >= 1, "need at least one simulated cycle");
+  CircuitSimulator sim(circuit);
+  ActivityProfile prof;
+  prof.cycles = cycles;
+  prof.evaluations.assign(static_cast<std::size_t>(circuit.n()), 0);
+  prof.toggles.assign(static_cast<std::size_t>(circuit.n()), 0);
+  for (int cycle = 0; cycle < cycles; ++cycle) {
+    sim.step(rng);
+    for (int g : sim.evaluated())
+      ++prof.evaluations[static_cast<std::size_t>(g)];
+    for (int g : sim.toggled())
+      ++prof.toggles[static_cast<std::size_t>(g)];
+  }
+  return prof;
+}
+
+}  // namespace tgp::des

@@ -1,0 +1,107 @@
+// Gate-level logic circuits — the simulated systems of §3's distributed
+// discrete-event simulation application.
+//
+// A circuit is a netlist of gates; sequential elements (DFFs) hold state
+// across clock cycles and are the only legal way to close a cycle in the
+// netlist (combinational loops are rejected).  simulate_activity() runs a
+// functional, event-driven simulation for a number of cycles and records
+// per-gate evaluation counts and per-wire toggle counts — the quantities
+// the paper uses as process weights ("processing requirement") and edge
+// weights ("number of messages passed between two processes").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace tgp::des {
+
+enum class GateType {
+  kInput,  ///< primary input, driven by the stimulus each cycle
+  kNot,
+  kAnd,
+  kOr,
+  kXor,
+  kNand,
+  kNor,
+  kDff,    ///< D flip-flop: output is last cycle's captured input
+};
+
+struct Gate {
+  GateType type = GateType::kInput;
+  std::vector<int> inputs;  ///< driving gate ids
+};
+
+class Circuit {
+ public:
+  /// Add a gate; `inputs` may reference gates added later (connect via
+  /// connect()) as long as validate() passes in the end.
+  int add_gate(GateType type, std::vector<int> inputs = {});
+
+  /// Append one more driver to an existing gate.
+  void connect(int gate, int driver);
+
+  int n() const { return static_cast<int>(gates_.size()); }
+  const Gate& gate(int i) const;
+
+  /// Checks arities (INPUT: 0, NOT/DFF: 1, binary gates: ≥ 2), reference
+  /// validity, and that every cycle passes through a DFF.  Computes
+  /// combinational levels as a side effect.
+  void validate() const;
+
+  /// Topological level per gate: inputs and DFF outputs are level 0,
+  /// combinational gates are 1 + max(input levels).  Requires validate().
+  std::vector<int> levels() const;
+
+  int input_count() const;
+  int dff_count() const;
+
+ private:
+  std::vector<Gate> gates_;
+};
+
+/// Per-gate activity measured by functional simulation.
+struct ActivityProfile {
+  std::vector<std::uint64_t> evaluations;  ///< times the gate re-evaluated
+  std::vector<std::uint64_t> toggles;      ///< times its output changed
+  int cycles = 0;
+};
+
+/// Stepping functional simulator: one clock cycle at a time, exposing
+/// which gates evaluated and which outputs toggled in the last cycle.
+/// Event-driven: a combinational gate re-evaluates only when one of its
+/// inputs toggled that cycle (cycle 0 evaluates everything once so
+/// initial values settle); a DFF evaluates once per cycle.  Primary
+/// inputs draw uniformly random bits from the caller's RNG.
+class CircuitSimulator {
+ public:
+  explicit CircuitSimulator(const Circuit& circuit);
+
+  /// Advance one clock cycle.
+  void step(util::Pcg32& rng);
+
+  int cycles_run() const { return cycle_; }
+  /// Gates that (re-)evaluated during the last step, in evaluation order.
+  const std::vector<int>& evaluated() const { return evaluated_; }
+  /// Gates whose output changed during the last step.
+  const std::vector<int>& toggled() const { return toggled_; }
+  /// Current output value of a gate.
+  bool value(int gate) const;
+
+ private:
+  const Circuit* circuit_;
+  std::vector<int> order_;  ///< combinational gates in level order
+  std::vector<char> value_;
+  std::vector<char> changed_;
+  std::vector<char> dff_next_;
+  std::vector<int> evaluated_;
+  std::vector<int> toggled_;
+  int cycle_ = 0;
+};
+
+/// Run `cycles` clock cycles and aggregate per-gate activity.
+ActivityProfile simulate_activity(const Circuit& circuit, util::Pcg32& rng,
+                                  int cycles);
+
+}  // namespace tgp::des

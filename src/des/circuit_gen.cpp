@@ -1,0 +1,91 @@
+#include "des/circuit_gen.hpp"
+
+#include "util/assert.hpp"
+
+namespace tgp::des {
+
+Circuit shift_register(int bits) {
+  TGP_REQUIRE(bits >= 1, "shift register needs at least one bit");
+  Circuit c;
+  int in = c.add_gate(GateType::kInput);
+  int prev = in;
+  for (int b = 0; b < bits; ++b) prev = c.add_gate(GateType::kDff, {prev});
+  c.validate();
+  return c;
+}
+
+Circuit ring_counter(int bits) {
+  TGP_REQUIRE(bits >= 2, "ring counter needs at least two bits");
+  Circuit c;
+  std::vector<int> dffs;
+  dffs.reserve(static_cast<std::size_t>(bits));
+  // DFFs wired in a ring; the feedback path goes through an inverter so
+  // the ring self-oscillates (a Johnson counter) without external input.
+  for (int b = 0; b < bits; ++b) c.add_gate(GateType::kDff);
+  int inv = c.add_gate(GateType::kNot, {bits - 1});
+  c.connect(0, inv);
+  for (int b = 1; b < bits; ++b) c.connect(b, b - 1);
+  c.validate();
+  return c;
+}
+
+Circuit ripple_carry_adder(int bits) {
+  TGP_REQUIRE(bits >= 1, "adder needs at least one bit");
+  Circuit c;
+  int carry = -1;
+  for (int b = 0; b < bits; ++b) {
+    int a = c.add_gate(GateType::kInput);
+    int x = c.add_gate(GateType::kInput);
+    if (carry < 0) {
+      // Half adder for the first bit.
+      c.add_gate(GateType::kXor, {a, x});        // sum (observed)
+      carry = c.add_gate(GateType::kAnd, {a, x});
+    } else {
+      int axorb = c.add_gate(GateType::kXor, {a, x});
+      c.add_gate(GateType::kXor, {axorb, carry});  // sum (observed)
+      int and1 = c.add_gate(GateType::kAnd, {axorb, carry});
+      int and2 = c.add_gate(GateType::kAnd, {a, x});
+      carry = c.add_gate(GateType::kOr, {and1, and2});
+    }
+  }
+  c.validate();
+  return c;
+}
+
+Circuit layered_random_circuit(util::Pcg32& rng, int stages, int width) {
+  TGP_REQUIRE(stages >= 1 && width >= 2, "need stages >= 1 and width >= 2");
+  Circuit c;
+  std::vector<int> prev_layer;
+  for (int w = 0; w < width; ++w)
+    prev_layer.push_back(c.add_gate(GateType::kInput));
+  for (int s = 0; s < stages; ++s) {
+    std::vector<int> layer;
+    for (int w = 0; w < width; ++w) {
+      GateType t;
+      switch (rng.uniform_int(0, 4)) {
+        case 0: t = GateType::kAnd; break;
+        case 1: t = GateType::kOr; break;
+        case 2: t = GateType::kXor; break;
+        case 3: t = GateType::kNand; break;
+        default: t = GateType::kNor; break;
+      }
+      int a = prev_layer[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<int>(prev_layer.size()) - 1))];
+      int b;
+      do {
+        b = prev_layer[static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<int>(prev_layer.size()) - 1))];
+      } while (b == a && prev_layer.size() > 1);
+      layer.push_back(c.add_gate(t, {a, b}));
+    }
+    // A DFF rank between stages: keeps combinational depth bounded and
+    // makes the structure sequential (as in pipelined datapaths).
+    std::vector<int> regs;
+    for (int g : layer) regs.push_back(c.add_gate(GateType::kDff, {g}));
+    prev_layer = std::move(regs);
+  }
+  c.validate();
+  return c;
+}
+
+}  // namespace tgp::des

@@ -1,0 +1,30 @@
+// Circuit family generators for the §3 DES application.
+//
+// The paper singles out systems that are "circular or linear in nature or
+// can be approximated by a linear task graph, such as a circular type
+// logic circuit".  These constructors build exactly such families.
+#pragma once
+
+#include "des/circuit.hpp"
+#include "util/rng.hpp"
+
+namespace tgp::des {
+
+/// A shift register: input → DFF → DFF → … (linear).
+Circuit shift_register(int bits);
+
+/// A ring counter: DFFs in a cycle with an inverter (Johnson ring), the
+/// canonical "circular type logic circuit".
+Circuit ring_counter(int bits);
+
+/// A ripple-carry adder: per-bit full adders chained through the carry —
+/// a long combinational linear structure with two primary input vectors.
+Circuit ripple_carry_adder(int bits);
+
+/// A layered random circuit: `stages` layers of `width` random gates, each
+/// drawing inputs from the previous layer (locally connected, hence well
+/// approximated by a linear supergraph), with a DFF rank between stages to
+/// keep paths short and allow feedback.
+Circuit layered_random_circuit(util::Pcg32& rng, int stages, int width);
+
+}  // namespace tgp::des

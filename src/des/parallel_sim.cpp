@@ -1,0 +1,58 @@
+#include "des/parallel_sim.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace tgp::des {
+
+ParallelSimResult simulate_parallel_des(const Circuit& circuit,
+                                        const std::vector<int>& group,
+                                        util::Pcg32& rng, int cycles,
+                                        double comm_cost) {
+  TGP_REQUIRE(static_cast<int>(group.size()) == circuit.n(),
+              "assignment does not cover the circuit");
+  TGP_REQUIRE(cycles >= 1, "need at least one cycle");
+  TGP_REQUIRE(comm_cost >= 0, "negative communication cost");
+  int groups = 0;
+  for (int g : group) {
+    TGP_REQUIRE(g >= 0, "negative group id");
+    groups = std::max(groups, g + 1);
+  }
+
+  // Fanout adjacency: messages flow driver -> sink on toggles.
+  std::vector<std::vector<int>> fanout(
+      static_cast<std::size_t>(circuit.n()));
+  for (int g = 0; g < circuit.n(); ++g)
+    for (int driver : circuit.gate(g).inputs)
+      fanout[static_cast<std::size_t>(driver)].push_back(g);
+
+  CircuitSimulator sim(circuit);
+  ParallelSimResult out;
+  out.groups = groups;
+  std::vector<double> group_evals(static_cast<std::size_t>(groups));
+  for (int cycle = 0; cycle < cycles; ++cycle) {
+    sim.step(rng);
+    std::fill(group_evals.begin(), group_evals.end(), 0.0);
+    for (int g : sim.evaluated()) {
+      out.serial_work += 1;
+      group_evals[static_cast<std::size_t>(
+          group[static_cast<std::size_t>(g)])] += 1;
+    }
+    std::uint64_t cross = 0;
+    for (int g : sim.toggled()) {
+      int from = group[static_cast<std::size_t>(g)];
+      for (int sink : fanout[static_cast<std::size_t>(g)])
+        if (group[static_cast<std::size_t>(sink)] != from) ++cross;
+    }
+    out.cross_messages += cross;
+    double compute =
+        *std::max_element(group_evals.begin(), group_evals.end());
+    out.parallel_time += compute + comm_cost * static_cast<double>(cross);
+  }
+  out.speedup =
+      out.parallel_time > 0 ? out.serial_work / out.parallel_time : 1.0;
+  return out;
+}
+
+}  // namespace tgp::des

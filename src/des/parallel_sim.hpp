@@ -1,0 +1,42 @@
+// Synchronous parallel-simulation cost model for partitioned circuits.
+//
+// Given an assignment of gates to processor groups, estimate the speedup
+// of running the distributed discrete-event simulation on the
+// shared-memory machine: each clock cycle is a synchronous round whose
+// cost is
+//
+//     max over groups (evaluations in the group)          — compute
+//   + comm_cost · (toggle messages crossing groups)       — shared network
+//
+// against a serial cost of (all evaluations).  This is the conservative
+// time-stepped model classical gate-level simulators use; it rewards
+// exactly what §3 says partitioning should optimize — balanced load and
+// few crossing messages — but measures it on the *dynamic* activity, not
+// the static weights the partitioner saw.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "des/circuit.hpp"
+#include "util/rng.hpp"
+
+namespace tgp::des {
+
+struct ParallelSimResult {
+  double serial_work = 0;        ///< Σ evaluations over all cycles
+  double parallel_time = 0;      ///< Σ per-cycle max-group + comm cost
+  double speedup = 1;            ///< serial_work / parallel_time
+  std::uint64_t cross_messages = 0;  ///< crossing (toggle, fanout) pairs
+  int groups = 0;
+};
+
+/// Run `cycles` cycles and evaluate the assignment dynamically.
+/// `comm_cost` is the time of one crossing message relative to one gate
+/// evaluation.  Deterministic given the RNG seed.
+ParallelSimResult simulate_parallel_des(const Circuit& circuit,
+                                        const std::vector<int>& group,
+                                        util::Pcg32& rng, int cycles,
+                                        double comm_cost);
+
+}  // namespace tgp::des

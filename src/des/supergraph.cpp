@@ -1,0 +1,248 @@
+#include "des/supergraph.hpp"
+
+#include <algorithm>
+#include <climits>
+#include <map>
+
+#include "util/assert.hpp"
+
+namespace tgp::des {
+
+graph::TaskGraph process_graph(const Circuit& circuit,
+                               const ActivityProfile& activity) {
+  TGP_REQUIRE(static_cast<int>(activity.evaluations.size()) == circuit.n(),
+              "activity profile does not match circuit");
+  graph::TaskGraph g;
+  for (int i = 0; i < circuit.n(); ++i)
+    g.add_node(1.0 + static_cast<double>(
+                         activity.evaluations[static_cast<std::size_t>(i)]));
+  for (int i = 0; i < circuit.n(); ++i) {
+    for (int driver : circuit.gate(i).inputs) {
+      g.add_edge(driver, i,
+                 1.0 + static_cast<double>(
+                           activity.toggles[static_cast<std::size_t>(driver)]));
+    }
+  }
+  return g;
+}
+
+std::vector<int> pipeline_levels(const Circuit& circuit) {
+  const int n = circuit.n();
+  // Directed structural edges driver → sink, DFFs included.
+  std::vector<std::vector<int>> out_edges(static_cast<std::size_t>(n));
+  for (int g = 0; g < n; ++g)
+    for (int driver : circuit.gate(g).inputs)
+      out_edges[static_cast<std::size_t>(driver)].push_back(g);
+
+  // Iterative Tarjan SCC.
+  std::vector<int> index(static_cast<std::size_t>(n), -1);
+  std::vector<int> low(static_cast<std::size_t>(n), 0);
+  std::vector<char> on_stack(static_cast<std::size_t>(n), 0);
+  std::vector<int> scc_of(static_cast<std::size_t>(n), -1);
+  std::vector<int> stack;
+  int next_index = 0;
+  int scc_count = 0;
+  struct Frame {
+    int v;
+    std::size_t child;
+  };
+  for (int start = 0; start < n; ++start) {
+    if (index[static_cast<std::size_t>(start)] != -1) continue;
+    std::vector<Frame> call{{start, 0}};
+    while (!call.empty()) {
+      Frame& f = call.back();
+      auto v = static_cast<std::size_t>(f.v);
+      if (f.child == 0) {
+        index[v] = low[v] = next_index++;
+        stack.push_back(f.v);
+        on_stack[v] = 1;
+      }
+      bool descended = false;
+      while (f.child < out_edges[v].size()) {
+        int w = out_edges[v][f.child++];
+        auto wi = static_cast<std::size_t>(w);
+        if (index[wi] == -1) {
+          call.push_back({w, 0});
+          descended = true;
+          break;
+        }
+        if (on_stack[wi]) low[v] = std::min(low[v], index[wi]);
+      }
+      if (descended) continue;
+      if (low[v] == index[v]) {
+        for (;;) {
+          int w = stack.back();
+          stack.pop_back();
+          on_stack[static_cast<std::size_t>(w)] = 0;
+          scc_of[static_cast<std::size_t>(w)] = scc_count;
+          if (w == f.v) break;
+        }
+        ++scc_count;
+      }
+      int child_v = f.v;
+      call.pop_back();
+      if (!call.empty()) {
+        auto p = static_cast<std::size_t>(call.back().v);
+        low[p] = std::min(low[p], low[static_cast<std::size_t>(child_v)]);
+      }
+    }
+  }
+
+  // ASAP longest-path levels on the condensation (Tarjan emits SCCs in
+  // reverse topological order, so iterate components from last to first).
+  std::vector<int> comp_asap(static_cast<std::size_t>(scc_count), 0);
+  std::vector<std::vector<int>> comp_out(static_cast<std::size_t>(scc_count));
+  for (int g = 0; g < n; ++g)
+    for (int sink : out_edges[static_cast<std::size_t>(g)]) {
+      int cu = scc_of[static_cast<std::size_t>(g)];
+      int cv = scc_of[static_cast<std::size_t>(sink)];
+      if (cu != cv) comp_out[static_cast<std::size_t>(cu)].push_back(cv);
+    }
+  for (int c = scc_count - 1; c >= 0; --c)
+    for (int succ : comp_out[static_cast<std::size_t>(c)])
+      comp_asap[static_cast<std::size_t>(succ)] =
+          std::max(comp_asap[static_cast<std::size_t>(succ)],
+                   comp_asap[static_cast<std::size_t>(c)] + 1);
+
+  // ALAP pass: sinks stay at their ASAP position; everything else slides
+  // as late as its consumers allow.  Placing producers next to their
+  // consumers keeps locality in the linearization — e.g. a ripple-carry
+  // adder's bit-i inputs land at bit i's carry level instead of piling up
+  // at level 0 far away from where they are consumed.
+  std::vector<int> comp_level(static_cast<std::size_t>(scc_count));
+  for (int c = 0; c < scc_count; ++c) {  // reverse topo order = sinks first
+    const auto& succs = comp_out[static_cast<std::size_t>(c)];
+    if (succs.empty()) {
+      comp_level[static_cast<std::size_t>(c)] =
+          comp_asap[static_cast<std::size_t>(c)];
+      continue;
+    }
+    int lo = INT_MAX;
+    for (int succ : succs)
+      lo = std::min(lo, comp_level[static_cast<std::size_t>(succ)] - 1);
+    comp_level[static_cast<std::size_t>(c)] =
+        std::max(lo, comp_asap[static_cast<std::size_t>(c)]);
+  }
+
+  // Compact to dense level ids (some levels may be empty after condensing).
+  std::vector<int> level(static_cast<std::size_t>(n));
+  for (int g = 0; g < n; ++g)
+    level[static_cast<std::size_t>(g)] =
+        comp_level[static_cast<std::size_t>(scc_of[static_cast<std::size_t>(g)])];
+  std::vector<int> used(level.begin(), level.end());
+  std::sort(used.begin(), used.end());
+  used.erase(std::unique(used.begin(), used.end()), used.end());
+  for (int& l : level)
+    l = static_cast<int>(std::lower_bound(used.begin(), used.end(), l) -
+                         used.begin());
+  return level;
+}
+
+LinearSupergraph linear_supergraph(const Circuit& circuit,
+                                   const graph::TaskGraph& process) {
+  TGP_REQUIRE(process.n() == circuit.n(), "process graph size mismatch");
+  LinearSupergraph out;
+  out.level_of_gate = pipeline_levels(circuit);
+  int max_level = 0;
+  for (int l : out.level_of_gate) max_level = std::max(max_level, l);
+  const int levels = max_level + 1;
+
+  out.chain.vertex_weight.assign(static_cast<std::size_t>(levels), 0.0);
+  for (int g = 0; g < process.n(); ++g)
+    out.chain.vertex_weight[static_cast<std::size_t>(
+        out.level_of_gate[static_cast<std::size_t>(g)])] +=
+        process.vertex_weight(g);
+
+  if (levels > 1) {
+    // Base weight keeps every chain edge strictly positive even when no
+    // process edge spans a boundary (then the cut there is nearly free).
+    out.chain.edge_weight.assign(static_cast<std::size_t>(levels) - 1, 1e-3);
+    for (int e = 0; e < process.edge_count(); ++e) {
+      const auto& edge = process.edge(e);
+      int lu = out.level_of_gate[static_cast<std::size_t>(edge.u)];
+      int lv = out.level_of_gate[static_cast<std::size_t>(edge.v)];
+      int lo = std::min(lu, lv);
+      int hi = std::max(lu, lv);
+      for (int b = lo; b < hi; ++b)
+        out.chain.edge_weight[static_cast<std::size_t>(b)] += edge.weight;
+    }
+  }
+  out.chain.validate();
+  return out;
+}
+
+std::vector<int> assign_from_chain_cut(const LinearSupergraph& super,
+                                       const graph::Cut& cut) {
+  graph::Cut c = cut.canonical();
+  // Component id per level.
+  std::vector<int> comp_of_level(super.chain.vertex_weight.size());
+  int comp = 0;
+  std::size_t next = 0;
+  for (std::size_t l = 0; l < comp_of_level.size(); ++l) {
+    comp_of_level[l] = comp;
+    if (next < c.edges.size() &&
+        c.edges[next] == static_cast<int>(l)) {
+      ++comp;
+      ++next;
+    }
+  }
+  std::vector<int> group(super.level_of_gate.size());
+  for (std::size_t g = 0; g < group.size(); ++g)
+    group[g] = comp_of_level[static_cast<std::size_t>(
+        super.level_of_gate[g])];
+  return group;
+}
+
+std::vector<int> assign_block(int n, int groups) {
+  TGP_REQUIRE(n >= 1 && groups >= 1, "bad block assignment shape");
+  std::vector<int> out(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i)
+    out[static_cast<std::size_t>(i)] =
+        static_cast<int>(static_cast<long long>(i) * groups / n);
+  return out;
+}
+
+std::vector<int> assign_round_robin(int n, int groups) {
+  TGP_REQUIRE(n >= 1 && groups >= 1, "bad round robin shape");
+  std::vector<int> out(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) out[static_cast<std::size_t>(i)] = i % groups;
+  return out;
+}
+
+std::vector<int> assign_random(util::Pcg32& rng, int n, int groups) {
+  TGP_REQUIRE(n >= 1 && groups >= 1, "bad random assignment shape");
+  std::vector<int> out(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i)
+    out[static_cast<std::size_t>(i)] =
+        static_cast<int>(rng.uniform_int(0, groups - 1));
+  return out;
+}
+
+DesPartitionQuality evaluate_assignment(const graph::TaskGraph& process,
+                                        const std::vector<int>& group) {
+  TGP_REQUIRE(static_cast<int>(group.size()) == process.n(),
+              "assignment does not cover the process graph");
+  DesPartitionQuality q;
+  std::map<int, double> load;
+  for (int g = 0; g < process.n(); ++g)
+    load[group[static_cast<std::size_t>(g)]] += process.vertex_weight(g);
+  q.groups = static_cast<int>(load.size());
+  double total_load = 0;
+  for (auto& [id, l] : load) {
+    q.max_group_load = std::max(q.max_group_load, l);
+    total_load += l;
+  }
+  q.avg_group_load = total_load / q.groups;
+  for (int e = 0; e < process.edge_count(); ++e) {
+    const auto& edge = process.edge(e);
+    q.total_messages += edge.weight;
+    if (group[static_cast<std::size_t>(edge.u)] !=
+        group[static_cast<std::size_t>(edge.v)])
+      q.cross_messages += edge.weight;
+  }
+  q.cross_fraction =
+      q.total_messages > 0 ? q.cross_messages / q.total_messages : 0.0;
+  return q;
+}
+
+}  // namespace tgp::des

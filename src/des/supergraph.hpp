@@ -1,0 +1,83 @@
+// Process graphs and linear supergraphs (§3, application 2).
+//
+// From a simulated circuit we build the paper's process graph: one
+// process per gate, vertex weight = measured processing requirement
+// (evaluation count), edge weight = number of messages (output toggles
+// seen by each fanout branch).  For partitioning, the process graph is
+// approximated by a *linear supergraph*: gates are grouped by topological
+// level and the groups form a chain whose edge weights aggregate the
+// messages crossing each level boundary — exactly the "generate a
+// super-graph, which is linear, from the process graph" step the paper
+// prescribes for non-linear systems.  A chain cut then induces a gate
+// assignment, whose true message cost is re-measured on the process
+// graph (each crossing edge counted once).
+#pragma once
+
+#include <vector>
+
+#include "des/circuit.hpp"
+#include "graph/chain.hpp"
+#include "graph/cutset.hpp"
+#include "graph/task_graph.hpp"
+#include "util/rng.hpp"
+
+namespace tgp::des {
+
+/// Process graph: node per gate (weight = 1 + evaluations), one edge per
+/// (driver, sink) netlist connection (weight = 1 + driver toggles).
+graph::TaskGraph process_graph(const Circuit& circuit,
+                               const ActivityProfile& activity);
+
+/// Pipeline position per gate: the netlist (DFF edges included, i.e. the
+/// *structural* graph) is condensed by strongly connected components and
+/// the condensation levelized by longest path.  Unlike Circuit::levels()
+/// — which restarts at every DFF because it orders *within-cycle*
+/// evaluation — this measures position along the pipeline, which is what
+/// "grouping by topological position" (§3) needs.  Gates on a feedback
+/// ring share one position.
+std::vector<int> pipeline_levels(const Circuit& circuit);
+
+/// The linear approximation of a process graph.
+struct LinearSupergraph {
+  graph::Chain chain;              ///< one vertex per topological level
+  std::vector<int> level_of_gate;  ///< gate → chain vertex
+};
+
+/// Build the linear supergraph.  Chain vertex k aggregates the weights of
+/// all level-k gates; chain edge k aggregates the weight of every process
+/// edge spanning the boundary between levels ≤ k and > k (an edge spanning
+/// several boundaries contributes to each — the linearization's inherent
+/// over-approximation, which the paper accepts as the price of a
+/// polynomial algorithm).
+LinearSupergraph linear_supergraph(const Circuit& circuit,
+                                   const graph::TaskGraph& process);
+
+// ---- Gate-to-group assignment strategies ----------------------------------
+
+/// From a bandwidth-min cut of the supergraph chain: gates of levels in
+/// the same chain component share a group.
+std::vector<int> assign_from_chain_cut(const LinearSupergraph& super,
+                                       const graph::Cut& cut);
+
+/// Contiguous blocks of equal gate count (the naive "block" baseline).
+std::vector<int> assign_block(int n, int groups);
+
+/// Round-robin by gate id.
+std::vector<int> assign_round_robin(int n, int groups);
+
+/// Uniformly random group per gate.
+std::vector<int> assign_random(util::Pcg32& rng, int n, int groups);
+
+/// Quality of an assignment measured on the true process graph.
+struct DesPartitionQuality {
+  int groups = 0;
+  double cross_messages = 0;   ///< Σ weight of group-crossing edges
+  double total_messages = 0;   ///< Σ weight of all edges
+  double cross_fraction = 0;   ///< cross / total
+  double max_group_load = 0;   ///< Σ node weight of the heaviest group
+  double avg_group_load = 0;
+};
+DesPartitionQuality evaluate_assignment(const graph::TaskGraph& process,
+                                        const std::vector<int>& group);
+
+}  // namespace tgp::des

@@ -1,0 +1,195 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace tgp::graph {
+
+WeightDist WeightDist::uniform(double lo, double hi) {
+  TGP_REQUIRE(0 < lo && lo <= hi, "uniform weight range must be positive");
+  WeightDist d;
+  d.kind = Kind::kUniform;
+  d.a = lo;
+  d.b = hi;
+  return d;
+}
+
+WeightDist WeightDist::exponential(double mean) {
+  TGP_REQUIRE(mean > 0, "exponential mean must be positive");
+  WeightDist d;
+  d.kind = Kind::kExponential;
+  d.a = mean;
+  return d;
+}
+
+WeightDist WeightDist::bimodal(double p1, double lo1, double hi1, double lo2,
+                               double hi2) {
+  TGP_REQUIRE(0 < lo1 && lo1 <= hi1 && 0 < lo2 && lo2 <= hi2,
+              "bimodal ranges must be positive");
+  WeightDist d;
+  d.kind = Kind::kBimodal;
+  d.p = p1;
+  d.a = lo1;
+  d.b = hi1;
+  d.c = lo2;
+  d.d = hi2;
+  return d;
+}
+
+WeightDist WeightDist::constant(double v) {
+  TGP_REQUIRE(v > 0, "constant weight must be positive");
+  WeightDist d;
+  d.kind = Kind::kConstant;
+  d.a = v;
+  return d;
+}
+
+Weight WeightDist::sample(util::Pcg32& rng) const {
+  switch (kind) {
+    case Kind::kUniform:
+      return rng.uniform_real(a, b);
+    case Kind::kExponential: {
+      // Shift away from zero: weights must be strictly positive.
+      return rng.exponential(a) + 1e-9;
+    }
+    case Kind::kBimodal:
+      return rng.bimodal(p, a, b, c, d);
+    case Kind::kConstant:
+      return a;
+  }
+  TGP_ENSURE(false, "unreachable weight kind");
+  return a;
+}
+
+std::string WeightDist::describe() const {
+  std::ostringstream os;
+  switch (kind) {
+    case Kind::kUniform: os << "U[" << a << "," << b << "]"; break;
+    case Kind::kExponential: os << "Exp(mean=" << a << ")"; break;
+    case Kind::kBimodal:
+      os << "Bimodal(p=" << p << ", [" << a << "," << b << "]|[" << c << ","
+         << d << "])";
+      break;
+    case Kind::kConstant: os << "Const(" << a << ")"; break;
+  }
+  return os.str();
+}
+
+Chain random_chain(util::Pcg32& rng, int n, const WeightDist& vertex,
+                   const WeightDist& edge) {
+  TGP_REQUIRE(n >= 1, "chain must have at least one vertex");
+  Chain c;
+  c.vertex_weight.reserve(static_cast<std::size_t>(n));
+  c.edge_weight.reserve(static_cast<std::size_t>(n) - 1);
+  for (int i = 0; i < n; ++i) c.vertex_weight.push_back(vertex.sample(rng));
+  for (int i = 0; i + 1 < n; ++i) c.edge_weight.push_back(edge.sample(rng));
+  c.validate();
+  return c;
+}
+
+Chain ascending_edge_chain(int n, Weight vertex_weight, Weight first_edge,
+                           Weight step) {
+  TGP_REQUIRE(n >= 1 && vertex_weight > 0 && first_edge > 0 && step > 0,
+              "ascending chain parameters must be positive");
+  Chain c;
+  c.vertex_weight.assign(static_cast<std::size_t>(n), vertex_weight);
+  for (int i = 0; i + 1 < n; ++i)
+    c.edge_weight.push_back(first_edge + step * i);
+  c.validate();
+  return c;
+}
+
+Chain descending_edge_chain(int n, Weight vertex_weight, Weight first_edge,
+                            Weight step) {
+  TGP_REQUIRE(n >= 1 && vertex_weight > 0 && step > 0, "bad parameters");
+  TGP_REQUIRE(first_edge > step * n, "edge weights would go non-positive");
+  Chain c;
+  c.vertex_weight.assign(static_cast<std::size_t>(n), vertex_weight);
+  for (int i = 0; i + 1 < n; ++i)
+    c.edge_weight.push_back(first_edge - step * i);
+  c.validate();
+  return c;
+}
+
+namespace {
+Tree tree_from_parent_picker(util::Pcg32& rng, int n, const WeightDist& vertex,
+                             const WeightDist& edge,
+                             const std::function<int(int)>& pick_parent) {
+  TGP_REQUIRE(n >= 1, "tree must have at least one vertex");
+  std::vector<Weight> vw;
+  vw.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) vw.push_back(vertex.sample(rng));
+  std::vector<int> parent(static_cast<std::size_t>(n), -1);
+  std::vector<Weight> pew(static_cast<std::size_t>(n), 1.0);
+  for (int i = 1; i < n; ++i) {
+    parent[static_cast<std::size_t>(i)] = pick_parent(i);
+    pew[static_cast<std::size_t>(i)] = edge.sample(rng);
+  }
+  return Tree::from_parents(std::move(vw), parent, pew);
+}
+}  // namespace
+
+Tree random_tree(util::Pcg32& rng, int n, const WeightDist& vertex,
+                 const WeightDist& edge) {
+  return tree_from_parent_picker(rng, n, vertex, edge, [&rng](int i) {
+    return static_cast<int>(rng.uniform_int(0, i - 1));
+  });
+}
+
+Tree random_binary_tree(util::Pcg32& rng, int n, const WeightDist& vertex,
+                        const WeightDist& edge) {
+  std::vector<int> child_count(static_cast<std::size_t>(std::max(n, 1)), 0);
+  return tree_from_parent_picker(rng, n, vertex, edge, [&](int i) {
+    for (;;) {
+      int cand = static_cast<int>(rng.uniform_int(0, i - 1));
+      if (child_count[static_cast<std::size_t>(cand)] < 2) {
+        ++child_count[static_cast<std::size_t>(cand)];
+        return cand;
+      }
+    }
+  });
+}
+
+Tree star_tree(util::Pcg32& rng, int n, const WeightDist& vertex,
+               const WeightDist& edge) {
+  return tree_from_parent_picker(rng, n, vertex, edge,
+                                 [](int) { return 0; });
+}
+
+Tree path_tree(const Chain& chain) {
+  chain.validate();
+  std::vector<TreeEdge> edges;
+  edges.reserve(chain.edge_weight.size());
+  for (int i = 0; i + 1 < chain.n(); ++i)
+    edges.push_back({i, i + 1, chain.edge_weight[static_cast<std::size_t>(i)]});
+  return Tree::from_edges(chain.vertex_weight, std::move(edges));
+}
+
+Tree caterpillar_tree(util::Pcg32& rng, int spine, int legs_per_node,
+                      const WeightDist& vertex, const WeightDist& edge) {
+  TGP_REQUIRE(spine >= 1 && legs_per_node >= 0, "bad caterpillar shape");
+  int n = spine * (1 + legs_per_node);
+  return tree_from_parent_picker(rng, n, vertex, edge, [&](int i) {
+    if (i < spine) return i - 1;             // spine is a path 0..spine-1
+    return (i - spine) / legs_per_node;      // legs attach round-robin
+  });
+}
+
+Tree kary_tree(util::Pcg32& rng, int k, int levels, const WeightDist& vertex,
+               const WeightDist& edge) {
+  TGP_REQUIRE(k >= 1 && levels >= 1, "bad k-ary shape");
+  std::int64_t n = 0;
+  std::int64_t level_size = 1;
+  for (int l = 0; l < levels; ++l) {
+    n += level_size;
+    level_size *= k;
+  }
+  TGP_REQUIRE(n < (1 << 26), "k-ary tree too large");
+  return tree_from_parent_picker(rng, static_cast<int>(n), vertex, edge,
+                                 [k](int i) { return (i - 1) / k; });
+}
+
+}  // namespace tgp::graph

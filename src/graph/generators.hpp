@@ -1,0 +1,86 @@
+// Synthetic workload generators.
+//
+// The paper's Figure 2 is produced by "extensive simulation" over random
+// chains with controlled n, K and maximum vertex weight; §2.3.2 analyzes
+// uniform vertex weights over [w1, w2].  These generators regenerate that
+// universe plus the tree families used by Algorithms 2.1/2.2 and
+// adversarial instances used in tests.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "graph/chain.hpp"
+#include "graph/tree.hpp"
+#include "util/rng.hpp"
+
+namespace tgp::graph {
+
+/// A sampled weight distribution.  Factory functions keep construction
+/// readable at call sites: WeightDist::uniform(1, 100) etc.
+struct WeightDist {
+  enum class Kind { kUniform, kExponential, kBimodal, kConstant };
+
+  Kind kind = Kind::kUniform;
+  double a = 1.0;   // uniform lo / exponential mean / bimodal lo1 / constant
+  double b = 1.0;   // uniform hi / bimodal hi1
+  double c = 0.0;   // bimodal lo2
+  double d = 0.0;   // bimodal hi2
+  double p = 0.0;   // bimodal probability of mode 1
+
+  static WeightDist uniform(double lo, double hi);
+  static WeightDist exponential(double mean);
+  static WeightDist bimodal(double p1, double lo1, double hi1, double lo2,
+                            double hi2);
+  static WeightDist constant(double v);
+
+  /// Draw one strictly positive weight.
+  Weight sample(util::Pcg32& rng) const;
+
+  std::string describe() const;
+};
+
+// ---- Chains ---------------------------------------------------------------
+
+/// Random chain with i.i.d. vertex and edge weights.
+Chain random_chain(util::Pcg32& rng, int n, const WeightDist& vertex,
+                   const WeightDist& edge);
+
+/// Chain whose bandwidth-minimization DP W-values tend to increase left to
+/// right (the paper's Appendix-B worst case for TEMP_S occupancy): vertex
+/// weights constant, edge weights strictly increasing.
+Chain ascending_edge_chain(int n, Weight vertex_weight, Weight first_edge,
+                           Weight step);
+
+/// Chain with strictly decreasing edge weights (TEMP_S best case: the
+/// queue keeps collapsing to one row).
+Chain descending_edge_chain(int n, Weight vertex_weight, Weight first_edge,
+                            Weight step);
+
+// ---- Trees ----------------------------------------------------------------
+
+/// Uniform-attachment random tree: vertex i ≥ 1 attaches to a uniformly
+/// random earlier vertex.
+Tree random_tree(util::Pcg32& rng, int n, const WeightDist& vertex,
+                 const WeightDist& edge);
+
+/// Random binary tree (each vertex has ≤ 2 children).
+Tree random_binary_tree(util::Pcg32& rng, int n, const WeightDist& vertex,
+                        const WeightDist& edge);
+
+/// Star: center 0 with n−1 leaves (Theorem 1's reduction shape).
+Tree star_tree(util::Pcg32& rng, int n, const WeightDist& vertex,
+               const WeightDist& edge);
+
+/// Path rendered as a Tree (for cross-checks against chain algorithms).
+Tree path_tree(const Chain& chain);
+
+/// Caterpillar: a spine of length `spine` with `legs_per_node` leaves each.
+Tree caterpillar_tree(util::Pcg32& rng, int spine, int legs_per_node,
+                      const WeightDist& vertex, const WeightDist& edge);
+
+/// Complete k-ary tree with `levels` levels.
+Tree kary_tree(util::Pcg32& rng, int k, int levels, const WeightDist& vertex,
+               const WeightDist& edge);
+
+}  // namespace tgp::graph

@@ -1,0 +1,132 @@
+#include "graph/io.hpp"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace tgp::graph {
+
+namespace {
+
+constexpr const char* kChainMagic = "tgp-chain";
+constexpr const char* kTreeMagic = "tgp-tree";
+constexpr int kVersion = 1;
+
+void write_weight(std::ostream& out, Weight w) {
+  // Hexfloat round-trips doubles exactly and is locale-independent.
+  out << std::hexfloat << w << std::defaultfloat;
+}
+
+Weight read_weight(std::istream& in) {
+  std::string token;
+  TGP_REQUIRE(static_cast<bool>(in >> token), "truncated weight");
+  try {
+    std::size_t used = 0;
+    double v = std::stod(token, &used);
+    TGP_REQUIRE(used == token.size(), "malformed weight '" + token + "'");
+    return v;
+  } catch (const std::logic_error&) {
+    throw std::invalid_argument("malformed weight '" + token + "'");
+  }
+}
+
+int read_header(std::istream& in, const char* magic) {
+  std::string word;
+  TGP_REQUIRE(static_cast<bool>(in >> word), "missing header");
+  TGP_REQUIRE(word == magic,
+              std::string("bad magic: expected ") + magic + ", got " + word);
+  int version = 0;
+  int n = 0;
+  TGP_REQUIRE(static_cast<bool>(in >> version >> n), "truncated header");
+  TGP_REQUIRE(version == kVersion, "unsupported format version");
+  TGP_REQUIRE(n >= 1, "non-positive vertex count");
+  return n;
+}
+
+}  // namespace
+
+void save_chain(std::ostream& out, const Chain& chain) {
+  chain.validate();
+  out << kChainMagic << ' ' << kVersion << ' ' << chain.n() << '\n';
+  for (int i = 0; i < chain.n(); ++i) {
+    if (i) out << ' ';
+    write_weight(out, chain.vertex_weight[static_cast<std::size_t>(i)]);
+  }
+  out << '\n';
+  for (int i = 0; i < chain.edge_count(); ++i) {
+    if (i) out << ' ';
+    write_weight(out, chain.edge_weight[static_cast<std::size_t>(i)]);
+  }
+  out << '\n';
+}
+
+Chain load_chain(std::istream& in) {
+  int n = read_header(in, kChainMagic);
+  Chain c;
+  c.vertex_weight.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) c.vertex_weight.push_back(read_weight(in));
+  c.edge_weight.reserve(static_cast<std::size_t>(n) - 1);
+  for (int i = 0; i + 1 < n; ++i) c.edge_weight.push_back(read_weight(in));
+  c.validate();
+  return c;
+}
+
+void save_tree(std::ostream& out, const Tree& tree) {
+  out << kTreeMagic << ' ' << kVersion << ' ' << tree.n() << '\n';
+  for (int v = 0; v < tree.n(); ++v) {
+    if (v) out << ' ';
+    write_weight(out, tree.vertex_weight(v));
+  }
+  out << '\n';
+  for (const TreeEdge& e : tree.edges()) {
+    out << e.u << ' ' << e.v << ' ';
+    write_weight(out, e.weight);
+    out << '\n';
+  }
+}
+
+Tree load_tree(std::istream& in) {
+  int n = read_header(in, kTreeMagic);
+  std::vector<Weight> vw;
+  vw.reserve(static_cast<std::size_t>(n));
+  for (int v = 0; v < n; ++v) vw.push_back(read_weight(in));
+  std::vector<TreeEdge> edges;
+  edges.reserve(static_cast<std::size_t>(n) - 1);
+  for (int e = 0; e + 1 < n; ++e) {
+    int u = 0, v = 0;
+    TGP_REQUIRE(static_cast<bool>(in >> u >> v), "truncated edge list");
+    edges.push_back({u, v, read_weight(in)});
+  }
+  return Tree::from_edges(std::move(vw), std::move(edges));
+}
+
+void save_chain_file(const std::string& path, const Chain& chain) {
+  std::ofstream out(path);
+  TGP_REQUIRE(out.good(), "cannot open '" + path + "' for writing");
+  save_chain(out, chain);
+  TGP_REQUIRE(out.good(), "write failed for '" + path + "'");
+}
+
+Chain load_chain_file(const std::string& path) {
+  std::ifstream in(path);
+  TGP_REQUIRE(in.good(), "cannot open '" + path + "'");
+  return load_chain(in);
+}
+
+void save_tree_file(const std::string& path, const Tree& tree) {
+  std::ofstream out(path);
+  TGP_REQUIRE(out.good(), "cannot open '" + path + "' for writing");
+  save_tree(out, tree);
+  TGP_REQUIRE(out.good(), "write failed for '" + path + "'");
+}
+
+Tree load_tree_file(const std::string& path) {
+  std::ifstream in(path);
+  TGP_REQUIRE(in.good(), "cannot open '" + path + "'");
+  return load_tree(in);
+}
+
+}  // namespace tgp::graph

@@ -1,0 +1,37 @@
+// Plain-text serialization of task graphs.
+//
+// Benches and users exchange workloads as small text files:
+//
+//   tgp-chain 1 <n>
+//   <n vertex weights>
+//   <n-1 edge weights>
+//
+//   tgp-tree 1 <n>
+//   <n vertex weights>
+//   <n-1 lines: u v weight>
+//
+// Weights round-trip exactly (hex float format).  Loading validates as
+// strictly as the in-memory constructors.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/chain.hpp"
+#include "graph/tree.hpp"
+
+namespace tgp::graph {
+
+void save_chain(std::ostream& out, const Chain& chain);
+Chain load_chain(std::istream& in);
+
+void save_tree(std::ostream& out, const Tree& tree);
+Tree load_tree(std::istream& in);
+
+/// Convenience file wrappers; throw std::invalid_argument on I/O errors.
+void save_chain_file(const std::string& path, const Chain& chain);
+Chain load_chain_file(const std::string& path);
+void save_tree_file(const std::string& path, const Tree& tree);
+Tree load_tree_file(const std::string& path);
+
+}  // namespace tgp::graph

@@ -1,0 +1,103 @@
+#include "graph/task_graph.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/assert.hpp"
+
+namespace tgp::graph {
+
+int TaskGraph::add_node(Weight weight) {
+  TGP_REQUIRE(weight > 0 && std::isfinite(weight),
+              "vertex weight must be positive and finite");
+  vertex_weight_.push_back(weight);
+  adj_.emplace_back();
+  return n() - 1;
+}
+
+int TaskGraph::add_edge(int u, int v, Weight weight) {
+  TGP_REQUIRE(0 <= u && u < n() && 0 <= v && v < n() && u != v,
+              "edge endpoints invalid");
+  TGP_REQUIRE(weight > 0 && std::isfinite(weight),
+              "edge weight must be positive and finite");
+  int id = edge_count();
+  edges_.push_back({u, v, weight});
+  adj_[static_cast<std::size_t>(u)].emplace_back(v, id);
+  adj_[static_cast<std::size_t>(v)].emplace_back(u, id);
+  return id;
+}
+
+Weight TaskGraph::vertex_weight(int v) const {
+  TGP_REQUIRE(0 <= v && v < n(), "vertex out of range");
+  return vertex_weight_[static_cast<std::size_t>(v)];
+}
+
+void TaskGraph::set_vertex_weight(int v, Weight w) {
+  TGP_REQUIRE(0 <= v && v < n(), "vertex out of range");
+  TGP_REQUIRE(w > 0 && std::isfinite(w), "vertex weight must be positive");
+  vertex_weight_[static_cast<std::size_t>(v)] = w;
+}
+
+const TaskGraph::Edge& TaskGraph::edge(int e) const {
+  TGP_REQUIRE(0 <= e && e < edge_count(), "edge out of range");
+  return edges_[static_cast<std::size_t>(e)];
+}
+
+void TaskGraph::add_edge_weight(int e, Weight delta) {
+  TGP_REQUIRE(0 <= e && e < edge_count(), "edge out of range");
+  edges_[static_cast<std::size_t>(e)].weight += delta;
+  TGP_REQUIRE(edges_[static_cast<std::size_t>(e)].weight > 0,
+              "edge weight must stay positive");
+}
+
+std::span<const std::pair<int, int>> TaskGraph::neighbors(int v) const {
+  TGP_REQUIRE(0 <= v && v < n(), "vertex out of range");
+  return adj_[static_cast<std::size_t>(v)];
+}
+
+int TaskGraph::degree(int v) const {
+  return static_cast<int>(neighbors(v).size());
+}
+
+Weight TaskGraph::total_vertex_weight() const {
+  return std::accumulate(vertex_weight_.begin(), vertex_weight_.end(),
+                         Weight{0});
+}
+
+Weight TaskGraph::total_edge_weight() const {
+  Weight total = 0;
+  for (const Edge& e : edges_) total += e.weight;
+  return total;
+}
+
+std::vector<int> TaskGraph::connected_components() const {
+  std::vector<int> comp(static_cast<std::size_t>(n()), -1);
+  int next = 0;
+  std::vector<int> stack;
+  for (int s = 0; s < n(); ++s) {
+    if (comp[static_cast<std::size_t>(s)] != -1) continue;
+    comp[static_cast<std::size_t>(s)] = next;
+    stack.push_back(s);
+    while (!stack.empty()) {
+      int v = stack.back();
+      stack.pop_back();
+      for (auto [u, e] : neighbors(v)) {
+        if (comp[static_cast<std::size_t>(u)] == -1) {
+          comp[static_cast<std::size_t>(u)] = next;
+          stack.push_back(u);
+        }
+      }
+    }
+    ++next;
+  }
+  return comp;
+}
+
+bool TaskGraph::is_connected() const {
+  if (n() == 0) return true;
+  std::vector<int> comp = connected_components();
+  return *std::max_element(comp.begin(), comp.end()) == 0;
+}
+
+}  // namespace tgp::graph

@@ -1,0 +1,57 @@
+// General weighted task graphs G_task = (N, MD) from §1 of the paper.
+//
+// Used by the DES application (src/des): a simulated circuit's process
+// graph is a general graph which is then approximated by a linear
+// supergraph (§3) before partitioning.
+#pragma once
+
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "graph/weight.hpp"
+
+namespace tgp::graph {
+
+/// A mutable, general undirected multigraph with weighted vertices (task
+/// computation demand) and weighted edges (message volume).
+class TaskGraph {
+ public:
+  struct Edge {
+    int u;
+    int v;
+    Weight weight;
+  };
+
+  /// Add a task with the given computation weight; returns its id.
+  int add_node(Weight weight);
+
+  /// Add a data dependency between existing tasks u ≠ v; returns edge id.
+  int add_edge(int u, int v, Weight weight);
+
+  int n() const { return static_cast<int>(vertex_weight_.size()); }
+  int edge_count() const { return static_cast<int>(edges_.size()); }
+
+  Weight vertex_weight(int v) const;
+  void set_vertex_weight(int v, Weight w);
+  const Edge& edge(int e) const;
+  void add_edge_weight(int e, Weight delta);
+
+  /// (neighbor, edge index) pairs incident to v.
+  std::span<const std::pair<int, int>> neighbors(int v) const;
+
+  int degree(int v) const;
+  Weight total_vertex_weight() const;
+  Weight total_edge_weight() const;
+
+  /// Component id per vertex (dense 0-based ids).
+  std::vector<int> connected_components() const;
+  bool is_connected() const;
+
+ private:
+  std::vector<Weight> vertex_weight_;
+  std::vector<Edge> edges_;
+  std::vector<std::vector<std::pair<int, int>>> adj_;
+};
+
+}  // namespace tgp::graph

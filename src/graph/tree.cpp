@@ -1,0 +1,157 @@
+#include "graph/tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <queue>
+
+#include "util/assert.hpp"
+
+namespace tgp::graph {
+
+Tree Tree::from_edges(std::vector<Weight> vertex_weights,
+                      std::vector<TreeEdge> edges) {
+  int n = static_cast<int>(vertex_weights.size());
+  TGP_REQUIRE(n >= 1, "tree must have at least one vertex");
+  TGP_REQUIRE(static_cast<int>(edges.size()) == n - 1,
+              "tree must have exactly n-1 edges");
+  for (Weight w : vertex_weights)
+    TGP_REQUIRE(w > 0 && std::isfinite(w),
+                "vertex weights must be positive and finite");
+  for (const TreeEdge& e : edges) {
+    TGP_REQUIRE(0 <= e.u && e.u < n && 0 <= e.v && e.v < n && e.u != e.v,
+                "edge endpoints out of range");
+    TGP_REQUIRE(e.weight > 0 && std::isfinite(e.weight),
+                "edge weights must be positive and finite");
+  }
+  Tree t;
+  t.vertex_weight_ = std::move(vertex_weights);
+  t.edges_ = std::move(edges);
+  t.build_adjacency();
+  // Connectivity (and, with n-1 edges, acyclicity) via BFS from 0.
+  std::vector<char> seen(static_cast<std::size_t>(n), 0);
+  std::queue<int> q;
+  q.push(0);
+  seen[0] = 1;
+  int reached = 1;
+  while (!q.empty()) {
+    int v = q.front();
+    q.pop();
+    for (auto [u, e] : t.adj_[static_cast<std::size_t>(v)]) {
+      if (!seen[static_cast<std::size_t>(u)]) {
+        seen[static_cast<std::size_t>(u)] = 1;
+        ++reached;
+        q.push(u);
+      }
+    }
+  }
+  TGP_REQUIRE(reached == n, "edge list does not form a connected tree");
+  return t;
+}
+
+Tree Tree::from_parents(std::vector<Weight> vertex_weights,
+                        const std::vector<int>& parent,
+                        const std::vector<Weight>& parent_edge_weight) {
+  int n = static_cast<int>(vertex_weights.size());
+  TGP_REQUIRE(static_cast<int>(parent.size()) == n,
+              "parent array size mismatch");
+  TGP_REQUIRE(static_cast<int>(parent_edge_weight.size()) == n,
+              "parent edge weight array size mismatch");
+  TGP_REQUIRE(n >= 1 && parent[0] == -1, "vertex 0 must be the root");
+  std::vector<TreeEdge> edges;
+  edges.reserve(static_cast<std::size_t>(n) - 1);
+  for (int i = 1; i < n; ++i) {
+    TGP_REQUIRE(0 <= parent[static_cast<std::size_t>(i)] &&
+                    parent[static_cast<std::size_t>(i)] < i,
+                "parent[i] must precede i");
+    edges.push_back({i, parent[static_cast<std::size_t>(i)],
+                     parent_edge_weight[static_cast<std::size_t>(i)]});
+  }
+  return from_edges(std::move(vertex_weights), std::move(edges));
+}
+
+void Tree::build_adjacency() {
+  adj_.assign(vertex_weight_.size(), {});
+  for (std::size_t e = 0; e < edges_.size(); ++e) {
+    adj_[static_cast<std::size_t>(edges_[e].u)].emplace_back(
+        edges_[e].v, static_cast<int>(e));
+    adj_[static_cast<std::size_t>(edges_[e].v)].emplace_back(
+        edges_[e].u, static_cast<int>(e));
+  }
+}
+
+Weight Tree::vertex_weight(int v) const {
+  TGP_REQUIRE(0 <= v && v < n(), "vertex index out of range");
+  return vertex_weight_[static_cast<std::size_t>(v)];
+}
+
+const TreeEdge& Tree::edge(int e) const {
+  TGP_REQUIRE(0 <= e && e < edge_count(), "edge index out of range");
+  return edges_[static_cast<std::size_t>(e)];
+}
+
+std::span<const std::pair<int, int>> Tree::neighbors(int v) const {
+  TGP_REQUIRE(0 <= v && v < n(), "vertex index out of range");
+  return adj_[static_cast<std::size_t>(v)];
+}
+
+int Tree::degree(int v) const {
+  return static_cast<int>(neighbors(v).size());
+}
+
+std::vector<int> Tree::leaves() const {
+  std::vector<int> out;
+  for (int v = 0; v < n(); ++v)
+    if (is_leaf(v)) out.push_back(v);
+  return out;
+}
+
+Weight Tree::total_vertex_weight() const {
+  return std::accumulate(vertex_weight_.begin(), vertex_weight_.end(),
+                         Weight{0});
+}
+
+Weight Tree::max_vertex_weight() const {
+  return *std::max_element(vertex_weight_.begin(), vertex_weight_.end());
+}
+
+std::vector<int> Tree::bfs_order(int root) const {
+  TGP_REQUIRE(0 <= root && root < n(), "root out of range");
+  std::vector<int> order;
+  order.reserve(static_cast<std::size_t>(n()));
+  std::vector<char> seen(static_cast<std::size_t>(n()), 0);
+  std::queue<int> q;
+  q.push(root);
+  seen[static_cast<std::size_t>(root)] = 1;
+  while (!q.empty()) {
+    int v = q.front();
+    q.pop();
+    order.push_back(v);
+    for (auto [u, e] : neighbors(v)) {
+      if (!seen[static_cast<std::size_t>(u)]) {
+        seen[static_cast<std::size_t>(u)] = 1;
+        q.push(u);
+      }
+    }
+  }
+  return order;
+}
+
+void Tree::root_at(int root, std::vector<int>& parent,
+                   std::vector<int>& parent_edge) const {
+  parent.assign(static_cast<std::size_t>(n()), -1);
+  parent_edge.assign(static_cast<std::size_t>(n()), -1);
+  for (int v : bfs_order(root)) {
+    for (auto [u, e] : neighbors(v)) {
+      if (u != root && parent[static_cast<std::size_t>(u)] == -1 &&
+          u != v && parent[static_cast<std::size_t>(v)] != u) {
+        parent[static_cast<std::size_t>(u)] = v;
+        parent_edge[static_cast<std::size_t>(u)] = e;
+      }
+    }
+  }
+  parent[static_cast<std::size_t>(root)] = -1;
+  parent_edge[static_cast<std::size_t>(root)] = -1;
+}
+
+}  // namespace tgp::graph

@@ -1,0 +1,72 @@
+// Weighted free trees — the input of the paper's §2.1 bottleneck
+// minimization and §2.2 processor minimization problems.
+#pragma once
+
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "graph/weight.hpp"
+
+namespace tgp::graph {
+
+/// One undirected tree edge between vertices u and v.
+struct TreeEdge {
+  int u;
+  int v;
+  Weight weight;
+};
+
+/// A weighted free (unrooted) tree over vertices 0..n−1 with n−1 edges.
+/// Construction validates connectivity and acyclicity; the adjacency index
+/// is built once and shared by all algorithms.
+class Tree {
+ public:
+  /// Build from an explicit edge list.  Throws std::invalid_argument unless
+  /// the edges form a tree over the given vertices and all weights are
+  /// positive and finite.
+  static Tree from_edges(std::vector<Weight> vertex_weights,
+                         std::vector<TreeEdge> edges);
+
+  /// Build from a parent array rooted at vertex 0: parent[0] must be −1 and
+  /// parent[i] < i gives the usual topological construction.
+  /// parent_edge_weight[i] is the weight of edge (i, parent[i]) for i ≥ 1.
+  static Tree from_parents(std::vector<Weight> vertex_weights,
+                           const std::vector<int>& parent,
+                           const std::vector<Weight>& parent_edge_weight);
+
+  int n() const { return static_cast<int>(vertex_weight_.size()); }
+  int edge_count() const { return static_cast<int>(edges_.size()); }
+
+  Weight vertex_weight(int v) const;
+  const std::vector<Weight>& vertex_weights() const { return vertex_weight_; }
+  const TreeEdge& edge(int e) const;
+  const std::vector<TreeEdge>& edges() const { return edges_; }
+
+  /// (neighbor, edge index) pairs incident to v.
+  std::span<const std::pair<int, int>> neighbors(int v) const;
+
+  int degree(int v) const;
+  bool is_leaf(int v) const { return degree(v) <= 1; }
+  std::vector<int> leaves() const;
+
+  Weight total_vertex_weight() const;
+  Weight max_vertex_weight() const;
+
+  /// Vertices in BFS order from `root` (parent-before-child).
+  std::vector<int> bfs_order(int root) const;
+
+  /// parent[v] and parent_edge[v] under rooting at `root` (−1 at the root).
+  void root_at(int root, std::vector<int>& parent,
+               std::vector<int>& parent_edge) const;
+
+ private:
+  Tree() = default;
+  void build_adjacency();
+
+  std::vector<Weight> vertex_weight_;
+  std::vector<TreeEdge> edges_;
+  std::vector<std::vector<std::pair<int, int>>> adj_;
+};
+
+}  // namespace tgp::graph

@@ -1,0 +1,26 @@
+// Weight type shared by all graph kinds.
+//
+// The paper states weights over ℝ⁺ (vertex weights = task execution
+// requirements, edge weights = message volumes), so we use double.  Tests
+// that need exact arithmetic use integer-valued doubles, which are exact
+// up to 2^53.
+#pragma once
+
+namespace tgp::graph {
+
+using Weight = double;
+
+/// Tolerance for load-bound comparisons (component weight ≤ K).
+///
+/// Component weights are computed from prefix sums / incremental
+/// accumulation, whose rounding error is bounded by O(n · ulp(total)).
+/// Comparing against K without slack would make "K = max vertex weight"
+/// (a boundary the paper's problem statements explicitly allow) flip on
+/// 1-ulp noise.  The returned epsilon is ≥ that error bound yet orders of
+/// magnitude below any actual task weight; integer-valued weights are
+/// unaffected because their sums are exact.
+inline Weight load_epsilon(Weight total, int n) {
+  return total * static_cast<Weight>(n) * 3.6e-15;  // n · 2^-48 · total
+}
+
+}  // namespace tgp::graph

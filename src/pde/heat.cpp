@@ -1,0 +1,155 @@
+#include "pde/heat.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "util/assert.hpp"
+
+namespace tgp::pde {
+
+HeatSolver::HeatSolver(int points, double r, double left, double right)
+    : u_(static_cast<std::size_t>(points), 0.0),
+      next_(static_cast<std::size_t>(points), 0.0),
+      r_(r),
+      left_(left),
+      right_(right) {
+  TGP_REQUIRE(points >= 1, "need at least one grid point");
+  TGP_REQUIRE(r > 0 && r <= 0.5, "explicit scheme requires 0 < r <= 1/2");
+}
+
+void HeatSolver::step() {
+  const int n = points();
+  for (int i = 0; i < n; ++i) {
+    double ul = i > 0 ? u_[static_cast<std::size_t>(i) - 1] : left_;
+    double ur = i + 1 < n ? u_[static_cast<std::size_t>(i) + 1] : right_;
+    next_[static_cast<std::size_t>(i)] =
+        u_[static_cast<std::size_t>(i)] +
+        r_ * (ul - 2 * u_[static_cast<std::size_t>(i)] + ur);
+  }
+  u_.swap(next_);
+}
+
+void HeatSolver::run(int iterations) {
+  TGP_REQUIRE(iterations >= 0, "negative iteration count");
+  for (int i = 0; i < iterations; ++i) step();
+}
+
+StripHeatSolver::StripHeatSolver(std::vector<int> strip_points, double r,
+                                 double left, double right)
+    : r_(r), left_(left), right_(right) {
+  TGP_REQUIRE(!strip_points.empty(), "need at least one strip");
+  TGP_REQUIRE(r > 0 && r <= 0.5, "explicit scheme requires 0 < r <= 1/2");
+  for (int p : strip_points) {
+    TGP_REQUIRE(p >= 1, "every strip needs at least one point");
+    Strip s;
+    s.u.assign(static_cast<std::size_t>(p), 0.0);
+    s.next.assign(static_cast<std::size_t>(p), 0.0);
+    strip_.push_back(std::move(s));
+  }
+  exchange_ghosts();
+}
+
+void StripHeatSolver::exchange_ghosts() {
+  const int k = strips();
+  for (int s = 0; s < k; ++s) {
+    strip_[static_cast<std::size_t>(s)].ghost_left =
+        s == 0 ? left_ : strip_[static_cast<std::size_t>(s) - 1].u.back();
+    strip_[static_cast<std::size_t>(s)].ghost_right =
+        s + 1 == k ? right_
+                   : strip_[static_cast<std::size_t>(s) + 1].u.front();
+  }
+}
+
+void StripHeatSolver::step() {
+  // Phase 1 (parallel): every strip updates from its cells + ghosts.
+  for (Strip& s : strip_) {
+    const int n = static_cast<int>(s.u.size());
+    for (int i = 0; i < n; ++i) {
+      double ul = i > 0 ? s.u[static_cast<std::size_t>(i) - 1] : s.ghost_left;
+      double ur =
+          i + 1 < n ? s.u[static_cast<std::size_t>(i) + 1] : s.ghost_right;
+      s.next[static_cast<std::size_t>(i)] =
+          s.u[static_cast<std::size_t>(i)] +
+          r_ * (ul - 2 * s.u[static_cast<std::size_t>(i)] + ur);
+    }
+    s.u.swap(s.next);
+  }
+  // Phase 2 (the per-iteration messages): boundary exchange.
+  exchange_ghosts();
+}
+
+void StripHeatSolver::run(int iterations) {
+  TGP_REQUIRE(iterations >= 0, "negative iteration count");
+  for (int i = 0; i < iterations; ++i) step();
+}
+
+std::vector<double> StripHeatSolver::values() const {
+  std::vector<double> out;
+  for (const Strip& s : strip_) out.insert(out.end(), s.u.begin(), s.u.end());
+  return out;
+}
+
+std::vector<int> refined_strips(int strips, int base_points_per_strip,
+                                double (*refine)(double x)) {
+  TGP_REQUIRE(strips >= 1 && base_points_per_strip >= 1,
+              "bad strip decomposition shape");
+  std::vector<int> out;
+  out.reserve(static_cast<std::size_t>(strips));
+  for (int s = 0; s < strips; ++s) {
+    double x = (s + 0.5) / strips;
+    double factor = refine ? refine(x) : 1.0;
+    TGP_REQUIRE(factor >= 1.0, "refinement factor must be >= 1");
+    out.push_back(static_cast<int>(base_points_per_strip * factor));
+  }
+  return out;
+}
+
+graph::Chain strips_to_chain(const std::vector<int>& strip_points,
+                             double ghost_cost) {
+  TGP_REQUIRE(!strip_points.empty(), "need at least one strip");
+  TGP_REQUIRE(ghost_cost > 0, "ghost cost must be positive");
+  graph::Chain c;
+  for (int p : strip_points) {
+    TGP_REQUIRE(p >= 1, "every strip needs at least one point");
+    c.vertex_weight.push_back(static_cast<double>(p));
+  }
+  c.edge_weight.assign(strip_points.size() - 1, ghost_cost);
+  c.validate();
+  return c;
+}
+
+StencilExecution simulate_stencil_execution(const graph::Chain& chain,
+                                            const arch::Mapping& mapping,
+                                            const arch::Machine& machine,
+                                            int iterations) {
+  chain.validate();
+  machine.validate();
+  TGP_REQUIRE(iterations >= 1, "need at least one iteration");
+  TGP_REQUIRE(static_cast<int>(mapping.component_of_task.size()) ==
+                  chain.n(),
+              "mapping does not cover the chain");
+  StencilExecution out;
+  std::map<int, double> proc_work;
+  for (int s = 0; s < chain.n(); ++s)
+    proc_work[mapping.processor_of_task(s)] +=
+        chain.vertex_weight[static_cast<std::size_t>(s)];
+  out.processors_used = static_cast<int>(proc_work.size());
+  double max_work = 0;
+  for (auto& [p, w] : proc_work) max_work = std::max(max_work, w);
+  out.compute_per_iter = machine.exec_time(max_work);
+
+  double crossing = 0;
+  for (int e = 0; e < chain.edge_count(); ++e) {
+    if (mapping.processor_of_task(e) != mapping.processor_of_task(e + 1)) {
+      // Ghost cells travel both ways across a cut boundary.
+      crossing += 2 * chain.edge_weight[static_cast<std::size_t>(e)];
+      ++out.crossing_boundaries;
+    }
+  }
+  out.exchange_per_iter = machine.transfer_time(crossing);
+  out.time_per_iter = out.compute_per_iter + out.exchange_per_iter;
+  out.total_time = out.time_per_iter * iterations;
+  return out;
+}
+
+}  // namespace tgp::pde

@@ -1,0 +1,110 @@
+// Iterative PDE computation over grid strips — the paper's first
+// motivating domain (§1): "numerical methods for some scientific/
+// engineering problems, such as partial differential equation, decompose
+// the problem into strips of grid points of simple iterative
+// calculations where each strip needs data from neighbouring strips for
+// computation".
+//
+// This module is a small but real instance: the 1-D heat equation
+// u_t = α u_xx on [0, 1] with Dirichlet boundaries, solved by the
+// explicit scheme u_i ← u_i + r (u_{i−1} − 2 u_i + u_{i+1}).  The grid
+// is decomposed into strips; a distributed implementation keeps one
+// ghost cell per side and exchanges boundaries every iteration — which
+// is exactly the chain task graph the paper's algorithms partition:
+// vertex weight = points per strip (computation), edge weight = the
+// per-iteration boundary message.
+#pragma once
+
+#include <vector>
+
+#include "arch/machine.hpp"
+#include "arch/mapping.hpp"
+#include "graph/chain.hpp"
+
+namespace tgp::pde {
+
+/// Explicit-scheme heat solver over the whole grid (the reference).
+class HeatSolver {
+ public:
+  /// `points` interior grid points; boundaries fixed at u(0)=left,
+  /// u(1)=right; r = α·dt/dx² must satisfy the stability bound r ≤ 1/2.
+  HeatSolver(int points, double r, double left, double right);
+
+  void step();
+  void run(int iterations);
+
+  const std::vector<double>& values() const { return u_; }
+  int points() const { return static_cast<int>(u_.size()); }
+
+ private:
+  std::vector<double> u_;
+  std::vector<double> next_;
+  double r_;
+  double left_;
+  double right_;
+};
+
+/// The same solver, strip-decomposed with ghost cells — structurally the
+/// distributed implementation (each strip computes from its own cells
+/// plus one ghost per side, then boundaries are exchanged).  Bit-for-bit
+/// identical results to HeatSolver regardless of the strip layout; only
+/// the *execution cost* depends on the partition.
+class StripHeatSolver {
+ public:
+  /// `strip_points[s]` = interior points of strip s (all ≥ 1).
+  StripHeatSolver(std::vector<int> strip_points, double r, double left,
+                  double right);
+
+  void step();
+  void run(int iterations);
+
+  /// Concatenated strip values (same layout as HeatSolver::values()).
+  std::vector<double> values() const;
+  int strips() const { return static_cast<int>(strip_.size()); }
+
+ private:
+  struct Strip {
+    std::vector<double> u;     // interior cells
+    std::vector<double> next;
+    double ghost_left = 0;
+    double ghost_right = 0;
+  };
+  void exchange_ghosts();
+
+  std::vector<Strip> strip_;
+  double r_;
+  double left_;
+  double right_;
+};
+
+/// Strip decomposition with a refinement profile: `refine(x)` ≥ 1 scales
+/// the local point density at position x ∈ [0,1], producing non-uniform
+/// strip weights (the realistic case where naive equal-strip-count
+/// partitions are unbalanced).
+std::vector<int> refined_strips(int strips, int base_points_per_strip,
+                                double (*refine)(double x));
+
+/// The chain task graph of a strip decomposition: vertex weight = points
+/// per strip (work per iteration), edge weight = boundary message volume
+/// (`ghost_cost` per iteration, uniform — one ghost cell each way).
+graph::Chain strips_to_chain(const std::vector<int>& strip_points,
+                             double ghost_cost);
+
+/// Bulk-synchronous execution model: one iteration costs the slowest
+/// processor's compute time plus all processor-crossing boundary
+/// exchanges serialized on the shared interconnect (§1's model, where
+/// every iteration synchronizes on neighbour data).
+struct StencilExecution {
+  double compute_per_iter = 0;   ///< max processor work / speed
+  double exchange_per_iter = 0;  ///< crossing messages / bandwidth
+  double time_per_iter = 0;
+  double total_time = 0;
+  int processors_used = 0;
+  int crossing_boundaries = 0;
+};
+StencilExecution simulate_stencil_execution(const graph::Chain& chain,
+                                            const arch::Mapping& mapping,
+                                            const arch::Machine& machine,
+                                            int iterations);
+
+}  // namespace tgp::pde

@@ -1,0 +1,91 @@
+#include "rt/realtime.hpp"
+
+#include <algorithm>
+
+#include "core/bandwidth_bounded.hpp"
+#include "core/bandwidth_min.hpp"
+#include "core/bottleneck_min.hpp"
+#include "core/proc_min.hpp"
+#include "graph/generators.hpp"
+#include "util/assert.hpp"
+
+namespace tgp::rt {
+
+graph::Chain RtChain::to_chain() const {
+  graph::Chain c;
+  c.vertex_weight = processing;
+  c.edge_weight = dep_cost;
+  c.validate();
+  return c;
+}
+
+void RtChain::validate() const {
+  to_chain();
+  TGP_REQUIRE(deadline > 0, "deadline must be positive");
+  for (double w : processing)
+    TGP_REQUIRE(w <= deadline, "a subtask alone exceeds the deadline");
+}
+
+namespace {
+
+RtPlan finish_plan(const graph::Chain& chain, graph::Cut cut,
+                   double deadline, int available) {
+  RtPlan plan;
+  plan.cut = cut.canonical();
+  plan.processors = plan.cut.size() + 1;
+  plan.network_cost = graph::chain_cut_weight(chain, plan.cut);
+  plan.bottleneck = graph::chain_cut_max_edge(chain, plan.cut);
+  for (double w : graph::chain_component_weights(chain, plan.cut))
+    plan.worst_component = std::max(plan.worst_component, w);
+  plan.meets_deadline = graph::chain_cut_feasible(chain, plan.cut, deadline);
+  plan.fits_processors = plan.processors <= available;
+  return plan;
+}
+
+}  // namespace
+
+RtPlan plan_realtime(const RtChain& rt, int available_processors) {
+  rt.validate();
+  TGP_REQUIRE(available_processors >= 1, "need at least one processor");
+  graph::Chain chain = rt.to_chain();
+  core::BandwidthResult bw = core::bandwidth_min_temps(chain, rt.deadline);
+  return finish_plan(chain, bw.cut, rt.deadline, available_processors);
+}
+
+RtPlan plan_realtime_bottleneck(const RtChain& rt, int available_processors) {
+  rt.validate();
+  TGP_REQUIRE(available_processors >= 1, "need at least one processor");
+  graph::Chain chain = rt.to_chain();
+  graph::Tree path = graph::path_tree(chain);
+  // Minimize the worst single link, then remove redundant cuts while
+  // keeping the bottleneck guarantee (the final cut is a subset).
+  core::TreePartitionResult r =
+      core::bottleneck_then_proc_min(path, rt.deadline);
+  return finish_plan(chain, r.cut, rt.deadline, available_processors);
+}
+
+RtPlan plan_realtime_capped(const RtChain& rt, int available_processors) {
+  rt.validate();
+  TGP_REQUIRE(available_processors >= 1, "need at least one processor");
+  graph::Chain chain = rt.to_chain();
+  core::BoundedBandwidthResult r = core::bandwidth_min_bounded(
+      chain, rt.deadline, available_processors);
+  if (!r.feasible) {
+    // Even the machine-sized cap cannot meet the deadline: report the
+    // fewest-processors plan so the caller sees how many it would take.
+    return plan_realtime_fewest_processors(rt, available_processors);
+  }
+  return finish_plan(chain, r.cut, rt.deadline, available_processors);
+}
+
+RtPlan plan_realtime_fewest_processors(const RtChain& rt,
+                                       int available_processors) {
+  rt.validate();
+  TGP_REQUIRE(available_processors >= 1, "need at least one processor");
+  graph::Chain chain = rt.to_chain();
+  graph::Tree path = graph::path_tree(chain);
+  core::ProcMinResult r = core::proc_min(path, rt.deadline);
+  return finish_plan(chain, r.cut, rt.deadline, available_processors);
+}
+
+}  // namespace tgp::rt

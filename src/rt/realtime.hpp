@@ -1,0 +1,68 @@
+// Real-time pipeline partitioning (§3, application 1).
+//
+// A real-time task T with deadline k is maximally divided into a chain of
+// subtasks t_1..t_n with data dependencies dp_i between neighbours.  The
+// §3 mandates:
+//   1. every component (the work one processor executes) completes within
+//      the deadline: component weight ≤ k,
+//   2. the total network cost Σ w(dp) over crossing dependencies is
+//      minimized (bandwidth minimization),
+//   3. the highest single-link traffic max w(dp) over crossing
+//      dependencies is minimized (bottleneck minimization).
+//
+// Objectives 2 and 3 can conflict; plan_realtime() computes the
+// bandwidth-optimal plan, then — among the bandwidth-optimal choices —
+// reports the bottleneck actually incurred, and also the pure
+// bottleneck-optimal alternative so callers can trade off.  Finally the
+// plan is checked against the available processor count using processor
+// minimization (Algorithm 2.2 on the path).
+#pragma once
+
+#include "graph/chain.hpp"
+#include "graph/cutset.hpp"
+
+namespace tgp::rt {
+
+/// A real-time chain: per-subtask processing times (including local
+/// communication, per the paper), per-dependency network/reliability
+/// costs, and the deadline k.
+struct RtChain {
+  std::vector<double> processing;  ///< w(t_i), each ≤ deadline
+  std::vector<double> dep_cost;    ///< w(dp_i), i = 1..n−1
+  double deadline = 0;             ///< k
+
+  graph::Chain to_chain() const;
+  void validate() const;
+};
+
+struct RtPlan {
+  graph::Cut cut;              ///< dependencies routed over the network
+  int processors = 1;          ///< components = processors needed
+  double network_cost = 0;     ///< Σ w(dp) over cut (objective 2)
+  double bottleneck = 0;       ///< max w(dp) over cut (objective 3)
+  double worst_component = 0;  ///< longest per-processor execution time
+  bool meets_deadline = false;
+  bool fits_processors = false;  ///< processors ≤ available
+};
+
+/// Bandwidth-optimal plan for the deadline, validated against
+/// `available_processors`.
+RtPlan plan_realtime(const RtChain& chain, int available_processors);
+
+/// Bottleneck-optimal alternative (minimizes the single heaviest network
+/// link first, then drops redundant cuts with processor minimization).
+RtPlan plan_realtime_bottleneck(const RtChain& chain,
+                                int available_processors);
+
+/// Fewest-processors plan (Algorithm 2.2 on the chain): the minimum
+/// number of processors that can meet the deadline at all.
+RtPlan plan_realtime_fewest_processors(const RtChain& chain,
+                                       int available_processors);
+
+/// Machine-aware plan: minimum network cost among partitions that fit
+/// the available processor count (processor-capped bandwidth
+/// minimization).  fits_processors is false only when even the fewest-
+/// processors plan cannot fit the machine.
+RtPlan plan_realtime_capped(const RtChain& chain, int available_processors);
+
+}  // namespace tgp::rt

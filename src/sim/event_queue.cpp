@@ -1,0 +1,39 @@
+#include "sim/event_queue.hpp"
+
+#include "util/assert.hpp"
+
+namespace tgp::sim {
+
+void EventQueue::schedule(double time, Handler fn) {
+  TGP_REQUIRE(time >= now_, "cannot schedule events in the past");
+  heap_.push({time, next_seq_++, std::move(fn)});
+}
+
+bool EventQueue::run_one() {
+  if (heap_.empty()) return false;
+  // priority_queue::top() is const; move out via const_cast is UB-adjacent,
+  // so copy the handler (cheap relative to simulation work).
+  Event ev = heap_.top();
+  heap_.pop();
+  now_ = ev.time;
+  ++processed_;
+  ev.fn();
+  return true;
+}
+
+void EventQueue::run(std::uint64_t max_events) {
+  std::uint64_t budget = max_events;
+  while (run_one()) {
+    TGP_ENSURE(budget-- > 0, "event budget exhausted (runaway simulation?)");
+  }
+}
+
+double FifoResource::acquire(double earliest, double duration) {
+  TGP_REQUIRE(duration >= 0, "negative service duration");
+  double start = earliest > next_free_ ? earliest : next_free_;
+  next_free_ = start + duration;
+  busy_ += duration;
+  return start;
+}
+
+}  // namespace tgp::sim

@@ -1,0 +1,72 @@
+// A small deterministic discrete-event simulation kernel.
+//
+// Events are (time, handler) pairs; ties are broken by insertion order so
+// every simulation run is exactly reproducible.  The pipeline simulator
+// (pipeline_sim.hpp) and the DES message-counting application are built
+// on top of this kernel.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace tgp::sim {
+
+class EventQueue {
+ public:
+  using Handler = std::function<void()>;
+
+  /// Schedule `fn` at absolute time `time` (must be ≥ now()).
+  void schedule(double time, Handler fn);
+
+  /// Schedule `fn` `delay` time units from now.
+  void schedule_in(double delay, Handler fn) { schedule(now_ + delay, fn); }
+
+  /// Pop and run the earliest event.  Returns false when empty.
+  bool run_one();
+
+  /// Run until the queue drains; throws std::logic_error past `max_events`
+  /// (runaway-simulation guard).
+  void run(std::uint64_t max_events = 100'000'000);
+
+  double now() const { return now_; }
+  std::size_t pending() const { return heap_.size(); }
+  std::uint64_t processed() const { return processed_; }
+
+ private:
+  struct Event {
+    double time;
+    std::uint64_t seq;
+    Handler fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;  // FIFO among simultaneous events
+    }
+  };
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  double now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t processed_ = 0;
+};
+
+/// A resource serving one request at a time in FIFO order (a processor or
+/// the shared bus).  acquire() returns the interval [start, start+duration)
+/// granted to the request; busy_time() accumulates utilization.
+class FifoResource {
+ public:
+  /// Request `duration` units starting no earlier than `earliest`.
+  /// Returns the start time actually granted.
+  double acquire(double earliest, double duration);
+
+  double next_free() const { return next_free_; }
+  double busy_time() const { return busy_; }
+
+ private:
+  double next_free_ = 0;
+  double busy_ = 0;
+};
+
+}  // namespace tgp::sim

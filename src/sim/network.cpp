@@ -1,0 +1,63 @@
+#include "sim/network.hpp"
+
+#include "util/assert.hpp"
+
+namespace tgp::sim {
+
+Network::Network(const arch::Machine& machine)
+    : kind_(machine.interconnect) {
+  machine.validate();
+  if (kind_ == arch::Interconnect::kMultistage)
+    lanes_.resize(static_cast<std::size_t>(machine.network_lanes));
+}
+
+double Network::acquire(int src, int dst, double earliest, double duration) {
+  TGP_REQUIRE(src != dst, "local handoffs never touch the network");
+  switch (kind_) {
+    case arch::Interconnect::kSharedBus:
+      return bus_.acquire(earliest, duration);
+    case arch::Interconnect::kCrossbar:
+      return pair_[{src, dst}].acquire(earliest, duration);
+    case arch::Interconnect::kMultistage: {
+      // Pick the lane that can start the transfer soonest (FIFO per lane).
+      std::size_t best = 0;
+      for (std::size_t l = 1; l < lanes_.size(); ++l)
+        if (lanes_[l].next_free() < lanes_[best].next_free()) best = l;
+      return lanes_[best].acquire(earliest, duration);
+    }
+  }
+  TGP_ENSURE(false, "unreachable interconnect kind");
+  return 0;
+}
+
+double Network::busy_time() const {
+  switch (kind_) {
+    case arch::Interconnect::kSharedBus:
+      return bus_.busy_time();
+    case arch::Interconnect::kCrossbar: {
+      double total = 0;
+      for (const auto& [key, r] : pair_) total += r.busy_time();
+      return total;
+    }
+    case arch::Interconnect::kMultistage: {
+      double total = 0;
+      for (const FifoResource& r : lanes_) total += r.busy_time();
+      return total;
+    }
+  }
+  return 0;
+}
+
+int Network::channels_used() const {
+  switch (kind_) {
+    case arch::Interconnect::kSharedBus:
+      return 1;
+    case arch::Interconnect::kCrossbar:
+      return static_cast<int>(pair_.size());
+    case arch::Interconnect::kMultistage:
+      return static_cast<int>(lanes_.size());
+  }
+  return 1;
+}
+
+}  // namespace tgp::sim

@@ -1,0 +1,40 @@
+// Interconnection-network contention models for the pipeline simulator.
+//
+// One class per arch::Interconnect family, behind a tiny value-semantics
+// facade: request a (source processor, destination processor, duration)
+// transfer no earlier than `earliest`, get back the granted start time.
+#pragma once
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "arch/machine.hpp"
+#include "sim/event_queue.hpp"
+
+namespace tgp::sim {
+
+/// Contention model for one machine's interconnect.
+class Network {
+ public:
+  explicit Network(const arch::Machine& machine);
+
+  /// Grant a transfer from processor `src` to `dst` of length `duration`
+  /// starting no earlier than `earliest`; returns the start time.
+  double acquire(int src, int dst, double earliest, double duration);
+
+  /// Total channel-busy time summed over all channels.
+  double busy_time() const;
+
+  /// Number of independent channels the model provides (1 for the bus,
+  /// lanes for multistage, pairs-used for the crossbar).
+  int channels_used() const;
+
+ private:
+  arch::Interconnect kind_;
+  FifoResource bus_;                                  // kSharedBus
+  std::map<std::pair<int, int>, FifoResource> pair_;  // kCrossbar
+  std::vector<FifoResource> lanes_;                   // kMultistage
+};
+
+}  // namespace tgp::sim

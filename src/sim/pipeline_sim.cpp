@@ -1,0 +1,182 @@
+#include "sim/pipeline_sim.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <queue>
+
+#include "sim/event_queue.hpp"
+#include "sim/network.hpp"
+#include "util/assert.hpp"
+
+namespace tgp::sim {
+
+namespace {
+
+/// One processor with a priority ready-queue: among ready jobs the
+/// earliest (iteration, task) runs first.  Plain arrival-order FIFO is
+/// vulnerable to scheduling anomalies when the network reorders message
+/// deliveries (a faster network could then *reduce* throughput); priority
+/// dispatch keeps the pipeline's natural order.
+class Processor {
+ public:
+  using Job = std::pair<int, int>;  // (iteration, task)
+
+  void submit(Job job) { ready_.push(job); }
+  bool idle() const { return !busy_; }
+  bool has_work() const { return !ready_.empty(); }
+
+  /// Highest-priority ready job (valid only when has_work()).
+  Job peek() const {
+    TGP_REQUIRE(!ready_.empty(), "peek on empty ready queue");
+    return ready_.top();
+  }
+
+  /// Pop the highest-priority ready job and mark the processor busy for
+  /// `duration` time units.
+  void start(double duration) {
+    TGP_REQUIRE(!busy_ && !ready_.empty(), "start on busy/empty processor");
+    busy_ = true;
+    busy_time_ += duration;
+    ready_.pop();
+  }
+
+  void finish() { busy_ = false; }
+  double busy_time() const { return busy_time_; }
+
+ private:
+  std::priority_queue<Job, std::vector<Job>, std::greater<>> ready_;
+  bool busy_ = false;
+  double busy_time_ = 0;
+};
+
+}  // namespace
+
+PipelineStats simulate_pipeline(const graph::Chain& chain,
+                                const arch::Mapping& mapping,
+                                const arch::Machine& machine,
+                                int iterations,
+                                std::vector<TraceEntry>* trace) {
+  if (trace) trace->clear();
+  chain.validate();
+  machine.validate();
+  TGP_REQUIRE(iterations >= 1, "need at least one pipeline iteration");
+  TGP_REQUIRE(static_cast<int>(mapping.component_of_task.size()) ==
+                  chain.n(),
+              "mapping does not cover the chain");
+
+  const int n = chain.n();
+  EventQueue queue;
+  std::vector<Processor> procs(static_cast<std::size_t>(machine.processors));
+  Network network(machine);
+  PipelineStats stats;
+  double last_completion = 0;
+
+  // Dispatch loop per processor: start the best ready job whenever idle.
+  std::function<void(int)> dispatch = [&](int p) {
+    Processor& proc = procs[static_cast<std::size_t>(p)];
+    if (!proc.idle() || !proc.has_work()) return;
+    auto [iter, task] = proc.peek();
+    double dur = machine.exec_time(
+        chain.vertex_weight[static_cast<std::size_t>(task)]);
+    proc.start(dur);
+    if (trace)
+      trace->push_back({p, iter, task, queue.now(), queue.now() + dur});
+    queue.schedule_in(dur, [&, p, iter, task]() {
+      procs[static_cast<std::size_t>(p)].finish();
+      if (task + 1 == n) {
+        last_completion = std::max(last_completion, queue.now());
+      } else {
+        int pnext = mapping.processor_of_task(task + 1);
+        if (pnext == p) {
+          procs[static_cast<std::size_t>(p)].submit({iter, task + 1});
+        } else {
+          ++stats.messages;
+          double tdur = machine.transfer_time(
+              chain.edge_weight[static_cast<std::size_t>(task)]);
+          double tstart = network.acquire(p, pnext, queue.now(), tdur);
+          queue.schedule(tstart + tdur, [&, pnext, iter, task]() {
+            procs[static_cast<std::size_t>(pnext)].submit({iter, task + 1});
+            dispatch(pnext);
+          });
+        }
+      }
+      dispatch(p);
+    });
+  };
+
+  for (int iter = 0; iter < iterations; ++iter) {
+    queue.schedule(0.0, [&, iter]() {
+      int p0 = mapping.processor_of_task(0);
+      procs[static_cast<std::size_t>(p0)].submit({iter, 0});
+      dispatch(p0);
+    });
+  }
+  queue.run();
+
+  stats.makespan = last_completion;
+  stats.throughput = iterations / stats.makespan;
+  stats.processor_busy.reserve(procs.size());
+  for (const Processor& p : procs) {
+    stats.processor_busy.push_back(p.busy_time());
+    stats.max_processor_busy =
+        std::max(stats.max_processor_busy, p.busy_time());
+  }
+  stats.bus_busy = network.busy_time();
+  stats.network_channels = network.channels_used();
+  stats.bus_utilization =
+      stats.bus_busy / (stats.makespan * stats.network_channels);
+  stats.events = queue.processed();
+
+  // Sanity: the pipeline can never beat its busiest resource.
+  TGP_ENSURE(stats.makespan + 1e-9 >= stats.max_processor_busy,
+             "makespan below busiest processor");
+  TGP_ENSURE(stats.makespan * stats.network_channels + 1e-9 >=
+                 stats.bus_busy,
+             "makespan below per-channel network busy time");
+  return stats;
+}
+
+double analytic_initiation_interval(const graph::Chain& chain,
+                                    const arch::Mapping& mapping,
+                                    const arch::Machine& machine) {
+  chain.validate();
+  machine.validate();
+  TGP_REQUIRE(static_cast<int>(mapping.component_of_task.size()) ==
+                  chain.n(),
+              "mapping does not cover the chain");
+  // Per-processor compute per iteration.
+  std::map<int, double> work;
+  for (int t = 0; t < chain.n(); ++t)
+    work[mapping.processor_of_task(t)] +=
+        chain.vertex_weight[static_cast<std::size_t>(t)];
+  double bound = 0;
+  for (auto& [p, w] : work) bound = std::max(bound, machine.exec_time(w));
+  // Per-channel network traffic per iteration.
+  std::map<std::pair<int, int>, double> channel;
+  double total_transfer = 0;
+  for (int e = 0; e < chain.edge_count(); ++e) {
+    int pu = mapping.processor_of_task(e);
+    int pv = mapping.processor_of_task(e + 1);
+    if (pu == pv) continue;
+    double t = machine.transfer_time(
+        chain.edge_weight[static_cast<std::size_t>(e)]);
+    channel[{pu, pv}] += t;
+    total_transfer += t;
+  }
+  switch (machine.interconnect) {
+    case arch::Interconnect::kSharedBus:
+      bound = std::max(bound, total_transfer);
+      break;
+    case arch::Interconnect::kMultistage:
+      bound = std::max(bound, total_transfer / machine.network_lanes);
+      for (auto& [key, t] : channel) bound = std::max(bound, t);
+      break;
+    case arch::Interconnect::kCrossbar:
+      for (auto& [key, t] : channel) bound = std::max(bound, t);
+      break;
+  }
+  return bound;
+}
+
+}  // namespace tgp::sim

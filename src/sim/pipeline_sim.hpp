@@ -1,0 +1,65 @@
+// Discrete-event simulation of pipelined execution on a shared-bus
+// multiprocessor.
+//
+// §1 of the paper motivates chain partitioning with pipelined workloads:
+// "a sequence of such problems can be fed to the pipeline and keep all
+// stages busy".  This simulator executes exactly that scenario: a stream
+// of iterations flows through the task chain; tasks run on the processors
+// their component is mapped to; messages between co-located tasks are
+// free (shared memory), messages between processors serialize on the
+// shared bus.  A partition with a lower bandwidth demand (§2.3 objective)
+// congests the bus less and sustains a higher pipeline throughput — the
+// claim the bench bench_pipeline_sim quantifies.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/machine.hpp"
+#include "arch/mapping.hpp"
+#include "graph/chain.hpp"
+
+namespace tgp::sim {
+
+struct PipelineStats {
+  double makespan = 0;        ///< completion time of the last iteration
+  double throughput = 0;      ///< iterations per time unit
+  std::vector<double> processor_busy;  ///< per-processor computing time
+  double max_processor_busy = 0;
+  double bus_busy = 0;        ///< channel-busy time summed over channels
+  int network_channels = 1;   ///< independent channels of the interconnect
+  double bus_utilization = 0; ///< bus_busy / (makespan · channels)
+  std::uint64_t messages = 0; ///< inter-processor messages sent
+  std::uint64_t events = 0;   ///< DES events processed
+};
+
+/// One executed task instance, for Gantt rendering and schedule checks.
+struct TraceEntry {
+  int processor;
+  int iteration;
+  int task;
+  double start;
+  double end;
+};
+
+/// Simulate `iterations` pipeline iterations of `chain` under `mapping`
+/// on `machine`.  Deterministic; all iterations are available at t = 0.
+/// Pass `trace` to record every task execution interval.
+PipelineStats simulate_pipeline(const graph::Chain& chain,
+                                const arch::Mapping& mapping,
+                                const arch::Machine& machine,
+                                int iterations,
+                                std::vector<TraceEntry>* trace = nullptr);
+
+/// Steady-state analytic model: a saturated pipeline's initiation
+/// interval (time between consecutive iteration completions) is bounded
+/// below by its busiest resource — the most loaded processor, and the
+/// shared network's per-channel traffic.  Returns that lower bound per
+/// iteration; the DES's measured makespan must approach
+/// `iterations · interval` from above as iterations grow (validated in
+/// tests and bench_pipeline_sim).
+double analytic_initiation_interval(const graph::Chain& chain,
+                                    const arch::Mapping& mapping,
+                                    const arch::Machine& machine);
+
+}  // namespace tgp::sim

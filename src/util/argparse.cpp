@@ -1,0 +1,78 @@
+#include "util/argparse.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "util/assert.hpp"
+
+namespace tgp::util {
+
+ArgParser::ArgParser(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    TGP_REQUIRE(arg.rfind("--", 0) == 0,
+                "expected --flag, got '" + arg + "'");
+    arg = arg.substr(2);
+    auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[arg] = argv[++i];
+    } else {
+      values_[arg] = "true";  // bare flag
+    }
+  }
+}
+
+ArgParser& ArgParser::describe(const std::string& name,
+                               const std::string& help) {
+  descriptions_.emplace_back(name, help);
+  known_.insert(name);
+  return *this;
+}
+
+bool ArgParser::has(const std::string& name) const {
+  return values_.count(name) > 0;
+}
+
+std::string ArgParser::get(const std::string& name,
+                           const std::string& def) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? def : it->second;
+}
+
+std::int64_t ArgParser::get_int(const std::string& name,
+                                std::int64_t def) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  return std::stoll(it->second);
+}
+
+double ArgParser::get_double(const std::string& name, double def) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  return std::stod(it->second);
+}
+
+bool ArgParser::get_bool(const std::string& name, bool def) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+void ArgParser::check_unknown() const {
+  for (const auto& [k, v] : values_) {
+    if (!known_.count(k) && k != "help")
+      throw std::invalid_argument("unknown flag --" + k);
+  }
+}
+
+std::string ArgParser::help(const std::string& program_intro) const {
+  std::ostringstream os;
+  os << program_intro << "\n\nFlags:\n";
+  for (const auto& [name, text] : descriptions_)
+    os << "  --" << name << "  " << text << '\n';
+  return os.str();
+}
+
+}  // namespace tgp::util

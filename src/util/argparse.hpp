@@ -1,0 +1,40 @@
+// Tiny flag parser for example and bench binaries.
+//
+// Supports `--name value` and `--name=value`; typed getters with defaults.
+// Unknown flags are an error so typos in experiment scripts fail loudly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace tgp::util {
+
+class ArgParser {
+ public:
+  /// Parse argv; throws std::invalid_argument on malformed input.
+  ArgParser(int argc, const char* const* argv);
+
+  /// Declare a flag (for --help text and unknown-flag detection).
+  ArgParser& describe(const std::string& name, const std::string& help);
+
+  bool has(const std::string& name) const;
+  std::string get(const std::string& name, const std::string& def) const;
+  std::int64_t get_int(const std::string& name, std::int64_t def) const;
+  double get_double(const std::string& name, double def) const;
+  bool get_bool(const std::string& name, bool def) const;
+
+  /// Throws if any parsed flag was never describe()d.
+  void check_unknown() const;
+
+  std::string help(const std::string& program_intro) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::pair<std::string, std::string>> descriptions_;
+  std::set<std::string> known_;
+};
+
+}  // namespace tgp::util

@@ -1,0 +1,43 @@
+// Contract-checking macros used across the library.
+//
+// The C++ Core Guidelines (I.6/I.8, E.12) recommend stating preconditions
+// and postconditions explicitly.  Until contracts land in the language we
+// use macros that throw std::invalid_argument (preconditions) or
+// std::logic_error (postconditions / internal invariants), so that violations
+// are testable with EXPECT_THROW and never silently corrupt results.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace tgp::util {
+
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
+                                          const char* file, int line,
+                                          const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " violated: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  if (kind[0] == 'p')  // "precondition"
+    throw std::invalid_argument(os.str());
+  throw std::logic_error(os.str());
+}
+
+}  // namespace tgp::util
+
+// Precondition: caller passed bad arguments.
+#define TGP_REQUIRE(cond, msg)                                              \
+  do {                                                                      \
+    if (!(cond))                                                            \
+      ::tgp::util::contract_failure("precondition", #cond, __FILE__,        \
+                                    __LINE__, (msg));                       \
+  } while (0)
+
+// Postcondition / internal invariant: our own logic is broken.
+#define TGP_ENSURE(cond, msg)                                               \
+  do {                                                                      \
+    if (!(cond))                                                            \
+      ::tgp::util::contract_failure("invariant", #cond, __FILE__, __LINE__, \
+                                    (msg));                                 \
+  } while (0)

@@ -1,0 +1,35 @@
+#include "util/csv.hpp"
+
+#include "util/assert.hpp"
+
+namespace tgp::util {
+
+std::string CsvWriter::escape(const std::string& cell) {
+  bool needs_quote = cell.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quote) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header)
+    : out_(path), width_(header.size()) {
+  TGP_REQUIRE(!header.empty(), "csv needs at least one column");
+  row(header);
+}
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  TGP_REQUIRE(cells.size() == width_, "csv row width mismatch");
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << escape(cells[i]);
+  }
+  out_ << '\n';
+}
+
+}  // namespace tgp::util

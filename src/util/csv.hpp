@@ -1,0 +1,28 @@
+// Minimal CSV writer for exporting regenerated figure data to plotting tools.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace tgp::util {
+
+/// RFC-4180-ish CSV writer: quotes cells containing commas/quotes/newlines.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  /// Append a data row; must match the header width.
+  void row(const std::vector<std::string>& cells);
+
+  bool ok() const { return static_cast<bool>(out_); }
+
+  static std::string escape(const std::string& cell);
+
+ private:
+  std::ofstream out_;
+  std::size_t width_;
+};
+
+}  // namespace tgp::util

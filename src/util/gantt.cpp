@@ -1,0 +1,38 @@
+#include "util/gantt.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace tgp::util {
+
+std::string render_gantt(const std::vector<GanttRow>& rows, double t_end,
+                         int width) {
+  TGP_REQUIRE(t_end > 0, "gantt needs a positive horizon");
+  TGP_REQUIRE(width >= 1, "gantt needs at least one cell");
+  std::size_t label_w = 0;
+  for (const GanttRow& r : rows) label_w = std::max(label_w, r.label.size());
+
+  std::ostringstream os;
+  for (const GanttRow& r : rows) {
+    std::string cells(static_cast<std::size_t>(width), '.');
+    for (const GanttRow::Bar& b : r.bars) {
+      TGP_REQUIRE(b.start >= 0 && b.end >= b.start && b.start <= t_end,
+                  "bar outside the gantt horizon");
+      int from = static_cast<int>(std::floor(b.start / t_end * width));
+      int to = static_cast<int>(std::ceil(std::min(b.end, t_end) / t_end *
+                                          width));
+      from = std::clamp(from, 0, width - 1);
+      to = std::clamp(to, from + 1, width);
+      for (int i = from; i < to; ++i)
+        cells[static_cast<std::size_t>(i)] = b.glyph;
+    }
+    os << r.label << std::string(label_w - r.label.size(), ' ') << " |"
+       << cells << "|\n";
+  }
+  return os.str();
+}
+
+}  // namespace tgp::util

@@ -1,0 +1,31 @@
+// ASCII Gantt chart rendering for schedules and simulator traces.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace tgp::util {
+
+/// One labelled timeline; bars may not overlap within a row (later bars
+/// overwrite earlier glyphs if they do).
+struct GanttRow {
+  std::string label;
+  struct Bar {
+    double start;
+    double end;
+    char glyph;  ///< fills the bar's cells
+  };
+  std::vector<Bar> bars;
+};
+
+/// Render rows over [0, t_end) scaled to `width` character cells:
+///
+///   P0 |AAAABB..CC|
+///   P1 |..AAAA..BB|
+///
+/// '.' marks idle time.  Throws on non-positive t_end/width or bars
+/// outside [0, t_end].
+std::string render_gantt(const std::vector<GanttRow>& rows, double t_end,
+                         int width);
+
+}  // namespace tgp::util

@@ -1,0 +1,39 @@
+// Leveled stderr logging with a global threshold.
+//
+// The simulators use TRACE-level logging for event-by-event debugging; the
+// default threshold (INFO) keeps benches quiet.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace tgp::util {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Global threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit one line to stderr if `level` passes the threshold.
+void log_line(LogLevel level, const std::string& msg);
+
+const char* level_name(LogLevel level);
+
+}  // namespace tgp::util
+
+#define TGP_LOG(level, expr)                                          \
+  do {                                                                \
+    if (static_cast<int>(level) >=                                    \
+        static_cast<int>(::tgp::util::log_level())) {                 \
+      std::ostringstream tgp_log_os;                                  \
+      tgp_log_os << expr;                                             \
+      ::tgp::util::log_line(level, tgp_log_os.str());                 \
+    }                                                                 \
+  } while (0)
+
+#define TGP_TRACE(expr) TGP_LOG(::tgp::util::LogLevel::kTrace, expr)
+#define TGP_DEBUG(expr) TGP_LOG(::tgp::util::LogLevel::kDebug, expr)
+#define TGP_INFO(expr) TGP_LOG(::tgp::util::LogLevel::kInfo, expr)
+#define TGP_WARN(expr) TGP_LOG(::tgp::util::LogLevel::kWarn, expr)
+#define TGP_ERROR(expr) TGP_LOG(::tgp::util::LogLevel::kError, expr)

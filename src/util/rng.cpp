@@ -1,0 +1,113 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace tgp::util {
+
+std::uint64_t SplitMix64::next() {
+  std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+Pcg32::Pcg32(std::uint64_t seed, std::uint64_t stream)
+    : state_(0), inc_((stream << 1) | 1) {
+  next();
+  state_ += seed;
+  next();
+}
+
+std::uint32_t Pcg32::next() {
+  std::uint64_t old = state_;
+  state_ = old * 6364136223846793005ULL + inc_;
+  std::uint32_t xorshifted =
+      static_cast<std::uint32_t>(((old >> 18) ^ old) >> 27);
+  std::uint32_t rot = static_cast<std::uint32_t>(old >> 59);
+  return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+}
+
+std::int64_t Pcg32::uniform_int(std::int64_t lo, std::int64_t hi) {
+  TGP_REQUIRE(lo <= hi, "empty integer range");
+  std::uint64_t range = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (range == 0) {  // full 64-bit range is impossible from 32-bit draws;
+    range = 1;       // [lo,hi] spanning 2^64 never occurs for our workloads.
+  }
+  // Lemire's multiply-shift with rejection for exact uniformity.
+  std::uint64_t x = next();
+  if (range <= 0xffffffffull) {
+    std::uint64_t m = x * range;
+    std::uint64_t l = m & 0xffffffffull;
+    if (l < range) {
+      std::uint64_t t = (0x100000000ull - range) % range;
+      while (l < t) {
+        x = next();
+        m = x * range;
+        l = m & 0xffffffffull;
+      }
+    }
+    return lo + static_cast<std::int64_t>(m >> 32);
+  }
+  // Wide range: compose two 32-bit draws and reject.
+  std::uint64_t limit = ~0ull - (~0ull % range);
+  std::uint64_t v;
+  do {
+    v = (static_cast<std::uint64_t>(next()) << 32) | next();
+  } while (v >= limit);
+  return lo + static_cast<std::int64_t>(v % range);
+}
+
+double Pcg32::uniform_real(double lo, double hi) {
+  TGP_REQUIRE(lo <= hi, "empty real range");
+  // 53-bit mantissa from two draws.
+  std::uint64_t bits =
+      ((static_cast<std::uint64_t>(next()) << 32) | next()) >> 11;
+  double u = static_cast<double>(bits) * 0x1.0p-53;
+  return lo + u * (hi - lo);
+}
+
+double Pcg32::exponential(double mean) {
+  TGP_REQUIRE(mean > 0.0, "exponential mean must be positive");
+  double u;
+  do {
+    u = uniform_real(0.0, 1.0);
+  } while (u <= 0.0);
+  return -mean * std::log(u);
+}
+
+double Pcg32::bimodal(double p1, double lo1, double hi1, double lo2,
+                      double hi2) {
+  TGP_REQUIRE(p1 >= 0.0 && p1 <= 1.0, "probability out of range");
+  return coin(p1) ? uniform_real(lo1, hi1) : uniform_real(lo2, hi2);
+}
+
+std::int64_t Pcg32::zipf(std::int64_t n, double s) {
+  TGP_REQUIRE(n >= 1, "zipf support must be non-empty");
+  TGP_REQUIRE(s > 0.0, "zipf exponent must be positive");
+  // Rejection sampling (Devroye); fine for the modest n in our workloads.
+  double b = std::pow(2.0, s - 1.0);
+  for (;;) {
+    double u = uniform_real(0.0, 1.0);
+    double v = uniform_real(0.0, 1.0);
+    double x = std::floor(std::pow(u, -1.0 / (s - 1.0 + 1e-12)));
+    if (x < 1.0 || x > static_cast<double>(n)) continue;
+    double t = std::pow(1.0 + 1.0 / x, s - 1.0);
+    if (v * x * (t - 1.0) / (b - 1.0) <= t / b)
+      return static_cast<std::int64_t>(x);
+  }
+}
+
+bool Pcg32::coin(double p) { return uniform_real(0.0, 1.0) < p; }
+
+std::vector<std::uint64_t> derive_seeds(std::uint64_t master, int count) {
+  TGP_REQUIRE(count >= 0, "seed count must be non-negative");
+  SplitMix64 mix(master);
+  std::vector<std::uint64_t> out;
+  out.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) out.push_back(mix.next());
+  return out;
+}
+
+}  // namespace tgp::util

@@ -1,0 +1,68 @@
+// Deterministic random number generation for workloads and tests.
+//
+// All experiments in this repository are seeded and reproducible.  We ship
+// our own small engines (SplitMix64 for seeding, PCG32 for streams) rather
+// than rely on implementation-defined std::default_random_engine behaviour,
+// so the regenerated figures are bit-identical across standard libraries.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace tgp::util {
+
+/// SplitMix64: tiny, high-quality 64-bit mixer.  Used to expand a single
+/// user seed into independent stream seeds.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next();
+
+ private:
+  std::uint64_t state_;
+};
+
+/// PCG32 (O'Neill's pcg32_random_r): a small, fast, statistically strong
+/// generator with a 64-bit state and 64-bit stream selector.
+class Pcg32 {
+ public:
+  using result_type = std::uint32_t;
+
+  Pcg32() : Pcg32(0x853c49e6748fea9bULL, 0xda3e39cb94b95bdbULL) {}
+  explicit Pcg32(std::uint64_t seed, std::uint64_t stream = 1);
+
+  std::uint32_t next();
+
+  /// UniformRandomBitGenerator interface (usable with <random> if wanted).
+  std::uint32_t operator()() { return next(); }
+  static constexpr std::uint32_t min() { return 0; }
+  static constexpr std::uint32_t max() { return 0xffffffffu; }
+
+  /// Unbiased integer in [lo, hi] (inclusive), Lemire rejection method.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Real in [lo, hi).
+  double uniform_real(double lo, double hi);
+
+  /// Exponential with given mean (> 0).
+  double exponential(double mean);
+
+  /// Bimodal: uniform over [lo1,hi1] with probability p1, else [lo2,hi2].
+  double bimodal(double p1, double lo1, double hi1, double lo2, double hi2);
+
+  /// Zipf-distributed integer in [1, n] with exponent s (rejection method).
+  std::int64_t zipf(std::int64_t n, double s);
+
+  /// Bernoulli(p).
+  bool coin(double p);
+
+ private:
+  std::uint64_t state_;
+  std::uint64_t inc_;
+};
+
+/// Derive `count` independent stream seeds from one master seed.
+std::vector<std::uint64_t> derive_seeds(std::uint64_t master, int count);
+
+}  // namespace tgp::util

@@ -1,0 +1,109 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace tgp::util {
+
+void Accumulator::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double Accumulator::mean() const {
+  TGP_REQUIRE(n_ > 0, "mean of empty accumulator");
+  return mean_;
+}
+
+double Accumulator::variance() const {
+  TGP_REQUIRE(n_ > 1, "variance needs at least two samples");
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double Accumulator::stddev() const { return std::sqrt(variance()); }
+
+double Accumulator::min() const {
+  TGP_REQUIRE(n_ > 0, "min of empty accumulator");
+  return min_;
+}
+
+double Accumulator::max() const {
+  TGP_REQUIRE(n_ > 0, "max of empty accumulator");
+  return max_;
+}
+
+void Accumulator::merge(const Accumulator& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  std::size_t n = n_ + other.n_;
+  double delta = other.mean_ - mean_;
+  double mean = mean_ + delta * static_cast<double>(other.n_) /
+                            static_cast<double>(n);
+  m2_ += other.m2_ + delta * delta * static_cast<double>(n_) *
+                         static_cast<double>(other.n_) /
+                         static_cast<double>(n);
+  mean_ = mean;
+  n_ = n;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double percentile(std::vector<double> samples, double pct) {
+  TGP_REQUIRE(!samples.empty(), "percentile of empty sample set");
+  TGP_REQUIRE(pct >= 0.0 && pct <= 100.0, "percentile out of [0,100]");
+  std::sort(samples.begin(), samples.end());
+  if (pct == 0.0) return samples.front();
+  auto rank = static_cast<std::size_t>(
+      std::ceil(pct / 100.0 * static_cast<double>(samples.size())));
+  rank = std::min(std::max<std::size_t>(rank, 1), samples.size());
+  return samples[rank - 1];
+}
+
+Histogram::Histogram(double lo, double hi, int buckets)
+    : lo_(lo), hi_(hi), width_((hi - lo) / buckets),
+      counts_(static_cast<std::size_t>(buckets), 0) {
+  TGP_REQUIRE(hi > lo, "histogram range must be non-empty");
+  TGP_REQUIRE(buckets > 0, "histogram needs at least one bucket");
+}
+
+void Histogram::add(double x) {
+  auto idx = static_cast<long>(std::floor((x - lo_) / width_));
+  idx = std::clamp<long>(idx, 0, static_cast<long>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+double Histogram::bucket_low(int i) const { return lo_ + width_ * i; }
+double Histogram::bucket_high(int i) const { return lo_ + width_ * (i + 1); }
+
+std::string Histogram::render(int bar_width) const {
+  std::uint64_t peak = 1;
+  for (auto c : counts_) peak = std::max(peak, c);
+  std::ostringstream os;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    int bar = static_cast<int>(static_cast<double>(counts_[i]) /
+                               static_cast<double>(peak) * bar_width);
+    os << '[' << bucket_low(static_cast<int>(i)) << ", "
+       << bucket_high(static_cast<int>(i)) << ") " << counts_[i] << ' '
+       << std::string(static_cast<std::size_t>(bar), '#') << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace tgp::util

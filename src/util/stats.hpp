@@ -1,0 +1,63 @@
+// Streaming and batch statistics used by benches and the simulators.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tgp::util {
+
+/// Welford streaming accumulator: mean/variance/min/max without storing
+/// samples.  Numerically stable for long benchmark runs.
+class Accumulator {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const;
+  double variance() const;  ///< sample variance (n-1 denominator)
+  double stddev() const;
+  double min() const;
+  double max() const;
+  double sum() const { return sum_; }
+
+  /// Merge another accumulator (parallel Welford combine).
+  void merge(const Accumulator& other);
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Batch percentile over a copy of the samples (nearest-rank method).
+double percentile(std::vector<double> samples, double pct);
+
+/// Fixed-bucket histogram over [lo, hi); out-of-range samples clamp to the
+/// edge buckets.  Used by the Appendix-B TEMP_S occupancy experiment.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, int buckets);
+
+  void add(double x);
+  std::size_t count() const { return total_; }
+  const std::vector<std::uint64_t>& buckets() const { return counts_; }
+  double bucket_low(int i) const;
+  double bucket_high(int i) const;
+
+  /// Render as "low..high: count (bar)" lines for console output.
+  std::string render(int bar_width = 40) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace tgp::util

@@ -1,0 +1,45 @@
+// Aligned console table printer.
+//
+// Every bench binary regenerates its figure/table by printing rows through
+// this class, so the output format is uniform across experiments.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tgp::util {
+
+/// Column-aligned text table with a header row.  Cells are strings; numeric
+/// helpers format with fixed precision.  Rendering right-aligns numeric-
+/// looking cells and left-aligns text.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Begin a new row; subsequent cell() calls fill it left to right.
+  Table& row();
+  Table& cell(const std::string& s);
+  Table& cell(const char* s);
+  Table& cell(double v, int precision = 3);
+  Table& cell(std::int64_t v);
+  Table& cell(std::uint64_t v);
+  Table& cell(int v);
+
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Render with a separator under the header.
+  std::string render() const;
+
+  /// Render and write to stdout.
+  void print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format helper: fixed-precision double without trailing garbage.
+std::string fmt(double v, int precision = 3);
+
+}  // namespace tgp::util

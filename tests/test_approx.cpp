@@ -1,0 +1,208 @@
+// Tests for the general-graph approximation front-ends (§3/§4).
+#include "approx/supergraph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/bandwidth_min.hpp"
+#include "core/proc_min.hpp"
+#include "util/rng.hpp"
+
+namespace tgp::approx {
+namespace {
+
+/// Random connected graph: a random tree plus `extra` random edges.
+graph::TaskGraph random_connected(util::Pcg32& rng, int n, int extra) {
+  graph::TaskGraph g;
+  for (int i = 0; i < n; ++i)
+    g.add_node(rng.uniform_real(1, 10));
+  for (int i = 1; i < n; ++i)
+    g.add_edge(i, static_cast<int>(rng.uniform_int(0, i - 1)),
+               rng.uniform_real(1, 10));
+  for (int e = 0; e < extra; ++e) {
+    int u = static_cast<int>(rng.uniform_int(0, n - 1));
+    int v = static_cast<int>(rng.uniform_int(0, n - 1));
+    if (u != v) g.add_edge(u, v, rng.uniform_real(1, 10));
+  }
+  return g;
+}
+
+TEST(Mst, SpansAllVerticesWithMaximumWeight) {
+  util::Pcg32 rng(1);
+  graph::TaskGraph g = random_connected(rng, 30, 40);
+  TreeSupergraph super = maximum_spanning_tree(g);
+  EXPECT_EQ(super.tree.n(), g.n());
+  EXPECT_EQ(static_cast<int>(super.tree_edge_of.size()), g.n() - 1);
+  // Cut property spot-check: total MST weight >= weight of any random
+  // spanning tree (here: the construction tree, edges 0..n-2).
+  double mst_w = 0;
+  for (const auto& e : super.tree.edges()) mst_w += e.weight;
+  double base_w = 0;
+  for (int e = 0; e < g.n() - 1; ++e) base_w += g.edge(e).weight;
+  EXPECT_GE(mst_w + 1e-9, base_w);
+}
+
+TEST(Mst, PreservesVertexWeights) {
+  util::Pcg32 rng(2);
+  graph::TaskGraph g = random_connected(rng, 12, 6);
+  TreeSupergraph super = maximum_spanning_tree(g);
+  for (int v = 0; v < g.n(); ++v)
+    EXPECT_DOUBLE_EQ(super.tree.vertex_weight(v), g.vertex_weight(v));
+}
+
+TEST(Mst, TreeEdgeMappingPointsAtRealEdges) {
+  util::Pcg32 rng(3);
+  graph::TaskGraph g = random_connected(rng, 20, 15);
+  TreeSupergraph super = maximum_spanning_tree(g);
+  for (std::size_t t = 0; t < super.tree_edge_of.size(); ++t) {
+    const auto& te = super.tree.edge(static_cast<int>(t));
+    const auto& oe = g.edge(super.tree_edge_of[t]);
+    bool same = (te.u == oe.u && te.v == oe.v) ||
+                (te.u == oe.v && te.v == oe.u);
+    EXPECT_TRUE(same);
+    EXPECT_DOUBLE_EQ(te.weight, oe.weight);
+  }
+}
+
+TEST(Mst, RejectsDisconnectedGraph) {
+  graph::TaskGraph g;
+  g.add_node(1);
+  g.add_node(1);
+  EXPECT_THROW(maximum_spanning_tree(g), std::invalid_argument);
+}
+
+TEST(Linearize, LayersAreBfsDistances) {
+  // A path graph linearizes to itself when started at an end.
+  graph::TaskGraph g;
+  for (int i = 0; i < 5; ++i) g.add_node(2);
+  for (int i = 0; i + 1 < 5; ++i) g.add_edge(i, i + 1, 3);
+  LinearizedGraph lin = bfs_linearize(g, 0);
+  EXPECT_EQ(lin.chain.n(), 5);
+  for (int v = 0; v < 5; ++v) EXPECT_EQ(lin.layer_of[static_cast<std::size_t>(v)], v);
+  for (double w : lin.chain.vertex_weight) EXPECT_DOUBLE_EQ(w, 2);
+}
+
+TEST(Linearize, AggregatesLayerWeights) {
+  // Star from the center: one layer with all leaves.
+  graph::TaskGraph g;
+  g.add_node(5);
+  for (int i = 0; i < 4; ++i) {
+    int leaf = g.add_node(1);
+    g.add_edge(0, leaf, 2);
+  }
+  LinearizedGraph lin = bfs_linearize(g, 0);
+  EXPECT_EQ(lin.chain.n(), 2);
+  EXPECT_DOUBLE_EQ(lin.chain.vertex_weight[0], 5);
+  EXPECT_DOUBLE_EQ(lin.chain.vertex_weight[1], 4);
+  EXPECT_NEAR(lin.chain.edge_weight[0], 8, 1e-2);  // 4 edges + base
+}
+
+TEST(Linearize, DefaultSourceIsHeaviestVertex) {
+  graph::TaskGraph g;
+  g.add_node(1);
+  g.add_node(9);  // heaviest: becomes layer 0
+  g.add_node(1);
+  g.add_edge(0, 1, 1);
+  g.add_edge(1, 2, 1);
+  LinearizedGraph lin = bfs_linearize(g);
+  EXPECT_EQ(lin.layer_of[1], 0);
+  EXPECT_EQ(lin.layer_of[0], 1);
+  EXPECT_EQ(lin.layer_of[2], 1);
+}
+
+TEST(Groups, ChainCutInducesLayerGroups) {
+  graph::TaskGraph g;
+  for (int i = 0; i < 6; ++i) g.add_node(1);
+  for (int i = 0; i + 1 < 6; ++i) g.add_edge(i, i + 1, 1);
+  LinearizedGraph lin = bfs_linearize(g, 0);
+  auto group = groups_from_chain_cut(lin, graph::Cut{{2}});
+  EXPECT_EQ(group, (std::vector<int>{0, 0, 0, 1, 1, 1}));
+}
+
+TEST(Quality, MeasuredOnOriginalGraphNotSupergraph) {
+  // A 4-cycle: MST drops one edge; the dropped edge must still count
+  // when the partition separates its endpoints.
+  graph::TaskGraph g;
+  for (int i = 0; i < 4; ++i) g.add_node(1);
+  g.add_edge(0, 1, 10);
+  g.add_edge(1, 2, 10);
+  g.add_edge(2, 3, 10);
+  g.add_edge(3, 0, 1);  // dropped by max spanning tree
+  TreeSupergraph super = maximum_spanning_tree(g);
+  EXPECT_EQ(super.tree.edge_count(), 3);
+  // Cut the tree between 1 and 2: groups {0,1} {2,3}; original crossing
+  // edges: (1,2) weight 10 and (3,0) weight 1 -> 11.
+  int cut_edge = -1;
+  for (int e = 0; e < super.tree.edge_count(); ++e) {
+    const auto& te = super.tree.edge(e);
+    if ((te.u == 1 && te.v == 2) || (te.u == 2 && te.v == 1)) cut_edge = e;
+  }
+  ASSERT_GE(cut_edge, 0);
+  auto group = groups_from_tree_cut(super, graph::Cut{{cut_edge}});
+  auto q = evaluate_partition(g, group);
+  EXPECT_EQ(q.groups, 2);
+  EXPECT_DOUBLE_EQ(q.cross_weight, 11);
+  EXPECT_DOUBLE_EQ(q.total_edge_weight, 31);
+}
+
+TEST(MstLinearize, PathGraphKeepsItsOrder) {
+  graph::TaskGraph g;
+  for (int i = 0; i < 6; ++i) g.add_node(1);
+  for (int i = 0; i + 1 < 6; ++i) g.add_edge(i, i + 1, 5);
+  LinearizedGraph lin = mst_linearize(g);
+  EXPECT_EQ(lin.chain.n(), 6);
+  // Layers are depths from one end: a bijection preserving adjacency.
+  std::vector<char> seen(6, 0);
+  for (int v = 0; v < 6; ++v) {
+    int l = lin.layer_of[static_cast<std::size_t>(v)];
+    EXPECT_FALSE(seen[static_cast<std::size_t>(l)]);
+    seen[static_cast<std::size_t>(l)] = 1;
+  }
+  for (int v = 0; v + 1 < 6; ++v)
+    EXPECT_EQ(std::abs(lin.layer_of[static_cast<std::size_t>(v)] -
+                       lin.layer_of[static_cast<std::size_t>(v) + 1]),
+              1);
+}
+
+TEST(MstLinearize, HeavyEdgesLandOnAdjacentLayers) {
+  util::Pcg32 rng(21);
+  graph::TaskGraph g = random_connected(rng, 40, 30);
+  TreeSupergraph mst = maximum_spanning_tree(g);
+  LinearizedGraph lin = mst_linearize(g);
+  for (const auto& e : mst.tree.edges()) {
+    EXPECT_EQ(std::abs(lin.layer_of[static_cast<std::size_t>(e.u)] -
+                       lin.layer_of[static_cast<std::size_t>(e.v)]),
+              1)
+        << "MST edge must join adjacent layers";
+  }
+  EXPECT_NEAR(lin.chain.total_vertex_weight(), g.total_vertex_weight(),
+              1e-9);
+}
+
+TEST(EndToEnd, SupergraphPartitionBeatsRandomOnClusteredGraphs) {
+  // Two dense clusters joined by one light bridge: the MST keeps heavy
+  // intra-cluster edges, so tree partitioning cuts the bridge.
+  util::Pcg32 rng(9);
+  graph::TaskGraph g;
+  const int half = 12;
+  for (int i = 0; i < 2 * half; ++i) g.add_node(1);
+  for (int side = 0; side < 2; ++side) {
+    int base = side * half;
+    for (int i = 1; i < half; ++i)
+      g.add_edge(base + i, base + static_cast<int>(rng.uniform_int(0, i - 1)),
+                 rng.uniform_real(50, 100));
+  }
+  g.add_edge(half - 1, half, 1.0);  // the bridge
+  TreeSupergraph super = maximum_spanning_tree(g);
+  double K = g.total_vertex_weight() / 2;
+  auto cut = core::proc_min(super.tree, K);
+  auto groups = groups_from_tree_cut(super, cut.cut);
+  auto q = evaluate_partition(g, groups);
+  EXPECT_EQ(q.groups, 2);
+  EXPECT_DOUBLE_EQ(q.cross_weight, 1.0);  // only the bridge crosses
+}
+
+}  // namespace
+}  // namespace tgp::approx

@@ -1,0 +1,134 @@
+// Tests for the shared-memory machine model, mapping and metrics.
+#include "arch/mapping.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "arch/metrics.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace tgp::arch {
+namespace {
+
+graph::Chain chain5() {
+  graph::Chain c;
+  c.vertex_weight = {1, 2, 3, 4, 5};
+  c.edge_weight = {10, 20, 30, 40};
+  return c;
+}
+
+TEST(Machine, ValidatesParameters) {
+  Machine m;
+  EXPECT_NO_THROW(m.validate());
+  m.processors = 0;
+  EXPECT_THROW(m.validate(), std::invalid_argument);
+  m = {};
+  m.processor_speed = 0;
+  EXPECT_THROW(m.validate(), std::invalid_argument);
+  m = {};
+  m.bus_bandwidth = -1;
+  EXPECT_THROW(m.validate(), std::invalid_argument);
+}
+
+TEST(Machine, TimeHelpers) {
+  Machine m{4, 2.0, 5.0};
+  EXPECT_DOUBLE_EQ(m.exec_time(10), 5.0);
+  EXPECT_DOUBLE_EQ(m.transfer_time(10), 2.0);
+}
+
+TEST(Mapping, ComponentsNumberedLeftToRight) {
+  Machine m{4, 1, 1};
+  Mapping map = map_chain_partition(chain5(), graph::Cut{{1, 3}}, m);
+  EXPECT_EQ(map.components(), 3);
+  EXPECT_EQ(map.component_of_task[0], 0);
+  EXPECT_EQ(map.component_of_task[1], 0);
+  EXPECT_EQ(map.component_of_task[2], 1);
+  EXPECT_EQ(map.component_of_task[3], 1);
+  EXPECT_EQ(map.component_of_task[4], 2);
+}
+
+TEST(Mapping, IdentityWhenComponentsFitProcessors) {
+  Machine m{4, 1, 1};
+  Mapping map = map_chain_partition(chain5(), graph::Cut{{1, 3}}, m);
+  EXPECT_EQ(map.processor_of_component, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(map.processor_of_task(4), 2);
+}
+
+TEST(Mapping, LptFoldingWhenComponentsExceedProcessors) {
+  Machine m{2, 1, 1};
+  // Cut everywhere: 5 singleton components with weights 1..5 on 2 procs.
+  Mapping map = map_chain_partition(chain5(), graph::Cut{{0, 1, 2, 3}}, m);
+  EXPECT_EQ(map.components(), 5);
+  std::set<int> used(map.processor_of_component.begin(),
+                     map.processor_of_component.end());
+  EXPECT_LE(used.size(), 2u);
+  // LPT on {5,4,3,2,1} over 2 bins gives loads {5,3}? No: 5 | 4 ... then
+  // 3 -> bin2 (4+3=7)? LPT: 5->p0, 4->p1, 3->p1? no, least-loaded is p1
+  // (4<5): 4+3=7... then 2 -> p0 (5+2=7), 1 -> either (7,7) -> 8/7.
+  double load[2] = {0, 0};
+  for (int c = 0; c < 5; ++c)
+    load[map.processor_of_component[static_cast<std::size_t>(c)]] +=
+        static_cast<double>(c + 1);
+  EXPECT_LE(std::max(load[0], load[1]), 8.0);  // near-balanced
+}
+
+TEST(Mapping, TreePartitionUsesTreeComponents) {
+  auto t = graph::Tree::from_edges(
+      {5, 4, 3, 2, 1}, {{0, 1, 10}, {0, 2, 20}, {1, 3, 30}, {1, 4, 40}});
+  Machine m{4, 1, 1};
+  Mapping map = map_tree_partition(t, graph::Cut{{0}}, m);
+  EXPECT_EQ(map.components(), 2);
+  EXPECT_EQ(map.component_of_task[0], map.component_of_task[2]);
+  EXPECT_NE(map.component_of_task[0], map.component_of_task[1]);
+}
+
+TEST(Metrics, ChainMetricsMatchHandComputation) {
+  Machine m{4, 1, 1};
+  Mapping map = map_chain_partition(chain5(), graph::Cut{{1, 3}}, m);
+  PartitionMetrics pm = chain_metrics(chain5(), map);
+  EXPECT_EQ(pm.components, 3);
+  EXPECT_EQ(pm.processors_used, 3);
+  EXPECT_DOUBLE_EQ(pm.max_load, 7);          // {3,4}
+  EXPECT_DOUBLE_EQ(pm.avg_load, 5);          // 15/3
+  EXPECT_DOUBLE_EQ(pm.load_imbalance, 1.4);
+  EXPECT_DOUBLE_EQ(pm.max_component_weight, 7);
+  EXPECT_DOUBLE_EQ(pm.total_bandwidth, 60);  // edges 1 and 3
+  EXPECT_DOUBLE_EQ(pm.max_crossing_edge, 40);
+  // Processor 1 carries edges 20 (in) and 40 (out): 60.
+  EXPECT_DOUBLE_EQ(pm.max_processor_traffic, 60);
+}
+
+TEST(Metrics, NoCrossingTrafficWithoutCut) {
+  Machine m{4, 1, 1};
+  Mapping map = map_chain_partition(chain5(), {}, m);
+  PartitionMetrics pm = chain_metrics(chain5(), map);
+  EXPECT_DOUBLE_EQ(pm.total_bandwidth, 0);
+  EXPECT_DOUBLE_EQ(pm.max_crossing_edge, 0);
+  EXPECT_DOUBLE_EQ(pm.load_imbalance, 1.0);
+}
+
+TEST(Metrics, FoldedComponentsOnSameProcessorDontCross) {
+  // 5 singletons on 1 processor: everything co-located, zero traffic.
+  Machine m{1, 1, 1};
+  Mapping map = map_chain_partition(chain5(), graph::Cut{{0, 1, 2, 3}}, m);
+  PartitionMetrics pm = chain_metrics(chain5(), map);
+  EXPECT_EQ(pm.components, 5);
+  EXPECT_EQ(pm.processors_used, 1);
+  EXPECT_DOUBLE_EQ(pm.total_bandwidth, 0);
+}
+
+TEST(Metrics, TreeMetricsCountCrossingEdges) {
+  auto t = graph::Tree::from_edges(
+      {5, 4, 3, 2, 1}, {{0, 1, 10}, {0, 2, 20}, {1, 3, 30}, {1, 4, 40}});
+  Machine m{4, 1, 1};
+  Mapping map = map_tree_partition(t, graph::Cut{{0, 3}}, m);
+  PartitionMetrics pm = tree_metrics(t, map);
+  EXPECT_EQ(pm.components, 3);
+  EXPECT_DOUBLE_EQ(pm.total_bandwidth, 50);
+  EXPECT_DOUBLE_EQ(pm.max_crossing_edge, 40);
+}
+
+}  // namespace
+}  // namespace tgp::arch

@@ -1,0 +1,127 @@
+// Tests for processor-capped bandwidth minimization.
+#include "core/bandwidth_bounded.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "core/bandwidth_baselines.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace tgp::core {
+namespace {
+
+graph::Chain make_chain(std::vector<double> vw, std::vector<double> ew) {
+  graph::Chain c;
+  c.vertex_weight = std::move(vw);
+  c.edge_weight = std::move(ew);
+  c.validate();
+  return c;
+}
+
+/// Brute force: min cut weight over subsets with <= m components.
+double brute_bounded(const graph::Chain& c, double K, int m) {
+  const int edges = c.edge_count();
+  double best = std::numeric_limits<double>::infinity();
+  for (std::uint32_t mask = 0; mask < (1u << edges); ++mask) {
+    graph::Cut cut;
+    for (int e = 0; e < edges; ++e)
+      if ((mask >> e) & 1u) cut.edges.push_back(e);
+    if (cut.size() + 1 > m) continue;
+    if (!graph::chain_cut_feasible(c, cut, K)) continue;
+    best = std::min(best, graph::chain_cut_weight(c, cut));
+  }
+  return best;
+}
+
+TEST(BandwidthBounded, UnboundedCapMatchesPlainMinimizer) {
+  util::Pcg32 rng(0xBB1);
+  for (int t = 0; t < 30; ++t) {
+    int n = static_cast<int>(rng.uniform_int(2, 60));
+    graph::Chain c = graph::random_chain(
+        rng, n, graph::WeightDist::uniform(1, 9),
+        graph::WeightDist::uniform(1, 9));
+    double K = c.max_vertex_weight() +
+               rng.uniform_real(0.0, c.total_vertex_weight());
+    auto bounded = bandwidth_min_bounded(c, K, n);
+    auto plain = bandwidth_min_temps(c, K);
+    ASSERT_TRUE(bounded.feasible);
+    EXPECT_NEAR(bounded.cut_weight, plain.cut_weight, 1e-9)
+        << "t=" << t << " K=" << K;
+  }
+}
+
+TEST(BandwidthBounded, MatchesBruteForceAcrossCaps) {
+  util::Pcg32 rng(0xBB2);
+  for (int t = 0; t < 60; ++t) {
+    int n = static_cast<int>(rng.uniform_int(2, 11));
+    graph::Chain c;
+    for (int i = 0; i < n; ++i)
+      c.vertex_weight.push_back(
+          static_cast<double>(rng.uniform_int(1, 8)));
+    for (int i = 0; i + 1 < n; ++i)
+      c.edge_weight.push_back(static_cast<double>(rng.uniform_int(1, 8)));
+    double K = static_cast<double>(rng.uniform_int(8, 25));
+    for (int m = 1; m <= n; ++m) {
+      double expect = brute_bounded(c, K, m);
+      auto got = bandwidth_min_bounded(c, K, m);
+      if (std::isinf(expect)) {
+        EXPECT_FALSE(got.feasible) << "t=" << t << " m=" << m;
+      } else {
+        ASSERT_TRUE(got.feasible) << "t=" << t << " m=" << m;
+        EXPECT_DOUBLE_EQ(got.cut_weight, expect) << "t=" << t << " m=" << m;
+        EXPECT_LE(got.components, m);
+      }
+    }
+  }
+}
+
+TEST(BandwidthBounded, InfeasibleWhenCapTooSmall) {
+  auto c = make_chain({5, 5, 5, 5}, {1, 1, 1});
+  auto r = bandwidth_min_bounded(c, 5, 2);  // needs 4 components
+  EXPECT_FALSE(r.feasible);
+  EXPECT_TRUE(r.cut.empty());
+  auto ok = bandwidth_min_bounded(c, 5, 4);
+  EXPECT_TRUE(ok.feasible);
+  EXPECT_EQ(ok.components, 4);
+}
+
+TEST(BandwidthBounded, CapCanForceMoreExpensiveCuts) {
+  // Unbounded optimum uses 3 cheap cuts; capping at 2 components forces
+  // the single expensive middle cut.
+  auto c = make_chain({4, 4, 4, 4}, {1, 9, 1});
+  double K = 8;
+  auto unbounded = bandwidth_min_bounded(c, K, 4);
+  auto capped = bandwidth_min_bounded(c, K, 2);
+  ASSERT_TRUE(unbounded.feasible);
+  ASSERT_TRUE(capped.feasible);
+  EXPECT_DOUBLE_EQ(unbounded.cut_weight, 2);  // edges 0 and 2
+  EXPECT_DOUBLE_EQ(capped.cut_weight, 9);     // forced middle edge
+  EXPECT_EQ(capped.components, 2);
+}
+
+TEST(BandwidthBounded, MonotoneInCap) {
+  util::Pcg32 rng(0xBB3);
+  graph::Chain c = graph::random_chain(rng, 80,
+                                       graph::WeightDist::uniform(1, 9),
+                                       graph::WeightDist::uniform(1, 9));
+  double K = 30;
+  double prev = std::numeric_limits<double>::infinity();
+  for (int m = 1; m <= 30; ++m) {
+    auto r = bandwidth_min_bounded(c, K, m);
+    if (!r.feasible) continue;
+    EXPECT_LE(r.cut_weight, prev + 1e-9) << "m=" << m;
+    prev = r.cut_weight;
+  }
+}
+
+TEST(BandwidthBounded, RejectsBadArguments) {
+  auto c = make_chain({1, 9}, {1});
+  EXPECT_THROW(bandwidth_min_bounded(c, 8, 2), std::invalid_argument);
+  EXPECT_THROW(bandwidth_min_bounded(c, 9, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tgp::core

@@ -1,0 +1,175 @@
+// Unit tests for Algorithm 4.1 (bandwidth_min_temps) and its baselines on
+// hand-constructed chains with known optima.
+#include "core/bandwidth_min.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/bandwidth_baselines.hpp"
+#include "graph/generators.hpp"
+
+namespace tgp::core {
+namespace {
+
+graph::Chain make_chain(std::vector<double> vw, std::vector<double> ew) {
+  graph::Chain c;
+  c.vertex_weight = std::move(vw);
+  c.edge_weight = std::move(ew);
+  c.validate();
+  return c;
+}
+
+// All five algorithms under one roof for the fixed examples.
+std::vector<std::pair<const char*, BandwidthResult>> run_all(
+    const graph::Chain& c, double K) {
+  return {
+      {"temps", bandwidth_min_temps(c, K)},
+      {"brute", bandwidth_min_brute(c, K)},
+      {"naive", bandwidth_min_dp_naive(c, K)},
+      {"deque", bandwidth_min_dp_deque(c, K)},
+      {"nicol", bandwidth_min_nicol(c, K)},
+  };
+}
+
+TEST(BandwidthMin, NoCutNeededWhenChainFits) {
+  auto c = make_chain({1, 2, 3}, {5, 5});
+  for (auto& [name, r] : run_all(c, 6)) {
+    EXPECT_TRUE(r.cut.empty()) << name;
+    EXPECT_DOUBLE_EQ(r.cut_weight, 0) << name;
+  }
+}
+
+TEST(BandwidthMin, SingleForcedCutPicksCheapestEdge) {
+  // Total 12 > K=8; one cut anywhere splits feasibly if both sides ≤ 8;
+  // cutting edge 1 (weight 2) gives sides 7 and 5.
+  auto c = make_chain({3, 4, 5}, {9, 2});
+  for (auto& [name, r] : run_all(c, 8)) {
+    EXPECT_EQ(r.cut.edges, (std::vector<int>{1})) << name;
+    EXPECT_DOUBLE_EQ(r.cut_weight, 2) << name;
+  }
+}
+
+TEST(BandwidthMin, ExpensiveEdgeChosenWhenItIsTheOnlyFeasibleOne) {
+  // K=5: components {3,2} and {4} only; must cut edge 1 (weight 100).
+  auto c = make_chain({3, 2, 4}, {1, 100});
+  for (auto& [name, r] : run_all(c, 5)) {
+    EXPECT_EQ(r.cut.edges, (std::vector<int>{1})) << name;
+    EXPECT_DOUBLE_EQ(r.cut_weight, 100) << name;
+  }
+}
+
+TEST(BandwidthMin, TwoCutsCheaperThanOne) {
+  // K=4, weights 2,2,2,2,2 (total 10): need ≥ 2 cuts (components of ≤ 2
+  // vertices); optimum picks the two cheapest compatible edges.
+  auto c = make_chain({2, 2, 2, 2, 2}, {5, 1, 5, 1});
+  for (auto& [name, r] : run_all(c, 4)) {
+    EXPECT_EQ(r.cut.edges, (std::vector<int>{1, 3})) << name;
+    EXPECT_DOUBLE_EQ(r.cut_weight, 2) << name;
+  }
+}
+
+TEST(BandwidthMin, GreedyWouldFailButDpFindsOptimum) {
+  // A case where taking the locally cheapest edge in the first prime
+  // window is suboptimal: edge 0 costs 1 but forces a later expensive cut.
+  // K=6; weights 4,3,4 (total 11).  Options: cut edge0 (1) -> {4},{3,4}=7 >6
+  // infeasible unless also cut edge1; cut edge1 (2) alone -> {4,3}=7 infeasible.
+  // Must cut both? {4},{3},{4} = 1+2=3.  Or cut edge0 only infeasible.
+  auto c = make_chain({4, 3, 4}, {1, 2});
+  for (auto& [name, r] : run_all(c, 6)) {
+    EXPECT_EQ(r.cut.edges, (std::vector<int>{0, 1})) << name;
+    EXPECT_DOUBLE_EQ(r.cut_weight, 3) << name;
+  }
+}
+
+TEST(BandwidthMin, AdjacentPrimesNeedSeparateCuts) {
+  // K=10: primes {6,5} (edge 0 only) and {5,6} (edge 1 only) — no shared
+  // edge, so both must be cut even though edge 0 is expensive.
+  auto c = make_chain({6, 5, 6}, {9, 3});
+  for (auto& [name, r] : run_all(c, 10)) {
+    EXPECT_EQ(r.cut.edges, (std::vector<int>{0, 1})) << name;
+    EXPECT_DOUBLE_EQ(r.cut_weight, 12) << name;
+  }
+}
+
+TEST(BandwidthMin, SharedCutServesOneWidePrime) {
+  // K=10: the only prime window is the whole chain {4,3,4} (weight 11),
+  // spanning both edges; cutting the cheaper edge 1 (weight 3) suffices.
+  auto c = make_chain({4, 3, 4}, {9, 3});
+  for (auto& [name, r] : run_all(c, 10)) {
+    EXPECT_EQ(r.cut.edges, (std::vector<int>{1})) << name;
+    EXPECT_DOUBLE_EQ(r.cut_weight, 3) << name;
+  }
+}
+
+TEST(BandwidthMin, PaperStyleExample) {
+  // A longer mixed example; optimum validated by brute force.
+  auto c = make_chain({3, 1, 4, 1, 5, 9, 2, 6},
+                      {2, 7, 1, 8, 2, 8, 1});
+  auto brute = bandwidth_min_brute(c, 10);
+  for (auto& [name, r] : run_all(c, 10)) {
+    EXPECT_DOUBLE_EQ(r.cut_weight, brute.cut_weight) << name;
+    EXPECT_TRUE(graph::chain_cut_feasible(c, r.cut, 10)) << name;
+  }
+}
+
+TEST(BandwidthMin, SingleVertexChain) {
+  auto c = make_chain({4}, {});
+  auto r = bandwidth_min_temps(c, 4);
+  EXPECT_TRUE(r.cut.empty());
+}
+
+TEST(BandwidthMin, KEqualMaxVertexWeightCutsEverywhereNeeded) {
+  // K exactly max weight: every component is a single heavy vertex or a
+  // group of light ones.
+  auto c = make_chain({5, 1, 1, 5, 1}, {3, 4, 2, 6});
+  auto brute = bandwidth_min_brute(c, 5);
+  auto r = bandwidth_min_temps(c, 5);
+  EXPECT_DOUBLE_EQ(r.cut_weight, brute.cut_weight);
+}
+
+TEST(BandwidthMin, RejectsKBelowMaxWeight) {
+  auto c = make_chain({1, 9, 1}, {1, 1});
+  EXPECT_THROW(bandwidth_min_temps(c, 8), std::invalid_argument);
+  EXPECT_THROW(bandwidth_min_brute(c, 8), std::invalid_argument);
+  EXPECT_THROW(bandwidth_min_dp_naive(c, 8), std::invalid_argument);
+  EXPECT_THROW(bandwidth_min_dp_deque(c, 8), std::invalid_argument);
+  EXPECT_THROW(bandwidth_min_nicol(c, 8), std::invalid_argument);
+}
+
+TEST(BandwidthMin, InstrumentationReportsPandQ) {
+  auto c = make_chain({2, 2, 2, 2, 2, 2}, {1, 2, 3, 4, 5});
+  BandwidthInstrumentation instr;
+  bandwidth_min_temps(c, 4, &instr);
+  EXPECT_EQ(instr.n, 6);
+  EXPECT_GT(instr.p, 0);
+  EXPECT_GT(instr.r, 0);
+  EXPECT_LE(instr.r, 2 * instr.p - 1);
+  EXPECT_GE(instr.q_avg, 1.0);
+  EXPECT_GE(instr.q_max, 1);
+  EXPECT_GT(instr.temps.steps, 0u);
+  EXPECT_GE(instr.p_log_q(), 0.0);
+  EXPECT_GT(instr.n_log_n(), 0.0);
+}
+
+TEST(BandwidthMin, AscendingEdgeWorstCaseStillOptimal) {
+  auto c = graph::ascending_edge_chain(64, 2.0, 1.0, 1.0);
+  auto r = bandwidth_min_temps(c, 5);
+  auto d = bandwidth_min_dp_deque(c, 5);
+  EXPECT_DOUBLE_EQ(r.cut_weight, d.cut_weight);
+}
+
+TEST(BandwidthMin, DescendingEdgeBestCaseStillOptimal) {
+  auto c = graph::descending_edge_chain(64, 2.0, 1000.0, 1.0);
+  auto r = bandwidth_min_temps(c, 5);
+  auto d = bandwidth_min_dp_deque(c, 5);
+  EXPECT_DOUBLE_EQ(r.cut_weight, d.cut_weight);
+}
+
+TEST(BandwidthMin, BruteForceGuardsEdgeCount) {
+  util::Pcg32 rng(1);
+  auto c = graph::random_chain(rng, 30, graph::WeightDist::uniform(1, 2),
+                               graph::WeightDist::uniform(1, 2));
+  EXPECT_THROW(bandwidth_min_brute(c, 4), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tgp::core

@@ -1,0 +1,118 @@
+// Tests for Bokhari's layered-graph solvers.
+#include "ccp/bokhari_layered.hpp"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <limits>
+
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace tgp::ccp {
+namespace {
+
+graph::Chain make_chain(std::vector<double> vw, std::vector<double> ew) {
+  graph::Chain c;
+  c.vertex_weight = std::move(vw);
+  c.edge_weight = std::move(ew);
+  c.validate();
+  return c;
+}
+
+TEST(BokhariLayered, ComputationOnlyMatchesCcpDp) {
+  util::Pcg32 rng(0xB0C);
+  for (int trial = 0; trial < 40; ++trial) {
+    int n = static_cast<int>(rng.uniform_int(2, 80));
+    int m = static_cast<int>(rng.uniform_int(1, std::min(n, 10)));
+    graph::Chain c = graph::random_chain(
+        rng, n, graph::WeightDist::uniform(1, 30),
+        graph::WeightDist::uniform(1, 10));
+    auto layered = ccp_bokhari_layered(c, m);
+    auto dp = ccp_dp(c, m);
+    EXPECT_NEAR(layered.bottleneck, dp.bottleneck,
+                1e-9 * (1 + dp.bottleneck))
+        << "trial " << trial;
+    EXPECT_EQ(layered.cut_after.size(), static_cast<std::size_t>(m) - 1);
+    EXPECT_NEAR(ccp_bottleneck(c, layered.cut_after), layered.bottleneck,
+                1e-9 * (1 + layered.bottleneck));
+  }
+}
+
+TEST(BokhariLayered, SingleProcessorIsWholeChain) {
+  auto c = make_chain({1, 2, 3}, {10, 10});
+  auto r = ccp_bokhari_layered(c, 1);
+  EXPECT_TRUE(r.cut_after.empty());
+  EXPECT_DOUBLE_EQ(r.bottleneck, 6);
+  // With communication there are no cut edges either:
+  auto rc = ccp_bokhari_comm(c, 1);
+  EXPECT_DOUBLE_EQ(rc.bottleneck, 6);
+}
+
+TEST(BokhariComm, CommunicationChangesTheOptimalSplit) {
+  // Vertices 4,4,4,4; edges 100,1,100.  Computation-only: any middle
+  // split gives 8/8.  With communication, only the cheap middle edge is
+  // tolerable: blocks {4,4}|{4,4} cost 8+1 each = 9; splitting at an
+  // expensive edge costs >= 8+100.
+  auto c = make_chain({4, 4, 4, 4}, {100, 1, 100});
+  auto r = ccp_bokhari_comm(c, 2);
+  EXPECT_EQ(r.cut_after, (std::vector<int>{1}));
+  EXPECT_DOUBLE_EQ(r.bottleneck, 9);
+}
+
+TEST(BokhariComm, MoreProcessorsCanHurtWithCommunication) {
+  // Classic Bokhari observation: with heavy links, extra processors can
+  // RAISE the bottleneck because every new cut adds communication to two
+  // processors.  m is exact here (all m blocks used), so the optimum over
+  // m need not be monotone.
+  auto c = make_chain({4, 4, 4, 4}, {100, 100, 100});
+  auto r1 = ccp_bokhari_comm(c, 1);
+  auto r2 = ccp_bokhari_comm(c, 2);
+  EXPECT_DOUBLE_EQ(r1.bottleneck, 16);
+  EXPECT_GT(r2.bottleneck, r1.bottleneck);  // 8 + 100
+}
+
+TEST(BokhariComm, MatchesExhaustiveSearchOnTinyChains) {
+  util::Pcg32 rng(0xB0D);
+  for (int trial = 0; trial < 40; ++trial) {
+    int n = static_cast<int>(rng.uniform_int(2, 9));
+    int m = static_cast<int>(rng.uniform_int(1, n));
+    graph::Chain c = graph::random_chain(
+        rng, n, graph::WeightDist::uniform(1, 9),
+        graph::WeightDist::uniform(1, 9));
+    double best = std::numeric_limits<double>::infinity();
+    std::vector<int> pos(static_cast<std::size_t>(m) - 1);
+    std::function<void(int, int)> rec = [&](int idx, int start) {
+      if (idx == m - 1) {
+        std::vector<int> cuts(pos.begin(), pos.end());
+        best = std::min(best, ccp_comm_bottleneck(c, cuts));
+        return;
+      }
+      for (int p = start; p <= n - 1 - (m - 1 - idx); ++p) {
+        pos[static_cast<std::size_t>(idx)] = p;
+        rec(idx + 1, p + 1);
+      }
+    };
+    rec(0, 0);
+    auto r = ccp_bokhari_comm(c, m);
+    EXPECT_NEAR(r.bottleneck, best, 1e-9) << "trial " << trial;
+  }
+}
+
+TEST(BokhariComm, CommBottleneckHelperCountsBothSides) {
+  auto c = make_chain({1, 2, 3, 4}, {10, 20, 30});
+  // Split {1,2} | {3,4}: left block 3 + 20 (right edge); right block
+  // 7 + 20 (left edge) -> bottleneck 27.
+  EXPECT_DOUBLE_EQ(ccp_comm_bottleneck(c, {1}), 27);
+  // No split: just the total.
+  EXPECT_DOUBLE_EQ(ccp_comm_bottleneck(c, {}), 10);
+}
+
+TEST(BokhariLayered, RejectsBadProcessorCounts) {
+  auto c = make_chain({1, 2}, {1});
+  EXPECT_THROW(ccp_bokhari_layered(c, 0), std::invalid_argument);
+  EXPECT_THROW(ccp_bokhari_comm(c, 3), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tgp::ccp

@@ -1,0 +1,138 @@
+// Tests for bottleneck minimization on trees (Algorithm 2.1).
+#include "core/bottleneck_min.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace tgp::core {
+namespace {
+
+graph::Tree tree5() {
+  // Vertex weights in parentheses, edge weights on the links:
+  //   0(5) --10-- 1(4), 0(5) --20-- 2(3),
+  //   1(4) --30-- 3(2), 1(4) --40-- 4(1).
+  return graph::Tree::from_edges(
+      {5, 4, 3, 2, 1}, {{0, 1, 10}, {0, 2, 20}, {1, 3, 30}, {1, 4, 40}});
+}
+
+TEST(BottleneckMin, EmptyCutWhenTreeFits) {
+  auto r = bottleneck_min_scan(tree5(), 15);
+  EXPECT_TRUE(r.cut.empty());
+  EXPECT_DOUBLE_EQ(r.threshold, 0);
+  auto b = bottleneck_min_bsearch(tree5(), 15);
+  EXPECT_TRUE(b.cut.empty());
+  EXPECT_DOUBLE_EQ(b.threshold, 0);
+}
+
+TEST(BottleneckMin, CutsLightestEdgesFirst) {
+  // K=8: total 15 > 8.  Cutting edge 0 (weight 10) gives {0,2}=8 and
+  // {1,3,4}=7 — feasible.  Scan adds edge 0 first (lightest) and stops.
+  auto r = bottleneck_min_scan(tree5(), 8);
+  EXPECT_EQ(r.cut.edges, (std::vector<int>{0}));
+  EXPECT_DOUBLE_EQ(r.threshold, 10);
+}
+
+TEST(BottleneckMin, ScanAndBsearchAgreeOnFixedTree) {
+  for (double K : {5.0, 6.0, 7.0, 8.0, 10.0, 12.0, 14.0, 15.0}) {
+    auto s = bottleneck_min_scan(tree5(), K);
+    auto b = bottleneck_min_bsearch(tree5(), K);
+    EXPECT_DOUBLE_EQ(s.threshold, b.threshold) << "K=" << K;
+    EXPECT_EQ(s.cut.canonical().edges, b.cut.edges) << "K=" << K;
+  }
+}
+
+TEST(BottleneckMin, RejectsKBelowMaxVertexWeight) {
+  EXPECT_THROW(bottleneck_min_scan(tree5(), 4.9), std::invalid_argument);
+  EXPECT_THROW(bottleneck_min_bsearch(tree5(), 4.9), std::invalid_argument);
+}
+
+TEST(BottleneckMin, SingleVertexTreeNeedsNoCut) {
+  auto t = graph::Tree::from_edges({3}, {});
+  auto r = bottleneck_min_scan(t, 3);
+  EXPECT_TRUE(r.cut.empty());
+}
+
+TEST(BottleneckMin, TightKIsolatesEveryVertex) {
+  // K = max vertex weight and every pair of adjacent vertices overflows:
+  // all edges must be cut; the threshold is the max edge weight.
+  auto t = graph::Tree::from_edges({5, 5, 5},
+                                   {{0, 1, 7}, {1, 2, 3}});
+  auto s = bottleneck_min_scan(t, 5);
+  auto b = bottleneck_min_bsearch(t, 5);
+  EXPECT_EQ(s.cut.canonical().size(), 2);
+  EXPECT_EQ(b.cut.size(), 2);
+  EXPECT_DOUBLE_EQ(s.threshold, 7);
+  EXPECT_DOUBLE_EQ(b.threshold, 7);
+}
+
+TEST(BottleneckMin, ThresholdIsOptimalOnSmallTreesByExhaustion) {
+  util::Pcg32 rng(123);
+  for (int trial = 0; trial < 60; ++trial) {
+    int n = static_cast<int>(rng.uniform_int(2, 10));
+    graph::Tree t =
+        graph::random_tree(rng, n, graph::WeightDist::uniform(1, 9),
+                           graph::WeightDist::uniform(1, 9));
+    double K = t.max_vertex_weight() +
+               rng.uniform_real(0.0, t.total_vertex_weight());
+    // Exhaustive optimum: minimum over all feasible subsets of max edge.
+    double best = std::numeric_limits<double>::infinity();
+    int m = t.edge_count();
+    for (std::uint32_t mask = 0; mask < (1u << m); ++mask) {
+      graph::Cut cut;
+      for (int e = 0; e < m; ++e)
+        if ((mask >> e) & 1u) cut.edges.push_back(e);
+      if (!graph::tree_cut_feasible(t, cut, K)) continue;
+      best = std::min(best, graph::tree_cut_max_edge(t, cut));
+    }
+    auto s = bottleneck_min_scan(t, K);
+    auto b = bottleneck_min_bsearch(t, K);
+    EXPECT_DOUBLE_EQ(s.threshold, best) << "trial " << trial;
+    EXPECT_DOUBLE_EQ(b.threshold, best) << "trial " << trial;
+  }
+}
+
+TEST(BottleneckMin, ScanMatchesBsearchOnRandomTrees) {
+  util::Pcg32 rng(321);
+  for (int trial = 0; trial < 25; ++trial) {
+    int n = static_cast<int>(rng.uniform_int(2, 120));
+    graph::Tree t =
+        graph::random_tree(rng, n, graph::WeightDist::uniform(1, 20),
+                           graph::WeightDist::uniform(1, 50));
+    double K = t.max_vertex_weight() +
+               rng.uniform_real(0.0, t.total_vertex_weight() / 2);
+    auto s = bottleneck_min_scan(t, K);
+    auto b = bottleneck_min_bsearch(t, K);
+    EXPECT_DOUBLE_EQ(s.threshold, b.threshold);
+    EXPECT_TRUE(graph::tree_cut_feasible(t, s.cut, K));
+    EXPECT_TRUE(graph::tree_cut_feasible(t, b.cut, K));
+    // Both cut sets contain only edges with weight <= threshold.
+    EXPECT_LE(graph::tree_cut_max_edge(t, s.cut), s.threshold);
+    EXPECT_LE(graph::tree_cut_max_edge(t, b.cut), b.threshold);
+  }
+}
+
+TEST(BottleneckMin, WorksOnChainShapedTrees) {
+  util::Pcg32 rng(11);
+  graph::Chain c = graph::random_chain(rng, 60,
+                                       graph::WeightDist::uniform(1, 9),
+                                       graph::WeightDist::uniform(1, 9));
+  graph::Tree t = graph::path_tree(c);
+  auto b = bottleneck_min_bsearch(t, 20);
+  EXPECT_TRUE(graph::tree_cut_feasible(t, b.cut, 20));
+}
+
+TEST(BottleneckMin, BsearchUsesFewerFeasibilityChecks) {
+  util::Pcg32 rng(5);
+  graph::Tree t =
+      graph::random_tree(rng, 400, graph::WeightDist::uniform(1, 9),
+                         graph::WeightDist::uniform(1, 9));
+  auto s = bottleneck_min_scan(t, 30);
+  auto b = bottleneck_min_bsearch(t, 30);
+  EXPECT_DOUBLE_EQ(s.threshold, b.threshold);
+  EXPECT_LT(b.feasibility_checks, s.feasibility_checks);
+}
+
+}  // namespace
+}  // namespace tgp::core

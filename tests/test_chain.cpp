@@ -1,0 +1,127 @@
+// Tests for the Chain type and prefix-sum windows.
+#include "graph/chain.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tgp::graph {
+namespace {
+
+Chain make(std::vector<double> vw, std::vector<double> ew) {
+  Chain c;
+  c.vertex_weight = std::move(vw);
+  c.edge_weight = std::move(ew);
+  return c;
+}
+
+TEST(Chain, BasicAccessors) {
+  Chain c = make({1, 2, 3}, {10, 20});
+  EXPECT_EQ(c.n(), 3);
+  EXPECT_EQ(c.edge_count(), 2);
+  EXPECT_DOUBLE_EQ(c.total_vertex_weight(), 6);
+  EXPECT_DOUBLE_EQ(c.max_vertex_weight(), 3);
+  EXPECT_DOUBLE_EQ(c.total_edge_weight(), 30);
+  EXPECT_NO_THROW(c.validate());
+}
+
+TEST(Chain, SingleVertexIsValid) {
+  Chain c = make({5}, {});
+  EXPECT_NO_THROW(c.validate());
+  EXPECT_EQ(c.edge_count(), 0);
+}
+
+TEST(Chain, ValidateRejectsEmptyChain) {
+  Chain c = make({}, {});
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+}
+
+TEST(Chain, ValidateRejectsSizeMismatch) {
+  EXPECT_THROW(make({1, 2}, {}).validate(), std::invalid_argument);
+  EXPECT_THROW(make({1}, {1}).validate(), std::invalid_argument);
+}
+
+TEST(Chain, ValidateRejectsNonPositiveWeights) {
+  EXPECT_THROW(make({1, 0}, {1}).validate(), std::invalid_argument);
+  EXPECT_THROW(make({1, 2}, {-1}).validate(), std::invalid_argument);
+}
+
+TEST(Chain, ValidateRejectsNonFiniteWeights) {
+  EXPECT_THROW(make({1, std::numeric_limits<double>::infinity()}, {1})
+                   .validate(),
+               std::invalid_argument);
+}
+
+TEST(Chain, SliceKeepsInteriorEdges) {
+  Chain c = make({1, 2, 3, 4}, {10, 20, 30});
+  Chain s = c.slice(1, 2);
+  EXPECT_EQ(s.n(), 2);
+  ASSERT_EQ(s.edge_count(), 1);
+  EXPECT_DOUBLE_EQ(s.vertex_weight[0], 2);
+  EXPECT_DOUBLE_EQ(s.edge_weight[0], 20);
+}
+
+TEST(Chain, SliceSingleVertex) {
+  Chain c = make({1, 2, 3}, {10, 20});
+  Chain s = c.slice(2, 2);
+  EXPECT_EQ(s.n(), 1);
+  EXPECT_EQ(s.edge_count(), 0);
+}
+
+TEST(Chain, SliceRejectsBadRange) {
+  Chain c = make({1, 2, 3}, {10, 20});
+  EXPECT_THROW(c.slice(2, 1), std::invalid_argument);
+  EXPECT_THROW(c.slice(0, 3), std::invalid_argument);
+}
+
+TEST(ChainPrefix, WindowsMatchDirectSums) {
+  Chain c = make({1, 2, 3, 4, 5}, {1, 1, 1, 1});
+  ChainPrefix p(c);
+  EXPECT_DOUBLE_EQ(p.window(0, 4), 15);
+  EXPECT_DOUBLE_EQ(p.window(1, 3), 9);
+  EXPECT_DOUBLE_EQ(p.window(2, 2), 3);
+  EXPECT_DOUBLE_EQ(p.prefix(1), 3);
+}
+
+TEST(ChainPrefix, LastFittingJumpsToWindowBoundary) {
+  Chain c = make({2, 3, 4, 5, 6}, {1, 1, 1, 1});
+  ChainPrefix p(c);
+  EXPECT_EQ(p.last_fitting(0, 1.9), -1);   // even v0 alone too big
+  EXPECT_EQ(p.last_fitting(0, 2.0), 0);
+  EXPECT_EQ(p.last_fitting(0, 5.0), 1);    // 2+3
+  EXPECT_EQ(p.last_fitting(0, 8.9), 1);
+  EXPECT_EQ(p.last_fitting(0, 9.0), 2);    // 2+3+4
+  EXPECT_EQ(p.last_fitting(0, 100.0), 4);  // everything fits
+  EXPECT_EQ(p.last_fitting(3, 5.0), 3);
+  EXPECT_EQ(p.last_fitting(3, 11.0), 4);
+  EXPECT_EQ(p.last_fitting(4, 5.9), 3);    // v4 alone too big
+  EXPECT_THROW(p.last_fitting(5, 1.0), std::invalid_argument);
+}
+
+TEST(ChainPrefix, LastFittingMatchesLinearScan) {
+  Chain c = make({1, 2, 3, 4, 5, 4, 3, 2, 1},
+                 {1, 1, 1, 1, 1, 1, 1, 1});
+  ChainPrefix p(c);
+  for (int start = 0; start < c.n(); ++start) {
+    for (double budget : {0.5, 1.0, 3.0, 7.5, 12.0, 100.0}) {
+      int expect = start - 1;
+      double acc = 0;
+      for (int j = start; j < c.n(); ++j) {
+        acc += c.vertex_weight[static_cast<std::size_t>(j)];
+        if (acc > budget) break;
+        expect = j;
+      }
+      EXPECT_EQ(p.last_fitting(start, budget), expect)
+          << "start=" << start << " budget=" << budget;
+    }
+  }
+}
+
+TEST(ChainPrefix, RejectsOutOfBoundsWindows) {
+  Chain c = make({1, 2}, {1});
+  ChainPrefix p(c);
+  EXPECT_THROW(p.window(1, 0), std::invalid_argument);
+  EXPECT_THROW(p.window(0, 2), std::invalid_argument);
+  EXPECT_THROW(p.window(-1, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tgp::graph

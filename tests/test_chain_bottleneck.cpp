@@ -1,0 +1,89 @@
+// Tests for the O(n) chain-specialized bottleneck minimizer.
+#include "core/chain_bottleneck.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/bottleneck_min.hpp"
+#include "core/prime_subpaths.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace tgp::core {
+namespace {
+
+graph::Chain make_chain(std::vector<double> vw, std::vector<double> ew) {
+  graph::Chain c;
+  c.vertex_weight = std::move(vw);
+  c.edge_weight = std::move(ew);
+  c.validate();
+  return c;
+}
+
+TEST(ChainBottleneck, EmptyCutWhenChainFits) {
+  auto c = make_chain({1, 2, 3}, {5, 5});
+  auto r = chain_bottleneck_min(c, 10);
+  EXPECT_TRUE(r.cut.empty());
+  EXPECT_DOUBLE_EQ(r.threshold, 0);
+}
+
+TEST(ChainBottleneck, PicksWindowMinimumEdge) {
+  // Single prime window {4,3,4} with edges 9 and 3: threshold 3.
+  auto c = make_chain({4, 3, 4}, {9, 3});
+  auto r = chain_bottleneck_min(c, 10);
+  EXPECT_DOUBLE_EQ(r.threshold, 3);
+  EXPECT_EQ(r.cut.edges, (std::vector<int>{1}));
+}
+
+TEST(ChainBottleneck, MaxOverPrimes) {
+  // Two disjoint prime windows: {6,5} forces edge 0 (weight 9), {5,6}
+  // forces edge 1 (weight 3): threshold = 9.
+  auto c = make_chain({6, 5, 6}, {9, 3});
+  auto r = chain_bottleneck_min(c, 10);
+  EXPECT_DOUBLE_EQ(r.threshold, 9);
+  EXPECT_EQ(r.cut.edges, (std::vector<int>{0, 1}));
+}
+
+TEST(ChainBottleneck, SharedEdgeServesOverlappingWindows) {
+  // Overlapping windows sharing a cheap edge keep the threshold low.
+  auto c = make_chain({4, 2, 2, 4}, {10, 1, 10});
+  auto r = chain_bottleneck_min(c, 7);
+  EXPECT_DOUBLE_EQ(r.threshold, 1);
+}
+
+TEST(ChainBottleneck, MatchesTreeAlgorithmOnRandomChains) {
+  util::Pcg32 rng(0xCB);
+  for (int trial = 0; trial < 60; ++trial) {
+    int n = static_cast<int>(rng.uniform_int(2, 200));
+    graph::Chain c =
+        graph::random_chain(rng, n, graph::WeightDist::uniform(1, 9),
+                            graph::WeightDist::uniform(1, 99));
+    double K = c.max_vertex_weight() +
+               rng.uniform_real(0.0, c.total_vertex_weight() / 2);
+    auto fast = chain_bottleneck_min(c, K);
+    auto tree = bottleneck_min_bsearch(graph::path_tree(c), K);
+    EXPECT_DOUBLE_EQ(fast.threshold, tree.threshold)
+        << "trial " << trial << " n=" << n << " K=" << K;
+    EXPECT_TRUE(graph::chain_cut_feasible(c, fast.cut, K));
+  }
+}
+
+TEST(ChainBottleneck, CutSizeBoundedByPrimeCount) {
+  util::Pcg32 rng(0xCC);
+  for (int trial = 0; trial < 20; ++trial) {
+    graph::Chain c =
+        graph::random_chain(rng, 300, graph::WeightDist::uniform(1, 9),
+                            graph::WeightDist::uniform(1, 99));
+    double K = 15;
+    auto primes = prime_subpaths(c, K);
+    auto r = chain_bottleneck_min(c, K);
+    EXPECT_LE(r.cut.edges.size(), primes.size());
+  }
+}
+
+TEST(ChainBottleneck, RejectsKBelowMaxVertexWeight) {
+  auto c = make_chain({1, 9}, {1});
+  EXPECT_THROW(chain_bottleneck_min(c, 8), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tgp::core

@@ -1,0 +1,124 @@
+// Tests for the conservative-protocol traffic accounting.
+#include "des/conservative_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/bandwidth_min.hpp"
+#include "des/circuit_gen.hpp"
+#include "des/supergraph.hpp"
+#include "util/rng.hpp"
+
+namespace tgp::des {
+namespace {
+
+TEST(Conservative, SingleLpHasNoProtocolTraffic) {
+  util::Pcg32 rng(1);
+  Circuit c = shift_register(16);
+  std::vector<int> one(static_cast<std::size_t>(c.n()), 0);
+  auto s = simulate_conservative(c, one, rng, 100);
+  EXPECT_EQ(s.lps, 1);
+  EXPECT_EQ(s.channels, 0);
+  EXPECT_EQ(s.real_messages, 0u);
+  EXPECT_EQ(s.null_messages, 0u);
+  EXPECT_DOUBLE_EQ(s.efficiency, 1.0);
+}
+
+TEST(Conservative, TwoLpShiftRegisterHasOneChannel) {
+  util::Pcg32 rng(2);
+  Circuit c = shift_register(8);  // input + 8 DFFs, a pure chain
+  // Split in the middle: exactly one wire crosses, one direction.
+  std::vector<int> group(static_cast<std::size_t>(c.n()), 0);
+  for (int g = 5; g < c.n(); ++g) group[static_cast<std::size_t>(g)] = 1;
+  auto s = simulate_conservative(c, group, rng, 500);
+  EXPECT_EQ(s.lps, 2);
+  EXPECT_EQ(s.channels, 1);
+  // Every cycle the channel carries exactly one message (real or null).
+  EXPECT_EQ(s.real_messages + s.null_messages, 500u);
+  // Random input toggles ~50% of cycles: efficiency near 0.5.
+  EXPECT_GT(s.efficiency, 0.3);
+  EXPECT_LT(s.efficiency, 0.7);
+}
+
+TEST(Conservative, ChannelCountsOrderedPairs) {
+  // Two gates feeding each other through DFFs across the split: both
+  // directions cross, so two channels.
+  Circuit c = ring_counter(4);
+  std::vector<int> group = {0, 0, 1, 1, 1};  // 4 DFFs + NOT gate
+  util::Pcg32 rng(3);
+  auto s = simulate_conservative(c, group, rng, 100);
+  EXPECT_EQ(s.lps, 2);
+  // Wires: dff1->dff2 crosses (0->1), dff3->not? not is gate 4, group 1,
+  // dff3 group 1: internal.  not->dff0 crosses (1->0).
+  EXPECT_EQ(s.channels, 2);
+}
+
+TEST(Conservative, PerCycleChannelInvariant) {
+  util::Pcg32 rng(5), rng2(5);
+  Circuit c = ripple_carry_adder(8);
+  auto prof = simulate_activity(c, rng, 1);  // sizes only
+  (void)prof;
+  std::vector<int> group = assign_round_robin(c.n(), 3);
+  const int cycles = 250;
+  auto s = simulate_conservative(c, group, rng2, cycles);
+  // Conservative protocol: every channel carries exactly one message per
+  // cycle, real or null.
+  EXPECT_EQ(s.real_messages + s.null_messages,
+            static_cast<std::uint64_t>(s.channels) * cycles);
+  EXPECT_GE(s.payload_toggles, s.real_messages);  // batching never loses
+}
+
+TEST(Conservative, SupergraphPartitionBeatsRoundRobinOnAllAxes) {
+  util::Pcg32 gen(0x77);
+  Circuit c = layered_random_circuit(gen, 16, 8);
+  util::Pcg32 act(9);
+  auto prof = simulate_activity(c, act, 400);
+  auto pg = process_graph(c, prof);
+  LinearSupergraph super = linear_supergraph(c, pg);
+  double K = std::max(1.15 * super.chain.total_vertex_weight() / 4,
+                      super.chain.max_vertex_weight());
+  auto cut = core::bandwidth_min_temps(super.chain, K).cut;
+  auto opt_groups = assign_from_chain_cut(super, cut);
+  int g = 0;
+  for (int x : opt_groups) g = std::max(g, x + 1);
+
+  util::Pcg32 r1(11), r2(11);
+  auto opt = simulate_conservative(c, opt_groups, r1, 400);
+  auto rr = simulate_conservative(
+      c, assign_round_robin(c.n(), std::max(g, 2)), r2, 400);
+  // Fewer channels -> fewer null messages; fewer crossing wires -> fewer
+  // real messages.  Both axes favour the structural partition.
+  EXPECT_LT(opt.channels, rr.channels);
+  EXPECT_LT(opt.real_messages, rr.real_messages);
+  EXPECT_LT(opt.real_messages + opt.null_messages,
+            rr.real_messages + rr.null_messages);
+}
+
+TEST(Conservative, ContiguousLevelsBoundChannelCount) {
+  // A chain-cut partition of a feed-forward pipeline touches only
+  // neighbouring groups: channels <= 2*(groups-1) directions... for pure
+  // feed-forward, only forward channels exist: <= groups-1.
+  util::Pcg32 gen(0x78);
+  Circuit c = layered_random_circuit(gen, 12, 6);
+  auto prof_rng = util::Pcg32(1);
+  auto prof = simulate_activity(c, prof_rng, 50);
+  auto pg = process_graph(c, prof);
+  LinearSupergraph super = linear_supergraph(c, pg);
+  auto groups = assign_from_chain_cut(super, graph::Cut{{3, 7}});
+  util::Pcg32 rng(2);
+  auto s = simulate_conservative(c, groups, rng, 50);
+  EXPECT_EQ(s.lps, 3);
+  EXPECT_LE(s.channels, 2);  // forward-only, neighbours-only
+}
+
+TEST(Conservative, RejectsBadArguments) {
+  util::Pcg32 rng(1);
+  Circuit c = shift_register(4);
+  std::vector<int> group(static_cast<std::size_t>(c.n()), 0);
+  EXPECT_THROW(simulate_conservative(c, {}, rng, 10),
+               std::invalid_argument);
+  EXPECT_THROW(simulate_conservative(c, group, rng, 0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tgp::des

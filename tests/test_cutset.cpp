@@ -1,0 +1,119 @@
+// Tests for cut representation, component computation, feasibility.
+#include "graph/cutset.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tgp::graph {
+namespace {
+
+Chain chain5() {
+  Chain c;
+  c.vertex_weight = {1, 2, 3, 4, 5};
+  c.edge_weight = {10, 20, 30, 40};
+  return c;
+}
+
+Tree tree5() {
+  return Tree::from_edges({5, 4, 3, 2, 1},
+                          {{0, 1, 10}, {0, 2, 20}, {1, 3, 30}, {1, 4, 40}});
+}
+
+TEST(Cut, CanonicalSortsAndDeduplicates) {
+  Cut c{{3, 1, 3, 0}};
+  Cut canon = c.canonical();
+  EXPECT_EQ(canon.edges, (std::vector<int>{0, 1, 3}));
+}
+
+TEST(ChainCut, EmptyCutIsWholeChain) {
+  auto w = chain_component_weights(chain5(), {});
+  ASSERT_EQ(w.size(), 1u);
+  EXPECT_DOUBLE_EQ(w[0], 15);
+}
+
+TEST(ChainCut, ComponentsSplitAtCutEdges) {
+  auto w = chain_component_weights(chain5(), Cut{{1, 3}});
+  ASSERT_EQ(w.size(), 3u);
+  EXPECT_DOUBLE_EQ(w[0], 3);   // v0,v1
+  EXPECT_DOUBLE_EQ(w[1], 7);   // v2,v3
+  EXPECT_DOUBLE_EQ(w[2], 5);   // v4
+}
+
+TEST(ChainCut, FeasibilityThreshold) {
+  EXPECT_TRUE(chain_cut_feasible(chain5(), Cut{{1, 3}}, 7));
+  EXPECT_FALSE(chain_cut_feasible(chain5(), Cut{{1, 3}}, 6.9));
+  EXPECT_TRUE(chain_cut_feasible(chain5(), {}, 15));
+  EXPECT_FALSE(chain_cut_feasible(chain5(), {}, 14));
+}
+
+TEST(ChainCut, WeightAndMaxEdge) {
+  EXPECT_DOUBLE_EQ(chain_cut_weight(chain5(), Cut{{0, 2}}), 40);
+  EXPECT_DOUBLE_EQ(chain_cut_max_edge(chain5(), Cut{{0, 2}}), 30);
+  EXPECT_DOUBLE_EQ(chain_cut_weight(chain5(), {}), 0);
+  EXPECT_DOUBLE_EQ(chain_cut_max_edge(chain5(), {}), 0);
+}
+
+TEST(ChainCut, DuplicateEdgesCountedOnce) {
+  EXPECT_DOUBLE_EQ(chain_cut_weight(chain5(), Cut{{2, 2}}), 30);
+}
+
+TEST(ChainCut, OutOfRangeEdgeThrows) {
+  EXPECT_THROW(chain_component_weights(chain5(), Cut{{4}}),
+               std::invalid_argument);
+  EXPECT_THROW(chain_cut_weight(chain5(), Cut{{-1}}), std::invalid_argument);
+}
+
+TEST(TreeCut, EmptyCutOneComponent) {
+  auto comp = tree_components(tree5(), {});
+  for (int c : comp) EXPECT_EQ(c, comp[0]);
+  auto w = tree_component_weights(tree5(), {});
+  ASSERT_EQ(w.size(), 1u);
+  EXPECT_DOUBLE_EQ(w[0], 15);
+}
+
+TEST(TreeCut, CutSeparatesSubtree) {
+  // Cut edge 0 (between 0 and 1): components {0,2} and {1,3,4}.
+  auto comp = tree_components(tree5(), Cut{{0}});
+  EXPECT_EQ(comp[0], comp[2]);
+  EXPECT_EQ(comp[1], comp[3]);
+  EXPECT_EQ(comp[1], comp[4]);
+  EXPECT_NE(comp[0], comp[1]);
+  auto w = tree_component_weights(tree5(), Cut{{0}});
+  ASSERT_EQ(w.size(), 2u);
+  EXPECT_DOUBLE_EQ(w[0] + w[1], 15);
+}
+
+TEST(TreeCut, FullCutIsolatesEveryVertex) {
+  auto w = tree_component_weights(tree5(), Cut{{0, 1, 2, 3}});
+  EXPECT_EQ(w.size(), 5u);
+}
+
+TEST(TreeCut, FeasibilityWeightAndMax) {
+  EXPECT_TRUE(tree_cut_feasible(tree5(), Cut{{0}}, 8));
+  EXPECT_FALSE(tree_cut_feasible(tree5(), Cut{{0}}, 7.5));
+  EXPECT_DOUBLE_EQ(tree_cut_weight(tree5(), Cut{{0, 3}}), 50);
+  EXPECT_DOUBLE_EQ(tree_cut_max_edge(tree5(), Cut{{0, 3}}), 40);
+}
+
+TEST(TreeCut, ContractComponentsFormsSuperNodeTree) {
+  std::vector<int> orig;
+  Tree t = contract_components(tree5(), Cut{{0, 3}}, &orig);
+  // Components: {0,2}=8, {1,3}=6, {4}=1 — contracted tree has 3 nodes,
+  // 2 edges, preserving cut edge weights 10 and 40.
+  EXPECT_EQ(t.n(), 3);
+  EXPECT_EQ(t.edge_count(), 2);
+  EXPECT_DOUBLE_EQ(t.total_vertex_weight(), 15);
+  std::vector<double> ew{t.edge(0).weight, t.edge(1).weight};
+  std::sort(ew.begin(), ew.end());
+  EXPECT_DOUBLE_EQ(ew[0], 10);
+  EXPECT_DOUBLE_EQ(ew[1], 40);
+  EXPECT_EQ(orig, (std::vector<int>{0, 3}));
+}
+
+TEST(TreeCut, ContractWithEmptyCutIsSingleNode) {
+  Tree t = contract_components(tree5(), {}, nullptr);
+  EXPECT_EQ(t.n(), 1);
+  EXPECT_DOUBLE_EQ(t.vertex_weight(0), 15);
+}
+
+}  // namespace
+}  // namespace tgp::graph

@@ -1,0 +1,195 @@
+// Tests for the logic-circuit DES application (§3, application 2).
+#include "des/supergraph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/bandwidth_min.hpp"
+#include "des/circuit_gen.hpp"
+#include "util/rng.hpp"
+
+namespace tgp::des {
+namespace {
+
+TEST(Circuit, ValidatesArities) {
+  Circuit c;
+  int in = c.add_gate(GateType::kInput);
+  EXPECT_NO_THROW(c.validate());
+  c.add_gate(GateType::kNot, {in});
+  EXPECT_NO_THROW(c.validate());
+  c.add_gate(GateType::kAnd, {in});  // arity 1 < 2
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+}
+
+TEST(Circuit, RejectsCombinationalCycles) {
+  Circuit c;
+  int a = c.add_gate(GateType::kNot);
+  int b = c.add_gate(GateType::kNot, {a});
+  c.connect(a, b);  // NOT loop with no DFF
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+}
+
+TEST(Circuit, DffBreaksCycles) {
+  EXPECT_NO_THROW(ring_counter(4).validate());
+}
+
+TEST(Circuit, LevelsIncreaseAlongCombinationalPaths) {
+  Circuit c = ripple_carry_adder(4);
+  auto lv = c.levels();
+  // Primary inputs at level 0; the last carry chain gate is deepest.
+  int max_level = *std::max_element(lv.begin(), lv.end());
+  EXPECT_GE(max_level, 4);  // carry ripples through every bit
+  for (int g = 0; g < c.n(); ++g) {
+    for (int in : c.gate(g).inputs) {
+      if (c.gate(g).type != GateType::kDff) {
+        EXPECT_GT(lv[static_cast<std::size_t>(g)],
+                  lv[static_cast<std::size_t>(in)]);
+      }
+    }
+  }
+}
+
+TEST(CircuitGen, ShapesAreAsAdvertised) {
+  EXPECT_EQ(shift_register(8).dff_count(), 8);
+  EXPECT_EQ(shift_register(8).input_count(), 1);
+  EXPECT_EQ(ring_counter(6).dff_count(), 6);
+  EXPECT_EQ(ring_counter(6).input_count(), 0);
+  EXPECT_EQ(ripple_carry_adder(4).input_count(), 8);
+  util::Pcg32 rng(1);
+  Circuit lr = layered_random_circuit(rng, 5, 6);
+  EXPECT_EQ(lr.input_count(), 6);
+  EXPECT_EQ(lr.dff_count(), 30);
+}
+
+TEST(Activity, ShiftRegisterPropagatesToggles) {
+  util::Pcg32 rng(7);
+  Circuit c = shift_register(6);
+  auto prof = simulate_activity(c, rng, 2000);
+  EXPECT_EQ(prof.cycles, 2000);
+  // Random input toggles ~50% of cycles; every DFF sees those toggles a
+  // cycle later, so toggle counts are similar along the chain.
+  for (int g = 1; g < c.n(); ++g) {
+    EXPECT_GT(prof.toggles[static_cast<std::size_t>(g)], 500u);
+    EXPECT_LT(prof.toggles[static_cast<std::size_t>(g)], 1500u);
+  }
+}
+
+TEST(Activity, RingCounterOscillates) {
+  util::Pcg32 rng(7);
+  Circuit c = ring_counter(4);
+  auto prof = simulate_activity(c, rng, 100);
+  // A Johnson ring self-oscillates: every DFF toggles.
+  for (int g = 0; g < 4; ++g)
+    EXPECT_GT(prof.toggles[static_cast<std::size_t>(g)], 10u);
+}
+
+TEST(Activity, ConstantInputsQuiesceCombinationalGates) {
+  // XOR of two copies of the same DFF chain never changes after settling.
+  util::Pcg32 rng(7);
+  Circuit c;
+  int in = c.add_gate(GateType::kInput);
+  int d1 = c.add_gate(GateType::kDff, {in});
+  int x = c.add_gate(GateType::kXor, {d1, d1});
+  (void)x;
+  auto prof = simulate_activity(c, rng, 500);
+  // XOR(a,a) == 0 forever: it may evaluate (inputs toggle) but its output
+  // toggles at most once.
+  EXPECT_LE(prof.toggles[2], 1u);
+  EXPECT_GT(prof.evaluations[2], 100u);  // event-driven evaluations happen
+}
+
+TEST(ProcessGraph, MirrorsNetlist) {
+  util::Pcg32 rng(3);
+  Circuit c = ripple_carry_adder(3);
+  auto prof = simulate_activity(c, rng, 200);
+  graph::TaskGraph g = process_graph(c, prof);
+  EXPECT_EQ(g.n(), c.n());
+  int netlist_edges = 0;
+  for (int i = 0; i < c.n(); ++i)
+    netlist_edges += static_cast<int>(c.gate(i).inputs.size());
+  EXPECT_EQ(g.edge_count(), netlist_edges);
+  for (int v = 0; v < g.n(); ++v) EXPECT_GE(g.vertex_weight(v), 1.0);
+}
+
+TEST(Supergraph, LevelsBecomeChainVertices) {
+  util::Pcg32 rng(5);
+  Circuit c = ripple_carry_adder(4);
+  auto prof = simulate_activity(c, rng, 100);
+  auto pg = process_graph(c, prof);
+  LinearSupergraph super = linear_supergraph(c, pg);
+  int max_level =
+      *std::max_element(super.level_of_gate.begin(), super.level_of_gate.end());
+  EXPECT_EQ(super.chain.n(), max_level + 1);
+  // Total vertex weight preserved.
+  EXPECT_NEAR(super.chain.total_vertex_weight(), pg.total_vertex_weight(),
+              1e-9);
+}
+
+TEST(Supergraph, ChainCutInducesGateAssignment) {
+  util::Pcg32 rng(5);
+  Circuit c = ripple_carry_adder(6);
+  auto prof = simulate_activity(c, rng, 100);
+  auto pg = process_graph(c, prof);
+  LinearSupergraph super = linear_supergraph(c, pg);
+  graph::Cut cut{{1, 3}};
+  auto group = assign_from_chain_cut(super, cut);
+  EXPECT_EQ(group.size(), static_cast<std::size_t>(c.n()));
+  // Gates of the same level always share a group; group ids increase with
+  // level.
+  for (int g = 0; g < c.n(); ++g) {
+    int lvl = super.level_of_gate[static_cast<std::size_t>(g)];
+    int expected = 0;
+    if (lvl > 1) ++expected;
+    if (lvl > 3) ++expected;
+    EXPECT_EQ(group[static_cast<std::size_t>(g)], expected);
+  }
+}
+
+TEST(Assignments, ShapeHelpers) {
+  EXPECT_EQ(assign_block(6, 3), (std::vector<int>{0, 0, 1, 1, 2, 2}));
+  EXPECT_EQ(assign_round_robin(5, 2), (std::vector<int>{0, 1, 0, 1, 0}));
+  util::Pcg32 rng(2);
+  auto r = assign_random(rng, 100, 4);
+  for (int g : r) {
+    EXPECT_GE(g, 0);
+    EXPECT_LT(g, 4);
+  }
+}
+
+TEST(Quality, CrossMessagesCountedOncePerEdge) {
+  graph::TaskGraph g;
+  int a = g.add_node(1);
+  int b = g.add_node(1);
+  int c2 = g.add_node(1);
+  g.add_edge(a, b, 10);
+  g.add_edge(b, c2, 5);
+  auto q = evaluate_assignment(g, {0, 0, 1});
+  EXPECT_DOUBLE_EQ(q.cross_messages, 5);
+  EXPECT_DOUBLE_EQ(q.total_messages, 15);
+  EXPECT_DOUBLE_EQ(q.max_group_load, 2);
+  EXPECT_EQ(q.groups, 2);
+}
+
+TEST(Quality, BandwidthMinBeatsRoundRobinAndRandom) {
+  util::Pcg32 rng(11);
+  Circuit c = layered_random_circuit(rng, 12, 8);
+  auto prof = simulate_activity(c, rng, 500);
+  auto pg = process_graph(c, prof);
+  LinearSupergraph super = linear_supergraph(c, pg);
+
+  double K = super.chain.total_vertex_weight() / 4;
+  K = std::max(K, super.chain.max_vertex_weight());
+  auto bw = core::bandwidth_min_temps(super.chain, K);
+  auto opt = evaluate_assignment(pg, assign_from_chain_cut(super, bw.cut));
+  int groups = std::max(opt.groups, 2);
+  auto rr = evaluate_assignment(pg, assign_round_robin(c.n(), groups));
+  auto rnd = evaluate_assignment(pg, assign_random(rng, c.n(), groups));
+  // The §3 claim: topology-aware linear partitioning sends far fewer
+  // inter-processor messages than topology-blind assignments.
+  EXPECT_LT(opt.cross_messages, rr.cross_messages);
+  EXPECT_LT(opt.cross_messages, rnd.cross_messages);
+}
+
+}  // namespace
+}  // namespace tgp::des

@@ -1,0 +1,114 @@
+// Tests for the processor-constrained duals.
+#include "core/duals.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ccp/ccp.hpp"
+#include "core/proc_min.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace tgp::core {
+namespace {
+
+TEST(DualChain, MatchesCcpBottleneckExactly) {
+  // The chain dual *is* chains-on-chains bottleneck partitioning; the two
+  // independent implementations must agree.
+  util::Pcg32 rng(0xD0A1);
+  for (int trial = 0; trial < 40; ++trial) {
+    int n = static_cast<int>(rng.uniform_int(2, 150));
+    int m = static_cast<int>(rng.uniform_int(1, std::min(n, 12)));
+    graph::Chain c;
+    for (int i = 0; i < n; ++i)
+      c.vertex_weight.push_back(
+          static_cast<double>(rng.uniform_int(1, 50)));
+    c.edge_weight.assign(static_cast<std::size_t>(n) - 1, 1.0);
+    DualResult dual = min_bound_for_processors_chain(c, m);
+    ccp::CcpResult ref = ccp::ccp_probe(c, m);
+    EXPECT_DOUBLE_EQ(dual.bound, ref.bottleneck)
+        << "trial " << trial << " n=" << n << " m=" << m;
+    EXPECT_LE(dual.components, m);
+  }
+}
+
+TEST(DualChain, SingleProcessorBoundIsTotal) {
+  util::Pcg32 rng(1);
+  graph::Chain c = graph::random_chain(rng, 20,
+                                       graph::WeightDist::uniform(1, 9),
+                                       graph::WeightDist::uniform(1, 9));
+  DualResult r = min_bound_for_processors_chain(c, 1);
+  EXPECT_DOUBLE_EQ(r.bound, c.total_vertex_weight());
+  EXPECT_TRUE(r.cut.empty());
+}
+
+TEST(DualTree, BoundIsAchievableAndTight) {
+  util::Pcg32 rng(0xD0A2);
+  for (int trial = 0; trial < 40; ++trial) {
+    int n = static_cast<int>(rng.uniform_int(2, 120));
+    int m = static_cast<int>(rng.uniform_int(1, 10));
+    graph::Tree t = graph::random_tree(
+        rng, n, graph::WeightDist::uniform(1, 20),
+        graph::WeightDist::uniform(1, 9));
+    DualResult r = min_bound_for_processors_tree(t, m);
+    // The certificate achieves the bound with <= m components.
+    EXPECT_LE(r.components, m);
+    EXPECT_TRUE(graph::tree_cut_feasible(t, r.cut, r.bound));
+    // Lower bounds hold.
+    EXPECT_GE(r.bound + 1e-9, t.total_vertex_weight() / m);
+    EXPECT_GE(r.bound + 1e-9, t.max_vertex_weight());
+    // Tightness: with integer weights, any strictly smaller achievable
+    // bound is at least 1 lower; asking for bound - 0.5 must need > m
+    // components.
+    if (r.bound - 0.5 >= t.max_vertex_weight()) {
+      auto tighter = proc_min(t, r.bound - 0.5);
+      EXPECT_GT(tighter.components, m) << "trial " << trial;
+    }
+  }
+}
+
+TEST(DualTree, MonotoneInProcessorCount) {
+  util::Pcg32 rng(5);
+  graph::Tree t = graph::random_tree(rng, 150,
+                                     graph::WeightDist::uniform(1, 9),
+                                     graph::WeightDist::uniform(1, 9));
+  double prev = std::numeric_limits<double>::infinity();
+  for (int m = 1; m <= 16; ++m) {
+    DualResult r = min_bound_for_processors_tree(t, m);
+    EXPECT_LE(r.bound, prev + 1e-9);
+    prev = r.bound;
+  }
+}
+
+TEST(DualTree, PathTreeMatchesChainDual) {
+  util::Pcg32 rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    graph::Chain c;
+    int n = static_cast<int>(rng.uniform_int(2, 60));
+    for (int i = 0; i < n; ++i)
+      c.vertex_weight.push_back(
+          static_cast<double>(rng.uniform_int(1, 30)));
+    c.edge_weight.assign(static_cast<std::size_t>(n) - 1, 1.0);
+    int m = static_cast<int>(rng.uniform_int(1, 8));
+    DualResult chain_dual = min_bound_for_processors_chain(c, m);
+    DualResult tree_dual =
+        min_bound_for_processors_tree(graph::path_tree(c), m);
+    // The tree may do better: its components need not be contiguous...
+    // on a path they are, so the bounds must agree.
+    EXPECT_DOUBLE_EQ(chain_dual.bound, tree_dual.bound) << "trial " << trial;
+  }
+}
+
+TEST(Duals, RejectBadProcessorCounts) {
+  util::Pcg32 rng(1);
+  graph::Chain c = graph::random_chain(rng, 5,
+                                       graph::WeightDist::uniform(1, 9),
+                                       graph::WeightDist::uniform(1, 9));
+  EXPECT_THROW(min_bound_for_processors_chain(c, 0), std::invalid_argument);
+  EXPECT_THROW(min_bound_for_processors_tree(graph::path_tree(c), 0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tgp::core

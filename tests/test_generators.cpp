@@ -1,0 +1,147 @@
+// Tests for workload generators.
+#include "graph/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace tgp::graph {
+namespace {
+
+TEST(WeightDist, UniformStaysInRange) {
+  util::Pcg32 rng(1);
+  auto d = WeightDist::uniform(2, 5);
+  for (int i = 0; i < 1000; ++i) {
+    double v = d.sample(rng);
+    EXPECT_GE(v, 2);
+    EXPECT_LT(v, 5);
+  }
+}
+
+TEST(WeightDist, ConstantIsConstant) {
+  util::Pcg32 rng(1);
+  auto d = WeightDist::constant(3.5);
+  for (int i = 0; i < 10; ++i) EXPECT_DOUBLE_EQ(d.sample(rng), 3.5);
+}
+
+TEST(WeightDist, ExponentialIsPositive) {
+  util::Pcg32 rng(1);
+  auto d = WeightDist::exponential(2.0);
+  for (int i = 0; i < 1000; ++i) EXPECT_GT(d.sample(rng), 0);
+}
+
+TEST(WeightDist, BimodalHitsBothModes) {
+  util::Pcg32 rng(1);
+  auto d = WeightDist::bimodal(0.5, 1, 2, 10, 20);
+  int lo = 0, hi = 0;
+  for (int i = 0; i < 1000; ++i) {
+    double v = d.sample(rng);
+    (v <= 2 ? lo : hi)++;
+  }
+  EXPECT_GT(lo, 300);
+  EXPECT_GT(hi, 300);
+}
+
+TEST(WeightDist, FactoriesRejectBadParameters) {
+  EXPECT_THROW(WeightDist::uniform(0, 1), std::invalid_argument);
+  EXPECT_THROW(WeightDist::uniform(3, 2), std::invalid_argument);
+  EXPECT_THROW(WeightDist::exponential(-1), std::invalid_argument);
+  EXPECT_THROW(WeightDist::constant(0), std::invalid_argument);
+}
+
+TEST(WeightDist, DescribeNamesTheDistribution) {
+  EXPECT_NE(WeightDist::uniform(1, 2).describe().find("U["),
+            std::string::npos);
+  EXPECT_NE(WeightDist::exponential(1).describe().find("Exp"),
+            std::string::npos);
+}
+
+TEST(Generators, RandomChainIsValidAndDeterministic) {
+  util::Pcg32 a(5), b(5);
+  Chain c1 = random_chain(a, 100, WeightDist::uniform(1, 10),
+                          WeightDist::uniform(1, 5));
+  Chain c2 = random_chain(b, 100, WeightDist::uniform(1, 10),
+                          WeightDist::uniform(1, 5));
+  EXPECT_EQ(c1.vertex_weight, c2.vertex_weight);
+  EXPECT_EQ(c1.edge_weight, c2.edge_weight);
+  EXPECT_NO_THROW(c1.validate());
+  EXPECT_EQ(c1.n(), 100);
+}
+
+TEST(Generators, AscendingEdgeChainIsStrictlyIncreasing) {
+  Chain c = ascending_edge_chain(10, 1.0, 2.0, 0.5);
+  for (std::size_t i = 1; i < c.edge_weight.size(); ++i)
+    EXPECT_GT(c.edge_weight[i], c.edge_weight[i - 1]);
+}
+
+TEST(Generators, DescendingEdgeChainIsStrictlyDecreasing) {
+  Chain c = descending_edge_chain(10, 1.0, 100.0, 1.0);
+  for (std::size_t i = 1; i < c.edge_weight.size(); ++i)
+    EXPECT_LT(c.edge_weight[i], c.edge_weight[i - 1]);
+}
+
+TEST(Generators, RandomTreeHasRightSize) {
+  util::Pcg32 rng(9);
+  Tree t = random_tree(rng, 200, WeightDist::uniform(1, 10),
+                       WeightDist::uniform(1, 5));
+  EXPECT_EQ(t.n(), 200);
+  EXPECT_EQ(t.edge_count(), 199);
+}
+
+TEST(Generators, RandomBinaryTreeRespectsDegreeBound) {
+  util::Pcg32 rng(11);
+  Tree t = random_binary_tree(rng, 100, WeightDist::uniform(1, 10),
+                              WeightDist::uniform(1, 5));
+  // Degree ≤ 3 everywhere (2 children + 1 parent).
+  for (int v = 0; v < t.n(); ++v) EXPECT_LE(t.degree(v), 3);
+}
+
+TEST(Generators, StarTreeShape) {
+  util::Pcg32 rng(13);
+  Tree t = star_tree(rng, 12, WeightDist::uniform(1, 10),
+                     WeightDist::uniform(1, 5));
+  EXPECT_EQ(t.degree(0), 11);
+  for (int v = 1; v < 12; ++v) EXPECT_EQ(t.degree(v), 1);
+}
+
+TEST(Generators, PathTreeMirrorsChain) {
+  Chain c;
+  c.vertex_weight = {1, 2, 3};
+  c.edge_weight = {4, 5};
+  Tree t = path_tree(c);
+  EXPECT_EQ(t.n(), 3);
+  EXPECT_EQ(t.degree(0), 1);
+  EXPECT_EQ(t.degree(1), 2);
+  EXPECT_DOUBLE_EQ(t.total_vertex_weight(), 6);
+}
+
+TEST(Generators, CaterpillarShape) {
+  util::Pcg32 rng(17);
+  Tree t = caterpillar_tree(rng, 5, 2, WeightDist::uniform(1, 10),
+                            WeightDist::uniform(1, 5));
+  EXPECT_EQ(t.n(), 15);
+  int leaf_count = static_cast<int>(t.leaves().size());
+  EXPECT_GE(leaf_count, 10);  // all legs are leaves
+}
+
+TEST(Generators, KaryTreeSize) {
+  util::Pcg32 rng(19);
+  Tree t = kary_tree(rng, 2, 4, WeightDist::uniform(1, 10),
+                     WeightDist::uniform(1, 5));
+  EXPECT_EQ(t.n(), 15);  // 1+2+4+8
+  Tree t3 = kary_tree(rng, 3, 3, WeightDist::uniform(1, 10),
+                      WeightDist::uniform(1, 5));
+  EXPECT_EQ(t3.n(), 13);  // 1+3+9
+}
+
+TEST(Generators, RejectsBadShapes) {
+  util::Pcg32 rng(1);
+  auto d = WeightDist::uniform(1, 2);
+  EXPECT_THROW(random_chain(rng, 0, d, d), std::invalid_argument);
+  EXPECT_THROW(random_tree(rng, 0, d, d), std::invalid_argument);
+  EXPECT_THROW(caterpillar_tree(rng, 0, 2, d, d), std::invalid_argument);
+  EXPECT_THROW(kary_tree(rng, 0, 2, d, d), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tgp::graph

@@ -1,0 +1,110 @@
+// Tests for task-graph serialization.
+#include "graph/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace tgp::graph {
+namespace {
+
+TEST(ChainIo, RoundTripsExactly) {
+  util::Pcg32 rng(3);
+  Chain c = random_chain(rng, 50, WeightDist::uniform(0.1, 7.3),
+                         WeightDist::exponential(2.5));
+  std::stringstream ss;
+  save_chain(ss, c);
+  Chain back = load_chain(ss);
+  EXPECT_EQ(back.vertex_weight, c.vertex_weight);  // bit-exact (hexfloat)
+  EXPECT_EQ(back.edge_weight, c.edge_weight);
+}
+
+TEST(ChainIo, SingleVertexChain) {
+  Chain c;
+  c.vertex_weight = {2.5};
+  std::stringstream ss;
+  save_chain(ss, c);
+  Chain back = load_chain(ss);
+  EXPECT_EQ(back.n(), 1);
+  EXPECT_DOUBLE_EQ(back.vertex_weight[0], 2.5);
+}
+
+TEST(ChainIo, RejectsBadMagicAndTruncation) {
+  {
+    std::stringstream ss("nonsense 1 3\n1 2 3\n1 2\n");
+    EXPECT_THROW(load_chain(ss), std::invalid_argument);
+  }
+  {
+    std::stringstream ss("tgp-chain 1 3\n1 2\n");  // missing weights
+    EXPECT_THROW(load_chain(ss), std::invalid_argument);
+  }
+  {
+    std::stringstream ss("tgp-chain 9 3\n1 2 3\n1 2\n");  // bad version
+    EXPECT_THROW(load_chain(ss), std::invalid_argument);
+  }
+  {
+    std::stringstream ss("tgp-chain 1 2\n1 oops\n3\n");  // bad weight
+    EXPECT_THROW(load_chain(ss), std::invalid_argument);
+  }
+}
+
+TEST(ChainIo, RejectsInvalidChainContent) {
+  std::stringstream ss("tgp-chain 1 2\n1 -5\n3\n");  // negative weight
+  EXPECT_THROW(load_chain(ss), std::invalid_argument);
+}
+
+TEST(TreeIo, RoundTripsExactly) {
+  util::Pcg32 rng(5);
+  Tree t = random_tree(rng, 40, WeightDist::uniform(0.5, 9.9),
+                       WeightDist::uniform(0.1, 3.3));
+  std::stringstream ss;
+  save_tree(ss, t);
+  Tree back = load_tree(ss);
+  ASSERT_EQ(back.n(), t.n());
+  for (int v = 0; v < t.n(); ++v)
+    EXPECT_EQ(back.vertex_weight(v), t.vertex_weight(v));
+  ASSERT_EQ(back.edge_count(), t.edge_count());
+  for (int e = 0; e < t.edge_count(); ++e) {
+    EXPECT_EQ(back.edge(e).u, t.edge(e).u);
+    EXPECT_EQ(back.edge(e).v, t.edge(e).v);
+    EXPECT_EQ(back.edge(e).weight, t.edge(e).weight);
+  }
+}
+
+TEST(TreeIo, RejectsDisconnectedEdgeList) {
+  std::stringstream ss("tgp-tree 1 3\n1 2 3\n0 1 1\n0 1 2\n");
+  EXPECT_THROW(load_tree(ss), std::invalid_argument);
+}
+
+TEST(FileIo, RoundTripsThroughDisk) {
+  util::Pcg32 rng(7);
+  Chain c = random_chain(rng, 12, WeightDist::uniform(1, 5),
+                         WeightDist::uniform(1, 5));
+  std::string path = testing::TempDir() + "/tgp_io_chain.txt";
+  save_chain_file(path, c);
+  Chain back = load_chain_file(path);
+  EXPECT_EQ(back.vertex_weight, c.vertex_weight);
+  std::remove(path.c_str());
+
+  Tree t = random_tree(rng, 9, WeightDist::uniform(1, 5),
+                       WeightDist::uniform(1, 5));
+  std::string tpath = testing::TempDir() + "/tgp_io_tree.txt";
+  save_tree_file(tpath, t);
+  Tree tback = load_tree_file(tpath);
+  EXPECT_EQ(tback.n(), t.n());
+  std::remove(tpath.c_str());
+}
+
+TEST(FileIo, MissingFileThrows) {
+  EXPECT_THROW(load_chain_file("/nonexistent/definitely/not/here.txt"),
+               std::invalid_argument);
+  EXPECT_THROW(load_tree_file("/nonexistent/definitely/not/here.txt"),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tgp::graph

@@ -1,0 +1,127 @@
+// Tests for Bokhari-style host–satellite tree partitioning.
+#include "ccp/host_satellite.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace tgp::ccp {
+namespace {
+
+TEST(HostSatellite, NoSatellitesHostsEverything) {
+  auto t = graph::Tree::from_edges({3, 4, 5},
+                                   {{0, 1, 1}, {1, 2, 1}});
+  auto r = host_satellite_partition(t, 0, 0);
+  EXPECT_TRUE(r.cut.empty());
+  EXPECT_DOUBLE_EQ(r.host_load, 12);
+  EXPECT_DOUBLE_EQ(r.bottleneck, 12);
+}
+
+TEST(HostSatellite, OffloadsHeavySubtreeWhenWorthIt) {
+  // Host root 0 (weight 1); child 1 (weight 10, link 2).  Offloading
+  // gives bottleneck max(1, 12) = 12 — worse than hosting (11)!  So the
+  // optimum keeps everything.
+  auto t = graph::Tree::from_edges({1, 10}, {{0, 1, 2}});
+  auto r = host_satellite_partition(t, 0, 4);
+  EXPECT_DOUBLE_EQ(r.bottleneck, 11);
+  EXPECT_TRUE(r.cut.empty());
+}
+
+TEST(HostSatellite, OffloadingWinsWithCheapLinks) {
+  // Same shape, cheap link: offload gives max(1, 10.5) < 11.
+  auto t = graph::Tree::from_edges({1, 10}, {{0, 1, 0.5}});
+  auto r = host_satellite_partition(t, 0, 4);
+  EXPECT_DOUBLE_EQ(r.bottleneck, 10.5);
+  EXPECT_EQ(r.cut.size(), 1);
+  ASSERT_EQ(r.satellite_loads.size(), 1u);
+  EXPECT_DOUBLE_EQ(r.satellite_loads[0], 10.5);
+  EXPECT_DOUBLE_EQ(r.host_load, 1);
+}
+
+TEST(HostSatellite, StarOffloadsHeaviestLeaves) {
+  // Center host with 4 leaves of weight 5, links 1; 2 satellites.
+  // Offload two leaves: host 1+5+5 = 11, satellites 6 — bottleneck 11.
+  auto t = graph::Tree::from_edges(
+      {1, 5, 5, 5, 5},
+      {{0, 1, 1}, {0, 2, 1}, {0, 3, 1}, {0, 4, 1}});
+  auto r = host_satellite_partition(t, 0, 2);
+  EXPECT_DOUBLE_EQ(r.bottleneck, 11);
+  EXPECT_EQ(r.cut.size(), 2);
+}
+
+TEST(HostSatellite, AntichainConstraintRespected) {
+  // Path 0-1-2-3: offloading both subtree(1) and subtree(2) would nest.
+  auto t = graph::Tree::from_edges(
+      {1, 1, 1, 10}, {{0, 1, 1}, {1, 2, 1}, {2, 3, 1}});
+  auto r = host_satellite_partition(t, 0, 3);
+  // Only one piece can hang below vertex 1's chain at a time.
+  EXPECT_LE(r.cut.size(), 1);
+  // Verify via oracle.
+  auto o = host_satellite_brute(t, 0, 3);
+  EXPECT_DOUBLE_EQ(r.bottleneck, o.bottleneck);
+}
+
+TEST(HostSatellite, MatchesBruteForceOnRandomTrees) {
+  util::Pcg32 rng(0x45);
+  for (int trial = 0; trial < 60; ++trial) {
+    int n = static_cast<int>(rng.uniform_int(2, 10));
+    graph::Tree t = graph::random_tree(
+        rng, n, graph::WeightDist::uniform(1, 9),
+        graph::WeightDist::uniform(1, 9));
+    int root = static_cast<int>(rng.uniform_int(0, n - 1));
+    int s = static_cast<int>(rng.uniform_int(0, 4));
+    auto fast = host_satellite_partition(t, root, s);
+    auto brute = host_satellite_brute(t, root, s);
+    EXPECT_NEAR(fast.bottleneck, brute.bottleneck, 1e-6)
+        << "trial " << trial << " n=" << n << " root=" << root
+        << " s=" << s;
+  }
+}
+
+TEST(HostSatellite, MoreSatellitesNeverHurt) {
+  util::Pcg32 rng(0x46);
+  graph::Tree t = graph::random_tree(rng, 80,
+                                     graph::WeightDist::uniform(1, 9),
+                                     graph::WeightDist::uniform(1, 3));
+  double prev = std::numeric_limits<double>::infinity();
+  for (int s = 0; s <= 12; ++s) {
+    auto r = host_satellite_partition(t, 0, s);
+    EXPECT_LE(r.bottleneck, prev + 1e-9) << "s=" << s;
+    prev = r.bottleneck;
+    EXPECT_LE(r.cut.size(), s);
+  }
+}
+
+TEST(HostSatellite, LoadsAreConsistent) {
+  util::Pcg32 rng(0x47);
+  for (int trial = 0; trial < 20; ++trial) {
+    graph::Tree t = graph::random_tree(
+        rng, 60, graph::WeightDist::uniform(1, 9),
+        graph::WeightDist::uniform(1, 9));
+    auto r = host_satellite_partition(t, 0, 5);
+    double sat_sum = 0;
+    for (double l : r.satellite_loads) {
+      EXPECT_LE(l, r.bottleneck + 1e-9);
+      sat_sum += l;
+    }
+    EXPECT_LE(r.host_load, r.bottleneck + 1e-9);
+    // Host + satellites account for all computation (links excluded).
+    double link_sum = 0;
+    for (int e : r.cut.edges) link_sum += t.edge(e).weight;
+    EXPECT_NEAR(r.host_load + sat_sum - link_sum,
+                t.total_vertex_weight(), 1e-6);
+  }
+}
+
+TEST(HostSatellite, RejectsBadArguments) {
+  auto t = graph::Tree::from_edges({1, 1}, {{0, 1, 1}});
+  EXPECT_THROW(host_satellite_partition(t, -1, 2), std::invalid_argument);
+  EXPECT_THROW(host_satellite_partition(t, 2, 2), std::invalid_argument);
+  EXPECT_THROW(host_satellite_partition(t, 0, -1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tgp::ccp

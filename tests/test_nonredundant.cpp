@@ -1,0 +1,129 @@
+// Tests for edge membership and the non-redundant edge reduction (§2.3.1).
+#include "core/nonredundant.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace tgp::core {
+namespace {
+
+graph::Chain make_chain(std::vector<double> vw, std::vector<double> ew) {
+  graph::Chain c;
+  c.vertex_weight = std::move(vw);
+  c.edge_weight = std::move(ew);
+  c.validate();
+  return c;
+}
+
+TEST(EdgeMembership, MatchesDirectCheck) {
+  util::Pcg32 rng(3);
+  for (int trial = 0; trial < 30; ++trial) {
+    int n = static_cast<int>(rng.uniform_int(2, 40));
+    auto c = graph::random_chain(rng, n, graph::WeightDist::uniform(1, 8),
+                                 graph::WeightDist::uniform(1, 8));
+    double K = c.max_vertex_weight() + rng.uniform_real(0.0, 25.0);
+    auto primes = prime_subpaths(c, K);
+    auto member = edge_memberships(c, primes);
+    for (int j = 0; j < c.edge_count(); ++j) {
+      int lo = -1, hi = -2;
+      for (int i = 0; i < static_cast<int>(primes.size()); ++i) {
+        const auto& pr = primes[static_cast<std::size_t>(i)];
+        if (pr.first_edge() <= j && j <= pr.last_edge()) {
+          if (lo < 0) lo = i;
+          hi = i;
+        }
+      }
+      if (lo < 0) {
+        EXPECT_FALSE(member[static_cast<std::size_t>(j)].covered());
+      } else {
+        EXPECT_EQ(member[static_cast<std::size_t>(j)].first_prime, lo);
+        EXPECT_EQ(member[static_cast<std::size_t>(j)].last_prime, hi);
+      }
+    }
+  }
+}
+
+TEST(ReduceEdges, KeepsLightestPerMembershipGroup) {
+  // One prime window spanning 4 edges with weights 5,2,7,3: a single group
+  // per (c,d) range.  Edges inside the same window but with different
+  // membership stay separate.
+  auto c = make_chain({5, 1, 1, 1, 5}, {5, 2, 7, 3});
+  auto primes = prime_subpaths(c, 12);
+  ASSERT_EQ(primes.size(), 1u);
+  auto reduced = reduce_edges(c, primes);
+  ASSERT_EQ(reduced.size(), 1u);
+  EXPECT_EQ(reduced[0].edge, 1);  // weight 2 is the lightest
+  EXPECT_DOUBLE_EQ(reduced[0].weight, 2);
+  EXPECT_EQ(reduced[0].first_prime, 0);
+  EXPECT_EQ(reduced[0].last_prime, 0);
+  EXPECT_EQ(reduced[0].prime_count(), 1);
+}
+
+TEST(ReduceEdges, BoundedByTwoPMinusOne) {
+  util::Pcg32 rng(7);
+  for (int trial = 0; trial < 30; ++trial) {
+    int n = static_cast<int>(rng.uniform_int(2, 300));
+    auto c = graph::random_chain(rng, n, graph::WeightDist::uniform(1, 9),
+                                 graph::WeightDist::uniform(1, 9));
+    double K = c.max_vertex_weight() + rng.uniform_real(0.0, 40.0);
+    auto primes = prime_subpaths(c, K);
+    if (primes.empty()) continue;
+    auto reduced = reduce_edges(c, primes);
+    EXPECT_LE(reduced.size(), 2 * primes.size() - 1);
+    EXPECT_LE(static_cast<int>(reduced.size()), c.edge_count());
+  }
+}
+
+TEST(ReduceEdges, EveryPrimeCovered) {
+  util::Pcg32 rng(11);
+  for (int trial = 0; trial < 30; ++trial) {
+    int n = static_cast<int>(rng.uniform_int(2, 120));
+    auto c = graph::random_chain(rng, n, graph::WeightDist::uniform(1, 9),
+                                 graph::WeightDist::uniform(1, 9));
+    double K = c.max_vertex_weight() + rng.uniform_real(0.0, 30.0);
+    auto primes = prime_subpaths(c, K);
+    auto reduced = reduce_edges(c, primes);
+    std::vector<char> covered(primes.size(), 0);
+    for (const auto& e : reduced)
+      for (int i = e.first_prime; i <= e.last_prime; ++i)
+        covered[static_cast<std::size_t>(i)] = 1;
+    for (char cov : covered) EXPECT_TRUE(cov);
+  }
+}
+
+TEST(ReduceEdges, RangesMonotoneInPosition) {
+  util::Pcg32 rng(13);
+  for (int trial = 0; trial < 20; ++trial) {
+    auto c = graph::random_chain(rng, 150, graph::WeightDist::uniform(1, 9),
+                                 graph::WeightDist::uniform(1, 9));
+    auto primes = prime_subpaths(c, 20);
+    auto reduced = reduce_edges(c, primes);
+    for (std::size_t i = 1; i < reduced.size(); ++i) {
+      EXPECT_LT(reduced[i - 1].edge, reduced[i].edge);
+      EXPECT_LE(reduced[i - 1].first_prime, reduced[i].first_prime);
+      EXPECT_LE(reduced[i - 1].last_prime, reduced[i].last_prime);
+    }
+  }
+}
+
+TEST(ReduceEdges, EmptyPrimesGiveEmptyReduction) {
+  auto c = make_chain({1, 1, 1}, {1, 1});
+  auto primes = prime_subpaths(c, 10);
+  EXPECT_TRUE(primes.empty());
+  EXPECT_TRUE(reduce_edges(c, primes).empty());
+}
+
+TEST(ReduceEdges, UniformTightKKeepsAllEdges) {
+  // K = 3 with unit weights: prime windows are consecutive 4-vertex runs;
+  // membership ranges differ for every edge, so nothing is redundant.
+  auto c = make_chain({1, 1, 1, 1, 1, 1}, {9, 8, 7, 6, 5});
+  auto primes = prime_subpaths(c, 3);
+  ASSERT_EQ(primes.size(), 3u);  // windows [0..3], [1..4], [2..5]
+  auto reduced = reduce_edges(c, primes);
+  EXPECT_LE(reduced.size(), 2 * primes.size() - 1);
+}
+
+}  // namespace
+}  // namespace tgp::core

@@ -1,0 +1,93 @@
+// Tests for the synchronous parallel-DES cost model.
+#include "des/parallel_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/bandwidth_min.hpp"
+#include "des/circuit_gen.hpp"
+#include "des/supergraph.hpp"
+#include "util/rng.hpp"
+
+namespace tgp::des {
+namespace {
+
+TEST(ParallelSim, SingleGroupHasNoSpeedupAndNoMessages) {
+  util::Pcg32 rng(1);
+  Circuit c = shift_register(16);
+  std::vector<int> all_zero(static_cast<std::size_t>(c.n()), 0);
+  auto r = simulate_parallel_des(c, all_zero, rng, 200, 0.5);
+  EXPECT_EQ(r.cross_messages, 0u);
+  EXPECT_EQ(r.groups, 1);
+  EXPECT_DOUBLE_EQ(r.speedup, 1.0);
+  EXPECT_DOUBLE_EQ(r.serial_work, r.parallel_time);
+}
+
+TEST(ParallelSim, MatchesActivityTotals) {
+  util::Pcg32 rng1(7), rng2(7);
+  Circuit c = ripple_carry_adder(8);
+  auto prof = simulate_activity(c, rng1, 300);
+  std::uint64_t total_evals = 0;
+  for (auto e : prof.evaluations) total_evals += e;
+  std::vector<int> groups = assign_block(c.n(), 3);
+  auto r = simulate_parallel_des(c, groups, rng2, 300, 0.1);
+  EXPECT_DOUBLE_EQ(r.serial_work, static_cast<double>(total_evals));
+}
+
+TEST(ParallelSim, FreeCommunicationSpeedupBoundedByGroups) {
+  util::Pcg32 rng(11);
+  Circuit c = shift_register(64);
+  std::vector<int> groups = assign_block(c.n(), 4);
+  auto r = simulate_parallel_des(c, groups, rng, 500, 0.0);
+  EXPECT_GE(r.speedup, 1.0);
+  EXPECT_LE(r.speedup, 4.0 + 1e-9);
+}
+
+TEST(ParallelSim, ExpensiveCommunicationKillsSpeedup) {
+  util::Pcg32 rng1(13), rng2(13);
+  Circuit c = shift_register(64);
+  std::vector<int> rr = assign_round_robin(c.n(), 4);
+  auto cheap = simulate_parallel_des(c, rr, rng1, 500, 0.0);
+  auto costly = simulate_parallel_des(c, rr, rng2, 500, 5.0);
+  EXPECT_GT(cheap.speedup, costly.speedup);
+  EXPECT_EQ(cheap.cross_messages, costly.cross_messages);
+}
+
+TEST(ParallelSim, SupergraphPartitionBeatsRoundRobin) {
+  util::Pcg32 gen_rng(0x77);
+  Circuit c = layered_random_circuit(gen_rng, 16, 8);
+  util::Pcg32 act_rng(5);
+  auto prof = simulate_activity(c, act_rng, 400);
+  auto pg = process_graph(c, prof);
+  LinearSupergraph super = linear_supergraph(c, pg);
+  double K = std::max(1.15 * super.chain.total_vertex_weight() / 4,
+                      super.chain.max_vertex_weight());
+  auto cut = core::bandwidth_min_temps(super.chain, K).cut;
+  auto opt_groups = assign_from_chain_cut(super, cut);
+  int g = 0;
+  for (int x : opt_groups) g = std::max(g, x + 1);
+
+  util::Pcg32 r1(21), r2(21);
+  auto opt = simulate_parallel_des(c, opt_groups, r1, 400, 0.25);
+  auto rr = simulate_parallel_des(
+      c, assign_round_robin(c.n(), std::max(g, 2)), r2, 400, 0.25);
+  EXPECT_GT(opt.speedup, rr.speedup);
+  EXPECT_LT(opt.cross_messages, rr.cross_messages);
+}
+
+TEST(ParallelSim, RejectsBadArguments) {
+  util::Pcg32 rng(1);
+  Circuit c = shift_register(4);
+  std::vector<int> groups(static_cast<std::size_t>(c.n()), 0);
+  EXPECT_THROW(simulate_parallel_des(c, {}, rng, 10, 0.1),
+               std::invalid_argument);
+  EXPECT_THROW(simulate_parallel_des(c, groups, rng, 0, 0.1),
+               std::invalid_argument);
+  EXPECT_THROW(simulate_parallel_des(c, groups, rng, 10, -1.0),
+               std::invalid_argument);
+  groups[0] = -1;
+  EXPECT_THROW(simulate_parallel_des(c, groups, rng, 10, 0.1),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tgp::des

@@ -1,0 +1,131 @@
+// Tests for the heat-equation stencil application.
+#include "pde/heat.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/bandwidth_min.hpp"
+#include "core/duals.hpp"
+
+namespace tgp::pde {
+namespace {
+
+TEST(HeatSolver, SteadyStateIsLinearProfile) {
+  // Dirichlet u(0)=0, u(1)=1: the steady state is u(x) = x.
+  const int n = 20;
+  HeatSolver solver(n, 0.4, 0.0, 1.0);
+  solver.run(5000);
+  for (int i = 0; i < n; ++i) {
+    double x = static_cast<double>(i + 1) / (n + 1);
+    EXPECT_NEAR(solver.values()[static_cast<std::size_t>(i)], x, 1e-6);
+  }
+}
+
+TEST(HeatSolver, ConservesSymmetry) {
+  // Symmetric boundaries: profile stays symmetric every step.
+  const int n = 15;
+  HeatSolver solver(n, 0.3, 2.0, 2.0);
+  solver.run(137);
+  for (int i = 0; i < n / 2; ++i)
+    EXPECT_DOUBLE_EQ(solver.values()[static_cast<std::size_t>(i)],
+                     solver.values()[static_cast<std::size_t>(n - 1 - i)]);
+}
+
+TEST(HeatSolver, RejectsUnstableScheme) {
+  EXPECT_THROW(HeatSolver(5, 0.6, 0, 0), std::invalid_argument);
+  EXPECT_THROW(HeatSolver(0, 0.3, 0, 0), std::invalid_argument);
+}
+
+TEST(StripSolver, BitIdenticalToMonolithicAnyLayout) {
+  const int n = 37;
+  for (std::vector<int> layout :
+       {std::vector<int>{37}, std::vector<int>{10, 27},
+        std::vector<int>{1, 1, 35}, std::vector<int>{9, 9, 9, 10},
+        std::vector<int>{5, 5, 5, 5, 5, 5, 5, 2}}) {
+    int sum = 0;
+    for (int p : layout) sum += p;
+    ASSERT_EQ(sum, n);
+    HeatSolver ref(n, 0.25, 1.5, -0.5);
+    StripHeatSolver strips(layout, 0.25, 1.5, -0.5);
+    ref.run(333);
+    strips.run(333);
+    auto got = strips.values();
+    ASSERT_EQ(got.size(), static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i)
+      EXPECT_DOUBLE_EQ(got[static_cast<std::size_t>(i)],
+                       ref.values()[static_cast<std::size_t>(i)])
+          << "layout size " << layout.size() << " cell " << i;
+  }
+}
+
+TEST(RefinedStrips, AppliesDensityProfile) {
+  auto strips = refined_strips(10, 100, [](double x) {
+    return x > 0.4 && x < 0.6 ? 4.0 : 1.0;  // refined middle
+  });
+  ASSERT_EQ(strips.size(), 10u);
+  EXPECT_EQ(strips[0], 100);
+  EXPECT_EQ(strips[4], 400);
+  EXPECT_EQ(strips[5], 400);
+  EXPECT_EQ(strips[9], 100);
+}
+
+TEST(RefinedStrips, RejectsShrinkingProfile) {
+  EXPECT_THROW(refined_strips(4, 10, [](double) { return 0.5; }),
+               std::invalid_argument);
+}
+
+TEST(StripsToChain, WeightsMatchPointsAndGhosts) {
+  graph::Chain c = strips_to_chain({3, 7, 2}, 1.5);
+  EXPECT_EQ(c.n(), 3);
+  EXPECT_DOUBLE_EQ(c.vertex_weight[1], 7);
+  ASSERT_EQ(c.edge_count(), 2);
+  EXPECT_DOUBLE_EQ(c.edge_weight[0], 1.5);
+}
+
+TEST(StencilExecution, HandComputedCosts) {
+  graph::Chain c = strips_to_chain({4, 4, 4, 4}, 2.0);
+  arch::Machine m{2, 2.0, 4.0};
+  arch::Mapping map = arch::map_chain_partition(c, graph::Cut{{1}}, m);
+  auto ex = simulate_stencil_execution(c, map, m, 10);
+  EXPECT_EQ(ex.processors_used, 2);
+  EXPECT_EQ(ex.crossing_boundaries, 1);
+  EXPECT_DOUBLE_EQ(ex.compute_per_iter, 8.0 / 2.0);   // 2 strips per proc
+  EXPECT_DOUBLE_EQ(ex.exchange_per_iter, 2 * 2.0 / 4.0);
+  EXPECT_DOUBLE_EQ(ex.time_per_iter, 5.0);
+  EXPECT_DOUBLE_EQ(ex.total_time, 50.0);
+}
+
+TEST(StencilExecution, NoCrossingWhenSingleProcessor) {
+  graph::Chain c = strips_to_chain({4, 4}, 2.0);
+  arch::Machine m{1, 1.0, 1.0};
+  arch::Mapping map = arch::map_chain_partition(c, {}, m);
+  auto ex = simulate_stencil_execution(c, map, m, 3);
+  EXPECT_EQ(ex.crossing_boundaries, 0);
+  EXPECT_DOUBLE_EQ(ex.exchange_per_iter, 0);
+}
+
+TEST(EndToEnd, PartitionedExecutionBeatsNaiveOnRefinedGrid) {
+  // Refined middle: equal-strip-count blocks are unbalanced; the dual
+  // (min K for m processors) balances points per processor.
+  auto strips = refined_strips(32, 50, [](double x) {
+    return x > 0.3 && x < 0.7 ? 5.0 : 1.0;
+  });
+  graph::Chain chain = strips_to_chain(strips, 4.0);
+  arch::Machine m{8, 1.0, 10.0};
+
+  auto dual = core::min_bound_for_processors_chain(chain, 8);
+  arch::Mapping good = arch::map_chain_partition(chain, dual.cut, m);
+  // Naive: equal strip counts per processor.
+  graph::Cut naive;
+  for (int p = 1; p < 8; ++p) naive.edges.push_back(p * 4 - 1);
+  arch::Mapping bad = arch::map_chain_partition(chain, naive, m);
+
+  auto ex_good = simulate_stencil_execution(chain, good, m, 100);
+  auto ex_bad = simulate_stencil_execution(chain, bad, m, 100);
+  EXPECT_LT(ex_good.compute_per_iter, ex_bad.compute_per_iter);
+  EXPECT_LT(ex_good.total_time, ex_bad.total_time);
+}
+
+}  // namespace
+}  // namespace tgp::pde

@@ -1,0 +1,156 @@
+// Tests for execution traces, the analytic initiation-interval model and
+// the Gantt renderer.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/bandwidth_min.hpp"
+#include "graph/generators.hpp"
+#include "sim/pipeline_sim.hpp"
+#include "util/gantt.hpp"
+#include "util/rng.hpp"
+
+namespace tgp::sim {
+namespace {
+
+graph::Chain chain3() {
+  graph::Chain c;
+  c.vertex_weight = {2, 3, 1};
+  c.edge_weight = {1, 1};
+  return c;
+}
+
+TEST(Trace, RecordsEveryTaskInstanceOnce) {
+  arch::Machine m{2, 1, 10};
+  auto map = arch::map_chain_partition(chain3(), graph::Cut{{0}}, m);
+  std::vector<TraceEntry> trace;
+  auto stats = simulate_pipeline(chain3(), map, m, 4, &trace);
+  EXPECT_EQ(trace.size(), 3u * 4u);  // tasks × iterations
+  // Every entry consistent: duration matches the task, processor matches
+  // the mapping, end within the makespan.
+  for (const TraceEntry& e : trace) {
+    EXPECT_DOUBLE_EQ(e.end - e.start,
+                     chain3().vertex_weight[static_cast<std::size_t>(e.task)]);
+    EXPECT_EQ(e.processor, map.processor_of_task(e.task));
+    EXPECT_LE(e.end, stats.makespan + 1e-9);
+  }
+}
+
+TEST(Trace, NoOverlapPerProcessor) {
+  util::Pcg32 rng(3);
+  graph::Chain c = graph::random_chain(rng, 20,
+                                       graph::WeightDist::uniform(1, 4),
+                                       graph::WeightDist::uniform(1, 9));
+  arch::Machine m{4, 1, 2};
+  auto cut = core::bandwidth_min_temps(c, c.total_vertex_weight() / 3).cut;
+  auto map = arch::map_chain_partition(c, cut, m);
+  std::vector<TraceEntry> trace;
+  simulate_pipeline(c, map, m, 16, &trace);
+  // Sort per processor by start; intervals must not overlap.
+  std::sort(trace.begin(), trace.end(), [](const auto& a, const auto& b) {
+    if (a.processor != b.processor) return a.processor < b.processor;
+    return a.start < b.start;
+  });
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    if (trace[i].processor != trace[i - 1].processor) continue;
+    EXPECT_GE(trace[i].start + 1e-9, trace[i - 1].end);
+  }
+}
+
+TEST(Trace, PrecedenceRespected) {
+  util::Pcg32 rng(5);
+  graph::Chain c = graph::random_chain(rng, 12,
+                                       graph::WeightDist::uniform(1, 4),
+                                       graph::WeightDist::uniform(1, 4));
+  arch::Machine m{3, 1, 5};
+  auto map = arch::map_chain_partition(c, graph::Cut{{3, 7}}, m);
+  std::vector<TraceEntry> trace;
+  simulate_pipeline(c, map, m, 8, &trace);
+  // For each iteration, task t+1 starts no earlier than task t ends.
+  std::vector<std::vector<double>> end_of(
+      8, std::vector<double>(static_cast<std::size_t>(c.n()), -1));
+  std::vector<std::vector<double>> start_of = end_of;
+  for (const TraceEntry& e : trace) {
+    end_of[static_cast<std::size_t>(e.iteration)]
+          [static_cast<std::size_t>(e.task)] = e.end;
+    start_of[static_cast<std::size_t>(e.iteration)]
+            [static_cast<std::size_t>(e.task)] = e.start;
+  }
+  for (int it = 0; it < 8; ++it)
+    for (int t = 0; t + 1 < c.n(); ++t)
+      EXPECT_GE(start_of[static_cast<std::size_t>(it)]
+                        [static_cast<std::size_t>(t) + 1] +
+                    1e-9,
+                end_of[static_cast<std::size_t>(it)]
+                      [static_cast<std::size_t>(t)]);
+}
+
+TEST(AnalyticInterval, MatchesSaturatedDesThroughput) {
+  util::Pcg32 rng(7);
+  for (int trial = 0; trial < 6; ++trial) {
+    graph::Chain c = graph::random_chain(rng, 30,
+                                         graph::WeightDist::uniform(1, 4),
+                                         graph::WeightDist::uniform(1, 9));
+    arch::Machine m{6, 1, trial % 2 ? 2.0 : 8.0};
+    auto cut =
+        core::bandwidth_min_temps(c, c.total_vertex_weight() / 4).cut;
+    auto map = arch::map_chain_partition(c, cut, m);
+    double ii = analytic_initiation_interval(c, map, m);
+    const int iters = 300;
+    auto stats = simulate_pipeline(c, map, m, iters);
+    // The DES can never beat the bound, and for a saturated pipeline it
+    // should get close (fill/drain amortized over many iterations).
+    EXPECT_GE(stats.makespan + 1e-9, ii * iters);
+    EXPECT_LE(stats.makespan, ii * iters * 1.35 + 100.0)
+        << "trial " << trial;
+  }
+}
+
+TEST(AnalyticInterval, CrossbarBoundNeverAboveBusBound) {
+  util::Pcg32 rng(9);
+  graph::Chain c = graph::random_chain(rng, 24,
+                                       graph::WeightDist::uniform(1, 4),
+                                       graph::WeightDist::uniform(1, 9));
+  auto cut = core::bandwidth_min_temps(c, c.total_vertex_weight() / 4).cut;
+  arch::Machine bus{6, 1, 2.0};
+  arch::Machine xbar = bus;
+  xbar.interconnect = arch::Interconnect::kCrossbar;
+  auto map = arch::map_chain_partition(c, cut, bus);
+  EXPECT_LE(analytic_initiation_interval(c, map, xbar),
+            analytic_initiation_interval(c, map, bus) + 1e-12);
+}
+
+TEST(Gantt, RendersBarsAndIdle) {
+  util::GanttRow r0{"P0", {{0, 5, 'A'}, {5, 10, 'B'}}};
+  util::GanttRow r1{"P1", {{5, 10, 'A'}}};
+  std::string s = util::render_gantt({r0, r1}, 10, 10);
+  EXPECT_NE(s.find("P0 |AAAAABBBBB|"), std::string::npos) << s;
+  EXPECT_NE(s.find("P1 |.....AAAAA|"), std::string::npos) << s;
+}
+
+TEST(Gantt, RejectsBadInput) {
+  EXPECT_THROW(util::render_gantt({}, 0, 10), std::invalid_argument);
+  EXPECT_THROW(util::render_gantt({}, 5, 0), std::invalid_argument);
+  util::GanttRow bad{"x", {{-1, 2, 'A'}}};
+  EXPECT_THROW(util::render_gantt({bad}, 5, 10), std::invalid_argument);
+}
+
+TEST(Gantt, TraceRendersWithoutThrowing) {
+  arch::Machine m{2, 1, 10};
+  auto map = arch::map_chain_partition(chain3(), graph::Cut{{0}}, m);
+  std::vector<TraceEntry> trace;
+  auto stats = simulate_pipeline(chain3(), map, m, 3, &trace);
+  std::vector<util::GanttRow> rows(2);
+  rows[0].label = "P0";
+  rows[1].label = "P1";
+  for (const TraceEntry& e : trace)
+    rows[static_cast<std::size_t>(e.processor)].bars.push_back(
+        {e.start, e.end, static_cast<char>('A' + e.iteration % 26)});
+  std::string s = util::render_gantt(rows, stats.makespan, 60);
+  EXPECT_NE(s.find("P0"), std::string::npos);
+  EXPECT_NE(s.find('A'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tgp::sim

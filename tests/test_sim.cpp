@@ -1,0 +1,176 @@
+// Tests for the DES kernel and the pipeline simulator.
+#include "sim/pipeline_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/bandwidth_min.hpp"
+#include "graph/generators.hpp"
+#include "sim/event_queue.hpp"
+#include "util/rng.hpp"
+
+namespace tgp::sim {
+namespace {
+
+TEST(EventQueue, RunsEventsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> seen;
+  q.schedule(2.0, [&] { seen.push_back(2); });
+  q.schedule(1.0, [&] { seen.push_back(1); });
+  q.schedule(3.0, [&] { seen.push_back(3); });
+  q.run();
+  EXPECT_EQ(seen, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(q.now(), 3.0);
+  EXPECT_EQ(q.processed(), 3u);
+}
+
+TEST(EventQueue, SimultaneousEventsAreFifo) {
+  EventQueue q;
+  std::vector<int> seen;
+  for (int i = 0; i < 5; ++i)
+    q.schedule(1.0, [&, i] { seen.push_back(i); });
+  q.run();
+  EXPECT_EQ(seen, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, HandlersMayScheduleMoreEvents) {
+  EventQueue q;
+  int count = 0;
+  std::function<void()> tick = [&] {
+    if (++count < 10) q.schedule_in(1.0, tick);
+  };
+  q.schedule(0.0, tick);
+  q.run();
+  EXPECT_EQ(count, 10);
+  EXPECT_DOUBLE_EQ(q.now(), 9.0);
+}
+
+TEST(EventQueue, RejectsSchedulingInThePast) {
+  EventQueue q;
+  q.schedule(5.0, [] {});
+  q.run_one();
+  EXPECT_THROW(q.schedule(4.0, [] {}), std::invalid_argument);
+}
+
+TEST(EventQueue, RunawayGuardTrips) {
+  EventQueue q;
+  std::function<void()> forever = [&] { q.schedule_in(1.0, forever); };
+  q.schedule(0.0, forever);
+  EXPECT_THROW(q.run(100), std::logic_error);
+}
+
+TEST(FifoResource, SerializesOverlappingRequests) {
+  FifoResource r;
+  EXPECT_DOUBLE_EQ(r.acquire(0.0, 2.0), 0.0);
+  EXPECT_DOUBLE_EQ(r.acquire(1.0, 2.0), 2.0);  // waits for the first
+  EXPECT_DOUBLE_EQ(r.acquire(10.0, 1.0), 10.0);  // idle gap allowed
+  EXPECT_DOUBLE_EQ(r.busy_time(), 5.0);
+}
+
+arch::Mapping map_for(const graph::Chain& c, const graph::Cut& cut,
+                      const arch::Machine& m) {
+  return arch::map_chain_partition(c, cut, m);
+}
+
+TEST(PipelineSim, SingleProcessorMakespanIsTotalWork) {
+  graph::Chain c;
+  c.vertex_weight = {2, 3, 4};
+  c.edge_weight = {1, 1};
+  arch::Machine m{1, 1, 1};
+  auto stats = simulate_pipeline(c, map_for(c, {}, m), m, 5);
+  // One processor, no messages: makespan = 5 * (2+3+4).
+  EXPECT_DOUBLE_EQ(stats.makespan, 45.0);
+  EXPECT_EQ(stats.messages, 0u);
+  EXPECT_DOUBLE_EQ(stats.bus_busy, 0.0);
+  EXPECT_DOUBLE_EQ(stats.max_processor_busy, 45.0);
+}
+
+TEST(PipelineSim, TwoStagePipelineOverlapsWork) {
+  // Stages {2} and {2} with a free bus: steady-state throughput is one
+  // iteration per 2 time units + pipeline fill.
+  graph::Chain c;
+  c.vertex_weight = {2, 2};
+  c.edge_weight = {0.0001};
+  arch::Machine m{2, 1, 1000000};
+  auto stats = simulate_pipeline(c, map_for(c, graph::Cut{{0}}, m), m, 10);
+  EXPECT_EQ(stats.messages, 10u);
+  EXPECT_LT(stats.makespan, 40.0 * 0.75);  // far below serial 40
+  EXPECT_GT(stats.makespan, 20.0 - 1e-6);  // at least the busiest stage
+}
+
+TEST(PipelineSim, ProcessorSpeedScalesExecution) {
+  graph::Chain c;
+  c.vertex_weight = {4};
+  c.edge_weight = {};
+  arch::Machine m{1, 2.0, 1};
+  auto stats = simulate_pipeline(c, map_for(c, {}, m), m, 3);
+  EXPECT_DOUBLE_EQ(stats.makespan, 6.0);  // 3 * 4/2
+}
+
+TEST(PipelineSim, SlowBusBecomesTheBottleneck) {
+  graph::Chain c;
+  c.vertex_weight = {1, 1};
+  c.edge_weight = {10};  // huge messages
+  arch::Machine m{2, 1, 1};
+  auto stats = simulate_pipeline(c, map_for(c, graph::Cut{{0}}, m), m, 8);
+  // Bus carries 8 messages of 10 units: ≥ 80 time units.
+  EXPECT_GE(stats.makespan, 80.0);
+  EXPECT_GT(stats.bus_utilization, 0.9);
+}
+
+TEST(PipelineSim, CoLocatedTasksSendNoMessages) {
+  graph::Chain c;
+  c.vertex_weight = {1, 1, 1, 1};
+  c.edge_weight = {5, 5, 5};
+  arch::Machine m{2, 1, 1};
+  // Cut in the middle only: 2 components on 2 processors.
+  auto stats = simulate_pipeline(c, map_for(c, graph::Cut{{1}}, m), m, 6);
+  EXPECT_EQ(stats.messages, 6u);  // only the cut edge generates traffic
+}
+
+TEST(PipelineSim, BandwidthOptimalCutBeatsWorstCutOnCongestedBus) {
+  util::Pcg32 rng(99);
+  graph::Chain c = graph::random_chain(rng, 40,
+                                       graph::WeightDist::uniform(1, 4),
+                                       graph::WeightDist::uniform(1, 50));
+  double K = c.total_vertex_weight() / 3;
+  arch::Machine m{8, 1, 2.0};  // slow shared bus
+  auto good = core::bandwidth_min_temps(c, K);
+  // Adversarial cut: heaviest feasible boundaries (greedy from the left).
+  graph::Cut bad;
+  {
+    double acc = 0;
+    int last = -1;
+    for (int v = 0; v < c.n(); ++v) {
+      acc += c.vertex_weight[static_cast<std::size_t>(v)];
+      if (acc > K) {
+        bad.edges.push_back(v - 1);
+        acc = c.vertex_weight[static_cast<std::size_t>(v)];
+        last = v - 1;
+      }
+    }
+    (void)last;
+  }
+  ASSERT_TRUE(graph::chain_cut_feasible(c, bad, K));
+  double w_good = graph::chain_cut_weight(c, good.cut);
+  double w_bad = graph::chain_cut_weight(c, bad);
+  ASSERT_LE(w_good, w_bad);
+  auto s_good = simulate_pipeline(c, map_for(c, good.cut, m), m, 50);
+  auto s_bad = simulate_pipeline(c, map_for(c, bad, m), m, 50);
+  // The optimal partition puts strictly less traffic on the bus.
+  EXPECT_LE(s_good.bus_busy, s_bad.bus_busy + 1e-9);
+}
+
+TEST(PipelineSim, RejectsBadArguments) {
+  graph::Chain c;
+  c.vertex_weight = {1};
+  arch::Machine m{1, 1, 1};
+  auto map = map_for(c, {}, m);
+  EXPECT_THROW(simulate_pipeline(c, map, m, 0), std::invalid_argument);
+  arch::Machine bad{0, 1, 1};
+  EXPECT_THROW(simulate_pipeline(c, map, bad, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tgp::sim

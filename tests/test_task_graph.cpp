@@ -1,0 +1,98 @@
+// Tests for the general task graph used by the DES application.
+#include "graph/task_graph.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tgp::graph {
+namespace {
+
+TEST(TaskGraph, AddNodesAndEdges) {
+  TaskGraph g;
+  int a = g.add_node(1);
+  int b = g.add_node(2);
+  int c = g.add_node(3);
+  EXPECT_EQ(g.n(), 3);
+  int e = g.add_edge(a, b, 5);
+  g.add_edge(b, c, 7);
+  EXPECT_EQ(g.edge_count(), 2);
+  EXPECT_DOUBLE_EQ(g.edge(e).weight, 5);
+  EXPECT_DOUBLE_EQ(g.total_vertex_weight(), 6);
+  EXPECT_DOUBLE_EQ(g.total_edge_weight(), 12);
+  EXPECT_EQ(g.degree(b), 2);
+}
+
+TEST(TaskGraph, RejectsBadEdges) {
+  TaskGraph g;
+  int a = g.add_node(1);
+  EXPECT_THROW(g.add_edge(a, a, 1), std::invalid_argument);
+  EXPECT_THROW(g.add_edge(a, 5, 1), std::invalid_argument);
+  int b = g.add_node(1);
+  EXPECT_THROW(g.add_edge(a, b, 0), std::invalid_argument);
+}
+
+TEST(TaskGraph, RejectsBadWeights) {
+  TaskGraph g;
+  EXPECT_THROW(g.add_node(0), std::invalid_argument);
+  EXPECT_THROW(g.add_node(-2), std::invalid_argument);
+}
+
+TEST(TaskGraph, SetVertexWeightUpdates) {
+  TaskGraph g;
+  int a = g.add_node(1);
+  g.set_vertex_weight(a, 9);
+  EXPECT_DOUBLE_EQ(g.vertex_weight(a), 9);
+  EXPECT_THROW(g.set_vertex_weight(a, 0), std::invalid_argument);
+}
+
+TEST(TaskGraph, AddEdgeWeightAccumulates) {
+  TaskGraph g;
+  int a = g.add_node(1);
+  int b = g.add_node(1);
+  int e = g.add_edge(a, b, 2);
+  g.add_edge_weight(e, 3);
+  EXPECT_DOUBLE_EQ(g.edge(e).weight, 5);
+}
+
+TEST(TaskGraph, ConnectedComponentsSeparatesIslands) {
+  TaskGraph g;
+  for (int i = 0; i < 5; ++i) g.add_node(1);
+  g.add_edge(0, 1, 1);
+  g.add_edge(3, 4, 1);
+  auto comp = g.connected_components();
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_EQ(comp[3], comp[4]);
+  EXPECT_NE(comp[0], comp[2]);
+  EXPECT_NE(comp[0], comp[3]);
+  EXPECT_FALSE(g.is_connected());
+}
+
+TEST(TaskGraph, SingleComponentIsConnected) {
+  TaskGraph g;
+  for (int i = 0; i < 4; ++i) g.add_node(1);
+  g.add_edge(0, 1, 1);
+  g.add_edge(1, 2, 1);
+  g.add_edge(2, 3, 1);
+  EXPECT_TRUE(g.is_connected());
+}
+
+TEST(TaskGraph, ParallelEdgesAllowed) {
+  // Multigraph semantics: two processes may exchange several message
+  // streams.
+  TaskGraph g;
+  int a = g.add_node(1);
+  int b = g.add_node(1);
+  g.add_edge(a, b, 1);
+  g.add_edge(a, b, 2);
+  EXPECT_EQ(g.edge_count(), 2);
+  EXPECT_EQ(g.degree(a), 2);
+  EXPECT_DOUBLE_EQ(g.total_edge_weight(), 3);
+}
+
+TEST(TaskGraph, EmptyGraphIsConnected) {
+  TaskGraph g;
+  EXPECT_TRUE(g.is_connected());
+  EXPECT_EQ(g.n(), 0);
+}
+
+}  // namespace
+}  // namespace tgp::graph

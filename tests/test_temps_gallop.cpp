@@ -1,0 +1,103 @@
+// Tests for the §2.3.2 future-work galloping search in TEMP_S.
+#include <gtest/gtest.h>
+
+#include "core/bandwidth_min.hpp"
+#include "core/temps_queue.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace tgp::core {
+namespace {
+
+TEST(GallopSearch, AgreesWithBinarySearchOnAllPositions) {
+  TempsQueue q(32);
+  for (int i = 0; i < 10; ++i)
+    q.push_back({i, i, 2.0 * i + 1.0, -1});
+  for (double x = 0.0; x <= 22.0; x += 0.5) {
+    EXPECT_EQ(q.lower_bound_w(x, nullptr),
+              q.lower_bound_w_gallop(x, nullptr))
+        << "x=" << x;
+  }
+}
+
+TEST(GallopSearch, EmptyQueue) {
+  TempsQueue q(4);
+  EXPECT_EQ(q.lower_bound_w_gallop(1.0, nullptr), 0);
+}
+
+TEST(GallopSearch, SingleRow) {
+  TempsQueue q(4);
+  q.push_back({0, 0, 5.0, -1});
+  EXPECT_EQ(q.lower_bound_w_gallop(4.0, nullptr), 0);
+  EXPECT_EQ(q.lower_bound_w_gallop(5.0, nullptr), 0);
+  EXPECT_EQ(q.lower_bound_w_gallop(6.0, nullptr), 1);
+}
+
+TEST(GallopSearch, CheapWhenAnswerNearBottom) {
+  TempsQueue q(300);
+  for (int i = 0; i < 256; ++i)
+    q.push_back({i, i, static_cast<double>(i), -1});
+  TempsStats gallop_stats, binary_stats;
+  // Answer at the very bottom: gallop should use O(1) probes.
+  q.lower_bound_w_gallop(254.5, &gallop_stats);
+  q.lower_bound_w(254.5, &binary_stats);
+  EXPECT_LT(gallop_stats.search_steps, binary_stats.search_steps);
+  EXPECT_LE(gallop_stats.search_steps, 4u);
+}
+
+TEST(GallopSearch, WorstCaseStillLogarithmic) {
+  TempsQueue q(1100);
+  for (int i = 0; i < 1024; ++i)
+    q.push_back({i, i, static_cast<double>(i), -1});
+  TempsStats stats;
+  q.lower_bound_w_gallop(-1.0, &stats);  // answer at the very top
+  EXPECT_LE(stats.search_steps, 2u * 11u + 2u);  // 2 log n + O(1)
+}
+
+TEST(GallopSearch, RandomizedAgreementWithBinary) {
+  util::Pcg32 rng(0x6A);
+  for (int trial = 0; trial < 50; ++trial) {
+    int rows = static_cast<int>(rng.uniform_int(1, 64));
+    TempsQueue q(rows + 2);
+    double w = 0;
+    for (int i = 0; i < rows; ++i) {
+      w += rng.uniform_real(0.1, 3.0);
+      q.push_back({i, i, w, -1});
+    }
+    for (int probe = 0; probe < 20; ++probe) {
+      double x = rng.uniform_real(-1.0, w + 1.0);
+      EXPECT_EQ(q.lower_bound_w(x, nullptr),
+                q.lower_bound_w_gallop(x, nullptr));
+    }
+  }
+}
+
+TEST(GallopPolicy, BandwidthMinResultsIdentical) {
+  util::Pcg32 rng(0x6B);
+  for (int trial = 0; trial < 30; ++trial) {
+    int n = static_cast<int>(rng.uniform_int(2, 400));
+    graph::Chain c = graph::random_chain(
+        rng, n, graph::WeightDist::uniform(1, 9),
+        graph::WeightDist::uniform(1, 99));
+    double K = c.max_vertex_weight() +
+               rng.uniform_real(0.0, c.total_vertex_weight() / 3);
+    auto binary = bandwidth_min_temps(c, K, nullptr, SearchPolicy::kBinary);
+    auto gallop = bandwidth_min_temps(c, K, nullptr, SearchPolicy::kGallop);
+    EXPECT_DOUBLE_EQ(binary.cut_weight, gallop.cut_weight);
+    EXPECT_EQ(binary.cut.edges, gallop.cut.edges);
+  }
+}
+
+TEST(GallopPolicy, FewerSearchStepsOnGrowingWValues) {
+  // Ascending edge weights are the paper's "W values grow towards the
+  // end" regime — exactly where galloping from BOTTOM should win.
+  graph::Chain c = graph::ascending_edge_chain(4096, 1.0, 1.0, 0.01);
+  BandwidthInstrumentation binary_instr, gallop_instr;
+  bandwidth_min_temps(c, 64.0, &binary_instr, SearchPolicy::kBinary);
+  bandwidth_min_temps(c, 64.0, &gallop_instr, SearchPolicy::kGallop);
+  EXPECT_LT(gallop_instr.temps.search_steps,
+            binary_instr.temps.search_steps);
+}
+
+}  // namespace
+}  // namespace tgp::core

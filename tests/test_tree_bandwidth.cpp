@@ -1,0 +1,124 @@
+// Tests for tree bandwidth minimization (oracle + heuristic).
+#include "core/tree_bandwidth.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/knapsack.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace tgp::core {
+namespace {
+
+TEST(TreeBandwidthOracle, SingleVertexNeedsNoCut) {
+  auto t = graph::Tree::from_edges({3}, {});
+  auto r = tree_bandwidth_oracle(t, 3);
+  EXPECT_DOUBLE_EQ(r.cut_weight, 0);
+}
+
+TEST(TreeBandwidthOracle, MatchesExhaustiveSearchOnSmallTrees) {
+  util::Pcg32 rng(0x7B1);
+  for (int trial = 0; trial < 60; ++trial) {
+    int n = static_cast<int>(rng.uniform_int(2, 10));
+    graph::Tree t = graph::random_tree(
+        rng, n, graph::WeightDist::uniform(1, 9),
+        graph::WeightDist::uniform(1, 9));
+    double K = t.max_vertex_weight() +
+               rng.uniform_real(0.0, t.total_vertex_weight());
+    double best = std::numeric_limits<double>::infinity();
+    int m = t.edge_count();
+    for (std::uint32_t mask = 0; mask < (1u << m); ++mask) {
+      graph::Cut cut;
+      for (int e = 0; e < m; ++e)
+        if ((mask >> e) & 1u) cut.edges.push_back(e);
+      if (!graph::tree_cut_feasible(t, cut, K)) continue;
+      best = std::min(best, graph::tree_cut_weight(t, cut));
+    }
+    auto r = tree_bandwidth_oracle(t, K);
+    EXPECT_NEAR(r.cut_weight, best, 1e-9) << "trial " << trial;
+  }
+}
+
+TEST(TreeBandwidthOracle, MatchesStarKnapsackSolution) {
+  // On stars the oracle must reproduce the knapsack-DP optimum.
+  util::Pcg32 rng(0x7B2);
+  for (int trial = 0; trial < 30; ++trial) {
+    int m = static_cast<int>(rng.uniform_int(1, 10));
+    KnapsackInstance inst;
+    std::int64_t max_w = 1;
+    for (int i = 0; i < m; ++i) {
+      inst.weights.push_back(rng.uniform_int(1, 8));
+      inst.profits.push_back(rng.uniform_int(1, 8));
+      max_w = std::max(max_w, inst.weights.back());
+    }
+    inst.capacity = rng.uniform_int(max_w, 20);
+    StarReduction red = knapsack_to_star(inst);
+    graph::Cut kcut = star_bandwidth_min(red.star, red.k2);
+    auto r = tree_bandwidth_oracle(red.star, red.k2);
+    EXPECT_NEAR(r.cut_weight, graph::tree_cut_weight(red.star, kcut), 1e-9);
+  }
+}
+
+TEST(TreeBandwidthOracle, StateBudgetGuardTrips) {
+  // Adversarial weight diversity: states explode; a tiny budget throws.
+  util::Pcg32 rng(0x7B3);
+  graph::Tree t = graph::random_tree(
+      rng, 64, graph::WeightDist::uniform(1, 1e6),
+      graph::WeightDist::uniform(1, 1e6));
+  double K = 0.4 * t.total_vertex_weight();
+  EXPECT_THROW(tree_bandwidth_oracle(t, K, /*max_states=*/8),
+               std::invalid_argument);
+}
+
+TEST(TreeBandwidthGreedy, FeasibleOnRandomTrees) {
+  util::Pcg32 rng(0x7B4);
+  for (int trial = 0; trial < 40; ++trial) {
+    int n = static_cast<int>(rng.uniform_int(2, 300));
+    graph::Tree t = graph::random_tree(
+        rng, n, graph::WeightDist::uniform(1, 9),
+        graph::WeightDist::exponential(10));
+    double K = t.max_vertex_weight() +
+               rng.uniform_real(0.0, t.total_vertex_weight() / 2);
+    auto r = tree_bandwidth_greedy(t, K);
+    EXPECT_TRUE(graph::tree_cut_feasible(t, r.cut, K));
+    EXPECT_NEAR(graph::tree_cut_weight(t, r.cut), r.cut_weight, 1e-9);
+  }
+}
+
+TEST(TreeBandwidthGreedy, NeverBeatsOracleAndUsuallyClose) {
+  util::Pcg32 rng(0x7B5);
+  double worst_ratio = 1.0;
+  int optimal_hits = 0, cases = 0;
+  for (int trial = 0; trial < 60; ++trial) {
+    int n = static_cast<int>(rng.uniform_int(2, 16));
+    graph::Tree t = graph::random_tree(
+        rng, n, graph::WeightDist::uniform(1, 9),
+        graph::WeightDist::uniform(1, 9));
+    double K = t.max_vertex_weight() +
+               rng.uniform_real(0.0, t.total_vertex_weight());
+    auto greedy = tree_bandwidth_greedy(t, K);
+    auto oracle = tree_bandwidth_oracle(t, K);
+    ASSERT_GE(greedy.cut_weight + 1e-9, oracle.cut_weight);
+    if (oracle.cut_weight > 0) {
+      worst_ratio = std::max(worst_ratio,
+                             greedy.cut_weight / oracle.cut_weight);
+      ++cases;
+      if (greedy.cut_weight <= oracle.cut_weight + 1e-9) ++optimal_hits;
+    }
+  }
+  // The heuristic should hit the optimum on a good fraction of small
+  // random instances and never be wildly off (loose sanity bound);
+  // bench_tree_bandwidth reports the quality distribution in detail.
+  EXPECT_GT(cases, 10);
+  EXPECT_GE(optimal_hits * 5, cases * 2);  // >= 40% exactly optimal
+  EXPECT_LT(worst_ratio, 20.0);
+}
+
+TEST(TreeBandwidth, RejectsKBelowMaxVertexWeight) {
+  auto t = graph::Tree::from_edges({1, 9}, {{0, 1, 1}});
+  EXPECT_THROW(tree_bandwidth_oracle(t, 8), std::invalid_argument);
+  EXPECT_THROW(tree_bandwidth_greedy(t, 8), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tgp::core

@@ -1,0 +1,76 @@
+// Tests for the flag parser and logging substrate.
+#include "util/argparse.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/logging.hpp"
+
+namespace tgp::util {
+namespace {
+
+ArgParser parse(std::vector<const char*> args) {
+  args.insert(args.begin(), "prog");
+  return ArgParser(static_cast<int>(args.size()), args.data());
+}
+
+TEST(ArgParser, ParsesSpaceAndEqualsForms) {
+  auto p = parse({"--n", "100", "--k=2.5"});
+  EXPECT_EQ(p.get_int("n", 0), 100);
+  EXPECT_DOUBLE_EQ(p.get_double("k", 0), 2.5);
+}
+
+TEST(ArgParser, BareFlagIsTrue) {
+  auto p = parse({"--verbose"});
+  EXPECT_TRUE(p.get_bool("verbose", false));
+  EXPECT_TRUE(p.has("verbose"));
+  EXPECT_FALSE(p.has("quiet"));
+}
+
+TEST(ArgParser, DefaultsWhenAbsent) {
+  auto p = parse({});
+  EXPECT_EQ(p.get("mode", "fast"), "fast");
+  EXPECT_EQ(p.get_int("n", 7), 7);
+  EXPECT_FALSE(p.get_bool("verbose", false));
+}
+
+TEST(ArgParser, NonFlagArgumentThrows) {
+  EXPECT_THROW(parse({"positional"}), std::invalid_argument);
+}
+
+TEST(ArgParser, UnknownFlagDetected) {
+  auto p = parse({"--oops", "1"});
+  p.describe("n", "size");
+  EXPECT_THROW(p.check_unknown(), std::invalid_argument);
+}
+
+TEST(ArgParser, KnownFlagsPassCheck) {
+  auto p = parse({"--n", "1"});
+  p.describe("n", "size");
+  EXPECT_NO_THROW(p.check_unknown());
+}
+
+TEST(ArgParser, HelpListsDescribedFlags) {
+  auto p = parse({});
+  p.describe("n", "number of tasks").describe("seed", "rng seed");
+  std::string h = p.help("intro");
+  EXPECT_NE(h.find("--n"), std::string::npos);
+  EXPECT_NE(h.find("number of tasks"), std::string::npos);
+  EXPECT_NE(h.find("--seed"), std::string::npos);
+}
+
+TEST(Logging, LevelThresholdControlsEmission) {
+  LogLevel old = log_level();
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  set_log_level(LogLevel::kInfo);
+  EXPECT_EQ(log_level(), LogLevel::kInfo);
+  set_log_level(old);
+}
+
+TEST(Logging, LevelNamesAreStable) {
+  EXPECT_STREQ(level_name(LogLevel::kTrace), "TRACE");
+  EXPECT_STREQ(level_name(LogLevel::kError), "ERROR");
+}
+
+}  // namespace
+}  // namespace tgp::util

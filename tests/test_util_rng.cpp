@@ -1,0 +1,158 @@
+// Tests for the deterministic RNG substrate.
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace tgp::util {
+namespace {
+
+TEST(SplitMix64, IsDeterministic) {
+  SplitMix64 a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next() == b.next()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Pcg32, IsDeterministicPerSeed) {
+  Pcg32 a(42, 7), b(42, 7);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Pcg32, StreamsAreIndependent) {
+  Pcg32 a(42, 1), b(42, 2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next() == b.next()) ++same;
+  EXPECT_LE(same, 2);
+}
+
+TEST(Pcg32, UniformIntRespectsBounds) {
+  Pcg32 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    auto v = rng.uniform_int(-5, 17);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 17);
+  }
+}
+
+TEST(Pcg32, UniformIntSingletonRange) {
+  Pcg32 rng(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.uniform_int(9, 9), 9);
+}
+
+TEST(Pcg32, UniformIntRejectsEmptyRange) {
+  Pcg32 rng(7);
+  EXPECT_THROW(rng.uniform_int(3, 2), std::invalid_argument);
+}
+
+TEST(Pcg32, UniformIntCoversRange) {
+  Pcg32 rng(11);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.uniform_int(0, 9));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Pcg32, UniformIntIsRoughlyUniform) {
+  Pcg32 rng(13);
+  std::vector<int> counts(10, 0);
+  const int draws = 100000;
+  for (int i = 0; i < draws; ++i)
+    ++counts[static_cast<std::size_t>(rng.uniform_int(0, 9))];
+  for (int c : counts) {
+    EXPECT_GT(c, draws / 10 - draws / 50);
+    EXPECT_LT(c, draws / 10 + draws / 50);
+  }
+}
+
+TEST(Pcg32, UniformRealRespectsBounds) {
+  Pcg32 rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    double v = rng.uniform_real(2.5, 3.5);
+    EXPECT_GE(v, 2.5);
+    EXPECT_LT(v, 3.5);
+  }
+}
+
+TEST(Pcg32, UniformRealMeanIsCentered) {
+  Pcg32 rng(5);
+  double sum = 0;
+  const int draws = 100000;
+  for (int i = 0; i < draws; ++i) sum += rng.uniform_real(0.0, 1.0);
+  EXPECT_NEAR(sum / draws, 0.5, 0.01);
+}
+
+TEST(Pcg32, ExponentialHasRequestedMean) {
+  Pcg32 rng(17);
+  double sum = 0;
+  const int draws = 200000;
+  for (int i = 0; i < draws; ++i) sum += rng.exponential(4.0);
+  EXPECT_NEAR(sum / draws, 4.0, 0.1);
+}
+
+TEST(Pcg32, ExponentialRejectsNonPositiveMean) {
+  Pcg32 rng(17);
+  EXPECT_THROW(rng.exponential(0.0), std::invalid_argument);
+}
+
+TEST(Pcg32, BimodalDrawsFromBothModes) {
+  Pcg32 rng(19);
+  int low = 0, high = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double v = rng.bimodal(0.5, 1.0, 2.0, 100.0, 200.0);
+    if (v <= 2.0) ++low;
+    if (v >= 100.0) ++high;
+  }
+  EXPECT_GT(low, 4000);
+  EXPECT_GT(high, 4000);
+  EXPECT_EQ(low + high, 10000);
+}
+
+TEST(Pcg32, CoinProbabilityRoughlyHolds) {
+  Pcg32 rng(23);
+  int heads = 0;
+  const int draws = 100000;
+  for (int i = 0; i < draws; ++i)
+    if (rng.coin(0.3)) ++heads;
+  EXPECT_NEAR(static_cast<double>(heads) / draws, 0.3, 0.01);
+}
+
+TEST(Pcg32, ZipfStaysInSupport) {
+  Pcg32 rng(29);
+  for (int i = 0; i < 5000; ++i) {
+    auto v = rng.zipf(50, 1.2);
+    EXPECT_GE(v, 1);
+    EXPECT_LE(v, 50);
+  }
+}
+
+TEST(Pcg32, ZipfPrefersSmallValues) {
+  Pcg32 rng(31);
+  int ones = 0;
+  for (int i = 0; i < 10000; ++i)
+    if (rng.zipf(100, 1.5) == 1) ++ones;
+  EXPECT_GT(ones, 3000);  // head of the distribution dominates
+}
+
+TEST(DeriveSeeds, ProducesDistinctStableSeeds) {
+  auto a = derive_seeds(99, 16);
+  auto b = derive_seeds(99, 16);
+  EXPECT_EQ(a, b);
+  std::set<std::uint64_t> uniq(a.begin(), a.end());
+  EXPECT_EQ(uniq.size(), 16u);
+}
+
+TEST(DeriveSeeds, RejectsNegativeCount) {
+  EXPECT_THROW(derive_seeds(1, -1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tgp::util

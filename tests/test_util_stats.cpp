@@ -1,0 +1,106 @@
+// Tests for the statistics substrate.
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tgp::util {
+namespace {
+
+TEST(Accumulator, MeanAndVarianceMatchClosedForm) {
+  Accumulator acc;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) acc.add(v);
+  EXPECT_EQ(acc.count(), 8u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(acc.sum(), 40.0);
+  EXPECT_NEAR(acc.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 9.0);
+}
+
+TEST(Accumulator, EmptyAccumulatorThrows) {
+  Accumulator acc;
+  EXPECT_THROW(acc.mean(), std::invalid_argument);
+  EXPECT_THROW(acc.min(), std::invalid_argument);
+  EXPECT_THROW(acc.max(), std::invalid_argument);
+}
+
+TEST(Accumulator, VarianceNeedsTwoSamples) {
+  Accumulator acc;
+  acc.add(1.0);
+  EXPECT_THROW(acc.variance(), std::invalid_argument);
+}
+
+TEST(Accumulator, MergeMatchesSequential) {
+  Accumulator a, b, all;
+  for (int i = 0; i < 50; ++i) {
+    double v = i * 0.7 - 3;
+    (i % 2 ? a : b).add(v);
+    all.add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(Accumulator, MergeWithEmptyIsIdentity) {
+  Accumulator a, empty;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
+}
+
+TEST(Percentile, NearestRankBehaviour) {
+  std::vector<double> s{15, 20, 35, 40, 50};
+  EXPECT_DOUBLE_EQ(percentile(s, 0), 15);
+  EXPECT_DOUBLE_EQ(percentile(s, 30), 20);
+  EXPECT_DOUBLE_EQ(percentile(s, 40), 20);
+  EXPECT_DOUBLE_EQ(percentile(s, 50), 35);
+  EXPECT_DOUBLE_EQ(percentile(s, 100), 50);
+}
+
+TEST(Percentile, RejectsBadInput) {
+  EXPECT_THROW(percentile({}, 50), std::invalid_argument);
+  EXPECT_THROW(percentile({1.0}, 101), std::invalid_argument);
+}
+
+TEST(Histogram, CountsLandInRightBuckets) {
+  Histogram h(0, 10, 5);
+  for (double v : {0.5, 1.5, 2.5, 3.0, 9.9}) h.add(v);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.buckets()[0], 2u);  // [0,2)
+  EXPECT_EQ(h.buckets()[1], 2u);  // [2,4)
+  EXPECT_EQ(h.buckets()[4], 1u);  // [8,10)
+}
+
+TEST(Histogram, OutOfRangeClampsToEdges) {
+  Histogram h(0, 10, 2);
+  h.add(-100);
+  h.add(1e9);
+  EXPECT_EQ(h.buckets()[0], 1u);
+  EXPECT_EQ(h.buckets()[1], 1u);
+}
+
+TEST(Histogram, RenderMentionsEveryBucket) {
+  Histogram h(0, 4, 2);
+  h.add(1);
+  h.add(3);
+  std::string s = h.render();
+  EXPECT_NE(s.find("[0, 2)"), std::string::npos);
+  EXPECT_NE(s.find("[2, 4)"), std::string::npos);
+}
+
+TEST(Histogram, RejectsBadShape) {
+  EXPECT_THROW(Histogram(5, 5, 3), std::invalid_argument);
+  EXPECT_THROW(Histogram(0, 1, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tgp::util

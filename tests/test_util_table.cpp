@@ -1,0 +1,89 @@
+// Tests for the table printer and CSV writer.
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/csv.hpp"
+
+namespace tgp::util {
+namespace {
+
+TEST(Table, RendersHeaderSeparatorAndRows) {
+  Table t({"name", "value"});
+  t.row().cell("alpha").cell(1.5, 1);
+  t.row().cell("beta").cell(std::int64_t{42});
+  std::string s = t.render();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("----"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("1.5"), std::string::npos);
+  EXPECT_NE(s.find("42"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Table, AlignsColumnsToWidestCell) {
+  Table t({"x"});
+  t.row().cell("short");
+  t.row().cell("muchlongercell");
+  std::string s = t.render();
+  std::istringstream is(s);
+  std::string line;
+  std::getline(is, line);  // header padded to widest cell
+  EXPECT_GE(line.size(), std::string("muchlongercell").size());
+}
+
+TEST(Table, CellBeforeRowThrows) {
+  Table t({"x"});
+  EXPECT_THROW(t.cell("boom"), std::invalid_argument);
+}
+
+TEST(Table, TooManyCellsThrows) {
+  Table t({"x"});
+  t.row().cell("a");
+  EXPECT_THROW(t.cell("b"), std::invalid_argument);
+}
+
+TEST(Table, EmptyHeaderThrows) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(Fmt, FixedPrecision) {
+  EXPECT_EQ(fmt(1.23456, 2), "1.23");
+  EXPECT_EQ(fmt(2.0, 0), "2");
+}
+
+TEST(Csv, EscapesSpecialCharacters) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(Csv, WritesHeaderAndRows) {
+  std::string path = testing::TempDir() + "/tgp_csv_test.csv";
+  {
+    CsvWriter w(path, {"a", "b"});
+    ASSERT_TRUE(w.ok());
+    w.row({"1", "x,y"});
+  }
+  std::ifstream in(path);
+  std::string l1, l2;
+  std::getline(in, l1);
+  std::getline(in, l2);
+  EXPECT_EQ(l1, "a,b");
+  EXPECT_EQ(l2, "1,\"x,y\"");
+  std::remove(path.c_str());
+}
+
+TEST(Csv, RowWidthMismatchThrows) {
+  std::string path = testing::TempDir() + "/tgp_csv_test2.csv";
+  CsvWriter w(path, {"a", "b"});
+  EXPECT_THROW(w.row({"only-one"}), std::invalid_argument);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace tgp::util

@@ -1,0 +1,113 @@
+// End-to-end tests for the tgp_workload generator tool.
+#include "tools/workload_tool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "graph/io.hpp"
+#include "tools/partition_tool.hpp"
+
+namespace tgp::tools {
+namespace {
+
+struct ToolRun {
+  int code;
+  std::string out;
+  std::string err;
+};
+
+ToolRun run(std::vector<std::string> args) {
+  std::ostringstream out, err;
+  int code = run_workload_tool(args, out, err);
+  return {code, out.str(), err.str()};
+}
+
+TEST(ParseDist, AcceptsAllForms) {
+  EXPECT_EQ(parse_dist("uniform:1:5").kind,
+            graph::WeightDist::Kind::kUniform);
+  EXPECT_EQ(parse_dist("exp:3").kind,
+            graph::WeightDist::Kind::kExponential);
+  EXPECT_EQ(parse_dist("const:2").kind,
+            graph::WeightDist::Kind::kConstant);
+  EXPECT_EQ(parse_dist("bimodal:0.5:1:2:10:20").kind,
+            graph::WeightDist::Kind::kBimodal);
+}
+
+TEST(ParseDist, RejectsMalformedSpecs) {
+  EXPECT_THROW(parse_dist("uniform:1"), std::invalid_argument);
+  EXPECT_THROW(parse_dist("gauss:1:2"), std::invalid_argument);
+  EXPECT_THROW(parse_dist("uniform:a:b"), std::invalid_argument);
+  EXPECT_THROW(parse_dist("uniform:5:1"), std::invalid_argument);
+  EXPECT_THROW(parse_dist(""), std::invalid_argument);
+}
+
+TEST(WorkloadTool, GeneratesLoadableChain) {
+  std::string path = testing::TempDir() + "/wl_chain.txt";
+  auto r = run({"--type", "chain", "--n", "50", "--output", path,
+                "--vertex-dist", "uniform:1:5", "--edge-dist", "exp:2",
+                "--seed", "7"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  graph::Chain c = graph::load_chain_file(path);
+  EXPECT_EQ(c.n(), 50);
+  std::remove(path.c_str());
+}
+
+TEST(WorkloadTool, GeneratesEveryTreeShape) {
+  for (const char* shape : {"random", "binary", "star", "caterpillar"}) {
+    std::string path = testing::TempDir() + "/wl_tree.txt";
+    auto r = run({"--type", "tree", "--n", "40", "--shape", shape,
+                  "--output", path});
+    EXPECT_EQ(r.code, 0) << shape << ": " << r.err;
+    graph::Tree t = graph::load_tree_file(path);
+    EXPECT_GE(t.n(), 30) << shape;  // caterpillar rounds the shape
+    std::remove(path.c_str());
+  }
+}
+
+TEST(WorkloadTool, SameSeedSameFile) {
+  std::string p1 = testing::TempDir() + "/wl_a.txt";
+  std::string p2 = testing::TempDir() + "/wl_b.txt";
+  run({"--type", "chain", "--n", "30", "--output", p1, "--seed", "42"});
+  run({"--type", "chain", "--n", "30", "--output", p2, "--seed", "42"});
+  graph::Chain a = graph::load_chain_file(p1);
+  graph::Chain b = graph::load_chain_file(p2);
+  EXPECT_EQ(a.vertex_weight, b.vertex_weight);
+  EXPECT_EQ(a.edge_weight, b.edge_weight);
+  std::remove(p1.c_str());
+  std::remove(p2.c_str());
+}
+
+TEST(WorkloadTool, ReportsMissingFlags) {
+  EXPECT_EQ(run({"--type", "chain"}).code, 2);
+  EXPECT_EQ(run({"--n", "10", "--output", "/tmp/x"}).code, 2);
+  EXPECT_EQ(run({"--type", "banana", "--n", "10", "--output",
+                 testing::TempDir() + "/x"}).code, 2);
+  EXPECT_EQ(run({"--type", "tree", "--n", "10", "--shape", "weird",
+                 "--output", testing::TempDir() + "/x"}).code, 1);
+}
+
+TEST(WorkloadTool, PipesIntoPartitionTool) {
+  // The advertised toolchain: generate, then partition.
+  std::string path = testing::TempDir() + "/wl_pipe.txt";
+  auto gen = run({"--type", "chain", "--n", "64", "--output", path,
+                  "--seed", "3"});
+  ASSERT_EQ(gen.code, 0) << gen.err;
+  std::ostringstream out, err;
+  int code = run_partition_tool({"--input", path, "--algorithm",
+                                 "bandwidth", "--k", "30"},
+                                out, err);
+  EXPECT_EQ(code, 0) << err.str();
+  EXPECT_NE(out.str().find("cut weight:"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(WorkloadTool, HelpPrintsUsage) {
+  auto r = run({"--help"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("usage"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tgp::tools

@@ -1,0 +1,228 @@
+#include "tools/partition_tool.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "ccp/host_satellite.hpp"
+#include "core/bandwidth_min.hpp"
+#include "core/bottleneck_min.hpp"
+#include "core/chain_bottleneck.hpp"
+#include "core/duals.hpp"
+#include "core/proc_min.hpp"
+#include "core/tree_bandwidth.hpp"
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "util/argparse.hpp"
+#include "util/table.hpp"
+
+namespace tgp::tools {
+
+namespace {
+
+void print_cut(std::ostream& out, const graph::Cut& cut) {
+  out << "cut edges (" << cut.size() << "):";
+  for (int e : cut.edges) out << ' ' << e;
+  out << '\n';
+}
+
+int run_on_chain(const graph::Chain& chain, const std::string& algo,
+                 double K, int processors, std::ostream& out,
+                 std::ostream& err) {
+  if (algo == "bandwidth") {
+    core::BandwidthInstrumentation instr;
+    auto r = core::bandwidth_min_temps(chain, K, &instr);
+    out << "algorithm: bandwidth minimization (O(n + p log q))\n"
+        << "K: " << K << "\n";
+    print_cut(out, r.cut);
+    out << "cut weight: " << r.cut_weight << "\n"
+        << "components: " << r.cut.size() + 1 << "\n"
+        << "prime subpaths p: " << instr.p << ", q avg: " << instr.q_avg
+        << "\n";
+    return 0;
+  }
+  if (algo == "bottleneck") {
+    auto r = core::chain_bottleneck_min(chain, K);
+    out << "algorithm: bottleneck minimization (chain, O(n))\n"
+        << "K: " << K << "\n";
+    print_cut(out, r.cut);
+    out << "bottleneck edge weight: " << r.threshold << "\n";
+    return 0;
+  }
+  if (algo == "procmin") {
+    auto r = core::proc_min(graph::path_tree(chain), K);
+    out << "algorithm: processor minimization (Algorithm 2.2)\n"
+        << "K: " << K << "\n";
+    print_cut(out, r.cut);
+    out << "processors needed: " << r.components << "\n";
+    return 0;
+  }
+  if (algo == "dual") {
+    auto r = core::min_bound_for_processors_chain(chain, processors);
+    out << "algorithm: processor-constrained dual (min K for m = "
+        << processors << ")\n";
+    print_cut(out, r.cut);
+    out << "minimum bound K*: " << r.bound << "\n"
+        << "components: " << r.components << "\n";
+    return 0;
+  }
+  err << "error: unknown chain algorithm '" << algo
+      << "' (want bandwidth|bottleneck|procmin|dual)\n";
+  return 2;
+}
+
+int run_on_tree(const graph::Tree& tree, const std::string& algo, double K,
+                int processors, int satellites, int root, std::ostream& out,
+                std::ostream& err) {
+  if (algo == "bandwidth") {
+    auto r = core::tree_bandwidth_greedy(tree, K);
+    out << "algorithm: bandwidth minimization (tree, greedy heuristic — "
+           "exact is NP-complete per Theorem 1)\n"
+        << "K: " << K << "\n";
+    print_cut(out, r.cut);
+    out << "cut weight: " << r.cut_weight << "\n";
+    return 0;
+  }
+  if (algo == "bottleneck") {
+    auto r = core::bottleneck_min_bsearch(tree, K);
+    out << "algorithm: bottleneck minimization (Algorithm 2.1)\n"
+        << "K: " << K << "\n";
+    print_cut(out, r.cut);
+    out << "bottleneck edge weight: " << r.threshold << "\n";
+    return 0;
+  }
+  if (algo == "procmin") {
+    auto r = core::proc_min(tree, K);
+    out << "algorithm: processor minimization (Algorithm 2.2)\n"
+        << "K: " << K << "\n";
+    print_cut(out, r.cut);
+    out << "processors needed: " << r.components << "\n";
+    return 0;
+  }
+  if (algo == "pipeline") {
+    auto r = core::bottleneck_then_proc_min(tree, K);
+    out << "algorithm: bottleneck + processor minimization pipeline "
+           "(§2.1 + §2.2)\n"
+        << "K: " << K << "\n";
+    print_cut(out, r.cut);
+    out << "bottleneck: " << r.bottleneck
+        << "\nprocessors needed: " << r.components << "\n";
+    return 0;
+  }
+  if (algo == "dual") {
+    auto r = core::min_bound_for_processors_tree(tree, processors);
+    out << "algorithm: processor-constrained dual (min K for m = "
+        << processors << ")\n";
+    print_cut(out, r.cut);
+    out << "minimum bound K*: " << r.bound << "\n"
+        << "components: " << r.components << "\n";
+    return 0;
+  }
+  if (algo == "hostsat") {
+    auto r = ccp::host_satellite_partition(tree, root, satellites);
+    out << "algorithm: host-satellite partitioning (root " << root << ", "
+        << satellites << " satellites)\n";
+    print_cut(out, r.cut);
+    out << "bottleneck: " << r.bottleneck
+        << "\nhost load: " << r.host_load << "\nsatellite loads:";
+    for (double l : r.satellite_loads) out << ' ' << l;
+    out << "\n";
+    return 0;
+  }
+  err << "error: unknown tree algorithm '" << algo
+      << "' (want bandwidth|bottleneck|procmin|pipeline|dual|hostsat)\n";
+  return 2;
+}
+
+}  // namespace
+
+std::string partition_tool_help() {
+  return
+      "tgp_partition — partition a task graph for a shared-memory machine\n"
+      "\n"
+      "usage: tgp_partition --input FILE --algorithm ALGO [--k K]\n"
+      "                     [--processors M] [--satellites S] [--root V]\n"
+      "\n"
+      "The input file holds a chain (tgp-chain) or tree (tgp-tree); see\n"
+      "graph/io.hpp for the format.  Algorithms:\n"
+      "  chains: bandwidth | bottleneck | procmin | dual\n"
+      "  trees:  bandwidth | bottleneck | procmin | pipeline | dual |\n"
+      "          hostsat\n"
+      "--k is required except for dual/hostsat; --processors for dual;\n"
+      "--satellites and optionally --root for hostsat.\n";
+}
+
+int run_partition_tool(const std::vector<std::string>& args,
+                       std::ostream& out, std::ostream& err) {
+  std::vector<const char*> argv{"tgp_partition"};
+  for (const std::string& a : args) argv.push_back(a.c_str());
+  try {
+    util::ArgParser parser(static_cast<int>(argv.size()), argv.data());
+    parser.describe("input", "task graph file (tgp-chain or tgp-tree)")
+        .describe("algorithm", "see --help")
+        .describe("k", "execution-time bound K")
+        .describe("processors", "machine size for the dual")
+        .describe("satellites", "satellite count for hostsat")
+        .describe("root", "host vertex for hostsat (default 0)");
+    if (parser.has("help")) {
+      out << partition_tool_help();
+      return 0;
+    }
+    parser.check_unknown();
+
+    std::string path = parser.get("input", "");
+    if (path.empty()) {
+      err << "error: --input is required (see --help)\n";
+      return 2;
+    }
+    std::string algo = parser.get("algorithm", "");
+    if (algo.empty()) {
+      err << "error: --algorithm is required (see --help)\n";
+      return 2;
+    }
+    double K = parser.get_double("k", -1);
+    int processors = static_cast<int>(parser.get_int("processors", 0));
+    int satellites = static_cast<int>(parser.get_int("satellites", 0));
+    int root = static_cast<int>(parser.get_int("root", 0));
+
+    bool needs_k = algo != "dual" && algo != "hostsat";
+    if (needs_k && K < 0) {
+      err << "error: --k is required for algorithm '" << algo << "'\n";
+      return 2;
+    }
+    if (algo == "dual" && processors < 1) {
+      err << "error: --processors >= 1 is required for the dual\n";
+      return 2;
+    }
+
+    // Auto-detect the graph kind by its magic token.
+    std::ifstream in(path);
+    if (!in.good()) {
+      err << "error: cannot open '" << path << "'\n";
+      return 2;
+    }
+    std::string magic;
+    in >> magic;
+    in.seekg(0);
+    if (magic == "tgp-chain") {
+      graph::Chain chain = graph::load_chain(in);
+      out << "input: chain with " << chain.n() << " tasks, total work "
+          << chain.total_vertex_weight() << "\n";
+      return run_on_chain(chain, algo, K, processors, out, err);
+    }
+    if (magic == "tgp-tree") {
+      graph::Tree tree = graph::load_tree(in);
+      out << "input: tree with " << tree.n() << " tasks, total work "
+          << tree.total_vertex_weight() << "\n";
+      return run_on_tree(tree, algo, K, processors, satellites, root, out,
+                         err);
+    }
+    err << "error: unrecognized file format (magic '" << magic << "')\n";
+    return 2;
+  } catch (const std::exception& e) {
+    err << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
+
+}  // namespace tgp::tools

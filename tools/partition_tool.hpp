@@ -1,0 +1,22 @@
+// The engine behind the tgp_partition command-line tool.
+//
+// Separated from main() so the test suite can drive it end to end: parse
+// flags, load a chain or tree from a file (auto-detected by magic), run
+// the requested algorithm, print the cut and its quality metrics.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace tgp::tools {
+
+/// Run the partition tool.  `args` are argv[1:]; output goes to `out`,
+/// diagnostics to `err`.  Returns the process exit code (0 on success).
+int run_partition_tool(const std::vector<std::string>& args,
+                       std::ostream& out, std::ostream& err);
+
+/// The --help text.
+std::string partition_tool_help();
+
+}  // namespace tgp::tools

@@ -1,0 +1,11 @@
+// Command-line entry point; all logic lives in partition_tool.cpp so the
+// test suite can exercise it.
+#include <iostream>
+#include <vector>
+
+#include "tools/partition_tool.hpp"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  return tgp::tools::run_partition_tool(args, std::cout, std::cerr);
+}

@@ -1,0 +1,10 @@
+// Command-line entry point for the workload generator.
+#include <iostream>
+#include <vector>
+
+#include "tools/workload_tool.hpp"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  return tgp::tools::run_workload_tool(args, std::cout, std::cerr);
+}

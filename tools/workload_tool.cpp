@@ -1,0 +1,139 @@
+#include "tools/workload_tool.hpp"
+
+#include <ostream>
+#include <sstream>
+
+#include "graph/io.hpp"
+#include "util/argparse.hpp"
+#include "util/assert.hpp"
+
+namespace tgp::tools {
+
+namespace {
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : s) {
+    if (c == sep) {
+      out.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  out.push_back(cur);
+  return out;
+}
+
+double num(const std::string& s) {
+  std::size_t used = 0;
+  double v = std::stod(s, &used);
+  TGP_REQUIRE(used == s.size(), "malformed number '" + s + "'");
+  return v;
+}
+
+}  // namespace
+
+graph::WeightDist parse_dist(const std::string& spec) {
+  std::vector<std::string> parts = split(spec, ':');
+  try {
+    if (parts[0] == "uniform" && parts.size() == 3)
+      return graph::WeightDist::uniform(num(parts[1]), num(parts[2]));
+    if (parts[0] == "exp" && parts.size() == 2)
+      return graph::WeightDist::exponential(num(parts[1]));
+    if (parts[0] == "const" && parts.size() == 2)
+      return graph::WeightDist::constant(num(parts[1]));
+    if (parts[0] == "bimodal" && parts.size() == 6)
+      return graph::WeightDist::bimodal(num(parts[1]), num(parts[2]),
+                                        num(parts[3]), num(parts[4]),
+                                        num(parts[5]));
+  } catch (const std::logic_error& e) {
+    throw std::invalid_argument("bad distribution spec '" + spec +
+                                "': " + e.what());
+  }
+  throw std::invalid_argument(
+      "bad distribution spec '" + spec +
+      "' (want uniform:LO:HI | exp:MEAN | const:V | "
+      "bimodal:P:LO1:HI1:LO2:HI2)");
+}
+
+std::string workload_tool_help() {
+  return
+      "tgp_workload — generate task-graph workload files\n"
+      "\n"
+      "usage: tgp_workload --type chain|tree --n N --output FILE\n"
+      "                    [--vertex-dist SPEC] [--edge-dist SPEC]\n"
+      "                    [--shape random|binary|star|caterpillar]\n"
+      "                    [--seed S]\n"
+      "\n"
+      "SPEC: uniform:LO:HI | exp:MEAN | const:V |\n"
+      "      bimodal:P:LO1:HI1:LO2:HI2   (defaults: uniform:1:10)\n"
+      "The file format is documented in graph/io.hpp and consumed by\n"
+      "tgp_partition.\n";
+}
+
+int run_workload_tool(const std::vector<std::string>& args,
+                      std::ostream& out, std::ostream& err) {
+  std::vector<const char*> argv{"tgp_workload"};
+  for (const std::string& a : args) argv.push_back(a.c_str());
+  try {
+    util::ArgParser parser(static_cast<int>(argv.size()), argv.data());
+    parser.describe("type", "chain or tree")
+        .describe("n", "vertex count")
+        .describe("output", "destination file")
+        .describe("vertex-dist", "vertex weight distribution spec")
+        .describe("edge-dist", "edge weight distribution spec")
+        .describe("shape", "tree shape (random|binary|star|caterpillar)")
+        .describe("seed", "rng seed (default 1)");
+    if (parser.has("help")) {
+      out << workload_tool_help();
+      return 0;
+    }
+    parser.check_unknown();
+
+    std::string type = parser.get("type", "");
+    int n = static_cast<int>(parser.get_int("n", 0));
+    std::string path = parser.get("output", "");
+    if (type.empty() || n < 1 || path.empty()) {
+      err << "error: --type, --n >= 1 and --output are required\n";
+      return 2;
+    }
+    graph::WeightDist vd = parse_dist(parser.get("vertex-dist",
+                                                 "uniform:1:10"));
+    graph::WeightDist ed = parse_dist(parser.get("edge-dist",
+                                                 "uniform:1:10"));
+    util::Pcg32 rng(static_cast<std::uint64_t>(parser.get_int("seed", 1)));
+
+    if (type == "chain") {
+      graph::Chain c = graph::random_chain(rng, n, vd, ed);
+      graph::save_chain_file(path, c);
+      out << "wrote chain: " << n << " tasks, total work "
+          << c.total_vertex_weight() << " -> " << path << "\n";
+      return 0;
+    }
+    if (type == "tree") {
+      std::string shape = parser.get("shape", "random");
+      graph::Tree t = [&] {
+        if (shape == "binary") return graph::random_binary_tree(rng, n, vd, ed);
+        if (shape == "star") return graph::star_tree(rng, n, vd, ed);
+        if (shape == "caterpillar")
+          return graph::caterpillar_tree(rng, std::max(1, n / 4), 3, vd, ed);
+        if (shape == "random") return graph::random_tree(rng, n, vd, ed);
+        throw std::invalid_argument("unknown tree shape '" + shape + "'");
+      }();
+      graph::save_tree_file(path, t);
+      out << "wrote tree (" << shape << "): " << t.n()
+          << " tasks, total work " << t.total_vertex_weight() << " -> "
+          << path << "\n";
+      return 0;
+    }
+    err << "error: unknown --type '" << type << "' (want chain|tree)\n";
+    return 2;
+  } catch (const std::exception& e) {
+    err << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
+
+}  // namespace tgp::tools

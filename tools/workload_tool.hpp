@@ -1,0 +1,30 @@
+// The engine behind the tgp_workload generator tool.
+//
+// Generates chain/tree workload files (graph/io format) from the same
+// distributions the benches use, so tgp_partition has inputs and papers'
+// experiments are reproducible from the command line:
+//
+//   tgp_workload --type chain --n 1000 --vertex-dist uniform:1:100
+//                --edge-dist exp:5 --seed 7 --output chain.txt
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "graph/generators.hpp"
+
+namespace tgp::tools {
+
+/// Parse a distribution spec: "uniform:LO:HI" | "exp:MEAN" | "const:V" |
+/// "bimodal:P:LO1:HI1:LO2:HI2".  Throws std::invalid_argument on
+/// malformed specs.
+graph::WeightDist parse_dist(const std::string& spec);
+
+/// Run the workload tool; `args` are argv[1:].  Returns the exit code.
+int run_workload_tool(const std::vector<std::string>& args,
+                      std::ostream& out, std::ostream& err);
+
+std::string workload_tool_help();
+
+}  // namespace tgp::tools
