@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_bandwidth_runtime.cpp" "bench/CMakeFiles/bench_bandwidth_runtime.dir/bench_bandwidth_runtime.cpp.o" "gcc" "bench/CMakeFiles/bench_bandwidth_runtime.dir/bench_bandwidth_runtime.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tgp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ccp/CMakeFiles/tgp_ccp.dir/DependInfo.cmake"
+  "/root/repo/build/src/approx/CMakeFiles/tgp_approx.dir/DependInfo.cmake"
+  "/root/repo/build/src/pde/CMakeFiles/tgp_pde.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/tgp_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tgp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/des/CMakeFiles/tgp_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/rt/CMakeFiles/tgp_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/tgp_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tgp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

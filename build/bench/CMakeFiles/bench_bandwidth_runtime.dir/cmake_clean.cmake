@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bandwidth_runtime.dir/bench_bandwidth_runtime.cpp.o"
+  "CMakeFiles/bench_bandwidth_runtime.dir/bench_bandwidth_runtime.cpp.o.d"
+  "bench_bandwidth_runtime"
+  "bench_bandwidth_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bandwidth_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bottleneck_runtime.dir/bench_bottleneck_runtime.cpp.o"
+  "CMakeFiles/bench_bottleneck_runtime.dir/bench_bottleneck_runtime.cpp.o.d"
+  "bench_bottleneck_runtime"
+  "bench_bottleneck_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bottleneck_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ccp_runtime.dir/bench_ccp_runtime.cpp.o"
+  "CMakeFiles/bench_ccp_runtime.dir/bench_ccp_runtime.cpp.o.d"
+  "bench_ccp_runtime"
+  "bench_ccp_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ccp_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

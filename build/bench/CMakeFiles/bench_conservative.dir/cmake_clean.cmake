@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_conservative.dir/bench_conservative.cpp.o"
+  "CMakeFiles/bench_conservative.dir/bench_conservative.cpp.o.d"
+  "bench_conservative"
+  "bench_conservative.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_conservative.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

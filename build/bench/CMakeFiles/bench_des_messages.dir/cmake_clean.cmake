@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_des_messages.dir/bench_des_messages.cpp.o"
+  "CMakeFiles/bench_des_messages.dir/bench_des_messages.cpp.o.d"
+  "bench_des_messages"
+  "bench_des_messages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_des_messages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

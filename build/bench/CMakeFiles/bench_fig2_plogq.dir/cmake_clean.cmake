@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_plogq.dir/bench_fig2_plogq.cpp.o"
+  "CMakeFiles/bench_fig2_plogq.dir/bench_fig2_plogq.cpp.o.d"
+  "bench_fig2_plogq"
+  "bench_fig2_plogq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_plogq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_general_graph.dir/bench_general_graph.cpp.o"
+  "CMakeFiles/bench_general_graph.dir/bench_general_graph.cpp.o.d"
+  "bench_general_graph"
+  "bench_general_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_general_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

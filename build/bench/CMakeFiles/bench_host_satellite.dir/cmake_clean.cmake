@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_host_satellite.dir/bench_host_satellite.cpp.o"
+  "CMakeFiles/bench_host_satellite.dir/bench_host_satellite.cpp.o.d"
+  "bench_host_satellite"
+  "bench_host_satellite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_host_satellite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

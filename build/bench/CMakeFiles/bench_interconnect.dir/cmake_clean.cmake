@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_interconnect.dir/bench_interconnect.cpp.o"
+  "CMakeFiles/bench_interconnect.dir/bench_interconnect.cpp.o.d"
+  "bench_interconnect"
+  "bench_interconnect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_interconnect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

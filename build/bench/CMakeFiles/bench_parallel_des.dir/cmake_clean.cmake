@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_parallel_des.dir/bench_parallel_des.cpp.o"
+  "CMakeFiles/bench_parallel_des.dir/bench_parallel_des.cpp.o.d"
+  "bench_parallel_des"
+  "bench_parallel_des.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_parallel_des.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_prime_length.dir/bench_prime_length.cpp.o"
+  "CMakeFiles/bench_prime_length.dir/bench_prime_length.cpp.o.d"
+  "bench_prime_length"
+  "bench_prime_length.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_prime_length.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_procmin_runtime.dir/bench_procmin_runtime.cpp.o"
+  "CMakeFiles/bench_procmin_runtime.dir/bench_procmin_runtime.cpp.o.d"
+  "bench_procmin_runtime"
+  "bench_procmin_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_procmin_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

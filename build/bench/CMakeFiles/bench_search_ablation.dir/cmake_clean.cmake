@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_search_ablation.dir/bench_search_ablation.cpp.o"
+  "CMakeFiles/bench_search_ablation.dir/bench_search_ablation.cpp.o.d"
+  "bench_search_ablation"
+  "bench_search_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_search_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

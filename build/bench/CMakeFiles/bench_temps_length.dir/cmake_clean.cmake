@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_temps_length.dir/bench_temps_length.cpp.o"
+  "CMakeFiles/bench_temps_length.dir/bench_temps_length.cpp.o.d"
+  "bench_temps_length"
+  "bench_temps_length.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_temps_length.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

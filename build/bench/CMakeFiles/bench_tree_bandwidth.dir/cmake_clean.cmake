@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tree_bandwidth.dir/bench_tree_bandwidth.cpp.o"
+  "CMakeFiles/bench_tree_bandwidth.dir/bench_tree_bandwidth.cpp.o.d"
+  "bench_tree_bandwidth"
+  "bench_tree_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tree_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/circuit_partition.dir/circuit_partition.cpp.o"
+  "CMakeFiles/circuit_partition.dir/circuit_partition.cpp.o.d"
+  "circuit_partition"
+  "circuit_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/circuit_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/divide_and_conquer_tree.dir/divide_and_conquer_tree.cpp.o"
+  "CMakeFiles/divide_and_conquer_tree.dir/divide_and_conquer_tree.cpp.o.d"
+  "divide_and_conquer_tree"
+  "divide_and_conquer_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/divide_and_conquer_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/knapsack_hardness.dir/knapsack_hardness.cpp.o"
+  "CMakeFiles/knapsack_hardness.dir/knapsack_hardness.cpp.o.d"
+  "knapsack_hardness"
+  "knapsack_hardness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/knapsack_hardness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

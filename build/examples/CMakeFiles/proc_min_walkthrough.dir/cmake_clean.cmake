@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proc_min_walkthrough.dir/proc_min_walkthrough.cpp.o"
+  "CMakeFiles/proc_min_walkthrough.dir/proc_min_walkthrough.cpp.o.d"
+  "proc_min_walkthrough"
+  "proc_min_walkthrough.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proc_min_walkthrough.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for proc_min_walkthrough.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/realtime_pipeline.dir/realtime_pipeline.cpp.o"
+  "CMakeFiles/realtime_pipeline.dir/realtime_pipeline.cpp.o.d"
+  "realtime_pipeline"
+  "realtime_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/realtime_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

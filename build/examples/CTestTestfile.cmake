@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(smoke_quickstart "/root/repo/build/examples/quickstart" "--n" "10" "--k" "8")
+set_tests_properties(smoke_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(smoke_paper_tour "/root/repo/build/examples/paper_tour" "--n" "12" "--k" "10")
+set_tests_properties(smoke_paper_tour PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(smoke_realtime_pipeline "/root/repo/build/examples/realtime_pipeline" "--n" "12" "--deadline" "10" "--processors" "4")
+set_tests_properties(smoke_realtime_pipeline PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(smoke_circuit_partition "/root/repo/build/examples/circuit_partition" "--circuit" "layered" "--stages" "6" "--width" "4" "--groups" "2" "--cycles" "200")
+set_tests_properties(smoke_circuit_partition PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;24;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(smoke_divide_and_conquer "/root/repo/build/examples/divide_and_conquer_tree" "--arity" "2" "--levels" "5")
+set_tests_properties(smoke_divide_and_conquer PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;27;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(smoke_knapsack_hardness "/root/repo/build/examples/knapsack_hardness" "--items" "6" "--capacity" "12")
+set_tests_properties(smoke_knapsack_hardness PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;29;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(smoke_general_graph "/root/repo/build/examples/general_graph" "--clusters" "3" "--cluster-size" "6" "--groups" "2")
+set_tests_properties(smoke_general_graph PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;31;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(smoke_proc_min_walkthrough "/root/repo/build/examples/proc_min_walkthrough")
+set_tests_properties(smoke_proc_min_walkthrough PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;33;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(smoke_heat_equation "/root/repo/build/examples/heat_equation" "--strips" "8" "--base-points" "10" "--processors" "2" "--iterations" "50")
+set_tests_properties(smoke_heat_equation PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;34;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tgp_approx.dir/supergraph.cpp.o"
+  "CMakeFiles/tgp_approx.dir/supergraph.cpp.o.d"
+  "libtgp_approx.a"
+  "libtgp_approx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tgp_approx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arch/machine.cpp" "src/arch/CMakeFiles/tgp_arch.dir/machine.cpp.o" "gcc" "src/arch/CMakeFiles/tgp_arch.dir/machine.cpp.o.d"
+  "/root/repo/src/arch/mapping.cpp" "src/arch/CMakeFiles/tgp_arch.dir/mapping.cpp.o" "gcc" "src/arch/CMakeFiles/tgp_arch.dir/mapping.cpp.o.d"
+  "/root/repo/src/arch/metrics.cpp" "src/arch/CMakeFiles/tgp_arch.dir/metrics.cpp.o" "gcc" "src/arch/CMakeFiles/tgp_arch.dir/metrics.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/tgp_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tgp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

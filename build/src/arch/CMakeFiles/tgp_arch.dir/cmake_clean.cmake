@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tgp_arch.dir/machine.cpp.o"
+  "CMakeFiles/tgp_arch.dir/machine.cpp.o.d"
+  "CMakeFiles/tgp_arch.dir/mapping.cpp.o"
+  "CMakeFiles/tgp_arch.dir/mapping.cpp.o.d"
+  "CMakeFiles/tgp_arch.dir/metrics.cpp.o"
+  "CMakeFiles/tgp_arch.dir/metrics.cpp.o.d"
+  "libtgp_arch.a"
+  "libtgp_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tgp_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

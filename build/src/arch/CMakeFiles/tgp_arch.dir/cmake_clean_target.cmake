@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtgp_arch.a"
+)

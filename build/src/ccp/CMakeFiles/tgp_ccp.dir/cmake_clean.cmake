@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tgp_ccp.dir/bokhari_layered.cpp.o"
+  "CMakeFiles/tgp_ccp.dir/bokhari_layered.cpp.o.d"
+  "CMakeFiles/tgp_ccp.dir/ccp.cpp.o"
+  "CMakeFiles/tgp_ccp.dir/ccp.cpp.o.d"
+  "CMakeFiles/tgp_ccp.dir/host_satellite.cpp.o"
+  "CMakeFiles/tgp_ccp.dir/host_satellite.cpp.o.d"
+  "libtgp_ccp.a"
+  "libtgp_ccp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tgp_ccp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

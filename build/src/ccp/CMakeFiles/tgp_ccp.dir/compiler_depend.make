@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tgp_ccp.
+# This may be replaced when dependencies are built.

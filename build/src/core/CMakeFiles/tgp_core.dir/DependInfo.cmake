@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bandwidth_baselines.cpp" "src/core/CMakeFiles/tgp_core.dir/bandwidth_baselines.cpp.o" "gcc" "src/core/CMakeFiles/tgp_core.dir/bandwidth_baselines.cpp.o.d"
+  "/root/repo/src/core/bandwidth_bounded.cpp" "src/core/CMakeFiles/tgp_core.dir/bandwidth_bounded.cpp.o" "gcc" "src/core/CMakeFiles/tgp_core.dir/bandwidth_bounded.cpp.o.d"
+  "/root/repo/src/core/bandwidth_min.cpp" "src/core/CMakeFiles/tgp_core.dir/bandwidth_min.cpp.o" "gcc" "src/core/CMakeFiles/tgp_core.dir/bandwidth_min.cpp.o.d"
+  "/root/repo/src/core/bottleneck_min.cpp" "src/core/CMakeFiles/tgp_core.dir/bottleneck_min.cpp.o" "gcc" "src/core/CMakeFiles/tgp_core.dir/bottleneck_min.cpp.o.d"
+  "/root/repo/src/core/chain_bottleneck.cpp" "src/core/CMakeFiles/tgp_core.dir/chain_bottleneck.cpp.o" "gcc" "src/core/CMakeFiles/tgp_core.dir/chain_bottleneck.cpp.o.d"
+  "/root/repo/src/core/duals.cpp" "src/core/CMakeFiles/tgp_core.dir/duals.cpp.o" "gcc" "src/core/CMakeFiles/tgp_core.dir/duals.cpp.o.d"
+  "/root/repo/src/core/knapsack.cpp" "src/core/CMakeFiles/tgp_core.dir/knapsack.cpp.o" "gcc" "src/core/CMakeFiles/tgp_core.dir/knapsack.cpp.o.d"
+  "/root/repo/src/core/nonredundant.cpp" "src/core/CMakeFiles/tgp_core.dir/nonredundant.cpp.o" "gcc" "src/core/CMakeFiles/tgp_core.dir/nonredundant.cpp.o.d"
+  "/root/repo/src/core/prime_subpaths.cpp" "src/core/CMakeFiles/tgp_core.dir/prime_subpaths.cpp.o" "gcc" "src/core/CMakeFiles/tgp_core.dir/prime_subpaths.cpp.o.d"
+  "/root/repo/src/core/proc_min.cpp" "src/core/CMakeFiles/tgp_core.dir/proc_min.cpp.o" "gcc" "src/core/CMakeFiles/tgp_core.dir/proc_min.cpp.o.d"
+  "/root/repo/src/core/temps_queue.cpp" "src/core/CMakeFiles/tgp_core.dir/temps_queue.cpp.o" "gcc" "src/core/CMakeFiles/tgp_core.dir/temps_queue.cpp.o.d"
+  "/root/repo/src/core/tree_bandwidth.cpp" "src/core/CMakeFiles/tgp_core.dir/tree_bandwidth.cpp.o" "gcc" "src/core/CMakeFiles/tgp_core.dir/tree_bandwidth.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/tgp_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tgp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tgp_core.dir/bandwidth_baselines.cpp.o"
+  "CMakeFiles/tgp_core.dir/bandwidth_baselines.cpp.o.d"
+  "CMakeFiles/tgp_core.dir/bandwidth_bounded.cpp.o"
+  "CMakeFiles/tgp_core.dir/bandwidth_bounded.cpp.o.d"
+  "CMakeFiles/tgp_core.dir/bandwidth_min.cpp.o"
+  "CMakeFiles/tgp_core.dir/bandwidth_min.cpp.o.d"
+  "CMakeFiles/tgp_core.dir/bottleneck_min.cpp.o"
+  "CMakeFiles/tgp_core.dir/bottleneck_min.cpp.o.d"
+  "CMakeFiles/tgp_core.dir/chain_bottleneck.cpp.o"
+  "CMakeFiles/tgp_core.dir/chain_bottleneck.cpp.o.d"
+  "CMakeFiles/tgp_core.dir/duals.cpp.o"
+  "CMakeFiles/tgp_core.dir/duals.cpp.o.d"
+  "CMakeFiles/tgp_core.dir/knapsack.cpp.o"
+  "CMakeFiles/tgp_core.dir/knapsack.cpp.o.d"
+  "CMakeFiles/tgp_core.dir/nonredundant.cpp.o"
+  "CMakeFiles/tgp_core.dir/nonredundant.cpp.o.d"
+  "CMakeFiles/tgp_core.dir/prime_subpaths.cpp.o"
+  "CMakeFiles/tgp_core.dir/prime_subpaths.cpp.o.d"
+  "CMakeFiles/tgp_core.dir/proc_min.cpp.o"
+  "CMakeFiles/tgp_core.dir/proc_min.cpp.o.d"
+  "CMakeFiles/tgp_core.dir/temps_queue.cpp.o"
+  "CMakeFiles/tgp_core.dir/temps_queue.cpp.o.d"
+  "CMakeFiles/tgp_core.dir/tree_bandwidth.cpp.o"
+  "CMakeFiles/tgp_core.dir/tree_bandwidth.cpp.o.d"
+  "libtgp_core.a"
+  "libtgp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tgp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/des/circuit.cpp" "src/des/CMakeFiles/tgp_des.dir/circuit.cpp.o" "gcc" "src/des/CMakeFiles/tgp_des.dir/circuit.cpp.o.d"
+  "/root/repo/src/des/circuit_gen.cpp" "src/des/CMakeFiles/tgp_des.dir/circuit_gen.cpp.o" "gcc" "src/des/CMakeFiles/tgp_des.dir/circuit_gen.cpp.o.d"
+  "/root/repo/src/des/conservative_sim.cpp" "src/des/CMakeFiles/tgp_des.dir/conservative_sim.cpp.o" "gcc" "src/des/CMakeFiles/tgp_des.dir/conservative_sim.cpp.o.d"
+  "/root/repo/src/des/parallel_sim.cpp" "src/des/CMakeFiles/tgp_des.dir/parallel_sim.cpp.o" "gcc" "src/des/CMakeFiles/tgp_des.dir/parallel_sim.cpp.o.d"
+  "/root/repo/src/des/supergraph.cpp" "src/des/CMakeFiles/tgp_des.dir/supergraph.cpp.o" "gcc" "src/des/CMakeFiles/tgp_des.dir/supergraph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/tgp_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tgp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

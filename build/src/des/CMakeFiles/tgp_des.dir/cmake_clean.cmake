@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tgp_des.dir/circuit.cpp.o"
+  "CMakeFiles/tgp_des.dir/circuit.cpp.o.d"
+  "CMakeFiles/tgp_des.dir/circuit_gen.cpp.o"
+  "CMakeFiles/tgp_des.dir/circuit_gen.cpp.o.d"
+  "CMakeFiles/tgp_des.dir/conservative_sim.cpp.o"
+  "CMakeFiles/tgp_des.dir/conservative_sim.cpp.o.d"
+  "CMakeFiles/tgp_des.dir/parallel_sim.cpp.o"
+  "CMakeFiles/tgp_des.dir/parallel_sim.cpp.o.d"
+  "CMakeFiles/tgp_des.dir/supergraph.cpp.o"
+  "CMakeFiles/tgp_des.dir/supergraph.cpp.o.d"
+  "libtgp_des.a"
+  "libtgp_des.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tgp_des.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

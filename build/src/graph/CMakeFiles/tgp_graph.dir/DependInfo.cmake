@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/chain.cpp" "src/graph/CMakeFiles/tgp_graph.dir/chain.cpp.o" "gcc" "src/graph/CMakeFiles/tgp_graph.dir/chain.cpp.o.d"
+  "/root/repo/src/graph/cutset.cpp" "src/graph/CMakeFiles/tgp_graph.dir/cutset.cpp.o" "gcc" "src/graph/CMakeFiles/tgp_graph.dir/cutset.cpp.o.d"
+  "/root/repo/src/graph/generators.cpp" "src/graph/CMakeFiles/tgp_graph.dir/generators.cpp.o" "gcc" "src/graph/CMakeFiles/tgp_graph.dir/generators.cpp.o.d"
+  "/root/repo/src/graph/io.cpp" "src/graph/CMakeFiles/tgp_graph.dir/io.cpp.o" "gcc" "src/graph/CMakeFiles/tgp_graph.dir/io.cpp.o.d"
+  "/root/repo/src/graph/task_graph.cpp" "src/graph/CMakeFiles/tgp_graph.dir/task_graph.cpp.o" "gcc" "src/graph/CMakeFiles/tgp_graph.dir/task_graph.cpp.o.d"
+  "/root/repo/src/graph/tree.cpp" "src/graph/CMakeFiles/tgp_graph.dir/tree.cpp.o" "gcc" "src/graph/CMakeFiles/tgp_graph.dir/tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/tgp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tgp_graph.dir/chain.cpp.o"
+  "CMakeFiles/tgp_graph.dir/chain.cpp.o.d"
+  "CMakeFiles/tgp_graph.dir/cutset.cpp.o"
+  "CMakeFiles/tgp_graph.dir/cutset.cpp.o.d"
+  "CMakeFiles/tgp_graph.dir/generators.cpp.o"
+  "CMakeFiles/tgp_graph.dir/generators.cpp.o.d"
+  "CMakeFiles/tgp_graph.dir/io.cpp.o"
+  "CMakeFiles/tgp_graph.dir/io.cpp.o.d"
+  "CMakeFiles/tgp_graph.dir/task_graph.cpp.o"
+  "CMakeFiles/tgp_graph.dir/task_graph.cpp.o.d"
+  "CMakeFiles/tgp_graph.dir/tree.cpp.o"
+  "CMakeFiles/tgp_graph.dir/tree.cpp.o.d"
+  "libtgp_graph.a"
+  "libtgp_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tgp_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tgp_pde.dir/heat.cpp.o"
+  "CMakeFiles/tgp_pde.dir/heat.cpp.o.d"
+  "libtgp_pde.a"
+  "libtgp_pde.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tgp_pde.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

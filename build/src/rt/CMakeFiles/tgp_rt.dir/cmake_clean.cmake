@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tgp_rt.dir/realtime.cpp.o"
+  "CMakeFiles/tgp_rt.dir/realtime.cpp.o.d"
+  "libtgp_rt.a"
+  "libtgp_rt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tgp_rt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tgp_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/tgp_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/tgp_sim.dir/network.cpp.o"
+  "CMakeFiles/tgp_sim.dir/network.cpp.o.d"
+  "CMakeFiles/tgp_sim.dir/pipeline_sim.cpp.o"
+  "CMakeFiles/tgp_sim.dir/pipeline_sim.cpp.o.d"
+  "libtgp_sim.a"
+  "libtgp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tgp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

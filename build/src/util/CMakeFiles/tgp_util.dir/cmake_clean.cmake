@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tgp_util.dir/argparse.cpp.o"
+  "CMakeFiles/tgp_util.dir/argparse.cpp.o.d"
+  "CMakeFiles/tgp_util.dir/csv.cpp.o"
+  "CMakeFiles/tgp_util.dir/csv.cpp.o.d"
+  "CMakeFiles/tgp_util.dir/gantt.cpp.o"
+  "CMakeFiles/tgp_util.dir/gantt.cpp.o.d"
+  "CMakeFiles/tgp_util.dir/logging.cpp.o"
+  "CMakeFiles/tgp_util.dir/logging.cpp.o.d"
+  "CMakeFiles/tgp_util.dir/rng.cpp.o"
+  "CMakeFiles/tgp_util.dir/rng.cpp.o.d"
+  "CMakeFiles/tgp_util.dir/stats.cpp.o"
+  "CMakeFiles/tgp_util.dir/stats.cpp.o.d"
+  "CMakeFiles/tgp_util.dir/table.cpp.o"
+  "CMakeFiles/tgp_util.dir/table.cpp.o.d"
+  "libtgp_util.a"
+  "libtgp_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tgp_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bandwidth_min.dir/test_bandwidth_min.cpp.o"
+  "CMakeFiles/test_bandwidth_min.dir/test_bandwidth_min.cpp.o.d"
+  "test_bandwidth_min"
+  "test_bandwidth_min.pdb"
+  "test_bandwidth_min[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bandwidth_min.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

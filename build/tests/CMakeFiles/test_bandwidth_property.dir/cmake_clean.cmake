@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bandwidth_property.dir/test_bandwidth_property.cpp.o"
+  "CMakeFiles/test_bandwidth_property.dir/test_bandwidth_property.cpp.o.d"
+  "test_bandwidth_property"
+  "test_bandwidth_property.pdb"
+  "test_bandwidth_property[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bandwidth_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bottleneck_min.dir/test_bottleneck_min.cpp.o"
+  "CMakeFiles/test_bottleneck_min.dir/test_bottleneck_min.cpp.o.d"
+  "test_bottleneck_min"
+  "test_bottleneck_min.pdb"
+  "test_bottleneck_min[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bottleneck_min.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ccp.dir/test_ccp.cpp.o"
+  "CMakeFiles/test_ccp.dir/test_ccp.cpp.o.d"
+  "test_ccp"
+  "test_ccp.pdb"
+  "test_ccp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ccp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_conservative_sim.dir/test_conservative_sim.cpp.o"
+  "CMakeFiles/test_conservative_sim.dir/test_conservative_sim.cpp.o.d"
+  "test_conservative_sim"
+  "test_conservative_sim.pdb"
+  "test_conservative_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_conservative_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

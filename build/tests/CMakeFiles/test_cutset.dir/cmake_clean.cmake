@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cutset.dir/test_cutset.cpp.o"
+  "CMakeFiles/test_cutset.dir/test_cutset.cpp.o.d"
+  "test_cutset"
+  "test_cutset.pdb"
+  "test_cutset[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cutset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

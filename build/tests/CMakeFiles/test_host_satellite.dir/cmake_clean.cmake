@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_host_satellite.dir/test_host_satellite.cpp.o"
+  "CMakeFiles/test_host_satellite.dir/test_host_satellite.cpp.o.d"
+  "test_host_satellite"
+  "test_host_satellite.pdb"
+  "test_host_satellite[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_host_satellite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

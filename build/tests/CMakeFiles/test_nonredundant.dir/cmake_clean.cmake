@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nonredundant.dir/test_nonredundant.cpp.o"
+  "CMakeFiles/test_nonredundant.dir/test_nonredundant.cpp.o.d"
+  "test_nonredundant"
+  "test_nonredundant.pdb"
+  "test_nonredundant[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nonredundant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

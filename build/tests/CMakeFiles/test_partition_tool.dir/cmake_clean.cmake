@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_partition_tool.dir/test_partition_tool.cpp.o"
+  "CMakeFiles/test_partition_tool.dir/test_partition_tool.cpp.o.d"
+  "test_partition_tool"
+  "test_partition_tool.pdb"
+  "test_partition_tool[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_partition_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pde.dir/test_pde.cpp.o"
+  "CMakeFiles/test_pde.dir/test_pde.cpp.o.d"
+  "test_pde"
+  "test_pde.pdb"
+  "test_pde[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pde.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pipeline_trace.dir/test_pipeline_trace.cpp.o"
+  "CMakeFiles/test_pipeline_trace.dir/test_pipeline_trace.cpp.o.d"
+  "test_pipeline_trace"
+  "test_pipeline_trace.pdb"
+  "test_pipeline_trace[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pipeline_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_prime_subpaths.dir/test_prime_subpaths.cpp.o"
+  "CMakeFiles/test_prime_subpaths.dir/test_prime_subpaths.cpp.o.d"
+  "test_prime_subpaths"
+  "test_prime_subpaths.pdb"
+  "test_prime_subpaths[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_prime_subpaths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

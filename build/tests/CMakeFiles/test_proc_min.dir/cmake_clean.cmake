@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_proc_min.dir/test_proc_min.cpp.o"
+  "CMakeFiles/test_proc_min.dir/test_proc_min.cpp.o.d"
+  "test_proc_min"
+  "test_proc_min.pdb"
+  "test_proc_min[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_proc_min.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_temps_gallop.dir/test_temps_gallop.cpp.o"
+  "CMakeFiles/test_temps_gallop.dir/test_temps_gallop.cpp.o.d"
+  "test_temps_gallop"
+  "test_temps_gallop.pdb"
+  "test_temps_gallop[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_temps_gallop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

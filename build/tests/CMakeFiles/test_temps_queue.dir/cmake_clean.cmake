@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_temps_queue.dir/test_temps_queue.cpp.o"
+  "CMakeFiles/test_temps_queue.dir/test_temps_queue.cpp.o.d"
+  "test_temps_queue"
+  "test_temps_queue.pdb"
+  "test_temps_queue[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_temps_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

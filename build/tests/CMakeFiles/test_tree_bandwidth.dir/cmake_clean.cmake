@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tree_bandwidth.dir/test_tree_bandwidth.cpp.o"
+  "CMakeFiles/test_tree_bandwidth.dir/test_tree_bandwidth.cpp.o.d"
+  "test_tree_bandwidth"
+  "test_tree_bandwidth.pdb"
+  "test_tree_bandwidth[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tree_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_util_argparse.dir/test_util_argparse.cpp.o"
+  "CMakeFiles/test_util_argparse.dir/test_util_argparse.cpp.o.d"
+  "test_util_argparse"
+  "test_util_argparse.pdb"
+  "test_util_argparse[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_util_argparse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

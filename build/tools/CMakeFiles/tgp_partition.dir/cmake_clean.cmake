@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tgp_partition.dir/tgp_partition_main.cpp.o"
+  "CMakeFiles/tgp_partition.dir/tgp_partition_main.cpp.o.d"
+  "tgp_partition"
+  "tgp_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tgp_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

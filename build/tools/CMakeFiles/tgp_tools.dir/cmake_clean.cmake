@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tgp_tools.dir/partition_tool.cpp.o"
+  "CMakeFiles/tgp_tools.dir/partition_tool.cpp.o.d"
+  "CMakeFiles/tgp_tools.dir/workload_tool.cpp.o"
+  "CMakeFiles/tgp_tools.dir/workload_tool.cpp.o.d"
+  "libtgp_tools.a"
+  "libtgp_tools.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tgp_tools.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tgp_workload.dir/tgp_workload_main.cpp.o"
+  "CMakeFiles/tgp_workload.dir/tgp_workload_main.cpp.o.d"
+  "tgp_workload"
+  "tgp_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tgp_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
