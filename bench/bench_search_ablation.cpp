@@ -22,12 +22,16 @@ using namespace tgp;
 void run_row(util::Table& t, const char* name, const graph::Chain& c,
              double K) {
   core::BandwidthInstrumentation bi, gi;
-  util::Timer timer;
-  auto rb = core::bandwidth_min_temps(c, K, &bi, core::SearchPolicy::kBinary);
-  double tb = timer.millis();
-  timer.reset();
-  auto rg = core::bandwidth_min_temps(c, K, &gi, core::SearchPolicy::kGallop);
-  double tg = timer.millis();
+  double tb = 0, tg = 0;
+  core::BandwidthResult rb, rg;
+  {
+    util::ScopedTimer t(tb, util::ScopedTimer::Unit::kMillis);
+    rb = core::bandwidth_min_temps(c, K, &bi, core::SearchPolicy::kBinary);
+  }
+  {
+    util::ScopedTimer t(tg, util::ScopedTimer::Unit::kMillis);
+    rg = core::bandwidth_min_temps(c, K, &gi, core::SearchPolicy::kGallop);
+  }
   // Identical optima by construction; assert loudly if not.
   if (rb.cut_weight != rg.cut_weight) {
     std::printf("MISMATCH on %s!\n", name);

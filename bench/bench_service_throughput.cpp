@@ -1,0 +1,97 @@
+// Service runtime throughput: worker-pool scaling and memo-cache
+// sensitivity.
+//
+// Section 1 runs one fixed mixed workload at 1/2/4/8 worker threads and
+// reports jobs/sec and speedup over the single-thread run.  Jobs are
+// independent solver calls on ~10²–10³-vertex graphs, so scaling is
+// limited only by queue/cache lock contention and the machine's core
+// count (on a 1-core container the speedup column flatlines at ~1×; the
+// point of the table is hardware, not simulation).
+//
+// Section 2 fixes the thread count and sweeps the duplicate fraction of
+// the workload, reporting cache hit rate and the resulting throughput
+// multiplier against the same workload with the cache disabled.
+#include <cstdio>
+
+#include "svc/service.hpp"
+#include "tools/serve_tool.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace tgp;
+
+struct RunStats {
+  double seconds = 0;
+  double jobs_per_sec = 0;
+  svc::MetricsSnapshot metrics;
+};
+
+RunStats run_workload(const std::vector<svc::JobSpec>& specs, int threads,
+                      std::size_t cache_bytes) {
+  svc::ServiceConfig config;
+  config.threads = threads;
+  config.cache_bytes = cache_bytes;
+  svc::PartitionService service(config);
+  RunStats stats;
+  {
+    util::ScopedTimer t(stats.seconds, util::ScopedTimer::Unit::kSeconds);
+    service.run_batch(specs);
+  }
+  stats.jobs_per_sec =
+      static_cast<double>(specs.size()) / std::max(stats.seconds, 1e-9);
+  stats.metrics = service.metrics();
+  return stats;
+}
+
+}  // namespace
+
+int main() {
+  using namespace tgp;
+  std::puts("=== partition service throughput ===\n");
+
+  const std::size_t cache_bytes = std::size_t{64} << 20;
+  {
+    std::puts("-- worker-pool scaling (1000 jobs, 30% duplicates) --");
+    std::vector<svc::JobSpec> specs =
+        tools::generate_workload(1000, 0x5CA1E, 0.3);
+    util::Table t({"threads", "wall s", "jobs/s", "speedup", "hit rate %"});
+    double base = 0;
+    for (int threads : {1, 2, 4, 8}) {
+      RunStats s = run_workload(specs, threads, cache_bytes);
+      if (threads == 1) base = s.jobs_per_sec;
+      t.row()
+          .cell(threads)
+          .cell(s.seconds, 3)
+          .cell(s.jobs_per_sec, 0)
+          .cell(s.jobs_per_sec / base, 2)
+          .cell(100.0 * s.metrics.cache.hit_rate(), 1);
+    }
+    t.print();
+  }
+
+  {
+    std::puts("\n-- cache hit-rate sensitivity (1000 jobs, 4 threads) --");
+    util::Table t({"dup frac", "hit rate %", "jobs/s cached",
+                   "jobs/s uncached", "cache gain"});
+    for (double dup : {0.0, 0.5, 0.9, 0.95}) {
+      std::vector<svc::JobSpec> specs =
+          tools::generate_workload(1000, 0xCAC4E, dup);
+      RunStats cached = run_workload(specs, 4, cache_bytes);
+      RunStats uncached = run_workload(specs, 4, 0);
+      t.row()
+          .cell(dup, 2)
+          .cell(100.0 * cached.metrics.cache.hit_rate(), 1)
+          .cell(cached.jobs_per_sec, 0)
+          .cell(uncached.jobs_per_sec, 0)
+          .cell(cached.jobs_per_sec / uncached.jobs_per_sec, 2);
+    }
+    t.print();
+  }
+
+  std::puts("\nReading: speedup tracks physical cores (a duplicate-heavy"
+            "\nworkload also scales through the sharded cache); cache gain"
+            "\ngrows with the duplicate fraction of the traffic.");
+  return 0;
+}

@@ -1,0 +1,289 @@
+#include "graph/fingerprint.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+
+#include "util/assert.hpp"
+
+namespace tgp::graph {
+
+namespace {
+
+// splitmix64 finalizer — the standard 64-bit avalanche mixer.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t combine64(std::uint64_t seed, std::uint64_t v) {
+  return mix64(seed ^ (v + 0x9E3779B97F4A7C15ull + (seed << 6) +
+                       (seed >> 2)));
+}
+
+// Two independently seeded/salted 64-bit streams make up the 128 bits.
+void absorb(Fingerprint& f, std::uint64_t v) {
+  f.lo = combine64(f.lo, v);
+  f.hi = combine64(f.hi, v ^ 0xA5A5A5A5A5A5A5A5ull);
+}
+
+Fingerprint seed_fp(std::uint64_t tag) {
+  Fingerprint f{0x8B72E1E3F8D1B3C5ull, 0x243F6A8885A308D3ull};
+  absorb(f, tag);
+  return f;
+}
+
+std::uint64_t weight_bits(Weight w) { return std::bit_cast<std::uint64_t>(w); }
+
+// Domain-separation tags so a chain and a tree with coincident weight
+// streams can never collide by construction.
+constexpr std::uint64_t kChainTag = 0xC4A11ull;
+constexpr std::uint64_t kTreeTag = 0x73EEull;
+constexpr std::uint64_t kChainContentTag = 0xC4A12ull;
+constexpr std::uint64_t kTreeContentTag = 0x73EFull;
+
+// Rooted canonical data for one candidate root: per-vertex subtree hash
+// (edge-to-parent included via `lifted`), and children sorted canonically.
+struct RootedForm {
+  std::vector<int> parent, parent_edge;
+  std::vector<std::vector<int>> children;  // sorted canonically
+  std::vector<Fingerprint> lifted;         // subtree hash incl. parent edge
+  Fingerprint root_hash;
+};
+
+// Sort key giving children a canonical order: subtree hash first, then the
+// connecting edge weight.  Two children tying on all fields are
+// (up to hash collision) interchangeable isomorphic subtrees.
+struct ChildKey {
+  std::uint64_t h_hi, h_lo, edge_bits;
+  friend bool operator<(const ChildKey& a, const ChildKey& b) {
+    if (a.h_hi != b.h_hi) return a.h_hi < b.h_hi;
+    if (a.h_lo != b.h_lo) return a.h_lo < b.h_lo;
+    return a.edge_bits < b.edge_bits;
+  }
+};
+
+RootedForm rooted_form(const Tree& tree, int root) {
+  RootedForm rf;
+  tree.root_at(root, rf.parent, rf.parent_edge);
+  std::vector<int> order = tree.bfs_order(root);
+  std::size_t n = static_cast<std::size_t>(tree.n());
+  rf.children.assign(n, {});
+  for (int v : order)
+    if (v != root)
+      rf.children[static_cast<std::size_t>(
+                      rf.parent[static_cast<std::size_t>(v)])]
+          .push_back(v);
+
+  std::vector<Fingerprint> own(n);  // subtree hash excl. parent edge
+  rf.lifted.assign(n, {});
+  // Reverse BFS order = children before parents.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    std::size_t v = static_cast<std::size_t>(*it);
+    auto& kids = rf.children[v];
+    std::sort(kids.begin(), kids.end(), [&](int a, int b) {
+      const Fingerprint& ha = rf.lifted[static_cast<std::size_t>(a)];
+      const Fingerprint& hb = rf.lifted[static_cast<std::size_t>(b)];
+      ChildKey ka{ha.hi, ha.lo,
+                  weight_bits(tree.edge(rf.parent_edge[static_cast<std::size_t>(
+                                            a)]).weight)};
+      ChildKey kb{hb.hi, hb.lo,
+                  weight_bits(tree.edge(rf.parent_edge[static_cast<std::size_t>(
+                                            b)]).weight)};
+      return ka < kb;
+    });
+    Fingerprint h = seed_fp(kTreeTag);
+    absorb(h, weight_bits(tree.vertex_weight(static_cast<int>(v))));
+    absorb(h, static_cast<std::uint64_t>(kids.size()));
+    for (int c : kids) {
+      const Fingerprint& hc = rf.lifted[static_cast<std::size_t>(c)];
+      absorb(h, hc.hi);
+      absorb(h, hc.lo);
+    }
+    own[v] = h;
+    if (static_cast<int>(v) != root) {
+      Fingerprint up = own[v];
+      absorb(up,
+             weight_bits(tree.edge(rf.parent_edge[v]).weight));
+      rf.lifted[v] = up;
+    }
+  }
+  rf.root_hash = own[static_cast<std::size_t>(root)];
+  return rf;
+}
+
+// Centroid(s) of a free tree: vertices minimizing the largest component
+// of T − v.  One or two exist; two only when they are adjacent.
+std::vector<int> centroids(const Tree& tree) {
+  int n = tree.n();
+  if (n == 1) return {0};
+  std::vector<int> parent, parent_edge;
+  tree.root_at(0, parent, parent_edge);
+  std::vector<int> order = tree.bfs_order(0);
+  std::vector<int> size(static_cast<std::size_t>(n), 1);
+  std::vector<int> heaviest_child(static_cast<std::size_t>(n), 0);
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    int v = *it;
+    if (v == 0) continue;
+    std::size_t p = static_cast<std::size_t>(parent[static_cast<std::size_t>(v)]);
+    size[p] += size[static_cast<std::size_t>(v)];
+    heaviest_child[p] = std::max(heaviest_child[p],
+                                 size[static_cast<std::size_t>(v)]);
+  }
+  int best = n + 1;
+  std::vector<int> out;
+  for (int v = 0; v < n; ++v) {
+    std::size_t sv = static_cast<std::size_t>(v);
+    int worst = std::max(heaviest_child[sv], n - size[sv]);
+    if (worst < best) {
+      best = worst;
+      out.clear();
+    }
+    if (worst == best) out.push_back(v);
+  }
+  TGP_ENSURE(!out.empty() && out.size() <= 2, "a tree has 1 or 2 centroids");
+  return out;
+}
+
+bool hash_less(const Fingerprint& a, const Fingerprint& b) {
+  return a.hi != b.hi ? a.hi < b.hi : a.lo < b.lo;
+}
+
+}  // namespace
+
+std::string Fingerprint::hex() const {
+  char buf[36];
+  std::snprintf(buf, sizeof buf, "%016llx%016llx",
+                static_cast<unsigned long long>(hi),
+                static_cast<unsigned long long>(lo));
+  return buf;
+}
+
+CanonicalChain canonical_chain(const Chain& chain) {
+  chain.validate();
+  // Lexicographic bit-pattern comparison of (vertex seq, edge seq) against
+  // the reversal; ties (palindromes) keep the submitted orientation.
+  int cmp = 0;
+  int n = chain.n();
+  for (int i = 0; cmp == 0 && i < n; ++i) {
+    std::uint64_t a = weight_bits(chain.vertex_weight[static_cast<std::size_t>(i)]);
+    std::uint64_t b = weight_bits(
+        chain.vertex_weight[static_cast<std::size_t>(n - 1 - i)]);
+    cmp = a < b ? -1 : (a > b ? 1 : 0);
+  }
+  int m = chain.edge_count();
+  for (int i = 0; cmp == 0 && i < m; ++i) {
+    std::uint64_t a = weight_bits(chain.edge_weight[static_cast<std::size_t>(i)]);
+    std::uint64_t b = weight_bits(
+        chain.edge_weight[static_cast<std::size_t>(m - 1 - i)]);
+    cmp = a < b ? -1 : (a > b ? 1 : 0);
+  }
+  CanonicalChain out;
+  out.reversed = cmp > 0;
+  if (!out.reversed) {
+    out.chain = chain;
+  } else {
+    out.chain.vertex_weight.assign(chain.vertex_weight.rbegin(),
+                                   chain.vertex_weight.rend());
+    out.chain.edge_weight.assign(chain.edge_weight.rbegin(),
+                                 chain.edge_weight.rend());
+  }
+  return out;
+}
+
+CanonicalTree canonical_tree(const Tree& tree) {
+  int n = tree.n();
+  std::vector<int> cands = centroids(tree);
+  RootedForm best = rooted_form(tree, cands[0]);
+  int root = cands[0];
+  if (cands.size() == 2) {
+    RootedForm other = rooted_form(tree, cands[1]);
+    if (hash_less(other.root_hash, best.root_hash)) {
+      best = std::move(other);
+      root = cands[1];
+    }
+  }
+
+  // Preorder relabeling with canonical child order.
+  std::vector<int> orig_vertex;
+  orig_vertex.reserve(static_cast<std::size_t>(n));
+  std::vector<int> stack{root};
+  while (!stack.empty()) {
+    int v = stack.back();
+    stack.pop_back();
+    orig_vertex.push_back(v);
+    const auto& kids = best.children[static_cast<std::size_t>(v)];
+    for (auto it = kids.rbegin(); it != kids.rend(); ++it)
+      stack.push_back(*it);
+  }
+  std::vector<int> new_index(static_cast<std::size_t>(n));
+  for (int c = 0; c < n; ++c)
+    new_index[static_cast<std::size_t>(
+        orig_vertex[static_cast<std::size_t>(c)])] = c;
+
+  std::vector<Weight> vw(static_cast<std::size_t>(n));
+  std::vector<int> parent(static_cast<std::size_t>(n), -1);
+  std::vector<Weight> pew(static_cast<std::size_t>(n), Weight{1});
+  std::vector<int> orig_edge(static_cast<std::size_t>(n > 0 ? n - 1 : 0), -1);
+  for (int c = 0; c < n; ++c) {
+    int old = orig_vertex[static_cast<std::size_t>(c)];
+    vw[static_cast<std::size_t>(c)] = tree.vertex_weight(old);
+    if (old == root) continue;
+    int pe = best.parent_edge[static_cast<std::size_t>(old)];
+    parent[static_cast<std::size_t>(c)] =
+        new_index[static_cast<std::size_t>(
+            best.parent[static_cast<std::size_t>(old)])];
+    pew[static_cast<std::size_t>(c)] = tree.edge(pe).weight;
+    // Tree::from_parents emits edge c-1 for vertex c.
+    orig_edge[static_cast<std::size_t>(c - 1)] = pe;
+  }
+  return CanonicalTree{Tree::from_parents(std::move(vw), parent, pew),
+                       std::move(orig_vertex), std::move(orig_edge)};
+}
+
+Fingerprint chain_fingerprint(const Chain& chain) {
+  CanonicalChain c = canonical_chain(chain);
+  Fingerprint f = seed_fp(kChainTag);
+  absorb(f, static_cast<std::uint64_t>(c.chain.n()));
+  for (Weight w : c.chain.vertex_weight) absorb(f, weight_bits(w));
+  for (Weight w : c.chain.edge_weight) absorb(f, weight_bits(w));
+  return f;
+}
+
+Fingerprint tree_fingerprint(const Tree& tree) {
+  std::vector<int> cands = centroids(tree);
+  Fingerprint h = rooted_form(tree, cands[0]).root_hash;
+  if (cands.size() == 2) {
+    Fingerprint h2 = rooted_form(tree, cands[1]).root_hash;
+    if (hash_less(h2, h)) h = h2;
+  }
+  Fingerprint f = seed_fp(kTreeTag);
+  absorb(f, static_cast<std::uint64_t>(tree.n()));
+  absorb(f, h.hi);
+  absorb(f, h.lo);
+  return f;
+}
+
+Fingerprint chain_content_digest(const Chain& chain) {
+  Fingerprint f = seed_fp(kChainContentTag);
+  absorb(f, static_cast<std::uint64_t>(chain.n()));
+  for (Weight w : chain.vertex_weight) absorb(f, weight_bits(w));
+  for (Weight w : chain.edge_weight) absorb(f, weight_bits(w));
+  return f;
+}
+
+Fingerprint tree_content_digest(const Tree& tree) {
+  Fingerprint f = seed_fp(kTreeContentTag);
+  absorb(f, static_cast<std::uint64_t>(tree.n()));
+  for (Weight w : tree.vertex_weights()) absorb(f, weight_bits(w));
+  for (const TreeEdge& e : tree.edges()) {
+    absorb(f, static_cast<std::uint64_t>(e.u));
+    absorb(f, static_cast<std::uint64_t>(e.v));
+    absorb(f, weight_bits(e.weight));
+  }
+  return f;
+}
+
+}  // namespace tgp::graph

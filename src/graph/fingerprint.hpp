@@ -1,0 +1,114 @@
+// Canonical forms and isomorphism-stable fingerprints for task graphs.
+//
+// The partition service memoizes results by graph *content*, not by the
+// accident of how a graph was presented: a chain and its reversal describe
+// the same linear task graph, and a tree whose children were listed in a
+// different order is still the same tree.  This module provides
+//
+//   * canonical_chain — the lexicographically smaller of the chain and its
+//     reversal (weights compared by exact bit pattern), plus the flag
+//     needed to map edge indices back to the submitted orientation;
+//   * canonical_tree — the tree re-rooted at its (hash-disambiguated)
+//     centroid and relabeled in preorder with children sorted by subtree
+//     hash, plus vertex/edge maps back to the submitted labeling;
+//   * fingerprint — a 128-bit hash of the canonical form, equal for
+//     isomorphic chains (reversal) and for trees that differ only by
+//     child order / vertex relabeling.
+//
+// Equality of fingerprints is probabilistic (two independent 64-bit
+// streams; collision odds ~2^-128 for unrelated graphs), which is the
+// right trade for a memo cache: a collision can at worst return a result
+// computed for a different graph, and the service additionally compares
+// the exact content digest before trusting a cache hit.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/chain.hpp"
+#include "graph/tree.hpp"
+
+namespace tgp::graph {
+
+/// 128-bit content hash.  Comparable and hashable so it can key maps.
+struct Fingerprint {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  friend bool operator==(const Fingerprint&, const Fingerprint&) = default;
+
+  /// 64-bit fold for shard selection / unordered_map bucketing.
+  std::uint64_t fold() const { return hi ^ (lo * 0x9E3779B97F4A7C15ull); }
+
+  std::string hex() const;
+};
+
+// ---- Chains ---------------------------------------------------------------
+
+/// A chain in canonical orientation.  `reversed` records whether the
+/// submitted chain had to be flipped; map_edge_back translates a canonical
+/// edge index to the submitted chain's numbering.
+struct CanonicalChain {
+  Chain chain;
+  bool reversed = false;
+
+  int map_edge_back(int canonical_edge) const {
+    return reversed ? chain.edge_count() - 1 - canonical_edge
+                    : canonical_edge;
+  }
+};
+
+/// Canonicalize: of the chain and its reversal, keep the one whose
+/// (vertex weights, edge weights) sequence is lexicographically smaller
+/// under bit-pattern comparison.  Palindromic chains are their own
+/// canonical form.  O(n).
+CanonicalChain canonical_chain(const Chain& chain);
+
+// ---- Trees ----------------------------------------------------------------
+
+/// A tree relabeled into canonical form.  orig_vertex[c] is the submitted
+/// index of canonical vertex c; orig_edge[c] the submitted index of
+/// canonical edge c.
+struct CanonicalTree {
+  Tree tree;
+  std::vector<int> orig_vertex;
+  std::vector<int> orig_edge;
+
+  int map_edge_back(int canonical_edge) const {
+    return orig_edge[static_cast<std::size_t>(canonical_edge)];
+  }
+};
+
+/// Canonicalize a free tree: root at the centroid (of the two possible
+/// centroids, the one with the smaller rooted subtree hash), then relabel
+/// vertices in preorder visiting each vertex's children in ascending
+/// (subtree hash, edge-weight bit pattern) order.  Isomorphic trees —
+/// any vertex relabeling, any child order — produce identical canonical
+/// trees up to 128-bit subtree-hash collisions.  O(n log n).
+CanonicalTree canonical_tree(const Tree& tree);
+
+// ---- Fingerprints ---------------------------------------------------------
+
+/// Fingerprint of the canonical orientation of `chain` (reversal-stable).
+Fingerprint chain_fingerprint(const Chain& chain);
+
+/// Fingerprint of the canonical form of `tree` (relabeling- and
+/// child-order-stable).
+Fingerprint tree_fingerprint(const Tree& tree);
+
+/// Exact content digest of a graph *as submitted* — NOT isomorphism
+/// stable.  The service pairs this with the canonical fingerprint to tell
+/// "same graph, same presentation" apart from "equivalent graph".
+Fingerprint chain_content_digest(const Chain& chain);
+Fingerprint tree_content_digest(const Tree& tree);
+
+}  // namespace tgp::graph
+
+// std::hash so Fingerprint can key unordered containers directly.
+template <>
+struct std::hash<tgp::graph::Fingerprint> {
+  std::size_t operator()(const tgp::graph::Fingerprint& f) const noexcept {
+    return static_cast<std::size_t>(f.fold());
+  }
+};

@@ -192,4 +192,41 @@ Tree kary_tree(util::Pcg32& rng, int k, int levels, const WeightDist& vertex,
                                  [k](int i) { return (i - 1) / k; });
 }
 
+Chain reversed_chain(const Chain& chain) {
+  chain.validate();
+  Chain out;
+  out.vertex_weight.assign(chain.vertex_weight.rbegin(),
+                           chain.vertex_weight.rend());
+  out.edge_weight.assign(chain.edge_weight.rbegin(),
+                         chain.edge_weight.rend());
+  return out;
+}
+
+Tree relabel_tree(util::Pcg32& rng, const Tree& tree) {
+  int n = tree.n();
+  std::vector<int> perm(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) perm[static_cast<std::size_t>(i)] = i;
+  for (int i = n - 1; i > 0; --i)
+    std::swap(perm[static_cast<std::size_t>(i)],
+              perm[static_cast<std::size_t>(rng.uniform_int(0, i))]);
+
+  std::vector<Weight> vw(static_cast<std::size_t>(n));
+  for (int v = 0; v < n; ++v)
+    vw[static_cast<std::size_t>(perm[static_cast<std::size_t>(v)])] =
+        tree.vertex_weight(v);
+
+  std::vector<TreeEdge> edges;
+  edges.reserve(tree.edges().size());
+  for (const TreeEdge& e : tree.edges()) {
+    int u = perm[static_cast<std::size_t>(e.u)];
+    int v = perm[static_cast<std::size_t>(e.v)];
+    if (rng.coin(0.5)) std::swap(u, v);
+    edges.push_back({u, v, e.weight});
+  }
+  for (std::size_t i = edges.size(); i > 1; --i)
+    std::swap(edges[i - 1], edges[static_cast<std::size_t>(rng.uniform_int(
+                                0, static_cast<std::int64_t>(i) - 1))]);
+  return Tree::from_edges(std::move(vw), std::move(edges));
+}
+
 }  // namespace tgp::graph

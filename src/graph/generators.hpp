@@ -83,4 +83,16 @@ Tree caterpillar_tree(util::Pcg32& rng, int spine, int legs_per_node,
 Tree kary_tree(util::Pcg32& rng, int k, int levels, const WeightDist& vertex,
                const WeightDist& edge);
 
+// ---- Re-presentations ------------------------------------------------------
+// The same abstract task graph under a different concrete presentation.
+// The service runtime's canonical fingerprints treat these as equal; tests
+// and duplicate-heavy workloads use them to exercise that path.
+
+/// The chain traversed from the other end (vertex/edge sequences reversed).
+Chain reversed_chain(const Chain& chain);
+
+/// The tree under a uniformly random vertex relabeling, with the edge list
+/// re-shuffled and edge endpoints randomly swapped.
+Tree relabel_tree(util::Pcg32& rng, const Tree& tree);
+
 }  // namespace tgp::graph

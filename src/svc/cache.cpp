@@ -1,0 +1,101 @@
+#include "svc/cache.hpp"
+
+#include <bit>
+
+#include "util/assert.hpp"
+
+namespace tgp::svc {
+
+CacheKey CacheKey::make(const graph::Fingerprint& fp, Problem p,
+                        graph::Weight K) {
+  CacheKey k;
+  k.graph = fp;
+  k.problem = p;
+  k.k_bits = std::bit_cast<std::uint64_t>(K);
+  return k;
+}
+
+std::size_t CacheKeyHash::operator()(const CacheKey& k) const noexcept {
+  std::uint64_t h = k.graph.fold();
+  h ^= (k.k_bits + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2));
+  h *= 0xBF58476D1CE4E5B9ull;
+  h ^= static_cast<std::uint64_t>(k.problem) * 0x94D049BB133111EBull;
+  return static_cast<std::size_t>(h ^ (h >> 29));
+}
+
+MemoCache::MemoCache(std::size_t capacity_bytes, int shards) {
+  TGP_REQUIRE(shards >= 1 && (shards & (shards - 1)) == 0,
+              "shard count must be a power of two");
+  shard_budget_ = capacity_bytes / static_cast<std::size_t>(shards);
+  shards_.reserve(static_cast<std::size_t>(shards));
+  for (int i = 0; i < shards; ++i)
+    shards_.push_back(std::make_unique<Shard>());
+}
+
+int MemoCache::shard_of(const CacheKey& key) const {
+  // The fingerprint's fold is already well mixed; mask selects the shard.
+  return static_cast<int>(key.graph.fold() &
+                          static_cast<std::uint64_t>(shards_.size() - 1));
+}
+
+std::optional<CanonicalOutcome> MemoCache::get(const CacheKey& key) {
+  Shard& s = *shards_[static_cast<std::size_t>(shard_of(key))];
+  std::lock_guard lk(s.mu);
+  auto it = s.index.find(key);
+  if (it == s.index.end()) {
+    ++s.misses;
+    return std::nullopt;
+  }
+  ++s.hits;
+  s.lru.splice(s.lru.begin(), s.lru, it->second);  // move to MRU
+  return it->second->outcome;
+}
+
+void MemoCache::put(const CacheKey& key, const CanonicalOutcome& outcome) {
+  std::size_t cost = sizeof(Entry) + outcome.memory_bytes();
+  if (cost > shard_budget_) return;  // larger than a whole shard: skip
+  Shard& s = *shards_[static_cast<std::size_t>(shard_of(key))];
+  std::lock_guard lk(s.mu);
+  auto it = s.index.find(key);
+  if (it != s.index.end()) {
+    // Deterministic solvers make refreshes value-identical; just bump LRU.
+    s.lru.splice(s.lru.begin(), s.lru, it->second);
+    return;
+  }
+  while (s.bytes + cost > shard_budget_ && !s.lru.empty()) {
+    s.bytes -= s.lru.back().bytes;
+    s.index.erase(s.lru.back().key);
+    s.lru.pop_back();
+    ++s.evictions;
+  }
+  s.lru.push_front(Entry{key, outcome, cost});
+  s.index.emplace(key, s.lru.begin());
+  s.bytes += cost;
+  ++s.insertions;
+}
+
+CacheStats MemoCache::stats() const {
+  CacheStats out;
+  out.shards = static_cast<int>(shards_.size());
+  out.capacity_bytes = shard_budget_ * shards_.size();
+  for (const auto& sp : shards_) {
+    std::lock_guard lk(sp->mu);
+    out.hits += sp->hits;
+    out.misses += sp->misses;
+    out.insertions += sp->insertions;
+    out.evictions += sp->evictions;
+    out.entries += sp->index.size();
+    out.bytes += sp->bytes;
+  }
+  return out;
+}
+
+std::size_t MemoCache::shard_entries(int shard) const {
+  TGP_REQUIRE(0 <= shard && shard < static_cast<int>(shards_.size()),
+              "shard index out of range");
+  const Shard& s = *shards_[static_cast<std::size_t>(shard)];
+  std::lock_guard lk(s.mu);
+  return s.index.size();
+}
+
+}  // namespace tgp::svc

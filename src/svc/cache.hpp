@@ -1,0 +1,106 @@
+// Sharded LRU memo cache for partition results.
+//
+// Keyed by (canonical graph fingerprint, problem, K): two submissions of
+// the same task graph — even reversed chains or child-permuted trees —
+// share one entry, because the service solves in canonical coordinates
+// (svc/job.hpp) and stores the canonical outcome.  The byte budget is
+// split evenly across shards, each an independent mutex + LRU list, so
+// workers hitting different fingerprints never contend on one lock.
+//
+// A lookup that matches the key is trusted without comparing the full
+// graph: the 128-bit fingerprint makes a false hit astronomically
+// unlikely, and the canonical-coordinates design means even a *true* hit
+// from an equivalent-but-differently-presented graph maps back to a
+// correct, deterministic cut for the submitted presentation.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/fingerprint.hpp"
+#include "svc/job.hpp"
+
+namespace tgp::svc {
+
+/// Cache key: canonical fingerprint + problem + exact K bit pattern.
+struct CacheKey {
+  graph::Fingerprint graph;
+  Problem problem = Problem::kBottleneck;
+  std::uint64_t k_bits = 0;
+
+  friend bool operator==(const CacheKey&, const CacheKey&) = default;
+
+  static CacheKey make(const graph::Fingerprint& fp, Problem p,
+                       graph::Weight K);
+};
+
+struct CacheKeyHash {
+  std::size_t operator()(const CacheKey& k) const noexcept;
+};
+
+/// Aggregated counters across shards.
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;
+  std::size_t entries = 0;
+  std::size_t bytes = 0;
+  std::size_t capacity_bytes = 0;
+  int shards = 0;
+
+  double hit_rate() const {
+    std::uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) /
+                                  static_cast<double>(total);
+  }
+};
+
+class MemoCache {
+ public:
+  /// `capacity_bytes` is the total budget across all shards; `shards`
+  /// must be a power of two.  A zero budget disables storage (every get
+  /// misses, puts are dropped) but still counts lookups.
+  explicit MemoCache(std::size_t capacity_bytes, int shards = 16);
+
+  /// Look up; moves the entry to the shard's MRU position on hit.
+  std::optional<CanonicalOutcome> get(const CacheKey& key);
+
+  /// Insert (or refresh) an entry, evicting LRU entries of the same shard
+  /// until the shard fits its budget.  Outcomes larger than a whole shard
+  /// are not cached.
+  void put(const CacheKey& key, const CanonicalOutcome& outcome);
+
+  CacheStats stats() const;
+
+  int shard_of(const CacheKey& key) const;
+
+  /// Entry count of one shard (tests assert the distribution is sane).
+  std::size_t shard_entries(int shard) const;
+
+ private:
+  struct Entry {
+    CacheKey key;
+    CanonicalOutcome outcome;
+    std::size_t bytes = 0;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<Entry> lru;  // front = most recent
+    std::unordered_map<CacheKey, std::list<Entry>::iterator, CacheKeyHash>
+        index;
+    std::size_t bytes = 0;
+    std::uint64_t hits = 0, misses = 0, insertions = 0, evictions = 0;
+  };
+
+  std::size_t shard_budget_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace tgp::svc

@@ -1,0 +1,198 @@
+#include "svc/job.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/bandwidth_min.hpp"
+#include "core/bottleneck_min.hpp"
+#include "core/chain_bottleneck.hpp"
+#include "core/proc_min.hpp"
+#include "core/tree_bandwidth.hpp"
+#include "graph/generators.hpp"
+#include "util/assert.hpp"
+
+namespace tgp::svc {
+
+const char* problem_name(Problem p) {
+  switch (p) {
+    case Problem::kBottleneck: return "bottleneck";
+    case Problem::kProcMin: return "procmin";
+    case Problem::kBandwidth: return "bandwidth";
+    case Problem::kPipeline: return "pipeline";
+  }
+  return "?";
+}
+
+Problem parse_problem(const std::string& name) {
+  if (name == "bottleneck") return Problem::kBottleneck;
+  if (name == "procmin") return Problem::kProcMin;
+  if (name == "bandwidth") return Problem::kBandwidth;
+  if (name == "pipeline") return Problem::kPipeline;
+  TGP_REQUIRE(false, "unknown problem '" + name +
+                         "' (want bottleneck|procmin|bandwidth|pipeline)");
+  return Problem::kBottleneck;  // unreachable
+}
+
+int JobSpec::n() const {
+  TGP_REQUIRE((chain != nullptr) != (tree != nullptr),
+              "job must carry exactly one graph");
+  return chain ? chain->n() : tree->n();
+}
+
+JobSpec JobSpec::for_chain(Problem p, graph::Weight K, graph::Chain c) {
+  return for_chain(p, K, std::make_shared<const graph::Chain>(std::move(c)));
+}
+
+JobSpec JobSpec::for_tree(Problem p, graph::Weight K, graph::Tree t) {
+  return for_tree(p, K, std::make_shared<const graph::Tree>(std::move(t)));
+}
+
+JobSpec JobSpec::for_chain(Problem p, graph::Weight K,
+                           std::shared_ptr<const graph::Chain> c) {
+  TGP_REQUIRE(c != nullptr, "null chain");
+  JobSpec s;
+  s.problem = p;
+  s.K = K;
+  s.chain = std::move(c);
+  return s;
+}
+
+JobSpec JobSpec::for_tree(Problem p, graph::Weight K,
+                          std::shared_ptr<const graph::Tree> t) {
+  TGP_REQUIRE(t != nullptr, "null tree");
+  JobSpec s;
+  s.problem = p;
+  s.K = K;
+  s.tree = std::move(t);
+  return s;
+}
+
+std::size_t CanonicalOutcome::memory_bytes() const {
+  return sizeof(CanonicalOutcome) +
+         cut.edges.capacity() * sizeof(int);
+}
+
+CanonicalOutcome solve_canonical_chain(Problem problem,
+                                       const graph::Chain& chain,
+                                       graph::Weight K) {
+  CanonicalOutcome out;
+  switch (problem) {
+    case Problem::kBottleneck: {
+      auto r = core::chain_bottleneck_min(chain, K);
+      out.cut = std::move(r.cut);
+      out.objective = r.threshold;
+      break;
+    }
+    case Problem::kProcMin: {
+      auto r = core::proc_min(graph::path_tree(chain), K);
+      out.cut = std::move(r.cut);
+      out.objective = static_cast<graph::Weight>(r.components);
+      out.components = r.components;
+      return out;
+    }
+    case Problem::kBandwidth: {
+      auto r = core::bandwidth_min_temps(chain, K);
+      out.cut = std::move(r.cut);
+      out.objective = r.cut_weight;
+      break;
+    }
+    case Problem::kPipeline: {
+      auto r = core::bottleneck_then_proc_min(graph::path_tree(chain), K);
+      out.cut = std::move(r.cut);
+      out.objective = r.bottleneck;
+      out.components = r.components;
+      return out;
+    }
+  }
+  out.components = out.cut.size() + 1;
+  return out;
+}
+
+CanonicalOutcome solve_canonical_tree(Problem problem,
+                                      const graph::Tree& tree,
+                                      graph::Weight K) {
+  CanonicalOutcome out;
+  switch (problem) {
+    case Problem::kBottleneck: {
+      auto r = core::bottleneck_min_bsearch(tree, K);
+      out.cut = std::move(r.cut);
+      out.objective = r.threshold;
+      break;
+    }
+    case Problem::kProcMin: {
+      auto r = core::proc_min(tree, K);
+      out.cut = std::move(r.cut);
+      out.objective = static_cast<graph::Weight>(r.components);
+      out.components = r.components;
+      return out;
+    }
+    case Problem::kBandwidth: {
+      auto r = core::tree_bandwidth_greedy(tree, K);
+      out.cut = std::move(r.cut);
+      out.objective = r.cut_weight;
+      break;
+    }
+    case Problem::kPipeline: {
+      auto r = core::bottleneck_then_proc_min(tree, K);
+      out.cut = std::move(r.cut);
+      out.objective = r.bottleneck;
+      out.components = r.components;
+      return out;
+    }
+  }
+  out.components = out.cut.size() + 1;
+  return out;
+}
+
+namespace {
+
+template <typename MapBack>
+void fill_result(JobResult& r, const CanonicalOutcome& o, MapBack&& back) {
+  r.ok = true;
+  r.objective = o.objective;
+  r.components = o.components;
+  r.cut.edges.clear();
+  r.cut.edges.reserve(o.cut.edges.size());
+  for (int e : o.cut.edges) r.cut.edges.push_back(back(e));
+  std::sort(r.cut.edges.begin(), r.cut.edges.end());
+}
+
+}  // namespace
+
+void apply_outcome(JobResult& r, const CanonicalOutcome& o,
+                   const graph::CanonicalChain& cc) {
+  fill_result(r, o, [&](int e) { return cc.map_edge_back(e); });
+}
+
+void apply_outcome(JobResult& r, const CanonicalOutcome& o,
+                   const graph::CanonicalTree& ct) {
+  fill_result(r, o, [&](int e) { return ct.map_edge_back(e); });
+}
+
+JobResult execute_job(const JobSpec& spec) {
+  JobResult r;
+  if (spec.is_chain()) {
+    graph::CanonicalChain cc = graph::canonical_chain(*spec.chain);
+    CanonicalOutcome o = solve_canonical_chain(spec.problem, cc.chain, spec.K);
+    apply_outcome(r, o, cc);
+  } else {
+    TGP_REQUIRE(spec.tree != nullptr, "job must carry a graph");
+    graph::CanonicalTree ct = graph::canonical_tree(*spec.tree);
+    CanonicalOutcome o = solve_canonical_tree(spec.problem, ct.tree, spec.K);
+    apply_outcome(r, o, ct);
+  }
+  return r;
+}
+
+JobResult execute_job_captured(const JobSpec& spec) {
+  try {
+    return execute_job(spec);
+  } catch (const std::exception& e) {
+    JobResult r;
+    r.ok = false;
+    r.error = e.what();
+    return r;
+  }
+}
+
+}  // namespace tgp::svc

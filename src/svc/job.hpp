@@ -1,0 +1,112 @@
+// Partition jobs — the unit of work the service runtime executes.
+//
+// A JobSpec names a problem (bottleneck / processor minimization /
+// bandwidth / the §2.1+§2.2 pipeline), carries the task graph (chain or
+// tree, shared so duplicate-heavy batches stay cheap) and the bound K.
+// execute_job() is the *direct path*: it canonicalizes the graph
+// (graph/fingerprint.hpp), runs the solver on the canonical form and maps
+// the cut back to the submitted labeling.  The service's cached path goes
+// through exactly the same canonical coordinates, which is what makes a
+// memo hit bit-identical to recomputation: the answer is a pure function
+// of (canonical graph, problem, K), never of presentation order, thread
+// interleaving or cache state.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "graph/chain.hpp"
+#include "graph/cutset.hpp"
+#include "graph/fingerprint.hpp"
+#include "graph/tree.hpp"
+
+namespace tgp::svc {
+
+/// Which optimization a job asks for.  Each is defined for both graph
+/// kinds (chains route through the specialized chain algorithms).
+enum class Problem {
+  kBottleneck,  ///< min max crossing-edge weight (§2.1 / chain closed form)
+  kProcMin,     ///< min component count (§2.2)
+  kBandwidth,   ///< min total cut weight (§2.3 on chains; greedy on trees,
+                ///< exact being NP-complete per Theorem 1)
+  kPipeline,    ///< bottleneck-then-proc-min composition (§2.1 + §2.2)
+};
+
+constexpr int kProblemCount = 4;
+
+const char* problem_name(Problem p);
+
+/// Parse "bottleneck" | "procmin" | "bandwidth" | "pipeline"; throws
+/// std::invalid_argument otherwise.
+Problem parse_problem(const std::string& name);
+
+/// One request.  Exactly one of chain/tree is set.
+struct JobSpec {
+  Problem problem = Problem::kBottleneck;
+  graph::Weight K = 0;
+  std::shared_ptr<const graph::Chain> chain;
+  std::shared_ptr<const graph::Tree> tree;
+
+  bool is_chain() const { return chain != nullptr; }
+  int n() const;
+
+  static JobSpec for_chain(Problem p, graph::Weight K, graph::Chain c);
+  static JobSpec for_tree(Problem p, graph::Weight K, graph::Tree t);
+  static JobSpec for_chain(Problem p, graph::Weight K,
+                           std::shared_ptr<const graph::Chain> c);
+  static JobSpec for_tree(Problem p, graph::Weight K,
+                          std::shared_ptr<const graph::Tree> t);
+};
+
+/// Solver output in canonical coordinates — what the memo cache stores.
+struct CanonicalOutcome {
+  graph::Cut cut;                 ///< edges in *canonical* numbering
+  graph::Weight objective = 0;    ///< problem-specific (see JobResult)
+  int components = 1;
+  /// Approximate heap footprint, for the cache's byte budget.
+  std::size_t memory_bytes() const;
+};
+
+/// One completed job.  `objective` is β(S) for kBandwidth, the bottleneck
+/// threshold for kBottleneck/kPipeline, and the component count for
+/// kProcMin.  All fields except the accounting ones (cache_hit,
+/// latency_micros) are deterministic functions of the job spec.
+struct JobResult {
+  bool ok = false;
+  std::string error;              ///< set when !ok (solver precondition etc.)
+  graph::Cut cut;                 ///< submitted-graph edge numbering
+  graph::Weight objective = 0;
+  int components = 1;
+  bool cache_hit = false;
+  double latency_micros = 0;
+};
+
+/// Run the solver for `spec` directly (no queue, no cache): canonicalize,
+/// solve, map back.  Solver precondition violations surface as the
+/// underlying std::invalid_argument — callers wanting the service's
+/// error-capturing behavior use execute_job_captured.
+JobResult execute_job(const JobSpec& spec);
+
+/// Like execute_job but converts exceptions into ok=false results, the
+/// way service workers report failed jobs.
+JobResult execute_job_captured(const JobSpec& spec);
+
+/// The canonical-coordinates solver core, exposed for the service worker:
+/// runs the problem on an already-canonicalized graph.
+CanonicalOutcome solve_canonical_chain(Problem problem,
+                                       const graph::Chain& chain,
+                                       graph::Weight K);
+CanonicalOutcome solve_canonical_tree(Problem problem,
+                                      const graph::Tree& tree,
+                                      graph::Weight K);
+
+/// Translate a canonical-coordinates outcome onto the submitted
+/// presentation (sorted edge indices), marking the result ok.  Shared by
+/// the direct path and the service's cache-hit path so both produce
+/// bit-identical results.
+void apply_outcome(JobResult& r, const CanonicalOutcome& o,
+                   const graph::CanonicalChain& cc);
+void apply_outcome(JobResult& r, const CanonicalOutcome& o,
+                   const graph::CanonicalTree& ct);
+
+}  // namespace tgp::svc

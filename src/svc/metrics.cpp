@@ -1,0 +1,101 @@
+#include "svc/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <sstream>
+
+#include "util/table.hpp"
+
+namespace tgp::svc {
+
+int LatencyHistogram::bucket_of(double micros) {
+  if (!(micros >= 1.0)) return 0;
+  std::uint64_t us = static_cast<std::uint64_t>(micros);
+  int b = 63 - std::countl_zero(us);
+  return std::min(b, kBuckets - 1);
+}
+
+double LatencyHistogram::bucket_upper(int b) {
+  return std::ldexp(1.0, b + 1);  // 2^(b+1) µs
+}
+
+void LatencyHistogram::record(double micros) {
+  ++counts[static_cast<std::size_t>(bucket_of(micros))];
+  ++count;
+  total_micros += micros;
+  max_micros = std::max(max_micros, micros);
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  for (int b = 0; b < kBuckets; ++b)
+    counts[static_cast<std::size_t>(b)] +=
+        other.counts[static_cast<std::size_t>(b)];
+  count += other.count;
+  total_micros += other.total_micros;
+  max_micros = std::max(max_micros, other.max_micros);
+}
+
+double LatencyHistogram::quantile_upper_micros(double q) const {
+  if (count == 0) return 0;
+  std::uint64_t target = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(count)));
+  target = std::max<std::uint64_t>(target, 1);
+  std::uint64_t seen = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    seen += counts[static_cast<std::size_t>(b)];
+    if (seen >= target) return bucket_upper(b);
+  }
+  return bucket_upper(kBuckets - 1);
+}
+
+LatencyHistogram MetricsSnapshot::overall_latency() const {
+  LatencyHistogram all;
+  for (const LatencyHistogram& h : latency_by_problem) all.merge(h);
+  return all;
+}
+
+std::string MetricsSnapshot::format() const {
+  std::ostringstream os;
+  os << "=== service metrics ===\n"
+     << "threads: " << threads << ", queue capacity: " << queue_capacity
+     << ", queue high-watermark: " << queue_high_watermark << "\n"
+     << "jobs: " << submitted << " submitted, " << completed << " completed, "
+     << failed << " failed\n"
+     << "cache: " << cache.hits << " hits, " << cache.misses << " misses ("
+     << util::fmt(100.0 * cache.hit_rate(), 1) << "% hit rate), "
+     << cache.entries << " entries, " << cache.bytes << "/"
+     << cache.capacity_bytes << " bytes, " << cache.evictions
+     << " evictions\n";
+
+  util::Table t({"problem", "jobs", "mean us", "p50 us", "p90 us", "p99 us",
+                 "max us"});
+  for (int p = 0; p < kProblemCount; ++p) {
+    const LatencyHistogram& h =
+        latency_by_problem[static_cast<std::size_t>(p)];
+    if (h.count == 0) continue;
+    t.row()
+        .cell(problem_name(static_cast<Problem>(p)))
+        .cell(h.count)
+        .cell(h.mean_micros(), 1)
+        .cell(h.quantile_upper_micros(0.50), 0)
+        .cell(h.quantile_upper_micros(0.90), 0)
+        .cell(h.quantile_upper_micros(0.99), 0)
+        .cell(h.max_micros, 1);
+  }
+  LatencyHistogram all = overall_latency();
+  if (all.count != 0 && t.row_count() > 1) {
+    t.row()
+        .cell("(all)")
+        .cell(all.count)
+        .cell(all.mean_micros(), 1)
+        .cell(all.quantile_upper_micros(0.50), 0)
+        .cell(all.quantile_upper_micros(0.90), 0)
+        .cell(all.quantile_upper_micros(0.99), 0)
+        .cell(all.max_micros, 1);
+  }
+  if (t.row_count() > 0) os << t.render();
+  return os.str();
+}
+
+}  // namespace tgp::svc

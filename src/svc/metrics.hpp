@@ -1,0 +1,62 @@
+// Service runtime observability: counters + per-problem latency histograms.
+//
+// Workers record into their own histogram slabs (no shared cache line on
+// the hot path); metrics() merges the slabs plus the queue and cache
+// gauges into one MetricsSnapshot — a plain value, safe to hold after the
+// service is gone.  Latencies land in power-of-two microsecond buckets,
+// so quantiles are estimates with ≤ 2× resolution, which is plenty for a
+// throughput dashboard and costs one bit-scan per record.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "svc/cache.hpp"
+#include "svc/job.hpp"
+
+namespace tgp::svc {
+
+/// Log₂-bucketed latency histogram.  Bucket b counts latencies in
+/// [2^b, 2^(b+1)) microseconds (bucket 0 also takes < 1 µs).
+struct LatencyHistogram {
+  static constexpr int kBuckets = 28;  // up to ~2^28 µs ≈ 4.5 minutes
+
+  std::array<std::uint64_t, kBuckets> counts{};
+  std::uint64_t count = 0;
+  double total_micros = 0;
+  double max_micros = 0;
+
+  static int bucket_of(double micros);
+  /// Upper edge of bucket b in microseconds.
+  static double bucket_upper(int b);
+
+  void record(double micros);
+  void merge(const LatencyHistogram& other);
+
+  double mean_micros() const {
+    return count == 0 ? 0.0 : total_micros / static_cast<double>(count);
+  }
+  /// Upper edge of the bucket holding the q-quantile (0 < q ≤ 1).
+  double quantile_upper_micros(double q) const;
+};
+
+/// Point-in-time view of the runtime.  Everything here is cumulative
+/// since service construction.
+struct MetricsSnapshot {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;  ///< subset of completed with ok == false
+  CacheStats cache;
+  std::size_t queue_high_watermark = 0;
+  std::size_t queue_capacity = 0;
+  int threads = 0;
+  std::array<LatencyHistogram, kProblemCount> latency_by_problem{};
+
+  LatencyHistogram overall_latency() const;
+
+  /// Human-readable multi-section report (counters, cache, latency table).
+  std::string format() const;
+};
+
+}  // namespace tgp::svc

@@ -1,0 +1,138 @@
+// Bounded multi-producer multi-consumer job queue.
+//
+// A classic mutex + two-condition-variable ring buffer.  Bounded on
+// purpose: a service accepting jobs faster than its workers drain them
+// must push back on producers (submit blocks) rather than grow an
+// unbounded backlog.  close() gives the shutdown handshake every worker
+// pool needs: producers are refused, consumers drain what remains and
+// then observe end-of-stream.
+//
+// The queue also tracks its high-watermark occupancy — the backlog gauge
+// reported in the service metrics snapshot.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace tgp::svc {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity) : buf_(capacity) {
+    TGP_REQUIRE(capacity >= 1, "queue capacity must be >= 1");
+  }
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Block until there is room (or the queue closes).  Returns false iff
+  /// the queue was closed — the item is then dropped.
+  bool push(T item) {
+    std::unique_lock lk(mu_);
+    not_full_.wait(lk, [&] { return closed_ || size_ < capacity(); });
+    if (closed_) return false;
+    enqueue_locked(std::move(item));
+    lk.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking push; false when full or closed.
+  bool try_push(T item) {
+    {
+      std::lock_guard lk(mu_);
+      if (closed_ || size_ == capacity()) return false;
+      enqueue_locked(std::move(item));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Block until an item is available or the queue is closed *and*
+  /// drained; std::nullopt means end-of-stream.
+  std::optional<T> pop() {
+    std::unique_lock lk(mu_);
+    not_empty_.wait(lk, [&] { return closed_ || size_ > 0; });
+    if (size_ == 0) return std::nullopt;  // closed and drained
+    T item = dequeue_locked();
+    lk.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Non-blocking pop; std::nullopt when currently empty (NOT a shutdown
+  /// signal — check via pop() for that).
+  std::optional<T> try_pop() {
+    std::optional<T> item;
+    {
+      std::lock_guard lk(mu_);
+      if (size_ == 0) return std::nullopt;
+      item = dequeue_locked();
+    }
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Refuse further pushes and wake everyone.  Idempotent.  Items already
+  /// queued remain poppable until drained.
+  void close() {
+    {
+      std::lock_guard lk(mu_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard lk(mu_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard lk(mu_);
+    return size_;
+  }
+
+  std::size_t capacity() const { return buf_.size(); }
+
+  /// Largest occupancy ever observed.
+  std::size_t high_watermark() const {
+    std::lock_guard lk(mu_);
+    return high_watermark_;
+  }
+
+ private:
+  void enqueue_locked(T item) {
+    buf_[tail_] = std::move(item);
+    tail_ = (tail_ + 1) % buf_.size();
+    ++size_;
+    if (size_ > high_watermark_) high_watermark_ = size_;
+  }
+
+  T dequeue_locked() {
+    T item = std::move(buf_[head_]);
+    head_ = (head_ + 1) % buf_.size();
+    --size_;
+    return item;
+  }
+
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::vector<T> buf_;  // fixed ring; size_ tracks occupancy
+  std::size_t head_ = 0;
+  std::size_t tail_ = 0;
+  std::size_t size_ = 0;
+  std::size_t high_watermark_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace tgp::svc

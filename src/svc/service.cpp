@@ -1,0 +1,192 @@
+#include "svc/service.hpp"
+
+#include <utility>
+
+#include "util/assert.hpp"
+#include "util/timer.hpp"
+
+namespace tgp::svc {
+
+PartitionService::PartitionService(ServiceConfig config)
+    : config_(config),
+      cache_(config.cache_bytes, config.cache_shards),
+      queue_(config.queue_capacity) {
+  int threads = config.threads;
+  if (threads <= 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (threads <= 0) threads = 1;
+  }
+  TGP_REQUIRE(threads <= 4096, "unreasonable worker count");
+  worker_state_.reserve(static_cast<std::size_t>(threads));
+  workers_.reserve(static_cast<std::size_t>(threads));
+  for (int i = 0; i < threads; ++i)
+    worker_state_.push_back(std::make_unique<WorkerState>());
+  for (int i = 0; i < threads; ++i)
+    workers_.emplace_back(&PartitionService::worker_loop, this,
+                          std::ref(*worker_state_[static_cast<std::size_t>(i)]));
+}
+
+PartitionService::~PartitionService() { shutdown(); }
+
+std::size_t PartitionService::submit(JobSpec spec) {
+  TGP_REQUIRE((spec.chain != nullptr) != (spec.tree != nullptr),
+              "job must carry exactly one graph");
+  TGP_REQUIRE(!shut_.load(), "service is shut down");
+  std::size_t slot;
+  {
+    std::lock_guard lk(results_mu_);
+    slot = results_.size();
+    results_.emplace_back();
+    done_.push_back(0);
+  }
+  submitted_.fetch_add(1);
+  bool queued = queue_.push(QueuedJob{slot, std::move(spec)});
+  if (!queued) {
+    // Lost the race against shutdown(): settle the slot so wait_idle()
+    // callers are not left hanging, then report the refusal.
+    {
+      std::lock_guard lk(results_mu_);
+      results_[slot].error = "service is shut down";
+      done_[slot] = 1;
+    }
+    failed_.fetch_add(1);
+    {
+      std::lock_guard lk(idle_mu_);
+      completed_.fetch_add(1);
+    }
+    idle_cv_.notify_all();
+    TGP_REQUIRE(false, "service is shut down");
+  }
+  return slot;
+}
+
+std::vector<JobResult> PartitionService::run_batch(std::vector<JobSpec> specs) {
+  std::vector<std::size_t> slots;
+  slots.reserve(specs.size());
+  for (JobSpec& s : specs) slots.push_back(submit(std::move(s)));
+  wait_idle();
+  std::vector<JobResult> out;
+  out.reserve(slots.size());
+  for (std::size_t slot : slots) out.push_back(result(slot));
+  return out;
+}
+
+void PartitionService::wait_idle() {
+  std::unique_lock lk(idle_mu_);
+  idle_cv_.wait(lk, [&] { return completed_.load() >= submitted_.load(); });
+}
+
+const JobResult& PartitionService::result(std::size_t slot) const {
+  std::lock_guard lk(results_mu_);
+  TGP_REQUIRE(slot < results_.size(), "unknown result slot");
+  TGP_REQUIRE(done_[slot] != 0, "job has not completed yet");
+  // Safe to hand out: deque addresses are stable and the slot is final.
+  return results_[slot];
+}
+
+MetricsSnapshot PartitionService::metrics() const {
+  MetricsSnapshot m;
+  m.submitted = submitted_.load();
+  m.completed = completed_.load();
+  m.failed = failed_.load();
+  m.cache = cache_.stats();
+  m.queue_high_watermark = queue_.high_watermark();
+  m.queue_capacity = queue_.capacity();
+  m.threads = static_cast<int>(workers_.size());
+  for (const auto& ws : worker_state_) {
+    std::lock_guard lk(ws->mu);
+    for (int p = 0; p < kProblemCount; ++p)
+      m.latency_by_problem[static_cast<std::size_t>(p)].merge(
+          ws->latency[static_cast<std::size_t>(p)]);
+  }
+  return m;
+}
+
+void PartitionService::shutdown() {
+  if (shut_.exchange(true)) {
+    for (std::thread& t : workers_)
+      if (t.joinable()) t.join();
+    return;
+  }
+  queue_.close();
+  for (std::thread& t : workers_)
+    if (t.joinable()) t.join();
+}
+
+void PartitionService::worker_loop(WorkerState& state) {
+  while (auto job = queue_.pop()) {
+    JobResult r;
+    double micros = 0;
+    {
+      util::ScopedTimer timer(micros);
+      r = process(job->spec);
+    }
+    r.latency_micros = micros;
+    bool failed = !r.ok;
+    Problem problem = job->spec.problem;
+
+    JobResult* dest;
+    {
+      std::lock_guard lk(results_mu_);
+      dest = &results_[job->slot];
+    }
+    *dest = std::move(r);
+    {
+      std::lock_guard lk(state.mu);
+      state.latency[static_cast<std::size_t>(problem)].record(micros);
+    }
+    {
+      std::lock_guard lk(results_mu_);
+      done_[job->slot] = 1;
+    }
+    if (failed) failed_.fetch_add(1);
+    {
+      std::lock_guard lk(idle_mu_);
+      completed_.fetch_add(1);
+    }
+    idle_cv_.notify_all();
+  }
+}
+
+JobResult PartitionService::process(const JobSpec& spec) {
+  const bool use_cache = config_.cache_bytes > 0;
+  JobResult r;
+  try {
+    if (spec.is_chain()) {
+      graph::CanonicalChain cc = graph::canonical_chain(*spec.chain);
+      CacheKey key = CacheKey::make(graph::chain_fingerprint(cc.chain),
+                                    spec.problem, spec.K);
+      if (use_cache) {
+        if (std::optional<CanonicalOutcome> hit = cache_.get(key)) {
+          apply_outcome(r, *hit, cc);
+          r.cache_hit = true;
+          return r;
+        }
+      }
+      CanonicalOutcome o =
+          solve_canonical_chain(spec.problem, cc.chain, spec.K);
+      if (use_cache) cache_.put(key, o);
+      apply_outcome(r, o, cc);
+    } else {
+      graph::CanonicalTree ct = graph::canonical_tree(*spec.tree);
+      CacheKey key = CacheKey::make(graph::tree_fingerprint(ct.tree),
+                                    spec.problem, spec.K);
+      if (use_cache) {
+        if (std::optional<CanonicalOutcome> hit = cache_.get(key)) {
+          apply_outcome(r, *hit, ct);
+          r.cache_hit = true;
+          return r;
+        }
+      }
+      CanonicalOutcome o = solve_canonical_tree(spec.problem, ct.tree, spec.K);
+      if (use_cache) cache_.put(key, o);
+      apply_outcome(r, o, ct);
+    }
+  } catch (const std::exception& e) {
+    r = JobResult{};
+    r.error = e.what();
+  }
+  return r;
+}
+
+}  // namespace tgp::svc

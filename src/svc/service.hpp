@@ -1,0 +1,127 @@
+// The partition service runtime: a fixed worker pool over a bounded MPMC
+// queue, with a canonical-graph memo cache in front of the solvers.
+//
+// Job lifecycle:
+//
+//   submit(spec) ──► ordered result slot allocated ──► bounded queue
+//        │                                                  │
+//        │ (blocks while the queue is full — backpressure)  ▼
+//        │                                          worker pops job
+//        │                                                  │
+//        │                     canonicalize graph, fingerprint
+//        │                                                  │
+//        │                        memo cache probe ── hit ──┐
+//        │                              │ miss              │
+//        │                        solve canonical           │
+//        │                        store in cache            │
+//        │                              └───────┬───────────┘
+//        │                            map cut back to submitted
+//        │                            labeling, write result slot
+//        ▼                                                  │
+//   wait_idle() ◄── completed count reaches submitted ◄─────┘
+//
+// Determinism guarantee: result(slot) depends only on the job spec —
+// never on thread count, scheduling order, or whether the memo cache
+// served the job — because workers always compute in canonical
+// coordinates (see svc/job.hpp) and each job owns its slot.  Only the
+// accounting fields (cache_hit, latency_micros) vary run to run.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "svc/cache.hpp"
+#include "svc/job.hpp"
+#include "svc/metrics.hpp"
+#include "svc/queue.hpp"
+
+namespace tgp::svc {
+
+struct ServiceConfig {
+  /// Worker threads; 0 means std::thread::hardware_concurrency().
+  int threads = 0;
+  /// Memo cache budget in bytes; 0 disables caching entirely.
+  std::size_t cache_bytes = std::size_t{64} << 20;
+  int cache_shards = 16;
+  /// Submit blocks once this many jobs are queued (backpressure).
+  std::size_t queue_capacity = 1024;
+};
+
+class PartitionService {
+ public:
+  explicit PartitionService(ServiceConfig config = {});
+  ~PartitionService();
+
+  PartitionService(const PartitionService&) = delete;
+  PartitionService& operator=(const PartitionService&) = delete;
+
+  /// Enqueue a job; returns its result slot (== submission index).
+  /// Blocks while the queue is full; throws std::invalid_argument after
+  /// shutdown().
+  std::size_t submit(JobSpec spec);
+
+  /// Convenience: submit everything, wait until idle, return results in
+  /// submission order.
+  std::vector<JobResult> run_batch(std::vector<JobSpec> specs);
+
+  /// Block until every job submitted so far has completed.
+  void wait_idle();
+
+  /// Result for a slot returned by submit().  Valid once the job has
+  /// completed (e.g. after wait_idle()); throws if read too early.
+  const JobResult& result(std::size_t slot) const;
+
+  std::size_t jobs_submitted() const { return submitted_.load(); }
+
+  /// Cumulative counters, cache stats, queue high-watermark and latency
+  /// histograms.  Callable at any time, including while jobs run.
+  MetricsSnapshot metrics() const;
+
+  /// Stop accepting jobs, drain the queue, join all workers.  Idempotent;
+  /// the destructor calls it.
+  void shutdown();
+
+  int threads() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  struct QueuedJob {
+    std::size_t slot = 0;
+    JobSpec spec;
+  };
+  // Per-worker latency slab: uncontended in the hot path, locked only
+  // against metrics() readers.
+  struct WorkerState {
+    mutable std::mutex mu;
+    std::array<LatencyHistogram, kProblemCount> latency{};
+  };
+
+  void worker_loop(WorkerState& state);
+  JobResult process(const JobSpec& spec);
+  JobResult* slot_ptr(std::size_t slot);
+
+  ServiceConfig config_;
+  MemoCache cache_;
+  BoundedQueue<QueuedJob> queue_;
+
+  mutable std::mutex results_mu_;
+  std::deque<JobResult> results_;  // deque: stable element addresses
+  std::vector<char> done_;         // done_[slot] set before completed_++
+
+  std::atomic<std::size_t> submitted_{0};
+  std::atomic<std::size_t> completed_{0};
+  std::atomic<std::size_t> failed_{0};
+  std::mutex idle_mu_;
+  std::condition_variable idle_cv_;
+
+  std::vector<std::unique_ptr<WorkerState>> worker_state_;
+  std::vector<std::thread> workers_;
+  std::atomic<bool> shut_{false};
+};
+
+}  // namespace tgp::svc

@@ -1,4 +1,10 @@
-// Monotonic wall-clock timer for the runtime-comparison benches.
+// Monotonic timing utilities.
+//
+// Everything here reads std::chrono::steady_clock — guaranteed monotonic,
+// immune to NTP steps and wall-clock adjustments — so latencies and bench
+// numbers can never go negative or jump.  Timer is the manual stopwatch;
+// ScopedTimer is the RAII form used for per-job latency accounting in the
+// service runtime and for bench sections.
 #pragma once
 
 #include <chrono>
@@ -23,6 +29,39 @@ class Timer {
  private:
   using clock = std::chrono::steady_clock;
   clock::time_point start_;
+};
+
+/// RAII section timer: on destruction, assigns the elapsed time (in the
+/// chosen unit) to the bound variable.  Typical use:
+///
+///   double us = 0;
+///   {
+///     ScopedTimer t(us);          // micros by default
+///     run_the_job();
+///   }
+///   histogram.record(us);
+class ScopedTimer {
+ public:
+  enum class Unit { kSeconds, kMillis, kMicros };
+
+  explicit ScopedTimer(double& out, Unit unit = Unit::kMicros)
+      : out_(out), unit_(unit) {}
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  ~ScopedTimer() {
+    switch (unit_) {
+      case Unit::kSeconds: out_ = timer_.seconds(); break;
+      case Unit::kMillis: out_ = timer_.millis(); break;
+      case Unit::kMicros: out_ = timer_.micros(); break;
+    }
+  }
+
+ private:
+  double& out_;
+  Unit unit_;
+  Timer timer_;
 };
 
 }  // namespace tgp::util

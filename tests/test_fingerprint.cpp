@@ -1,0 +1,227 @@
+// Canonical forms and fingerprints (graph/fingerprint.hpp): reversal- and
+// relabeling-stability, back-mapping correctness, sensitivity to weights.
+#include "graph/fingerprint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/cutset.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace tgp::graph {
+namespace {
+
+Chain make_chain(std::vector<Weight> v, std::vector<Weight> e) {
+  Chain c;
+  c.vertex_weight = std::move(v);
+  c.edge_weight = std::move(e);
+  c.validate();
+  return c;
+}
+
+TEST(CanonicalChain, ReversalConvergesToOneOrientation) {
+  Chain a = make_chain({1, 2, 3, 4}, {10, 20, 30});
+  Chain b = reversed_chain(a);
+  CanonicalChain ca = canonical_chain(a);
+  CanonicalChain cb = canonical_chain(b);
+  EXPECT_EQ(ca.chain.vertex_weight, cb.chain.vertex_weight);
+  EXPECT_EQ(ca.chain.edge_weight, cb.chain.edge_weight);
+  EXPECT_NE(ca.reversed, cb.reversed);
+}
+
+TEST(CanonicalChain, MapEdgeBackIdentityWhenNotReversed) {
+  Chain a = make_chain({1, 2, 3}, {5, 6});
+  CanonicalChain ca = canonical_chain(a);
+  ASSERT_FALSE(ca.reversed);  // already canonical (ascending)
+  EXPECT_EQ(ca.map_edge_back(0), 0);
+  EXPECT_EQ(ca.map_edge_back(1), 1);
+}
+
+TEST(CanonicalChain, MapEdgeBackMirrorsWhenReversed) {
+  Chain a = make_chain({3, 2, 1}, {6, 5});
+  CanonicalChain ca = canonical_chain(a);
+  ASSERT_TRUE(ca.reversed);
+  // Canonical edge i refers to submitted edge (m-1-i); the edge weight
+  // must agree through the map.
+  for (int e = 0; e < ca.chain.edge_count(); ++e)
+    EXPECT_EQ(ca.chain.edge_weight[static_cast<std::size_t>(e)],
+              a.edge_weight[static_cast<std::size_t>(ca.map_edge_back(e))]);
+}
+
+TEST(CanonicalChain, PalindromeIsItsOwnCanonicalForm) {
+  Chain p = make_chain({1, 2, 1}, {7, 7});
+  CanonicalChain cp = canonical_chain(p);
+  EXPECT_FALSE(cp.reversed);
+  EXPECT_EQ(cp.chain.vertex_weight, p.vertex_weight);
+}
+
+TEST(Fingerprint, ChainReversalCollides) {
+  util::Pcg32 rng(99, 3);
+  for (int trial = 0; trial < 20; ++trial) {
+    Chain c = random_chain(rng, 2 + trial * 7,
+                           WeightDist::uniform(1, 50),
+                           WeightDist::uniform(1, 50));
+    EXPECT_EQ(chain_fingerprint(c), chain_fingerprint(reversed_chain(c)));
+    EXPECT_NE(chain_content_digest(c),
+              chain_content_digest(reversed_chain(c)))
+        << "content digest must distinguish presentations";
+  }
+}
+
+TEST(Fingerprint, ChainWeightPerturbationSeparates) {
+  Chain a = make_chain({1, 2, 3}, {5, 6});
+  Chain b = make_chain({1, 2, 3}, {5, 6.000001});
+  Chain c = make_chain({1, 2.5, 3}, {5, 6});
+  EXPECT_NE(chain_fingerprint(a), chain_fingerprint(b));
+  EXPECT_NE(chain_fingerprint(a), chain_fingerprint(c));
+}
+
+TEST(Fingerprint, ChainAndPathTreeDoNotCollide) {
+  Chain c = make_chain({1, 2, 3}, {5, 6});
+  EXPECT_NE(chain_fingerprint(c), tree_fingerprint(path_tree(c)));
+}
+
+TEST(Fingerprint, TreeRelabelingCollides) {
+  util::Pcg32 rng(1234, 5);
+  for (int trial = 0; trial < 30; ++trial) {
+    int n = 2 + static_cast<int>(rng.uniform_int(0, 60));
+    Tree t = random_tree(rng, n, WeightDist::uniform(1, 20),
+                         WeightDist::uniform(1, 20));
+    Fingerprint f = tree_fingerprint(t);
+    for (int rep = 0; rep < 3; ++rep)
+      EXPECT_EQ(f, tree_fingerprint(relabel_tree(rng, t)));
+  }
+}
+
+TEST(Fingerprint, StarChildPermutationCollides) {
+  util::Pcg32 rng(7, 7);
+  Tree s = star_tree(rng, 9, WeightDist::uniform(1, 10),
+                     WeightDist::uniform(1, 10));
+  Fingerprint f = tree_fingerprint(s);
+  for (int rep = 0; rep < 5; ++rep)
+    EXPECT_EQ(f, tree_fingerprint(relabel_tree(rng, s)));
+}
+
+TEST(Fingerprint, TreeEdgeWeightChangeSeparates) {
+  std::vector<Weight> vw{1, 2, 3, 4};
+  std::vector<TreeEdge> e1{{0, 1, 5}, {1, 2, 6}, {1, 3, 7}};
+  std::vector<TreeEdge> e2{{0, 1, 5}, {1, 2, 6}, {1, 3, 7.5}};
+  EXPECT_NE(tree_fingerprint(Tree::from_edges(vw, e1)),
+            tree_fingerprint(Tree::from_edges(vw, e2)));
+}
+
+TEST(Fingerprint, DistinctRandomTreesSeparate) {
+  util::Pcg32 rng(500, 11);
+  std::vector<Fingerprint> seen;
+  for (int i = 0; i < 50; ++i) {
+    Tree t = random_tree(rng, 24, WeightDist::uniform(1, 100),
+                         WeightDist::uniform(1, 100));
+    Fingerprint f = tree_fingerprint(t);
+    for (const Fingerprint& g : seen) EXPECT_NE(f, g);
+    seen.push_back(f);
+  }
+}
+
+TEST(CanonicalTree, MapsArePermutations) {
+  util::Pcg32 rng(321, 13);
+  Tree t = random_tree(rng, 40, WeightDist::uniform(1, 9),
+                       WeightDist::uniform(1, 9));
+  CanonicalTree ct = canonical_tree(t);
+  ASSERT_EQ(ct.tree.n(), t.n());
+  std::vector<char> vseen(40, 0), eseen(39, 0);
+  for (int v : ct.orig_vertex) {
+    ASSERT_GE(v, 0);
+    ASSERT_LT(v, 40);
+    EXPECT_FALSE(vseen[static_cast<std::size_t>(v)]);
+    vseen[static_cast<std::size_t>(v)] = 1;
+  }
+  for (int e : ct.orig_edge) {
+    ASSERT_GE(e, 0);
+    ASSERT_LT(e, 39);
+    EXPECT_FALSE(eseen[static_cast<std::size_t>(e)]);
+    eseen[static_cast<std::size_t>(e)] = 1;
+  }
+}
+
+TEST(CanonicalTree, PreservesWeightsThroughMaps) {
+  util::Pcg32 rng(654, 17);
+  Tree t = random_binary_tree(rng, 31, WeightDist::uniform(1, 9),
+                              WeightDist::uniform(1, 9));
+  CanonicalTree ct = canonical_tree(t);
+  for (int c = 0; c < ct.tree.n(); ++c)
+    EXPECT_EQ(ct.tree.vertex_weight(c),
+              t.vertex_weight(ct.orig_vertex[static_cast<std::size_t>(c)]));
+  for (int e = 0; e < ct.tree.edge_count(); ++e)
+    EXPECT_EQ(ct.tree.edge(e).weight,
+              t.edge(ct.map_edge_back(e)).weight);
+}
+
+TEST(CanonicalTree, CutMappingPreservesWeightAndFeasibility) {
+  util::Pcg32 rng(777, 19);
+  for (int trial = 0; trial < 10; ++trial) {
+    Tree t = random_tree(rng, 30, WeightDist::uniform(1, 9),
+                         WeightDist::uniform(1, 9));
+    CanonicalTree ct = canonical_tree(t);
+    // A random cut in canonical numbering maps to one of equal weight
+    // and equal component structure in the submitted numbering.
+    Cut canon_cut;
+    for (int e = 0; e < ct.tree.edge_count(); ++e)
+      if (rng.coin(0.3)) canon_cut.edges.push_back(e);
+    Cut orig_cut;
+    for (int e : canon_cut.edges) orig_cut.edges.push_back(ct.map_edge_back(e));
+    // Same multiset of doubles, possibly summed in a different order.
+    EXPECT_NEAR(tree_cut_weight(ct.tree, canon_cut),
+                tree_cut_weight(t, orig_cut), 1e-9);
+    std::vector<Weight> a = tree_component_weights(ct.tree, canon_cut);
+    std::vector<Weight> b = tree_component_weights(t, orig_cut);
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) EXPECT_NEAR(a[i], b[i], 1e-9);
+  }
+}
+
+TEST(CanonicalTree, RelabeledPresentationsShareCanonicalStructure) {
+  util::Pcg32 rng(888, 23);
+  Tree t = random_tree(rng, 25, WeightDist::uniform(1, 6),
+                       WeightDist::uniform(1, 6));
+  CanonicalTree c1 = canonical_tree(t);
+  CanonicalTree c2 = canonical_tree(relabel_tree(rng, t));
+  ASSERT_EQ(c1.tree.n(), c2.tree.n());
+  for (int v = 0; v < c1.tree.n(); ++v)
+    EXPECT_EQ(c1.tree.vertex_weight(v), c2.tree.vertex_weight(v));
+  for (int e = 0; e < c1.tree.edge_count(); ++e) {
+    EXPECT_EQ(c1.tree.edge(e).u, c2.tree.edge(e).u);
+    EXPECT_EQ(c1.tree.edge(e).v, c2.tree.edge(e).v);
+    EXPECT_EQ(c1.tree.edge(e).weight, c2.tree.edge(e).weight);
+  }
+}
+
+TEST(CanonicalTree, TwoCentroidPathsHandled) {
+  // Even path: two adjacent centroids.
+  Chain c = make_chain({1, 1, 1, 1}, {2, 3, 2});
+  Tree t = path_tree(c);
+  CanonicalTree ct = canonical_tree(t);
+  EXPECT_EQ(ct.tree.n(), 4);
+  EXPECT_EQ(tree_fingerprint(t), tree_fingerprint(ct.tree));
+}
+
+TEST(CanonicalTree, SingleVertexAndSingleEdge) {
+  Tree one = Tree::from_edges({5.0}, {});
+  EXPECT_EQ(canonical_tree(one).tree.n(), 1);
+  Tree two = Tree::from_edges({5.0, 6.0}, {{0, 1, 3.0}});
+  CanonicalTree ct = canonical_tree(two);
+  EXPECT_EQ(ct.tree.n(), 2);
+  EXPECT_EQ(ct.map_edge_back(0), 0);
+  EXPECT_EQ(tree_fingerprint(two), tree_fingerprint(ct.tree));
+}
+
+TEST(Fingerprint, HexRendersBothWords) {
+  Fingerprint f{0x0123456789abcdefull, 0xfedcba9876543210ull};
+  EXPECT_EQ(f.hex(), "0123456789abcdeffedcba9876543210");
+}
+
+}  // namespace
+}  // namespace tgp::graph

@@ -1,0 +1,156 @@
+// tgp_serve engine (tools/serve_tool.hpp): job-file parsing, workload
+// synthesis, and end-to-end runs with deterministic stdout.
+#include "tools/serve_tool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <initializer_list>
+#include <sstream>
+
+#include "svc/service.hpp"
+
+namespace tgp::tools {
+namespace {
+
+std::vector<std::string> args(std::initializer_list<std::string> a) {
+  return {a};
+}
+
+TEST(ParseJobFile, ParsesProblemsKindsAndComments) {
+  std::istringstream in(
+      "# a comment line\n"
+      "bandwidth, 40, gen:chain:n=12:seed=7\n"
+      "\n"
+      "procmin, 50%, gen:tree:n=9:seed=3\n"
+      "bottleneck, 30%, gen:binary:n=15:seed=1\n"
+      "pipeline, 25%, gen:star:n=8:seed=2\n");
+  std::vector<svc::JobSpec> specs = parse_job_file(in);
+  ASSERT_EQ(specs.size(), 4u);
+  EXPECT_EQ(specs[0].problem, svc::Problem::kBandwidth);
+  EXPECT_TRUE(specs[0].is_chain());
+  EXPECT_EQ(specs[0].n(), 12);
+  EXPECT_EQ(specs[0].K, 40.0);
+  EXPECT_EQ(specs[1].problem, svc::Problem::kProcMin);
+  EXPECT_FALSE(specs[1].is_chain());
+  EXPECT_EQ(specs[1].n(), 9);
+  EXPECT_EQ(specs[2].problem, svc::Problem::kBottleneck);
+  EXPECT_EQ(specs[2].n(), 15);
+  EXPECT_EQ(specs[3].problem, svc::Problem::kPipeline);
+  EXPECT_EQ(specs[3].n(), 8);
+}
+
+TEST(ParseJobFile, PercentKExceedsMaxVertexWeight) {
+  std::istringstream in("procmin, 0%, gen:tree:n=20:seed=11\n");
+  std::vector<svc::JobSpec> specs = parse_job_file(in);
+  ASSERT_EQ(specs.size(), 1u);
+  // 0% slack means K == max vertex weight: still feasible for proc_min.
+  EXPECT_GE(specs[0].K, specs[0].tree->max_vertex_weight());
+  EXPECT_TRUE(svc::execute_job_captured(specs[0]).ok);
+}
+
+TEST(ParseJobFile, IdenticalSourcesShareOneGraph) {
+  std::istringstream in(
+      "bandwidth, 40%, gen:chain:n=30:seed=5\n"
+      "procmin, 60%, gen:chain:n=30:seed=5\n"
+      "bandwidth, 40%, gen:chain:n=30:seed=6\n");
+  std::vector<svc::JobSpec> specs = parse_job_file(in);
+  ASSERT_EQ(specs.size(), 3u);
+  EXPECT_EQ(specs[0].chain.get(), specs[1].chain.get());
+  EXPECT_NE(specs[0].chain.get(), specs[2].chain.get());
+}
+
+TEST(ParseJobFile, RejectsMalformedLines) {
+  {
+    std::istringstream in("frobnicate, 10, gen:chain:n=5:seed=1\n");
+    EXPECT_THROW(parse_job_file(in), std::invalid_argument);
+  }
+  {
+    std::istringstream in("bandwidth, 10\n");
+    EXPECT_THROW(parse_job_file(in), std::invalid_argument);
+  }
+  {
+    std::istringstream in("bandwidth, 10, gen:moebius:n=5:seed=1\n");
+    EXPECT_THROW(parse_job_file(in), std::invalid_argument);
+  }
+  {
+    std::istringstream in("bandwidth, tall, gen:chain:n=5:seed=1\n");
+    EXPECT_THROW(parse_job_file(in), std::invalid_argument);
+  }
+}
+
+TEST(GenerateWorkload, HonorsCountAndProducesRunnableJobs) {
+  std::vector<svc::JobSpec> specs = generate_workload(60, 99, 0.4);
+  ASSERT_EQ(specs.size(), 60u);
+  for (const svc::JobSpec& s : specs)
+    EXPECT_TRUE(svc::execute_job_captured(s).ok);
+}
+
+TEST(GenerateWorkload, IsDeterministicPerSeed) {
+  std::vector<svc::JobSpec> a = generate_workload(25, 7, 0.5);
+  std::vector<svc::JobSpec> b = generate_workload(25, 7, 0.5);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].problem, b[i].problem);
+    EXPECT_EQ(a[i].K, b[i].K);
+    EXPECT_EQ(a[i].n(), b[i].n());
+  }
+}
+
+TEST(GenerateWorkload, DuplicateFractionDrivesCacheHits) {
+  std::vector<svc::JobSpec> specs = generate_workload(200, 12345, 0.9);
+  svc::ServiceConfig config;
+  config.threads = 2;
+  svc::PartitionService service(config);
+  service.run_batch(specs);
+  EXPECT_GE(service.metrics().cache.hit_rate(), 0.7);
+}
+
+TEST(RunServeTool, HelpAndUnknownFlag) {
+  std::ostringstream out, err;
+  EXPECT_EQ(run_serve_tool(args({"--help"}), out, err), 0);
+  EXPECT_NE(out.str().find("tgp_serve"), std::string::npos);
+  std::ostringstream out2, err2;
+  EXPECT_NE(run_serve_tool(args({"--frobnicate"}), out2, err2), 0);
+}
+
+TEST(RunServeTool, GeneratedBatchOutputIsThreadCountInvariant) {
+  std::ostringstream out1, err1, out8, err8;
+  std::vector<std::string> base = {"--generate", "80", "--seed", "21",
+                                   "--dup-frac", "0.5"};
+  std::vector<std::string> a1 = base;
+  a1.push_back("--threads");
+  a1.push_back("1");
+  std::vector<std::string> a8 = base;
+  a8.push_back("--threads");
+  a8.push_back("8");
+  ASSERT_EQ(run_serve_tool(a1, out1, err1), 0);
+  ASSERT_EQ(run_serve_tool(a8, out8, err8), 0);
+  EXPECT_EQ(out1.str(), out8.str());
+  EXPECT_FALSE(out1.str().empty());
+}
+
+TEST(RunServeTool, JobsFlagReadsFileAndPrintsRows) {
+  std::string path = testing::TempDir() + "/tgp_serve_jobs.csv";
+  {
+    std::ofstream f(path);
+    f << "bandwidth, 40%, gen:chain:n=16:seed=4\n"
+         "procmin, 50%, gen:tree:n=12:seed=4\n";
+  }
+  std::ostringstream out, err;
+  ASSERT_EQ(run_serve_tool(args({"--jobs", path, "--threads", "2"}), out, err),
+            0);
+  EXPECT_NE(out.str().find("bandwidth"), std::string::npos);
+  EXPECT_NE(out.str().find("procmin"), std::string::npos);
+  EXPECT_NE(err.str().find("service metrics"), std::string::npos);
+}
+
+TEST(RunServeTool, MissingJobFileFails) {
+  std::ostringstream out, err;
+  EXPECT_NE(run_serve_tool(args({"--jobs", "/nonexistent/x.csv"}), out, err),
+            0);
+  EXPECT_FALSE(err.str().empty());
+}
+
+}  // namespace
+}  // namespace tgp::tools

@@ -1,0 +1,190 @@
+// Sharded LRU memo cache (svc/cache.hpp): keying, LRU eviction order,
+// shard distribution, and the fingerprint "collisions" the service relies
+// on — equivalent presentations (reversed chains, relabeled trees) must
+// map to the same cache entry.
+#include "svc/cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace tgp::svc {
+namespace {
+
+using graph::Fingerprint;
+
+Fingerprint fp(std::uint64_t hi, std::uint64_t lo) { return {hi, lo}; }
+
+CanonicalOutcome outcome(int tag) {
+  CanonicalOutcome o;
+  o.cut.edges = {tag};
+  o.objective = tag;
+  o.components = 2;
+  return o;
+}
+
+TEST(MemoCache, RejectsNonPowerOfTwoShards) {
+  EXPECT_THROW(MemoCache(1 << 20, 3), std::invalid_argument);
+  EXPECT_THROW(MemoCache(1 << 20, 0), std::invalid_argument);
+}
+
+TEST(MemoCache, GetMissThenHit) {
+  MemoCache cache(1 << 20, 4);
+  CacheKey k = CacheKey::make(fp(1, 2), Problem::kBandwidth, 10.0);
+  EXPECT_FALSE(cache.get(k).has_value());
+  cache.put(k, outcome(7));
+  auto hit = cache.get(k);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->cut.edges, std::vector<int>{7});
+  CacheStats s = cache.stats();
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.entries, 1u);
+}
+
+TEST(MemoCache, KeyIncludesProblemAndK) {
+  MemoCache cache(1 << 20, 1);
+  Fingerprint g = fp(42, 43);
+  cache.put(CacheKey::make(g, Problem::kBandwidth, 10.0), outcome(1));
+  EXPECT_FALSE(
+      cache.get(CacheKey::make(g, Problem::kBottleneck, 10.0)).has_value());
+  EXPECT_FALSE(
+      cache.get(CacheKey::make(g, Problem::kBandwidth, 11.0)).has_value());
+  EXPECT_TRUE(
+      cache.get(CacheKey::make(g, Problem::kBandwidth, 10.0)).has_value());
+}
+
+TEST(MemoCache, EvictsLeastRecentlyUsedFirst) {
+  // Single shard, tight budget: fill until evictions happen, then verify
+  // the survivors are exactly the most recently used suffix.
+  MemoCache cache(2048, 1);
+  const int kInserted = 64;
+  for (int i = 0; i < kInserted; ++i)
+    cache.put(CacheKey::make(fp(1, static_cast<std::uint64_t>(i)),
+                             Problem::kBandwidth, 1.0),
+              outcome(i));
+  CacheStats s = cache.stats();
+  ASSERT_GT(s.evictions, 0u) << "budget chosen too large for the test";
+  int kept = static_cast<int>(s.entries);
+  ASSERT_GT(kept, 1);
+  // Oldest (kInserted - kept) entries evicted, newest `kept` retained.
+  for (int i = 0; i < kInserted; ++i) {
+    bool expect_hit = i >= kInserted - kept;
+    EXPECT_EQ(cache
+                  .get(CacheKey::make(fp(1, static_cast<std::uint64_t>(i)),
+                                      Problem::kBandwidth, 1.0))
+                  .has_value(),
+              expect_hit)
+        << "entry " << i;
+  }
+}
+
+TEST(MemoCache, GetRefreshesLruPosition) {
+  MemoCache cache(2048, 1);
+  // Fill to capacity without evictions.
+  int fits = 0;
+  for (int i = 0; i < 256; ++i) {
+    cache.put(CacheKey::make(fp(2, static_cast<std::uint64_t>(i)),
+                             Problem::kProcMin, 1.0),
+              outcome(i));
+    if (cache.stats().evictions > 0) break;
+    fits = i + 1;
+  }
+  ASSERT_GT(fits, 2);
+  MemoCache c2(2048, 1);
+  for (int i = 0; i < fits; ++i)
+    c2.put(CacheKey::make(fp(3, static_cast<std::uint64_t>(i)),
+                          Problem::kProcMin, 1.0),
+           outcome(i));
+  // Touch entry 0, insert one more: entry 1 (now oldest) must go, 0 stay.
+  ASSERT_TRUE(
+      c2.get(CacheKey::make(fp(3, 0), Problem::kProcMin, 1.0)).has_value());
+  c2.put(CacheKey::make(fp(3, 1000), Problem::kProcMin, 1.0), outcome(0));
+  EXPECT_TRUE(
+      c2.get(CacheKey::make(fp(3, 0), Problem::kProcMin, 1.0)).has_value());
+  EXPECT_FALSE(
+      c2.get(CacheKey::make(fp(3, 1), Problem::kProcMin, 1.0)).has_value());
+}
+
+TEST(MemoCache, ZeroBudgetStoresNothingButCounts) {
+  MemoCache cache(0, 2);
+  CacheKey k = CacheKey::make(fp(9, 9), Problem::kPipeline, 2.0);
+  cache.put(k, outcome(1));
+  EXPECT_FALSE(cache.get(k).has_value());
+  CacheStats s = cache.stats();
+  EXPECT_EQ(s.entries, 0u);
+  EXPECT_EQ(s.misses, 1u);
+}
+
+TEST(MemoCache, ShardsAllReceiveTraffic) {
+  MemoCache cache(std::size_t{16} << 20, 16);
+  util::Pcg32 rng(2024, 9);
+  for (int i = 0; i < 2000; ++i) {
+    Fingerprint g = fp(rng.next() | (std::uint64_t{rng.next()} << 32),
+                       rng.next() | (std::uint64_t{rng.next()} << 32));
+    cache.put(CacheKey::make(g, Problem::kBandwidth, 1.0), outcome(i));
+  }
+  CacheStats s = cache.stats();
+  EXPECT_EQ(s.entries, 2000u);
+  std::size_t total = 0;
+  for (int shard = 0; shard < 16; ++shard) {
+    std::size_t e = cache.shard_entries(shard);
+    EXPECT_GT(e, 0u) << "shard " << shard << " starved";
+    total += e;
+  }
+  EXPECT_EQ(total, 2000u);
+}
+
+// --- fingerprint-level equivalence, as the service uses it ---------------
+
+TEST(MemoCache, ReversedChainHitsSameEntry) {
+  util::Pcg32 rng(77, 5);
+  graph::Chain c = graph::random_chain(rng, 60, graph::WeightDist::uniform(1, 50),
+                                       graph::WeightDist::uniform(1, 50));
+  graph::Chain r = graph::reversed_chain(c);
+  MemoCache cache(1 << 20, 4);
+  CacheKey kc =
+      CacheKey::make(graph::chain_fingerprint(c), Problem::kBandwidth, 5.0);
+  CacheKey kr =
+      CacheKey::make(graph::chain_fingerprint(r), Problem::kBandwidth, 5.0);
+  EXPECT_EQ(kc, kr);
+  cache.put(kc, outcome(3));
+  EXPECT_TRUE(cache.get(kr).has_value());
+  EXPECT_EQ(cache.stats().entries, 1u);
+}
+
+TEST(MemoCache, RelabeledTreeHitsSameEntry) {
+  util::Pcg32 rng(78, 5);
+  graph::Tree t = graph::random_tree(rng, 40, graph::WeightDist::uniform(1, 50),
+                                     graph::WeightDist::uniform(1, 50));
+  MemoCache cache(1 << 20, 4);
+  CacheKey kt =
+      CacheKey::make(graph::tree_fingerprint(t), Problem::kProcMin, 9.0);
+  cache.put(kt, outcome(4));
+  for (int rep = 0; rep < 4; ++rep) {
+    graph::Tree perm = graph::relabel_tree(rng, t);
+    CacheKey kp =
+        CacheKey::make(graph::tree_fingerprint(perm), Problem::kProcMin, 9.0);
+    EXPECT_EQ(kt, kp);
+    EXPECT_TRUE(cache.get(kp).has_value());
+  }
+  EXPECT_EQ(cache.stats().entries, 1u);
+}
+
+TEST(MemoCache, DistinctGraphsGetDistinctEntries) {
+  util::Pcg32 rng(79, 5);
+  MemoCache cache(std::size_t{1} << 22, 4);
+  for (int i = 0; i < 50; ++i) {
+    graph::Chain c =
+        graph::random_chain(rng, 30, graph::WeightDist::uniform(1, 50),
+                            graph::WeightDist::uniform(1, 50));
+    cache.put(CacheKey::make(graph::chain_fingerprint(c),
+                             Problem::kBandwidth, 1.0),
+              outcome(i));
+  }
+  EXPECT_EQ(cache.stats().entries, 50u);
+}
+
+}  // namespace
+}  // namespace tgp::svc

@@ -1,0 +1,158 @@
+// Bounded MPMC queue (svc/queue.hpp): FIFO order, backpressure, shutdown
+// semantics, and a multi-producer/multi-consumer stress run.
+#include "svc/queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+namespace tgp::svc {
+namespace {
+
+TEST(BoundedQueue, RejectsZeroCapacity) {
+  EXPECT_THROW(BoundedQueue<int>(0), std::invalid_argument);
+}
+
+TEST(BoundedQueue, FifoSingleThread) {
+  BoundedQueue<int> q(8);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(q.push(i));
+  EXPECT_EQ(q.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    auto v = q.pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(BoundedQueue, TryPushFailsWhenFullTryPopWhenEmpty) {
+  BoundedQueue<int> q(2);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  EXPECT_FALSE(q.try_push(3));
+  EXPECT_EQ(*q.try_pop(), 1);
+  EXPECT_TRUE(q.try_push(3));
+  q.try_pop();
+  q.try_pop();
+  EXPECT_FALSE(q.try_pop().has_value());
+}
+
+TEST(BoundedQueue, HighWatermarkTracksPeakOccupancy) {
+  BoundedQueue<int> q(4);
+  q.push(1);
+  q.push(2);
+  q.push(3);
+  q.pop();
+  q.pop();
+  q.push(4);
+  EXPECT_EQ(q.high_watermark(), 3u);
+}
+
+TEST(BoundedQueue, CloseRefusesPushesAndDrains) {
+  BoundedQueue<int> q(4);
+  q.push(1);
+  q.push(2);
+  q.close();
+  EXPECT_TRUE(q.closed());
+  EXPECT_FALSE(q.push(3));
+  EXPECT_FALSE(q.try_push(3));
+  EXPECT_EQ(*q.pop(), 1);  // items queued before close still drain
+  EXPECT_EQ(*q.pop(), 2);
+  EXPECT_FALSE(q.pop().has_value());  // end-of-stream
+  EXPECT_FALSE(q.pop().has_value());  // idempotent
+}
+
+TEST(BoundedQueue, CloseWakesBlockedConsumer) {
+  BoundedQueue<int> q(2);
+  std::atomic<bool> got_eos{false};
+  std::thread consumer([&] {
+    got_eos = !q.pop().has_value();
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q.close();
+  consumer.join();
+  EXPECT_TRUE(got_eos.load());
+}
+
+TEST(BoundedQueue, BlockedProducerUnblocksOnPop) {
+  BoundedQueue<int> q(1);
+  ASSERT_TRUE(q.push(1));
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    EXPECT_TRUE(q.push(2));  // blocks until the consumer makes room
+    pushed = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(pushed.load());
+  EXPECT_EQ(*q.pop(), 1);
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+  EXPECT_EQ(*q.pop(), 2);
+}
+
+TEST(BoundedQueue, MpmcStressDeliversEachItemOnce) {
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 4;
+  constexpr int kPerProducer = 2000;
+  BoundedQueue<int> q(16);  // small capacity: forces heavy blocking
+
+  std::vector<std::atomic<int>> seen(kProducers * kPerProducer);
+  for (auto& s : seen) s = 0;
+  std::atomic<int> consumed{0};
+
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < kConsumers; ++c)
+    consumers.emplace_back([&] {
+      while (auto v = q.pop()) {
+        seen[static_cast<std::size_t>(*v)].fetch_add(1);
+        consumed.fetch_add(1);
+      }
+    });
+
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p)
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i)
+        EXPECT_TRUE(q.push(p * kPerProducer + i));
+    });
+
+  for (auto& t : producers) t.join();
+  q.close();
+  for (auto& t : consumers) t.join();
+
+  EXPECT_EQ(consumed.load(), kProducers * kPerProducer);
+  for (const auto& s : seen) EXPECT_EQ(s.load(), 1);
+  EXPECT_LE(q.high_watermark(), q.capacity());
+  EXPECT_GE(q.high_watermark(), 1u);
+}
+
+TEST(BoundedQueue, StressWithClosedMidstreamLosesNothingDelivered) {
+  // Producers race close(): every push that returned true must be popped
+  // exactly once, every false push dropped.
+  BoundedQueue<int> q(8);
+  std::atomic<int> accepted{0};
+  std::atomic<int> drained{0};
+  std::vector<std::thread> producers;
+  for (int p = 0; p < 3; ++p)
+    producers.emplace_back([&] {
+      for (int i = 0; i < 5000; ++i)
+        if (q.push(i))
+          accepted.fetch_add(1);
+        else
+          break;
+    });
+  std::thread consumer([&] {
+    while (q.pop()) drained.fetch_add(1);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  q.close();
+  for (auto& t : producers) t.join();
+  consumer.join();
+  EXPECT_EQ(accepted.load(), drained.load());
+}
+
+}  // namespace
+}  // namespace tgp::svc

@@ -1,0 +1,225 @@
+// Partition service runtime (svc/service.hpp): differential equivalence
+// against the direct solver path, thread-count determinism, error capture
+// and metrics accounting.
+#include "svc/service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace tgp::svc {
+namespace {
+
+using graph::Weight;
+
+/// K feasible for every problem: max vertex weight plus a fraction of the
+/// remaining total, so proc_min's K >= maxw precondition holds.
+Weight feasible_k(Weight total, Weight maxw, double frac) {
+  return maxw + frac * (total - maxw);
+}
+
+std::vector<JobSpec> random_jobs(int count, std::uint64_t seed) {
+  util::Pcg32 rng(seed, 31);
+  std::vector<JobSpec> specs;
+  specs.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    auto problem = static_cast<Problem>(rng.uniform_int(0, kProblemCount - 1));
+    double frac = rng.uniform_real(0.1, 0.6);
+    int n = 2 + static_cast<int>(rng.uniform_int(0, 40));
+    if (rng.coin(0.5)) {
+      graph::Chain c = graph::random_chain(rng, n,
+                                           graph::WeightDist::uniform(1, 20),
+                                           graph::WeightDist::uniform(1, 20));
+      Weight total = 0, maxw = 0;
+      for (Weight w : c.vertex_weight) {
+        total += w;
+        maxw = std::max(maxw, w);
+      }
+      specs.push_back(
+          JobSpec::for_chain(problem, feasible_k(total, maxw, frac), c));
+    } else {
+      graph::Tree t = rng.coin(0.3)
+                          ? graph::random_binary_tree(
+                                rng, n, graph::WeightDist::uniform(1, 20),
+                                graph::WeightDist::uniform(1, 20))
+                          : graph::random_tree(
+                                rng, n, graph::WeightDist::uniform(1, 20),
+                                graph::WeightDist::uniform(1, 20));
+      specs.push_back(JobSpec::for_tree(
+          problem, feasible_k(t.total_vertex_weight(),
+                              t.max_vertex_weight(), frac),
+          t));
+    }
+  }
+  return specs;
+}
+
+void expect_same_payload(const JobResult& a, const JobResult& b,
+                         std::size_t slot) {
+  EXPECT_EQ(a.ok, b.ok) << "job " << slot;
+  EXPECT_EQ(a.error, b.error) << "job " << slot;
+  EXPECT_EQ(a.cut.edges, b.cut.edges) << "job " << slot;
+  EXPECT_EQ(a.objective, b.objective) << "job " << slot;
+  EXPECT_EQ(a.components, b.components) << "job " << slot;
+}
+
+TEST(PartitionService, MatchesDirectSolverOver200RandomGraphs) {
+  std::vector<JobSpec> specs = random_jobs(200, 0xD1FF);
+  ServiceConfig config;
+  config.threads = 3;
+  PartitionService service(config);
+  std::vector<JobResult> got = service.run_batch(specs);
+  ASSERT_EQ(got.size(), specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i)
+    expect_same_payload(got[i], execute_job_captured(specs[i]), i);
+}
+
+TEST(PartitionService, ThreadCountDoesNotAffectResults) {
+  std::vector<JobSpec> specs = random_jobs(120, 0xBEEF);
+  ServiceConfig one;
+  one.threads = 1;
+  ServiceConfig many;
+  many.threads = 3;
+  std::vector<JobResult> a = PartitionService(one).run_batch(specs);
+  std::vector<JobResult> b = PartitionService(many).run_batch(specs);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    expect_same_payload(a[i], b[i], i);
+}
+
+TEST(PartitionService, CacheHitIsBitIdenticalToRecomputation) {
+  // Same graph presented twice (second time reversed): the second job is
+  // served from cache yet must agree with its own direct computation.
+  util::Pcg32 rng(42, 3);
+  graph::Chain c = graph::random_chain(rng, 50,
+                                       graph::WeightDist::uniform(1, 30),
+                                       graph::WeightDist::uniform(1, 30));
+  Weight total = 0, maxw = 0;
+  for (Weight w : c.vertex_weight) {
+    total += w;
+    maxw = std::max(maxw, w);
+  }
+  Weight K = feasible_k(total, maxw, 0.3);
+  JobSpec first = JobSpec::for_chain(Problem::kBandwidth, K, c);
+  JobSpec second =
+      JobSpec::for_chain(Problem::kBandwidth, K, graph::reversed_chain(c));
+
+  ServiceConfig config;
+  config.threads = 1;  // serialize so the second job sees the warm cache
+  PartitionService service(config);
+  std::vector<JobResult> got = service.run_batch({first, second});
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_FALSE(got[0].cache_hit);
+  EXPECT_TRUE(got[1].cache_hit);
+  expect_same_payload(got[1], execute_job_captured(second), 1);
+  EXPECT_EQ(got[0].objective, got[1].objective);
+  MetricsSnapshot m = service.metrics();
+  EXPECT_EQ(m.cache.hits, 1u);
+  EXPECT_EQ(m.cache.misses, 1u);
+}
+
+TEST(PartitionService, DisabledCacheNeverHits) {
+  std::vector<JobSpec> specs = random_jobs(30, 0xF00D);
+  std::vector<JobSpec> dup(specs);  // 100% duplicates
+  specs.insert(specs.end(), dup.begin(), dup.end());
+  ServiceConfig config;
+  config.threads = 2;
+  config.cache_bytes = 0;
+  PartitionService service(config);
+  for (const JobResult& r : service.run_batch(specs))
+    EXPECT_FALSE(r.cache_hit);
+  EXPECT_EQ(service.metrics().cache.hits, 0u);
+}
+
+TEST(PartitionService, SolverErrorsAreCapturedNotThrown) {
+  // proc_min requires K >= max vertex weight; K=0 violates it.
+  graph::Chain c;
+  c.vertex_weight = {5, 5, 5};
+  c.edge_weight = {1, 1};
+  JobSpec bad = JobSpec::for_chain(Problem::kProcMin, 0, c);
+  JobSpec good = JobSpec::for_chain(Problem::kProcMin, 15, c);
+
+  ServiceConfig config;
+  config.threads = 2;
+  PartitionService service(config);
+  std::vector<JobResult> got = service.run_batch({bad, good});
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_FALSE(got[0].ok);
+  EXPECT_FALSE(got[0].error.empty());
+  EXPECT_TRUE(got[1].ok);
+  JobResult direct = execute_job_captured(bad);
+  ASSERT_FALSE(direct.ok);
+  EXPECT_EQ(got[0].error, direct.error);
+
+  MetricsSnapshot m = service.metrics();
+  EXPECT_EQ(m.submitted, 2u);
+  EXPECT_EQ(m.completed, 2u);
+  EXPECT_EQ(m.failed, 1u);
+}
+
+TEST(PartitionService, MetricsCountersAddUp) {
+  std::vector<JobSpec> specs = random_jobs(60, 0xC0DE);
+  std::vector<JobSpec> dup(specs.begin(), specs.begin() + 20);  // some dups
+  specs.insert(specs.end(), dup.begin(), dup.end());
+  ServiceConfig config;
+  config.threads = 2;
+  PartitionService service(config);
+  std::vector<JobResult> got = service.run_batch(specs);
+
+  std::size_t hits = 0;
+  for (const JobResult& r : got) hits += r.cache_hit ? 1 : 0;
+  MetricsSnapshot m = service.metrics();
+  EXPECT_EQ(m.submitted, specs.size());
+  EXPECT_EQ(m.completed, specs.size());
+  EXPECT_EQ(m.failed, 0u);
+  EXPECT_EQ(m.cache.hits, hits);
+  EXPECT_GE(hits, 20u);  // the literal duplicates must all hit
+  EXPECT_EQ(m.cache.hits + m.cache.misses, specs.size());
+  EXPECT_GE(m.queue_high_watermark, 1u);
+  EXPECT_EQ(m.overall_latency().count, specs.size());
+}
+
+TEST(PartitionService, SubmitAfterShutdownThrows) {
+  PartitionService service({.threads = 1});
+  graph::Chain c;
+  c.vertex_weight = {1, 2};
+  c.edge_weight = {1};
+  service.submit(JobSpec::for_chain(Problem::kBottleneck, 3, c));
+  service.shutdown();
+  EXPECT_THROW(
+      service.submit(JobSpec::for_chain(Problem::kBottleneck, 3, c)),
+      std::invalid_argument);
+}
+
+TEST(PartitionService, ResultThrowsBeforeCompletion) {
+  PartitionService service({.threads = 1});
+  EXPECT_THROW(service.result(0), std::invalid_argument);
+}
+
+TEST(PartitionService, RunBatchPreservesSubmissionOrder) {
+  // Jobs with distinguishable objectives: chain i has total weight ~i.
+  std::vector<JobSpec> specs;
+  for (int i = 0; i < 24; ++i) {
+    graph::Chain c;
+    c.vertex_weight = {static_cast<Weight>(i + 1),
+                       static_cast<Weight>(i + 1)};
+    c.edge_weight = {1};
+    specs.push_back(
+        JobSpec::for_chain(Problem::kProcMin, 2 * (i + 1), c));
+  }
+  ServiceConfig config;
+  config.threads = 3;
+  config.queue_capacity = 4;  // force backpressure on the submitter
+  std::vector<JobResult> got = PartitionService(config).run_batch(specs);
+  ASSERT_EQ(got.size(), specs.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_TRUE(got[i].ok) << i;
+    expect_same_payload(got[i], execute_job_captured(specs[i]), i);
+  }
+}
+
+}  // namespace
+}  // namespace tgp::svc

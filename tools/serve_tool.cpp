@@ -1,0 +1,356 @@
+#include "tools/serve_tool.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "svc/service.hpp"
+#include "util/argparse.hpp"
+#include "util/assert.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace tgp::tools {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  std::size_t a = s.find_first_not_of(" \t\r");
+  if (a == std::string::npos) return "";
+  std::size_t b = s.find_last_not_of(" \t\r");
+  return s.substr(a, b - a + 1);
+}
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::istringstream is(s);
+  std::string part;
+  while (std::getline(is, part, sep)) out.push_back(part);
+  return out;
+}
+
+// Shared graph payload: either kind, exactly one set.
+struct LoadedGraph {
+  std::shared_ptr<const graph::Chain> chain;
+  std::shared_ptr<const graph::Tree> tree;
+};
+
+// `gen:KIND:n=N:seed=S` → a deterministic synthetic graph.
+LoadedGraph generate_source(const std::vector<std::string>& parts) {
+  TGP_REQUIRE(parts.size() >= 2, "gen: needs a kind, e.g. gen:chain:n=100");
+  const std::string& kind = parts[1];
+  int n = 100;
+  std::uint64_t seed = 1;
+  for (std::size_t i = 2; i < parts.size(); ++i) {
+    std::vector<std::string> kv = split(parts[i], '=');
+    TGP_REQUIRE(kv.size() == 2, "gen parameter must be key=value, got '" +
+                                    parts[i] + "'");
+    if (kv[0] == "n")
+      n = std::stoi(kv[1]);
+    else if (kv[0] == "seed")
+      seed = static_cast<std::uint64_t>(std::stoull(kv[1]));
+    else
+      TGP_REQUIRE(false, "unknown gen parameter '" + kv[0] + "'");
+  }
+  util::Pcg32 rng(seed ^ 0x7365727665ull, 7);
+  auto vdist = graph::WeightDist::uniform(1, 100);
+  auto edist = graph::WeightDist::uniform(1, 100);
+  LoadedGraph g;
+  if (kind == "chain") {
+    g.chain = std::make_shared<const graph::Chain>(
+        graph::random_chain(rng, n, vdist, edist));
+  } else if (kind == "tree") {
+    g.tree = std::make_shared<const graph::Tree>(
+        graph::random_tree(rng, n, vdist, edist));
+  } else if (kind == "binary") {
+    g.tree = std::make_shared<const graph::Tree>(
+        graph::random_binary_tree(rng, n, vdist, edist));
+  } else if (kind == "star") {
+    g.tree = std::make_shared<const graph::Tree>(
+        graph::star_tree(rng, n, vdist, edist));
+  } else {
+    TGP_REQUIRE(false, "unknown gen kind '" + kind +
+                           "' (want chain|tree|binary|star)");
+  }
+  return g;
+}
+
+LoadedGraph load_source(const std::string& source) {
+  std::vector<std::string> parts = split(source, ':');
+  TGP_REQUIRE(!parts.empty(), "empty job source");
+  if (parts[0] == "gen") return generate_source(parts);
+  TGP_REQUIRE(parts[0] == "file" && parts.size() == 2,
+              "job source must be file:PATH or gen:KIND:..., got '" + source +
+                  "'");
+  const std::string& path = parts[1];
+  std::ifstream in(path);
+  TGP_REQUIRE(in.good(), "cannot open '" + path + "'");
+  std::string magic;
+  in >> magic;
+  in.seekg(0);
+  LoadedGraph g;
+  if (magic == "tgp-chain") {
+    g.chain = std::make_shared<const graph::Chain>(graph::load_chain(in));
+  } else if (magic == "tgp-tree") {
+    g.tree = std::make_shared<const graph::Tree>(graph::load_tree(in));
+  } else {
+    TGP_REQUIRE(false, "unrecognized graph format in '" + path + "'");
+  }
+  return g;
+}
+
+graph::Weight resolve_k(const std::string& kspec, const LoadedGraph& g) {
+  std::string k = trim(kspec);
+  TGP_REQUIRE(!k.empty(), "empty K field");
+  double maxw, total;
+  if (g.chain) {
+    maxw = g.chain->max_vertex_weight();
+    total = g.chain->total_vertex_weight();
+  } else {
+    maxw = g.tree->max_vertex_weight();
+    total = g.tree->total_vertex_weight();
+  }
+  if (k.back() == '%') {
+    double pct = std::stod(k.substr(0, k.size() - 1));
+    return maxw + pct / 100.0 * (total - maxw);
+  }
+  return std::stod(k);
+}
+
+// Deterministic 64-bit digest of a cut's edge list, so the results table
+// captures the exact cut without printing every index.
+std::uint64_t cut_digest(const graph::Cut& cut) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (int e : cut.edges) {
+    h ^= static_cast<std::uint64_t>(static_cast<std::uint32_t>(e));
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+std::vector<svc::JobSpec> parse_job_file(std::istream& in) {
+  std::vector<svc::JobSpec> specs;
+  std::map<std::string, LoadedGraph> graphs;  // share duplicate sources
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    std::string body = trim(line);
+    if (body.empty() || body[0] == '#') continue;
+    std::vector<std::string> cells = split(body, ',');
+    TGP_REQUIRE(cells.size() == 3,
+                "line " + std::to_string(lineno) +
+                    ": want 'problem,K,source' (3 fields, got " +
+                    std::to_string(cells.size()) + ")");
+    svc::Problem problem = svc::parse_problem(trim(cells[0]));
+    std::string source = trim(cells[2]);
+    auto it = graphs.find(source);
+    if (it == graphs.end())
+      it = graphs.emplace(source, load_source(source)).first;
+    const LoadedGraph& g = it->second;
+    graph::Weight K = resolve_k(cells[1], g);
+    specs.push_back(g.chain
+                        ? svc::JobSpec::for_chain(problem, K, g.chain)
+                        : svc::JobSpec::for_tree(problem, K, g.tree));
+  }
+  return specs;
+}
+
+std::vector<svc::JobSpec> generate_workload(int count, std::uint64_t seed,
+                                            double dup_frac) {
+  TGP_REQUIRE(count >= 1, "workload must have at least one job");
+  TGP_REQUIRE(dup_frac >= 0 && dup_frac <= 1, "dup fraction must be in [0,1]");
+  std::vector<svc::JobSpec> specs;
+  specs.reserve(static_cast<std::size_t>(count));
+  util::Pcg32 rng(seed, 0xba7c4);
+  auto vdist = graph::WeightDist::uniform(1, 100);
+  auto edist = graph::WeightDist::uniform(1, 100);
+  for (int i = 0; i < count; ++i) {
+    if (!specs.empty() && rng.coin(dup_frac)) {
+      // Repeat an earlier (graph, problem, K); half the time under a
+      // different presentation of the same abstract graph.
+      const svc::JobSpec& prev = specs[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(specs.size()) - 1))];
+      svc::JobSpec dup = prev;
+      if (rng.coin(0.5)) {
+        if (dup.chain)
+          dup.chain = std::make_shared<const graph::Chain>(
+              graph::reversed_chain(*dup.chain));
+        else
+          dup.tree = std::make_shared<const graph::Tree>(
+              graph::relabel_tree(rng, *dup.tree));
+      }
+      specs.push_back(std::move(dup));
+      continue;
+    }
+    int n = static_cast<int>(rng.uniform_int(40, 400));
+    auto problem = static_cast<svc::Problem>(rng.uniform_int(0, 3));
+    double frac = rng.uniform_real(0.02, 0.4);
+    if (rng.coin(0.5)) {
+      graph::Chain c = graph::random_chain(rng, n, vdist, edist);
+      graph::Weight K = c.max_vertex_weight() +
+                        frac * (c.total_vertex_weight() -
+                                c.max_vertex_weight());
+      specs.push_back(svc::JobSpec::for_chain(problem, K, std::move(c)));
+    } else {
+      graph::Tree t = rng.coin(0.3)
+                          ? graph::random_binary_tree(rng, n, vdist, edist)
+                          : graph::random_tree(rng, n, vdist, edist);
+      graph::Weight K = t.max_vertex_weight() +
+                        frac * (t.total_vertex_weight() -
+                                t.max_vertex_weight());
+      specs.push_back(svc::JobSpec::for_tree(problem, K, std::move(t)));
+    }
+  }
+  return specs;
+}
+
+std::string serve_tool_help() {
+  return
+      "tgp_serve — batch partition service driver\n"
+      "\n"
+      "usage: tgp_serve (--jobs FILE | --generate N) [--threads N]\n"
+      "                 [--cache-mb M] [--queue-cap C] [--seed S]\n"
+      "                 [--dup-frac F] [--no-results]\n"
+      "\n"
+      "Runs a batch of partition jobs on the multi-threaded service\n"
+      "runtime with a canonical-graph memo cache.  The results table\n"
+      "(stdout) is deterministic: identical for any --threads value.\n"
+      "Metrics and timing go to stderr.\n"
+      "\n"
+      "Job file: one 'problem,K,source' CSV line per job, where problem\n"
+      "is bottleneck|procmin|bandwidth|pipeline; K is a number or 'P%'\n"
+      "(percent of the slack above the max task weight); source is\n"
+      "file:PATH (tgp-chain/tgp-tree file) or gen:KIND:n=N:seed=S with\n"
+      "KIND chain|tree|binary|star.  '#' starts a comment.\n"
+      "\n"
+      "  --jobs FILE     job file (see above)\n"
+      "  --generate N    synthesize an N-job mixed workload instead\n"
+      "  --seed S        seed for --generate (default 42)\n"
+      "  --dup-frac F    duplicate fraction for --generate (default 0.5)\n"
+      "  --threads N     worker threads (default: hardware concurrency)\n"
+      "  --cache-mb M    memo cache budget in MiB, 0 disables (default 64)\n"
+      "  --queue-cap C   bounded queue capacity (default 1024)\n"
+      "  --no-results    suppress the per-job results table\n";
+}
+
+int run_serve_tool(const std::vector<std::string>& args, std::ostream& out,
+                   std::ostream& err) {
+  std::vector<const char*> argv{"tgp_serve"};
+  for (const std::string& a : args) argv.push_back(a.c_str());
+  try {
+    util::ArgParser parser(static_cast<int>(argv.size()), argv.data());
+    parser.describe("jobs", "job file (problem,K,source per line)")
+        .describe("generate", "synthesize an N-job workload")
+        .describe("seed", "workload seed")
+        .describe("dup-frac", "duplicate fraction for --generate")
+        .describe("threads", "worker threads")
+        .describe("cache-mb", "cache budget in MiB (0 disables)")
+        .describe("queue-cap", "job queue capacity")
+        .describe("no-results", "suppress the results table");
+    if (parser.has("help")) {
+      out << serve_tool_help();
+      return 0;
+    }
+    parser.check_unknown();
+
+    std::vector<svc::JobSpec> specs;
+    if (parser.has("jobs")) {
+      std::string path = parser.get("jobs", "");
+      std::ifstream in(path);
+      if (!in.good()) {
+        err << "error: cannot open '" << path << "'\n";
+        return 2;
+      }
+      specs = parse_job_file(in);
+    } else if (parser.has("generate")) {
+      specs = generate_workload(
+          static_cast<int>(parser.get_int("generate", 0)),
+          static_cast<std::uint64_t>(parser.get_int("seed", 42)),
+          parser.get_double("dup-frac", 0.5));
+    } else {
+      err << "error: need --jobs FILE or --generate N (see --help)\n";
+      return 2;
+    }
+    if (specs.empty()) {
+      err << "error: no jobs to run\n";
+      return 2;
+    }
+
+    svc::ServiceConfig config;
+    config.threads = static_cast<int>(parser.get_int("threads", 0));
+    config.cache_bytes =
+        static_cast<std::size_t>(parser.get_int("cache-mb", 64)) << 20;
+    config.queue_capacity =
+        static_cast<std::size_t>(parser.get_int("queue-cap", 1024));
+
+    // Capture per-job echo columns before the specs move into the service.
+    struct JobEcho {
+      std::string kind;
+      std::string problem;
+      int n;
+      graph::Weight K;
+    };
+    std::vector<JobEcho> echo;
+    echo.reserve(specs.size());
+    for (const svc::JobSpec& s : specs)
+      echo.push_back({s.is_chain() ? "chain" : "tree",
+                      svc::problem_name(s.problem), s.n(), s.K});
+
+    svc::PartitionService service(config);
+    double wall_seconds = 0;
+    std::vector<svc::JobResult> results;
+    {
+      util::ScopedTimer t(wall_seconds, util::ScopedTimer::Unit::kSeconds);
+      results = service.run_batch(std::move(specs));
+    }
+
+    if (!parser.get_bool("no-results", false)) {
+      util::Table table({"job", "graph", "n", "problem", "K", "status",
+                         "cut edges", "cut digest", "objective", "parts"});
+      for (std::size_t i = 0; i < results.size(); ++i) {
+        const svc::JobResult& r = results[i];
+        util::Table& row = table.row()
+                               .cell(static_cast<std::int64_t>(i))
+                               .cell(echo[i].kind)
+                               .cell(echo[i].n)
+                               .cell(echo[i].problem)
+                               .cell(echo[i].K, 3);
+        if (!r.ok) {
+          row.cell("ERROR").cell(0).cell("-").cell(r.error).cell(0);
+          continue;
+        }
+        char digest[20];
+        std::snprintf(digest, sizeof digest, "%016llx",
+                      static_cast<unsigned long long>(cut_digest(r.cut)));
+        row.cell("ok")
+            .cell(r.cut.size())
+            .cell(digest)
+            .cell(r.objective, 6)
+            .cell(r.components);
+      }
+      out << table.render();
+    }
+
+    svc::MetricsSnapshot m = service.metrics();
+    err << m.format();
+    err << "wall time: " << util::fmt(wall_seconds, 3) << " s, throughput: "
+        << util::fmt(static_cast<double>(results.size()) /
+                         std::max(wall_seconds, 1e-9),
+                     1)
+        << " jobs/s\n";
+    return 0;
+  } catch (const std::exception& e) {
+    err << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
+
+}  // namespace tgp::tools

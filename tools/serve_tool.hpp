@@ -1,0 +1,43 @@
+// The engine behind the tgp_serve command-line tool.
+//
+// Separated from main() so the test suite can drive it end to end: parse
+// flags, load or synthesize a job batch, run it through the partition
+// service runtime (svc/service.hpp) and print a deterministic results
+// table (stdout) plus a metrics snapshot (stderr — timing-dependent, so
+// kept out of the byte-comparable stream).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "svc/job.hpp"
+
+namespace tgp::tools {
+
+/// Run the serve tool.  `args` are argv[1:]; results go to `out`,
+/// diagnostics and metrics to `err`.  Returns the process exit code.
+int run_serve_tool(const std::vector<std::string>& args, std::ostream& out,
+                   std::ostream& err);
+
+/// The --help text.
+std::string serve_tool_help();
+
+/// Parse a job file: one CSV line per job, `problem,K,source`, where
+/// problem ∈ {bottleneck, procmin, bandwidth, pipeline}; K is a number or
+/// "P%" (K = max vertex weight + P/100 · slack to the total weight); and
+/// source is `file:PATH` (a tgp-chain/tgp-tree file) or
+/// `gen:KIND:n=N:seed=S` with KIND ∈ {chain, tree, binary, star}.
+/// '#' lines and blank lines are skipped.  Identical sources share one
+/// in-memory graph.  Throws std::invalid_argument on malformed input.
+std::vector<svc::JobSpec> parse_job_file(std::istream& in);
+
+/// Synthesize a mixed chain/tree workload of `count` jobs.  A fraction
+/// `dup_frac` of jobs repeats an earlier job's (graph, problem, K) —
+/// half of those re-presented (reversed chain / relabeled tree) so the
+/// canonical fingerprint, not pointer identity, has to find the match.
+std::vector<svc::JobSpec> generate_workload(int count, std::uint64_t seed,
+                                            double dup_frac);
+
+}  // namespace tgp::tools

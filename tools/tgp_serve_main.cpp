@@ -1,0 +1,11 @@
+// tgp_serve: run a batch of partition jobs through the service runtime.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "tools/serve_tool.hpp"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  return tgp::tools::run_serve_tool(args, std::cout, std::cerr);
+}
