@@ -22,7 +22,8 @@ double BandwidthInstrumentation::n_log_n() const {
 BandwidthResult bandwidth_min_temps(const graph::Chain& chain,
                                     graph::Weight K,
                                     BandwidthInstrumentation* instr,
-                                    SearchPolicy policy) {
+                                    SearchPolicy policy,
+                                    const util::CancelToken* cancel) {
   std::vector<PrimeSubpath> primes = prime_subpaths(chain, K);
   const int p = static_cast<int>(primes.size());
   if (instr) {
@@ -67,6 +68,7 @@ BandwidthResult bandwidth_min_temps(const graph::Chain& chain,
   };
 
   for (const ReducedEdge& e : edges) {
+    if (cancel) cancel->poll();
     // Step 2: primes that do not contain this edge are complete; record
     // their optimum and retire them from the queue front.
     while (!q.empty() && q.front().first_prime < e.first_prime) close_front();

@@ -22,6 +22,7 @@
 #include "core/temps_queue.hpp"
 #include "graph/chain.hpp"
 #include "graph/cutset.hpp"
+#include "util/cancel.hpp"
 
 namespace tgp::core {
 
@@ -58,9 +59,12 @@ enum class SearchPolicy {
 /// Preconditions: chain valid, K ≥ max vertex weight.
 /// Postconditions: the cut is feasible and its weight is minimal (the
 /// test suite checks minimality against three independent baselines).
+/// `cancel` (optional) is polled once per reduced edge; a stop request
+/// unwinds with util::CancelledError.
 BandwidthResult bandwidth_min_temps(
     const graph::Chain& chain, graph::Weight K,
     BandwidthInstrumentation* instr = nullptr,
-    SearchPolicy policy = SearchPolicy::kBinary);
+    SearchPolicy policy = SearchPolicy::kBinary,
+    const util::CancelToken* cancel = nullptr);
 
 }  // namespace tgp::core

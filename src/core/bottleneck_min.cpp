@@ -38,8 +38,8 @@ std::vector<int> edges_by_weight(const graph::Tree& tree) {
 
 }  // namespace
 
-BottleneckResult bottleneck_min_scan(const graph::Tree& tree,
-                                     graph::Weight K) {
+BottleneckResult bottleneck_min_scan(const graph::Tree& tree, graph::Weight K,
+                                     const util::CancelToken* cancel) {
   check_preconditions(tree, K);
   BottleneckResult out;
   std::vector<char> removed(static_cast<std::size_t>(tree.edge_count()), 0);
@@ -48,6 +48,7 @@ BottleneckResult bottleneck_min_scan(const graph::Tree& tree,
   if (tree.total_vertex_weight() <= K) return out;
 
   for (int e : edges_by_weight(tree)) {
+    if (cancel) cancel->poll();
     removed[static_cast<std::size_t>(e)] = 1;
     out.cut.edges.push_back(e);
     ++out.feasibility_checks;
@@ -61,7 +62,8 @@ BottleneckResult bottleneck_min_scan(const graph::Tree& tree,
 }
 
 BottleneckResult bottleneck_min_bsearch(const graph::Tree& tree,
-                                        graph::Weight K) {
+                                        graph::Weight K,
+                                        const util::CancelToken* cancel) {
   check_preconditions(tree, K);
   BottleneckResult out;
   ++out.feasibility_checks;
@@ -80,6 +82,7 @@ BottleneckResult bottleneck_min_bsearch(const graph::Tree& tree,
     return feasible_with_removed(tree, removed, K);
   };
   while (lo < hi) {
+    if (cancel) cancel->poll();
     int mid = lo + (hi - lo) / 2;
     ++out.feasibility_checks;
     if (prefix_feasible(mid))

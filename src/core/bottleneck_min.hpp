@@ -15,6 +15,7 @@
 
 #include "graph/cutset.hpp"
 #include "graph/tree.hpp"
+#include "util/cancel.hpp"
 
 namespace tgp::core {
 
@@ -27,12 +28,15 @@ struct BottleneckResult {
 
 /// The paper's Algorithm 2.1 exactly as published: grow S one ascending
 /// edge at a time, re-checking feasibility after each insertion — O(n²).
-BottleneckResult bottleneck_min_scan(const graph::Tree& tree,
-                                     graph::Weight K);
+/// Both variants poll `cancel` (when given) once per outer-loop step and
+/// unwind with util::CancelledError on a stop request.
+BottleneckResult bottleneck_min_scan(const graph::Tree& tree, graph::Weight K,
+                                     const util::CancelToken* cancel = nullptr);
 
 /// Same optimum via binary search over the sorted distinct edge weights
 /// with an O(n) feasibility probe per step — O(n log n).
-BottleneckResult bottleneck_min_bsearch(const graph::Tree& tree,
-                                        graph::Weight K);
+BottleneckResult bottleneck_min_bsearch(
+    const graph::Tree& tree, graph::Weight K,
+    const util::CancelToken* cancel = nullptr);
 
 }  // namespace tgp::core

@@ -9,7 +9,8 @@
 namespace tgp::core {
 
 ProcMinResult proc_min(const graph::Tree& tree, graph::Weight K,
-                       std::vector<ProcMinStep>* trace) {
+                       std::vector<ProcMinStep>* trace,
+                       const util::CancelToken* cancel) {
   if (trace) trace->clear();
   TGP_REQUIRE(K >= tree.max_vertex_weight(),
               "K must be at least the maximum vertex weight");
@@ -36,6 +37,7 @@ ProcMinResult proc_min(const graph::Tree& tree, graph::Weight K,
     residual[static_cast<std::size_t>(v)] = tree.vertex_weight(v);
 
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    if (cancel) cancel->poll();
     int v = *it;
     // Collect contracted children (paper: leaves adjacent to v).
     std::vector<int> children;
@@ -152,12 +154,13 @@ ProcMinResult proc_min_oracle(const graph::Tree& tree, graph::Weight K) {
 }
 
 TreePartitionResult bottleneck_then_proc_min(const graph::Tree& tree,
-                                             graph::Weight K) {
-  BottleneckResult stage1 = bottleneck_min_bsearch(tree, K);
+                                             graph::Weight K,
+                                             const util::CancelToken* cancel) {
+  BottleneckResult stage1 = bottleneck_min_bsearch(tree, K, cancel);
   std::vector<int> original_edge;
   graph::Tree contracted =
       graph::contract_components(tree, stage1.cut, &original_edge);
-  ProcMinResult stage2 = proc_min(contracted, K);
+  ProcMinResult stage2 = proc_min(contracted, K, nullptr, cancel);
 
   TreePartitionResult out;
   out.bottleneck = stage1.threshold;

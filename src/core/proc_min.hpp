@@ -40,8 +40,11 @@ struct ProcMinStep {
 
 /// Algorithm 2.2: minimum-component partition of a tree, O(n log n).
 /// Pass `trace` to record every internal-node step in processing order.
+/// `cancel` (optional) is polled once per processed vertex; a stop
+/// request unwinds with util::CancelledError.
 ProcMinResult proc_min(const graph::Tree& tree, graph::Weight K,
-                       std::vector<ProcMinStep>* trace = nullptr);
+                       std::vector<ProcMinStep>* trace = nullptr,
+                       const util::CancelToken* cancel = nullptr);
 
 /// Exact oracle via a Pareto dynamic program over (residual weight,
 /// cut count) states.  Exponential-state in the worst case — intended for
@@ -60,7 +63,9 @@ struct TreePartitionResult {
 /// super-nodes, then processor-minimize the contracted tree.  The final
 /// cut is a subset of the bottleneck cut, so its bottleneck is no worse,
 /// and the component count is the minimum achievable at that bottleneck.
-TreePartitionResult bottleneck_then_proc_min(const graph::Tree& tree,
-                                             graph::Weight K);
+/// `cancel` is forwarded to both stages.
+TreePartitionResult bottleneck_then_proc_min(
+    const graph::Tree& tree, graph::Weight K,
+    const util::CancelToken* cancel = nullptr);
 
 }  // namespace tgp::core

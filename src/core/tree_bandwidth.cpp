@@ -15,7 +15,8 @@ constexpr graph::Weight kInf = std::numeric_limits<graph::Weight>::infinity();
 
 TreeBandwidthResult tree_bandwidth_oracle(const graph::Tree& tree,
                                           graph::Weight K,
-                                          std::size_t max_states) {
+                                          std::size_t max_states,
+                                          const util::CancelToken* cancel) {
   TGP_REQUIRE(K >= tree.max_vertex_weight(),
               "K must be at least the maximum vertex weight");
   const int n = tree.n();
@@ -51,6 +52,7 @@ TreeBandwidthResult tree_bandwidth_oracle(const graph::Tree& tree,
   };
 
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    if (cancel) cancel->poll();
     int v = *it;
     std::map<graph::Weight, graph::Weight> cur;
     cur[tree.vertex_weight(v)] = 0;
@@ -84,7 +86,8 @@ TreeBandwidthResult tree_bandwidth_oracle(const graph::Tree& tree,
 }
 
 TreeBandwidthResult tree_bandwidth_greedy(const graph::Tree& tree,
-                                          graph::Weight K) {
+                                          graph::Weight K,
+                                          const util::CancelToken* cancel) {
   TGP_REQUIRE(K >= tree.max_vertex_weight(),
               "K must be at least the maximum vertex weight");
   const int n = tree.n();
@@ -111,6 +114,7 @@ TreeBandwidthResult tree_bandwidth_greedy(const graph::Tree& tree,
   constexpr std::size_t kExactFanout = 12;  // 2^12 subsets per node max
 
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    if (cancel) cancel->poll();
     int v = *it;
     std::vector<Child> children;
     graph::Weight lump = residual[static_cast<std::size_t>(v)];

@@ -21,6 +21,7 @@
 
 #include "graph/cutset.hpp"
 #include "graph/tree.hpp"
+#include "util/cancel.hpp"
 
 namespace tgp::core {
 
@@ -31,14 +32,17 @@ struct TreeBandwidthResult {
 
 /// Exact minimum-weight feasible cut via Pareto DP.  Throws
 /// std::invalid_argument if the Pareto state count at any vertex exceeds
-/// `max_states` (the Theorem-1 explosion in action).
-TreeBandwidthResult tree_bandwidth_oracle(const graph::Tree& tree,
-                                          graph::Weight K,
-                                          std::size_t max_states = 1 << 20);
+/// `max_states` (the Theorem-1 explosion in action).  Both variants poll
+/// `cancel` (when given) once per processed vertex and unwind with
+/// util::CancelledError on a stop request.
+TreeBandwidthResult tree_bandwidth_oracle(
+    const graph::Tree& tree, graph::Weight K, std::size_t max_states = 1 << 20,
+    const util::CancelToken* cancel = nullptr);
 
 /// Greedy heuristic: feasible always; optimal often; approximation
 /// quality measured in bench_tree_bandwidth.
-TreeBandwidthResult tree_bandwidth_greedy(const graph::Tree& tree,
-                                          graph::Weight K);
+TreeBandwidthResult tree_bandwidth_greedy(
+    const graph::Tree& tree, graph::Weight K,
+    const util::CancelToken* cancel = nullptr);
 
 }  // namespace tgp::core

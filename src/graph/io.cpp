@@ -1,5 +1,7 @@
 #include "graph/io.hpp"
 
+#include <cctype>
+#include <cmath>
 #include <fstream>
 #include <istream>
 #include <ostream>
@@ -20,29 +22,75 @@ void write_weight(std::ostream& out, Weight w) {
   out << std::hexfloat << w << std::defaultfloat;
 }
 
-Weight read_weight(std::istream& in) {
-  std::string token;
-  TGP_REQUIRE(static_cast<bool>(in >> token), "truncated weight");
-  try {
-    std::size_t used = 0;
-    double v = std::stod(token, &used);
-    TGP_REQUIRE(used == token.size(), "malformed weight '" + token + "'");
-    return v;
-  } catch (const std::logic_error&) {
-    throw std::invalid_argument("malformed weight '" + token + "'");
-  }
-}
+// Whitespace-delimited token reader that tracks the current line, so
+// parse errors point at the offending line of the input file.
+class TokenReader {
+ public:
+  explicit TokenReader(std::istream& in) : in_(in) {}
 
-int read_header(std::istream& in, const char* magic) {
-  std::string word;
-  TGP_REQUIRE(static_cast<bool>(in >> word), "missing header");
-  TGP_REQUIRE(word == magic,
-              std::string("bad magic: expected ") + magic + ", got " + word);
-  int version = 0;
-  int n = 0;
-  TGP_REQUIRE(static_cast<bool>(in >> version >> n), "truncated header");
-  TGP_REQUIRE(version == kVersion, "unsupported format version");
-  TGP_REQUIRE(n >= 1, "non-positive vertex count");
+  [[noreturn]] void fail(const std::string& why) const {
+    throw std::invalid_argument("line " + std::to_string(line_) + ": " + why);
+  }
+
+  std::string next(const char* what) {
+    int c;
+    while ((c = in_.peek()) != EOF &&
+           std::isspace(static_cast<unsigned char>(c))) {
+      if (c == '\n') ++line_;
+      in_.get();
+    }
+    std::string token;
+    while ((c = in_.peek()) != EOF &&
+           !std::isspace(static_cast<unsigned char>(c)))
+      token.push_back(static_cast<char>(in_.get()));
+    if (token.empty()) fail(std::string("truncated input: expected ") + what);
+    return token;
+  }
+
+  int next_int(const char* what) {
+    std::string token = next(what);
+    try {
+      std::size_t used = 0;
+      int v = std::stoi(token, &used);
+      if (used != token.size())
+        fail(std::string("malformed ") + what + " '" + token + "'");
+      return v;
+    } catch (const std::logic_error&) {
+      fail(std::string("malformed ") + what + " '" + token + "'");
+    }
+  }
+
+  Weight next_weight() {
+    std::string token = next("weight");
+    double v = 0;
+    try {
+      std::size_t used = 0;
+      v = std::stod(token, &used);
+      if (used != token.size()) fail("malformed weight '" + token + "'");
+    } catch (const std::logic_error&) {
+      fail("malformed weight '" + token + "'");
+    }
+    // Fail at the offending line rather than at the whole-graph validate:
+    // NaN, infinities and non-positive weights are never representable.
+    if (std::isnan(v)) fail("weight '" + token + "' is NaN");
+    if (!std::isfinite(v)) fail("weight '" + token + "' is not finite");
+    if (v <= 0) fail("weight '" + token + "' must be strictly positive");
+    return v;
+  }
+
+ private:
+  std::istream& in_;
+  int line_ = 1;
+};
+
+int read_header(TokenReader& r, const char* magic) {
+  std::string word = r.next("magic");
+  if (word != magic)
+    r.fail(std::string("bad magic: expected ") + magic + ", got " + word);
+  int version = r.next_int("format version");
+  if (version != kVersion) r.fail("unsupported format version");
+  int n = r.next_int("vertex count");
+  if (n < 1) r.fail("non-positive vertex count");
   return n;
 }
 
@@ -64,12 +112,13 @@ void save_chain(std::ostream& out, const Chain& chain) {
 }
 
 Chain load_chain(std::istream& in) {
-  int n = read_header(in, kChainMagic);
+  TokenReader r(in);
+  int n = read_header(r, kChainMagic);
   Chain c;
   c.vertex_weight.reserve(static_cast<std::size_t>(n));
-  for (int i = 0; i < n; ++i) c.vertex_weight.push_back(read_weight(in));
+  for (int i = 0; i < n; ++i) c.vertex_weight.push_back(r.next_weight());
   c.edge_weight.reserve(static_cast<std::size_t>(n) - 1);
-  for (int i = 0; i + 1 < n; ++i) c.edge_weight.push_back(read_weight(in));
+  for (int i = 0; i + 1 < n; ++i) c.edge_weight.push_back(r.next_weight());
   c.validate();
   return c;
 }
@@ -89,16 +138,17 @@ void save_tree(std::ostream& out, const Tree& tree) {
 }
 
 Tree load_tree(std::istream& in) {
-  int n = read_header(in, kTreeMagic);
+  TokenReader r(in);
+  int n = read_header(r, kTreeMagic);
   std::vector<Weight> vw;
   vw.reserve(static_cast<std::size_t>(n));
-  for (int v = 0; v < n; ++v) vw.push_back(read_weight(in));
+  for (int v = 0; v < n; ++v) vw.push_back(r.next_weight());
   std::vector<TreeEdge> edges;
   edges.reserve(static_cast<std::size_t>(n) - 1);
   for (int e = 0; e + 1 < n; ++e) {
-    int u = 0, v = 0;
-    TGP_REQUIRE(static_cast<bool>(in >> u >> v), "truncated edge list");
-    edges.push_back({u, v, read_weight(in)});
+    int u = r.next_int("edge endpoint");
+    int v = r.next_int("edge endpoint");
+    edges.push_back({u, v, r.next_weight()});
   }
   return Tree::from_edges(std::move(vw), std::move(edges));
 }

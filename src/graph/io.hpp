@@ -11,7 +11,9 @@
 //   <n-1 lines: u v weight>
 //
 // Weights round-trip exactly (hex float format).  Loading validates as
-// strictly as the in-memory constructors.
+// strictly as the in-memory constructors — NaN, infinite and non-positive
+// weights are rejected — and every parse error (std::invalid_argument)
+// carries the 1-based line number of the offending token.
 #pragma once
 
 #include <iosfwd>

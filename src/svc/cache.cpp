@@ -3,6 +3,7 @@
 #include <bit>
 
 #include "util/assert.hpp"
+#include "util/fault.hpp"
 
 namespace tgp::svc {
 
@@ -40,6 +41,13 @@ int MemoCache::shard_of(const CacheKey& key) const {
 
 std::optional<CanonicalOutcome> MemoCache::get(const CacheKey& key) {
   Shard& s = *shards_[static_cast<std::size_t>(shard_of(key))];
+  // Injected lookup fault degrades to a miss: the job recomputes and
+  // stays correct, only slower.
+  if (util::faults().fire("svc.cache.get")) {
+    std::lock_guard lk(s.mu);
+    ++s.misses;
+    return std::nullopt;
+  }
   std::lock_guard lk(s.mu);
   auto it = s.index.find(key);
   if (it == s.index.end()) {
@@ -54,6 +62,9 @@ std::optional<CanonicalOutcome> MemoCache::get(const CacheKey& key) {
 void MemoCache::put(const CacheKey& key, const CanonicalOutcome& outcome) {
   std::size_t cost = sizeof(Entry) + outcome.memory_bytes();
   if (cost > shard_budget_) return;  // larger than a whole shard: skip
+  // Injected store fault drops the insert — the cache is a pure
+  // memoization layer, so losing an entry never changes any result.
+  if (util::faults().fire("svc.cache.put")) return;
   Shard& s = *shards_[static_cast<std::size_t>(shard_of(key))];
   std::lock_guard lk(s.mu);
   auto it = s.index.find(key);

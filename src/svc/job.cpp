@@ -1,6 +1,7 @@
 #include "svc/job.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <utility>
 
 #include "core/bandwidth_min.hpp"
@@ -31,6 +32,69 @@ Problem parse_problem(const std::string& name) {
   TGP_REQUIRE(false, "unknown problem '" + name +
                          "' (want bottleneck|procmin|bandwidth|pipeline)");
   return Problem::kBottleneck;  // unreachable
+}
+
+const char* job_status_name(JobStatus s) {
+  switch (s) {
+    case JobStatus::kOk: return "ok";
+    case JobStatus::kInvalidSpec: return "invalid_spec";
+    case JobStatus::kTimeout: return "timeout";
+    case JobStatus::kCancelled: return "cancelled";
+    case JobStatus::kInternalError: return "internal_error";
+  }
+  return "?";
+}
+
+JobResult failed_result(JobStatus status, std::string error) {
+  JobResult r;
+  r.ok = false;
+  r.status = status;
+  r.error = std::move(error);
+  return r;
+}
+
+SpecCheck validate_spec(const JobSpec& spec) {
+  auto invalid = [](std::string why) {
+    return SpecCheck{JobStatus::kInvalidSpec, std::move(why)};
+  };
+  if ((spec.chain != nullptr) == (spec.tree != nullptr))
+    return invalid("job must carry exactly one graph");
+  graph::Weight max_vertex = 0;
+  if (spec.chain) {
+    try {
+      spec.chain->validate();
+    } catch (const std::exception& e) {
+      return invalid(std::string("malformed chain: ") + e.what());
+    }
+    max_vertex = spec.chain->max_vertex_weight();
+  } else {
+    // Trees validate connectivity and weights at construction; only the
+    // derived bound is needed here.
+    max_vertex = spec.tree->max_vertex_weight();
+  }
+  if (!std::isfinite(spec.K)) return invalid("K must be finite");
+  if (spec.K < max_vertex)
+    return invalid("K must be at least the maximum vertex weight");
+  if (std::isnan(spec.deadline_micros) || spec.deadline_micros < 0)
+    return invalid("deadline must be a non-negative number of microseconds");
+  return SpecCheck{};
+}
+
+std::pair<JobStatus, std::string> classify_exception(std::exception_ptr e) {
+  try {
+    std::rethrow_exception(e);
+  } catch (const util::CancelledError& c) {
+    return {c.reason == util::CancelReason::kDeadline ? JobStatus::kTimeout
+                                                      : JobStatus::kCancelled,
+            c.what()};
+  } catch (const std::invalid_argument& i) {
+    // A solver precondition that slipped past validate_spec.
+    return {JobStatus::kInvalidSpec, i.what()};
+  } catch (const std::exception& x) {
+    return {JobStatus::kInternalError, x.what()};
+  } catch (...) {
+    return {JobStatus::kInternalError, "unknown exception"};
+  }
 }
 
 int JobSpec::n() const {
@@ -74,7 +138,8 @@ std::size_t CanonicalOutcome::memory_bytes() const {
 
 CanonicalOutcome solve_canonical_chain(Problem problem,
                                        const graph::Chain& chain,
-                                       graph::Weight K) {
+                                       graph::Weight K,
+                                       const util::CancelToken* cancel) {
   CanonicalOutcome out;
   switch (problem) {
     case Problem::kBottleneck: {
@@ -84,20 +149,22 @@ CanonicalOutcome solve_canonical_chain(Problem problem,
       break;
     }
     case Problem::kProcMin: {
-      auto r = core::proc_min(graph::path_tree(chain), K);
+      auto r = core::proc_min(graph::path_tree(chain), K, nullptr, cancel);
       out.cut = std::move(r.cut);
       out.objective = static_cast<graph::Weight>(r.components);
       out.components = r.components;
       return out;
     }
     case Problem::kBandwidth: {
-      auto r = core::bandwidth_min_temps(chain, K);
+      auto r = core::bandwidth_min_temps(chain, K, nullptr,
+                                         core::SearchPolicy::kBinary, cancel);
       out.cut = std::move(r.cut);
       out.objective = r.cut_weight;
       break;
     }
     case Problem::kPipeline: {
-      auto r = core::bottleneck_then_proc_min(graph::path_tree(chain), K);
+      auto r =
+          core::bottleneck_then_proc_min(graph::path_tree(chain), K, cancel);
       out.cut = std::move(r.cut);
       out.objective = r.bottleneck;
       out.components = r.components;
@@ -110,30 +177,31 @@ CanonicalOutcome solve_canonical_chain(Problem problem,
 
 CanonicalOutcome solve_canonical_tree(Problem problem,
                                       const graph::Tree& tree,
-                                      graph::Weight K) {
+                                      graph::Weight K,
+                                      const util::CancelToken* cancel) {
   CanonicalOutcome out;
   switch (problem) {
     case Problem::kBottleneck: {
-      auto r = core::bottleneck_min_bsearch(tree, K);
+      auto r = core::bottleneck_min_bsearch(tree, K, cancel);
       out.cut = std::move(r.cut);
       out.objective = r.threshold;
       break;
     }
     case Problem::kProcMin: {
-      auto r = core::proc_min(tree, K);
+      auto r = core::proc_min(tree, K, nullptr, cancel);
       out.cut = std::move(r.cut);
       out.objective = static_cast<graph::Weight>(r.components);
       out.components = r.components;
       return out;
     }
     case Problem::kBandwidth: {
-      auto r = core::tree_bandwidth_greedy(tree, K);
+      auto r = core::tree_bandwidth_greedy(tree, K, cancel);
       out.cut = std::move(r.cut);
       out.objective = r.cut_weight;
       break;
     }
     case Problem::kPipeline: {
-      auto r = core::bottleneck_then_proc_min(tree, K);
+      auto r = core::bottleneck_then_proc_min(tree, K, cancel);
       out.cut = std::move(r.cut);
       out.objective = r.bottleneck;
       out.components = r.components;
@@ -149,6 +217,7 @@ namespace {
 template <typename MapBack>
 void fill_result(JobResult& r, const CanonicalOutcome& o, MapBack&& back) {
   r.ok = true;
+  r.status = JobStatus::kOk;
   r.objective = o.objective;
   r.components = o.components;
   r.cut.edges.clear();
@@ -169,29 +238,32 @@ void apply_outcome(JobResult& r, const CanonicalOutcome& o,
   fill_result(r, o, [&](int e) { return ct.map_edge_back(e); });
 }
 
-JobResult execute_job(const JobSpec& spec) {
+JobResult execute_job(const JobSpec& spec, const util::CancelToken* cancel) {
   JobResult r;
   if (spec.is_chain()) {
     graph::CanonicalChain cc = graph::canonical_chain(*spec.chain);
-    CanonicalOutcome o = solve_canonical_chain(spec.problem, cc.chain, spec.K);
+    CanonicalOutcome o =
+        solve_canonical_chain(spec.problem, cc.chain, spec.K, cancel);
     apply_outcome(r, o, cc);
   } else {
     TGP_REQUIRE(spec.tree != nullptr, "job must carry a graph");
     graph::CanonicalTree ct = graph::canonical_tree(*spec.tree);
-    CanonicalOutcome o = solve_canonical_tree(spec.problem, ct.tree, spec.K);
+    CanonicalOutcome o =
+        solve_canonical_tree(spec.problem, ct.tree, spec.K, cancel);
     apply_outcome(r, o, ct);
   }
   return r;
 }
 
-JobResult execute_job_captured(const JobSpec& spec) {
+JobResult execute_job_captured(const JobSpec& spec,
+                               const util::CancelToken* cancel) {
+  SpecCheck check = validate_spec(spec);
+  if (!check.ok()) return failed_result(check.status, std::move(check.error));
   try {
-    return execute_job(spec);
-  } catch (const std::exception& e) {
-    JobResult r;
-    r.ok = false;
-    r.error = e.what();
-    return r;
+    return execute_job(spec, cancel);
+  } catch (...) {
+    auto [status, error] = classify_exception(std::current_exception());
+    return failed_result(status, std::move(error));
   }
 }
 

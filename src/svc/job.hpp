@@ -12,13 +12,16 @@
 // interleaving or cache state.
 #pragma once
 
+#include <exception>
 #include <memory>
 #include <string>
+#include <utility>
 
 #include "graph/chain.hpp"
 #include "graph/cutset.hpp"
 #include "graph/fingerprint.hpp"
 #include "graph/tree.hpp"
+#include "util/cancel.hpp"
 
 namespace tgp::svc {
 
@@ -46,6 +49,10 @@ struct JobSpec {
   graph::Weight K = 0;
   std::shared_ptr<const graph::Chain> chain;
   std::shared_ptr<const graph::Tree> tree;
+  /// Optional wall-clock budget in microseconds, measured from
+  /// submission; 0 = no deadline.  A job past its deadline completes
+  /// with JobStatus::kTimeout (see service.hpp for exact semantics).
+  double deadline_micros = 0;
 
   bool is_chain() const { return chain != nullptr; }
   int n() const;
@@ -67,13 +74,31 @@ struct CanonicalOutcome {
   std::size_t memory_bytes() const;
 };
 
+/// How a job ended — the service's error taxonomy.  Exactly one status
+/// per completed job; `ok` below is shorthand for status == kOk.
+enum class JobStatus {
+  kOk,             ///< solved; payload fields are valid
+  kInvalidSpec,    ///< rejected by validate_spec (or a solver precondition)
+  kTimeout,        ///< the job's deadline expired before it finished
+  kCancelled,      ///< cancel(slot) landed, or the service shut down first
+  kInternalError,  ///< the solver threw (bug, injected fault, resources)
+};
+
+constexpr int kJobStatusCount = 5;
+
+/// "ok" | "invalid_spec" | "timeout" | "cancelled" | "internal_error".
+const char* job_status_name(JobStatus s);
+
 /// One completed job.  `objective` is β(S) for kBandwidth, the bottleneck
 /// threshold for kBottleneck/kPipeline, and the component count for
 /// kProcMin.  All fields except the accounting ones (cache_hit,
-/// latency_micros) are deterministic functions of the job spec.
+/// latency_micros) are deterministic functions of the job spec; under
+/// deadlines, cancellation or fault injection the *payload* of a kOk
+/// result is still deterministic — only whether a job survives can vary.
 struct JobResult {
-  bool ok = false;
-  std::string error;              ///< set when !ok (solver precondition etc.)
+  bool ok = false;                ///< status == kOk
+  JobStatus status = JobStatus::kInternalError;
+  std::string error;              ///< set when !ok (human-readable detail)
   graph::Cut cut;                 ///< submitted-graph edge numbering
   graph::Weight objective = 0;
   int components = 1;
@@ -81,24 +106,52 @@ struct JobResult {
   double latency_micros = 0;
 };
 
+/// Build a failed result with the given status and detail.
+JobResult failed_result(JobStatus status, std::string error);
+
+/// Up-front JobSpec validation — the service runs this before a job can
+/// reach a worker.  Checks: exactly one graph; the graph is well-formed
+/// (chains are re-validated; trees are valid by construction); K is
+/// finite and at least the maximum vertex weight (required for
+/// feasibility by every problem); the deadline is not negative or NaN.
+struct SpecCheck {
+  JobStatus status = JobStatus::kOk;
+  std::string error;
+  bool ok() const { return status == JobStatus::kOk; }
+};
+SpecCheck validate_spec(const JobSpec& spec);
+
+/// Map an exception escaping a solve onto the taxonomy: CancelledError →
+/// kTimeout/kCancelled, anything else (including injected faults and
+/// solver precondition throws) → kInternalError / kInvalidSpec.
+std::pair<JobStatus, std::string> classify_exception(std::exception_ptr e);
+
 /// Run the solver for `spec` directly (no queue, no cache): canonicalize,
 /// solve, map back.  Solver precondition violations surface as the
 /// underlying std::invalid_argument — callers wanting the service's
-/// error-capturing behavior use execute_job_captured.
-JobResult execute_job(const JobSpec& spec);
+/// error-capturing behavior use execute_job_captured.  `cancel` is
+/// forwarded to the solver's poll points.
+JobResult execute_job(const JobSpec& spec,
+                      const util::CancelToken* cancel = nullptr);
 
-/// Like execute_job but converts exceptions into ok=false results, the
-/// way service workers report failed jobs.
-JobResult execute_job_captured(const JobSpec& spec);
+/// Like execute_job but with the service workers' failure semantics:
+/// the spec is validated first, and exceptions become failed results
+/// with the matching JobStatus instead of propagating.
+JobResult execute_job_captured(const JobSpec& spec,
+                               const util::CancelToken* cancel = nullptr);
 
 /// The canonical-coordinates solver core, exposed for the service worker:
 /// runs the problem on an already-canonicalized graph.
 CanonicalOutcome solve_canonical_chain(Problem problem,
                                        const graph::Chain& chain,
-                                       graph::Weight K);
+                                       graph::Weight K,
+                                       const util::CancelToken* cancel =
+                                           nullptr);
 CanonicalOutcome solve_canonical_tree(Problem problem,
                                       const graph::Tree& tree,
-                                      graph::Weight K);
+                                      graph::Weight K,
+                                      const util::CancelToken* cancel =
+                                          nullptr);
 
 /// Translate a canonical-coordinates outcome onto the submitted
 /// presentation (sorted edge indices), marking the result ok.  Shared by

@@ -61,8 +61,25 @@ std::string MetricsSnapshot::format() const {
      << "threads: " << threads << ", queue capacity: " << queue_capacity
      << ", queue high-watermark: " << queue_high_watermark << "\n"
      << "jobs: " << submitted << " submitted, " << completed << " completed, "
-     << failed << " failed\n"
-     << "cache: " << cache.hits << " hits, " << cache.misses << " misses ("
+     << failed << " failed\n";
+  if (failed != 0) {
+    os << "status:";
+    bool first = true;
+    for (int s = 0; s < kJobStatusCount; ++s) {
+      std::uint64_t c = by_status[static_cast<std::size_t>(s)];
+      if (c == 0) continue;
+      os << (first ? " " : ", ") << c << ' '
+         << job_status_name(static_cast<JobStatus>(s));
+      first = false;
+    }
+    os << "\n";
+  }
+  if (watchdog_ticks != 0) {
+    os << "watchdog: " << watchdog_ticks << " ticks, " << deadline_cancels
+       << " deadline cancels, stuck workers now/peak: " << stuck_workers_now
+       << "/" << stuck_worker_peak << "\n";
+  }
+  os << "cache: " << cache.hits << " hits, " << cache.misses << " misses ("
      << util::fmt(100.0 * cache.hit_rate(), 1) << "% hit rate), "
      << cache.entries << " entries, " << cache.bytes << "/"
      << cache.capacity_bytes << " bytes, " << cache.evictions

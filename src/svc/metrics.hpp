@@ -47,11 +47,25 @@ struct MetricsSnapshot {
   std::uint64_t submitted = 0;
   std::uint64_t completed = 0;
   std::uint64_t failed = 0;  ///< subset of completed with ok == false
+  /// Completed jobs by JobStatus (indexed by static_cast<int>(status)).
+  std::array<std::uint64_t, kJobStatusCount> by_status{};
   CacheStats cache;
   std::size_t queue_high_watermark = 0;
   std::size_t queue_capacity = 0;
   int threads = 0;
+
+  // Watchdog health gauges (all zero when the watchdog is disabled).
+  std::uint64_t watchdog_ticks = 0;     ///< scans performed so far
+  std::uint64_t deadline_cancels = 0;   ///< deadlines the watchdog fired
+  std::uint64_t stuck_worker_peak = 0;  ///< max workers simultaneously over
+                                        ///< the stuck threshold
+  int stuck_workers_now = 0;            ///< currently over the threshold
+
   std::array<LatencyHistogram, kProblemCount> latency_by_problem{};
+
+  std::uint64_t status_count(JobStatus s) const {
+    return by_status[static_cast<std::size_t>(s)];
+  }
 
   LatencyHistogram overall_latency() const;
 

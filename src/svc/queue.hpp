@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "util/assert.hpp"
+#include "util/fault.hpp"
 
 namespace tgp::svc {
 
@@ -35,6 +36,9 @@ class BoundedQueue {
   /// Block until there is room (or the queue closes).  Returns false iff
   /// the queue was closed — the item is then dropped.
   bool push(T item) {
+    // Fault site: an injected scheduling perturbation, not a failure —
+    // used by the chaos suite to shake out ordering assumptions.
+    util::faults().maybe_yield("svc.queue.push");
     std::unique_lock lk(mu_);
     not_full_.wait(lk, [&] { return closed_ || size_ < capacity(); });
     if (closed_) return false;
@@ -58,6 +62,7 @@ class BoundedQueue {
   /// Block until an item is available or the queue is closed *and*
   /// drained; std::nullopt means end-of-stream.
   std::optional<T> pop() {
+    util::faults().maybe_yield("svc.queue.pop");
     std::unique_lock lk(mu_);
     not_empty_.wait(lk, [&] { return closed_ || size_ > 0; });
     if (size_ == 0) return std::nullopt;  // closed and drained

@@ -3,9 +3,19 @@
 #include <utility>
 
 #include "util/assert.hpp"
+#include "util/fault.hpp"
 #include "util/timer.hpp"
 
 namespace tgp::svc {
+
+namespace {
+
+std::chrono::microseconds to_duration(double micros) {
+  return std::chrono::microseconds(
+      static_cast<std::int64_t>(micros < 0 ? 0 : micros));
+}
+
+}  // namespace
 
 PartitionService::PartitionService(ServiceConfig config)
     : config_(config),
@@ -17,6 +27,9 @@ PartitionService::PartitionService(ServiceConfig config)
     if (threads <= 0) threads = 1;
   }
   TGP_REQUIRE(threads <= 4096, "unreasonable worker count");
+  TGP_REQUIRE(config.watchdog_interval_micros >= 0 &&
+                  config.stuck_threshold_micros >= 0,
+              "watchdog periods must be non-negative");
   worker_state_.reserve(static_cast<std::size_t>(threads));
   workers_.reserve(static_cast<std::size_t>(threads));
   for (int i = 0; i < threads; ++i)
@@ -24,38 +37,48 @@ PartitionService::PartitionService(ServiceConfig config)
   for (int i = 0; i < threads; ++i)
     workers_.emplace_back(&PartitionService::worker_loop, this,
                           std::ref(*worker_state_[static_cast<std::size_t>(i)]));
+  if (config_.watchdog_interval_micros > 0)
+    watchdog_ = std::thread(&PartitionService::watchdog_loop, this);
 }
 
 PartitionService::~PartitionService() { shutdown(); }
 
+std::int64_t PartitionService::now_micros() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                               epoch_)
+      .count();
+}
+
 std::size_t PartitionService::submit(JobSpec spec) {
-  TGP_REQUIRE((spec.chain != nullptr) != (spec.tree != nullptr),
-              "job must carry exactly one graph");
-  TGP_REQUIRE(!shut_.load(), "service is shut down");
+  if (shut_.load()) throw ServiceStopped();
+  SpecCheck check = validate_spec(spec);
+  std::shared_ptr<util::CancelToken> token;
+  if (check.ok()) {
+    token = std::make_shared<util::CancelToken>();
+    if (spec.deadline_micros > 0)
+      token->set_deadline(Clock::now() + to_duration(spec.deadline_micros));
+  }
   std::size_t slot;
   {
     std::lock_guard lk(results_mu_);
-    slot = results_.size();
-    results_.emplace_back();
-    done_.push_back(0);
+    slot = slots_.size();
+    slots_.emplace_back();
+    slots_[slot].cancel = token;
   }
   submitted_.fetch_add(1);
-  bool queued = queue_.push(QueuedJob{slot, std::move(spec)});
+  if (!check.ok()) {
+    // Reject up front: the slot settles without ever touching the queue,
+    // so one malformed spec cannot block or poison a worker.
+    settle(slot, failed_result(check.status, std::move(check.error)));
+    return slot;
+  }
+  bool queued = queue_.push(QueuedJob{slot, std::move(spec), token});
   if (!queued) {
     // Lost the race against shutdown(): settle the slot so wait_idle()
     // callers are not left hanging, then report the refusal.
-    {
-      std::lock_guard lk(results_mu_);
-      results_[slot].error = "service is shut down";
-      done_[slot] = 1;
-    }
-    failed_.fetch_add(1);
-    {
-      std::lock_guard lk(idle_mu_);
-      completed_.fetch_add(1);
-    }
-    idle_cv_.notify_all();
-    TGP_REQUIRE(false, "service is shut down");
+    settle(slot, failed_result(JobStatus::kCancelled,
+                               "service shut down before the job ran"));
+    throw ServiceStopped();
   }
   return slot;
 }
@@ -76,12 +99,28 @@ void PartitionService::wait_idle() {
   idle_cv_.wait(lk, [&] { return completed_.load() >= submitted_.load(); });
 }
 
+bool PartitionService::cancel(std::size_t slot) {
+  std::lock_guard lk(results_mu_);
+  TGP_REQUIRE(slot < slots_.size(), "unknown result slot");
+  if (slots_[slot].done) return false;
+  // Validation failures settle before submit returns, so an undone slot
+  // always carries a token.
+  slots_[slot].cancel->request_cancel();
+  return true;
+}
+
 const JobResult& PartitionService::result(std::size_t slot) const {
   std::lock_guard lk(results_mu_);
-  TGP_REQUIRE(slot < results_.size(), "unknown result slot");
-  TGP_REQUIRE(done_[slot] != 0, "job has not completed yet");
+  TGP_REQUIRE(slot < slots_.size(), "unknown result slot");
+  TGP_REQUIRE(slots_[slot].done != 0, "job has not completed yet");
   // Safe to hand out: deque addresses are stable and the slot is final.
-  return results_[slot];
+  return slots_[slot].result;
+}
+
+bool PartitionService::completed(std::size_t slot) const {
+  std::lock_guard lk(results_mu_);
+  TGP_REQUIRE(slot < slots_.size(), "unknown result slot");
+  return slots_[slot].done != 0;
 }
 
 MetricsSnapshot PartitionService::metrics() const {
@@ -89,11 +128,22 @@ MetricsSnapshot PartitionService::metrics() const {
   m.submitted = submitted_.load();
   m.completed = completed_.load();
   m.failed = failed_.load();
+  for (int s = 0; s < kJobStatusCount; ++s)
+    m.by_status[static_cast<std::size_t>(s)] =
+        by_status_[static_cast<std::size_t>(s)].load();
   m.cache = cache_.stats();
   m.queue_high_watermark = queue_.high_watermark();
   m.queue_capacity = queue_.capacity();
   m.threads = static_cast<int>(workers_.size());
+  m.watchdog_ticks = watchdog_ticks_.load();
+  m.deadline_cancels = deadline_cancels_.load();
+  m.stuck_worker_peak = stuck_worker_peak_.load();
+  std::int64_t now = now_micros();
   for (const auto& ws : worker_state_) {
+    std::int64_t busy = ws->busy_since_micros.load();
+    if (busy >= 0 &&
+        static_cast<double>(now - busy) > config_.stuck_threshold_micros)
+      ++m.stuck_workers_now;
     std::lock_guard lk(ws->mu);
     for (int p = 0; p < kProblemCount; ++p)
       m.latency_by_problem[static_cast<std::size_t>(p)].merge(
@@ -102,56 +152,133 @@ MetricsSnapshot PartitionService::metrics() const {
   return m;
 }
 
-void PartitionService::shutdown() {
-  if (shut_.exchange(true)) {
-    for (std::thread& t : workers_)
-      if (t.joinable()) t.join();
-    return;
+void PartitionService::cancel_all_incomplete() {
+  std::lock_guard lk(results_mu_);
+  for (std::size_t s = first_pending_; s < slots_.size(); ++s)
+    if (!slots_[s].done && slots_[s].cancel) slots_[s].cancel->request_cancel();
+}
+
+void PartitionService::shutdown() { shutdown_within(-1); }
+
+bool PartitionService::shutdown_within(double drain_micros) {
+  bool drained = true;
+  if (!shut_.exchange(true)) {
+    if (drain_micros >= 0) {
+      {
+        std::unique_lock lk(idle_mu_);
+        drained = idle_cv_.wait_for(lk, to_duration(drain_micros), [&] {
+          return completed_.load() >= submitted_.load();
+        });
+      }
+      // Past the drain deadline: ask every outstanding job to stop.  The
+      // workers settle them (kCancelled) as they pop or poll, so the join
+      // below still terminates promptly.
+      if (!drained) cancel_all_incomplete();
+    }
+    queue_.close();
+    {
+      std::lock_guard lk(watchdog_mu_);
+      watchdog_stop_ = true;
+    }
+    watchdog_cv_.notify_all();
   }
-  queue_.close();
   for (std::thread& t : workers_)
     if (t.joinable()) t.join();
+  if (watchdog_.joinable()) watchdog_.join();
+  return drained;
+}
+
+void PartitionService::settle(std::size_t slot, JobResult r) {
+  bool failed = !r.ok;
+  JobStatus status = r.status;
+  {
+    std::lock_guard lk(results_mu_);
+    slots_[slot].result = std::move(r);
+    slots_[slot].done = 1;
+    while (first_pending_ < slots_.size() && slots_[first_pending_].done)
+      ++first_pending_;
+  }
+  if (failed) failed_.fetch_add(1);
+  by_status_[static_cast<std::size_t>(status)].fetch_add(1);
+  {
+    std::lock_guard lk(idle_mu_);
+    completed_.fetch_add(1);
+  }
+  idle_cv_.notify_all();
 }
 
 void PartitionService::worker_loop(WorkerState& state) {
   while (auto job = queue_.pop()) {
+    const util::CancelToken* token = job->cancel.get();
     JobResult r;
     double micros = 0;
-    {
-      util::ScopedTimer timer(micros);
-      r = process(job->spec);
-    }
-    r.latency_micros = micros;
-    bool failed = !r.ok;
     Problem problem = job->spec.problem;
-
-    JobResult* dest;
-    {
-      std::lock_guard lk(results_mu_);
-      dest = &results_[job->slot];
-    }
-    *dest = std::move(r);
-    {
+    if (token->stop_requested() || token->deadline_expired()) {
+      // Cancelled while queued, or the deadline passed before any work
+      // started: fail fast without touching the solver.
+      token->try_set(util::CancelReason::kDeadline);
+      r = failed_result(token->reason() == util::CancelReason::kDeadline
+                            ? JobStatus::kTimeout
+                            : JobStatus::kCancelled,
+                        token->reason() == util::CancelReason::kDeadline
+                            ? "deadline expired before the job started"
+                            : "cancelled before the job started");
+    } else {
+      state.busy_since_micros.store(now_micros());
+      {
+        util::ScopedTimer timer(micros);
+        r = process(job->spec, token);
+      }
+      state.busy_since_micros.store(-1);
+      r.latency_micros = micros;
       std::lock_guard lk(state.mu);
       state.latency[static_cast<std::size_t>(problem)].record(micros);
     }
-    {
-      std::lock_guard lk(results_mu_);
-      done_[job->slot] = 1;
-    }
-    if (failed) failed_.fetch_add(1);
-    {
-      std::lock_guard lk(idle_mu_);
-      completed_.fetch_add(1);
-    }
-    idle_cv_.notify_all();
+    settle(job->slot, std::move(r));
   }
 }
 
-JobResult PartitionService::process(const JobSpec& spec) {
+void PartitionService::watchdog_loop() {
+  std::unique_lock lk(watchdog_mu_);
+  while (!watchdog_stop_) {
+    watchdog_cv_.wait_for(lk, to_duration(config_.watchdog_interval_micros),
+                          [&] { return watchdog_stop_; });
+    if (watchdog_stop_) break;
+    watchdog_ticks_.fetch_add(1);
+    // Promote expired deadlines of queued/running jobs so even a solver
+    // between polls is asked to stop as soon as possible.
+    {
+      std::lock_guard rk(results_mu_);
+      for (std::size_t s = first_pending_; s < slots_.size(); ++s) {
+        const Slot& slot = slots_[s];
+        if (slot.done || !slot.cancel) continue;
+        if (slot.cancel->deadline_expired() &&
+            slot.cancel->try_set(util::CancelReason::kDeadline))
+          deadline_cancels_.fetch_add(1);
+      }
+    }
+    // Count workers busy on one job past the stuck threshold.
+    std::int64_t now = now_micros();
+    std::uint64_t stuck = 0;
+    for (const auto& ws : worker_state_) {
+      std::int64_t busy = ws->busy_since_micros.load();
+      if (busy >= 0 &&
+          static_cast<double>(now - busy) > config_.stuck_threshold_micros)
+        ++stuck;
+    }
+    std::uint64_t peak = stuck_worker_peak_.load();
+    while (stuck > peak && !stuck_worker_peak_.compare_exchange_weak(peak, stuck)) {
+    }
+  }
+}
+
+JobResult PartitionService::process(const JobSpec& spec,
+                                    const util::CancelToken* cancel) {
   const bool use_cache = config_.cache_bytes > 0;
   JobResult r;
   try {
+    if (util::faults().fire("svc.worker.solve"))
+      throw util::InjectedFault("svc.worker.solve");
     if (spec.is_chain()) {
       graph::CanonicalChain cc = graph::canonical_chain(*spec.chain);
       CacheKey key = CacheKey::make(graph::chain_fingerprint(cc.chain),
@@ -164,7 +291,7 @@ JobResult PartitionService::process(const JobSpec& spec) {
         }
       }
       CanonicalOutcome o =
-          solve_canonical_chain(spec.problem, cc.chain, spec.K);
+          solve_canonical_chain(spec.problem, cc.chain, spec.K, cancel);
       if (use_cache) cache_.put(key, o);
       apply_outcome(r, o, cc);
     } else {
@@ -178,13 +305,17 @@ JobResult PartitionService::process(const JobSpec& spec) {
           return r;
         }
       }
-      CanonicalOutcome o = solve_canonical_tree(spec.problem, ct.tree, spec.K);
+      CanonicalOutcome o =
+          solve_canonical_tree(spec.problem, ct.tree, spec.K, cancel);
       if (use_cache) cache_.put(key, o);
       apply_outcome(r, o, ct);
     }
-  } catch (const std::exception& e) {
-    r = JobResult{};
-    r.error = e.what();
+  } catch (...) {
+    // The worker's catch-all boundary: any escape — solver contract
+    // violation, injected fault, bad_alloc, cancellation — becomes a
+    // failed slot, never a dead worker or std::terminate.
+    auto [status, error] = classify_exception(std::current_exception());
+    r = failed_result(status, std::move(error));
   }
   return r;
 }

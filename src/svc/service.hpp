@@ -3,36 +3,53 @@
 //
 // Job lifecycle:
 //
-//   submit(spec) ──► ordered result slot allocated ──► bounded queue
+//   submit(spec) ──► validate ── bad ──► slot settles kInvalidSpec
+//        │              │ ok
+//        │     ordered result slot + cancel token ──► bounded queue
 //        │                                                  │
 //        │ (blocks while the queue is full — backpressure)  ▼
 //        │                                          worker pops job
+//        │                     expired deadline / pending cancel? ──► fail slot
 //        │                                                  │
 //        │                     canonicalize graph, fingerprint
 //        │                                                  │
 //        │                        memo cache probe ── hit ──┐
 //        │                              │ miss              │
-//        │                        solve canonical           │
-//        │                        store in cache            │
+//        │                        solve canonical  ◄─ polls the job's
+//        │                        store in cache      cancel token
 //        │                              └───────┬───────────┘
 //        │                            map cut back to submitted
 //        │                            labeling, write result slot
 //        ▼                                                  │
 //   wait_idle() ◄── completed count reaches submitted ◄─────┘
 //
-// Determinism guarantee: result(slot) depends only on the job spec —
-// never on thread count, scheduling order, or whether the memo cache
-// served the job — because workers always compute in canonical
-// coordinates (see svc/job.hpp) and each job owns its slot.  Only the
-// accounting fields (cache_hit, latency_micros) vary run to run.
+// Fault tolerance: every solve runs inside a catch-all boundary, so a
+// throwing solver (or an injected fault — util/fault.hpp) settles its own
+// slot with a JobStatus instead of taking the process down.  Deadlines
+// and cancellation are cooperative: solvers poll the job's CancelToken in
+// their outer loops; a watchdog thread promotes expired deadlines of
+// queued/running jobs and counts workers busy past the stuck threshold.
+// Work that finishes before noticing a stop request is delivered as kOk —
+// cancel() landing first is a request, not a guarantee.
+//
+// Determinism guarantee: the *payload* of a kOk result(slot) depends only
+// on the job spec — never on thread count, scheduling order, or whether
+// the memo cache served the job — because workers always compute in
+// canonical coordinates (see svc/job.hpp) and each job owns its slot.
+// Only the accounting fields (cache_hit, latency_micros) and, under
+// faults/deadlines, *which* jobs fail can vary run to run.
 #pragma once
 
+#include <array>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -40,8 +57,15 @@
 #include "svc/job.hpp"
 #include "svc/metrics.hpp"
 #include "svc/queue.hpp"
+#include "util/cancel.hpp"
 
 namespace tgp::svc {
+
+/// Thrown by submit() once the service has been shut down.  A state
+/// error, not an argument error: the spec may be perfectly valid.
+struct ServiceStopped : std::runtime_error {
+  ServiceStopped() : std::runtime_error("partition service is shut down") {}
+};
 
 struct ServiceConfig {
   /// Worker threads; 0 means std::thread::hardware_concurrency().
@@ -51,6 +75,11 @@ struct ServiceConfig {
   int cache_shards = 16;
   /// Submit blocks once this many jobs are queued (backpressure).
   std::size_t queue_capacity = 1024;
+  /// Watchdog scan period in microseconds; 0 disables the watchdog
+  /// (deadlines are then enforced only at dequeue and solver polls).
+  double watchdog_interval_micros = 2000;
+  /// A worker busy on one job longer than this counts as stuck.
+  double stuck_threshold_micros = 1e6;
 };
 
 class PartitionService {
@@ -62,8 +91,10 @@ class PartitionService {
   PartitionService& operator=(const PartitionService&) = delete;
 
   /// Enqueue a job; returns its result slot (== submission index).
-  /// Blocks while the queue is full; throws std::invalid_argument after
-  /// shutdown().
+  /// Blocks while the queue is full; throws ServiceStopped after
+  /// shutdown().  A spec that fails validate_spec still gets a slot —
+  /// it settles immediately with JobStatus::kInvalidSpec and never
+  /// reaches a worker.
   std::size_t submit(JobSpec spec);
 
   /// Convenience: submit everything, wait until idle, return results in
@@ -73,55 +104,97 @@ class PartitionService {
   /// Block until every job submitted so far has completed.
   void wait_idle();
 
+  /// Request cancellation of one job.  Returns true iff the request
+  /// landed before the job completed — the job will then finish with
+  /// kCancelled unless it reaches a kOk/kTimeout settle first (a job
+  /// mid-solve stops at its next cancel poll; a queued job is failed at
+  /// dequeue).  Returns false if the job had already completed.
+  bool cancel(std::size_t slot);
+
   /// Result for a slot returned by submit().  Valid once the job has
-  /// completed (e.g. after wait_idle()); throws if read too early.
+  /// completed (e.g. after wait_idle()); reading a slot that has not
+  /// completed yet throws std::invalid_argument — poll completed(slot)
+  /// or use wait_idle() first.
   const JobResult& result(std::size_t slot) const;
+
+  /// Whether result(slot) is readable yet.
+  bool completed(std::size_t slot) const;
 
   std::size_t jobs_submitted() const { return submitted_.load(); }
 
-  /// Cumulative counters, cache stats, queue high-watermark and latency
-  /// histograms.  Callable at any time, including while jobs run.
+  /// Cumulative counters, cache stats, queue high-watermark, watchdog
+  /// gauges and latency histograms.  Callable at any time, including
+  /// while jobs run.
   MetricsSnapshot metrics() const;
 
-  /// Stop accepting jobs, drain the queue, join all workers.  Idempotent;
-  /// the destructor calls it.
+  /// Stop accepting jobs, drain the queue fully, join all workers.
+  /// Idempotent; the destructor calls it.
   void shutdown();
+
+  /// Graceful shutdown with a drain deadline: stop accepting jobs, wait
+  /// up to `drain_micros` for in-flight and queued jobs to finish, then
+  /// cancel whatever remains and join.  Every submitted slot is settled
+  /// when this returns.  Returns true iff everything drained in time.
+  bool shutdown_within(double drain_micros);
 
   int threads() const { return static_cast<int>(workers_.size()); }
 
  private:
+  using Clock = util::CancelToken::Clock;
+
   struct QueuedJob {
     std::size_t slot = 0;
     JobSpec spec;
+    std::shared_ptr<util::CancelToken> cancel;
+  };
+  struct Slot {
+    JobResult result;
+    char done = 0;  // set before completed_++
+    std::shared_ptr<util::CancelToken> cancel;
   };
   // Per-worker latency slab: uncontended in the hot path, locked only
-  // against metrics() readers.
+  // against metrics() readers.  busy_since_micros (−1 when idle) is the
+  // watchdog's view of what the worker is doing.
   struct WorkerState {
     mutable std::mutex mu;
     std::array<LatencyHistogram, kProblemCount> latency{};
+    std::atomic<std::int64_t> busy_since_micros{-1};
   };
 
   void worker_loop(WorkerState& state);
-  JobResult process(const JobSpec& spec);
-  JobResult* slot_ptr(std::size_t slot);
+  void watchdog_loop();
+  JobResult process(const JobSpec& spec, const util::CancelToken* cancel);
+  void settle(std::size_t slot, JobResult r);
+  void cancel_all_incomplete();
+  std::int64_t now_micros() const;
 
   ServiceConfig config_;
   MemoCache cache_;
   BoundedQueue<QueuedJob> queue_;
+  Clock::time_point epoch_ = Clock::now();
 
   mutable std::mutex results_mu_;
-  std::deque<JobResult> results_;  // deque: stable element addresses
-  std::vector<char> done_;         // done_[slot] set before completed_++
+  std::deque<Slot> slots_;         // deque: stable element addresses
+  std::size_t first_pending_ = 0;  // all slots before this are done
 
   std::atomic<std::size_t> submitted_{0};
   std::atomic<std::size_t> completed_{0};
   std::atomic<std::size_t> failed_{0};
+  std::array<std::atomic<std::uint64_t>, kJobStatusCount> by_status_{};
   std::mutex idle_mu_;
   std::condition_variable idle_cv_;
 
   std::vector<std::unique_ptr<WorkerState>> worker_state_;
   std::vector<std::thread> workers_;
   std::atomic<bool> shut_{false};
+
+  std::thread watchdog_;
+  std::mutex watchdog_mu_;
+  std::condition_variable watchdog_cv_;
+  bool watchdog_stop_ = false;
+  std::atomic<std::uint64_t> watchdog_ticks_{0};
+  std::atomic<std::uint64_t> deadline_cancels_{0};
+  std::atomic<std::uint64_t> stuck_worker_peak_{0};
 };
 
 }  // namespace tgp::svc

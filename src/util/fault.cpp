@@ -1,0 +1,110 @@
+#include "util/fault.hpp"
+
+#include <algorithm>
+#include <thread>
+
+#include "util/assert.hpp"
+
+namespace tgp::util {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t fnv1a(std::string_view s) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+void FaultInjector::arm(std::uint64_t seed, double default_probability) {
+  TGP_REQUIRE(default_probability >= 0 && default_probability <= 1,
+              "fault probability must be in [0,1]");
+  std::lock_guard lk(mu_);
+  seed_ = seed;
+  default_probability_ = default_probability;
+  sites_.clear();
+  armed_.store(true, std::memory_order_release);
+}
+
+void FaultInjector::disarm() { armed_.store(false, std::memory_order_release); }
+
+void FaultInjector::set_site_probability(std::string_view site, double p) {
+  TGP_REQUIRE(p >= 0 && p <= 1, "fault probability must be in [0,1]");
+  std::lock_guard lk(mu_);
+  site_locked(site).probability = p;
+}
+
+FaultInjector::Site& FaultInjector::site_locked(std::string_view name) {
+  for (Site& s : sites_)
+    if (s.name == name) return s;
+  sites_.push_back(Site{std::string(name), 0, 0, -1});
+  return sites_.back();
+}
+
+bool FaultInjector::fire(std::string_view site) {
+  if (!armed_.load(std::memory_order_acquire)) return false;
+  std::lock_guard lk(mu_);
+  Site& s = site_locked(site);
+  std::uint64_t n = s.calls++;
+  double p = s.probability < 0 ? default_probability_ : s.probability;
+  if (p <= 0) return false;
+  // Decision = pure function of (seed, site, call index): reproducible
+  // regardless of which thread reaches the site.
+  std::uint64_t h = splitmix64(seed_ ^ fnv1a(s.name) ^ (n * 0x9E3779B97F4A7C15ull));
+  bool hit = static_cast<double>(h >> 11) * 0x1.0p-53 < p;
+  if (hit) ++s.fired;
+  return hit;
+}
+
+void FaultInjector::maybe_yield(std::string_view site) {
+  if (fire(site)) std::this_thread::yield();
+}
+
+std::uint64_t FaultInjector::calls(std::string_view site) const {
+  std::lock_guard lk(mu_);
+  for (const Site& s : sites_)
+    if (s.name == site) return s.calls;
+  return 0;
+}
+
+std::uint64_t FaultInjector::fired(std::string_view site) const {
+  std::lock_guard lk(mu_);
+  for (const Site& s : sites_)
+    if (s.name == site) return s.fired;
+  return 0;
+}
+
+std::uint64_t FaultInjector::total_fired() const {
+  std::lock_guard lk(mu_);
+  std::uint64_t total = 0;
+  for (const Site& s : sites_) total += s.fired;
+  return total;
+}
+
+std::vector<FaultInjector::SiteStats> FaultInjector::report() const {
+  std::lock_guard lk(mu_);
+  std::vector<SiteStats> out;
+  out.reserve(sites_.size());
+  for (const Site& s : sites_) out.push_back({s.name, s.calls, s.fired});
+  std::sort(out.begin(), out.end(),
+            [](const SiteStats& a, const SiteStats& b) { return a.site < b.site; });
+  return out;
+}
+
+FaultInjector& faults() {
+  static FaultInjector injector;
+  return injector;
+}
+
+}  // namespace tgp::util

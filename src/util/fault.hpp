@@ -1,0 +1,105 @@
+// Deterministic fault injection for robustness testing.
+//
+// A FaultInjector decides, per *site* (a string naming one failure point,
+// e.g. "svc.cache.get"), whether the Nth call at that site should fail.
+// The decision is a pure function of (seed, site, N), so a chaos run is
+// reproducible: same seed, same set of injected failures at each site,
+// independent of thread interleaving.  Which *job* happens to hit the Nth
+// call still varies with scheduling — that is the point of a chaos test —
+// but the correctness invariant under test (every surviving result is
+// bit-identical to a no-fault run) must hold for every interleaving.
+//
+// The process-global injector (util::faults()) ships disarmed: every
+// fire() is a single relaxed atomic load and returns false, so production
+// call sites cost nothing measurable.  Tests and the chaos bench arm it
+// with a seed and probability, optionally override per-site
+// probabilities, run, read the per-site counters, and disarm.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tgp::util {
+
+/// Thrown by call sites that inject a hard failure (the worker solve
+/// path).  Degradation sites (cache get/put, queue delays) do not throw —
+/// they degrade service quality while preserving correctness.
+struct InjectedFault : std::runtime_error {
+  explicit InjectedFault(const std::string& site)
+      : std::runtime_error("injected fault at " + site) {}
+};
+
+class FaultInjector {
+ public:
+  struct SiteStats {
+    std::string site;
+    std::uint64_t calls = 0;
+    std::uint64_t fired = 0;
+  };
+
+  /// Start injecting: every site fires with `default_probability` unless
+  /// overridden.  Resets all per-site counters and overrides.
+  void arm(std::uint64_t seed, double default_probability);
+
+  /// Stop injecting.  Counters survive until the next arm() so tests can
+  /// read them after the run.
+  void disarm();
+
+  bool armed() const { return armed_.load(std::memory_order_acquire); }
+
+  /// Override the probability of one site (takes effect while armed).
+  /// p = 0 silences the site, p = 1 always fires.
+  void set_site_probability(std::string_view site, double p);
+
+  /// The hook: should the current call at `site` fail?  Deterministic in
+  /// (seed, site, per-site call index).  Always false when disarmed.
+  bool fire(std::string_view site);
+
+  /// Scheduling-perturbation hook: yields the thread when the site fires.
+  /// Used by the queue to shake out ordering assumptions.
+  void maybe_yield(std::string_view site);
+
+  std::uint64_t calls(std::string_view site) const;
+  std::uint64_t fired(std::string_view site) const;
+  std::uint64_t total_fired() const;
+
+  /// All sites seen since arm(), sorted by site name.
+  std::vector<SiteStats> report() const;
+
+ private:
+  struct Site {
+    std::string name;
+    std::uint64_t calls = 0;
+    std::uint64_t fired = 0;
+    double probability = -1;  // < 0: use the armed default
+  };
+
+  Site& site_locked(std::string_view name);
+
+  mutable std::mutex mu_;
+  std::atomic<bool> armed_{false};
+  std::uint64_t seed_ = 0;
+  double default_probability_ = 0;
+  std::vector<Site> sites_;  // few sites: linear scan beats a map
+};
+
+/// The process-global injector every production hook consults.
+FaultInjector& faults();
+
+/// RAII helper for tests: arm on construction, disarm on destruction.
+class FaultScope {
+ public:
+  FaultScope(std::uint64_t seed, double default_probability) {
+    faults().arm(seed, default_probability);
+  }
+  ~FaultScope() { faults().disarm(); }
+  FaultScope(const FaultScope&) = delete;
+  FaultScope& operator=(const FaultScope&) = delete;
+};
+
+}  // namespace tgp::util

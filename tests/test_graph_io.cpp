@@ -57,6 +57,44 @@ TEST(ChainIo, RejectsInvalidChainContent) {
   EXPECT_THROW(load_chain(ss), std::invalid_argument);
 }
 
+TEST(ChainIo, RejectsNonFiniteWeights) {
+  for (const char* bad : {"nan", "inf", "-inf", "0"}) {
+    std::stringstream ss(std::string("tgp-chain 1 2\n1 ") + bad + "\n3\n");
+    EXPECT_THROW(load_chain(ss), std::invalid_argument) << bad;
+  }
+}
+
+TEST(ChainIo, ParseErrorsCarryLineNumbers) {
+  auto error_of = [](const char* text) {
+    std::stringstream ss(text);
+    try {
+      load_chain(ss);
+    } catch (const std::invalid_argument& e) {
+      return std::string(e.what());
+    }
+    return std::string();
+  };
+  // Bad weight on the vertex line (line 2) and the edge line (line 3).
+  EXPECT_NE(error_of("tgp-chain 1 2\n1 oops\n3\n").find("line 2:"),
+            std::string::npos);
+  EXPECT_NE(error_of("tgp-chain 1 2\n1 2\noops\n").find("line 3:"),
+            std::string::npos);
+  // Truncation points at the line the missing token should be on.
+  EXPECT_NE(error_of("tgp-chain 1 3\n1 2\n").find("truncated"),
+            std::string::npos);
+}
+
+TEST(TreeIo, RejectsNanWeightWithLineNumber) {
+  std::stringstream ss("tgp-tree 1 3\n1 2 3\n0 1 1\n1 2 nan\n");
+  try {
+    load_tree(ss);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 4:"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("NaN"), std::string::npos);
+  }
+}
+
 TEST(TreeIo, RoundTripsExactly) {
   util::Pcg32 rng(5);
   Tree t = random_tree(rng, 40, WeightDist::uniform(0.5, 9.9),

@@ -145,6 +145,68 @@ TEST(RunServeTool, JobsFlagReadsFileAndPrintsRows) {
   EXPECT_NE(err.str().find("service metrics"), std::string::npos);
 }
 
+TEST(ParseJobFile, LenientVariantSkipsBadRowsWithLineNumbers) {
+  std::istringstream in(
+      "bandwidth, 40, gen:chain:n=12:seed=7\n"
+      "frobnicate, 10, gen:chain:n=5:seed=1\n"
+      "procmin, 50%, gen:tree:n=9:seed=3\n"
+      "bandwidth, 10\n");
+  std::ostringstream warn;
+  ParsedJobs parsed = parse_job_file_lenient(in, warn);
+  ASSERT_EQ(parsed.specs.size(), 2u);
+  EXPECT_EQ(parsed.rows_skipped, 2);
+  EXPECT_EQ(parsed.specs[0].problem, svc::Problem::kBandwidth);
+  EXPECT_EQ(parsed.specs[1].problem, svc::Problem::kProcMin);
+  // Warnings name the offending lines (1-based, counting comments).
+  EXPECT_NE(warn.str().find("line 2"), std::string::npos);
+  EXPECT_NE(warn.str().find("line 4"), std::string::npos);
+  EXPECT_EQ(warn.str().find("line 1"), std::string::npos);
+}
+
+TEST(RunServeTool, BadRowIsSkippedBatchStillRunsExitCode3) {
+  std::string path = testing::TempDir() + "/tgp_serve_badrow.csv";
+  {
+    std::ofstream f(path);
+    f << "bandwidth, 40%, gen:chain:n=16:seed=4\n"
+         "frobnicate, 10, gen:chain:n=5:seed=1\n"
+         "procmin, 50%, gen:tree:n=12:seed=4\n";
+  }
+  std::ostringstream out, err;
+  EXPECT_EQ(run_serve_tool(args({"--jobs", path, "--threads", "1"}), out, err),
+            3);
+  // The good rows still produced results...
+  EXPECT_NE(out.str().find("bandwidth"), std::string::npos);
+  EXPECT_NE(out.str().find("procmin"), std::string::npos);
+  // ...and the bad one left a line-numbered warning.
+  EXPECT_NE(err.str().find("line 2"), std::string::npos);
+  EXPECT_NE(err.str().find("row skipped"), std::string::npos);
+}
+
+TEST(RunServeTool, FailedJobYieldsStatusColumnAndExitCode3) {
+  // An explicit K of 1 is far below the max vertex weight: the job fails
+  // validation and must surface as invalid_spec in the results table.
+  std::string path = testing::TempDir() + "/tgp_serve_badjob.csv";
+  {
+    std::ofstream f(path);
+    f << "procmin, 1, gen:tree:n=12:seed=4\n"
+         "procmin, 50%, gen:tree:n=12:seed=4\n";
+  }
+  std::ostringstream out, err;
+  EXPECT_EQ(run_serve_tool(args({"--jobs", path, "--threads", "1"}), out, err),
+            3);
+  EXPECT_NE(out.str().find("invalid_spec"), std::string::npos);
+  EXPECT_NE(err.str().find("1 job(s) failed"), std::string::npos);
+}
+
+TEST(RunServeTool, TinyDeadlineTimesJobsOut) {
+  std::ostringstream out, err;
+  std::vector<std::string> a = {"--generate", "6",          "--seed",
+                                "3",          "--threads",  "1",
+                                "--deadline-us", "0.5"};
+  EXPECT_EQ(run_serve_tool(a, out, err), 3);
+  EXPECT_NE(out.str().find("timeout"), std::string::npos);
+}
+
 TEST(RunServeTool, MissingJobFileFails) {
   std::ostringstream out, err;
   EXPECT_NE(run_serve_tool(args({"--jobs", "/nonexistent/x.csv"}), out, err),

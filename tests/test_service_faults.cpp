@@ -1,0 +1,324 @@
+// Fault tolerance of the partition service (svc/service.hpp): the error
+// taxonomy, deadline and cancellation paths, worker fault isolation under
+// deterministic fault injection (util/fault.hpp), and the differential
+// invariant that surviving results are bit-identical to a no-fault run.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "svc/service.hpp"
+#include "util/fault.hpp"
+#include "util/rng.hpp"
+
+namespace tgp::svc {
+namespace {
+
+using graph::Weight;
+
+graph::Chain make_chain(int n, std::uint64_t seed) {
+  util::Pcg32 rng(seed, 17);
+  return graph::random_chain(rng, n, graph::WeightDist::uniform(1, 30),
+                             graph::WeightDist::uniform(1, 30));
+}
+
+JobSpec chain_job(Problem p, int n, std::uint64_t seed, double frac = 0.3) {
+  graph::Chain c = make_chain(n, seed);
+  Weight maxw = c.max_vertex_weight();
+  Weight K = maxw + frac * (c.total_vertex_weight() - maxw);
+  return JobSpec::for_chain(p, K, std::move(c));
+}
+
+std::vector<JobSpec> mixed_jobs(int count, std::uint64_t seed) {
+  std::vector<JobSpec> specs;
+  specs.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    auto p = static_cast<Problem>(i % kProblemCount);
+    specs.push_back(chain_job(p, 30 + i, seed + static_cast<std::uint64_t>(i)));
+  }
+  return specs;
+}
+
+void expect_same_payload(const JobResult& a, const JobResult& b,
+                         std::size_t slot) {
+  EXPECT_EQ(a.status, b.status) << "job " << slot;
+  EXPECT_EQ(a.cut.edges, b.cut.edges) << "job " << slot;
+  EXPECT_EQ(a.objective, b.objective) << "job " << slot;
+  EXPECT_EQ(a.components, b.components) << "job " << slot;
+}
+
+// --- FaultInjector unit behavior -----------------------------------------
+
+TEST(FaultInjector, SameSeedSameDecisions) {
+  util::FaultInjector inj;
+  auto run = [&](std::uint64_t seed) {
+    inj.arm(seed, 0.5);
+    std::vector<bool> fired;
+    for (int i = 0; i < 200; ++i) fired.push_back(inj.fire("site.a"));
+    for (int i = 0; i < 200; ++i) fired.push_back(inj.fire("site.b"));
+    inj.disarm();
+    return fired;
+  };
+  std::vector<bool> first = run(7);
+  EXPECT_EQ(first, run(7));
+  EXPECT_NE(first, run(8));  // astronomically unlikely to collide
+  // Different sites see different (but individually deterministic) streams.
+  std::vector<bool> a(first.begin(), first.begin() + 200);
+  std::vector<bool> b(first.begin() + 200, first.end());
+  EXPECT_NE(a, b);
+}
+
+TEST(FaultInjector, ProbabilityEndpointsAndCounters) {
+  util::FaultInjector inj;
+  inj.arm(1, 0.0);
+  inj.set_site_probability("always", 1.0);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_TRUE(inj.fire("always"));
+    EXPECT_FALSE(inj.fire("never"));
+  }
+  EXPECT_EQ(inj.calls("always"), 50u);
+  EXPECT_EQ(inj.fired("always"), 50u);
+  EXPECT_EQ(inj.calls("never"), 50u);
+  EXPECT_EQ(inj.fired("never"), 0u);
+  EXPECT_EQ(inj.total_fired(), 50u);
+  auto report = inj.report();
+  ASSERT_EQ(report.size(), 2u);
+  EXPECT_EQ(report[0].site, "always");  // sorted by name
+  EXPECT_EQ(report[1].site, "never");
+  inj.disarm();
+  // Disarmed: no fires, no accounting.
+  EXPECT_FALSE(inj.fire("always"));
+  EXPECT_EQ(inj.calls("always"), 50u);
+}
+
+// --- Error taxonomy ------------------------------------------------------
+
+TEST(ServiceFaults, InvalidSpecsSettleWhileBatchCompletes) {
+  std::vector<JobSpec> specs = mixed_jobs(12, 0xFA11);
+  specs[3].K = 0;  // below the max vertex weight
+  specs[7].K = std::numeric_limits<double>::infinity();
+  specs[9].deadline_micros = -1;
+
+  ServiceConfig config;
+  config.threads = 2;
+  PartitionService service(config);
+  std::vector<JobResult> got = service.run_batch(specs);
+  ASSERT_EQ(got.size(), specs.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    if (i == 3 || i == 7 || i == 9) {
+      EXPECT_FALSE(got[i].ok) << i;
+      EXPECT_EQ(got[i].status, JobStatus::kInvalidSpec) << i;
+      EXPECT_FALSE(got[i].error.empty()) << i;
+    } else {
+      EXPECT_TRUE(got[i].ok) << i;
+      expect_same_payload(got[i], execute_job_captured(specs[i]), i);
+    }
+  }
+  MetricsSnapshot m = service.metrics();
+  EXPECT_EQ(m.status_count(JobStatus::kInvalidSpec), 3u);
+  EXPECT_EQ(m.status_count(JobStatus::kOk), specs.size() - 3);
+  EXPECT_EQ(m.failed, 3u);
+}
+
+TEST(ServiceFaults, ValidateSpecCatchesMalformedGraphs) {
+  graph::Chain bad;
+  bad.vertex_weight = {1, 2, 3};
+  bad.edge_weight = {1};  // wrong edge count
+  JobSpec s = JobSpec::for_chain(Problem::kBottleneck, 10, bad);
+  SpecCheck check = validate_spec(s);
+  EXPECT_FALSE(check.ok());
+  EXPECT_EQ(check.status, JobStatus::kInvalidSpec);
+  JobResult r = execute_job_captured(s);
+  EXPECT_EQ(r.status, JobStatus::kInvalidSpec);
+  EXPECT_EQ(r.error, check.error);
+}
+
+// --- Deadlines & cancellation --------------------------------------------
+
+TEST(ServiceFaults, ExpiredDeadlineYieldsTimeout) {
+  // A 1 µs deadline on a non-trivial job: either the worker sees it
+  // expired at dequeue or a solver poll trips — both must report kTimeout.
+  JobSpec slow = chain_job(Problem::kBandwidth, 4000, 0x510);
+  slow.deadline_micros = 1;
+  ServiceConfig config;
+  config.threads = 1;
+  PartitionService service(config);
+  std::size_t slot = service.submit(slow);
+  service.wait_idle();
+  const JobResult& r = service.result(slot);
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.status, JobStatus::kTimeout);
+  EXPECT_FALSE(r.error.empty());
+  EXPECT_EQ(service.metrics().status_count(JobStatus::kTimeout), 1u);
+}
+
+TEST(ServiceFaults, GenerousDeadlineDoesNotPerturbResults) {
+  std::vector<JobSpec> specs = mixed_jobs(10, 0xDEAD);
+  std::vector<JobSpec> with_deadline = specs;
+  for (JobSpec& s : with_deadline) s.deadline_micros = 60e6;  // one minute
+  ServiceConfig config;
+  config.threads = 2;
+  std::vector<JobResult> a = PartitionService(config).run_batch(specs);
+  std::vector<JobResult> b =
+      PartitionService(config).run_batch(with_deadline);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(b[i].status, JobStatus::kOk) << i;
+    expect_same_payload(a[i], b[i], i);
+  }
+}
+
+TEST(ServiceFaults, CancelQueuedJobsSettlesCancelled) {
+  ServiceConfig config;
+  config.threads = 1;  // one worker: the fat head job blocks the queue
+  PartitionService service(config);
+  // Big enough that the worker is still busy on it long after the cancel
+  // calls below have landed (milliseconds vs microseconds).
+  std::size_t head =
+      service.submit(chain_job(Problem::kBandwidth, 100000, 1));
+  std::vector<std::size_t> queued;
+  for (int i = 0; i < 5; ++i)
+    queued.push_back(service.submit(chain_job(Problem::kProcMin, 40, 100 + i)));
+  for (std::size_t slot : queued) service.cancel(slot);
+  service.wait_idle();
+  for (std::size_t slot : queued) {
+    const JobResult& r = service.result(slot);
+    // The cancel landed before wait_idle returned; a job the worker had
+    // not started must come back kCancelled.  (With one worker busy on
+    // the fat head job, none of these can have started.)
+    EXPECT_FALSE(r.ok) << slot;
+    EXPECT_EQ(r.status, JobStatus::kCancelled) << slot;
+  }
+  EXPECT_TRUE(service.result(head).ok);
+  EXPECT_EQ(service.metrics().status_count(JobStatus::kCancelled), 5u);
+}
+
+TEST(ServiceFaults, CancelAfterCompletionReturnsFalseAndKeepsResult) {
+  PartitionService service({.threads = 1});
+  std::size_t slot = service.submit(chain_job(Problem::kBottleneck, 30, 2));
+  service.wait_idle();
+  EXPECT_FALSE(service.cancel(slot));  // completed work wins the race
+  EXPECT_TRUE(service.completed(slot));
+  EXPECT_TRUE(service.result(slot).ok);
+  EXPECT_EQ(service.result(slot).status, JobStatus::kOk);
+}
+
+TEST(ServiceFaults, ShutdownWithinSettlesEverySlot) {
+  ServiceConfig config;
+  config.threads = 1;
+  PartitionService service(config);
+  std::vector<std::size_t> slots;
+  for (int i = 0; i < 4; ++i)
+    slots.push_back(
+        service.submit(chain_job(Problem::kBandwidth, 100000, 900 + i)));
+  // A drain window far smaller than the work: remaining jobs are cancelled.
+  service.shutdown_within(100);
+  for (std::size_t slot : slots) {
+    EXPECT_TRUE(service.completed(slot)) << slot;
+    const JobResult& r = service.result(slot);
+    if (!r.ok) EXPECT_EQ(r.status, JobStatus::kCancelled) << slot;
+  }
+  EXPECT_THROW(service.submit(chain_job(Problem::kProcMin, 10, 3)),
+               ServiceStopped);
+}
+
+// --- Fault injection through the service ---------------------------------
+
+TEST(ServiceFaults, InjectedSolverFaultsAreIsolatedAndDeterministic) {
+  std::vector<JobSpec> specs = mixed_jobs(40, 0xC4405);
+  ServiceConfig config;
+  config.threads = 2;
+  std::vector<JobResult> clean = PartitionService(config).run_batch(specs);
+
+  util::FaultScope chaos(/*seed=*/99, /*default_probability=*/0.0);
+  util::faults().set_site_probability("svc.worker.solve", 0.3);
+  std::vector<JobResult> got = PartitionService(config).run_batch(specs);
+  std::uint64_t fired = util::faults().fired("svc.worker.solve");
+  ASSERT_EQ(util::faults().calls("svc.worker.solve"), specs.size());
+  ASSERT_GT(fired, 0u);                  // deterministic for this seed
+  ASSERT_LT(fired, specs.size());        // ... and some jobs survive
+
+  std::size_t failures = 0;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    if (got[i].ok) {
+      // The differential invariant: a surviving job is bit-identical to
+      // the no-fault run — faults may kill jobs, never corrupt them.
+      expect_same_payload(got[i], clean[i], i);
+    } else {
+      ++failures;
+      EXPECT_EQ(got[i].status, JobStatus::kInternalError) << i;
+      EXPECT_EQ(got[i].error, "injected fault at svc.worker.solve") << i;
+    }
+  }
+  // Every fire() is one job's solve attempt, so the counts must agree.
+  EXPECT_EQ(failures, fired);
+}
+
+TEST(ServiceFaults, CacheFaultsDegradeWithoutChangingResults) {
+  // Duplicate-heavy workload so the cache actually matters, then make the
+  // cache unreliable: lookups randomly miss, stores randomly vanish.
+  std::vector<JobSpec> specs = mixed_jobs(15, 0xCAC4E);
+  std::vector<JobSpec> dup(specs);
+  specs.insert(specs.end(), dup.begin(), dup.end());
+
+  ServiceConfig config;
+  config.threads = 2;
+  std::vector<JobResult> clean = PartitionService(config).run_batch(specs);
+
+  util::FaultScope chaos(/*seed=*/5, /*default_probability=*/0.0);
+  util::faults().set_site_probability("svc.cache.get", 0.5);
+  util::faults().set_site_probability("svc.cache.put", 0.5);
+  std::vector<JobResult> got = PartitionService(config).run_batch(specs);
+  ASSERT_EQ(got.size(), clean.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].status, JobStatus::kOk) << i;
+    expect_same_payload(got[i], clean[i], i);
+  }
+  EXPECT_GT(util::faults().calls("svc.cache.get"), 0u);
+}
+
+TEST(ServiceFaults, QueuePerturbationPreservesBatchOrderAndPayloads) {
+  std::vector<JobSpec> specs = mixed_jobs(20, 0x0DD5);
+  ServiceConfig config;
+  config.threads = 3;
+  config.queue_capacity = 4;  // force backpressure under perturbation
+  std::vector<JobResult> clean = PartitionService(config).run_batch(specs);
+
+  util::FaultScope chaos(/*seed=*/11, /*default_probability=*/0.0);
+  util::faults().set_site_probability("svc.queue.push", 0.5);
+  util::faults().set_site_probability("svc.queue.pop", 0.5);
+  std::vector<JobResult> got = PartitionService(config).run_batch(specs);
+  ASSERT_EQ(got.size(), clean.size());
+  for (std::size_t i = 0; i < got.size(); ++i)
+    expect_same_payload(got[i], clean[i], i);
+}
+
+// --- Watchdog ------------------------------------------------------------
+
+TEST(ServiceFaults, WatchdogPromotesDeadlinesOfQueuedJobs) {
+  ServiceConfig config;
+  config.threads = 1;
+  config.watchdog_interval_micros = 500;
+  PartitionService service(config);
+  // Occupy the only worker, then queue jobs whose deadlines expire while
+  // they wait — the watchdog (or the dequeue check) must time them out.
+  std::size_t head =
+      service.submit(chain_job(Problem::kBandwidth, 100000, 7));
+  std::vector<std::size_t> doomed;
+  for (int i = 0; i < 3; ++i) {
+    JobSpec s = chain_job(Problem::kProcMin, 40, 700 + i);
+    s.deadline_micros = 1;
+    doomed.push_back(service.submit(s));
+  }
+  service.wait_idle();
+  EXPECT_TRUE(service.result(head).ok);
+  for (std::size_t slot : doomed)
+    EXPECT_EQ(service.result(slot).status, JobStatus::kTimeout) << slot;
+  MetricsSnapshot m = service.metrics();
+  EXPECT_EQ(m.status_count(JobStatus::kTimeout), 3u);
+}
+
+}  // namespace
+}  // namespace tgp::svc

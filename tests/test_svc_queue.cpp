@@ -129,6 +129,60 @@ TEST(BoundedQueue, MpmcStressDeliversEachItemOnce) {
   EXPECT_GE(q.high_watermark(), 1u);
 }
 
+TEST(BoundedQueue, CloseUnblocksProducersStuckInPush) {
+  // Fill the queue, park several producers inside a blocking push(), then
+  // close: every blocked push must return false without delivering.
+  BoundedQueue<int> q(2);
+  ASSERT_TRUE(q.push(100));
+  ASSERT_TRUE(q.push(101));
+  constexpr int kBlocked = 4;
+  std::atomic<int> refused{0};
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kBlocked; ++p)
+    producers.emplace_back([&, p] {
+      if (!q.push(p)) refused.fetch_add(1);
+    });
+  // Give every producer time to enter the not_full_ wait.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(refused.load(), 0);  // still parked: the queue is full
+  q.close();
+  for (auto& t : producers) t.join();
+  EXPECT_EQ(refused.load(), kBlocked);
+  // Only the pre-close items drain; the refused pushes left no trace.
+  EXPECT_EQ(*q.pop(), 100);
+  EXPECT_EQ(*q.pop(), 101);
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(BoundedQueue, EachConsumerSeesEndOfStreamExactlyOnce) {
+  // After close + drain, every consumer observes exactly one nullopt, and
+  // the items popped across all consumers account for every accepted push.
+  constexpr int kConsumers = 4;
+  constexpr int kItems = 5000;
+  BoundedQueue<int> q(8);
+  std::atomic<int> popped{0};
+  std::atomic<int> eos_seen{0};
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < kConsumers; ++c)
+    consumers.emplace_back([&] {
+      while (true) {
+        auto v = q.pop();
+        if (!v.has_value()) {
+          eos_seen.fetch_add(1);
+          return;  // one end-of-stream per consumer, then stop
+        }
+        popped.fetch_add(1);
+      }
+    });
+  for (int i = 0; i < kItems; ++i) ASSERT_TRUE(q.push(i));
+  q.close();
+  for (auto& t : consumers) t.join();
+  EXPECT_EQ(popped.load(), kItems);
+  EXPECT_EQ(eos_seen.load(), kConsumers);
+  // The queue stays at end-of-stream afterwards.
+  EXPECT_FALSE(q.pop().has_value());
+}
+
 TEST(BoundedQueue, StressWithClosedMidstreamLosesNothingDelivered) {
   // Producers race close(): every push that returned true must be popped
   // exactly once, every false push dropped.

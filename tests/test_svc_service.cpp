@@ -60,6 +60,7 @@ std::vector<JobSpec> random_jobs(int count, std::uint64_t seed) {
 void expect_same_payload(const JobResult& a, const JobResult& b,
                          std::size_t slot) {
   EXPECT_EQ(a.ok, b.ok) << "job " << slot;
+  EXPECT_EQ(a.status, b.status) << "job " << slot;
   EXPECT_EQ(a.error, b.error) << "job " << slot;
   EXPECT_EQ(a.cut.edges, b.cut.edges) << "job " << slot;
   EXPECT_EQ(a.objective, b.objective) << "job " << slot;
@@ -148,8 +149,10 @@ TEST(PartitionService, SolverErrorsAreCapturedNotThrown) {
   std::vector<JobResult> got = service.run_batch({bad, good});
   ASSERT_EQ(got.size(), 2u);
   EXPECT_FALSE(got[0].ok);
+  EXPECT_EQ(got[0].status, JobStatus::kInvalidSpec);
   EXPECT_FALSE(got[0].error.empty());
   EXPECT_TRUE(got[1].ok);
+  EXPECT_EQ(got[1].status, JobStatus::kOk);
   JobResult direct = execute_job_captured(bad);
   ASSERT_FALSE(direct.ok);
   EXPECT_EQ(got[0].error, direct.error);
@@ -158,28 +161,36 @@ TEST(PartitionService, SolverErrorsAreCapturedNotThrown) {
   EXPECT_EQ(m.submitted, 2u);
   EXPECT_EQ(m.completed, 2u);
   EXPECT_EQ(m.failed, 1u);
+  EXPECT_EQ(m.status_count(JobStatus::kInvalidSpec), 1u);
+  EXPECT_EQ(m.status_count(JobStatus::kOk), 1u);
 }
 
 TEST(PartitionService, MetricsCountersAddUp) {
   std::vector<JobSpec> specs = random_jobs(60, 0xC0DE);
-  std::vector<JobSpec> dup(specs.begin(), specs.begin() + 20);  // some dups
-  specs.insert(specs.end(), dup.begin(), dup.end());
+  std::vector<JobSpec> dup(specs.begin(), specs.begin() + 20);
   ServiceConfig config;
   config.threads = 2;
   PartitionService service(config);
   std::vector<JobResult> got = service.run_batch(specs);
+  // Second batch of literal duplicates against the now-warm cache: these
+  // must all hit.  (Running them inside the first batch would be racy —
+  // a duplicate can be dequeued while its original is still mid-solve.)
+  std::vector<JobResult> dup_got = service.run_batch(dup);
+  got.insert(got.end(), dup_got.begin(), dup_got.end());
 
+  std::size_t total = specs.size() + dup.size();
   std::size_t hits = 0;
   for (const JobResult& r : got) hits += r.cache_hit ? 1 : 0;
+  for (const JobResult& r : dup_got) EXPECT_TRUE(r.cache_hit);
   MetricsSnapshot m = service.metrics();
-  EXPECT_EQ(m.submitted, specs.size());
-  EXPECT_EQ(m.completed, specs.size());
+  EXPECT_EQ(m.submitted, total);
+  EXPECT_EQ(m.completed, total);
   EXPECT_EQ(m.failed, 0u);
   EXPECT_EQ(m.cache.hits, hits);
   EXPECT_GE(hits, 20u);  // the literal duplicates must all hit
-  EXPECT_EQ(m.cache.hits + m.cache.misses, specs.size());
+  EXPECT_EQ(m.cache.hits + m.cache.misses, total);
   EXPECT_GE(m.queue_high_watermark, 1u);
-  EXPECT_EQ(m.overall_latency().count, specs.size());
+  EXPECT_EQ(m.overall_latency().count, total);
 }
 
 TEST(PartitionService, SubmitAfterShutdownThrows) {
@@ -191,7 +202,7 @@ TEST(PartitionService, SubmitAfterShutdownThrows) {
   service.shutdown();
   EXPECT_THROW(
       service.submit(JobSpec::for_chain(Problem::kBottleneck, 3, c)),
-      std::invalid_argument);
+      ServiceStopped);
 }
 
 TEST(PartitionService, ResultThrowsBeforeCompletion) {

@@ -133,6 +133,29 @@ std::uint64_t cut_digest(const graph::Cut& cut) {
   return h;
 }
 
+// Parse one already-trimmed, non-comment job row.  Throws
+// std::invalid_argument (with the line number) on malformed input.
+svc::JobSpec parse_job_row(const std::string& body, int lineno,
+                           std::map<std::string, LoadedGraph>& graphs) {
+  try {
+    std::vector<std::string> cells = split(body, ',');
+    TGP_REQUIRE(cells.size() == 3, "want 'problem,K,source' (3 fields, got " +
+                                       std::to_string(cells.size()) + ")");
+    svc::Problem problem = svc::parse_problem(trim(cells[0]));
+    std::string source = trim(cells[2]);
+    auto it = graphs.find(source);
+    if (it == graphs.end())
+      it = graphs.emplace(source, load_source(source)).first;
+    const LoadedGraph& g = it->second;
+    graph::Weight K = resolve_k(cells[1], g);
+    return g.chain ? svc::JobSpec::for_chain(problem, K, g.chain)
+                   : svc::JobSpec::for_tree(problem, K, g.tree);
+  } catch (const std::exception& e) {
+    throw std::invalid_argument("line " + std::to_string(lineno) + ": " +
+                                e.what());
+  }
+}
+
 }  // namespace
 
 std::vector<svc::JobSpec> parse_job_file(std::istream& in) {
@@ -144,23 +167,28 @@ std::vector<svc::JobSpec> parse_job_file(std::istream& in) {
     ++lineno;
     std::string body = trim(line);
     if (body.empty() || body[0] == '#') continue;
-    std::vector<std::string> cells = split(body, ',');
-    TGP_REQUIRE(cells.size() == 3,
-                "line " + std::to_string(lineno) +
-                    ": want 'problem,K,source' (3 fields, got " +
-                    std::to_string(cells.size()) + ")");
-    svc::Problem problem = svc::parse_problem(trim(cells[0]));
-    std::string source = trim(cells[2]);
-    auto it = graphs.find(source);
-    if (it == graphs.end())
-      it = graphs.emplace(source, load_source(source)).first;
-    const LoadedGraph& g = it->second;
-    graph::Weight K = resolve_k(cells[1], g);
-    specs.push_back(g.chain
-                        ? svc::JobSpec::for_chain(problem, K, g.chain)
-                        : svc::JobSpec::for_tree(problem, K, g.tree));
+    specs.push_back(parse_job_row(body, lineno, graphs));
   }
   return specs;
+}
+
+ParsedJobs parse_job_file_lenient(std::istream& in, std::ostream& warn) {
+  ParsedJobs out;
+  std::map<std::string, LoadedGraph> graphs;
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    std::string body = trim(line);
+    if (body.empty() || body[0] == '#') continue;
+    try {
+      out.specs.push_back(parse_job_row(body, lineno, graphs));
+    } catch (const std::exception& e) {
+      warn << "warning: " << e.what() << " (row skipped)\n";
+      ++out.rows_skipped;
+    }
+  }
+  return out;
 }
 
 std::vector<svc::JobSpec> generate_workload(int count, std::uint64_t seed,
@@ -218,7 +246,7 @@ std::string serve_tool_help() {
       "\n"
       "usage: tgp_serve (--jobs FILE | --generate N) [--threads N]\n"
       "                 [--cache-mb M] [--queue-cap C] [--seed S]\n"
-      "                 [--dup-frac F] [--no-results]\n"
+      "                 [--dup-frac F] [--deadline-us D] [--no-results]\n"
       "\n"
       "Runs a batch of partition jobs on the multi-threaded service\n"
       "runtime with a canonical-graph memo cache.  The results table\n"
@@ -229,7 +257,14 @@ std::string serve_tool_help() {
       "is bottleneck|procmin|bandwidth|pipeline; K is a number or 'P%'\n"
       "(percent of the slack above the max task weight); source is\n"
       "file:PATH (tgp-chain/tgp-tree file) or gen:KIND:n=N:seed=S with\n"
-      "KIND chain|tree|binary|star.  '#' starts a comment.\n"
+      "KIND chain|tree|binary|star.  '#' starts a comment.  A malformed\n"
+      "row is skipped with a line-numbered warning on stderr; the rest of\n"
+      "the batch still runs.\n"
+      "\n"
+      "Each results row carries the job's status (ok, invalid_spec,\n"
+      "timeout, cancelled, internal_error).  Exit code: 0 when every job\n"
+      "succeeded, 3 when any job failed or any row was skipped, 2 on\n"
+      "usage errors, 1 on fatal errors.\n"
       "\n"
       "  --jobs FILE     job file (see above)\n"
       "  --generate N    synthesize an N-job mixed workload instead\n"
@@ -238,6 +273,7 @@ std::string serve_tool_help() {
       "  --threads N     worker threads (default: hardware concurrency)\n"
       "  --cache-mb M    memo cache budget in MiB, 0 disables (default 64)\n"
       "  --queue-cap C   bounded queue capacity (default 1024)\n"
+      "  --deadline-us D per-job deadline in microseconds (default: none)\n"
       "  --no-results    suppress the per-job results table\n";
 }
 
@@ -254,6 +290,7 @@ int run_serve_tool(const std::vector<std::string>& args, std::ostream& out,
         .describe("threads", "worker threads")
         .describe("cache-mb", "cache budget in MiB (0 disables)")
         .describe("queue-cap", "job queue capacity")
+        .describe("deadline-us", "per-job deadline in microseconds")
         .describe("no-results", "suppress the results table");
     if (parser.has("help")) {
       out << serve_tool_help();
@@ -262,6 +299,7 @@ int run_serve_tool(const std::vector<std::string>& args, std::ostream& out,
     parser.check_unknown();
 
     std::vector<svc::JobSpec> specs;
+    int rows_skipped = 0;
     if (parser.has("jobs")) {
       std::string path = parser.get("jobs", "");
       std::ifstream in(path);
@@ -269,7 +307,9 @@ int run_serve_tool(const std::vector<std::string>& args, std::ostream& out,
         err << "error: cannot open '" << path << "'\n";
         return 2;
       }
-      specs = parse_job_file(in);
+      ParsedJobs parsed = parse_job_file_lenient(in, err);
+      specs = std::move(parsed.specs);
+      rows_skipped = parsed.rows_skipped;
     } else if (parser.has("generate")) {
       specs = generate_workload(
           static_cast<int>(parser.get_int("generate", 0)),
@@ -290,6 +330,10 @@ int run_serve_tool(const std::vector<std::string>& args, std::ostream& out,
         static_cast<std::size_t>(parser.get_int("cache-mb", 64)) << 20;
     config.queue_capacity =
         static_cast<std::size_t>(parser.get_int("queue-cap", 1024));
+
+    double deadline_us = parser.get_double("deadline-us", 0);
+    if (deadline_us > 0)
+      for (svc::JobSpec& s : specs) s.deadline_micros = deadline_us;
 
     // Capture per-job echo columns before the specs move into the service.
     struct JobEcho {
@@ -324,13 +368,17 @@ int run_serve_tool(const std::vector<std::string>& args, std::ostream& out,
                                .cell(echo[i].problem)
                                .cell(echo[i].K, 3);
         if (!r.ok) {
-          row.cell("ERROR").cell(0).cell("-").cell(r.error).cell(0);
+          row.cell(svc::job_status_name(r.status))
+              .cell(0)
+              .cell("-")
+              .cell(r.error)
+              .cell(0);
           continue;
         }
         char digest[20];
         std::snprintf(digest, sizeof digest, "%016llx",
                       static_cast<unsigned long long>(cut_digest(r.cut)));
-        row.cell("ok")
+        row.cell(svc::job_status_name(r.status))
             .cell(r.cut.size())
             .cell(digest)
             .cell(r.objective, 6)
@@ -346,6 +394,14 @@ int run_serve_tool(const std::vector<std::string>& args, std::ostream& out,
                          std::max(wall_seconds, 1e-9),
                      1)
         << " jobs/s\n";
+    std::size_t jobs_failed = 0;
+    for (const svc::JobResult& r : results)
+      if (!r.ok) ++jobs_failed;
+    if (jobs_failed > 0 || rows_skipped > 0) {
+      err << "batch degraded: " << jobs_failed << " job(s) failed, "
+          << rows_skipped << " row(s) skipped\n";
+      return 3;
+    }
     return 0;
   } catch (const std::exception& e) {
     err << "error: " << e.what() << "\n";

@@ -33,6 +33,15 @@ std::string serve_tool_help();
 /// in-memory graph.  Throws std::invalid_argument on malformed input.
 std::vector<svc::JobSpec> parse_job_file(std::istream& in);
 
+/// Lenient variant used by the tool itself: a malformed row is skipped
+/// with a line-numbered warning on `warn` instead of aborting the whole
+/// batch, so one bad row cannot take down the jobs around it.
+struct ParsedJobs {
+  std::vector<svc::JobSpec> specs;
+  int rows_skipped = 0;
+};
+ParsedJobs parse_job_file_lenient(std::istream& in, std::ostream& warn);
+
 /// Synthesize a mixed chain/tree workload of `count` jobs.  A fraction
 /// `dup_frac` of jobs repeats an earlier job's (graph, problem, K) —
 /// half of those re-presented (reversed chain / relabeled tree) so the
