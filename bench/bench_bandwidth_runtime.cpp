@@ -7,13 +7,16 @@
 // case performance at least as good as the best known current algorithm."
 // K regimes: tight (tiny components), mid, loose (few cuts) — the tight
 // and loose ends are where p log q collapses.
-#include <benchmark/benchmark.h>
+//
+// Runs on the regression harness (bench_harness.hpp): fixed seeds and
+// repetition counts, optional --json artifact for tools/bench_diff.
+#include <cstdio>
 
-#include <map>
-
+#include "bench_harness.hpp"
 #include "core/bandwidth_baselines.hpp"
 #include "core/bandwidth_min.hpp"
 #include "graph/generators.hpp"
+#include "util/arena.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -26,77 +29,69 @@ struct Instance {
 };
 
 // K regime encoding: 0 = tight, 1 = mid, 2 = loose.
-const Instance& instance(int n, int regime) {
-  static std::map<std::pair<int, int>, Instance> cache;
-  auto key = std::make_pair(n, regime);
-  auto it = cache.find(key);
-  if (it == cache.end()) {
-    util::Pcg32 rng(0x51AB ^ static_cast<unsigned>(n * 3 + regime));
-    Instance inst;
-    inst.chain = graph::random_chain(rng, n,
-                                     graph::WeightDist::uniform(1, 100),
-                                     graph::WeightDist::uniform(1, 100));
-    double maxw = inst.chain.max_vertex_weight();
-    double total = inst.chain.total_vertex_weight();
-    double frac = regime == 0 ? 0.00002 : regime == 1 ? 0.005 : 0.5;
-    inst.K = maxw + frac * (total - maxw);
-    it = cache.emplace(key, std::move(inst)).first;
-  }
-  return it->second;
+Instance instance(int n, int regime) {
+  util::Pcg32 rng(0x51AB ^ static_cast<unsigned>(n * 3 + regime));
+  Instance inst;
+  inst.chain = graph::random_chain(rng, n,
+                                   graph::WeightDist::uniform(1, 100),
+                                   graph::WeightDist::uniform(1, 100));
+  double maxw = inst.chain.max_vertex_weight();
+  double total = inst.chain.total_vertex_weight();
+  double frac = regime == 0 ? 0.00002 : regime == 1 ? 0.005 : 0.5;
+  inst.K = maxw + frac * (total - maxw);
+  return inst;
 }
 
-void BM_temps(benchmark::State& state) {
-  const Instance& inst = instance(static_cast<int>(state.range(0)),
-                                  static_cast<int>(state.range(1)));
-  for (auto _ : state) {
-    auto r = core::bandwidth_min_temps(inst.chain, inst.K);
-    benchmark::DoNotOptimize(r.cut_weight);
-  }
-}
-
-void BM_nicol(benchmark::State& state) {
-  const Instance& inst = instance(static_cast<int>(state.range(0)),
-                                  static_cast<int>(state.range(1)));
-  for (auto _ : state) {
-    auto r = core::bandwidth_min_nicol(inst.chain, inst.K);
-    benchmark::DoNotOptimize(r.cut_weight);
-  }
-}
-
-void BM_dp_deque(benchmark::State& state) {
-  const Instance& inst = instance(static_cast<int>(state.range(0)),
-                                  static_cast<int>(state.range(1)));
-  for (auto _ : state) {
-    auto r = core::bandwidth_min_dp_deque(inst.chain, inst.K);
-    benchmark::DoNotOptimize(r.cut_weight);
-  }
-}
-
-void BM_dp_naive(benchmark::State& state) {
-  const Instance& inst = instance(static_cast<int>(state.range(0)),
-                                  static_cast<int>(state.range(1)));
-  for (auto _ : state) {
-    auto r = core::bandwidth_min_dp_naive(inst.chain, inst.K);
-    benchmark::DoNotOptimize(r.cut_weight);
-  }
-}
-
-void regimes(benchmark::internal::Benchmark* b) {
-  for (int n : {1 << 12, 1 << 15, 1 << 18})
-    for (int regime : {0, 1, 2}) b->Args({n, regime});
-}
-
-// Naive DP explodes on the loose regime (window ~ n); restrict it.
-void regimes_naive(benchmark::internal::Benchmark* b) {
-  for (int n : {1 << 12, 1 << 15})
-    for (int regime : {0, 1}) b->Args({n, regime});
-}
+const char* kRegimeName[] = {"tight", "mid", "loose"};
 
 }  // namespace
 
-BENCHMARK(BM_temps)->Apply(regimes)->ArgNames({"n", "Kregime"});
-BENCHMARK(BM_nicol)->Apply(regimes)->ArgNames({"n", "Kregime"});
-BENCHMARK(BM_dp_deque)->Apply(regimes)->ArgNames({"n", "Kregime"});
-BENCHMARK(BM_dp_naive)->Apply(regimes_naive)->ArgNames({"n", "Kregime"});
+int main(int argc, char** argv) {
+  std::string json_path;
+  bench::HarnessOptions opt = bench::parse_args(argc, argv, &json_path);
+  bench::Harness h("bandwidth_runtime", opt);
+  util::Arena arena;
 
-BENCHMARK_MAIN();
+  std::vector<int> sizes = opt.quick ? std::vector<int>{1 << 12}
+                                     : std::vector<int>{1 << 12, 1 << 15,
+                                                        1 << 18};
+  char name[96];
+  for (int n : sizes) {
+    for (int regime : {0, 1, 2}) {
+      Instance inst = instance(n, regime);
+      std::snprintf(name, sizeof name, "temps/n=%d/%s", n,
+                    kRegimeName[regime]);
+      h.run(name, n, [&] {
+        auto r = core::bandwidth_min_temps(inst.chain, inst.K, nullptr,
+                                           core::SearchPolicy::kBinary,
+                                           nullptr, &arena);
+        (void)r.cut_weight;
+      });
+      std::snprintf(name, sizeof name, "nicol/n=%d/%s", n,
+                    kRegimeName[regime]);
+      h.run(name, n, [&] {
+        auto r = core::bandwidth_min_nicol(inst.chain, inst.K);
+        (void)r.cut_weight;
+      });
+      std::snprintf(name, sizeof name, "dp_deque/n=%d/%s", n,
+                    kRegimeName[regime]);
+      h.run(name, n, [&] {
+        auto r = core::bandwidth_min_dp_deque(inst.chain, inst.K);
+        (void)r.cut_weight;
+      });
+      // Naive DP explodes on the loose regime (window ~ n); restrict it.
+      if (n <= (1 << 15) && regime <= 1) {
+        std::snprintf(name, sizeof name, "dp_naive/n=%d/%s", n,
+                      kRegimeName[regime]);
+        h.run(name, n, [&] {
+          auto r = core::bandwidth_min_dp_naive(inst.chain, inst.K);
+          (void)r.cut_weight;
+        });
+      }
+    }
+  }
+
+  h.print_table();
+  if (!json_path.empty() && !h.write_json(json_path)) return 1;
+  return 0;
+}

@@ -1,11 +1,14 @@
 // Algorithm 2.1 runtime: the published O(n²) incremental scan versus the
 // O(n log n) threshold binary search (identical outputs, property-tested).
-#include <benchmark/benchmark.h>
+//
+// Runs on the regression harness (bench_harness.hpp): fixed seeds and
+// repetition counts, optional --json artifact for tools/bench_diff.
+#include <cstdio>
 
-#include <map>
-
+#include "bench_harness.hpp"
 #include "core/bottleneck_min.hpp"
 #include "graph/generators.hpp"
+#include "util/arena.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -17,47 +20,53 @@ struct Instance {
   double K;
 };
 
-const Instance& instance(int n) {
-  static std::map<int, Instance> cache;
-  auto it = cache.find(n);
-  if (it == cache.end()) {
-    util::Pcg32 rng(0xB077 ^ static_cast<unsigned>(n));
-    graph::Tree t = graph::random_tree(rng, n,
-                                       graph::WeightDist::uniform(1, 50),
-                                       graph::WeightDist::uniform(1, 100));
-    double K = t.max_vertex_weight() +
-               0.01 * (t.total_vertex_weight() - t.max_vertex_weight());
-    it = cache.emplace(n, Instance{std::move(t), K}).first;
-  }
-  return it->second;
-}
-
-void BM_scan(benchmark::State& state) {
-  const Instance& inst = instance(static_cast<int>(state.range(0)));
-  for (auto _ : state) {
-    auto r = core::bottleneck_min_scan(inst.tree, inst.K);
-    benchmark::DoNotOptimize(r.threshold);
-  }
-}
-
-void BM_bsearch(benchmark::State& state) {
-  const Instance& inst = instance(static_cast<int>(state.range(0)));
-  for (auto _ : state) {
-    auto r = core::bottleneck_min_bsearch(inst.tree, inst.K);
-    benchmark::DoNotOptimize(r.threshold);
-  }
+Instance instance(int n) {
+  util::Pcg32 rng(0xB077 ^ static_cast<unsigned>(n));
+  graph::Tree t = graph::random_tree(rng, n,
+                                     graph::WeightDist::uniform(1, 50),
+                                     graph::WeightDist::uniform(1, 100));
+  double K = t.max_vertex_weight() +
+             0.01 * (t.total_vertex_weight() - t.max_vertex_weight());
+  return Instance{std::move(t), K};
 }
 
 }  // namespace
 
-// The published scan is quadratic: keep its sizes modest.
-BENCHMARK(BM_scan)->Arg(1 << 8)->Arg(1 << 10)->Arg(1 << 12)->ArgName("n");
-BENCHMARK(BM_bsearch)
-    ->Arg(1 << 8)
-    ->Arg(1 << 10)
-    ->Arg(1 << 12)
-    ->Arg(1 << 15)
-    ->Arg(1 << 18)
-    ->ArgName("n");
+int main(int argc, char** argv) {
+  std::string json_path;
+  bench::HarnessOptions opt = bench::parse_args(argc, argv, &json_path);
+  bench::Harness h("bottleneck_runtime", opt);
+  util::Arena arena;
 
-BENCHMARK_MAIN();
+  // The published scan is quadratic: keep its sizes modest.
+  std::vector<int> scan_sizes = opt.quick ? std::vector<int>{1 << 8}
+                                          : std::vector<int>{1 << 8, 1 << 10,
+                                                             1 << 12};
+  std::vector<int> bsearch_sizes =
+      opt.quick ? std::vector<int>{1 << 10}
+                : std::vector<int>{1 << 8, 1 << 10, 1 << 12, 1 << 15,
+                                   1 << 18};
+
+  char name[96];
+  for (int n : scan_sizes) {
+    Instance inst = instance(n);
+    std::snprintf(name, sizeof name, "scan/n=%d", n);
+    h.run(name, n, [&] {
+      auto r = core::bottleneck_min_scan(inst.tree, inst.K, nullptr, &arena);
+      (void)r.threshold;
+    });
+  }
+  for (int n : bsearch_sizes) {
+    Instance inst = instance(n);
+    std::snprintf(name, sizeof name, "bsearch/n=%d", n);
+    h.run(name, n, [&] {
+      auto r = core::bottleneck_min_bsearch(inst.tree, inst.K, nullptr,
+                                            &arena);
+      (void)r.threshold;
+    });
+  }
+
+  h.print_table();
+  if (!json_path.empty() && !h.write_json(json_path)) return 1;
+  return 0;
+}

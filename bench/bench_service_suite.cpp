@@ -1,0 +1,145 @@
+// The tracked service-path perf suite — emits BENCH_service.json.
+//
+// Measures the runtime layers the flat-graph overhaul touched *around*
+// the solvers: canonicalization + fingerprinting, the memo-cache hit
+// path (get_into into per-worker scratch), and whole batches through the
+// worker pool.  Same contract as bench_core_suite: pinned seeds, JSON
+// artifact, gated by tools/bench_diff in CI.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_harness.hpp"
+#include "graph/fingerprint.hpp"
+#include "graph/generators.hpp"
+#include "svc/service.hpp"
+#include "util/arena.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace tgp;
+
+graph::Tree make_tree(int n, unsigned salt, double* K) {
+  util::Pcg32 rng(0x5E1Fu ^ (salt * 2654435761u) ^ static_cast<unsigned>(n));
+  graph::Tree t = graph::random_tree(rng, n,
+                                     graph::WeightDist::uniform(1, 50),
+                                     graph::WeightDist::uniform(1, 100));
+  *K = t.max_vertex_weight() +
+       0.02 * (t.total_vertex_weight() - t.max_vertex_weight());
+  return t;
+}
+
+graph::Chain make_chain(int n, unsigned salt, double* K) {
+  util::Pcg32 rng(0xC4A1u ^ (salt * 40503u) ^ static_cast<unsigned>(n));
+  graph::Chain c = graph::random_chain(rng, n,
+                                       graph::WeightDist::uniform(1, 100),
+                                       graph::WeightDist::uniform(1, 100));
+  *K = c.max_vertex_weight() +
+       0.01 * (c.total_vertex_weight() - c.max_vertex_weight());
+  return c;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  bench::HarnessOptions opt = bench::parse_args(argc, argv, &json_path);
+  bench::Harness h("service", opt);
+
+  const int tree_n = opt.quick ? 1 << 10 : 1 << 14;
+  const int chain_n = opt.quick ? 1 << 10 : 1 << 15;
+  const int batch = opt.quick ? 32 : 256;
+  const int distinct = 16;  // graphs per batch — 16x duplication
+
+  char name[96];
+
+  {
+    double K = 0;
+    graph::Tree t = make_tree(tree_n, 0, &K);
+    util::Arena arena;
+    std::snprintf(name, sizeof name, "canonical_tree/n=%d", tree_n);
+    h.run(name, tree_n, [&] {
+      auto ct = graph::canonical_tree(t, &arena);
+      (void)ct.orig_vertex.size();
+    });
+    std::snprintf(name, sizeof name, "tree_fingerprint/n=%d", tree_n);
+    h.run(name, tree_n, [&] {
+      auto fp = graph::tree_fingerprint(t, &arena);
+      (void)fp.lo;
+    });
+  }
+  {
+    double K = 0;
+    graph::Chain c = make_chain(chain_n, 0, &K);
+    std::snprintf(name, sizeof name, "chain_fingerprint/n=%d", chain_n);
+    h.run(name, chain_n, [&] {
+      auto fp = graph::chain_fingerprint(c);
+      (void)fp.lo;
+    });
+  }
+
+  // Whole batches through the pool.  Jobs repeat `distinct` graphs, so
+  // most solves hit the memo cache — this is the steady-state shape the
+  // per-worker arena + outcome scratch are built for.
+  {
+    std::vector<std::shared_ptr<const graph::Tree>> trees;
+    std::vector<double> ks;
+    for (int i = 0; i < distinct; ++i) {
+      double K = 0;
+      trees.push_back(std::make_shared<const graph::Tree>(
+          make_tree(tree_n, static_cast<unsigned>(i + 1), &K)));
+      ks.push_back(K);
+    }
+    svc::ServiceConfig cfg;
+    cfg.threads = 4;
+    cfg.watchdog_interval_micros = 0;
+    svc::PartitionService service(cfg);
+    std::snprintf(name, sizeof name, "service_batch_tree/n=%d/jobs=%d",
+                  tree_n, batch);
+    h.run(name, batch, [&] {
+      std::vector<svc::JobSpec> specs;
+      specs.reserve(static_cast<std::size_t>(batch));
+      for (int i = 0; i < batch; ++i) {
+        std::size_t g = static_cast<std::size_t>(i % distinct);
+        specs.push_back(svc::JobSpec::for_tree(
+            i % 2 == 0 ? svc::Problem::kBottleneck : svc::Problem::kProcMin,
+            ks[g], trees[g]));
+      }
+      auto results = service.run_batch(std::move(specs));
+      (void)results.size();
+    });
+  }
+  {
+    std::vector<std::shared_ptr<const graph::Chain>> chains;
+    std::vector<double> ks;
+    for (int i = 0; i < distinct; ++i) {
+      double K = 0;
+      chains.push_back(std::make_shared<const graph::Chain>(
+          make_chain(chain_n, static_cast<unsigned>(i + 1), &K)));
+      ks.push_back(K);
+    }
+    svc::ServiceConfig cfg;
+    cfg.threads = 4;
+    cfg.watchdog_interval_micros = 0;
+    svc::PartitionService service(cfg);
+    std::snprintf(name, sizeof name, "service_batch_chain/n=%d/jobs=%d",
+                  chain_n, batch);
+    h.run(name, batch, [&] {
+      std::vector<svc::JobSpec> specs;
+      specs.reserve(static_cast<std::size_t>(batch));
+      for (int i = 0; i < batch; ++i) {
+        std::size_t g = static_cast<std::size_t>(i % distinct);
+        specs.push_back(svc::JobSpec::for_chain(
+            i % 2 == 0 ? svc::Problem::kBandwidth : svc::Problem::kBottleneck,
+            ks[g], chains[g]));
+      }
+      auto results = service.run_batch(std::move(specs));
+      (void)results.size();
+    });
+  }
+
+  h.print_table();
+  if (!json_path.empty() && !h.write_json(json_path)) return 1;
+  return 0;
+}

@@ -23,12 +23,20 @@ BandwidthResult bandwidth_min_temps(const graph::Chain& chain,
                                     graph::Weight K,
                                     BandwidthInstrumentation* instr,
                                     SearchPolicy policy,
-                                    const util::CancelToken* cancel) {
-  std::vector<PrimeSubpath> primes = prime_subpaths(chain, K);
-  const int p = static_cast<int>(primes.size());
+                                    const util::CancelToken* cancel,
+                                    util::Arena* scratch) {
+  chain.validate();
+  TGP_REQUIRE(K >= chain.max_vertex_weight(),
+              "K must be at least the maximum vertex weight");
+  util::ScratchFrame frame(scratch);
+  graph::CsrView g = graph::csr_from_chain(chain, frame.arena());
+
+  PrimeSubpath* primes =
+      frame->alloc_array<PrimeSubpath>(static_cast<std::size_t>(g.n));
+  const int p = prime_subpaths_into(g, K, primes);
   if (instr) {
     *instr = {};
-    instr->n = chain.n();
+    instr->n = g.n;
     instr->p = p;
   }
   if (p == 0) {
@@ -36,14 +44,15 @@ BandwidthResult bandwidth_min_temps(const graph::Chain& chain,
     return {graph::Cut{}, 0};
   }
 
-  std::vector<ReducedEdge> edges = reduce_edges(chain, primes);
-  const int r = static_cast<int>(edges.size());
+  ReducedEdge* edges =
+      frame->alloc_array<ReducedEdge>(static_cast<std::size_t>(g.m));
+  const int r = reduce_edges_into(g, primes, p, edges);
   if (instr) {
     instr->r = r;
     std::uint64_t qsum = 0;
-    for (const ReducedEdge& e : edges) {
-      qsum += static_cast<std::uint64_t>(e.prime_count());
-      instr->q_max = std::max(instr->q_max, e.prime_count());
+    for (int i = 0; i < r; ++i) {
+      qsum += static_cast<std::uint64_t>(edges[i].prime_count());
+      instr->q_max = std::max(instr->q_max, edges[i].prime_count());
     }
     instr->q_avg = static_cast<double>(qsum) / r;
   }
@@ -52,22 +61,25 @@ BandwidthResult bandwidth_min_temps(const graph::Chain& chain,
   // subpaths 0..i — the paper's β(S_{i+1}) and S_{i+1}; filled in when
   // prime i closes.
   constexpr graph::Weight kInf = std::numeric_limits<graph::Weight>::infinity();
-  std::vector<graph::Weight> cost(static_cast<std::size_t>(p), kInf);
-  std::vector<int> sol(static_cast<std::size_t>(p), CutArena::kEmpty);
+  graph::Weight* cost =
+      frame->alloc_filled<graph::Weight>(static_cast<std::size_t>(p), kInf);
+  int* sol = frame->alloc_filled<int>(static_cast<std::size_t>(p),
+                                      CutArena::kEmpty);
 
-  CutArena arena;
-  TempsQueue q(r + 2);
+  CutArena arena(r, frame.arena());  // one cons() per reduced edge
+  TempsQueue q(r + 2, frame.arena());
   TempsStats* stats = instr ? &instr->temps : nullptr;
   int covered_max = -1;  // highest prime index any processed edge reached
 
   auto close_front = [&]() {
     int i = q.front().first_prime;
-    cost[static_cast<std::size_t>(i)] = q.front().w;
-    sol[static_cast<std::size_t>(i)] = q.front().solution;
+    cost[i] = q.front().w;
+    sol[i] = q.front().solution;
     q.drop_front_prime();
   };
 
-  for (const ReducedEdge& e : edges) {
+  for (int ei = 0; ei < r; ++ei) {
+    const ReducedEdge& e = edges[ei];
     if (cancel) cancel->poll();
     // Step 2: primes that do not contain this edge are complete; record
     // their optimum and retire them from the queue front.
@@ -78,10 +90,10 @@ BandwidthResult bandwidth_min_temps(const graph::Chain& chain,
     graph::Weight w = e.weight;
     int parent = CutArena::kEmpty;
     if (e.first_prime > 0) {
-      graph::Weight prev = cost[static_cast<std::size_t>(e.first_prime - 1)];
+      graph::Weight prev = cost[e.first_prime - 1];
       TGP_ENSURE(prev < kInf, "prefix optimum not yet closed");
       w += prev;
-      parent = sol[static_cast<std::size_t>(e.first_prime - 1)];
+      parent = sol[e.first_prime - 1];
     }
     int sid = arena.cons(e.edge, parent);
 
@@ -105,20 +117,34 @@ BandwidthResult bandwidth_min_temps(const graph::Chain& chain,
   // All edges processed: the remaining active primes (…, p−1) close with
   // the queue's current minima; the answer is S_p (paper: TEMP_S(4, BOTTOM)).
   while (!q.empty()) close_front();
-  TGP_ENSURE(cost[static_cast<std::size_t>(p - 1)] < kInf,
-             "final prime never closed");
+  TGP_ENSURE(cost[p - 1] < kInf, "final prime never closed");
 
   BandwidthResult result;
-  result.cut.edges = arena.materialize(sol[static_cast<std::size_t>(p - 1)]);
-  result.cut = result.cut.canonical();
-  result.cut_weight = cost[static_cast<std::size_t>(p - 1)];
+  arena.materialize_into(sol[p - 1], result.cut.edges);
+  // Solution edges are distinct reduced representatives, so an in-place
+  // sort is exactly Cut::canonical().
+  std::sort(result.cut.edges.begin(), result.cut.edges.end());
+  result.cut_weight = cost[p - 1];
 
-  TGP_ENSURE(graph::chain_cut_feasible(chain, result.cut, K),
-             "bandwidth_min_temps produced an infeasible cut");
-  TGP_ENSURE(std::abs(graph::chain_cut_weight(chain, result.cut) -
-                      result.cut_weight) <=
-                 1e-9 * (1.0 + std::abs(result.cut_weight)),
-             "recorded cut weight disagrees with the cut");
+  // Postcondition probes over the prefix view — allocation-free versions
+  // of chain_cut_feasible / chain_cut_weight.
+  {
+    const graph::Weight limit =
+        K + graph::load_epsilon(g.total_vertex_weight(), g.n);
+    int start = 0;
+    bool feasible = true;
+    for (int e : result.cut.edges) {
+      if (g.window(start, e) > limit) feasible = false;
+      start = e + 1;
+    }
+    if (g.window(start, g.n - 1) > limit) feasible = false;
+    TGP_ENSURE(feasible, "bandwidth_min_temps produced an infeasible cut");
+    graph::Weight recomputed = 0;
+    for (int e : result.cut.edges) recomputed += g.edge_weight[e];
+    TGP_ENSURE(std::abs(recomputed - result.cut_weight) <=
+                   1e-9 * (1.0 + std::abs(result.cut_weight)),
+               "recorded cut weight disagrees with the cut");
+  }
   return result;
 }
 

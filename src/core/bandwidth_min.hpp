@@ -60,11 +60,14 @@ enum class SearchPolicy {
 /// Postconditions: the cut is feasible and its weight is minimal (the
 /// test suite checks minimality against three independent baselines).
 /// `cancel` (optional) is polled once per reduced edge; a stop request
-/// unwinds with util::CancelledError.
+/// unwinds with util::CancelledError.  All transient state (primes,
+/// reduced edges, DP arrays, TEMP_S rows, solution cons-cells) lives in
+/// `scratch` (null = per-thread fallback arena), so steady state
+/// allocates nothing beyond the returned cut.
 BandwidthResult bandwidth_min_temps(
     const graph::Chain& chain, graph::Weight K,
     BandwidthInstrumentation* instr = nullptr,
     SearchPolicy policy = SearchPolicy::kBinary,
-    const util::CancelToken* cancel = nullptr);
+    const util::CancelToken* cancel = nullptr, util::Arena* scratch = nullptr);
 
 }  // namespace tgp::core

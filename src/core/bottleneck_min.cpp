@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <numeric>
 
+#include "core/csr_feasible.hpp"
+#include "graph/csr.hpp"
+#include "util/arena.hpp"
 #include "util/assert.hpp"
 
 namespace tgp::core {
@@ -14,23 +17,12 @@ void check_preconditions(const graph::Tree& tree, graph::Weight K) {
               "K must be at least the maximum vertex weight");
 }
 
-/// Feasibility of cutting exactly the edges marked in `removed`: single
-/// O(n) pass accumulating component weights with a DSU-free traversal.
-bool feasible_with_removed(const graph::Tree& tree,
-                           const std::vector<char>& removed,
-                           graph::Weight K) {
-  graph::Cut cut;
-  for (int e = 0; e < tree.edge_count(); ++e)
-    if (removed[static_cast<std::size_t>(e)]) cut.edges.push_back(e);
-  return graph::tree_cut_feasible(tree, cut, K);
-}
-
-std::vector<int> edges_by_weight(const graph::Tree& tree) {
-  std::vector<int> order(static_cast<std::size_t>(tree.edge_count()));
-  std::iota(order.begin(), order.end(), 0);
-  std::sort(order.begin(), order.end(), [&](int a, int b) {
-    if (tree.edge(a).weight != tree.edge(b).weight)
-      return tree.edge(a).weight < tree.edge(b).weight;
+int* edges_by_weight(const graph::CsrView& g, util::Arena& arena) {
+  int* order = arena.alloc_array<int>(static_cast<std::size_t>(g.m));
+  std::iota(order, order + g.m, 0);
+  std::sort(order, order + g.m, [&](int a, int b) {
+    if (g.edge_weight[a] != g.edge_weight[b])
+      return g.edge_weight[a] < g.edge_weight[b];
     return a < b;
   });
   return order;
@@ -39,21 +31,30 @@ std::vector<int> edges_by_weight(const graph::Tree& tree) {
 }  // namespace
 
 BottleneckResult bottleneck_min_scan(const graph::Tree& tree, graph::Weight K,
-                                     const util::CancelToken* cancel) {
+                                     const util::CancelToken* cancel,
+                                     util::Arena* arena) {
   check_preconditions(tree, K);
+  util::ScratchFrame frame(arena);
+  graph::CsrView g = graph::csr_from_tree(tree, frame.arena());
+
   BottleneckResult out;
-  std::vector<char> removed(static_cast<std::size_t>(tree.edge_count()), 0);
   // Empty cut first: the whole tree may already fit.
   ++out.feasibility_checks;
-  if (tree.total_vertex_weight() <= K) return out;
+  if (g.total_vertex_weight() <= K) return out;
 
-  for (int e : edges_by_weight(tree)) {
+  const graph::Weight limit =
+      K + graph::load_epsilon(g.total_vertex_weight(), g.n);
+  int* order = edges_by_weight(g, frame.arena());
+  ComponentScratch scratch(g, frame.arena());
+  out.cut.edges.reserve(static_cast<std::size_t>(g.m));
+  for (int i = 0; i < g.m; ++i) {
+    int e = order[i];
     if (cancel) cancel->poll();
-    removed[static_cast<std::size_t>(e)] = 1;
+    scratch.removed[e] = 1;
     out.cut.edges.push_back(e);
     ++out.feasibility_checks;
-    if (feasible_with_removed(tree, removed, K)) {
-      out.threshold = tree.edge(e).weight;
+    if (feasible_with_removed(g, scratch, limit)) {
+      out.threshold = g.edge_weight[e];
       return out;
     }
   }
@@ -63,23 +64,28 @@ BottleneckResult bottleneck_min_scan(const graph::Tree& tree, graph::Weight K,
 
 BottleneckResult bottleneck_min_bsearch(const graph::Tree& tree,
                                         graph::Weight K,
-                                        const util::CancelToken* cancel) {
+                                        const util::CancelToken* cancel,
+                                        util::Arena* arena) {
   check_preconditions(tree, K);
+  util::ScratchFrame frame(arena);
+  graph::CsrView g = graph::csr_from_tree(tree, frame.arena());
+
   BottleneckResult out;
   ++out.feasibility_checks;
-  if (tree.total_vertex_weight() <= K) return out;
+  if (g.total_vertex_weight() <= K) return out;
 
-  std::vector<int> order = edges_by_weight(tree);
+  const graph::Weight limit =
+      K + graph::load_epsilon(g.total_vertex_weight(), g.n);
+  int* order = edges_by_weight(g, frame.arena());
+  ComponentScratch scratch(g, frame.arena());
   // Find the smallest prefix length whose cut is feasible.  Feasibility is
   // monotone in the prefix length, so binary search applies.
   int lo = 1;
-  int hi = static_cast<int>(order.size());
-  std::vector<char> removed(static_cast<std::size_t>(tree.edge_count()), 0);
+  int hi = g.m;
   auto prefix_feasible = [&](int len) {
-    std::fill(removed.begin(), removed.end(), 0);
-    for (int i = 0; i < len; ++i)
-      removed[static_cast<std::size_t>(order[static_cast<std::size_t>(i)])] = 1;
-    return feasible_with_removed(tree, removed, K);
+    std::fill(scratch.removed, scratch.removed + g.m, 0);
+    for (int i = 0; i < len; ++i) scratch.removed[order[i]] = 1;
+    return feasible_with_removed(g, scratch, limit);
   };
   while (lo < hi) {
     if (cancel) cancel->poll();
@@ -90,12 +96,17 @@ BottleneckResult bottleneck_min_bsearch(const graph::Tree& tree,
     else
       lo = mid + 1;
   }
-  out.cut.edges.assign(order.begin(), order.begin() + lo);
-  out.cut = out.cut.canonical();
-  out.threshold =
-      tree.edge(order[static_cast<std::size_t>(lo) - 1]).weight;
-  TGP_ENSURE(graph::tree_cut_feasible(tree, out.cut, K),
-             "bsearch bottleneck cut infeasible");
+  // The lo-long prefix holds distinct edge indices, so sorting it in
+  // place is exactly Cut::canonical() without the copies.
+  out.cut.edges.assign(order, order + lo);
+  std::sort(out.cut.edges.begin(), out.cut.edges.end());
+  out.threshold = g.edge_weight[order[lo - 1]];
+  {
+    std::fill(scratch.removed, scratch.removed + g.m, 0);
+    for (int e : out.cut.edges) scratch.removed[e] = 1;
+    TGP_ENSURE(feasible_with_removed(g, scratch, limit),
+               "bsearch bottleneck cut infeasible");
+  }
   return out;
 }
 

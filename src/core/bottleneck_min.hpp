@@ -15,6 +15,7 @@
 
 #include "graph/cutset.hpp"
 #include "graph/tree.hpp"
+#include "util/arena.hpp"
 #include "util/cancel.hpp"
 
 namespace tgp::core {
@@ -30,13 +31,18 @@ struct BottleneckResult {
 /// edge at a time, re-checking feasibility after each insertion — O(n²).
 /// Both variants poll `cancel` (when given) once per outer-loop step and
 /// unwind with util::CancelledError on a stop request.
+///
+/// Both variants iterate a flat graph::CsrView and draw all scratch from
+/// `arena` (null = a per-thread fallback arena): after a warm-up call the
+/// steady-state path performs no heap allocation beyond the returned cut.
 BottleneckResult bottleneck_min_scan(const graph::Tree& tree, graph::Weight K,
-                                     const util::CancelToken* cancel = nullptr);
+                                     const util::CancelToken* cancel = nullptr,
+                                     util::Arena* arena = nullptr);
 
 /// Same optimum via binary search over the sorted distinct edge weights
 /// with an O(n) feasibility probe per step — O(n log n).
 BottleneckResult bottleneck_min_bsearch(
     const graph::Tree& tree, graph::Weight K,
-    const util::CancelToken* cancel = nullptr);
+    const util::CancelToken* cancel = nullptr, util::Arena* arena = nullptr);
 
 }  // namespace tgp::core

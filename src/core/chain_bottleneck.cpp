@@ -1,45 +1,67 @@
 #include "core/chain_bottleneck.hpp"
 
 #include <algorithm>
-#include <deque>
 
 #include "core/prime_subpaths.hpp"
+#include "graph/csr.hpp"
 #include "util/assert.hpp"
 
 namespace tgp::core {
 
 BottleneckResult chain_bottleneck_min(const graph::Chain& chain,
-                                      graph::Weight K) {
-  std::vector<PrimeSubpath> primes = prime_subpaths(chain, K);
+                                      graph::Weight K, util::Arena* arena) {
+  chain.validate();
+  TGP_REQUIRE(K >= chain.max_vertex_weight(),
+              "K must be at least the maximum vertex weight");
+  util::ScratchFrame frame(arena);
+  graph::CsrView g = graph::csr_from_chain(chain, frame.arena());
+
+  PrimeSubpath* primes =
+      frame->alloc_array<PrimeSubpath>(static_cast<std::size_t>(g.n));
+  const int p = prime_subpaths_into(g, K, primes);
   BottleneckResult out;
-  if (primes.empty()) return out;  // whole chain fits: empty cut
+  if (p == 0) return out;  // whole chain fits: empty cut
 
   // Sliding-window minimum over edge weights; prime windows are sorted on
-  // both ends, so one monotone deque serves all of them in O(n).
-  std::deque<int> dq;  // edge indices, weights increasing front to back
+  // both ends, so one monotone queue serves all of them in O(n).  Each
+  // edge index is pushed at most once overall, so a flat m-slot ring
+  // replaces the deque.
+  int* dq = frame->alloc_array<int>(static_cast<std::size_t>(g.m));
+  int head = 0, tail = 0;  // live entries dq[head..tail)
   int pushed = -1;
-  auto weight = [&](int e) {
-    return chain.edge_weight[static_cast<std::size_t>(e)];
-  };
-  for (const PrimeSubpath& p : primes) {
-    while (pushed < p.last_edge()) {
+  auto weight = [&](int e) { return g.edge_weight[e]; };
+  for (int pi = 0; pi < p; ++pi) {
+    const PrimeSubpath& prime = primes[pi];
+    while (pushed < prime.last_edge()) {
       ++pushed;
-      while (!dq.empty() && weight(dq.back()) >= weight(pushed))
-        dq.pop_back();
-      dq.push_back(pushed);
+      while (tail > head && weight(dq[tail - 1]) >= weight(pushed)) --tail;
+      dq[tail++] = pushed;
     }
-    while (dq.front() < p.first_edge()) dq.pop_front();
-    int best = dq.front();
+    while (dq[head] < prime.first_edge()) ++head;
+    int best = dq[head];
     out.threshold = std::max(out.threshold, weight(best));
     if (out.cut.edges.empty() || out.cut.edges.back() != best)
       out.cut.edges.push_back(best);
   }
-  out.cut = out.cut.canonical();
+  // Window fronts only move right, so the collected edges are already
+  // sorted and unique — canonical form by construction.
   ++out.feasibility_checks;
-  TGP_ENSURE(graph::chain_cut_feasible(chain, out.cut, K),
-             "chain bottleneck cut infeasible");
-  TGP_ENSURE(graph::chain_cut_max_edge(chain, out.cut) == out.threshold,
-             "threshold disagrees with the chosen cut");
+  {
+    const graph::Weight limit =
+        K + graph::load_epsilon(g.total_vertex_weight(), g.n);
+    int start = 0;
+    bool feasible = true;
+    for (int e : out.cut.edges) {
+      if (g.window(start, e) > limit) feasible = false;
+      start = e + 1;
+    }
+    if (g.window(start, g.n - 1) > limit) feasible = false;
+    TGP_ENSURE(feasible, "chain bottleneck cut infeasible");
+    graph::Weight max_edge = 0;
+    for (int e : out.cut.edges) max_edge = std::max(max_edge, weight(e));
+    TGP_ENSURE(max_edge == out.threshold,
+               "threshold disagrees with the chosen cut");
+  }
   return out;
 }
 

@@ -21,8 +21,11 @@ namespace tgp::core {
 /// O(n) bottleneck minimization on a chain.  The returned cut takes the
 /// minimum-weight edge of every prime subpath (deduplicated), so it is
 /// feasible, and its max edge equals the optimal threshold.
-/// Preconditions: chain valid, K ≥ max vertex weight.
+/// Preconditions: chain valid, K ≥ max vertex weight.  Scratch (primes
+/// and the sliding-window ring) comes from `arena` (null = per-thread
+/// fallback); steady state allocates nothing beyond the returned cut.
 BottleneckResult chain_bottleneck_min(const graph::Chain& chain,
-                                      graph::Weight K);
+                                      graph::Weight K,
+                                      util::Arena* arena = nullptr);
 
 }  // namespace tgp::core

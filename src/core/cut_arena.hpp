@@ -10,6 +10,7 @@
 
 #include <vector>
 
+#include "util/arena.hpp"
 #include "util/assert.hpp"
 
 namespace tgp::core {
@@ -19,30 +20,60 @@ class CutArena {
   /// Id of the empty solution set.
   static constexpr int kEmpty = -1;
 
+  /// Heap-backed (grows on demand).
+  CutArena() = default;
+
+  /// Arena-backed with a fixed capacity — one node per cons() call, and
+  /// the algorithm calls cons() once per non-redundant edge, so the exact
+  /// capacity is known up front.  Exceeding it is a bug (TGP_REQUIRE).
+  CutArena(int capacity, util::Arena& arena)
+      : nodes_(arena.alloc_array<Node>(static_cast<std::size_t>(capacity))),
+        cap_(capacity) {}
+
   /// New solution = {edge} ∪ solution(parent).  O(1).
   int cons(int edge, int parent) {
-    TGP_REQUIRE(parent >= kEmpty && parent < size(), "bad parent id");
-    nodes_.push_back({edge, parent});
-    return size() - 1;
+    TGP_REQUIRE(parent >= kEmpty && parent < size_, "bad parent id");
+    if (size_ == cap_) grow();
+    nodes_[size_] = {edge, parent};
+    return size_++;
   }
 
   /// Edge indices of solution `id`, most recent first.
   std::vector<int> materialize(int id) const {
-    TGP_REQUIRE(id >= kEmpty && id < size(), "bad solution id");
     std::vector<int> out;
-    for (int cur = id; cur != kEmpty; cur = nodes_[static_cast<std::size_t>(cur)].parent)
-      out.push_back(nodes_[static_cast<std::size_t>(cur)].edge);
+    materialize_into(id, out);
     return out;
   }
 
-  int size() const { return static_cast<int>(nodes_.size()); }
+  /// Append solution `id`'s edges (most recent first) to `out` — lets the
+  /// caller reuse its result buffer instead of taking a fresh vector.
+  void materialize_into(int id, std::vector<int>& out) const {
+    TGP_REQUIRE(id >= kEmpty && id < size_, "bad solution id");
+    for (int cur = id; cur != kEmpty; cur = nodes_[cur].parent)
+      out.push_back(nodes_[cur].edge);
+  }
+
+  int size() const { return size_; }
 
  private:
   struct Node {
     int edge;
     int parent;
   };
-  std::vector<Node> nodes_;
+
+  void grow() {
+    TGP_REQUIRE(owned_.data() == nodes_ || nodes_ == nullptr,
+                "arena-backed CutArena capacity exceeded");
+    std::size_t next = cap_ == 0 ? 64 : static_cast<std::size_t>(cap_) * 2;
+    owned_.resize(next);
+    nodes_ = owned_.data();
+    cap_ = static_cast<int>(next);
+  }
+
+  std::vector<Node> owned_;  ///< backing store for the heap ctor only
+  Node* nodes_ = nullptr;    ///< node storage (owned_ or arena memory)
+  int size_ = 0;
+  int cap_ = 0;
 };
 
 }  // namespace tgp::core

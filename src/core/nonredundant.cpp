@@ -27,37 +27,37 @@ std::vector<EdgeMembership> edge_memberships(
   return out;
 }
 
-std::vector<ReducedEdge> reduce_edges(
-    const graph::Chain& chain, const std::vector<PrimeSubpath>& primes) {
-  std::vector<EdgeMembership> member = edge_memberships(chain, primes);
-  std::vector<ReducedEdge> out;
-  out.reserve(2 * primes.size() + 1);
-  for (int j = 0; j < chain.edge_count(); ++j) {
-    const EdgeMembership& m = member[static_cast<std::size_t>(j)];
-    if (!m.covered()) continue;
-    graph::Weight w = chain.edge_weight[static_cast<std::size_t>(j)];
-    if (!out.empty() && out.back().first_prime == m.first_prime &&
-        out.back().last_prime == m.last_prime) {
+int reduce_edges_into(const graph::CsrView& g, const PrimeSubpath* primes,
+                      int p, ReducedEdge* out) {
+  const int m = g.m;
+  int count = 0;
+  // Membership pointers advanced inline — same monotone two-pointer sweep
+  // as edge_memberships, without materializing the per-edge array.
+  int c = 0;   // first prime with last_edge >= j
+  int d = -1;  // last prime with first_edge <= j
+  for (int j = 0; j < m; ++j) {
+    while (c < p && primes[c].last_edge() < j) ++c;
+    while (d + 1 < p && primes[d + 1].first_edge() <= j) ++d;
+    if (c > d) continue;  // edge belongs to no prime subpath
+    graph::Weight w = g.edge_weight[j];
+    if (count > 0 && out[count - 1].first_prime == c &&
+        out[count - 1].last_prime == d) {
       // Same membership set: keep only the lightest representative.
-      if (w < out.back().weight) {
-        out.back().weight = w;
-        out.back().edge = j;
+      if (w < out[count - 1].weight) {
+        out[count - 1].weight = w;
+        out[count - 1].edge = j;
       }
     } else {
-      out.push_back({j, m.first_prime, m.last_prime, w});
+      out[count++] = {j, c, d, w};
     }
   }
-  if (!primes.empty()) {
-    TGP_ENSURE(!out.empty(), "primes exist but no covered edges");
-    TGP_ENSURE(static_cast<int>(out.size()) <=
-                   2 * static_cast<int>(primes.size()) - 1,
-               "more than 2p-1 non-redundant edges");
+  if (p > 0) {
+    TGP_ENSURE(count > 0, "primes exist but no covered edges");
+    TGP_ENSURE(count <= 2 * p - 1, "more than 2p-1 non-redundant edges");
     // Every prime subpath must be covered contiguously.
-    TGP_ENSURE(out.front().first_prime == 0, "first prime uncovered");
-    TGP_ENSURE(out.back().last_prime ==
-                   static_cast<int>(primes.size()) - 1,
-               "last prime uncovered");
-    for (std::size_t i = 1; i < out.size(); ++i) {
+    TGP_ENSURE(out[0].first_prime == 0, "first prime uncovered");
+    TGP_ENSURE(out[count - 1].last_prime == p - 1, "last prime uncovered");
+    for (int i = 1; i < count; ++i) {
       TGP_ENSURE(out[i].first_prime <= out[i - 1].last_prime + 1,
                  "prime subpath skipped by reduced edges");
       TGP_ENSURE(out[i].first_prime >= out[i - 1].first_prime &&
@@ -65,7 +65,18 @@ std::vector<ReducedEdge> reduce_edges(
                  "reduced edge ranges not monotone");
     }
   }
-  return out;
+  return count;
+}
+
+std::vector<ReducedEdge> reduce_edges(
+    const graph::Chain& chain, const std::vector<PrimeSubpath>& primes) {
+  util::ScratchFrame frame(nullptr);
+  graph::CsrView g = graph::csr_from_chain(chain, frame.arena());
+  ReducedEdge* buf = frame->alloc_array<ReducedEdge>(
+      static_cast<std::size_t>(chain.edge_count()));
+  int count = reduce_edges_into(g, primes.data(),
+                                static_cast<int>(primes.size()), buf);
+  return std::vector<ReducedEdge>(buf, buf + count);
 }
 
 }  // namespace tgp::core

@@ -37,6 +37,13 @@ struct ReducedEdge {
 std::vector<ReducedEdge> reduce_edges(const graph::Chain& chain,
                                       const std::vector<PrimeSubpath>& primes);
 
+/// Allocation-free core: reduce into `out` (caller-provided, capacity ≥
+/// the chain's edge count) and return the count.  `g` must be a chain
+/// view (csr_from_chain); `primes` has `p` entries from
+/// prime_subpaths_into on the same view and K.
+int reduce_edges_into(const graph::CsrView& g, const PrimeSubpath* primes,
+                      int p, ReducedEdge* out);
+
 /// Membership range of every edge (first_prime > last_prime encodes "edge
 /// belongs to no prime subpath").  Exposed separately for tests and for the
 /// Figure-2 instrumentation.

@@ -21,31 +21,27 @@ bool is_prime(const graph::ChainPrefix& prefix, int first_vertex,
   return true;
 }
 
-std::vector<PrimeSubpath> prime_subpaths(const graph::Chain& chain,
-                                         graph::Weight K) {
-  chain.validate();
-  TGP_REQUIRE(K >= chain.max_vertex_weight(),
-              "K must be at least the maximum vertex weight");
-  graph::ChainPrefix prefix(chain);
-  std::vector<PrimeSubpath> out;
-  int n = chain.n();
+int prime_subpaths_into(const graph::CsrView& g, graph::Weight K,
+                        PrimeSubpath* out) {
+  const int n = g.n;
+  int count = 0;
   // Slightly relaxed bound so prefix-sum rounding cannot make a single
   // vertex look critical when K equals the maximum vertex weight.
   const graph::Weight k_eff =
-      K + graph::load_epsilon(chain.total_vertex_weight(), n);
+      K + graph::load_epsilon(g.total_vertex_weight(), n);
   int lo = 0;  // smallest window start with window(lo, r) <= K
   for (int r = 0; r < n; ++r) {
-    while (lo < r && prefix.window(lo, r) > k_eff) ++lo;
+    while (lo < r && g.window(lo, r) > k_eff) ++lo;
     if (lo == 0) continue;                  // no critical window ends at r
     // [lo-1, r] is critical and left-minimal.  It is prime iff it is also
     // right-minimal, i.e. [lo-1, r-1] is not critical.
-    if (prefix.window(lo - 1, r - 1) <= k_eff) {
-      out.push_back({lo - 1, r, prefix.window(lo - 1, r)});
+    if (g.window(lo - 1, r - 1) <= k_eff) {
+      out[count++] = {lo - 1, r, g.window(lo - 1, r)};
     }
   }
   // Postconditions from the paper: subpaths strictly ordered on both ends,
   // each spanning at least one edge.
-  for (std::size_t i = 0; i < out.size(); ++i) {
+  for (int i = 0; i < count; ++i) {
     TGP_ENSURE(out[i].edge_span() >= 1, "prime subpath without edges");
     if (i > 0) {
       TGP_ENSURE(out[i - 1].first_vertex < out[i].first_vertex &&
@@ -53,7 +49,20 @@ std::vector<PrimeSubpath> prime_subpaths(const graph::Chain& chain,
                  "prime subpaths not strictly ordered");
     }
   }
-  return out;
+  return count;
+}
+
+std::vector<PrimeSubpath> prime_subpaths(const graph::Chain& chain,
+                                         graph::Weight K) {
+  chain.validate();
+  TGP_REQUIRE(K >= chain.max_vertex_weight(),
+              "K must be at least the maximum vertex weight");
+  util::ScratchFrame frame(nullptr);
+  graph::CsrView g = graph::csr_from_chain(chain, frame.arena());
+  PrimeSubpath* buf =
+      frame->alloc_array<PrimeSubpath>(static_cast<std::size_t>(chain.n()));
+  int count = prime_subpaths_into(g, K, buf);
+  return std::vector<PrimeSubpath>(buf, buf + count);
 }
 
 }  // namespace tgp::core

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "graph/chain.hpp"
+#include "graph/csr.hpp"
 
 namespace tgp::core {
 
@@ -37,6 +38,13 @@ struct PrimeSubpath {
 /// partition exists; the caller must reject such K).
 std::vector<PrimeSubpath> prime_subpaths(const graph::Chain& chain,
                                          graph::Weight K);
+
+/// Allocation-free core: enumerate into `out` (caller-provided, capacity
+/// ≥ n) and return the count.  `g` must be a chain view (csr_from_chain).
+/// The vector wrapper above validates the chain first; callers of this
+/// variant are expected to have done so.
+int prime_subpaths_into(const graph::CsrView& g, graph::Weight K,
+                        PrimeSubpath* out);
 
 /// Sanity predicate used by tests: true iff `sub` is critical and minimal.
 bool is_prime(const graph::ChainPrefix& prefix, int first_vertex,

@@ -4,13 +4,15 @@
 #include <climits>
 #include <map>
 
+#include "core/csr_feasible.hpp"
+#include "graph/csr.hpp"
 #include "util/assert.hpp"
 
 namespace tgp::core {
 
 ProcMinResult proc_min(const graph::Tree& tree, graph::Weight K,
                        std::vector<ProcMinStep>* trace,
-                       const util::CancelToken* cancel) {
+                       const util::CancelToken* cancel, util::Arena* arena) {
   if (trace) trace->clear();
   TGP_REQUIRE(K >= tree.max_vertex_weight(),
               "K must be at least the maximum vertex weight");
@@ -18,64 +20,77 @@ ProcMinResult proc_min(const graph::Tree& tree, graph::Weight K,
   ProcMinResult out;
   if (n == 1) return out;
 
+  util::ScratchFrame frame(arena);
+  graph::CsrView g = graph::csr_from_tree(tree, frame.arena());
+
   // Root anywhere and process children-before-parents: when vertex v is
   // processed every child has been contracted to a residual-weight leaf,
   // which is exactly the paper's "internal node adjacent to at most one
   // internal node" schedule.
-  std::vector<int> parent, parent_edge;
-  tree.root_at(0, parent, parent_edge);
-  std::vector<int> order = tree.bfs_order(0);
+  graph::RootedView rooted = graph::root_csr(g, 0, frame.arena());
   // Accept loads only up to half the checker's tolerance: the greedy
   // accumulates component weights in a different order than the
   // feasibility checker, so its acceptance margin must sit strictly
   // inside the checker's.
   const graph::Weight k_eff =
-      K + 0.5 * graph::load_epsilon(tree.total_vertex_weight(), n);
+      K + 0.5 * graph::load_epsilon(g.total_vertex_weight(), n);
 
-  std::vector<graph::Weight> residual(static_cast<std::size_t>(n));
-  for (int v = 0; v < n; ++v)
-    residual[static_cast<std::size_t>(v)] = tree.vertex_weight(v);
+  graph::Weight* residual =
+      frame->alloc_array<graph::Weight>(static_cast<std::size_t>(n));
+  for (int v = 0; v < n; ++v) residual[v] = g.vertex_weight[v];
+  // A vertex's children are contiguous in no array, so collect them per
+  // step; degree(v) bounds the count.
+  int* children = frame->alloc_array<int>(static_cast<std::size_t>(n));
+  util::ArenaVector<int> cut_edges(frame.arena(),
+                                   static_cast<std::size_t>(g.m));
 
-  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+  for (int i = n - 1; i >= 0; --i) {
     if (cancel) cancel->poll();
-    int v = *it;
+    int v = rooted.order[i];
     // Collect contracted children (paper: leaves adjacent to v).
-    std::vector<int> children;
-    graph::Weight lump = residual[static_cast<std::size_t>(v)];
-    for (auto [u, e] : tree.neighbors(v)) {
-      if (parent[static_cast<std::size_t>(u)] == v) {
-        children.push_back(u);
-        lump += residual[static_cast<std::size_t>(u)];
+    int child_count = 0;
+    graph::Weight lump = residual[v];
+    for (auto [u, e] : g.neighbors(v)) {
+      if (rooted.parent[u] == v) {
+        children[child_count++] = u;
+        lump += residual[u];
       }
     }
     if (lump <= k_eff) {  // step 4: absorb all leaves
-      residual[static_cast<std::size_t>(v)] = lump;
-      if (trace && !children.empty())
-        trace->push_back({v, lump, {}, lump});
+      residual[v] = lump;
+      if (trace && child_count > 0) trace->push_back({v, lump, {}, lump});
       continue;
     }
     // Step 5: prune heaviest leaves until the lump fits.
-    std::sort(children.begin(), children.end(), [&](int a, int b) {
-      return residual[static_cast<std::size_t>(a)] >
-             residual[static_cast<std::size_t>(b)];
-    });
+    std::sort(children, children + child_count,
+              [&](int a, int b) { return residual[a] > residual[b]; });
     graph::Weight original_lump = lump;
-    std::vector<int> pruned;
-    for (int c : children) {
+    std::vector<int> pruned;  // trace-only; empty unless requested
+    for (int ci = 0; ci < child_count; ++ci) {
       if (lump <= k_eff) break;
-      lump -= residual[static_cast<std::size_t>(c)];
-      out.cut.edges.push_back(parent_edge[static_cast<std::size_t>(c)]);
-      pruned.push_back(c);
+      int c = children[ci];
+      lump -= residual[c];
+      cut_edges.push_back(rooted.parent_edge[c]);
+      if (trace) pruned.push_back(c);
     }
     TGP_ENSURE(lump <= k_eff, "pruning all leaves must fit (w(v) <= K)");
-    residual[static_cast<std::size_t>(v)] = lump;
+    residual[v] = lump;
     if (trace) trace->push_back({v, original_lump, std::move(pruned), lump});
   }
 
-  out.cut = out.cut.canonical();
+  // The pruned parent edges are distinct, so sorting the collected list is
+  // exactly Cut::canonical() without the intermediate copies.
+  out.cut.edges.assign(cut_edges.begin(), cut_edges.end());
+  std::sort(out.cut.edges.begin(), out.cut.edges.end());
   out.components = out.cut.size() + 1;
-  TGP_ENSURE(graph::tree_cut_feasible(tree, out.cut, K),
-             "proc_min produced an infeasible cut");
+  {
+    ComponentScratch scratch(g, frame.arena());
+    for (int e : out.cut.edges) scratch.removed[e] = 1;
+    const graph::Weight limit =
+        K + graph::load_epsilon(g.total_vertex_weight(), n);
+    TGP_ENSURE(feasible_with_removed(g, scratch, limit),
+               "proc_min produced an infeasible cut");
+  }
   return out;
 }
 
@@ -155,12 +170,13 @@ ProcMinResult proc_min_oracle(const graph::Tree& tree, graph::Weight K) {
 
 TreePartitionResult bottleneck_then_proc_min(const graph::Tree& tree,
                                              graph::Weight K,
-                                             const util::CancelToken* cancel) {
-  BottleneckResult stage1 = bottleneck_min_bsearch(tree, K, cancel);
+                                             const util::CancelToken* cancel,
+                                             util::Arena* arena) {
+  BottleneckResult stage1 = bottleneck_min_bsearch(tree, K, cancel, arena);
   std::vector<int> original_edge;
   graph::Tree contracted =
       graph::contract_components(tree, stage1.cut, &original_edge);
-  ProcMinResult stage2 = proc_min(contracted, K, nullptr, cancel);
+  ProcMinResult stage2 = proc_min(contracted, K, nullptr, cancel, arena);
 
   TreePartitionResult out;
   out.bottleneck = stage1.threshold;

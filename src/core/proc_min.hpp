@@ -41,10 +41,13 @@ struct ProcMinStep {
 /// Algorithm 2.2: minimum-component partition of a tree, O(n log n).
 /// Pass `trace` to record every internal-node step in processing order.
 /// `cancel` (optional) is polled once per processed vertex; a stop
-/// request unwinds with util::CancelledError.
+/// request unwinds with util::CancelledError.  Scratch comes from `arena`
+/// (null = per-thread fallback); with no trace requested the steady-state
+/// path allocates nothing beyond the returned cut.
 ProcMinResult proc_min(const graph::Tree& tree, graph::Weight K,
                        std::vector<ProcMinStep>* trace = nullptr,
-                       const util::CancelToken* cancel = nullptr);
+                       const util::CancelToken* cancel = nullptr,
+                       util::Arena* arena = nullptr);
 
 /// Exact oracle via a Pareto dynamic program over (residual weight,
 /// cut count) states.  Exponential-state in the worst case — intended for
@@ -66,6 +69,6 @@ struct TreePartitionResult {
 /// `cancel` is forwarded to both stages.
 TreePartitionResult bottleneck_then_proc_min(
     const graph::Tree& tree, graph::Weight K,
-    const util::CancelToken* cancel = nullptr);
+    const util::CancelToken* cancel = nullptr, util::Arena* arena = nullptr);
 
 }  // namespace tgp::core

@@ -6,17 +6,25 @@ namespace tgp::core {
 
 TempsQueue::TempsQueue(int capacity) {
   TGP_REQUIRE(capacity >= 0, "negative capacity");
-  buf_.resize(static_cast<std::size_t>(capacity));
+  owned_.resize(static_cast<std::size_t>(capacity));
+  buf_ = owned_.data();
+  cap_ = capacity;
+}
+
+TempsQueue::TempsQueue(int capacity, util::Arena& arena) {
+  TGP_REQUIRE(capacity >= 0, "negative capacity");
+  buf_ = arena.alloc_array<TempsRow>(static_cast<std::size_t>(capacity));
+  cap_ = capacity;
 }
 
 const TempsRow& TempsQueue::row(int idx) const {
   TGP_REQUIRE(0 <= idx && idx < size_, "row index out of range");
-  return buf_[static_cast<std::size_t>(top_ + idx)];
+  return buf_[top_ + idx];
 }
 
 void TempsQueue::drop_front_prime() {
   TGP_REQUIRE(size_ > 0, "drop_front_prime on empty queue");
-  TempsRow& f = buf_[static_cast<std::size_t>(top_)];
+  TempsRow& f = buf_[top_];
   if (f.first_prime == f.last_prime) {
     ++top_;
     --size_;
@@ -93,9 +101,8 @@ void TempsQueue::collapse_from(int idx, TempsRow r) {
 
 void TempsQueue::push_back(TempsRow r) {
   TGP_REQUIRE(r.first_prime <= r.last_prime, "row range empty");
-  TGP_REQUIRE(top_ + size_ < static_cast<int>(buf_.size()),
-              "TEMP_S capacity exceeded");
-  buf_[static_cast<std::size_t>(top_ + size_)] = r;
+  TGP_REQUIRE(top_ + size_ < cap_, "TEMP_S capacity exceeded");
+  buf_[top_ + size_] = r;
   ++size_;
 }
 

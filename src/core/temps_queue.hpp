@@ -22,6 +22,7 @@
 #include <cstdint>
 
 #include "graph/weight.hpp"
+#include "util/arena.hpp"
 #include "util/assert.hpp"
 
 #include <vector>
@@ -55,6 +56,11 @@ class TempsQueue {
   /// `capacity` bounds the number of rows ever appended (≤ non-redundant
   /// edge count + 1 for the algorithm's usage).
   explicit TempsQueue(int capacity);
+
+  /// Arena-backed variant: the row buffer lives in `arena` (released by
+  /// the caller's scratch frame), so constructing the queue per solve is
+  /// heap-free.
+  TempsQueue(int capacity, util::Arena& arena);
 
   bool empty() const { return size_ == 0; }
   int rows() const { return size_; }
@@ -95,7 +101,9 @@ class TempsQueue {
   void check_invariants() const;
 
  private:
-  std::vector<TempsRow> buf_;
+  std::vector<TempsRow> owned_;  ///< backing store for the heap ctor only
+  TempsRow* buf_ = nullptr;      ///< row storage (owned_ or arena memory)
+  int cap_ = 0;
   int top_ = 0;   ///< buffer index of the TOP row
   int size_ = 0;  ///< number of live rows
 };

@@ -1,10 +1,11 @@
 #include "core/tree_bandwidth.hpp"
 
 #include <algorithm>
-#include <functional>
 #include <limits>
 #include <map>
 
+#include "core/csr_feasible.hpp"
+#include "graph/csr.hpp"
 #include "util/assert.hpp"
 
 namespace tgp::core {
@@ -87,23 +88,24 @@ TreeBandwidthResult tree_bandwidth_oracle(const graph::Tree& tree,
 
 TreeBandwidthResult tree_bandwidth_greedy(const graph::Tree& tree,
                                           graph::Weight K,
-                                          const util::CancelToken* cancel) {
+                                          const util::CancelToken* cancel,
+                                          util::Arena* arena) {
   TGP_REQUIRE(K >= tree.max_vertex_weight(),
               "K must be at least the maximum vertex weight");
   const int n = tree.n();
   TreeBandwidthResult out;
   if (n == 1) return out;
 
-  std::vector<int> parent, parent_edge;
-  tree.root_at(0, parent, parent_edge);
-  std::vector<int> order = tree.bfs_order(0);
+  util::ScratchFrame frame(arena);
+  graph::CsrView g = graph::csr_from_tree(tree, frame.arena());
+  graph::RootedView rooted = graph::root_csr(g, 0, frame.arena());
   // Accept loads only up to half the checker's tolerance (see proc_min).
   const graph::Weight k_eff =
-      K + 0.5 * graph::load_epsilon(tree.total_vertex_weight(), n);
+      K + 0.5 * graph::load_epsilon(g.total_vertex_weight(), n);
 
-  std::vector<graph::Weight> residual(static_cast<std::size_t>(n));
-  for (int v = 0; v < n; ++v)
-    residual[static_cast<std::size_t>(v)] = tree.vertex_weight(v);
+  graph::Weight* residual =
+      frame->alloc_array<graph::Weight>(static_cast<std::size_t>(n));
+  for (int v = 0; v < n; ++v) residual[v] = g.vertex_weight[v];
 
   struct Child {
     int vertex;
@@ -111,38 +113,40 @@ TreeBandwidthResult tree_bandwidth_greedy(const graph::Tree& tree,
     graph::Weight res;
     graph::Weight edge_w;
   };
-  constexpr std::size_t kExactFanout = 12;  // 2^12 subsets per node max
+  constexpr int kExactFanout = 12;  // 2^12 subsets per node max
+  Child* children = frame->alloc_array<Child>(static_cast<std::size_t>(n));
+  util::ArenaVector<int> cut_edges(frame.arena(),
+                                   static_cast<std::size_t>(g.m));
 
-  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+  for (int i = n - 1; i >= 0; --i) {
     if (cancel) cancel->poll();
-    int v = *it;
-    std::vector<Child> children;
-    graph::Weight lump = residual[static_cast<std::size_t>(v)];
-    for (auto [u, e] : tree.neighbors(v)) {
-      if (parent[static_cast<std::size_t>(u)] != v) continue;
-      children.push_back({u, e, residual[static_cast<std::size_t>(u)],
-                          tree.edge(e).weight});
-      lump += residual[static_cast<std::size_t>(u)];
+    int v = rooted.order[i];
+    int child_count = 0;
+    graph::Weight lump = residual[v];
+    for (auto [u, e] : g.neighbors(v)) {
+      if (rooted.parent[u] != v) continue;
+      children[child_count++] = {u, e, residual[u], g.edge_weight[e]};
+      lump += residual[u];
     }
     if (lump <= k_eff) {
-      residual[static_cast<std::size_t>(v)] = lump;
+      residual[v] = lump;
       continue;
     }
     graph::Weight must_shed = lump - k_eff;
-    if (children.size() <= kExactFanout) {
+    if (child_count <= kExactFanout) {
       // Per-node optimal shed: cheapest subset of child edges removing at
       // least `must_shed` weight; among those, shed the most (a smaller
       // residual can only help the ancestors).
-      const std::uint32_t limit = 1u << children.size();
+      const std::uint32_t limit = 1u << child_count;
       std::uint32_t best_mask = limit - 1;
       graph::Weight best_cost = kInf;
       graph::Weight best_shed = 0;
       for (std::uint32_t mask = 0; mask < limit; ++mask) {
         graph::Weight shed = 0, cost = 0;
-        for (std::size_t i = 0; i < children.size(); ++i) {
-          if ((mask >> i) & 1u) {
-            shed += children[i].res;
-            cost += children[i].edge_w;
+        for (int c = 0; c < child_count; ++c) {
+          if ((mask >> c) & 1u) {
+            shed += children[c].res;
+            cost += children[c].edge_w;
           }
         }
         if (shed < must_shed) continue;
@@ -154,81 +158,88 @@ TreeBandwidthResult tree_bandwidth_greedy(const graph::Tree& tree,
         }
       }
       TGP_ENSURE(best_cost < kInf, "shedding all children must fit");
-      for (std::size_t i = 0; i < children.size(); ++i) {
-        if ((best_mask >> i) & 1u) {
-          lump -= children[i].res;
-          out.cut.edges.push_back(children[i].edge);
-          out.cut_weight += children[i].edge_w;
+      for (int c = 0; c < child_count; ++c) {
+        if ((best_mask >> c) & 1u) {
+          lump -= children[c].res;
+          cut_edges.push_back(children[c].edge);
+          out.cut_weight += children[c].edge_w;
         }
       }
     } else {
       // Wide node: shed cheapest crossing weight per unit of load first.
-      std::sort(children.begin(), children.end(),
+      std::sort(children, children + child_count,
                 [](const Child& a, const Child& b) {
                   return a.edge_w * b.res < b.edge_w * a.res;
                 });
-      for (const Child& c : children) {
+      for (int c = 0; c < child_count; ++c) {
         if (lump <= k_eff) break;
-        lump -= c.res;
-        out.cut.edges.push_back(c.edge);
-        out.cut_weight += c.edge_w;
+        lump -= children[c].res;
+        cut_edges.push_back(children[c].edge);
+        out.cut_weight += children[c].edge_w;
       }
     }
     TGP_ENSURE(lump <= k_eff, "pruning did not reach the bound");
-    residual[static_cast<std::size_t>(v)] = lump;
+    residual[v] = lump;
   }
 
   // Redundancy elimination: bottom-up shedding can leave expensive cuts
   // that later cuts higher in the tree made unnecessary.  Try to restore
   // edges, most expensive first, whenever the merged component still fits.
+  ComponentScratch scratch(g, frame.arena());
   {
-    std::vector<graph::Weight> comp_weight =
-        graph::tree_component_weights(tree, out.cut);
-    std::vector<int> comp_of = graph::tree_components(tree, out.cut);
+    for (std::size_t i = 0; i < cut_edges.size(); ++i)
+      scratch.removed[cut_edges[i]] = 1;
+    int comp_count = assign_components(g, scratch);
+    component_weights(g, scratch, comp_count);
+    graph::Weight* comp_weight = scratch.comp_w;
+    const int* comp_of = scratch.comp;
     // Union-find over components as edges are restored.
-    std::vector<int> dsu(comp_weight.size());
-    for (std::size_t i = 0; i < dsu.size(); ++i) dsu[i] = static_cast<int>(i);
-    std::function<int(int)> find = [&](int x) {
-      while (dsu[static_cast<std::size_t>(x)] != x) {
-        dsu[static_cast<std::size_t>(x)] =
-            dsu[static_cast<std::size_t>(dsu[static_cast<std::size_t>(x)])];
-        x = dsu[static_cast<std::size_t>(x)];
+    int* dsu = frame->alloc_array<int>(static_cast<std::size_t>(comp_count));
+    for (int i = 0; i < comp_count; ++i) dsu[i] = i;
+    auto find = [&](int x) {
+      while (dsu[x] != x) {
+        dsu[x] = dsu[dsu[x]];
+        x = dsu[x];
       }
       return x;
     };
-    std::vector<int> by_weight = out.cut.edges;
-    std::sort(by_weight.begin(), by_weight.end(), [&](int a, int b) {
-      return tree.edge(a).weight > tree.edge(b).weight;
+    int* by_weight =
+        frame->alloc_array<int>(static_cast<std::size_t>(cut_edges.size()));
+    std::copy(cut_edges.begin(), cut_edges.end(), by_weight);
+    std::sort(by_weight, by_weight + cut_edges.size(), [&](int a, int b) {
+      return g.edge_weight[a] > g.edge_weight[b];
     });
-    std::vector<char> keep_cut(static_cast<std::size_t>(tree.edge_count()),
-                               0);
-    for (int e : out.cut.edges) keep_cut[static_cast<std::size_t>(e)] = 1;
-    for (int e : by_weight) {
-      int a = find(comp_of[static_cast<std::size_t>(tree.edge(e).u)]);
-      int b = find(comp_of[static_cast<std::size_t>(tree.edge(e).v)]);
+    // scratch.removed doubles as the keep-this-cut flag set.
+    for (std::size_t i = 0; i < cut_edges.size(); ++i) {
+      int e = by_weight[i];
+      int a = find(comp_of[g.edge_u[e]]);
+      int b = find(comp_of[g.edge_v[e]]);
       TGP_ENSURE(a != b, "cut edge inside one component");
-      if (comp_weight[static_cast<std::size_t>(a)] +
-              comp_weight[static_cast<std::size_t>(b)] <=
-          k_eff) {
-        dsu[static_cast<std::size_t>(a)] = b;
-        comp_weight[static_cast<std::size_t>(b)] +=
-            comp_weight[static_cast<std::size_t>(a)];
-        keep_cut[static_cast<std::size_t>(e)] = 0;
+      if (comp_weight[a] + comp_weight[b] <= k_eff) {
+        dsu[a] = b;
+        comp_weight[b] += comp_weight[a];
+        scratch.removed[e] = 0;
       }
     }
-    out.cut.edges.clear();
+    out.cut.edges.reserve(cut_edges.size());
     out.cut_weight = 0;
-    for (int e = 0; e < tree.edge_count(); ++e) {
-      if (keep_cut[static_cast<std::size_t>(e)]) {
+    for (int e = 0; e < g.m; ++e) {
+      if (scratch.removed[e]) {
         out.cut.edges.push_back(e);
-        out.cut_weight += tree.edge(e).weight;
+        out.cut_weight += g.edge_weight[e];
       }
     }
   }
 
-  out.cut = out.cut.canonical();
-  TGP_ENSURE(graph::tree_cut_feasible(tree, out.cut, K),
-             "greedy tree cut infeasible");
+  // The ascending-e rebuild above is already canonical (sorted, unique).
+  {
+    const graph::Weight limit =
+        K + graph::load_epsilon(g.total_vertex_weight(), n);
+    std::fill(scratch.removed, scratch.removed + g.m, 0);
+    for (int e : out.cut.edges) scratch.removed[e] = 1;
+    TGP_ENSURE(feasible_with_removed(g, scratch, limit),
+               "greedy tree cut infeasible");
+  }
   return out;
 }
 

@@ -21,6 +21,7 @@
 
 #include "graph/cutset.hpp"
 #include "graph/tree.hpp"
+#include "util/arena.hpp"
 #include "util/cancel.hpp"
 
 namespace tgp::core {
@@ -40,9 +41,11 @@ TreeBandwidthResult tree_bandwidth_oracle(
     const util::CancelToken* cancel = nullptr);
 
 /// Greedy heuristic: feasible always; optimal often; approximation
-/// quality measured in bench_tree_bandwidth.
+/// quality measured in bench_tree_bandwidth.  Scratch comes from `arena`
+/// (null = per-thread fallback); steady state allocates nothing beyond
+/// the returned cut.
 TreeBandwidthResult tree_bandwidth_greedy(
     const graph::Tree& tree, graph::Weight K,
-    const util::CancelToken* cancel = nullptr);
+    const util::CancelToken* cancel = nullptr, util::Arena* arena = nullptr);
 
 }  // namespace tgp::core

@@ -13,6 +13,10 @@ graph::TaskGraph process_graph(const Circuit& circuit,
   TGP_REQUIRE(static_cast<int>(activity.evaluations.size()) == circuit.n(),
               "activity profile does not match circuit");
   graph::TaskGraph g;
+  int fanin_total = 0;
+  for (int i = 0; i < circuit.n(); ++i)
+    fanin_total += static_cast<int>(circuit.gate(i).inputs.size());
+  g.reserve(circuit.n(), fanin_total);
   for (int i = 0; i < circuit.n(); ++i)
     g.add_node(1.0 + static_cast<double>(
                          activity.evaluations[static_cast<std::size_t>(i)]));

@@ -1,0 +1,118 @@
+#include "graph/csr.hpp"
+
+#include "util/assert.hpp"
+
+namespace tgp::graph {
+
+namespace {
+
+Weight* build_prefix(const Weight* w, int n, util::Arena& arena) {
+  Weight* prefix = arena.alloc_array<Weight>(static_cast<std::size_t>(n) + 1);
+  prefix[0] = 0;
+  for (int i = 0; i < n; ++i) prefix[i + 1] = prefix[i] + w[i];
+  return prefix;
+}
+
+}  // namespace
+
+CsrView csr_from_tree(const Tree& tree, util::Arena& arena) {
+  CsrView v;
+  v.n = tree.n();
+  v.m = tree.edge_count();
+  v.offsets = tree.adjacency_offsets().data();
+  v.adj = tree.adjacency_flat().data();
+  v.vertex_weight = tree.vertex_weights().data();
+  int* eu = arena.alloc_array<int>(static_cast<std::size_t>(v.m));
+  int* ev = arena.alloc_array<int>(static_cast<std::size_t>(v.m));
+  Weight* ew = arena.alloc_array<Weight>(static_cast<std::size_t>(v.m));
+  const std::vector<TreeEdge>& edges = tree.edges();
+  for (int e = 0; e < v.m; ++e) {
+    eu[e] = edges[static_cast<std::size_t>(e)].u;
+    ev[e] = edges[static_cast<std::size_t>(e)].v;
+    ew[e] = edges[static_cast<std::size_t>(e)].weight;
+  }
+  v.edge_u = eu;
+  v.edge_v = ev;
+  v.edge_weight = ew;
+  v.prefix = build_prefix(v.vertex_weight, v.n, arena);
+  return v;
+}
+
+CsrView csr_from_chain(const Chain& chain, util::Arena& arena) {
+  CsrView v;
+  v.n = chain.n();
+  v.m = chain.edge_count();
+  v.vertex_weight = chain.vertex_weight.data();
+  v.edge_weight = chain.edge_weight.data();
+  v.prefix = build_prefix(v.vertex_weight, v.n, arena);
+  return v;
+}
+
+CsrView csr_from_task_graph(const TaskGraph& g, util::Arena& arena) {
+  CsrView v;
+  v.n = g.n();
+  v.m = g.edge_count();
+  std::size_t n = static_cast<std::size_t>(v.n);
+  std::size_t m = static_cast<std::size_t>(v.m);
+
+  Weight* vw = arena.alloc_array<Weight>(n);
+  for (int i = 0; i < v.n; ++i) vw[i] = g.vertex_weight(i);
+  v.vertex_weight = vw;
+
+  int* off = arena.alloc_array<int>(n + 1);
+  auto* adj = arena.alloc_array<std::pair<int, int>>(2 * m);
+  off[0] = 0;
+  std::size_t k = 0;
+  for (int i = 0; i < v.n; ++i) {
+    for (auto [u, e] : g.neighbors(i)) adj[k++] = {u, e};
+    off[i + 1] = static_cast<int>(k);
+  }
+  v.offsets = off;
+  v.adj = adj;
+
+  int* eu = arena.alloc_array<int>(m);
+  int* ev = arena.alloc_array<int>(m);
+  Weight* ew = arena.alloc_array<Weight>(m);
+  for (int e = 0; e < v.m; ++e) {
+    const TaskGraph::Edge& edge = g.edge(e);
+    eu[e] = edge.u;
+    ev[e] = edge.v;
+    ew[e] = edge.weight;
+  }
+  v.edge_u = eu;
+  v.edge_v = ev;
+  v.edge_weight = ew;
+  v.prefix = build_prefix(v.vertex_weight, v.n, arena);
+  return v;
+}
+
+RootedView root_csr(const CsrView& g, int root, util::Arena& arena) {
+  TGP_REQUIRE(g.offsets != nullptr, "root_csr needs adjacency");
+  TGP_REQUIRE(0 <= root && root < g.n, "root out of range");
+  std::size_t n = static_cast<std::size_t>(g.n);
+  RootedView rv;
+  rv.n = g.n;
+  int* order = arena.alloc_array<int>(n);
+  int* parent = arena.alloc_filled<int>(n, -1);
+  int* parent_edge = arena.alloc_filled<int>(n, -1);
+  // The order array doubles as the BFS queue; parent[] doubles as the
+  // visited mark (−1 = unseen, except the root which is pinned below).
+  order[0] = root;
+  int tail = 1;
+  for (int head = 0; head < tail; ++head) {
+    int v = order[head];
+    for (auto [u, e] : g.neighbors(v)) {
+      if (u == root || parent[u] != -1) continue;
+      parent[u] = v;
+      parent_edge[u] = e;
+      order[tail++] = u;
+    }
+  }
+  TGP_ENSURE(tail == g.n, "tree CSR is not connected");
+  rv.order = order;
+  rv.parent = parent;
+  rv.parent_edge = parent_edge;
+  return rv;
+}
+
+}  // namespace tgp::graph

@@ -4,6 +4,8 @@
 #include <bit>
 #include <cstdio>
 
+#include "graph/csr.hpp"
+#include "util/arena.hpp"
 #include "util/assert.hpp"
 
 namespace tgp::graph {
@@ -46,11 +48,21 @@ constexpr std::uint64_t kTreeContentTag = 0x73EFull;
 
 // Rooted canonical data for one candidate root: per-vertex subtree hash
 // (edge-to-parent included via `lifted`), and children sorted canonically.
+// All arrays live in the caller's arena: the children lists are one flat
+// CSR-style (offsets, list) pair instead of the former vector-of-vectors,
+// so canonicalizing a tree costs zero heap allocations beyond the arena.
 struct RootedForm {
-  std::vector<int> parent, parent_edge;
-  std::vector<std::vector<int>> children;  // sorted canonically
-  std::vector<Fingerprint> lifted;         // subtree hash incl. parent edge
+  const int* parent = nullptr;
+  const int* parent_edge = nullptr;
+  int* child_off = nullptr;   // n+1 offsets into child_list
+  int* child_list = nullptr;  // children, sorted canonically per vertex
+  Fingerprint* lifted = nullptr;  // subtree hash incl. parent edge
   Fingerprint root_hash;
+
+  std::pair<const int*, const int*> children(int v) const {
+    return {child_list + child_off[v], child_list + child_off[v + 1]};
+  }
+  int child_count(int v) const { return child_off[v + 1] - child_off[v]; }
 };
 
 // Sort key giving children a canonical order: subtree hash first, then the
@@ -65,85 +77,101 @@ struct ChildKey {
   }
 };
 
-RootedForm rooted_form(const Tree& tree, int root) {
-  RootedForm rf;
-  tree.root_at(root, rf.parent, rf.parent_edge);
-  std::vector<int> order = tree.bfs_order(root);
+RootedForm rooted_form(const Tree& tree, const CsrView& g, int root,
+                       util::Arena& arena) {
   std::size_t n = static_cast<std::size_t>(tree.n());
-  rf.children.assign(n, {});
-  for (int v : order)
-    if (v != root)
-      rf.children[static_cast<std::size_t>(
-                      rf.parent[static_cast<std::size_t>(v)])]
-          .push_back(v);
+  RootedForm rf;
+  RootedView rv = root_csr(g, root, arena);
+  rf.parent = rv.parent;
+  rf.parent_edge = rv.parent_edge;
 
-  std::vector<Fingerprint> own(n);  // subtree hash excl. parent edge
-  rf.lifted.assign(n, {});
+  // Children as one flat CSR: count, prefix-sum, fill in BFS order.
+  rf.child_off = arena.alloc_filled<int>(n + 1, 0);
+  rf.child_list = arena.alloc_array<int>(n);  // every vertex but the root
+  for (int i = 0; i < rv.n; ++i) {
+    int v = rv.order[i];
+    if (v != root) ++rf.child_off[rf.parent[v] + 1];
+  }
+  for (std::size_t v = 0; v < n; ++v) rf.child_off[v + 1] += rf.child_off[v];
+  int* cursor = arena.alloc_array<int>(n);
+  std::copy(rf.child_off, rf.child_off + n, cursor);
+  for (int i = 0; i < rv.n; ++i) {
+    int v = rv.order[i];
+    if (v != root) rf.child_list[cursor[rf.parent[v]]++] = v;
+  }
+
+  Fingerprint* own = arena.alloc_array<Fingerprint>(n);  // excl. parent edge
+  rf.lifted = arena.alloc_filled<Fingerprint>(n, {});
   // Reverse BFS order = children before parents.
-  for (auto it = order.rbegin(); it != order.rend(); ++it) {
-    std::size_t v = static_cast<std::size_t>(*it);
-    auto& kids = rf.children[v];
-    std::sort(kids.begin(), kids.end(), [&](int a, int b) {
-      const Fingerprint& ha = rf.lifted[static_cast<std::size_t>(a)];
-      const Fingerprint& hb = rf.lifted[static_cast<std::size_t>(b)];
+  for (int i = rv.n - 1; i >= 0; --i) {
+    int v = rv.order[i];
+    int* kb = rf.child_list + rf.child_off[v];
+    int* ke = rf.child_list + rf.child_off[v + 1];
+    std::sort(kb, ke, [&](int a, int b) {
+      const Fingerprint& ha = rf.lifted[a];
+      const Fingerprint& hb = rf.lifted[b];
       ChildKey ka{ha.hi, ha.lo,
-                  weight_bits(tree.edge(rf.parent_edge[static_cast<std::size_t>(
-                                            a)]).weight)};
-      ChildKey kb{hb.hi, hb.lo,
-                  weight_bits(tree.edge(rf.parent_edge[static_cast<std::size_t>(
-                                            b)]).weight)};
-      return ka < kb;
+                  weight_bits(g.edge_weight[rf.parent_edge[a]])};
+      ChildKey kb2{hb.hi, hb.lo,
+                   weight_bits(g.edge_weight[rf.parent_edge[b]])};
+      return ka < kb2;
     });
     Fingerprint h = seed_fp(kTreeTag);
-    absorb(h, weight_bits(tree.vertex_weight(static_cast<int>(v))));
-    absorb(h, static_cast<std::uint64_t>(kids.size()));
-    for (int c : kids) {
-      const Fingerprint& hc = rf.lifted[static_cast<std::size_t>(c)];
+    absorb(h, weight_bits(g.vertex_weight[v]));
+    absorb(h, static_cast<std::uint64_t>(ke - kb));
+    for (int* c = kb; c != ke; ++c) {
+      const Fingerprint& hc = rf.lifted[*c];
       absorb(h, hc.hi);
       absorb(h, hc.lo);
     }
     own[v] = h;
-    if (static_cast<int>(v) != root) {
+    if (v != root) {
       Fingerprint up = own[v];
-      absorb(up,
-             weight_bits(tree.edge(rf.parent_edge[v]).weight));
+      absorb(up, weight_bits(g.edge_weight[rf.parent_edge[v]]));
       rf.lifted[v] = up;
     }
   }
-  rf.root_hash = own[static_cast<std::size_t>(root)];
+  rf.root_hash = own[root];
   return rf;
 }
 
 // Centroid(s) of a free tree: vertices minimizing the largest component
 // of T − v.  One or two exist; two only when they are adjacent.
-std::vector<int> centroids(const Tree& tree) {
+struct Centroids {
+  int c[2] = {0, 0};
+  int count = 1;
+};
+
+Centroids centroids(const Tree& tree, const CsrView& g, util::Arena& arena) {
   int n = tree.n();
-  if (n == 1) return {0};
-  std::vector<int> parent, parent_edge;
-  tree.root_at(0, parent, parent_edge);
-  std::vector<int> order = tree.bfs_order(0);
-  std::vector<int> size(static_cast<std::size_t>(n), 1);
-  std::vector<int> heaviest_child(static_cast<std::size_t>(n), 0);
-  for (auto it = order.rbegin(); it != order.rend(); ++it) {
-    int v = *it;
+  Centroids out;
+  if (n == 1) return out;
+  util::ScratchFrame frame(&arena);
+  RootedView rv = root_csr(g, 0, frame.arena());
+  std::size_t un = static_cast<std::size_t>(n);
+  int* size = frame->alloc_filled<int>(un, 1);
+  int* heaviest_child = frame->alloc_filled<int>(un, 0);
+  for (int i = n - 1; i >= 0; --i) {
+    int v = rv.order[i];
     if (v == 0) continue;
-    std::size_t p = static_cast<std::size_t>(parent[static_cast<std::size_t>(v)]);
-    size[p] += size[static_cast<std::size_t>(v)];
-    heaviest_child[p] = std::max(heaviest_child[p],
-                                 size[static_cast<std::size_t>(v)]);
+    int p = rv.parent[v];
+    size[p] += size[v];
+    heaviest_child[p] = std::max(heaviest_child[p], size[v]);
   }
   int best = n + 1;
-  std::vector<int> out;
+  out.count = 0;
   for (int v = 0; v < n; ++v) {
-    std::size_t sv = static_cast<std::size_t>(v);
-    int worst = std::max(heaviest_child[sv], n - size[sv]);
+    int worst = std::max(heaviest_child[v], n - size[v]);
     if (worst < best) {
       best = worst;
-      out.clear();
+      out.count = 0;
     }
-    if (worst == best) out.push_back(v);
+    if (worst == best) {
+      if (out.count < 2) out.c[out.count] = v;
+      ++out.count;
+    }
   }
-  TGP_ENSURE(!out.empty() && out.size() <= 2, "a tree has 1 or 2 centroids");
+  TGP_ENSURE(out.count >= 1 && out.count <= 2, "a tree has 1 or 2 centroids");
   return out;
 }
 
@@ -193,30 +221,32 @@ CanonicalChain canonical_chain(const Chain& chain) {
   return out;
 }
 
-CanonicalTree canonical_tree(const Tree& tree) {
+CanonicalTree canonical_tree(const Tree& tree, util::Arena* arena) {
   int n = tree.n();
-  std::vector<int> cands = centroids(tree);
-  RootedForm best = rooted_form(tree, cands[0]);
-  int root = cands[0];
-  if (cands.size() == 2) {
-    RootedForm other = rooted_form(tree, cands[1]);
+  util::ScratchFrame frame(arena);
+  CsrView g = csr_from_tree(tree, frame.arena());
+  Centroids cands = centroids(tree, g, frame.arena());
+  RootedForm best = rooted_form(tree, g, cands.c[0], frame.arena());
+  int root = cands.c[0];
+  if (cands.count == 2) {
+    RootedForm other = rooted_form(tree, g, cands.c[1], frame.arena());
     if (hash_less(other.root_hash, best.root_hash)) {
-      best = std::move(other);
-      root = cands[1];
+      best = other;
+      root = cands.c[1];
     }
   }
 
   // Preorder relabeling with canonical child order.
   std::vector<int> orig_vertex;
   orig_vertex.reserve(static_cast<std::size_t>(n));
-  std::vector<int> stack{root};
-  while (!stack.empty()) {
-    int v = stack.back();
-    stack.pop_back();
+  int* stack = frame->alloc_array<int>(static_cast<std::size_t>(n));
+  int top = 0;
+  stack[top++] = root;
+  while (top > 0) {
+    int v = stack[--top];
     orig_vertex.push_back(v);
-    const auto& kids = best.children[static_cast<std::size_t>(v)];
-    for (auto it = kids.rbegin(); it != kids.rend(); ++it)
-      stack.push_back(*it);
+    auto [kb, ke] = best.children(v);
+    for (const int* it = ke; it != kb; --it) stack[top++] = *(it - 1);
   }
   std::vector<int> new_index(static_cast<std::size_t>(n));
   for (int c = 0; c < n; ++c)
@@ -244,19 +274,49 @@ CanonicalTree canonical_tree(const Tree& tree) {
 }
 
 Fingerprint chain_fingerprint(const Chain& chain) {
-  CanonicalChain c = canonical_chain(chain);
+  chain.validate();
+  // Decide the canonical orientation without materializing the reversed
+  // copy: compare against the reversal, then absorb the weight streams in
+  // the winning direction directly.
+  int cmp = 0;
+  int n = chain.n();
+  for (int i = 0; cmp == 0 && i < n; ++i) {
+    std::uint64_t a =
+        weight_bits(chain.vertex_weight[static_cast<std::size_t>(i)]);
+    std::uint64_t b = weight_bits(
+        chain.vertex_weight[static_cast<std::size_t>(n - 1 - i)]);
+    cmp = a < b ? -1 : (a > b ? 1 : 0);
+  }
+  int m = chain.edge_count();
+  for (int i = 0; cmp == 0 && i < m; ++i) {
+    std::uint64_t a =
+        weight_bits(chain.edge_weight[static_cast<std::size_t>(i)]);
+    std::uint64_t b =
+        weight_bits(chain.edge_weight[static_cast<std::size_t>(m - 1 - i)]);
+    cmp = a < b ? -1 : (a > b ? 1 : 0);
+  }
+  const bool reversed = cmp > 0;
   Fingerprint f = seed_fp(kChainTag);
-  absorb(f, static_cast<std::uint64_t>(c.chain.n()));
-  for (Weight w : c.chain.vertex_weight) absorb(f, weight_bits(w));
-  for (Weight w : c.chain.edge_weight) absorb(f, weight_bits(w));
+  absorb(f, static_cast<std::uint64_t>(n));
+  if (!reversed) {
+    for (Weight w : chain.vertex_weight) absorb(f, weight_bits(w));
+    for (Weight w : chain.edge_weight) absorb(f, weight_bits(w));
+  } else {
+    for (int i = n - 1; i >= 0; --i)
+      absorb(f, weight_bits(chain.vertex_weight[static_cast<std::size_t>(i)]));
+    for (int i = m - 1; i >= 0; --i)
+      absorb(f, weight_bits(chain.edge_weight[static_cast<std::size_t>(i)]));
+  }
   return f;
 }
 
-Fingerprint tree_fingerprint(const Tree& tree) {
-  std::vector<int> cands = centroids(tree);
-  Fingerprint h = rooted_form(tree, cands[0]).root_hash;
-  if (cands.size() == 2) {
-    Fingerprint h2 = rooted_form(tree, cands[1]).root_hash;
+Fingerprint tree_fingerprint(const Tree& tree, util::Arena* arena) {
+  util::ScratchFrame frame(arena);
+  CsrView g = csr_from_tree(tree, frame.arena());
+  Centroids cands = centroids(tree, g, frame.arena());
+  Fingerprint h = rooted_form(tree, g, cands.c[0], frame.arena()).root_hash;
+  if (cands.count == 2) {
+    Fingerprint h2 = rooted_form(tree, g, cands.c[1], frame.arena()).root_hash;
     if (hash_less(h2, h)) h = h2;
   }
   Fingerprint f = seed_fp(kTreeTag);

@@ -29,6 +29,10 @@
 #include "graph/chain.hpp"
 #include "graph/tree.hpp"
 
+namespace tgp::util {
+class Arena;
+}
+
 namespace tgp::graph {
 
 /// 128-bit content hash.  Comparable and hashable so it can key maps.
@@ -85,8 +89,11 @@ struct CanonicalTree {
 /// vertices in preorder visiting each vertex's children in ascending
 /// (subtree hash, edge-weight bit pattern) order.  Isomorphic trees —
 /// any vertex relabeling, any child order — produce identical canonical
-/// trees up to 128-bit subtree-hash collisions.  O(n log n).
-CanonicalTree canonical_tree(const Tree& tree);
+/// trees up to 128-bit subtree-hash collisions.  O(n log n).  All
+/// canonicalization scratch (rooted forms, child lists, subtree hashes)
+/// comes from `arena` (null = per-thread fallback), so steady state only
+/// allocates the returned canonical tree and its index maps.
+CanonicalTree canonical_tree(const Tree& tree, util::Arena* arena = nullptr);
 
 // ---- Fingerprints ---------------------------------------------------------
 
@@ -94,8 +101,9 @@ CanonicalTree canonical_tree(const Tree& tree);
 Fingerprint chain_fingerprint(const Chain& chain);
 
 /// Fingerprint of the canonical form of `tree` (relabeling- and
-/// child-order-stable).
-Fingerprint tree_fingerprint(const Tree& tree);
+/// child-order-stable).  Scratch from `arena` (null = per-thread
+/// fallback); allocates nothing in steady state.
+Fingerprint tree_fingerprint(const Tree& tree, util::Arena* arena = nullptr);
 
 /// Exact content digest of a graph *as submitted* — NOT isomorphism
 /// stable.  The service pairs this with the canonical fingerprint to tell

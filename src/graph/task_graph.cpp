@@ -8,6 +8,13 @@
 
 namespace tgp::graph {
 
+void TaskGraph::reserve(int nodes, int edges) {
+  TGP_REQUIRE(nodes >= 0 && edges >= 0, "reserve sizes must be non-negative");
+  vertex_weight_.reserve(static_cast<std::size_t>(nodes));
+  adj_.reserve(static_cast<std::size_t>(nodes));
+  edges_.reserve(static_cast<std::size_t>(edges));
+}
+
 int TaskGraph::add_node(Weight weight) {
   TGP_REQUIRE(weight > 0 && std::isfinite(weight),
               "vertex weight must be positive and finite");

@@ -23,6 +23,10 @@ class TaskGraph {
     Weight weight;
   };
 
+  /// Pre-size internal storage for `nodes` vertices and `edges` edges so a
+  /// bulk build performs no reallocation copies.
+  void reserve(int nodes, int edges);
+
   /// Add a task with the given computation weight; returns its id.
   int add_node(Weight weight);
 

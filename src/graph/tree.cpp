@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cmath>
 #include <numeric>
-#include <queue>
 
 #include "util/assert.hpp"
 
@@ -28,24 +27,23 @@ Tree Tree::from_edges(std::vector<Weight> vertex_weights,
   t.vertex_weight_ = std::move(vertex_weights);
   t.edges_ = std::move(edges);
   t.build_adjacency();
-  // Connectivity (and, with n-1 edges, acyclicity) via BFS from 0.
+  // Connectivity (and, with n-1 edges, acyclicity) via BFS from 0.  A
+  // plain vector doubles as queue and visit order — one allocation.
+  std::vector<int> frontier;
+  frontier.reserve(static_cast<std::size_t>(n));
   std::vector<char> seen(static_cast<std::size_t>(n), 0);
-  std::queue<int> q;
-  q.push(0);
+  frontier.push_back(0);
   seen[0] = 1;
-  int reached = 1;
-  while (!q.empty()) {
-    int v = q.front();
-    q.pop();
-    for (auto [u, e] : t.adj_[static_cast<std::size_t>(v)]) {
+  for (std::size_t head = 0; head < frontier.size(); ++head) {
+    for (auto [u, e] : t.neighbors(frontier[head])) {
       if (!seen[static_cast<std::size_t>(u)]) {
         seen[static_cast<std::size_t>(u)] = 1;
-        ++reached;
-        q.push(u);
+        frontier.push_back(u);
       }
     }
   }
-  TGP_REQUIRE(reached == n, "edge list does not form a connected tree");
+  TGP_REQUIRE(static_cast<int>(frontier.size()) == n,
+              "edge list does not form a connected tree");
   return t;
 }
 
@@ -71,12 +69,27 @@ Tree Tree::from_parents(std::vector<Weight> vertex_weights,
 }
 
 void Tree::build_adjacency() {
-  adj_.assign(vertex_weight_.size(), {});
+  // Counting-sort construction of the CSR arrays: one degree pass, one
+  // prefix sum, one fill pass.  Filling in ascending edge order keeps each
+  // vertex's half-edges sorted by edge index — the same neighbor order the
+  // per-vertex vectors used to produce, which downstream algorithms (and
+  // their determinism tests) rely on.
+  std::size_t n = vertex_weight_.size();
+  adj_off_.assign(n + 1, 0);
+  for (const TreeEdge& e : edges_) {
+    ++adj_off_[static_cast<std::size_t>(e.u) + 1];
+    ++adj_off_[static_cast<std::size_t>(e.v) + 1];
+  }
+  for (std::size_t v = 0; v < n; ++v) adj_off_[v + 1] += adj_off_[v];
+  adj_.resize(2 * edges_.size());
+  std::vector<int> cursor(adj_off_.begin(), adj_off_.end() - 1);
   for (std::size_t e = 0; e < edges_.size(); ++e) {
-    adj_[static_cast<std::size_t>(edges_[e].u)].emplace_back(
-        edges_[e].v, static_cast<int>(e));
-    adj_[static_cast<std::size_t>(edges_[e].v)].emplace_back(
-        edges_[e].u, static_cast<int>(e));
+    adj_[static_cast<std::size_t>(
+        cursor[static_cast<std::size_t>(edges_[e].u)]++)] = {
+        edges_[e].v, static_cast<int>(e)};
+    adj_[static_cast<std::size_t>(
+        cursor[static_cast<std::size_t>(edges_[e].v)]++)] = {
+        edges_[e].u, static_cast<int>(e)};
   }
 }
 
@@ -92,7 +105,10 @@ const TreeEdge& Tree::edge(int e) const {
 
 std::span<const std::pair<int, int>> Tree::neighbors(int v) const {
   TGP_REQUIRE(0 <= v && v < n(), "vertex index out of range");
-  return adj_[static_cast<std::size_t>(v)];
+  std::size_t lo = static_cast<std::size_t>(adj_off_[static_cast<std::size_t>(v)]);
+  std::size_t hi =
+      static_cast<std::size_t>(adj_off_[static_cast<std::size_t>(v) + 1]);
+  return {adj_.data() + lo, hi - lo};
 }
 
 int Tree::degree(int v) const {
@@ -117,20 +133,18 @@ Weight Tree::max_vertex_weight() const {
 
 std::vector<int> Tree::bfs_order(int root) const {
   TGP_REQUIRE(0 <= root && root < n(), "root out of range");
+  // The output vector doubles as the BFS queue (its tail is the frontier),
+  // so the traversal is two allocations and one linear pass.
   std::vector<int> order;
   order.reserve(static_cast<std::size_t>(n()));
   std::vector<char> seen(static_cast<std::size_t>(n()), 0);
-  std::queue<int> q;
-  q.push(root);
+  order.push_back(root);
   seen[static_cast<std::size_t>(root)] = 1;
-  while (!q.empty()) {
-    int v = q.front();
-    q.pop();
-    order.push_back(v);
-    for (auto [u, e] : neighbors(v)) {
+  for (std::size_t head = 0; head < order.size(); ++head) {
+    for (auto [u, e] : neighbors(order[head])) {
       if (!seen[static_cast<std::size_t>(u)]) {
         seen[static_cast<std::size_t>(u)] = 1;
-        q.push(u);
+        order.push_back(u);
       }
     }
   }

@@ -46,6 +46,13 @@ class Tree {
   /// (neighbor, edge index) pairs incident to v.
   std::span<const std::pair<int, int>> neighbors(int v) const;
 
+  /// Flat CSR adjacency: half-edges of vertex v live at
+  /// adjacency_flat()[adjacency_offsets()[v] .. adjacency_offsets()[v+1]).
+  /// One contiguous allocation shared by all vertices — the raw arrays a
+  /// graph::CsrView points at.
+  std::span<const int> adjacency_offsets() const { return adj_off_; }
+  std::span<const std::pair<int, int>> adjacency_flat() const { return adj_; }
+
   int degree(int v) const;
   bool is_leaf(int v) const { return degree(v) <= 1; }
   std::vector<int> leaves() const;
@@ -66,7 +73,10 @@ class Tree {
 
   std::vector<Weight> vertex_weight_;
   std::vector<TreeEdge> edges_;
-  std::vector<std::vector<std::pair<int, int>>> adj_;
+  // CSR adjacency: adj_ holds the 2(n-1) half-edges grouped by vertex
+  // (edge-index order within a vertex), adj_off_ the n+1 group boundaries.
+  std::vector<std::pair<int, int>> adj_;
+  std::vector<int> adj_off_;
 };
 
 }  // namespace tgp::graph

@@ -1,6 +1,7 @@
 #include "svc/cache.hpp"
 
 #include <bit>
+#include <utility>
 
 #include "util/assert.hpp"
 #include "util/fault.hpp"
@@ -40,26 +41,38 @@ int MemoCache::shard_of(const CacheKey& key) const {
 }
 
 std::optional<CanonicalOutcome> MemoCache::get(const CacheKey& key) {
+  CanonicalOutcome out;
+  if (!get_into(key, out)) return std::nullopt;
+  return out;
+}
+
+bool MemoCache::get_into(const CacheKey& key, CanonicalOutcome& out) {
   Shard& s = *shards_[static_cast<std::size_t>(shard_of(key))];
   // Injected lookup fault degrades to a miss: the job recomputes and
   // stays correct, only slower.
   if (util::faults().fire("svc.cache.get")) {
     std::lock_guard lk(s.mu);
     ++s.misses;
-    return std::nullopt;
+    return false;
   }
   std::lock_guard lk(s.mu);
   auto it = s.index.find(key);
   if (it == s.index.end()) {
     ++s.misses;
-    return std::nullopt;
+    return false;
   }
   ++s.hits;
   s.lru.splice(s.lru.begin(), s.lru, it->second);  // move to MRU
-  return it->second->outcome;
+  const CanonicalOutcome& o = it->second->outcome;
+  // assign() reuses out's existing capacity — no heap traffic once the
+  // caller's scratch outcome has grown to the largest cut it has seen.
+  out.cut.edges.assign(o.cut.edges.begin(), o.cut.edges.end());
+  out.objective = o.objective;
+  out.components = o.components;
+  return true;
 }
 
-void MemoCache::put(const CacheKey& key, const CanonicalOutcome& outcome) {
+void MemoCache::put(const CacheKey& key, CanonicalOutcome outcome) {
   std::size_t cost = sizeof(Entry) + outcome.memory_bytes();
   if (cost > shard_budget_) return;  // larger than a whole shard: skip
   // Injected store fault drops the insert — the cache is a pure
@@ -79,7 +92,7 @@ void MemoCache::put(const CacheKey& key, const CanonicalOutcome& outcome) {
     s.lru.pop_back();
     ++s.evictions;
   }
-  s.lru.push_front(Entry{key, outcome, cost});
+  s.lru.push_front(Entry{key, std::move(outcome), cost});
   s.index.emplace(key, s.lru.begin());
   s.bytes += cost;
   ++s.insertions;

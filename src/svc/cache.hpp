@@ -72,10 +72,17 @@ class MemoCache {
   /// Look up; moves the entry to the shard's MRU position on hit.
   std::optional<CanonicalOutcome> get(const CacheKey& key);
 
+  /// Allocation-friendly lookup: on hit, copies the entry into `out`
+  /// reusing out's cut-vector capacity (workers keep one scratch outcome
+  /// per thread, so steady-state hits never touch the heap).  Returns
+  /// whether the key was found; `out` is untouched on a miss.
+  bool get_into(const CacheKey& key, CanonicalOutcome& out);
+
   /// Insert (or refresh) an entry, evicting LRU entries of the same shard
-  /// until the shard fits its budget.  Outcomes larger than a whole shard
-  /// are not cached.
-  void put(const CacheKey& key, const CanonicalOutcome& outcome);
+  /// until the shard fits its budget.  Takes the outcome by value so
+  /// callers done with theirs can move it in instead of copying the cut.
+  /// Outcomes larger than a whole shard are not cached.
+  void put(const CacheKey& key, CanonicalOutcome outcome);
 
   CacheStats stats() const;
 

@@ -10,6 +10,7 @@
 #include "core/proc_min.hpp"
 #include "core/tree_bandwidth.hpp"
 #include "graph/generators.hpp"
+#include "util/arena.hpp"
 #include "util/assert.hpp"
 
 namespace tgp::svc {
@@ -139,32 +140,34 @@ std::size_t CanonicalOutcome::memory_bytes() const {
 CanonicalOutcome solve_canonical_chain(Problem problem,
                                        const graph::Chain& chain,
                                        graph::Weight K,
-                                       const util::CancelToken* cancel) {
+                                       const util::CancelToken* cancel,
+                                       util::Arena* arena) {
   CanonicalOutcome out;
   switch (problem) {
     case Problem::kBottleneck: {
-      auto r = core::chain_bottleneck_min(chain, K);
+      auto r = core::chain_bottleneck_min(chain, K, arena);
       out.cut = std::move(r.cut);
       out.objective = r.threshold;
       break;
     }
     case Problem::kProcMin: {
-      auto r = core::proc_min(graph::path_tree(chain), K, nullptr, cancel);
+      auto r =
+          core::proc_min(graph::path_tree(chain), K, nullptr, cancel, arena);
       out.cut = std::move(r.cut);
       out.objective = static_cast<graph::Weight>(r.components);
       out.components = r.components;
       return out;
     }
     case Problem::kBandwidth: {
-      auto r = core::bandwidth_min_temps(chain, K, nullptr,
-                                         core::SearchPolicy::kBinary, cancel);
+      auto r = core::bandwidth_min_temps(
+          chain, K, nullptr, core::SearchPolicy::kBinary, cancel, arena);
       out.cut = std::move(r.cut);
       out.objective = r.cut_weight;
       break;
     }
     case Problem::kPipeline: {
-      auto r =
-          core::bottleneck_then_proc_min(graph::path_tree(chain), K, cancel);
+      auto r = core::bottleneck_then_proc_min(graph::path_tree(chain), K,
+                                              cancel, arena);
       out.cut = std::move(r.cut);
       out.objective = r.bottleneck;
       out.components = r.components;
@@ -178,30 +181,31 @@ CanonicalOutcome solve_canonical_chain(Problem problem,
 CanonicalOutcome solve_canonical_tree(Problem problem,
                                       const graph::Tree& tree,
                                       graph::Weight K,
-                                      const util::CancelToken* cancel) {
+                                      const util::CancelToken* cancel,
+                                      util::Arena* arena) {
   CanonicalOutcome out;
   switch (problem) {
     case Problem::kBottleneck: {
-      auto r = core::bottleneck_min_bsearch(tree, K, cancel);
+      auto r = core::bottleneck_min_bsearch(tree, K, cancel, arena);
       out.cut = std::move(r.cut);
       out.objective = r.threshold;
       break;
     }
     case Problem::kProcMin: {
-      auto r = core::proc_min(tree, K, nullptr, cancel);
+      auto r = core::proc_min(tree, K, nullptr, cancel, arena);
       out.cut = std::move(r.cut);
       out.objective = static_cast<graph::Weight>(r.components);
       out.components = r.components;
       return out;
     }
     case Problem::kBandwidth: {
-      auto r = core::tree_bandwidth_greedy(tree, K, cancel);
+      auto r = core::tree_bandwidth_greedy(tree, K, cancel, arena);
       out.cut = std::move(r.cut);
       out.objective = r.cut_weight;
       break;
     }
     case Problem::kPipeline: {
-      auto r = core::bottleneck_then_proc_min(tree, K, cancel);
+      auto r = core::bottleneck_then_proc_min(tree, K, cancel, arena);
       out.cut = std::move(r.cut);
       out.objective = r.bottleneck;
       out.components = r.components;

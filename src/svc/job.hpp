@@ -23,6 +23,10 @@
 #include "graph/tree.hpp"
 #include "util/cancel.hpp"
 
+namespace tgp::util {
+class Arena;
+}
+
 namespace tgp::svc {
 
 /// Which optimization a job asks for.  Each is defined for both graph
@@ -141,17 +145,21 @@ JobResult execute_job_captured(const JobSpec& spec,
                                const util::CancelToken* cancel = nullptr);
 
 /// The canonical-coordinates solver core, exposed for the service worker:
-/// runs the problem on an already-canonicalized graph.
+/// runs the problem on an already-canonicalized graph.  `arena` is the
+/// solver scratch arena (null = per-thread fallback); the service passes
+/// each worker's own arena so repeated jobs reuse one warm allocation.
 CanonicalOutcome solve_canonical_chain(Problem problem,
                                        const graph::Chain& chain,
                                        graph::Weight K,
                                        const util::CancelToken* cancel =
-                                           nullptr);
+                                           nullptr,
+                                       util::Arena* arena = nullptr);
 CanonicalOutcome solve_canonical_tree(Problem problem,
                                       const graph::Tree& tree,
                                       graph::Weight K,
                                       const util::CancelToken* cancel =
-                                          nullptr);
+                                          nullptr,
+                                      util::Arena* arena = nullptr);
 
 /// Translate a canonical-coordinates outcome onto the submitted
 /// presentation (sorted edge indices), marking the result ok.  Shared by

@@ -227,7 +227,7 @@ void PartitionService::worker_loop(WorkerState& state) {
       state.busy_since_micros.store(now_micros());
       {
         util::ScopedTimer timer(micros);
-        r = process(job->spec, token);
+        r = process(state, job->spec, token);
       }
       state.busy_since_micros.store(-1);
       r.latency_micros = micros;
@@ -272,7 +272,7 @@ void PartitionService::watchdog_loop() {
   }
 }
 
-JobResult PartitionService::process(const JobSpec& spec,
+JobResult PartitionService::process(WorkerState& state, const JobSpec& spec,
                                     const util::CancelToken* cancel) {
   const bool use_cache = config_.cache_bytes > 0;
   JobResult r;
@@ -283,32 +283,30 @@ JobResult PartitionService::process(const JobSpec& spec,
       graph::CanonicalChain cc = graph::canonical_chain(*spec.chain);
       CacheKey key = CacheKey::make(graph::chain_fingerprint(cc.chain),
                                     spec.problem, spec.K);
-      if (use_cache) {
-        if (std::optional<CanonicalOutcome> hit = cache_.get(key)) {
-          apply_outcome(r, *hit, cc);
-          r.cache_hit = true;
-          return r;
-        }
+      if (use_cache && cache_.get_into(key, state.hit_scratch)) {
+        apply_outcome(r, state.hit_scratch, cc);
+        r.cache_hit = true;
+        return r;
       }
-      CanonicalOutcome o =
-          solve_canonical_chain(spec.problem, cc.chain, spec.K, cancel);
-      if (use_cache) cache_.put(key, o);
+      CanonicalOutcome o = solve_canonical_chain(spec.problem, cc.chain,
+                                                 spec.K, cancel, &state.arena);
       apply_outcome(r, o, cc);
+      if (use_cache) cache_.put(key, std::move(o));
     } else {
-      graph::CanonicalTree ct = graph::canonical_tree(*spec.tree);
-      CacheKey key = CacheKey::make(graph::tree_fingerprint(ct.tree),
-                                    spec.problem, spec.K);
-      if (use_cache) {
-        if (std::optional<CanonicalOutcome> hit = cache_.get(key)) {
-          apply_outcome(r, *hit, ct);
-          r.cache_hit = true;
-          return r;
-        }
+      graph::CanonicalTree ct =
+          graph::canonical_tree(*spec.tree, &state.arena);
+      CacheKey key =
+          CacheKey::make(graph::tree_fingerprint(ct.tree, &state.arena),
+                         spec.problem, spec.K);
+      if (use_cache && cache_.get_into(key, state.hit_scratch)) {
+        apply_outcome(r, state.hit_scratch, ct);
+        r.cache_hit = true;
+        return r;
       }
-      CanonicalOutcome o =
-          solve_canonical_tree(spec.problem, ct.tree, spec.K, cancel);
-      if (use_cache) cache_.put(key, o);
+      CanonicalOutcome o = solve_canonical_tree(spec.problem, ct.tree, spec.K,
+                                                cancel, &state.arena);
       apply_outcome(r, o, ct);
+      if (use_cache) cache_.put(key, std::move(o));
     }
   } catch (...) {
     // The worker's catch-all boundary: any escape — solver contract

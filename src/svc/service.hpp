@@ -57,6 +57,7 @@
 #include "svc/job.hpp"
 #include "svc/metrics.hpp"
 #include "svc/queue.hpp"
+#include "util/arena.hpp"
 #include "util/cancel.hpp"
 
 namespace tgp::svc {
@@ -154,16 +155,22 @@ class PartitionService {
   };
   // Per-worker latency slab: uncontended in the hot path, locked only
   // against metrics() readers.  busy_since_micros (−1 when idle) is the
-  // watchdog's view of what the worker is doing.
+  // watchdog's view of what the worker is doing.  The arena and the
+  // cache-hit scratch outcome live here so each worker reuses one warm
+  // allocation across every job it processes — the steady-state solve
+  // path touches the heap only for the cut it returns.
   struct WorkerState {
     mutable std::mutex mu;
     std::array<LatencyHistogram, kProblemCount> latency{};
     std::atomic<std::int64_t> busy_since_micros{-1};
+    util::Arena arena;
+    CanonicalOutcome hit_scratch;
   };
 
   void worker_loop(WorkerState& state);
   void watchdog_loop();
-  JobResult process(const JobSpec& spec, const util::CancelToken* cancel);
+  JobResult process(WorkerState& state, const JobSpec& spec,
+                    const util::CancelToken* cancel);
   void settle(std::size_t slot, JobResult r);
   void cancel_all_incomplete();
   std::int64_t now_micros() const;

@@ -1,0 +1,227 @@
+// Reusable bump allocator for solver scratch.
+//
+// Every hot-path solver needs transient arrays (BFS queues, parent
+// vectors, DP tables) whose sizes are known only per call.  Allocating
+// them from the heap each call dominates the constant factor the paper's
+// asymptotic bounds hide, so solvers draw scratch from an Arena instead:
+// allocation is a pointer bump, release is a checkpoint pop, and after a
+// warm-up call the arena serves every later call of the same (or smaller)
+// size without touching the heap at all.  PartitionService keeps one
+// arena per worker and releases to a checkpoint between jobs.
+//
+// Memory handed out is uninitialized and no destructors ever run, so only
+// trivially destructible element types are allowed (enforced below).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace tgp::util {
+
+class Arena {
+ public:
+  /// `initial_bytes` pre-reserves one block so even the first call can be
+  /// heap-free when the caller knows the working-set size.
+  explicit Arena(std::size_t initial_bytes = 0) {
+    if (initial_bytes > 0) add_block(initial_bytes);
+  }
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Checkpoint of the current allocation frontier.
+  struct Marker {
+    std::size_t block = 0;
+    std::size_t used = 0;
+  };
+
+  Marker mark() const { return {cur_, used_}; }
+
+  /// Pop back to a checkpoint.  Blocks acquired since stay owned by the
+  /// arena (capacity is retained), so release + re-allocate cycles are
+  /// heap-free once the arena has grown to the working-set size.
+  void release(const Marker& m) {
+    TGP_REQUIRE(m.block < blocks_.size() || (m.block == 0 && blocks_.empty()),
+                "marker from another arena");
+    cur_ = m.block;
+    used_ = m.used;
+  }
+
+  /// Release everything (capacity retained).
+  void reset() {
+    cur_ = 0;
+    used_ = 0;
+  }
+
+  /// Raw allocation; `align` must be a power of two.
+  void* allocate(std::size_t bytes, std::size_t align) {
+    TGP_REQUIRE(align != 0 && (align & (align - 1)) == 0,
+                "alignment must be a power of two");
+    if (bytes == 0) bytes = 1;
+    while (cur_ < blocks_.size()) {
+      std::size_t off = (used_ + align - 1) & ~(align - 1);
+      if (off + bytes <= blocks_[cur_].size) {
+        used_ = off + bytes;
+        return blocks_[cur_].data.get() + off;
+      }
+      // Current block exhausted: move to the next retained block (or fall
+      // through to grow).  Skipped tail space is reclaimed on release().
+      ++cur_;
+      used_ = 0;
+    }
+    add_block(bytes + align);
+    std::size_t off = (used_ + align - 1) & ~(align - 1);
+    used_ = off + bytes;
+    return blocks_[cur_].data.get() + off;
+  }
+
+  /// Uninitialized array of `count` Ts.  T must be trivially destructible:
+  /// release() simply abandons the storage and no destructors ever run.
+  /// (std::pair of trivial types qualifies even though it is not trivially
+  /// copyable.)
+  template <typename T>
+  T* alloc_array(std::size_t count) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena memory never runs destructors");
+    static_assert(std::is_default_constructible_v<T>,
+                  "arena memory is handed out uninitialized");
+    return static_cast<T*>(allocate(count * sizeof(T), alignof(T)));
+  }
+
+  /// Array of `count` Ts, each initialized to `fill`.
+  template <typename T>
+  T* alloc_filled(std::size_t count, T fill) {
+    T* out = alloc_array<T>(count);
+    for (std::size_t i = 0; i < count; ++i) out[i] = fill;
+    return out;
+  }
+
+  // ---- Instrumentation (the zero-allocation test hook) --------------------
+
+  /// Number of heap blocks ever acquired.  A steady-state solver call must
+  /// leave this unchanged — tests warm the arena once, snapshot this
+  /// counter, run again and assert equality.
+  std::uint64_t heap_block_allocs() const { return heap_block_allocs_; }
+
+  /// Total bytes of heap capacity owned by the arena.
+  std::size_t bytes_reserved() const {
+    std::size_t total = 0;
+    for (const Block& b : blocks_) total += b.size;
+    return total;
+  }
+
+  /// Bytes currently handed out (bump position, includes alignment pad).
+  std::size_t bytes_in_use() const {
+    std::size_t total = used_;
+    for (std::size_t i = 0; i < cur_ && i < blocks_.size(); ++i)
+      total += blocks_[i].size;
+    return total;
+  }
+
+ private:
+  struct Block {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+  };
+
+  void add_block(std::size_t min_bytes) {
+    std::size_t size = blocks_.empty() ? kMinBlock : blocks_.back().size * 2;
+    if (size < min_bytes) size = min_bytes;
+    blocks_.push_back({std::make_unique<std::byte[]>(size), size});
+    ++heap_block_allocs_;
+    cur_ = blocks_.size() - 1;
+    used_ = 0;
+  }
+
+  static constexpr std::size_t kMinBlock = std::size_t{1} << 16;  // 64 KiB
+
+  std::vector<Block> blocks_;
+  std::size_t cur_ = 0;   // block currently bumped into
+  std::size_t used_ = 0;  // bump offset inside blocks_[cur_]
+  std::uint64_t heap_block_allocs_ = 0;
+};
+
+/// One solver invocation's scratch frame.  Solvers accept an optional
+/// `util::Arena*`; a null pointer falls back to a per-thread arena so
+/// every caller gets steady-state heap-free scratch without wiring one
+/// through.  The frame releases its checkpoint on scope exit — including
+/// exception unwind from cancellation — so nested solver calls compose.
+class ScratchFrame {
+ public:
+  explicit ScratchFrame(Arena* opt)
+      : arena_(opt != nullptr ? *opt : thread_arena()),
+        marker_(arena_.mark()) {}
+  ~ScratchFrame() { arena_.release(marker_); }
+
+  ScratchFrame(const ScratchFrame&) = delete;
+  ScratchFrame& operator=(const ScratchFrame&) = delete;
+
+  Arena& arena() { return arena_; }
+  Arena* operator->() { return &arena_; }
+
+  static Arena& thread_arena() {
+    static thread_local Arena arena;
+    return arena;
+  }
+
+ private:
+  Arena& arena_;
+  Arena::Marker marker_;
+};
+
+/// Minimal growable array over arena storage — for hot loops that collect
+/// an unknown number of elements (cut edges, pruned children).  Growth
+/// copies into a fresh arena array; the abandoned storage is reclaimed by
+/// the caller's next release().  Not a std container: no destructors, no
+/// exception guarantees beyond the arena's.
+template <typename T>
+class ArenaVector {
+ public:
+  ArenaVector(Arena& arena, std::size_t initial_capacity = 0)
+      : arena_(&arena) {
+    if (initial_capacity > 0) {
+      data_ = arena_->alloc_array<T>(initial_capacity);
+      cap_ = initial_capacity;
+    }
+  }
+
+  void push_back(const T& v) {
+    if (size_ == cap_) grow();
+    data_[size_++] = v;
+  }
+
+  void clear() { size_ = 0; }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  T& operator[](std::size_t i) { return data_[i]; }
+  const T& operator[](std::size_t i) const { return data_[i]; }
+  T* begin() { return data_; }
+  T* end() { return data_ + size_; }
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+  T& back() { return data_[size_ - 1]; }
+  const T& back() const { return data_[size_ - 1]; }
+
+ private:
+  void grow() {
+    std::size_t next = cap_ == 0 ? 8 : cap_ * 2;
+    T* bigger = arena_->alloc_array<T>(next);
+    for (std::size_t i = 0; i < size_; ++i) bigger[i] = data_[i];
+    data_ = bigger;
+    cap_ = next;
+  }
+
+  Arena* arena_;
+  T* data_ = nullptr;
+  std::size_t size_ = 0;
+  std::size_t cap_ = 0;
+};
+
+}  // namespace tgp::util

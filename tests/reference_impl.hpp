@@ -1,0 +1,438 @@
+// Frozen pre-CSR solver implementations, used as differential oracles.
+//
+// The flat-graph overhaul (graph/csr.hpp + util/arena.hpp) re-implemented
+// the hot paths of every core solver with the contract that outputs stay
+// bit-identical: same cut edges, same objectives, same floating-point
+// accumulation order.  These are verbatim copies of the solvers as they
+// stood before the port (adjacency-list traversal, per-call vector
+// scratch), kept only under tests/ so test_csr_differential.cpp can
+// assert the ported solvers agree exactly on a generated corpus.  Do not
+// "fix" or optimize these — their value is that they do not change.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <functional>
+#include <limits>
+#include <numeric>
+#include <vector>
+
+#include "core/bandwidth_min.hpp"
+#include "core/bottleneck_min.hpp"
+#include "core/cut_arena.hpp"
+#include "core/nonredundant.hpp"
+#include "core/prime_subpaths.hpp"
+#include "core/proc_min.hpp"
+#include "core/temps_queue.hpp"
+#include "core/tree_bandwidth.hpp"
+#include "graph/chain.hpp"
+#include "graph/cutset.hpp"
+#include "graph/tree.hpp"
+#include "util/assert.hpp"
+
+namespace tgp::ref {
+
+namespace detail {
+
+inline bool feasible_with_removed(const graph::Tree& tree,
+                                  const std::vector<char>& removed,
+                                  graph::Weight K) {
+  graph::Cut cut;
+  for (int e = 0; e < tree.edge_count(); ++e)
+    if (removed[static_cast<std::size_t>(e)]) cut.edges.push_back(e);
+  return graph::tree_cut_feasible(tree, cut, K);
+}
+
+inline std::vector<int> edges_by_weight(const graph::Tree& tree) {
+  std::vector<int> order(static_cast<std::size_t>(tree.edge_count()));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    if (tree.edge(a).weight != tree.edge(b).weight)
+      return tree.edge(a).weight < tree.edge(b).weight;
+    return a < b;
+  });
+  return order;
+}
+
+}  // namespace detail
+
+inline core::BottleneckResult bottleneck_min_scan(const graph::Tree& tree,
+                                                  graph::Weight K) {
+  TGP_REQUIRE(K >= tree.max_vertex_weight(),
+              "K must be at least the maximum vertex weight");
+  core::BottleneckResult out;
+  std::vector<char> removed(static_cast<std::size_t>(tree.edge_count()), 0);
+  ++out.feasibility_checks;
+  if (tree.total_vertex_weight() <= K) return out;
+
+  for (int e : detail::edges_by_weight(tree)) {
+    removed[static_cast<std::size_t>(e)] = 1;
+    out.cut.edges.push_back(e);
+    ++out.feasibility_checks;
+    if (detail::feasible_with_removed(tree, removed, K)) {
+      out.threshold = tree.edge(e).weight;
+      return out;
+    }
+  }
+  TGP_ENSURE(false, "cutting every edge must be feasible when K >= max w");
+  return out;
+}
+
+inline core::BottleneckResult bottleneck_min_bsearch(const graph::Tree& tree,
+                                                     graph::Weight K) {
+  TGP_REQUIRE(K >= tree.max_vertex_weight(),
+              "K must be at least the maximum vertex weight");
+  core::BottleneckResult out;
+  ++out.feasibility_checks;
+  if (tree.total_vertex_weight() <= K) return out;
+
+  std::vector<int> order = detail::edges_by_weight(tree);
+  int lo = 1;
+  int hi = static_cast<int>(order.size());
+  std::vector<char> removed(static_cast<std::size_t>(tree.edge_count()), 0);
+  auto prefix_feasible = [&](int len) {
+    std::fill(removed.begin(), removed.end(), 0);
+    for (int i = 0; i < len; ++i)
+      removed[static_cast<std::size_t>(order[static_cast<std::size_t>(i)])] =
+          1;
+    return detail::feasible_with_removed(tree, removed, K);
+  };
+  while (lo < hi) {
+    int mid = lo + (hi - lo) / 2;
+    ++out.feasibility_checks;
+    if (prefix_feasible(mid))
+      hi = mid;
+    else
+      lo = mid + 1;
+  }
+  out.cut.edges.assign(order.begin(), order.begin() + lo);
+  out.cut = out.cut.canonical();
+  out.threshold = tree.edge(order[static_cast<std::size_t>(lo) - 1]).weight;
+  return out;
+}
+
+inline core::ProcMinResult proc_min(const graph::Tree& tree,
+                                    graph::Weight K) {
+  TGP_REQUIRE(K >= tree.max_vertex_weight(),
+              "K must be at least the maximum vertex weight");
+  const int n = tree.n();
+  core::ProcMinResult out;
+  if (n == 1) return out;
+
+  std::vector<int> parent, parent_edge;
+  tree.root_at(0, parent, parent_edge);
+  std::vector<int> order = tree.bfs_order(0);
+  const graph::Weight k_eff =
+      K + 0.5 * graph::load_epsilon(tree.total_vertex_weight(), n);
+
+  std::vector<graph::Weight> residual(static_cast<std::size_t>(n));
+  for (int v = 0; v < n; ++v)
+    residual[static_cast<std::size_t>(v)] = tree.vertex_weight(v);
+
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    int v = *it;
+    std::vector<int> children;
+    graph::Weight lump = residual[static_cast<std::size_t>(v)];
+    for (auto [u, e] : tree.neighbors(v)) {
+      if (parent[static_cast<std::size_t>(u)] == v) {
+        children.push_back(u);
+        lump += residual[static_cast<std::size_t>(u)];
+      }
+    }
+    if (lump <= k_eff) {
+      residual[static_cast<std::size_t>(v)] = lump;
+      continue;
+    }
+    std::sort(children.begin(), children.end(), [&](int a, int b) {
+      return residual[static_cast<std::size_t>(a)] >
+             residual[static_cast<std::size_t>(b)];
+    });
+    for (int c : children) {
+      if (lump <= k_eff) break;
+      lump -= residual[static_cast<std::size_t>(c)];
+      out.cut.edges.push_back(parent_edge[static_cast<std::size_t>(c)]);
+    }
+    TGP_ENSURE(lump <= k_eff, "pruning all leaves must fit (w(v) <= K)");
+    residual[static_cast<std::size_t>(v)] = lump;
+  }
+
+  out.cut = out.cut.canonical();
+  out.components = out.cut.size() + 1;
+  return out;
+}
+
+inline core::TreeBandwidthResult tree_bandwidth_greedy(const graph::Tree& tree,
+                                                       graph::Weight K) {
+  constexpr graph::Weight kInf =
+      std::numeric_limits<graph::Weight>::infinity();
+  TGP_REQUIRE(K >= tree.max_vertex_weight(),
+              "K must be at least the maximum vertex weight");
+  const int n = tree.n();
+  core::TreeBandwidthResult out;
+  if (n == 1) return out;
+
+  std::vector<int> parent, parent_edge;
+  tree.root_at(0, parent, parent_edge);
+  std::vector<int> order = tree.bfs_order(0);
+  const graph::Weight k_eff =
+      K + 0.5 * graph::load_epsilon(tree.total_vertex_weight(), n);
+
+  std::vector<graph::Weight> residual(static_cast<std::size_t>(n));
+  for (int v = 0; v < n; ++v)
+    residual[static_cast<std::size_t>(v)] = tree.vertex_weight(v);
+
+  struct Child {
+    int vertex;
+    int edge;
+    graph::Weight res;
+    graph::Weight edge_w;
+  };
+  constexpr std::size_t kExactFanout = 12;
+
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    int v = *it;
+    std::vector<Child> children;
+    graph::Weight lump = residual[static_cast<std::size_t>(v)];
+    for (auto [u, e] : tree.neighbors(v)) {
+      if (parent[static_cast<std::size_t>(u)] != v) continue;
+      children.push_back({u, e, residual[static_cast<std::size_t>(u)],
+                          tree.edge(e).weight});
+      lump += residual[static_cast<std::size_t>(u)];
+    }
+    if (lump <= k_eff) {
+      residual[static_cast<std::size_t>(v)] = lump;
+      continue;
+    }
+    graph::Weight must_shed = lump - k_eff;
+    if (children.size() <= kExactFanout) {
+      const std::uint32_t limit = 1u << children.size();
+      std::uint32_t best_mask = limit - 1;
+      graph::Weight best_cost = kInf;
+      graph::Weight best_shed = 0;
+      for (std::uint32_t mask = 0; mask < limit; ++mask) {
+        graph::Weight shed = 0, cost = 0;
+        for (std::size_t i = 0; i < children.size(); ++i) {
+          if ((mask >> i) & 1u) {
+            shed += children[i].res;
+            cost += children[i].edge_w;
+          }
+        }
+        if (shed < must_shed) continue;
+        if (cost < best_cost || (cost == best_cost && shed > best_shed)) {
+          best_cost = cost;
+          best_mask = mask;
+          best_shed = shed;
+        }
+      }
+      TGP_ENSURE(best_cost < kInf, "shedding all children must fit");
+      for (std::size_t i = 0; i < children.size(); ++i) {
+        if ((best_mask >> i) & 1u) {
+          lump -= children[i].res;
+          out.cut.edges.push_back(children[i].edge);
+          out.cut_weight += children[i].edge_w;
+        }
+      }
+    } else {
+      std::sort(children.begin(), children.end(),
+                [](const Child& a, const Child& b) {
+                  return a.edge_w * b.res < b.edge_w * a.res;
+                });
+      for (const Child& c : children) {
+        if (lump <= k_eff) break;
+        lump -= c.res;
+        out.cut.edges.push_back(c.edge);
+        out.cut_weight += c.edge_w;
+      }
+    }
+    TGP_ENSURE(lump <= k_eff, "pruning did not reach the bound");
+    residual[static_cast<std::size_t>(v)] = lump;
+  }
+
+  {
+    std::vector<graph::Weight> comp_weight =
+        graph::tree_component_weights(tree, out.cut);
+    std::vector<int> comp_of = graph::tree_components(tree, out.cut);
+    std::vector<int> dsu(comp_weight.size());
+    for (std::size_t i = 0; i < dsu.size(); ++i)
+      dsu[i] = static_cast<int>(i);
+    std::function<int(int)> find = [&](int x) {
+      while (dsu[static_cast<std::size_t>(x)] != x) {
+        dsu[static_cast<std::size_t>(x)] =
+            dsu[static_cast<std::size_t>(dsu[static_cast<std::size_t>(x)])];
+        x = dsu[static_cast<std::size_t>(x)];
+      }
+      return x;
+    };
+    std::vector<int> by_weight = out.cut.edges;
+    std::sort(by_weight.begin(), by_weight.end(), [&](int a, int b) {
+      return tree.edge(a).weight > tree.edge(b).weight;
+    });
+    std::vector<char> keep_cut(static_cast<std::size_t>(tree.edge_count()),
+                               0);
+    for (int e : out.cut.edges) keep_cut[static_cast<std::size_t>(e)] = 1;
+    for (int e : by_weight) {
+      int a = find(comp_of[static_cast<std::size_t>(tree.edge(e).u)]);
+      int b = find(comp_of[static_cast<std::size_t>(tree.edge(e).v)]);
+      TGP_ENSURE(a != b, "cut edge inside one component");
+      if (comp_weight[static_cast<std::size_t>(a)] +
+              comp_weight[static_cast<std::size_t>(b)] <=
+          k_eff) {
+        dsu[static_cast<std::size_t>(a)] = b;
+        comp_weight[static_cast<std::size_t>(b)] +=
+            comp_weight[static_cast<std::size_t>(a)];
+        keep_cut[static_cast<std::size_t>(e)] = 0;
+      }
+    }
+    out.cut.edges.clear();
+    out.cut_weight = 0;
+    for (int e = 0; e < tree.edge_count(); ++e) {
+      if (keep_cut[static_cast<std::size_t>(e)]) {
+        out.cut.edges.push_back(e);
+        out.cut_weight += tree.edge(e).weight;
+      }
+    }
+  }
+
+  out.cut = out.cut.canonical();
+  return out;
+}
+
+inline std::vector<core::PrimeSubpath> prime_subpaths(
+    const graph::Chain& chain, graph::Weight K) {
+  chain.validate();
+  TGP_REQUIRE(K >= chain.max_vertex_weight(),
+              "K must be at least the maximum vertex weight");
+  graph::ChainPrefix prefix(chain);
+  std::vector<core::PrimeSubpath> out;
+  int n = chain.n();
+  const graph::Weight k_eff =
+      K + graph::load_epsilon(chain.total_vertex_weight(), n);
+  int lo = 0;
+  for (int r = 0; r < n; ++r) {
+    while (lo < r && prefix.window(lo, r) > k_eff) ++lo;
+    if (lo == 0) continue;
+    if (prefix.window(lo - 1, r - 1) <= k_eff)
+      out.push_back({lo - 1, r, prefix.window(lo - 1, r)});
+  }
+  return out;
+}
+
+inline std::vector<core::ReducedEdge> reduce_edges(
+    const graph::Chain& chain, const std::vector<core::PrimeSubpath>& primes) {
+  int m = chain.edge_count();
+  int p = static_cast<int>(primes.size());
+  std::vector<core::ReducedEdge> out;
+  out.reserve(2 * primes.size() + 1);
+  int c = 0;
+  int d = -1;
+  for (int j = 0; j < m; ++j) {
+    while (c < p && primes[static_cast<std::size_t>(c)].last_edge() < j) ++c;
+    while (d + 1 < p &&
+           primes[static_cast<std::size_t>(d) + 1].first_edge() <= j)
+      ++d;
+    if (c > d) continue;
+    graph::Weight w = chain.edge_weight[static_cast<std::size_t>(j)];
+    if (!out.empty() && out.back().first_prime == c &&
+        out.back().last_prime == d) {
+      if (w < out.back().weight) {
+        out.back().weight = w;
+        out.back().edge = j;
+      }
+    } else {
+      out.push_back({j, c, d, w});
+    }
+  }
+  return out;
+}
+
+inline core::BottleneckResult chain_bottleneck_min(const graph::Chain& chain,
+                                                   graph::Weight K) {
+  std::vector<core::PrimeSubpath> primes = ref::prime_subpaths(chain, K);
+  core::BottleneckResult out;
+  if (primes.empty()) return out;
+
+  std::deque<int> dq;
+  int pushed = -1;
+  auto weight = [&](int e) {
+    return chain.edge_weight[static_cast<std::size_t>(e)];
+  };
+  for (const core::PrimeSubpath& p : primes) {
+    while (pushed < p.last_edge()) {
+      ++pushed;
+      while (!dq.empty() && weight(dq.back()) >= weight(pushed))
+        dq.pop_back();
+      dq.push_back(pushed);
+    }
+    while (dq.front() < p.first_edge()) dq.pop_front();
+    int best = dq.front();
+    out.threshold = std::max(out.threshold, weight(best));
+    if (out.cut.edges.empty() || out.cut.edges.back() != best)
+      out.cut.edges.push_back(best);
+  }
+  out.cut = out.cut.canonical();
+  ++out.feasibility_checks;
+  return out;
+}
+
+// Uses the (behavior-preserved) heap constructors of TempsQueue and
+// CutArena; the DP logic is the frozen pre-port implementation.
+inline core::BandwidthResult bandwidth_min_temps(const graph::Chain& chain,
+                                                 graph::Weight K) {
+  std::vector<core::PrimeSubpath> primes = ref::prime_subpaths(chain, K);
+  const int p = static_cast<int>(primes.size());
+  if (p == 0) return {graph::Cut{}, 0};
+
+  std::vector<core::ReducedEdge> edges = ref::reduce_edges(chain, primes);
+  const int r = static_cast<int>(edges.size());
+
+  constexpr graph::Weight kInf =
+      std::numeric_limits<graph::Weight>::infinity();
+  std::vector<graph::Weight> cost(static_cast<std::size_t>(p), kInf);
+  std::vector<int> sol(static_cast<std::size_t>(p), core::CutArena::kEmpty);
+
+  core::CutArena arena;
+  core::TempsQueue q(r + 2);
+  int covered_max = -1;
+
+  auto close_front = [&]() {
+    int i = q.front().first_prime;
+    cost[static_cast<std::size_t>(i)] = q.front().w;
+    sol[static_cast<std::size_t>(i)] = q.front().solution;
+    q.drop_front_prime();
+  };
+
+  for (const core::ReducedEdge& e : edges) {
+    while (!q.empty() && q.front().first_prime < e.first_prime)
+      close_front();
+    graph::Weight w = e.weight;
+    int parent = core::CutArena::kEmpty;
+    if (e.first_prime > 0) {
+      graph::Weight prev = cost[static_cast<std::size_t>(e.first_prime - 1)];
+      TGP_ENSURE(prev < kInf, "prefix optimum not yet closed");
+      w += prev;
+      parent = sol[static_cast<std::size_t>(e.first_prime - 1)];
+    }
+    int sid = arena.cons(e.edge, parent);
+    int idx = q.lower_bound_w(w, nullptr);
+    if (idx < q.rows()) {
+      int first = q.row(idx).first_prime;
+      q.collapse_from(idx, {first, e.last_prime, w, sid});
+    } else if (e.last_prime > covered_max) {
+      q.push_back({covered_max + 1, e.last_prime, w, sid});
+    }
+    covered_max = std::max(covered_max, e.last_prime);
+  }
+
+  while (!q.empty()) close_front();
+  TGP_ENSURE(cost[static_cast<std::size_t>(p - 1)] < kInf,
+             "final prime never closed");
+
+  core::BandwidthResult result;
+  result.cut.edges = arena.materialize(sol[static_cast<std::size_t>(p - 1)]);
+  result.cut = result.cut.canonical();
+  result.cut_weight = cost[static_cast<std::size_t>(p - 1)];
+  return result;
+}
+
+}  // namespace tgp::ref

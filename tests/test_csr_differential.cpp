@@ -1,0 +1,299 @@
+// Differential proof that the CSR + arena port preserved solver behavior
+// bit for bit.
+//
+// tests/reference_impl.hpp freezes the pre-port implementations; every
+// test here generates a corpus (tree families x K regimes x seeds,
+// chains including sorted extremes) and asserts the ported solver
+// returns *identical* cut edges and objectives — not merely equivalent
+// ones.  Exact double equality is intentional: the port's contract is
+// same accumulation order, same comparisons, same results.
+//
+// Also covers the solvers' cancellation/deadline unwind paths with a
+// caller-provided arena, and the zero-allocation steady-state guarantee
+// via the Arena's heap_block_allocs() hook.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/bandwidth_min.hpp"
+#include "core/bottleneck_min.hpp"
+#include "core/chain_bottleneck.hpp"
+#include "core/proc_min.hpp"
+#include "core/prime_subpaths.hpp"
+#include "core/tree_bandwidth.hpp"
+#include "graph/generators.hpp"
+#include "reference_impl.hpp"
+#include "util/arena.hpp"
+#include "util/cancel.hpp"
+#include "util/rng.hpp"
+
+namespace tgp::core {
+namespace {
+
+constexpr double kKFrac[] = {0.01, 0.15, 0.9};
+
+graph::Weight k_for(double maxw, double total, double frac) {
+  return maxw + frac * (total - maxw);
+}
+
+std::vector<graph::Tree> tree_corpus() {
+  std::vector<graph::Tree> out;
+  for (int n : {1, 2, 3, 9, 40, 150, 400}) {
+    for (unsigned seed : {1u, 2u, 3u}) {
+      util::Pcg32 rng(0xD1FFu ^ (seed * 2654435761u) ^
+                      static_cast<unsigned>(n));
+      out.push_back(graph::random_tree(rng, n,
+                                       graph::WeightDist::uniform(1, 50),
+                                       graph::WeightDist::uniform(1, 100)));
+    }
+  }
+  // A star and a path: the fanout extremes (subset-enumeration vs ratio
+  // paths in tree_bandwidth, deep recursion shapes in rooting).
+  {
+    util::Pcg32 rng(0x57A2u);
+    std::vector<graph::Weight> vw;
+    std::vector<int> parent;
+    std::vector<graph::Weight> pew;
+    for (int v = 0; v < 64; ++v) {
+      vw.push_back(static_cast<graph::Weight>(rng.uniform_int(1, 40)));
+      parent.push_back(v == 0 ? -1 : 0);
+      pew.push_back(static_cast<graph::Weight>(rng.uniform_int(1, 90)));
+    }
+    out.push_back(graph::Tree::from_parents(std::move(vw), parent, pew));
+  }
+  {
+    util::Pcg32 rng(0x9A7Bu);
+    std::vector<graph::Weight> vw;
+    std::vector<int> parent;
+    std::vector<graph::Weight> pew;
+    for (int v = 0; v < 100; ++v) {
+      vw.push_back(static_cast<graph::Weight>(rng.uniform_int(1, 40)));
+      parent.push_back(v - 1);
+      pew.push_back(static_cast<graph::Weight>(rng.uniform_int(1, 90)));
+    }
+    out.push_back(graph::Tree::from_parents(std::move(vw), parent, pew));
+  }
+  return out;
+}
+
+std::vector<graph::Chain> chain_corpus() {
+  std::vector<graph::Chain> out;
+  for (int n : {1, 2, 3, 17, 100, 512}) {
+    for (unsigned seed : {1u, 2u, 3u}) {
+      util::Pcg32 rng(0xC0DEu ^ (seed * 40503u) ^ static_cast<unsigned>(n));
+      out.push_back(graph::random_chain(rng, n,
+                                        graph::WeightDist::uniform(1, 100),
+                                        graph::WeightDist::uniform(1, 100)));
+    }
+  }
+  // Monotone extremes: ascending and descending weight ramps stress the
+  // prime-subpath two-pointer and the TEMP_S close/collapse order.
+  {
+    graph::Chain asc, desc;
+    for (int i = 0; i < 200; ++i) {
+      asc.vertex_weight.push_back(1 + i);
+      desc.vertex_weight.push_back(200 - i);
+      if (i < 199) {
+        asc.edge_weight.push_back(1 + (i % 37));
+        desc.edge_weight.push_back(1 + ((199 - i) % 37));
+      }
+    }
+    out.push_back(std::move(asc));
+    out.push_back(std::move(desc));
+  }
+  return out;
+}
+
+void expect_same_cut(const graph::Cut& got, const graph::Cut& want,
+                     const char* what) {
+  ASSERT_EQ(got.edges, want.edges) << what;
+}
+
+TEST(CsrDifferential, BottleneckMatchesReference) {
+  for (const graph::Tree& t : tree_corpus()) {
+    for (double frac : kKFrac) {
+      graph::Weight K =
+          k_for(t.max_vertex_weight(), t.total_vertex_weight(), frac);
+      auto got = bottleneck_min_bsearch(t, K);
+      auto want = ref::bottleneck_min_bsearch(t, K);
+      expect_same_cut(got.cut, want.cut, "bsearch cut");
+      EXPECT_EQ(got.threshold, want.threshold);
+      EXPECT_EQ(got.feasibility_checks, want.feasibility_checks);
+      if (t.n() <= 150) {
+        auto got_scan = bottleneck_min_scan(t, K);
+        auto want_scan = ref::bottleneck_min_scan(t, K);
+        expect_same_cut(got_scan.cut, want_scan.cut, "scan cut");
+        EXPECT_EQ(got_scan.threshold, want_scan.threshold);
+        EXPECT_EQ(got_scan.feasibility_checks, want_scan.feasibility_checks);
+      }
+    }
+  }
+}
+
+TEST(CsrDifferential, ProcMinMatchesReference) {
+  for (const graph::Tree& t : tree_corpus()) {
+    for (double frac : kKFrac) {
+      graph::Weight K =
+          k_for(t.max_vertex_weight(), t.total_vertex_weight(), frac);
+      auto got = proc_min(t, K);
+      auto want = ref::proc_min(t, K);
+      expect_same_cut(got.cut, want.cut, "procmin cut");
+      EXPECT_EQ(got.components, want.components);
+    }
+  }
+}
+
+TEST(CsrDifferential, TreeBandwidthMatchesReference) {
+  for (const graph::Tree& t : tree_corpus()) {
+    for (double frac : kKFrac) {
+      graph::Weight K =
+          k_for(t.max_vertex_weight(), t.total_vertex_weight(), frac);
+      auto got = tree_bandwidth_greedy(t, K);
+      auto want = ref::tree_bandwidth_greedy(t, K);
+      expect_same_cut(got.cut, want.cut, "greedy cut");
+      EXPECT_EQ(got.cut_weight, want.cut_weight);  // exact: same order
+    }
+  }
+}
+
+TEST(CsrDifferential, PrimeSubpathsAndReducedEdgesMatchReference) {
+  for (const graph::Chain& c : chain_corpus()) {
+    for (double frac : kKFrac) {
+      graph::Weight K =
+          k_for(c.max_vertex_weight(), c.total_vertex_weight(), frac);
+      auto got = prime_subpaths(c, K);
+      auto want = ref::prime_subpaths(c, K);
+      ASSERT_EQ(got.size(), want.size());
+      for (std::size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i].first_vertex, want[i].first_vertex);
+        EXPECT_EQ(got[i].last_vertex, want[i].last_vertex);
+        EXPECT_EQ(got[i].weight, want[i].weight);
+      }
+      auto got_e = reduce_edges(c, got);
+      auto want_e = ref::reduce_edges(c, want);
+      ASSERT_EQ(got_e.size(), want_e.size());
+      for (std::size_t i = 0; i < got_e.size(); ++i) {
+        EXPECT_EQ(got_e[i].edge, want_e[i].edge);
+        EXPECT_EQ(got_e[i].first_prime, want_e[i].first_prime);
+        EXPECT_EQ(got_e[i].last_prime, want_e[i].last_prime);
+        EXPECT_EQ(got_e[i].weight, want_e[i].weight);
+      }
+    }
+  }
+}
+
+TEST(CsrDifferential, ChainSolversMatchReference) {
+  for (const graph::Chain& c : chain_corpus()) {
+    for (double frac : kKFrac) {
+      graph::Weight K =
+          k_for(c.max_vertex_weight(), c.total_vertex_weight(), frac);
+      auto got_b = chain_bottleneck_min(c, K);
+      auto want_b = ref::chain_bottleneck_min(c, K);
+      expect_same_cut(got_b.cut, want_b.cut, "chain bottleneck cut");
+      EXPECT_EQ(got_b.threshold, want_b.threshold);
+
+      auto got_w = bandwidth_min_temps(c, K);
+      auto want_w = ref::bandwidth_min_temps(c, K);
+      expect_same_cut(got_w.cut, want_w.cut, "bandwidth cut");
+      EXPECT_EQ(got_w.cut_weight, want_w.cut_weight);  // exact: same order
+    }
+  }
+}
+
+TEST(CsrDifferential, GallopPolicyUnchangedByPort) {
+  for (const graph::Chain& c : chain_corpus()) {
+    graph::Weight K =
+        k_for(c.max_vertex_weight(), c.total_vertex_weight(), 0.15);
+    auto binary = bandwidth_min_temps(c, K);
+    auto gallop =
+        bandwidth_min_temps(c, K, nullptr, SearchPolicy::kGallop);
+    expect_same_cut(gallop.cut, binary.cut, "gallop vs binary");
+    EXPECT_EQ(gallop.cut_weight, binary.cut_weight);
+  }
+}
+
+// ---- Cancellation and deadline unwind with a caller arena ------------------
+
+TEST(CsrDifferential, PreCancelledTokenUnwindsCleanly) {
+  util::Pcg32 rng(0xAB12u);
+  graph::Tree t = graph::random_tree(rng, 600,
+                                     graph::WeightDist::uniform(1, 50),
+                                     graph::WeightDist::uniform(1, 100));
+  graph::Chain c = graph::random_chain(rng, 600,
+                                       graph::WeightDist::uniform(1, 100),
+                                       graph::WeightDist::uniform(1, 100));
+  graph::Weight Kt =
+      k_for(t.max_vertex_weight(), t.total_vertex_weight(), 0.01);
+  graph::Weight Kc =
+      k_for(c.max_vertex_weight(), c.total_vertex_weight(), 0.01);
+
+  util::CancelToken token;
+  token.request_cancel();
+  util::Arena arena;
+  EXPECT_THROW(bottleneck_min_bsearch(t, Kt, &token, &arena),
+               util::CancelledError);
+  EXPECT_THROW(proc_min(t, Kt, nullptr, &token, &arena),
+               util::CancelledError);
+  EXPECT_THROW(bandwidth_min_temps(c, Kc, nullptr, SearchPolicy::kBinary,
+                                   &token, &arena),
+               util::CancelledError);
+  // The ScratchFrame must release on unwind: the arena is reusable and a
+  // fresh solve still matches the reference.
+  auto got = bandwidth_min_temps(c, Kc, nullptr, SearchPolicy::kBinary,
+                                 nullptr, &arena);
+  auto want = ref::bandwidth_min_temps(c, Kc);
+  EXPECT_EQ(got.cut.edges, want.cut.edges);
+}
+
+TEST(CsrDifferential, ExpiredDeadlineReportsDeadlineReason) {
+  util::Pcg32 rng(0xAB13u);
+  graph::Tree t = graph::random_tree(rng, 600,
+                                     graph::WeightDist::uniform(1, 50),
+                                     graph::WeightDist::uniform(1, 100));
+  graph::Weight K =
+      k_for(t.max_vertex_weight(), t.total_vertex_weight(), 0.01);
+  util::CancelToken token;
+  token.set_deadline(util::CancelToken::Clock::now() -
+                     std::chrono::milliseconds(1));
+  util::Arena arena;
+  try {
+    proc_min(t, K, nullptr, &token, &arena);
+    FAIL() << "expected CancelledError";
+  } catch (const util::CancelledError& e) {
+    EXPECT_EQ(e.reason, util::CancelReason::kDeadline);
+  }
+}
+
+// ---- Zero-allocation steady state ------------------------------------------
+
+TEST(CsrDifferential, SteadyStateSolvesAreArenaOnly) {
+  util::Pcg32 rng(0xF00Du);
+  graph::Tree t = graph::random_tree(rng, 2000,
+                                     graph::WeightDist::uniform(1, 50),
+                                     graph::WeightDist::uniform(1, 100));
+  graph::Chain c = graph::random_chain(rng, 2000,
+                                       graph::WeightDist::uniform(1, 100),
+                                       graph::WeightDist::uniform(1, 100));
+  graph::Weight Kt =
+      k_for(t.max_vertex_weight(), t.total_vertex_weight(), 0.05);
+  graph::Weight Kc =
+      k_for(c.max_vertex_weight(), c.total_vertex_weight(), 0.05);
+
+  util::Arena arena;
+  auto run_all = [&] {
+    (void)bottleneck_min_bsearch(t, Kt, nullptr, &arena);
+    (void)proc_min(t, Kt, nullptr, nullptr, &arena);
+    (void)tree_bandwidth_greedy(t, Kt, nullptr, &arena);
+    (void)bandwidth_min_temps(c, Kc, nullptr, SearchPolicy::kBinary, nullptr,
+                              &arena);
+    (void)chain_bottleneck_min(c, Kc, &arena);
+  };
+  run_all();  // warm: the arena grows to the working-set size
+  std::uint64_t blocks = arena.heap_block_allocs();
+  for (int i = 0; i < 3; ++i) run_all();
+  EXPECT_EQ(arena.heap_block_allocs(), blocks)
+      << "steady-state solver scratch must not grow the arena";
+}
+
+}  // namespace
+}  // namespace tgp::core
