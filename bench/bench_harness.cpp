@@ -87,10 +87,12 @@ HarnessOptions parse_args(int argc, char** argv, std::string* json_path) {
       opt.warmup = std::atoi(value());
     } else if (std::strcmp(a, "--quick") == 0) {
       opt.quick = true;
+    } else if (std::strcmp(a, "--trace") == 0) {
+      opt.trace = true;
     } else {
       std::fprintf(stderr,
                    "unknown flag %s (want --json <path> --reps <k> "
-                   "--warmup <k> --quick)\n",
+                   "--warmup <k> --quick --trace)\n",
                    a);
       std::exit(2);
     }
@@ -135,6 +137,15 @@ void Harness::run(const std::string& name, double items,
   std::fflush(stdout);
 }
 
+void Harness::counter(const std::string& name, std::uint64_t value) {
+  if (results_.empty()) {
+    std::fprintf(stderr, "counter '%s' before any case — dropped\n",
+                 name.c_str());
+    return;
+  }
+  results_.back().counters.emplace_back(name, value);
+}
+
 void Harness::print_table() const {
   std::printf("\n%-48s %6s %14s %14s %10s\n", "case", "reps", "median_ns",
               "p95_ns", "ns/item");
@@ -172,7 +183,19 @@ bool Harness::write_json(const std::string& path) const {
     std::snprintf(buf, sizeof buf, "%.1f", r.p95_ns);
     out << buf << ", \"min_ns\": ";
     std::snprintf(buf, sizeof buf, "%.1f", r.min_ns);
-    out << buf << "}" << (i + 1 < results_.size() ? "," : "") << "\n";
+    out << buf;
+    if (!r.counters.empty()) {
+      // Older bench_diff builds skip this object (unknown-field rule).
+      out << ", \"counters\": {";
+      for (std::size_t k = 0; k < r.counters.size(); ++k) {
+        out << "\"";
+        json_escape(out, r.counters[k].first);
+        out << "\": " << r.counters[k].second
+            << (k + 1 < r.counters.size() ? ", " : "");
+      }
+      out << "}";
+    }
+    out << "}" << (i + 1 < results_.size() ? "," : "") << "\n";
   }
   out << "  ]\n}\n";
   return static_cast<bool>(out);
@@ -324,6 +347,20 @@ std::optional<BenchFile> read_bench_json(const std::string& path) {
           else if (f == "median_ns") c.median_ns = ps.parse_number();
           else if (f == "p95_ns") c.p95_ns = ps.parse_number();
           else if (f == "min_ns") c.min_ns = ps.parse_number();
+          else if (f == "counters") {
+            if (ps.consume('{')) {
+              if (!ps.peek('}')) {
+                do {
+                  std::string cname = ps.parse_string();
+                  if (!ps.consume(':')) break;
+                  c.counters.emplace_back(
+                      cname, static_cast<std::uint64_t>(ps.parse_number()));
+                } while (ps.ok && ps.consume(','));
+                ps.ok = true;  // the comma probe fails once at '}'
+              }
+              ps.consume('}');
+            }
+          }
           else ps.skip_value();
         }
         ps.ok = true;  // the comma probe legitimately fails on '}'

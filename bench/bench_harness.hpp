@@ -18,9 +18,11 @@
 #pragma once
 
 #include <chrono>
+#include <cstdint>
 #include <functional>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace tgp::bench {
@@ -34,6 +36,10 @@ struct CaseResult {
   double median_ns = 0;
   double p95_ns = 0;      ///< nearest-rank 95th percentile
   double min_ns = 0;
+  /// Optional algorithmic counters (oracle calls, cache hits, ...)
+  /// attached by the suite after the case ran.  Counts, not times: they
+  /// are deterministic and diffable where wall clock is not.
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
 
   double ns_per_item() const { return items > 0 ? median_ns / items : 0; }
 };
@@ -42,6 +48,7 @@ struct HarnessOptions {
   int warmup = 2;  ///< untimed runs before measurement
   int reps = 7;    ///< timed runs per case
   bool quick = false;  ///< suites shrink instance sizes for smoke tests
+  bool trace = false;  ///< suites enable obs tracing (overhead measuring)
 };
 
 /// True when the binary was built under ASan/TSan/MSan/UBSan — timings
@@ -49,7 +56,7 @@ struct HarnessOptions {
 bool sanitizers_active();
 
 /// Parse the shared suite flags: --json <path>, --reps <k>, --warmup <k>,
-/// --quick.  Unknown flags abort with a usage message.
+/// --quick, --trace.  Unknown flags abort with a usage message.
 HarnessOptions parse_args(int argc, char** argv, std::string* json_path);
 
 class Harness {
@@ -60,6 +67,10 @@ class Harness {
   /// the case.  Also prints one progress line to stdout.
   void run(const std::string& name, double items,
            const std::function<void()>& body);
+
+  /// Attach a named counter to the most recently run() case.  No-op
+  /// (with a stderr warning) before the first case.
+  void counter(const std::string& name, std::uint64_t value);
 
   /// Write all cases plus machine info as JSON.  Returns false (and
   /// prints to stderr) on I/O failure.

@@ -12,6 +12,8 @@
 #include "bench_harness.hpp"
 #include "graph/fingerprint.hpp"
 #include "graph/generators.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 #include "svc/service.hpp"
 #include "util/arena.hpp"
 #include "util/rng.hpp"
@@ -19,6 +21,22 @@
 namespace {
 
 using namespace tgp;
+
+// Attach the service's solver counters to the last case.  Counts are
+// deterministic (they do not depend on thread interleaving or cache
+// state — see svc/job.hpp), so they diff cleanly run to run.
+void emit_service_counters(bench::Harness& h,
+                           const svc::PartitionService& service) {
+  svc::MetricsSnapshot m = service.metrics();
+  obs::SolveCounters total = m.counters_total();
+  h.counter("oracle_calls", total.oracle_calls);
+  h.counter("bsearch_probes", total.bsearch_probes);
+  h.counter("gallop_probes", total.gallop_probes);
+  h.counter("prime_subpaths", total.prime_subpaths);
+  h.counter("nonredundant_edges", total.nonredundant_edges);
+  h.counter("cache_hits", m.cache.hits);
+  h.counter("cache_misses", m.cache.misses);
+}
 
 graph::Tree make_tree(int n, unsigned salt, double* K) {
   util::Pcg32 rng(0x5E1Fu ^ (salt * 2654435761u) ^ static_cast<unsigned>(n));
@@ -46,6 +64,15 @@ int main(int argc, char** argv) {
   std::string json_path;
   bench::HarnessOptions opt = bench::parse_args(argc, argv, &json_path);
   bench::Harness h("service", opt);
+
+  if (opt.trace) {
+    // Overhead-measurement mode: every span records into the ring
+    // buffers, exactly as `tgp_serve --trace-out` would.  The snapshot
+    // is discarded — this run exists to compare timings against an
+    // untraced baseline (CI gates the delta).
+    obs::trace::set_thread_name("bench-main");
+    obs::trace::set_enabled(true);
+  }
 
   const int tree_n = opt.quick ? 1 << 10 : 1 << 14;
   const int chain_n = opt.quick ? 1 << 10 : 1 << 15;
@@ -109,6 +136,7 @@ int main(int argc, char** argv) {
       auto results = service.run_batch(std::move(specs));
       (void)results.size();
     });
+    emit_service_counters(h, service);
   }
   {
     std::vector<std::shared_ptr<const graph::Chain>> chains;
@@ -137,6 +165,15 @@ int main(int argc, char** argv) {
       auto results = service.run_batch(std::move(specs));
       (void)results.size();
     });
+    emit_service_counters(h, service);
+  }
+
+  if (opt.trace) {
+    obs::trace::set_enabled(false);
+    obs::trace::TraceSnapshot snap = obs::trace::snapshot();
+    std::printf("traced: %zu spans recorded, %llu dropped\n",
+                snap.events.size(),
+                static_cast<unsigned long long>(snap.dropped));
   }
 
   h.print_table();

@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace_event JSON file emitted by tgp_serve/tgp tools.
+
+Checks (stdlib only, no third-party deps):
+  * the file is valid JSON with a `traceEvents` list
+  * every event has a known phase (`X` complete or `M` metadata) with the
+    fields Chrome's trace viewer requires (numeric ts/dur for X, string
+    name, non-negative tid)
+  * at least one span from each required category/name pair is present,
+    so a refactor can't silently stop emitting the service-path spans
+  * nesting sanity on each thread: spans on one tid either nest or are
+    disjoint (complete events from a scoped tracer can never partially
+    overlap on the emitting thread)
+
+Exit codes: 0 ok, 1 validation failure, 2 usage/IO error.
+"""
+
+import argparse
+import json
+import sys
+
+REQUIRED_SPANS = [
+    ("svc", "queue.wait"),
+    ("svc", "job"),
+    ("svc", "canonicalize"),
+    ("svc", "solve"),
+]
+
+
+def fail(msg):
+    print(f"validate_trace: FAIL: {msg}", file=sys.stderr)
+    return 1
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("trace", help="Chrome trace JSON file to validate")
+    ap.add_argument(
+        "--min-events",
+        type=int,
+        default=1,
+        help="require at least this many X events (default 1)",
+    )
+    ap.add_argument(
+        "--no-required-spans",
+        action="store_true",
+        help="skip the service span-name checks (for non-service traces)",
+    )
+    args = ap.parse_args()
+
+    try:
+        with open(args.trace, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except OSError as e:
+        print(f"validate_trace: cannot read {args.trace}: {e}", file=sys.stderr)
+        return 2
+    except json.JSONDecodeError as e:
+        return fail(f"not valid JSON: {e}")
+
+    if not isinstance(doc, dict) or not isinstance(doc.get("traceEvents"), list):
+        return fail("top level must be an object with a traceEvents list")
+
+    spans = []
+    seen = set()
+    for i, ev in enumerate(doc["traceEvents"]):
+        if not isinstance(ev, dict):
+            return fail(f"event #{i} is not an object")
+        ph = ev.get("ph")
+        if ph not in ("X", "M"):
+            return fail(f"event #{i} has unknown phase {ph!r}")
+        if not isinstance(ev.get("name"), str) or not ev["name"]:
+            return fail(f"event #{i} missing a string name")
+        tid = ev.get("tid", 0)
+        if not isinstance(tid, int) or tid < 0:
+            return fail(f"event #{i} has bad tid {tid!r}")
+        if ph == "M":
+            continue
+        ts, dur = ev.get("ts"), ev.get("dur")
+        if not isinstance(ts, (int, float)) or not isinstance(dur, (int, float)):
+            return fail(f"event #{i} ({ev['name']}) has non-numeric ts/dur")
+        if dur < 0:
+            return fail(f"event #{i} ({ev['name']}) has negative duration")
+        # queue.wait spans are backdated to enqueue time, so they measure
+        # queue residency rather than thread occupancy and may overlap the
+        # previous job's spans on the same worker — keep them out of the
+        # nesting sweep.
+        nestable = ev["name"] != "queue.wait"
+        spans.append((tid, float(ts), float(dur), nestable))
+        seen.add((ev.get("cat", ""), ev["name"]))
+
+    if len(spans) < args.min_events:
+        return fail(f"only {len(spans)} X events, expected >= {args.min_events}")
+
+    if not args.no_required_spans:
+        missing = [f"{c}/{n}" for c, n in REQUIRED_SPANS if (c, n) not in seen]
+        if missing:
+            return fail(f"required service spans absent: {', '.join(missing)}")
+
+    # Per-thread nesting check: sweep spans in start order and make sure no
+    # span partially overlaps the currently open one.
+    by_tid = {}
+    for tid, ts, dur, nestable in spans:
+        if nestable:
+            by_tid.setdefault(tid, []).append((ts, ts + dur))
+    eps = 1e-3  # µs slop for double rounding in export
+    for tid, ivals in by_tid.items():
+        ivals.sort(key=lambda iv: (iv[0], -iv[1]))
+        stack = []
+        for start, end in ivals:
+            while stack and start >= stack[-1] - eps:
+                stack.pop()
+            if stack and end > stack[-1] + eps:
+                return fail(
+                    f"tid {tid}: span [{start}, {end}) partially overlaps "
+                    f"an open span ending at {stack[-1]}"
+                )
+            stack.append(end)
+
+    dropped = doc.get("tgp_dropped", 0)
+    print(
+        f"validate_trace: OK: {len(spans)} spans on {len(by_tid)} threads, "
+        f"{len(seen)} distinct phases, {dropped} dropped"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

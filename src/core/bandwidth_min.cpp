@@ -5,6 +5,8 @@
 #include <limits>
 
 #include "core/cut_arena.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 #include "util/assert.hpp"
 
 namespace tgp::core {
@@ -25,9 +27,11 @@ BandwidthResult bandwidth_min_temps(const graph::Chain& chain,
                                     SearchPolicy policy,
                                     const util::CancelToken* cancel,
                                     util::Arena* scratch) {
+  TGP_SPAN("core", "bandwidth_min");
   chain.validate();
   TGP_REQUIRE(K >= chain.max_vertex_weight(),
               "K must be at least the maximum vertex weight");
+  obs::SolveCounters* oc = obs::active_counters();
   util::ScratchFrame frame(scratch);
   graph::CsrView g = graph::csr_from_chain(chain, frame.arena());
 
@@ -39,6 +43,7 @@ BandwidthResult bandwidth_min_temps(const graph::Chain& chain,
     instr->n = g.n;
     instr->p = p;
   }
+  if (oc) oc->prime_subpaths += static_cast<std::uint64_t>(p);
   if (p == 0) {
     // No critical subpath: the whole chain already fits in K.
     return {graph::Cut{}, 0};
@@ -47,6 +52,7 @@ BandwidthResult bandwidth_min_temps(const graph::Chain& chain,
   ReducedEdge* edges =
       frame->alloc_array<ReducedEdge>(static_cast<std::size_t>(g.m));
   const int r = reduce_edges_into(g, primes, p, edges);
+  if (oc) oc->nonredundant_edges += static_cast<std::uint64_t>(r);
   if (instr) {
     instr->r = r;
     std::uint64_t qsum = 0;
@@ -68,7 +74,11 @@ BandwidthResult bandwidth_min_temps(const graph::Chain& chain,
 
   CutArena arena(r, frame.arena());  // one cons() per reduced edge
   TempsQueue q(r + 2, frame.arena());
-  TempsStats* stats = instr ? &instr->temps : nullptr;
+  // TEMP_S stats feed two consumers: the caller's instrumentation block
+  // and the thread's active SolveCounters.  Collect them whenever either
+  // is listening.
+  TempsStats local_stats;
+  TempsStats* stats = instr ? &instr->temps : (oc ? &local_stats : nullptr);
   int covered_max = -1;  // highest prime index any processed edge reached
 
   auto close_front = [&]() {
@@ -118,6 +128,20 @@ BandwidthResult bandwidth_min_temps(const graph::Chain& chain,
   // the queue's current minima; the answer is S_p (paper: TEMP_S(4, BOTTOM)).
   while (!q.empty()) close_front();
   TGP_ENSURE(cost[p - 1] < kInf, "final prime never closed");
+
+  if (oc) {
+    // Each reduced edge is one W_i evaluation — the unit step of Alg 4.1's
+    // O(n + p log q) bound (the step-2a search cost lands in *_probes).
+    oc->oracle_calls += static_cast<std::uint64_t>(r);
+    if (stats) {
+      if (policy == SearchPolicy::kGallop)
+        oc->gallop_probes += stats->search_steps;
+      else
+        oc->bsearch_probes += stats->search_steps;
+      if (static_cast<std::uint64_t>(stats->max_rows) > oc->temps_peak_rows)
+        oc->temps_peak_rows = static_cast<std::uint64_t>(stats->max_rows);
+    }
+  }
 
   BandwidthResult result;
   arena.materialize_into(sol[p - 1], result.cut.edges);

@@ -5,6 +5,8 @@
 
 #include "core/csr_feasible.hpp"
 #include "graph/csr.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 #include "util/arena.hpp"
 #include "util/assert.hpp"
 
@@ -33,13 +35,16 @@ int* edges_by_weight(const graph::CsrView& g, util::Arena& arena) {
 BottleneckResult bottleneck_min_scan(const graph::Tree& tree, graph::Weight K,
                                      const util::CancelToken* cancel,
                                      util::Arena* arena) {
+  TGP_SPAN("core", "bottleneck_scan");
   check_preconditions(tree, K);
+  obs::SolveCounters* oc = obs::active_counters();
   util::ScratchFrame frame(arena);
   graph::CsrView g = graph::csr_from_tree(tree, frame.arena());
 
   BottleneckResult out;
   // Empty cut first: the whole tree may already fit.
   ++out.feasibility_checks;
+  if (oc) ++oc->oracle_calls;
   if (g.total_vertex_weight() <= K) return out;
 
   const graph::Weight limit =
@@ -53,6 +58,7 @@ BottleneckResult bottleneck_min_scan(const graph::Tree& tree, graph::Weight K,
     scratch.removed[e] = 1;
     out.cut.edges.push_back(e);
     ++out.feasibility_checks;
+    if (oc) ++oc->oracle_calls;
     if (feasible_with_removed(g, scratch, limit)) {
       out.threshold = g.edge_weight[e];
       return out;
@@ -66,12 +72,15 @@ BottleneckResult bottleneck_min_bsearch(const graph::Tree& tree,
                                         graph::Weight K,
                                         const util::CancelToken* cancel,
                                         util::Arena* arena) {
+  TGP_SPAN("core", "bottleneck_bsearch");
   check_preconditions(tree, K);
+  obs::SolveCounters* oc = obs::active_counters();
   util::ScratchFrame frame(arena);
   graph::CsrView g = graph::csr_from_tree(tree, frame.arena());
 
   BottleneckResult out;
   ++out.feasibility_checks;
+  if (oc) ++oc->oracle_calls;
   if (g.total_vertex_weight() <= K) return out;
 
   const graph::Weight limit =
@@ -91,6 +100,10 @@ BottleneckResult bottleneck_min_bsearch(const graph::Tree& tree,
     if (cancel) cancel->poll();
     int mid = lo + (hi - lo) / 2;
     ++out.feasibility_checks;
+    if (oc) {
+      ++oc->oracle_calls;
+      ++oc->bsearch_probes;
+    }
     if (prefix_feasible(mid))
       hi = mid;
     else

@@ -4,21 +4,30 @@
 
 #include "core/prime_subpaths.hpp"
 #include "graph/csr.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 #include "util/assert.hpp"
 
 namespace tgp::core {
 
 BottleneckResult chain_bottleneck_min(const graph::Chain& chain,
                                       graph::Weight K, util::Arena* arena) {
+  TGP_SPAN("core", "chain_bottleneck");
   chain.validate();
   TGP_REQUIRE(K >= chain.max_vertex_weight(),
               "K must be at least the maximum vertex weight");
+  obs::SolveCounters* oc = obs::active_counters();
   util::ScratchFrame frame(arena);
   graph::CsrView g = graph::csr_from_chain(chain, frame.arena());
 
   PrimeSubpath* primes =
       frame->alloc_array<PrimeSubpath>(static_cast<std::size_t>(g.n));
   const int p = prime_subpaths_into(g, K, primes);
+  if (oc) {
+    oc->prime_subpaths += static_cast<std::uint64_t>(p);
+    // One window-minimum extraction per prime subpath.
+    oc->oracle_calls += static_cast<std::uint64_t>(p);
+  }
   BottleneckResult out;
   if (p == 0) return out;  // whole chain fits: empty cut
 

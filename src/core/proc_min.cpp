@@ -6,6 +6,8 @@
 
 #include "core/csr_feasible.hpp"
 #include "graph/csr.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 #include "util/assert.hpp"
 
 namespace tgp::core {
@@ -13,9 +15,11 @@ namespace tgp::core {
 ProcMinResult proc_min(const graph::Tree& tree, graph::Weight K,
                        std::vector<ProcMinStep>* trace,
                        const util::CancelToken* cancel, util::Arena* arena) {
+  TGP_SPAN("core", "proc_min");
   if (trace) trace->clear();
   TGP_REQUIRE(K >= tree.max_vertex_weight(),
               "K must be at least the maximum vertex weight");
+  obs::SolveCounters* oc = obs::active_counters();
   const int n = tree.n();
   ProcMinResult out;
   if (n == 1) return out;
@@ -56,6 +60,9 @@ ProcMinResult proc_min(const graph::Tree& tree, graph::Weight K,
         lump += residual[u];
       }
     }
+    // One lump-fits decision per processed vertex: the unit step of the
+    // paper's O(n) Algorithm 3.2 accounting.
+    if (oc) ++oc->oracle_calls;
     if (lump <= k_eff) {  // step 4: absorb all leaves
       residual[v] = lump;
       if (trace && child_count > 0) trace->push_back({v, lump, {}, lump});
@@ -172,6 +179,7 @@ TreePartitionResult bottleneck_then_proc_min(const graph::Tree& tree,
                                              graph::Weight K,
                                              const util::CancelToken* cancel,
                                              util::Arena* arena) {
+  TGP_SPAN("core", "bottleneck_then_proc_min");
   BottleneckResult stage1 = bottleneck_min_bsearch(tree, K, cancel, arena);
   std::vector<int> original_edge;
   graph::Tree contracted =

@@ -6,6 +6,8 @@
 
 #include "core/csr_feasible.hpp"
 #include "graph/csr.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 #include "util/assert.hpp"
 
 namespace tgp::core {
@@ -90,8 +92,10 @@ TreeBandwidthResult tree_bandwidth_greedy(const graph::Tree& tree,
                                           graph::Weight K,
                                           const util::CancelToken* cancel,
                                           util::Arena* arena) {
+  TGP_SPAN("core", "tree_bandwidth_greedy");
   TGP_REQUIRE(K >= tree.max_vertex_weight(),
               "K must be at least the maximum vertex weight");
+  obs::SolveCounters* oc = obs::active_counters();
   const int n = tree.n();
   TreeBandwidthResult out;
   if (n == 1) return out;
@@ -128,6 +132,8 @@ TreeBandwidthResult tree_bandwidth_greedy(const graph::Tree& tree,
       children[child_count++] = {u, e, residual[u], g.edge_weight[e]};
       lump += residual[u];
     }
+    // One shed-or-absorb decision per vertex (cf. proc_min's accounting).
+    if (oc) ++oc->oracle_calls;
     if (lump <= k_eff) {
       residual[v] = lump;
       continue;

@@ -1,0 +1,101 @@
+#include "obs/chrome_trace.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <ostream>
+#include <string>
+
+namespace tgp::obs {
+
+namespace {
+
+// ts/dur are microseconds in the trace format; emit ns-resolution values
+// as "123.456" without going through double formatting.
+void append_micros(std::string& out, std::int64_t ns) {
+  if (ns < 0) ns = 0;
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%" PRId64 ".%03" PRId64, ns / 1000,
+                ns % 1000);
+  out += buf;
+}
+
+void append_json_string(std::string& out, const char* s) {
+  out += '"';
+  for (; s && *s; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& out,
+                        const trace::TraceSnapshot& snap) {
+  std::string buf;
+  buf.reserve(snap.events.size() * 96 + 256);
+  buf += "{\"traceEvents\":[";
+  bool first = true;
+  char num[40];
+
+  for (const auto& [tid, name] : snap.threads) {
+    if (name.empty()) continue;
+    if (!first) buf += ',';
+    first = false;
+    buf += "{\"ph\":\"M\",\"pid\":1,\"tid\":";
+    std::snprintf(num, sizeof(num), "%u", tid);
+    buf += num;
+    buf += ",\"name\":\"thread_name\",\"args\":{\"name\":";
+    append_json_string(buf, name.c_str());
+    buf += "}}";
+  }
+
+  for (const auto& ev : snap.events) {
+    if (!first) buf += ',';
+    first = false;
+    buf += "{\"ph\":\"X\",\"pid\":1,\"tid\":";
+    std::snprintf(num, sizeof(num), "%u", ev.tid);
+    buf += num;
+    buf += ",\"cat\":";
+    append_json_string(buf, ev.cat ? ev.cat : "tgp");
+    buf += ",\"name\":";
+    append_json_string(buf, ev.name ? ev.name : "?");
+    buf += ",\"ts\":";
+    append_micros(buf, ev.start_ns);
+    buf += ",\"dur\":";
+    append_micros(buf, ev.dur_ns);
+    if (ev.args[0].name != nullptr) {
+      buf += ",\"args\":{";
+      append_json_string(buf, ev.args[0].name);
+      buf += ':';
+      std::snprintf(num, sizeof(num), "%" PRId64, ev.args[0].value);
+      buf += num;
+      if (ev.args[1].name != nullptr) {
+        buf += ',';
+        append_json_string(buf, ev.args[1].name);
+        buf += ':';
+        std::snprintf(num, sizeof(num), "%" PRId64, ev.args[1].value);
+        buf += num;
+      }
+      buf += '}';
+    }
+    buf += '}';
+  }
+
+  buf += "],\"displayTimeUnit\":\"ms\",\"tgp_dropped\":";
+  std::snprintf(num, sizeof(num), "%" PRIu64, snap.dropped);
+  buf += num;
+  buf += "}\n";
+  out << buf;
+}
+
+}  // namespace tgp::obs

@@ -1,0 +1,20 @@
+// Chrome trace_event JSON export for trace snapshots.
+//
+// Output is the "JSON Object Format" understood by chrome://tracing and
+// Perfetto: a `traceEvents` array of `ph:"X"` complete events (ts/dur in
+// microseconds, nanosecond fractions preserved as decimals) plus
+// `ph:"M"` thread_name metadata records for named threads, and a
+// `tgp_dropped` top-level field recording ring overwrites.
+#pragma once
+
+#include <iosfwd>
+
+#include "obs/trace.hpp"
+
+namespace tgp::obs {
+
+/// Serialize `snap` as Chrome trace JSON.  Events keep snapshot order
+/// (start-time sorted); all events share pid 1.
+void write_chrome_trace(std::ostream& out, const trace::TraceSnapshot& snap);
+
+}  // namespace tgp::obs

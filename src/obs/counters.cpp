@@ -1,0 +1,17 @@
+#include "obs/counters.hpp"
+
+namespace tgp::obs {
+
+namespace {
+thread_local SolveCounters* g_active = nullptr;
+}
+
+SolveCounters* active_counters() { return g_active; }
+
+CounterScope::CounterScope(SolveCounters* target) : prev_(g_active) {
+  g_active = target;
+}
+
+CounterScope::~CounterScope() { g_active = prev_; }
+
+}  // namespace tgp::obs

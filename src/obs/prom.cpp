@@ -1,0 +1,111 @@
+#include "obs/prom.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+namespace tgp::obs {
+
+std::string prom_escape(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+void PromWriter::header(std::string_view name, std::string_view help,
+                        std::string_view type) {
+  std::string key(name);
+  if (std::find(seen_.begin(), seen_.end(), key) != seen_.end()) return;
+  seen_.push_back(std::move(key));
+  if (!help.empty()) out_ << "# HELP " << name << ' ' << help << '\n';
+  out_ << "# TYPE " << name << ' ' << type << '\n';
+}
+
+void PromWriter::sample(std::string_view name, const Labels& labels,
+                        std::string_view value) {
+  out_ << name;
+  if (!labels.empty()) {
+    out_ << '{';
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+      if (i) out_ << ',';
+      out_ << labels[i].first << "=\"" << prom_escape(labels[i].second)
+           << '"';
+    }
+    out_ << '}';
+  }
+  out_ << ' ' << value << '\n';
+}
+
+void PromWriter::counter(std::string_view name, std::string_view help,
+                         std::uint64_t value, const Labels& labels) {
+  header(name, help, "counter");
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, value);
+  sample(name, labels, buf);
+}
+
+void PromWriter::gauge(std::string_view name, std::string_view help,
+                       double value, const Labels& labels) {
+  header(name, help, "gauge");
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  sample(name, labels, buf);
+}
+
+void PromWriter::histogram_log2_micros(std::string_view name,
+                                       std::string_view help,
+                                       const std::uint64_t* buckets,
+                                       std::size_t num_buckets,
+                                       std::uint64_t count,
+                                       std::uint64_t sum_micros,
+                                       const Labels& labels) {
+  header(name, help, "histogram");
+  std::string bucket_name(name);
+  bucket_name += "_bucket";
+
+  // Elide trailing empty buckets; +Inf still closes the family.
+  std::size_t last = num_buckets;
+  while (last > 0 && buckets[last - 1] == 0) --last;
+
+  std::uint64_t cum = 0;
+  char num[64];
+  for (std::size_t b = 0; b < last; ++b) {
+    cum += buckets[b];
+    // Upper bound of log₂ bucket b is 2^(b+1) µs, rendered in seconds.
+    const double le = static_cast<double>(std::uint64_t{1} << (b + 1)) * 1e-6;
+    Labels ls = labels;
+    std::snprintf(num, sizeof(num), "%.9g", le);
+    ls.emplace_back("le", num);
+    std::snprintf(num, sizeof(num), "%" PRIu64, cum);
+    sample(bucket_name, ls, num);
+  }
+  {
+    Labels ls = labels;
+    ls.emplace_back("le", "+Inf");
+    std::snprintf(num, sizeof(num), "%" PRIu64, count);
+    sample(bucket_name, ls, num);
+  }
+  {
+    std::string sum_name(name);
+    sum_name += "_sum";
+    std::snprintf(num, sizeof(num), "%.9g",
+                  static_cast<double>(sum_micros) * 1e-6);
+    sample(sum_name, labels, num);
+  }
+  {
+    std::string count_name(name);
+    count_name += "_count";
+    std::snprintf(num, sizeof(num), "%" PRIu64, count);
+    sample(count_name, labels, num);
+  }
+}
+
+}  // namespace tgp::obs

@@ -1,0 +1,65 @@
+// Prometheus text-exposition writer (version 0.0.4 format).
+//
+// Generic building blocks only — this layer knows nothing about the
+// service's MetricsSnapshot; svc renders itself through a PromWriter so
+// obs stays dependent on util alone.
+//
+// Usage:
+//   PromWriter w(out);
+//   w.counter("tgp_jobs_completed_total", "Jobs finished", 123);
+//   w.counter("tgp_jobs_completed_total", "", 45, {{"problem", "bandwidth"}});
+//   w.histogram_log2_micros("tgp_solve_latency", "Solve wall time",
+//                           buckets, count, sum_micros, labels);
+//
+// HELP/TYPE headers are emitted once per metric family (the first sample
+// wins); repeated samples with different label sets append under the same
+// family, matching the exposition-format requirement that a family's
+// samples are contiguous as long as callers group their calls.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace tgp::obs {
+
+class PromWriter {
+ public:
+  using Labels = std::vector<std::pair<std::string, std::string>>;
+
+  explicit PromWriter(std::ostream& out) : out_(out) {}
+
+  void counter(std::string_view name, std::string_view help,
+               std::uint64_t value, const Labels& labels = {});
+
+  void gauge(std::string_view name, std::string_view help, double value,
+             const Labels& labels = {});
+
+  /// Render a log₂ histogram (bucket b counts samples with value ≤ 2^(b+1)
+  /// µs, matching svc::LatencyHistogram) as a Prometheus histogram family:
+  /// cumulative `name_bucket{le="..."}` series in *seconds*, a `+Inf`
+  /// bucket, and `name_sum` (seconds) / `name_count`.  Trailing empty
+  /// buckets are elided (the +Inf bucket always carries the total).
+  void histogram_log2_micros(std::string_view name, std::string_view help,
+                             const std::uint64_t* buckets,
+                             std::size_t num_buckets, std::uint64_t count,
+                             std::uint64_t sum_micros,
+                             const Labels& labels = {});
+
+ private:
+  void header(std::string_view name, std::string_view help,
+              std::string_view type);
+  void sample(std::string_view name, const Labels& labels,
+              std::string_view value);
+
+  std::ostream& out_;
+  std::vector<std::string> seen_;  // families whose HELP/TYPE already went out
+};
+
+/// Escape a label value per the exposition format (backslash, quote, \n).
+std::string prom_escape(std::string_view value);
+
+}  // namespace tgp::obs

@@ -1,0 +1,159 @@
+// Low-overhead span tracer: thread-local ring buffers of complete spans.
+//
+// Design constraints, in order:
+//   * the *disabled* path must be a single relaxed atomic load and branch —
+//     TGP_SPAN sites pepper the service hot path and the solver entry
+//     points, and tracing off must not show up in the perf gate;
+//   * the *enabled* path must not allocate: each thread records into a
+//     pre-sized ring it acquires on first use (the one-time warm-up heap
+//     touch, same contract as util::Arena) and overwrites its oldest
+//     events when full, counting the drops;
+//   * names and categories are `const char*` and must point at string
+//     literals (or storage outliving the snapshot) — events store the
+//     pointer, never a copy.
+//
+// Spans are Chrome-trace "complete" events: one record per closed span
+// carrying (category, name, start, duration, thread, up to two integer
+// args).  RAII `Span` / `TGP_SPAN` close on scope exit — including
+// exception unwind, which is what keeps traces balanced under the
+// service's cancellation and fault-injection paths.  Rings stay
+// registered after their thread exits, so a snapshot taken after
+// PartitionService::shutdown() still sees every worker's events.
+//
+// Compile-time kill switch: define TGP_TRACE_DISABLED to compile every
+// TGP_SPAN site to nothing.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace tgp::obs {
+
+/// One optional integer attribute on a span (name must be a literal).
+struct TraceArg {
+  const char* name = nullptr;
+  std::int64_t value = 0;
+};
+
+/// One closed span.  Timestamps are steady-clock nanoseconds relative to
+/// the process-wide trace epoch (first use of the tracer).
+struct TraceEvent {
+  const char* cat = nullptr;
+  const char* name = nullptr;
+  std::int64_t start_ns = 0;
+  std::int64_t dur_ns = 0;
+  std::uint32_t tid = 0;  ///< tracer-assigned thread id (dense, stable)
+  TraceArg args[2];
+};
+
+namespace trace {
+
+using Clock = std::chrono::steady_clock;
+
+namespace detail {
+extern std::atomic<bool> g_enabled;
+}
+
+/// Runtime kill switch.  Off by default; flipping it on/off at any time
+/// is safe (spans opened while enabled but closed after disabling are
+/// dropped).
+void set_enabled(bool on);
+
+inline bool enabled() {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+/// Ring size (events per thread) for rings created *after* this call;
+/// existing rings keep their size.  Call before enabling.  Values < 64
+/// are clamped up.
+void set_ring_capacity(std::size_t events_per_thread);
+
+/// Label the calling thread in snapshots/exports ("worker-3", "main").
+/// Registers the thread's ring even while tracing is disabled.
+void set_thread_name(const std::string& name);
+
+/// Nanoseconds since the trace epoch (monotonic).
+std::int64_t now_ns();
+
+/// Append one event to the calling thread's ring.  No-op when disabled.
+void emit(const TraceEvent& ev);
+
+/// Convenience for spans whose endpoints were measured elsewhere (e.g. a
+/// queue wait that starts on the submitting thread and ends on the
+/// worker): records [start_ns, end_ns) on the *calling* thread's ring.
+void emit_complete(const char* cat, const char* name, std::int64_t start_ns,
+                   std::int64_t end_ns, TraceArg a0 = {}, TraceArg a1 = {});
+
+/// Point-in-time copy of every ring, merged and sorted by start time.
+struct TraceSnapshot {
+  std::vector<TraceEvent> events;
+  /// tid → name for every registered thread (named or not).
+  std::vector<std::pair<std::uint32_t, std::string>> threads;
+  std::uint64_t dropped = 0;   ///< events overwritten across all rings
+  std::uint64_t recorded = 0;  ///< events currently held (== events.size())
+};
+
+TraceSnapshot snapshot();
+
+/// Drop all recorded events and drop counts (rings stay registered).
+void clear();
+
+}  // namespace trace
+
+/// RAII span.  Construction samples the clock when tracing is enabled;
+/// destruction emits the completed event.  `arg()` attaches up to two
+/// integer attributes (extra calls are ignored).
+class Span {
+ public:
+  Span(const char* cat, const char* name) : armed_(trace::enabled()) {
+    if (armed_) {
+      ev_.cat = cat;
+      ev_.name = name;
+      ev_.start_ns = trace::now_ns();
+    }
+  }
+
+  ~Span() {
+    if (armed_ && trace::enabled()) {
+      ev_.dur_ns = trace::now_ns() - ev_.start_ns;
+      trace::emit(ev_);
+    }
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  void arg(const char* name, std::int64_t value) {
+    if (!armed_) return;
+    if (ev_.args[0].name == nullptr) {
+      ev_.args[0] = {name, value};
+    } else if (ev_.args[1].name == nullptr) {
+      ev_.args[1] = {name, value};
+    }
+  }
+
+ private:
+  bool armed_;
+  TraceEvent ev_;
+};
+
+}  // namespace tgp::obs
+
+#define TGP_OBS_CONCAT_INNER(a, b) a##b
+#define TGP_OBS_CONCAT(a, b) TGP_OBS_CONCAT_INNER(a, b)
+
+#if defined(TGP_TRACE_DISABLED)
+#define TGP_SPAN(cat, name) \
+  do {                      \
+  } while (0)
+#else
+/// Anonymous scope span.  For spans needing args, declare an obs::Span
+/// directly.
+#define TGP_SPAN(cat, name) \
+  ::tgp::obs::Span TGP_OBS_CONCAT(tgp_span_, __LINE__)(cat, name)
+#endif

@@ -69,6 +69,9 @@ bool MemoCache::get_into(const CacheKey& key, CanonicalOutcome& out) {
   out.cut.edges.assign(o.cut.edges.begin(), o.cut.edges.end());
   out.objective = o.objective;
   out.components = o.components;
+  // A hit hands back the original solve's counters — keeps per-job
+  // counters independent of cache state (see CanonicalOutcome::counters).
+  out.counters = o.counters;
   return true;
 }
 

@@ -137,44 +137,63 @@ std::size_t CanonicalOutcome::memory_bytes() const {
          cut.edges.capacity() * sizeof(int);
 }
 
+namespace {
+
+// Arena whose high-water the solve accounting measures: the explicit one,
+// or the thread-local fallback ScratchFrame would pick.
+util::Arena& accounting_arena(util::Arena* arena) {
+  return arena != nullptr ? *arena : util::ScratchFrame::thread_arena();
+}
+
+}  // namespace
+
 CanonicalOutcome solve_canonical_chain(Problem problem,
                                        const graph::Chain& chain,
                                        graph::Weight K,
                                        const util::CancelToken* cancel,
                                        util::Arena* arena) {
   CanonicalOutcome out;
-  switch (problem) {
-    case Problem::kBottleneck: {
-      auto r = core::chain_bottleneck_min(chain, K, arena);
-      out.cut = std::move(r.cut);
-      out.objective = r.threshold;
-      break;
-    }
-    case Problem::kProcMin: {
-      auto r =
-          core::proc_min(graph::path_tree(chain), K, nullptr, cancel, arena);
-      out.cut = std::move(r.cut);
-      out.objective = static_cast<graph::Weight>(r.components);
-      out.components = r.components;
-      return out;
-    }
-    case Problem::kBandwidth: {
-      auto r = core::bandwidth_min_temps(
-          chain, K, nullptr, core::SearchPolicy::kBinary, cancel, arena);
-      out.cut = std::move(r.cut);
-      out.objective = r.cut_weight;
-      break;
-    }
-    case Problem::kPipeline: {
-      auto r = core::bottleneck_then_proc_min(graph::path_tree(chain), K,
-                                              cancel, arena);
-      out.cut = std::move(r.cut);
-      out.objective = r.bottleneck;
-      out.components = r.components;
-      return out;
+  util::Arena& acct = accounting_arena(arena);
+  const std::size_t base = acct.bytes_in_use();
+  acct.reset_high_water();
+  {
+    obs::CounterScope scope(&out.counters);
+    switch (problem) {
+      case Problem::kBottleneck: {
+        auto r = core::chain_bottleneck_min(chain, K, arena);
+        out.cut = std::move(r.cut);
+        out.objective = r.threshold;
+        out.components = out.cut.size() + 1;
+        break;
+      }
+      case Problem::kProcMin: {
+        auto r =
+            core::proc_min(graph::path_tree(chain), K, nullptr, cancel, arena);
+        out.cut = std::move(r.cut);
+        out.objective = static_cast<graph::Weight>(r.components);
+        out.components = r.components;
+        break;
+      }
+      case Problem::kBandwidth: {
+        auto r = core::bandwidth_min_temps(
+            chain, K, nullptr, core::SearchPolicy::kBinary, cancel, arena);
+        out.cut = std::move(r.cut);
+        out.objective = r.cut_weight;
+        out.components = out.cut.size() + 1;
+        break;
+      }
+      case Problem::kPipeline: {
+        auto r = core::bottleneck_then_proc_min(graph::path_tree(chain), K,
+                                                cancel, arena);
+        out.cut = std::move(r.cut);
+        out.objective = r.bottleneck;
+        out.components = r.components;
+        break;
+      }
     }
   }
-  out.components = out.cut.size() + 1;
+  const std::size_t hw = acct.high_water_bytes();
+  out.counters.arena_bytes_peak = hw > base ? hw - base : 0;
   return out;
 }
 
@@ -184,35 +203,44 @@ CanonicalOutcome solve_canonical_tree(Problem problem,
                                       const util::CancelToken* cancel,
                                       util::Arena* arena) {
   CanonicalOutcome out;
-  switch (problem) {
-    case Problem::kBottleneck: {
-      auto r = core::bottleneck_min_bsearch(tree, K, cancel, arena);
-      out.cut = std::move(r.cut);
-      out.objective = r.threshold;
-      break;
-    }
-    case Problem::kProcMin: {
-      auto r = core::proc_min(tree, K, nullptr, cancel, arena);
-      out.cut = std::move(r.cut);
-      out.objective = static_cast<graph::Weight>(r.components);
-      out.components = r.components;
-      return out;
-    }
-    case Problem::kBandwidth: {
-      auto r = core::tree_bandwidth_greedy(tree, K, cancel, arena);
-      out.cut = std::move(r.cut);
-      out.objective = r.cut_weight;
-      break;
-    }
-    case Problem::kPipeline: {
-      auto r = core::bottleneck_then_proc_min(tree, K, cancel, arena);
-      out.cut = std::move(r.cut);
-      out.objective = r.bottleneck;
-      out.components = r.components;
-      return out;
+  util::Arena& acct = accounting_arena(arena);
+  const std::size_t base = acct.bytes_in_use();
+  acct.reset_high_water();
+  {
+    obs::CounterScope scope(&out.counters);
+    switch (problem) {
+      case Problem::kBottleneck: {
+        auto r = core::bottleneck_min_bsearch(tree, K, cancel, arena);
+        out.cut = std::move(r.cut);
+        out.objective = r.threshold;
+        out.components = out.cut.size() + 1;
+        break;
+      }
+      case Problem::kProcMin: {
+        auto r = core::proc_min(tree, K, nullptr, cancel, arena);
+        out.cut = std::move(r.cut);
+        out.objective = static_cast<graph::Weight>(r.components);
+        out.components = r.components;
+        break;
+      }
+      case Problem::kBandwidth: {
+        auto r = core::tree_bandwidth_greedy(tree, K, cancel, arena);
+        out.cut = std::move(r.cut);
+        out.objective = r.cut_weight;
+        out.components = out.cut.size() + 1;
+        break;
+      }
+      case Problem::kPipeline: {
+        auto r = core::bottleneck_then_proc_min(tree, K, cancel, arena);
+        out.cut = std::move(r.cut);
+        out.objective = r.bottleneck;
+        out.components = r.components;
+        break;
+      }
     }
   }
-  out.components = out.cut.size() + 1;
+  const std::size_t hw = acct.high_water_bytes();
+  out.counters.arena_bytes_peak = hw > base ? hw - base : 0;
   return out;
 }
 
@@ -224,6 +252,7 @@ void fill_result(JobResult& r, const CanonicalOutcome& o, MapBack&& back) {
   r.status = JobStatus::kOk;
   r.objective = o.objective;
   r.components = o.components;
+  r.counters = o.counters;
   r.cut.edges.clear();
   r.cut.edges.reserve(o.cut.edges.size());
   for (int e : o.cut.edges) r.cut.edges.push_back(back(e));

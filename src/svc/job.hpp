@@ -21,6 +21,7 @@
 #include "graph/cutset.hpp"
 #include "graph/fingerprint.hpp"
 #include "graph/tree.hpp"
+#include "obs/counters.hpp"
 #include "util/cancel.hpp"
 
 namespace tgp::util {
@@ -74,6 +75,12 @@ struct CanonicalOutcome {
   graph::Cut cut;                 ///< edges in *canonical* numbering
   graph::Weight objective = 0;    ///< problem-specific (see JobResult)
   int components = 1;
+  /// Work counters recorded by the solve that produced this outcome.
+  /// Cached alongside the cut so a memo hit reports the *original*
+  /// solve's counters — per-job counters stay a pure function of
+  /// (canonical graph, problem, K) regardless of cache state or thread
+  /// count (the threads-1-vs-8 differential test relies on this).
+  obs::SolveCounters counters;
   /// Approximate heap footprint, for the cache's byte budget.
   std::size_t memory_bytes() const;
 };
@@ -106,6 +113,10 @@ struct JobResult {
   graph::Cut cut;                 ///< submitted-graph edge numbering
   graph::Weight objective = 0;
   int components = 1;
+  /// Solver work counters for this job (see CanonicalOutcome::counters
+  /// for the determinism contract; arena_bytes_peak is the one
+  /// accounting-only field).  Zero for failed jobs.
+  obs::SolveCounters counters;
   bool cache_hit = false;
   double latency_micros = 0;
 };

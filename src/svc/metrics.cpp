@@ -5,6 +5,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "obs/prom.hpp"
 #include "util/table.hpp"
 
 namespace tgp::svc {
@@ -37,10 +38,22 @@ void LatencyHistogram::merge(const LatencyHistogram& other) {
 }
 
 double LatencyHistogram::quantile_upper_micros(double q) const {
-  if (count == 0) return 0;
-  std::uint64_t target = static_cast<std::uint64_t>(
-      std::ceil(q * static_cast<double>(count)));
-  target = std::max<std::uint64_t>(target, 1);
+  if (count == 0 || std::isnan(q)) return 0;
+  std::uint64_t target;
+  if (q >= 1.0) {
+    target = count;  // exact: no float product to overshoot
+  } else if (q <= 0.0) {
+    target = 1;
+  } else {
+    // Smallest rank k with k ≥ q·count.  The product is computed in
+    // double, which can round to just above an integer (0.07 * 100 →
+    // 7.000000000000001); back off by a scale-relative tolerance before
+    // ceil so an exact boundary selects its own bucket.
+    const double scaled = q * static_cast<double>(count);
+    target = static_cast<std::uint64_t>(
+        std::ceil(scaled - 1e-9 * std::max(1.0, scaled)));
+    target = std::min(std::max<std::uint64_t>(target, 1), count);
+  }
   std::uint64_t seen = 0;
   for (int b = 0; b < kBuckets; ++b) {
     seen += counts[static_cast<std::size_t>(b)];
@@ -52,6 +65,12 @@ double LatencyHistogram::quantile_upper_micros(double q) const {
 LatencyHistogram MetricsSnapshot::overall_latency() const {
   LatencyHistogram all;
   for (const LatencyHistogram& h : latency_by_problem) all.merge(h);
+  return all;
+}
+
+obs::SolveCounters MetricsSnapshot::counters_total() const {
+  obs::SolveCounters all;
+  for (const obs::SolveCounters& c : counters_by_problem) all.merge(c);
   return all;
 }
 
@@ -112,6 +131,173 @@ std::string MetricsSnapshot::format() const {
         .cell(all.max_micros, 1);
   }
   if (t.row_count() > 0) os << t.render();
+
+  LatencyHistogram qw = queue_wait;
+  if (qw.count != 0) {
+    os << "queue wait: mean " << util::fmt(qw.mean_micros(), 1) << " us, p50 "
+       << util::fmt(qw.quantile_upper_micros(0.50), 0) << " us, p99 "
+       << util::fmt(qw.quantile_upper_micros(0.99), 0) << " us, max "
+       << util::fmt(qw.max_micros, 1) << " us\n";
+  }
+
+  obs::SolveCounters total = counters_total();
+  if (total.any()) {
+    util::Table ct({"problem", "oracle", "bsearch", "gallop", "primes",
+                    "nonred edges", "temps rows", "arena peak B"});
+    for (int p = 0; p < kProblemCount; ++p) {
+      const obs::SolveCounters& c =
+          counters_by_problem[static_cast<std::size_t>(p)];
+      if (!c.any()) continue;
+      ct.row()
+          .cell(problem_name(static_cast<Problem>(p)))
+          .cell(c.oracle_calls)
+          .cell(c.bsearch_probes)
+          .cell(c.gallop_probes)
+          .cell(c.prime_subpaths)
+          .cell(c.nonredundant_edges)
+          .cell(c.temps_peak_rows)
+          .cell(c.arena_bytes_peak);
+    }
+    if (ct.row_count() > 0) os << ct.render();
+  }
+  return os.str();
+}
+
+std::string MetricsSnapshot::render_prometheus() const {
+  std::ostringstream os;
+  obs::PromWriter w(os);
+  using Labels = obs::PromWriter::Labels;
+
+  w.counter("tgp_jobs_submitted_total", "Jobs accepted by submit()",
+            submitted);
+  w.counter("tgp_jobs_completed_total", "Jobs finished (any status)",
+            completed);
+  w.counter("tgp_jobs_failed_total", "Completed jobs with ok == false",
+            failed);
+  for (int s = 0; s < kJobStatusCount; ++s) {
+    w.counter("tgp_jobs_by_status_total", "Completed jobs by final status",
+              by_status[static_cast<std::size_t>(s)],
+              Labels{{"status", job_status_name(static_cast<JobStatus>(s))}});
+  }
+
+  w.counter("tgp_cache_hits_total", "Memo cache hits", cache.hits);
+  w.counter("tgp_cache_misses_total", "Memo cache misses", cache.misses);
+  w.counter("tgp_cache_insertions_total", "Memo cache insertions",
+            cache.insertions);
+  w.counter("tgp_cache_evictions_total", "Memo cache evictions",
+            cache.evictions);
+  w.gauge("tgp_cache_entries", "Live memo cache entries",
+          static_cast<double>(cache.entries));
+  w.gauge("tgp_cache_bytes", "Memo cache bytes in use",
+          static_cast<double>(cache.bytes));
+  w.gauge("tgp_cache_capacity_bytes", "Memo cache byte budget",
+          static_cast<double>(cache.capacity_bytes));
+
+  w.gauge("tgp_threads", "Worker thread count",
+          static_cast<double>(threads));
+  w.gauge("tgp_queue_capacity", "Job queue capacity",
+          static_cast<double>(queue_capacity));
+  w.gauge("tgp_queue_high_watermark", "Deepest queue occupancy seen",
+          static_cast<double>(queue_high_watermark));
+
+  w.counter("tgp_watchdog_ticks_total", "Watchdog scan passes",
+            watchdog_ticks);
+  w.counter("tgp_watchdog_deadline_cancels_total",
+            "Deadlines fired by the watchdog", deadline_cancels);
+  w.gauge("tgp_stuck_workers", "Workers currently over the stuck threshold",
+          static_cast<double>(stuck_workers_now));
+  w.gauge("tgp_stuck_worker_peak", "Peak simultaneous stuck workers",
+          static_cast<double>(stuck_worker_peak));
+
+  for (int p = 0; p < kProblemCount; ++p) {
+    const obs::SolveCounters& c =
+        counters_by_problem[static_cast<std::size_t>(p)];
+    Labels ls{{"problem", problem_name(static_cast<Problem>(p))}};
+    w.counter("tgp_solver_oracle_calls_total",
+              "Feasibility probes / DP edge steps", c.oracle_calls, ls);
+    w.counter("tgp_solver_bsearch_probes_total",
+              "Binary-search iterations", c.bsearch_probes, ls);
+    w.counter("tgp_solver_gallop_probes_total",
+              "Gallop-policy search probes", c.gallop_probes, ls);
+    w.counter("tgp_solver_prime_subpaths_total",
+              "Prime critical subpaths (paper's p)", c.prime_subpaths, ls);
+    w.counter("tgp_solver_nonredundant_edges_total",
+              "Non-redundant edges after reduction", c.nonredundant_edges,
+              ls);
+    w.gauge("tgp_solver_temps_peak_rows", "TEMP_S occupancy high-water",
+            static_cast<double>(c.temps_peak_rows), ls);
+    w.gauge("tgp_solver_arena_bytes_peak", "Scratch arena high-water",
+            static_cast<double>(c.arena_bytes_peak), ls);
+  }
+
+  for (int p = 0; p < kProblemCount; ++p) {
+    const LatencyHistogram& h =
+        latency_by_problem[static_cast<std::size_t>(p)];
+    w.histogram_log2_micros(
+        "tgp_job_latency_seconds", "Submit-to-complete job latency",
+        h.counts.data(), h.counts.size(), h.count,
+        static_cast<std::uint64_t>(h.total_micros),
+        Labels{{"problem", problem_name(static_cast<Problem>(p))}});
+  }
+  w.histogram_log2_micros("tgp_queue_wait_seconds",
+                          "Submit-to-dequeue queue wait", queue_wait.counts.data(),
+                          queue_wait.counts.size(), queue_wait.count,
+                          static_cast<std::uint64_t>(queue_wait.total_micros));
+  return os.str();
+}
+
+std::string MetricsSnapshot::render_json() const {
+  std::ostringstream os;
+  os << "{";
+  os << "\"submitted\":" << submitted << ",\"completed\":" << completed
+     << ",\"failed\":" << failed << ",\"threads\":" << threads
+     << ",\"queue_capacity\":" << queue_capacity
+     << ",\"queue_high_watermark\":" << queue_high_watermark;
+  os << ",\"by_status\":{";
+  for (int s = 0; s < kJobStatusCount; ++s) {
+    if (s) os << ',';
+    os << '"' << job_status_name(static_cast<JobStatus>(s))
+       << "\":" << by_status[static_cast<std::size_t>(s)];
+  }
+  os << "},\"cache\":{\"hits\":" << cache.hits
+     << ",\"misses\":" << cache.misses
+     << ",\"insertions\":" << cache.insertions
+     << ",\"evictions\":" << cache.evictions
+     << ",\"entries\":" << cache.entries << ",\"bytes\":" << cache.bytes
+     << ",\"capacity_bytes\":" << cache.capacity_bytes << "}";
+  os << ",\"watchdog\":{\"ticks\":" << watchdog_ticks
+     << ",\"deadline_cancels\":" << deadline_cancels
+     << ",\"stuck_now\":" << stuck_workers_now
+     << ",\"stuck_peak\":" << stuck_worker_peak << "}";
+  os << ",\"problems\":{";
+  bool first = true;
+  for (int p = 0; p < kProblemCount; ++p) {
+    const LatencyHistogram& h =
+        latency_by_problem[static_cast<std::size_t>(p)];
+    const obs::SolveCounters& c =
+        counters_by_problem[static_cast<std::size_t>(p)];
+    if (h.count == 0 && !c.any()) continue;
+    if (!first) os << ',';
+    first = false;
+    os << '"' << problem_name(static_cast<Problem>(p)) << "\":{"
+       << "\"jobs\":" << h.count << ",\"mean_us\":" << h.mean_micros()
+       << ",\"p50_us\":" << h.quantile_upper_micros(0.50)
+       << ",\"p99_us\":" << h.quantile_upper_micros(0.99)
+       << ",\"max_us\":" << h.max_micros
+       << ",\"oracle_calls\":" << c.oracle_calls
+       << ",\"bsearch_probes\":" << c.bsearch_probes
+       << ",\"gallop_probes\":" << c.gallop_probes
+       << ",\"prime_subpaths\":" << c.prime_subpaths
+       << ",\"nonredundant_edges\":" << c.nonredundant_edges
+       << ",\"temps_peak_rows\":" << c.temps_peak_rows
+       << ",\"arena_bytes_peak\":" << c.arena_bytes_peak << "}";
+  }
+  os << "},\"queue_wait\":{\"count\":" << queue_wait.count
+     << ",\"mean_us\":" << queue_wait.mean_micros()
+     << ",\"p50_us\":" << queue_wait.quantile_upper_micros(0.50)
+     << ",\"p99_us\":" << queue_wait.quantile_upper_micros(0.99)
+     << ",\"max_us\":" << queue_wait.max_micros << "}";
+  os << "}\n";
   return os.str();
 }
 

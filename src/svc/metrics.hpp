@@ -37,7 +37,13 @@ struct LatencyHistogram {
   double mean_micros() const {
     return count == 0 ? 0.0 : total_micros / static_cast<double>(count);
   }
-  /// Upper edge of the bucket holding the q-quantile (0 < q ≤ 1).
+  /// Upper edge of the bucket holding the q-quantile.  q is clamped into
+  /// (0, 1]: q ≤ 0 asks for the first recorded sample, q ≥ 1 for the
+  /// last; an empty histogram (or NaN q) returns 0.  The target rank is
+  /// computed with a scale-relative tolerance so a q that lands exactly
+  /// on a cumulative-count boundary (e.g. q=0.07 over 100 samples, where
+  /// 0.07*100 rounds to just above 7 in binary) selects that boundary's
+  /// bucket instead of overshooting into the next one.
   double quantile_upper_micros(double q) const;
 };
 
@@ -63,14 +69,30 @@ struct MetricsSnapshot {
 
   std::array<LatencyHistogram, kProblemCount> latency_by_problem{};
 
+  /// Time from submit to a worker dequeuing, all problems merged.
+  LatencyHistogram queue_wait;
+
+  /// Solver work counters accumulated per problem kind (sums over
+  /// completed-ok jobs; peaks are maxima).  Cache hits re-contribute the
+  /// original solve's counters, so these track *logical* work served.
+  std::array<obs::SolveCounters, kProblemCount> counters_by_problem{};
+
   std::uint64_t status_count(JobStatus s) const {
     return by_status[static_cast<std::size_t>(s)];
   }
 
   LatencyHistogram overall_latency() const;
+  obs::SolveCounters counters_total() const;
 
   /// Human-readable multi-section report (counters, cache, latency table).
   std::string format() const;
+
+  /// Prometheus text exposition (version 0.0.4): counters, gauges, and
+  /// the log₂ latency histograms as cumulative `*_bucket` series.
+  std::string render_prometheus() const;
+
+  /// Machine-readable JSON object with the same content as format().
+  std::string render_json() const;
 };
 
 }  // namespace tgp::svc

@@ -1,7 +1,9 @@
 #include "svc/service.hpp"
 
+#include <string>
 #include <utility>
 
+#include "obs/trace.hpp"
 #include "util/assert.hpp"
 #include "util/fault.hpp"
 #include "util/timer.hpp"
@@ -50,6 +52,7 @@ std::int64_t PartitionService::now_micros() const {
 }
 
 std::size_t PartitionService::submit(JobSpec spec) {
+  TGP_SPAN("svc", "submit");
   if (shut_.load()) throw ServiceStopped();
   SpecCheck check = validate_spec(spec);
   std::shared_ptr<util::CancelToken> token;
@@ -72,7 +75,8 @@ std::size_t PartitionService::submit(JobSpec spec) {
     settle(slot, failed_result(check.status, std::move(check.error)));
     return slot;
   }
-  bool queued = queue_.push(QueuedJob{slot, std::move(spec), token});
+  bool queued =
+      queue_.push(QueuedJob{slot, std::move(spec), token, now_micros()});
   if (!queued) {
     // Lost the race against shutdown(): settle the slot so wait_idle()
     // callers are not left hanging, then report the refusal.
@@ -145,9 +149,13 @@ MetricsSnapshot PartitionService::metrics() const {
         static_cast<double>(now - busy) > config_.stuck_threshold_micros)
       ++m.stuck_workers_now;
     std::lock_guard lk(ws->mu);
-    for (int p = 0; p < kProblemCount; ++p)
+    for (int p = 0; p < kProblemCount; ++p) {
       m.latency_by_problem[static_cast<std::size_t>(p)].merge(
           ws->latency[static_cast<std::size_t>(p)]);
+      m.counters_by_problem[static_cast<std::size_t>(p)].merge(
+          ws->counters[static_cast<std::size_t>(p)]);
+    }
+    m.queue_wait.merge(ws->queue_wait);
   }
   return m;
 }
@@ -208,11 +216,31 @@ void PartitionService::settle(std::size_t slot, JobResult r) {
 }
 
 void PartitionService::worker_loop(WorkerState& state) {
+  {
+    // Stable worker index for trace exports; registration is cheap and
+    // happens whether or not tracing ever turns on.
+    std::size_t idx = 0;
+    for (; idx < worker_state_.size(); ++idx)
+      if (worker_state_[idx].get() == &state) break;
+    obs::trace::set_thread_name("worker-" + std::to_string(idx));
+  }
   while (auto job = queue_.pop()) {
     const util::CancelToken* token = job->cancel.get();
     JobResult r;
     double micros = 0;
     Problem problem = job->spec.problem;
+    const std::int64_t dequeued = now_micros();
+    const double wait_micros =
+        static_cast<double>(dequeued - job->enqueue_micros);
+    if (obs::trace::enabled()) {
+      // The wait started on the submitting thread; reconstruct its start
+      // from the measured wait so the span nests under this worker's job.
+      const std::int64_t end_ns = obs::trace::now_ns();
+      obs::trace::emit_complete(
+          "svc", "queue.wait",
+          end_ns - static_cast<std::int64_t>(wait_micros * 1e3), end_ns,
+          {"slot", static_cast<std::int64_t>(job->slot)});
+    }
     if (token->stop_requested() || token->deadline_expired()) {
       // Cancelled while queued, or the deadline passed before any work
       // started: fail fast without touching the solver.
@@ -223,16 +251,24 @@ void PartitionService::worker_loop(WorkerState& state) {
                         token->reason() == util::CancelReason::kDeadline
                             ? "deadline expired before the job started"
                             : "cancelled before the job started");
+      std::lock_guard lk(state.mu);
+      state.queue_wait.record(wait_micros);
     } else {
-      state.busy_since_micros.store(now_micros());
+      state.busy_since_micros.store(dequeued);
       {
+        obs::Span job_span("svc", "job");
+        job_span.arg("slot", static_cast<std::int64_t>(job->slot));
         util::ScopedTimer timer(micros);
         r = process(state, job->spec, token);
+        job_span.arg("cache_hit", r.cache_hit ? 1 : 0);
       }
       state.busy_since_micros.store(-1);
       r.latency_micros = micros;
       std::lock_guard lk(state.mu);
       state.latency[static_cast<std::size_t>(problem)].record(micros);
+      state.queue_wait.record(wait_micros);
+      if (r.ok)
+        state.counters[static_cast<std::size_t>(problem)].merge(r.counters);
     }
     settle(job->slot, std::move(r));
   }
@@ -280,33 +316,60 @@ JobResult PartitionService::process(WorkerState& state, const JobSpec& spec,
     if (util::faults().fire("svc.worker.solve"))
       throw util::InjectedFault("svc.worker.solve");
     if (spec.is_chain()) {
-      graph::CanonicalChain cc = graph::canonical_chain(*spec.chain);
+      graph::CanonicalChain cc = [&] {
+        TGP_SPAN("svc", "canonicalize");
+        return graph::canonical_chain(*spec.chain);
+      }();
       CacheKey key = CacheKey::make(graph::chain_fingerprint(cc.chain),
                                     spec.problem, spec.K);
-      if (use_cache && cache_.get_into(key, state.hit_scratch)) {
+      bool hit = false;
+      {
+        TGP_SPAN("svc", "cache.probe");
+        hit = use_cache && cache_.get_into(key, state.hit_scratch);
+      }
+      if (hit) {
         apply_outcome(r, state.hit_scratch, cc);
         r.cache_hit = true;
         return r;
       }
-      CanonicalOutcome o = solve_canonical_chain(spec.problem, cc.chain,
-                                                 spec.K, cancel, &state.arena);
+      CanonicalOutcome o = [&] {
+        TGP_SPAN("svc", "solve");
+        return solve_canonical_chain(spec.problem, cc.chain, spec.K, cancel,
+                                     &state.arena);
+      }();
       apply_outcome(r, o, cc);
-      if (use_cache) cache_.put(key, std::move(o));
+      if (use_cache) {
+        TGP_SPAN("svc", "cache.store");
+        cache_.put(key, std::move(o));
+      }
     } else {
-      graph::CanonicalTree ct =
-          graph::canonical_tree(*spec.tree, &state.arena);
+      graph::CanonicalTree ct = [&] {
+        TGP_SPAN("svc", "canonicalize");
+        return graph::canonical_tree(*spec.tree, &state.arena);
+      }();
       CacheKey key =
           CacheKey::make(graph::tree_fingerprint(ct.tree, &state.arena),
                          spec.problem, spec.K);
-      if (use_cache && cache_.get_into(key, state.hit_scratch)) {
+      bool hit = false;
+      {
+        TGP_SPAN("svc", "cache.probe");
+        hit = use_cache && cache_.get_into(key, state.hit_scratch);
+      }
+      if (hit) {
         apply_outcome(r, state.hit_scratch, ct);
         r.cache_hit = true;
         return r;
       }
-      CanonicalOutcome o = solve_canonical_tree(spec.problem, ct.tree, spec.K,
-                                                cancel, &state.arena);
+      CanonicalOutcome o = [&] {
+        TGP_SPAN("svc", "solve");
+        return solve_canonical_tree(spec.problem, ct.tree, spec.K, cancel,
+                                    &state.arena);
+      }();
       apply_outcome(r, o, ct);
-      if (use_cache) cache_.put(key, std::move(o));
+      if (use_cache) {
+        TGP_SPAN("svc", "cache.store");
+        cache_.put(key, std::move(o));
+      }
     }
   } catch (...) {
     // The worker's catch-all boundary: any escape — solver contract

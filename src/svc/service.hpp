@@ -147,6 +147,8 @@ class PartitionService {
     std::size_t slot = 0;
     JobSpec spec;
     std::shared_ptr<util::CancelToken> cancel;
+    /// Submission timestamp (service epoch) — queue-wait accounting.
+    std::int64_t enqueue_micros = 0;
   };
   struct Slot {
     JobResult result;
@@ -162,6 +164,9 @@ class PartitionService {
   struct WorkerState {
     mutable std::mutex mu;
     std::array<LatencyHistogram, kProblemCount> latency{};
+    LatencyHistogram queue_wait;
+    /// Solver counters summed over this worker's ok jobs (under mu).
+    std::array<obs::SolveCounters, kProblemCount> counters{};
     std::atomic<std::int64_t> busy_since_micros{-1};
     util::Arena arena;
     CanonicalOutcome hit_scratch;

@@ -39,9 +39,10 @@ class Arena {
   struct Marker {
     std::size_t block = 0;
     std::size_t used = 0;
+    std::size_t prefix = 0;  // bytes in blocks preceding `block`
   };
 
-  Marker mark() const { return {cur_, used_}; }
+  Marker mark() const { return {cur_, used_, prefix_bytes_}; }
 
   /// Pop back to a checkpoint.  Blocks acquired since stay owned by the
   /// arena (capacity is retained), so release + re-allocate cycles are
@@ -51,12 +52,14 @@ class Arena {
                 "marker from another arena");
     cur_ = m.block;
     used_ = m.used;
+    prefix_bytes_ = m.prefix;
   }
 
   /// Release everything (capacity retained).
   void reset() {
     cur_ = 0;
     used_ = 0;
+    prefix_bytes_ = 0;
   }
 
   /// Raw allocation; `align` must be a power of two.
@@ -68,16 +71,19 @@ class Arena {
       std::size_t off = (used_ + align - 1) & ~(align - 1);
       if (off + bytes <= blocks_[cur_].size) {
         used_ = off + bytes;
+        bump_high_water();
         return blocks_[cur_].data.get() + off;
       }
       // Current block exhausted: move to the next retained block (or fall
       // through to grow).  Skipped tail space is reclaimed on release().
+      prefix_bytes_ += blocks_[cur_].size;
       ++cur_;
       used_ = 0;
     }
     add_block(bytes + align);
     std::size_t off = (used_ + align - 1) & ~(align - 1);
     used_ = off + bytes;
+    bump_high_water();
     return blocks_[cur_].data.get() + off;
   }
 
@@ -116,13 +122,19 @@ class Arena {
     return total;
   }
 
-  /// Bytes currently handed out (bump position, includes alignment pad).
-  std::size_t bytes_in_use() const {
-    std::size_t total = used_;
-    for (std::size_t i = 0; i < cur_ && i < blocks_.size(); ++i)
-      total += blocks_[i].size;
-    return total;
-  }
+  /// Bytes currently handed out (bump position, includes alignment pad and
+  /// the full size of every block before the current one).
+  std::size_t bytes_in_use() const { return prefix_bytes_ + used_; }
+
+  /// Largest bytes_in_use() seen since construction / reset_high_water().
+  /// PartitionService samples this per job for the arena_bytes_peak
+  /// counter.  Note the value depends on the arena's block-boundary
+  /// history (padding, skipped block tails), so it is a capacity signal,
+  /// not a deterministic function of the solve.
+  std::size_t high_water_bytes() const { return high_water_; }
+
+  /// Restart high-water tracking from the current frontier.
+  void reset_high_water() { high_water_ = prefix_bytes_ + used_; }
 
  private:
   struct Block {
@@ -139,11 +151,18 @@ class Arena {
     used_ = 0;
   }
 
+  void bump_high_water() {
+    const std::size_t in_use = prefix_bytes_ + used_;
+    if (in_use > high_water_) high_water_ = in_use;
+  }
+
   static constexpr std::size_t kMinBlock = std::size_t{1} << 16;  // 64 KiB
 
   std::vector<Block> blocks_;
   std::size_t cur_ = 0;   // block currently bumped into
   std::size_t used_ = 0;  // bump offset inside blocks_[cur_]
+  std::size_t prefix_bytes_ = 0;  // sum of blocks_[0..cur_).size
+  std::size_t high_water_ = 0;
   std::uint64_t heap_block_allocs_ = 0;
 };
 

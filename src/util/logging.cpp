@@ -1,12 +1,18 @@
 #include "util/logging.hpp"
 
 #include <atomic>
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
 
 namespace tgp::util {
 
 namespace {
 std::atomic<int> g_level{static_cast<int>(LogLevel::kInfo)};
+
+// Runs before main(): a bare `TGP_LOG=debug tgp_serve ...` works with no
+// per-tool wiring.  An explicit --log-level flag later overrides this.
+[[maybe_unused]] const bool g_env_applied = init_log_level_from_env();
 }  // namespace
 
 void set_log_level(LogLevel level) {
@@ -15,6 +21,30 @@ void set_log_level(LogLevel level) {
 
 LogLevel log_level() {
   return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+bool parse_log_level(const std::string& name, LogLevel& out) {
+  std::string lower;
+  lower.reserve(name.size());
+  for (char c : name)
+    lower += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  if (lower == "trace") out = LogLevel::kTrace;
+  else if (lower == "debug") out = LogLevel::kDebug;
+  else if (lower == "info") out = LogLevel::kInfo;
+  else if (lower == "warn" || lower == "warning") out = LogLevel::kWarn;
+  else if (lower == "error") out = LogLevel::kError;
+  else if (lower == "off" || lower == "none") out = LogLevel::kOff;
+  else return false;
+  return true;
+}
+
+bool init_log_level_from_env() {
+  const char* env = std::getenv("TGP_LOG");
+  if (env == nullptr || *env == '\0') return false;
+  LogLevel level;
+  if (!parse_log_level(env, level)) return false;
+  set_log_level(level);
+  return true;
 }
 
 const char* level_name(LogLevel level) {

@@ -15,6 +15,18 @@ enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
+/// Parse "trace" | "debug" | "info" | "warn" | "error" | "off"
+/// (case-insensitive).  Returns false and leaves `out` untouched on
+/// anything else.
+bool parse_log_level(const std::string& name, LogLevel& out);
+
+/// Apply the `TGP_LOG` environment variable to the global threshold, if
+/// set to a valid level name.  Called once automatically before main()
+/// (so every tool honors the variable with no wiring); exposed for tests
+/// and for re-applying after a programmatic override.  Returns true when
+/// the variable was present and valid.
+bool init_log_level_from_env();
+
 /// Emit one line to stderr if `level` passes the threshold.
 void log_line(LogLevel level, const std::string& msg);
 

@@ -1,0 +1,308 @@
+// The obs layer: span tracer rings, Chrome trace export, PromWriter.
+//
+// Tracer state is process-global, so every test starts from a clean
+// slate (disabled + cleared) and filters snapshots by its own category
+// strings where other tests' events could linger.
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+
+#include "obs/chrome_trace.hpp"
+#include "obs/counters.hpp"
+#include "obs/prom.hpp"
+#include "tools/trace_tool.hpp"
+
+namespace tgp::obs {
+namespace {
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    trace::set_enabled(false);
+    trace::clear();
+  }
+  void TearDown() override {
+    trace::set_enabled(false);
+    trace::clear();
+  }
+
+  static std::size_t count_cat(const trace::TraceSnapshot& snap,
+                               const char* cat) {
+    std::size_t n = 0;
+    for (const TraceEvent& ev : snap.events)
+      if (std::string(ev.cat) == cat) ++n;
+    return n;
+  }
+};
+
+TEST_F(TraceTest, DisabledRecordsNothing) {
+  {
+    TGP_SPAN("t.disabled", "nothing");
+  }
+  trace::emit_complete("t.disabled", "direct", 0, 10);
+  trace::TraceSnapshot snap = trace::snapshot();
+  EXPECT_EQ(count_cat(snap, "t.disabled"), 0u);
+}
+
+TEST_F(TraceTest, SpanRecordsWithDurationAndArgs) {
+  trace::set_enabled(true);
+  {
+    Span s("t.basic", "work");
+    s.arg("slot", 7);
+    s.arg("hit", 1);
+    s.arg("ignored", 3);  // only two args fit
+  }
+  trace::set_enabled(false);
+  trace::TraceSnapshot snap = trace::snapshot();
+  ASSERT_EQ(count_cat(snap, "t.basic"), 1u);
+  for (const TraceEvent& ev : snap.events) {
+    if (std::string(ev.cat) != "t.basic") continue;
+    EXPECT_STREQ(ev.name, "work");
+    EXPECT_GE(ev.dur_ns, 0);
+    ASSERT_STREQ(ev.args[0].name, "slot");
+    EXPECT_EQ(ev.args[0].value, 7);
+    ASSERT_STREQ(ev.args[1].name, "hit");
+    EXPECT_EQ(ev.args[1].value, 1);
+  }
+}
+
+TEST_F(TraceTest, SnapshotSortedByStartTime) {
+  trace::set_enabled(true);
+  for (int i = 0; i < 20; ++i) {
+    TGP_SPAN("t.sorted", "step");
+  }
+  trace::set_enabled(false);
+  trace::TraceSnapshot snap = trace::snapshot();
+  for (std::size_t i = 1; i < snap.events.size(); ++i)
+    EXPECT_LE(snap.events[i - 1].start_ns, snap.events[i].start_ns);
+}
+
+TEST_F(TraceTest, RingWrapsAndCountsDrops) {
+  // A fresh thread picks up the capacity set here; existing rings keep
+  // theirs, so the main thread is unaffected.
+  trace::set_ring_capacity(64);
+  trace::set_enabled(true);
+  std::thread t([] {
+    for (int i = 0; i < 100; ++i) {
+      TGP_SPAN("t.wrap", "spin");
+    }
+  });
+  t.join();
+  trace::set_enabled(false);
+  trace::TraceSnapshot snap = trace::snapshot();
+  EXPECT_EQ(count_cat(snap, "t.wrap"), 64u);
+  EXPECT_GE(snap.dropped, 36u);
+  trace::set_ring_capacity(1 << 16);
+}
+
+TEST_F(TraceTest, RingsSurviveThreadExit) {
+  trace::set_enabled(true);
+  std::thread t([] {
+    trace::set_thread_name("ephemeral");
+    TGP_SPAN("t.exit", "last-words");
+  });
+  t.join();
+  trace::set_enabled(false);
+  // The thread is gone, but its ring (and name) must still be visible.
+  trace::TraceSnapshot snap = trace::snapshot();
+  EXPECT_EQ(count_cat(snap, "t.exit"), 1u);
+  bool named = false;
+  for (const auto& [tid, name] : snap.threads)
+    if (name == "ephemeral") named = true;
+  EXPECT_TRUE(named);
+}
+
+TEST_F(TraceTest, ClearDropsEventsKeepsRings) {
+  trace::set_enabled(true);
+  {
+    TGP_SPAN("t.clear", "gone");
+  }
+  trace::clear();
+  {
+    TGP_SPAN("t.clear2", "kept");
+  }
+  trace::set_enabled(false);
+  trace::TraceSnapshot snap = trace::snapshot();
+  EXPECT_EQ(count_cat(snap, "t.clear"), 0u);
+  EXPECT_EQ(count_cat(snap, "t.clear2"), 1u);
+  EXPECT_EQ(snap.dropped, 0u);
+}
+
+TEST_F(TraceTest, EmitCompleteRecordsGivenInterval) {
+  trace::set_enabled(true);
+  trace::emit_complete("t.interval", "wait", 1000, 5000, {"slot", 3});
+  trace::set_enabled(false);
+  trace::TraceSnapshot snap = trace::snapshot();
+  ASSERT_EQ(count_cat(snap, "t.interval"), 1u);
+  for (const TraceEvent& ev : snap.events) {
+    if (std::string(ev.cat) != "t.interval") continue;
+    EXPECT_EQ(ev.start_ns, 1000);
+    EXPECT_EQ(ev.dur_ns, 4000);
+    EXPECT_EQ(ev.args[0].value, 3);
+  }
+}
+
+// The exporter's JSON must round-trip through the dump tool's parser —
+// the same check CI's validate_trace.py does with Python's json module.
+TEST_F(TraceTest, ChromeTraceRoundTripsThroughDumpParser) {
+  trace::set_enabled(true);
+  trace::set_thread_name("main-test");
+  {
+    Span outer("t.chrome", "outer");
+    outer.arg("slot", 42);
+    TGP_SPAN("t.chrome", "inner");
+  }
+  trace::set_enabled(false);
+
+  std::ostringstream json;
+  write_chrome_trace(json, trace::snapshot());
+  std::istringstream in(json.str());
+  tools::ParsedTrace parsed = tools::parse_chrome_trace(in);
+
+  std::size_t chrome_events = 0;
+  for (const tools::DumpEvent& ev : parsed.events)
+    if (ev.cat == "t.chrome") ++chrome_events;
+  EXPECT_EQ(chrome_events, 2u);
+  bool named = false;
+  for (const auto& [tid, name] : parsed.thread_names)
+    if (name == "main-test") named = true;
+  EXPECT_TRUE(named);
+}
+
+TEST_F(TraceTest, ChromeTraceEscapesThreadNames) {
+  trace::set_enabled(true);
+  std::thread t([] {
+    trace::set_thread_name("weird \"name\" \\ tab\there");
+    TGP_SPAN("t.escape", "x");
+  });
+  t.join();
+  trace::set_enabled(false);
+  std::ostringstream json;
+  write_chrome_trace(json, trace::snapshot());
+  // Must still parse, with the name decoded back to the original.
+  std::istringstream in(json.str());
+  tools::ParsedTrace parsed = tools::parse_chrome_trace(in);
+  bool found = false;
+  for (const auto& [tid, name] : parsed.thread_names)
+    if (name == "weird \"name\" \\ tab\there") found = true;
+  EXPECT_TRUE(found);
+}
+
+// ---- CounterScope routing --------------------------------------------------
+
+TEST(CounterScope, RoutesAndRestores) {
+  EXPECT_EQ(active_counters(), nullptr);
+  SolveCounters outer_c, inner_c;
+  {
+    CounterScope outer(&outer_c);
+    ASSERT_EQ(active_counters(), &outer_c);
+    active_counters()->oracle_calls += 2;
+    {
+      CounterScope inner(&inner_c);
+      ASSERT_EQ(active_counters(), &inner_c);
+      active_counters()->oracle_calls += 5;
+    }
+    EXPECT_EQ(active_counters(), &outer_c);
+    {
+      CounterScope suspend(nullptr);
+      EXPECT_EQ(active_counters(), nullptr);
+    }
+  }
+  EXPECT_EQ(active_counters(), nullptr);
+  EXPECT_EQ(outer_c.oracle_calls, 2u);
+  EXPECT_EQ(inner_c.oracle_calls, 5u);
+}
+
+TEST(SolveCounters, MergeSumsCountsAndMaxesPeaks) {
+  SolveCounters a, b;
+  a.oracle_calls = 10;
+  a.temps_peak_rows = 5;
+  a.arena_bytes_peak = 100;
+  b.oracle_calls = 3;
+  b.temps_peak_rows = 9;
+  b.arena_bytes_peak = 50;
+  a.merge(b);
+  EXPECT_EQ(a.oracle_calls, 13u);
+  EXPECT_EQ(a.temps_peak_rows, 9u);
+  EXPECT_EQ(a.arena_bytes_peak, 100u);
+}
+
+TEST(SolveCounters, AlgoEqualIgnoresArenaPeakOnly) {
+  SolveCounters a, b;
+  a.oracle_calls = b.oracle_calls = 4;
+  a.arena_bytes_peak = 100;
+  b.arena_bytes_peak = 999;
+  EXPECT_TRUE(a.algo_equal(b));
+  EXPECT_FALSE(a == b);
+  b.bsearch_probes = 1;
+  EXPECT_FALSE(a.algo_equal(b));
+}
+
+// ---- PromWriter ------------------------------------------------------------
+
+TEST(PromWriter, CounterWithHeaderDedupe) {
+  std::ostringstream out;
+  PromWriter w(out);
+  w.counter("tgp_jobs_total", "Jobs processed", 5);
+  w.counter("tgp_jobs_total", "Jobs processed", 3,
+            {{"problem", "bandwidth"}});
+  std::string s = out.str();
+  // HELP/TYPE exactly once despite two samples in the family.
+  EXPECT_EQ(s.find("# HELP tgp_jobs_total Jobs processed\n"),
+            s.rfind("# HELP tgp_jobs_total"));
+  EXPECT_NE(s.find("# TYPE tgp_jobs_total counter\n"), std::string::npos);
+  EXPECT_NE(s.find("tgp_jobs_total 5\n"), std::string::npos);
+  EXPECT_NE(s.find("tgp_jobs_total{problem=\"bandwidth\"} 3\n"),
+            std::string::npos);
+}
+
+TEST(PromWriter, HistogramBucketsAreCumulativeSeconds) {
+  std::ostringstream out;
+  PromWriter w(out);
+  // Log2 µs buckets: bucket 0 ≤ 2µs holds 3, bucket 2 ≤ 8µs holds 1.
+  std::uint64_t buckets[4] = {3, 0, 1, 0};
+  w.histogram_log2_micros("tgp_lat_seconds", "Latency", buckets, 4, 4,
+                          /*sum_micros=*/20);
+  std::string s = out.str();
+  EXPECT_NE(s.find("# TYPE tgp_lat_seconds histogram"), std::string::npos);
+  // Cumulative: 3 at le=2µs=2e-06s, still 3 at 4µs, 4 at 8µs, 4 at +Inf.
+  EXPECT_NE(s.find("tgp_lat_seconds_bucket{le=\"2e-06\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(s.find("tgp_lat_seconds_bucket{le=\"4e-06\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(s.find("tgp_lat_seconds_bucket{le=\"8e-06\"} 4\n"),
+            std::string::npos);
+  EXPECT_NE(s.find("tgp_lat_seconds_bucket{le=\"+Inf\"} 4\n"),
+            std::string::npos);
+  EXPECT_NE(s.find("tgp_lat_seconds_sum 2e-05\n"), std::string::npos);
+  EXPECT_NE(s.find("tgp_lat_seconds_count 4\n"), std::string::npos);
+}
+
+TEST(PromWriter, EmptyHistogramStillEmitsInfBucket) {
+  std::ostringstream out;
+  PromWriter w(out);
+  std::uint64_t buckets[4] = {0, 0, 0, 0};
+  w.histogram_log2_micros("tgp_empty_seconds", "Empty", buckets, 4, 0, 0);
+  std::string s = out.str();
+  EXPECT_NE(s.find("tgp_empty_seconds_bucket{le=\"+Inf\"} 0\n"),
+            std::string::npos);
+  EXPECT_NE(s.find("tgp_empty_seconds_count 0\n"), std::string::npos);
+}
+
+TEST(PromWriter, EscapesLabelValues) {
+  EXPECT_EQ(prom_escape("plain"), "plain");
+  EXPECT_EQ(prom_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(prom_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(prom_escape("a\nb"), "a\\nb");
+  std::ostringstream out;
+  PromWriter w(out);
+  w.gauge("tgp_g", "", 1.5, {{"path", "a\"b\\c"}});
+  EXPECT_NE(out.str().find("tgp_g{path=\"a\\\"b\\\\c\"} 1.5"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace tgp::obs

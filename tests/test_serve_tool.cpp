@@ -9,6 +9,7 @@
 #include <sstream>
 
 #include "svc/service.hpp"
+#include "tools/trace_tool.hpp"
 
 namespace tgp::tools {
 namespace {
@@ -212,6 +213,97 @@ TEST(RunServeTool, MissingJobFileFails) {
   EXPECT_NE(run_serve_tool(args({"--jobs", "/nonexistent/x.csv"}), out, err),
             0);
   EXPECT_FALSE(err.str().empty());
+}
+
+// --- Observability flags ----------------------------------------------------
+
+TEST(RunServeTool, TracingLeavesStdoutByteIdentical) {
+  // The determinism contract: --trace-out must not perturb the results
+  // table — tracing and metrics go to files and stderr only.
+  std::string trace_path = testing::TempDir() + "/tgp_serve_det_trace.json";
+  std::vector<std::string> base = {"--generate", "50", "--seed", "33",
+                                   "--threads", "2"};
+  std::ostringstream plain_out, plain_err, traced_out, traced_err;
+  ASSERT_EQ(run_serve_tool(base, plain_out, plain_err), 0);
+  std::vector<std::string> traced = base;
+  traced.push_back("--trace-out");
+  traced.push_back(trace_path);
+  ASSERT_EQ(run_serve_tool(traced, traced_out, traced_err), 0);
+  EXPECT_EQ(plain_out.str(), traced_out.str());
+  EXPECT_FALSE(plain_out.str().empty());
+  // ... and the trace landed, parseable, with the expected span phases.
+  std::ifstream f(trace_path);
+  ASSERT_TRUE(f.good());
+  ParsedTrace t = parse_chrome_trace(f);
+  EXPECT_GT(t.events.size(), 0u);
+  bool saw_job = false, saw_queue_wait = false, saw_solve = false;
+  for (const DumpEvent& ev : t.events) {
+    if (ev.cat != "svc") continue;
+    if (ev.name == "job") saw_job = true;
+    if (ev.name == "queue.wait") saw_queue_wait = true;
+    if (ev.name == "solve") saw_solve = true;
+  }
+  EXPECT_TRUE(saw_job);
+  EXPECT_TRUE(saw_queue_wait);
+  EXPECT_TRUE(saw_solve);
+}
+
+TEST(RunServeTool, MetricsOutWritesPromAndJsonFiles) {
+  std::string prom_path = testing::TempDir() + "/tgp_serve_metrics.prom";
+  std::string json_path = testing::TempDir() + "/tgp_serve_metrics.json";
+  {
+    std::ostringstream out, err;
+    ASSERT_EQ(run_serve_tool(args({"--generate", "30", "--threads", "2",
+                                   "--metrics-out", prom_path,
+                                   "--metrics-format", "prom"}),
+                             out, err),
+              0);
+    std::ifstream f(prom_path);
+    std::stringstream ss;
+    ss << f.rdbuf();
+    std::string s = ss.str();
+    EXPECT_NE(s.find("# TYPE tgp_jobs_submitted_total counter"),
+              std::string::npos);
+    EXPECT_NE(s.find("tgp_jobs_submitted_total 30"), std::string::npos);
+    EXPECT_NE(s.find("le=\"+Inf\""), std::string::npos);
+  }
+  {
+    std::ostringstream out, err;
+    ASSERT_EQ(run_serve_tool(args({"--generate", "30", "--threads", "2",
+                                   "--metrics-out", json_path,
+                                   "--metrics-format", "json"}),
+                             out, err),
+              0);
+    std::ifstream f(json_path);
+    std::stringstream ss;
+    ss << f.rdbuf();
+    EXPECT_NE(ss.str().find("\"submitted\":30"), std::string::npos);
+    EXPECT_NE(ss.str().find("\"oracle_calls\""), std::string::npos);
+  }
+  // Unknown format is a usage error.
+  std::ostringstream out, err;
+  EXPECT_EQ(run_serve_tool(args({"--generate", "5", "--metrics-out",
+                                 prom_path, "--metrics-format", "xml"}),
+                           out, err),
+            2);
+}
+
+TEST(RunServeTool, LogLevelFlagValidatesItsArgument) {
+  {
+    std::ostringstream out, err;
+    EXPECT_EQ(run_serve_tool(args({"--generate", "5", "--threads", "1",
+                                   "--log-level", "debug"}),
+                             out, err),
+              0);
+  }
+  {
+    std::ostringstream out, err;
+    EXPECT_EQ(run_serve_tool(args({"--generate", "5", "--log-level",
+                                   "shouty"}),
+                             out, err),
+              2);
+    EXPECT_NE(err.str().find("log level"), std::string::npos);
+  }
 }
 
 }  // namespace

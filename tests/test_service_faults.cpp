@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "graph/generators.hpp"
+#include "obs/trace.hpp"
 #include "svc/service.hpp"
 #include "util/fault.hpp"
 #include "util/rng.hpp"
@@ -218,7 +219,9 @@ TEST(ServiceFaults, ShutdownWithinSettlesEverySlot) {
   for (std::size_t slot : slots) {
     EXPECT_TRUE(service.completed(slot)) << slot;
     const JobResult& r = service.result(slot);
-    if (!r.ok) EXPECT_EQ(r.status, JobStatus::kCancelled) << slot;
+    if (!r.ok) {
+      EXPECT_EQ(r.status, JobStatus::kCancelled) << slot;
+    }
   }
   EXPECT_THROW(service.submit(chain_job(Problem::kProcMin, 10, 3)),
                ServiceStopped);
@@ -318,6 +321,133 @@ TEST(ServiceFaults, WatchdogPromotesDeadlinesOfQueuedJobs) {
     EXPECT_EQ(service.result(slot).status, JobStatus::kTimeout) << slot;
   MetricsSnapshot m = service.metrics();
   EXPECT_EQ(m.status_count(JobStatus::kTimeout), 3u);
+}
+
+// --- Span balance under faults --------------------------------------------
+//
+// RAII spans must close on every exit path — fast-fail, exception unwind,
+// cancellation — or traces from a faulty run would dangle open spans.
+// Complete-event tracing only records *closed* spans, so the balance
+// check is by census: the span counts must match the per-path job counts
+// the results report.
+
+struct SpanCensus {
+  std::size_t queue_wait = 0;
+  std::size_t job = 0;
+  std::size_t solve = 0;
+  std::size_t canonicalize = 0;
+};
+
+SpanCensus census(const obs::trace::TraceSnapshot& snap) {
+  SpanCensus c;
+  for (const obs::TraceEvent& ev : snap.events) {
+    if (std::string(ev.cat) != "svc") continue;
+    std::string name = ev.name;
+    if (name == "queue.wait") ++c.queue_wait;
+    else if (name == "job") ++c.job;
+    else if (name == "solve") ++c.solve;
+    else if (name == "canonicalize") ++c.canonicalize;
+  }
+  return c;
+}
+
+class TracedServiceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::trace::set_enabled(false);
+    obs::trace::clear();
+    obs::trace::set_enabled(true);
+  }
+  void TearDown() override {
+    obs::trace::set_enabled(false);
+    obs::trace::clear();
+  }
+};
+
+TEST_F(TracedServiceTest, SpansBalancedWhenQueuedJobsAreCancelled) {
+  ServiceConfig config;
+  config.threads = 1;
+  std::size_t head, n_cancelled = 5;
+  {
+    PartitionService service(config);
+    head = service.submit(chain_job(Problem::kBandwidth, 100000, 1));
+    std::vector<std::size_t> queued;
+    for (std::size_t i = 0; i < n_cancelled; ++i)
+      queued.push_back(
+          service.submit(chain_job(Problem::kProcMin, 40, 100 + i)));
+    for (std::size_t slot : queued) service.cancel(slot);
+    service.wait_idle();
+    ASSERT_TRUE(service.result(head).ok);
+    for (std::size_t slot : queued)
+      ASSERT_EQ(service.result(slot).status, JobStatus::kCancelled);
+  }  // destructor joins the workers: all rings final
+  obs::trace::set_enabled(false);
+  SpanCensus c = census(obs::trace::snapshot());
+  // Every dequeued job logs its wait; only the head reached the solver.
+  EXPECT_EQ(c.queue_wait, 1 + n_cancelled);
+  EXPECT_EQ(c.job, 1u);
+  EXPECT_EQ(c.solve, 1u);
+  EXPECT_EQ(c.canonicalize, 1u);
+}
+
+TEST_F(TracedServiceTest, SpansBalancedUnderInjectedSolverFaults) {
+  std::vector<JobSpec> specs = mixed_jobs(40, 0x7ACE);
+  ServiceConfig config;
+  config.threads = 2;
+  config.cache_bytes = 0;  // no cache: one solve span per surviving job
+  std::uint64_t fired = 0;
+  std::size_t failures = 0;
+  {
+    util::FaultScope chaos(/*seed=*/99, /*default_probability=*/0.0);
+    util::faults().set_site_probability("svc.worker.solve", 0.3);
+    PartitionService service(config);
+    std::vector<JobResult> got = service.run_batch(specs);
+    fired = util::faults().fired("svc.worker.solve");
+    for (const JobResult& r : got)
+      if (!r.ok) ++failures;
+    ASSERT_GT(fired, 0u);
+    ASSERT_EQ(failures, fired);
+  }
+  obs::trace::set_enabled(false);
+  SpanCensus c = census(obs::trace::snapshot());
+  // The job span closes by RAII even when the solve throws: every job
+  // has one, but faulted jobs never opened canonicalize/solve.
+  EXPECT_EQ(c.queue_wait, specs.size());
+  EXPECT_EQ(c.job, specs.size());
+  EXPECT_EQ(c.solve, specs.size() - failures);
+  EXPECT_EQ(c.canonicalize, specs.size() - failures);
+}
+
+TEST_F(TracedServiceTest, SpansCloseWhenDeadlineUnwindsMidSolve) {
+  ServiceConfig config;
+  config.threads = 1;
+  JobSpec slow = chain_job(Problem::kBandwidth, 200000, 0x51de);
+  // Wide enough to survive the dequeue check on any reasonable machine,
+  // narrow enough that the solver's cancel poll trips mid-solve.
+  slow.deadline_micros = 2000;
+  JobStatus status;
+  std::string error;
+  {
+    PartitionService service(config);
+    std::size_t slot = service.submit(slow);
+    service.wait_idle();
+    status = service.result(slot).status;
+    error = service.result(slot).error;
+  }
+  obs::trace::set_enabled(false);
+  ASSERT_EQ(status, JobStatus::kTimeout);
+  SpanCensus c = census(obs::trace::snapshot());
+  EXPECT_EQ(c.queue_wait, 1u);
+  if (error == "deadline expired before the job started") {
+    // Fast-failed at dequeue (very slow machine): no solver spans at all.
+    EXPECT_EQ(c.job, 0u);
+    EXPECT_EQ(c.solve, 0u);
+  } else {
+    // The common path: CancelledError unwound out of the solver, and the
+    // solve + job spans still closed on the way out.
+    EXPECT_EQ(c.job, 1u);
+    EXPECT_EQ(c.solve, 1u);
+  }
 }
 
 }  // namespace

@@ -1,0 +1,188 @@
+// MetricsSnapshot rendering and the LatencyHistogram quantile edge
+// cases the observability PR hardened.
+#include "svc/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "svc/service.hpp"
+#include "tools/serve_tool.hpp"
+
+namespace tgp::svc {
+namespace {
+
+TEST(LatencyHistogram, BucketOfUpperRoundTrip) {
+  // Every bucket's upper edge must map back into that bucket's range:
+  // bucket_of(upper − ε) == b and bucket_of(upper) == b + 1 (half-open
+  // [2^b, 2^(b+1)) ranges).
+  for (int b = 0; b + 1 < LatencyHistogram::kBuckets; ++b) {
+    const double upper = LatencyHistogram::bucket_upper(b);
+    EXPECT_EQ(LatencyHistogram::bucket_of(upper * 0.999), b) << "b=" << b;
+    EXPECT_EQ(LatencyHistogram::bucket_of(upper), b + 1) << "b=" << b;
+  }
+  // Below-range and degenerate values land in bucket 0.
+  EXPECT_EQ(LatencyHistogram::bucket_of(0.0), 0);
+  EXPECT_EQ(LatencyHistogram::bucket_of(0.5), 0);
+  EXPECT_EQ(LatencyHistogram::bucket_of(-3.0), 0);
+  // Beyond-range values clamp to the last bucket.
+  EXPECT_EQ(LatencyHistogram::bucket_of(1e18),
+            LatencyHistogram::kBuckets - 1);
+}
+
+TEST(LatencyHistogram, EmptyHistogramQuantilesAreZero) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.quantile_upper_micros(0.5), 0);
+  EXPECT_EQ(h.quantile_upper_micros(0.0), 0);
+  EXPECT_EQ(h.quantile_upper_micros(1.0), 0);
+  EXPECT_EQ(h.mean_micros(), 0);
+}
+
+TEST(LatencyHistogram, QuantileAtExactBucketBoundary) {
+  // 100 samples: 7 in bucket 0, 93 in bucket 4.  q = 0.07 lands exactly
+  // on the cumulative boundary; binary rounding of 0.07 * 100 must not
+  // overshoot into the big bucket.
+  LatencyHistogram h;
+  for (int i = 0; i < 7; ++i) h.record(1.5);    // bucket 0 (≤ 2 µs)
+  for (int i = 0; i < 93; ++i) h.record(20.0);  // bucket 4 (≤ 32 µs)
+  EXPECT_EQ(h.quantile_upper_micros(0.07), LatencyHistogram::bucket_upper(0));
+  EXPECT_EQ(h.quantile_upper_micros(0.0701),
+            LatencyHistogram::bucket_upper(4));
+  EXPECT_EQ(h.quantile_upper_micros(0.5), LatencyHistogram::bucket_upper(4));
+}
+
+TEST(LatencyHistogram, QuantileOneWithAllMassInBucketZero) {
+  LatencyHistogram h;
+  for (int i = 0; i < 10; ++i) h.record(0.5);
+  EXPECT_EQ(h.quantile_upper_micros(1.0), LatencyHistogram::bucket_upper(0));
+  EXPECT_EQ(h.quantile_upper_micros(0.5), LatencyHistogram::bucket_upper(0));
+}
+
+TEST(LatencyHistogram, QuantileClampsOutOfRangeQ) {
+  LatencyHistogram h;
+  h.record(1.0);    // bucket 0
+  h.record(100.0);  // bucket 6
+  // q ≤ 0 → first sample's bucket; q ≥ 1 → last sample's bucket.
+  EXPECT_EQ(h.quantile_upper_micros(-0.5), LatencyHistogram::bucket_upper(0));
+  EXPECT_EQ(h.quantile_upper_micros(0.0), LatencyHistogram::bucket_upper(0));
+  EXPECT_EQ(h.quantile_upper_micros(1.0), LatencyHistogram::bucket_upper(6));
+  EXPECT_EQ(h.quantile_upper_micros(7.0), LatencyHistogram::bucket_upper(6));
+  EXPECT_EQ(h.quantile_upper_micros(std::numeric_limits<double>::quiet_NaN()),
+            0);
+}
+
+TEST(LatencyHistogram, MergeAddsCountsAndKeepsMax) {
+  LatencyHistogram a, b;
+  a.record(1.0);
+  b.record(50.0);
+  b.record(3.0);
+  a.merge(b);
+  EXPECT_EQ(a.count, 3u);
+  EXPECT_EQ(a.max_micros, 50.0);
+  EXPECT_DOUBLE_EQ(a.total_micros, 54.0);
+}
+
+// ---- Snapshot rendering ----------------------------------------------------
+
+MetricsSnapshot run_small_batch() {
+  std::vector<JobSpec> specs = tools::generate_workload(40, 19, 0.4);
+  ServiceConfig cfg;
+  cfg.threads = 2;
+  PartitionService service(cfg);
+  service.run_batch(specs);
+  return service.metrics();
+}
+
+TEST(MetricsRender, PrometheusExpositionIsWellFormed) {
+  MetricsSnapshot m = run_small_batch();
+  std::string s = m.render_prometheus();
+
+  // Core families present with headers.
+  for (const char* family :
+       {"tgp_jobs_submitted_total", "tgp_jobs_completed_total",
+        "tgp_cache_hits_total", "tgp_job_latency_seconds",
+        "tgp_queue_wait_seconds", "tgp_solver_oracle_calls_total"}) {
+    EXPECT_NE(s.find(std::string("# TYPE ") + family), std::string::npos)
+        << family;
+  }
+  EXPECT_NE(s.find("tgp_jobs_submitted_total 40\n"), std::string::npos);
+  // Histograms close with +Inf and _count.
+  EXPECT_NE(s.find("tgp_queue_wait_seconds_bucket{le=\"+Inf\"} 40\n"),
+            std::string::npos);
+  EXPECT_NE(s.find("tgp_queue_wait_seconds_count 40\n"), std::string::npos);
+  // Every line is a comment or `name{labels} value` — no tabs, no blank
+  // interior lines (exposition-format shape check).
+  std::size_t start = 0;
+  while (start < s.size()) {
+    std::size_t end = s.find('\n', start);
+    if (end == std::string::npos) end = s.size();
+    std::string line = s.substr(start, end - start);
+    if (!line.empty() && line[0] != '#') {
+      std::size_t sp = line.rfind(' ');
+      ASSERT_NE(sp, std::string::npos) << line;
+      EXPECT_EQ(line.find('\t'), std::string::npos) << line;
+    }
+    start = end + 1;
+  }
+}
+
+TEST(MetricsRender, PrometheusBucketsAreCumulative) {
+  MetricsSnapshot m;
+  m.queue_wait.record(1.0);
+  m.queue_wait.record(100.0);
+  std::string s = m.render_prometheus();
+  // Find the queue-wait bucket lines and check monotone non-decreasing
+  // cumulative counts ending at count.
+  std::uint64_t prev = 0;
+  std::size_t pos = 0;
+  bool saw_bucket = false;
+  while ((pos = s.find("tgp_queue_wait_seconds_bucket{le=\"", pos)) !=
+         std::string::npos) {
+    std::size_t val_pos = s.find("} ", pos);
+    ASSERT_NE(val_pos, std::string::npos);
+    std::uint64_t v = std::stoull(s.substr(val_pos + 2));
+    EXPECT_GE(v, prev);
+    prev = v;
+    saw_bucket = true;
+    pos = val_pos;
+  }
+  EXPECT_TRUE(saw_bucket);
+  EXPECT_EQ(prev, 2u);  // +Inf bucket equals total count
+}
+
+TEST(MetricsRender, JsonContainsCountersAndParsesShape) {
+  MetricsSnapshot m = run_small_batch();
+  std::string s = m.render_json();
+  // Shape checks: one object, key fields present, braces balance.
+  EXPECT_EQ(s.front(), '{');
+  int depth = 0;
+  bool in_str = false;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    char c = s[i];
+    if (in_str) {
+      if (c == '\\') ++i;
+      else if (c == '"') in_str = false;
+      continue;
+    }
+    if (c == '"') in_str = true;
+    else if (c == '{') ++depth;
+    else if (c == '}') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_NE(s.find("\"submitted\":40"), std::string::npos);
+  EXPECT_NE(s.find("\"oracle_calls\""), std::string::npos);
+  EXPECT_NE(s.find("\"queue_wait\""), std::string::npos);
+  EXPECT_NE(s.find("\"problems\""), std::string::npos);
+}
+
+TEST(MetricsRender, FormatShowsCountersTableWhenPresent) {
+  MetricsSnapshot m = run_small_batch();
+  ASSERT_TRUE(m.counters_total().any());
+  std::string s = m.format();
+  EXPECT_NE(s.find("oracle"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tgp::svc

@@ -1,0 +1,127 @@
+// tgp_trace_dump engine: Chrome trace parsing and report rendering.
+#include "tools/trace_tool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <initializer_list>
+#include <sstream>
+
+namespace tgp::tools {
+namespace {
+
+const char* kSampleTrace = R"({"traceEvents":[
+  {"ph":"M","pid":1,"tid":1,"name":"thread_name","args":{"name":"main"}},
+  {"ph":"M","pid":1,"tid":2,"name":"thread_name","args":{"name":"worker-0"}},
+  {"ph":"X","pid":1,"tid":1,"cat":"svc","name":"submit","ts":0.5,"dur":2.0},
+  {"ph":"X","pid":1,"tid":2,"cat":"svc","name":"job","ts":10.0,"dur":100.0,
+   "args":{"slot":0,"cache_hit":0}},
+  {"ph":"X","pid":1,"tid":2,"cat":"svc","name":"solve","ts":20.0,"dur":50.0},
+  {"ph":"X","pid":1,"tid":2,"cat":"core","name":"proc_min","ts":25.0,"dur":40.0}
+],"displayTimeUnit":"ms","tgp_dropped":3})";
+
+std::vector<std::string> args(std::initializer_list<std::string> a) {
+  return {a};
+}
+
+TEST(ParseChromeTrace, ReadsEventsMetadataAndDropCount) {
+  std::istringstream in(kSampleTrace);
+  ParsedTrace t = parse_chrome_trace(in);
+  ASSERT_EQ(t.events.size(), 4u);
+  EXPECT_EQ(t.dropped, 3u);
+  ASSERT_EQ(t.thread_names.size(), 2u);
+  EXPECT_EQ(t.thread_names[0].second, "main");
+  EXPECT_EQ(t.thread_names[1].first, 2u);
+
+  EXPECT_EQ(t.events[0].cat, "svc");
+  EXPECT_EQ(t.events[0].name, "submit");
+  EXPECT_DOUBLE_EQ(t.events[0].ts_us, 0.5);
+  EXPECT_DOUBLE_EQ(t.events[0].dur_us, 2.0);
+  EXPECT_EQ(t.events[1].tid, 2u);
+}
+
+TEST(ParseChromeTrace, ToleratesUnknownFieldsAndEmptyTrace) {
+  {
+    std::istringstream in(
+        R"({"traceEvents":[],"otherTool":{"nested":[1,2,{"a":true}]}})");
+    ParsedTrace t = parse_chrome_trace(in);
+    EXPECT_TRUE(t.events.empty());
+  }
+  {
+    std::istringstream in(
+        R"({"traceEvents":[{"ph":"X","name":"x","cat":"c","ts":1,"dur":2,)"
+        R"("sf":7,"flow":null,"extra":"A\n"}]})");
+    ParsedTrace t = parse_chrome_trace(in);
+    ASSERT_EQ(t.events.size(), 1u);
+    EXPECT_EQ(t.events[0].name, "x");
+  }
+}
+
+TEST(ParseChromeTrace, RejectsMalformedJson) {
+  std::istringstream a("{\"traceEvents\":[");
+  EXPECT_THROW(parse_chrome_trace(a), std::invalid_argument);
+  std::istringstream b("not json at all");
+  EXPECT_THROW(parse_chrome_trace(b), std::invalid_argument);
+}
+
+TEST(RunTraceDump, PrintsPhaseTableWithQuantiles) {
+  std::string path = testing::TempDir() + "/tgp_trace_dump_sample.json";
+  {
+    std::ofstream f(path);
+    f << kSampleTrace;
+  }
+  std::ostringstream out, err;
+  ASSERT_EQ(run_trace_dump(args({"--input", path}), out, err), 0)
+      << err.str();
+  std::string s = out.str();
+  EXPECT_NE(s.find("4 spans across 2 threads"), std::string::npos);
+  EXPECT_NE(s.find("3 dropped"), std::string::npos);
+  EXPECT_NE(s.find("svc/job"), std::string::npos);
+  EXPECT_NE(s.find("core/proc_min"), std::string::npos);
+  EXPECT_NE(s.find("p95"), std::string::npos);
+}
+
+TEST(RunTraceDump, TreeRendersNestingOnBusiestThread) {
+  std::string path = testing::TempDir() + "/tgp_trace_dump_tree.json";
+  {
+    std::ofstream f(path);
+    f << kSampleTrace;
+  }
+  std::ostringstream out, err;
+  ASSERT_EQ(run_trace_dump(args({"--input", path, "--tree"}), out, err), 0);
+  std::string s = out.str();
+  // Worker 0 has 3 of the 4 spans, so the tree shows it by default, with
+  // solve nested under job and proc_min nested under solve.
+  EXPECT_NE(s.find("span tree: worker-0"), std::string::npos);
+  EXPECT_NE(s.find("  svc/job"), std::string::npos);
+  EXPECT_NE(s.find("    svc/solve"), std::string::npos);
+  EXPECT_NE(s.find("      core/proc_min"), std::string::npos);
+}
+
+TEST(RunTraceDump, HelpMissingInputAndBadFile) {
+  {
+    std::ostringstream out, err;
+    EXPECT_EQ(run_trace_dump(args({"--help"}), out, err), 0);
+    EXPECT_NE(out.str().find("tgp_trace_dump"), std::string::npos);
+  }
+  {
+    std::ostringstream out, err;
+    EXPECT_EQ(run_trace_dump(args({}), out, err), 2);
+  }
+  {
+    std::ostringstream out, err;
+    EXPECT_EQ(run_trace_dump(args({"--input", "/nonexistent/t.json"}), out,
+                             err),
+              2);
+  }
+  {
+    std::string path = testing::TempDir() + "/tgp_trace_dump_bad.json";
+    std::ofstream(path) << "{{{{";
+    std::ostringstream out, err;
+    EXPECT_EQ(run_trace_dump(args({"--input", path}), out, err), 1);
+    EXPECT_FALSE(err.str().empty());
+  }
+}
+
+}  // namespace
+}  // namespace tgp::tools

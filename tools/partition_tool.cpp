@@ -14,6 +14,7 @@
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
 #include "util/argparse.hpp"
+#include "util/logging.hpp"
 #include "util/table.hpp"
 
 namespace tgp::tools {
@@ -142,6 +143,7 @@ std::string partition_tool_help() {
       "\n"
       "usage: tgp_partition --input FILE --algorithm ALGO [--k K]\n"
       "                     [--processors M] [--satellites S] [--root V]\n"
+      "                     [--log-level LEVEL]\n"
       "\n"
       "The input file holds a chain (tgp-chain) or tree (tgp-tree); see\n"
       "graph/io.hpp for the format.  Algorithms:\n"
@@ -163,12 +165,24 @@ int run_partition_tool(const std::vector<std::string>& args,
         .describe("k", "execution-time bound K")
         .describe("processors", "machine size for the dual")
         .describe("satellites", "satellite count for hostsat")
-        .describe("root", "host vertex for hostsat (default 0)");
+        .describe("root", "host vertex for hostsat (default 0)")
+        .describe("log-level", "stderr log threshold");
     if (parser.has("help")) {
       out << partition_tool_help();
       return 0;
     }
     parser.check_unknown();
+
+    if (parser.has("log-level")) {
+      util::LogLevel level;
+      std::string name = parser.get("log-level", "info");
+      if (!util::parse_log_level(name, level)) {
+        err << "error: unknown log level '" << name
+            << "' (want trace|debug|info|warn|error|off)\n";
+        return 2;
+      }
+      util::set_log_level(level);
+    }
 
     std::string path = parser.get("input", "");
     if (path.empty()) {

@@ -1,17 +1,24 @@
 #include "tools/serve_tool.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <fstream>
 #include <map>
+#include <mutex>
 #include <ostream>
 #include <sstream>
+#include <thread>
 
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/trace.hpp"
 #include "svc/service.hpp"
 #include "util/argparse.hpp"
 #include "util/assert.hpp"
+#include "util/logging.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 
@@ -156,6 +163,50 @@ svc::JobSpec parse_job_row(const std::string& body, int lineno,
   }
 }
 
+// Periodic one-line progress reports on `err` while the batch runs.  The
+// main thread is blocked inside run_batch() and workers never write to
+// the diagnostic stream, so the reporter is the stream's only writer.
+class StatsReporter {
+ public:
+  StatsReporter(const svc::PartitionService& service, std::ostream& err,
+                double interval_ms)
+      : service_(service), err_(err) {
+    thread_ = std::thread([this, interval_ms] {
+      std::unique_lock lk(mu_);
+      while (!stop_) {
+        cv_.wait_for(lk,
+                     std::chrono::microseconds(
+                         static_cast<std::int64_t>(interval_ms * 1000)),
+                     [&] { return stop_; });
+        if (stop_) break;
+        svc::MetricsSnapshot m = service_.metrics();
+        err_ << "[stats] " << m.completed << "/" << m.submitted
+             << " jobs, cache hit "
+             << util::fmt(100.0 * m.cache.hit_rate(), 1) << "%, p50 "
+             << util::fmt(m.overall_latency().quantile_upper_micros(0.5), 0)
+             << " us\n";
+      }
+    });
+  }
+
+  ~StatsReporter() {
+    {
+      std::lock_guard lk(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+  }
+
+ private:
+  const svc::PartitionService& service_;
+  std::ostream& err_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
 }  // namespace
 
 std::vector<svc::JobSpec> parse_job_file(std::istream& in) {
@@ -247,6 +298,9 @@ std::string serve_tool_help() {
       "usage: tgp_serve (--jobs FILE | --generate N) [--threads N]\n"
       "                 [--cache-mb M] [--queue-cap C] [--seed S]\n"
       "                 [--dup-frac F] [--deadline-us D] [--no-results]\n"
+      "                 [--trace-out FILE] [--trace-buf N]\n"
+      "                 [--metrics-out FILE] [--metrics-format FMT]\n"
+      "                 [--stats-interval-ms MS] [--log-level LEVEL]\n"
       "\n"
       "Runs a batch of partition jobs on the multi-threaded service\n"
       "runtime with a canonical-graph memo cache.  The results table\n"
@@ -274,7 +328,19 @@ std::string serve_tool_help() {
       "  --cache-mb M    memo cache budget in MiB, 0 disables (default 64)\n"
       "  --queue-cap C   bounded queue capacity (default 1024)\n"
       "  --deadline-us D per-job deadline in microseconds (default: none)\n"
-      "  --no-results    suppress the per-job results table\n";
+      "  --no-results    suppress the per-job results table\n"
+      "  --trace-out FILE      record spans, write Chrome trace JSON\n"
+      "                        (open in chrome://tracing or Perfetto)\n"
+      "  --trace-buf N         trace ring size in events/thread (default\n"
+      "                        65536; oldest events drop when full)\n"
+      "  --metrics-out FILE    write the final metrics snapshot to FILE\n"
+      "  --metrics-format FMT  text | prom | json (default text)\n"
+      "  --stats-interval-ms MS  periodic progress line on stderr\n"
+      "  --log-level LEVEL     trace|debug|info|warn|error|off (also\n"
+      "                        settable via the TGP_LOG env var)\n"
+      "\n"
+      "Tracing and metrics never touch stdout: the results table stays\n"
+      "byte-identical with tracing on or off.\n";
 }
 
 int run_serve_tool(const std::vector<std::string>& args, std::ostream& out,
@@ -291,12 +357,47 @@ int run_serve_tool(const std::vector<std::string>& args, std::ostream& out,
         .describe("cache-mb", "cache budget in MiB (0 disables)")
         .describe("queue-cap", "job queue capacity")
         .describe("deadline-us", "per-job deadline in microseconds")
-        .describe("no-results", "suppress the results table");
+        .describe("no-results", "suppress the results table")
+        .describe("trace-out", "write Chrome trace JSON to FILE")
+        .describe("trace-buf", "trace ring size in events per thread")
+        .describe("metrics-out", "write the metrics snapshot to FILE")
+        .describe("metrics-format", "metrics format: text|prom|json")
+        .describe("stats-interval-ms", "periodic stats line interval")
+        .describe("log-level", "stderr log threshold");
     if (parser.has("help")) {
       out << serve_tool_help();
       return 0;
     }
     parser.check_unknown();
+
+    if (parser.has("log-level")) {
+      util::LogLevel level;
+      std::string name = parser.get("log-level", "info");
+      if (!util::parse_log_level(name, level)) {
+        err << "error: unknown log level '" << name
+            << "' (want trace|debug|info|warn|error|off)\n";
+        return 2;
+      }
+      util::set_log_level(level);
+    }
+
+    std::string metrics_format = parser.get("metrics-format", "text");
+    if (metrics_format != "text" && metrics_format != "prom" &&
+        metrics_format != "json") {
+      err << "error: unknown metrics format '" << metrics_format
+          << "' (want text|prom|json)\n";
+      return 2;
+    }
+
+    const std::string trace_path = parser.get("trace-out", "");
+    const bool tracing = !trace_path.empty();
+    if (tracing) {
+      obs::trace::set_ring_capacity(static_cast<std::size_t>(
+          parser.get_int("trace-buf", 65536)));
+      obs::trace::set_thread_name("main");
+      obs::trace::clear();
+      obs::trace::set_enabled(true);
+    }
 
     std::vector<svc::JobSpec> specs;
     int rows_skipped = 0;
@@ -352,8 +453,25 @@ int run_serve_tool(const std::vector<std::string>& args, std::ostream& out,
     double wall_seconds = 0;
     std::vector<svc::JobResult> results;
     {
+      std::unique_ptr<StatsReporter> reporter;
+      double stats_ms = parser.get_double("stats-interval-ms", 0);
+      if (stats_ms > 0)
+        reporter = std::make_unique<StatsReporter>(service, err, stats_ms);
       util::ScopedTimer t(wall_seconds, util::ScopedTimer::Unit::kSeconds);
       results = service.run_batch(std::move(specs));
+    }
+    if (tracing) {
+      service.shutdown();  // join workers so every ring holds final spans
+      obs::trace::set_enabled(false);
+      obs::trace::TraceSnapshot snap = obs::trace::snapshot();
+      std::ofstream tf(trace_path);
+      if (!tf.good()) {
+        err << "error: cannot write trace file '" << trace_path << "'\n";
+        return 1;
+      }
+      obs::write_chrome_trace(tf, snap);
+      err << "trace: " << snap.recorded << " events ("
+          << snap.dropped << " dropped) -> " << trace_path << "\n";
     }
 
     if (!parser.get_bool("no-results", false)) {
@@ -389,6 +507,20 @@ int run_serve_tool(const std::vector<std::string>& args, std::ostream& out,
 
     svc::MetricsSnapshot m = service.metrics();
     err << m.format();
+    if (parser.has("metrics-out")) {
+      const std::string metrics_path = parser.get("metrics-out", "");
+      std::ofstream mf(metrics_path);
+      if (!mf.good()) {
+        err << "error: cannot write metrics file '" << metrics_path << "'\n";
+        return 1;
+      }
+      if (metrics_format == "prom")
+        mf << m.render_prometheus();
+      else if (metrics_format == "json")
+        mf << m.render_json();
+      else
+        mf << m.format();
+    }
     err << "wall time: " << util::fmt(wall_seconds, 3) << " s, throughput: "
         << util::fmt(static_cast<double>(results.size()) /
                          std::max(wall_seconds, 1e-9),

@@ -1,0 +1,11 @@
+// tgp_trace_dump: summarize a Chrome trace file written by tgp_serve.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "tools/trace_tool.hpp"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  return tgp::tools::run_trace_dump(args, std::cout, std::cerr);
+}

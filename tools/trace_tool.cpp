@@ -1,0 +1,436 @@
+#include "tools/trace_tool.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <istream>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/argparse.hpp"
+#include "util/table.hpp"
+
+namespace tgp::tools {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal recursive-descent JSON reader.  Only what a Chrome trace needs:
+// objects, arrays, strings (with escapes), numbers, true/false/null.
+// Unknown fields are parsed and discarded, so the dump keeps working if
+// the exporter grows new attributes.
+
+class JsonReader {
+ public:
+  explicit JsonReader(std::istream& in) {
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    text_ = ss.str();
+  }
+
+  void expect(char c) {
+    skip_ws();
+    if (pos_ >= text_.size() || text_[pos_] != c) fail(std::string("'") + c + "'");
+    ++pos_;
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  char peek() {
+    skip_ws();
+    if (pos_ >= text_.size()) fail("more input");
+    return text_[pos_];
+  }
+
+  bool at_end() {
+    skip_ws();
+    return pos_ >= text_.size();
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= text_.size()) fail("escape");
+        char e = text_[pos_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) fail("\\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+              else fail("hex digit");
+            }
+            // The exporter only emits \u00XX for control characters; keep a
+            // byte-level decode good enough for ASCII.
+            if (code < 0x80) {
+              out += static_cast<char>(code);
+            } else {
+              out += '?';
+            }
+            break;
+          }
+          default: fail("escape kind");
+        }
+      } else {
+        out += c;
+      }
+    }
+    expect('"');
+    return out;
+  }
+
+  double parse_number() {
+    skip_ws();
+    std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("number");
+    return std::stod(text_.substr(start, pos_ - start));
+  }
+
+  /// Parse and discard any JSON value.
+  void skip_value() {
+    char c = peek();
+    if (c == '"') {
+      parse_string();
+    } else if (c == '{') {
+      expect('{');
+      if (!consume('}')) {
+        do {
+          parse_string();
+          expect(':');
+          skip_value();
+        } while (consume(','));
+        expect('}');
+      }
+    } else if (c == '[') {
+      expect('[');
+      if (!consume(']')) {
+        do {
+          skip_value();
+        } while (consume(','));
+        expect(']');
+      }
+    } else if (c == 't') {
+      literal("true");
+    } else if (c == 'f') {
+      literal("false");
+    } else if (c == 'n') {
+      literal("null");
+    } else {
+      parse_number();
+    }
+  }
+
+ private:
+  void literal(const char* word) {
+    skip_ws();
+    for (const char* p = word; *p; ++p) {
+      if (pos_ >= text_.size() || text_[pos_] != *p) fail(word);
+      ++pos_;
+    }
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  [[noreturn]] void fail(const std::string& expected) {
+    throw std::invalid_argument("trace JSON: expected " + expected +
+                                " at byte " + std::to_string(pos_));
+  }
+
+  std::string text_;
+  std::size_t pos_ = 0;
+};
+
+// One event object inside traceEvents.
+void parse_event(JsonReader& r, ParsedTrace& out) {
+  DumpEvent ev;
+  std::string thread_name;
+  bool is_thread_name_meta = false;
+  r.expect('{');
+  if (!r.consume('}')) {
+    do {
+      std::string key = r.parse_string();
+      r.expect(':');
+      if (key == "cat") {
+        ev.cat = r.parse_string();
+      } else if (key == "name") {
+        std::string v = r.parse_string();
+        if (v == "thread_name") is_thread_name_meta = true;
+        ev.name = v;
+      } else if (key == "ph") {
+        std::string v = r.parse_string();
+        ev.ph = v.empty() ? '?' : v[0];
+      } else if (key == "ts") {
+        ev.ts_us = r.parse_number();
+      } else if (key == "dur") {
+        ev.dur_us = r.parse_number();
+      } else if (key == "tid") {
+        ev.tid = static_cast<std::uint32_t>(r.parse_number());
+      } else if (key == "args") {
+        // For thread_name metadata, fish out args.name; otherwise discard.
+        r.expect('{');
+        if (!r.consume('}')) {
+          do {
+            std::string akey = r.parse_string();
+            r.expect(':');
+            if (akey == "name" && r.peek() == '"') {
+              thread_name = r.parse_string();
+            } else {
+              r.skip_value();
+            }
+          } while (r.consume(','));
+          r.expect('}');
+        }
+      } else {
+        r.skip_value();
+      }
+    } while (r.consume(','));
+    r.expect('}');
+  }
+  if (ev.ph == 'M') {
+    if (is_thread_name_meta && !thread_name.empty()) {
+      out.thread_names.emplace_back(ev.tid, thread_name);
+    }
+    return;
+  }
+  if (ev.ph == 'X') out.events.push_back(std::move(ev));
+}
+
+struct PhaseStats {
+  std::vector<double> durs_us;
+  double total_us = 0;
+};
+
+double quantile(std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0;
+  double pos = q * static_cast<double>(sorted.size() - 1);
+  std::size_t lo = static_cast<std::size_t>(pos);
+  std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1 - frac) + sorted[hi] * frac;
+}
+
+std::string fmt_us(double us) {
+  char buf[32];
+  if (us >= 1e6) {
+    std::snprintf(buf, sizeof buf, "%.2fs", us / 1e6);
+  } else if (us >= 1e3) {
+    std::snprintf(buf, sizeof buf, "%.2fms", us / 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.1fus", us);
+  }
+  return buf;
+}
+
+void print_phase_table(std::ostream& out, const ParsedTrace& trace) {
+  std::map<std::pair<std::string, std::string>, PhaseStats> phases;
+  for (const DumpEvent& ev : trace.events) {
+    PhaseStats& s = phases[{ev.cat, ev.name}];
+    s.durs_us.push_back(ev.dur_us);
+    s.total_us += ev.dur_us;
+  }
+  util::Table table({"phase", "count", "total", "mean", "p50", "p95"});
+  for (auto& [key, stats] : phases) {
+    std::sort(stats.durs_us.begin(), stats.durs_us.end());
+    const std::size_t n = stats.durs_us.size();
+    table.row()
+        .cell(key.first + "/" + key.second)
+        .cell(static_cast<std::uint64_t>(n))
+        .cell(fmt_us(stats.total_us))
+        .cell(fmt_us(stats.total_us / static_cast<double>(n)))
+        .cell(fmt_us(quantile(stats.durs_us, 0.5)))
+        .cell(fmt_us(quantile(stats.durs_us, 0.95)));
+  }
+  out << table.render();
+}
+
+std::string thread_label(const ParsedTrace& trace, std::uint32_t tid) {
+  for (const auto& [id, name] : trace.thread_names) {
+    if (id == tid) return name + " (tid " + std::to_string(tid) + ")";
+  }
+  return "tid " + std::to_string(tid);
+}
+
+// Indented rendering of one thread's spans by [start, start+dur) nesting.
+// Events are sorted by start time (ties: longer first), so a simple stack
+// of open intervals recovers the tree the RAII spans implied.
+void print_span_tree(std::ostream& out, const ParsedTrace& trace,
+                     std::uint32_t tid, std::size_t max_spans) {
+  std::vector<const DumpEvent*> evs;
+  for (const DumpEvent& ev : trace.events) {
+    if (ev.tid == tid) evs.push_back(&ev);
+  }
+  std::sort(evs.begin(), evs.end(), [](const DumpEvent* a, const DumpEvent* b) {
+    if (a->ts_us != b->ts_us) return a->ts_us < b->ts_us;
+    return a->dur_us > b->dur_us;
+  });
+  out << "span tree: " << thread_label(trace, tid) << "\n";
+  std::vector<double> open_ends;  // end times of enclosing spans
+  std::size_t shown = 0;
+  for (const DumpEvent* ev : evs) {
+    while (!open_ends.empty() && ev->ts_us >= open_ends.back() - 1e-9) {
+      open_ends.pop_back();
+    }
+    if (shown++ >= max_spans) {
+      out << "  ... (" << evs.size() - max_spans << " more spans)\n";
+      break;
+    }
+    out << "  ";
+    for (std::size_t i = 0; i < open_ends.size(); ++i) out << "  ";
+    out << ev->cat << "/" << ev->name << "  " << fmt_us(ev->dur_us) << "\n";
+    open_ends.push_back(ev->ts_us + ev->dur_us);
+  }
+  if (evs.empty()) out << "  (no spans)\n";
+}
+
+}  // namespace
+
+ParsedTrace parse_chrome_trace(std::istream& in) {
+  ParsedTrace out;
+  JsonReader r(in);
+  r.expect('{');
+  if (!r.consume('}')) {
+    do {
+      std::string key = r.parse_string();
+      r.expect(':');
+      if (key == "traceEvents") {
+        r.expect('[');
+        if (!r.consume(']')) {
+          do {
+            parse_event(r, out);
+          } while (r.consume(','));
+          r.expect(']');
+        }
+      } else if (key == "tgp_dropped") {
+        out.dropped = static_cast<std::uint64_t>(r.parse_number());
+      } else {
+        r.skip_value();
+      }
+    } while (r.consume(','));
+    r.expect('}');
+  }
+  return out;
+}
+
+std::string trace_dump_help() {
+  return
+      "tgp_trace_dump — summarize a Chrome trace written by tgp_serve\n"
+      "\n"
+      "usage: tgp_trace_dump --input FILE [--tree] [--tid N]\n"
+      "                      [--max-spans N]\n"
+      "\n"
+      "Prints one row per (category, name) phase with count, total, mean,\n"
+      "p50 and p95 durations.  --tree additionally renders the nested span\n"
+      "tree for one thread (--tid, default: the busiest thread), capped at\n"
+      "--max-spans rows (default 60).  The input is the JSON file produced\n"
+      "by `tgp_serve --trace-out FILE` (chrome://tracing format).\n";
+}
+
+int run_trace_dump(const std::vector<std::string>& args, std::ostream& out,
+                   std::ostream& err) {
+  std::vector<const char*> argv{"tgp_trace_dump"};
+  for (const std::string& a : args) argv.push_back(a.c_str());
+  try {
+    util::ArgParser parser(static_cast<int>(argv.size()), argv.data());
+    parser.describe("input", "Chrome trace JSON file")
+        .describe("tree", "also print the nested span tree")
+        .describe("tid", "thread id for --tree (default: busiest)")
+        .describe("max-spans", "span-tree row cap (default 60)");
+    if (parser.has("help")) {
+      out << trace_dump_help();
+      return 0;
+    }
+    parser.check_unknown();
+
+    std::string path = parser.get("input", "");
+    if (path.empty()) {
+      err << "error: --input is required (see --help)\n";
+      return 2;
+    }
+    std::ifstream in(path);
+    if (!in.good()) {
+      err << "error: cannot open '" << path << "'\n";
+      return 2;
+    }
+    ParsedTrace trace = parse_chrome_trace(in);
+
+    out << "trace: " << trace.events.size() << " spans across ";
+    {
+      std::vector<std::uint32_t> tids;
+      for (const DumpEvent& ev : trace.events) tids.push_back(ev.tid);
+      std::sort(tids.begin(), tids.end());
+      tids.erase(std::unique(tids.begin(), tids.end()), tids.end());
+      out << tids.size() << " thread" << (tids.size() == 1 ? "" : "s");
+    }
+    if (trace.dropped > 0) out << ", " << trace.dropped << " dropped";
+    out << "\n";
+
+    if (trace.events.empty()) {
+      out << "(empty trace)\n";
+      return 0;
+    }
+    print_phase_table(out, trace);
+
+    if (parser.has("tree")) {
+      std::uint32_t tid;
+      if (parser.has("tid")) {
+        tid = static_cast<std::uint32_t>(parser.get_int("tid", 0));
+      } else {
+        // Busiest thread: most events.
+        std::map<std::uint32_t, std::size_t> counts;
+        for (const DumpEvent& ev : trace.events) ++counts[ev.tid];
+        tid = counts.begin()->first;
+        for (const auto& [id, n] : counts) {
+          if (n > counts[tid]) tid = id;
+        }
+      }
+      std::size_t cap =
+          static_cast<std::size_t>(parser.get_int("max-spans", 60));
+      out << "\n";
+      print_span_tree(out, trace, tid, cap);
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    err << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
+
+}  // namespace tgp::tools

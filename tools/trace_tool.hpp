@@ -1,0 +1,45 @@
+// The engine behind the tgp_trace_dump command-line tool.
+//
+// Reads a Chrome trace JSON file (as written by tgp_serve --trace-out or
+// obs::write_chrome_trace) and prints a per-phase summary: event counts,
+// total/mean time, p50/p95 across spans grouped by (category, name), and
+// an indented span tree for one thread.  Separated from main() so tests
+// can drive it end to end.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace tgp::tools {
+
+/// One parsed Chrome trace event (only the fields the summary needs).
+struct DumpEvent {
+  std::string cat;
+  std::string name;
+  double ts_us = 0;   ///< start, microseconds
+  double dur_us = 0;  ///< duration, microseconds
+  std::uint32_t tid = 0;
+  char ph = 'X';
+};
+
+/// Parse the `traceEvents` of a Chrome trace JSON document.  Tolerant of
+/// unknown fields; throws std::invalid_argument on malformed JSON.
+/// Metadata (ph:"M") thread_name records land in `thread_names` as
+/// tid → name pairs.
+struct ParsedTrace {
+  std::vector<DumpEvent> events;  ///< complete (ph:"X") events only
+  std::vector<std::pair<std::uint32_t, std::string>> thread_names;
+  std::uint64_t dropped = 0;  ///< tgp_dropped field if present
+};
+ParsedTrace parse_chrome_trace(std::istream& in);
+
+/// Run the dump tool.  `args` are argv[1:]; report goes to `out`,
+/// diagnostics to `err`.  Returns the process exit code.
+int run_trace_dump(const std::vector<std::string>& args, std::ostream& out,
+                   std::ostream& err);
+
+std::string trace_dump_help();
+
+}  // namespace tgp::tools
