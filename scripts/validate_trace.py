@@ -20,6 +20,7 @@ import json
 import sys
 
 REQUIRED_SPANS = [
+    ("svc", "admission"),
     ("svc", "queue.wait"),
     ("svc", "job"),
     ("svc", "canonicalize"),
@@ -80,11 +81,11 @@ def main():
             return fail(f"event #{i} ({ev['name']}) has non-numeric ts/dur")
         if dur < 0:
             return fail(f"event #{i} ({ev['name']}) has negative duration")
-        # queue.wait spans are backdated to enqueue time, so they measure
-        # queue residency rather than thread occupancy and may overlap the
-        # previous job's spans on the same worker — keep them out of the
-        # nesting sweep.
-        nestable = ev["name"] != "queue.wait"
+        # queue.wait and queue.shed spans are backdated to enqueue time, so
+        # they measure queue residency rather than thread occupancy and may
+        # overlap the previous job's spans on the same worker — keep them
+        # out of the nesting sweep.
+        nestable = ev["name"] not in ("queue.wait", "queue.shed")
         spans.append((tid, float(ts), float(dur), nestable))
         seen.add((ev.get("cat", ""), ev["name"]))
 

@@ -47,19 +47,25 @@ std::optional<CanonicalOutcome> MemoCache::get(const CacheKey& key) {
 }
 
 bool MemoCache::get_into(const CacheKey& key, CanonicalOutcome& out) {
+  return get_checked(key, out) == CacheLookup::kHit;
+}
+
+CacheLookup MemoCache::get_checked(const CacheKey& key, CanonicalOutcome& out) {
   Shard& s = *shards_[static_cast<std::size_t>(shard_of(key))];
-  // Injected lookup fault degrades to a miss: the job recomputes and
-  // stays correct, only slower.
+  // Injected lookup fault degrades to a miss for unchecked callers: the
+  // job recomputes and stays correct, only slower.  Checked callers (the
+  // service's retry layer) see the fault distinctly and may retry.
   if (util::faults().fire("svc.cache.get")) {
     std::lock_guard lk(s.mu);
     ++s.misses;
-    return false;
+    ++s.lookup_faults;
+    return CacheLookup::kFault;
   }
   std::lock_guard lk(s.mu);
   auto it = s.index.find(key);
   if (it == s.index.end()) {
     ++s.misses;
-    return false;
+    return CacheLookup::kMiss;
   }
   ++s.hits;
   s.lru.splice(s.lru.begin(), s.lru, it->second);  // move to MRU
@@ -72,16 +78,11 @@ bool MemoCache::get_into(const CacheKey& key, CanonicalOutcome& out) {
   // A hit hands back the original solve's counters — keeps per-job
   // counters independent of cache state (see CanonicalOutcome::counters).
   out.counters = o.counters;
-  return true;
+  return CacheLookup::kHit;
 }
 
-void MemoCache::put(const CacheKey& key, CanonicalOutcome outcome) {
-  std::size_t cost = sizeof(Entry) + outcome.memory_bytes();
-  if (cost > shard_budget_) return;  // larger than a whole shard: skip
-  // Injected store fault drops the insert — the cache is a pure
-  // memoization layer, so losing an entry never changes any result.
-  if (util::faults().fire("svc.cache.put")) return;
-  Shard& s = *shards_[static_cast<std::size_t>(shard_of(key))];
+void MemoCache::put_impl(Shard& s, const CacheKey& key,
+                         CanonicalOutcome&& outcome, std::size_t cost) {
   std::lock_guard lk(s.mu);
   auto it = s.index.find(key);
   if (it != s.index.end()) {
@@ -101,6 +102,35 @@ void MemoCache::put(const CacheKey& key, CanonicalOutcome outcome) {
   ++s.insertions;
 }
 
+void MemoCache::put(const CacheKey& key, CanonicalOutcome outcome) {
+  std::size_t cost = sizeof(Entry) + outcome.memory_bytes();
+  if (cost > shard_budget_) return;  // larger than a whole shard: skip
+  // Injected store fault drops the insert — the cache is a pure
+  // memoization layer, so losing an entry never changes any result.
+  if (util::faults().fire("svc.cache.put")) {
+    Shard& s = *shards_[static_cast<std::size_t>(shard_of(key))];
+    std::lock_guard lk(s.mu);
+    ++s.store_faults;
+    return;
+  }
+  put_impl(*shards_[static_cast<std::size_t>(shard_of(key))], key,
+           std::move(outcome), cost);
+}
+
+bool MemoCache::put_checked(const CacheKey& key,
+                            const CanonicalOutcome& outcome) {
+  std::size_t cost = sizeof(Entry) + outcome.memory_bytes();
+  if (cost > shard_budget_) return true;  // skipped by policy, not a fault
+  Shard& s = *shards_[static_cast<std::size_t>(shard_of(key))];
+  if (util::faults().fire("svc.cache.put")) {
+    std::lock_guard lk(s.mu);
+    ++s.store_faults;
+    return false;
+  }
+  put_impl(s, key, CanonicalOutcome(outcome), cost);
+  return true;
+}
+
 CacheStats MemoCache::stats() const {
   CacheStats out;
   out.shards = static_cast<int>(shards_.size());
@@ -111,6 +141,8 @@ CacheStats MemoCache::stats() const {
     out.misses += sp->misses;
     out.insertions += sp->insertions;
     out.evictions += sp->evictions;
+    out.lookup_faults += sp->lookup_faults;
+    out.store_faults += sp->store_faults;
     out.entries += sp->index.size();
     out.bytes += sp->bytes;
   }

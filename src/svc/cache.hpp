@@ -44,12 +44,22 @@ struct CacheKeyHash {
   std::size_t operator()(const CacheKey& k) const noexcept;
 };
 
+/// Outcome of one checked lookup.  kFault is an *injected* (or, in a
+/// deployment with a remote cache tier, transport-level) failure of the
+/// lookup itself — distinct from kMiss so the service's retry layer can
+/// tell "the key is not there" from "the cache did not answer".
+enum class CacheLookup { kHit, kMiss, kFault };
+
 /// Aggregated counters across shards.
 struct CacheStats {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
   std::uint64_t insertions = 0;
   std::uint64_t evictions = 0;
+  /// Faulted operations (each faulted lookup also counts as a miss, so
+  /// hit_rate() is unchanged by the split).
+  std::uint64_t lookup_faults = 0;
+  std::uint64_t store_faults = 0;
   std::size_t entries = 0;
   std::size_t bytes = 0;
   std::size_t capacity_bytes = 0;
@@ -75,14 +85,26 @@ class MemoCache {
   /// Allocation-friendly lookup: on hit, copies the entry into `out`
   /// reusing out's cut-vector capacity (workers keep one scratch outcome
   /// per thread, so steady-state hits never touch the heap).  Returns
-  /// whether the key was found; `out` is untouched on a miss.
+  /// whether the key was found; `out` is untouched on a miss.  A faulted
+  /// lookup reads as a miss — callers that need to distinguish (the
+  /// service's retry layer) use get_checked.
   bool get_into(const CacheKey& key, CanonicalOutcome& out);
+
+  /// Like get_into, but surfaces an injected lookup fault as kFault
+  /// instead of folding it into kMiss.
+  CacheLookup get_checked(const CacheKey& key, CanonicalOutcome& out);
 
   /// Insert (or refresh) an entry, evicting LRU entries of the same shard
   /// until the shard fits its budget.  Takes the outcome by value so
   /// callers done with theirs can move it in instead of copying the cut.
   /// Outcomes larger than a whole shard are not cached.
   void put(const CacheKey& key, CanonicalOutcome outcome);
+
+  /// Like put, but reports an injected store fault (false) instead of
+  /// silently dropping the insert, and copies the outcome only once the
+  /// store is known to go through — the caller keeps its outcome either
+  /// way, which is what lets the service retry a faulted store.
+  bool put_checked(const CacheKey& key, const CanonicalOutcome& outcome);
 
   CacheStats stats() const;
 
@@ -104,7 +126,11 @@ class MemoCache {
         index;
     std::size_t bytes = 0;
     std::uint64_t hits = 0, misses = 0, insertions = 0, evictions = 0;
+    std::uint64_t lookup_faults = 0, store_faults = 0;
   };
+
+  void put_impl(Shard& s, const CacheKey& key, CanonicalOutcome&& outcome,
+                std::size_t cost);
 
   std::size_t shard_budget_ = 0;
   std::vector<std::unique_ptr<Shard>> shards_;

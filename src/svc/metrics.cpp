@@ -98,6 +98,23 @@ std::string MetricsSnapshot::format() const {
        << " deadline cancels, stuck workers now/peak: " << stuck_workers_now
        << "/" << stuck_worker_peak << "\n";
   }
+  if (resilience.any()) {
+    os << "resilience: inflight now/peak " << resilience.inflight_now << "/"
+       << resilience.inflight_peak;
+    if (resilience.max_inflight != 0)
+      os << " (cap " << resilience.max_inflight << ")";
+    os << ", rejected " << resilience.rejected_inflight << " inflight + "
+       << resilience.rejected_rate << " rate, shed " << resilience.jobs_shed
+       << ", retries " << resilience.retry_attempts << ", degraded "
+       << resilience.degraded_solves << "\n";
+    if (resilience.breaker_enabled) {
+      os << "breaker: " << breaker_state_name(resilience.breaker.state)
+         << ", trips " << resilience.breaker.trips << ", half-opens "
+         << resilience.breaker.half_opens << ", closes "
+         << resilience.breaker.closes << ", cache bypasses "
+         << resilience.cache_bypasses << "\n";
+    }
+  }
   os << "cache: " << cache.hits << " hits, " << cache.misses << " misses ("
      << util::fmt(100.0 * cache.hit_rate(), 1) << "% hit rate), "
      << cache.entries << " entries, " << cache.bytes << "/"
@@ -186,6 +203,11 @@ std::string MetricsSnapshot::render_prometheus() const {
             cache.insertions);
   w.counter("tgp_cache_evictions_total", "Memo cache evictions",
             cache.evictions);
+  w.counter("tgp_cache_lookup_faults_total",
+            "Cache lookups that faulted (also counted as misses)",
+            cache.lookup_faults);
+  w.counter("tgp_cache_store_faults_total", "Cache stores that faulted",
+            cache.store_faults);
   w.gauge("tgp_cache_entries", "Live memo cache entries",
           static_cast<double>(cache.entries));
   w.gauge("tgp_cache_bytes", "Memo cache bytes in use",
@@ -208,6 +230,37 @@ std::string MetricsSnapshot::render_prometheus() const {
           static_cast<double>(stuck_workers_now));
   w.gauge("tgp_stuck_worker_peak", "Peak simultaneous stuck workers",
           static_cast<double>(stuck_worker_peak));
+
+  w.counter("tgp_jobs_rejected_total",
+            "Submits rejected kOverloaded by admission control",
+            resilience.rejected_inflight, Labels{{"reason", "inflight"}});
+  w.counter("tgp_jobs_rejected_total",
+            "Submits rejected kOverloaded by admission control",
+            resilience.rejected_rate, Labels{{"reason", "rate"}});
+  w.counter("tgp_jobs_shed_total",
+            "Jobs dropped at dequeue (deadline expired or cancelled while "
+            "queued)",
+            resilience.jobs_shed);
+  w.counter("tgp_retry_attempts_total",
+            "Backoff retries taken on transient cache faults",
+            resilience.retry_attempts);
+  w.counter("tgp_cache_bypasses_total",
+            "Cache operations skipped while the breaker was open",
+            resilience.cache_bypasses);
+  w.counter("tgp_degraded_solves_total",
+            "Jobs solved with the degraded-mode baseline",
+            resilience.degraded_solves);
+  w.gauge("tgp_inflight_jobs", "Jobs admitted but not yet settled",
+          static_cast<double>(resilience.inflight_now));
+  w.gauge("tgp_inflight_jobs_peak", "High-water of admitted unfinished jobs",
+          static_cast<double>(resilience.inflight_peak));
+  w.gauge("tgp_breaker_state",
+          "Cache circuit breaker state (0=closed 1=open 2=half_open)",
+          static_cast<double>(static_cast<int>(resilience.breaker.state)));
+  w.counter("tgp_breaker_trips_total", "Breaker transitions into open",
+            resilience.breaker.trips);
+  w.counter("tgp_breaker_transitions_total", "All breaker state changes",
+            resilience.breaker.transitions);
 
   for (int p = 0; p < kProblemCount; ++p) {
     const obs::SolveCounters& c =
@@ -263,12 +316,30 @@ std::string MetricsSnapshot::render_json() const {
      << ",\"misses\":" << cache.misses
      << ",\"insertions\":" << cache.insertions
      << ",\"evictions\":" << cache.evictions
+     << ",\"lookup_faults\":" << cache.lookup_faults
+     << ",\"store_faults\":" << cache.store_faults
      << ",\"entries\":" << cache.entries << ",\"bytes\":" << cache.bytes
      << ",\"capacity_bytes\":" << cache.capacity_bytes << "}";
   os << ",\"watchdog\":{\"ticks\":" << watchdog_ticks
      << ",\"deadline_cancels\":" << deadline_cancels
      << ",\"stuck_now\":" << stuck_workers_now
      << ",\"stuck_peak\":" << stuck_worker_peak << "}";
+  os << ",\"resilience\":{\"max_inflight\":" << resilience.max_inflight
+     << ",\"inflight_now\":" << resilience.inflight_now
+     << ",\"inflight_peak\":" << resilience.inflight_peak
+     << ",\"rejected_inflight\":" << resilience.rejected_inflight
+     << ",\"rejected_rate\":" << resilience.rejected_rate
+     << ",\"jobs_shed\":" << resilience.jobs_shed
+     << ",\"retry_attempts\":" << resilience.retry_attempts
+     << ",\"cache_bypasses\":" << resilience.cache_bypasses
+     << ",\"degraded_solves\":" << resilience.degraded_solves
+     << ",\"breaker\":{\"enabled\":"
+     << (resilience.breaker_enabled ? "true" : "false") << ",\"state\":\""
+     << breaker_state_name(resilience.breaker.state)
+     << "\",\"trips\":" << resilience.breaker.trips
+     << ",\"half_opens\":" << resilience.breaker.half_opens
+     << ",\"closes\":" << resilience.breaker.closes
+     << ",\"transitions\":" << resilience.breaker.transitions << "}}";
   os << ",\"problems\":{";
   bool first = true;
   for (int p = 0; p < kProblemCount; ++p) {

@@ -22,7 +22,9 @@ std::chrono::microseconds to_duration(double micros) {
 PartitionService::PartitionService(ServiceConfig config)
     : config_(config),
       cache_(config.cache_bytes, config.cache_shards),
-      queue_(config.queue_capacity) {
+      queue_(config.queue_capacity),
+      bucket_(config.rate_limit_per_sec, config.rate_burst),
+      breaker_(config.breaker) {
   int threads = config.threads;
   if (threads <= 0) {
     threads = static_cast<int>(std::thread::hardware_concurrency());
@@ -32,10 +34,18 @@ PartitionService::PartitionService(ServiceConfig config)
   TGP_REQUIRE(config.watchdog_interval_micros >= 0 &&
                   config.stuck_threshold_micros >= 0,
               "watchdog periods must be non-negative");
+  TGP_REQUIRE(config.retry.max_attempts >= 1,
+              "retry.max_attempts counts the first try (>= 1)");
+  TGP_REQUIRE(config.retry.base_us >= 0 && config.retry.multiplier >= 1 &&
+                  config.retry.jitter >= 0,
+              "retry backoff parameters out of range");
   worker_state_.reserve(static_cast<std::size_t>(threads));
   workers_.reserve(static_cast<std::size_t>(threads));
-  for (int i = 0; i < threads; ++i)
+  for (int i = 0; i < threads; ++i) {
     worker_state_.push_back(std::make_unique<WorkerState>());
+    worker_state_.back()->rng = util::Pcg32(
+        config.resilience_seed, static_cast<std::uint64_t>(i) + 1);
+  }
   for (int i = 0; i < threads; ++i)
     workers_.emplace_back(&PartitionService::worker_loop, this,
                           std::ref(*worker_state_[static_cast<std::size_t>(i)]));
@@ -55,8 +65,45 @@ std::size_t PartitionService::submit(JobSpec spec) {
   TGP_SPAN("svc", "submit");
   if (shut_.load()) throw ServiceStopped();
   SpecCheck check = validate_spec(spec);
+  // Admission control: decide *before* the queue is touched whether this
+  // job may enter at all.  The span is emitted for every submit — a
+  // disabled resilience layer still records how long admission took
+  // (effectively nothing), which keeps trace-validation rules uniform.
+  const char* reject_why = nullptr;
+  bool counted = false;
+  {
+    TGP_SPAN("svc", "admission");
+    if (check.ok()) {
+      if (config_.max_inflight > 0) {
+        // fetch_add-then-check keeps the cap race-free: the token is
+        // taken optimistically and returned on rejection, so two racing
+        // submits can never both slip under the cap.
+        std::size_t cur = inflight_.fetch_add(1) + 1;
+        if (cur > config_.max_inflight) {
+          inflight_.fetch_sub(1);
+          rejected_inflight_.fetch_add(1);
+          reject_why = "admission: inflight cap reached";
+        } else {
+          counted = true;
+          std::size_t peak = inflight_peak_.load();
+          while (cur > peak &&
+                 !inflight_peak_.compare_exchange_weak(peak, cur)) {
+          }
+        }
+      }
+      if (reject_why == nullptr && bucket_.enabled() &&
+          !bucket_.try_acquire(now_micros())) {
+        if (counted) {
+          inflight_.fetch_sub(1);
+          counted = false;
+        }
+        rejected_rate_.fetch_add(1);
+        reject_why = "admission: rate limit exceeded";
+      }
+    }
+  }
   std::shared_ptr<util::CancelToken> token;
-  if (check.ok()) {
+  if (check.ok() && reject_why == nullptr) {
     token = std::make_shared<util::CancelToken>();
     if (spec.deadline_micros > 0)
       token->set_deadline(Clock::now() + to_duration(spec.deadline_micros));
@@ -67,12 +114,20 @@ std::size_t PartitionService::submit(JobSpec spec) {
     slot = slots_.size();
     slots_.emplace_back();
     slots_[slot].cancel = token;
+    slots_[slot].counted_inflight = counted ? 1 : 0;
   }
   submitted_.fetch_add(1);
   if (!check.ok()) {
     // Reject up front: the slot settles without ever touching the queue,
     // so one malformed spec cannot block or poison a worker.
     settle(slot, failed_result(check.status, std::move(check.error)));
+    return slot;
+  }
+  if (reject_why != nullptr) {
+    // Overload rejection settles the same way — the caller still gets a
+    // slot (run_batch/wait_idle bookkeeping is unchanged), just one that
+    // completed kOverloaded without consuming queue or worker time.
+    settle(slot, failed_result(JobStatus::kOverloaded, reject_why));
     return slot;
   }
   bool queued =
@@ -142,6 +197,17 @@ MetricsSnapshot PartitionService::metrics() const {
   m.watchdog_ticks = watchdog_ticks_.load();
   m.deadline_cancels = deadline_cancels_.load();
   m.stuck_worker_peak = stuck_worker_peak_.load();
+  m.resilience.max_inflight = config_.max_inflight;
+  m.resilience.inflight_now = inflight_.load();
+  m.resilience.inflight_peak = inflight_peak_.load();
+  m.resilience.rejected_inflight = rejected_inflight_.load();
+  m.resilience.rejected_rate = rejected_rate_.load();
+  m.resilience.jobs_shed = jobs_shed_.load();
+  m.resilience.retry_attempts = retry_attempts_.load();
+  m.resilience.cache_bypasses = cache_bypasses_.load();
+  m.resilience.degraded_solves = degraded_solves_.load();
+  m.resilience.breaker_enabled = config_.breaker.enabled;
+  m.resilience.breaker = breaker_.stats();
   std::int64_t now = now_micros();
   for (const auto& ws : worker_state_) {
     std::int64_t busy = ws->busy_since_micros.load();
@@ -199,13 +265,17 @@ bool PartitionService::shutdown_within(double drain_micros) {
 void PartitionService::settle(std::size_t slot, JobResult r) {
   bool failed = !r.ok;
   JobStatus status = r.status;
+  bool release_inflight = false;
   {
     std::lock_guard lk(results_mu_);
+    release_inflight = slots_[slot].counted_inflight != 0;
+    slots_[slot].counted_inflight = 0;
     slots_[slot].result = std::move(r);
     slots_[slot].done = 1;
     while (first_pending_ < slots_.size() && slots_[first_pending_].done)
       ++first_pending_;
   }
+  if (release_inflight) inflight_.fetch_sub(1);
   if (failed) failed_.fetch_add(1);
   by_status_[static_cast<std::size_t>(status)].fetch_add(1);
   {
@@ -232,18 +302,21 @@ void PartitionService::worker_loop(WorkerState& state) {
     const std::int64_t dequeued = now_micros();
     const double wait_micros =
         static_cast<double>(dequeued - job->enqueue_micros);
-    if (obs::trace::enabled()) {
-      // The wait started on the submitting thread; reconstruct its start
-      // from the measured wait so the span nests under this worker's job.
-      const std::int64_t end_ns = obs::trace::now_ns();
-      obs::trace::emit_complete(
-          "svc", "queue.wait",
-          end_ns - static_cast<std::int64_t>(wait_micros * 1e3), end_ns,
-          {"slot", static_cast<std::int64_t>(job->slot)});
-    }
     if (token->stop_requested() || token->deadline_expired()) {
-      // Cancelled while queued, or the deadline passed before any work
-      // started: fail fast without touching the solver.
+      // Shed at dequeue: cancelled while queued, or the deadline passed
+      // before any work started — fail fast without touching the solver.
+      // Sheds get their own span and counter and stay *out* of the
+      // queue-wait histogram: a shed job waited, by definition, longer
+      // than its budget, and folding those waits in used to skew the
+      // reported p95 of jobs that actually ran.
+      if (obs::trace::enabled()) {
+        const std::int64_t end_ns = obs::trace::now_ns();
+        obs::trace::emit_complete(
+            "svc", "queue.shed",
+            end_ns - static_cast<std::int64_t>(wait_micros * 1e3), end_ns,
+            {"slot", static_cast<std::int64_t>(job->slot)});
+      }
+      jobs_shed_.fetch_add(1);
       token->try_set(util::CancelReason::kDeadline);
       r = failed_result(token->reason() == util::CancelReason::kDeadline
                             ? JobStatus::kTimeout
@@ -251,15 +324,29 @@ void PartitionService::worker_loop(WorkerState& state) {
                         token->reason() == util::CancelReason::kDeadline
                             ? "deadline expired before the job started"
                             : "cancelled before the job started");
-      std::lock_guard lk(state.mu);
-      state.queue_wait.record(wait_micros);
     } else {
+      if (obs::trace::enabled()) {
+        // The wait started on the submitting thread; reconstruct its
+        // start from the measured wait so the span nests under this
+        // worker's job.
+        const std::int64_t end_ns = obs::trace::now_ns();
+        obs::trace::emit_complete(
+            "svc", "queue.wait",
+            end_ns - static_cast<std::int64_t>(wait_micros * 1e3), end_ns,
+            {"slot", static_cast<std::int64_t>(job->slot)});
+      }
+      // Degraded mode triggers on the backlog *behind* this job: depth is
+      // only sampled when the watermark is configured, so the default
+      // path never takes the queue lock here.
+      const bool degrade =
+          config_.degrade_watermark > 0 &&
+          queue_.size() >= config_.degrade_watermark;
       state.busy_since_micros.store(dequeued);
       {
         obs::Span job_span("svc", "job");
         job_span.arg("slot", static_cast<std::int64_t>(job->slot));
         util::ScopedTimer timer(micros);
-        r = process(state, job->spec, token);
+        r = process(state, job->spec, token, degrade);
         job_span.arg("cache_hit", r.cache_hit ? 1 : 0);
       }
       state.busy_since_micros.store(-1);
@@ -308,9 +395,91 @@ void PartitionService::watchdog_loop() {
   }
 }
 
+void PartitionService::note_breaker(CircuitBreaker::Outcome outcome) {
+  if (!outcome.transitioned) return;
+  if (obs::trace::enabled()) {
+    // Instant (zero-duration) event: breaker state changes are rare and
+    // cross-cutting, so they are recorded as markers, not scopes.
+    const std::int64_t ns = obs::trace::now_ns();
+    obs::trace::emit_complete(
+        "svc", "breaker.transition", ns, ns,
+        {"state", static_cast<std::int64_t>(outcome.state)});
+  }
+}
+
+void PartitionService::backoff(WorkerState& state, int attempt) {
+  retry_attempts_.fetch_add(1);
+  // state.rng is worker-private (no lock): jitter decorrelates workers
+  // backing off at the same attempt without affecting any payload.
+  const double delay_us = config_.retry.backoff_us(attempt, state.rng);
+  TGP_SPAN("svc", "retry.backoff");
+  if (delay_us > 0)
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::micro>(delay_us));
+}
+
+bool PartitionService::cache_probe(WorkerState& state, const CacheKey& key,
+                                   CanonicalOutcome& out) {
+  if (config_.cache_bytes == 0) return false;
+  const bool gated = config_.breaker.enabled;
+  if (gated) {
+    CircuitBreaker::Outcome gate = breaker_.allow(now_micros());
+    note_breaker(gate);
+    if (!gate.admitted) {
+      // Open breaker: skip the probe entirely — the job recomputes,
+      // which costs time but can never fail it.
+      cache_bypasses_.fetch_add(1);
+      return false;
+    }
+  }
+  CacheLookup looked = CacheLookup::kFault;
+  const int attempts = std::max(1, config_.retry.max_attempts);
+  for (int a = 0; a < attempts; ++a) {
+    if (a > 0) backoff(state, a);
+    TGP_SPAN("svc", "cache.probe");
+    looked = cache_.get_checked(key, out);
+    if (looked != CacheLookup::kFault) break;
+  }
+  if (gated)
+    note_breaker(looked == CacheLookup::kFault
+                     ? breaker_.record_fault(now_micros())
+                     : breaker_.record_success(now_micros()));
+  return looked == CacheLookup::kHit;
+}
+
+void PartitionService::cache_store(WorkerState& state, const CacheKey& key,
+                                   const CanonicalOutcome& outcome) {
+  if (config_.cache_bytes == 0) return;
+  const bool gated = config_.breaker.enabled;
+  if (gated) {
+    CircuitBreaker::Outcome gate = breaker_.allow(now_micros());
+    note_breaker(gate);
+    if (!gate.admitted) {
+      cache_bypasses_.fetch_add(1);
+      return;
+    }
+  }
+  if (!gated && !config_.retry.enabled()) {
+    // Resilience off: keep the original single-attempt store.
+    TGP_SPAN("svc", "cache.store");
+    cache_.put(key, outcome);
+    return;
+  }
+  bool stored = false;
+  const int attempts = std::max(1, config_.retry.max_attempts);
+  for (int a = 0; a < attempts && !stored; ++a) {
+    if (a > 0) backoff(state, a);
+    TGP_SPAN("svc", "cache.store");
+    stored = cache_.put_checked(key, outcome);
+  }
+  if (gated)
+    note_breaker(stored ? breaker_.record_success(now_micros())
+                        : breaker_.record_fault(now_micros()));
+}
+
 JobResult PartitionService::process(WorkerState& state, const JobSpec& spec,
-                                    const util::CancelToken* cancel) {
-  const bool use_cache = config_.cache_bytes > 0;
+                                    const util::CancelToken* cancel,
+                                    bool degrade) {
   JobResult r;
   try {
     if (util::faults().fire("svc.worker.solve"))
@@ -322,25 +491,31 @@ JobResult PartitionService::process(WorkerState& state, const JobSpec& spec,
       }();
       CacheKey key = CacheKey::make(graph::chain_fingerprint(cc.chain),
                                     spec.problem, spec.K);
-      bool hit = false;
-      {
-        TGP_SPAN("svc", "cache.probe");
-        hit = use_cache && cache_.get_into(key, state.hit_scratch);
-      }
-      if (hit) {
+      // Degraded or not, the cache is probed first: a hit serves the
+      // *optimal* cached payload and needs no degradation at all.
+      if (cache_probe(state, key, state.hit_scratch)) {
         apply_outcome(r, state.hit_scratch, cc);
         r.cache_hit = true;
         return r;
       }
+      const bool fallback = degrade && spec.problem == Problem::kBandwidth;
       CanonicalOutcome o = [&] {
         TGP_SPAN("svc", "solve");
+        if (fallback)
+          return solve_canonical_chain_degraded(cc.chain, spec.K);
         return solve_canonical_chain(spec.problem, cc.chain, spec.K, cancel,
                                      &state.arena);
       }();
       apply_outcome(r, o, cc);
-      if (use_cache) {
-        TGP_SPAN("svc", "cache.store");
-        cache_.put(key, std::move(o));
+      if (fallback) {
+        // The degraded cut is exact in objective but may differ from the
+        // primary solver's cut, so it is flagged and never cached — a
+        // later uncontended solve must still produce the canonical
+        // payload.
+        r.degraded = true;
+        degraded_solves_.fetch_add(1);
+      } else {
+        cache_store(state, key, o);
       }
     } else {
       graph::CanonicalTree ct = [&] {
@@ -350,12 +525,7 @@ JobResult PartitionService::process(WorkerState& state, const JobSpec& spec,
       CacheKey key =
           CacheKey::make(graph::tree_fingerprint(ct.tree, &state.arena),
                          spec.problem, spec.K);
-      bool hit = false;
-      {
-        TGP_SPAN("svc", "cache.probe");
-        hit = use_cache && cache_.get_into(key, state.hit_scratch);
-      }
-      if (hit) {
+      if (cache_probe(state, key, state.hit_scratch)) {
         apply_outcome(r, state.hit_scratch, ct);
         r.cache_hit = true;
         return r;
@@ -366,10 +536,7 @@ JobResult PartitionService::process(WorkerState& state, const JobSpec& spec,
                                     &state.arena);
       }();
       apply_outcome(r, o, ct);
-      if (use_cache) {
-        TGP_SPAN("svc", "cache.store");
-        cache_.put(key, std::move(o));
-      }
+      cache_store(state, key, o);
     }
   } catch (...) {
     // The worker's catch-all boundary: any escape — solver contract

@@ -1,6 +1,7 @@
 #include "util/fault.hpp"
 
 #include <algorithm>
+#include <mutex>
 #include <thread>
 
 #include "util/assert.hpp"
@@ -30,7 +31,7 @@ std::uint64_t fnv1a(std::string_view s) {
 void FaultInjector::arm(std::uint64_t seed, double default_probability) {
   TGP_REQUIRE(default_probability >= 0 && default_probability <= 1,
               "fault probability must be in [0,1]");
-  std::lock_guard lk(mu_);
+  std::unique_lock lk(mu_);
   seed_ = seed;
   default_probability_ = default_probability;
   sites_.clear();
@@ -41,29 +42,52 @@ void FaultInjector::disarm() { armed_.store(false, std::memory_order_release); }
 
 void FaultInjector::set_site_probability(std::string_view site, double p) {
   TGP_REQUIRE(p >= 0 && p <= 1, "fault probability must be in [0,1]");
-  std::lock_guard lk(mu_);
-  site_locked(site).probability = p;
+  site_for(site)->probability.store(p, std::memory_order_relaxed);
 }
 
-FaultInjector::Site& FaultInjector::site_locked(std::string_view name) {
-  for (Site& s : sites_)
-    if (s.name == name) return s;
-  sites_.push_back(Site{std::string(name), 0, 0, -1});
-  return sites_.back();
+std::shared_ptr<FaultInjector::Site> FaultInjector::find_site_locked(
+    std::string_view name) const {
+  for (const auto& s : sites_)
+    if (s->name == name) return s;
+  return nullptr;
+}
+
+std::shared_ptr<FaultInjector::Site> FaultInjector::site_for(
+    std::string_view name) {
+  {
+    std::shared_lock lk(mu_);
+    if (auto s = find_site_locked(name)) return s;
+  }
+  std::unique_lock lk(mu_);
+  // Re-check: another thread may have registered the site between the
+  // two locks — the whole point of guarding first-hit registration.
+  if (auto s = find_site_locked(name)) return s;
+  auto s = std::make_shared<Site>();
+  s->name = std::string(name);
+  sites_.push_back(s);
+  return s;
 }
 
 bool FaultInjector::fire(std::string_view site) {
   if (!armed_.load(std::memory_order_acquire)) return false;
-  std::lock_guard lk(mu_);
-  Site& s = site_locked(site);
-  std::uint64_t n = s.calls++;
-  double p = s.probability < 0 ? default_probability_ : s.probability;
+  std::shared_ptr<Site> s = site_for(site);
+  std::uint64_t seed;
+  double def_p;
+  {
+    std::shared_lock lk(mu_);
+    seed = seed_;
+    def_p = default_probability_;
+  }
+  std::uint64_t n = s->calls.fetch_add(1, std::memory_order_relaxed);
+  double p = s->probability.load(std::memory_order_relaxed);
+  if (p < 0) p = def_p;
   if (p <= 0) return false;
   // Decision = pure function of (seed, site, call index): reproducible
   // regardless of which thread reaches the site.
-  std::uint64_t h = splitmix64(seed_ ^ fnv1a(s.name) ^ (n * 0x9E3779B97F4A7C15ull));
+  std::uint64_t h =
+      splitmix64(seed ^ fnv1a(s->name) ^ (n * 0x9E3779B97F4A7C15ull));
   bool hit = static_cast<double>(h >> 11) * 0x1.0p-53 < p;
-  if (hit) ++s.fired;
+  if (hit) s->fired.fetch_add(1, std::memory_order_relaxed);
   return hit;
 }
 
@@ -72,31 +96,32 @@ void FaultInjector::maybe_yield(std::string_view site) {
 }
 
 std::uint64_t FaultInjector::calls(std::string_view site) const {
-  std::lock_guard lk(mu_);
-  for (const Site& s : sites_)
-    if (s.name == site) return s.calls;
-  return 0;
+  std::shared_lock lk(mu_);
+  auto s = find_site_locked(site);
+  return s == nullptr ? 0 : s->calls.load(std::memory_order_relaxed);
 }
 
 std::uint64_t FaultInjector::fired(std::string_view site) const {
-  std::lock_guard lk(mu_);
-  for (const Site& s : sites_)
-    if (s.name == site) return s.fired;
-  return 0;
+  std::shared_lock lk(mu_);
+  auto s = find_site_locked(site);
+  return s == nullptr ? 0 : s->fired.load(std::memory_order_relaxed);
 }
 
 std::uint64_t FaultInjector::total_fired() const {
-  std::lock_guard lk(mu_);
+  std::shared_lock lk(mu_);
   std::uint64_t total = 0;
-  for (const Site& s : sites_) total += s.fired;
+  for (const auto& s : sites_)
+    total += s->fired.load(std::memory_order_relaxed);
   return total;
 }
 
 std::vector<FaultInjector::SiteStats> FaultInjector::report() const {
-  std::lock_guard lk(mu_);
+  std::shared_lock lk(mu_);
   std::vector<SiteStats> out;
   out.reserve(sites_.size());
-  for (const Site& s : sites_) out.push_back({s.name, s.calls, s.fired});
+  for (const auto& s : sites_)
+    out.push_back({s->name, s->calls.load(std::memory_order_relaxed),
+                   s->fired.load(std::memory_order_relaxed)});
   std::sort(out.begin(), out.end(),
             [](const SiteStats& a, const SiteStats& b) { return a.site < b.site; });
   return out;

@@ -18,7 +18,8 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
+#include <memory>
+#include <shared_mutex>
 #include <stdexcept>
 #include <string>
 #include <string_view>
@@ -72,20 +73,30 @@ class FaultInjector {
   std::vector<SiteStats> report() const;
 
  private:
+  // Registration is guarded by a shared_mutex: the steady state (every
+  // site already registered) takes only the shared lock, so concurrent
+  // fire() calls never serialize on one global mutex; the first hit of a
+  // new site — which may race from several workers at once — upgrades to
+  // the exclusive lock and re-checks before inserting.  Sites are held by
+  // shared_ptr so a handle copied out under the lock stays valid even if
+  // arm() resets the registry mid-call, and the per-site counters are
+  // atomics so the shared path stays write-safe.
   struct Site {
     std::string name;
-    std::uint64_t calls = 0;
-    std::uint64_t fired = 0;
-    double probability = -1;  // < 0: use the armed default
+    std::atomic<std::uint64_t> calls{0};
+    std::atomic<std::uint64_t> fired{0};
+    std::atomic<double> probability{-1};  // < 0: use the armed default
   };
 
-  Site& site_locked(std::string_view name);
+  /// Find-or-insert under the registration lock protocol above.
+  std::shared_ptr<Site> site_for(std::string_view name);
+  std::shared_ptr<Site> find_site_locked(std::string_view name) const;
 
-  mutable std::mutex mu_;
+  mutable std::shared_mutex mu_;
   std::atomic<bool> armed_{false};
-  std::uint64_t seed_ = 0;
-  double default_probability_ = 0;
-  std::vector<Site> sites_;  // few sites: linear scan beats a map
+  std::uint64_t seed_ = 0;               // written under exclusive mu_
+  double default_probability_ = 0;       // written under exclusive mu_
+  std::vector<std::shared_ptr<Site>> sites_;  // few sites: linear scan
 };
 
 /// The process-global injector every production hook consults.

@@ -197,7 +197,9 @@ TEST(ServiceFaults, CancelQueuedJobsSettlesCancelled) {
 }
 
 TEST(ServiceFaults, CancelAfterCompletionReturnsFalseAndKeepsResult) {
-  PartitionService service({.threads = 1});
+  ServiceConfig config;
+  config.threads = 1;
+  PartitionService service(config);
   std::size_t slot = service.submit(chain_job(Problem::kBottleneck, 30, 2));
   service.wait_idle();
   EXPECT_FALSE(service.cancel(slot));  // completed work wins the race
@@ -333,6 +335,7 @@ TEST(ServiceFaults, WatchdogPromotesDeadlinesOfQueuedJobs) {
 
 struct SpanCensus {
   std::size_t queue_wait = 0;
+  std::size_t queue_shed = 0;
   std::size_t job = 0;
   std::size_t solve = 0;
   std::size_t canonicalize = 0;
@@ -344,6 +347,7 @@ SpanCensus census(const obs::trace::TraceSnapshot& snap) {
     if (std::string(ev.cat) != "svc") continue;
     std::string name = ev.name;
     if (name == "queue.wait") ++c.queue_wait;
+    else if (name == "queue.shed") ++c.queue_shed;
     else if (name == "job") ++c.job;
     else if (name == "solve") ++c.solve;
     else if (name == "canonicalize") ++c.canonicalize;
@@ -383,8 +387,11 @@ TEST_F(TracedServiceTest, SpansBalancedWhenQueuedJobsAreCancelled) {
   }  // destructor joins the workers: all rings final
   obs::trace::set_enabled(false);
   SpanCensus c = census(obs::trace::snapshot());
-  // Every dequeued job logs its wait; only the head reached the solver.
-  EXPECT_EQ(c.queue_wait, 1 + n_cancelled);
+  // Only the head job logged a queue wait — the cancelled jobs were shed
+  // at dequeue and get the distinct queue.shed span instead, keeping
+  // shed waits out of the queue-wait percentiles.
+  EXPECT_EQ(c.queue_wait, 1u);
+  EXPECT_EQ(c.queue_shed, n_cancelled);
   EXPECT_EQ(c.job, 1u);
   EXPECT_EQ(c.solve, 1u);
   EXPECT_EQ(c.canonicalize, 1u);
@@ -437,14 +444,17 @@ TEST_F(TracedServiceTest, SpansCloseWhenDeadlineUnwindsMidSolve) {
   obs::trace::set_enabled(false);
   ASSERT_EQ(status, JobStatus::kTimeout);
   SpanCensus c = census(obs::trace::snapshot());
-  EXPECT_EQ(c.queue_wait, 1u);
   if (error == "deadline expired before the job started") {
-    // Fast-failed at dequeue (very slow machine): no solver spans at all.
+    // Fast-failed at dequeue (very slow machine): shed, no solver spans.
+    EXPECT_EQ(c.queue_wait, 0u);
+    EXPECT_EQ(c.queue_shed, 1u);
     EXPECT_EQ(c.job, 0u);
     EXPECT_EQ(c.solve, 0u);
   } else {
     // The common path: CancelledError unwound out of the solver, and the
     // solve + job spans still closed on the way out.
+    EXPECT_EQ(c.queue_wait, 1u);
+    EXPECT_EQ(c.queue_shed, 0u);
     EXPECT_EQ(c.job, 1u);
     EXPECT_EQ(c.solve, 1u);
   }

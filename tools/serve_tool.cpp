@@ -298,6 +298,8 @@ std::string serve_tool_help() {
       "usage: tgp_serve (--jobs FILE | --generate N) [--threads N]\n"
       "                 [--cache-mb M] [--queue-cap C] [--seed S]\n"
       "                 [--dup-frac F] [--deadline-us D] [--no-results]\n"
+      "                 [--max-inflight N] [--rate-limit R] [--retry N]\n"
+      "                 [--degrade-watermark W] [--breaker]\n"
       "                 [--trace-out FILE] [--trace-buf N]\n"
       "                 [--metrics-out FILE] [--metrics-format FMT]\n"
       "                 [--stats-interval-ms MS] [--log-level LEVEL]\n"
@@ -316,9 +318,12 @@ std::string serve_tool_help() {
       "the batch still runs.\n"
       "\n"
       "Each results row carries the job's status (ok, invalid_spec,\n"
-      "timeout, cancelled, internal_error).  Exit code: 0 when every job\n"
-      "succeeded, 3 when any job failed or any row was skipped, 2 on\n"
-      "usage errors, 1 on fatal errors.\n"
+      "timeout, cancelled, internal_error, overloaded; a job solved by\n"
+      "the degraded-mode fallback shows 'degraded' instead of 'ok').\n"
+      "Exit code: 0 when every job succeeded, 3 when any job failed or\n"
+      "any row was skipped, 4 when the batch completed but admission\n"
+      "control shed jobs (every failure is 'overloaded'), 2 on usage\n"
+      "errors, 1 on fatal errors.\n"
       "\n"
       "  --jobs FILE     job file (see above)\n"
       "  --generate N    synthesize an N-job mixed workload instead\n"
@@ -329,6 +334,16 @@ std::string serve_tool_help() {
       "  --queue-cap C   bounded queue capacity (default 1024)\n"
       "  --deadline-us D per-job deadline in microseconds (default: none)\n"
       "  --no-results    suppress the per-job results table\n"
+      "  --max-inflight N      admission cap on jobs in flight (0 = off);\n"
+      "                        excess submits settle as 'overloaded'\n"
+      "  --rate-limit R        token-bucket admission rate in jobs/sec\n"
+      "                        (0 = off); rejects settle as 'overloaded'\n"
+      "  --retry N             attempts per transient cache fault\n"
+      "                        (default 1 = no retry; exponential backoff)\n"
+      "  --degrade-watermark W queue depth at which chain bandwidth jobs\n"
+      "                        fall back to the degraded O(n) solver\n"
+      "                        (0 = off); such rows show 'degraded'\n"
+      "  --breaker             enable the cache circuit breaker\n"
       "  --trace-out FILE      record spans, write Chrome trace JSON\n"
       "                        (open in chrome://tracing or Perfetto)\n"
       "  --trace-buf N         trace ring size in events/thread (default\n"
@@ -358,6 +373,11 @@ int run_serve_tool(const std::vector<std::string>& args, std::ostream& out,
         .describe("queue-cap", "job queue capacity")
         .describe("deadline-us", "per-job deadline in microseconds")
         .describe("no-results", "suppress the results table")
+        .describe("max-inflight", "admission cap on jobs in flight")
+        .describe("rate-limit", "admission rate limit in jobs/sec")
+        .describe("retry", "attempts per transient cache fault")
+        .describe("degrade-watermark", "queue depth triggering degraded mode")
+        .describe("breaker", "enable the cache circuit breaker")
         .describe("trace-out", "write Chrome trace JSON to FILE")
         .describe("trace-buf", "trace ring size in events per thread")
         .describe("metrics-out", "write the metrics snapshot to FILE")
@@ -431,6 +451,13 @@ int run_serve_tool(const std::vector<std::string>& args, std::ostream& out,
         static_cast<std::size_t>(parser.get_int("cache-mb", 64)) << 20;
     config.queue_capacity =
         static_cast<std::size_t>(parser.get_int("queue-cap", 1024));
+    config.max_inflight =
+        static_cast<std::size_t>(parser.get_int("max-inflight", 0));
+    config.rate_limit_per_sec = parser.get_double("rate-limit", 0);
+    config.retry.max_attempts = static_cast<int>(parser.get_int("retry", 1));
+    config.degrade_watermark =
+        static_cast<std::size_t>(parser.get_int("degrade-watermark", 0));
+    config.breaker.enabled = parser.get_bool("breaker", false);
 
     double deadline_us = parser.get_double("deadline-us", 0);
     if (deadline_us > 0)
@@ -496,7 +523,7 @@ int run_serve_tool(const std::vector<std::string>& args, std::ostream& out,
         char digest[20];
         std::snprintf(digest, sizeof digest, "%016llx",
                       static_cast<unsigned long long>(cut_digest(r.cut)));
-        row.cell(svc::job_status_name(r.status))
+        row.cell(r.degraded ? "degraded" : svc::job_status_name(r.status))
             .cell(r.cut.size())
             .cell(digest)
             .cell(r.objective, 6)
@@ -527,12 +554,22 @@ int run_serve_tool(const std::vector<std::string>& args, std::ostream& out,
                      1)
         << " jobs/s\n";
     std::size_t jobs_failed = 0;
-    for (const svc::JobResult& r : results)
-      if (!r.ok) ++jobs_failed;
+    std::size_t jobs_overloaded = 0;
+    for (const svc::JobResult& r : results) {
+      if (r.status == svc::JobStatus::kOverloaded)
+        ++jobs_overloaded;
+      else if (!r.ok)
+        ++jobs_failed;
+    }
     if (jobs_failed > 0 || rows_skipped > 0) {
-      err << "batch degraded: " << jobs_failed << " job(s) failed, "
-          << rows_skipped << " row(s) skipped\n";
+      err << "batch degraded: " << jobs_failed + jobs_overloaded
+          << " job(s) failed, " << rows_skipped << " row(s) skipped\n";
       return 3;
+    }
+    if (jobs_overloaded > 0) {
+      err << "batch shed: " << jobs_overloaded
+          << " job(s) rejected by admission control\n";
+      return 4;
     }
     return 0;
   } catch (const std::exception& e) {
