@@ -9,9 +9,14 @@
 #include <memory>
 #include <vector>
 
+#include <thread>
+
 #include "bench_harness.hpp"
 #include "graph/fingerprint.hpp"
 #include "graph/generators.hpp"
+#include "net/backend.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
 #include "obs/counters.hpp"
 #include "obs/trace.hpp"
 #include "svc/service.hpp"
@@ -166,6 +171,51 @@ int main(int argc, char** argv) {
       (void)results.size();
     });
     emit_service_counters(h, service);
+  }
+
+  // The same duplicate-heavy chain batch, but through the network front
+  // door: encode → loopback socket → epoll server → decode → pool →
+  // result frames back.  Diffing this case against service_batch_chain
+  // prices the wire layer itself; n is smaller so framing, not solving,
+  // dominates.
+  {
+    const int net_n = opt.quick ? 1 << 10 : 1 << 13;
+    std::vector<std::shared_ptr<const graph::Chain>> chains;
+    std::vector<double> ks;
+    for (int i = 0; i < distinct; ++i) {
+      double K = 0;
+      chains.push_back(std::make_shared<const graph::Chain>(
+          make_chain(net_n, static_cast<unsigned>(i + 1), &K)));
+      ks.push_back(K);
+    }
+    svc::ServiceConfig cfg;
+    cfg.threads = 4;
+    cfg.watchdog_interval_micros = 0;
+    svc::PartitionService service(cfg);
+    net::Backend backend(service, net::Backend::Config{});
+    net::Server server(net::Server::Config{}, backend);
+    backend.attach(server);
+    std::thread loop([&] { server.run(); });
+    net::Client client("127.0.0.1", server.port());
+    std::snprintf(name, sizeof name, "net_batch/n=%d/jobs=%d", net_n, batch);
+    h.run(name, batch, [&] {
+      std::vector<net::SubmitRequest> requests;
+      requests.reserve(static_cast<std::size_t>(batch));
+      for (int i = 0; i < batch; ++i) {
+        std::size_t g = static_cast<std::size_t>(i % distinct);
+        net::SubmitRequest req;
+        req.spec = svc::JobSpec::for_chain(
+            i % 2 == 0 ? svc::Problem::kBandwidth : svc::Problem::kBottleneck,
+            ks[g], chains[g]);
+        requests.push_back(std::move(req));
+      }
+      auto results = client.run_batch(requests);
+      (void)results.size();
+    });
+    emit_service_counters(h, service);
+    server.stop();
+    loop.join();
+    service.shutdown();
   }
 
   if (opt.trace) {

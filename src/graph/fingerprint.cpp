@@ -189,6 +189,22 @@ std::string Fingerprint::hex() const {
   return buf;
 }
 
+void Fingerprint::store_le(unsigned char out[kWireBytes]) const {
+  for (int i = 0; i < 8; ++i)
+    out[i] = static_cast<unsigned char>(lo >> (8 * i));
+  for (int i = 0; i < 8; ++i)
+    out[8 + i] = static_cast<unsigned char>(hi >> (8 * i));
+}
+
+Fingerprint Fingerprint::load_le(const unsigned char in[kWireBytes]) {
+  Fingerprint f;
+  for (int i = 0; i < 8; ++i)
+    f.lo |= static_cast<std::uint64_t>(in[i]) << (8 * i);
+  for (int i = 0; i < 8; ++i)
+    f.hi |= static_cast<std::uint64_t>(in[8 + i]) << (8 * i);
+  return f;
+}
+
 CanonicalChain canonical_chain(const Chain& chain) {
   chain.validate();
   // Lexicographic bit-pattern comparison of (vertex seq, edge seq) against

@@ -22,6 +22,7 @@
 // the exact content digest before trusting a cache hit.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -46,6 +47,18 @@ struct Fingerprint {
   std::uint64_t fold() const { return hi ^ (lo * 0x9E3779B97F4A7C15ull); }
 
   std::string hex() const;
+
+  /// Number of bytes in the wire representation below.
+  static constexpr std::size_t kWireBytes = 16;
+
+  /// Serialize as 16 bytes in explicit little-endian order: `lo` first,
+  /// then `hi`, each least-significant byte first.  This is the byte
+  /// layout the network wire format carries, so a shard router and a
+  /// backend on different architectures always agree on ownership.
+  void store_le(unsigned char out[kWireBytes]) const;
+
+  /// Inverse of store_le.
+  static Fingerprint load_le(const unsigned char in[kWireBytes]);
 };
 
 // ---- Chains ---------------------------------------------------------------

@@ -1,0 +1,134 @@
+#include "net/client.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace tgp::net {
+
+namespace {
+
+[[noreturn]] void transport_fail(const char* what) {
+  throw SocketError(std::string(what) + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+Client::Client(const std::string& host, std::uint16_t port,
+               std::uint32_t max_payload)
+    : fd_(connect_tcp(host, port)), frames_(max_payload) {
+  set_nonblocking(fd_.get());
+}
+
+std::vector<std::pair<FrameHeader, std::vector<std::uint8_t>>>
+Client::exchange(std::vector<std::uint8_t> out, std::size_t expected) {
+  std::vector<std::pair<FrameHeader, std::vector<std::uint8_t>>> got(expected);
+  std::vector<bool> seen(expected, false);
+  std::size_t remaining = expected;
+  std::size_t out_off = 0;
+
+  while (remaining > 0) {
+    pollfd p{};
+    p.fd = fd_.get();
+    p.events = POLLIN;
+    if (out_off < out.size()) p.events |= POLLOUT;
+    int rc = ::poll(&p, 1, -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      transport_fail("poll");
+    }
+
+    if ((p.revents & POLLOUT) != 0 && out_off < out.size()) {
+      ssize_t n = ::send(fd_.get(), out.data() + out_off, out.size() - out_off,
+                         MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno != EAGAIN && errno != EWOULDBLOCK) transport_fail("send");
+      } else {
+        out_off += static_cast<std::size_t>(n);
+      }
+    }
+
+    if ((p.revents & (POLLIN | POLLERR | POLLHUP)) != 0) {
+      std::uint8_t chunk[64 * 1024];
+      ssize_t n = ::recv(fd_.get(), chunk, sizeof chunk, 0);
+      if (n < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR)
+          continue;
+        transport_fail("recv");
+      }
+      if (n == 0)
+        throw SocketError("server closed the connection with " +
+                          std::to_string(remaining) +
+                          " response(s) outstanding");
+      frames_.append(chunk, static_cast<std::size_t>(n));
+      FrameHeader h;
+      std::vector<std::uint8_t> payload;
+      while (frames_.next(h, payload)) {
+        if (h.request_id >= expected || seen[h.request_id])
+          throw WireError("response for unknown request id " +
+                          std::to_string(h.request_id));
+        seen[h.request_id] = true;
+        got[h.request_id] = {h, std::move(payload)};
+        payload.clear();
+        --remaining;
+      }
+    }
+  }
+  return got;
+}
+
+std::vector<svc::JobResult> Client::run_batch(
+    const std::vector<SubmitRequest>& requests) {
+  std::vector<std::uint8_t> out;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    std::vector<std::uint8_t> frame =
+        encode_submit(requests[i], static_cast<std::uint64_t>(i));
+    out.insert(out.end(), frame.begin(), frame.end());
+  }
+  auto replies = exchange(std::move(out), requests.size());
+
+  std::vector<svc::JobResult> results;
+  results.reserve(replies.size());
+  for (auto& [header, payload] : replies) {
+    switch (header.type) {
+      case FrameType::kResult:
+        results.push_back(decode_result(payload));
+        break;
+      case FrameType::kReject:
+        results.push_back(reject_to_result(decode_reject(payload)));
+        break;
+      default:
+        throw WireError(std::string("unexpected ") +
+                        frame_type_name(header.type) +
+                        " frame in reply to a submit");
+    }
+  }
+  return results;
+}
+
+svc::JobResult Client::run_one(const SubmitRequest& request) {
+  std::vector<SubmitRequest> one{request};
+  return run_batch(one).front();
+}
+
+std::string Client::fetch_metrics() {
+  auto replies = exchange(encode_metrics_request(0), 1);
+  auto& [header, payload] = replies.front();
+  if (header.type != FrameType::kMetricsReply)
+    throw WireError(std::string("expected kMetricsReply, got ") +
+                    frame_type_name(header.type));
+  return decode_metrics_reply(payload);
+}
+
+void Client::ping() {
+  auto replies = exchange(encode_ping(0), 1);
+  if (replies.front().first.type != FrameType::kPong)
+    throw WireError(std::string("expected kPong, got ") +
+                    frame_type_name(replies.front().first.type));
+}
+
+}  // namespace tgp::net

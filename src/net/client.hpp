@@ -1,0 +1,59 @@
+// Blocking client for the tgp wire protocol, used by the tgp_client
+// tool, the socket benches and the loopback tests.
+//
+// One Client owns one TCP connection.  Single-shot calls (run_one,
+// fetch_metrics, ping) are plain request/response.  run_batch pipelines:
+// every submit is queued up front and writes are interleaved with reads
+// via poll(), so a large batch can neither deadlock on full socket
+// buffers (both sides writing, nobody reading) nor serialize on
+// round-trip latency.  Responses are matched to requests by the echoed
+// request id — a shard router may legally answer out of submission
+// order — and returned in submission order.
+//
+// Rejects are folded into failed JobResults (reject_to_result), so
+// callers see exactly the JobResult a local PartitionService would have
+// produced; that equivalence is what the CI byte-diff smoke checks.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/socket.hpp"
+#include "net/wire.hpp"
+#include "svc/job.hpp"
+
+namespace tgp::net {
+
+class Client {
+ public:
+  /// Connects immediately; throws SocketError on failure.
+  Client(const std::string& host, std::uint16_t port,
+         std::uint32_t max_payload = kDefaultMaxPayload);
+
+  /// Pipeline the whole batch over the connection; results come back in
+  /// submission order.  Throws WireError/SocketError on protocol or
+  /// transport failure (an individual job failing is a JobResult, not an
+  /// exception).
+  std::vector<svc::JobResult> run_batch(
+      const std::vector<SubmitRequest>& requests);
+
+  svc::JobResult run_one(const SubmitRequest& request);
+
+  /// Prometheus text over the binary port (kMetricsRequest).
+  std::string fetch_metrics();
+
+  /// Round-trip a kPing; throws on anything but a matching kPong.
+  void ping();
+
+ private:
+  /// Send `out` and read frames until `expected` responses with ids in
+  /// [0, expected) have arrived; returns them indexed by id.
+  std::vector<std::pair<FrameHeader, std::vector<std::uint8_t>>> exchange(
+      std::vector<std::uint8_t> out, std::size_t expected);
+
+  UniqueFd fd_;
+  FrameBuffer frames_;
+};
+
+}  // namespace tgp::net

@@ -1,0 +1,239 @@
+#include "net/router.hpp"
+
+#include <sstream>
+#include <utility>
+
+#include "graph/fingerprint.hpp"
+#include "obs/prom.hpp"
+#include "obs/trace.hpp"
+#include "util/assert.hpp"
+
+namespace tgp::net {
+
+Router::Router(Config config) : config_(config), quota_(config.tenant_quota) {}
+
+std::int64_t Router::now_micros() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+void Router::connect_backends(
+    const std::vector<std::pair<std::string, std::uint16_t>>& backends) {
+  TGP_REQUIRE(server_ != nullptr, "Router::attach must precede connect");
+  TGP_REQUIRE(!backends.empty(), "router needs at least one backend");
+  TGP_REQUIRE(backends_.empty(), "backends already connected");
+  for (std::size_t i = 0; i < backends.size(); ++i) {
+    std::uint64_t conn = server_->connect(backends[i].first,
+                                          backends[i].second);
+    backend_of_conn_.emplace(conn, static_cast<std::uint32_t>(i));
+    backends_.push_back(BackendLink{conn, true});
+  }
+  ring_ = HashRing(static_cast<std::uint32_t>(backends_.size()),
+                   config_.ring_vnodes);
+}
+
+void Router::on_frame(std::uint64_t conn, const FrameHeader& header,
+                      std::span<const std::uint8_t> payload) {
+  auto it = backend_of_conn_.find(conn);
+  if (it != backend_of_conn_.end()) {
+    handle_backend_frame(it->second, header, payload);
+    return;
+  }
+  switch (header.type) {
+    case FrameType::kSubmit:
+      handle_submit(conn, header, payload);
+      return;
+    case FrameType::kMetricsRequest:
+      server_->send(conn,
+                    encode_metrics_reply(on_metrics(), header.request_id));
+      return;
+    case FrameType::kPing:
+      server_->send(conn, encode_pong(header.request_id));
+      return;
+    default:
+      throw WireError(std::string("router cannot serve a ") +
+                      frame_type_name(header.type) + " frame");
+  }
+}
+
+void Router::handle_submit(std::uint64_t conn, const FrameHeader& header,
+                           std::span<const std::uint8_t> payload) {
+  TGP_SPAN("net", "router.submit");
+  SubmitRequest req = decode_submit(payload);  // WireError → server rejects
+
+  if (!quota_.admit(req.tenant, now_micros())) {
+    ++quota_rejects_;
+    reject_client(conn, header.request_id, RejectCode::kQuotaExceeded,
+                  "tenant " + std::to_string(req.tenant) +
+                      " is over its admission quota");
+    return;
+  }
+
+  // Route on the canonical fingerprint: isomorphic graphs — reversed
+  // chains, relabeled trees — hash identically, so the owning backend's
+  // memo cache sees every presentation of a graph.
+  graph::Fingerprint fp = req.fingerprint;
+  if (!req.has_fingerprint) {
+    TGP_SPAN("net", "router.fingerprint");
+    fp = req.spec.is_chain() ? graph::chain_fingerprint(*req.spec.chain)
+                             : graph::tree_fingerprint(*req.spec.tree);
+    ++fingerprints_computed_;
+  }
+
+  Waiting w;
+  w.client_conn = conn;
+  w.client_request_id = header.request_id;
+  w.backend = ring_.owner(fp);
+  w.frame.reserve(kHeaderBytes + payload.size());
+  put_header(w.frame, header);
+  w.frame.insert(w.frame.end(), payload.begin(), payload.end());
+  patch_submit_fingerprint(w.frame, fp);
+
+  if (pending_.size() >= config_.max_outstanding) {
+    if (queue_.size() >= config_.max_queued) {
+      ++overload_rejects_;
+      reject_client(conn, header.request_id, RejectCode::kOverloaded,
+                    "router fair queue is full");
+      return;
+    }
+    queue_.push(req.tenant, std::move(w));
+    return;
+  }
+  dispatch(std::move(w));
+}
+
+void Router::dispatch(Waiting w) {
+  if (!backends_[w.backend].up) {
+    ++shard_down_rejects_;
+    reject_client(w.client_conn, w.client_request_id, RejectCode::kShardDown,
+                  "shard " + std::to_string(w.backend) + " is down");
+    return;
+  }
+  const std::uint64_t router_id = next_router_id_++;
+  patch_request_id(w.frame, router_id);
+  pending_.emplace(router_id,
+                   Pending{w.client_conn, w.client_request_id, w.backend});
+  ++forwarded_;
+  server_->send(backends_[w.backend].conn, std::move(w.frame));
+}
+
+void Router::pump() {
+  Waiting w;
+  while (pending_.size() < config_.max_outstanding && queue_.pop(w))
+    dispatch(std::move(w));
+}
+
+void Router::handle_backend_frame(std::uint32_t backend,
+                                  const FrameHeader& header,
+                                  std::span<const std::uint8_t> payload) {
+  (void)backend;
+  if (header.type != FrameType::kResult && header.type != FrameType::kReject)
+    return;  // kPong / kMetricsReply from a backend: nothing waits on them
+  auto it = pending_.find(header.request_id);
+  if (it == pending_.end()) return;  // stale (client gone and reaped)
+  const Pending p = it->second;
+  pending_.erase(it);
+  ++returned_;
+
+  // Forward verbatim with the client's id restored — results are opaque
+  // bytes to the router.
+  std::vector<std::uint8_t> frame;
+  frame.reserve(kHeaderBytes + payload.size());
+  put_header(frame, header);
+  frame.insert(frame.end(), payload.begin(), payload.end());
+  patch_request_id(frame, p.client_request_id);
+  server_->send(p.client_conn, std::move(frame));
+  pump();
+}
+
+void Router::reject_client(std::uint64_t conn, std::uint64_t request_id,
+                           RejectCode code, const std::string& reason) {
+  server_->send(conn, encode_reject(code, reason, request_id));
+}
+
+void Router::on_close(std::uint64_t conn) {
+  auto it = backend_of_conn_.find(conn);
+  if (it == backend_of_conn_.end()) return;  // a client went away: fine
+  const std::uint32_t backend = it->second;
+  backend_of_conn_.erase(it);
+  backends_[backend].up = false;
+  // Fail fast everything in flight to that shard; queued work for it
+  // fails at dispatch.
+  std::vector<std::pair<std::uint64_t, Pending>> doomed;
+  for (const auto& [id, p] : pending_)
+    if (p.backend == backend) doomed.emplace_back(id, p);
+  for (const auto& [id, p] : doomed) {
+    pending_.erase(id);
+    ++shard_down_rejects_;
+    reject_client(p.client_conn, p.client_request_id, RejectCode::kShardDown,
+                  "shard " + std::to_string(backend) +
+                      " disconnected with the job in flight");
+  }
+  pump();
+}
+
+Router::Stats Router::stats() const {
+  Stats s;
+  s.forwarded = forwarded_;
+  s.returned = returned_;
+  s.quota_rejects = quota_rejects_;
+  s.overload_rejects = overload_rejects_;
+  s.shard_down_rejects = shard_down_rejects_;
+  s.fingerprints_computed = fingerprints_computed_;
+  s.queued_now = queue_.size();
+  s.queued_peak = queue_.queued_peak();
+  s.outstanding_now = pending_.size();
+  for (const BackendLink& b : backends_)
+    if (b.up) ++s.backends_up;
+  return s;
+}
+
+std::string Router::on_metrics() {
+  std::ostringstream out;
+  obs::PromWriter w(out);
+  const Stats s = stats();
+  w.counter("tgp_router_forwarded_total", "Submits forwarded to backends",
+            s.forwarded);
+  w.counter("tgp_router_returned_total", "Responses returned to clients",
+            s.returned);
+  w.counter("tgp_router_quota_rejects_total",
+            "Submits rejected by tenant quota", s.quota_rejects);
+  w.counter("tgp_router_overload_rejects_total",
+            "Submits rejected with the fair queue full", s.overload_rejects);
+  w.counter("tgp_router_shard_down_rejects_total",
+            "Submits or in-flight jobs failed by a dead shard",
+            s.shard_down_rejects);
+  w.counter("tgp_router_fingerprints_computed_total",
+            "Canonical fingerprints computed router-side",
+            s.fingerprints_computed);
+  w.gauge("tgp_router_outstanding", "Forwarded submits awaiting a response",
+          static_cast<double>(s.outstanding_now));
+  w.gauge("tgp_router_queued", "Submits waiting in the fair queue",
+          static_cast<double>(s.queued_now));
+  w.gauge("tgp_router_queued_peak", "Fair-queue high watermark",
+          static_cast<double>(s.queued_peak));
+  w.gauge("tgp_router_backends_up", "Live backend connections",
+          static_cast<double>(s.backends_up));
+  for (const auto& [tenant, st] : quota_.stats()) {
+    const obs::PromWriter::Labels l{{"tenant", std::to_string(tenant)}};
+    w.counter("tgp_router_tenant_admitted_total",
+              "Submits admitted per tenant", st.admitted, l);
+    w.counter("tgp_router_tenant_rejected_total",
+              "Submits quota-rejected per tenant", st.rejected, l);
+  }
+  if (server_ != nullptr) {
+    const obs::NetCounters& c = server_->counters();
+    w.counter("tgp_net_frames_in_total", "Frames received", c.frames_in);
+    w.counter("tgp_net_frames_out_total", "Frames sent", c.frames_out);
+    w.counter("tgp_net_bytes_in_total", "Bytes received", c.bytes_in);
+    w.counter("tgp_net_bytes_out_total", "Bytes sent", c.bytes_out);
+    w.counter("tgp_net_decode_errors_total", "Unparseable frames",
+              c.decode_errors);
+    w.counter("tgp_net_rejects_sent_total", "kReject frames sent",
+              c.rejects_sent);
+  }
+  return out.str();
+}
+
+}  // namespace tgp::net

@@ -1,0 +1,138 @@
+// Shard router: the fleet front door.
+//
+// One Router + one Server, with outbound connections to N backend
+// `tgp_served` processes.  Every client submit is routed on the
+// *canonical* 128-bit graph fingerprint — computed here if the client
+// did not supply one — through the consistent-hash ring, so all
+// isomorphic presentations of a graph land on the same backend and each
+// backend's memo cache owns a disjoint slice of fingerprint space.
+//
+// Forwarding is in-place: the router re-uses the client's frame bytes,
+// stamping the fingerprint (patch_submit_fingerprint) and a fresh
+// router-side request id (patch_request_id) instead of re-encoding the
+// graph.  Responses walk the id map back and are forwarded verbatim with
+// the client's original id restored — the router never decodes a result.
+//
+// Between quota and forward sits fairness: per-tenant TokenBucket quotas
+// reject abusive rates at the wire (kQuotaExceeded), and when the
+// outstanding-forward cap is reached, admitted submits wait in a
+// round-robin FairQueue so one pipelining tenant cannot monopolize the
+// fleet.  A dead backend fails fast: pending jobs and newly routed
+// submits for that shard get kShardDown rejects until it returns.
+//
+// Single-threaded: every callback runs on the Server's loop thread, so
+// the router needs no locks anywhere.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/server.hpp"
+#include "net/shard.hpp"
+#include "net/wire.hpp"
+#include "svc/tenant.hpp"
+
+namespace tgp::net {
+
+class Router : public Server::Handler {
+ public:
+  struct Config {
+    svc::TenantQuotaConfig tenant_quota;
+    /// Cap on forwarded-but-unanswered submits across the fleet; beyond
+    /// it, admitted submits wait in the fair queue.
+    std::size_t max_outstanding = 1024;
+    /// And a cap on how many may wait: beyond it, submits are rejected
+    /// kOverloaded at the wire (backpressure must reach the client).
+    std::size_t max_queued = 4096;
+    std::uint32_t ring_vnodes = HashRing::kDefaultVnodes;
+  };
+
+  struct Stats {
+    std::uint64_t forwarded = 0;
+    std::uint64_t returned = 0;
+    std::uint64_t quota_rejects = 0;
+    std::uint64_t overload_rejects = 0;
+    std::uint64_t shard_down_rejects = 0;
+    std::uint64_t fingerprints_computed = 0;
+    std::size_t queued_now = 0;
+    std::size_t queued_peak = 0;
+    std::size_t outstanding_now = 0;
+    std::size_t backends_up = 0;
+  };
+
+  explicit Router(Config config);
+
+  void attach(Server& server) { server_ = &server; }
+
+  /// Open outbound connections to every backend, in shard order.  Call
+  /// after attach() and before Server::run().  Throws SocketError if any
+  /// backend is unreachable.
+  void connect_backends(
+      const std::vector<std::pair<std::string, std::uint16_t>>& backends);
+
+  std::uint32_t shard_count() const {
+    return static_cast<std::uint32_t>(backends_.size());
+  }
+
+  void on_frame(std::uint64_t conn, const FrameHeader& header,
+                std::span<const std::uint8_t> payload) override;
+  void on_close(std::uint64_t conn) override;
+  std::string on_metrics() override;
+
+  Stats stats() const;
+
+ private:
+  struct BackendLink {
+    std::uint64_t conn = 0;
+    bool up = false;
+  };
+  /// A forwarded submit awaiting its backend response.
+  struct Pending {
+    std::uint64_t client_conn = 0;
+    std::uint64_t client_request_id = 0;
+    std::uint32_t backend = 0;
+  };
+  /// An admitted submit waiting for an outstanding-forward slot.
+  struct Waiting {
+    std::uint64_t client_conn = 0;
+    std::uint64_t client_request_id = 0;
+    std::uint32_t backend = 0;
+    std::vector<std::uint8_t> frame;  // fingerprint already stamped
+  };
+
+  void handle_submit(std::uint64_t conn, const FrameHeader& header,
+                     std::span<const std::uint8_t> payload);
+  void handle_backend_frame(std::uint32_t backend, const FrameHeader& header,
+                            std::span<const std::uint8_t> payload);
+  void dispatch(Waiting w);
+  void pump();
+  void reject_client(std::uint64_t conn, std::uint64_t request_id,
+                     RejectCode code, const std::string& reason);
+  std::int64_t now_micros() const;
+
+  Config config_;
+  Server* server_ = nullptr;
+  HashRing ring_{1};  // rebuilt by connect_backends
+  std::vector<BackendLink> backends_;
+  std::unordered_map<std::uint64_t, std::uint32_t> backend_of_conn_;
+
+  std::uint64_t next_router_id_ = 1;
+  std::unordered_map<std::uint64_t, Pending> pending_;
+  svc::TenantQuota quota_;
+  svc::FairQueue<Waiting> queue_;
+
+  std::chrono::steady_clock::time_point epoch_ =
+      std::chrono::steady_clock::now();
+
+  std::uint64_t forwarded_ = 0;
+  std::uint64_t returned_ = 0;
+  std::uint64_t quota_rejects_ = 0;
+  std::uint64_t overload_rejects_ = 0;
+  std::uint64_t shard_down_rejects_ = 0;
+  std::uint64_t fingerprints_computed_ = 0;
+};
+
+}  // namespace tgp::net

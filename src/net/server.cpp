@@ -1,0 +1,453 @@
+#include "net/server.hpp"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "obs/trace.hpp"
+#include "util/logging.hpp"
+
+namespace tgp::net {
+
+namespace {
+
+constexpr std::size_t kReadChunk = 64 * 1024;
+constexpr std::size_t kCompactThreshold = 1u << 20;
+constexpr std::size_t kHttpRequestCap = 16 * 1024;
+
+}  // namespace
+
+Server::Server(Config config, Handler& handler)
+    : config_(std::move(config)), handler_(handler) {
+  listen_fd_ = listen_tcp(config_.bind, config_.port, config_.backlog);
+  port_ = local_port(listen_fd_.get());
+
+  epoll_fd_ = UniqueFd(::epoll_create1(EPOLL_CLOEXEC));
+  if (!epoll_fd_.valid())
+    throw SocketError(std::string("epoll_create1: ") + std::strerror(errno));
+  wake_fd_ = UniqueFd(::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK));
+  if (!wake_fd_.valid())
+    throw SocketError(std::string("eventfd: ") + std::strerror(errno));
+
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u64 = 0;  // listen socket sentinel
+  if (::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_ADD, listen_fd_.get(), &ev) < 0)
+    throw SocketError(std::string("epoll_ctl(listen): ") +
+                      std::strerror(errno));
+  ev.events = EPOLLIN;
+  ev.data.u64 = 1;  // wake eventfd sentinel
+  if (::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_ADD, wake_fd_.get(), &ev) < 0)
+    throw SocketError(std::string("epoll_ctl(wake): ") +
+                      std::strerror(errno));
+}
+
+Server::~Server() = default;
+
+void Server::wake() {
+  std::uint64_t one = 1;
+  // A full eventfd counter still wakes the loop; ignore short writes.
+  [[maybe_unused]] ssize_t n = ::write(wake_fd_.get(), &one, sizeof one);
+}
+
+void Server::stop() {
+  stop_.store(true);
+  wake();
+}
+
+void Server::send(std::uint64_t conn, std::vector<std::uint8_t> frame) {
+  {
+    std::lock_guard lk(mail_mu_);
+    mailbox_.push_back({Mail::Kind::kSend, conn, std::move(frame)});
+  }
+  wake();
+}
+
+void Server::close_conn(std::uint64_t conn) {
+  {
+    std::lock_guard lk(mail_mu_);
+    mailbox_.push_back({Mail::Kind::kClose, conn, {}});
+  }
+  wake();
+}
+
+std::uint64_t Server::connect(const std::string& host, std::uint16_t port) {
+  UniqueFd fd = connect_tcp(host, port);
+  set_nonblocking(fd.get());
+  auto conn = std::make_unique<Conn>();
+  conn->fd = std::move(fd);
+  conn->outbound = true;
+  conn->mode_known = true;  // we initiated: it speaks the binary protocol
+  std::uint64_t id;
+  {
+    // Registration mutates loop state; serialize against the loop by
+    // doing it under the mailbox lock inside a loop-processed callback
+    // would be cleaner, but connect() is only called during topology
+    // setup (router construction) before run() — document and keep it
+    // simple.  The epoll registration itself is thread-safe.
+    std::lock_guard lk(mail_mu_);
+    id = next_conn_id_++;
+    conn->id = id;
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = id + 2;  // 0/1 are the listen/wake sentinels
+    if (::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_ADD, conn->fd.get(), &ev) < 0)
+      throw SocketError(std::string("epoll_ctl(connect): ") +
+                        std::strerror(errno));
+    conns_.emplace(id, std::move(conn));
+  }
+  handler_.on_open(id, /*outbound=*/true);
+  return id;
+}
+
+void Server::set_tag(std::uint64_t conn, std::uint64_t tag) {
+  if (Conn* c = find(conn)) c->tag = tag;
+}
+
+std::uint64_t Server::tag(std::uint64_t conn) const {
+  auto it = conns_.find(conn);
+  return it == conns_.end() ? 0 : it->second->tag;
+}
+
+Server::Conn* Server::find(std::uint64_t id) {
+  auto it = conns_.find(id);
+  return it == conns_.end() ? nullptr : it->second.get();
+}
+
+void Server::run() {
+  constexpr int kMaxEvents = 64;
+  epoll_event events[kMaxEvents];
+  while (!stop_.load()) {
+    int n = ::epoll_wait(epoll_fd_.get(), events, kMaxEvents, -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw SocketError(std::string("epoll_wait: ") + std::strerror(errno));
+    }
+    for (int i = 0; i < n; ++i) {
+      std::uint64_t key = events[i].data.u64;
+      std::uint32_t mask = events[i].events;
+      if (key == 0) {
+        accept_ready();
+        continue;
+      }
+      if (key == 1) {
+        std::uint64_t drained;
+        while (::read(wake_fd_.get(), &drained, sizeof drained) > 0) {
+        }
+        drain_mailbox();
+        continue;
+      }
+      Conn* c = find(key - 2);
+      if (c == nullptr) continue;  // closed earlier this wakeup
+      if ((mask & (EPOLLHUP | EPOLLERR)) != 0) {
+        destroy(c->id);
+        continue;
+      }
+      if ((mask & EPOLLIN) != 0) {
+        readable(*c);
+        c = find(key - 2);  // readable() may have destroyed it
+        if (c == nullptr) continue;
+      }
+      if ((mask & EPOLLOUT) != 0) writable(*c);
+    }
+  }
+  drain_mailbox();  // flush best-effort sends queued before stop
+  // Tear down every connection on the way out (fds closed, on_close
+  // fired) so peers observe the stop immediately: an in-process stop()
+  // must look like a process exit to the rest of the fleet.  The
+  // listener goes too — a peer whose connect landed in the accept
+  // backlog and was never accepted gets its RST from this close; until
+  // it, that peer sees an ESTABLISHED connection to a server that will
+  // never answer.
+  listen_fd_.reset();
+  while (!conns_.empty()) destroy(conns_.begin()->first);
+}
+
+void Server::drain_mailbox() {
+  std::deque<Mail> batch;
+  {
+    std::lock_guard lk(mail_mu_);
+    batch.swap(mailbox_);
+  }
+  for (Mail& m : batch) {
+    Conn* c = find(m.conn);
+    if (c == nullptr) continue;  // connection already gone: drop
+    if (m.kind == Mail::Kind::kSend) {
+      queue_frame(*c, std::move(m.frame));
+    } else {
+      c->closing = true;
+      if (!flush(*c)) continue;
+      if (c->out.size() == c->out_off)
+        destroy(c->id);
+      else
+        update_epoll(*c);
+    }
+  }
+}
+
+void Server::accept_ready() {
+  for (;;) {
+    int raw = ::accept4(listen_fd_.get(), nullptr, nullptr,
+                        SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (raw < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
+      TGP_WARN("net: accept failed: " << std::strerror(errno));
+      return;
+    }
+    set_nodelay(raw);
+    auto conn = std::make_unique<Conn>();
+    conn->fd = UniqueFd(raw);
+    conn->id = next_conn_id_++;
+    ++counters_.accepts;
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = conn->id + 2;
+    if (::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_ADD, conn->fd.get(), &ev) <
+        0) {
+      TGP_WARN("net: epoll_ctl(accept) failed: " << std::strerror(errno));
+      continue;  // UniqueFd closes it
+    }
+    std::uint64_t id = conn->id;
+    conns_.emplace(id, std::move(conn));
+    handler_.on_open(id, /*outbound=*/false);
+  }
+}
+
+void Server::readable(Conn& c) {
+  TGP_SPAN("net", "read");
+  for (;;) {
+    const std::size_t tail = c.in.size();
+    c.in.resize(tail + kReadChunk);
+    ssize_t n = ::recv(c.fd.get(), c.in.data() + tail, kReadChunk, 0);
+    if (n > 0) {
+      c.in.resize(tail + static_cast<std::size_t>(n));
+      counters_.bytes_in += static_cast<std::uint64_t>(n);
+      if (static_cast<std::size_t>(n) < kReadChunk) break;
+      continue;
+    }
+    c.in.resize(tail);
+    if (n == 0) {
+      // Peer closed.  A partial frame in the buffer is a mid-frame
+      // disconnect: nothing to answer, just tear down cleanly.
+      if (c.in.size() - c.in_off > 0 && c.mode_known && !c.http)
+        ++counters_.decode_errors;
+      destroy(c.id);
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    destroy(c.id);
+    return;
+  }
+  if (!c.mode_known && c.in.size() - c.in_off >= 4) {
+    c.mode_known = true;
+    std::uint32_t head = load_u32(c.in.data() + c.in_off);
+    if (head != kMagic) {
+      // Not our protocol: maybe a plain-HTTP metrics scrape.
+      const char* p = reinterpret_cast<const char*>(c.in.data() + c.in_off);
+      if (std::memcmp(p, "GET ", 4) == 0 || std::memcmp(p, "HEAD", 4) == 0) {
+        c.http = true;
+      } else {
+        ++counters_.decode_errors;
+        send_reject(c, RejectCode::kMalformed, "bad magic", 0,
+                    /*close_after=*/true);
+        return;
+      }
+    }
+  }
+  if (!c.mode_known) return;  // fewer than 4 bytes so far
+  if (c.http)
+    parse_http(c);
+  else
+    parse_frames(c);
+}
+
+void Server::parse_frames(Conn& c) {
+  while (c.in.size() - c.in_off >= kHeaderBytes) {
+    std::span<const std::uint8_t> view(c.in.data() + c.in_off,
+                                       c.in.size() - c.in_off);
+    FrameHeader h;
+    try {
+      h = parse_header(view);
+    } catch (const WireError& e) {
+      // Bad magic mid-stream / unknown version or type: the stream is
+      // unparseable from here on.
+      ++counters_.decode_errors;
+      bool version = view.size() >= 6 && load_u32(view.data()) == kMagic &&
+                     load_u16(view.data() + 4) != kVersion;
+      send_reject(c,
+                  version ? RejectCode::kUnsupportedVersion
+                          : RejectCode::kMalformed,
+                  e.what(), 0, /*close_after=*/true);
+      return;
+    }
+    if (h.payload_len > config_.max_payload_bytes) {
+      ++counters_.oversized_frames;
+      // Close after the reject: we refuse to buffer the payload, so the
+      // stream cannot resynchronize past this frame.
+      send_reject(c, RejectCode::kMalformed,
+                  "oversized frame: " + std::to_string(h.payload_len) +
+                      " bytes exceeds the " +
+                      std::to_string(config_.max_payload_bytes) + " cap",
+                  h.request_id, /*close_after=*/true);
+      return;
+    }
+    if (view.size() < kHeaderBytes + h.payload_len) break;  // partial
+    std::span<const std::uint8_t> payload =
+        view.subspan(kHeaderBytes, h.payload_len);
+    c.in_off += kHeaderBytes + h.payload_len;
+    ++counters_.frames_in;
+    try {
+      TGP_SPAN("net", "frame");
+      handler_.on_frame(c.id, h, payload);
+    } catch (const WireError& e) {
+      // The length prefix kept the stream in sync: answer this request
+      // and keep the connection.
+      ++counters_.decode_errors;
+      Conn* still = find(c.id);
+      if (still == nullptr) return;
+      send_reject(*still, RejectCode::kMalformed, e.what(), h.request_id,
+                  /*close_after=*/false);
+      if (still->closing) return;
+      continue;
+    } catch (const std::exception& e) {
+      TGP_WARN("net: handler failed: " << e.what());
+      destroy(c.id);
+      return;
+    }
+    Conn* still = find(c.id);
+    if (still == nullptr || still->closing) return;
+  }
+  // Compact the consumed prefix so a chatty connection cannot grow the
+  // buffer without bound.
+  if (c.in_off == c.in.size()) {
+    c.in.clear();
+    c.in_off = 0;
+  } else if (c.in_off > kCompactThreshold) {
+    c.in.erase(c.in.begin(), c.in.begin() + static_cast<std::ptrdiff_t>(c.in_off));
+    c.in_off = 0;
+  }
+}
+
+void Server::parse_http(Conn& c) {
+  std::string_view text(reinterpret_cast<const char*>(c.in.data() + c.in_off),
+                        c.in.size() - c.in_off);
+  std::size_t end = text.find("\r\n\r\n");
+  if (end == std::string_view::npos) {
+    if (text.size() > kHttpRequestCap) destroy(c.id);
+    return;
+  }
+  ++counters_.http_requests;
+  TGP_SPAN("net", "http");
+  // Request line: METHOD SP TARGET SP VERSION.
+  std::size_t sp1 = text.find(' ');
+  std::size_t sp2 = sp1 == std::string_view::npos
+                        ? std::string_view::npos
+                        : text.find(' ', sp1 + 1);
+  std::string target;
+  if (sp2 != std::string_view::npos)
+    target = std::string(text.substr(sp1 + 1, sp2 - sp1 - 1));
+  std::string response;
+  if (target == "/metrics" || target.rfind("/metrics?", 0) == 0) {
+    std::string body = handler_.on_metrics();
+    response = "HTTP/1.1 200 OK\r\n"
+               "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+               "Content-Length: " + std::to_string(body.size()) + "\r\n"
+               "Connection: close\r\n\r\n" + body;
+  } else {
+    static constexpr const char* kBody = "try /metrics\n";
+    response = "HTTP/1.1 404 Not Found\r\n"
+               "Content-Type: text/plain\r\n"
+               "Content-Length: " + std::to_string(std::strlen(kBody)) +
+               "\r\n"
+               "Connection: close\r\n\r\n" + kBody;
+  }
+  c.out.insert(c.out.end(), response.begin(), response.end());
+  c.closing = true;
+  if (!flush(c)) return;
+  if (c.out.size() == c.out_off)
+    destroy(c.id);
+  else
+    update_epoll(c);
+}
+
+void Server::queue_frame(Conn& c, std::vector<std::uint8_t> frame) {
+  ++counters_.frames_out;
+  if (c.out.empty() && c.out_off == 0) {
+    c.out = std::move(frame);
+  } else {
+    c.out.insert(c.out.end(), frame.begin(), frame.end());
+  }
+  if (!flush(c)) return;
+  update_epoll(c);
+}
+
+void Server::send_reject(Conn& c, RejectCode code, const std::string& reason,
+                         std::uint64_t request_id, bool close_after) {
+  ++counters_.rejects_sent;
+  c.closing = close_after;
+  std::vector<std::uint8_t> frame = encode_reject(code, reason, request_id);
+  std::uint64_t id = c.id;
+  queue_frame(c, std::move(frame));
+  Conn* still = find(id);
+  if (still == nullptr) return;
+  if (still->closing && still->out.size() == still->out_off) destroy(id);
+}
+
+bool Server::flush(Conn& c) {
+  TGP_SPAN("net", "write");
+  while (c.out_off < c.out.size()) {
+    ssize_t n = ::send(c.fd.get(), c.out.data() + c.out_off,
+                       c.out.size() - c.out_off, MSG_NOSIGNAL);
+    if (n > 0) {
+      c.out_off += static_cast<std::size_t>(n);
+      counters_.bytes_out += static_cast<std::uint64_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;
+    if (n < 0 && errno == EINTR) continue;
+    destroy(c.id);
+    return false;
+  }
+  if (c.out_off == c.out.size()) {
+    c.out.clear();
+    c.out_off = 0;
+  }
+  return true;
+}
+
+void Server::writable(Conn& c) {
+  if (!flush(c)) return;
+  if (c.out.empty() && c.closing) {
+    destroy(c.id);
+    return;
+  }
+  update_epoll(c);
+}
+
+void Server::update_epoll(Conn& c) {
+  bool want = c.out_off < c.out.size();
+  if (want == c.want_write) return;
+  c.want_write = want;
+  epoll_event ev{};
+  ev.events = EPOLLIN | (want ? EPOLLOUT : 0u);
+  ev.data.u64 = c.id + 2;
+  ::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_MOD, c.fd.get(), &ev);
+}
+
+void Server::destroy(std::uint64_t id) {
+  auto it = conns_.find(id);
+  if (it == conns_.end()) return;
+  ::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_DEL, it->second->fd.get(), nullptr);
+  ++counters_.closes;
+  conns_.erase(it);
+  handler_.on_close(id);
+}
+
+}  // namespace tgp::net

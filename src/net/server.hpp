@@ -1,0 +1,166 @@
+// Single-threaded epoll event loop speaking the tgp wire protocol.
+//
+// One Server owns one listening socket, an epoll instance, and every
+// connection's buffers.  The loop thread does all socket I/O and frame
+// parsing and invokes the Handler callbacks; other threads interact only
+// through the thread-safe mailbox (`send`, `close_conn`, `stop`), which
+// wakes the loop via an eventfd.  That split keeps the hot path free of
+// locks — a frame travels socket → connection buffer → Handler::on_frame
+// as one contiguous span, with no copy between the read buffer and the
+// decoder.
+//
+// Robustness contract (exercised by tests/test_net_server.cpp):
+//   * a truncated header or mid-frame disconnect tears the connection
+//     down cleanly — buffers are freed, on_close fires, nothing leaks;
+//   * bad magic / version / frame type gets a best-effort kReject and a
+//     close (the stream is unparseable past that point);
+//   * an oversized length prefix is rejected *before* any buffering
+//     sized from it;
+//   * a payload that fails to decode (Handler throws WireError) gets a
+//     kReject carrying the request id, and the connection lives on —
+//     the length prefix kept the stream in sync.
+//
+// The same port also answers plain-HTTP `GET /metrics` (Prometheus text
+// from Handler::on_metrics): a connection whose first bytes are not the
+// frame magic is sniffed as HTTP, served one response, and closed.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/socket.hpp"
+#include "net/wire.hpp"
+#include "obs/counters.hpp"
+
+namespace tgp::net {
+
+class Server {
+ public:
+  struct Config {
+    std::string bind = "127.0.0.1";
+    std::uint16_t port = 0;  ///< 0 = ephemeral; read back with port()
+    int backlog = 128;
+    std::uint32_t max_payload_bytes = kDefaultMaxPayload;
+  };
+
+  /// Callbacks run on the loop thread (never concurrently).  Throwing
+  /// WireError from on_frame sends a kReject for that request id;
+  /// any other exception closes the connection.
+  class Handler {
+   public:
+    virtual ~Handler() = default;
+    virtual void on_open(std::uint64_t conn, bool outbound) {
+      (void)conn;
+      (void)outbound;
+    }
+    virtual void on_frame(std::uint64_t conn, const FrameHeader& header,
+                          std::span<const std::uint8_t> payload) = 0;
+    /// Body for `GET /metrics` (Prometheus text exposition).
+    virtual std::string on_metrics() { return ""; }
+    virtual void on_close(std::uint64_t conn) { (void)conn; }
+  };
+
+  /// Binds and listens immediately (so port() is valid before run()).
+  /// Throws SocketError on failure.
+  Server(Config config, Handler& handler);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  std::uint16_t port() const { return port_; }
+
+  /// Run the event loop on the calling thread until stop().
+  void run();
+
+  /// Ask the loop to exit.  Callable from any thread and from signal
+  /// handlers (atomic store + eventfd write only).
+  void stop();
+
+  /// Open an outbound connection (e.g. router → backend) and register it
+  /// with the loop.  Thread-safe; blocking connect.  Returns the conn id.
+  std::uint64_t connect(const std::string& host, std::uint16_t port);
+
+  /// Queue a frame for sending.  Thread-safe; silently drops when the
+  /// connection is already gone (the peer will never miss what it could
+  /// not have received).
+  void send(std::uint64_t conn, std::vector<std::uint8_t> frame);
+
+  /// Close once pending writes flush.  Thread-safe.
+  void close_conn(std::uint64_t conn);
+
+  /// Loop-thread only: a per-connection tag for the Handler's use
+  /// (the router tags backend connections with their shard index).
+  void set_tag(std::uint64_t conn, std::uint64_t tag);
+  std::uint64_t tag(std::uint64_t conn) const;
+
+  /// Loop-thread only (or after run() returned).
+  const obs::NetCounters& counters() const { return counters_; }
+
+  /// Number of live connections (loop thread only).
+  std::size_t open_conns() const { return conns_.size(); }
+
+ private:
+  struct Conn {
+    UniqueFd fd;
+    std::uint64_t id = 0;
+    std::uint64_t tag = 0;
+    bool outbound = false;
+    bool http = false;          // sniffed as plain HTTP
+    bool mode_known = false;    // first bytes seen yet?
+    bool closing = false;       // close once out drains
+    bool want_write = false;    // EPOLLOUT currently registered
+    std::vector<std::uint8_t> in;
+    std::size_t in_off = 0;  // consumed prefix of `in`
+    std::vector<std::uint8_t> out;
+    std::size_t out_off = 0;
+  };
+
+  // Mailbox entries posted from other threads.
+  struct Mail {
+    enum class Kind { kSend, kClose } kind;
+    std::uint64_t conn = 0;
+    std::vector<std::uint8_t> frame;
+  };
+
+  void wake();
+  void drain_mailbox();
+  void accept_ready();
+  void register_conn(std::unique_ptr<Conn> conn);
+  void readable(Conn& c);
+  void writable(Conn& c);
+  bool flush(Conn& c);  // false = connection died
+  void queue_frame(Conn& c, std::vector<std::uint8_t> frame);
+  void send_reject(Conn& c, RejectCode code, const std::string& reason,
+                   std::uint64_t request_id, bool close_after);
+  void parse_frames(Conn& c);
+  void parse_http(Conn& c);
+  void update_epoll(Conn& c);
+  void destroy(std::uint64_t id);
+  Conn* find(std::uint64_t id);
+
+  Config config_;
+  Handler& handler_;
+  UniqueFd listen_fd_;
+  UniqueFd epoll_fd_;
+  UniqueFd wake_fd_;
+  std::uint16_t port_ = 0;
+
+  std::uint64_t next_conn_id_ = 1;
+  std::unordered_map<std::uint64_t, std::unique_ptr<Conn>> conns_;
+
+  std::mutex mail_mu_;
+  std::deque<Mail> mailbox_;
+  std::atomic<bool> stop_{false};
+
+  obs::NetCounters counters_;
+};
+
+}  // namespace tgp::net

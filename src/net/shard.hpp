@@ -1,0 +1,55 @@
+// Consistent-hash ring over the canonical graph fingerprint.
+//
+// The shard router (net/router.hpp) must send every job for the same
+// canonical graph to the same backend, so each backend's memo cache owns
+// a disjoint slice of fingerprint space and no entry is ever warmed
+// twice across the fleet.  A plain `fold() % N` would satisfy that for a
+// fixed fleet but reshuffles almost every key when N changes; the ring
+// moves only ~1/N of the keyspace per added or removed shard.
+//
+// Construction hashes `vnodes` virtual points per shard onto a u64
+// circle; lookup is a binary search for the first point at or after the
+// key's hash.  Both sides of the mapping are pure functions of
+// (shard count, vnodes, key), so a backend can independently recompute
+// its ownership — that is how the per-shard "foreign" Prometheus
+// counters in net/backend.hpp verify routing disjointness end to end.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "graph/fingerprint.hpp"
+
+namespace tgp::net {
+
+/// The ring's point hash (splitmix64 finalizer): cheap, well mixed, and
+/// stable across builds — routing must not depend on libstdc++'s
+/// std::hash, which is unspecified.
+std::uint64_t ring_mix(std::uint64_t x);
+
+class HashRing {
+ public:
+  static constexpr std::uint32_t kDefaultVnodes = 64;
+
+  /// A ring over shards 0..shard_count-1.  shard_count must be >= 1.
+  explicit HashRing(std::uint32_t shard_count,
+                    std::uint32_t vnodes = kDefaultVnodes);
+
+  std::uint32_t shard_count() const { return shard_count_; }
+
+  /// Owning shard for a raw 64-bit key.
+  std::uint32_t owner(std::uint64_t key) const;
+
+  /// Owning shard for a canonical fingerprint (routes on fold()).
+  std::uint32_t owner(const graph::Fingerprint& fp) const {
+    return owner(fp.fold());
+  }
+
+ private:
+  std::uint32_t shard_count_;
+  // (point on the circle, shard) sorted by point.
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> points_;
+};
+
+}  // namespace tgp::net

@@ -1,0 +1,98 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace tgp::net {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw SocketError(what + ": " + std::strerror(errno));
+}
+
+sockaddr_in make_addr(const std::string& host, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  const std::string numeric = host == "localhost" ? "127.0.0.1" : host;
+  if (inet_pton(AF_INET, numeric.c_str(), &addr.sin_addr) != 1)
+    throw SocketError("not a numeric IPv4 address: '" + host + "'");
+  return addr;
+}
+
+}  // namespace
+
+void UniqueFd::reset() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void set_nonblocking(int fd) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0)
+    fail("fcntl(O_NONBLOCK)");
+}
+
+void set_nodelay(int fd) {
+  int one = 1;
+  // Best effort: latency tuning, not correctness.
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+UniqueFd listen_tcp(const std::string& bind_addr, std::uint16_t port,
+                    int backlog) {
+  UniqueFd fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) fail("socket");
+  int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr = make_addr(bind_addr, port);
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0)
+    fail("bind " + bind_addr + ":" + std::to_string(port));
+  if (::listen(fd.get(), backlog) < 0) fail("listen");
+  set_nonblocking(fd.get());
+  return fd;
+}
+
+UniqueFd connect_tcp(const std::string& host, std::uint16_t port) {
+  UniqueFd fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) fail("socket");
+  sockaddr_in addr = make_addr(host, port);
+  if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof addr) <
+      0)
+    fail("connect " + host + ":" + std::to_string(port));
+  set_nodelay(fd.get());
+  return fd;
+}
+
+std::uint16_t local_port(int fd) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof addr;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0)
+    fail("getsockname");
+  return ntohs(addr.sin_port);
+}
+
+std::pair<std::string, std::uint16_t> parse_host_port(const std::string& s) {
+  std::size_t colon = s.rfind(':');
+  if (colon == std::string::npos || colon + 1 == s.size())
+    throw SocketError("expected HOST:PORT, got '" + s + "'");
+  const std::string host = s.substr(0, colon);
+  char* end = nullptr;
+  long port = std::strtol(s.c_str() + colon + 1, &end, 10);
+  if (*end != '\0' || port < 1 || port > 65535)
+    throw SocketError("bad port in '" + s + "'");
+  return {host.empty() ? std::string("127.0.0.1") : host,
+          static_cast<std::uint16_t>(port)};
+}
+
+}  // namespace tgp::net

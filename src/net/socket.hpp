@@ -1,0 +1,64 @@
+// Thin RAII + error-handling layer over BSD sockets, shared by the epoll
+// server (net/server.hpp) and the blocking client (net/client.hpp).
+// IPv4 only, numeric addresses plus "localhost" — the front door binds
+// loopback by default and real deployments sit behind a load balancer.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace tgp::net {
+
+struct SocketError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// Owning file descriptor; closes on destruction, move-only.
+class UniqueFd {
+ public:
+  UniqueFd() = default;
+  explicit UniqueFd(int fd) : fd_(fd) {}
+  ~UniqueFd() { reset(); }
+
+  UniqueFd(UniqueFd&& o) noexcept : fd_(std::exchange(o.fd_, -1)) {}
+  UniqueFd& operator=(UniqueFd&& o) noexcept {
+    if (this != &o) {
+      reset();
+      fd_ = std::exchange(o.fd_, -1);
+    }
+    return *this;
+  }
+  UniqueFd(const UniqueFd&) = delete;
+  UniqueFd& operator=(const UniqueFd&) = delete;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  int release() { return std::exchange(fd_, -1); }
+  void reset();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Non-blocking listening socket on `bind_addr:port` (port 0 picks an
+/// ephemeral port — read it back with local_port).  SO_REUSEADDR is set
+/// so restarts do not trip over TIME_WAIT.  Throws SocketError.
+UniqueFd listen_tcp(const std::string& bind_addr, std::uint16_t port,
+                    int backlog);
+
+/// Blocking connect to `host:port` with TCP_NODELAY.  Throws SocketError.
+UniqueFd connect_tcp(const std::string& host, std::uint16_t port);
+
+/// Port a bound socket actually landed on.
+std::uint16_t local_port(int fd);
+
+void set_nonblocking(int fd);
+void set_nodelay(int fd);
+
+/// "host:port" → parts.  Throws SocketError on a missing or non-numeric
+/// port.
+std::pair<std::string, std::uint16_t> parse_host_port(const std::string& s);
+
+}  // namespace tgp::net

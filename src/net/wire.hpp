@@ -1,0 +1,288 @@
+// The tgp binary wire protocol.
+//
+// Every message is one length-prefixed frame with a fixed 20-byte header
+// followed by a typed payload.  All multi-byte integers — and the IEEE
+// bit patterns of all doubles — travel in explicit little-endian byte
+// order, so a router and a backend on different architectures parse the
+// same bytes identically (the 128-bit graph fingerprint included; see
+// graph::Fingerprint::store_le).
+//
+//   offset  size  field
+//        0     4  magic   "TGPW" (0x57504754 read as LE u32)
+//        4     2  version (kVersion)
+//        6     1  frame type (FrameType)
+//        7     1  flags (reserved, 0)
+//        8     8  request id — echoed verbatim in the response frame
+//       16     4  payload length in bytes
+//       20     …  payload
+//
+// Frame types and payloads:
+//
+//   kSubmit         one partition job: tenant, problem, K, deadline, an
+//                   optional router-filled canonical fingerprint, and
+//                   the graph itself (chain weights, or tree vertex
+//                   weights + edge list).
+//   kResult         the completed JobResult: status, objective, cut,
+//                   degraded/cache-hit flags, solver counters.
+//   kReject         the request never reached the service: quota, frame
+//                   too large, bad version, shutdown.  Carries a
+//                   RejectCode and a reason string.
+//   kMetricsRequest / kMetricsReply
+//                   Prometheus text exposition over the binary port
+//                   (the server also answers plain `GET /metrics`).
+//   kPing / kPong   liveness probe, empty payloads.
+//
+// Decoding is defensive: every read is bounds-checked and malformed
+// payloads throw WireError, which the server layer maps to a kReject
+// frame (payload errors) or a connection close (unparseable headers).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "graph/fingerprint.hpp"
+#include "svc/job.hpp"
+
+namespace tgp::net {
+
+constexpr std::uint32_t kMagic = 0x57504754;  // "TGPW" as a LE u32
+constexpr std::uint16_t kVersion = 1;
+constexpr std::size_t kHeaderBytes = 20;
+/// Default cap on a single frame's payload; the server rejects larger
+/// length prefixes without buffering them (~8M-vertex chains fit).
+constexpr std::uint32_t kDefaultMaxPayload = 256u << 20;
+
+enum class FrameType : std::uint8_t {
+  kSubmit = 1,
+  kResult = 2,
+  kReject = 3,
+  kMetricsRequest = 4,
+  kMetricsReply = 5,
+  kPing = 6,
+  kPong = 7,
+};
+
+const char* frame_type_name(FrameType t);
+bool known_frame_type(std::uint8_t t);
+
+/// Why a kReject frame was sent instead of a kResult.
+enum class RejectCode : std::uint8_t {
+  kMalformed = 1,           ///< payload failed to decode
+  kUnsupportedVersion = 2,  ///< header version != kVersion
+  kQuotaExceeded = 3,       ///< tenant over its admission quota (router)
+  kOverloaded = 4,          ///< pending queue full, shed before service
+  kShuttingDown = 5,        ///< server is draining
+  kShardDown = 6,           ///< owning backend connection is gone
+  kInternal = 7,            ///< anything else
+};
+
+const char* reject_code_name(RejectCode c);
+
+struct WireError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+struct FrameHeader {
+  std::uint32_t magic = kMagic;
+  std::uint16_t version = kVersion;
+  FrameType type = FrameType::kPing;
+  std::uint8_t flags = 0;
+  std::uint64_t request_id = 0;
+  std::uint32_t payload_len = 0;
+};
+
+// ---- Primitive little-endian access ---------------------------------------
+
+inline void put_u8(std::vector<std::uint8_t>& b, std::uint8_t v) {
+  b.push_back(v);
+}
+inline void put_u16(std::vector<std::uint8_t>& b, std::uint16_t v) {
+  b.push_back(static_cast<std::uint8_t>(v));
+  b.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+inline void put_u32(std::vector<std::uint8_t>& b, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    b.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+inline void put_u64(std::vector<std::uint8_t>& b, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    b.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+inline void put_f64(std::vector<std::uint8_t>& b, double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof bits);
+  put_u64(b, bits);
+}
+
+inline std::uint16_t load_u16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+inline std::uint32_t load_u32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+inline std::uint64_t load_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+inline double load_f64(const std::uint8_t* p) {
+  std::uint64_t bits = load_u64(p);
+  double v;
+  std::memcpy(&v, &bits, sizeof v);
+  return v;
+}
+
+/// Bounds-checked sequential reader over a payload span.  Every accessor
+/// throws WireError past the end — a truncated payload can never read
+/// out of bounds.
+class WireReader {
+ public:
+  explicit WireReader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  std::uint8_t u8() { return *take(1); }
+  std::uint16_t u16() { return load_u16(take(2)); }
+  std::uint32_t u32() { return load_u32(take(4)); }
+  std::uint64_t u64() { return load_u64(take(8)); }
+  double f64() { return load_f64(take(8)); }
+
+  /// Raw view of the next n bytes (no copy).
+  std::span<const std::uint8_t> bytes(std::size_t n) {
+    return {take(n), n};
+  }
+
+  std::string str(std::size_t n) {
+    const std::uint8_t* p = take(n);
+    return std::string(reinterpret_cast<const char*>(p), n);
+  }
+
+  /// Decode n doubles into `out` (resized).  On little-endian hosts this
+  /// is one memcpy straight out of the connection buffer.
+  void f64_array(std::vector<double>& out, std::size_t n);
+
+  std::size_t remaining() const { return bytes_.size() - off_; }
+  bool done() const { return off_ == bytes_.size(); }
+
+ private:
+  const std::uint8_t* take(std::size_t n) {
+    if (n > bytes_.size() - off_)
+      throw WireError("truncated payload: wanted " + std::to_string(n) +
+                      " bytes, " + std::to_string(bytes_.size() - off_) +
+                      " left");
+    const std::uint8_t* p = bytes_.data() + off_;
+    off_ += n;
+    return p;
+  }
+
+  std::span<const std::uint8_t> bytes_;
+  std::size_t off_ = 0;
+};
+
+// ---- Frame headers --------------------------------------------------------
+
+/// Append a 20-byte header for `h` to `out`.
+void put_header(std::vector<std::uint8_t>& out, const FrameHeader& h);
+
+/// Parse a header from the first kHeaderBytes of `bytes` (which must hold
+/// at least that many).  Throws WireError on bad magic, version or type —
+/// the stream is then unparseable and the connection should close.
+FrameHeader parse_header(std::span<const std::uint8_t> bytes);
+
+/// Overwrite the request id of an already-encoded frame (offset 8) —
+/// the router's id-rewriting forward path.
+void patch_request_id(std::span<std::uint8_t> frame, std::uint64_t id);
+
+// ---- Submit frames --------------------------------------------------------
+
+/// Submit-payload flag bits (the u16 at payload offset 6).
+constexpr std::uint16_t kSubmitHasFingerprint = 1u << 0;
+
+/// Payload offsets used by the router's in-place fingerprint patch.
+constexpr std::size_t kSubmitFlagsOffset = 6;
+constexpr std::size_t kSubmitFingerprintOffset = 24;
+
+struct SubmitRequest {
+  std::uint32_t tenant = 0;
+  /// Canonical 128-bit fingerprint, filled by the shard router so the
+  /// owning backend can account cache ownership without recomputing it.
+  bool has_fingerprint = false;
+  graph::Fingerprint fingerprint;
+  svc::JobSpec spec;
+};
+
+std::vector<std::uint8_t> encode_submit(const SubmitRequest& req,
+                                        std::uint64_t request_id);
+
+/// Decode a kSubmit payload.  The graph is validated on construction
+/// (Chain::validate / Tree::from_edges), so a decoded spec is exactly as
+/// trustworthy as one built in process; invalid graphs throw WireError.
+SubmitRequest decode_submit(std::span<const std::uint8_t> payload);
+
+/// Stamp `fp` into an encoded submit *frame* (header + payload) in place
+/// and set the has-fingerprint flag — the router routes on the canonical
+/// fingerprint and forwards the original bytes untouched otherwise.
+void patch_submit_fingerprint(std::span<std::uint8_t> frame,
+                              const graph::Fingerprint& fp);
+
+// ---- Result / reject frames -----------------------------------------------
+
+std::vector<std::uint8_t> encode_result(const svc::JobResult& r,
+                                        std::uint64_t request_id);
+svc::JobResult decode_result(std::span<const std::uint8_t> payload);
+
+std::vector<std::uint8_t> encode_reject(RejectCode code,
+                                        std::string_view reason,
+                                        std::uint64_t request_id);
+struct Reject {
+  RejectCode code = RejectCode::kInternal;
+  std::string reason;
+};
+Reject decode_reject(std::span<const std::uint8_t> payload);
+
+/// Client-side view of a reject: a failed JobResult (quota and overload
+/// rejects map to JobStatus::kOverloaded, shutdown to kCancelled, the
+/// rest to kInternalError), so callers see one result type either way.
+svc::JobResult reject_to_result(const Reject& rej);
+
+// ---- Metrics / ping frames ------------------------------------------------
+
+std::vector<std::uint8_t> encode_metrics_request(std::uint64_t request_id);
+std::vector<std::uint8_t> encode_metrics_reply(std::string_view text,
+                                               std::uint64_t request_id);
+std::string decode_metrics_reply(std::span<const std::uint8_t> payload);
+
+std::vector<std::uint8_t> encode_ping(std::uint64_t request_id);
+std::vector<std::uint8_t> encode_pong(std::uint64_t request_id);
+
+// ---- Stream reassembly ----------------------------------------------------
+
+/// Incremental frame extractor for blocking-socket clients: append raw
+/// bytes, pop complete frames.  (The epoll server parses in place from
+/// its per-connection buffer instead; this helper owns a copy.)
+class FrameBuffer {
+ public:
+  explicit FrameBuffer(std::uint32_t max_payload = kDefaultMaxPayload)
+      : max_payload_(max_payload) {}
+
+  void append(const std::uint8_t* data, std::size_t n);
+
+  /// Extract the next complete frame, if any.  Throws WireError on an
+  /// unparseable header or an oversized length prefix.
+  bool next(FrameHeader& header, std::vector<std::uint8_t>& payload);
+
+  std::size_t buffered() const { return buf_.size() - off_; }
+
+ private:
+  std::uint32_t max_payload_;
+  std::vector<std::uint8_t> buf_;
+  std::size_t off_ = 0;
+};
+
+}  // namespace tgp::net

@@ -68,6 +68,35 @@ struct SolveCounters {
   friend bool operator==(const SolveCounters&, const SolveCounters&) = default;
 };
 
+/// Event-loop counters for the network front door (net/server.hpp).
+/// Owned and mutated by one loop thread; snapshots are taken by that
+/// thread (the /metrics handler runs on the loop) or after stop().
+struct NetCounters {
+  std::uint64_t accepts = 0;          ///< connections accepted
+  std::uint64_t closes = 0;           ///< connections torn down (any cause)
+  std::uint64_t frames_in = 0;        ///< complete frames dispatched
+  std::uint64_t frames_out = 0;       ///< frames queued for sending
+  std::uint64_t bytes_in = 0;         ///< raw bytes read off sockets
+  std::uint64_t bytes_out = 0;        ///< raw bytes written to sockets
+  std::uint64_t decode_errors = 0;    ///< unparseable headers / payloads
+  std::uint64_t oversized_frames = 0; ///< length prefixes over the cap
+  std::uint64_t rejects_sent = 0;     ///< kReject frames emitted
+  std::uint64_t http_requests = 0;    ///< plain-HTTP requests (/metrics)
+
+  void merge(const NetCounters& o) {
+    accepts += o.accepts;
+    closes += o.closes;
+    frames_in += o.frames_in;
+    frames_out += o.frames_out;
+    bytes_in += o.bytes_in;
+    bytes_out += o.bytes_out;
+    decode_errors += o.decode_errors;
+    oversized_frames += o.oversized_frames;
+    rejects_sent += o.rejects_sent;
+    http_requests += o.http_requests;
+  }
+};
+
 /// The calling thread's active sink, or nullptr when no scope is open.
 SolveCounters* active_counters();
 

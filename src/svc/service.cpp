@@ -62,6 +62,10 @@ std::int64_t PartitionService::now_micros() const {
 }
 
 std::size_t PartitionService::submit(JobSpec spec) {
+  return submit(std::move(spec), CompletionFn());
+}
+
+std::size_t PartitionService::submit(JobSpec spec, CompletionFn on_complete) {
   TGP_SPAN("svc", "submit");
   if (shut_.load()) throw ServiceStopped();
   SpecCheck check = validate_spec(spec);
@@ -115,6 +119,7 @@ std::size_t PartitionService::submit(JobSpec spec) {
     slots_.emplace_back();
     slots_[slot].cancel = token;
     slots_[slot].counted_inflight = counted ? 1 : 0;
+    slots_[slot].on_complete = std::move(on_complete);
   }
   submitted_.fetch_add(1);
   if (!check.ok()) {
@@ -266,18 +271,27 @@ void PartitionService::settle(std::size_t slot, JobResult r) {
   bool failed = !r.ok;
   JobStatus status = r.status;
   bool release_inflight = false;
+  CompletionFn on_complete;
   {
     std::lock_guard lk(results_mu_);
     release_inflight = slots_[slot].counted_inflight != 0;
     slots_[slot].counted_inflight = 0;
     slots_[slot].result = std::move(r);
     slots_[slot].done = 1;
+    on_complete = std::move(slots_[slot].on_complete);
+    slots_[slot].on_complete = nullptr;
     while (first_pending_ < slots_.size() && slots_[first_pending_].done)
       ++first_pending_;
   }
   if (release_inflight) inflight_.fetch_sub(1);
   if (failed) failed_.fetch_add(1);
   by_status_[static_cast<std::size_t>(status)].fetch_add(1);
+  // Outside every lock (the hook may do arbitrary work — the network
+  // backend encodes and queues a frame here), but before the completed
+  // count releases wait_idle() waiters.  Reading the slot unlocked is
+  // safe: this thread finalized it above, deque addresses are stable,
+  // and a settled slot is never written again.
+  if (on_complete) on_complete(slot, slots_[slot].result);
   {
     std::lock_guard lk(idle_mu_);
     completed_.fetch_add(1);

@@ -47,6 +47,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <stdexcept>
@@ -123,6 +124,19 @@ class PartitionService {
   /// reaches a worker.
   std::size_t submit(JobSpec spec);
 
+  /// Completion hook for the callback overload of submit().  Runs exactly
+  /// once per job, on whichever thread settles it (a worker for jobs that
+  /// ran; the submitting thread for validation/admission rejects), after
+  /// the result slot and status counters are final but before wait_idle()
+  /// can observe the job complete.  Must not call back into the service.
+  using CompletionFn =
+      std::function<void(std::size_t slot, const JobResult& result)>;
+
+  /// As submit(spec), plus a per-job completion callback — the push-mode
+  /// interface the network front door (net/backend.hpp) uses to encode
+  /// and send a result frame the moment the job settles, without polling.
+  std::size_t submit(JobSpec spec, CompletionFn on_complete);
+
   /// Convenience: submit everything, wait until idle, return results in
   /// submission order.
   std::vector<JobResult> run_batch(std::vector<JobSpec> specs);
@@ -181,6 +195,8 @@ class PartitionService {
     /// Whether this job holds an inflight-cap token (settle releases it).
     char counted_inflight = 0;
     std::shared_ptr<util::CancelToken> cancel;
+    /// Moved out and invoked by settle(); empty for poll-mode submits.
+    CompletionFn on_complete;
   };
   // Per-worker latency slab: uncontended in the hot path, locked only
   // against metrics() readers.  busy_since_micros (−1 when idle) is the

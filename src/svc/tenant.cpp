@@ -1,0 +1,27 @@
+#include "svc/tenant.hpp"
+
+namespace tgp::svc {
+
+TenantQuota::TenantQuota(TenantQuotaConfig config) : config_(config) {}
+
+bool TenantQuota::admit(std::uint32_t tenant, std::int64_t now_micros) {
+  TenantStats& st = stats_[tenant];
+  if (!enabled()) {
+    ++st.admitted;
+    return true;
+  }
+  auto it = buckets_.find(tenant);
+  if (it == buckets_.end())
+    it = buckets_
+             .emplace(tenant, std::make_unique<TokenBucket>(
+                                  config_.rate_per_sec, config_.burst))
+             .first;
+  const bool ok = it->second->try_acquire(now_micros);
+  if (ok)
+    ++st.admitted;
+  else
+    ++st.rejected;
+  return ok;
+}
+
+}  // namespace tgp::svc

@@ -1,0 +1,115 @@
+// Per-tenant admission and fairness for the shard router.
+//
+// The router front door serves many tenants over one port.  Two
+// mechanisms keep one noisy tenant from starving the rest:
+//
+//   * TenantQuota — a TokenBucket per tenant (same configured rate for
+//     every tenant; tenants are identities, not plans).  A submit that
+//     finds its tenant's bucket empty is rejected at the wire with
+//     RejectCode::kQuotaExceeded before any routing work happens.
+//
+//   * FairQueue<T> — per-tenant FIFOs drained round-robin.  When the
+//     router is at its outstanding-forward cap, admitted submits wait
+//     here; each response slot freed hands the next turn to the next
+//     tenant in rotation, so a tenant pipelining thousands of jobs gets
+//     1/k of the drain rate once k tenants are waiting, not all of it.
+//
+// Both structures are owned by the router's event-loop thread — single
+// threaded by construction, no locks (the TokenBucket's internal mutex
+// is uncontended).  Time is caller-supplied microseconds, as everywhere
+// in the resilience layer, so quota behaviour is deterministic in tests.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "svc/resilience.hpp"
+
+namespace tgp::svc {
+
+struct TenantQuotaConfig {
+  /// Sustained admission rate per tenant (jobs/second); <= 0 disables
+  /// quotas entirely (every submit admitted).
+  double rate_per_sec = 0;
+  /// Bucket capacity; <= 0 defaults to max(rate_per_sec, 1).
+  double burst = 0;
+};
+
+struct TenantStats {
+  std::uint64_t admitted = 0;
+  std::uint64_t rejected = 0;
+};
+
+class TenantQuota {
+ public:
+  explicit TenantQuota(TenantQuotaConfig config = {});
+
+  bool enabled() const { return config_.rate_per_sec > 0; }
+
+  /// Take one admission token for `tenant`.  Always true when disabled.
+  bool admit(std::uint32_t tenant, std::int64_t now_micros);
+
+  /// Stats per tenant seen so far, keyed by tenant id (ordered — stable
+  /// output for /metrics).
+  const std::map<std::uint32_t, TenantStats>& stats() const { return stats_; }
+
+ private:
+  TenantQuotaConfig config_;
+  std::map<std::uint32_t, std::unique_ptr<TokenBucket>> buckets_;
+  std::map<std::uint32_t, TenantStats> stats_;
+};
+
+/// Round-robin fair queue over per-tenant FIFOs.  pop() serves tenants
+/// in rotation order, skipping empties; within a tenant, order is FIFO.
+template <typename T>
+class FairQueue {
+ public:
+  void push(std::uint32_t tenant, T item) {
+    auto [it, inserted] = queues_.try_emplace(tenant);
+    it->second.push_back(std::move(item));
+    ++size_;
+    if (size_ > peak_) peak_ = size_;
+    if (inserted) rebuild_rotation();
+  }
+
+  /// Pop the next item in fair order into `out`; false when empty.
+  bool pop(T& out) {
+    if (size_ == 0) return false;
+    for (std::size_t tried = 0; tried < rotation_.size(); ++tried) {
+      auto& q = queues_[rotation_[cursor_]];
+      cursor_ = (cursor_ + 1) % rotation_.size();
+      if (!q.empty()) {
+        out = std::move(q.front());
+        q.pop_front();
+        --size_;
+        return true;
+      }
+    }
+    return false;  // unreachable while size_ is accurate
+  }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  std::size_t queued_peak() const { return peak_; }
+
+ private:
+  void rebuild_rotation() {
+    // Tenants joining mid-stream keep the cursor's current position
+    // valid: rotation is the ordered tenant list, cursor reset is fine —
+    // fairness is long-run round-robin, not a strict schedule.
+    rotation_.clear();
+    for (const auto& [tenant, q] : queues_) rotation_.push_back(tenant);
+    if (cursor_ >= rotation_.size()) cursor_ = 0;
+  }
+
+  std::map<std::uint32_t, std::deque<T>> queues_;
+  std::vector<std::uint32_t> rotation_;
+  std::size_t cursor_ = 0;
+  std::size_t size_ = 0;
+  std::size_t peak_ = 0;
+};
+
+}  // namespace tgp::svc

@@ -1,0 +1,411 @@
+// The binary wire protocol (net/wire.hpp): explicit little-endian
+// fingerprint serialization, frame encode/decode round trips, in-place
+// router patches, and defensive decoding of malformed payloads.
+#include "net/wire.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/fingerprint.hpp"
+#include "util/rng.hpp"
+
+namespace tgp::net {
+namespace {
+
+std::uint64_t next_u64(util::Pcg32& rng) {
+  return (static_cast<std::uint64_t>(rng()) << 32) | rng();
+}
+
+svc::JobSpec chain_spec(int n, std::uint64_t seed) {
+  util::Pcg32 rng(seed);
+  graph::Chain c;
+  for (int i = 0; i < n; ++i)
+    c.vertex_weight.push_back(rng.uniform_real(1, 10));
+  for (int i = 0; i + 1 < n; ++i)
+    c.edge_weight.push_back(rng.uniform_real(1, 5));
+  return svc::JobSpec::for_chain(svc::Problem::kBandwidth, 100.0,
+                                 std::move(c));
+}
+
+svc::JobSpec tree_spec(int n, std::uint64_t seed) {
+  util::Pcg32 rng(seed);
+  std::vector<graph::Weight> vw;
+  std::vector<graph::TreeEdge> edges;
+  for (int i = 0; i < n; ++i) vw.push_back(rng.uniform_real(1, 10));
+  for (int i = 1; i < n; ++i) {
+    int parent = static_cast<int>(rng.uniform_int(0, i - 1));
+    edges.push_back({parent, i, rng.uniform_real(1, 5)});
+  }
+  return svc::JobSpec::for_tree(
+      svc::Problem::kProcMin, 200.0,
+      graph::Tree::from_edges(std::move(vw), std::move(edges)));
+}
+
+// ---- Fingerprint wire bytes (the satellite round-trip test) ---------------
+
+TEST(FingerprintWire, StoreLeIsExplicitLittleEndian) {
+  graph::Fingerprint fp;
+  fp.lo = 0x0807060504030201ull;
+  fp.hi = 0x100F0E0D0C0B0A09ull;
+  unsigned char bytes[graph::Fingerprint::kWireBytes];
+  fp.store_le(bytes);
+  // lo first, then hi, each least-significant byte first — the layout is
+  // pinned, not "whatever memcpy does on this host".
+  for (std::size_t i = 0; i < graph::Fingerprint::kWireBytes; ++i)
+    EXPECT_EQ(bytes[i], i + 1) << "byte " << i;
+}
+
+TEST(FingerprintWire, RoundTripsArbitraryValues) {
+  util::Pcg32 rng(7);
+  for (int trial = 0; trial < 1000; ++trial) {
+    graph::Fingerprint fp;
+    fp.hi = next_u64(rng);
+    fp.lo = next_u64(rng);
+    unsigned char bytes[graph::Fingerprint::kWireBytes];
+    fp.store_le(bytes);
+    EXPECT_EQ(graph::Fingerprint::load_le(bytes), fp);
+  }
+  // Edge patterns.
+  for (std::uint64_t v : {std::uint64_t{0}, ~std::uint64_t{0},
+                          std::uint64_t{1} << 63, std::uint64_t{1}}) {
+    graph::Fingerprint fp{v, ~v};
+    unsigned char bytes[graph::Fingerprint::kWireBytes];
+    fp.store_le(bytes);
+    EXPECT_EQ(graph::Fingerprint::load_le(bytes), fp);
+  }
+}
+
+TEST(FingerprintWire, SubmitCarriesFingerprintVerbatim) {
+  SubmitRequest req;
+  req.tenant = 3;
+  req.has_fingerprint = true;
+  req.fingerprint = {0xDEADBEEFCAFEF00Dull, 0x0123456789ABCDEFull};
+  req.spec = chain_spec(6, 1);
+  std::vector<std::uint8_t> frame = encode_submit(req, 42);
+  SubmitRequest back = decode_submit(
+      std::span<const std::uint8_t>(frame).subspan(kHeaderBytes));
+  EXPECT_TRUE(back.has_fingerprint);
+  EXPECT_EQ(back.fingerprint, req.fingerprint);
+}
+
+// ---- Header round trips and parse failures --------------------------------
+
+TEST(WireHeader, RoundTrips) {
+  FrameHeader h;
+  h.type = FrameType::kResult;
+  h.request_id = 0xFEEDFACE12345678ull;
+  h.payload_len = 513;
+  std::vector<std::uint8_t> bytes;
+  put_header(bytes, h);
+  ASSERT_EQ(bytes.size(), kHeaderBytes);
+  FrameHeader back = parse_header(bytes);
+  EXPECT_EQ(back.magic, kMagic);
+  EXPECT_EQ(back.version, kVersion);
+  EXPECT_EQ(back.type, FrameType::kResult);
+  EXPECT_EQ(back.request_id, h.request_id);
+  EXPECT_EQ(back.payload_len, 513u);
+}
+
+TEST(WireHeader, RejectsBadMagicVersionAndType) {
+  FrameHeader h;
+  std::vector<std::uint8_t> good;
+  put_header(good, h);
+
+  std::vector<std::uint8_t> bad = good;
+  bad[0] ^= 0xFF;  // magic
+  EXPECT_THROW(parse_header(bad), WireError);
+
+  bad = good;
+  bad[4] = 99;  // version
+  EXPECT_THROW(parse_header(bad), WireError);
+
+  bad = good;
+  bad[6] = 200;  // frame type
+  EXPECT_THROW(parse_header(bad), WireError);
+
+  EXPECT_THROW(
+      parse_header(std::span<const std::uint8_t>(good.data(), 10)),
+      WireError);
+}
+
+TEST(WireHeader, PatchRequestIdRewritesOnlyTheId) {
+  std::vector<std::uint8_t> frame = encode_ping(7);
+  std::vector<std::uint8_t> original = frame;
+  patch_request_id(frame, 0xABCDEF0102030405ull);
+  FrameHeader h = parse_header(frame);
+  EXPECT_EQ(h.request_id, 0xABCDEF0102030405ull);
+  // Everything but the 8 id bytes is untouched.
+  for (std::size_t i = 0; i < frame.size(); ++i) {
+    if (i < 8 || i >= 16) {
+      EXPECT_EQ(frame[i], original[i]) << "byte " << i;
+    }
+  }
+}
+
+// ---- Submit round trips ---------------------------------------------------
+
+TEST(WireSubmit, ChainRoundTrip) {
+  SubmitRequest req;
+  req.tenant = 17;
+  req.spec = chain_spec(40, 2);
+  req.spec.deadline_micros = 1500.5;
+  std::vector<std::uint8_t> frame = encode_submit(req, 9);
+  FrameHeader h = parse_header(frame);
+  EXPECT_EQ(h.type, FrameType::kSubmit);
+  EXPECT_EQ(h.request_id, 9u);
+  EXPECT_EQ(h.payload_len + kHeaderBytes, frame.size());
+
+  SubmitRequest back = decode_submit(
+      std::span<const std::uint8_t>(frame).subspan(kHeaderBytes));
+  EXPECT_EQ(back.tenant, 17u);
+  EXPECT_FALSE(back.has_fingerprint);
+  EXPECT_EQ(back.spec.problem, svc::Problem::kBandwidth);
+  EXPECT_EQ(back.spec.K, 100.0);
+  EXPECT_EQ(back.spec.deadline_micros, 1500.5);
+  ASSERT_TRUE(back.spec.is_chain());
+  EXPECT_EQ(back.spec.chain->vertex_weight, req.spec.chain->vertex_weight);
+  EXPECT_EQ(back.spec.chain->edge_weight, req.spec.chain->edge_weight);
+}
+
+TEST(WireSubmit, TreeRoundTrip) {
+  SubmitRequest req;
+  req.spec = tree_spec(25, 3);
+  std::vector<std::uint8_t> frame = encode_submit(req, 1);
+  SubmitRequest back = decode_submit(
+      std::span<const std::uint8_t>(frame).subspan(kHeaderBytes));
+  ASSERT_FALSE(back.spec.is_chain());
+  const graph::Tree& a = *req.spec.tree;
+  const graph::Tree& b = *back.spec.tree;
+  ASSERT_EQ(b.n(), a.n());
+  EXPECT_EQ(b.vertex_weights(), a.vertex_weights());
+  ASSERT_EQ(b.edge_count(), a.edge_count());
+  for (int e = 0; e < a.edge_count(); ++e) {
+    EXPECT_EQ(b.edge(e).u, a.edge(e).u);
+    EXPECT_EQ(b.edge(e).v, a.edge(e).v);
+    EXPECT_EQ(b.edge(e).weight, a.edge(e).weight);
+  }
+  // The decoded graph produces the same answer as the original.
+  svc::JobResult ra = svc::execute_job_captured(req.spec);
+  svc::JobResult rb = svc::execute_job_captured(back.spec);
+  ASSERT_TRUE(ra.ok);
+  ASSERT_TRUE(rb.ok);
+  EXPECT_EQ(rb.objective, ra.objective);
+  EXPECT_EQ(rb.cut.edges, ra.cut.edges);
+}
+
+TEST(WireSubmit, PatchFingerprintStampsFrameInPlace) {
+  SubmitRequest req;
+  req.spec = chain_spec(12, 4);
+  std::vector<std::uint8_t> frame = encode_submit(req, 5);
+  graph::Fingerprint fp = graph::chain_fingerprint(*req.spec.chain);
+  patch_submit_fingerprint(frame, fp);
+  SubmitRequest back = decode_submit(
+      std::span<const std::uint8_t>(frame).subspan(kHeaderBytes));
+  EXPECT_TRUE(back.has_fingerprint);
+  EXPECT_EQ(back.fingerprint, fp);
+  // The graph bytes were not disturbed.
+  EXPECT_EQ(back.spec.chain->vertex_weight, req.spec.chain->vertex_weight);
+}
+
+TEST(WireSubmit, MalformedPayloadsThrowNotCrash) {
+  SubmitRequest req;
+  req.spec = chain_spec(10, 5);
+  std::vector<std::uint8_t> frame = encode_submit(req, 0);
+  std::span<const std::uint8_t> payload =
+      std::span<const std::uint8_t>(frame).subspan(kHeaderBytes);
+
+  // Truncation at every prefix length: always WireError, never UB.  The
+  // last byte of a double being cut must not slip through either.
+  for (std::size_t len = 0; len < payload.size(); ++len)
+    EXPECT_THROW(decode_submit(payload.first(len)), WireError) << len;
+
+  // Trailing garbage is an error too (a frame is exactly one payload).
+  std::vector<std::uint8_t> padded(payload.begin(), payload.end());
+  padded.push_back(0);
+  EXPECT_THROW(decode_submit(padded), WireError);
+
+  // A vertex-count prefix larger than the actual payload must not drive
+  // a huge allocation: the element-size check catches it first.
+  std::vector<std::uint8_t> huge(payload.begin(), payload.end());
+  constexpr std::size_t kCountOffset = 24 + graph::Fingerprint::kWireBytes;
+  ASSERT_LT(kCountOffset + 4, huge.size());
+  for (int i = 0; i < 4; ++i) huge[kCountOffset + i] = 0xFF;
+  EXPECT_THROW(decode_submit(huge), WireError);
+
+  // An invalid graph (zero weight) fails Chain::validate inside decode.
+  svc::JobSpec bad_spec = chain_spec(4, 6);
+  graph::Chain bad = *bad_spec.chain;
+  bad.vertex_weight[1] = 0;
+  SubmitRequest bad_req;
+  bad_req.spec =
+      svc::JobSpec::for_chain(svc::Problem::kBottleneck, 50.0, std::move(bad));
+  std::vector<std::uint8_t> bad_frame = encode_submit(bad_req, 0);
+  EXPECT_THROW(
+      decode_submit(
+          std::span<const std::uint8_t>(bad_frame).subspan(kHeaderBytes)),
+      WireError);
+}
+
+// ---- Result / reject round trips ------------------------------------------
+
+TEST(WireResult, OkResultRoundTrips) {
+  svc::JobResult r;
+  r.ok = true;
+  r.status = svc::JobStatus::kOk;
+  r.cut.edges = {3, 7, 11};
+  r.objective = 12.75;
+  r.components = 4;
+  r.cache_hit = true;
+  r.latency_micros = 321.5;
+  r.counters.oracle_calls = 99;
+  r.counters.bsearch_probes = 13;
+  r.counters.prime_subpaths = 5;
+  r.counters.arena_bytes_peak = 4096;
+  std::vector<std::uint8_t> frame = encode_result(r, 77);
+  FrameHeader h = parse_header(frame);
+  EXPECT_EQ(h.type, FrameType::kResult);
+  EXPECT_EQ(h.request_id, 77u);
+  svc::JobResult back = decode_result(
+      std::span<const std::uint8_t>(frame).subspan(kHeaderBytes));
+  EXPECT_TRUE(back.ok);
+  EXPECT_EQ(back.status, svc::JobStatus::kOk);
+  EXPECT_EQ(back.cut.edges, r.cut.edges);
+  EXPECT_EQ(back.objective, 12.75);
+  EXPECT_EQ(back.components, 4);
+  EXPECT_TRUE(back.cache_hit);
+  EXPECT_FALSE(back.degraded);
+  EXPECT_EQ(back.latency_micros, 321.5);
+  EXPECT_EQ(back.counters.oracle_calls, 99u);
+  EXPECT_EQ(back.counters.bsearch_probes, 13u);
+  EXPECT_EQ(back.counters.prime_subpaths, 5u);
+  EXPECT_EQ(back.counters.arena_bytes_peak, 4096u);
+}
+
+TEST(WireResult, FailedResultKeepsStatusAndError) {
+  svc::JobResult r =
+      svc::failed_result(svc::JobStatus::kTimeout, "deadline expired");
+  std::vector<std::uint8_t> frame = encode_result(r, 8);
+  svc::JobResult back = decode_result(
+      std::span<const std::uint8_t>(frame).subspan(kHeaderBytes));
+  EXPECT_FALSE(back.ok);
+  EXPECT_EQ(back.status, svc::JobStatus::kTimeout);
+  EXPECT_EQ(back.error, "deadline expired");
+  EXPECT_TRUE(back.cut.edges.empty());
+}
+
+TEST(WireReject, RoundTripsAndMapsToResults) {
+  std::vector<std::uint8_t> frame =
+      encode_reject(RejectCode::kQuotaExceeded, "tenant 4 over quota", 31);
+  FrameHeader h = parse_header(frame);
+  EXPECT_EQ(h.type, FrameType::kReject);
+  Reject rej = decode_reject(
+      std::span<const std::uint8_t>(frame).subspan(kHeaderBytes));
+  EXPECT_EQ(rej.code, RejectCode::kQuotaExceeded);
+  EXPECT_EQ(rej.reason, "tenant 4 over quota");
+
+  EXPECT_EQ(reject_to_result(rej).status, svc::JobStatus::kOverloaded);
+  EXPECT_EQ(reject_to_result({RejectCode::kOverloaded, ""}).status,
+            svc::JobStatus::kOverloaded);
+  EXPECT_EQ(reject_to_result({RejectCode::kShuttingDown, ""}).status,
+            svc::JobStatus::kCancelled);
+  EXPECT_EQ(reject_to_result({RejectCode::kShardDown, ""}).status,
+            svc::JobStatus::kInternalError);
+  EXPECT_EQ(reject_to_result({RejectCode::kMalformed, ""}).status,
+            svc::JobStatus::kInternalError);
+}
+
+TEST(WireMetrics, MetricsAndPingRoundTrip) {
+  std::string text = "# HELP x\nx 1\n";
+  std::vector<std::uint8_t> reply = encode_metrics_reply(text, 2);
+  EXPECT_EQ(parse_header(reply).type, FrameType::kMetricsReply);
+  EXPECT_EQ(decode_metrics_reply(
+                std::span<const std::uint8_t>(reply).subspan(kHeaderBytes)),
+            text);
+  EXPECT_EQ(parse_header(encode_metrics_request(1)).type,
+            FrameType::kMetricsRequest);
+  EXPECT_EQ(parse_header(encode_ping(3)).type, FrameType::kPing);
+  EXPECT_EQ(parse_header(encode_pong(3)).type, FrameType::kPong);
+  EXPECT_EQ(parse_header(encode_pong(3)).payload_len, 0u);
+}
+
+// ---- WireReader bounds checking -------------------------------------------
+
+TEST(WireReader, EveryReadPastTheEndThrows) {
+  std::vector<std::uint8_t> bytes(7, 0xAB);
+  WireReader r{std::span<const std::uint8_t>(bytes)};
+  EXPECT_EQ(r.u32(), 0xABABABABu);
+  EXPECT_THROW(r.u64(), WireError);   // 3 bytes left
+  EXPECT_EQ(r.remaining(), 3u);       // a failed read consumes nothing
+  EXPECT_EQ(r.u16(), 0xABABu);
+  EXPECT_THROW(r.u16(), WireError);
+  EXPECT_EQ(r.u8(), 0xABu);
+  EXPECT_TRUE(r.done());
+  EXPECT_THROW(r.u8(), WireError);
+}
+
+TEST(WireReader, F64ArrayIsExactOnOddAlignment) {
+  std::vector<double> values = {1.5, -2.25, 1e308, 5e-324, 0.0};
+  std::vector<std::uint8_t> bytes;
+  put_u8(bytes, 0);  // force the array to start at an odd offset
+  for (double v : values) put_f64(bytes, v);
+  WireReader r{std::span<const std::uint8_t>(bytes)};
+  r.u8();
+  std::vector<double> back;
+  r.f64_array(back, values.size());
+  EXPECT_EQ(back, values);
+  EXPECT_TRUE(r.done());
+}
+
+// ---- FrameBuffer reassembly -----------------------------------------------
+
+TEST(FrameBuffer, ReassemblesByteAtATime) {
+  std::vector<std::uint8_t> stream;
+  std::vector<std::uint8_t> ping = encode_ping(1);
+  std::vector<std::uint8_t> reject = encode_reject(RejectCode::kOverloaded,
+                                                   "busy", 2);
+  stream.insert(stream.end(), ping.begin(), ping.end());
+  stream.insert(stream.end(), reject.begin(), reject.end());
+
+  FrameBuffer fb;
+  FrameHeader h;
+  std::vector<std::uint8_t> payload;
+  int got = 0;
+  for (std::uint8_t b : stream) {
+    fb.append(&b, 1);
+    while (fb.next(h, payload)) {
+      ++got;
+      if (got == 1) {
+        EXPECT_EQ(h.type, FrameType::kPing);
+      }
+      if (got == 2) {
+        EXPECT_EQ(h.type, FrameType::kReject);
+        EXPECT_EQ(decode_reject(payload).reason, "busy");
+      }
+    }
+  }
+  EXPECT_EQ(got, 2);
+  EXPECT_EQ(fb.buffered(), 0u);
+}
+
+TEST(FrameBuffer, OversizedLengthPrefixThrows) {
+  FrameBuffer fb(/*max_payload=*/64);
+  FrameHeader h;
+  h.type = FrameType::kMetricsReply;
+  h.payload_len = 65;
+  std::vector<std::uint8_t> bytes;
+  put_header(bytes, h);
+  fb.append(bytes.data(), bytes.size());
+  std::vector<std::uint8_t> payload;
+  EXPECT_THROW(fb.next(h, payload), WireError);
+}
+
+TEST(FrameBuffer, BadMagicThrows) {
+  FrameBuffer fb;
+  std::vector<std::uint8_t> junk(kHeaderBytes, 0x5A);
+  fb.append(junk.data(), junk.size());
+  FrameHeader h;
+  std::vector<std::uint8_t> payload;
+  EXPECT_THROW(fb.next(h, payload), WireError);
+}
+
+}  // namespace
+}  // namespace tgp::net

@@ -1,0 +1,26 @@
+// The engine behind the tgp_client command-line tool.
+//
+// Drives a tgp_served backend or router over the binary wire protocol
+// with the same workload sources as tgp_serve (--jobs file or
+// --generate), and prints the *same deterministic results table* with
+// the same exit-code contract — `tgp_serve --generate N --seed S` and
+// `tgp_client --connect ... --generate N --seed S` against a default
+// backend must produce byte-identical stdout.  That equivalence is the
+// CI loopback smoke check.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace tgp::tools {
+
+/// Run the client tool.  `args` are argv[1:]; the results table goes to
+/// `out`, diagnostics to `err`.  Returns the process exit code (same
+/// contract as tgp_serve, plus 1 on transport errors).
+int run_client_tool(const std::vector<std::string>& args, std::ostream& out,
+                    std::ostream& err);
+
+std::string client_tool_help();
+
+}  // namespace tgp::tools

@@ -209,6 +209,77 @@ class StatsReporter {
 
 }  // namespace
 
+std::vector<JobEcho> make_echo(const std::vector<svc::JobSpec>& specs) {
+  std::vector<JobEcho> echo;
+  echo.reserve(specs.size());
+  for (const svc::JobSpec& s : specs)
+    echo.push_back({s.is_chain() ? "chain" : "tree",
+                    svc::problem_name(s.problem), s.n(), s.K});
+  return echo;
+}
+
+std::string render_results_table(const std::vector<JobEcho>& echo,
+                                 const std::vector<svc::JobResult>& results) {
+  TGP_REQUIRE(echo.size() == results.size(),
+              "echo/result row count mismatch");
+  util::Table table({"job", "graph", "n", "problem", "K", "status",
+                     "cut edges", "cut digest", "objective", "parts"});
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const svc::JobResult& r = results[i];
+    util::Table& row = table.row()
+                           .cell(static_cast<std::int64_t>(i))
+                           .cell(echo[i].kind)
+                           .cell(echo[i].n)
+                           .cell(echo[i].problem)
+                           .cell(echo[i].K, 3);
+    if (!r.ok) {
+      row.cell(svc::job_status_name(r.status))
+          .cell(0)
+          .cell("-")
+          .cell(r.error)
+          .cell(0);
+      continue;
+    }
+    char digest[20];
+    std::snprintf(digest, sizeof digest, "%016llx",
+                  static_cast<unsigned long long>(cut_digest(r.cut)));
+    row.cell(r.degraded ? "degraded" : svc::job_status_name(r.status))
+        .cell(r.cut.size())
+        .cell(digest)
+        .cell(r.objective, 6)
+        .cell(r.components);
+  }
+  return table.render();
+}
+
+int batch_exit_report(const std::vector<svc::JobResult>& results,
+                      int rows_skipped, std::ostream& err) {
+  std::size_t jobs_failed = 0;
+  std::size_t jobs_overloaded = 0;
+  std::size_t jobs_degraded = 0;
+  for (const svc::JobResult& r : results) {
+    if (r.status == svc::JobStatus::kOverloaded)
+      ++jobs_overloaded;
+    else if (!r.ok)
+      ++jobs_failed;
+    else if (r.degraded)
+      ++jobs_degraded;
+  }
+  if (jobs_failed > 0 || rows_skipped > 0) {
+    err << "batch degraded: " << jobs_failed + jobs_overloaded
+        << " job(s) failed, " << rows_skipped << " row(s) skipped, "
+        << jobs_degraded << " degraded solve(s)\n";
+    return 3;
+  }
+  if (jobs_overloaded > 0) {
+    err << "batch shed: " << jobs_overloaded
+        << " job(s) rejected by admission control, " << jobs_degraded
+        << " degraded solve(s)\n";
+    return 4;
+  }
+  return 0;
+}
+
 std::vector<svc::JobSpec> parse_job_file(std::istream& in) {
   std::vector<svc::JobSpec> specs;
   std::map<std::string, LoadedGraph> graphs;  // share duplicate sources
@@ -464,17 +535,7 @@ int run_serve_tool(const std::vector<std::string>& args, std::ostream& out,
       for (svc::JobSpec& s : specs) s.deadline_micros = deadline_us;
 
     // Capture per-job echo columns before the specs move into the service.
-    struct JobEcho {
-      std::string kind;
-      std::string problem;
-      int n;
-      graph::Weight K;
-    };
-    std::vector<JobEcho> echo;
-    echo.reserve(specs.size());
-    for (const svc::JobSpec& s : specs)
-      echo.push_back({s.is_chain() ? "chain" : "tree",
-                      svc::problem_name(s.problem), s.n(), s.K});
+    std::vector<JobEcho> echo = make_echo(specs);
 
     svc::PartitionService service(config);
     double wall_seconds = 0;
@@ -501,36 +562,8 @@ int run_serve_tool(const std::vector<std::string>& args, std::ostream& out,
           << snap.dropped << " dropped) -> " << trace_path << "\n";
     }
 
-    if (!parser.get_bool("no-results", false)) {
-      util::Table table({"job", "graph", "n", "problem", "K", "status",
-                         "cut edges", "cut digest", "objective", "parts"});
-      for (std::size_t i = 0; i < results.size(); ++i) {
-        const svc::JobResult& r = results[i];
-        util::Table& row = table.row()
-                               .cell(static_cast<std::int64_t>(i))
-                               .cell(echo[i].kind)
-                               .cell(echo[i].n)
-                               .cell(echo[i].problem)
-                               .cell(echo[i].K, 3);
-        if (!r.ok) {
-          row.cell(svc::job_status_name(r.status))
-              .cell(0)
-              .cell("-")
-              .cell(r.error)
-              .cell(0);
-          continue;
-        }
-        char digest[20];
-        std::snprintf(digest, sizeof digest, "%016llx",
-                      static_cast<unsigned long long>(cut_digest(r.cut)));
-        row.cell(r.degraded ? "degraded" : svc::job_status_name(r.status))
-            .cell(r.cut.size())
-            .cell(digest)
-            .cell(r.objective, 6)
-            .cell(r.components);
-      }
-      out << table.render();
-    }
+    if (!parser.get_bool("no-results", false))
+      out << render_results_table(echo, results);
 
     svc::MetricsSnapshot m = service.metrics();
     err << m.format();
@@ -553,27 +586,10 @@ int run_serve_tool(const std::vector<std::string>& args, std::ostream& out,
                          std::max(wall_seconds, 1e-9),
                      1)
         << " jobs/s\n";
-    std::size_t jobs_failed = 0;
-    std::size_t jobs_overloaded = 0;
-    for (const svc::JobResult& r : results) {
-      if (r.status == svc::JobStatus::kOverloaded)
-        ++jobs_overloaded;
-      else if (!r.ok)
-        ++jobs_failed;
-    }
-    if (jobs_failed > 0 || rows_skipped > 0) {
-      err << "batch degraded: " << jobs_failed + jobs_overloaded
-          << " job(s) failed, " << rows_skipped << " row(s) skipped\n";
-      return 3;
-    }
-    if (jobs_overloaded > 0) {
-      err << "batch shed: " << jobs_overloaded
-          << " job(s) rejected by admission control\n";
-      return 4;
-    }
-    return 0;
+    return batch_exit_report(results, rows_skipped, err);
   } catch (const std::exception& e) {
     err << "error: " << e.what() << "\n";
+    err << "batch aborted before completion\n";
     return 1;
   }
 }

@@ -12,9 +12,35 @@
 #include <string>
 #include <vector>
 
+#include "graph/weight.hpp"
 #include "svc/job.hpp"
 
 namespace tgp::tools {
+
+/// Per-job columns echoed into the results table, captured before the
+/// specs move into the service (which consumes them).
+struct JobEcho {
+  std::string kind;     ///< "chain" | "tree"
+  std::string problem;  ///< svc::problem_name
+  int n = 0;
+  graph::Weight K = 0;
+};
+
+std::vector<JobEcho> make_echo(const std::vector<svc::JobSpec>& specs);
+
+/// The deterministic per-job results table — shared verbatim by
+/// tgp_serve (in-process) and tgp_client (over a socket), which is what
+/// makes their stdout byte-comparable in the CI equivalence check.
+std::string render_results_table(const std::vector<JobEcho>& echo,
+                                 const std::vector<svc::JobResult>& results);
+
+/// Map a finished batch to the tool exit code, emitting a one-line
+/// summary on `err` for every nonzero exit: 3 when any job failed or a
+/// row was skipped ("batch degraded: ..."), 4 when the only failures
+/// were admission-control sheds ("batch shed: ...").  Degraded-mode
+/// solve counts ride along on both lines.
+int batch_exit_report(const std::vector<svc::JobResult>& results,
+                      int rows_skipped, std::ostream& err);
 
 /// Run the serve tool.  `args` are argv[1:]; results go to `out`,
 /// diagnostics and metrics to `err`.  Returns the process exit code.

@@ -1,0 +1,273 @@
+#include "tools/served_tool.hpp"
+
+#include <csignal>
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <ostream>
+#include <thread>
+
+#include "net/backend.hpp"
+#include "net/router.hpp"
+#include "net/server.hpp"
+#include "svc/service.hpp"
+#include "util/argparse.hpp"
+#include "util/logging.hpp"
+
+namespace tgp::tools {
+
+namespace {
+
+// Signal target: stop() is an atomic store plus an eventfd write, both
+// async-signal-safe.
+std::atomic<net::Server*> g_server{nullptr};
+
+void handle_stop_signal(int) {
+  net::Server* s = g_server.load();
+  if (s != nullptr) s->stop();
+}
+
+// Wraps the real handler to expose loop-thread activity to the idle
+// watchdog thread through atomics.
+class ActivityHandler : public net::Server::Handler {
+ public:
+  explicit ActivityHandler(net::Server::Handler& inner) : inner_(inner) {}
+
+  void on_open(std::uint64_t conn, bool outbound) override {
+    if (!outbound) open_.fetch_add(1);
+    touch();
+    inner_.on_open(conn, outbound);
+  }
+  void on_frame(std::uint64_t conn, const net::FrameHeader& header,
+                std::span<const std::uint8_t> payload) override {
+    touch();
+    inner_.on_frame(conn, header, payload);
+  }
+  std::string on_metrics() override { return inner_.on_metrics(); }
+  void on_close(std::uint64_t conn) override {
+    if (open_.load() > 0) open_.fetch_sub(1);
+    touch();
+    inner_.on_close(conn);
+  }
+
+  bool idle_for(double ms) const {
+    if (open_.load() > 0) return false;
+    const auto idle = std::chrono::steady_clock::now() - last_.load();
+    return std::chrono::duration<double, std::milli>(idle).count() >= ms;
+  }
+
+ private:
+  void touch() { last_.store(std::chrono::steady_clock::now()); }
+
+  net::Server::Handler& inner_;
+  std::atomic<std::size_t> open_{0};
+  std::atomic<std::chrono::steady_clock::time_point> last_{
+      std::chrono::steady_clock::now()};
+};
+
+std::vector<std::pair<std::string, std::uint16_t>> parse_backend_list(
+    const std::string& list) {
+  std::vector<std::pair<std::string, std::uint16_t>> out;
+  std::size_t pos = 0;
+  while (pos <= list.size()) {
+    std::size_t comma = list.find(',', pos);
+    std::string item = list.substr(
+        pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    if (!item.empty()) out.push_back(net::parse_host_port(item));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+void serve(net::Server& server, ActivityHandler& activity,
+           double stop_after_idle_ms) {
+  g_server.store(&server);
+  std::signal(SIGINT, handle_stop_signal);
+  std::signal(SIGTERM, handle_stop_signal);
+  std::thread watchdog;
+  std::atomic<bool> watchdog_stop{false};
+  if (stop_after_idle_ms > 0) {
+    watchdog = std::thread([&] {
+      while (!watchdog_stop.load()) {
+        if (activity.idle_for(stop_after_idle_ms)) {
+          server.stop();
+          return;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      }
+    });
+  }
+  server.run();
+  watchdog_stop.store(true);
+  if (watchdog.joinable()) watchdog.join();
+  g_server.store(nullptr);
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
+}
+
+}  // namespace
+
+std::string served_tool_help() {
+  return
+      "tgp_served — networked partition service (backend or shard router)\n"
+      "\n"
+      "usage: tgp_served [--port P] [--bind ADDR] [--max-frame-mb M]\n"
+      "                  [--stop-after-idle-ms MS] [--log-level LEVEL]\n"
+      "          backend: [--threads N] [--cache-mb M] [--queue-cap C]\n"
+      "                  [--max-inflight N] [--rate-limit R] [--retry N]\n"
+      "                  [--degrade-watermark W] [--breaker]\n"
+      "                  [--shard-index I --shard-count N]\n"
+      "          router:  --route HOST:PORT[,HOST:PORT...]\n"
+      "                  [--tenant-rate R] [--tenant-burst B]\n"
+      "                  [--max-outstanding N] [--max-queued N]\n"
+      "\n"
+      "Speaks the tgp binary wire protocol (length-prefixed frames; see\n"
+      "docs/architecture.md).  Prints exactly one 'listening on HOST:PORT'\n"
+      "line to stdout — with --port 0 that is how callers learn the\n"
+      "ephemeral port — then serves until SIGINT/SIGTERM (or until idle\n"
+      "for --stop-after-idle-ms, for scripted runs).  The same port also\n"
+      "answers plain-HTTP 'GET /metrics' with Prometheus text.\n"
+      "\n"
+      "Backend mode runs a PartitionService behind the socket; service\n"
+      "flags match tgp_serve.  --shard-index/--shard-count tell a fleet\n"
+      "member its ring position so it can verify cache ownership (the\n"
+      "tgp_net_shard_*_total{ownership=...} metrics).\n"
+      "\n"
+      "Router mode forwards every submit to the backend owning the\n"
+      "graph's canonical fingerprint on a consistent-hash ring, computing\n"
+      "the fingerprint when the client did not.  --tenant-rate enforces a\n"
+      "per-tenant token-bucket quota (kQuotaExceeded rejects); admitted\n"
+      "submits beyond --max-outstanding wait in a per-tenant round-robin\n"
+      "fair queue of at most --max-queued (kOverloaded beyond that).\n";
+}
+
+int run_served_tool(const std::vector<std::string>& args, std::ostream& out,
+                    std::ostream& err) {
+  std::vector<const char*> argv{"tgp_served"};
+  for (const std::string& a : args) argv.push_back(a.c_str());
+  try {
+    util::ArgParser parser(static_cast<int>(argv.size()), argv.data());
+    parser.describe("port", "listen port (0 = ephemeral, printed)")
+        .describe("bind", "bind address (default 127.0.0.1)")
+        .describe("max-frame-mb", "per-frame payload cap in MiB")
+        .describe("stop-after-idle-ms", "exit once idle this long")
+        .describe("log-level", "stderr log threshold")
+        .describe("threads", "worker threads")
+        .describe("cache-mb", "cache budget in MiB (0 disables)")
+        .describe("queue-cap", "job queue capacity")
+        .describe("max-inflight", "admission cap on jobs in flight")
+        .describe("rate-limit", "admission rate limit in jobs/sec")
+        .describe("retry", "attempts per transient cache fault")
+        .describe("degrade-watermark", "queue depth triggering degraded mode")
+        .describe("breaker", "enable the cache circuit breaker")
+        .describe("shard-index", "this backend's ring position")
+        .describe("shard-count", "fleet size for ownership accounting")
+        .describe("route", "router mode: backend list HOST:PORT,...")
+        .describe("tenant-rate", "per-tenant admission rate in jobs/sec")
+        .describe("tenant-burst", "per-tenant token-bucket capacity")
+        .describe("max-outstanding", "router cap on in-flight forwards")
+        .describe("max-queued", "router fair-queue capacity");
+    if (parser.has("help")) {
+      out << served_tool_help();
+      return 0;
+    }
+    parser.check_unknown();
+
+    if (parser.has("log-level")) {
+      util::LogLevel level;
+      std::string name = parser.get("log-level", "info");
+      if (!util::parse_log_level(name, level)) {
+        err << "error: unknown log level '" << name << "'\n";
+        return 2;
+      }
+      util::set_log_level(level);
+    }
+
+    net::Server::Config server_config;
+    server_config.bind = parser.get("bind", "127.0.0.1");
+    server_config.port =
+        static_cast<std::uint16_t>(parser.get_int("port", 0));
+    server_config.max_payload_bytes = static_cast<std::uint32_t>(
+        parser.get_int("max-frame-mb",
+                       net::kDefaultMaxPayload >> 20) << 20);
+    const double idle_ms = parser.get_double("stop-after-idle-ms", 0);
+
+    if (parser.has("route")) {
+      auto backends = parse_backend_list(parser.get("route", ""));
+      if (backends.empty()) {
+        err << "error: --route needs HOST:PORT[,HOST:PORT...]\n";
+        return 2;
+      }
+      net::Router::Config rc;
+      rc.tenant_quota.rate_per_sec = parser.get_double("tenant-rate", 0);
+      rc.tenant_quota.burst = parser.get_double("tenant-burst", 0);
+      rc.max_outstanding =
+          static_cast<std::size_t>(parser.get_int("max-outstanding", 1024));
+      rc.max_queued =
+          static_cast<std::size_t>(parser.get_int("max-queued", 4096));
+      net::Router router(rc);
+      ActivityHandler activity(router);
+      net::Server server(server_config, activity);
+      router.attach(server);
+      router.connect_backends(backends);
+      out << "listening on " << server_config.bind << ":" << server.port()
+          << "\n";
+      out.flush();
+      serve(server, activity, idle_ms);
+      const net::Router::Stats s = router.stats();
+      err << "router: " << s.forwarded << " forwarded, " << s.returned
+          << " returned, " << s.quota_rejects << " quota rejects, "
+          << s.overload_rejects << " overload rejects, "
+          << s.shard_down_rejects << " shard-down rejects\n";
+      return 0;
+    }
+
+    svc::ServiceConfig config;
+    config.threads = static_cast<int>(parser.get_int("threads", 0));
+    config.cache_bytes =
+        static_cast<std::size_t>(parser.get_int("cache-mb", 64)) << 20;
+    config.queue_capacity =
+        static_cast<std::size_t>(parser.get_int("queue-cap", 1024));
+    config.max_inflight =
+        static_cast<std::size_t>(parser.get_int("max-inflight", 0));
+    config.rate_limit_per_sec = parser.get_double("rate-limit", 0);
+    config.retry.max_attempts = static_cast<int>(parser.get_int("retry", 1));
+    config.degrade_watermark =
+        static_cast<std::size_t>(parser.get_int("degrade-watermark", 0));
+    config.breaker.enabled = parser.get_bool("breaker", false);
+
+    net::Backend::Config bc;
+    bc.shard_index =
+        static_cast<std::uint32_t>(parser.get_int("shard-index", 0));
+    bc.shard_count =
+        static_cast<std::uint32_t>(parser.get_int("shard-count", 1));
+    if (bc.shard_count > 0 && bc.shard_index >= bc.shard_count) {
+      err << "error: --shard-index must be below --shard-count\n";
+      return 2;
+    }
+
+    svc::PartitionService service(config);
+    net::Backend backend(service, bc);
+    ActivityHandler activity(backend);
+    net::Server server(server_config, activity);
+    backend.attach(server);
+    out << "listening on " << server_config.bind << ":" << server.port()
+        << "\n";
+    out.flush();
+    serve(server, activity, idle_ms);
+    service.shutdown();
+    err << service.metrics().format();
+    const net::Backend::ShardStats s = backend.shard_stats();
+    err << "shard: " << s.owned_submits << " owned, " << s.foreign_submits
+        << " foreign, " << s.unrouted_submits << " unrouted submit(s); "
+        << s.owned_cache_hits << " owned, " << s.foreign_cache_hits
+        << " foreign cache hit(s)\n";
+    return 0;
+  } catch (const std::exception& e) {
+    err << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
+
+}  // namespace tgp::tools

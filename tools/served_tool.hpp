@@ -1,0 +1,34 @@
+// The engine behind the tgp_served command-line tool: the network
+// partition service.
+//
+// Two modes share one binary:
+//
+//   backend (default)   an epoll Server + PartitionService, answering
+//                       kSubmit frames with kResult frames;
+//   router (--route)    an epoll Server that consistent-hashes every
+//                       submit's canonical fingerprint across the given
+//                       backends, with per-tenant quotas and fair
+//                       queuing in front.
+//
+// Both print exactly one `listening on HOST:PORT` line to stdout (so a
+// script driving `--port 0` can scrape the ephemeral port) and then
+// serve until stop: SIGINT/SIGTERM, or — for tests and scripted runs —
+// a `--stop-after-idle-ms` watchdog that exits once the server has been
+// connection-free for that long.  On exit, a metrics summary goes to
+// stderr and the exit code is 0.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace tgp::tools {
+
+/// Run the network service tool.  `args` are argv[1:]; the listening
+/// line goes to `out`, diagnostics to `err`.  Returns the exit code.
+int run_served_tool(const std::vector<std::string>& args, std::ostream& out,
+                    std::ostream& err);
+
+std::string served_tool_help();
+
+}  // namespace tgp::tools

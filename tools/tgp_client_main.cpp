@@ -1,0 +1,11 @@
+// tgp_client: drive a tgp_served backend or router over TCP.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "tools/client_tool.hpp"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  return tgp::tools::run_client_tool(args, std::cout, std::cerr);
+}

@@ -1,0 +1,11 @@
+// tgp_served: the networked partition service (backend or shard router).
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "tools/served_tool.hpp"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  return tgp::tools::run_served_tool(args, std::cout, std::cerr);
+}
