@@ -16,6 +16,7 @@
 #include "graph/generators.hpp"
 #include "net/backend.hpp"
 #include "net/client.hpp"
+#include "net/router.hpp"
 #include "net/server.hpp"
 #include "obs/counters.hpp"
 #include "obs/trace.hpp"
@@ -216,6 +217,86 @@ int main(int argc, char** argv) {
     server.stop();
     loop.join();
     service.shutdown();
+  }
+
+  // The same wire batch against a DEGRADED two-shard fleet: a router
+  // with failover on fronts two backends, one of which is already dead.
+  // Every key the dead shard owns detours to the ring successor at
+  // dispatch, so diffing this case against net_batch prices the failover
+  // path itself (route_of walk + frame copy kept for hand-off) under
+  // steady-state failover, not the transient.
+  {
+    const int net_n = opt.quick ? 1 << 10 : 1 << 13;
+    std::vector<std::shared_ptr<const graph::Chain>> chains;
+    std::vector<double> ks;
+    for (int i = 0; i < distinct; ++i) {
+      double K = 0;
+      chains.push_back(std::make_shared<const graph::Chain>(
+          make_chain(net_n, static_cast<unsigned>(i + 1), &K)));
+      ks.push_back(K);
+    }
+    std::vector<std::unique_ptr<svc::PartitionService>> services;
+    std::vector<std::unique_ptr<net::Backend>> backends;
+    std::vector<std::unique_ptr<net::Server>> shard_servers;
+    std::vector<std::thread> shard_loops;
+    for (std::uint32_t s = 0; s < 2; ++s) {
+      svc::ServiceConfig cfg;
+      cfg.threads = 2;
+      cfg.watchdog_interval_micros = 0;
+      services.push_back(std::make_unique<svc::PartitionService>(cfg));
+      backends.push_back(std::make_unique<net::Backend>(
+          *services[s],
+          net::Backend::Config{.shard_index = s, .shard_count = 2}));
+      shard_servers.push_back(std::make_unique<net::Server>(
+          net::Server::Config{}, *backends[s]));
+      backends[s]->attach(*shard_servers[s]);
+      shard_loops.emplace_back([&, s] { shard_servers[s]->run(); });
+    }
+
+    net::Router::Config rc;
+    // Park reconnects far beyond the run: the case measures the steady
+    // detour, not redial churn against a dead port.
+    rc.health.down_cooldown_us = 3.6e9;
+    net::Router router(rc);
+    net::Server::Config sc;
+    sc.tick_interval_ms = 10;
+    net::Server router_server(sc, router);
+    router.attach(router_server);
+    router.connect_backends({{"127.0.0.1", shard_servers[0]->port()},
+                             {"127.0.0.1", shard_servers[1]->port()}});
+    std::thread router_loop([&] { router_server.run(); });
+
+    // Kill shard 1 before measuring: the close marks it down at once.
+    shard_servers[1]->stop();
+    shard_loops[1].join();
+    services[1]->shutdown();
+
+    net::Client client("127.0.0.1", router_server.port());
+    std::snprintf(name, sizeof name, "fleet_failover/n=%d/jobs=%d", net_n,
+                  batch);
+    h.run(name, batch, [&] {
+      std::vector<net::SubmitRequest> requests;
+      requests.reserve(static_cast<std::size_t>(batch));
+      for (int i = 0; i < batch; ++i) {
+        std::size_t g = static_cast<std::size_t>(i % distinct);
+        net::SubmitRequest req;
+        req.spec = svc::JobSpec::for_chain(
+            i % 2 == 0 ? svc::Problem::kBandwidth : svc::Problem::kBottleneck,
+            ks[g], chains[g]);
+        requests.push_back(std::move(req));
+      }
+      auto results = client.run_batch(requests);
+      (void)results.size();
+    });
+    router_server.stop();
+    router_loop.join();
+    shard_servers[0]->stop();
+    shard_loops[0].join();
+    services[0]->shutdown();
+    const net::Router::Stats rs = router.stats();
+    h.counter("requests_rerouted", rs.requests_rerouted);
+    h.counter("shard_down_rejects", rs.shard_down_rejects);
+    emit_service_counters(h, *services[0]);
   }
 
   if (opt.trace) {

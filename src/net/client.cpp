@@ -3,9 +3,12 @@
 #include <poll.h>
 #include <sys/socket.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 
 namespace tgp::net {
@@ -18,92 +21,270 @@ namespace {
 
 }  // namespace
 
-Client::Client(const std::string& host, std::uint16_t port,
-               std::uint32_t max_payload)
-    : fd_(connect_tcp(host, port)), frames_(max_payload) {
-  set_nonblocking(fd_.get());
+Client::Client(Config config)
+    : config_(std::move(config)),
+      frames_(config_.max_payload),
+      rng_(config_.seed, 0x9e3779b97f4a7c15ULL) {
+  dial();
 }
 
-std::vector<std::pair<FrameHeader, std::vector<std::uint8_t>>>
-Client::exchange(std::vector<std::uint8_t> out, std::size_t expected) {
-  std::vector<std::pair<FrameHeader, std::vector<std::uint8_t>>> got(expected);
-  std::vector<bool> seen(expected, false);
-  std::size_t remaining = expected;
+Client::Client(const std::string& host, std::uint16_t port,
+               std::uint32_t max_payload)
+    : Client(Config{.host = host, .port = port, .max_payload = max_payload}) {}
+
+std::int64_t Client::mono_us() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void Client::dial() {
+  fd_ = connect_tcp(config_.host, config_.port, config_.connect_timeout_ms);
+  set_nonblocking(fd_.get());
+  if (config_.io_timeout_ms > 0)
+    set_socket_timeouts(fd_.get(), config_.io_timeout_ms,
+                        config_.io_timeout_ms);
+  // A partial frame from a previous incarnation must not be glued to the
+  // new stream.
+  frames_ = FrameBuffer(config_.max_payload);
+}
+
+void Client::reconnect() {
+  fd_.reset();
+  svc::RetryPolicy policy = config_.backoff;
+  policy.max_attempts = config_.reconnect_attempts + 1;
+  for (int attempt = 1; attempt <= config_.reconnect_attempts; ++attempt) {
+    std::this_thread::sleep_for(std::chrono::microseconds(
+        static_cast<std::int64_t>(policy.backoff_us(attempt, rng_))));
+    try {
+      dial();
+      ++stats_.reconnects;
+      return;
+    } catch (const std::exception&) {
+      if (attempt == config_.reconnect_attempts) throw;
+    }
+  }
+  throw SocketError("reconnect budget exhausted");
+}
+
+void Client::exchange(std::vector<Entry>& entries, bool hedge) {
+  const std::size_t n = entries.size();
+  std::size_t remaining = n;
+  // id -> slot for this batch's primary sends; hedges get their own map
+  // so a winning answer can be told apart for the stats.
+  std::unordered_map<std::uint64_t, std::size_t> slot_of;
+  slot_of.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) slot_of.emplace(entries[i].id, i);
+  std::unordered_map<std::uint64_t, std::size_t> hedge_slot;
+  const bool hedging = hedge && config_.hedge_after_ms > 0;
+
+  // Bytes queued for the current connection; rebuilt from unanswered
+  // entries after every re-dial (ids preserved — submits are idempotent).
+  std::vector<std::uint8_t> out;
   std::size_t out_off = 0;
+  auto queue_unanswered = [&] {
+    out.clear();
+    out_off = 0;
+    const std::int64_t now = mono_us();
+    for (Entry& e : entries) {
+      if (e.answered) continue;
+      out.insert(out.end(), e.frame.begin(), e.frame.end());
+      e.sent_us = now;
+      e.hedged = false;  // the hedge died with the old connection too
+    }
+  };
+  queue_unanswered();
+
+  int redials_left = config_.reconnect_attempts;
+  auto on_transport_down = [&](const char* what) {
+    if (redials_left <= 0) transport_fail(what);
+    --redials_left;
+    reconnect();
+    stats_.resubmitted += remaining;
+    hedge_slot.clear();
+    queue_unanswered();
+  };
+
+  std::int64_t last_activity_us = mono_us();
 
   while (remaining > 0) {
+    const std::int64_t now = mono_us();
+
+    // Hedge every overdue unanswered submit exactly once per connection.
+    if (hedging) {
+      for (std::size_t i = 0; i < n; ++i) {
+        Entry& e = entries[i];
+        if (e.answered || e.hedged ||
+            now - e.sent_us < config_.hedge_after_ms * 1000) {
+          continue;
+        }
+        e.hedged = true;
+        const std::uint64_t id = next_id_++;
+        hedge_slot.emplace(id, i);
+        std::vector<std::uint8_t> copy = e.frame;
+        patch_request_id(copy, id);
+        out.insert(out.end(), copy.begin(), copy.end());
+        ++stats_.hedges_sent;
+      }
+    }
+
+    // Poll deadline: the earlier of the io-silence deadline and the
+    // next hedge timer.  -1 = block forever (no deadlines configured).
+    int wait_ms = -1;
+    if (config_.io_timeout_ms > 0) {
+      const std::int64_t due =
+          last_activity_us + config_.io_timeout_ms * 1000 - now;
+      wait_ms = static_cast<int>(std::max<std::int64_t>(0, due / 1000 + 1));
+    }
+    if (hedging) {
+      for (const Entry& e : entries) {
+        if (e.answered || e.hedged) continue;
+        const std::int64_t due =
+            e.sent_us + config_.hedge_after_ms * 1000 - now;
+        const int ms = static_cast<int>(std::max<std::int64_t>(0, due / 1000 + 1));
+        if (wait_ms < 0 || ms < wait_ms) wait_ms = ms;
+      }
+    }
+
     pollfd p{};
     p.fd = fd_.get();
     p.events = POLLIN;
     if (out_off < out.size()) p.events |= POLLOUT;
-    int rc = ::poll(&p, 1, -1);
+    int rc = ::poll(&p, 1, wait_ms);
     if (rc < 0) {
       if (errno == EINTR) continue;
       transport_fail("poll");
     }
+    if (rc == 0) {
+      // Timer fired.  Hedges are handled at the top of the loop; here
+      // only the io-silence deadline matters.
+      if (config_.io_timeout_ms > 0 &&
+          mono_us() - last_activity_us >= config_.io_timeout_ms * 1000) {
+        ++stats_.timeouts;
+        if (redials_left <= 0)
+          throw WireError("io timeout: no data for " +
+                              std::to_string(config_.io_timeout_ms) +
+                              "ms with " + std::to_string(remaining) +
+                              " response(s) outstanding",
+                          WireError::kTimeout);
+        --redials_left;
+        reconnect();
+        stats_.resubmitted += remaining;
+        hedge_slot.clear();
+        queue_unanswered();
+        last_activity_us = mono_us();
+      }
+      continue;
+    }
 
     if ((p.revents & POLLOUT) != 0 && out_off < out.size()) {
-      ssize_t n = ::send(fd_.get(), out.data() + out_off, out.size() - out_off,
-                         MSG_NOSIGNAL);
-      if (n < 0) {
+      ssize_t sent = ::send(fd_.get(), out.data() + out_off,
+                            out.size() - out_off, MSG_NOSIGNAL);
+      if (sent < 0) {
+        if (errno == EPIPE || errno == ECONNRESET) {
+          on_transport_down("send");
+          last_activity_us = mono_us();
+          continue;
+        }
         if (errno != EAGAIN && errno != EWOULDBLOCK) transport_fail("send");
-      } else {
-        out_off += static_cast<std::size_t>(n);
+      } else if (sent > 0) {
+        out_off += static_cast<std::size_t>(sent);
+        last_activity_us = mono_us();
       }
     }
 
     if ((p.revents & (POLLIN | POLLERR | POLLHUP)) != 0) {
       std::uint8_t chunk[64 * 1024];
-      ssize_t n = ::recv(fd_.get(), chunk, sizeof chunk, 0);
-      if (n < 0) {
+      ssize_t got = ::recv(fd_.get(), chunk, sizeof chunk, 0);
+      if (got < 0) {
         if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR)
           continue;
+        if (errno == ECONNRESET && redials_left > 0) {
+          on_transport_down("recv");
+          last_activity_us = mono_us();
+          continue;
+        }
         transport_fail("recv");
       }
-      if (n == 0)
+      if (got == 0) {
+        if (redials_left > 0) {
+          on_transport_down("recv");
+          last_activity_us = mono_us();
+          continue;
+        }
         throw SocketError("server closed the connection with " +
                           std::to_string(remaining) +
                           " response(s) outstanding");
-      frames_.append(chunk, static_cast<std::size_t>(n));
+      }
+      last_activity_us = mono_us();
+      frames_.append(chunk, static_cast<std::size_t>(got));
       FrameHeader h;
       std::vector<std::uint8_t> payload;
       while (frames_.next(h, payload)) {
-        if (h.request_id >= expected || seen[h.request_id])
+        std::size_t slot;
+        bool from_hedge = false;
+        if (auto it = slot_of.find(h.request_id); it != slot_of.end()) {
+          slot = it->second;
+        } else if (auto ht = hedge_slot.find(h.request_id);
+                   ht != hedge_slot.end()) {
+          slot = ht->second;
+          from_hedge = true;
+        } else {
+          // A torn-down hedge's zombie, or a straggler from an earlier
+          // batch on this connection (ids are never recycled, so it can
+          // only be dropped — never mis-filed).
+          if (resilient()) {
+            ++stats_.duplicates_dropped;
+            payload.clear();
+            continue;
+          }
           throw WireError("response for unknown request id " +
                           std::to_string(h.request_id));
-        seen[h.request_id] = true;
-        got[h.request_id] = {h, std::move(payload)};
+        }
+        Entry& e = entries[slot];
+        if (e.answered) {
+          if (!resilient())
+            throw WireError("response for unknown request id " +
+                            std::to_string(h.request_id));
+          ++stats_.duplicates_dropped;
+          payload.clear();
+          continue;
+        }
+        e.answered = true;
+        e.header = h;
+        e.payload = std::move(payload);
         payload.clear();
+        if (from_hedge) ++stats_.hedge_wins;
         --remaining;
       }
     }
   }
-  return got;
 }
 
 std::vector<svc::JobResult> Client::run_batch(
     const std::vector<SubmitRequest>& requests) {
-  std::vector<std::uint8_t> out;
+  std::vector<Entry> entries(requests.size());
+  const std::int64_t now = mono_us();
   for (std::size_t i = 0; i < requests.size(); ++i) {
-    std::vector<std::uint8_t> frame =
-        encode_submit(requests[i], static_cast<std::uint64_t>(i));
-    out.insert(out.end(), frame.begin(), frame.end());
+    entries[i].id = next_id_++;
+    entries[i].frame = encode_submit(requests[i], entries[i].id);
+    entries[i].sent_us = now;
   }
-  auto replies = exchange(std::move(out), requests.size());
+  exchange(entries, /*hedge=*/true);
 
   std::vector<svc::JobResult> results;
-  results.reserve(replies.size());
-  for (auto& [header, payload] : replies) {
-    switch (header.type) {
+  results.reserve(entries.size());
+  for (Entry& e : entries) {
+    switch (e.header.type) {
       case FrameType::kResult:
-        results.push_back(decode_result(payload));
+        results.push_back(decode_result(e.payload));
         break;
       case FrameType::kReject:
-        results.push_back(reject_to_result(decode_reject(payload)));
+        results.push_back(reject_to_result(decode_reject(e.payload)));
         break;
       default:
         throw WireError(std::string("unexpected ") +
-                        frame_type_name(header.type) +
+                        frame_type_name(e.header.type) +
                         " frame in reply to a submit");
     }
   }
@@ -116,19 +297,26 @@ svc::JobResult Client::run_one(const SubmitRequest& request) {
 }
 
 std::string Client::fetch_metrics() {
-  auto replies = exchange(encode_metrics_request(0), 1);
-  auto& [header, payload] = replies.front();
-  if (header.type != FrameType::kMetricsReply)
+  std::vector<Entry> entries(1);
+  entries[0].id = next_id_++;
+  entries[0].frame = encode_metrics_request(entries[0].id);
+  entries[0].sent_us = mono_us();
+  exchange(entries, /*hedge=*/false);
+  if (entries[0].header.type != FrameType::kMetricsReply)
     throw WireError(std::string("expected kMetricsReply, got ") +
-                    frame_type_name(header.type));
-  return decode_metrics_reply(payload);
+                    frame_type_name(entries[0].header.type));
+  return decode_metrics_reply(entries[0].payload);
 }
 
 void Client::ping() {
-  auto replies = exchange(encode_ping(0), 1);
-  if (replies.front().first.type != FrameType::kPong)
+  std::vector<Entry> entries(1);
+  entries[0].id = next_id_++;
+  entries[0].frame = encode_ping(entries[0].id);
+  entries[0].sent_us = mono_us();
+  exchange(entries, /*hedge=*/false);
+  if (entries[0].header.type != FrameType::kPong)
     throw WireError(std::string("expected kPong, got ") +
-                    frame_type_name(replies.front().first.type));
+                    frame_type_name(entries[0].header.type));
 }
 
 }  // namespace tgp::net

@@ -10,6 +10,36 @@
 // request id — a shard router may legally answer out of submission
 // order — and returned in submission order.
 //
+// Resilience (all off by default; the bare ctor behaves exactly like
+// the PR 6 client):
+//
+//   * Deadlines — connect_timeout_ms bounds the TCP handshake
+//     (poll-based, throws WireError kTimeout); io_timeout_ms bounds
+//     silence: if no byte arrives or departs for that long with
+//     responses outstanding, the exchange times out.  SO_RCVTIMEO /
+//     SO_SNDTIMEO are set to match as a belt for any blocking path.
+//
+//   * Reconnect — with reconnect_attempts > 0, a transport failure or
+//     io timeout tears the connection down and re-dials with
+//     exponential backoff (svc::RetryPolicy).  Every *unanswered*
+//     frame is re-sent on the new connection with its request id
+//     preserved — safe because submits are pure functions of their
+//     payload — and a late answer from the old incarnation that races
+//     in is dropped as a duplicate, never double-counted.
+//
+//   * Hedging — with hedge_after_ms > 0, a submit still unanswered
+//     after the timer fires is sent a second time under a fresh id that
+//     maps back to the original slot.  First answer wins; the loser is
+//     dropped and counted.  Only run_batch hedges — submits are
+//     idempotent; metrics/ping never need it.
+//
+// Request ids are allocated from one per-Client counter and never
+// recycled: the connection outlives a batch, so the losing copy of a
+// hedged submit (or a duplicated response frame) can arrive after its
+// exchange returned, and a recycled id would file that stale payload
+// into the next batch.  Unique ids make stragglers unmatchable — they
+// are dropped and counted, never mis-delivered.
+//
 // Rejects are folded into failed JobResults (reject_to_result), so
 // callers see exactly the JobResult a local PartitionService would have
 // produced; that equivalence is what the CI byte-diff smoke checks.
@@ -17,24 +47,62 @@
 
 #include <cstdint>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "net/socket.hpp"
 #include "net/wire.hpp"
 #include "svc/job.hpp"
+#include "svc/resilience.hpp"
+#include "util/rng.hpp"
 
 namespace tgp::net {
 
 class Client {
  public:
-  /// Connects immediately; throws SocketError on failure.
+  struct Config {
+    std::string host;
+    std::uint16_t port = 0;
+    std::uint32_t max_payload = kDefaultMaxPayload;
+    /// TCP handshake deadline; 0 = block forever (classic connect).
+    int connect_timeout_ms = 0;
+    /// Max silence (no byte in or out) with responses outstanding
+    /// before the exchange times out; 0 = wait forever.
+    int io_timeout_ms = 0;
+    /// Re-dials allowed per exchange after transport failure/timeout;
+    /// 0 = fail fast (PR 6 behavior).
+    int reconnect_attempts = 0;
+    /// Backoff schedule between re-dials (attempt 1 waits base_us...).
+    svc::RetryPolicy backoff{.max_attempts = 1, .base_us = 10'000,
+                             .multiplier = 2.0, .jitter = 0.1};
+    /// Hedge a submit still unanswered after this many ms; 0 = off.
+    int hedge_after_ms = 0;
+    /// Seed for backoff jitter.
+    std::uint64_t seed = 1;
+  };
+
+  struct Stats {
+    std::uint64_t reconnects = 0;        ///< successful re-dials
+    std::uint64_t resubmitted = 0;       ///< frames re-sent after re-dial
+    std::uint64_t hedges_sent = 0;
+    std::uint64_t hedge_wins = 0;        ///< hedge answered first
+    std::uint64_t duplicates_dropped = 0;
+    std::uint64_t timeouts = 0;          ///< io deadlines that fired
+  };
+
+  /// Connects immediately; throws SocketError on failure, WireError
+  /// kTimeout if a connect deadline is set and missed.
+  explicit Client(Config config);
+
+  /// Legacy ctor: no deadlines, no reconnect, no hedging.
   Client(const std::string& host, std::uint16_t port,
          std::uint32_t max_payload = kDefaultMaxPayload);
 
   /// Pipeline the whole batch over the connection; results come back in
   /// submission order.  Throws WireError/SocketError on protocol or
   /// transport failure (an individual job failing is a JobResult, not an
-  /// exception).
+  /// exception).  With reconnect/hedging enabled, transport failures are
+  /// absorbed up to the configured budgets first.
   std::vector<svc::JobResult> run_batch(
       const std::vector<SubmitRequest>& requests);
 
@@ -46,14 +114,44 @@ class Client {
   /// Round-trip a kPing; throws on anything but a matching kPong.
   void ping();
 
- private:
-  /// Send `out` and read frames until `expected` responses with ids in
-  /// [0, expected) have arrived; returns them indexed by id.
-  std::vector<std::pair<FrameHeader, std::vector<std::uint8_t>>> exchange(
-      std::vector<std::uint8_t> out, std::size_t expected);
+  const Stats& stats() const { return stats_; }
 
+ private:
+  /// One in-flight request: its wire bytes (kept for resubmit/hedge)
+  /// and its answer slot.
+  struct Entry {
+    std::uint64_t id = 0;  ///< wire request id (unique per Client)
+    std::vector<std::uint8_t> frame;
+    FrameHeader header{};
+    std::vector<std::uint8_t> payload;
+    bool answered = false;
+    std::int64_t sent_us = 0;
+    bool hedged = false;
+  };
+
+  /// Drive `entries` (ids already stamped into the frames) until every
+  /// entry is answered.  `hedge` enables the hedge timer.
+  void exchange(std::vector<Entry>& entries, bool hedge);
+
+  bool resilient() const {
+    return config_.reconnect_attempts > 0 || config_.io_timeout_ms > 0 ||
+           config_.hedge_after_ms > 0;
+  }
+  void dial();                 ///< (re)connect fd_, fresh FrameBuffer
+  void reconnect();            ///< backoff + dial, throws when exhausted
+  std::int64_t mono_us() const;
+
+  Config config_;
   UniqueFd fd_;
   FrameBuffer frames_;
+  util::Pcg32 rng_;
+  Stats stats_;
+  /// Request ids are unique for the life of the Client, never recycled
+  /// per batch: the connection outlives a batch, so a straggler response
+  /// (the losing copy of a hedged submit, a duplicated frame) can arrive
+  /// after its exchange returned — a recycled id would let it poison the
+  /// matching slot of the *next* batch with a stale payload.
+  std::uint64_t next_id_ = 0;
 };
 
 }  // namespace tgp::net

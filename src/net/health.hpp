@@ -1,0 +1,111 @@
+// Per-shard health state machine for the fleet router.
+//
+// Each backend shard is tracked through four states:
+//
+//          probe misses                 fail_threshold-th miss,
+//        ┌─────────────┐               or a hard disconnect
+//   up ──┤   suspect   ├── down ──────────────┐
+//    ▲   └─────────────┘    │   cooldown      │
+//    │                      ▼                 │
+//    └─── recover_probes ── recovering ◄──────┘
+//         pongs on the          reconnect succeeded
+//         new connection
+//
+// The machine is a thin skin over svc::CircuitBreaker (PR 5's overload
+// core): breaker closed ↦ up/suspect, open ↦ down, half-open ↦
+// recovering.  Configured with window == min_samples == fail_threshold
+// and trip_fault_rate == 1.0, the breaker trips exactly when the last
+// fail_threshold probe outcomes were all misses — i.e. on consecutive
+// misses, the classic health-check rule — while a hard disconnect trips
+// it immediately via CircuitBreaker::trip().  The open-state cooldown
+// paces reconnect attempts and the half-open probe budget is the number
+// of pongs a recovering shard must answer before taking traffic again.
+//
+// `suspect` is derived, not stored: breaker still closed but at least
+// one recent miss.  A suspect shard keeps serving (its connection is
+// alive; it may just be slow); only `down` and `recovering` shards are
+// excluded from routing.
+//
+// Loop-thread only, like everything else in the router — the breaker's
+// internal mutex is uncontended here and all time is caller-supplied
+// microseconds, so the machine is fully deterministic under test.
+#pragma once
+
+#include <cstdint>
+
+#include "svc/resilience.hpp"
+
+namespace tgp::net {
+
+enum class ShardState { kUp = 0, kSuspect = 1, kDown = 2, kRecovering = 3 };
+
+/// "up" | "suspect" | "down" | "recovering".
+const char* shard_state_name(ShardState s);
+
+struct ShardHealthConfig {
+  /// Consecutive probe misses that take a shard from suspect to down.
+  int fail_threshold = 3;
+  /// Down → eligible for a reconnect attempt after this long.
+  double down_cooldown_us = 250'000;
+  /// Successful probes (the reconnect handshake counts as the first)
+  /// before a recovering shard is up again.
+  int recover_probes = 2;
+};
+
+class ShardHealth {
+ public:
+  /// State after an event, plus whether the event changed it (callers
+  /// emit a shard.transition trace event and bump counters on change).
+  struct Event {
+    ShardState state = ShardState::kUp;
+    bool changed = false;
+  };
+
+  explicit ShardHealth(const ShardHealthConfig& config);
+
+  ShardState state() const;
+
+  /// May this shard take new traffic?  up and suspect only.
+  bool serving() const {
+    ShardState s = state();
+    return s == ShardState::kUp || s == ShardState::kSuspect;
+  }
+
+  /// A probe (ping) was answered, or a recovery probe succeeded.
+  Event probe_ok(std::int64_t now_micros);
+
+  /// A probe went unanswered past its deadline, or failed to send.
+  Event probe_miss(std::int64_t now_micros);
+
+  /// The shard's connection dropped: immediately down, no statistics.
+  Event disconnected(std::int64_t now_micros);
+
+  /// Down + cooldown elapsed: the caller should attempt one reconnect
+  /// now.  Consumes the attempt — a `true` return moves the machine to
+  /// the probing phase, and the caller must follow up with
+  /// reconnect_succeeded() or reconnect_failed().
+  bool reconnect_due(std::int64_t now_micros);
+
+  /// The TCP handshake to the restarted shard completed — recovering,
+  /// with the handshake itself counted as the first successful probe.
+  Event reconnect_succeeded(std::int64_t now_micros);
+
+  /// The reconnect attempt failed: back to down, cooldown restarted.
+  Event reconnect_failed(std::int64_t now_micros);
+
+  /// Recovering: is another recovery probe admitted right now?
+  bool recovery_probe_due(std::int64_t now_micros);
+
+  int consecutive_misses() const { return consecutive_misses_; }
+
+  std::uint64_t transitions() const { return breaker_.stats().transitions; }
+
+ private:
+  template <class Fn>
+  Event apply(Fn&& fn);
+
+  svc::CircuitBreaker breaker_;
+  int consecutive_misses_ = 0;
+};
+
+}  // namespace tgp::net

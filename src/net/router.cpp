@@ -7,6 +7,7 @@
 #include "obs/prom.hpp"
 #include "obs/trace.hpp"
 #include "util/assert.hpp"
+#include "util/logging.hpp"
 
 namespace tgp::net {
 
@@ -27,10 +28,20 @@ void Router::connect_backends(
     std::uint64_t conn = server_->connect(backends[i].first,
                                           backends[i].second);
     backend_of_conn_.emplace(conn, static_cast<std::uint32_t>(i));
-    backends_.push_back(BackendLink{conn, true});
+    BackendLink& link = backends_.emplace_back(config_.health);
+    link.conn = conn;
+    link.connected = true;
+    link.host = backends[i].first;
+    link.port = backends[i].second;
   }
   ring_ = HashRing(static_cast<std::uint32_t>(backends_.size()),
                    config_.ring_vnodes);
+}
+
+std::uint32_t Router::route_of(std::uint64_t key) const {
+  return ring_.owner_if(key, [this](std::uint32_t s) {
+    return backends_[s].connected && backends_[s].health.serving();
+  });
 }
 
 void Router::on_frame(std::uint64_t conn, const FrameHeader& header,
@@ -72,7 +83,10 @@ void Router::handle_submit(std::uint64_t conn, const FrameHeader& header,
 
   // Route on the canonical fingerprint: isomorphic graphs — reversed
   // chains, relabeled trees — hash identically, so the owning backend's
-  // memo cache sees every presentation of a graph.
+  // memo cache sees every presentation of a graph.  The same canonical
+  // key is what makes fail-over hand-off safe: a submit is a pure
+  // function of its fingerprint, so re-sending it to another shard can
+  // change latency, never the payload.
   graph::Fingerprint fp = req.fingerprint;
   if (!req.has_fingerprint) {
     TGP_SPAN("net", "router.fingerprint");
@@ -84,7 +98,7 @@ void Router::handle_submit(std::uint64_t conn, const FrameHeader& header,
   Waiting w;
   w.client_conn = conn;
   w.client_request_id = header.request_id;
-  w.backend = ring_.owner(fp);
+  w.key = fp.fold();
   w.frame.reserve(kHeaderBytes + payload.size());
   put_header(w.frame, header);
   w.frame.insert(w.frame.end(), payload.begin(), payload.end());
@@ -104,18 +118,35 @@ void Router::handle_submit(std::uint64_t conn, const FrameHeader& header,
 }
 
 void Router::dispatch(Waiting w) {
-  if (!backends_[w.backend].up) {
+  const std::uint32_t primary = ring_.owner(w.key);
+  std::uint32_t target = primary;
+  if (config_.failover) {
+    target = route_of(w.key);
+    if (target >= backends_.size()) {
+      ++shard_down_rejects_;
+      reject_client(w.client_conn, w.client_request_id,
+                    RejectCode::kShardDown, "no serving shard in the fleet");
+      return;
+    }
+    if (target != primary) ++requests_rerouted_;
+  } else if (!backends_[primary].connected ||
+             !backends_[primary].health.serving()) {
     ++shard_down_rejects_;
     reject_client(w.client_conn, w.client_request_id, RejectCode::kShardDown,
-                  "shard " + std::to_string(w.backend) + " is down");
+                  "shard " + std::to_string(primary) + " is down");
     return;
   }
   const std::uint64_t router_id = next_router_id_++;
   patch_request_id(w.frame, router_id);
-  pending_.emplace(router_id,
-                   Pending{w.client_conn, w.client_request_id, w.backend});
+  Pending p;
+  p.client_conn = w.client_conn;
+  p.client_request_id = w.client_request_id;
+  p.backend = target;
+  p.key = w.key;
+  if (config_.failover) p.frame = w.frame;  // kept for hand-off
+  pending_.emplace(router_id, std::move(p));
   ++forwarded_;
-  server_->send(backends_[w.backend].conn, std::move(w.frame));
+  server_->send(backends_[target].conn, std::move(w.frame));
 }
 
 void Router::pump() {
@@ -124,16 +155,48 @@ void Router::pump() {
     dispatch(std::move(w));
 }
 
+void Router::settle(std::uint64_t router_id) {
+  if (settled_.insert(router_id).second) {
+    settled_order_.push_back(router_id);
+    if (settled_order_.size() > kSettledRing) {
+      settled_.erase(settled_order_.front());
+      settled_order_.pop_front();
+    }
+  }
+}
+
 void Router::handle_backend_frame(std::uint32_t backend,
                                   const FrameHeader& header,
                                   std::span<const std::uint8_t> payload) {
-  (void)backend;
+  if (header.type == FrameType::kPong) {
+    BackendLink& link = backends_[backend];
+    if (link.ping_id != 0 && header.request_id == link.ping_id) {
+      link.ping_id = 0;
+      note_event(backend, link.health.probe_ok(now_micros()));
+    }
+    return;
+  }
   if (header.type != FrameType::kResult && header.type != FrameType::kReject)
-    return;  // kPong / kMetricsReply from a backend: nothing waits on them
+    return;  // kMetricsReply from a backend: nothing waits on it
   auto it = pending_.find(header.request_id);
-  if (it == pending_.end()) return;  // stale (client gone and reaped)
-  const Pending p = it->second;
+  if (it == pending_.end()) {
+    if (settled_.count(header.request_id) != 0) {
+      // The hand-off raced the original shard's answer and both shards
+      // responded; the first settled the id, this one is dropped —
+      // single delivery, verified by bench_fleet_chaos.
+      ++duplicates_dropped_;
+      if (obs::trace::enabled()) {
+        const std::int64_t ns = obs::trace::now_ns();
+        obs::trace::emit_complete(
+            "net", "router.dup_dropped", ns, ns,
+            {"shard", static_cast<std::int64_t>(backend)});
+      }
+    }
+    return;  // otherwise stale (client gone and reaped)
+  }
+  const Pending p = std::move(it->second);
   pending_.erase(it);
+  settle(header.request_id);
   ++returned_;
 
   // Forward verbatim with the client's id restored — results are opaque
@@ -152,23 +215,177 @@ void Router::reject_client(std::uint64_t conn, std::uint64_t request_id,
   server_->send(conn, encode_reject(code, reason, request_id));
 }
 
+void Router::note_event(std::uint32_t backend, const ShardHealth::Event& ev) {
+  if (!ev.changed) return;
+  BackendLink& link = backends_[backend];
+  // A failover is losing a *serving* shard; a failed reconnect bouncing
+  // recovering → down is the same outage, not a new one.  Symmetrically
+  // a recovery is rejoining from down/recovering — suspect → up is just
+  // a probe answering.
+  const bool was_serving = link.last_state == ShardState::kUp ||
+                           link.last_state == ShardState::kSuspect;
+  if (ev.state == ShardState::kDown && was_serving) ++failovers_;
+  if (ev.state == ShardState::kUp && !was_serving) ++recoveries_;
+  TGP_INFO("router: shard " << backend << " "
+                            << shard_state_name(link.last_state) << " -> "
+                            << shard_state_name(ev.state));
+  link.last_state = ev.state;
+  if (obs::trace::enabled()) {
+    const std::int64_t ns = obs::trace::now_ns();
+    obs::trace::emit_complete("net", "shard.transition", ns, ns,
+                              {"shard", static_cast<std::int64_t>(backend)},
+                              {"state", static_cast<std::int64_t>(ev.state)});
+  }
+}
+
+void Router::hand_off(std::uint32_t backend) {
+  std::vector<std::uint64_t> owned;
+  for (const auto& [id, p] : pending_)
+    if (p.backend == backend) owned.push_back(id);
+  for (std::uint64_t id : owned) {
+    Pending& p = pending_[id];
+    const std::uint32_t target = route_of(p.key);
+    if (target >= backends_.size()) {
+      // Whole fleet down: fail the job; settle the id so a zombie
+      // answer is dropped as a duplicate, not mistaken for wire noise.
+      reject_client(p.client_conn, p.client_request_id,
+                    RejectCode::kShardDown,
+                    "shard " + std::to_string(backend) +
+                        " died with the job in flight and no successor is "
+                        "serving");
+      ++shard_down_rejects_;
+      settle(id);
+      pending_.erase(id);
+      continue;
+    }
+    // Re-send the stored frame — router id preserved, so whichever
+    // shard answers first settles the job and the other answer is
+    // deduplicated.
+    p.backend = target;
+    ++handoffs_;
+    ++requests_rerouted_;
+    server_->send(backends_[target].conn,
+                  std::vector<std::uint8_t>(p.frame));
+  }
+}
+
+void Router::shard_down(std::uint32_t backend, const char* why) {
+  BackendLink& link = backends_[backend];
+  TGP_WARN("router: shard " << backend << " down (" << why << ")");
+  if (link.connected && link.conn != 0) {
+    // Sever the connection; the close callback runs the hand-off.
+    server_->close_conn(link.conn);
+    return;
+  }
+  if (config_.failover) hand_off(backend);
+}
+
 void Router::on_close(std::uint64_t conn) {
   auto it = backend_of_conn_.find(conn);
   if (it == backend_of_conn_.end()) return;  // a client went away: fine
   const std::uint32_t backend = it->second;
   backend_of_conn_.erase(it);
-  backends_[backend].up = false;
-  // Fail fast everything in flight to that shard; queued work for it
-  // fails at dispatch.
-  std::vector<std::pair<std::uint64_t, Pending>> doomed;
-  for (const auto& [id, p] : pending_)
-    if (p.backend == backend) doomed.emplace_back(id, p);
-  for (const auto& [id, p] : doomed) {
-    pending_.erase(id);
-    ++shard_down_rejects_;
-    reject_client(p.client_conn, p.client_request_id, RejectCode::kShardDown,
-                  "shard " + std::to_string(backend) +
-                      " disconnected with the job in flight");
+  BackendLink& link = backends_[backend];
+  link.connected = false;
+  link.conn = 0;
+  link.ping_id = 0;
+  note_event(backend, link.health.disconnected(now_micros()));
+
+  if (config_.failover) {
+    // Hand the dead shard's in-flight work to the ring successors;
+    // queued work re-routes at dispatch.
+    hand_off(backend);
+  } else {
+    // PR 6 semantics: fail fast everything in flight to that shard.
+    std::vector<std::pair<std::uint64_t, Pending>> doomed;
+    for (const auto& [id, p] : pending_)
+      if (p.backend == backend) doomed.emplace_back(id, p);
+    for (const auto& [id, p] : doomed) {
+      pending_.erase(id);
+      ++shard_down_rejects_;
+      reject_client(p.client_conn, p.client_request_id,
+                    RejectCode::kShardDown,
+                    "shard " + std::to_string(backend) +
+                        " disconnected with the job in flight");
+    }
+  }
+  pump();
+}
+
+void Router::probe(std::uint32_t backend) {
+  BackendLink& link = backends_[backend];
+  const std::uint64_t id = next_router_id_++;
+  link.ping_id = id;
+  link.ping_sent_us = now_micros();
+  ++pings_sent_;
+  server_->send(link.conn, encode_ping(id));
+}
+
+void Router::try_reconnect(std::uint32_t backend) {
+  BackendLink& link = backends_[backend];
+  std::uint64_t conn = 0;
+  try {
+    conn = server_->connect(link.host, link.port, config_.connect_timeout_ms);
+  } catch (const std::exception& e) {
+    TGP_INFO("router: reconnect to shard " << backend << " failed: "
+                                           << e.what());
+    note_event(backend, link.health.reconnect_failed(now_micros()));
+    return;
+  }
+  link.conn = conn;
+  link.connected = true;
+  backend_of_conn_.emplace(conn, backend);
+  ++reconnects_;
+  note_event(backend, link.health.reconnect_succeeded(now_micros()));
+  // Start probing immediately; the shard drains back into the ring once
+  // the recovery probes all answer.
+  if (link.health.recovery_probe_due(now_micros())) probe(backend);
+}
+
+void Router::on_tick() {
+  ++tick_count_;
+  const std::int64_t now = now_micros();
+  const bool probe_tick =
+      config_.probe_every_ticks <= 1 ||
+      tick_count_ % static_cast<std::uint64_t>(config_.probe_every_ticks) == 0;
+
+  for (std::uint32_t i = 0; i < backends_.size(); ++i) {
+    BackendLink& link = backends_[i];
+
+    // Outstanding probe past its deadline: a miss.  Misses walk the
+    // machine up → suspect → down (connection severed on down) and
+    // re-open a recovering shard.
+    if (link.connected && link.ping_id != 0 &&
+        static_cast<double>(now - link.ping_sent_us) >=
+            config_.probe_timeout_us) {
+      link.ping_id = 0;
+      ++ping_misses_;
+      note_event(i, link.health.probe_miss(now));
+      if (link.health.state() == ShardState::kDown) {
+        shard_down(i, "probe misses");
+        continue;
+      }
+    }
+
+    if (!link.connected) {
+      if (link.health.reconnect_due(now)) {
+        // reconnect_due flipped the machine down → recovering; surface
+        // the transition before the dial so traces show the full walk.
+        note_event(i, {link.health.state(), true});
+        try_reconnect(i);
+      }
+      continue;
+    }
+    if (!probe_tick) continue;
+
+    const ShardState state = link.health.state();
+    if ((state == ShardState::kUp || state == ShardState::kSuspect) &&
+        link.ping_id == 0) {
+      probe(i);
+    } else if (state == ShardState::kRecovering && link.ping_id == 0 &&
+               link.health.recovery_probe_due(now)) {
+      probe(i);
+    }
   }
   pump();
 }
@@ -181,11 +398,19 @@ Router::Stats Router::stats() const {
   s.overload_rejects = overload_rejects_;
   s.shard_down_rejects = shard_down_rejects_;
   s.fingerprints_computed = fingerprints_computed_;
+  s.requests_rerouted = requests_rerouted_;
+  s.handoffs = handoffs_;
+  s.duplicates_dropped = duplicates_dropped_;
+  s.failovers = failovers_;
+  s.recoveries = recoveries_;
+  s.reconnects = reconnects_;
+  s.pings_sent = pings_sent_;
+  s.ping_misses = ping_misses_;
   s.queued_now = queue_.size();
   s.queued_peak = queue_.queued_peak();
   s.outstanding_now = pending_.size();
   for (const BackendLink& b : backends_)
-    if (b.up) ++s.backends_up;
+    if (b.connected && b.health.serving()) ++s.backends_up;
   return s;
 }
 
@@ -207,14 +432,46 @@ std::string Router::on_metrics() {
   w.counter("tgp_router_fingerprints_computed_total",
             "Canonical fingerprints computed router-side",
             s.fingerprints_computed);
+  w.counter("tgp_router_requests_rerouted_total",
+            "Submits routed or handed off away from the owning shard",
+            s.requests_rerouted);
+  w.counter("tgp_router_handoffs_total",
+            "In-flight jobs re-sent to a successor after a shard died",
+            s.handoffs);
+  w.counter("tgp_router_duplicates_dropped_total",
+            "Late responses for already-settled requests dropped",
+            s.duplicates_dropped);
+  w.counter("tgp_router_failovers_total", "Shard transitions into down",
+            s.failovers);
+  w.counter("tgp_router_recoveries_total",
+            "Shard transitions recovering -> up", s.recoveries);
+  w.counter("tgp_router_reconnects_total",
+            "Successful re-dials of down shards", s.reconnects);
+  w.counter("tgp_router_pings_sent_total", "Health probes sent",
+            s.pings_sent);
+  w.counter("tgp_router_ping_misses_total",
+            "Health probes unanswered past the deadline", s.ping_misses);
   w.gauge("tgp_router_outstanding", "Forwarded submits awaiting a response",
           static_cast<double>(s.outstanding_now));
   w.gauge("tgp_router_queued", "Submits waiting in the fair queue",
           static_cast<double>(s.queued_now));
   w.gauge("tgp_router_queued_peak", "Fair-queue high watermark",
           static_cast<double>(s.queued_peak));
-  w.gauge("tgp_router_backends_up", "Live backend connections",
+  w.gauge("tgp_router_backends_up", "Serving (up or suspect) backends",
           static_cast<double>(s.backends_up));
+  static constexpr ShardState kStates[] = {
+      ShardState::kUp, ShardState::kSuspect, ShardState::kDown,
+      ShardState::kRecovering};
+  for (std::uint32_t i = 0; i < backends_.size(); ++i) {
+    const ShardState cur = backends_[i].health.state();
+    for (ShardState st : kStates) {
+      const obs::PromWriter::Labels l{{"shard", std::to_string(i)},
+                                      {"state", shard_state_name(st)}};
+      w.gauge("tgp_shard_health",
+              "1 for the shard's current health state, 0 otherwise",
+              st == cur ? 1.0 : 0.0, l);
+    }
+  }
   for (const auto& [tenant, st] : quota_.stats()) {
     const obs::PromWriter::Labels l{{"tenant", std::to_string(tenant)}};
     w.counter("tgp_router_tenant_admitted_total",
@@ -232,6 +489,12 @@ std::string Router::on_metrics() {
               c.decode_errors);
     w.counter("tgp_net_rejects_sent_total", "kReject frames sent",
               c.rejects_sent);
+    w.counter("tgp_net_ticks_total", "Timer ticks on the event loop",
+              c.ticks);
+    w.counter("tgp_net_injected_sock_faults_total",
+              "Injected socket-level faults observed", c.injected_sock_faults);
+    w.counter("tgp_net_injected_frame_faults_total",
+              "Injected frame-level faults applied", c.injected_frame_faults);
   }
   return out.str();
 }

@@ -17,19 +17,50 @@
 // reject abusive rates at the wire (kQuotaExceeded), and when the
 // outstanding-forward cap is reached, admitted submits wait in a
 // round-robin FairQueue so one pipelining tenant cannot monopolize the
-// fleet.  A dead backend fails fast: pending jobs and newly routed
-// submits for that shard get kShardDown rejects until it returns.
+// fleet.
 //
-// Single-threaded: every callback runs on the Server's loop thread, so
-// the router needs no locks anywhere.
+// Fleet fault tolerance (see docs/architecture.md "Network failure
+// modes"):
+//
+//   * Health checking — with Server ticks enabled, the router pings
+//     every backend each probe interval and runs a per-shard
+//     up → suspect → down → recovering machine (net/health.hpp) on the
+//     answers.  State is exported as tgp_shard_health gauges and
+//     shard.transition trace events.
+//
+//   * Failover with hand-off — when a shard goes down (disconnect or
+//     missed probes), its in-flight and queued submits are re-routed to
+//     the ring successor with their router-side request ids preserved.
+//     Hand-off is safe because a submit is idempotent — the job is a
+//     pure function keyed by its canonical fingerprint — and the id map
+//     guarantees single delivery: the first response settles the id,
+//     and a late duplicate from the original shard finds the id in the
+//     recently-settled ring and is dropped, never double-delivered.
+//     Only when *no* shard is serving does a submit fail kShardDown.
+//
+//   * Recovery — down shards are reconnected after a cooldown (bounded
+//     connect so the loop never hangs on a dead address), probed while
+//     recovering, and drained back in once healthy: the ring's minimal
+//     reshuffle means exactly the keys they own come home, nothing else
+//     moves.
+//
+// With `failover = false` the PR 6 behavior is preserved: a dead shard
+// fast-fails its owned jobs with kShardDown until it returns.
+//
+// Single-threaded: every callback (frames, closes, ticks) runs on the
+// Server's loop thread, so the router needs no locks anywhere.  stats()
+// may be read from another thread only once the loop has stopped.
 #pragma once
 
 #include <chrono>
 #include <cstdint>
+#include <deque>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
+#include "net/health.hpp"
 #include "net/server.hpp"
 #include "net/shard.hpp"
 #include "net/wire.hpp"
@@ -48,6 +79,19 @@ class Router : public Server::Handler {
     /// kOverloaded at the wire (backpressure must reach the client).
     std::size_t max_queued = 4096;
     std::uint32_t ring_vnodes = HashRing::kDefaultVnodes;
+
+    /// Hand off a dead shard's work to the ring successor (and detour
+    /// new submits around it).  false = PR 6 fast-fail semantics.
+    bool failover = true;
+    /// Active probing (requires Server::Config::tick_interval_ms > 0;
+    /// without ticks only disconnect-driven transitions fire).
+    ShardHealthConfig health;
+    /// A ping unanswered this long counts as a probe miss.
+    double probe_timeout_us = 500'000;
+    /// Probe cadence: one ping per backend every this many ticks.
+    int probe_every_ticks = 1;
+    /// Deadline for reconnect attempts to down shards (loop-blocking!).
+    int connect_timeout_ms = 250;
   };
 
   struct Stats {
@@ -57,10 +101,18 @@ class Router : public Server::Handler {
     std::uint64_t overload_rejects = 0;
     std::uint64_t shard_down_rejects = 0;
     std::uint64_t fingerprints_computed = 0;
+    std::uint64_t requests_rerouted = 0;  ///< dispatched off-owner + handed off
+    std::uint64_t handoffs = 0;           ///< in-flight jobs re-sent on down
+    std::uint64_t duplicates_dropped = 0; ///< late answers for settled ids
+    std::uint64_t failovers = 0;          ///< serving shards lost (→ down)
+    std::uint64_t recoveries = 0;         ///< shards rejoined (→ up)
+    std::uint64_t reconnects = 0;         ///< successful re-dials
+    std::uint64_t pings_sent = 0;
+    std::uint64_t ping_misses = 0;
     std::size_t queued_now = 0;
     std::size_t queued_peak = 0;
     std::size_t outstanding_now = 0;
-    std::size_t backends_up = 0;
+    std::size_t backends_up = 0;  ///< serving (up or suspect) shards
   };
 
   explicit Router(Config config);
@@ -77,9 +129,15 @@ class Router : public Server::Handler {
     return static_cast<std::uint32_t>(backends_.size());
   }
 
+  /// Health state of one shard (loop thread, or loop stopped).
+  ShardState shard_state(std::uint32_t shard) const {
+    return backends_[shard].health.state();
+  }
+
   void on_frame(std::uint64_t conn, const FrameHeader& header,
                 std::span<const std::uint8_t> payload) override;
   void on_close(std::uint64_t conn) override;
+  void on_tick() override;
   std::string on_metrics() override;
 
   Stats stats() const;
@@ -87,19 +145,31 @@ class Router : public Server::Handler {
  private:
   struct BackendLink {
     std::uint64_t conn = 0;
-    bool up = false;
+    bool connected = false;  ///< outbound conn currently registered
+    ShardHealth health;
+    std::string host;
+    std::uint16_t port = 0;
+    std::uint64_t ping_id = 0;      ///< outstanding probe, 0 = none
+    std::int64_t ping_sent_us = 0;
+    ShardState last_state = ShardState::kUp;  ///< for transition counters
+
+    explicit BackendLink(const ShardHealthConfig& hc) : health(hc) {}
   };
   /// A forwarded submit awaiting its backend response.
   struct Pending {
     std::uint64_t client_conn = 0;
     std::uint64_t client_request_id = 0;
     std::uint32_t backend = 0;
+    std::uint64_t key = 0;  ///< fingerprint fold (ring position)
+    /// Frame copy kept for hand-off (fingerprint stamped, router id
+    /// patched); empty when failover is off.
+    std::vector<std::uint8_t> frame;
   };
   /// An admitted submit waiting for an outstanding-forward slot.
   struct Waiting {
     std::uint64_t client_conn = 0;
     std::uint64_t client_request_id = 0;
-    std::uint32_t backend = 0;
+    std::uint64_t key = 0;
     std::vector<std::uint8_t> frame;  // fingerprint already stamped
   };
 
@@ -111,12 +181,24 @@ class Router : public Server::Handler {
   void pump();
   void reject_client(std::uint64_t conn, std::uint64_t request_id,
                      RejectCode code, const std::string& reason);
+  /// Serving shard for a ring key (failover walk), or shard_count()
+  /// when the whole fleet is down.
+  std::uint32_t route_of(std::uint64_t key) const;
+  /// Mark a shard not-serving and re-route everything it owns.
+  void shard_down(std::uint32_t backend, const char* why);
+  void hand_off(std::uint32_t backend);
+  void note_event(std::uint32_t backend, const ShardHealth::Event& ev);
+  void probe(std::uint32_t backend);
+  void try_reconnect(std::uint32_t backend);
+  void settle(std::uint64_t router_id);
   std::int64_t now_micros() const;
 
   Config config_;
   Server* server_ = nullptr;
   HashRing ring_{1};  // rebuilt by connect_backends
-  std::vector<BackendLink> backends_;
+  // deque, not vector: BackendLink is pinned (ShardHealth's breaker owns
+  // a mutex), so elements must be constructed in place and never moved.
+  std::deque<BackendLink> backends_;
   std::unordered_map<std::uint64_t, std::uint32_t> backend_of_conn_;
 
   std::uint64_t next_router_id_ = 1;
@@ -124,8 +206,16 @@ class Router : public Server::Handler {
   svc::TenantQuota quota_;
   svc::FairQueue<Waiting> queue_;
 
+  /// Recently settled router ids: a bounded ring used to tell a late
+  /// duplicate response (hand-off raced the original shard's answer)
+  /// from wire garbage.
+  static constexpr std::size_t kSettledRing = 8192;
+  std::unordered_set<std::uint64_t> settled_;
+  std::deque<std::uint64_t> settled_order_;
+
   std::chrono::steady_clock::time_point epoch_ =
       std::chrono::steady_clock::now();
+  std::uint64_t tick_count_ = 0;
 
   std::uint64_t forwarded_ = 0;
   std::uint64_t returned_ = 0;
@@ -133,6 +223,14 @@ class Router : public Server::Handler {
   std::uint64_t overload_rejects_ = 0;
   std::uint64_t shard_down_rejects_ = 0;
   std::uint64_t fingerprints_computed_ = 0;
+  std::uint64_t requests_rerouted_ = 0;
+  std::uint64_t handoffs_ = 0;
+  std::uint64_t duplicates_dropped_ = 0;
+  std::uint64_t failovers_ = 0;
+  std::uint64_t recoveries_ = 0;
+  std::uint64_t reconnects_ = 0;
+  std::uint64_t pings_sent_ = 0;
+  std::uint64_t ping_misses_ = 0;
 };
 
 }  // namespace tgp::net

@@ -3,6 +3,7 @@
 #include <sys/epoll.h>
 #include <sys/eventfd.h>
 #include <sys/socket.h>
+#include <sys/timerfd.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -10,6 +11,7 @@
 #include <utility>
 
 #include "obs/trace.hpp"
+#include "util/fault.hpp"
 #include "util/logging.hpp"
 
 namespace tgp::net {
@@ -45,6 +47,27 @@ Server::Server(Config config, Handler& handler)
   if (::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_ADD, wake_fd_.get(), &ev) < 0)
     throw SocketError(std::string("epoll_ctl(wake): ") +
                       std::strerror(errno));
+
+  if (config_.tick_interval_ms > 0) {
+    timer_fd_ = UniqueFd(
+        ::timerfd_create(CLOCK_MONOTONIC, TFD_CLOEXEC | TFD_NONBLOCK));
+    if (!timer_fd_.valid())
+      throw SocketError(std::string("timerfd_create: ") +
+                        std::strerror(errno));
+    itimerspec spec{};
+    spec.it_interval.tv_sec = config_.tick_interval_ms / 1000;
+    spec.it_interval.tv_nsec =
+        static_cast<long>(config_.tick_interval_ms % 1000) * 1'000'000L;
+    spec.it_value = spec.it_interval;
+    if (::timerfd_settime(timer_fd_.get(), 0, &spec, nullptr) < 0)
+      throw SocketError(std::string("timerfd_settime: ") +
+                        std::strerror(errno));
+    ev.events = EPOLLIN;
+    ev.data.u64 = 2;  // tick timer sentinel (conn keys start at 3 = id 1)
+    if (::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_ADD, timer_fd_.get(), &ev) < 0)
+      throw SocketError(std::string("epoll_ctl(timer): ") +
+                        std::strerror(errno));
+  }
 }
 
 Server::~Server() = default;
@@ -76,8 +99,9 @@ void Server::close_conn(std::uint64_t conn) {
   wake();
 }
 
-std::uint64_t Server::connect(const std::string& host, std::uint16_t port) {
-  UniqueFd fd = connect_tcp(host, port);
+std::uint64_t Server::connect(const std::string& host, std::uint16_t port,
+                              int connect_timeout_ms) {
+  UniqueFd fd = connect_tcp(host, port, connect_timeout_ms);
   set_nonblocking(fd.get());
   auto conn = std::make_unique<Conn>();
   conn->fd = std::move(fd);
@@ -85,11 +109,11 @@ std::uint64_t Server::connect(const std::string& host, std::uint16_t port) {
   conn->mode_known = true;  // we initiated: it speaks the binary protocol
   std::uint64_t id;
   {
-    // Registration mutates loop state; serialize against the loop by
-    // doing it under the mailbox lock inside a loop-processed callback
-    // would be cleaner, but connect() is only called during topology
-    // setup (router construction) before run() — document and keep it
-    // simple.  The epoll registration itself is thread-safe.
+    // Registration mutates loop state (conns_), so connect() must run
+    // either before run() (topology setup: Router::connect_backends) or
+    // *on* the loop thread (Router::on_tick reconnecting a recovered
+    // shard) — both hold.  The mailbox lock only serializes the conn-id
+    // counter; the epoll registration itself is thread-safe.
     std::lock_guard lk(mail_mu_);
     id = next_conn_id_++;
     conn->id = id;
@@ -123,11 +147,15 @@ void Server::run() {
   constexpr int kMaxEvents = 64;
   epoll_event events[kMaxEvents];
   while (!stop_.load()) {
-    int n = ::epoll_wait(epoll_fd_.get(), events, kMaxEvents, -1);
+    // Injected stalls need a short poll so frozen connections thaw on
+    // time; otherwise the loop sleeps until real work arrives.
+    const int wait_ms = stalled_conns_ > 0 ? 1 : -1;
+    int n = ::epoll_wait(epoll_fd_.get(), events, kMaxEvents, wait_ms);
     if (n < 0) {
       if (errno == EINTR) continue;
       throw SocketError(std::string("epoll_wait: ") + std::strerror(errno));
     }
+    if (stalled_conns_ > 0) release_stalls();
     for (int i = 0; i < n; ++i) {
       std::uint64_t key = events[i].data.u64;
       std::uint32_t mask = events[i].events;
@@ -140,6 +168,15 @@ void Server::run() {
         while (::read(wake_fd_.get(), &drained, sizeof drained) > 0) {
         }
         drain_mailbox();
+        continue;
+      }
+      if (key == 2) {
+        std::uint64_t expirations;
+        while (::read(timer_fd_.get(), &expirations, sizeof expirations) >
+               0) {
+        }
+        ++counters_.ticks;
+        handler_.on_tick();
         continue;
       }
       Conn* c = find(key - 2);
@@ -200,6 +237,14 @@ void Server::accept_ready() {
       TGP_WARN("net: accept failed: " << std::strerror(errno));
       return;
     }
+    if (accept_fault()) {
+      // Injected net.sock.accept: the connection is dropped before
+      // registration, as if the SYN queue overflowed.  The peer sees an
+      // immediate close and must retry.
+      ++counters_.injected_sock_faults;
+      ::close(raw);
+      continue;
+    }
     set_nodelay(raw);
     auto conn = std::make_unique<Conn>();
     conn->fd = UniqueFd(raw);
@@ -224,7 +269,7 @@ void Server::readable(Conn& c) {
   for (;;) {
     const std::size_t tail = c.in.size();
     c.in.resize(tail + kReadChunk);
-    ssize_t n = ::recv(c.fd.get(), c.in.data() + tail, kReadChunk, 0);
+    ssize_t n = faulty_recv(c.fd.get(), c.in.data() + tail, kReadChunk, 0);
     if (n > 0) {
       c.in.resize(tail + static_cast<std::size_t>(n));
       counters_.bytes_in += static_cast<std::uint64_t>(n);
@@ -242,6 +287,8 @@ void Server::readable(Conn& c) {
     }
     if (errno == EAGAIN || errno == EWOULDBLOCK) break;
     if (errno == EINTR) continue;
+    if (errno == ECONNRESET && util::faults().armed())
+      ++counters_.injected_sock_faults;
     destroy(c.id);
     return;
   }
@@ -314,7 +361,8 @@ void Server::parse_frames(Conn& c) {
       if (still == nullptr) return;
       send_reject(*still, RejectCode::kMalformed, e.what(), h.request_id,
                   /*close_after=*/false);
-      if (still->closing) return;
+      still = find(c.id);  // send_reject may destroy under a fault storm
+      if (still == nullptr || still->closing) return;
       continue;
     } catch (const std::exception& e) {
       TGP_WARN("net: handler failed: " << e.what());
@@ -378,6 +426,56 @@ void Server::parse_http(Conn& c) {
 }
 
 void Server::queue_frame(Conn& c, std::vector<std::uint8_t> frame) {
+  // A closing connection delivers only what was already queued.  New
+  // frames are dropped: the peer is about to observe EOF anyway, and
+  // appending after an injected-truncate tail would desync its stream.
+  if (c.closing) return;
+  // Chaos layer: sample one frame-fault decision per outbound frame
+  // (no-op and a single atomic load when the injector is disarmed).
+  switch (sample_frame_fault()) {
+    case FrameFault::kNone:
+      break;
+    case FrameFault::kDrop:
+      ++counters_.injected_frame_faults;
+      return;  // the frame never existed
+    case FrameFault::kDup: {
+      ++counters_.injected_frame_faults;
+      std::vector<std::uint8_t> copy = frame;
+      const std::uint64_t id = c.id;
+      queue_frame_raw(c, std::move(copy));
+      Conn* still = find(id);
+      if (still == nullptr) return;  // connection died mid-duplicate
+      queue_frame_raw(*still, std::move(frame));
+      return;
+    }
+    case FrameFault::kTruncate: {
+      ++counters_.injected_frame_faults;
+      // Send a strict prefix, then close: the peer observes a mid-frame
+      // disconnect, the canonical "process died while writing" shape.
+      frame.resize(std::max<std::size_t>(frame.size() / 2, 1));
+      c.closing = true;
+      const std::uint64_t id = c.id;
+      queue_frame_raw(c, std::move(frame));
+      Conn* still = find(id);
+      if (still != nullptr && still->out.size() == still->out_off)
+        destroy(id);
+      return;
+    }
+    case FrameFault::kStall:
+      ++counters_.injected_frame_faults;
+      if (!c.stalled) {
+        c.stalled = true;
+        ++stalled_conns_;
+      }
+      // Restamp the deadline: repeated stalls extend the freeze.
+      c.stall_until = std::chrono::steady_clock::now() +
+                      std::chrono::milliseconds(config_.fault_stall_ms);
+      break;  // the frame still queues; flush() holds it back
+  }
+  queue_frame_raw(c, std::move(frame));
+}
+
+void Server::queue_frame_raw(Conn& c, std::vector<std::uint8_t> frame) {
   ++counters_.frames_out;
   if (c.out.empty() && c.out_off == 0) {
     c.out = std::move(frame);
@@ -388,23 +486,43 @@ void Server::queue_frame(Conn& c, std::vector<std::uint8_t> frame) {
   update_epoll(c);
 }
 
+void Server::release_stalls() {
+  const auto now = std::chrono::steady_clock::now();
+  std::vector<std::uint64_t> due;
+  for (const auto& [id, c] : conns_)
+    if (c->stalled && now >= c->stall_until) due.push_back(id);
+  for (std::uint64_t id : due) {
+    Conn* c = find(id);
+    if (c == nullptr) continue;
+    c->stalled = false;
+    --stalled_conns_;
+    if (!flush(*c)) continue;
+    if (c->out.size() == c->out_off && c->closing) {
+      destroy(id);
+      continue;
+    }
+    update_epoll(*c);
+  }
+}
+
 void Server::send_reject(Conn& c, RejectCode code, const std::string& reason,
                          std::uint64_t request_id, bool close_after) {
   ++counters_.rejects_sent;
-  c.closing = close_after;
   std::vector<std::uint8_t> frame = encode_reject(code, reason, request_id);
   std::uint64_t id = c.id;
   queue_frame(c, std::move(frame));
   Conn* still = find(id);
-  if (still == nullptr) return;
+  if (still == nullptr) return;  // an injected truncate tore it down
+  if (close_after) still->closing = true;
   if (still->closing && still->out.size() == still->out_off) destroy(id);
 }
 
 bool Server::flush(Conn& c) {
   TGP_SPAN("net", "write");
+  if (c.stalled) return true;  // injected stall: hold bytes until release
   while (c.out_off < c.out.size()) {
-    ssize_t n = ::send(c.fd.get(), c.out.data() + c.out_off,
-                       c.out.size() - c.out_off, MSG_NOSIGNAL);
+    ssize_t n = faulty_send(c.fd.get(), c.out.data() + c.out_off,
+                            c.out.size() - c.out_off, MSG_NOSIGNAL);
     if (n > 0) {
       c.out_off += static_cast<std::size_t>(n);
       counters_.bytes_out += static_cast<std::uint64_t>(n);
@@ -412,6 +530,8 @@ bool Server::flush(Conn& c) {
     }
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;
     if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && errno == EPIPE && util::faults().armed())
+      ++counters_.injected_sock_faults;
     destroy(c.id);
     return false;
   }
@@ -444,6 +564,7 @@ void Server::update_epoll(Conn& c) {
 void Server::destroy(std::uint64_t id) {
   auto it = conns_.find(id);
   if (it == conns_.end()) return;
+  if (it->second->stalled) --stalled_conns_;
   ::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_DEL, it->second->fd.get(), nullptr);
   ++counters_.closes;
   conns_.erase(it);

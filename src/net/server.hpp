@@ -26,6 +26,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <deque>
 #include <memory>
@@ -48,6 +49,12 @@ class Server {
     std::uint16_t port = 0;  ///< 0 = ephemeral; read back with port()
     int backlog = 128;
     std::uint32_t max_payload_bytes = kDefaultMaxPayload;
+    /// > 0 arms a timerfd on the loop: Handler::on_tick() fires every
+    /// interval (the router's health probes and reconnects ride on it).
+    int tick_interval_ms = 0;
+    /// How long an injected net.frame.stall freezes a connection's
+    /// outbound side (chaos testing only; see net/socket.hpp).
+    int fault_stall_ms = 25;
   };
 
   /// Callbacks run on the loop thread (never concurrently).  Throwing
@@ -65,6 +72,8 @@ class Server {
     /// Body for `GET /metrics` (Prometheus text exposition).
     virtual std::string on_metrics() { return ""; }
     virtual void on_close(std::uint64_t conn) { (void)conn; }
+    /// Timer callback (loop thread), every Config::tick_interval_ms.
+    virtual void on_tick() {}
   };
 
   /// Binds and listens immediately (so port() is valid before run()).
@@ -85,8 +94,12 @@ class Server {
   void stop();
 
   /// Open an outbound connection (e.g. router → backend) and register it
-  /// with the loop.  Thread-safe; blocking connect.  Returns the conn id.
-  std::uint64_t connect(const std::string& host, std::uint16_t port);
+  /// with the loop.  Thread-safe; blocking connect bounded by
+  /// `connect_timeout_ms` when > 0 (throws WireError kTimeout past the
+  /// deadline — the router's reconnect path must not hang the loop on an
+  /// unreachable shard).  Returns the conn id.
+  std::uint64_t connect(const std::string& host, std::uint16_t port,
+                        int connect_timeout_ms = 0);
 
   /// Queue a frame for sending.  Thread-safe; silently drops when the
   /// connection is already gone (the peer will never miss what it could
@@ -117,6 +130,8 @@ class Server {
     bool mode_known = false;    // first bytes seen yet?
     bool closing = false;       // close once out drains
     bool want_write = false;    // EPOLLOUT currently registered
+    bool stalled = false;       // injected net.frame.stall in effect
+    std::chrono::steady_clock::time_point stall_until{};
     std::vector<std::uint8_t> in;
     std::size_t in_off = 0;  // consumed prefix of `in`
     std::vector<std::uint8_t> out;
@@ -138,6 +153,8 @@ class Server {
   void writable(Conn& c);
   bool flush(Conn& c);  // false = connection died
   void queue_frame(Conn& c, std::vector<std::uint8_t> frame);
+  void queue_frame_raw(Conn& c, std::vector<std::uint8_t> frame);
+  void release_stalls();
   void send_reject(Conn& c, RejectCode code, const std::string& reason,
                    std::uint64_t request_id, bool close_after);
   void parse_frames(Conn& c);
@@ -151,7 +168,9 @@ class Server {
   UniqueFd listen_fd_;
   UniqueFd epoll_fd_;
   UniqueFd wake_fd_;
+  UniqueFd timer_fd_;  // valid iff tick_interval_ms > 0
   std::uint16_t port_ = 0;
+  std::size_t stalled_conns_ = 0;
 
   std::uint64_t next_conn_id_ = 1;
   std::unordered_map<std::uint64_t, std::unique_ptr<Conn>> conns_;

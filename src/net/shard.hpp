@@ -15,6 +15,7 @@
 // counters in net/backend.hpp verify routing disjointness end to end.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -44,6 +45,26 @@ class HashRing {
   /// Owning shard for a canonical fingerprint (routes on fold()).
   std::uint32_t owner(const graph::Fingerprint& fp) const {
     return owner(fp.fold());
+  }
+
+  /// Failover routing: the first shard, walking clockwise from the
+  /// key's position, for which `alive(shard)` is true.  With every
+  /// shard alive this is exactly owner(); with the owner down, it is
+  /// the ring successor — and because only keys owned by dead shards
+  /// move, a key's ownership returns to the original shard the moment
+  /// it is alive again (minimal reshuffle, the failover analogue of the
+  /// add/remove property).  Returns shard_count() when nothing is alive.
+  template <class Pred>
+  std::uint32_t owner_if(std::uint64_t key, Pred&& alive) const {
+    const std::uint64_t h = ring_mix(key);
+    auto it = std::upper_bound(
+        points_.begin(), points_.end(), h,
+        [](std::uint64_t lhs, const auto& p) { return lhs < p.first; });
+    for (std::size_t step = 0; step < points_.size(); ++step, ++it) {
+      if (it == points_.end()) it = points_.begin();
+      if (alive(it->second)) return it->second;
+    }
+    return shard_count_;
   }
 
  private:

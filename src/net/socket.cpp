@@ -4,11 +4,17 @@
 #include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <csignal>
 #include <cstring>
+
+#include "net/wire.hpp"
+#include "util/fault.hpp"
 
 namespace tgp::net {
 
@@ -72,6 +78,94 @@ UniqueFd connect_tcp(const std::string& host, std::uint16_t port) {
     fail("connect " + host + ":" + std::to_string(port));
   set_nodelay(fd.get());
   return fd;
+}
+
+UniqueFd connect_tcp(const std::string& host, std::uint16_t port,
+                     int timeout_ms) {
+  if (timeout_ms <= 0) return connect_tcp(host, port);
+  UniqueFd fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) fail("socket");
+  set_nonblocking(fd.get());
+  sockaddr_in addr = make_addr(host, port);
+  const std::string where = host + ":" + std::to_string(port);
+  if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof addr) <
+      0) {
+    if (errno != EINPROGRESS) fail("connect " + where);
+    pollfd p{};
+    p.fd = fd.get();
+    p.events = POLLOUT;
+    int rc;
+    do {
+      rc = ::poll(&p, 1, timeout_ms);
+    } while (rc < 0 && errno == EINTR);
+    if (rc < 0) fail("poll(connect " + where + ")");
+    if (rc == 0)
+      throw WireError("connect " + where + " timed out after " +
+                          std::to_string(timeout_ms) + " ms",
+                      WireError::kTimeout);
+    int soerr = 0;
+    socklen_t len = sizeof soerr;
+    if (::getsockopt(fd.get(), SOL_SOCKET, SO_ERROR, &soerr, &len) < 0)
+      fail("getsockopt(SO_ERROR)");
+    if (soerr != 0) {
+      errno = soerr;
+      fail("connect " + where);
+    }
+  }
+  // Hand the fd back blocking, matching the two-argument overload; the
+  // client flips it non-blocking itself for its poll() loop.
+  int flags = ::fcntl(fd.get(), F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd.get(), F_SETFL, flags & ~O_NONBLOCK);
+  set_nodelay(fd.get());
+  return fd;
+}
+
+void set_socket_timeouts(int fd, int recv_ms, int send_ms) {
+  const auto to_tv = [](int ms) {
+    timeval tv{};
+    tv.tv_sec = ms / 1000;
+    tv.tv_usec = static_cast<suseconds_t>((ms % 1000) * 1000);
+    return tv;
+  };
+  // Best effort, like set_nodelay: the poll() deadlines are authoritative.
+  if (recv_ms > 0) {
+    timeval tv = to_tv(recv_ms);
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  }
+  if (send_ms > 0) {
+    timeval tv = to_tv(send_ms);
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+  }
+}
+
+void ignore_sigpipe() { std::signal(SIGPIPE, SIG_IGN); }
+
+ssize_t faulty_recv(int fd, void* buf, std::size_t len, int flags) {
+  if (util::faults().fire("net.sock.read")) {
+    errno = ECONNRESET;
+    return -1;
+  }
+  return ::recv(fd, buf, len, flags);
+}
+
+ssize_t faulty_send(int fd, const void* buf, std::size_t len, int flags) {
+  if (util::faults().fire("net.sock.write")) {
+    errno = EPIPE;
+    return -1;
+  }
+  return ::send(fd, buf, len, flags);
+}
+
+bool accept_fault() { return util::faults().fire("net.sock.accept"); }
+
+FrameFault sample_frame_fault() {
+  util::FaultInjector& f = util::faults();
+  if (!f.armed()) return FrameFault::kNone;
+  if (f.fire("net.frame.drop")) return FrameFault::kDrop;
+  if (f.fire("net.frame.dup")) return FrameFault::kDup;
+  if (f.fire("net.frame.truncate")) return FrameFault::kTruncate;
+  if (f.fire("net.frame.stall")) return FrameFault::kStall;
+  return FrameFault::kNone;
 }
 
 std::uint16_t local_port(int fd) {

@@ -4,6 +4,9 @@
 // loopback by default and real deployments sit behind a load balancer.
 #pragma once
 
+#include <sys/types.h>
+
+#include <cstddef>
 #include <cstdint>
 #include <stdexcept>
 #include <string>
@@ -50,6 +53,65 @@ UniqueFd listen_tcp(const std::string& bind_addr, std::uint16_t port,
 
 /// Blocking connect to `host:port` with TCP_NODELAY.  Throws SocketError.
 UniqueFd connect_tcp(const std::string& host, std::uint16_t port);
+
+/// Connect with a poll-based deadline: the socket is switched
+/// non-blocking, the three-way handshake is awaited for at most
+/// `timeout_ms`, and the fd is handed back in blocking mode.
+/// timeout_ms <= 0 behaves exactly like the two-argument overload.
+/// Throws net::WireError with Kind kTimeout when the deadline expires,
+/// SocketError for every other failure.
+UniqueFd connect_tcp(const std::string& host, std::uint16_t port,
+                     int timeout_ms);
+
+/// SO_RCVTIMEO / SO_SNDTIMEO in milliseconds (0 leaves the side
+/// unbounded).  A belt for the blocking client's braces: its poll() loop
+/// carries the real deadline, but any syscall that slips through without
+/// one (the connect handshake tail, a blocking DNS-free sendmsg) is
+/// still bounded by the kernel timers.
+void set_socket_timeouts(int fd, int recv_ms, int send_ms);
+
+/// Process-wide SIGPIPE → SIG_IGN.  Every net tool calls this before
+/// touching a socket: a peer that disappears between poll() and send()
+/// must surface as EPIPE (peer-closed, handled) rather than kill the
+/// process.  In-process sends already pass MSG_NOSIGNAL; this covers
+/// writes made on the process's behalf (stdio to a closed pipe included).
+void ignore_sigpipe();
+
+// ---- Deterministic network fault injection --------------------------------
+//
+// The flaky-socket layer consults util::faults() (seeded, per-site call
+// counters — see util/fault.hpp) so every network failure mode is
+// reproducible from a seed.  Sites:
+//
+//   net.sock.accept    accepted connection is dropped on the floor
+//   net.sock.read      recv() fails with ECONNRESET (peer reset)
+//   net.sock.write     send() fails with EPIPE (peer closed)
+//   net.frame.drop     an outbound frame silently vanishes
+//   net.frame.dup      an outbound frame is delivered twice
+//   net.frame.truncate a prefix of the frame is sent, then the
+//                      connection closes (mid-frame disconnect)
+//   net.frame.stall    the connection's outbound side freezes for a
+//                      beat (stalled-peer simulation)
+//
+// The sock.* wrappers fail the syscall *before* making it, so no bytes
+// escape on an injected failure; the frame.* decisions are sampled by
+// the server's frame-queueing layer (net/server.cpp).
+
+/// recv(2) guarded by net.sock.read: on an injected fault returns -1
+/// with errno = ECONNRESET without touching the socket.
+ssize_t faulty_recv(int fd, void* buf, std::size_t len, int flags);
+
+/// send(2) guarded by net.sock.write: on an injected fault returns -1
+/// with errno = EPIPE without touching the socket.
+ssize_t faulty_send(int fd, const void* buf, std::size_t len, int flags);
+
+/// Should this freshly accepted connection be dropped? (net.sock.accept)
+bool accept_fault();
+
+/// Outbound frame perturbations, sampled once per queued frame in site
+/// order drop → dup → truncate → stall (first hit wins).
+enum class FrameFault { kNone, kDrop, kDup, kTruncate, kStall };
+FrameFault sample_frame_fault();
 
 /// Port a bound socket actually landed on.
 std::uint16_t local_port(int fd);

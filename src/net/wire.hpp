@@ -85,7 +85,16 @@ enum class RejectCode : std::uint8_t {
 const char* reject_code_name(RejectCode c);
 
 struct WireError : std::runtime_error {
-  using std::runtime_error::runtime_error;
+  /// kProtocol — the bytes are wrong (malformed frame, unexpected type);
+  /// kTimeout — the bytes never came (a deadline expired waiting on the
+  /// peer).  Timeouts are recoverable by reconnect + resubmit; protocol
+  /// errors are not.
+  enum Kind { kProtocol, kTimeout };
+
+  explicit WireError(const std::string& what, Kind kind = kProtocol)
+      : std::runtime_error(what), kind(kind) {}
+
+  Kind kind = kProtocol;
 };
 
 struct FrameHeader {

@@ -82,6 +82,9 @@ struct NetCounters {
   std::uint64_t oversized_frames = 0; ///< length prefixes over the cap
   std::uint64_t rejects_sent = 0;     ///< kReject frames emitted
   std::uint64_t http_requests = 0;    ///< plain-HTTP requests (/metrics)
+  std::uint64_t ticks = 0;            ///< timer ticks delivered to the handler
+  std::uint64_t injected_sock_faults = 0;   ///< net.sock.* fired (fault inj.)
+  std::uint64_t injected_frame_faults = 0;  ///< net.frame.* fired (fault inj.)
 
   void merge(const NetCounters& o) {
     accepts += o.accepts;
@@ -94,6 +97,9 @@ struct NetCounters {
     oversized_frames += o.oversized_frames;
     rejects_sent += o.rejects_sent;
     http_requests += o.http_requests;
+    ticks += o.ticks;
+    injected_sock_faults += o.injected_sock_faults;
+    injected_frame_faults += o.injected_frame_faults;
   }
 };
 

@@ -11,6 +11,15 @@ FaultClass classify_site(std::string_view site) {
     return FaultClass::kTransientError;
   if (site == "svc.queue.push" || site == "svc.queue.pop")
     return FaultClass::kTransientDelay;
+  // Network faults (net/socket.hpp): a reset read, a broken write, or a
+  // dropped/truncated frame fails that connection attempt but a
+  // reconnect + resubmit can succeed — transient errors.  A stalled
+  // frame is pure delay: the bytes still arrive.
+  if (site == "net.sock.accept" || site == "net.sock.read" ||
+      site == "net.sock.write" || site == "net.frame.drop" ||
+      site == "net.frame.dup" || site == "net.frame.truncate")
+    return FaultClass::kTransientError;
+  if (site == "net.frame.stall") return FaultClass::kTransientDelay;
   return FaultClass::kPermanent;
 }
 
@@ -178,6 +187,13 @@ CircuitBreaker::Outcome CircuitBreaker::record_fault(std::int64_t now_micros) {
     return transition_locked(BreakerState::kOpen);
   }
   return {state_, false};
+}
+
+CircuitBreaker::Outcome CircuitBreaker::trip(std::int64_t now_micros) {
+  std::lock_guard lk(mu_);
+  if (state_ == BreakerState::kOpen) return {state_, false};
+  opened_micros_ = now_micros;
+  return transition_locked(BreakerState::kOpen);
 }
 
 BreakerState CircuitBreaker::state() const {

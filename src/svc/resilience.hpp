@@ -150,6 +150,12 @@ class CircuitBreaker {
   Outcome record_success(std::int64_t now_micros);
   Outcome record_fault(std::int64_t now_micros);
 
+  /// Force the breaker open right now, bypassing the sliding window —
+  /// for failures that need no statistics, e.g. the guarded peer's
+  /// connection dropping (net::ShardHealth on a backend disconnect).
+  /// A no-op when already open.
+  Outcome trip(std::int64_t now_micros);
+
   BreakerState state() const;
   BreakerStats stats() const;
 

@@ -1,0 +1,207 @@
+// Shard health state machine (up → suspect → down → recovering) and the
+// HashRing failover properties the hand-off protocol leans on:
+// successor-only re-ownership when a shard dies, the minimal-reshuffle
+// bound, and exact round-trip of ownership when the shard comes back.
+#include "net/health.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "net/shard.hpp"
+
+namespace tgp::net {
+namespace {
+
+ShardHealthConfig fast_config() {
+  ShardHealthConfig c;
+  c.fail_threshold = 3;
+  c.down_cooldown_us = 1000;
+  c.recover_probes = 2;
+  return c;
+}
+
+TEST(ShardHealth, StartsUp) {
+  ShardHealth h(fast_config());
+  EXPECT_EQ(h.state(), ShardState::kUp);
+  EXPECT_TRUE(h.serving());
+  EXPECT_EQ(h.transitions(), 0u);
+}
+
+TEST(ShardHealth, MissesWalkUpSuspectDown) {
+  ShardHealth h(fast_config());
+  std::int64_t t = 0;
+
+  ShardHealth::Event ev = h.probe_miss(++t);
+  EXPECT_EQ(ev.state, ShardState::kSuspect);
+  EXPECT_TRUE(ev.changed);
+  EXPECT_TRUE(h.serving()) << "suspect still serves traffic";
+
+  ev = h.probe_miss(++t);
+  EXPECT_EQ(ev.state, ShardState::kSuspect);
+  EXPECT_FALSE(ev.changed);
+
+  ev = h.probe_miss(++t);  // third consecutive miss = fail_threshold
+  EXPECT_EQ(ev.state, ShardState::kDown);
+  EXPECT_TRUE(ev.changed);
+  EXPECT_FALSE(h.serving());
+}
+
+TEST(ShardHealth, OneAnswerClearsSuspect) {
+  ShardHealth h(fast_config());
+  std::int64_t t = 0;
+  h.probe_miss(++t);
+  h.probe_miss(++t);
+  ShardHealth::Event ev = h.probe_ok(++t);
+  EXPECT_EQ(ev.state, ShardState::kUp);
+  EXPECT_TRUE(ev.changed);
+  // The miss counter reset: three more misses are needed to go down.
+  h.probe_miss(++t);
+  h.probe_miss(++t);
+  EXPECT_EQ(h.state(), ShardState::kSuspect);
+}
+
+TEST(ShardHealth, DisconnectTripsImmediately) {
+  ShardHealth h(fast_config());
+  ShardHealth::Event ev = h.disconnected(1);
+  EXPECT_EQ(ev.state, ShardState::kDown);
+  EXPECT_TRUE(ev.changed);
+  EXPECT_FALSE(h.serving());
+  // Idempotent while already down.
+  ev = h.disconnected(2);
+  EXPECT_FALSE(ev.changed);
+}
+
+TEST(ShardHealth, ReconnectWaitsOutTheCooldown) {
+  ShardHealth h(fast_config());
+  h.disconnected(0);
+  EXPECT_FALSE(h.reconnect_due(500)) << "cooldown is 1000us";
+  EXPECT_TRUE(h.reconnect_due(1500));
+  // The admitted reconnect put the shard in recovering; a second
+  // reconnect attempt is not due while one is in flight.
+  EXPECT_EQ(h.state(), ShardState::kRecovering);
+  EXPECT_FALSE(h.reconnect_due(1600));
+}
+
+TEST(ShardHealth, RecoveryDrainsBackInAfterProbes) {
+  ShardHealth h(fast_config());  // recover_probes = 2
+  h.disconnected(0);
+  ASSERT_TRUE(h.reconnect_due(2000));
+  ShardHealth::Event ev = h.reconnect_succeeded(2100);
+  // The completed handshake is recovery probe #1 of 2: still recovering.
+  EXPECT_EQ(ev.state, ShardState::kRecovering);
+  EXPECT_FALSE(h.serving()) << "recovering shards take probes, not jobs";
+
+  ASSERT_TRUE(h.recovery_probe_due(2200));
+  ev = h.probe_ok(2300);  // probe #2 answers
+  EXPECT_EQ(ev.state, ShardState::kUp);
+  EXPECT_TRUE(ev.changed);
+  EXPECT_TRUE(h.serving());
+}
+
+TEST(ShardHealth, ReconnectFailureRestartsTheCooldown) {
+  ShardHealth h(fast_config());
+  h.disconnected(0);
+  ASSERT_TRUE(h.reconnect_due(2000));
+  ShardHealth::Event ev = h.reconnect_failed(2100);
+  EXPECT_EQ(ev.state, ShardState::kDown);
+  EXPECT_FALSE(h.reconnect_due(2500)) << "cooldown restarted at 2100";
+  EXPECT_TRUE(h.reconnect_due(3200));
+}
+
+TEST(ShardHealth, MissDuringRecoveryReopens) {
+  ShardHealth h(fast_config());
+  h.disconnected(0);
+  ASSERT_TRUE(h.reconnect_due(2000));
+  h.reconnect_succeeded(2100);
+  ASSERT_EQ(h.state(), ShardState::kRecovering);
+  ShardHealth::Event ev = h.probe_miss(2200);
+  EXPECT_EQ(ev.state, ShardState::kDown);
+  EXPECT_TRUE(ev.changed);
+}
+
+// ---- HashRing failover properties -----------------------------------------
+
+constexpr int kKeys = 20000;
+constexpr std::uint32_t kShards = 5;
+
+std::uint64_t key_of(int i) {
+  return ring_mix(static_cast<std::uint64_t>(i) + 11);
+}
+
+TEST(HashRingFailover, AllAliveMatchesOwner) {
+  HashRing ring(kShards);
+  for (int i = 0; i < kKeys; ++i)
+    EXPECT_EQ(ring.owner_if(key_of(i), [](std::uint32_t) { return true; }),
+              ring.owner(key_of(i)));
+}
+
+TEST(HashRingFailover, OnlyTheDeadShardsKeysMove) {
+  HashRing ring(kShards);
+  const std::uint32_t dead = 2;
+  auto alive = [&](std::uint32_t s) { return s != dead; };
+  int moved = 0;
+  for (int i = 0; i < kKeys; ++i) {
+    const std::uint64_t key = key_of(i);
+    const std::uint32_t before = ring.owner(key);
+    const std::uint32_t after = ring.owner_if(key, alive);
+    ASSERT_NE(after, dead);
+    if (before == dead) {
+      ++moved;
+    } else {
+      // Keys the dead shard never owned do not move at all — that is
+      // what makes fail-over cache-friendly for the survivors.
+      EXPECT_EQ(after, before);
+    }
+  }
+  // Minimal reshuffle: only the dead shard's ~1/N of the keyspace
+  // moves, with generous slack for vnode imbalance.
+  EXPECT_GT(moved, 0);
+  EXPECT_LT(moved, kKeys * 2 / kShards);
+}
+
+TEST(HashRingFailover, DeadShardsKeysSpreadOverSurvivors) {
+  HashRing ring(kShards);
+  const std::uint32_t dead = 0;
+  auto alive = [&](std::uint32_t s) { return s != dead; };
+  std::map<std::uint32_t, int> inherited;
+  for (int i = 0; i < kKeys; ++i) {
+    const std::uint64_t key = key_of(i);
+    if (ring.owner(key) == dead) ++inherited[ring.owner_if(key, alive)];
+  }
+  // With 64 vnodes the dead shard's arcs are interleaved with every
+  // other shard's, so no single survivor inherits the whole load.
+  EXPECT_GE(inherited.size(), 2u);
+}
+
+TEST(HashRingFailover, RemoveThenReviveRoundTripsOwnership) {
+  HashRing ring(kShards);
+  const std::uint32_t dead = 3;
+  auto all = [](std::uint32_t) { return true; };
+  auto without = [&](std::uint32_t s) { return s != dead; };
+  for (int i = 0; i < kKeys; ++i) {
+    const std::uint64_t key = key_of(i);
+    const std::uint32_t original = ring.owner_if(key, all);
+    (void)ring.owner_if(key, without);  // shard dies...
+    // ...and comes back: every key returns to its original owner.
+    EXPECT_EQ(ring.owner_if(key, all), original);
+  }
+}
+
+TEST(HashRingFailover, CascadingDeathsStillRoute) {
+  HashRing ring(kShards);
+  // Kill all but shard 4: everything routes there.
+  auto only4 = [](std::uint32_t s) { return s == 4; };
+  for (int i = 0; i < 200; ++i)
+    EXPECT_EQ(ring.owner_if(key_of(i), only4), 4u);
+}
+
+TEST(HashRingFailover, NothingAliveReturnsShardCount) {
+  HashRing ring(kShards);
+  auto none = [](std::uint32_t) { return false; };
+  EXPECT_EQ(ring.owner_if(key_of(0), none), kShards);
+}
+
+}  // namespace
+}  // namespace tgp::net

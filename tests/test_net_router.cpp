@@ -296,7 +296,12 @@ TEST_F(RouterTest, QuotaRejectsSurfaceAsOverloadedResults) {
 }
 
 TEST_F(RouterTest, DeadShardFailsFastOwnedJobsOnly) {
-  start_router(Router::Config{});
+  // failover=false pins the PR 6 contract: a dead shard's jobs fail
+  // fast with kShardDown instead of handing off to the ring successor
+  // (the failover path is covered by test_net_failover.cpp).
+  Router::Config cfg;
+  cfg.failover = false;
+  start_router(cfg);
   std::vector<svc::JobSpec> specs = tools::generate_workload(40, 23, 0);
   // Make sure the workload actually spans both shards.
   std::map<std::uint32_t, int> per_shard;

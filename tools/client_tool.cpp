@@ -21,6 +21,8 @@ std::string client_tool_help() {
       "                  (--jobs FILE | --generate N | --ping | --metrics)\n"
       "                  [--seed S] [--dup-frac F] [--deadline-us D]\n"
       "                  [--tenant T] [--no-results] [--log-level LEVEL]\n"
+      "                  [--connect-timeout-ms MS] [--timeout-ms MS]\n"
+      "                  [--reconnect N] [--hedge-ms MS]\n"
       "\n"
       "Submits the same workloads as tgp_serve (same --jobs file format,\n"
       "same --generate synthesis) over the binary wire protocol, pipelining\n"
@@ -39,7 +41,16 @@ std::string client_tool_help() {
       "  --tenant T           tenant id stamped on every submit (0)\n"
       "  --no-results         suppress the results table\n"
       "  --ping               round-trip a liveness probe and exit\n"
-      "  --metrics            print the server's Prometheus metrics\n";
+      "  --metrics            print the server's Prometheus metrics\n"
+      "\n"
+      "Resilience (all off by default; stdout stays byte-identical —\n"
+      "recovery happens on stderr):\n"
+      "  --connect-timeout-ms MS  bound the TCP handshake\n"
+      "  --timeout-ms MS      io deadline: no data this long = timeout\n"
+      "  --reconnect N        re-dial up to N times on transport failure\n"
+      "                       or timeout, re-sending unanswered submits\n"
+      "  --hedge-ms MS        duplicate a submit still unanswered after\n"
+      "                       MS ms under a fresh id; first answer wins\n";
 }
 
 int run_client_tool(const std::vector<std::string>& args, std::ostream& out,
@@ -58,7 +69,11 @@ int run_client_tool(const std::vector<std::string>& args, std::ostream& out,
         .describe("no-results", "suppress the results table")
         .describe("ping", "liveness probe")
         .describe("metrics", "fetch server Prometheus metrics")
-        .describe("log-level", "stderr log threshold");
+        .describe("log-level", "stderr log threshold")
+        .describe("connect-timeout-ms", "TCP handshake deadline")
+        .describe("timeout-ms", "io-silence deadline")
+        .describe("reconnect", "re-dial budget on transport failure")
+        .describe("hedge-ms", "hedge unanswered submits after this long");
     if (parser.has("help")) {
       out << client_tool_help();
       return 0;
@@ -81,14 +96,25 @@ int run_client_tool(const std::vector<std::string>& args, std::ostream& out,
     }
     auto [host, port] = net::parse_host_port(parser.get("connect", ""));
 
+    net::ignore_sigpipe();
+    net::Client::Config cc;
+    cc.host = host;
+    cc.port = port;
+    cc.connect_timeout_ms =
+        static_cast<int>(parser.get_int("connect-timeout-ms", 0));
+    cc.io_timeout_ms = static_cast<int>(parser.get_int("timeout-ms", 0));
+    cc.reconnect_attempts = static_cast<int>(parser.get_int("reconnect", 0));
+    cc.hedge_after_ms = static_cast<int>(parser.get_int("hedge-ms", 0));
+    cc.seed = static_cast<std::uint64_t>(parser.get_int("seed", 42));
+
     if (parser.get_bool("ping", false)) {
-      net::Client client(host, port);
+      net::Client client(cc);
       client.ping();
       out << "pong from " << host << ":" << port << "\n";
       return 0;
     }
     if (parser.get_bool("metrics", false)) {
-      net::Client client(host, port);
+      net::Client client(cc);
       out << client.fetch_metrics();
       return 0;
     }
@@ -135,7 +161,7 @@ int run_client_tool(const std::vector<std::string>& args, std::ostream& out,
       requests.push_back(std::move(req));
     }
 
-    net::Client client(host, port);
+    net::Client client(cc);
     double wall_seconds = 0;
     std::vector<svc::JobResult> results;
     {
@@ -150,6 +176,15 @@ int run_client_tool(const std::vector<std::string>& args, std::ostream& out,
                          std::max(wall_seconds, 1e-9),
                      1)
         << " jobs/s\n";
+    const net::Client::Stats& cs = client.stats();
+    if (cs.reconnects > 0 || cs.hedges_sent > 0 || cs.timeouts > 0 ||
+        cs.duplicates_dropped > 0) {
+      err << "resilience: " << cs.reconnects << " reconnect(s), "
+          << cs.resubmitted << " resubmitted, " << cs.hedges_sent
+          << " hedge(s) sent, " << cs.hedge_wins << " hedge win(s), "
+          << cs.duplicates_dropped << " duplicate(s) dropped, "
+          << cs.timeouts << " timeout(s)\n";
+    }
     return batch_exit_report(results, rows_skipped, err);
   } catch (const std::exception& e) {
     err << "error: " << e.what() << "\n";

@@ -12,11 +12,20 @@
 #include "net/server.hpp"
 #include "svc/service.hpp"
 #include "util/argparse.hpp"
+#include "util/fault.hpp"
 #include "util/logging.hpp"
 
 namespace tgp::tools {
 
 namespace {
+
+/// Every nonzero exit gets exactly one trailing summary line on stderr
+/// (parity with tgp_serve's batch_exit_report), so a supervisor's log
+/// always explains a crash-looping shard.
+int fail(std::ostream& err, int code, const std::string& summary) {
+  err << "tgp_served: exiting " << code << " (" << summary << ")\n";
+  return code;
+}
 
 // Signal target: stop() is an atomic store plus an eventfd write, both
 // async-signal-safe.
@@ -43,6 +52,9 @@ class ActivityHandler : public net::Server::Handler {
     touch();
     inner_.on_frame(conn, header, payload);
   }
+  // Deliberately no touch(): health probes must not keep an otherwise
+  // idle process alive past --stop-after-idle-ms.
+  void on_tick() override { inner_.on_tick(); }
   std::string on_metrics() override { return inner_.on_metrics(); }
   void on_close(std::uint64_t conn) override {
     if (open_.load() > 0) open_.fetch_sub(1);
@@ -64,6 +76,40 @@ class ActivityHandler : public net::Server::Handler {
   std::atomic<std::chrono::steady_clock::time_point> last_{
       std::chrono::steady_clock::now()};
 };
+
+/// Parse "site=prob,site=prob" per-site overrides for --fault-sites.
+/// Returns false (and reports on err) on a malformed item.
+bool parse_fault_sites(const std::string& list, std::ostream& err) {
+  std::size_t pos = 0;
+  while (pos <= list.size()) {
+    std::size_t comma = list.find(',', pos);
+    std::string item = list.substr(
+        pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    if (!item.empty()) {
+      std::size_t eq = item.find('=');
+      if (eq == std::string::npos || eq == 0) {
+        err << "error: --fault-sites item '" << item
+            << "' is not SITE=PROBABILITY\n";
+        return false;
+      }
+      util::faults().set_site_probability(item.substr(0, eq),
+                                          std::stod(item.substr(eq + 1)));
+    }
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return true;
+}
+
+/// Dump per-site injection counts at exit so a chaos harness can verify
+/// the storm actually fired, then disarm.
+void report_faults(std::ostream& err) {
+  if (!util::faults().armed()) return;
+  for (const auto& st : util::faults().report())
+    err << "fault " << st.site << ": " << st.fired << "/" << st.calls
+        << " fired\n";
+  util::faults().disarm();
+}
 
 std::vector<std::pair<std::string, std::uint16_t>> parse_backend_list(
     const std::string& list) {
@@ -114,6 +160,8 @@ std::string served_tool_help() {
       "\n"
       "usage: tgp_served [--port P] [--bind ADDR] [--max-frame-mb M]\n"
       "                  [--stop-after-idle-ms MS] [--log-level LEVEL]\n"
+      "                  [--tick-ms MS] [--fault-rate P] [--fault-seed S]\n"
+      "                  [--fault-sites SITE=P,...] [--fault-stall-ms MS]\n"
       "          backend: [--threads N] [--cache-mb M] [--queue-cap C]\n"
       "                  [--max-inflight N] [--rate-limit R] [--retry N]\n"
       "                  [--degrade-watermark W] [--breaker]\n"
@@ -121,6 +169,9 @@ std::string served_tool_help() {
       "          router:  --route HOST:PORT[,HOST:PORT...]\n"
       "                  [--tenant-rate R] [--tenant-burst B]\n"
       "                  [--max-outstanding N] [--max-queued N]\n"
+      "                  [--no-failover] [--fail-threshold N]\n"
+      "                  [--down-cooldown-ms MS] [--recover-probes N]\n"
+      "                  [--probe-timeout-ms MS] [--connect-timeout-ms MS]\n"
       "\n"
       "Speaks the tgp binary wire protocol (length-prefixed frames; see\n"
       "docs/architecture.md).  Prints exactly one 'listening on HOST:PORT'\n"
@@ -139,13 +190,27 @@ std::string served_tool_help() {
       "the fingerprint when the client did not.  --tenant-rate enforces a\n"
       "per-tenant token-bucket quota (kQuotaExceeded rejects); admitted\n"
       "submits beyond --max-outstanding wait in a per-tenant round-robin\n"
-      "fair queue of at most --max-queued (kOverloaded beyond that).\n";
+      "fair queue of at most --max-queued (kOverloaded beyond that).\n"
+      "\n"
+      "With --tick-ms the router actively health-checks its backends\n"
+      "(ping probes every tick; --fail-threshold consecutive misses mark\n"
+      "a shard down) and, unless --no-failover, hands a dead shard's\n"
+      "in-flight work to the ring successor, reconnecting after\n"
+      "--down-cooldown-ms and draining the shard back in once\n"
+      "--recover-probes probes answer.\n"
+      "\n"
+      "--fault-rate arms the deterministic fault injector (seeded by\n"
+      "--fault-seed) across every site; --fault-sites overrides per-site\n"
+      "probabilities, e.g. net.frame.drop=0.01,net.sock.read=0.005 (see\n"
+      "net/socket.hpp for the wire sites).  Injection is in-process and\n"
+      "reproducible: same seed, same faults.\n";
 }
 
 int run_served_tool(const std::vector<std::string>& args, std::ostream& out,
                     std::ostream& err) {
   std::vector<const char*> argv{"tgp_served"};
   for (const std::string& a : args) argv.push_back(a.c_str());
+  net::ignore_sigpipe();  // a dead peer is EPIPE on write, not SIGKILL
   try {
     util::ArgParser parser(static_cast<int>(argv.size()), argv.data());
     parser.describe("port", "listen port (0 = ephemeral, printed)")
@@ -167,7 +232,18 @@ int run_served_tool(const std::vector<std::string>& args, std::ostream& out,
         .describe("tenant-rate", "per-tenant admission rate in jobs/sec")
         .describe("tenant-burst", "per-tenant token-bucket capacity")
         .describe("max-outstanding", "router cap on in-flight forwards")
-        .describe("max-queued", "router fair-queue capacity");
+        .describe("max-queued", "router fair-queue capacity")
+        .describe("tick-ms", "event-loop timer period (enables probing)")
+        .describe("no-failover", "fast-fail dead shards instead of hand-off")
+        .describe("fail-threshold", "consecutive probe misses marking down")
+        .describe("down-cooldown-ms", "wait before re-dialing a down shard")
+        .describe("recover-probes", "probes to pass before rejoining")
+        .describe("probe-timeout-ms", "unanswered-ping deadline")
+        .describe("connect-timeout-ms", "reconnect dial deadline")
+        .describe("fault-rate", "arm fault injection at this probability")
+        .describe("fault-seed", "fault injector seed")
+        .describe("fault-sites", "per-site overrides SITE=P,SITE=P")
+        .describe("fault-stall-ms", "duration of injected outbound stalls");
     if (parser.has("help")) {
       out << served_tool_help();
       return 0;
@@ -179,7 +255,7 @@ int run_served_tool(const std::vector<std::string>& args, std::ostream& out,
       std::string name = parser.get("log-level", "info");
       if (!util::parse_log_level(name, level)) {
         err << "error: unknown log level '" << name << "'\n";
-        return 2;
+        return fail(err, 2, "usage: unknown log level");
       }
       util::set_log_level(level);
     }
@@ -191,13 +267,28 @@ int run_served_tool(const std::vector<std::string>& args, std::ostream& out,
     server_config.max_payload_bytes = static_cast<std::uint32_t>(
         parser.get_int("max-frame-mb",
                        net::kDefaultMaxPayload >> 20) << 20);
+    server_config.tick_interval_ms =
+        static_cast<int>(parser.get_int("tick-ms", 0));
+    server_config.fault_stall_ms =
+        static_cast<int>(parser.get_int("fault-stall-ms", 25));
     const double idle_ms = parser.get_double("stop-after-idle-ms", 0);
+
+    const double fault_rate = parser.get_double("fault-rate", 0);
+    if (fault_rate > 0 || parser.has("fault-sites")) {
+      util::faults().arm(
+          static_cast<std::uint64_t>(parser.get_int("fault-seed", 1)),
+          fault_rate);
+      if (!parse_fault_sites(parser.get("fault-sites", ""), err)) {
+        util::faults().disarm();
+        return fail(err, 2, "usage: bad --fault-sites");
+      }
+    }
 
     if (parser.has("route")) {
       auto backends = parse_backend_list(parser.get("route", ""));
       if (backends.empty()) {
         err << "error: --route needs HOST:PORT[,HOST:PORT...]\n";
-        return 2;
+        return fail(err, 2, "usage: empty --route");
       }
       net::Router::Config rc;
       rc.tenant_quota.rate_per_sec = parser.get_double("tenant-rate", 0);
@@ -206,6 +297,16 @@ int run_served_tool(const std::vector<std::string>& args, std::ostream& out,
           static_cast<std::size_t>(parser.get_int("max-outstanding", 1024));
       rc.max_queued =
           static_cast<std::size_t>(parser.get_int("max-queued", 4096));
+      rc.failover = !parser.get_bool("no-failover", false);
+      rc.health.fail_threshold =
+          static_cast<int>(parser.get_int("fail-threshold", 3));
+      rc.health.down_cooldown_us =
+          parser.get_double("down-cooldown-ms", 250) * 1000;
+      rc.health.recover_probes =
+          static_cast<int>(parser.get_int("recover-probes", 2));
+      rc.probe_timeout_us = parser.get_double("probe-timeout-ms", 500) * 1000;
+      rc.connect_timeout_ms =
+          static_cast<int>(parser.get_int("connect-timeout-ms", 250));
       net::Router router(rc);
       ActivityHandler activity(router);
       net::Server server(server_config, activity);
@@ -215,11 +316,18 @@ int run_served_tool(const std::vector<std::string>& args, std::ostream& out,
           << "\n";
       out.flush();
       serve(server, activity, idle_ms);
+      report_faults(err);
       const net::Router::Stats s = router.stats();
       err << "router: " << s.forwarded << " forwarded, " << s.returned
           << " returned, " << s.quota_rejects << " quota rejects, "
           << s.overload_rejects << " overload rejects, "
           << s.shard_down_rejects << " shard-down rejects\n";
+      err << "fleet: " << s.failovers << " failover(s), " << s.recoveries
+          << " recovery(ies), " << s.handoffs << " handoff(s), "
+          << s.requests_rerouted << " rerouted, " << s.duplicates_dropped
+          << " duplicate(s) dropped, " << s.pings_sent << " ping(s), "
+          << s.ping_misses << " miss(es), " << s.reconnects
+          << " reconnect(s)\n";
       return 0;
     }
 
@@ -244,7 +352,7 @@ int run_served_tool(const std::vector<std::string>& args, std::ostream& out,
         static_cast<std::uint32_t>(parser.get_int("shard-count", 1));
     if (bc.shard_count > 0 && bc.shard_index >= bc.shard_count) {
       err << "error: --shard-index must be below --shard-count\n";
-      return 2;
+      return fail(err, 2, "usage: shard index out of range");
     }
 
     svc::PartitionService service(config);
@@ -256,6 +364,7 @@ int run_served_tool(const std::vector<std::string>& args, std::ostream& out,
         << "\n";
     out.flush();
     serve(server, activity, idle_ms);
+    report_faults(err);
     service.shutdown();
     err << service.metrics().format();
     const net::Backend::ShardStats s = backend.shard_stats();
@@ -266,7 +375,7 @@ int run_served_tool(const std::vector<std::string>& args, std::ostream& out,
     return 0;
   } catch (const std::exception& e) {
     err << "error: " << e.what() << "\n";
-    return 1;
+    return fail(err, 1, e.what());
   }
 }
 
