@@ -8,7 +8,10 @@
 //
 //   bench_core_suite --json BENCH_core.json          # full run
 //   bench_core_suite --quick                          # smoke (ctest)
+//   bench_core_suite --threads 1,2,8 --json ...       # intra-solve sweep
 #include <cstdio>
+#include <memory>
+#include <vector>
 
 #include "bench_harness.hpp"
 #include "core/bandwidth_min.hpp"
@@ -18,6 +21,7 @@
 #include "core/prime_subpaths.hpp"
 #include "core/tree_bandwidth.hpp"
 #include "graph/generators.hpp"
+#include "par/runtime.hpp"
 #include "util/arena.hpp"
 #include "util/rng.hpp"
 
@@ -115,6 +119,42 @@ int main(int argc, char** argv) {
       auto r = core::tree_bandwidth_greedy(t, K, nullptr, &arena);
       (void)r.cut_weight;
     });
+  }
+
+  // ---- Intra-solve parallelism sweep --------------------------------------
+  // Giant instances, one case per --threads width (default: serial only).
+  // The /t=W suffix keys tools/bench_diff and scripts/check_speedup.py:
+  // same instance, same decomposition, only the team width varies — the
+  // answers are bit-identical, so the timings alone differ.
+  {
+    const std::vector<int> widths =
+        opt.threads.empty() ? std::vector<int>{1} : opt.threads;
+    const int giant_chain_n = opt.quick ? 1 << 13 : 1 << 24;
+    const int giant_tree_n = opt.quick ? 1 << 13 : 1 << 24;
+    double Kc = 0, Kt = 0;
+    graph::Chain gc = make_chain(giant_chain_n, 1, &Kc);
+    graph::Tree gt = make_tree(giant_tree_n, &Kt);
+    for (int w : widths) {
+      std::unique_ptr<par::Team> team;
+      if (w > 1) team = std::make_unique<par::Team>(w);
+      par::TeamScope scope(team.get());
+      h.set_threads(w);
+      std::snprintf(name, sizeof name, "bandwidth_temps/n=%d/mid/t=%d",
+                    giant_chain_n, w);
+      h.run(name, giant_chain_n, [&] {
+        auto r = core::bandwidth_min_temps(gc, Kc, nullptr,
+                                           core::SearchPolicy::kBinary,
+                                           nullptr, &arena);
+        (void)r.cut_weight;
+      });
+      std::snprintf(name, sizeof name, "bottleneck_bsearch/n=%d/t=%d",
+                    giant_tree_n, w);
+      h.run(name, giant_tree_n, [&] {
+        auto r = core::bottleneck_min_bsearch(gt, Kt, nullptr, &arena);
+        (void)r.threshold;
+      });
+    }
+    h.set_threads(1);
   }
 
   h.print_table();

@@ -37,7 +37,7 @@ BandwidthResult bandwidth_min_temps(const graph::Chain& chain,
 
   PrimeSubpath* primes =
       frame->alloc_array<PrimeSubpath>(static_cast<std::size_t>(g.n));
-  const int p = prime_subpaths_into(g, K, primes);
+  const int p = prime_subpaths_into(g, K, primes, cancel);
   if (instr) {
     *instr = {};
     instr->n = g.n;
@@ -51,7 +51,7 @@ BandwidthResult bandwidth_min_temps(const graph::Chain& chain,
 
   ReducedEdge* edges =
       frame->alloc_array<ReducedEdge>(static_cast<std::size_t>(g.m));
-  const int r = reduce_edges_into(g, primes, p, edges);
+  const int r = reduce_edges_into(g, primes, p, edges, cancel);
   if (oc) oc->nonredundant_edges += static_cast<std::uint64_t>(r);
   if (instr) {
     instr->r = r;

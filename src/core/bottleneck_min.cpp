@@ -7,6 +7,7 @@
 #include "graph/csr.hpp"
 #include "obs/counters.hpp"
 #include "obs/trace.hpp"
+#include "par/runtime.hpp"
 #include "util/arena.hpp"
 #include "util/assert.hpp"
 
@@ -19,14 +20,62 @@ void check_preconditions(const graph::Tree& tree, graph::Weight K) {
               "K must be at least the maximum vertex weight");
 }
 
+/// Edge indices sorted by (weight, index).  The comparator is a strict
+/// total order, so the sorted permutation is unique — the parallel merge
+/// sort below and std::sort produce bit-identical arrays, and the
+/// result never depends on the thread width.
 int* edges_by_weight(const graph::CsrView& g, util::Arena& arena) {
-  int* order = arena.alloc_array<int>(static_cast<std::size_t>(g.m));
-  std::iota(order, order + g.m, 0);
-  std::sort(order, order + g.m, [&](int a, int b) {
+  const int m = g.m;
+  int* order = arena.alloc_array<int>(static_cast<std::size_t>(m));
+  std::iota(order, order + m, 0);
+  auto less = [&](int a, int b) {
     if (g.edge_weight[a] != g.edge_weight[b])
       return g.edge_weight[a] < g.edge_weight[b];
     return a < b;
-  });
+  };
+  par::Team* team = par::active_team();
+  if (team == nullptr || team->width() <= 1 ||
+      m < 4 * static_cast<int>(par::kGrain)) {
+    std::sort(order, order + m, less);
+    return order;
+  }
+  // Parallel merge sort: R sorted runs (R = smallest power of two >= the
+  // team width), then log2(R) rounds of pairwise merges ping-ponging
+  // between `order` and a temp array.
+  int runs = 1;
+  while (runs < team->width()) runs *= 2;
+  const std::int64_t chunk = (m + runs - 1) / runs;
+  int* tmp = arena.alloc_array<int>(static_cast<std::size_t>(m));
+  par::parallel_for(team, runs, 1, nullptr,
+                    [&](std::int64_t r0, std::int64_t r1, par::WorkerCtx&) {
+                      for (std::int64_t r = r0; r < r1; ++r) {
+                        std::int64_t lo = r * chunk;
+                        std::int64_t hi = std::min<std::int64_t>(m, lo + chunk);
+                        if (lo < hi) std::sort(order + lo, order + hi, less);
+                      }
+                    });
+  int* src = order;
+  int* dst = tmp;
+  for (std::int64_t width = chunk; width < m; width *= 2) {
+    const std::int64_t pairs = (m + 2 * width - 1) / (2 * width);
+    par::parallel_for(
+        team, pairs, 1, nullptr,
+        [&](std::int64_t q0, std::int64_t q1, par::WorkerCtx&) {
+          for (std::int64_t q = q0; q < q1; ++q) {
+            std::int64_t lo = q * 2 * width;
+            std::int64_t mid = std::min<std::int64_t>(m, lo + width);
+            std::int64_t hi = std::min<std::int64_t>(m, lo + 2 * width);
+            std::merge(src + lo, src + mid, src + mid, src + hi, dst + lo,
+                       less);
+          }
+        });
+    std::swap(src, dst);
+  }
+  if (src != order)
+    par::parallel_for(team, m, par::kGrain, nullptr,
+                      [&](std::int64_t b0, std::int64_t b1, par::WorkerCtx&) {
+                        std::copy(src + b0, src + b1, order + b0);
+                      });
   return order;
 }
 
@@ -68,6 +117,23 @@ BottleneckResult bottleneck_min_scan(const graph::Tree& tree, graph::Weight K,
   return out;
 }
 
+namespace {
+
+/// Preorder bisection tree of depth `depth` over the half-open state
+/// (lo, hi) of the `while (lo < hi)` search: the midpoints the serial
+/// search *could* visit within the next `depth` iterations.  The replay
+/// below walks exactly one root-to-leaf path of this tree, so every mid
+/// it needs is in the list.
+void gen_candidates(int lo, int hi, int depth, int* cand, int* nc) {
+  if (lo >= hi || depth == 0) return;
+  int mid = lo + (hi - lo) / 2;
+  cand[(*nc)++] = mid;
+  gen_candidates(lo, mid, depth - 1, cand, nc);
+  gen_candidates(mid + 1, hi, depth - 1, cand, nc);
+}
+
+}  // namespace
+
 BottleneckResult bottleneck_min_bsearch(const graph::Tree& tree,
                                         graph::Weight K,
                                         const util::CancelToken* cancel,
@@ -91,23 +157,82 @@ BottleneckResult bottleneck_min_bsearch(const graph::Tree& tree,
   // monotone in the prefix length, so binary search applies.
   int lo = 1;
   int hi = g.m;
-  auto prefix_feasible = [&](int len) {
-    std::fill(scratch.removed, scratch.removed + g.m, 0);
-    for (int i = 0; i < len; ++i) scratch.removed[order[i]] = 1;
-    return feasible_with_removed(g, scratch, limit);
+  auto prefix_feasible = [&](ComponentScratch& s, int len) {
+    std::fill(s.removed, s.removed + g.m, 0);
+    for (int i = 0; i < len; ++i) s.removed[order[i]] = 1;
+    return feasible_with_removed(g, s, limit);
   };
-  while (lo < hi) {
-    if (cancel) cancel->poll();
-    int mid = lo + (hi - lo) / 2;
-    ++out.feasibility_checks;
-    if (oc) {
-      ++oc->oracle_calls;
-      ++oc->bsearch_probes;
+  // Probe accounting is identical on both paths below: the speculative
+  // path *replays* the serial bisection over precomputed feasibility
+  // bits and charges oracle_calls / bsearch_probes / feasibility_checks
+  // only along that replayed path, so the counters (and the result) are
+  // the same at every thread width.  Speculative extra evaluations show
+  // up in par_tasks only.
+  par::Team* team = par::active_team();
+  if (team == nullptr || team->width() <= 1) {
+    while (lo < hi) {
+      if (cancel) cancel->poll();
+      int mid = lo + (hi - lo) / 2;
+      ++out.feasibility_checks;
+      if (oc) {
+        ++oc->oracle_calls;
+        ++oc->bsearch_probes;
+      }
+      if (prefix_feasible(scratch, mid))
+        hi = mid;
+      else
+        lo = mid + 1;
     }
-    if (prefix_feasible(mid))
-      hi = mid;
-    else
-      lo = mid + 1;
+  } else {
+    // Speculative multi-threshold probing: per round, evaluate the full
+    // depth-L bisection tree of the current interval concurrently (up to
+    // 2^L − 1 feasibility probes, one private scratch each), then walk L
+    // serial bisection steps over the answers.  L is the deepest tree
+    // that still fits the team in one wave.
+    int levels = 1;
+    while ((1 << (levels + 1)) - 1 <= team->width()) ++levels;
+    const int max_cand = (1 << levels) - 1;
+    auto* scratches = static_cast<ComponentScratch*>(frame->allocate(
+        sizeof(ComponentScratch) * static_cast<std::size_t>(max_cand),
+        alignof(ComponentScratch)));
+    for (int i = 0; i < max_cand; ++i)
+      new (&scratches[i]) ComponentScratch(g, frame.arena());
+    int* cand = frame->alloc_array<int>(static_cast<std::size_t>(max_cand));
+    unsigned char* feas =
+        frame->alloc_array<unsigned char>(static_cast<std::size_t>(max_cand));
+    while (lo < hi) {
+      if (cancel) cancel->poll();
+      int nc = 0;
+      gen_candidates(lo, hi, levels, cand, &nc);
+      par::parallel_for(team, nc, 1, cancel,
+                        [&](std::int64_t c0, std::int64_t c1,
+                            par::WorkerCtx&) {
+                          for (std::int64_t i = c0; i < c1; ++i)
+                            feas[i] = prefix_feasible(scratches[i], cand[i])
+                                          ? 1
+                                          : 0;
+                        });
+      for (int step = 0; step < levels && lo < hi; ++step) {
+        int mid = lo + (hi - lo) / 2;
+        int at = -1;
+        for (int i = 0; i < nc; ++i) {
+          if (cand[i] == mid) {
+            at = i;
+            break;
+          }
+        }
+        TGP_ENSURE(at >= 0, "replayed midpoint missing from candidate set");
+        ++out.feasibility_checks;
+        if (oc) {
+          ++oc->oracle_calls;
+          ++oc->bsearch_probes;
+        }
+        if (feas[at] != 0)
+          hi = mid;
+        else
+          lo = mid + 1;
+      }
+    }
   }
   // The lo-long prefix holds distinct edge indices, so sorting it in
   // place is exactly Cut::canonical() without the copies.

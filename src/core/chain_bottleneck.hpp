@@ -24,8 +24,12 @@ namespace tgp::core {
 /// Preconditions: chain valid, K ≥ max vertex weight.  Scratch (primes
 /// and the sliding-window ring) comes from `arena` (null = per-thread
 /// fallback); steady state allocates nothing beyond the returned cut.
+/// Runs blocked over the prime subpaths — under a par::TeamScope the
+/// blocks execute in parallel with bit-identical output — observing
+/// `cancel` between blocks.
 BottleneckResult chain_bottleneck_min(const graph::Chain& chain,
                                       graph::Weight K,
-                                      util::Arena* arena = nullptr);
+                                      util::Arena* arena = nullptr,
+                                      const util::CancelToken* cancel = nullptr);
 
 }  // namespace tgp::core

@@ -14,6 +14,7 @@
 
 #include "core/prime_subpaths.hpp"
 #include "graph/chain.hpp"
+#include "util/cancel.hpp"
 
 namespace tgp::core {
 
@@ -40,9 +41,12 @@ std::vector<ReducedEdge> reduce_edges(const graph::Chain& chain,
 /// Allocation-free core: reduce into `out` (caller-provided, capacity ≥
 /// the chain's edge count) and return the count.  `g` must be a chain
 /// view (csr_from_chain); `primes` has `p` entries from
-/// prime_subpaths_into on the same view and K.
+/// prime_subpaths_into on the same view and K.  Runs blocked — and,
+/// under a par::TeamScope, in parallel with bit-identical output —
+/// observing `cancel` between blocks.
 int reduce_edges_into(const graph::CsrView& g, const PrimeSubpath* primes,
-                      int p, ReducedEdge* out);
+                      int p, ReducedEdge* out,
+                      const util::CancelToken* cancel = nullptr);
 
 /// Membership range of every edge (first_prime > last_prime encodes "edge
 /// belongs to no prime subpath").  Exposed separately for tests and for the

@@ -15,6 +15,7 @@
 
 #include "graph/chain.hpp"
 #include "graph/csr.hpp"
+#include "util/cancel.hpp"
 
 namespace tgp::core {
 
@@ -42,9 +43,12 @@ std::vector<PrimeSubpath> prime_subpaths(const graph::Chain& chain,
 /// Allocation-free core: enumerate into `out` (caller-provided, capacity
 /// ≥ n) and return the count.  `g` must be a chain view (csr_from_chain).
 /// The vector wrapper above validates the chain first; callers of this
-/// variant are expected to have done so.
+/// variant are expected to have done so.  Runs blocked — and, under a
+/// par::TeamScope, in parallel with bit-identical output — observing
+/// `cancel` between blocks.
 int prime_subpaths_into(const graph::CsrView& g, graph::Weight K,
-                        PrimeSubpath* out);
+                        PrimeSubpath* out,
+                        const util::CancelToken* cancel = nullptr);
 
 /// Sanity predicate used by tests: true iff `sub` is critical and minimal.
 bool is_prime(const graph::ChainPrefix& prefix, int first_vertex,

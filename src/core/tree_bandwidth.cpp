@@ -8,6 +8,7 @@
 #include "graph/csr.hpp"
 #include "obs/counters.hpp"
 #include "obs/trace.hpp"
+#include "par/runtime.hpp"
 #include "util/assert.hpp"
 
 namespace tgp::core {
@@ -118,13 +119,24 @@ TreeBandwidthResult tree_bandwidth_greedy(const graph::Tree& tree,
     graph::Weight edge_w;
   };
   constexpr int kExactFanout = 12;  // 2^12 subsets per node max
-  Child* children = frame->alloc_array<Child>(static_cast<std::size_t>(n));
-  util::ArenaVector<int> cut_edges(frame.arena(),
-                                   static_cast<std::size_t>(g.m));
+  // Shed decisions write cut flags (disjoint per vertex) rather than
+  // appending to a shared list, so vertices of one BFS level can run in
+  // any order — or concurrently — with identical outcomes; the edge list
+  // is rebuilt from the flags afterwards.
+  ComponentScratch scratch(g, frame.arena());
 
-  for (int i = n - 1; i >= 0; --i) {
-    if (cancel) cancel->poll();
-    int v = rooted.order[i];
+  // One shed-or-absorb decision per vertex (cf. proc_min's accounting);
+  // charged up front so the total is width-independent.
+  if (oc) oc->oracle_calls += static_cast<std::uint64_t>(n);
+
+  // The per-vertex decision: children are finalized (deeper level), so
+  // this only reads their residuals and writes residual[v] plus the cut
+  // flags of v's child edges.  Identical math to the serial bottom-up
+  // sweep; the level barrier supplies the children-before-parent order.
+  auto process_vertex = [&](int v, util::Arena& task_arena) {
+    util::ScratchFrame task_frame(&task_arena);
+    Child* children = task_frame->alloc_array<Child>(
+        static_cast<std::size_t>(g.degree(v)));
     int child_count = 0;
     graph::Weight lump = residual[v];
     for (auto [u, e] : g.neighbors(v)) {
@@ -132,11 +144,9 @@ TreeBandwidthResult tree_bandwidth_greedy(const graph::Tree& tree,
       children[child_count++] = {u, e, residual[u], g.edge_weight[e]};
       lump += residual[u];
     }
-    // One shed-or-absorb decision per vertex (cf. proc_min's accounting).
-    if (oc) ++oc->oracle_calls;
     if (lump <= k_eff) {
       residual[v] = lump;
-      continue;
+      return;
     }
     graph::Weight must_shed = lump - k_eff;
     if (child_count <= kExactFanout) {
@@ -167,8 +177,7 @@ TreeBandwidthResult tree_bandwidth_greedy(const graph::Tree& tree,
       for (int c = 0; c < child_count; ++c) {
         if ((best_mask >> c) & 1u) {
           lump -= children[c].res;
-          cut_edges.push_back(children[c].edge);
-          out.cut_weight += children[c].edge_w;
+          scratch.removed[children[c].edge] = 1;
         }
       }
     } else {
@@ -180,21 +189,58 @@ TreeBandwidthResult tree_bandwidth_greedy(const graph::Tree& tree,
       for (int c = 0; c < child_count; ++c) {
         if (lump <= k_eff) break;
         lump -= children[c].res;
-        cut_edges.push_back(children[c].edge);
-        out.cut_weight += children[c].edge_w;
+        scratch.removed[children[c].edge] = 1;
       }
     }
     TGP_ENSURE(lump <= k_eff, "pruning did not reach the bound");
     residual[v] = lump;
+  };
+
+  // BFS order groups vertices by depth, so level boundaries fall out of
+  // one parent scan.  Levels run deepest-first; within a level the
+  // vertices are independent subtree roots — the fan-out the paper's
+  // shared-memory thesis asks for.  Levels below kFanoutCutoff stay
+  // inline (a chain-shaped tree would otherwise pay one fork-join per
+  // vertex).
+  int* depth = frame->alloc_array<int>(static_cast<std::size_t>(n));
+  int* level_start = frame->alloc_array<int>(static_cast<std::size_t>(n) + 1);
+  int levels = 0;
+  for (int i = 0; i < n; ++i) {
+    int v = rooted.order[i];
+    depth[v] = rooted.parent[v] < 0 ? 0 : depth[rooted.parent[v]] + 1;
+    if (depth[v] == levels) level_start[levels++] = i;
   }
+  level_start[levels] = n;
+  constexpr int kFanoutCutoff = 2048;
+  par::Team* team = par::active_team();
+  for (int level = levels - 1; level >= 0; --level) {
+    const int i0 = level_start[level];
+    const int i1 = level_start[level + 1];
+    if (team != nullptr && i1 - i0 >= kFanoutCutoff) {
+      par::parallel_for(team, i1 - i0, 1024, cancel,
+                        [&](std::int64_t a, std::int64_t b,
+                            par::WorkerCtx& ctx) {
+                          for (std::int64_t i = a; i < b; ++i)
+                            process_vertex(rooted.order[i0 + i], *ctx.arena);
+                        });
+    } else {
+      if (cancel) cancel->poll();
+      for (int i = i0; i < i1; ++i)
+        process_vertex(rooted.order[i], frame.arena());
+    }
+  }
+
+  // Rebuild the cut-edge list from the flags in ascending edge order (the
+  // flag set, not the discovery order, is what the passes below consume).
+  util::ArenaVector<int> cut_edges(frame.arena(),
+                                   static_cast<std::size_t>(g.m));
+  for (int e = 0; e < g.m; ++e)
+    if (scratch.removed[e]) cut_edges.push_back(e);
 
   // Redundancy elimination: bottom-up shedding can leave expensive cuts
   // that later cuts higher in the tree made unnecessary.  Try to restore
   // edges, most expensive first, whenever the merged component still fits.
-  ComponentScratch scratch(g, frame.arena());
   {
-    for (std::size_t i = 0; i < cut_edges.size(); ++i)
-      scratch.removed[cut_edges[i]] = 1;
     int comp_count = assign_components(g, scratch);
     component_weights(g, scratch, comp_count);
     graph::Weight* comp_weight = scratch.comp_w;
@@ -212,8 +258,12 @@ TreeBandwidthResult tree_bandwidth_greedy(const graph::Tree& tree,
     int* by_weight =
         frame->alloc_array<int>(static_cast<std::size_t>(cut_edges.size()));
     std::copy(cut_edges.begin(), cut_edges.end(), by_weight);
+    // Strict total order (weight desc, edge index asc): equal-weight cut
+    // edges restore in a fixed order no matter how the list was built.
     std::sort(by_weight, by_weight + cut_edges.size(), [&](int a, int b) {
-      return g.edge_weight[a] > g.edge_weight[b];
+      if (g.edge_weight[a] != g.edge_weight[b])
+        return g.edge_weight[a] > g.edge_weight[b];
+      return a < b;
     });
     // scratch.removed doubles as the keep-this-cut flag set.
     for (std::size_t i = 0; i < cut_edges.size(); ++i) {

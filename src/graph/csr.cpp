@@ -1,15 +1,19 @@
 #include "graph/csr.hpp"
 
+#include "par/runtime.hpp"
 #include "util/assert.hpp"
 
 namespace tgp::graph {
 
 namespace {
 
+// Canonical blocked prefix sum (par::prefix_sum): the rounding is fixed
+// by the kScanBlock decomposition, not by the thread count, so views
+// built serially and under a par::TeamScope are bit-identical.  With no
+// active team this runs inline on the calling thread.
 Weight* build_prefix(const Weight* w, int n, util::Arena& arena) {
   Weight* prefix = arena.alloc_array<Weight>(static_cast<std::size_t>(n) + 1);
-  prefix[0] = 0;
-  for (int i = 0; i < n; ++i) prefix[i + 1] = prefix[i] + w[i];
+  par::prefix_sum(par::active_team(), w, n, prefix, arena);
   return prefix;
 }
 

@@ -1,0 +1,172 @@
+#include "par/runtime.hpp"
+
+#include <algorithm>
+
+namespace tgp::par {
+
+namespace {
+thread_local Team* g_active_team = nullptr;
+}
+
+Team* active_team() { return g_active_team; }
+
+TeamScope::TeamScope(Team* team) : prev_(g_active_team) {
+  g_active_team = team;
+}
+
+TeamScope::~TeamScope() { g_active_team = prev_; }
+
+Team::Team(int width) : width_(width < 1 ? 1 : width) {
+  arenas_.reserve(static_cast<std::size_t>(width_));
+  for (int w = 0; w < width_; ++w)
+    arenas_.push_back(std::make_unique<util::Arena>());
+  threads_.reserve(static_cast<std::size_t>(width_ - 1));
+  for (int w = 1; w < width_; ++w)
+    threads_.emplace_back([this, w] { helper_main(w); });
+}
+
+Team::~Team() {
+  {
+    std::lock_guard lk(mu_);
+    stop_ = true;
+  }
+  cv_start_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void Team::helper_main(int worker) {
+  WorkerCtx ctx{worker, arenas_[static_cast<std::size_t>(worker)].get()};
+  std::uint64_t seen = 0;
+  for (;;) {
+    RawFn fn;
+    void* c;
+    {
+      std::unique_lock lk(mu_);
+      cv_start_.wait(lk, [&] { return stop_ || epoch_ != seen; });
+      if (stop_) return;
+      seen = epoch_;
+      fn = fn_;
+      c = ctx_;
+    }
+    fn(c, ctx);
+    {
+      std::lock_guard lk(mu_);
+      if (--active_ == 0) cv_done_.notify_one();
+    }
+  }
+}
+
+void Team::run(RawFn fn, void* ctx) {
+  // Width-1 teams and nested fork-join degenerate to an inline call on
+  // worker 0's slot — same blocks, same order, no synchronization.
+  if (width_ == 1 || running_) {
+    WorkerCtx c{0, arenas_[0].get()};
+    fn(ctx, c);
+    return;
+  }
+  running_ = true;
+  {
+    std::lock_guard lk(mu_);
+    fn_ = fn;
+    ctx_ = ctx;
+    active_ = width_ - 1;
+    ++epoch_;
+  }
+  cv_start_.notify_all();
+  WorkerCtx c{0, arenas_[0].get()};
+  fn(ctx, c);
+  {
+    std::unique_lock lk(mu_);
+    cv_done_.wait(lk, [&] { return active_ == 0; });
+  }
+  running_ = false;
+}
+
+namespace detail {
+
+void pull_blocks(void* state, WorkerCtx& ctx) {
+  LoopState& st = *static_cast<LoopState*>(state);
+  for (;;) {
+    std::int64_t k = st.next.fetch_add(1, std::memory_order_relaxed);
+    if (k >= st.blocks) return;
+    if (st.should_stop()) return;  // drain without running
+    std::int64_t begin = k * st.grain;
+    std::int64_t end = begin + st.grain;
+    if (end > st.n) end = st.n;
+    try {
+      st.invoke(st.body, begin, end, ctx);
+    } catch (...) {
+      std::lock_guard lk(st.err_mu);
+      if (st.err_block < 0 || k < st.err_block) {
+        st.err_block = k;
+        st.err = std::current_exception();
+      }
+    }
+  }
+}
+
+void dispatch(Team* team, LoopState& st) {
+  if (team != nullptr) {
+    if (obs::SolveCounters* oc = obs::active_counters()) {
+      oc->par_tasks += static_cast<std::uint64_t>(st.blocks);
+      if (static_cast<std::uint64_t>(team->width()) > oc->par_threads)
+        oc->par_threads = static_cast<std::uint64_t>(team->width());
+    }
+    team->run(&pull_blocks, &st);
+  } else {
+    WorkerCtx ctx{0, &util::ScratchFrame::thread_arena()};
+    pull_blocks(&st, ctx);
+  }
+  // Back on the calling thread: surface cancellation first (sticky
+  // reason, deterministic CancelledError), then the lowest-block error.
+  if (st.cancel != nullptr) st.cancel->poll();
+  if (st.err) std::rethrow_exception(st.err);
+}
+
+}  // namespace detail
+
+void prefix_sum(Team* team, const double* w, std::int64_t n, double* prefix,
+                util::Arena& scratch) {
+  prefix[0] = 0.0;
+  if (n <= 0) return;
+  const std::int64_t blocks = (n + kScanBlock - 1) / kScanBlock;
+  if (blocks == 1) {
+    // Single block: the blocked fold *is* the plain left-to-right fold.
+    double acc = 0.0;
+    for (std::int64_t i = 0; i < n; ++i) prefix[i + 1] = acc += w[i];
+    return;
+  }
+  util::ScratchFrame frame(&scratch);
+  double* sums = frame->alloc_array<double>(static_cast<std::size_t>(blocks));
+  // Phase 1: per-block partial folds (parallel, blocks are independent).
+  parallel_for(team, blocks, 1, nullptr,
+               [&](std::int64_t b0, std::int64_t b1, WorkerCtx&) {
+                 for (std::int64_t k = b0; k < b1; ++k) {
+                   const std::int64_t lo = k * kScanBlock;
+                   const std::int64_t hi = std::min(n, lo + kScanBlock);
+                   double acc = 0.0;
+                   for (std::int64_t i = lo; i < hi; ++i) acc += w[i];
+                   sums[k] = acc;
+                 }
+               });
+  // Phase 2: serial fold of the block sums into block bases (in place).
+  double base = 0.0;
+  for (std::int64_t k = 0; k < blocks; ++k) {
+    double s = sums[k];
+    sums[k] = base;
+    base += s;
+  }
+  // Phase 3: per-block re-fold from the base into the output (parallel).
+  parallel_for(team, blocks, 1, nullptr,
+               [&](std::int64_t b0, std::int64_t b1, WorkerCtx&) {
+                 for (std::int64_t k = b0; k < b1; ++k) {
+                   const std::int64_t lo = k * kScanBlock;
+                   const std::int64_t hi = std::min(n, lo + kScanBlock);
+                   double acc = sums[k];
+                   for (std::int64_t i = lo; i < hi; ++i)
+                     prefix[i + 1] = acc += w[i];
+                 }
+               });
+}
+
+}  // namespace tgp::par

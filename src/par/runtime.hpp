@@ -1,0 +1,209 @@
+// Deterministic intra-solve task runtime.
+//
+// A Team is a fixed set of worker threads (the calling thread counts as
+// worker 0) that execute blocked loops and fork-join scans for one solve
+// at a time.  The design goal is the repo's standing invariant extended
+// to parallelism: *the answer is a function of the instance, never of
+// the schedule*.  Three rules make that hold:
+//
+//   1. Work decomposition is a pure function of the problem size and a
+//      fixed grain — never of the thread count.  parallel_for splits
+//      [0, n) into ceil(n/grain) blocks; prefix_sum always uses
+//      kScanBlock-element blocks.  One thread and eight threads execute
+//      the *same* blocks, merely interleaved differently.
+//   2. Floating-point combination orders are fixed by the decomposition.
+//      prefix_sum defines the canonical blocked summation (per-block
+//      left-to-right folds, a serial fold of block sums for the bases)
+//      that both serial and parallel execution produce bit-for-bit.
+//   3. Results are merged in block order, by the calling thread, after
+//      the join — never in completion order.
+//
+// Teams are owned by one thread (a service worker) and installed for the
+// duration of a solve with TeamScope, mirroring obs::CounterScope: the
+// hot solvers read par::active_team() and need no signature changes.
+// With no scope installed every primitive runs serially inline — same
+// blocks, same results, zero synchronization.
+//
+// Cancellation: helper threads never throw.  They observe
+// util::CancelToken::stop_requested() / deadline_expired() between
+// blocks (promoting an expired deadline with try_set, which is sticky
+// and thread-safe) and drain the remaining blocks without running them.
+// After the join, the *calling* thread polls the token and unwinds with
+// CancelledError through its own ScratchFrame stack, exactly like the
+// serial path.
+//
+// Allocation: the Team allocates its threads and per-worker arenas at
+// construction; run()/parallel_for/prefix_sum allocate nothing — loop
+// state lives on the caller's stack and task scratch comes from the
+// per-worker arenas (warm after the first giant solve).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "obs/counters.hpp"
+#include "util/arena.hpp"
+#include "util/assert.hpp"
+#include "util/cancel.hpp"
+
+namespace tgp::par {
+
+/// Handed to every task body: which worker is running it and that
+/// worker's private scratch arena (safe for ScratchFrame use inside the
+/// body; arenas are never shared between workers).
+struct WorkerCtx {
+  int worker = 0;
+  util::Arena* arena = nullptr;
+};
+
+class Team {
+ public:
+  /// `width` total workers including the calling thread; clamped to >= 1.
+  /// width-1 helper threads are spawned here and live until destruction.
+  explicit Team(int width);
+  ~Team();
+
+  Team(const Team&) = delete;
+  Team& operator=(const Team&) = delete;
+
+  int width() const { return width_; }
+
+  util::Arena& worker_arena(int w) { return *arenas_[static_cast<std::size_t>(w)]; }
+
+  using RawFn = void (*)(void*, WorkerCtx&);
+
+  /// Execute fn(ctx, worker) on every worker; the caller participates as
+  /// worker 0 and the call returns when all workers have.  fn must not
+  /// throw (the loop trampolines below catch into the loop state).  Only
+  /// the owning thread may call run(); a nested run() from inside a body
+  /// executes inline on the current worker's slot 0 context.
+  void run(RawFn fn, void* ctx);
+
+ private:
+  void helper_main(int worker);
+
+  int width_;
+  std::vector<std::unique_ptr<util::Arena>> arenas_;
+  std::vector<std::thread> threads_;
+
+  std::mutex mu_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  std::uint64_t epoch_ = 0;  // bumped per run(); helpers wait on it
+  int active_ = 0;           // helpers still inside the current run
+  bool stop_ = false;
+  bool running_ = false;  // owner-thread reentrancy guard (nested fork-join)
+  RawFn fn_ = nullptr;
+  void* ctx_ = nullptr;
+};
+
+/// The calling thread's installed team, or nullptr (serial execution).
+Team* active_team();
+
+/// Install `team` as this thread's active team for the scope's lifetime
+/// (nullptr suspends parallelism).  Mirrors obs::CounterScope.
+class TeamScope {
+ public:
+  explicit TeamScope(Team* team);
+  ~TeamScope();
+
+  TeamScope(const TeamScope&) = delete;
+  TeamScope& operator=(const TeamScope&) = delete;
+
+ private:
+  Team* prev_;
+};
+
+/// Fixed block length of the canonical prefix sum (elements).  Part of
+/// the determinism contract: changing it changes the canonical rounding
+/// of every prefix array, so it is a constant, not a tunable.
+inline constexpr std::int64_t kScanBlock = 16384;
+
+/// Default grain for blocked loops over vertex/edge arrays — big enough
+/// that per-block bookkeeping vanishes, small enough that 8 workers have
+/// real parallelism from ~100k elements up.
+inline constexpr std::int64_t kGrain = 16384;
+
+namespace detail {
+
+/// Shared state of one blocked loop; lives on the calling thread's stack.
+struct LoopState {
+  std::int64_t n = 0;
+  std::int64_t grain = kGrain;
+  std::int64_t blocks = 0;
+  std::atomic<std::int64_t> next{0};
+  const util::CancelToken* cancel = nullptr;
+  void* body = nullptr;
+  void (*invoke)(void* body, std::int64_t begin, std::int64_t end,
+                 WorkerCtx& ctx) = nullptr;
+
+  // First failure by block index — deterministic pick when several
+  // blocks throw.  Guarded by err_mu; only touched on the error path.
+  std::mutex err_mu;
+  std::int64_t err_block = -1;
+  std::exception_ptr err;
+
+  /// True once a stop request (or expired deadline, promoted sticky) is
+  /// visible; workers drain remaining blocks without running them.
+  bool should_stop() const {
+    if (cancel == nullptr) return false;
+    if (cancel->stop_requested()) return true;
+    if (cancel->deadline_expired()) {
+      cancel->try_set(util::CancelReason::kDeadline);
+      return true;
+    }
+    return false;
+  }
+};
+
+void pull_blocks(void* state, WorkerCtx& ctx);
+
+/// Run the loop on `team` (nullptr => inline on this thread), then — on
+/// the calling thread — poll cancellation and rethrow the lowest-block
+/// failure.  Also charges the par_tasks/par_threads counters.
+void dispatch(Team* team, LoopState& st);
+
+}  // namespace detail
+
+/// parallel_for over [0, n) in fixed `grain`-sized blocks.  Body is
+/// `void(std::int64_t begin, std::int64_t end, WorkerCtx&)`, invoked once
+/// per block; blocks are claimed dynamically but the decomposition — and
+/// therefore any block-indexed output — is independent of the width.
+/// Cancellation is observed between blocks (workers stop non-throwing;
+/// the caller polls after the join and throws CancelledError).  A nested
+/// call from inside a body runs serially inline on that worker.
+template <typename Body>
+void parallel_for(Team* team, std::int64_t n, std::int64_t grain,
+                  const util::CancelToken* cancel, Body&& body) {
+  if (n <= 0) return;
+  TGP_REQUIRE(grain > 0, "parallel_for grain must be positive");
+  detail::LoopState st;
+  st.n = n;
+  st.grain = grain;
+  st.blocks = (n + grain - 1) / grain;
+  st.cancel = cancel;
+  st.body = &body;
+  st.invoke = [](void* b, std::int64_t begin, std::int64_t end,
+                 WorkerCtx& ctx) {
+    (*static_cast<std::remove_reference_t<Body>*>(b))(begin, end, ctx);
+  };
+  detail::dispatch(team, st);
+}
+
+/// Canonical blocked prefix sum: prefix[0] = 0, prefix[i+1] = the fold
+/// of w[0..i] under the *blocked* association — per-kScanBlock-block
+/// left-to-right partial folds, block bases accumulated serially from
+/// the per-block sums, per-block re-fold from the base.  The result is a
+/// pure function of (w, n): serial and parallel execution at any width
+/// produce bit-identical arrays.  `scratch` holds the ceil(n/kScanBlock)
+/// block sums for the duration of the call.
+void prefix_sum(Team* team, const double* w, std::int64_t n, double* prefix,
+                util::Arena& scratch);
+
+}  // namespace tgp::par

@@ -162,7 +162,7 @@ CanonicalOutcome solve_canonical_chain(Problem problem,
     obs::CounterScope scope(&out.counters);
     switch (problem) {
       case Problem::kBottleneck: {
-        auto r = core::chain_bottleneck_min(chain, K, arena);
+        auto r = core::chain_bottleneck_min(chain, K, arena, cancel);
         out.cut = std::move(r.cut);
         out.objective = r.threshold;
         out.components = out.cut.size() + 1;

@@ -160,7 +160,8 @@ std::string MetricsSnapshot::format() const {
   obs::SolveCounters total = counters_total();
   if (total.any()) {
     util::Table ct({"problem", "oracle", "bsearch", "gallop", "primes",
-                    "nonred edges", "temps rows", "arena peak B"});
+                    "nonred edges", "temps rows", "arena peak B",
+                    "par tasks", "par width"});
     for (int p = 0; p < kProblemCount; ++p) {
       const obs::SolveCounters& c =
           counters_by_problem[static_cast<std::size_t>(p)];
@@ -173,7 +174,9 @@ std::string MetricsSnapshot::format() const {
           .cell(c.prime_subpaths)
           .cell(c.nonredundant_edges)
           .cell(c.temps_peak_rows)
-          .cell(c.arena_bytes_peak);
+          .cell(c.arena_bytes_peak)
+          .cell(c.par_tasks)
+          .cell(c.par_threads);
     }
     if (ct.row_count() > 0) os << ct.render();
   }
@@ -281,6 +284,10 @@ std::string MetricsSnapshot::render_prometheus() const {
             static_cast<double>(c.temps_peak_rows), ls);
     w.gauge("tgp_solver_arena_bytes_peak", "Scratch arena high-water",
             static_cast<double>(c.arena_bytes_peak), ls);
+    w.counter("tgp_solver_par_tasks_total",
+              "Intra-solve parallel blocks dispatched", c.par_tasks, ls);
+    w.gauge("tgp_solver_par_threads", "Widest intra-solve team used",
+            static_cast<double>(c.par_threads), ls);
   }
 
   for (int p = 0; p < kProblemCount; ++p) {
@@ -361,7 +368,9 @@ std::string MetricsSnapshot::render_json() const {
        << ",\"prime_subpaths\":" << c.prime_subpaths
        << ",\"nonredundant_edges\":" << c.nonredundant_edges
        << ",\"temps_peak_rows\":" << c.temps_peak_rows
-       << ",\"arena_bytes_peak\":" << c.arena_bytes_peak << "}";
+       << ",\"arena_bytes_peak\":" << c.arena_bytes_peak
+       << ",\"par_tasks\":" << c.par_tasks
+       << ",\"par_threads\":" << c.par_threads << "}";
   }
   os << "},\"queue_wait\":{\"count\":" << queue_wait.count
      << ",\"mean_us\":" << queue_wait.mean_micros()

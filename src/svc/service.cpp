@@ -1,5 +1,6 @@
 #include "svc/service.hpp"
 
+#include <algorithm>
 #include <string>
 #include <utility>
 
@@ -39,12 +40,29 @@ PartitionService::PartitionService(ServiceConfig config)
   TGP_REQUIRE(config.retry.base_us >= 0 && config.retry.multiplier >= 1 &&
                   config.retry.jitter >= 0,
               "retry backoff parameters out of range");
+  // Intra-solve thread budget, arbitrated against the worker pool: the
+  // pool owns the box, so workers × solve_threads is clamped to the
+  // hardware thread count (each worker always keeps at least itself).
+  // Explicit oversubscribe_solves skips the clamp for tests/benches.
+  {
+    int hw = static_cast<int>(std::thread::hardware_concurrency());
+    if (hw <= 0) hw = 1;
+    int budget = hw / threads;
+    if (budget < 1) budget = 1;
+    int want = config.solve_threads;
+    if (want <= 0) want = budget;  // auto: split the box evenly
+    TGP_REQUIRE(want <= 4096, "unreasonable solve_threads");
+    solve_threads_ = config.oversubscribe_solves ? want
+                                                 : std::min(want, budget);
+  }
   worker_state_.reserve(static_cast<std::size_t>(threads));
   workers_.reserve(static_cast<std::size_t>(threads));
   for (int i = 0; i < threads; ++i) {
     worker_state_.push_back(std::make_unique<WorkerState>());
     worker_state_.back()->rng = util::Pcg32(
         config.resilience_seed, static_cast<std::uint64_t>(i) + 1);
+    if (solve_threads_ > 1)
+      worker_state_.back()->team = std::make_unique<par::Team>(solve_threads_);
   }
   for (int i = 0; i < threads; ++i)
     workers_.emplace_back(&PartitionService::worker_loop, this,
@@ -308,6 +326,9 @@ void PartitionService::worker_loop(WorkerState& state) {
       if (worker_state_[idx].get() == &state) break;
     obs::trace::set_thread_name("worker-" + std::to_string(idx));
   }
+  // Install this worker's intra-solve team (null = serial) for every job
+  // it processes; the hot solvers pick it up via par::active_team().
+  par::TeamScope team_scope(state.team.get());
   while (auto job = queue_.pop()) {
     const util::CancelToken* token = job->cancel.get();
     JobResult r;

@@ -13,6 +13,7 @@
 // via the Arena's heap_block_allocs() hook.
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <vector>
 
 #include "core/bandwidth_min.hpp"
@@ -22,6 +23,8 @@
 #include "core/prime_subpaths.hpp"
 #include "core/tree_bandwidth.hpp"
 #include "graph/generators.hpp"
+#include "obs/counters.hpp"
+#include "par/runtime.hpp"
 #include "reference_impl.hpp"
 #include "util/arena.hpp"
 #include "util/cancel.hpp"
@@ -293,6 +296,124 @@ TEST(CsrDifferential, SteadyStateSolvesAreArenaOnly) {
   for (int i = 0; i < 3; ++i) run_all();
   EXPECT_EQ(arena.heap_block_allocs(), blocks)
       << "steady-state solver scratch must not grow the arena";
+}
+
+// ---- Intra-solve parallelism: width-sweep bit-identity ---------------------
+//
+// The par::Team contract (src/par/runtime.hpp): the answer is a function
+// of the instance, never of the schedule.  Instances here are sized past
+// kGrain and the tree fan-out cutoff so the blocked paths really split —
+// then every result, cut edge and deterministic counter must match the
+// serial solve exactly at widths 1, 2, 4 and 8.
+
+struct WidthSweepRun {
+  std::vector<PrimeSubpath> primes;
+  std::vector<ReducedEdge> reduced;
+  graph::Cut temps_cut, cbn_cut, bsearch_cut, greedy_cut;
+  graph::Weight temps_weight = 0, cbn_threshold = 0, bsearch_threshold = 0,
+                greedy_weight = 0;
+  obs::SolveCounters counters;
+};
+
+WidthSweepRun run_all_at_width(int width, const graph::Chain& c,
+                               graph::Weight Kc, const graph::Tree& t,
+                               graph::Weight Kt) {
+  WidthSweepRun out;
+  std::unique_ptr<par::Team> team;
+  if (width > 1) team = std::make_unique<par::Team>(width);
+  par::TeamScope scope(team.get());
+  obs::CounterScope counters(&out.counters);
+  util::Arena arena;
+
+  out.primes = prime_subpaths(c, Kc);
+  out.reduced = reduce_edges(c, out.primes);
+  auto temps =
+      bandwidth_min_temps(c, Kc, nullptr, SearchPolicy::kBinary, nullptr,
+                          &arena);
+  out.temps_cut = std::move(temps.cut);
+  out.temps_weight = temps.cut_weight;
+  auto cbn = chain_bottleneck_min(c, Kc, &arena);
+  out.cbn_cut = std::move(cbn.cut);
+  out.cbn_threshold = cbn.threshold;
+  auto bs = bottleneck_min_bsearch(t, Kt, nullptr, &arena);
+  out.bsearch_cut = std::move(bs.cut);
+  out.bsearch_threshold = bs.threshold;
+  auto greedy = tree_bandwidth_greedy(t, Kt, nullptr, &arena);
+  out.greedy_cut = std::move(greedy.cut);
+  out.greedy_weight = greedy.cut_weight;
+  return out;
+}
+
+TEST(CsrDifferential, ParallelWidthsBitIdentical) {
+  util::Pcg32 rng(0x9A77u);
+  graph::Chain c = graph::random_chain(rng, 50000,
+                                       graph::WeightDist::uniform(1, 100),
+                                       graph::WeightDist::uniform(1, 100));
+  graph::Tree t = graph::random_tree(rng, 60000,
+                                     graph::WeightDist::uniform(1, 50),
+                                     graph::WeightDist::uniform(1, 100));
+  graph::Weight Kc =
+      k_for(c.max_vertex_weight(), c.total_vertex_weight(), 0.005);
+  graph::Weight Kt =
+      k_for(t.max_vertex_weight(), t.total_vertex_weight(), 0.01);
+
+  WidthSweepRun serial = run_all_at_width(1, c, Kc, t, Kt);
+  ASSERT_FALSE(serial.temps_cut.edges.empty());
+  EXPECT_EQ(serial.counters.par_threads, 0u) << "no team => no par counters";
+
+  for (int width : {2, 4, 8}) {
+    SCOPED_TRACE(width);
+    WidthSweepRun par = run_all_at_width(width, c, Kc, t, Kt);
+    ASSERT_EQ(par.primes.size(), serial.primes.size());
+    for (std::size_t i = 0; i < par.primes.size(); ++i) {
+      ASSERT_EQ(par.primes[i].first_vertex, serial.primes[i].first_vertex);
+      ASSERT_EQ(par.primes[i].last_vertex, serial.primes[i].last_vertex);
+      ASSERT_EQ(par.primes[i].weight, serial.primes[i].weight);
+    }
+    ASSERT_EQ(par.reduced.size(), serial.reduced.size());
+    for (std::size_t i = 0; i < par.reduced.size(); ++i) {
+      ASSERT_EQ(par.reduced[i].edge, serial.reduced[i].edge);
+      ASSERT_EQ(par.reduced[i].first_prime, serial.reduced[i].first_prime);
+      ASSERT_EQ(par.reduced[i].last_prime, serial.reduced[i].last_prime);
+      ASSERT_EQ(par.reduced[i].weight, serial.reduced[i].weight);
+    }
+    EXPECT_EQ(par.temps_cut.edges, serial.temps_cut.edges);
+    EXPECT_EQ(par.temps_weight, serial.temps_weight);  // exact: same order
+    EXPECT_EQ(par.cbn_cut.edges, serial.cbn_cut.edges);
+    EXPECT_EQ(par.cbn_threshold, serial.cbn_threshold);
+    EXPECT_EQ(par.bsearch_cut.edges, serial.bsearch_cut.edges);
+    EXPECT_EQ(par.bsearch_threshold, serial.bsearch_threshold);
+    EXPECT_EQ(par.greedy_cut.edges, serial.greedy_cut.edges);
+    EXPECT_EQ(par.greedy_weight, serial.greedy_weight);
+    // The deterministic counters are width-independent — including the
+    // speculative bsearch, which charges only its replayed serial path.
+    EXPECT_TRUE(par.counters.algo_equal(serial.counters));
+    EXPECT_EQ(par.counters.par_threads, static_cast<std::uint64_t>(width));
+    EXPECT_GT(par.counters.par_tasks, 0u);
+  }
+}
+
+TEST(CsrDifferential, ParallelCountersStableAcrossRepeats) {
+  // Same width, repeated runs: dynamic block claiming must not leak into
+  // any counter — par_tasks included (the decomposition is fixed).
+  util::Pcg32 rng(0x9A78u);
+  graph::Chain c = graph::random_chain(rng, 40000,
+                                       graph::WeightDist::uniform(1, 100),
+                                       graph::WeightDist::uniform(1, 100));
+  graph::Tree t = graph::random_tree(rng, 40000,
+                                     graph::WeightDist::uniform(1, 50),
+                                     graph::WeightDist::uniform(1, 100));
+  graph::Weight Kc =
+      k_for(c.max_vertex_weight(), c.total_vertex_weight(), 0.005);
+  graph::Weight Kt =
+      k_for(t.max_vertex_weight(), t.total_vertex_weight(), 0.01);
+  WidthSweepRun first = run_all_at_width(4, c, Kc, t, Kt);
+  for (int rep = 0; rep < 2; ++rep) {
+    WidthSweepRun again = run_all_at_width(4, c, Kc, t, Kt);
+    EXPECT_EQ(again.counters, first.counters) << "rep " << rep;
+    EXPECT_EQ(again.temps_cut.edges, first.temps_cut.edges);
+    EXPECT_EQ(again.bsearch_cut.edges, first.bsearch_cut.edges);
+  }
 }
 
 }  // namespace

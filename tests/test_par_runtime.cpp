@@ -1,0 +1,264 @@
+// The deterministic task runtime (src/par/runtime.hpp) in isolation.
+//
+// The solvers' differential tests prove end-to-end bit-identity; this
+// file pins the primitives those proofs rest on: the block decomposition
+// is a pure function of (n, grain) — never of the team width — every
+// index is visited exactly once, nested fork-join degrades to inline
+// serial execution, the canonical prefix sum is bit-identical at any
+// width, cancellation unwinds on the calling thread, and per-worker
+// arena scratch frames are safe to use concurrently (the TSan CI job
+// runs this file at widths 1/2/8).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "obs/counters.hpp"
+#include "par/runtime.hpp"
+#include "util/arena.hpp"
+#include "util/cancel.hpp"
+#include "util/rng.hpp"
+
+namespace tgp::par {
+namespace {
+
+std::unique_ptr<Team> make_team(int width) {
+  return width > 1 ? std::make_unique<Team>(width) : nullptr;
+}
+
+constexpr int kWidths[] = {1, 2, 8};
+
+TEST(ParRuntime, EmptyAndNegativeRangesAreNoOps) {
+  for (int width : kWidths) {
+    auto team = make_team(width);
+    int calls = 0;
+    parallel_for(team.get(), 0, kGrain, nullptr,
+                 [&](std::int64_t, std::int64_t, WorkerCtx&) { ++calls; });
+    parallel_for(team.get(), -5, kGrain, nullptr,
+                 [&](std::int64_t, std::int64_t, WorkerCtx&) { ++calls; });
+    EXPECT_EQ(calls, 0) << "width " << width;
+  }
+}
+
+TEST(ParRuntime, DecompositionIsWidthIndependent) {
+  // Record each block's [begin, end) into its own slot — slots are
+  // disjoint, so concurrent writes are race-free — then require the
+  // same blocks at every width.
+  const std::int64_t n = 10 * kGrain + 7;
+  const std::int64_t blocks = (n + kGrain - 1) / kGrain;
+  std::vector<std::pair<std::int64_t, std::int64_t>> first;
+  for (int width : kWidths) {
+    auto team = make_team(width);
+    std::vector<std::pair<std::int64_t, std::int64_t>> got(
+        static_cast<std::size_t>(blocks), {-1, -1});
+    parallel_for(team.get(), n, kGrain, nullptr,
+                 [&](std::int64_t b, std::int64_t e, WorkerCtx& ctx) {
+                   ASSERT_GE(ctx.worker, 0);
+                   ASSERT_LT(ctx.worker, width);
+                   got[static_cast<std::size_t>(b / kGrain)] = {b, e};
+                 });
+    for (std::int64_t i = 0; i < blocks; ++i) {
+      EXPECT_EQ(got[static_cast<std::size_t>(i)].first, i * kGrain);
+      EXPECT_EQ(got[static_cast<std::size_t>(i)].second,
+                std::min(n, (i + 1) * kGrain));
+    }
+    if (first.empty()) first = got;
+    else EXPECT_EQ(got, first) << "width " << width;
+  }
+}
+
+TEST(ParRuntime, SingleBlockRunsOnCallingThread) {
+  auto team = make_team(8);
+  int calls = 0;
+  parallel_for(team.get(), kGrain, kGrain, nullptr,
+               [&](std::int64_t b, std::int64_t e, WorkerCtx&) {
+                 ++calls;
+                 EXPECT_EQ(b, 0);
+                 EXPECT_EQ(e, kGrain);
+               });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ParRuntime, EveryIndexVisitedExactlyOnce) {
+  const std::int64_t n = 3 * kGrain + 123;
+  for (int width : kWidths) {
+    auto team = make_team(width);
+    std::vector<int> hits(static_cast<std::size_t>(n), 0);
+    parallel_for(team.get(), n, kGrain, nullptr,
+                 [&](std::int64_t b, std::int64_t e, WorkerCtx&) {
+                   for (std::int64_t i = b; i < e; ++i)
+                     hits[static_cast<std::size_t>(i)] += 1;
+                 });
+    for (std::int64_t i = 0; i < n; ++i)
+      ASSERT_EQ(hits[static_cast<std::size_t>(i)], 1)
+          << "index " << i << " width " << width;
+  }
+}
+
+TEST(ParRuntime, NestedForkJoinRunsInline) {
+  // A body that forks again must not deadlock; the nested loop executes
+  // serially on the current worker and still covers its whole range.
+  auto team = make_team(4);
+  const std::int64_t n = 4 * kGrain;
+  std::atomic<std::int64_t> inner_total{0};
+  parallel_for(team.get(), n, kGrain, nullptr,
+               [&](std::int64_t b, std::int64_t e, WorkerCtx&) {
+                 std::int64_t local = 0;
+                 parallel_for(active_team(), e - b, 64, nullptr,
+                              [&](std::int64_t ib, std::int64_t ie,
+                                  WorkerCtx&) { local += ie - ib; });
+                 inner_total.fetch_add(local, std::memory_order_relaxed);
+               });
+  EXPECT_EQ(inner_total.load(), n);
+}
+
+TEST(ParRuntime, PrefixSumBitIdenticalAcrossWidths) {
+  util::Pcg32 rng(0x5CA2u);
+  // Sizes straddling every decomposition case: empty, single partial
+  // block, exact block, multi-block with ragged tail.
+  for (std::int64_t n : {std::int64_t{0}, std::int64_t{1}, std::int64_t{100},
+                         kScanBlock, kScanBlock + 1, 5 * kScanBlock + 371}) {
+    std::vector<double> w(static_cast<std::size_t>(n));
+    for (double& x : w) x = rng.uniform_real(0.001, 100.0);
+    std::vector<std::vector<double>> results;
+    for (int width : kWidths) {
+      auto team = make_team(width);
+      util::Arena arena;
+      std::vector<double> prefix(static_cast<std::size_t>(n + 1), -1.0);
+      prefix_sum(team.get(), w.data(), n, prefix.data(), arena);
+      EXPECT_EQ(prefix[0], 0.0);
+      results.push_back(std::move(prefix));
+    }
+    for (std::size_t i = 1; i < results.size(); ++i)
+      ASSERT_EQ(results[i], results[0]) << "n " << n;
+    // Single-block inputs must equal the plain left-to-right fold — the
+    // frozen-reference differential corpus relies on this.
+    if (n > 0 && n <= kScanBlock) {
+      double acc = 0;
+      for (std::int64_t i = 0; i < n; ++i) {
+        acc += w[static_cast<std::size_t>(i)];
+        ASSERT_EQ(results[0][static_cast<std::size_t>(i + 1)], acc);
+      }
+    }
+  }
+}
+
+TEST(ParRuntime, WorkerArenasSupportConcurrentScratchFrames) {
+  // Each block opens a ScratchFrame on its worker's private arena and
+  // works through a scratch buffer.  Run it repeatedly: frames must
+  // release cleanly and arenas must not interfere (TSan-audited).
+  const std::int64_t n = 8 * kGrain;
+  for (int width : kWidths) {
+    auto team = make_team(width);
+    std::vector<std::int64_t> out(static_cast<std::size_t>(n), 0);
+    for (int rep = 0; rep < 3; ++rep) {
+      parallel_for(team.get(), n, kGrain, nullptr,
+                   [&](std::int64_t b, std::int64_t e, WorkerCtx& ctx) {
+                     util::ScratchFrame frame(ctx.arena);
+                     auto* tmp = frame->alloc_array<std::int64_t>(
+                         static_cast<std::size_t>(e - b));
+                     for (std::int64_t i = b; i < e; ++i) tmp[i - b] = i * 2;
+                     for (std::int64_t i = b; i < e; ++i)
+                       out[static_cast<std::size_t>(i)] = tmp[i - b];
+                   });
+      for (std::int64_t i = 0; i < n; i += 997)
+        ASSERT_EQ(out[static_cast<std::size_t>(i)], i * 2);
+    }
+  }
+}
+
+TEST(ParRuntime, PreCancelledTokenThrowsOnCaller) {
+  for (int width : kWidths) {
+    auto team = make_team(width);
+    util::CancelToken token;
+    token.request_cancel();
+    std::atomic<std::int64_t> ran{0};
+    EXPECT_THROW(
+        parallel_for(team.get(), 64 * kGrain, kGrain, &token,
+                     [&](std::int64_t b, std::int64_t e, WorkerCtx&) {
+                       ran.fetch_add(e - b, std::memory_order_relaxed);
+                     }),
+        util::CancelledError)
+        << "width " << width;
+    // Workers drain without running once the request is visible; a
+    // pre-cancelled token means nothing runs at all.
+    EXPECT_EQ(ran.load(), 0) << "width " << width;
+  }
+}
+
+TEST(ParRuntime, ExpiredDeadlineUnwindsWithDeadlineReason) {
+  for (int width : kWidths) {
+    auto team = make_team(width);
+    util::CancelToken token;
+    token.set_deadline(util::CancelToken::Clock::now() -
+                       std::chrono::milliseconds(1));
+    try {
+      parallel_for(team.get(), 64 * kGrain, kGrain, &token,
+                   [](std::int64_t, std::int64_t, WorkerCtx&) {});
+      FAIL() << "expected CancelledError at width " << width;
+    } catch (const util::CancelledError& e) {
+      EXPECT_EQ(e.reason, util::CancelReason::kDeadline);
+    }
+  }
+}
+
+TEST(ParRuntime, BodyExceptionLowestBlockWins) {
+  // Several blocks throw; the caller must see the lowest block's error
+  // regardless of completion order.
+  auto team = make_team(8);
+  const std::int64_t n = 16 * kGrain;
+  try {
+    parallel_for(team.get(), n, kGrain, nullptr,
+                 [&](std::int64_t b, std::int64_t, WorkerCtx&) {
+                   if (b / kGrain >= 3) throw static_cast<int>(b / kGrain);
+                 });
+    FAIL() << "expected the body exception to propagate";
+  } catch (int block) {
+    EXPECT_EQ(block, 3);
+  }
+}
+
+TEST(ParRuntime, DispatchChargesParCounters) {
+  const std::int64_t n = 6 * kGrain;
+  obs::SolveCounters serial_c;
+  {
+    obs::CounterScope scope(&serial_c);
+    parallel_for(nullptr, n, kGrain, nullptr,
+                 [](std::int64_t, std::int64_t, WorkerCtx&) {});
+  }
+  EXPECT_EQ(serial_c.par_tasks, 0u) << "no team => serial, nothing charged";
+  EXPECT_EQ(serial_c.par_threads, 0u);
+
+  obs::SolveCounters par_c;
+  {
+    auto team = make_team(4);
+    obs::CounterScope scope(&par_c);
+    parallel_for(team.get(), n, kGrain, nullptr,
+                 [](std::int64_t, std::int64_t, WorkerCtx&) {});
+    parallel_for(team.get(), n, kGrain, nullptr,
+                 [](std::int64_t, std::int64_t, WorkerCtx&) {});
+  }
+  EXPECT_EQ(par_c.par_tasks, 12u);  // 6 blocks per loop, two loops
+  EXPECT_EQ(par_c.par_threads, 4u);
+}
+
+TEST(ParRuntime, TeamScopeInstallsAndRestores) {
+  EXPECT_EQ(active_team(), nullptr);
+  auto team = make_team(2);
+  {
+    TeamScope outer(team.get());
+    EXPECT_EQ(active_team(), team.get());
+    {
+      TeamScope inner(nullptr);  // suspend parallelism
+      EXPECT_EQ(active_team(), nullptr);
+    }
+    EXPECT_EQ(active_team(), team.get());
+  }
+  EXPECT_EQ(active_team(), nullptr);
+}
+
+}  // namespace
+}  // namespace tgp::par

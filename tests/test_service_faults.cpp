@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
 #include <limits>
 #include <vector>
 
@@ -453,6 +454,53 @@ TEST_F(TracedServiceTest, SpansCloseWhenDeadlineUnwindsMidSolve) {
   } else {
     // The common path: CancelledError unwound out of the solver, and the
     // solve + job spans still closed on the way out.
+    EXPECT_EQ(c.queue_wait, 1u);
+    EXPECT_EQ(c.queue_shed, 0u);
+    EXPECT_EQ(c.job, 1u);
+    EXPECT_EQ(c.solve, 1u);
+  }
+}
+
+TEST_F(TracedServiceTest, CancelledGiantParallelSolveUnwindsWithinDeadline) {
+  // A giant chain solve running on a width-4 intra-solve team hits its
+  // deadline mid-solve.  Workers observe the token between blocks and
+  // drain; the calling thread unwinds with kTimeout long before the
+  // full solve could have finished — and every span still closes.
+  ServiceConfig config;
+  config.threads = 1;
+  config.solve_threads = 4;
+  // This box may have a single hardware thread; the test is about the
+  // cancellation protocol, not speedup, so take the full width anyway.
+  config.oversubscribe_solves = true;
+  JobSpec giant = chain_job(Problem::kBandwidth, 4'000'000, 0x61A47);
+  giant.deadline_micros = 5000;  // a full solve takes orders more
+  JobStatus status;
+  std::string error;
+  std::chrono::steady_clock::duration elapsed;
+  {
+    PartitionService service(config);
+    auto t0 = std::chrono::steady_clock::now();
+    std::size_t slot = service.submit(giant);
+    service.wait_idle();
+    elapsed = std::chrono::steady_clock::now() - t0;
+    status = service.result(slot).status;
+    error = service.result(slot).error;
+  }
+  obs::trace::set_enabled(false);
+  ASSERT_EQ(status, JobStatus::kTimeout) << error;
+  // Generous bound (sanitizers, loaded CI boxes) that is still far
+  // below the multi-second full solve: the unwind must be prompt.
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                .count(),
+            2000);
+  SpanCensus c = census(obs::trace::snapshot());
+  if (error == "deadline expired before the job started") {
+    EXPECT_EQ(c.queue_shed, 1u);
+    EXPECT_EQ(c.job, 0u);
+    EXPECT_EQ(c.solve, 0u);
+  } else {
+    // The common path: CancelledError unwound out of the parallel solve
+    // with the job + solve spans closed by RAII.
     EXPECT_EQ(c.queue_wait, 1u);
     EXPECT_EQ(c.queue_shed, 0u);
     EXPECT_EQ(c.job, 1u);

@@ -162,7 +162,8 @@ std::string served_tool_help() {
       "                  [--stop-after-idle-ms MS] [--log-level LEVEL]\n"
       "                  [--tick-ms MS] [--fault-rate P] [--fault-seed S]\n"
       "                  [--fault-sites SITE=P,...] [--fault-stall-ms MS]\n"
-      "          backend: [--threads N] [--cache-mb M] [--queue-cap C]\n"
+      "          backend: [--threads N] [--solve-threads N]\n"
+      "                  [--cache-mb M] [--queue-cap C]\n"
       "                  [--max-inflight N] [--rate-limit R] [--retry N]\n"
       "                  [--degrade-watermark W] [--breaker]\n"
       "                  [--shard-index I --shard-count N]\n"
@@ -219,6 +220,7 @@ int run_served_tool(const std::vector<std::string>& args, std::ostream& out,
         .describe("stop-after-idle-ms", "exit once idle this long")
         .describe("log-level", "stderr log threshold")
         .describe("threads", "worker threads")
+        .describe("solve-threads", "intra-solve team width per worker")
         .describe("cache-mb", "cache budget in MiB (0 disables)")
         .describe("queue-cap", "job queue capacity")
         .describe("max-inflight", "admission cap on jobs in flight")
@@ -333,6 +335,7 @@ int run_served_tool(const std::vector<std::string>& args, std::ostream& out,
 
     svc::ServiceConfig config;
     config.threads = static_cast<int>(parser.get_int("threads", 0));
+    config.solve_threads = static_cast<int>(parser.get_int("solve-threads", 1));
     config.cache_bytes =
         static_cast<std::size_t>(parser.get_int("cache-mb", 64)) << 20;
     config.queue_capacity =
