@@ -9,6 +9,8 @@
 #include <sstream>
 #include <thread>
 
+#include "obs/build_info.hpp"
+
 namespace tgp::bench {
 
 namespace {
@@ -189,7 +191,18 @@ bool Harness::write_json(const std::string& path) const {
       << ",\n  \"machine\": {\n    \"hardware_threads\": "
       << std::thread::hardware_concurrency() << ",\n    \"compiler\": \"";
   json_escape(out, compiler_id());
-  out << "\",\n    \"build\": \"" << build_kind() << "\"\n  },\n"
+  out << "\",\n    \"build\": \"" << build_kind() << "\"\n  },\n";
+  // Which build produced this artifact — a committed baseline without
+  // this is unattributable once the branch moves.  Older readers skip
+  // the object (unknown-field rule).
+  out << "  \"provenance\": {\n    \"version\": \"";
+  json_escape(out, obs::build_version());
+  out << "\",\n    \"git_sha\": \"";
+  json_escape(out, obs::build_git_sha());
+  char started[32];
+  std::snprintf(started, sizeof started, "%.3f",
+                obs::process_start_unix_seconds());
+  out << "\",\n    \"started_unix_seconds\": " << started << "\n  },\n"
       << "  \"cases\": [\n";
   char buf[64];
   for (std::size_t i = 0; i < results_.size(); ++i) {

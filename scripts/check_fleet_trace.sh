@@ -1,0 +1,143 @@
+#!/usr/bin/env bash
+# End-to-end distributed-tracing check for a real multi-process fleet:
+#
+#   traced tgp_client batch -> tgp_served router -> 2 tgp_served shards
+#
+# with one shard SIGTERMed mid-batch, so at least one request survives a
+# failover hand-off.  Every process writes its own --trace-out file; the
+# run passes when
+#
+#   * the client answers the whole batch (exit 0) despite the kill,
+#   * tgp_trace_dump stitches the four files into one Chrome trace and
+#     the per-request critical path accounts for >= 95% of the client-
+#     observed end-to-end latency (--require-coverage 0.95),
+#   * scripts/validate_trace.py --stitched confirms every distributed
+#     span tree links up across process files (one root per trace, all
+#     parents resolve, span ids unique).
+#
+# The kill is a race against the batch on purpose; if the batch finishes
+# before the shard dies the attempt is retried with a bigger batch so a
+# hand-off is actually exercised.
+#
+# usage: scripts/check_fleet_trace.sh [BUILD_DIR] [WORK_DIR]
+set -euo pipefail
+
+BUILD=${1:-build}
+WORK=${2:-$(mktemp -d /tmp/fleettrace.XXXXXX)}
+SERVED=$BUILD/tools/tgp_served
+CLIENT=$BUILD/tools/tgp_client
+DUMP=$BUILD/tools/tgp_trace_dump
+HERE=$(cd "$(dirname "$0")" && pwd)
+
+for bin in "$SERVED" "$CLIENT" "$DUMP"; do
+  [ -x "$bin" ] || { echo "check_fleet_trace: missing $bin" >&2; exit 2; }
+done
+mkdir -p "$WORK"
+
+PIDS=()
+cleanup() {
+  for pid in "${PIDS[@]:-}"; do kill "$pid" 2>/dev/null || true; done
+  wait 2>/dev/null || true
+}
+trap cleanup EXIT
+
+# tgp_served prints exactly one "listening on HOST:PORT" line to stdout.
+wait_port() {
+  local log=$1 port=""
+  for _ in $(seq 200); do
+    port=$(awk -F: '/^listening on /{print $NF; exit}' "$log" 2>/dev/null)
+    [ -n "$port" ] && { echo "$port"; return 0; }
+    sleep 0.05
+  done
+  echo "check_fleet_trace: no listening line in $log" >&2
+  return 1
+}
+
+run_attempt() {
+  local jobs=$1 d=$2
+  mkdir -p "$d"
+  PIDS=()
+
+  "$SERVED" --port 0 --shard-index 0 --shard-count 2 \
+    --trace-out "$d/shard0.json" --trace-name shard0 \
+    >"$d/shard0.log" 2>&1 &
+  local s0=$!; PIDS+=("$s0")
+  "$SERVED" --port 0 --shard-index 1 --shard-count 2 \
+    --trace-out "$d/shard1.json" --trace-name shard1 \
+    >"$d/shard1.log" 2>&1 &
+  local s1=$!; PIDS+=("$s1")
+  local p0 p1
+  p0=$(wait_port "$d/shard0.log")
+  p1=$(wait_port "$d/shard1.log")
+
+  "$SERVED" --port 0 --route "127.0.0.1:$p0,127.0.0.1:$p1" \
+    --tick-ms 5 --metrics-every-ticks 2 \
+    --slow-log "$d/slow.json" --slow-log-size 8 \
+    --trace-out "$d/router.json" --trace-name router \
+    >"$d/router.log" 2>&1 &
+  local r=$!; PIDS+=("$r")
+  local pr
+  pr=$(wait_port "$d/router.log")
+
+  "$CLIENT" --connect "127.0.0.1:$pr" --generate "$jobs" --clock-sync \
+    --trace-out "$d/client.json" --no-results \
+    >"$d/client.out" 2>"$d/client.err" &
+  local c=$!
+
+  # Mid-batch shard kill: the router must hand the dead shard's inflight
+  # requests to the survivor without dropping their trace context.
+  sleep 0.02
+  kill -TERM "$s1" 2>/dev/null || true
+
+  local crc=0
+  wait "$c" || crc=$?
+  if [ "$crc" -ne 0 ]; then
+    echo "check_fleet_trace: client exited $crc" >&2
+    sed -n '1,20p' "$d/client.err" >&2
+    return 2
+  fi
+
+  # Graceful teardown so every process flushes its trace ring to disk.
+  kill -TERM "$r" 2>/dev/null || true
+  wait "$r" 2>/dev/null || true
+  kill -TERM "$s0" "$s1" 2>/dev/null || true
+  wait "$s0" "$s1" 2>/dev/null || true
+  PIDS=()
+
+  grep -Eq '[1-9][0-9]* failover' "$d/router.log" || return 3  # raced: retry
+  return 0
+}
+
+attempt=0
+for jobs in 160 400 1000; do
+  attempt=$((attempt + 1))
+  d="$WORK/attempt$attempt"
+  rc=0
+  run_attempt "$jobs" "$d" || rc=$?
+  if [ "$rc" -eq 0 ]; then
+    break
+  elif [ "$rc" -eq 3 ]; then
+    echo "check_fleet_trace: batch of $jobs beat the kill, retrying bigger"
+    d=""
+  else
+    exit 1
+  fi
+done
+if [ -z "$d" ]; then
+  echo "check_fleet_trace: no attempt exercised a failover hand-off" >&2
+  exit 1
+fi
+
+"$DUMP" \
+  --input "$d/client.json" --input "$d/router.json" \
+  --input "$d/shard0.json" --input "$d/shard1.json" \
+  --merged-out "$d/merged.json" --critical-path --require-coverage 0.95
+
+python3 "$HERE/validate_trace.py" --stitched --min-traces 2 "$d/merged.json"
+
+grep -q '"trace"' "$d/slow.json" || {
+  echo "check_fleet_trace: slow log carries no trace ids" >&2
+  exit 1
+}
+
+echo "check_fleet_trace: OK ($d)"

@@ -8,9 +8,14 @@ Checks (stdlib only, no third-party deps):
     name, non-negative tid)
   * at least one span from each required category/name pair is present,
     so a refactor can't silently stop emitting the service-path spans
-  * nesting sanity on each thread: spans on one tid either nest or are
-    disjoint (complete events from a scoped tracer can never partially
+  * nesting sanity on each thread: spans on one (pid, tid) either nest or
+    are disjoint (complete events from a scoped tracer can never partially
     overlap on the emitting thread)
+  * with --stitched (for tgp_trace_dump --merged-out files): every event
+    carrying distributed-trace args forms a well-linked tree — each
+    tgp_parent resolves to a tgp_span of the same trace, every trace has
+    exactly one root, span ids are unique within a trace, and the merged
+    view spans more than one process
 
 Exit codes: 0 ok, 1 validation failure, 2 usage/IO error.
 """
@@ -47,6 +52,19 @@ def main():
         action="store_true",
         help="skip the service span-name checks (for non-service traces)",
     )
+    ap.add_argument(
+        "--stitched",
+        action="store_true",
+        help="validate cross-process trace links (tgp_trace/tgp_span/"
+        "tgp_parent args) on a tgp_trace_dump --merged-out file",
+    )
+    ap.add_argument(
+        "--min-traces",
+        type=int,
+        default=1,
+        help="with --stitched: require at least this many distributed "
+        "traces (default 1)",
+    )
     args = ap.parse_args()
 
     try:
@@ -63,6 +81,8 @@ def main():
 
     spans = []
     seen = set()
+    all_pids = set()
+    traces = {}  # trace id -> list of (span_id, parent, cat/name, pid)
     for i, ev in enumerate(doc["traceEvents"]):
         if not isinstance(ev, dict):
             return fail(f"event #{i} is not an object")
@@ -76,18 +96,47 @@ def main():
             return fail(f"event #{i} has bad tid {tid!r}")
         if ph == "M":
             continue
+        pid = ev.get("pid", 0)
         ts, dur = ev.get("ts"), ev.get("dur")
         if not isinstance(ts, (int, float)) or not isinstance(dur, (int, float)):
             return fail(f"event #{i} ({ev['name']}) has non-numeric ts/dur")
         if dur < 0:
             return fail(f"event #{i} ({ev['name']}) has negative duration")
-        # queue.wait and queue.shed spans are backdated to enqueue time, so
-        # they measure queue residency rather than thread occupancy and may
-        # overlap the previous job's spans on the same worker — keep them
-        # out of the nesting sweep.
-        nestable = ev["name"] not in ("queue.wait", "queue.shed")
-        spans.append((tid, float(ts), float(dur), nestable))
+        # Residency spans measure how long a request sat somewhere, not
+        # what a thread was doing: the service backdates queue.wait/
+        # queue.shed to enqueue time; the router emits router.queue.wait
+        # (socket arrival → dispatch) and router.backend (dispatch →
+        # response) once the response lands; the client's pipelined
+        # client.request roots and their send/recv wait children span
+        # whole request lifetimes that overlap each other on the one
+        # client thread.  Keep all of them out of the nesting sweep.
+        nestable = ev["name"] not in (
+            "queue.wait",
+            "queue.shed",
+            "router.queue.wait",
+            "router.backend",
+            "client.request",
+            "client.send.wait",
+            "client.recv.wait",
+        )
+        spans.append(((pid, tid), float(ts), float(dur), nestable))
         seen.add((ev.get("cat", ""), ev["name"]))
+        all_pids.add(pid)
+
+        ev_args = ev.get("args")
+        if isinstance(ev_args, dict) and "tgp_trace" in ev_args:
+            trace_id = ev_args["tgp_trace"]
+            span_id = ev_args.get("tgp_span")
+            parent = ev_args.get("tgp_parent", "0")
+            label = f"{ev.get('cat', '')}/{ev['name']}"
+            if not isinstance(trace_id, str) or not trace_id:
+                return fail(f"event #{i} ({label}) has a bad tgp_trace")
+            if not isinstance(span_id, str) or not span_id:
+                return fail(f"event #{i} ({label}) carries tgp_trace "
+                            f"without a tgp_span id")
+            traces.setdefault(trace_id, []).append(
+                (span_id, parent, label, pid)
+            )
 
     if len(spans) < args.min_events:
         return fail(f"only {len(spans)} X events, expected >= {args.min_events}")
@@ -117,10 +166,50 @@ def main():
                 )
             stack.append(end)
 
+    if args.stitched:
+        if len(traces) < args.min_traces:
+            return fail(
+                f"only {len(traces)} distributed traces, expected >= "
+                f"{args.min_traces}"
+            )
+        pids = {pid for ivs in traces.values() for (_, _, _, pid) in ivs}
+        if len(pids) < 2:
+            return fail(
+                "stitched trace covers a single process — merge the "
+                "client's and the fleet's --trace-out files"
+            )
+        for trace_id, members in traces.items():
+            ids = {}
+            for span_id, parent, label, pid in members:
+                if span_id in ids:
+                    return fail(
+                        f"trace {trace_id}: span id {span_id} duplicated "
+                        f"({ids[span_id]} and {label})"
+                    )
+                ids[span_id] = label
+            roots = [m for m in members if int(m[1], 16) == 0]
+            if len(roots) != 1:
+                return fail(
+                    f"trace {trace_id}: {len(roots)} roots, expected "
+                    f"exactly one (a client.request span with no parent)"
+                )
+            for span_id, parent, label, pid in members:
+                if int(parent, 16) != 0 and parent not in ids:
+                    return fail(
+                        f"trace {trace_id}: {label} parents to {parent}, "
+                        f"which no span of this trace owns"
+                    )
+
     dropped = doc.get("tgp_dropped", 0)
+    stitched = (
+        f", {len(traces)} distributed traces across "
+        f"{len(all_pids)} processes"
+        if args.stitched
+        else ""
+    )
     print(
         f"validate_trace: OK: {len(spans)} spans on {len(by_tid)} threads, "
-        f"{len(seen)} distinct phases, {dropped} dropped"
+        f"{len(seen)} distinct phases, {dropped} dropped{stitched}"
     )
     return 0
 

@@ -1,14 +1,24 @@
 #include "net/backend.hpp"
 
+#include <chrono>
 #include <sstream>
 #include <utility>
 
+#include "obs/build_info.hpp"
 #include "obs/prom.hpp"
 #include "obs/trace.hpp"
 #include "svc/metrics.hpp"
 #include "util/assert.hpp"
 
 namespace tgp::net {
+
+namespace {
+std::int64_t wall_clock_us() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
 
 Backend::Backend(svc::PartitionService& service, Config config)
     : service_(service),
@@ -28,7 +38,9 @@ void Backend::on_frame(std::uint64_t conn, const FrameHeader& header,
                                                header.request_id));
       return;
     case FrameType::kPing:
-      server_->send(conn, encode_pong(header.request_id));
+      // The wall clock in the pong is what lets clients estimate clock
+      // offset for cross-host trace stitching (RTT midpoint).
+      server_->send(conn, encode_pong(header.request_id, wall_clock_us()));
       return;
     case FrameType::kPong:
     case FrameType::kResult:
@@ -45,8 +57,16 @@ void Backend::on_frame(std::uint64_t conn, const FrameHeader& header,
 
 void Backend::handle_submit(std::uint64_t conn, const FrameHeader& header,
                             std::span<const std::uint8_t> payload) {
+  // Peel the trace-context block (if any) so the v1 decoder below sees a
+  // clean payload, and install it for the scope of the handling — the
+  // backend.submit span and everything the service records for this job
+  // then nest under the originating client request.
+  std::optional<obs::TraceContext> ctx =
+      split_trace_context(header, payload);
+  obs::ContextScope trace_scope(ctx ? *ctx : obs::TraceContext{});
   TGP_SPAN("net", "backend.submit");
   SubmitRequest req = decode_submit(payload);  // WireError → server rejects
+  if (ctx) req.spec.trace = *ctx;
 
   // Ownership accounting happens before the service can reject the job:
   // routing disjointness is a property of what *arrived*, not of what
@@ -68,11 +88,17 @@ void Backend::handle_submit(std::uint64_t conn, const FrameHeader& header,
   const std::uint64_t request_id = header.request_id;
   Server* server = server_;
   const bool count_hit = classified || config_.shard_count <= 1;
-  auto on_complete = [this, server, conn, request_id, owned, count_hit](
-                         std::size_t, const svc::JobResult& result) {
+  const obs::TraceContext result_ctx = ctx ? *ctx : obs::TraceContext{};
+  auto on_complete = [this, server, conn, request_id, owned, count_hit,
+                      result_ctx](std::size_t,
+                                  const svc::JobResult& result) {
     if (result.cache_hit && count_hit)
       (owned ? owned_cache_hits_ : foreign_cache_hits_).fetch_add(1);
-    server->send(conn, encode_result(result, request_id));
+    std::vector<std::uint8_t> frame = encode_result(result, request_id);
+    // Echo the context so any hop that sees only the result frame (the
+    // router's slow-log, a capture) can attribute it to the trace.
+    append_trace_context(frame, result_ctx);
+    server->send(conn, std::move(frame));
   };
 
   try {
@@ -136,6 +162,7 @@ std::string Backend::on_metrics() {
   std::ostringstream out;
   out << service_.metrics().render_prometheus();
   render_net_metrics(out);
+  obs::render_process_metrics(out);
   return out.str();
 }
 

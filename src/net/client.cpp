@@ -78,19 +78,36 @@ void Client::exchange(std::vector<Entry>& entries, bool hedge) {
   std::unordered_map<std::uint64_t, std::size_t> hedge_slot;
   const bool hedging = hedge && config_.hedge_after_ms > 0;
 
+  bool traced = false;
+  for (const Entry& e : entries)
+    if (e.span_id != 0) traced = true;
+
   // Bytes queued for the current connection; rebuilt from unanswered
   // entries after every re-dial (ids preserved — submits are idempotent).
+  // When tracing, `send_marks` remembers where each entry's frame ends in
+  // `out`, so crossing that offset stamps the entry's sent_ns — the whole
+  // batch is encoded before the first byte moves, and that serialization
+  // must show up as client.send.wait, not as untracked root time.
   std::vector<std::uint8_t> out;
   std::size_t out_off = 0;
+  std::vector<std::pair<std::size_t, std::size_t>> send_marks;  // end, slot
+  std::size_t next_mark = 0;
   auto queue_unanswered = [&] {
     out.clear();
     out_off = 0;
+    send_marks.clear();
+    next_mark = 0;
     const std::int64_t now = mono_us();
-    for (Entry& e : entries) {
+    for (std::size_t i = 0; i < n; ++i) {
+      Entry& e = entries[i];
       if (e.answered) continue;
       out.insert(out.end(), e.frame.begin(), e.frame.end());
       e.sent_us = now;
       e.hedged = false;  // the hedge died with the old connection too
+      if (traced) {
+        e.sent_ns = 0;  // a resend supersedes the old hand-off time
+        send_marks.emplace_back(out.size(), i);
+      }
     }
   };
   queue_unanswered();
@@ -106,6 +123,11 @@ void Client::exchange(std::vector<Entry>& entries, bool hedge) {
   };
 
   std::int64_t last_activity_us = mono_us();
+  // When the socket first turned readable for the current response
+  // burst: answers wait in the kernel buffer while earlier frames of
+  // the burst are drained and parsed, and that residency belongs to
+  // client.recv.wait.  Re-armed once a recv() drains the socket.
+  std::int64_t readable_ns = 0;
 
   while (remaining > 0) {
     const std::int64_t now = mono_us();
@@ -190,15 +212,29 @@ void Client::exchange(std::vector<Entry>& entries, bool hedge) {
       } else if (sent > 0) {
         out_off += static_cast<std::size_t>(sent);
         last_activity_us = mono_us();
+        if (next_mark < send_marks.size() &&
+            send_marks[next_mark].first <= out_off) {
+          const std::int64_t ns = obs::trace::now_ns();
+          while (next_mark < send_marks.size() &&
+                 send_marks[next_mark].first <= out_off) {
+            Entry& e = entries[send_marks[next_mark].second];
+            if (e.span_id != 0 && e.sent_ns == 0) e.sent_ns = ns;
+            ++next_mark;
+          }
+        }
       }
     }
 
     if ((p.revents & (POLLIN | POLLERR | POLLHUP)) != 0) {
+      if (traced && readable_ns == 0 && (p.revents & POLLIN) != 0)
+        readable_ns = obs::trace::now_ns();
       std::uint8_t chunk[64 * 1024];
       ssize_t got = ::recv(fd_.get(), chunk, sizeof chunk, 0);
       if (got < 0) {
-        if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR)
+        if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
+          readable_ns = 0;  // socket drained; next burst re-arms
           continue;
+        }
         if (errno == ECONNRESET && redials_left > 0) {
           on_transport_down("recv");
           last_activity_us = mono_us();
@@ -217,6 +253,12 @@ void Client::exchange(std::vector<Entry>& entries, bool hedge) {
                           " response(s) outstanding");
       }
       last_activity_us = mono_us();
+      const std::int64_t recv_ns =
+          traced ? (readable_ns != 0 ? readable_ns : obs::trace::now_ns())
+                 : 0;
+      // A short read means the kernel buffer is (almost surely) empty:
+      // the next readable burst gets a fresh start time.
+      if (static_cast<std::size_t>(got) < sizeof chunk) readable_ns = 0;
       frames_.append(chunk, static_cast<std::size_t>(got));
       FrameHeader h;
       std::vector<std::uint8_t> payload;
@@ -251,6 +293,10 @@ void Client::exchange(std::vector<Entry>& entries, bool hedge) {
           continue;
         }
         e.answered = true;
+        if (e.span_id != 0) {
+          e.answered_ns = obs::trace::now_ns();
+          e.recv_ns = recv_ns;  // when this answer's burst turned readable
+        }
         e.header = h;
         e.payload = std::move(payload);
         payload.clear();
@@ -265,22 +311,71 @@ std::vector<svc::JobResult> Client::run_batch(
     const std::vector<SubmitRequest>& requests) {
   std::vector<Entry> entries(requests.size());
   const std::int64_t now = mono_us();
+  const bool tracing = config_.trace && obs::trace::enabled();
   for (std::size_t i = 0; i < requests.size(); ++i) {
     entries[i].id = next_id_++;
     entries[i].frame = encode_submit(requests[i], entries[i].id);
     entries[i].sent_us = now;
+    if (tracing) {
+      Entry& e = entries[i];
+      e.span_id = obs::trace::new_span_id();
+      e.ctx.trace_hi =
+          (static_cast<std::uint64_t>(rng_.next()) << 32) | rng_.next();
+      e.ctx.trace_lo =
+          (static_cast<std::uint64_t>(rng_.next()) << 32) | rng_.next();
+      if ((e.ctx.trace_hi | e.ctx.trace_lo) == 0) e.ctx.trace_lo = 1;
+      e.ctx.parent_span = e.span_id;
+      e.ctx.sampled = true;
+      // The context rides at the payload tail, so reconnect resubmits
+      // and hedged copies (same bytes, fresh id) keep the trace id.
+      append_trace_context(e.frame, e.ctx);
+      e.start_ns = obs::trace::now_ns();
+    }
   }
   exchange(entries, /*hedge=*/true);
+
+  if (tracing) {
+    // Root span per request: client encode → answer.  parent_span = 0
+    // marks it as the trace root for the stitcher.
+    for (const Entry& e : entries) {
+      if (e.span_id == 0 || e.answered_ns == 0) continue;
+      obs::TraceContext root = e.ctx;
+      root.parent_span = 0;
+      obs::trace::emit_complete_ctx(
+          "net", "client.request", e.start_ns, e.answered_ns, root,
+          e.span_id,
+          {"bytes", static_cast<std::int64_t>(e.frame.size())},
+          {"hedged", e.hedged ? 1 : 0});
+      // The client's own queueing, parented on the root: encode → bytes
+      // handed to the OS (the whole batch encodes before the first send,
+      // so later requests wait on earlier ones), and the completing
+      // recv() → parse (responses drain serially off one socket).
+      if (e.sent_ns > e.start_ns) {
+        obs::trace::emit_complete_ctx("net", "client.send.wait", e.start_ns,
+                                      e.sent_ns, e.ctx,
+                                      obs::trace::new_span_id());
+      }
+      if (e.recv_ns != 0 && e.answered_ns > e.recv_ns) {
+        obs::trace::emit_complete_ctx("net", "client.recv.wait", e.recv_ns,
+                                      e.answered_ns, e.ctx,
+                                      obs::trace::new_span_id());
+      }
+    }
+  }
 
   std::vector<svc::JobResult> results;
   results.reserve(entries.size());
   for (Entry& e : entries) {
+    // Traced backends echo the context on the result; peel it so the v1
+    // decoders see a clean payload.
+    std::span<const std::uint8_t> payload = e.payload;
+    split_trace_context(e.header, payload);
     switch (e.header.type) {
       case FrameType::kResult:
-        results.push_back(decode_result(e.payload));
+        results.push_back(decode_result(payload));
         break;
       case FrameType::kReject:
-        results.push_back(reject_to_result(decode_reject(e.payload)));
+        results.push_back(reject_to_result(decode_reject(payload)));
         break;
       default:
         throw WireError(std::string("unexpected ") +
@@ -317,6 +412,38 @@ void Client::ping() {
   if (entries[0].header.type != FrameType::kPong)
     throw WireError(std::string("expected kPong, got ") +
                     frame_type_name(entries[0].header.type));
+}
+
+Client::ClockSync Client::measure_clock_offset(int samples) {
+  ClockSync best;
+  auto wall_us = [] {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::system_clock::now().time_since_epoch())
+        .count();
+  };
+  for (int i = 0; i < std::max(1, samples); ++i) {
+    std::vector<Entry> entries(1);
+    entries[0].id = next_id_++;
+    entries[0].frame = encode_ping(entries[0].id);
+    entries[0].sent_us = mono_us();
+    const std::int64_t t0 = wall_us();
+    exchange(entries, /*hedge=*/false);
+    const std::int64_t t1 = wall_us();
+    if (entries[0].header.type != FrameType::kPong)
+      throw WireError(std::string("expected kPong, got ") +
+                      frame_type_name(entries[0].header.type));
+    std::optional<std::int64_t> server = decode_pong(entries[0].payload);
+    if (!server) continue;  // pre-v2 peer: empty pong, no estimate
+    const std::int64_t rtt = t1 - t0;
+    if (!best.valid || rtt < best.rtt_us) {
+      best.valid = true;
+      best.rtt_us = rtt;
+      // Midpoint estimate: the server stamped its clock somewhere inside
+      // [t0, t1]; the midpoint bounds the error by rtt/2.
+      best.offset_us = *server - (t0 + t1) / 2;
+    }
+  }
+  return best;
 }
 
 }  // namespace tgp::net

@@ -79,6 +79,11 @@ class Client {
     int hedge_after_ms = 0;
     /// Seed for backoff jitter.
     std::uint64_t seed = 1;
+    /// Distributed tracing: stamp a fresh sampled TraceContext onto
+    /// every submit (append_trace_context) and record a client-side
+    /// root span per request.  Requires obs tracing to be enabled to
+    /// have any effect; leaves the wire bytes v1-identical when off.
+    bool trace = false;
   };
 
   struct Stats {
@@ -114,6 +119,19 @@ class Client {
   /// Round-trip a kPing; throws on anything but a matching kPong.
   void ping();
 
+  /// Estimated wall-clock offset of the server relative to this process
+  /// (positive = server clock ahead), for cross-host trace stitching.
+  struct ClockSync {
+    bool valid = false;          ///< server answered with a wall clock
+    std::int64_t offset_us = 0;  ///< RTT-midpoint estimate
+    std::int64_t rtt_us = 0;     ///< round trip of the best sample
+  };
+
+  /// Ping `samples` times and keep the minimum-RTT estimate (the
+  /// tightest bound on the midpoint).  Servers older than protocol v2
+  /// send empty pongs — the result is then !valid.
+  ClockSync measure_clock_offset(int samples = 5);
+
   const Stats& stats() const { return stats_; }
 
  private:
@@ -127,6 +145,14 @@ class Client {
     bool answered = false;
     std::int64_t sent_us = 0;
     bool hedged = false;
+    /// Distributed-tracing bookkeeping (zero unless Config::trace):
+    /// the context stamped on the wire and the root span it parents to.
+    obs::TraceContext ctx;
+    std::uint64_t span_id = 0;
+    std::int64_t start_ns = 0;     ///< trace clock at encode
+    std::int64_t sent_ns = 0;      ///< frame bytes fully handed to the OS
+    std::int64_t recv_ns = 0;      ///< answer's burst became readable
+    std::int64_t answered_ns = 0;  ///< trace clock at answer
   };
 
   /// Drive `entries` (ids already stamped into the frames) until every

@@ -1,15 +1,27 @@
 #include "net/router.hpp"
 
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
 #include <sstream>
 #include <utility>
 
 #include "graph/fingerprint.hpp"
+#include "obs/build_info.hpp"
 #include "obs/prom.hpp"
 #include "obs/trace.hpp"
 #include "util/assert.hpp"
 #include "util/logging.hpp"
 
 namespace tgp::net {
+
+namespace {
+std::int64_t wall_clock_us() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
 
 Router::Router(Config config) : config_(config), quota_(config.tenant_quota) {}
 
@@ -60,7 +72,9 @@ void Router::on_frame(std::uint64_t conn, const FrameHeader& header,
                     encode_metrics_reply(on_metrics(), header.request_id));
       return;
     case FrameType::kPing:
-      server_->send(conn, encode_pong(header.request_id));
+      // Wall clock in the pong → clients can estimate this process's
+      // clock offset for cross-host trace stitching (RTT midpoint).
+      server_->send(conn, encode_pong(header.request_id, wall_clock_us()));
       return;
     default:
       throw WireError(std::string("router cannot serve a ") +
@@ -70,8 +84,15 @@ void Router::on_frame(std::uint64_t conn, const FrameHeader& header,
 
 void Router::handle_submit(std::uint64_t conn, const FrameHeader& header,
                            std::span<const std::uint8_t> payload) {
+  // Peel the trace-context suffix off a *copy* of the payload view so the
+  // v1 decoder sees clean bytes; the forwarded frame below is built from
+  // the original payload, so the context rides to the backend untouched
+  // (the fingerprint and router-id patches hit fixed v1 offsets).
+  std::span<const std::uint8_t> body = payload;
+  std::optional<obs::TraceContext> ctx = split_trace_context(header, body);
+  obs::ContextScope trace_scope(ctx ? *ctx : obs::TraceContext{});
   TGP_SPAN("net", "router.submit");
-  SubmitRequest req = decode_submit(payload);  // WireError → server rejects
+  SubmitRequest req = decode_submit(body);  // WireError → server rejects
 
   if (!quota_.admit(req.tenant, now_micros())) {
     ++quota_rejects_;
@@ -99,6 +120,14 @@ void Router::handle_submit(std::uint64_t conn, const FrameHeader& header,
   w.client_conn = conn;
   w.client_request_id = header.request_id;
   w.key = fp.fold();
+  if (ctx) w.ctx = *ctx;
+  // Queue residency starts when the bytes hit the socket, not when this
+  // handler got around to them: a pipelined batch lands whole in one
+  // read, and frame k waits in the parse buffer behind k-1 submits.
+  // That wait is queueing and must land in router.queue.wait, or the
+  // stitched critical path shows it as untracked time.
+  const std::int64_t read_ns = server_ ? server_->ingress_ns() : 0;
+  w.accept_ns = read_ns != 0 ? read_ns : obs::trace::now_ns();
   w.frame.reserve(kHeaderBytes + payload.size());
   put_header(w.frame, header);
   w.frame.insert(w.frame.end(), payload.begin(), payload.end());
@@ -143,6 +172,9 @@ void Router::dispatch(Waiting w) {
   p.client_request_id = w.client_request_id;
   p.backend = target;
   p.key = w.key;
+  p.ctx = w.ctx;
+  p.accept_ns = w.accept_ns;
+  p.dispatch_ns = obs::trace::now_ns();
   if (config_.failover) p.frame = w.frame;  // kept for hand-off
   pending_.emplace(router_id, std::move(p));
   ++forwarded_;
@@ -165,6 +197,97 @@ void Router::settle(std::uint64_t router_id) {
   }
 }
 
+void Router::record_response(const Pending& p, std::uint64_t router_id,
+                             std::uint32_t responder, std::int64_t done_ns) {
+  const double e2e_us =
+      static_cast<double>(done_ns - p.accept_ns) * 1e-3;
+  const double queue_us =
+      static_cast<double>(p.dispatch_ns - p.accept_ns) * 1e-3;
+  e2e_latency_.record(e2e_us);
+
+  if (config_.slow_log_size > 0) {
+    SlowRequest sr;
+    sr.router_id = router_id;
+    sr.client_request_id = p.client_request_id;
+    sr.shard = responder;
+    sr.e2e_micros = e2e_us;
+    sr.queue_micros = queue_us;
+    sr.backend_micros =
+        static_cast<double>(done_ns - p.dispatch_ns) * 1e-3;
+    sr.trace_hi = p.ctx.trace_hi;
+    sr.trace_lo = p.ctx.trace_lo;
+    if (slow_.size() < config_.slow_log_size) {
+      slow_.push_back(sr);
+    } else {
+      auto min_it = std::min_element(
+          slow_.begin(), slow_.end(),
+          [](const SlowRequest& a, const SlowRequest& b) {
+            return a.e2e_micros < b.e2e_micros;
+          });
+      if (min_it->e2e_micros < sr.e2e_micros) *min_it = sr;
+    }
+  }
+
+  // The router's contribution to the distributed trace: the fair-queue
+  // wait and the backend round trip, both parented on the client's root
+  // span so the stitched view shows client → router → shard nesting.
+  if (p.ctx.sampled && obs::trace::enabled()) {
+    obs::trace::emit_complete_ctx("net", "router.queue.wait", p.accept_ns,
+                                  p.dispatch_ns, p.ctx,
+                                  obs::trace::new_span_id());
+    obs::trace::emit_complete_ctx(
+        "net", "router.backend", p.dispatch_ns, done_ns, p.ctx,
+        obs::trace::new_span_id(),
+        {"shard", static_cast<std::int64_t>(responder)},
+        {"handed_off", p.backend != responder ? 1 : 0});
+  }
+}
+
+std::vector<Router::SlowRequest> Router::slow_requests() const {
+  std::vector<SlowRequest> out = slow_;
+  std::sort(out.begin(), out.end(),
+            [](const SlowRequest& a, const SlowRequest& b) {
+              return a.e2e_micros > b.e2e_micros;
+            });
+  return out;
+}
+
+std::string Router::slow_log_json() const {
+  std::string out = "[";
+  bool first = true;
+  char buf[128];
+  for (const SlowRequest& s : slow_requests()) {
+    if (!first) out += ",";
+    first = false;
+    std::snprintf(buf, sizeof(buf),
+                  "\n  {\"client_request_id\": %" PRIu64
+                  ", \"shard\": %u,",
+                  s.client_request_id, s.shard);
+    out += buf;
+    std::snprintf(buf, sizeof(buf),
+                  " \"e2e_us\": %.1f, \"queue_us\": %.1f,"
+                  " \"backend_us\": %.1f,",
+                  s.e2e_micros, s.queue_micros, s.backend_micros);
+    out += buf;
+    std::snprintf(buf, sizeof(buf), " \"trace\": \"%016" PRIx64 "%016" PRIx64
+                  "\"}", s.trace_hi, s.trace_lo);
+    out += buf;
+  }
+  out += first ? "]" : "\n]";
+  return out;
+}
+
+void Router::poll_shard_metrics() {
+  for (std::uint32_t i = 0; i < backends_.size(); ++i) {
+    BackendLink& link = backends_[i];
+    if (!link.connected) continue;
+    // Re-issuing while a poll is outstanding invalidates the old id —
+    // a late reply to it is dropped, not cached over a fresher one.
+    link.metrics_id = next_router_id_++;
+    server_->send(link.conn, encode_metrics_request(link.metrics_id));
+  }
+}
+
 void Router::handle_backend_frame(std::uint32_t backend,
                                   const FrameHeader& header,
                                   std::span<const std::uint8_t> payload) {
@@ -176,8 +299,19 @@ void Router::handle_backend_frame(std::uint32_t backend,
     }
     return;
   }
+  if (header.type == FrameType::kMetricsReply) {
+    // A fleet-metrics poll answering: cache the shard's exposition text
+    // for the next /metrics render.  A stale reply (the poll id was
+    // re-issued) is dropped rather than overwriting fresher text.
+    BackendLink& link = backends_[backend];
+    if (link.metrics_id != 0 && header.request_id == link.metrics_id) {
+      link.metrics_id = 0;
+      link.metrics_text = decode_metrics_reply(payload);
+    }
+    return;
+  }
   if (header.type != FrameType::kResult && header.type != FrameType::kReject)
-    return;  // kMetricsReply from a backend: nothing waits on it
+    return;
   auto it = pending_.find(header.request_id);
   if (it == pending_.end()) {
     if (settled_.count(header.request_id) != 0) {
@@ -198,6 +332,7 @@ void Router::handle_backend_frame(std::uint32_t backend,
   pending_.erase(it);
   settle(header.request_id);
   ++returned_;
+  record_response(p, header.request_id, backend, obs::trace::now_ns());
 
   // Forward verbatim with the client's id restored — results are opaque
   // bytes to the router.
@@ -345,6 +480,10 @@ void Router::try_reconnect(std::uint32_t backend) {
 void Router::on_tick() {
   ++tick_count_;
   const std::int64_t now = now_micros();
+  if (config_.metrics_every_ticks > 0 &&
+      tick_count_ % static_cast<std::uint64_t>(config_.metrics_every_ticks) ==
+          0)
+    poll_shard_metrics();
   const bool probe_tick =
       config_.probe_every_ticks <= 1 ||
       tick_count_ % static_cast<std::uint64_t>(config_.probe_every_ticks) == 0;
@@ -416,7 +555,28 @@ Router::Stats Router::stats() const {
 
 std::string Router::on_metrics() {
   std::ostringstream out;
-  obs::PromWriter w(out);
+  {
+    obs::PromWriter w(out);
+    render_own_metrics(w);
+  }
+  obs::render_process_metrics(out);
+
+  // Fleet aggregation: fold every cached shard exposition into this
+  // scrape under a shard="<i>" label (keys the backend already stamped —
+  // its own shard label on the net families — win over the injected one).
+  bool any_shard = false;
+  for (const BackendLink& b : backends_) any_shard |= !b.metrics_text.empty();
+  if (!any_shard) return out.str();
+  obs::PromAggregator agg;
+  agg.add(out.str(), {});
+  for (std::uint32_t i = 0; i < backends_.size(); ++i) {
+    if (backends_[i].metrics_text.empty()) continue;
+    agg.add(backends_[i].metrics_text, {{"shard", std::to_string(i)}});
+  }
+  return agg.render();
+}
+
+void Router::render_own_metrics(obs::PromWriter& w) {
   const Stats s = stats();
   w.counter("tgp_router_forwarded_total", "Submits forwarded to backends",
             s.forwarded);
@@ -496,7 +656,31 @@ std::string Router::on_metrics() {
     w.counter("tgp_net_injected_frame_faults_total",
               "Injected frame-level faults applied", c.injected_frame_faults);
   }
-  return out.str();
+
+  // End-to-end latency as the router sees it (client submit accepted →
+  // response forwarded), across every shard including hand-offs — the
+  // fleet-level histogram a per-shard scrape cannot produce.
+  w.histogram_log2_micros(
+      "tgp_router_e2e_latency_seconds",
+      "End-to-end request latency observed at the router",
+      e2e_latency_.counts.data(), e2e_latency_.counts.size(),
+      e2e_latency_.count,
+      static_cast<std::uint64_t>(e2e_latency_.total_micros));
+
+  // Tail exemplars: the slowest-K requests with their phase breakdown.
+  // rank 0 is the slowest seen so far.
+  std::vector<SlowRequest> slow = slow_requests();
+  for (std::size_t r = 0; r < slow.size(); ++r) {
+    const obs::PromWriter::Labels l{{"rank", std::to_string(r)},
+                                    {"shard", std::to_string(slow[r].shard)}};
+    w.gauge("tgp_router_slow_e2e_micros",
+            "Slowest-K request end-to-end latency", slow[r].e2e_micros, l);
+    w.gauge("tgp_router_slow_queue_micros",
+            "Slowest-K request fair-queue wait", slow[r].queue_micros, l);
+    w.gauge("tgp_router_slow_backend_micros",
+            "Slowest-K request backend round trip", slow[r].backend_micros,
+            l);
+  }
 }
 
 }  // namespace tgp::net

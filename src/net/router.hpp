@@ -64,6 +64,9 @@
 #include "net/server.hpp"
 #include "net/shard.hpp"
 #include "net/wire.hpp"
+#include "obs/prom.hpp"
+#include "obs/trace.hpp"
+#include "svc/metrics.hpp"
 #include "svc/tenant.hpp"
 
 namespace tgp::net {
@@ -92,6 +95,15 @@ class Router : public Server::Handler {
     int probe_every_ticks = 1;
     /// Deadline for reconnect attempts to down shards (loop-blocking!).
     int connect_timeout_ms = 250;
+
+    /// Poll every serving backend for its Prometheus text each this many
+    /// ticks; the cached replies are folded into /metrics with a
+    /// shard="<i>" label so one router scrape covers the fleet.  0 = the
+    /// router exports only its own families.
+    int metrics_every_ticks = 0;
+    /// Slowest-K requests kept as tail exemplars (gauges on /metrics and
+    /// slow_log_json() for the tools).  0 disables the log.
+    std::size_t slow_log_size = 8;
   };
 
   struct Stats {
@@ -142,6 +154,31 @@ class Router : public Server::Handler {
 
   Stats stats() const;
 
+  /// One tail exemplar: a completed request among the slowest K, with
+  /// the phase breakdown the router can see (queue wait + backend round
+  /// trip = end-to-end) and the trace id when the request was sampled.
+  struct SlowRequest {
+    std::uint64_t router_id = 0;
+    std::uint64_t client_request_id = 0;
+    std::uint32_t shard = 0;        ///< responder (successor on hand-off)
+    double e2e_micros = 0;          ///< accept → response out
+    double queue_micros = 0;        ///< accept → dispatch
+    double backend_micros = 0;      ///< dispatch → response in
+    std::uint64_t trace_hi = 0;
+    std::uint64_t trace_lo = 0;
+  };
+
+  /// The slowest-K requests seen so far, sorted slowest first.  Loop
+  /// thread, or loop stopped (same contract as stats()).
+  std::vector<SlowRequest> slow_requests() const;
+
+  /// slow_requests() as a JSON array for `--slow-log` dumps.
+  std::string slow_log_json() const;
+
+  /// End-to-end latency (client submit accepted → response forwarded)
+  /// across all shards, as observed by the router.
+  const svc::LatencyHistogram& e2e_latency() const { return e2e_latency_; }
+
  private:
   struct BackendLink {
     std::uint64_t conn = 0;
@@ -152,6 +189,8 @@ class Router : public Server::Handler {
     std::uint64_t ping_id = 0;      ///< outstanding probe, 0 = none
     std::int64_t ping_sent_us = 0;
     ShardState last_state = ShardState::kUp;  ///< for transition counters
+    std::uint64_t metrics_id = 0;   ///< outstanding metrics poll, 0 = none
+    std::string metrics_text;       ///< last kMetricsReply body (cached)
 
     explicit BackendLink(const ShardHealthConfig& hc) : health(hc) {}
   };
@@ -164,6 +203,11 @@ class Router : public Server::Handler {
     /// Frame copy kept for hand-off (fingerprint stamped, router id
     /// patched); empty when failover is off.
     std::vector<std::uint8_t> frame;
+    /// Distributed-trace identity of the client request (unsampled when
+    /// the client did not trace) and the router-side phase timestamps.
+    obs::TraceContext ctx;
+    std::int64_t accept_ns = 0;    ///< submit frame accepted
+    std::int64_t dispatch_ns = 0;  ///< forwarded to a backend
   };
   /// An admitted submit waiting for an outstanding-forward slot.
   struct Waiting {
@@ -171,6 +215,8 @@ class Router : public Server::Handler {
     std::uint64_t client_request_id = 0;
     std::uint64_t key = 0;
     std::vector<std::uint8_t> frame;  // fingerprint already stamped
+    obs::TraceContext ctx;
+    std::int64_t accept_ns = 0;
   };
 
   void handle_submit(std::uint64_t conn, const FrameHeader& header,
@@ -191,6 +237,16 @@ class Router : public Server::Handler {
   void probe(std::uint32_t backend);
   void try_reconnect(std::uint32_t backend);
   void settle(std::uint64_t router_id);
+  /// Latency accounting + trace spans for a settled forward: records the
+  /// e2e histogram, keeps the slowest-K exemplar, and emits the
+  /// router.queue.wait / router.backend spans when the request is traced.
+  void record_response(const Pending& p, std::uint64_t router_id,
+                       std::uint32_t responder, std::int64_t done_ns);
+  void poll_shard_metrics();
+  /// The router's own families (stats counters, health gauges, the e2e
+  /// histogram, slow-request exemplars) — everything except the
+  /// aggregated shard scrape-through.
+  void render_own_metrics(obs::PromWriter& w);
   std::int64_t now_micros() const;
 
   Config config_;
@@ -231,6 +287,10 @@ class Router : public Server::Handler {
   std::uint64_t reconnects_ = 0;
   std::uint64_t pings_sent_ = 0;
   std::uint64_t ping_misses_ = 0;
+
+  /// Fleet-level latency + tail exemplars (loop thread only).
+  svc::LatencyHistogram e2e_latency_;
+  std::vector<SlowRequest> slow_;  ///< unsorted slowest-K pool
 };
 
 }  // namespace tgp::net

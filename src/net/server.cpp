@@ -266,6 +266,7 @@ void Server::accept_ready() {
 
 void Server::readable(Conn& c) {
   TGP_SPAN("net", "read");
+  ingress_ns_ = obs::trace::now_ns();
   for (;;) {
     const std::size_t tail = c.in.size();
     c.in.resize(tail + kReadChunk);
@@ -326,8 +327,10 @@ void Server::parse_frames(Conn& c) {
       // Bad magic mid-stream / unknown version or type: the stream is
       // unparseable from here on.
       ++counters_.decode_errors;
+      std::uint16_t v =
+          view.size() >= 6 ? load_u16(view.data() + 4) : kMinVersion;
       bool version = view.size() >= 6 && load_u32(view.data()) == kMagic &&
-                     load_u16(view.data() + 4) != kVersion;
+                     (v < kMinVersion || v > kVersion);
       send_reject(c,
                   version ? RejectCode::kUnsupportedVersion
                           : RejectCode::kMalformed,

@@ -120,6 +120,14 @@ class Server {
   /// Number of live connections (loop thread only).
   std::size_t open_conns() const { return conns_.size(); }
 
+  /// Loop-thread only: when the bytes of the frame currently being
+  /// delivered to Handler::on_frame were read off the socket.  A client
+  /// that pipelines a batch lands many frames in one read; each then
+  /// waits in the parse buffer while earlier frames are handled, so a
+  /// handler that timestamps arrival inside on_frame undercounts queueing
+  /// by that serialization.  0 before the first read.
+  std::int64_t ingress_ns() const { return ingress_ns_; }
+
  private:
   struct Conn {
     UniqueFd fd;
@@ -171,6 +179,7 @@ class Server {
   UniqueFd timer_fd_;  // valid iff tick_interval_ms > 0
   std::uint16_t port_ = 0;
   std::size_t stalled_conns_ = 0;
+  std::int64_t ingress_ns_ = 0;  // see ingress_ns()
 
   std::uint64_t next_conn_id_ = 1;
   std::unordered_map<std::uint64_t, std::unique_ptr<Conn>> conns_;

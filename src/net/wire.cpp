@@ -125,7 +125,7 @@ FrameHeader parse_header(std::span<const std::uint8_t> bytes) {
   h.magic = load_u32(bytes.data());
   if (h.magic != kMagic) throw WireError("bad magic");
   h.version = load_u16(bytes.data() + 4);
-  if (h.version != kVersion)
+  if (h.version < kMinVersion || h.version > kVersion)
     throw WireError("unsupported protocol version " +
                     std::to_string(h.version));
   std::uint8_t type = bytes[6];
@@ -143,6 +143,58 @@ void patch_request_id(std::span<std::uint8_t> frame, std::uint64_t id) {
   for (int i = 0; i < 8; ++i)
     frame[8 + static_cast<std::size_t>(i)] =
         static_cast<std::uint8_t>(id >> (8 * i));
+}
+
+void append_trace_context(std::vector<std::uint8_t>& frame,
+                          const obs::TraceContext& ctx) {
+  if (!ctx.sampled) return;
+  if (frame.size() < kHeaderBytes)
+    throw WireError("frame too short to carry a trace context");
+  if ((frame[7] & kFrameHasTrace) != 0)
+    throw WireError("frame already carries a trace context");
+  put_u64(frame, ctx.trace_hi);
+  put_u64(frame, ctx.trace_lo);
+  put_u64(frame, ctx.parent_span);
+  put_u8(frame, 1);  // sampled
+  const std::size_t payload = frame.size() - kHeaderBytes;
+  if (payload > std::numeric_limits<std::uint32_t>::max())
+    throw WireError("payload exceeds 4 GiB");
+  const std::uint32_t len = static_cast<std::uint32_t>(payload);
+  for (int i = 0; i < 4; ++i)
+    frame[16 + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(len >> (8 * i));
+  frame[7] |= kFrameHasTrace;
+  // Promote the header: trace-context blocks are a v2 feature.
+  frame[4] = 2;
+  frame[5] = 0;
+}
+
+std::optional<obs::TraceContext> split_trace_context(
+    const FrameHeader& header, std::span<const std::uint8_t>& payload) {
+  if ((header.flags & kFrameHasTrace) == 0) return std::nullopt;
+  if (payload.size() < kTraceContextBytes)
+    throw WireError("trace-context flag set on a " +
+                    std::to_string(payload.size()) + " byte payload");
+  const std::uint8_t* p =
+      payload.data() + payload.size() - kTraceContextBytes;
+  obs::TraceContext ctx;
+  ctx.trace_hi = load_u64(p);
+  ctx.trace_lo = load_u64(p + 8);
+  ctx.parent_span = load_u64(p + 16);
+  ctx.sampled = p[24] != 0;
+  payload = payload.first(payload.size() - kTraceContextBytes);
+  return ctx;
+}
+
+obs::TraceContext peek_trace_context(std::span<const std::uint8_t> frame) {
+  if (frame.size() < kHeaderBytes) return {};
+  if ((frame[7] & kFrameHasTrace) == 0) return {};
+  std::span<const std::uint8_t> payload = frame.subspan(kHeaderBytes);
+  if (payload.size() < kTraceContextBytes) return {};
+  FrameHeader h;
+  h.flags = frame[7];
+  std::optional<obs::TraceContext> ctx = split_trace_context(h, payload);
+  return ctx ? *ctx : obs::TraceContext{};
 }
 
 namespace {
@@ -393,6 +445,19 @@ std::vector<std::uint8_t> encode_ping(std::uint64_t request_id) {
 
 std::vector<std::uint8_t> encode_pong(std::uint64_t request_id) {
   return make_frame(FrameType::kPong, request_id, [](auto&) {});
+}
+
+std::vector<std::uint8_t> encode_pong(std::uint64_t request_id,
+                                      std::int64_t wall_us) {
+  return make_frame(FrameType::kPong, request_id, [&](auto& out) {
+    put_u64(out, static_cast<std::uint64_t>(wall_us));
+  });
+}
+
+std::optional<std::int64_t> decode_pong(
+    std::span<const std::uint8_t> payload) {
+  if (payload.size() < 8) return std::nullopt;
+  return static_cast<std::int64_t>(load_u64(payload.data()));
 }
 
 void FrameBuffer::append(const std::uint8_t* data, std::size_t n) {

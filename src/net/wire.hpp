@@ -9,9 +9,11 @@
 //
 //   offset  size  field
 //        0     4  magic   "TGPW" (0x57504754 read as LE u32)
-//        4     2  version (kVersion)
+//        4     2  version (kMinVersion..kVersion accepted; frames are
+//                 emitted as v1 unless they use a v2 feature)
 //        6     1  frame type (FrameType)
-//        7     1  flags (reserved, 0)
+//        7     1  flags (kFrameHasTrace: payload ends with a
+//                 trace-context block; other bits reserved 0)
 //        8     8  request id — echoed verbatim in the response frame
 //       16     4  payload length in bytes
 //       20     …  payload
@@ -46,13 +48,22 @@
 #include <string_view>
 #include <vector>
 
+#include <optional>
+
 #include "graph/fingerprint.hpp"
+#include "obs/trace.hpp"
 #include "svc/job.hpp"
 
 namespace tgp::net {
 
 constexpr std::uint32_t kMagic = 0x57504754;  // "TGPW" as a LE u32
-constexpr std::uint16_t kVersion = 1;
+/// Current protocol version.  v2 added the optional trace-context block
+/// (append_trace_context); frames that do not carry one are still
+/// emitted as v1, so a fleet with tracing off is byte-identical to the
+/// v1 fleet and old peers interoperate.  Decoders accept kMinVersion..
+/// kVersion.
+constexpr std::uint16_t kVersion = 2;
+constexpr std::uint16_t kMinVersion = 1;
 constexpr std::size_t kHeaderBytes = 20;
 /// Default cap on a single frame's payload; the server rejects larger
 /// length prefixes without buffering them (~8M-vertex chains fit).
@@ -74,7 +85,7 @@ bool known_frame_type(std::uint8_t t);
 /// Why a kReject frame was sent instead of a kResult.
 enum class RejectCode : std::uint8_t {
   kMalformed = 1,           ///< payload failed to decode
-  kUnsupportedVersion = 2,  ///< header version != kVersion
+  kUnsupportedVersion = 2,  ///< header version outside [kMinVersion, kVersion]
   kQuotaExceeded = 3,       ///< tenant over its admission quota (router)
   kOverloaded = 4,          ///< pending queue full, shed before service
   kShuttingDown = 5,        ///< server is draining
@@ -97,9 +108,19 @@ struct WireError : std::runtime_error {
   Kind kind = kProtocol;
 };
 
+/// Header flag bits (byte 7).
+/// The payload's last kTraceContextBytes are a trace-context block —
+/// see append_trace_context / split_trace_context.  Only ever set on
+/// version >= 2 frames.
+constexpr std::uint8_t kFrameHasTrace = 1u << 0;
+
+/// Wire size of a trace-context block: trace id (2×u64) + parent span id
+/// (u64) + sampled flag (u8).
+constexpr std::size_t kTraceContextBytes = 25;
+
 struct FrameHeader {
   std::uint32_t magic = kMagic;
-  std::uint16_t version = kVersion;
+  std::uint16_t version = 1;  // frames carry v1 unless a v2 field is used
   FrameType type = FrameType::kPing;
   std::uint8_t flags = 0;
   std::uint64_t request_id = 0;
@@ -208,6 +229,34 @@ FrameHeader parse_header(std::span<const std::uint8_t> bytes);
 /// the router's id-rewriting forward path.
 void patch_request_id(std::span<std::uint8_t> frame, std::uint64_t id);
 
+// ---- Trace-context block (protocol v2) ------------------------------------
+//
+// The distributed-tracing context travels as a fixed 25-byte block
+// appended to the *end* of a submit or result payload, signaled by the
+// kFrameHasTrace header flag.  Appending (rather than inserting) keeps
+// every v1 payload offset stable, so the router's in-place fingerprint
+// and request-id patches — and its verbatim forwarding through failover
+// hand-offs and client hedges — carry the context untouched.
+
+/// Append `ctx` to an already-encoded frame: grows the payload by
+/// kTraceContextBytes, sets kFrameHasTrace, and promotes the header to
+/// version 2.  No-op for an unsampled context (the frame stays v1).
+void append_trace_context(std::vector<std::uint8_t>& frame,
+                          const obs::TraceContext& ctx);
+
+/// If `header` says the payload ends with a trace-context block, strip
+/// it from `payload` (shrinking the span in place) and return the
+/// decoded context; nullopt otherwise.  Call before decode_submit /
+/// decode_result — their trailing-bytes checks see the v1 payload.
+/// Throws WireError when the flag is set but the bytes are short.
+std::optional<obs::TraceContext> split_trace_context(
+    const FrameHeader& header, std::span<const std::uint8_t>& payload);
+
+/// Read the trace context of a complete encoded frame (header +
+/// payload) without modifying it — the router's peek on the forward
+/// path.  Unsampled default when the frame carries none.
+obs::TraceContext peek_trace_context(std::span<const std::uint8_t> frame);
+
 // ---- Submit frames --------------------------------------------------------
 
 /// Submit-payload flag bits (the u16 at payload offset 6).
@@ -269,6 +318,18 @@ std::string decode_metrics_reply(std::span<const std::uint8_t> payload);
 
 std::vector<std::uint8_t> encode_ping(std::uint64_t request_id);
 std::vector<std::uint8_t> encode_pong(std::uint64_t request_id);
+
+/// Pong carrying the responder's wall clock (unix microseconds at reply
+/// time).  Clients use the RTT midpoint against it to estimate
+/// cross-host clock offset for trace stitching.  Still a v1 frame: v1
+/// pong consumers never look at the payload.
+std::vector<std::uint8_t> encode_pong(std::uint64_t request_id,
+                                      std::int64_t wall_us);
+
+/// The responder wall clock from a pong payload; nullopt for the empty
+/// v1 payload (old peers).
+std::optional<std::int64_t> decode_pong(
+    std::span<const std::uint8_t> payload);
 
 // ---- Stream reassembly ----------------------------------------------------
 

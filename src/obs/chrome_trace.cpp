@@ -37,15 +37,39 @@ void append_json_string(std::string& out, const char* s) {
   out += '"';
 }
 
+void append_hex_id(std::string& out, std::uint64_t hi, std::uint64_t lo) {
+  char buf[40];
+  if (hi != 0) {
+    std::snprintf(buf, sizeof(buf), "\"%016" PRIx64 "%016" PRIx64 "\"", hi,
+                  lo);
+  } else {
+    std::snprintf(buf, sizeof(buf), "\"%016" PRIx64 "\"", lo);
+  }
+  out += buf;
+}
+
 }  // namespace
 
 void write_chrome_trace(std::ostream& out,
                         const trace::TraceSnapshot& snap) {
+  write_chrome_trace(out, snap, ChromeTraceMeta{});
+}
+
+void write_chrome_trace(std::ostream& out, const trace::TraceSnapshot& snap,
+                        const ChromeTraceMeta& meta) {
   std::string buf;
-  buf.reserve(snap.events.size() * 96 + 256);
+  buf.reserve(snap.events.size() * 128 + 512);
   buf += "{\"traceEvents\":[";
   bool first = true;
-  char num[40];
+  char num[48];
+
+  if (!meta.process_name.empty()) {
+    first = false;
+    buf += "{\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+           "\"name\":\"process_name\",\"args\":{\"name\":";
+    append_json_string(buf, meta.process_name.c_str());
+    buf += "}}";
+  }
 
   for (const auto& [tid, name] : snap.threads) {
     if (name.empty()) continue;
@@ -73,25 +97,51 @@ void write_chrome_trace(std::ostream& out,
     append_micros(buf, ev.start_ns);
     buf += ",\"dur\":";
     append_micros(buf, ev.dur_ns);
-    if (ev.args[0].name != nullptr) {
+    const bool has_ids = (ev.trace_hi | ev.trace_lo) != 0;
+    if (ev.args[0].name != nullptr || has_ids) {
       buf += ",\"args\":{";
-      append_json_string(buf, ev.args[0].name);
-      buf += ':';
-      std::snprintf(num, sizeof(num), "%" PRId64, ev.args[0].value);
-      buf += num;
-      if (ev.args[1].name != nullptr) {
-        buf += ',';
-        append_json_string(buf, ev.args[1].name);
+      bool first_arg = true;
+      for (const TraceArg& a : ev.args) {
+        if (a.name == nullptr) continue;
+        if (!first_arg) buf += ',';
+        first_arg = false;
+        append_json_string(buf, a.name);
         buf += ':';
-        std::snprintf(num, sizeof(num), "%" PRId64, ev.args[1].value);
+        std::snprintf(num, sizeof(num), "%" PRId64, a.value);
         buf += num;
+      }
+      if (has_ids) {
+        if (!first_arg) buf += ',';
+        buf += "\"tgp_trace\":";
+        append_hex_id(buf, ev.trace_hi, ev.trace_lo);
+        buf += ",\"tgp_span\":";
+        append_hex_id(buf, 0, ev.span_id);
+        if (ev.parent_span != 0) {
+          buf += ",\"tgp_parent\":";
+          append_hex_id(buf, 0, ev.parent_span);
+        }
       }
       buf += '}';
     }
     buf += '}';
   }
 
-  buf += "],\"displayTimeUnit\":\"ms\",\"tgp_dropped\":";
+  buf += "],\"displayTimeUnit\":\"ms\"";
+  if (!meta.process_name.empty()) {
+    buf += ",\"tgp_process\":";
+    append_json_string(buf, meta.process_name.c_str());
+  }
+  if (meta.epoch_unix_us != 0) {
+    buf += ",\"tgp_epoch_unix_us\":";
+    std::snprintf(num, sizeof(num), "%" PRId64, meta.epoch_unix_us);
+    buf += num;
+  }
+  if (meta.clock_offset_us != 0) {
+    buf += ",\"tgp_clock_offset_us\":";
+    std::snprintf(num, sizeof(num), "%" PRId64, meta.clock_offset_us);
+    buf += num;
+  }
+  buf += ",\"tgp_dropped\":";
   std::snprintf(num, sizeof(num), "%" PRIu64, snap.dropped);
   buf += num;
   buf += "}\n";

@@ -20,12 +20,26 @@ std::string prom_escape(std::string_view value) {
   return out;
 }
 
+std::string prom_escape_help(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
 void PromWriter::header(std::string_view name, std::string_view help,
                         std::string_view type) {
   std::string key(name);
   if (std::find(seen_.begin(), seen_.end(), key) != seen_.end()) return;
   seen_.push_back(std::move(key));
-  if (!help.empty()) out_ << "# HELP " << name << ' ' << help << '\n';
+  if (!help.empty())
+    out_ << "# HELP " << name << ' ' << prom_escape_help(help) << '\n';
   out_ << "# TYPE " << name << ' ' << type << '\n';
 }
 
@@ -106,6 +120,174 @@ void PromWriter::histogram_log2_micros(std::string_view name,
     std::snprintf(num, sizeof(num), "%" PRIu64, count);
     sample(count_name, labels, num);
   }
+}
+
+// ---- Scrape-through aggregation -------------------------------------------
+
+namespace {
+
+/// Metric name of a sample line: the prefix up to '{' or the first space.
+std::string_view sample_name(std::string_view line) {
+  std::size_t end = line.find_first_of("{ ");
+  return end == std::string_view::npos ? line : line.substr(0, end);
+}
+
+std::string render_labels(const PromWriter::Labels& labels) {
+  std::string out;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i) out += ',';
+    out += labels[i].first;
+    out += "=\"";
+    out += prom_escape(labels[i].second);
+    out += '"';
+  }
+  return out;
+}
+
+}  // namespace
+
+namespace {
+
+/// True when the label block starting at `open` already binds `key` —
+/// matched at label-name positions only ('{' or ',' before the key, '='
+/// after), so a key appearing inside another label's *value* is ignored.
+bool block_has_key(std::string_view line, std::size_t open,
+                   std::string_view key) {
+  bool in_quotes = false;
+  for (std::size_t i = open; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '"') {
+        in_quotes = false;
+      }
+      continue;
+    }
+    if (c == '"') {
+      in_quotes = true;
+    } else if (c == '}') {
+      return false;
+    } else if (c == '{' || c == ',') {
+      if (line.compare(i + 1, key.size(), key) == 0 &&
+          i + 1 + key.size() < line.size() && line[i + 1 + key.size()] == '=')
+        return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string prom_inject_labels(std::string_view line,
+                               const PromWriter::Labels& extra) {
+  if (extra.empty() || line.empty() || line[0] == '#')
+    return std::string(line);
+  std::string out;
+  std::size_t open = line.find('{');
+  std::size_t space = line.find(' ');
+  if (open != std::string_view::npos &&
+      (space == std::string_view::npos || open < space)) {
+    // Keys the line already carries win: a backend that stamps its own
+    // shard label keeps it, the router's copy is dropped — re-binding the
+    // same key twice would be invalid exposition text.
+    PromWriter::Labels fresh;
+    for (const auto& kv : extra)
+      if (!block_has_key(line, open, kv.first)) fresh.push_back(kv);
+    if (fresh.empty()) return std::string(line);
+    const bool has_existing =
+        open + 1 < line.size() && line[open + 1] != '}';
+    out.append(line.substr(0, open + 1));
+    out += render_labels(fresh);
+    if (has_existing) out += ',';
+    out.append(line.substr(open + 1));
+  } else {
+    std::size_t name_end =
+        space == std::string_view::npos ? line.size() : space;
+    out.append(line.substr(0, name_end));
+    out += '{';
+    out += render_labels(extra);
+    out += '}';
+    out.append(line.substr(name_end));
+  }
+  return out;
+}
+
+PromAggregator::Family& PromAggregator::family_for(
+    std::string_view sample_base) {
+  // Histogram/summary children group under the parent family.
+  std::string_view base = sample_base;
+  for (std::string_view suffix :
+       {std::string_view("_bucket"), std::string_view("_sum"),
+        std::string_view("_count")}) {
+    if (base.size() > suffix.size() &&
+        base.substr(base.size() - suffix.size()) == suffix) {
+      std::string_view stripped = base.substr(0, base.size() - suffix.size());
+      for (Family& f : families_)
+        if (f.name == stripped) return f;
+    }
+  }
+  for (Family& f : families_)
+    if (f.name == base) return f;
+  families_.push_back(Family{std::string(base), {}, {}, {}});
+  return families_.back();
+}
+
+void PromAggregator::add(std::string_view text,
+                         const PromWriter::Labels& extra) {
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) eol = text.size();
+    std::string_view line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      // "# HELP name ..." / "# TYPE name type"; other comments dropped.
+      if (line.size() < 8) continue;
+      std::string_view kind = line.substr(2, 4);
+      std::string_view rest = line.substr(7);
+      std::string_view name = rest.substr(0, rest.find(' '));
+      if (name.empty()) continue;
+      Family& f = family_for(name);
+      // The _for lookup may have grouped "name" under a parent via the
+      // suffix rule; headers name their family exactly, so fix up.
+      Family* fam = &f;
+      if (f.name != name) {
+        families_.push_back(Family{std::string(name), {}, {}, {}});
+        fam = &families_.back();
+      }
+      if (kind == "HELP") {
+        if (fam->help_line.empty()) fam->help_line = std::string(line);
+      } else if (kind == "TYPE") {
+        if (fam->type_line.empty()) fam->type_line = std::string(line);
+      }
+      continue;
+    }
+    Family& f = family_for(sample_name(line));
+    f.samples.push_back(prom_inject_labels(line, extra));
+  }
+}
+
+std::string PromAggregator::render() const {
+  std::string out;
+  for (const Family& f : families_) {
+    if (f.help_line.empty() && f.type_line.empty() && f.samples.empty())
+      continue;
+    if (!f.help_line.empty()) {
+      out += f.help_line;
+      out += '\n';
+    }
+    if (!f.type_line.empty()) {
+      out += f.type_line;
+      out += '\n';
+    }
+    for (const std::string& s : f.samples) {
+      out += s;
+      out += '\n';
+    }
+  }
+  return out;
 }
 
 }  // namespace tgp::obs

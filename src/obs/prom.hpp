@@ -62,4 +62,40 @@ class PromWriter {
 /// Escape a label value per the exposition format (backslash, quote, \n).
 std::string prom_escape(std::string_view value);
 
+/// Escape HELP text per the exposition format (backslash and \n only —
+/// quotes are legal in help text).
+std::string prom_escape_help(std::string_view text);
+
+/// Inject extra labels into one exposition *sample* line, preserving any
+/// labels already present (escaped quotes in existing label values are
+/// honored when locating the label block).  Comment/blank lines are
+/// returned unchanged.  The router's scrape-through uses this to stamp
+/// `shard="N"` onto every series a backend exports.
+std::string prom_inject_labels(std::string_view line,
+                               const PromWriter::Labels& extra);
+
+/// Merge several exposition documents into one valid document: families
+/// keep their first-seen HELP/TYPE header, samples from every source
+/// stay contiguous under their family, and each source's samples get the
+/// extra labels it was added with.  Histogram children (_bucket/_sum/
+/// _count) group under their parent family.
+class PromAggregator {
+ public:
+  /// Fold one document in, stamping `extra` onto each sample line.
+  void add(std::string_view text, const PromWriter::Labels& extra);
+
+  std::string render() const;
+
+ private:
+  struct Family {
+    std::string name;
+    std::string help_line;  // "# HELP ..." (may stay empty)
+    std::string type_line;  // "# TYPE ..." (may stay empty)
+    std::vector<std::string> samples;
+  };
+
+  Family& family_for(std::string_view sample_base);
+  std::vector<Family> families_;
+};
+
 }  // namespace tgp::obs

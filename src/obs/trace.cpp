@@ -3,11 +3,17 @@
 #include <algorithm>
 #include <memory>
 #include <mutex>
+#include <random>
 
 namespace tgp::obs::trace {
 
 namespace detail {
 std::atomic<bool> g_enabled{false};
+
+ThreadContext& tls_context() {
+  thread_local ThreadContext tc;
+  return tc;
+}
 }  // namespace detail
 
 namespace {
@@ -40,9 +46,33 @@ Registry& registry() {
   return r;
 }
 
-Clock::time_point epoch() {
-  static const Clock::time_point t0 = Clock::now();
-  return t0;
+struct Epoch {
+  Clock::time_point steady;
+  std::int64_t unix_us;  // wall clock at the same instant, for stitching
+};
+
+const Epoch& epoch() {
+  static const Epoch e = [] {
+    Epoch out;
+    out.steady = Clock::now();
+    out.unix_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                      std::chrono::system_clock::now().time_since_epoch())
+                      .count();
+    return out;
+  }();
+  return e;
+}
+
+// Per-process salt so span ids from different fleet processes do not
+// collide when stitched.  The low 24 bits are left to the per-thread
+// counter; the salt fills the rest.
+std::uint64_t process_span_salt() {
+  static const std::uint64_t salt = [] {
+    std::random_device rd;
+    std::uint64_t s = (static_cast<std::uint64_t>(rd()) << 32) ^ rd();
+    return s == 0 ? 0x9e3779b97f4a7c15ull : s;
+  }();
+  return salt;
 }
 
 Ring& thread_ring() {
@@ -68,6 +98,38 @@ void set_enabled(bool on) {
   detail::g_enabled.store(on, std::memory_order_relaxed);
 }
 
+std::int64_t epoch_unix_us() { return epoch().unix_us; }
+
+std::uint64_t new_span_id() {
+  static std::atomic<std::uint64_t> counter{0};
+  std::uint64_t id = process_span_salt() ^
+                     counter.fetch_add(1, std::memory_order_relaxed);
+  return id != 0 ? id : 1;
+}
+
+TraceContext current_context() {
+  const detail::ThreadContext& tc = detail::tls_context();
+  if (!tc.ctx.sampled) return {};
+  TraceContext out = tc.ctx;
+  if (tc.active_span != 0) out.parent_span = tc.active_span;
+  return out;
+}
+
+std::uint64_t dropped_total() {
+  std::vector<std::shared_ptr<Ring>> rings;
+  {
+    Registry& reg = registry();
+    std::lock_guard lk(reg.mu);
+    rings = reg.rings;
+  }
+  std::uint64_t total = 0;
+  for (const auto& rp : rings) {
+    std::lock_guard lk(rp->mu);
+    total += rp->dropped();
+  }
+  return total;
+}
+
 void set_ring_capacity(std::size_t events_per_thread) {
   Registry& reg = registry();
   std::lock_guard lk(reg.mu);
@@ -81,8 +143,8 @@ void set_thread_name(const std::string& name) {
 }
 
 std::int64_t now_ns() {
-  return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
-                                                              epoch())
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             Clock::now() - epoch().steady)
       .count();
 }
 
@@ -106,6 +168,35 @@ void emit_complete(const char* cat, const char* name, std::int64_t start_ns,
   ev.dur_ns = end_ns > start_ns ? end_ns - start_ns : 0;
   ev.args[0] = a0;
   ev.args[1] = a1;
+  const detail::ThreadContext& tc = detail::tls_context();
+  if (tc.ctx.sampled) {
+    ev.trace_hi = tc.ctx.trace_hi;
+    ev.trace_lo = tc.ctx.trace_lo;
+    ev.span_id = new_span_id();
+    ev.parent_span =
+        tc.active_span != 0 ? tc.active_span : tc.ctx.parent_span;
+  }
+  emit(ev);
+}
+
+void emit_complete_ctx(const char* cat, const char* name,
+                       std::int64_t start_ns, std::int64_t end_ns,
+                       const TraceContext& ctx, std::uint64_t span_id,
+                       TraceArg a0, TraceArg a1) {
+  if (!enabled()) return;
+  TraceEvent ev;
+  ev.cat = cat;
+  ev.name = name;
+  ev.start_ns = start_ns;
+  ev.dur_ns = end_ns > start_ns ? end_ns - start_ns : 0;
+  ev.args[0] = a0;
+  ev.args[1] = a1;
+  if (ctx.sampled) {
+    ev.trace_hi = ctx.trace_hi;
+    ev.trace_lo = ctx.trace_lo;
+    ev.span_id = span_id;
+    ev.parent_span = ctx.parent_span;
+  }
   emit(ev);
 }
 

@@ -40,6 +40,7 @@ void Team::helper_main(int worker) {
   for (;;) {
     RawFn fn;
     void* c;
+    obs::TraceContext tc;
     {
       std::unique_lock lk(mu_);
       cv_start_.wait(lk, [&] { return stop_ || epoch_ != seen; });
@@ -47,8 +48,13 @@ void Team::helper_main(int worker) {
       seen = epoch_;
       fn = fn_;
       c = ctx_;
+      tc = trace_ctx_;
     }
-    fn(c, ctx);
+    {
+      // Run under the forking thread's trace context (no-op unsampled).
+      obs::ContextScope trace_scope(tc);
+      fn(c, ctx);
+    }
     {
       std::lock_guard lk(mu_);
       if (--active_ == 0) cv_done_.notify_one();
@@ -69,6 +75,7 @@ void Team::run(RawFn fn, void* ctx) {
     std::lock_guard lk(mu_);
     fn_ = fn;
     ctx_ = ctx;
+    trace_ctx_ = obs::trace::current_context();
     active_ = width_ - 1;
     ++epoch_;
   }

@@ -48,6 +48,7 @@
 #include <vector>
 
 #include "obs/counters.hpp"
+#include "obs/trace.hpp"
 #include "util/arena.hpp"
 #include "util/assert.hpp"
 #include "util/cancel.hpp"
@@ -101,6 +102,11 @@ class Team {
   bool running_ = false;  // owner-thread reentrancy guard (nested fork-join)
   RawFn fn_ = nullptr;
   void* ctx_ = nullptr;
+  /// The forking thread's distributed-trace context, captured per run()
+  /// and installed in every helper for the join's duration — spans a
+  /// task body emits nest under the solve that forked it, regardless of
+  /// which thread claims the block.
+  obs::TraceContext trace_ctx_;
 };
 
 /// The calling thread's installed team, or nullptr (serial execution).

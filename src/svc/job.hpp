@@ -22,6 +22,7 @@
 #include "graph/fingerprint.hpp"
 #include "graph/tree.hpp"
 #include "obs/counters.hpp"
+#include "obs/trace.hpp"
 #include "util/cancel.hpp"
 
 namespace tgp::util {
@@ -58,6 +59,12 @@ struct JobSpec {
   /// submission; 0 = no deadline.  A job past its deadline completes
   /// with JobStatus::kTimeout (see service.hpp for exact semantics).
   double deadline_micros = 0;
+  /// Distributed-trace identity of the originating request (unsampled
+  /// default = no tracing).  The worker installs it (obs::ContextScope)
+  /// for the duration of the job, so every span the solve emits nests
+  /// under the remote parent.  Not part of the job's semantic identity:
+  /// canonicalization, caching and results ignore it entirely.
+  obs::TraceContext trace;
 
   bool is_chain() const { return chain != nullptr; }
   int n() const;

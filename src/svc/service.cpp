@@ -330,6 +330,10 @@ void PartitionService::worker_loop(WorkerState& state) {
   // it processes; the hot solvers pick it up via par::active_team().
   par::TeamScope team_scope(state.team.get());
   while (auto job = queue_.pop()) {
+    // Install the job's distributed-trace context (no-op when unsampled):
+    // the queue.wait/shed emissions and every span under process() then
+    // carry the originating request's trace id and parent.
+    obs::ContextScope job_trace(job->spec.trace);
     const util::CancelToken* token = job->cancel.get();
     JobResult r;
     double micros = 0;

@@ -14,13 +14,19 @@ ArgParser::ArgParser(int argc, const char* const* argv) {
                 "expected --flag, got '" + arg + "'");
     arg = arg.substr(2);
     auto eq = arg.find('=');
+    std::string name, value;
     if (eq != std::string::npos) {
-      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
     } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
-      values_[arg] = argv[++i];
+      name = arg;
+      value = argv[++i];
     } else {
-      values_[arg] = "true";  // bare flag
+      name = arg;
+      value = "true";  // bare flag
     }
+    values_[name] = value;
+    ordered_.emplace_back(std::move(name), std::move(value));
   }
 }
 
@@ -39,6 +45,13 @@ std::string ArgParser::get(const std::string& name,
                            const std::string& def) const {
   auto it = values_.find(name);
   return it == values_.end() ? def : it->second;
+}
+
+std::vector<std::string> ArgParser::get_list(const std::string& name) const {
+  std::vector<std::string> out;
+  for (const auto& [k, v] : ordered_)
+    if (k == name) out.push_back(v);
+  return out;
 }
 
 std::int64_t ArgParser::get_int(const std::string& name,

@@ -22,6 +22,9 @@ class ArgParser {
 
   bool has(const std::string& name) const;
   std::string get(const std::string& name, const std::string& def) const;
+  /// Every occurrence of a repeatable flag, in command-line order (the
+  /// scalar getters see the last one).  Empty when the flag is absent.
+  std::vector<std::string> get_list(const std::string& name) const;
   std::int64_t get_int(const std::string& name, std::int64_t def) const;
   double get_double(const std::string& name, double def) const;
   bool get_bool(const std::string& name, bool def) const;
@@ -33,6 +36,7 @@ class ArgParser {
 
  private:
   std::map<std::string, std::string> values_;
+  std::vector<std::pair<std::string, std::string>> ordered_;
   std::vector<std::pair<std::string, std::string>> descriptions_;
   std::set<std::string> known_;
 };

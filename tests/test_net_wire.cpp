@@ -99,7 +99,9 @@ TEST(WireHeader, RoundTrips) {
   ASSERT_EQ(bytes.size(), kHeaderBytes);
   FrameHeader back = parse_header(bytes);
   EXPECT_EQ(back.magic, kMagic);
-  EXPECT_EQ(back.version, kVersion);
+  // Frames without v2 fields stay at the minimum version — a fleet with
+  // tracing off emits bytes a v1 peer can parse.
+  EXPECT_EQ(back.version, kMinVersion);
   EXPECT_EQ(back.type, FrameType::kResult);
   EXPECT_EQ(back.request_id, h.request_id);
   EXPECT_EQ(back.payload_len, 513u);
@@ -405,6 +407,150 @@ TEST(FrameBuffer, BadMagicThrows) {
   FrameHeader h;
   std::vector<std::uint8_t> payload;
   EXPECT_THROW(fb.next(h, payload), WireError);
+}
+
+// ---- Trace-context block (protocol v2) ------------------------------------
+
+obs::TraceContext sampled_ctx() {
+  obs::TraceContext ctx;
+  ctx.trace_hi = 0x0123456789ABCDEFull;
+  ctx.trace_lo = 0xFEDCBA9876543210ull;
+  ctx.parent_span = 0xA5A5A5A5A5A5A5A5ull;
+  ctx.sampled = true;
+  return ctx;
+}
+
+TEST(WireTrace, AppendSplitRoundTripsOnSubmit) {
+  SubmitRequest req;
+  req.tenant = 9;
+  req.spec = chain_spec(5, 3);
+  std::vector<std::uint8_t> frame = encode_submit(req, 77);
+  const std::size_t v1_size = frame.size();
+
+  append_trace_context(frame, sampled_ctx());
+  EXPECT_EQ(frame.size(), v1_size + kTraceContextBytes);
+
+  FrameHeader h = parse_header(frame);
+  EXPECT_EQ(h.version, kVersion);
+  EXPECT_NE(h.flags & kFrameHasTrace, 0);
+  EXPECT_EQ(h.payload_len, v1_size - kHeaderBytes + kTraceContextBytes);
+
+  std::span<const std::uint8_t> payload =
+      std::span<const std::uint8_t>(frame).subspan(kHeaderBytes);
+  std::optional<obs::TraceContext> back = split_trace_context(h, payload);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->trace_hi, sampled_ctx().trace_hi);
+  EXPECT_EQ(back->trace_lo, sampled_ctx().trace_lo);
+  EXPECT_EQ(back->parent_span, sampled_ctx().parent_span);
+  EXPECT_TRUE(back->sampled);
+
+  // The remaining payload is the untouched v1 submit.
+  SubmitRequest decoded = decode_submit(payload);
+  EXPECT_EQ(decoded.tenant, 9u);
+}
+
+TEST(WireTrace, UnsampledContextLeavesTheFrameAtV1) {
+  SubmitRequest unreq;
+  unreq.spec = chain_spec(3, 1);
+  std::vector<std::uint8_t> frame = encode_submit(unreq, 1);
+  const std::vector<std::uint8_t> original = frame;
+  append_trace_context(frame, obs::TraceContext{});
+  EXPECT_EQ(frame, original);  // byte-identical: tracing off = v1 fleet
+  FrameHeader h = parse_header(frame);
+  EXPECT_EQ(h.version, kMinVersion);
+  EXPECT_EQ(h.flags & kFrameHasTrace, 0);
+}
+
+TEST(WireTrace, SplitWithoutFlagIsNulloptAndLeavesPayloadAlone) {
+  SubmitRequest nfreq;
+  nfreq.spec = chain_spec(3, 2);
+  std::vector<std::uint8_t> frame = encode_submit(nfreq, 2);
+  FrameHeader h = parse_header(frame);
+  std::span<const std::uint8_t> payload =
+      std::span<const std::uint8_t>(frame).subspan(kHeaderBytes);
+  const std::size_t before = payload.size();
+  EXPECT_FALSE(split_trace_context(h, payload).has_value());
+  EXPECT_EQ(payload.size(), before);
+}
+
+TEST(WireTrace, V1OffsetsSurviveAppendSoRouterPatchesStillLand) {
+  SubmitRequest req;
+  req.spec = chain_spec(4, 8);
+  std::vector<std::uint8_t> frame = encode_submit(req, 5);
+  append_trace_context(frame, sampled_ctx());
+
+  // The router's in-place patches target v1 offsets; the suffix block
+  // must not have shifted them.
+  patch_request_id(frame, 0x1122334455667788ull);
+  graph::Fingerprint fp{0x1111111111111111ull, 0x2222222222222222ull};
+  patch_submit_fingerprint(frame, fp);
+
+  FrameHeader h = parse_header(frame);
+  EXPECT_EQ(h.request_id, 0x1122334455667788ull);
+  std::span<const std::uint8_t> payload =
+      std::span<const std::uint8_t>(frame).subspan(kHeaderBytes);
+  std::optional<obs::TraceContext> ctx = split_trace_context(h, payload);
+  ASSERT_TRUE(ctx.has_value());
+  EXPECT_EQ(ctx->trace_lo, sampled_ctx().trace_lo);
+  SubmitRequest back = decode_submit(payload);
+  EXPECT_TRUE(back.has_fingerprint);
+  EXPECT_EQ(back.fingerprint, fp);
+}
+
+TEST(WireTrace, PeekReadsContextWithoutConsumingTheFrame) {
+  SubmitRequest pkreq;
+  pkreq.spec = chain_spec(3, 3);
+  std::vector<std::uint8_t> frame = encode_submit(pkreq, 3);
+  EXPECT_FALSE(peek_trace_context(frame).sampled);
+  append_trace_context(frame, sampled_ctx());
+  const std::vector<std::uint8_t> before = frame;
+  obs::TraceContext ctx = peek_trace_context(frame);
+  EXPECT_TRUE(ctx.sampled);
+  EXPECT_EQ(ctx.trace_hi, sampled_ctx().trace_hi);
+  EXPECT_EQ(frame, before);
+}
+
+TEST(WireTrace, FlagSetButPayloadTooShortThrows) {
+  // A ping has an empty payload; forging the trace flag on it must not
+  // read out of bounds.
+  std::vector<std::uint8_t> frame = encode_ping(4);
+  frame[4] = 2;   // version word (low byte)
+  frame[7] |= kFrameHasTrace;
+  FrameHeader h = parse_header(frame);
+  std::span<const std::uint8_t> payload =
+      std::span<const std::uint8_t>(frame).subspan(kHeaderBytes);
+  EXPECT_THROW(split_trace_context(h, payload), WireError);
+}
+
+TEST(WireTrace, ResultFramesCarryContextToo) {
+  svc::JobResult res;
+  res.ok = true;
+  res.status = svc::JobStatus::kOk;
+  res.objective = 12.5;
+  std::vector<std::uint8_t> frame = encode_result(res, 11);
+  append_trace_context(frame, sampled_ctx());
+  FrameHeader h = parse_header(frame);
+  std::span<const std::uint8_t> payload =
+      std::span<const std::uint8_t>(frame).subspan(kHeaderBytes);
+  ASSERT_TRUE(split_trace_context(h, payload).has_value());
+  svc::JobResult back = decode_result(payload);
+  EXPECT_EQ(back.status, svc::JobStatus::kOk);
+  EXPECT_EQ(back.objective, 12.5);
+}
+
+TEST(WireTrace, PongCarriesTheResponderWallClock) {
+  std::vector<std::uint8_t> with = encode_pong(6, 1234567890123ll);
+  FrameHeader h = parse_header(with);
+  EXPECT_EQ(h.type, FrameType::kPong);
+  std::optional<std::int64_t> wall = decode_pong(
+      std::span<const std::uint8_t>(with).subspan(kHeaderBytes));
+  ASSERT_TRUE(wall.has_value());
+  EXPECT_EQ(*wall, 1234567890123ll);
+  // A bare v1 pong decodes to "no clock" rather than throwing.
+  std::vector<std::uint8_t> bare = encode_pong(6);
+  EXPECT_FALSE(decode_pong(std::span<const std::uint8_t>(bare).subspan(
+                               kHeaderBytes))
+                   .has_value());
 }
 
 }  // namespace

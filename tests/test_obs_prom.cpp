@@ -1,0 +1,172 @@
+// The Prometheus exposition layer (obs/prom.hpp): label-value and HELP
+// escaping, sample-line label injection against tricky existing label
+// blocks, and the multi-document aggregator behind the router's
+// fleet-wide /metrics scrape-through.
+#include "obs/prom.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace tgp::obs {
+namespace {
+
+// ---- prom_escape / prom_escape_help ---------------------------------------
+
+TEST(PromEscape, LabelValuesEscapeBackslashQuoteAndNewline) {
+  EXPECT_EQ(prom_escape("plain"), "plain");
+  EXPECT_EQ(prom_escape("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(prom_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(prom_escape("line1\nline2"), "line1\\nline2");
+  // Backslash first, then the rest — no double processing.
+  EXPECT_EQ(prom_escape("\\n"), "\\\\n");
+  EXPECT_EQ(prom_escape(""), "");
+}
+
+TEST(PromEscape, HelpTextEscapesBackslashAndNewlineButNotQuotes) {
+  EXPECT_EQ(prom_escape_help("rate of \"weird\" jobs"),
+            "rate of \"weird\" jobs");
+  EXPECT_EQ(prom_escape_help("a\\b\nc"), "a\\\\b\\nc");
+}
+
+TEST(PromWriterTest, EscapesLabelValuesOnTheWire) {
+  std::ostringstream out;
+  PromWriter w(out);
+  w.counter("tgp_x_total", "x", 1, {{"path", "C:\\tmp\n\"q\""}});
+  EXPECT_NE(out.str().find(
+                "tgp_x_total{path=\"C:\\\\tmp\\n\\\"q\\\"\"} 1"),
+            std::string::npos);
+}
+
+TEST(PromWriterTest, HelpHeaderOncePerFamily) {
+  std::ostringstream out;
+  PromWriter w(out);
+  w.counter("tgp_jobs_total", "Jobs\nby problem", 3, {{"problem", "a"}});
+  w.counter("tgp_jobs_total", "Jobs\nby problem", 4, {{"problem", "b"}});
+  std::string text = out.str();
+  EXPECT_NE(text.find("# HELP tgp_jobs_total Jobs\\nby problem\n"),
+            std::string::npos);
+  // Only one header despite two samples.
+  EXPECT_EQ(text.find("# HELP"), text.rfind("# HELP"));
+  EXPECT_NE(text.find("tgp_jobs_total{problem=\"a\"} 3"), std::string::npos);
+  EXPECT_NE(text.find("tgp_jobs_total{problem=\"b\"} 4"), std::string::npos);
+}
+
+// ---- prom_inject_labels ---------------------------------------------------
+
+TEST(PromInject, AddsABlockToBareSamples) {
+  EXPECT_EQ(prom_inject_labels("tgp_up 1", {{"shard", "2"}}),
+            "tgp_up{shard=\"2\"} 1");
+}
+
+TEST(PromInject, PrependsToExistingBlocks) {
+  EXPECT_EQ(prom_inject_labels("tgp_jobs_total{problem=\"tree\"} 9",
+                               {{"shard", "0"}}),
+            "tgp_jobs_total{shard=\"0\",problem=\"tree\"} 9");
+}
+
+TEST(PromInject, CommentAndBlankLinesPassThrough) {
+  EXPECT_EQ(prom_inject_labels("# HELP tgp_up x", {{"shard", "1"}}),
+            "# HELP tgp_up x");
+  EXPECT_EQ(prom_inject_labels("", {{"shard", "1"}}), "");
+}
+
+TEST(PromInject, EscapesInjectedValues) {
+  EXPECT_EQ(prom_inject_labels("tgp_up 1", {{"host", "a\"b"}}),
+            "tgp_up{host=\"a\\\"b\"} 1");
+}
+
+TEST(PromInject, HonorsEscapedQuotesWhenFindingTheBlock) {
+  // The existing label value contains '}' and an escaped quote — the
+  // injector must not mistake either for the end of the block.
+  std::string line = "tgp_err_total{msg=\"bad \\\"}\\\" brace\"} 2";
+  EXPECT_EQ(prom_inject_labels(line, {{"shard", "3"}}),
+            "tgp_err_total{shard=\"3\",msg=\"bad \\\"}\\\" brace\"} 2");
+}
+
+TEST(PromInject, ExistingKeysWinOverInjectedOnes) {
+  // The backend already stamps shard="1" on its net families; the
+  // router's scrape-through must not produce a duplicate key.
+  EXPECT_EQ(prom_inject_labels("tgp_net_rx{shard=\"1\"} 7", {{"shard", "0"}}),
+            "tgp_net_rx{shard=\"1\"} 7");
+  // Only the colliding key is dropped; others still inject.
+  EXPECT_EQ(prom_inject_labels("tgp_net_rx{shard=\"1\"} 7",
+                               {{"shard", "0"}, {"fleet", "a"}}),
+            "tgp_net_rx{fleet=\"a\",shard=\"1\"} 7");
+  // A label *value* that merely contains 'shard=' is not a key match.
+  EXPECT_EQ(prom_inject_labels("tgp_x{note=\"shard=9\"} 1", {{"shard", "0"}}),
+            "tgp_x{shard=\"0\",note=\"shard=9\"} 1");
+}
+
+// ---- PromAggregator -------------------------------------------------------
+
+TEST(PromAggregator, GroupsFamiliesAndStampsSourceLabels) {
+  std::ostringstream a, b;
+  {
+    PromWriter w(a);
+    w.counter("tgp_jobs_total", "Jobs", 3);
+    w.gauge("tgp_depth", "Queue depth", 1);
+  }
+  {
+    PromWriter w(b);
+    w.counter("tgp_jobs_total", "Jobs", 5);
+  }
+  PromAggregator agg;
+  agg.add(a.str(), {{"shard", "0"}});
+  agg.add(b.str(), {{"shard", "1"}});
+  std::string text = agg.render();
+
+  // One header per family; both sources' samples contiguous under it.
+  EXPECT_EQ(text.find("# HELP tgp_jobs_total"),
+            text.rfind("# HELP tgp_jobs_total"));
+  std::size_t s0 = text.find("tgp_jobs_total{shard=\"0\"} 3");
+  std::size_t s1 = text.find("tgp_jobs_total{shard=\"1\"} 5");
+  std::size_t d = text.find("tgp_depth{shard=\"0\"} 1");
+  ASSERT_NE(s0, std::string::npos);
+  ASSERT_NE(s1, std::string::npos);
+  ASSERT_NE(d, std::string::npos);
+  EXPECT_LT(s0, s1);
+  // No family interleaving: depth comes strictly before or after both.
+  EXPECT_TRUE(d < s0 || d > s1);
+}
+
+TEST(PromAggregator, HistogramChildrenStayUnderTheParentFamily) {
+  std::ostringstream a;
+  {
+    PromWriter w(a);
+    std::uint64_t buckets[4] = {1, 2, 0, 1};
+    w.histogram_log2_micros("tgp_lat_seconds", "Latency", buckets, 4, 4,
+                            123);
+    w.counter("tgp_other_total", "Other", 1);
+  }
+  PromAggregator agg;
+  agg.add(a.str(), {{"shard", "7"}});
+  std::string text = agg.render();
+  std::size_t bucket = text.find("tgp_lat_seconds_bucket{shard=\"7\",le=");
+  std::size_t sum = text.find("tgp_lat_seconds_sum{shard=\"7\"}");
+  std::size_t count = text.find("tgp_lat_seconds_count{shard=\"7\"} 4");
+  std::size_t other = text.find("tgp_other_total{shard=\"7\"} 1");
+  ASSERT_NE(bucket, std::string::npos);
+  ASSERT_NE(sum, std::string::npos);
+  ASSERT_NE(count, std::string::npos);
+  ASSERT_NE(other, std::string::npos);
+  EXPECT_TRUE(other < bucket || other > count);
+}
+
+TEST(PromAggregator, UnlabeledSourceMergesVerbatim) {
+  PromAggregator agg;
+  agg.add("# HELP tgp_router_up router\n# TYPE tgp_router_up gauge\n"
+          "tgp_router_up 1\n",
+          {});
+  agg.add("# HELP tgp_router_up router\n# TYPE tgp_router_up gauge\n"
+          "tgp_router_up 1\n",
+          {{"shard", "0"}});
+  std::string text = agg.render();
+  EXPECT_NE(text.find("tgp_router_up 1"), std::string::npos);
+  EXPECT_NE(text.find("tgp_router_up{shard=\"0\"} 1"), std::string::npos);
+  EXPECT_EQ(text.find("# TYPE tgp_router_up"),
+            text.rfind("# TYPE tgp_router_up"));
+}
+
+}  // namespace
+}  // namespace tgp::obs

@@ -191,6 +191,173 @@ TEST_F(TraceTest, ChromeTraceEscapesThreadNames) {
   EXPECT_TRUE(found);
 }
 
+// ---- Distributed trace context ---------------------------------------------
+
+TEST_F(TraceTest, SpansWithoutContextCarryZeroIds) {
+  trace::set_enabled(true);
+  {
+    TGP_SPAN("t.noctx", "plain");
+  }
+  trace::set_enabled(false);
+  for (const TraceEvent& ev : trace::snapshot().events) {
+    if (std::string(ev.cat) != "t.noctx") continue;
+    EXPECT_EQ(ev.trace_hi | ev.trace_lo, 0u);
+    EXPECT_EQ(ev.span_id, 0u);
+    EXPECT_EQ(ev.parent_span, 0u);
+  }
+}
+
+TEST_F(TraceTest, NestedSpansParentToTheInnermostOpenSpan) {
+  trace::set_enabled(true);
+  TraceContext ctx;
+  ctx.trace_hi = 0x11;
+  ctx.trace_lo = 0x22;
+  ctx.parent_span = 0x33;
+  ctx.sampled = true;
+  std::uint64_t outer_id = 0, inner_id = 0;
+  {
+    ContextScope scope(ctx);
+    Span outer("t.ctx", "outer");
+    outer_id = outer.span_id();
+    {
+      Span inner("t.ctx", "inner");
+      inner_id = inner.span_id();
+    }
+  }
+  trace::set_enabled(false);
+  EXPECT_NE(outer_id, 0u);
+  EXPECT_NE(inner_id, 0u);
+  EXPECT_NE(outer_id, inner_id);
+  for (const TraceEvent& ev : trace::snapshot().events) {
+    if (std::string(ev.cat) != "t.ctx") continue;
+    EXPECT_EQ(ev.trace_hi, 0x11u);
+    EXPECT_EQ(ev.trace_lo, 0x22u);
+    if (std::string(ev.name) == "outer") {
+      EXPECT_EQ(ev.span_id, outer_id);
+      EXPECT_EQ(ev.parent_span, 0x33u);  // remote parent
+    } else {
+      EXPECT_EQ(ev.span_id, inner_id);
+      EXPECT_EQ(ev.parent_span, outer_id);
+    }
+  }
+}
+
+TEST_F(TraceTest, ContextScopeRestoresOnExitAndUnsampledIsInert) {
+  TraceContext ctx;
+  ctx.trace_hi = 1;
+  ctx.trace_lo = 2;
+  ctx.parent_span = 3;
+  ctx.sampled = true;
+  {
+    ContextScope scope(ctx);
+    EXPECT_TRUE(trace::current_context().sampled);
+    {
+      ContextScope inert(TraceContext{});  // unsampled: must not clobber
+      EXPECT_TRUE(trace::current_context().sampled);
+    }
+  }
+  EXPECT_FALSE(trace::current_context().sampled);
+}
+
+TEST_F(TraceTest, CurrentContextNamesTheInnermostOpenSpanAsParent) {
+  trace::set_enabled(true);
+  TraceContext ctx;
+  ctx.trace_hi = 7;
+  ctx.trace_lo = 8;
+  ctx.parent_span = 9;
+  ctx.sampled = true;
+  {
+    ContextScope scope(ctx);
+    // At top level the remote parent passes through.
+    EXPECT_EQ(trace::current_context().parent_span, 9u);
+    Span s("t.curctx", "holder");
+    TraceContext child = trace::current_context();
+    EXPECT_TRUE(child.sampled);
+    EXPECT_EQ(child.trace_hi, 7u);
+    EXPECT_EQ(child.parent_span, s.span_id());
+  }
+  trace::set_enabled(false);
+}
+
+TEST_F(TraceTest, NewSpanIdsAreUniqueAndNonZero) {
+  std::uint64_t a = trace::new_span_id();
+  std::uint64_t b = trace::new_span_id();
+  EXPECT_NE(a, 0u);
+  EXPECT_NE(b, 0u);
+  EXPECT_NE(a, b);
+}
+
+TEST_F(TraceTest, EmitCompleteCtxStampsExplicitIdentity) {
+  trace::set_enabled(true);
+  TraceContext ctx;
+  ctx.trace_hi = 0xAA;
+  ctx.trace_lo = 0xBB;
+  ctx.parent_span = 0xCC;
+  ctx.sampled = true;
+  trace::emit_complete_ctx("t.ctxemit", "wait", 100, 200, ctx, 0xDD);
+  trace::set_enabled(false);
+  trace::TraceSnapshot snap = trace::snapshot();
+  ASSERT_EQ(count_cat(snap, "t.ctxemit"), 1u);
+  for (const TraceEvent& ev : snap.events) {
+    if (std::string(ev.cat) != "t.ctxemit") continue;
+    EXPECT_EQ(ev.trace_hi, 0xAAu);
+    EXPECT_EQ(ev.trace_lo, 0xBBu);
+    EXPECT_EQ(ev.span_id, 0xDDu);
+    EXPECT_EQ(ev.parent_span, 0xCCu);
+  }
+}
+
+TEST_F(TraceTest, DroppedTotalFeedsTheRingOverflowCounter) {
+  trace::set_ring_capacity(64);
+  trace::set_enabled(true);
+  std::thread t([] {
+    for (int i = 0; i < 80; ++i) {
+      TGP_SPAN("t.droptotal", "spin");
+    }
+  });
+  t.join();
+  trace::set_enabled(false);
+  EXPECT_GE(trace::dropped_total(), 16u);
+  trace::clear();
+  EXPECT_EQ(trace::dropped_total(), 0u);
+  trace::set_ring_capacity(1 << 16);
+}
+
+TEST_F(TraceTest, ChromeTraceCarriesTraceIdsAndMeta) {
+  trace::set_enabled(true);
+  TraceContext ctx;
+  ctx.trace_hi = 0x0123456789ABCDEFull;
+  ctx.trace_lo = 0x1122334455667788ull;
+  ctx.parent_span = 0x55;
+  ctx.sampled = true;
+  {
+    ContextScope scope(ctx);
+    TGP_SPAN("t.chromeids", "traced");
+  }
+  trace::set_enabled(false);
+
+  std::ostringstream json;
+  ChromeTraceMeta meta;
+  meta.process_name = "unit";
+  meta.epoch_unix_us = 1234;
+  meta.clock_offset_us = -7;
+  write_chrome_trace(json, trace::snapshot(), meta);
+  std::istringstream in(json.str());
+  tools::ParsedTrace parsed = tools::parse_chrome_trace(in);
+  EXPECT_EQ(parsed.process_name, "unit");
+  EXPECT_EQ(parsed.epoch_unix_us, 1234);
+  EXPECT_EQ(parsed.clock_offset_us, -7);
+  bool found = false;
+  for (const tools::DumpEvent& ev : parsed.events) {
+    if (ev.cat != "t.chromeids") continue;
+    found = true;
+    EXPECT_EQ(ev.trace_id, "0123456789abcdef1122334455667788");
+    EXPECT_NE(ev.span_id, 0u);
+    EXPECT_EQ(ev.parent_span, 0x55u);
+  }
+  EXPECT_TRUE(found);
+}
+
 // ---- CounterScope routing --------------------------------------------------
 
 TEST(CounterScope, RoutesAndRestores) {

@@ -488,11 +488,12 @@ TEST_F(TracedServiceTest, CancelledGiantParallelSolveUnwindsWithinDeadline) {
   }
   obs::trace::set_enabled(false);
   ASSERT_EQ(status, JobStatus::kTimeout) << error;
-  // Generous bound (sanitizers, loaded CI boxes) that is still far
-  // below the multi-second full solve: the unwind must be prompt.
+  // Generous bound (sanitizers, ctest -j saturating every core) that is
+  // still far below the multi-second full solve: the unwind must be
+  // prompt.  Observed worst case under a fully loaded suite: ~2.1s.
   EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
                 .count(),
-            2000);
+            4000);
   SpanCensus c = census(obs::trace::snapshot());
   if (error == "deadline expired before the job started") {
     EXPECT_EQ(c.queue_shed, 1u);

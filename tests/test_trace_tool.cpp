@@ -123,5 +123,193 @@ TEST(RunTraceDump, HelpMissingInputAndBadFile) {
   }
 }
 
+// ---- Multi-process stitching and the critical path -------------------------
+//
+// Two synthetic per-process files with one distributed request between
+// them.  The client's wall clock lags the fleet by 50 µs (its recorded
+// ping-RTT offset says "server is 50 ahead"), and the shard started
+// 200 µs of wall clock after the client's trace epoch — the numbers
+// below only line up if the stitcher honors both.
+const char* kClientTrace = R"({"traceEvents":[
+  {"ph":"M","pid":1,"tid":1,"name":"thread_name","args":{"name":"client"}},
+  {"ph":"X","pid":1,"tid":1,"cat":"net","name":"client.request",
+   "ts":100.0,"dur":900.0,
+   "args":{"tgp_trace":"00000000000000aa000000000000bbbb",
+           "tgp_span":"00000000000000a1"}}
+],"tgp_process":"client","tgp_epoch_unix_us":1000000,
+"tgp_clock_offset_us":50,"tgp_dropped":1})";
+
+const char* kShardTrace = R"({"traceEvents":[
+  {"ph":"M","pid":1,"tid":4,"name":"thread_name","args":{"name":"worker-0"}},
+  {"ph":"X","pid":1,"tid":4,"cat":"net","name":"backend.submit",
+   "ts":50.0,"dur":500.0,
+   "args":{"tgp_trace":"00000000000000aa000000000000bbbb",
+           "tgp_span":"00000000000000a2","tgp_parent":"00000000000000a1"}},
+  {"ph":"X","pid":1,"tid":4,"cat":"svc","name":"solve",
+   "ts":100.0,"dur":300.0,
+   "args":{"tgp_trace":"00000000000000aa000000000000bbbb",
+           "tgp_span":"00000000000000a3","tgp_parent":"00000000000000a2"}}
+],"tgp_process":"shard-0","tgp_epoch_unix_us":1000200,
+"tgp_clock_offset_us":0,"tgp_dropped":2})";
+
+std::vector<ParsedTrace> parse_pair() {
+  std::istringstream a(kClientTrace), b(kShardTrace);
+  return {parse_chrome_trace(a), parse_chrome_trace(b)};
+}
+
+TEST(ParseChromeTrace, ReadsTraceIdsAndStitchMetadata) {
+  std::vector<ParsedTrace> inputs = parse_pair();
+  EXPECT_EQ(inputs[0].process_name, "client");
+  EXPECT_EQ(inputs[0].epoch_unix_us, 1000000);
+  EXPECT_EQ(inputs[0].clock_offset_us, 50);
+  ASSERT_EQ(inputs[1].events.size(), 2u);
+  const DumpEvent& sub = inputs[1].events[0];
+  EXPECT_EQ(sub.trace_id, "00000000000000aa000000000000bbbb");
+  EXPECT_EQ(sub.span_id, 0xa2u);
+  EXPECT_EQ(sub.parent_span, 0xa1u);
+}
+
+TEST(MergeTraces, AlignsTimelinesOnEpochPlusOffset) {
+  MergedTrace merged = merge_traces(parse_pair());
+  ASSERT_EQ(merged.events.size(), 3u);
+  ASSERT_EQ(merged.process_names.size(), 2u);
+  EXPECT_EQ(merged.process_names[0], "client");
+  EXPECT_EQ(merged.process_names[1], "shard-0");
+  EXPECT_EQ(merged.dropped, 3u);
+
+  // Corrected epochs: client 1000000+50, shard 1000200+0; base is the
+  // client's, so client events shift by 0 and shard events by +150.
+  for (const DumpEvent& ev : merged.events) {
+    if (ev.name == "client.request") {
+      EXPECT_EQ(ev.pid, 1u);
+      EXPECT_DOUBLE_EQ(ev.ts_us, 100.0);
+    } else if (ev.name == "backend.submit") {
+      EXPECT_EQ(ev.pid, 2u);
+      EXPECT_DOUBLE_EQ(ev.ts_us, 200.0);
+    } else {
+      EXPECT_DOUBLE_EQ(ev.ts_us, 250.0);
+    }
+  }
+  // Thread names carry through with their pid.
+  bool worker = false;
+  for (const auto& [key, name] : merged.thread_names)
+    if (key.first == 2 && name == "worker-0") worker = true;
+  EXPECT_TRUE(worker);
+}
+
+TEST(MergeTraces, WriteMergedRoundTripsThroughTheParser) {
+  MergedTrace merged = merge_traces(parse_pair());
+  std::ostringstream json;
+  write_merged_trace(json, merged);
+  std::istringstream in(json.str());
+  ParsedTrace back = parse_chrome_trace(in);
+  ASSERT_EQ(back.events.size(), 3u);
+  EXPECT_EQ(back.dropped, 3u);
+  for (const DumpEvent& ev : back.events)
+    EXPECT_EQ(ev.trace_id, "00000000000000aa000000000000bbbb");
+}
+
+TEST(CriticalPaths, AttributesSegmentsToTheMostSpecificSpan) {
+  std::vector<CriticalPath> paths = critical_paths(merge_traces(parse_pair()));
+  ASSERT_EQ(paths.size(), 1u);
+  const CriticalPath& cp = paths[0];
+  EXPECT_EQ(cp.trace_id, "00000000000000aa000000000000bbbb");
+  EXPECT_EQ(cp.root_phase, "net/client.request");
+  EXPECT_DOUBLE_EQ(cp.e2e_us, 900.0);
+  // Root [100,1000): backend.submit covers [200,700), solve [250,550).
+  //   [100,200) root only            → untracked 100
+  //   [200,250) + [550,700)          → backend.submit 200
+  //   [250,550)                      → solve 300
+  //   [700,1000) root only           → untracked 300
+  EXPECT_DOUBLE_EQ(cp.untracked_us, 400.0);
+  ASSERT_EQ(cp.rows.size(), 2u);
+  EXPECT_EQ(cp.rows[0].phase, "svc/solve");
+  EXPECT_DOUBLE_EQ(cp.rows[0].total_us, 300.0);
+  EXPECT_EQ(cp.rows[1].phase, "net/backend.submit");
+  EXPECT_DOUBLE_EQ(cp.rows[1].total_us, 200.0);
+  EXPECT_NEAR(cp.coverage(), 1.0 - 400.0 / 900.0, 1e-12);
+}
+
+TEST(CriticalPaths, OrphanedFragmentsAreSkipped) {
+  // Only the shard file: the root (client) span is missing.
+  std::istringstream b(kShardTrace);
+  MergedTrace merged = merge_traces({parse_chrome_trace(b)});
+  EXPECT_TRUE(critical_paths(merged).empty());
+}
+
+TEST(RunTraceDump, StitchesCriticalPathAndGatesOnCoverage) {
+  std::string ca = testing::TempDir() + "/tgp_stitch_client.json";
+  std::string sa = testing::TempDir() + "/tgp_stitch_shard.json";
+  std::ofstream(ca) << kClientTrace;
+  std::ofstream(sa) << kShardTrace;
+
+  std::string merged_path = testing::TempDir() + "/tgp_stitched.json";
+  {
+    std::ostringstream out, err;
+    ASSERT_EQ(run_trace_dump(args({"--input", ca, "--input", sa,
+                                   "--merged-out", merged_path,
+                                   "--critical-path"}),
+                             out, err),
+              0)
+        << err.str();
+    std::string s = out.str();
+    EXPECT_NE(s.find("critical path: 1 distributed request"),
+              std::string::npos);
+    EXPECT_NE(s.find("svc/solve"), std::string::npos);
+    EXPECT_NE(s.find("(untracked)"), std::string::npos);
+    EXPECT_NE(s.find("instrumented coverage: 55.6%"), std::string::npos);
+  }
+  {
+    // 55.6% < 90%: the gate trips.
+    std::ostringstream out, err;
+    EXPECT_EQ(run_trace_dump(args({"--input", ca, "--input", sa,
+                                   "--require-coverage", "0.9"}),
+                             out, err),
+              3);
+    EXPECT_NE(err.str().find("below the required"), std::string::npos);
+  }
+  {
+    std::ostringstream out, err;
+    EXPECT_EQ(run_trace_dump(args({"--input", ca, "--input", sa,
+                                   "--require-coverage", "0.5"}),
+                             out, err),
+              0)
+        << err.str();
+  }
+  // The merged file is valid input again.
+  std::ifstream mf(merged_path);
+  ParsedTrace back = parse_chrome_trace(mf);
+  EXPECT_EQ(back.events.size(), 3u);
+}
+
+TEST(RunTraceDump, RequireCoverageWithNoTracedRequestsFails) {
+  std::string path = testing::TempDir() + "/tgp_trace_dump_plain.json";
+  std::ofstream(path) << kSampleTrace;
+  std::ostringstream out, err;
+  EXPECT_EQ(run_trace_dump(args({"--input", path, "--require-coverage",
+                                 "0.95"}),
+                           out, err),
+            3);
+  EXPECT_NE(err.str().find("no traced requests"), std::string::npos);
+}
+
+TEST(RunTraceDump, SlowLogRendersATable) {
+  std::string path = testing::TempDir() + "/tgp_slow_log.json";
+  std::ofstream(path) <<
+      R"([
+  {"client_request_id": 7, "shard": 1, "e2e_us": 1500.0, "queue_us": 100.0,
+   "backend_us": 1350.0, "trace": "00000000000000aa000000000000bbbb"},
+  {"client_request_id": 3, "shard": 0, "e2e_us": 900.0, "queue_us": 20.0,
+   "backend_us": 870.0, "trace": "00000000000000cc000000000000dddd"}
+])";
+  std::ostringstream out, err;
+  ASSERT_EQ(run_trace_dump(args({"--slow-log", path}), out, err), 0)
+      << err.str();
+  std::string s = out.str();
+  EXPECT_NE(s.find("slow log: 2 tail exemplars"), std::string::npos);
+  EXPECT_NE(s.find("00000000000000aa000000000000bbbb"), std::string::npos);
+  EXPECT_NE(s.find("shard"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace tgp::tools

@@ -5,6 +5,8 @@
 #include <ostream>
 
 #include "net/client.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/trace.hpp"
 #include "tools/serve_tool.hpp"
 #include "util/argparse.hpp"
 #include "util/logging.hpp"
@@ -23,6 +25,7 @@ std::string client_tool_help() {
       "                  [--tenant T] [--no-results] [--log-level LEVEL]\n"
       "                  [--connect-timeout-ms MS] [--timeout-ms MS]\n"
       "                  [--reconnect N] [--hedge-ms MS]\n"
+      "                  [--trace-out FILE] [--trace-buf N] [--clock-sync]\n"
       "\n"
       "Submits the same workloads as tgp_serve (same --jobs file format,\n"
       "same --generate synthesis) over the binary wire protocol, pipelining\n"
@@ -50,7 +53,18 @@ std::string client_tool_help() {
       "  --reconnect N        re-dial up to N times on transport failure\n"
       "                       or timeout, re-sending unanswered submits\n"
       "  --hedge-ms MS        duplicate a submit still unanswered after\n"
-      "                       MS ms under a fresh id; first answer wins\n";
+      "                       MS ms under a fresh id; first answer wins\n"
+      "\n"
+      "Distributed tracing:\n"
+      "  --trace-out FILE     stamp a sampled trace context onto every\n"
+      "                       submit, record a client root span per\n"
+      "                       request, and write Chrome trace JSON.  The\n"
+      "                       server's clock offset is measured first\n"
+      "                       (ping RTT midpoint) and recorded in the\n"
+      "                       file, so tgp_trace_dump can stitch this\n"
+      "                       trace with the fleet's --trace-out files.\n"
+      "  --trace-buf N        trace ring size in events (default 65536)\n"
+      "  --clock-sync         print the measured offset estimate\n";
 }
 
 int run_client_tool(const std::vector<std::string>& args, std::ostream& out,
@@ -73,7 +87,10 @@ int run_client_tool(const std::vector<std::string>& args, std::ostream& out,
         .describe("connect-timeout-ms", "TCP handshake deadline")
         .describe("timeout-ms", "io-silence deadline")
         .describe("reconnect", "re-dial budget on transport failure")
-        .describe("hedge-ms", "hedge unanswered submits after this long");
+        .describe("hedge-ms", "hedge unanswered submits after this long")
+        .describe("trace-out", "trace every submit, write Chrome JSON here")
+        .describe("trace-buf", "trace ring size in events")
+        .describe("clock-sync", "print the server clock-offset estimate");
     if (parser.has("help")) {
       out << client_tool_help();
       return 0;
@@ -107,10 +124,24 @@ int run_client_tool(const std::vector<std::string>& args, std::ostream& out,
     cc.hedge_after_ms = static_cast<int>(parser.get_int("hedge-ms", 0));
     cc.seed = static_cast<std::uint64_t>(parser.get_int("seed", 42));
 
+    const std::string trace_path = parser.get("trace-out", "");
+    cc.trace = !trace_path.empty();
+
     if (parser.get_bool("ping", false)) {
       net::Client client(cc);
       client.ping();
       out << "pong from " << host << ":" << port << "\n";
+      return 0;
+    }
+    if (parser.get_bool("clock-sync", false) && !cc.trace) {
+      net::Client client(cc);
+      const net::Client::ClockSync sync = client.measure_clock_offset();
+      if (!sync.valid) {
+        err << "error: server did not answer with a wall clock (pre-v2?)\n";
+        return 1;
+      }
+      out << "clock offset: " << sync.offset_us << " us (server minus "
+          << "client, rtt " << sync.rtt_us << " us)\n";
       return 0;
     }
     if (parser.get_bool("metrics", false)) {
@@ -161,12 +192,47 @@ int run_client_tool(const std::vector<std::string>& args, std::ostream& out,
       requests.push_back(std::move(req));
     }
 
+    if (cc.trace) {
+      obs::trace::set_ring_capacity(static_cast<std::size_t>(
+          parser.get_int("trace-buf", 65536)));
+      obs::trace::set_thread_name("client");
+      obs::trace::clear();
+      obs::trace::set_enabled(true);
+    }
+
     net::Client client(cc);
+    net::Client::ClockSync sync;
+    if (cc.trace) {
+      // Measure the server's wall-clock offset before the batch so the
+      // trace file records it — that is what lets the stitcher align
+      // this client's timeline with the fleet's across hosts.
+      sync = client.measure_clock_offset();
+      if (parser.get_bool("clock-sync", false))
+        err << "clock offset: " << sync.offset_us << " us (server minus "
+            << "client, rtt " << sync.rtt_us << " us, "
+            << (sync.valid ? "measured" : "unavailable") << ")\n";
+    }
     double wall_seconds = 0;
     std::vector<svc::JobResult> results;
     {
       util::ScopedTimer t(wall_seconds, util::ScopedTimer::Unit::kSeconds);
       results = client.run_batch(requests);
+    }
+    if (cc.trace) {
+      obs::trace::set_enabled(false);
+      obs::trace::TraceSnapshot snap = obs::trace::snapshot();
+      std::ofstream tf(trace_path);
+      if (!tf.good()) {
+        err << "error: cannot write trace file '" << trace_path << "'\n";
+      } else {
+        obs::ChromeTraceMeta meta;
+        meta.process_name = "client";
+        meta.epoch_unix_us = obs::trace::epoch_unix_us();
+        meta.clock_offset_us = sync.valid ? sync.offset_us : 0;
+        obs::write_chrome_trace(tf, snap, meta);
+        err << "trace: " << snap.recorded << " events (" << snap.dropped
+            << " dropped) -> " << trace_path << "\n";
+      }
     }
 
     if (!parser.get_bool("no-results", false))

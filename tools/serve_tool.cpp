@@ -562,7 +562,10 @@ int run_serve_tool(const std::vector<std::string>& args, std::ostream& out,
         err << "error: cannot write trace file '" << trace_path << "'\n";
         return 1;
       }
-      obs::write_chrome_trace(tf, snap);
+      obs::ChromeTraceMeta meta;
+      meta.process_name = "serve";
+      meta.epoch_unix_us = obs::trace::epoch_unix_us();
+      obs::write_chrome_trace(tf, snap, meta);
       err << "trace: " << snap.recorded << " events ("
           << snap.dropped << " dropped) -> " << trace_path << "\n";
     }

@@ -3,6 +3,7 @@
 #include <csignal>
 #include <atomic>
 #include <chrono>
+#include <fstream>
 #include <memory>
 #include <ostream>
 #include <thread>
@@ -10,6 +11,8 @@
 #include "net/backend.hpp"
 #include "net/router.hpp"
 #include "net/server.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/trace.hpp"
 #include "svc/service.hpp"
 #include "util/argparse.hpp"
 #include "util/fault.hpp"
@@ -111,6 +114,27 @@ void report_faults(std::ostream& err) {
   util::faults().disarm();
 }
 
+/// Dump the span rings to `path` as Chrome trace JSON with the process
+/// metadata the multi-file stitcher aligns on.  Shared by both modes;
+/// called after the event loop stops (SIGTERM included — graceful exit
+/// is what makes mid-failover shard traces recoverable).
+void dump_trace(const std::string& path, const std::string& process_name,
+                std::ostream& err) {
+  obs::trace::set_enabled(false);
+  obs::trace::TraceSnapshot snap = obs::trace::snapshot();
+  std::ofstream tf(path);
+  if (!tf.good()) {
+    err << "error: cannot write trace file '" << path << "'\n";
+    return;
+  }
+  obs::ChromeTraceMeta meta;
+  meta.process_name = process_name;
+  meta.epoch_unix_us = obs::trace::epoch_unix_us();
+  obs::write_chrome_trace(tf, snap, meta);
+  err << "trace: " << snap.recorded << " events (" << snap.dropped
+      << " dropped) -> " << path << "\n";
+}
+
 std::vector<std::pair<std::string, std::uint16_t>> parse_backend_list(
     const std::string& list) {
   std::vector<std::pair<std::string, std::uint16_t>> out;
@@ -148,8 +172,12 @@ void serve(net::Server& server, ActivityHandler& activity,
   watchdog_stop.store(true);
   if (watchdog.joinable()) watchdog.join();
   g_server.store(nullptr);
-  std::signal(SIGINT, SIG_DFL);
-  std::signal(SIGTERM, SIG_DFL);
+  // Ignore (not default) from here on: a second SIGTERM during the drain
+  // window — service shutdown, metrics report, trace dump — must not
+  // kill the process before the trace file lands on disk.  Mid-failover
+  // shard traces are only stitchable because this exit stays graceful.
+  std::signal(SIGINT, SIG_IGN);
+  std::signal(SIGTERM, SIG_IGN);
 }
 
 }  // namespace
@@ -162,6 +190,8 @@ std::string served_tool_help() {
       "                  [--stop-after-idle-ms MS] [--log-level LEVEL]\n"
       "                  [--tick-ms MS] [--fault-rate P] [--fault-seed S]\n"
       "                  [--fault-sites SITE=P,...] [--fault-stall-ms MS]\n"
+      "                  [--trace-out FILE] [--trace-name NAME]\n"
+      "                  [--trace-buf N]\n"
       "          backend: [--threads N] [--solve-threads N]\n"
       "                  [--cache-mb M] [--queue-cap C]\n"
       "                  [--max-inflight N] [--rate-limit R] [--retry N]\n"
@@ -173,6 +203,8 @@ std::string served_tool_help() {
       "                  [--no-failover] [--fail-threshold N]\n"
       "                  [--down-cooldown-ms MS] [--recover-probes N]\n"
       "                  [--probe-timeout-ms MS] [--connect-timeout-ms MS]\n"
+      "                  [--metrics-every-ticks N] [--slow-log FILE]\n"
+      "                  [--slow-log-size K]\n"
       "\n"
       "Speaks the tgp binary wire protocol (length-prefixed frames; see\n"
       "docs/architecture.md).  Prints exactly one 'listening on HOST:PORT'\n"
@@ -204,7 +236,16 @@ std::string served_tool_help() {
       "--fault-seed) across every site; --fault-sites overrides per-site\n"
       "probabilities, e.g. net.frame.drop=0.01,net.sock.read=0.005 (see\n"
       "net/socket.hpp for the wire sites).  Injection is in-process and\n"
-      "reproducible: same seed, same faults.\n";
+      "reproducible: same seed, same faults.\n"
+      "\n"
+      "--trace-out records spans (including the distributed-trace ids of\n"
+      "every traced client request flowing through) and writes Chrome\n"
+      "trace JSON on exit; --trace-name labels the process in the\n"
+      "stitched view (default backend/router plus the port).  Router\n"
+      "mode: --metrics-every-ticks polls each shard's Prometheus text so\n"
+      "one router /metrics scrape covers the fleet (shard=\"N\" labels),\n"
+      "and --slow-log writes the slowest-K requests (phase breakdown per\n"
+      "request) as JSON on exit; render with tgp_trace_dump --slow-log.\n";
 }
 
 int run_served_tool(const std::vector<std::string>& args, std::ostream& out,
@@ -245,7 +286,15 @@ int run_served_tool(const std::vector<std::string>& args, std::ostream& out,
         .describe("fault-rate", "arm fault injection at this probability")
         .describe("fault-seed", "fault injector seed")
         .describe("fault-sites", "per-site overrides SITE=P,SITE=P")
-        .describe("fault-stall-ms", "duration of injected outbound stalls");
+        .describe("fault-stall-ms", "duration of injected outbound stalls")
+        .describe("trace-out", "write Chrome trace JSON to FILE on exit")
+        .describe("trace-name", "process label in the stitched trace")
+        .describe("trace-buf", "trace ring size in events per thread")
+        .describe("metrics-every-ticks",
+                  "router: poll shard metrics every N ticks for /metrics "
+                  "fleet aggregation (0 = off)")
+        .describe("slow-log", "router: write slowest-K JSON to FILE on exit")
+        .describe("slow-log-size", "router: tail exemplars kept (default 8)");
     if (parser.has("help")) {
       out << served_tool_help();
       return 0;
@@ -274,6 +323,15 @@ int run_served_tool(const std::vector<std::string>& args, std::ostream& out,
     server_config.fault_stall_ms =
         static_cast<int>(parser.get_int("fault-stall-ms", 25));
     const double idle_ms = parser.get_double("stop-after-idle-ms", 0);
+
+    const std::string trace_path = parser.get("trace-out", "");
+    if (!trace_path.empty()) {
+      obs::trace::set_ring_capacity(static_cast<std::size_t>(
+          parser.get_int("trace-buf", 65536)));
+      obs::trace::set_thread_name("main");
+      obs::trace::clear();
+      obs::trace::set_enabled(true);
+    }
 
     const double fault_rate = parser.get_double("fault-rate", 0);
     if (fault_rate > 0 || parser.has("fault-sites")) {
@@ -309,6 +367,10 @@ int run_served_tool(const std::vector<std::string>& args, std::ostream& out,
       rc.probe_timeout_us = parser.get_double("probe-timeout-ms", 500) * 1000;
       rc.connect_timeout_ms =
           static_cast<int>(parser.get_int("connect-timeout-ms", 250));
+      rc.metrics_every_ticks =
+          static_cast<int>(parser.get_int("metrics-every-ticks", 0));
+      rc.slow_log_size =
+          static_cast<std::size_t>(parser.get_int("slow-log-size", 8));
       net::Router router(rc);
       ActivityHandler activity(router);
       net::Server server(server_config, activity);
@@ -319,6 +381,18 @@ int run_served_tool(const std::vector<std::string>& args, std::ostream& out,
       out.flush();
       serve(server, activity, idle_ms);
       report_faults(err);
+      if (!trace_path.empty())
+        dump_trace(trace_path, parser.get("trace-name", "router"), err);
+      if (parser.has("slow-log")) {
+        const std::string slow_path = parser.get("slow-log", "");
+        std::ofstream sf(slow_path);
+        if (!sf.good()) {
+          err << "error: cannot write slow log '" << slow_path << "'\n";
+        } else {
+          sf << router.slow_log_json() << "\n";
+          err << "slow log -> " << slow_path << "\n";
+        }
+      }
       const net::Router::Stats s = router.stats();
       err << "router: " << s.forwarded << " forwarded, " << s.returned
           << " returned, " << s.quota_rejects << " quota rejects, "
@@ -369,6 +443,11 @@ int run_served_tool(const std::vector<std::string>& args, std::ostream& out,
     serve(server, activity, idle_ms);
     report_faults(err);
     service.shutdown();
+    if (!trace_path.empty())
+      dump_trace(trace_path,
+                 parser.get("trace-name",
+                            "shard-" + std::to_string(bc.shard_index)),
+                 err);
     err << service.metrics().format();
     const net::Backend::ShardStats s = backend.shard_stats();
     err << "shard: " << s.owned_submits << " owned, " << s.foreign_submits

@@ -1,8 +1,10 @@
 #include "tools/trace_tool.hpp"
 
 #include <algorithm>
+#include <cinttypes>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <istream>
 #include <map>
@@ -178,11 +180,16 @@ class JsonReader {
   std::size_t pos_ = 0;
 };
 
+std::uint64_t parse_hex_id(const std::string& s) {
+  return s.empty() ? 0 : std::strtoull(s.c_str(), nullptr, 16);
+}
+
 // One event object inside traceEvents.
 void parse_event(JsonReader& r, ParsedTrace& out) {
   DumpEvent ev;
-  std::string thread_name;
+  std::string meta_name;  // args.name of a metadata record
   bool is_thread_name_meta = false;
+  bool is_process_name_meta = false;
   r.expect('{');
   if (!r.consume('}')) {
     do {
@@ -193,6 +200,7 @@ void parse_event(JsonReader& r, ParsedTrace& out) {
       } else if (key == "name") {
         std::string v = r.parse_string();
         if (v == "thread_name") is_thread_name_meta = true;
+        if (v == "process_name") is_process_name_meta = true;
         ev.name = v;
       } else if (key == "ph") {
         std::string v = r.parse_string();
@@ -203,15 +211,24 @@ void parse_event(JsonReader& r, ParsedTrace& out) {
         ev.dur_us = r.parse_number();
       } else if (key == "tid") {
         ev.tid = static_cast<std::uint32_t>(r.parse_number());
+      } else if (key == "pid") {
+        ev.pid = static_cast<std::uint32_t>(r.parse_number());
       } else if (key == "args") {
-        // For thread_name metadata, fish out args.name; otherwise discard.
+        // Fish out the distributed-trace args and metadata names;
+        // everything else is discarded.
         r.expect('{');
         if (!r.consume('}')) {
           do {
             std::string akey = r.parse_string();
             r.expect(':');
             if (akey == "name" && r.peek() == '"') {
-              thread_name = r.parse_string();
+              meta_name = r.parse_string();
+            } else if (akey == "tgp_trace" && r.peek() == '"') {
+              ev.trace_id = r.parse_string();
+            } else if (akey == "tgp_span" && r.peek() == '"') {
+              ev.span_id = parse_hex_id(r.parse_string());
+            } else if (akey == "tgp_parent" && r.peek() == '"') {
+              ev.parent_span = parse_hex_id(r.parse_string());
             } else {
               r.skip_value();
             }
@@ -225,9 +242,11 @@ void parse_event(JsonReader& r, ParsedTrace& out) {
     r.expect('}');
   }
   if (ev.ph == 'M') {
-    if (is_thread_name_meta && !thread_name.empty()) {
-      out.thread_names.emplace_back(ev.tid, thread_name);
-    }
+    if (is_thread_name_meta && !meta_name.empty())
+      out.thread_names.emplace_back(ev.tid, meta_name);
+    if (is_process_name_meta && !meta_name.empty() &&
+        out.process_name.empty())
+      out.process_name = meta_name;
     return;
   }
   if (ev.ph == 'X') out.events.push_back(std::move(ev));
@@ -259,9 +278,9 @@ std::string fmt_us(double us) {
   return buf;
 }
 
-void print_phase_table(std::ostream& out, const ParsedTrace& trace) {
+void print_phase_table(std::ostream& out, const std::vector<DumpEvent>& events) {
   std::map<std::pair<std::string, std::string>, PhaseStats> phases;
-  for (const DumpEvent& ev : trace.events) {
+  for (const DumpEvent& ev : events) {
     PhaseStats& s = phases[{ev.cat, ev.name}];
     s.durs_us.push_back(ev.dur_us);
     s.total_us += ev.dur_us;
@@ -281,9 +300,11 @@ void print_phase_table(std::ostream& out, const ParsedTrace& trace) {
   out << table.render();
 }
 
-std::string thread_label(const ParsedTrace& trace, std::uint32_t tid) {
-  for (const auto& [id, name] : trace.thread_names) {
-    if (id == tid) return name + " (tid " + std::to_string(tid) + ")";
+std::string thread_label(const MergedTrace& trace, std::uint32_t pid,
+                         std::uint32_t tid) {
+  for (const auto& [key, name] : trace.thread_names) {
+    if (key.first == pid && key.second == tid)
+      return name + " (tid " + std::to_string(tid) + ")";
   }
   return "tid " + std::to_string(tid);
 }
@@ -291,17 +312,18 @@ std::string thread_label(const ParsedTrace& trace, std::uint32_t tid) {
 // Indented rendering of one thread's spans by [start, start+dur) nesting.
 // Events are sorted by start time (ties: longer first), so a simple stack
 // of open intervals recovers the tree the RAII spans implied.
-void print_span_tree(std::ostream& out, const ParsedTrace& trace,
-                     std::uint32_t tid, std::size_t max_spans) {
+void print_span_tree(std::ostream& out, const MergedTrace& trace,
+                     std::uint32_t pid, std::uint32_t tid,
+                     std::size_t max_spans) {
   std::vector<const DumpEvent*> evs;
   for (const DumpEvent& ev : trace.events) {
-    if (ev.tid == tid) evs.push_back(&ev);
+    if (ev.pid == pid && ev.tid == tid) evs.push_back(&ev);
   }
   std::sort(evs.begin(), evs.end(), [](const DumpEvent* a, const DumpEvent* b) {
     if (a->ts_us != b->ts_us) return a->ts_us < b->ts_us;
     return a->dur_us > b->dur_us;
   });
-  out << "span tree: " << thread_label(trace, tid) << "\n";
+  out << "span tree: " << thread_label(trace, pid, tid) << "\n";
   std::vector<double> open_ends;  // end times of enclosing spans
   std::size_t shown = 0;
   for (const DumpEvent* ev : evs) {
@@ -318,6 +340,80 @@ void print_span_tree(std::ostream& out, const ParsedTrace& trace,
     open_ends.push_back(ev->ts_us + ev->dur_us);
   }
   if (evs.empty()) out << "  (no spans)\n";
+}
+
+void json_escape_into(std::string& out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Router slow-log dump: a JSON array of tail exemplars, printed as a table.
+
+int print_slow_log(std::istream& in, std::ostream& out) {
+  JsonReader r(in);
+  util::Table table({"rank", "client id", "shard", "e2e", "queue",
+                     "backend", "trace"});
+  std::size_t rank = 0;
+  r.expect('[');
+  if (!r.consume(']')) {
+    do {
+      std::uint64_t client_id = 0;
+      std::uint32_t shard = 0;
+      double e2e = 0, queue = 0, backend = 0;
+      std::string trace;
+      r.expect('{');
+      if (!r.consume('}')) {
+        do {
+          std::string key = r.parse_string();
+          r.expect(':');
+          if (key == "client_request_id") {
+            client_id = static_cast<std::uint64_t>(r.parse_number());
+          } else if (key == "shard") {
+            shard = static_cast<std::uint32_t>(r.parse_number());
+          } else if (key == "e2e_us") {
+            e2e = r.parse_number();
+          } else if (key == "queue_us") {
+            queue = r.parse_number();
+          } else if (key == "backend_us") {
+            backend = r.parse_number();
+          } else if (key == "trace" && r.peek() == '"') {
+            trace = r.parse_string();
+          } else {
+            r.skip_value();
+          }
+        } while (r.consume(','));
+        r.expect('}');
+      }
+      table.row()
+          .cell(static_cast<std::uint64_t>(rank++))
+          .cell(client_id)
+          .cell(static_cast<std::uint64_t>(shard))
+          .cell(fmt_us(e2e))
+          .cell(fmt_us(queue))
+          .cell(fmt_us(backend))
+          .cell(trace);
+    } while (r.consume(','));
+    r.expect(']');
+  }
+  out << "slow log: " << rank << " tail exemplar" << (rank == 1 ? "" : "s")
+      << "\n";
+  out << table.render();
+  return 0;
 }
 
 }  // namespace
@@ -340,6 +436,12 @@ ParsedTrace parse_chrome_trace(std::istream& in) {
         }
       } else if (key == "tgp_dropped") {
         out.dropped = static_cast<std::uint64_t>(r.parse_number());
+      } else if (key == "tgp_process" && r.peek() == '"') {
+        out.process_name = r.parse_string();
+      } else if (key == "tgp_epoch_unix_us") {
+        out.epoch_unix_us = static_cast<std::int64_t>(r.parse_number());
+      } else if (key == "tgp_clock_offset_us") {
+        out.clock_offset_us = static_cast<std::int64_t>(r.parse_number());
       } else {
         r.skip_value();
       }
@@ -349,18 +451,205 @@ ParsedTrace parse_chrome_trace(std::istream& in) {
   return out;
 }
 
+MergedTrace merge_traces(const std::vector<ParsedTrace>& inputs) {
+  MergedTrace merged;
+  // The common time base: the earliest recorded wall-clock epoch (after
+  // each file's estimated clock-offset correction).  Files without an
+  // epoch (old exporters) stay on their own zero, which is correct only
+  // for a single input.
+  std::int64_t base = 0;
+  bool have_base = false;
+  for (const ParsedTrace& t : inputs) {
+    if (t.epoch_unix_us == 0) continue;
+    const std::int64_t aligned = t.epoch_unix_us + t.clock_offset_us;
+    if (!have_base || aligned < base) {
+      base = aligned;
+      have_base = true;
+    }
+  }
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    const ParsedTrace& t = inputs[i];
+    const std::uint32_t pid = static_cast<std::uint32_t>(i + 1);
+    const double shift =
+        t.epoch_unix_us == 0
+            ? 0.0
+            : static_cast<double>(t.epoch_unix_us + t.clock_offset_us - base);
+    merged.process_names.push_back(
+        t.process_name.empty() ? "process " + std::to_string(pid)
+                               : t.process_name);
+    for (const auto& [tid, name] : t.thread_names)
+      merged.thread_names.push_back({{pid, tid}, name});
+    for (DumpEvent ev : t.events) {
+      ev.pid = pid;
+      ev.ts_us += shift;
+      merged.events.push_back(std::move(ev));
+    }
+    merged.dropped += t.dropped;
+  }
+  std::sort(merged.events.begin(), merged.events.end(),
+            [](const DumpEvent& a, const DumpEvent& b) {
+              if (a.ts_us != b.ts_us) return a.ts_us < b.ts_us;
+              return a.dur_us > b.dur_us;
+            });
+  return merged;
+}
+
+void write_merged_trace(std::ostream& out, const MergedTrace& merged) {
+  std::string buf;
+  buf += "{\"traceEvents\":[\n";
+  bool first = true;
+  char num[64];
+  for (std::size_t p = 0; p < merged.process_names.size(); ++p) {
+    if (!first) buf += ",\n";
+    first = false;
+    buf += "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":";
+    buf += std::to_string(p + 1);
+    buf += ",\"tid\":0,\"args\":{\"name\":\"";
+    json_escape_into(buf, merged.process_names[p]);
+    buf += "\"}}";
+  }
+  for (const auto& [key, name] : merged.thread_names) {
+    if (!first) buf += ",\n";
+    first = false;
+    buf += "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":";
+    buf += std::to_string(key.first);
+    buf += ",\"tid\":";
+    buf += std::to_string(key.second);
+    buf += ",\"args\":{\"name\":\"";
+    json_escape_into(buf, name);
+    buf += "\"}}";
+  }
+  for (const DumpEvent& ev : merged.events) {
+    if (!first) buf += ",\n";
+    first = false;
+    buf += "{\"cat\":\"";
+    json_escape_into(buf, ev.cat);
+    buf += "\",\"name\":\"";
+    json_escape_into(buf, ev.name);
+    buf += "\",\"ph\":\"X\",\"ts\":";
+    std::snprintf(num, sizeof num, "%.3f", ev.ts_us);
+    buf += num;
+    buf += ",\"dur\":";
+    std::snprintf(num, sizeof num, "%.3f", ev.dur_us);
+    buf += num;
+    buf += ",\"pid\":";
+    buf += std::to_string(ev.pid);
+    buf += ",\"tid\":";
+    buf += std::to_string(ev.tid);
+    if (!ev.trace_id.empty()) {
+      buf += ",\"args\":{\"tgp_trace\":\"";
+      buf += ev.trace_id;
+      buf += "\",\"tgp_span\":\"";
+      std::snprintf(num, sizeof num, "%016" PRIx64, ev.span_id);
+      buf += num;
+      buf += "\"";
+      if (ev.parent_span != 0) {
+        buf += ",\"tgp_parent\":\"";
+        std::snprintf(num, sizeof num, "%016" PRIx64, ev.parent_span);
+        buf += num;
+        buf += "\"";
+      }
+      buf += "}";
+    }
+    buf += "}";
+  }
+  buf += "\n],\"tgp_dropped\":";
+  buf += std::to_string(merged.dropped);
+  buf += "}\n";
+  out << buf;
+}
+
+std::vector<CriticalPath> critical_paths(const MergedTrace& merged) {
+  std::map<std::string, std::vector<const DumpEvent*>> by_trace;
+  for (const DumpEvent& ev : merged.events)
+    if (!ev.trace_id.empty()) by_trace[ev.trace_id].push_back(&ev);
+
+  std::vector<CriticalPath> out;
+  for (const auto& [trace_id, evs] : by_trace) {
+    // The root: the request's end-to-end span (no parent).  Several can
+    // appear if a fragment lost its parent link; the longest wins.
+    const DumpEvent* root = nullptr;
+    for (const DumpEvent* e : evs)
+      if (e->parent_span == 0 && (root == nullptr || e->dur_us > root->dur_us))
+        root = e;
+    if (root == nullptr) continue;
+    const double r0 = root->ts_us;
+    const double r1 = root->ts_us + root->dur_us;
+
+    // Elementary segments: every span boundary clipped to the root
+    // interval.  Each segment is attributed to the most specific
+    // (shortest) span covering its midpoint; segments only the root
+    // covers are the untracked remainder (wire transit, stack time).
+    std::vector<double> cuts{r0, r1};
+    for (const DumpEvent* e : evs) {
+      const double s = e->ts_us;
+      const double t = e->ts_us + e->dur_us;
+      if (s > r0 && s < r1) cuts.push_back(s);
+      if (t > r0 && t < r1) cuts.push_back(t);
+    }
+    std::sort(cuts.begin(), cuts.end());
+    cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+
+    CriticalPath cp;
+    cp.trace_id = trace_id;
+    cp.root_phase = root->cat + "/" + root->name;
+    cp.e2e_us = r1 - r0;
+    std::map<std::string, double> totals;
+    for (std::size_t i = 0; i + 1 < cuts.size(); ++i) {
+      const double a = cuts[i];
+      const double b = cuts[i + 1];
+      const double mid = (a + b) * 0.5;
+      const DumpEvent* best = nullptr;
+      for (const DumpEvent* e : evs) {
+        if (e->ts_us <= mid && mid < e->ts_us + e->dur_us) {
+          if (best == nullptr || e->dur_us < best->dur_us) best = e;
+        }
+      }
+      if (best == nullptr || best == root) {
+        cp.untracked_us += b - a;
+      } else {
+        totals[best->cat + "/" + best->name] += b - a;
+      }
+    }
+    for (const auto& [phase, total] : totals)
+      cp.rows.push_back({phase, total});
+    std::sort(cp.rows.begin(), cp.rows.end(),
+              [](const CriticalPath::Row& a, const CriticalPath::Row& b) {
+                return a.total_us > b.total_us;
+              });
+    out.push_back(std::move(cp));
+  }
+  return out;
+}
+
 std::string trace_dump_help() {
   return
-      "tgp_trace_dump — summarize a Chrome trace written by tgp_serve\n"
+      "tgp_trace_dump — summarize and stitch Chrome traces from the tgp "
+      "fleet\n"
       "\n"
-      "usage: tgp_trace_dump --input FILE [--tree] [--tid N]\n"
-      "                      [--max-spans N]\n"
+      "usage: tgp_trace_dump --input FILE [--input FILE ...]\n"
+      "                      [--merged-out FILE] [--critical-path]\n"
+      "                      [--require-coverage F] [--tree] [--pid N]\n"
+      "                      [--tid N] [--max-spans N]\n"
+      "       tgp_trace_dump --slow-log FILE\n"
       "\n"
       "Prints one row per (category, name) phase with count, total, mean,\n"
-      "p50 and p95 durations.  --tree additionally renders the nested span\n"
-      "tree for one thread (--tid, default: the busiest thread), capped at\n"
-      "--max-spans rows (default 60).  The input is the JSON file produced\n"
-      "by `tgp_serve --trace-out FILE` (chrome://tracing format).\n";
+      "p50 and p95 durations.  With several --input files (one per\n"
+      "process: client, router, shards) the traces are merged onto one\n"
+      "timeline — each file becomes a Chrome pid and timestamps align on\n"
+      "the recorded wall-clock epochs plus any measured clock offset —\n"
+      "and --merged-out writes the stitched chrome://tracing JSON.\n"
+      "\n"
+      "--critical-path breaks every distributed request (grouped by its\n"
+      "tgp_trace id) into phases: each instant of the end-to-end root\n"
+      "span is attributed to the most specific span covering it, and the\n"
+      "remainder no instrumented phase explains is reported as\n"
+      "(untracked).  --require-coverage F exits 3 if instrumented spans\n"
+      "explain less than fraction F of the summed end-to-end time.\n"
+      "\n"
+      "--tree renders the nested span tree for one thread (--pid/--tid,\n"
+      "default: the busiest), capped at --max-spans rows (default 60).\n"
+      "--slow-log prints a router --slow-log JSON dump as a table.\n";
 }
 
 int run_trace_dump(const std::vector<std::string>& args, std::ostream& out,
@@ -369,8 +658,15 @@ int run_trace_dump(const std::vector<std::string>& args, std::ostream& out,
   for (const std::string& a : args) argv.push_back(a.c_str());
   try {
     util::ArgParser parser(static_cast<int>(argv.size()), argv.data());
-    parser.describe("input", "Chrome trace JSON file")
+    parser.describe("input", "Chrome trace JSON file (repeatable)")
+        .describe("merged-out", "write the stitched multi-process trace here")
+        .describe("critical-path", "per-request phase breakdown by trace id")
+        .describe("require-coverage",
+                  "fail (exit 3) if instrumented coverage is below this "
+                  "fraction")
+        .describe("slow-log", "print a router slow-log JSON dump as a table")
         .describe("tree", "also print the nested span tree")
+        .describe("pid", "process (input index, 1-based) for --tree")
         .describe("tid", "thread id for --tree (default: busiest)")
         .describe("max-spans", "span-tree row cap (default 60)");
     if (parser.has("help")) {
@@ -379,52 +675,134 @@ int run_trace_dump(const std::vector<std::string>& args, std::ostream& out,
     }
     parser.check_unknown();
 
-    std::string path = parser.get("input", "");
-    if (path.empty()) {
+    if (parser.has("slow-log")) {
+      const std::string path = parser.get("slow-log", "");
+      std::ifstream in(path);
+      if (!in.good()) {
+        err << "error: cannot open '" << path << "'\n";
+        return 2;
+      }
+      return print_slow_log(in, out);
+    }
+
+    const std::vector<std::string> paths = parser.get_list("input");
+    if (paths.empty()) {
       err << "error: --input is required (see --help)\n";
       return 2;
     }
-    std::ifstream in(path);
-    if (!in.good()) {
-      err << "error: cannot open '" << path << "'\n";
-      return 2;
+    std::vector<ParsedTrace> inputs;
+    for (const std::string& path : paths) {
+      std::ifstream in(path);
+      if (!in.good()) {
+        err << "error: cannot open '" << path << "'\n";
+        return 2;
+      }
+      inputs.push_back(parse_chrome_trace(in));
     }
-    ParsedTrace trace = parse_chrome_trace(in);
+    MergedTrace merged = merge_traces(inputs);
 
-    out << "trace: " << trace.events.size() << " spans across ";
+    if (parser.has("merged-out")) {
+      const std::string path = parser.get("merged-out", "");
+      std::ofstream mo(path);
+      if (!mo.good()) {
+        err << "error: cannot write '" << path << "'\n";
+        return 2;
+      }
+      write_merged_trace(mo, merged);
+      out << "merged trace -> " << path << "\n";
+    }
+
+    out << "trace: " << merged.events.size() << " spans across ";
     {
-      std::vector<std::uint32_t> tids;
-      for (const DumpEvent& ev : trace.events) tids.push_back(ev.tid);
+      std::vector<std::pair<std::uint32_t, std::uint32_t>> tids;
+      for (const DumpEvent& ev : merged.events)
+        tids.push_back({ev.pid, ev.tid});
       std::sort(tids.begin(), tids.end());
       tids.erase(std::unique(tids.begin(), tids.end()), tids.end());
       out << tids.size() << " thread" << (tids.size() == 1 ? "" : "s");
     }
-    if (trace.dropped > 0) out << ", " << trace.dropped << " dropped";
+    if (merged.process_names.size() > 1)
+      out << " in " << merged.process_names.size() << " processes";
+    if (merged.dropped > 0) out << ", " << merged.dropped << " dropped";
     out << "\n";
 
-    if (trace.events.empty()) {
+    if (merged.events.empty()) {
       out << "(empty trace)\n";
       return 0;
     }
-    print_phase_table(out, trace);
+    print_phase_table(out, merged.events);
 
     if (parser.has("tree")) {
-      std::uint32_t tid;
-      if (parser.has("tid")) {
+      std::uint32_t pid, tid;
+      if (parser.has("tid") || parser.has("pid")) {
+        pid = static_cast<std::uint32_t>(parser.get_int("pid", 1));
         tid = static_cast<std::uint32_t>(parser.get_int("tid", 0));
       } else {
         // Busiest thread: most events.
-        std::map<std::uint32_t, std::size_t> counts;
-        for (const DumpEvent& ev : trace.events) ++counts[ev.tid];
-        tid = counts.begin()->first;
-        for (const auto& [id, n] : counts) {
-          if (n > counts[tid]) tid = id;
-        }
+        std::map<std::pair<std::uint32_t, std::uint32_t>, std::size_t> counts;
+        for (const DumpEvent& ev : merged.events) ++counts[{ev.pid, ev.tid}];
+        auto busiest = counts.begin();
+        for (auto it = counts.begin(); it != counts.end(); ++it)
+          if (it->second > busiest->second) busiest = it;
+        pid = busiest->first.first;
+        tid = busiest->first.second;
       }
       std::size_t cap =
           static_cast<std::size_t>(parser.get_int("max-spans", 60));
       out << "\n";
-      print_span_tree(out, trace, tid, cap);
+      print_span_tree(out, merged, pid, tid, cap);
+    }
+
+    if (parser.has("critical-path") || parser.has("require-coverage")) {
+      const std::vector<CriticalPath> paths_by_trace = critical_paths(merged);
+      if (paths_by_trace.empty()) {
+        out << "\ncritical path: no distributed traces found (no events "
+               "carry a tgp_trace id)\n";
+        if (parser.has("require-coverage")) {
+          err << "error: --require-coverage with no traced requests\n";
+          return 3;
+        }
+        return 0;
+      }
+      // Aggregate across requests: summed per-phase attribution over the
+      // summed end-to-end time.
+      std::map<std::string, double> totals;
+      double e2e = 0, untracked = 0;
+      for (const CriticalPath& cp : paths_by_trace) {
+        e2e += cp.e2e_us;
+        untracked += cp.untracked_us;
+        for (const CriticalPath::Row& row : cp.rows)
+          totals[row.phase] += row.total_us;
+      }
+      out << "\ncritical path: " << paths_by_trace.size()
+          << " distributed request"
+          << (paths_by_trace.size() == 1 ? "" : "s") << ", "
+          << fmt_us(e2e) << " end-to-end\n";
+      util::Table table({"phase", "total", "share"});
+      std::vector<std::pair<std::string, double>> rows(totals.begin(),
+                                                       totals.end());
+      std::sort(rows.begin(), rows.end(),
+                [](const auto& a, const auto& b) { return a.second > b.second; });
+      char pct[16];
+      for (const auto& [phase, total] : rows) {
+        std::snprintf(pct, sizeof pct, "%.1f%%", 100.0 * total / e2e);
+        table.row().cell(phase).cell(fmt_us(total)).cell(pct);
+      }
+      std::snprintf(pct, sizeof pct, "%.1f%%", 100.0 * untracked / e2e);
+      table.row().cell("(untracked)").cell(fmt_us(untracked)).cell(pct);
+      out << table.render();
+
+      const double coverage = e2e <= 0 ? 1.0 : 1.0 - untracked / e2e;
+      std::snprintf(pct, sizeof pct, "%.1f%%", 100.0 * coverage);
+      out << "instrumented coverage: " << pct << "\n";
+      if (parser.has("require-coverage")) {
+        const double want = parser.get_double("require-coverage", 0.95);
+        if (coverage < want) {
+          err << "error: instrumented coverage " << pct << " is below the "
+              << "required " << want << "\n";
+          return 3;
+        }
+      }
     }
     return 0;
   } catch (const std::exception& e) {

@@ -1,10 +1,17 @@
 // The engine behind the tgp_trace_dump command-line tool.
 //
-// Reads a Chrome trace JSON file (as written by tgp_serve --trace-out or
-// obs::write_chrome_trace) and prints a per-phase summary: event counts,
-// total/mean time, p50/p95 across spans grouped by (category, name), and
-// an indented span tree for one thread.  Separated from main() so tests
-// can drive it end to end.
+// Reads one or more Chrome trace JSON files (as written by the serving
+// tools' --trace-out or obs::write_chrome_trace) and prints a per-phase
+// summary: event counts, total/mean time, p50/p95 across spans grouped
+// by (category, name), and an indented span tree for one thread.
+//
+// With several --input files the tool *stitches* the fleet view: every
+// file becomes one Chrome pid, timestamps are aligned on each file's
+// recorded wall-clock epoch (tgp_epoch_unix_us + tgp_clock_offset_us),
+// and events carrying distributed-trace ids (tgp_trace / tgp_span /
+// tgp_parent args) are grouped per request so --critical-path can break
+// an end-to-end latency into client / router / wire / shard / solve
+// phases.  Separated from main() so tests can drive it end to end.
 #pragma once
 
 #include <cstdint>
@@ -14,14 +21,20 @@
 
 namespace tgp::tools {
 
-/// One parsed Chrome trace event (only the fields the summary needs).
+/// One parsed Chrome trace event (only the fields the summaries need).
 struct DumpEvent {
   std::string cat;
   std::string name;
-  double ts_us = 0;   ///< start, microseconds
+  double ts_us = 0;   ///< start, microseconds (absolute after merging)
   double dur_us = 0;  ///< duration, microseconds
   std::uint32_t tid = 0;
+  std::uint32_t pid = 0;  ///< 1-based input index after merging
   char ph = 'X';
+  /// Distributed-trace identity (empty / 0 when the span was untraced):
+  /// the 32-hex tgp_trace arg and the 16-hex span/parent ids.
+  std::string trace_id;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_span = 0;
 };
 
 /// Parse the `traceEvents` of a Chrome trace JSON document.  Tolerant of
@@ -31,12 +44,61 @@ struct DumpEvent {
 struct ParsedTrace {
   std::vector<DumpEvent> events;  ///< complete (ph:"X") events only
   std::vector<std::pair<std::uint32_t, std::string>> thread_names;
-  std::uint64_t dropped = 0;  ///< tgp_dropped field if present
+  std::uint64_t dropped = 0;      ///< tgp_dropped field if present
+  std::string process_name;       ///< tgp_process / process_name metadata
+  std::int64_t epoch_unix_us = 0;   ///< wall clock at the trace clock's zero
+  std::int64_t clock_offset_us = 0; ///< estimated local-clock error
 };
 ParsedTrace parse_chrome_trace(std::istream& in);
 
+/// Several processes' traces on one timeline: file i becomes pid i+1 and
+/// its timestamps are shifted by (epoch_unix_us + clock_offset_us)
+/// relative to the earliest input, so spans of one distributed request
+/// line up across processes.
+struct MergedTrace {
+  std::vector<DumpEvent> events;            ///< ts rebased, pid assigned
+  std::vector<std::string> process_names;   ///< index = pid - 1
+  /// (pid, tid) → thread name records carried through from the inputs.
+  std::vector<std::pair<std::pair<std::uint32_t, std::uint32_t>, std::string>>
+      thread_names;
+  std::uint64_t dropped = 0;  ///< summed over inputs
+};
+MergedTrace merge_traces(const std::vector<ParsedTrace>& inputs);
+
+/// Write a merged trace back out as Chrome trace JSON (process_name /
+/// thread_name metadata plus the rebased X events with their trace args).
+void write_merged_trace(std::ostream& out, const MergedTrace& merged);
+
+/// Critical-path breakdown of one distributed request: its end-to-end
+/// root span (parent id 0), with every instant of the root interval
+/// attributed to the most specific span covering it.  Instants only the
+/// root covers are the wire/untracked remainder — transit and any gap
+/// no instrumented phase explains.
+struct CriticalPath {
+  struct Row {
+    std::string phase;   ///< "cat/name"
+    double total_us = 0;
+  };
+  std::string trace_id;
+  std::string root_phase;
+  double e2e_us = 0;
+  double untracked_us = 0;
+  std::vector<Row> rows;  ///< sorted by total, descending
+
+  /// Fraction of the end-to-end interval explained by instrumented
+  /// (non-root) spans.
+  double coverage() const {
+    return e2e_us <= 0 ? 1.0 : 1.0 - untracked_us / e2e_us;
+  }
+};
+
+/// One breakdown per distributed trace id that has a root span; traces
+/// without one (orphaned fragments) are skipped.
+std::vector<CriticalPath> critical_paths(const MergedTrace& merged);
+
 /// Run the dump tool.  `args` are argv[1:]; report goes to `out`,
-/// diagnostics to `err`.  Returns the process exit code.
+/// diagnostics to `err`.  Returns the process exit code (3 = coverage
+/// gate failed).
 int run_trace_dump(const std::vector<std::string>& args, std::ostream& out,
                    std::ostream& err);
 
