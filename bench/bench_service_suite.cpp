@@ -6,6 +6,7 @@
 // worker pool.  Same contract as bench_core_suite: pinned seeds, JSON
 // artifact, gated by tools/bench_diff in CI.
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <vector>
 
@@ -297,6 +298,83 @@ int main(int argc, char** argv) {
     h.counter("requests_rerouted", rs.requests_rerouted);
     h.counter("shard_down_rejects", rs.shard_down_rejects);
     emit_service_counters(h, *services[0]);
+  }
+
+  // Durable warm start: the same first-100-request burst against a cold
+  // boot (empty cache dir, every solve from scratch) and a warm boot
+  // (cache recovered from a prior session's journal, the burst served
+  // from memory).  Both cases time construction + batch + shutdown —
+  // the whole restart — so the p95 gap between them in the JSON is the
+  // dividend the snapshot+journal machinery pays on the requests that
+  // land right after a restart.
+  {
+    const int wn = opt.quick ? 1 << 10 : 1 << 13;
+    const int first = 100;
+    const int wdistinct = 25;  // 4x duplication inside the burst
+    std::vector<std::shared_ptr<const graph::Chain>> chains;
+    std::vector<double> ks;
+    for (int i = 0; i < wdistinct; ++i) {
+      double K = 0;
+      chains.push_back(std::make_shared<const graph::Chain>(
+          make_chain(wn, static_cast<unsigned>(i + 101), &K)));
+      ks.push_back(K);
+    }
+    auto burst = [&] {
+      std::vector<svc::JobSpec> specs;
+      specs.reserve(static_cast<std::size_t>(first));
+      for (int i = 0; i < first; ++i) {
+        std::size_t g = static_cast<std::size_t>(i % wdistinct);
+        specs.push_back(svc::JobSpec::for_chain(
+            i % 2 == 0 ? svc::Problem::kBandwidth : svc::Problem::kBottleneck,
+            ks[g], chains[g]));
+      }
+      return specs;
+    };
+    char cold_dir[] = "/tmp/tgp_bench_cold_XXXXXX";
+    char warm_dir[] = "/tmp/tgp_bench_warm_XXXXXX";
+    if (::mkdtemp(cold_dir) == nullptr || ::mkdtemp(warm_dir) == nullptr) {
+      std::fprintf(stderr, "mkdtemp failed\n");
+      return 1;
+    }
+    auto clear_dir = [](const char* dir) {
+      for (const char* f :
+           {"cache.snapshot", "cache.journal", "cache.clean",
+            "quarantine.bin"})
+        std::remove((std::string(dir) + "/" + f).c_str());
+    };
+    auto durable_config = [](const char* dir) {
+      svc::ServiceConfig cfg;
+      cfg.threads = 4;
+      cfg.watchdog_interval_micros = 0;
+      cfg.cache_dir = dir;
+      return cfg;
+    };
+    // Seed the warm dir once: a throwaway session solves the burst,
+    // journals it, and flushes the clean marker.
+    {
+      svc::PartitionService warmer(durable_config(warm_dir));
+      auto results = warmer.run_batch(burst());
+      (void)results.size();
+      warmer.shutdown();
+      warmer.flush_durable();
+    }
+    std::snprintf(name, sizeof name, "service_cold_first100/n=%d", wn);
+    h.run(name, first, [&] {
+      clear_dir(cold_dir);
+      svc::PartitionService service(durable_config(cold_dir));
+      auto results = service.run_batch(burst());
+      (void)results.size();
+      service.shutdown();
+    });
+    std::snprintf(name, sizeof name, "service_warm_first100/n=%d", wn);
+    h.run(name, first, [&] {
+      svc::PartitionService service(durable_config(warm_dir));
+      auto results = service.run_batch(burst());
+      (void)results.size();
+      service.shutdown();
+    });
+    clear_dir(cold_dir);
+    clear_dir(warm_dir);
   }
 
   if (opt.trace) {

@@ -1,0 +1,165 @@
+#include "core/verify.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+#include <vector>
+
+#include "graph/weight.hpp"
+
+namespace tgp::core {
+namespace {
+
+// Relative tolerance for summed objectives: solver and verifier add the
+// same doubles in different orders.
+constexpr double kSumRelTol = 1e-9;
+
+CutCheck fail(const std::string& detail) { return CutCheck{false, detail}; }
+
+bool close_sum(double a, double b) {
+  return std::abs(a - b) <= kSumRelTol * std::max({std::abs(a), std::abs(b), 1.0});
+}
+
+/// Cut-edge indices in range and distinct (O(n) bitmap).
+CutCheck check_structure(const graph::Cut& cut, int edge_count) {
+  std::vector<bool> seen(static_cast<std::size_t>(edge_count), false);
+  for (int e : cut.edges) {
+    if (e < 0 || e >= edge_count) {
+      std::ostringstream os;
+      os << "cut edge " << e << " out of range [0, " << edge_count << ")";
+      return fail(os.str());
+    }
+    if (seen[static_cast<std::size_t>(e)]) {
+      std::ostringstream os;
+      os << "cut edge " << e << " listed twice";
+      return fail(os.str());
+    }
+    seen[static_cast<std::size_t>(e)] = true;
+  }
+  return {};
+}
+
+/// Minimum number of components any feasible partition needs: each of
+/// the m components carries ≤ K, so m ≥ W / K.  The 1e-12 slack keeps
+/// an exactly divisible W/K from rounding up on FP noise.
+int min_components(graph::Weight total, graph::Weight K) {
+  if (K <= 0) return 1;
+  const double m = std::ceil(static_cast<double>(total) / K - 1e-12);
+  return m < 1 ? 1 : static_cast<int>(m);
+}
+
+/// Träff–Wimmer-style combinatorial lower bound for total-weight
+/// objectives: at least `cuts` edges must be removed, so the objective
+/// is at least the sum of the `cuts` smallest edge weights.
+double smallest_edges_sum(std::vector<graph::Weight> weights, int cuts) {
+  if (cuts <= 0) return 0.0;
+  const auto k = std::min<std::size_t>(static_cast<std::size_t>(cuts),
+                                       weights.size());
+  if (k == 0) return 0.0;
+  std::nth_element(weights.begin(),
+                   weights.begin() + static_cast<std::ptrdiff_t>(k - 1),
+                   weights.end());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < k; ++i) sum += weights[i];
+  return sum;
+}
+
+CutCheck check_objective(VerifyObjective objective, double claimed,
+                         double max_edge, double cut_weight, int components,
+                         std::vector<graph::Weight> all_edge_weights,
+                         graph::Weight total, graph::Weight K) {
+  std::ostringstream os;
+  switch (objective) {
+    case VerifyObjective::kBottleneck:
+      // A max over the same input doubles is order-independent, so the
+      // recomputation must match bit for bit.
+      if (claimed != max_edge) {
+        os << "bottleneck objective " << claimed
+           << " != recomputed max cut edge " << max_edge;
+        return fail(os.str());
+      }
+      return {};
+    case VerifyObjective::kBottleneckBound:
+      if (max_edge > claimed) {
+        os << "max cut edge " << max_edge
+           << " exceeds the claimed bottleneck bound " << claimed;
+        return fail(os.str());
+      }
+      return {};
+    case VerifyObjective::kComponents: {
+      if (claimed != static_cast<double>(components)) {
+        os << "component objective " << claimed << " != component count "
+           << components;
+        return fail(os.str());
+      }
+      const int floor = min_components(total, K);
+      if (components < floor) {
+        os << "claimed " << components << " components but any feasible "
+           << "partition needs at least " << floor;
+        return fail(os.str());
+      }
+      return {};
+    }
+    case VerifyObjective::kTotalWeight: {
+      if (!close_sum(claimed, cut_weight)) {
+        os << "total-weight objective " << claimed
+           << " != recomputed cut weight " << cut_weight;
+        return fail(os.str());
+      }
+      const double bound = smallest_edges_sum(std::move(all_edge_weights),
+                                              min_components(total, K) - 1);
+      if (claimed < bound * (1.0 - kSumRelTol) - 1e-12) {
+        os << "total-weight objective " << claimed
+           << " below the combinatorial lower bound " << bound;
+        return fail(os.str());
+      }
+      return {};
+    }
+  }
+  return fail("unknown objective kind");
+}
+
+}  // namespace
+
+CutCheck verify_chain_cut(const graph::Chain& chain, graph::Weight K,
+                          const graph::Cut& cut, VerifyObjective objective,
+                          double objective_value, int components) {
+  if (CutCheck c = check_structure(cut, chain.edge_count()); !c) return c;
+  if (!graph::chain_cut_feasible(chain, cut, K))
+    return fail("a component exceeds the load bound K");
+  if (components != cut.size() + 1) {
+    std::ostringstream os;
+    os << "claimed " << components << " components but the cut has "
+       << cut.size() << " edges (removing j chain edges leaves j+1 pieces)";
+    return fail(os.str());
+  }
+  return check_objective(objective, objective_value,
+                         graph::chain_cut_max_edge(chain, cut),
+                         graph::chain_cut_weight(chain, cut), components,
+                         chain.edge_weight, chain.total_vertex_weight(), K);
+}
+
+CutCheck verify_tree_cut(const graph::Tree& tree, graph::Weight K,
+                         const graph::Cut& cut, VerifyObjective objective,
+                         double objective_value, int components) {
+  if (CutCheck c = check_structure(cut, tree.edge_count()); !c) return c;
+  if (!graph::tree_cut_feasible(tree, cut, K))
+    return fail("a component exceeds the load bound K");
+  if (components != cut.size() + 1) {
+    std::ostringstream os;
+    os << "claimed " << components << " components but the cut has "
+       << cut.size() << " edges (removing j tree edges leaves j+1 pieces)";
+    return fail(os.str());
+  }
+  std::vector<graph::Weight> edge_weights;
+  edge_weights.reserve(static_cast<std::size_t>(tree.edge_count()));
+  for (const graph::TreeEdge& e : tree.edges()) edge_weights.push_back(e.weight);
+  return check_objective(objective, objective_value,
+                         graph::tree_cut_max_edge(tree, cut),
+                         graph::tree_cut_weight(tree, cut), components,
+                         std::move(edge_weights), tree.total_vertex_weight(),
+                         K);
+}
+
+}  // namespace tgp::core

@@ -1,0 +1,72 @@
+// Independent O(n) verifier for partition results.
+//
+// "Algorithm Engineering for Cut Problems" treats solution certification
+// as a first-class engineering practice: a solver's output should be
+// checkable by code that shares nothing with the solver.  This module is
+// that checker, built for the serving path rather than the test suite —
+// it runs on every cache entry recovered from disk (a CRC proves the
+// bytes are intact, not that they encode a valid partition) and behind
+// `--verify` in the CLIs.
+//
+// What it checks, all in O(n) time and O(n) space:
+//   1. structure — every cut edge index in range, no duplicates;
+//   2. feasibility — every component's vertex weight ≤ K (with the
+//      shared load_epsilon slack, so the verifier accepts exactly the
+//      boundary cases the solvers are allowed to emit);
+//   3. consistency — the claimed component count equals |cut| + 1
+//      (removing j edges from a tree leaves exactly j + 1 components);
+//   4. objective — recomputed from the cut and compared: exactly for
+//      bottleneck (a max of input weights is order-independent) and
+//      component counts, to 1e-9 relative tolerance for summed weights
+//      (FP addition order differs between solver and verifier);
+//   5. plausibility — for total-weight objectives, the Träff–Wimmer
+//      style combinatorial lower bound: any feasible partition needs at
+//      least ceil(W/K) components, hence at least ceil(W/K) − 1 cut
+//      edges, so the objective can never be below the sum of the
+//      ceil(W/K) − 1 smallest edge weights.  For component-count
+//      objectives the same bound reads components ≥ ceil(W/K).
+//
+// The verifier deliberately lives in core (below svc) and speaks only
+// graphs, cuts and an abstract objective kind, so any layer can call it
+// without dragging in service types.
+#pragma once
+
+#include <string>
+
+#include "graph/chain.hpp"
+#include "graph/cutset.hpp"
+#include "graph/tree.hpp"
+
+namespace tgp::core {
+
+/// What the objective value claims to be.
+enum class VerifyObjective {
+  kBottleneck,      ///< max weight over cut edges, exactly
+  kBottleneckBound, ///< upper bound on the max cut-edge weight — the
+                    ///< §2.2 pipeline reports the bottleneck-stage
+                    ///< threshold while returning a *subset* of that
+                    ///< stage's cut, whose own max may be smaller
+  kComponents,      ///< number of components (== objective value)
+  kTotalWeight,     ///< sum of weights over cut edges
+};
+
+/// Outcome of a verification; `detail` names the first failed check.
+struct CutCheck {
+  bool ok = true;
+  std::string detail;
+
+  explicit operator bool() const { return ok; }
+};
+
+/// Verifies a chain partition: cut validity, feasibility under K,
+/// claimed component count, and the claimed objective value.
+CutCheck verify_chain_cut(const graph::Chain& chain, graph::Weight K,
+                          const graph::Cut& cut, VerifyObjective objective,
+                          double objective_value, int components);
+
+/// Verifies a tree partition the same way.
+CutCheck verify_tree_cut(const graph::Tree& tree, graph::Weight K,
+                         const graph::Cut& cut, VerifyObjective objective,
+                         double objective_value, int components);
+
+}  // namespace tgp::core

@@ -1,0 +1,67 @@
+#include "dur/crc32c.hpp"
+
+#include <array>
+
+namespace tgp::dur {
+namespace {
+
+// Castagnoli polynomial, reflected form.
+constexpr std::uint32_t kPoly = 0x82F63B78u;
+
+struct Tables {
+  // table[k][b] = CRC of byte b followed by k zero bytes; slicing-by-8
+  // combines eight table lookups per 8-byte chunk.
+  std::array<std::array<std::uint32_t, 256>, 8> t{};
+};
+
+constexpr Tables make_tables() {
+  Tables tb{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit)
+      crc = (crc >> 1) ^ (kPoly & (0u - (crc & 1u)));
+    tb.t[0][i] = crc;
+  }
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = tb.t[0][i];
+    for (std::size_t k = 1; k < 8; ++k) {
+      crc = tb.t[0][crc & 0xFFu] ^ (crc >> 8);
+      tb.t[k][i] = crc;
+    }
+  }
+  return tb;
+}
+
+// Computed once at compile time; ~8KB of rodata.
+constexpr Tables kTables = make_tables();
+
+}  // namespace
+
+std::uint32_t crc32c(const void* data, std::size_t n, std::uint32_t seed) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::uint32_t crc = ~seed;
+  const auto& t = kTables.t;
+
+  // Align-free byte loop until an 8-byte chunk fits.
+  while (n >= 8) {
+    // Little-endian-independent: assemble the two words byte-by-byte so
+    // the checksum is identical on any host the file travels to.
+    const std::uint32_t lo = (std::uint32_t{p[0]}) | (std::uint32_t{p[1]} << 8) |
+                             (std::uint32_t{p[2]} << 16) |
+                             (std::uint32_t{p[3]} << 24);
+    const std::uint32_t hi = (std::uint32_t{p[4]}) | (std::uint32_t{p[5]} << 8) |
+                             (std::uint32_t{p[6]} << 16) |
+                             (std::uint32_t{p[7]} << 24);
+    const std::uint32_t x = crc ^ lo;
+    crc = t[7][x & 0xFFu] ^ t[6][(x >> 8) & 0xFFu] ^ t[5][(x >> 16) & 0xFFu] ^
+          t[4][(x >> 24) & 0xFFu] ^ t[3][hi & 0xFFu] ^
+          t[2][(hi >> 8) & 0xFFu] ^ t[1][(hi >> 16) & 0xFFu] ^
+          t[0][(hi >> 24) & 0xFFu];
+    p += 8;
+    n -= 8;
+  }
+  while (n-- > 0) crc = t[0][(crc ^ *p++) & 0xFFu] ^ (crc >> 8);
+  return ~crc;
+}
+
+}  // namespace tgp::dur

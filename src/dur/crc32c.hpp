@@ -1,0 +1,56 @@
+// CRC32C (Castagnoli) — the checksum behind every durability artifact.
+//
+// One polynomial everywhere: journal and snapshot records, cache-entry
+// integrity words, and the optional wire frame-checksum suffix all use
+// CRC32C, so a corrupt byte is detected the same way no matter which
+// layer it hits.  The implementation is the slicing-by-8 software
+// kernel (no SSE4.2 dependency — the files it guards may be read on a
+// different machine than the one that wrote them), processing eight
+// bytes per iteration at a few GB/s, far faster than the disk and
+// socket paths it protects.
+//
+// The incremental interface (Crc32c) lets callers fold in disjoint
+// fields — a cache key here, a cut vector there — without first
+// serializing them into one contiguous buffer.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <type_traits>
+
+namespace tgp::dur {
+
+/// CRC32C of `n` bytes, continuing from `seed` (pass a previous return
+/// value to extend a running checksum over split buffers).
+std::uint32_t crc32c(const void* data, std::size_t n, std::uint32_t seed = 0);
+
+inline std::uint32_t crc32c(std::span<const std::uint8_t> bytes,
+                            std::uint32_t seed = 0) {
+  return crc32c(bytes.data(), bytes.size(), seed);
+}
+
+/// Incremental CRC32C over heterogeneous fields.
+class Crc32c {
+ public:
+  Crc32c& update(const void* data, std::size_t n) {
+    crc_ = crc32c(data, n, crc_);
+    return *this;
+  }
+  Crc32c& update(std::span<const std::uint8_t> bytes) {
+    return update(bytes.data(), bytes.size());
+  }
+  template <typename T>
+  Crc32c& update_value(const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "CRC over a non-trivial type would hash padding garbage");
+    return update(&v, sizeof v);
+  }
+
+  std::uint32_t value() const { return crc_; }
+
+ private:
+  std::uint32_t crc_ = 0;
+};
+
+}  // namespace tgp::dur

@@ -1,0 +1,296 @@
+#include "dur/journal.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "dur/crc32c.hpp"
+#include "util/fault.hpp"
+
+namespace tgp::dur {
+namespace {
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+std::uint16_t load_u16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>(std::uint16_t{p[0]} |
+                                    (std::uint16_t{p[1]} << 8));
+}
+std::uint32_t load_u32(const std::uint8_t* p) {
+  return std::uint32_t{p[0]} | (std::uint32_t{p[1]} << 8) |
+         (std::uint32_t{p[2]} << 16) | (std::uint32_t{p[3]} << 24);
+}
+std::uint64_t load_u64(const std::uint8_t* p) {
+  return std::uint64_t{load_u32(p)} | (std::uint64_t{load_u32(p + 4)} << 32);
+}
+
+constexpr std::size_t kJournalHeaderBytes = 12;
+constexpr std::size_t kSnapshotHeaderBytes = 20;
+
+bool write_all(int fd, const std::uint8_t* p, std::size_t n) {
+  while (n > 0) {
+    const ssize_t w = ::write(fd, p, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += static_cast<std::size_t>(w);
+    n -= static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+// A fired fault site corrupts `bytes` the way a crash would: either the
+// tail never made it to disk (short write) or the medium flipped a bit.
+// The choice is derived from the payload CRC so a given record always
+// tears the same way — reproducible across runs of a seeded harness.
+void apply_torn_write(std::vector<std::uint8_t>& bytes, std::size_t min_keep) {
+  if (bytes.size() <= min_keep + 1) return;
+  const std::uint32_t crc = crc32c(bytes.data(), bytes.size());
+  if (crc & 1u) {
+    // Short write: keep the header plus roughly half of the rest.
+    const std::size_t keep = min_keep + (bytes.size() - min_keep) / 2;
+    bytes.resize(keep);
+  } else {
+    // Bit flip somewhere past the header.
+    const std::size_t pos = min_keep + crc % (bytes.size() - min_keep);
+    bytes[pos] ^= static_cast<std::uint8_t>(1u << ((crc >> 8) % 8));
+  }
+}
+
+}  // namespace
+
+void append_record(std::vector<std::uint8_t>& out,
+                   std::span<const std::uint8_t> payload) {
+  put_u32(out, static_cast<std::uint32_t>(payload.size()));
+  put_u32(out, crc32c(payload));
+  out.insert(out.end(), payload.begin(), payload.end());
+}
+
+std::size_t scan_records(std::span<const std::uint8_t> bytes, bool stale_epoch,
+                         bool verify_crc, LoadStats& stats,
+                         const RecordSink& sink) {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    if (bytes.size() - off < 8) {
+      ++stats.dropped_truncated;
+      break;
+    }
+    const std::uint32_t len = load_u32(bytes.data() + off);
+    const std::uint32_t want_crc = load_u32(bytes.data() + off + 4);
+    if (len > kMaxRecordBytes) {
+      // A length this large is a torn length word, not a real record.
+      ++stats.dropped_truncated;
+      break;
+    }
+    if (bytes.size() - off - 8 < len) {
+      ++stats.dropped_truncated;
+      break;
+    }
+    const std::span<const std::uint8_t> payload = bytes.subspan(off + 8, len);
+    if (verify_crc && crc32c(payload) != want_crc) {
+      // Nothing after a failed checksum can be trusted: the tear may
+      // have shifted framing, so the whole tail is discarded here.
+      ++stats.dropped_crc;
+      break;
+    }
+    if (stale_epoch) {
+      ++stats.dropped_stale_epoch;
+    } else {
+      ++stats.delivered;
+      if (sink) sink(payload);
+    }
+    off += 8 + len;
+  }
+  return off;
+}
+
+bool Journal::write_header(std::uint32_t epoch) {
+  std::vector<std::uint8_t> hdr;
+  hdr.reserve(kJournalHeaderBytes);
+  put_u32(hdr, kJournalMagic);
+  put_u16(hdr, kFormatVersion);
+  put_u16(hdr, 0);
+  put_u32(hdr, epoch);
+  if (::lseek(fd_, 0, SEEK_SET) < 0) return false;
+  if (::ftruncate(fd_, 0) != 0) return false;
+  if (!write_all(fd_, hdr.data(), hdr.size())) return false;
+  bytes_ = hdr.size();
+  return true;
+}
+
+bool Journal::open(const std::string& path, std::uint32_t epoch,
+                   bool verify_crc, LoadStats& stats, const RecordSink& sink) {
+  close();
+  path_ = path;
+  epoch_ = epoch;
+  fd_ = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (fd_ < 0) return false;
+
+  std::vector<std::uint8_t> buf;
+  if (!read_file(path, buf)) buf.clear();
+
+  bool fresh = true;
+  if (buf.size() >= kJournalHeaderBytes &&
+      load_u32(buf.data()) == kJournalMagic &&
+      load_u16(buf.data() + 4) == kFormatVersion) {
+    stats.present = true;
+    const std::uint32_t file_epoch = load_u32(buf.data() + 8);
+    const std::span<const std::uint8_t> records(
+        buf.data() + kJournalHeaderBytes, buf.size() - kJournalHeaderBytes);
+    if (file_epoch == epoch) {
+      const std::size_t good =
+          scan_records(records, /*stale_epoch=*/false, verify_crc, stats, sink);
+      // Reopen appending from the verified prefix: the torn tail (if
+      // any) is cut off so framing stays self-synchronized.
+      bytes_ = kJournalHeaderBytes + good;
+      if (bytes_ < buf.size() && ::ftruncate(fd_, static_cast<off_t>(bytes_)) != 0)
+        return false;
+      if (::lseek(fd_, static_cast<off_t>(bytes_), SEEK_SET) < 0) return false;
+      fresh = false;
+    } else {
+      // Stale epoch: count every parseable record as dropped, then
+      // start the file over under the new epoch.
+      scan_records(records, /*stale_epoch=*/true, /*verify_crc=*/true, stats,
+                   nullptr);
+    }
+  } else if (!buf.empty()) {
+    // A file too short to even hold its header is one torn record.
+    ++stats.dropped_truncated;
+  }
+  if (fresh && !write_header(epoch)) return false;
+  return true;
+}
+
+bool Journal::append(std::span<const std::uint8_t> payload) {
+  if (fd_ < 0) return false;
+  std::vector<std::uint8_t> rec;
+  rec.reserve(8 + payload.size());
+  append_record(rec, payload);
+  if (util::faults().fire("dur.journal.append")) {
+    // Model the crash-mid-append: the bytes that reach the file are
+    // torn, but the writer itself never learns — exactly like a
+    // SIGKILL after write() buffered the data and before it hit disk.
+    apply_torn_write(rec, /*min_keep=*/0);
+    write_all(fd_, rec.data(), rec.size());
+    bytes_ += rec.size();
+    return true;
+  }
+  if (!write_all(fd_, rec.data(), rec.size())) return false;
+  bytes_ += rec.size();
+  return true;
+}
+
+bool Journal::sync() {
+  if (fd_ < 0) return true;
+  return ::fsync(fd_) == 0;
+}
+
+bool Journal::reset() {
+  if (fd_ < 0) return false;
+  return write_header(epoch_);
+}
+
+void Journal::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  bytes_ = 0;
+}
+
+bool write_snapshot(const std::string& path, std::uint32_t epoch,
+                    const std::vector<std::vector<std::uint8_t>>& records) {
+  std::vector<std::uint8_t> buf;
+  buf.reserve(kSnapshotHeaderBytes);
+  put_u32(buf, kSnapshotMagic);
+  put_u16(buf, kFormatVersion);
+  put_u16(buf, 0);
+  put_u32(buf, epoch);
+  put_u64(buf, records.size());
+  for (const auto& r : records)
+    append_record(buf, std::span<const std::uint8_t>(r.data(), r.size()));
+
+  if (util::faults().fire("dur.snapshot.write"))
+    apply_torn_write(buf, kSnapshotHeaderBytes);
+
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                        0644);
+  if (fd < 0) return false;
+  const bool wrote = write_all(fd, buf.data(), buf.size()) && ::fsync(fd) == 0;
+  ::close(fd);
+  if (!wrote) {
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  // rename() is the commit point: readers see either the old snapshot
+  // or the new one in full, never a mix.
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+bool load_snapshot(const std::string& path, std::uint32_t epoch,
+                   LoadStats& stats, const RecordSink& sink) {
+  std::vector<std::uint8_t> buf;
+  if (!read_file(path, buf)) return true;  // absent snapshot is fine
+  if (buf.size() < kSnapshotHeaderBytes ||
+      load_u32(buf.data()) != kSnapshotMagic ||
+      load_u16(buf.data() + 4) != kFormatVersion) {
+    if (!buf.empty()) ++stats.dropped_truncated;
+    return true;
+  }
+  const std::uint32_t file_epoch = load_u32(buf.data() + 8);
+  const std::uint64_t declared = load_u64(buf.data() + 12);
+  const std::span<const std::uint8_t> records(buf.data() + kSnapshotHeaderBytes,
+                                              buf.size() - kSnapshotHeaderBytes);
+  LoadStats local;
+  local.present = true;
+  scan_records(records, /*stale_epoch=*/file_epoch != epoch,
+               /*verify_crc=*/true, local, sink);
+  // The header declares how many records were written; a tear hides an
+  // unknown number of them, but the declared count lets the drop
+  // accounting name it exactly.
+  if (local.delivered + local.dropped() < declared)
+    local.dropped_truncated += declared - local.delivered - local.dropped();
+  stats.merge(local);
+  return true;
+}
+
+bool read_file(const std::string& path, std::vector<std::uint8_t>& out) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return false;
+  out.clear();
+  std::uint8_t chunk[1 << 16];
+  for (;;) {
+    const ssize_t r = ::read(fd, chunk, sizeof chunk);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return false;
+    }
+    if (r == 0) break;
+    out.insert(out.end(), chunk, chunk + r);
+  }
+  ::close(fd);
+  return true;
+}
+
+}  // namespace tgp::dur

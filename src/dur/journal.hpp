@@ -1,0 +1,134 @@
+// Append-only journal + snapshot file formats for cache persistence.
+//
+// Both files share one record framing:
+//
+//     [len u32 LE][crc u32 LE][payload len bytes]
+//
+// where crc is CRC32C over the payload alone.  The record codec is
+// byte-oriented on purpose: this layer knows nothing about cache keys
+// or solver outcomes, so it can sit below svc in the link graph and be
+// reused for any payload the caller wants made durable.
+//
+// Journal header (12 bytes):   "TGPJ" | version u16 | reserved u16 | epoch u32
+// Snapshot header (20 bytes):  "TGPS" | version u16 | reserved u16 | epoch u32
+//                              | count u64
+//
+// The epoch versions the *payload encoding*: a loader whose epoch does
+// not match the file's drops every record (counted, not fatal), which
+// is what makes fingerprint-keyed cache entries safe across releases
+// that change the canonical encoding.
+//
+// Torn-write tolerance: loading truncates at the first record that does
+// not parse (short header, short payload, CRC mismatch).  Everything
+// before the tear is kept; the per-category drop counters account for
+// every record not delivered to the caller.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace tgp::dur {
+
+inline constexpr std::uint32_t kJournalMagic = 0x4A504754u;   // "TGPJ" LE
+inline constexpr std::uint32_t kSnapshotMagic = 0x53504754u;  // "TGPS" LE
+inline constexpr std::uint16_t kFormatVersion = 1;
+// A record length beyond this is treated as a torn length word rather
+// than an instruction to allocate gigabytes.
+inline constexpr std::uint32_t kMaxRecordBytes = 64u << 20;
+
+/// Per-category accounting for records that a load() did not deliver.
+struct LoadStats {
+  std::uint64_t delivered = 0;        ///< records handed to the sink
+  std::uint64_t dropped_crc = 0;      ///< checksum mismatch
+  std::uint64_t dropped_truncated = 0;///< short header/record at the tail
+  std::uint64_t dropped_stale_epoch = 0;  ///< parseable but wrong epoch
+  bool present = false;               ///< file existed and had a valid header
+
+  void merge(const LoadStats& o) {
+    delivered += o.delivered;
+    dropped_crc += o.dropped_crc;
+    dropped_truncated += o.dropped_truncated;
+    dropped_stale_epoch += o.dropped_stale_epoch;
+    present = present || o.present;
+  }
+  std::uint64_t dropped() const {
+    return dropped_crc + dropped_truncated + dropped_stale_epoch;
+  }
+};
+
+using RecordSink = std::function<void(std::span<const std::uint8_t>)>;
+
+/// Appends one framed record (len|crc|payload) to `out`.
+void append_record(std::vector<std::uint8_t>& out,
+                   std::span<const std::uint8_t> payload);
+
+/// Scans framed records from `bytes`, invoking `sink` per valid record.
+/// `verify_crc=false` (clean-shutdown fast path) still parses framing
+/// but skips the checksum pass.  Returns the byte offset just past the
+/// last good record — the truncation point for reopening an append fd.
+std::size_t scan_records(std::span<const std::uint8_t> bytes, bool stale_epoch,
+                         bool verify_crc, LoadStats& stats,
+                         const RecordSink& sink);
+
+/// Append-only journal file.  Not internally synchronized; the owning
+/// CacheStore serializes access.
+class Journal {
+ public:
+  /// Opens (creating if absent) `path` for appending with the given
+  /// epoch.  Replays existing records into `sink` first and truncates
+  /// the file at the first torn record so new appends continue from a
+  /// verified prefix.  A header with the wrong magic/version, or a
+  /// stale epoch, resets the file to a fresh header.
+  bool open(const std::string& path, std::uint32_t epoch, bool verify_crc,
+            LoadStats& stats, const RecordSink& sink);
+
+  /// Appends one record; returns false on I/O failure (fault-injected
+  /// short writes report success — they model a torn write that only
+  /// the next boot notices).
+  bool append(std::span<const std::uint8_t> payload);
+
+  /// fsync() the journal fd.  No-op when nothing is open.
+  bool sync();
+
+  /// Truncates to a fresh header (post-compaction).
+  bool reset();
+
+  void close();
+  bool is_open() const { return fd_ >= 0; }
+  std::uint64_t bytes() const { return bytes_; }
+  const std::string& path() const { return path_; }
+
+  ~Journal() { close(); }
+  Journal() = default;
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+
+ private:
+  bool write_header(std::uint32_t epoch);
+
+  int fd_ = -1;
+  std::string path_;
+  std::uint32_t epoch_ = 0;
+  std::uint64_t bytes_ = 0;  ///< current file size including header
+};
+
+/// Writes a snapshot atomically: tmp file → fsync → rename.  `records`
+/// are already-encoded payloads (not framed).  Returns false on any
+/// I/O failure; the destination is untouched in that case.
+bool write_snapshot(const std::string& path, std::uint32_t epoch,
+                    const std::vector<std::vector<std::uint8_t>>& records);
+
+/// Loads a snapshot, delivering each valid record to `sink`.  Missing
+/// file → stats.present=false, returns true (an empty cache dir is not
+/// an error).  Corrupt header → records all dropped as truncated.
+bool load_snapshot(const std::string& path, std::uint32_t epoch,
+                   LoadStats& stats, const RecordSink& sink);
+
+/// Reads an entire file into memory; returns false if it cannot be
+/// opened.  Exposed for tests that need to corrupt files surgically.
+bool read_file(const std::string& path, std::vector<std::uint8_t>& out);
+
+}  // namespace tgp::dur

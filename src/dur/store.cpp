@@ -1,0 +1,186 @@
+#include "dur/store.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <utility>
+
+#include "dur/crc32c.hpp"
+
+namespace tgp::dur {
+namespace {
+
+constexpr std::uint32_t kCleanMagic = 0x43504754u;  // "TGPC" LE
+constexpr std::size_t kCleanMarkerBytes = 20;
+
+void put_u32_at(std::uint8_t* p, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+void put_u64_at(std::uint8_t* p, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+std::uint32_t load_u32_at(const std::uint8_t* p) {
+  return std::uint32_t{p[0]} | (std::uint32_t{p[1]} << 8) |
+         (std::uint32_t{p[2]} << 16) | (std::uint32_t{p[3]} << 24);
+}
+std::uint64_t load_u64_at(const std::uint8_t* p) {
+  return std::uint64_t{load_u32_at(p)} |
+         (std::uint64_t{load_u32_at(p + 4)} << 32);
+}
+
+bool ensure_dir(const std::string& dir) {
+  if (dir.empty()) return false;
+  // Create each path segment; EEXIST at any level is success.
+  for (std::size_t i = 1; i <= dir.size(); ++i) {
+    if (i != dir.size() && dir[i] != '/') continue;
+    const std::string prefix = dir.substr(0, i);
+    if (::mkdir(prefix.c_str(), 0755) != 0 && errno != EEXIST) return false;
+  }
+  return true;
+}
+
+std::uint64_t file_size(const std::string& path) {
+  struct stat st{};
+  if (::stat(path.c_str(), &st) != 0) return 0;
+  return static_cast<std::uint64_t>(st.st_size);
+}
+
+}  // namespace
+
+CacheStore::CacheStore(Config config) : config_(std::move(config)) {}
+
+std::string CacheStore::path(const char* name) const {
+  return config_.dir + "/" + name;
+}
+
+bool CacheStore::read_clean_marker() const {
+  std::vector<std::uint8_t> buf;
+  if (!read_file(path("cache.clean"), buf)) return false;
+  if (buf.size() != kCleanMarkerBytes) return false;
+  if (load_u32_at(buf.data()) != kCleanMagic) return false;
+  if (load_u32_at(buf.data() + 4) != config_.epoch) return false;
+  if (crc32c(buf.data(), 16) != load_u32_at(buf.data() + 16)) return false;
+  // The marker binds to a specific journal length; any append after the
+  // flush (or a torn final flush) invalidates it.
+  return load_u64_at(buf.data() + 8) == file_size(path("cache.journal"));
+}
+
+bool CacheStore::load(const RecordSink& sink) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (loaded_) return false;
+  loaded_ = true;
+  if (!ensure_dir(config_.dir)) return false;
+
+  clean_start_ = read_clean_marker();
+  load_snapshot(path("cache.snapshot"), config_.epoch, load_stats_, sink);
+  const bool ok =
+      journal_.open(path("cache.journal"), config_.epoch,
+                    /*verify_crc=*/!clean_start_, load_stats_, sink);
+  // From here on the journal can grow past what the marker promised, so
+  // the marker must die: only flush_clean() re-creates it.
+  ::unlink(path("cache.clean").c_str());
+  stats_.journal_bytes = journal_.bytes();
+  return ok;
+}
+
+bool CacheStore::append(std::span<const std::uint8_t> payload) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!journal_.is_open()) return false;
+  const bool ok = journal_.append(payload) &&
+                  (!config_.fsync_each_append || journal_.sync());
+  if (ok) {
+    ++stats_.appends;
+    stats_.journal_bytes = journal_.bytes();
+  } else {
+    ++stats_.append_failures;
+  }
+  return ok;
+}
+
+bool CacheStore::wants_compaction() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return journal_.is_open() &&
+         journal_.bytes() > config_.compact_threshold_bytes;
+}
+
+bool CacheStore::compact(
+    const std::vector<std::vector<std::uint8_t>>& records) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return compact_locked(records);
+}
+
+bool CacheStore::compact_with(
+    const std::function<void(std::vector<std::vector<std::uint8_t>>&)>&
+        collect) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!journal_.is_open()) return false;
+  std::vector<std::vector<std::uint8_t>> records;
+  collect(records);
+  return compact_locked(records);
+}
+
+bool CacheStore::compact_locked(
+    const std::vector<std::vector<std::uint8_t>>& records) {
+  if (!journal_.is_open()) return false;
+  // Snapshot commits (rename) before the journal truncates, so a crash
+  // between the two replays journal records that are already in the
+  // snapshot — harmless under last-write-wins replay.
+  if (!write_snapshot(path("cache.snapshot"), config_.epoch, records))
+    return false;
+  if (!journal_.reset()) return false;
+  ++stats_.compactions;
+  stats_.journal_bytes = journal_.bytes();
+  return true;
+}
+
+void CacheStore::quarantine(std::span<const std::uint8_t> payload) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::uint8_t> rec;
+  rec.reserve(8 + payload.size());
+  append_record(rec, payload);
+  const int fd = ::open(path("quarantine.bin").c_str(),
+                        O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
+  if (fd < 0) return;
+  ssize_t n = 0;
+  std::size_t off = 0;
+  while (off < rec.size() &&
+         ((n = ::write(fd, rec.data() + off, rec.size() - off)) > 0 ||
+          errno == EINTR))
+    if (n > 0) off += static_cast<std::size_t>(n);
+  ::close(fd);
+  ++stats_.quarantined;
+}
+
+bool CacheStore::flush_clean() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!journal_.is_open()) return false;
+  if (!journal_.sync()) return false;
+  std::uint8_t buf[kCleanMarkerBytes];
+  put_u32_at(buf, kCleanMagic);
+  put_u32_at(buf + 4, config_.epoch);
+  put_u64_at(buf + 8, journal_.bytes());
+  put_u32_at(buf + 16, crc32c(buf, 16));
+  const std::string tmp = path("cache.clean.tmp");
+  const int fd =
+      ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) return false;
+  const bool wrote =
+      ::write(fd, buf, sizeof buf) == static_cast<ssize_t>(sizeof buf) &&
+      ::fsync(fd) == 0;
+  ::close(fd);
+  if (!wrote || ::rename(tmp.c_str(), path("cache.clean").c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+CacheStore::Stats CacheStore::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace tgp::dur

@@ -1,0 +1,103 @@
+// CacheStore — crash-safe persistence for opaque cache records.
+//
+// Layout inside the configured directory:
+//
+//   cache.snapshot    full state at last compaction (atomic tmp→rename)
+//   cache.journal     records appended since that snapshot
+//   cache.clean       clean-shutdown marker (absent after a crash)
+//   quarantine.bin    records that failed an integrity check at serve
+//                     time, framed like journal records, for postmortem
+//
+// Recovery replays the snapshot first, then the journal; the caller's
+// sink sees records in write order, so last-write-wins deduplication is
+// the caller's (one-pass) job.  The clean marker records the journal
+// length at shutdown: when it matches on boot, the loader skips the
+// per-record checksum pass (framing is still parsed).  The marker is
+// deleted the moment the journal reopens for append, so only an
+// explicit flush_clean() can mint one — a crash always boots into the
+// full verification path.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "dur/journal.hpp"
+
+namespace tgp::dur {
+
+class CacheStore {
+ public:
+  struct Config {
+    std::string dir;
+    std::uint32_t epoch = 1;
+    /// Journal size that makes wants_compaction() true.
+    std::uint64_t compact_threshold_bytes = 8ull << 20;
+    /// fsync the journal after every append (durability over latency).
+    bool fsync_each_append = false;
+  };
+
+  struct Stats {
+    std::uint64_t appends = 0;
+    std::uint64_t append_failures = 0;
+    std::uint64_t journal_bytes = 0;
+    std::uint64_t compactions = 0;
+    std::uint64_t quarantined = 0;
+  };
+
+  explicit CacheStore(Config config);
+
+  /// One-shot recovery; must precede append().  Creates the directory
+  /// if needed, replays snapshot then journal into `sink`, truncates
+  /// any torn journal tail, and leaves the journal open for append.
+  /// Returns false only when the directory or journal is unusable.
+  bool load(const RecordSink& sink);
+  const LoadStats& load_stats() const { return load_stats_; }
+  bool clean_start() const { return clean_start_; }
+
+  /// Appends one encoded record to the journal.  Thread-safe.
+  bool append(std::span<const std::uint8_t> payload);
+
+  bool wants_compaction() const;
+
+  /// Replaces the snapshot with `records` and truncates the journal.
+  /// `records` should be the caller's full current state.
+  bool compact(const std::vector<std::vector<std::uint8_t>>& records);
+
+  /// As compact(), but invokes `collect` to gather the records *while
+  /// appends are blocked*, so no record can land between the state
+  /// collection and the journal truncation (such a record would be in
+  /// neither the snapshot nor the journal).  `collect` must not call
+  /// back into this store.
+  bool compact_with(
+      const std::function<void(std::vector<std::vector<std::uint8_t>>&)>&
+          collect);
+
+  /// Appends a record that failed integrity checks to the quarantine
+  /// sidecar so the corrupt bytes survive for postmortem.
+  void quarantine(std::span<const std::uint8_t> payload);
+
+  /// Graceful-shutdown path: fsync the journal and write the clean
+  /// marker so the next boot can skip the torn-record scan.
+  bool flush_clean();
+
+  Stats stats() const;
+  const std::string& dir() const { return config_.dir; }
+
+ private:
+  std::string path(const char* name) const;
+  bool read_clean_marker() const;
+  bool compact_locked(const std::vector<std::vector<std::uint8_t>>& records);
+
+  Config config_;
+  mutable std::mutex mu_;
+  Journal journal_;
+  LoadStats load_stats_;
+  Stats stats_;
+  bool clean_start_ = false;
+  bool loaded_ = false;
+};
+
+}  // namespace tgp::dur

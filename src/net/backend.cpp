@@ -57,10 +57,15 @@ void Backend::on_frame(std::uint64_t conn, const FrameHeader& header,
 
 void Backend::handle_submit(std::uint64_t conn, const FrameHeader& header,
                             std::span<const std::uint8_t> payload) {
-  // Peel the trace-context block (if any) so the v1 decoder below sees a
-  // clean payload, and install it for the scope of the handling — the
-  // backend.submit span and everything the service records for this job
-  // then nest under the originating client request.
+  // Peel the v2 suffixes in LIFO order: checksum first (it was appended
+  // last and covers the trace block), then the trace-context block, so
+  // the v1 decoder below sees a clean payload.  The server already
+  // verified the checksum before dispatch; a mismatch here means this
+  // handler was reached without that screen (a test, an embedding) and
+  // the WireError maps to a reject upstream.
+  if (!split_frame_checksum(header, payload))
+    throw WireError("frame checksum mismatch: payload corrupted in transit");
+  const bool had_checksum = (header.flags & kFrameHasChecksum) != 0;
   std::optional<obs::TraceContext> ctx =
       split_trace_context(header, payload);
   obs::ContextScope trace_scope(ctx ? *ctx : obs::TraceContext{});
@@ -90,14 +95,17 @@ void Backend::handle_submit(std::uint64_t conn, const FrameHeader& header,
   const bool count_hit = classified || config_.shard_count <= 1;
   const obs::TraceContext result_ctx = ctx ? *ctx : obs::TraceContext{};
   auto on_complete = [this, server, conn, request_id, owned, count_hit,
-                      result_ctx](std::size_t,
-                                  const svc::JobResult& result) {
+                      result_ctx, had_checksum](std::size_t,
+                                                const svc::JobResult& result) {
     if (result.cache_hit && count_hit)
       (owned ? owned_cache_hits_ : foreign_cache_hits_).fetch_add(1);
     std::vector<std::uint8_t> frame = encode_result(result, request_id);
     // Echo the context so any hop that sees only the result frame (the
     // router's slow-log, a capture) can attribute it to the trace.
     append_trace_context(frame, result_ctx);
+    // Checksum negotiation is per request: a client that protected its
+    // submit gets a protected result (suffix order: trace, then crc).
+    if (had_checksum) append_frame_checksum(frame);
     server->send(conn, std::move(frame));
   };
 
@@ -138,6 +146,8 @@ void Backend::render_net_metrics(std::ostream& out) const {
               "Length prefixes over the payload cap", c.oversized_frames, l);
     w.counter("tgp_net_rejects_sent_total", "kReject frames sent",
               c.rejects_sent, l);
+    w.counter("tgp_net_checksum_failures_total",
+              "Frame-checksum suffix mismatches", c.checksum_failures, l);
     w.counter("tgp_net_http_requests_total", "Plain-HTTP requests served",
               c.http_requests, l);
   }

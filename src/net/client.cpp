@@ -331,6 +331,9 @@ std::vector<svc::JobResult> Client::run_batch(
       append_trace_context(e.frame, e.ctx);
       e.start_ns = obs::trace::now_ns();
     }
+    // Checksum goes on last so it covers the trace block too; every
+    // resubmit/hedge copy carries the same (still valid) suffix.
+    if (config_.checksum) append_frame_checksum(entries[i].frame);
   }
   exchange(entries, /*hedge=*/true);
 
@@ -366,9 +369,17 @@ std::vector<svc::JobResult> Client::run_batch(
   std::vector<svc::JobResult> results;
   results.reserve(entries.size());
   for (Entry& e : entries) {
-    // Traced backends echo the context on the result; peel it so the v1
-    // decoders see a clean payload.
+    // Peel the v2 suffixes the backend echoed, checksum first (it was
+    // appended last), then trace context, so the v1 decoders see a
+    // clean payload.  This is the end of the end-to-end integrity path:
+    // a mismatch here means the result bytes rotted somewhere between
+    // the backend's encoder and this process.
     std::span<const std::uint8_t> payload = e.payload;
+    if (!split_frame_checksum(e.header, payload)) {
+      ++stats_.checksum_failures;
+      throw WireError("result frame checksum mismatch: payload corrupted "
+                      "in transit");
+    }
     split_trace_context(e.header, payload);
     switch (e.header.type) {
       case FrameType::kResult:

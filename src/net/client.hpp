@@ -84,6 +84,10 @@ class Client {
     /// root span per request.  Requires obs tracing to be enabled to
     /// have any effect; leaves the wire bytes v1-identical when off.
     bool trace = false;
+    /// End-to-end integrity: append a CRC32C suffix to every submit
+    /// (append_frame_checksum) and verify the suffix the backend echoes
+    /// on the result.  Off: wire bytes stay v1-identical.
+    bool checksum = false;
   };
 
   struct Stats {
@@ -93,6 +97,7 @@ class Client {
     std::uint64_t hedge_wins = 0;        ///< hedge answered first
     std::uint64_t duplicates_dropped = 0;
     std::uint64_t timeouts = 0;          ///< io deadlines that fired
+    std::uint64_t checksum_failures = 0; ///< corrupt result frames seen
   };
 
   /// Connects immediately; throws SocketError on failure, WireError

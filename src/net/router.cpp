@@ -84,11 +84,16 @@ void Router::on_frame(std::uint64_t conn, const FrameHeader& header,
 
 void Router::handle_submit(std::uint64_t conn, const FrameHeader& header,
                            std::span<const std::uint8_t> payload) {
-  // Peel the trace-context suffix off a *copy* of the payload view so the
-  // v1 decoder sees clean bytes; the forwarded frame below is built from
-  // the original payload, so the context rides to the backend untouched
-  // (the fingerprint and router-id patches hit fixed v1 offsets).
+  // Peel the v2 suffixes off a *copy* of the payload view — checksum
+  // first (appended last), then trace context — so the v1 decoder sees
+  // clean bytes; the forwarded frame below is built from the original
+  // payload, so both suffixes ride to the backend untouched (the
+  // request-id patch is header-only, and the fingerprint patch refreshes
+  // the checksum itself).  The server already screened the checksum, so
+  // a mismatch here means an embedding skipped that screen.
   std::span<const std::uint8_t> body = payload;
+  if (!split_frame_checksum(header, body))
+    throw WireError("frame checksum mismatch: payload corrupted in transit");
   std::optional<obs::TraceContext> ctx = split_trace_context(header, body);
   obs::ContextScope trace_scope(ctx ? *ctx : obs::TraceContext{});
   TGP_SPAN("net", "router.submit");

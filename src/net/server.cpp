@@ -353,6 +353,28 @@ void Server::parse_frames(Conn& c) {
         view.subspan(kHeaderBytes, h.payload_len);
     c.in_off += kHeaderBytes + h.payload_len;
     ++counters_.frames_in;
+    if ((h.flags & kFrameHasChecksum) != 0) {
+      // Verify — but do not strip — the suffix: the handler may forward
+      // the payload verbatim (router) and the far end verifies again.
+      // The length prefix kept the stream in sync, so a corrupt frame
+      // is answered with a reject and the connection lives on.
+      std::span<const std::uint8_t> probe = payload;
+      bool intact = false;
+      try {
+        intact = split_frame_checksum(h, probe);
+      } catch (const WireError&) {
+        intact = false;  // flag set but suffix missing
+      }
+      if (!intact) {
+        ++counters_.checksum_failures;
+        send_reject(c, RejectCode::kMalformed,
+                    "frame checksum mismatch: payload corrupted in transit",
+                    h.request_id, /*close_after=*/false);
+        Conn* still = find(c.id);
+        if (still == nullptr || still->closing) return;
+        continue;
+      }
+    }
     try {
       TGP_SPAN("net", "frame");
       handler_.on_frame(c.id, h, payload);

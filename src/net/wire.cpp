@@ -4,6 +4,7 @@
 #include <limits>
 #include <utility>
 
+#include "dur/crc32c.hpp"
 #include "graph/chain.hpp"
 #include "graph/tree.hpp"
 #include "obs/counters.hpp"
@@ -190,11 +191,52 @@ obs::TraceContext peek_trace_context(std::span<const std::uint8_t> frame) {
   if (frame.size() < kHeaderBytes) return {};
   if ((frame[7] & kFrameHasTrace) == 0) return {};
   std::span<const std::uint8_t> payload = frame.subspan(kHeaderBytes);
+  // A checksum suffix sits *after* the trace block; skip it (without
+  // verifying — peeking must not fail on bytes a later hop will check).
+  if ((frame[7] & kFrameHasChecksum) != 0) {
+    if (payload.size() < kFrameChecksumBytes) return {};
+    payload = payload.first(payload.size() - kFrameChecksumBytes);
+  }
   if (payload.size() < kTraceContextBytes) return {};
   FrameHeader h;
-  h.flags = frame[7];
+  h.flags = static_cast<std::uint8_t>(frame[7] &
+                                      static_cast<std::uint8_t>(~kFrameHasChecksum));
   std::optional<obs::TraceContext> ctx = split_trace_context(h, payload);
   return ctx ? *ctx : obs::TraceContext{};
+}
+
+void append_frame_checksum(std::vector<std::uint8_t>& frame) {
+  if (frame.size() < kHeaderBytes)
+    throw WireError("frame too short to carry a checksum");
+  if ((frame[7] & kFrameHasChecksum) != 0)
+    throw WireError("frame already carries a checksum");
+  const std::uint32_t crc =
+      dur::crc32c(frame.data() + kHeaderBytes, frame.size() - kHeaderBytes);
+  put_u32(frame, crc);
+  const std::size_t payload = frame.size() - kHeaderBytes;
+  if (payload > std::numeric_limits<std::uint32_t>::max())
+    throw WireError("payload exceeds 4 GiB");
+  const std::uint32_t len = static_cast<std::uint32_t>(payload);
+  for (int i = 0; i < 4; ++i)
+    frame[16 + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(len >> (8 * i));
+  frame[7] |= kFrameHasChecksum;
+  // Promote the header: checksum suffixes are a v2 feature.
+  frame[4] = 2;
+  frame[5] = 0;
+}
+
+bool split_frame_checksum(const FrameHeader& header,
+                          std::span<const std::uint8_t>& payload) {
+  if ((header.flags & kFrameHasChecksum) == 0) return true;
+  if (payload.size() < kFrameChecksumBytes)
+    throw WireError("checksum flag set on a " +
+                    std::to_string(payload.size()) + " byte payload");
+  const std::size_t body = payload.size() - kFrameChecksumBytes;
+  const std::uint32_t want = load_u32(payload.data() + body);
+  if (dur::crc32c(payload.data(), body) != want) return false;
+  payload = payload.first(body);
+  return true;
 }
 
 namespace {
@@ -331,6 +373,18 @@ void patch_submit_fingerprint(std::span<std::uint8_t> frame,
   fp.store_le(bytes);
   std::memcpy(frame.data() + kHeaderBytes + kSubmitFingerprintOffset, bytes,
               sizeof bytes);
+  if ((frame[7] & kFrameHasChecksum) != 0) {
+    // The fingerprint patch is the one in-payload mutation the router
+    // makes; refresh the suffix so the backend's verification passes.
+    if (frame.size() < kHeaderBytes + kFrameChecksumBytes)
+      throw WireError("checksum flag set on a frame too short to hold it");
+    const std::size_t body =
+        frame.size() - kHeaderBytes - kFrameChecksumBytes;
+    const std::uint32_t crc = dur::crc32c(frame.data() + kHeaderBytes, body);
+    for (int i = 0; i < 4; ++i)
+      frame[kHeaderBytes + body + static_cast<std::size_t>(i)] =
+          static_cast<std::uint8_t>(crc >> (8 * i));
+  }
 }
 
 std::vector<std::uint8_t> encode_result(const svc::JobResult& r,

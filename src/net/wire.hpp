@@ -12,8 +12,9 @@
 //        4     2  version (kMinVersion..kVersion accepted; frames are
 //                 emitted as v1 unless they use a v2 feature)
 //        6     1  frame type (FrameType)
-//        7     1  flags (kFrameHasTrace: payload ends with a
-//                 trace-context block; other bits reserved 0)
+//        7     1  flags (kFrameHasTrace: payload carries a trace-context
+//                 block; kFrameHasChecksum: payload ends with a CRC32C
+//                 suffix; other bits reserved 0)
 //        8     8  request id — echoed verbatim in the response frame
 //       16     4  payload length in bytes
 //       20     …  payload
@@ -113,10 +114,19 @@ struct WireError : std::runtime_error {
 /// see append_trace_context / split_trace_context.  Only ever set on
 /// version >= 2 frames.
 constexpr std::uint8_t kFrameHasTrace = 1u << 0;
+/// The payload's last kFrameChecksumBytes are a CRC32C of every payload
+/// byte before them — see append_frame_checksum / split_frame_checksum.
+/// Appended *after* the trace block (suffixes strip in LIFO order), and
+/// only ever set on version >= 2 frames; a frame without it is
+/// byte-identical to a v1 frame, so checksumming is negotiated per
+/// frame exactly like tracing.
+constexpr std::uint8_t kFrameHasChecksum = 1u << 1;
 
 /// Wire size of a trace-context block: trace id (2×u64) + parent span id
 /// (u64) + sampled flag (u8).
 constexpr std::size_t kTraceContextBytes = 25;
+/// Wire size of the frame-checksum suffix (one u32).
+constexpr std::size_t kFrameChecksumBytes = 4;
 
 struct FrameHeader {
   std::uint32_t magic = kMagic;
@@ -254,8 +264,34 @@ std::optional<obs::TraceContext> split_trace_context(
 
 /// Read the trace context of a complete encoded frame (header +
 /// payload) without modifying it — the router's peek on the forward
-/// path.  Unsampled default when the frame carries none.
+/// path.  Unsampled default when the frame carries none.  Skips a
+/// trailing frame-checksum suffix when present.
 obs::TraceContext peek_trace_context(std::span<const std::uint8_t> frame);
+
+// ---- Frame checksum suffix (protocol v2) ----------------------------------
+//
+// End-to-end integrity: the sender appends a CRC32C over the payload
+// (header excluded, so the router's request-id rewrite at offset 8 is
+// checksum-neutral) and the final consumer verifies it.  Intermediate
+// hops forward the payload bytes verbatim, so a corruption anywhere on
+// the path — a bad NIC, a flipped bit in a router buffer — is caught at
+// the edge.  The router's single in-payload mutation (the fingerprint
+// patch) recomputes the suffix; see patch_submit_fingerprint.
+
+/// Append a checksum suffix to an already-encoded frame: grows the
+/// payload by kFrameChecksumBytes, sets kFrameHasChecksum, and promotes
+/// the header to version 2.  Call *after* append_trace_context so the
+/// checksum also covers the trace block.
+void append_frame_checksum(std::vector<std::uint8_t>& frame);
+
+/// If `header` says the payload carries a checksum suffix, verify and
+/// strip it (shrinking the span in place).  Returns false — with the
+/// span untouched — on a checksum mismatch; true otherwise (including
+/// the no-suffix case).  Call *before* split_trace_context.  Throws
+/// WireError when the flag is set but the payload is too short to hold
+/// the suffix.
+bool split_frame_checksum(const FrameHeader& header,
+                          std::span<const std::uint8_t>& payload);
 
 // ---- Submit frames --------------------------------------------------------
 
@@ -286,6 +322,8 @@ SubmitRequest decode_submit(std::span<const std::uint8_t> payload);
 /// Stamp `fp` into an encoded submit *frame* (header + payload) in place
 /// and set the has-fingerprint flag — the router routes on the canonical
 /// fingerprint and forwards the original bytes untouched otherwise.
+/// When the frame carries a checksum suffix, the suffix is recomputed
+/// so downstream verification still passes.
 void patch_submit_fingerprint(std::span<std::uint8_t> frame,
                               const graph::Fingerprint& fp);
 

@@ -96,6 +96,7 @@ struct NetCounters {
   std::uint64_t rejects_sent = 0;     ///< kReject frames emitted
   std::uint64_t http_requests = 0;    ///< plain-HTTP requests (/metrics)
   std::uint64_t ticks = 0;            ///< timer ticks delivered to the handler
+  std::uint64_t checksum_failures = 0;  ///< frame-checksum suffix mismatches
   std::uint64_t injected_sock_faults = 0;   ///< net.sock.* fired (fault inj.)
   std::uint64_t injected_frame_faults = 0;  ///< net.frame.* fired (fault inj.)
 
@@ -111,6 +112,7 @@ struct NetCounters {
     rejects_sent += o.rejects_sent;
     http_requests += o.http_requests;
     ticks += o.ticks;
+    checksum_failures += o.checksum_failures;
     injected_sock_faults += o.injected_sock_faults;
     injected_frame_faults += o.injected_frame_faults;
   }

@@ -16,6 +16,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -60,6 +61,15 @@ struct CacheStats {
   /// hit_rate() is unchanged by the split).
   std::uint64_t lookup_faults = 0;
   std::uint64_t store_faults = 0;
+  /// Puts refused because the entry exceeded the per-entry byte cap.
+  std::uint64_t put_rejected = 0;
+  /// Entries whose integrity word failed on read (served as a miss and
+  /// handed to the quarantine hook).
+  std::uint64_t corrupt = 0;
+  /// Entries loaded from durable storage at boot.
+  std::uint64_t recovered_entries = 0;
+  /// Hits served by a recovered entry (the warm-start payoff metric).
+  std::uint64_t warm_hits = 0;
   std::size_t entries = 0;
   std::size_t bytes = 0;
   std::size_t capacity_bytes = 0;
@@ -72,12 +82,29 @@ struct CacheStats {
   }
 };
 
+/// Per-hit provenance for callers that treat recovered entries
+/// differently (the service verifies them before first use).
+struct CacheHitInfo {
+  bool recovered = false;
+  bool needs_verify = false;
+};
+
 class MemoCache {
  public:
+  /// Called (outside any shard lock) with the bytes-corrupt entry when
+  /// an integrity check fails on read, so the bad payload can be
+  /// quarantined for postmortem before the entry is dropped.
+  using QuarantineFn =
+      std::function<void(const CacheKey&, const CanonicalOutcome&)>;
+
   /// `capacity_bytes` is the total budget across all shards; `shards`
   /// must be a power of two.  A zero budget disables storage (every get
   /// misses, puts are dropped) but still counts lookups.
-  explicit MemoCache(std::size_t capacity_bytes, int shards = 16);
+  /// `max_entry_bytes` caps a single entry's cost; 0 means "one whole
+  /// shard", the old implicit limit — but rejects are now counted
+  /// either way instead of silently skipped.
+  explicit MemoCache(std::size_t capacity_bytes, int shards = 16,
+                     std::size_t max_entry_bytes = 0);
 
   /// Look up; moves the entry to the shard's MRU position on hit.
   std::optional<CanonicalOutcome> get(const CacheKey& key);
@@ -91,8 +118,11 @@ class MemoCache {
   bool get_into(const CacheKey& key, CanonicalOutcome& out);
 
   /// Like get_into, but surfaces an injected lookup fault as kFault
-  /// instead of folding it into kMiss.
-  CacheLookup get_checked(const CacheKey& key, CanonicalOutcome& out);
+  /// instead of folding it into kMiss.  Every hit re-checks the entry's
+  /// CRC32C integrity word; a mismatch quarantines and erases the entry
+  /// and reads as kMiss.  `info` (optional) reports hit provenance.
+  CacheLookup get_checked(const CacheKey& key, CanonicalOutcome& out,
+                          CacheHitInfo* info = nullptr);
 
   /// Insert (or refresh) an entry, evicting LRU entries of the same shard
   /// until the shard fits its budget.  Takes the outcome by value so
@@ -106,6 +136,37 @@ class MemoCache {
   /// way, which is what lets the service retry a faulted store.
   bool put_checked(const CacheKey& key, const CanonicalOutcome& outcome);
 
+  /// Boot-time insert of an entry recovered from durable storage.  The
+  /// entry is flagged recovered (hits on it count as warm hits forever)
+  /// and needs_verify (the service independently verifies the cut on
+  /// first use, because a CRC only proves the bytes survived, not that
+  /// they encode a valid partition).  Bypasses fault injection — the
+  /// loader already filtered corrupt records.  Returns false when the
+  /// entry exceeded the per-entry cap (counted as put_rejected).
+  bool load_recovered(const CacheKey& key, CanonicalOutcome outcome);
+
+  /// Clears the needs_verify flag after a successful independent check.
+  void mark_verified(const CacheKey& key);
+
+  /// Drops an entry whose *decoded* content failed verification (CRC
+  /// fine, semantics wrong — e.g. a stale record from a buggy writer).
+  /// Returns whether the key was present.
+  bool quarantine_erase(const CacheKey& key);
+
+  /// Installs the corrupt-entry hook (invoked outside shard locks).
+  void set_quarantine(QuarantineFn fn) { quarantine_ = std::move(fn); }
+
+  /// Visits every entry under its shard lock: `fn(key, outcome)`.
+  /// Used by snapshot compaction; `fn` must not reenter the cache.
+  void for_each(
+      const std::function<void(const CacheKey&, const CanonicalOutcome&)>& fn)
+      const;
+
+  /// Test hook: flips one bit of the stored outcome without updating
+  /// the integrity word, so the next read detects corruption.  Returns
+  /// whether the key was present.
+  bool corrupt_for_test(const CacheKey& key);
+
   CacheStats stats() const;
 
   int shard_of(const CacheKey& key) const;
@@ -118,6 +179,9 @@ class MemoCache {
     CacheKey key;
     CanonicalOutcome outcome;
     std::size_t bytes = 0;
+    std::uint32_t crc = 0;      // CRC32C over key + outcome content
+    bool recovered = false;     // loaded from disk, not computed here
+    bool needs_verify = false;  // independent check pending
   };
   struct Shard {
     mutable std::mutex mu;
@@ -127,13 +191,18 @@ class MemoCache {
     std::size_t bytes = 0;
     std::uint64_t hits = 0, misses = 0, insertions = 0, evictions = 0;
     std::uint64_t lookup_faults = 0, store_faults = 0;
+    std::uint64_t put_rejected = 0, corrupt = 0;
+    std::uint64_t recovered_entries = 0, warm_hits = 0;
   };
 
   void put_impl(Shard& s, const CacheKey& key, CanonicalOutcome&& outcome,
-                std::size_t cost);
+                std::size_t cost, bool recovered, bool needs_verify);
+  std::size_t entry_cap() const;
 
   std::size_t shard_budget_ = 0;
+  std::size_t max_entry_bytes_ = 0;
   std::vector<std::unique_ptr<Shard>> shards_;
+  QuarantineFn quarantine_;
 };
 
 }  // namespace tgp::svc

@@ -120,6 +120,30 @@ std::string MetricsSnapshot::format() const {
      << cache.entries << " entries, " << cache.bytes << "/"
      << cache.capacity_bytes << " bytes, " << cache.evictions
      << " evictions\n";
+  if (cache.corrupt != 0 || cache.put_rejected != 0) {
+    os << "cache integrity: " << cache.corrupt << " corrupt entries dropped, "
+       << cache.put_rejected << " puts rejected (entry cap)\n";
+  }
+  if (durability.any()) {
+    os << "durability: "
+       << (durability.enabled ? (durability.clean_start ? "clean start"
+                                                        : "crash recovery")
+                              : "off")
+       << ", " << durability.recovered_entries << " recovered, "
+       << durability.warm_hits << " warm hits, dropped "
+       << durability.dropped_crc << " crc + " << durability.dropped_truncated
+       << " torn + " << durability.dropped_stale_epoch << " stale + "
+       << durability.dropped_malformed << " malformed, "
+       << durability.duplicates << " superseded\n"
+       << "journal: " << durability.journal_appends << " appends, "
+       << durability.journal_bytes << " bytes, " << durability.compactions
+       << " compactions, " << durability.append_failures << " failures, "
+       << durability.quarantined << " quarantined\n";
+    if (durability.verified_ok != 0 || durability.verify_failed != 0) {
+      os << "verifier: " << durability.verified_ok << " ok, "
+         << durability.verify_failed << " failed\n";
+    }
+  }
 
   util::Table t({"problem", "jobs", "mean us", "p50 us", "p90 us", "p99 us",
                  "max us"});
@@ -211,6 +235,14 @@ std::string MetricsSnapshot::render_prometheus() const {
             cache.lookup_faults);
   w.counter("tgp_cache_store_faults_total", "Cache stores that faulted",
             cache.store_faults);
+  w.counter("tgp_cache_put_rejected_total",
+            "Puts rejected by the per-entry byte cap", cache.put_rejected);
+  w.counter("tgp_cache_corrupt_total",
+            "Entries that failed their checksum at lookup (served as "
+            "misses, quarantined)",
+            cache.corrupt);
+  w.counter("tgp_cache_warm_hits_total",
+            "Hits served by recovery-loaded entries", cache.warm_hits);
   w.gauge("tgp_cache_entries", "Live memo cache entries",
           static_cast<double>(cache.entries));
   w.gauge("tgp_cache_bytes", "Memo cache bytes in use",
@@ -264,6 +296,44 @@ std::string MetricsSnapshot::render_prometheus() const {
             resilience.breaker.trips);
   w.counter("tgp_breaker_transitions_total", "All breaker state changes",
             resilience.breaker.transitions);
+
+  w.gauge("tgp_durability_enabled",
+          "Whether a crash-safe cache store is configured",
+          durability.enabled ? 1.0 : 0.0);
+  w.gauge("tgp_durability_clean_start",
+          "Whether the last boot found a valid clean-shutdown marker",
+          durability.clean_start ? 1.0 : 0.0);
+  w.counter("tgp_recovered_entries_total",
+            "Cache entries loaded from the snapshot+journal at boot",
+            durability.recovered_entries);
+  w.counter("tgp_recovery_dropped_total",
+            "Records dropped during recovery", durability.dropped_crc,
+            Labels{{"reason", "crc"}});
+  w.counter("tgp_recovery_dropped_total", "", durability.dropped_truncated,
+            Labels{{"reason", "truncated"}});
+  w.counter("tgp_recovery_dropped_total", "", durability.dropped_stale_epoch,
+            Labels{{"reason", "stale_epoch"}});
+  w.counter("tgp_recovery_dropped_total", "", durability.dropped_malformed,
+            Labels{{"reason", "malformed"}});
+  w.counter("tgp_recovery_duplicates_total",
+            "Recovered records superseded by a later write",
+            durability.duplicates);
+  w.counter("tgp_journal_appends_total", "Records appended to the journal",
+            durability.journal_appends);
+  w.counter("tgp_journal_append_failures_total",
+            "Journal appends that failed", durability.append_failures);
+  w.gauge("tgp_journal_bytes", "Current journal size",
+          static_cast<double>(durability.journal_bytes));
+  w.counter("tgp_compactions_total", "Snapshot compactions performed",
+            durability.compactions);
+  w.counter("tgp_quarantined_total",
+            "Corrupt records preserved in the quarantine sidecar",
+            durability.quarantined);
+  w.counter("tgp_verify_ok_total", "Results that passed the independent "
+            "verifier", durability.verified_ok);
+  w.counter("tgp_verify_failures_total",
+            "Results that failed the independent verifier",
+            durability.verify_failed);
 
   for (int p = 0; p < kProblemCount; ++p) {
     const obs::SolveCounters& c =
@@ -326,7 +396,28 @@ std::string MetricsSnapshot::render_json() const {
      << ",\"lookup_faults\":" << cache.lookup_faults
      << ",\"store_faults\":" << cache.store_faults
      << ",\"entries\":" << cache.entries << ",\"bytes\":" << cache.bytes
-     << ",\"capacity_bytes\":" << cache.capacity_bytes << "}";
+     << ",\"capacity_bytes\":" << cache.capacity_bytes
+     << ",\"put_rejected\":" << cache.put_rejected
+     << ",\"corrupt\":" << cache.corrupt
+     << ",\"recovered_entries\":" << cache.recovered_entries
+     << ",\"warm_hits\":" << cache.warm_hits << "}";
+  os << ",\"durability\":{\"enabled\":"
+     << (durability.enabled ? "true" : "false") << ",\"clean_start\":"
+     << (durability.clean_start ? "true" : "false")
+     << ",\"recovered_entries\":" << durability.recovered_entries
+     << ",\"warm_hits\":" << durability.warm_hits
+     << ",\"dropped_crc\":" << durability.dropped_crc
+     << ",\"dropped_truncated\":" << durability.dropped_truncated
+     << ",\"dropped_stale_epoch\":" << durability.dropped_stale_epoch
+     << ",\"dropped_malformed\":" << durability.dropped_malformed
+     << ",\"duplicates\":" << durability.duplicates
+     << ",\"journal_appends\":" << durability.journal_appends
+     << ",\"journal_bytes\":" << durability.journal_bytes
+     << ",\"append_failures\":" << durability.append_failures
+     << ",\"compactions\":" << durability.compactions
+     << ",\"quarantined\":" << durability.quarantined
+     << ",\"verified_ok\":" << durability.verified_ok
+     << ",\"verify_failed\":" << durability.verify_failed << "}";
   os << ",\"watchdog\":{\"ticks\":" << watchdog_ticks
      << ",\"deadline_cancels\":" << deadline_cancels
      << ",\"stuck_now\":" << stuck_workers_now

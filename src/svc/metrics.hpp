@@ -92,6 +92,35 @@ struct MetricsSnapshot {
   };
   ResilienceStats resilience;
 
+  /// Durable warm-start + integrity accounting (src/dur, core/verify).
+  /// All zero with persistence and verification off.
+  struct DurabilityStats {
+    bool enabled = false;      ///< a cache_dir is configured
+    bool clean_start = false;  ///< last boot found a valid clean marker
+    std::uint64_t recovered_entries = 0;  ///< loaded from snapshot+journal
+    std::uint64_t warm_hits = 0;          ///< hits served by those entries
+    // Recovery-time drop accounting (why records did not load).
+    std::uint64_t dropped_crc = 0;
+    std::uint64_t dropped_truncated = 0;
+    std::uint64_t dropped_stale_epoch = 0;
+    std::uint64_t dropped_malformed = 0;  ///< framed ok, undecodable payload
+    std::uint64_t duplicates = 0;         ///< superseded by a later record
+    // Steady-state store accounting.
+    std::uint64_t journal_appends = 0;
+    std::uint64_t journal_bytes = 0;
+    std::uint64_t append_failures = 0;
+    std::uint64_t compactions = 0;
+    std::uint64_t quarantined = 0;
+    // Independent-verifier outcomes (recovered hits + --verify solves).
+    std::uint64_t verified_ok = 0;
+    std::uint64_t verify_failed = 0;
+
+    bool any() const {
+      return enabled || verified_ok != 0 || verify_failed != 0;
+    }
+  };
+  DurabilityStats durability;
+
   std::array<LatencyHistogram, kProblemCount> latency_by_problem{};
 
   /// Time from submit to a worker dequeuing, all problems merged.

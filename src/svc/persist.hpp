@@ -1,0 +1,45 @@
+// Durable record codec for memo-cache entries.
+//
+// One journal/snapshot record = one (CacheKey, CanonicalOutcome) pair in
+// a fixed little-endian layout:
+//
+//   fingerprint lo u64 | hi u64 | problem u32 | k_bits u64
+//   | objective f64-bits u64 | components i32 | cut size u32
+//   | cut edges i32[] | solve counters u64[kCounterWords]
+//
+// The encoding is versioned by kCacheRecordEpoch, stamped into the
+// journal/snapshot headers by the CacheStore: bump it whenever this
+// layout (or the canonical-coordinates contract behind the fingerprint)
+// changes, and old files are dropped wholesale at load instead of being
+// misdecoded.  Record-level CRCs are the framing layer's job (src/dur);
+// decode here only has to defend against *semantic* garbage that
+// happens to checksum correctly — wrong sizes, absurd counts.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "svc/cache.hpp"
+#include "svc/job.hpp"
+
+namespace tgp::svc {
+
+/// Version of the record layout *and* of the fingerprint/canonical
+/// encoding it keys.  Mismatched epochs drop records at load.
+inline constexpr std::uint32_t kCacheRecordEpoch = 1;
+
+/// Serializes one cache entry into a fresh record payload.
+std::vector<std::uint8_t> encode_cache_record(const CacheKey& key,
+                                              const CanonicalOutcome& outcome);
+
+/// Appends the serialized entry to `out` (compaction reuses one buffer).
+void encode_cache_record(std::vector<std::uint8_t>& out, const CacheKey& key,
+                         const CanonicalOutcome& outcome);
+
+/// Decodes a record payload; returns false (outputs untouched or
+/// partially written but unused) on any structural mismatch.
+bool decode_cache_record(std::span<const std::uint8_t> payload, CacheKey& key,
+                         CanonicalOutcome& outcome);
+
+}  // namespace tgp::svc

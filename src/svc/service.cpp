@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <string>
+#include <unordered_map>
 #include <utility>
 
+#include "core/verify.hpp"
 #include "obs/trace.hpp"
+#include "svc/persist.hpp"
 #include "util/assert.hpp"
 #include "util/fault.hpp"
 #include "util/timer.hpp"
@@ -18,11 +21,38 @@ std::chrono::microseconds to_duration(double micros) {
       static_cast<std::int64_t>(micros < 0 ? 0 : micros));
 }
 
+// How the independent verifier should read CanonicalOutcome::objective
+// for each problem.  kPipeline gets the *bound* check: the solver
+// reports the bottleneck-stage threshold but returns a subset of that
+// stage's cut, whose own max edge may be strictly smaller.
+core::VerifyObjective verify_objective_for(Problem p) {
+  switch (p) {
+    case Problem::kBottleneck: return core::VerifyObjective::kBottleneck;
+    case Problem::kProcMin:    return core::VerifyObjective::kComponents;
+    case Problem::kBandwidth:  return core::VerifyObjective::kTotalWeight;
+    case Problem::kPipeline:   return core::VerifyObjective::kBottleneckBound;
+  }
+  return core::VerifyObjective::kTotalWeight;  // unreachable
+}
+
+core::CutCheck verify_canonical(Problem problem, const graph::Chain& chain,
+                                graph::Weight K, const CanonicalOutcome& o) {
+  return core::verify_chain_cut(chain, K, o.cut, verify_objective_for(problem),
+                                o.objective, o.components);
+}
+
+core::CutCheck verify_canonical(Problem problem, const graph::Tree& tree,
+                                graph::Weight K, const CanonicalOutcome& o) {
+  return core::verify_tree_cut(tree, K, o.cut, verify_objective_for(problem),
+                               o.objective, o.components);
+}
+
 }  // namespace
 
 PartitionService::PartitionService(ServiceConfig config)
     : config_(config),
-      cache_(config.cache_bytes, config.cache_shards),
+      cache_(config.cache_bytes, config.cache_shards,
+             config.max_entry_bytes),
       queue_(config.queue_capacity),
       bucket_(config.rate_limit_per_sec, config.rate_burst),
       breaker_(config.breaker) {
@@ -55,6 +85,10 @@ PartitionService::PartitionService(ServiceConfig config)
     solve_threads_ = config.oversubscribe_solves ? want
                                                  : std::min(want, budget);
   }
+  // Warm-start before any worker can race a probe: recovery happens on
+  // this thread, so the first job already sees the recovered entries.
+  if (!config_.cache_dir.empty() && config_.cache_bytes > 0)
+    recover_cache_store();
   worker_state_.reserve(static_cast<std::size_t>(threads));
   workers_.reserve(static_cast<std::size_t>(threads));
   for (int i = 0; i < threads; ++i) {
@@ -72,6 +106,69 @@ PartitionService::PartitionService(ServiceConfig config)
 }
 
 PartitionService::~PartitionService() { shutdown(); }
+
+void PartitionService::recover_cache_store() {
+  dur::CacheStore::Config sc;
+  sc.dir = config_.cache_dir;
+  sc.epoch = kCacheRecordEpoch;
+  sc.compact_threshold_bytes = config_.journal_compact_bytes;
+  sc.fsync_each_append = config_.durable_fsync;
+  store_ = std::make_unique<dur::CacheStore>(sc);
+  // Replay in file order into a map so the *last* record for a
+  // fingerprint wins — a re-solve after an eviction journals a fresh
+  // copy, and snapshot + journal may both carry the key.
+  std::unordered_map<CacheKey, CanonicalOutcome, CacheKeyHash> latest;
+  std::uint64_t decoded = 0;
+  store_->load([&](std::span<const std::uint8_t> record) {
+    CacheKey key;
+    CanonicalOutcome outcome;
+    if (!decode_cache_record(record, key, outcome)) {
+      recovery_malformed_.fetch_add(1);
+      return;
+    }
+    ++decoded;
+    latest[key] = std::move(outcome);
+  });
+  recovery_duplicates_.store(decoded - latest.size());
+  for (auto& [key, outcome] : latest)
+    cache_.load_recovered(key, std::move(outcome));
+  // Corrupt entries detected at hit time are preserved for post-mortem
+  // in the store's quarantine sidecar before being dropped.
+  cache_.set_quarantine([this](const CacheKey& key,
+                               const CanonicalOutcome& outcome) {
+    store_->quarantine(encode_cache_record(key, outcome));
+  });
+}
+
+void PartitionService::journal_store(WorkerState& state, const CacheKey& key,
+                                     const CanonicalOutcome& outcome) {
+  if (!store_) return;
+  TGP_SPAN("svc", "journal.append");
+  state.record_scratch.clear();
+  encode_cache_record(state.record_scratch, key, outcome);
+  store_->append(state.record_scratch);
+}
+
+bool PartitionService::compact_cache_store() {
+  if (!store_) return false;
+  TGP_SPAN("svc", "journal.compact");
+  // compact_with collects under the store lock: a concurrent solve's
+  // put+append pair either lands in the collected state or re-appends
+  // to the fresh journal — never in the truncated gap between.
+  return store_->compact_with(
+      [&](std::vector<std::vector<std::uint8_t>>& records) {
+        cache_.for_each(
+            [&](const CacheKey& key, const CanonicalOutcome& outcome) {
+              records.push_back(encode_cache_record(key, outcome));
+            });
+      });
+}
+
+std::size_t PartitionService::flush_durable() {
+  if (!store_) return 0;
+  if (!store_->flush_clean()) return 0;
+  return cache_.stats().entries;
+}
 
 std::int64_t PartitionService::now_micros() const {
   return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
@@ -231,6 +328,26 @@ MetricsSnapshot PartitionService::metrics() const {
   m.resilience.degraded_solves = degraded_solves_.load();
   m.resilience.breaker_enabled = config_.breaker.enabled;
   m.resilience.breaker = breaker_.stats();
+  m.durability.verified_ok = verified_ok_.load();
+  m.durability.verify_failed = verify_failed_.load();
+  if (store_) {
+    m.durability.enabled = true;
+    m.durability.clean_start = store_->clean_start();
+    m.durability.recovered_entries = m.cache.recovered_entries;
+    m.durability.warm_hits = m.cache.warm_hits;
+    const dur::LoadStats& ls = store_->load_stats();
+    m.durability.dropped_crc = ls.dropped_crc;
+    m.durability.dropped_truncated = ls.dropped_truncated;
+    m.durability.dropped_stale_epoch = ls.dropped_stale_epoch;
+    m.durability.dropped_malformed = recovery_malformed_.load();
+    m.durability.duplicates = recovery_duplicates_.load();
+    const dur::CacheStore::Stats ss = store_->stats();
+    m.durability.journal_appends = ss.appends;
+    m.durability.journal_bytes = ss.journal_bytes;
+    m.durability.append_failures = ss.append_failures;
+    m.durability.compactions = ss.compactions;
+    m.durability.quarantined = ss.quarantined;
+  }
   std::int64_t now = now_micros();
   for (const auto& ws : worker_state_) {
     std::int64_t busy = ws->busy_since_micros.load();
@@ -431,6 +548,11 @@ void PartitionService::watchdog_loop() {
     std::uint64_t peak = stuck_worker_peak_.load();
     while (stuck > peak && !stuck_worker_peak_.compare_exchange_weak(peak, stuck)) {
     }
+    // Fold an oversized journal into a fresh snapshot.  Piggybacking on
+    // the watchdog keeps compaction off the solve path; workers append
+    // concurrently and anything journaled mid-compaction simply replays
+    // on top of the snapshot at the next boot.
+    if (store_ && store_->wants_compaction()) compact_cache_store();
   }
 }
 
@@ -458,7 +580,8 @@ void PartitionService::backoff(WorkerState& state, int attempt) {
 }
 
 bool PartitionService::cache_probe(WorkerState& state, const CacheKey& key,
-                                   CanonicalOutcome& out) {
+                                   CanonicalOutcome& out,
+                                   CacheHitInfo* info) {
   if (config_.cache_bytes == 0) return false;
   const bool gated = config_.breaker.enabled;
   if (gated) {
@@ -476,7 +599,7 @@ bool PartitionService::cache_probe(WorkerState& state, const CacheKey& key,
   for (int a = 0; a < attempts; ++a) {
     if (a > 0) backoff(state, a);
     TGP_SPAN("svc", "cache.probe");
-    looked = cache_.get_checked(key, out);
+    looked = cache_.get_checked(key, out, info);
     if (looked != CacheLookup::kFault) break;
   }
   if (gated)
@@ -532,7 +655,28 @@ JobResult PartitionService::process(WorkerState& state, const JobSpec& spec,
                                     spec.problem, spec.K);
       // Degraded or not, the cache is probed first: a hit serves the
       // *optimal* cached payload and needs no degradation at all.
-      if (cache_probe(state, key, state.hit_scratch)) {
+      CacheHitInfo hit_info;
+      bool hit = cache_probe(state, key, state.hit_scratch, &hit_info);
+      if (hit && (hit_info.needs_verify || config_.verify_results)) {
+        // A recovery-loaded entry crossed a process boundary; re-check
+        // it with the independent verifier before serving.  A failure
+        // quarantines the entry and falls through to a fresh solve.
+        TGP_SPAN("svc", "verify");
+        core::CutCheck check =
+            verify_canonical(spec.problem, cc.chain, spec.K,
+                             state.hit_scratch);
+        if (check.ok) {
+          if (hit_info.needs_verify) cache_.mark_verified(key);
+          verified_ok_.fetch_add(1);
+        } else {
+          verify_failed_.fetch_add(1);
+          // quarantine_erase routes the entry through the quarantine
+          // hook, which lands the bytes in the store's sidecar.
+          cache_.quarantine_erase(key);
+          hit = false;
+        }
+      }
+      if (hit) {
         apply_outcome(r, state.hit_scratch, cc);
         r.cache_hit = true;
         return r;
@@ -545,6 +689,14 @@ JobResult PartitionService::process(WorkerState& state, const JobSpec& spec,
         return solve_canonical_chain(spec.problem, cc.chain, spec.K, cancel,
                                      &state.arena);
       }();
+      if (config_.verify_results) {
+        TGP_SPAN("svc", "verify");
+        core::CutCheck check =
+            verify_canonical(spec.problem, cc.chain, spec.K, o);
+        TGP_ENSURE(check.ok,
+                   "result verification failed: " + check.detail);
+        verified_ok_.fetch_add(1);
+      }
       apply_outcome(r, o, cc);
       if (fallback) {
         // The degraded cut is exact in objective but may differ from the
@@ -555,6 +707,7 @@ JobResult PartitionService::process(WorkerState& state, const JobSpec& spec,
         degraded_solves_.fetch_add(1);
       } else {
         cache_store(state, key, o);
+        journal_store(state, key, o);
       }
     } else {
       graph::CanonicalTree ct = [&] {
@@ -564,7 +717,23 @@ JobResult PartitionService::process(WorkerState& state, const JobSpec& spec,
       CacheKey key =
           CacheKey::make(graph::tree_fingerprint(ct.tree, &state.arena),
                          spec.problem, spec.K);
-      if (cache_probe(state, key, state.hit_scratch)) {
+      CacheHitInfo hit_info;
+      bool hit = cache_probe(state, key, state.hit_scratch, &hit_info);
+      if (hit && (hit_info.needs_verify || config_.verify_results)) {
+        TGP_SPAN("svc", "verify");
+        core::CutCheck check =
+            verify_canonical(spec.problem, ct.tree, spec.K,
+                             state.hit_scratch);
+        if (check.ok) {
+          if (hit_info.needs_verify) cache_.mark_verified(key);
+          verified_ok_.fetch_add(1);
+        } else {
+          verify_failed_.fetch_add(1);
+          cache_.quarantine_erase(key);
+          hit = false;
+        }
+      }
+      if (hit) {
         apply_outcome(r, state.hit_scratch, ct);
         r.cache_hit = true;
         return r;
@@ -574,8 +743,17 @@ JobResult PartitionService::process(WorkerState& state, const JobSpec& spec,
         return solve_canonical_tree(spec.problem, ct.tree, spec.K, cancel,
                                     &state.arena);
       }();
+      if (config_.verify_results) {
+        TGP_SPAN("svc", "verify");
+        core::CutCheck check =
+            verify_canonical(spec.problem, ct.tree, spec.K, o);
+        TGP_ENSURE(check.ok,
+                   "result verification failed: " + check.detail);
+        verified_ok_.fetch_add(1);
+      }
       apply_outcome(r, o, ct);
       cache_store(state, key, o);
+      journal_store(state, key, o);
     }
   } catch (...) {
     // The worker's catch-all boundary: any escape — solver contract

@@ -51,9 +51,11 @@
 #include <memory>
 #include <mutex>
 #include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "dur/store.hpp"
 #include "par/runtime.hpp"
 #include "svc/cache.hpp"
 #include "svc/job.hpp"
@@ -119,6 +121,31 @@ struct ServiceConfig {
   BreakerConfig breaker;
   /// Seeds the per-worker backoff-jitter streams.
   std::uint64_t resilience_seed = 0x7e5112e5;
+
+  // --- Durability & integrity (src/dur, core/verify) ------------------
+  // All off by default: an empty cache_dir keeps the service fully
+  // in-memory and byte-identical to the previous release.
+
+  /// Directory for the crash-safe cache store (snapshot + journal).
+  /// Non-empty (with cache_bytes > 0): recovered entries are loaded at
+  /// construction, every fresh solve is journaled, and corrupt entries
+  /// are quarantined to a sidecar.  Empty = persistence off.
+  std::string cache_dir;
+  /// Re-check every result — cache hits *and* fresh solves — with the
+  /// independent O(n) verifier (core/verify.hpp).  A cache hit that
+  /// fails verification is quarantined and re-solved; a fresh solve
+  /// that fails settles kInternalError.  Recovery-loaded entries are
+  /// verified on first hit even when this is off.
+  bool verify_results = false;
+  /// Per-entry byte cap for the memo cache (MemoCache ctor); oversized
+  /// outcomes are rejected at put and counted.  0 = one whole shard.
+  std::size_t max_entry_bytes = 0;
+  /// Journal size that triggers a background snapshot compaction from
+  /// the watchdog thread.  Only meaningful with a cache_dir.
+  std::size_t journal_compact_bytes = std::size_t{8} << 20;
+  /// fsync the journal after every append (durable against power loss,
+  /// not just process crash).  Costs one fsync per solve.
+  bool durable_fsync = false;
 };
 
 class PartitionService {
@@ -191,6 +218,18 @@ class PartitionService {
 
   int threads() const { return static_cast<int>(workers_.size()); }
 
+  /// Fold the journal into a fresh snapshot now (the watchdog does this
+  /// automatically past journal_compact_bytes).  Returns false when
+  /// persistence is off or the snapshot write failed.
+  bool compact_cache_store();
+
+  /// Graceful-shutdown flush: sync the journal and write the
+  /// clean-shutdown marker so the next boot skips the torn-record scan.
+  /// Returns the number of live cache entries made recoverable, or 0
+  /// when persistence is off.  Call after the last job has settled
+  /// (e.g. following shutdown_within).
+  std::size_t flush_durable();
+
  private:
   using Clock = util::CancelToken::Clock;
 
@@ -230,6 +269,8 @@ class PartitionService {
     /// Intra-solve worker team (null when the arbitrated width is 1);
     /// installed via par::TeamScope for the worker loop's lifetime.
     std::unique_ptr<par::Team> team;
+    /// Reused encode buffer for journal appends (one warm allocation).
+    std::vector<std::uint8_t> record_scratch;
   };
 
  public:
@@ -245,7 +286,7 @@ class PartitionService {
   /// Cache probe/store with the resilience layer applied: breaker gate,
   /// transient-fault retries with jittered backoff, fault accounting.
   bool cache_probe(WorkerState& state, const CacheKey& key,
-                   CanonicalOutcome& out);
+                   CanonicalOutcome& out, CacheHitInfo* info = nullptr);
   void cache_store(WorkerState& state, const CacheKey& key,
                    const CanonicalOutcome& outcome);
   void backoff(WorkerState& state, int attempt);
@@ -253,10 +294,18 @@ class PartitionService {
   void settle(std::size_t slot, JobResult r);
   void cancel_all_incomplete();
   std::int64_t now_micros() const;
+  /// Recover snapshot+journal records into the cache (constructor) and
+  /// install the quarantine hook.  Only called with a cache_dir.
+  void recover_cache_store();
+  /// Append one solved outcome to the journal (no-op without a store).
+  void journal_store(WorkerState& state, const CacheKey& key,
+                     const CanonicalOutcome& outcome);
 
   ServiceConfig config_;
   int solve_threads_ = 1;  // arbitrated intra-solve width
   MemoCache cache_;
+  /// Crash-safe persistence (null unless config_.cache_dir is set).
+  std::unique_ptr<dur::CacheStore> store_;
   BoundedQueue<QueuedJob> queue_;
   Clock::time_point epoch_ = Clock::now();
 
@@ -294,6 +343,12 @@ class PartitionService {
   std::atomic<std::uint64_t> retry_attempts_{0};
   std::atomic<std::uint64_t> cache_bypasses_{0};
   std::atomic<std::uint64_t> degraded_solves_{0};
+
+  // Integrity accounting (see MetricsSnapshot::durability).
+  std::atomic<std::uint64_t> verified_ok_{0};
+  std::atomic<std::uint64_t> verify_failed_{0};
+  std::atomic<std::uint64_t> recovery_malformed_{0};
+  std::atomic<std::uint64_t> recovery_duplicates_{0};
 };
 
 }  // namespace tgp::svc

@@ -1,0 +1,169 @@
+// The independent verifier (core/verify) certifies solver output without
+// sharing code with the solvers: structure, feasibility, component
+// count, and the claimed objective, per objective kind.
+#include "core/verify.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/chain.hpp"
+#include "graph/cutset.hpp"
+#include "graph/tree.hpp"
+
+namespace tgp::core {
+namespace {
+
+using graph::Chain;
+using graph::Cut;
+using graph::Tree;
+
+// Chain: vertices 2,3,1,4,2 (total 12), edges 5,1,7,2.
+Chain chain5() { return Chain{{2, 3, 1, 4, 2}, {5, 1, 7, 2}}; }
+
+// Tree rooted at 0: vertex weights 2,3,1,4; parent edges
+// e0=(1,0) w5, e1=(2,0) w2, e2=(3,1) w3.
+Tree tree4() {
+  return Tree::from_parents({2, 3, 1, 4}, {-1, 0, 0, 1}, {0, 5, 2, 3});
+}
+
+// --- structure -----------------------------------------------------------
+
+TEST(VerifyStructure, RejectsOutOfRangeEdge) {
+  const CutCheck low = verify_chain_cut(chain5(), 100, Cut{{-1}},
+                                        VerifyObjective::kBottleneck, 0, 2);
+  EXPECT_FALSE(low);
+  EXPECT_NE(low.detail.find("out of range"), std::string::npos);
+  EXPECT_FALSE(verify_chain_cut(chain5(), 100, Cut{{4}},
+                                VerifyObjective::kBottleneck, 0, 2));
+  EXPECT_FALSE(verify_tree_cut(tree4(), 100, Cut{{3}},
+                               VerifyObjective::kBottleneck, 0, 2));
+}
+
+TEST(VerifyStructure, RejectsDuplicateEdge) {
+  const CutCheck c = verify_chain_cut(chain5(), 100, Cut{{1, 1}},
+                                      VerifyObjective::kBottleneck, 1, 3);
+  EXPECT_FALSE(c);
+  EXPECT_NE(c.detail.find("twice"), std::string::npos);
+  EXPECT_FALSE(verify_tree_cut(tree4(), 100, Cut{{0, 2, 0}},
+                               VerifyObjective::kBottleneck, 5, 4));
+}
+
+// --- feasibility ---------------------------------------------------------
+
+TEST(VerifyFeasibility, RejectsOverweightComponent) {
+  // Cut {1} leaves components of weight 5 and 7: feasible at K=7,
+  // infeasible at K=6.
+  EXPECT_TRUE(verify_chain_cut(chain5(), 7, Cut{{1}},
+                               VerifyObjective::kBottleneck, 1, 2));
+  const CutCheck c = verify_chain_cut(chain5(), 6, Cut{{1}},
+                                      VerifyObjective::kBottleneck, 1, 2);
+  EXPECT_FALSE(c);
+  EXPECT_NE(c.detail.find("load bound"), std::string::npos);
+  // Tree cut {0} leaves components {1,3} w7 and {0,2} w3.
+  EXPECT_TRUE(verify_tree_cut(tree4(), 7, Cut{{0}},
+                              VerifyObjective::kBottleneck, 5, 2));
+  EXPECT_FALSE(verify_tree_cut(tree4(), 6, Cut{{0}},
+                               VerifyObjective::kBottleneck, 5, 2));
+}
+
+// --- component count -----------------------------------------------------
+
+TEST(VerifyComponents, CountMustEqualCutSizePlusOne) {
+  EXPECT_FALSE(verify_chain_cut(chain5(), 7, Cut{{1}},
+                                VerifyObjective::kBottleneck, 1, 3));
+  EXPECT_FALSE(verify_tree_cut(tree4(), 7, Cut{{0}},
+                               VerifyObjective::kBottleneck, 5, 1));
+  // Empty cut → one component (needs K ≥ total weight to be feasible).
+  EXPECT_TRUE(verify_chain_cut(chain5(), 12, Cut{},
+                               VerifyObjective::kBottleneck, 0, 1));
+  EXPECT_FALSE(verify_chain_cut(chain5(), 12, Cut{},
+                                VerifyObjective::kBottleneck, 0, 2));
+}
+
+// --- objective: bottleneck (exact) ---------------------------------------
+
+TEST(VerifyBottleneck, ExactMatchRequired) {
+  // Cut {0, 2}: components 2, 4, 6 (K=6); max cut edge = max(5,7) = 7.
+  EXPECT_TRUE(verify_chain_cut(chain5(), 6, Cut{{0, 2}},
+                               VerifyObjective::kBottleneck, 7, 3));
+  const CutCheck c = verify_chain_cut(chain5(), 6, Cut{{0, 2}},
+                                      VerifyObjective::kBottleneck, 5, 3);
+  EXPECT_FALSE(c);
+  EXPECT_NE(c.detail.find("bottleneck"), std::string::npos);
+  EXPECT_TRUE(verify_tree_cut(tree4(), 7, Cut{{0}},
+                              VerifyObjective::kBottleneck, 5, 2));
+  EXPECT_FALSE(verify_tree_cut(tree4(), 7, Cut{{0}},
+                               VerifyObjective::kBottleneck, 4, 2));
+}
+
+// --- objective: bottleneck bound (pipeline) ------------------------------
+
+TEST(VerifyBottleneckBound, AcceptsAnyUpperBound) {
+  // The §2.2 pipeline reports the bottleneck-stage threshold but returns
+  // a subset of that stage's cut — the subset's own max may be smaller.
+  EXPECT_TRUE(verify_tree_cut(tree4(), 7, Cut{{0}},
+                              VerifyObjective::kBottleneckBound, 5, 2));
+  EXPECT_TRUE(verify_tree_cut(tree4(), 7, Cut{{0}},
+                              VerifyObjective::kBottleneckBound, 9, 2));
+  const CutCheck c = verify_tree_cut(tree4(), 7, Cut{{0}},
+                                     VerifyObjective::kBottleneckBound, 4, 2);
+  EXPECT_FALSE(c);
+  EXPECT_NE(c.detail.find("bound"), std::string::npos);
+}
+
+// --- objective: component count ------------------------------------------
+
+TEST(VerifyComponentObjective, ValueMustEqualComponentCount) {
+  EXPECT_TRUE(verify_chain_cut(chain5(), 7, Cut{{1}},
+                               VerifyObjective::kComponents, 2, 2));
+  const CutCheck c = verify_chain_cut(chain5(), 7, Cut{{1}},
+                                      VerifyObjective::kComponents, 3, 2);
+  EXPECT_FALSE(c);
+  EXPECT_TRUE(verify_tree_cut(tree4(), 7, Cut{{0}},
+                              VerifyObjective::kComponents, 2, 2));
+}
+
+// --- objective: total weight ---------------------------------------------
+
+TEST(VerifyTotalWeight, RecomputedSumWithTolerance) {
+  // Cut {0, 2}: weight 5 + 7 = 12.
+  EXPECT_TRUE(verify_chain_cut(chain5(), 6, Cut{{0, 2}},
+                               VerifyObjective::kTotalWeight, 12.0, 3));
+  // FP jitter well inside the 1e-9 relative tolerance still passes.
+  EXPECT_TRUE(verify_chain_cut(chain5(), 6, Cut{{0, 2}},
+                               VerifyObjective::kTotalWeight,
+                               12.0 * (1.0 + 1e-12), 3));
+  const CutCheck c = verify_chain_cut(chain5(), 6, Cut{{0, 2}},
+                                      VerifyObjective::kTotalWeight, 11.0, 3);
+  EXPECT_FALSE(c);
+  EXPECT_NE(c.detail.find("total-weight"), std::string::npos);
+  // Tree cut {0, 2}: weight 5 + 3 = 8, components 4, 3, 2+1 (K=4).
+  EXPECT_TRUE(verify_tree_cut(tree4(), 4, Cut{{0, 2}},
+                              VerifyObjective::kTotalWeight, 8.0, 3));
+  EXPECT_FALSE(verify_tree_cut(tree4(), 4, Cut{{0, 2}},
+                               VerifyObjective::kTotalWeight, 7.0, 3));
+}
+
+TEST(VerifyTotalWeight, EmptyCutHasZeroWeight) {
+  EXPECT_TRUE(verify_chain_cut(chain5(), 12, Cut{},
+                               VerifyObjective::kTotalWeight, 0.0, 1));
+}
+
+// --- a corrupted-cache shaped failure ------------------------------------
+
+TEST(Verify, BitFlippedObjectiveOrCutIsCaught) {
+  // The recovery path feeds the verifier entries whose CRC passed but
+  // whose semantics may predate a solver fix: both a perturbed objective
+  // and a perturbed cut must be rejected.
+  const Chain c = chain5();
+  EXPECT_TRUE(verify_chain_cut(c, 7, Cut{{1}},
+                               VerifyObjective::kBottleneck, 1, 2));
+  EXPECT_FALSE(verify_chain_cut(c, 7, Cut{{1}},
+                                VerifyObjective::kBottleneck, 2, 2));
+  // Cut index flipped 1 → 2: component {0,1,2} w6 and {3,4} w6 stay
+  // feasible at K=7, but the objective no longer matches.
+  EXPECT_FALSE(verify_chain_cut(c, 7, Cut{{2}},
+                                VerifyObjective::kBottleneck, 1, 2));
+}
+
+}  // namespace
+}  // namespace tgp::core

@@ -172,6 +172,105 @@ TEST(MemoCache, RelabeledTreeHitsSameEntry) {
   EXPECT_EQ(cache.stats().entries, 1u);
 }
 
+// --- integrity: entry CRCs, the per-entry cap, recovered entries ---------
+
+TEST(MemoCache, PerEntryCapRejectsOversizedPuts) {
+  // The cap must cover the fixed Entry overhead plus a small cut, but
+  // not the 10k-edge cut below.
+  MemoCache cache(1 << 20, 1, /*max_entry_bytes=*/1024);
+  CacheKey small = CacheKey::make(fp(1, 1), Problem::kBandwidth, 1.0);
+  cache.put(small, outcome(1));
+  EXPECT_TRUE(cache.get(small).has_value());
+
+  CanonicalOutcome big;
+  big.cut.edges.assign(10'000, 0);
+  for (int i = 0; i < 10'000; ++i) big.cut.edges[static_cast<size_t>(i)] = i;
+  CacheKey k = CacheKey::make(fp(1, 2), Problem::kBandwidth, 1.0);
+  cache.put(k, big);
+  EXPECT_FALSE(cache.get(k).has_value()) << "oversized entry must not land";
+  CacheStats s = cache.stats();
+  EXPECT_EQ(s.put_rejected, 1u);
+  EXPECT_EQ(s.entries, 1u) << "the small entry is unaffected";
+  // A zero cap means "whole-shard budget only", not "reject everything".
+  MemoCache uncapped(1 << 20, 1, 0);
+  uncapped.put(k, big);
+  EXPECT_TRUE(uncapped.get(k).has_value());
+}
+
+TEST(MemoCache, CorruptEntryReadsAsMissAndIsQuarantined) {
+  MemoCache cache(1 << 20, 1);
+  CacheKey k = CacheKey::make(fp(5, 5), Problem::kBottleneck, 3.0);
+  cache.put(k, outcome(9));
+
+  int quarantined = 0;
+  cache.set_quarantine([&](const CacheKey& qk, const CanonicalOutcome&) {
+    ++quarantined;
+    EXPECT_EQ(qk, k);
+  });
+  ASSERT_TRUE(cache.corrupt_for_test(k));
+
+  CanonicalOutcome out;
+  EXPECT_EQ(cache.get_checked(k, out), CacheLookup::kMiss);
+  EXPECT_EQ(quarantined, 1);
+  CacheStats s = cache.stats();
+  EXPECT_EQ(s.corrupt, 1u);
+  EXPECT_EQ(s.entries, 0u) << "the corrupt entry must be erased";
+  // The slot is usable again.
+  cache.put(k, outcome(10));
+  EXPECT_EQ(cache.get_checked(k, out), CacheLookup::kHit);
+  EXPECT_EQ(out.cut.edges, std::vector<int>{10});
+}
+
+TEST(MemoCache, RecoveredEntriesCarryProvenanceUntilVerified) {
+  MemoCache cache(1 << 20, 1);
+  CacheKey k = CacheKey::make(fp(6, 6), Problem::kPipeline, 2.0);
+  ASSERT_TRUE(cache.load_recovered(k, outcome(3)));
+  EXPECT_EQ(cache.stats().recovered_entries, 1u);
+
+  CanonicalOutcome out;
+  CacheHitInfo info;
+  ASSERT_EQ(cache.get_checked(k, out, &info), CacheLookup::kHit);
+  EXPECT_TRUE(info.recovered);
+  EXPECT_TRUE(info.needs_verify) << "first recovered hit must be verified";
+  EXPECT_EQ(cache.stats().warm_hits, 1u);
+
+  cache.mark_verified(k);
+  ASSERT_EQ(cache.get_checked(k, out, &info), CacheLookup::kHit);
+  EXPECT_TRUE(info.recovered) << "provenance survives verification";
+  EXPECT_FALSE(info.needs_verify);
+  EXPECT_EQ(cache.stats().warm_hits, 2u) << "warm hits keep counting";
+
+  // A fresh put is neither recovered nor in need of verification.
+  CacheKey k2 = CacheKey::make(fp(6, 7), Problem::kPipeline, 2.0);
+  cache.put(k2, outcome(4));
+  ASSERT_EQ(cache.get_checked(k2, out, &info), CacheLookup::kHit);
+  EXPECT_FALSE(info.recovered);
+  EXPECT_FALSE(info.needs_verify);
+  EXPECT_EQ(cache.stats().warm_hits, 2u);
+}
+
+TEST(MemoCache, QuarantineEraseDropsTheEntry) {
+  MemoCache cache(1 << 20, 1);
+  CacheKey k = CacheKey::make(fp(7, 7), Problem::kProcMin, 4.0);
+  ASSERT_TRUE(cache.load_recovered(k, outcome(5)));
+  cache.quarantine_erase(k);
+  EXPECT_FALSE(cache.get(k).has_value());
+  EXPECT_EQ(cache.stats().entries, 0u);
+  // Erasing a missing key is a no-op, not an error.
+  cache.quarantine_erase(k);
+}
+
+TEST(MemoCache, ForEachVisitsEveryEntry) {
+  MemoCache cache(1 << 20, 4);
+  for (int i = 0; i < 20; ++i)
+    cache.put(CacheKey::make(fp(8, static_cast<std::uint64_t>(i)),
+                             Problem::kBandwidth, 1.0),
+              outcome(i));
+  int seen = 0;
+  cache.for_each([&](const CacheKey&, const CanonicalOutcome&) { ++seen; });
+  EXPECT_EQ(seen, 20);
+}
+
 TEST(MemoCache, DistinctGraphsGetDistinctEntries) {
   util::Pcg32 rng(79, 5);
   MemoCache cache(std::size_t{1} << 22, 4);

@@ -24,7 +24,7 @@ std::string client_tool_help() {
       "                  [--seed S] [--dup-frac F] [--deadline-us D]\n"
       "                  [--tenant T] [--no-results] [--log-level LEVEL]\n"
       "                  [--connect-timeout-ms MS] [--timeout-ms MS]\n"
-      "                  [--reconnect N] [--hedge-ms MS]\n"
+      "                  [--reconnect N] [--hedge-ms MS] [--checksum]\n"
       "                  [--trace-out FILE] [--trace-buf N] [--clock-sync]\n"
       "\n"
       "Submits the same workloads as tgp_serve (same --jobs file format,\n"
@@ -54,6 +54,10 @@ std::string client_tool_help() {
       "                       or timeout, re-sending unanswered submits\n"
       "  --hedge-ms MS        duplicate a submit still unanswered after\n"
       "                       MS ms under a fresh id; first answer wins\n"
+      "  --checksum           end-to-end integrity: append a CRC32C\n"
+      "                       suffix to every submit and verify the one\n"
+      "                       the backend echoes on the result (corrupt\n"
+      "                       frames fail loudly instead of silently)\n"
       "\n"
       "Distributed tracing:\n"
       "  --trace-out FILE     stamp a sampled trace context onto every\n"
@@ -88,6 +92,7 @@ int run_client_tool(const std::vector<std::string>& args, std::ostream& out,
         .describe("timeout-ms", "io-silence deadline")
         .describe("reconnect", "re-dial budget on transport failure")
         .describe("hedge-ms", "hedge unanswered submits after this long")
+        .describe("checksum", "CRC32C-protect every frame end to end")
         .describe("trace-out", "trace every submit, write Chrome JSON here")
         .describe("trace-buf", "trace ring size in events")
         .describe("clock-sync", "print the server clock-offset estimate");
@@ -123,6 +128,7 @@ int run_client_tool(const std::vector<std::string>& args, std::ostream& out,
     cc.reconnect_attempts = static_cast<int>(parser.get_int("reconnect", 0));
     cc.hedge_after_ms = static_cast<int>(parser.get_int("hedge-ms", 0));
     cc.seed = static_cast<std::uint64_t>(parser.get_int("seed", 42));
+    cc.checksum = parser.get_bool("checksum", false);
 
     const std::string trace_path = parser.get("trace-out", "");
     cc.trace = !trace_path.empty();

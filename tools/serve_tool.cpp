@@ -371,6 +371,7 @@ std::string serve_tool_help() {
       "                 [--dup-frac F] [--deadline-us D] [--no-results]\n"
       "                 [--max-inflight N] [--rate-limit R] [--retry N]\n"
       "                 [--degrade-watermark W] [--breaker]\n"
+      "                 [--cache-dir DIR] [--verify]\n"
       "                 [--trace-out FILE] [--trace-buf N]\n"
       "                 [--metrics-out FILE] [--metrics-format FMT]\n"
       "                 [--stats-interval-ms MS] [--log-level LEVEL]\n"
@@ -418,6 +419,13 @@ std::string serve_tool_help() {
       "                        fall back to the degraded O(n) solver\n"
       "                        (0 = off); such rows show 'degraded'\n"
       "  --breaker             enable the cache circuit breaker\n"
+      "  --cache-dir DIR       persist the memo cache in DIR (checksummed\n"
+      "                        snapshot + journal): a later run over the\n"
+      "                        same directory starts warm, and a crashed\n"
+      "                        run recovers every record that survived\n"
+      "  --verify              independently re-check every result with\n"
+      "                        the O(n) verifier (failures quarantine the\n"
+      "                        cached entry / fail the job)\n"
       "  --trace-out FILE      record spans, write Chrome trace JSON\n"
       "                        (open in chrome://tracing or Perfetto)\n"
       "  --trace-buf N         trace ring size in events/thread (default\n"
@@ -453,6 +461,8 @@ int run_serve_tool(const std::vector<std::string>& args, std::ostream& out,
         .describe("retry", "attempts per transient cache fault")
         .describe("degrade-watermark", "queue depth triggering degraded mode")
         .describe("breaker", "enable the cache circuit breaker")
+        .describe("cache-dir", "persist the cache here across runs")
+        .describe("verify", "independently re-check every result")
         .describe("trace-out", "write Chrome trace JSON to FILE")
         .describe("trace-buf", "trace ring size in events per thread")
         .describe("metrics-out", "write the metrics snapshot to FILE")
@@ -534,6 +544,8 @@ int run_serve_tool(const std::vector<std::string>& args, std::ostream& out,
     config.degrade_watermark =
         static_cast<std::size_t>(parser.get_int("degrade-watermark", 0));
     config.breaker.enabled = parser.get_bool("breaker", false);
+    config.cache_dir = parser.get("cache-dir", "");
+    config.verify_results = parser.get_bool("verify", false);
 
     double deadline_us = parser.get_double("deadline-us", 0);
     if (deadline_us > 0)
@@ -572,6 +584,14 @@ int run_serve_tool(const std::vector<std::string>& args, std::ostream& out,
 
     if (!parser.get_bool("no-results", false))
       out << render_results_table(echo, results);
+
+    if (!config.cache_dir.empty()) {
+      // The batch is idle (run_batch waited), so the journal is final:
+      // flush it and mint the clean marker for the next warm start.
+      const std::size_t flushed = service.flush_durable();
+      err << "durable: flushed " << flushed << " entries to "
+          << config.cache_dir << "\n";
+    }
 
     svc::MetricsSnapshot m = service.metrics();
     err << m.format();

@@ -196,6 +196,8 @@ std::string served_tool_help() {
       "                  [--cache-mb M] [--queue-cap C]\n"
       "                  [--max-inflight N] [--rate-limit R] [--retry N]\n"
       "                  [--degrade-watermark W] [--breaker]\n"
+      "                  [--cache-dir DIR] [--cache-compact-mb M]\n"
+      "                  [--durable-fsync] [--verify]\n"
       "                  [--shard-index I --shard-count N]\n"
       "          router:  --route HOST:PORT[,HOST:PORT...]\n"
       "                  [--tenant-rate R] [--tenant-burst B]\n"
@@ -231,6 +233,14 @@ std::string served_tool_help() {
       "in-flight work to the ring successor, reconnecting after\n"
       "--down-cooldown-ms and draining the shard back in once\n"
       "--recover-probes probes answer.\n"
+      "\n"
+      "--cache-dir makes the memo cache survive restarts: entries are\n"
+      "journaled as they are solved (checksummed, crash-safe), recovered\n"
+      "on the next boot from the same directory, and re-verified by the\n"
+      "independent checker on first hit.  SIGTERM flushes a clean-\n"
+      "shutdown marker so the next boot skips the torn-record scan; a\n"
+      "SIGKILL only costs the torn tail of the journal.  --verify runs\n"
+      "the O(n) checker on every result (hits and fresh solves).\n"
       "\n"
       "--fault-rate arms the deterministic fault injector (seeded by\n"
       "--fault-seed) across every site; --fault-sites overrides per-site\n"
@@ -269,6 +279,10 @@ int run_served_tool(const std::vector<std::string>& args, std::ostream& out,
         .describe("retry", "attempts per transient cache fault")
         .describe("degrade-watermark", "queue depth triggering degraded mode")
         .describe("breaker", "enable the cache circuit breaker")
+        .describe("cache-dir", "persist the cache here across restarts")
+        .describe("cache-compact-mb", "journal size triggering compaction")
+        .describe("durable-fsync", "fsync the journal on every append")
+        .describe("verify", "independently re-check every result")
         .describe("shard-index", "this backend's ring position")
         .describe("shard-count", "fleet size for ownership accounting")
         .describe("route", "router mode: backend list HOST:PORT,...")
@@ -421,6 +435,11 @@ int run_served_tool(const std::vector<std::string>& args, std::ostream& out,
     config.degrade_watermark =
         static_cast<std::size_t>(parser.get_int("degrade-watermark", 0));
     config.breaker.enabled = parser.get_bool("breaker", false);
+    config.cache_dir = parser.get("cache-dir", "");
+    config.journal_compact_bytes =
+        static_cast<std::size_t>(parser.get_int("cache-compact-mb", 8)) << 20;
+    config.durable_fsync = parser.get_bool("durable-fsync", false);
+    config.verify_results = parser.get_bool("verify", false);
 
     net::Backend::Config bc;
     bc.shard_index =
@@ -433,6 +452,17 @@ int run_served_tool(const std::vector<std::string>& args, std::ostream& out,
     }
 
     svc::PartitionService service(config);
+    if (!config.cache_dir.empty()) {
+      const svc::MetricsSnapshot::DurabilityStats d =
+          service.metrics().durability;
+      err << "durable: recovered " << d.recovered_entries << " entries from "
+          << config.cache_dir << " ("
+          << (d.clean_start ? "clean shutdown" : "crash recovery")
+          << ", dropped "
+          << (d.dropped_crc + d.dropped_truncated + d.dropped_stale_epoch +
+              d.dropped_malformed)
+          << ")\n";
+    }
     net::Backend backend(service, bc);
     ActivityHandler activity(backend);
     net::Server server(server_config, activity);
@@ -443,6 +473,12 @@ int run_served_tool(const std::vector<std::string>& args, std::ostream& out,
     serve(server, activity, idle_ms);
     report_faults(err);
     service.shutdown();
+    if (!config.cache_dir.empty()) {
+      // Graceful-exit flush: sync the journal and mint the clean marker
+      // so the next boot over this directory skips the torn-record scan.
+      const std::size_t flushed = service.flush_durable();
+      err << "durable: flushed " << flushed << " entries (clean shutdown)\n";
+    }
     if (!trace_path.empty())
       dump_trace(trace_path,
                  parser.get("trace-name",
